@@ -1,0 +1,171 @@
+//! λ network actions (§III-C): "an action λi ∈ {λ} is the network
+//! function ... that may require as arguments some fields extracted from
+//! previously received messages stored in one state of an automaton".
+//!
+//! The canonical example is Fig. 5 line 11: `set_host(host, port)` points
+//! the network engine's next TCP connection at an address discovered in a
+//! message (the SSDP response's location).
+
+use crate::error::{AutomataError, Result};
+use crate::translation::{evaluate_source, FunctionRegistry, MessageStore, ValueSource};
+use std::fmt;
+
+/// An unevaluated λ action attached to a δ-transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkAction {
+    /// Action keyword (`set_host`, ...).
+    pub name: String,
+    /// Arguments, evaluated against the message store when the transition
+    /// is taken.
+    pub args: Vec<ValueSource>,
+}
+
+impl NetworkAction {
+    /// Creates an action.
+    pub fn new(name: impl Into<String>, args: Vec<ValueSource>) -> Self {
+        NetworkAction { name: name.into(), args }
+    }
+
+    /// The `set_host` keyword operator of Fig. 5.
+    pub fn set_host(host: ValueSource, port: ValueSource) -> Self {
+        NetworkAction::new("set_host", vec![host, port])
+    }
+
+    /// Evaluates the action's arguments, producing a directive the
+    /// network engine can execute.
+    ///
+    /// # Errors
+    ///
+    /// Fails when arguments cannot be evaluated or have wrong types.
+    pub fn resolve(
+        &self,
+        store: &MessageStore,
+        functions: &FunctionRegistry,
+    ) -> Result<ResolvedAction> {
+        let mut values = Vec::with_capacity(self.args.len());
+        for arg in &self.args {
+            values.push(evaluate_source(arg, store, functions)?);
+        }
+        match self.name.as_str() {
+            "set_host" => {
+                let host = values
+                    .first()
+                    .ok_or_else(|| {
+                        AutomataError::Translation("set_host requires a host argument".into())
+                    })?
+                    .to_text();
+                let port = values
+                    .get(1)
+                    .ok_or_else(|| {
+                        AutomataError::Translation("set_host requires a port argument".into())
+                    })?
+                    .as_u64()?;
+                let port = u16::try_from(port).map_err(|_| {
+                    AutomataError::Translation(format!("set_host port {port} out of range"))
+                })?;
+                Ok(ResolvedAction::SetHost { host, port })
+            }
+            _ => Ok(ResolvedAction::Custom { name: self.name.clone(), args: values }),
+        }
+    }
+}
+
+impl fmt::Display for NetworkAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, arg) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match arg {
+                ValueSource::Field { message, path, .. } => write!(f, "{message}.{path}")?,
+                ValueSource::Literal(v) => write!(f, "{v}")?,
+                ValueSource::Function { name, .. } => write!(f, "{name}(..)")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// A λ action after argument evaluation — what the network engine
+/// executes while crossing a δ-transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolvedAction {
+    /// Point the next synchronous (TCP) exchange at `host:port`.
+    SetHost {
+        /// Destination host.
+        host: String,
+        /// Destination port.
+        port: u16,
+    },
+    /// An engine-specific action with evaluated arguments.
+    Custom {
+        /// Action keyword.
+        name: String,
+        /// Evaluated arguments.
+        args: Vec<starlink_message::Value>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_message::{AbstractMessage, Field, Value};
+
+    fn store() -> MessageStore {
+        let mut store = MessageStore::new();
+        let mut resp = AbstractMessage::new("SSDP", "SSDP_Resp");
+        resp.push_field(Field::primitive("LOCATION", "http://10.0.0.9:5000/desc.xml"));
+        store.insert(resp);
+        store
+    }
+
+    #[test]
+    fn set_host_from_fig5_line11() {
+        // set_host(s22.SSDP_Resp.IP, s22.SSDP_Resp.PORT) — here computed
+        // via URL functions from the LOCATION header.
+        let action = NetworkAction::set_host(
+            ValueSource::function("url-host", vec![ValueSource::field("SSDP_Resp", "LOCATION")]),
+            ValueSource::function("url-port", vec![ValueSource::field("SSDP_Resp", "LOCATION")]),
+        );
+        let resolved = action.resolve(&store(), &FunctionRegistry::with_builtins()).unwrap();
+        assert_eq!(
+            resolved,
+            ResolvedAction::SetHost { host: "10.0.0.9".into(), port: 5000 }
+        );
+    }
+
+    #[test]
+    fn set_host_requires_two_args() {
+        let action = NetworkAction::new("set_host", vec![ValueSource::literal("h")]);
+        assert!(action.resolve(&store(), &FunctionRegistry::with_builtins()).is_err());
+    }
+
+    #[test]
+    fn set_host_port_range_checked() {
+        let action = NetworkAction::new(
+            "set_host",
+            vec![ValueSource::literal("h"), ValueSource::literal(70000u64)],
+        );
+        assert!(action.resolve(&store(), &FunctionRegistry::with_builtins()).is_err());
+    }
+
+    #[test]
+    fn custom_actions_pass_through() {
+        let action = NetworkAction::new("flush_queues", vec![ValueSource::literal(3u64)]);
+        let resolved = action.resolve(&store(), &FunctionRegistry::with_builtins()).unwrap();
+        assert_eq!(
+            resolved,
+            ResolvedAction::Custom { name: "flush_queues".into(), args: vec![Value::Unsigned(3)] }
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let action = NetworkAction::set_host(
+            ValueSource::field("SSDP_Resp", "IP"),
+            ValueSource::field("SSDP_Resp", "PORT"),
+        );
+        assert_eq!(action.to_string(), "set_host(SSDP_Resp.IP, SSDP_Resp.PORT)");
+    }
+}

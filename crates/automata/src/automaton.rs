@@ -1,0 +1,445 @@
+//! k-coloured automata definitions (§III-B):
+//! `Ak = (Q, M, q0, F, Act, →, ⇒)`.
+
+use crate::color::Color;
+use crate::error::{AutomataError, Result};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a state within its automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub usize);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The action set `Act = {?, !}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// `?m` — the transition fires when message `m` is received.
+    Receive,
+    /// `!m` — the transition fires by sending message `m`.
+    Send,
+}
+
+impl Action {
+    /// The paper's prefix notation (`?` or `!`).
+    pub fn symbol(&self) -> char {
+        match self {
+            Action::Receive => '?',
+            Action::Send => '!',
+        }
+    }
+}
+
+/// One state of a coloured automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// Stable identifier within the automaton.
+    pub id: StateId,
+    /// Human-readable name (`s0`, `s1`, ... by default).
+    pub name: String,
+    /// Index into the automaton's colour list.
+    pub color: usize,
+    /// Whether this state is in the accepting set `F`.
+    pub accepting: bool,
+}
+
+/// One transition `s1 --(?|!)m--> s2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Send or receive.
+    pub action: Action,
+    /// The abstract message name labelling the transition.
+    pub message: String,
+    /// Destination state.
+    pub to: StateId,
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} --{}{}--> {}", self.from, self.action.symbol(), self.message, self.to)
+    }
+}
+
+/// A k-coloured automaton for one protocol.
+///
+/// ```
+/// use starlink_automata::{ColoredAutomaton, Color, Transport, Mode, Action};
+///
+/// // Fig. 1: the SLP service-side automaton.
+/// let slp = ColoredAutomaton::builder("SLP")
+///     .color(Color::new(Transport::Udp, 427, Mode::Async).multicast("239.255.255.253"))
+///     .state("s0")
+///     .state_accepting("s1")
+///     .receive("s0", "SLPSrvRequest", "s1")
+///     .send("s1", "SLPSrvReply", "s0")
+///     .build()?;
+/// assert_eq!(slp.states().len(), 2);
+/// assert_eq!(slp.transitions().len(), 2);
+/// # Ok::<(), starlink_automata::AutomataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColoredAutomaton {
+    protocol: String,
+    colors: Vec<Color>,
+    states: Vec<State>,
+    transitions: Vec<Transition>,
+    initial: StateId,
+}
+
+impl ColoredAutomaton {
+    /// Starts building an automaton for `protocol`.
+    pub fn builder(protocol: impl Into<String>) -> AutomatonBuilder {
+        AutomatonBuilder {
+            protocol: protocol.into(),
+            colors: Vec::new(),
+            states: Vec::new(),
+            transitions: Vec::new(),
+            initial: None,
+        }
+    }
+
+    /// The protocol this automaton describes.
+    pub fn protocol(&self) -> &str {
+        &self.protocol
+    }
+
+    /// The colour list; `k = colors().len()` distinct colours.
+    pub fn colors(&self) -> &[Color] {
+        &self.colors
+    }
+
+    /// All states.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// The initial state `q0`.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// The accepting set `F`.
+    pub fn accepting(&self) -> impl Iterator<Item = &State> {
+        self.states.iter().filter(|s| s.accepting)
+    }
+
+    /// Looks up a state by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::UnknownState`] for out-of-range ids.
+    pub fn state(&self, id: StateId) -> Result<&State> {
+        self.states.get(id.0).ok_or_else(|| AutomataError::UnknownState(id.to_string()))
+    }
+
+    /// Looks up a state by name.
+    pub fn state_by_name(&self, name: &str) -> Option<&State> {
+        self.states.iter().find(|s| s.name == name)
+    }
+
+    /// The colour of a state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::UnknownState`] for out-of-range ids.
+    pub fn color_of(&self, id: StateId) -> Result<&Color> {
+        let state = self.state(id)?;
+        self.colors.get(state.color).ok_or_else(|| {
+            AutomataError::Invalid(format!("state {} references missing colour", state.name))
+        })
+    }
+
+    /// Transitions leaving `from`.
+    pub fn transitions_from(&self, from: StateId) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.from == from)
+    }
+
+    /// The message alphabet `M` (sorted, deduplicated).
+    pub fn messages(&self) -> Vec<&str> {
+        let set: BTreeSet<&str> =
+            self.transitions.iter().map(|t| t.message.as_str()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Structural validation (performed by [`AutomatonBuilder::build`]):
+    /// state/colour references resolve, and every transition connects
+    /// same-coloured states ("an automaton can pass ... from one state to
+    /// another ... only if the concerned states share the same color").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::Invalid`] describing the first violation.
+    pub fn validate(&self) -> Result<()> {
+        if self.states.is_empty() {
+            return Err(AutomataError::Invalid("automaton has no states".into()));
+        }
+        if self.colors.is_empty() {
+            return Err(AutomataError::Invalid("automaton has no colours".into()));
+        }
+        for state in &self.states {
+            if state.color >= self.colors.len() {
+                return Err(AutomataError::Invalid(format!(
+                    "state {} references colour #{} of {}",
+                    state.name,
+                    state.color,
+                    self.colors.len()
+                )));
+            }
+        }
+        for transition in &self.transitions {
+            let from = self.state(transition.from)?;
+            let to = self.state(transition.to)?;
+            if from.color != to.color {
+                return Err(AutomataError::Invalid(format!(
+                    "transition {transition} crosses colours without a δ-transition"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ColoredAutomaton`]; states are named and referenced by
+/// name while building.
+#[derive(Debug, Clone)]
+pub struct AutomatonBuilder {
+    protocol: String,
+    colors: Vec<Color>,
+    states: Vec<(String, usize, bool)>,
+    transitions: Vec<(String, Action, String, String)>,
+    initial: Option<String>,
+}
+
+impl AutomatonBuilder {
+    /// Adds a colour; subsequently added states use the latest colour.
+    pub fn color(mut self, color: Color) -> Self {
+        self.colors.push(color);
+        self
+    }
+
+    fn push_state(mut self, name: &str, accepting: bool) -> Self {
+        let color = self.colors.len().saturating_sub(1);
+        self.states.push((name.to_owned(), color, accepting));
+        if self.initial.is_none() {
+            self.initial = Some(name.to_owned());
+        }
+        self
+    }
+
+    /// Adds a state (the first added state is initial).
+    pub fn state(self, name: &str) -> Self {
+        self.push_state(name, false)
+    }
+
+    /// Adds an accepting state.
+    pub fn state_accepting(self, name: &str) -> Self {
+        self.push_state(name, true)
+    }
+
+    /// Marks a previously added state as initial.
+    pub fn initial(mut self, name: &str) -> Self {
+        self.initial = Some(name.to_owned());
+        self
+    }
+
+    /// Adds a receive transition `from --?message--> to`.
+    pub fn receive(mut self, from: &str, message: &str, to: &str) -> Self {
+        self.transitions.push((from.to_owned(), Action::Receive, message.to_owned(), to.to_owned()));
+        self
+    }
+
+    /// Adds a send transition `from --!message--> to`.
+    pub fn send(mut self, from: &str, message: &str, to: &str) -> Self {
+        self.transitions.push((from.to_owned(), Action::Send, message.to_owned(), to.to_owned()));
+        self
+    }
+
+    /// Finalises and validates the automaton.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::Invalid`] for duplicate/unknown state
+    /// names or colour violations.
+    pub fn build(self) -> Result<ColoredAutomaton> {
+        let mut states = Vec::with_capacity(self.states.len());
+        for (index, (name, color, accepting)) in self.states.iter().enumerate() {
+            if self.states.iter().filter(|(n, _, _)| n == name).count() > 1 {
+                return Err(AutomataError::Invalid(format!("duplicate state name {name:?}")));
+            }
+            states.push(State {
+                id: StateId(index),
+                name: name.clone(),
+                color: *color,
+                accepting: *accepting,
+            });
+        }
+        let find = |name: &str| -> Result<StateId> {
+            states
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.id)
+                .ok_or_else(|| AutomataError::UnknownState(name.to_owned()))
+        };
+        let mut transitions = Vec::with_capacity(self.transitions.len());
+        for (from, action, message, to) in &self.transitions {
+            transitions.push(Transition {
+                from: find(from)?,
+                action: *action,
+                message: message.clone(),
+                to: find(to)?,
+            });
+        }
+        let initial = match &self.initial {
+            Some(name) => find(name)?,
+            None => return Err(AutomataError::Invalid("automaton has no states".into())),
+        };
+        let automaton = ColoredAutomaton {
+            protocol: self.protocol,
+            colors: self.colors,
+            states,
+            transitions,
+            initial,
+        };
+        automaton.validate()?;
+        Ok(automaton)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::{Mode, Transport};
+
+    fn slp_color() -> Color {
+        Color::new(Transport::Udp, 427, Mode::Async).multicast("239.255.255.253")
+    }
+
+    /// Fig. 2: the SSDP client-side automaton (send search, await resp).
+    fn ssdp() -> ColoredAutomaton {
+        ColoredAutomaton::builder("SSDP")
+            .color(Color::new(Transport::Udp, 1900, Mode::Async).multicast("239.255.255.250"))
+            .state("s0")
+            .state("s1")
+            .state_accepting("s2")
+            .send("s0", "SSDP_M-Search", "s1")
+            .receive("s1", "SSDP_Resp", "s2")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_constructs_fig2() {
+        let a = ssdp();
+        assert_eq!(a.protocol(), "SSDP");
+        assert_eq!(a.initial(), StateId(0));
+        assert_eq!(a.accepting().count(), 1);
+        assert_eq!(a.messages(), vec!["SSDP_M-Search", "SSDP_Resp"]);
+    }
+
+    #[test]
+    fn first_state_is_initial_by_default() {
+        let a = ColoredAutomaton::builder("X")
+            .color(slp_color())
+            .state("a")
+            .state("b")
+            .build()
+            .unwrap();
+        assert_eq!(a.state(a.initial()).unwrap().name, "a");
+    }
+
+    #[test]
+    fn initial_can_be_overridden() {
+        let a = ColoredAutomaton::builder("X")
+            .color(slp_color())
+            .state("a")
+            .state("b")
+            .initial("b")
+            .build()
+            .unwrap();
+        assert_eq!(a.state(a.initial()).unwrap().name, "b");
+    }
+
+    #[test]
+    fn duplicate_state_names_rejected() {
+        let err = ColoredAutomaton::builder("X")
+            .color(slp_color())
+            .state("a")
+            .state("a")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_transition_endpoint_rejected() {
+        let err = ColoredAutomaton::builder("X")
+            .color(slp_color())
+            .state("a")
+            .receive("a", "M", "ghost")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AutomataError::UnknownState(_)));
+    }
+
+    #[test]
+    fn cross_color_transition_rejected() {
+        // Two colours; a transition between differently-coloured states
+        // must be refused (that is what δ-transitions are for).
+        let err = ColoredAutomaton::builder("X")
+            .color(slp_color())
+            .state("a")
+            .color(Color::new(Transport::Tcp, 80, Mode::Sync))
+            .state("b")
+            .send("a", "M", "b")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("δ"));
+    }
+
+    #[test]
+    fn no_states_rejected() {
+        assert!(ColoredAutomaton::builder("X").color(slp_color()).build().is_err());
+        assert!(ColoredAutomaton::builder("X").build().is_err());
+    }
+
+    #[test]
+    fn transitions_from_filters() {
+        let a = ssdp();
+        let from_initial: Vec<_> = a.transitions_from(StateId(0)).collect();
+        assert_eq!(from_initial.len(), 1);
+        assert_eq!(from_initial[0].message, "SSDP_M-Search");
+        assert_eq!(from_initial[0].action, Action::Send);
+    }
+
+    #[test]
+    fn state_lookup_by_name() {
+        let a = ssdp();
+        assert_eq!(a.state_by_name("s2").unwrap().id, StateId(2));
+        assert!(a.state_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn color_of_resolves() {
+        let a = ssdp();
+        assert_eq!(a.color_of(StateId(0)).unwrap().port(), 1900);
+    }
+
+    #[test]
+    fn transition_display_uses_paper_notation() {
+        let a = ssdp();
+        assert_eq!(a.transitions()[0].to_string(), "s0 --!SSDP_M-Search--> s1");
+        assert_eq!(a.transitions()[1].to_string(), "s1 --?SSDP_Resp--> s2");
+    }
+}

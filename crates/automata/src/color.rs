@@ -1,0 +1,262 @@
+//! Automaton colours (§III-B): the low-level network semantics attached
+//! to states — transport protocol, port, synchrony mode, multicast group.
+//!
+//! "An automaton Ak is said to be k-colored if all its states are
+//! k-colored, and if there exists a function f such as
+//! f(⟨(key1,val1),...⟩) = k" — the colour is a list of key/value pairs and
+//! k is a perfect hash of it. Here the canonical, order-normalised
+//! rendering of the pairs is the hash preimage and [`ColorKey`] is the
+//! collision-free key (string identity is a perfect hash).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Transport protocol of a colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Transport {
+    /// Datagram transport.
+    Udp,
+    /// Stream transport (connection-oriented).
+    Tcp,
+}
+
+impl Transport {
+    /// Canonical attribute value.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Transport::Udp => "udp",
+            Transport::Tcp => "tcp",
+        }
+    }
+
+    /// Parses the attribute value.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "udp" => Some(Transport::Udp),
+            "tcp" => Some(Transport::Tcp),
+            _ => None,
+        }
+    }
+}
+
+/// Interaction mode of a colour: whether responses arrive asynchronously
+/// (datagram listeners) or synchronously (request/response on one
+/// connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Mode {
+    /// Responses arrive asynchronously.
+    Async,
+    /// Responses are received synchronously on the same exchange.
+    Sync,
+}
+
+impl Mode {
+    /// Canonical attribute value.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Mode::Async => "async",
+            Mode::Sync => "sync",
+        }
+    }
+
+    /// Parses the attribute value.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "async" => Some(Mode::Async),
+            "sync" => Some(Mode::Sync),
+            _ => None,
+        }
+    }
+}
+
+/// The unique key `k` of a colour — the output of the paper's perfect
+/// hash function `f` over the colour's key/value pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColorKey(String);
+
+impl ColorKey {
+    /// The canonical textual form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ColorKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A colour: the network semantics shared by the states it paints.
+///
+/// ```
+/// use starlink_automata::{Color, Transport, Mode};
+///
+/// // Fig. 1: the SLP colour.
+/// let slp = Color::new(Transport::Udp, 427, Mode::Async)
+///     .multicast("239.255.255.253");
+/// assert!(slp.is_multicast());
+/// assert_eq!(slp.key().as_str(),
+///     "group=239.255.255.253;mode=async;multicast=yes;port=427;transport_protocol=udp");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Color {
+    transport: Transport,
+    port: u16,
+    mode: Mode,
+    /// Multicast group address, when the colour is multicast.
+    group: Option<String>,
+    /// Additional free-form attributes (kept sorted for canonical keys).
+    extra: BTreeMap<String, String>,
+}
+
+impl Color {
+    /// Creates a unicast colour.
+    pub fn new(transport: Transport, port: u16, mode: Mode) -> Self {
+        Color { transport, port, mode, group: None, extra: BTreeMap::new() }
+    }
+
+    /// Builder: makes the colour multicast on `group`.
+    pub fn multicast(mut self, group: impl Into<String>) -> Self {
+        self.group = Some(group.into());
+        self
+    }
+
+    /// Builder: attaches a free-form attribute.
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.extra.insert(key.into(), value.into());
+        self
+    }
+
+    /// The transport protocol.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// The port number.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The interaction mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The multicast group, when set.
+    pub fn group(&self) -> Option<&str> {
+        self.group.as_deref()
+    }
+
+    /// True when the colour is multicast.
+    pub fn is_multicast(&self) -> bool {
+        self.group.is_some()
+    }
+
+    /// Extra attributes.
+    pub fn extras(&self) -> &BTreeMap<String, String> {
+        &self.extra
+    }
+
+    /// The key/value pair list defining this colour, sorted by key (the
+    /// preimage of the paper's hash function `f`).
+    pub fn pairs(&self) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> = vec![
+            ("transport_protocol".into(), self.transport.as_str().into()),
+            ("port".into(), self.port.to_string()),
+            ("mode".into(), self.mode.as_str().into()),
+            ("multicast".into(), if self.is_multicast() { "yes".into() } else { "no".into() }),
+        ];
+        if let Some(group) = &self.group {
+            pairs.push(("group".into(), group.clone()));
+        }
+        for (k, v) in &self.extra {
+            pairs.push((k.clone(), v.clone()));
+        }
+        pairs.sort();
+        pairs
+    }
+
+    /// Computes the colour key `k = f(pairs)`; equal colours always yield
+    /// equal keys and distinct colours distinct keys (perfect hashing via
+    /// canonical strings).
+    pub fn key(&self) -> ColorKey {
+        let text = self
+            .pairs()
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        ColorKey(text)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}/{}", self.transport.as_str(), self.port, self.mode.as_str())?;
+        if let Some(group) = &self.group {
+            write!(f, " multicast {group}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slp() -> Color {
+        Color::new(Transport::Udp, 427, Mode::Async).multicast("239.255.255.253")
+    }
+
+    fn ssdp() -> Color {
+        Color::new(Transport::Udp, 1900, Mode::Async).multicast("239.255.255.250")
+    }
+
+    fn http() -> Color {
+        Color::new(Transport::Tcp, 80, Mode::Sync)
+    }
+
+    #[test]
+    fn fig_1_2_3_colors_are_distinct() {
+        // "a specific and different color has been affected for the SLP,
+        // SSDP, and HTTP automata".
+        let keys = [slp().key(), ssdp().key(), http().key()];
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[1], keys[2]);
+        assert_ne!(keys[0], keys[2]);
+    }
+
+    #[test]
+    fn equal_colors_have_equal_keys() {
+        assert_eq!(slp().key(), slp().key());
+        assert_eq!(slp(), slp());
+    }
+
+    #[test]
+    fn key_is_order_insensitive_for_extras() {
+        let a = Color::new(Transport::Udp, 1, Mode::Async).attr("x", "1").attr("y", "2");
+        let b = Color::new(Transport::Udp, 1, Mode::Async).attr("y", "2").attr("x", "1");
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn unicast_has_no_group() {
+        assert!(!http().is_multicast());
+        assert!(http().key().as_str().contains("multicast=no"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(slp().to_string(), "udp:427/async multicast 239.255.255.253");
+        assert_eq!(http().to_string(), "tcp:80/sync");
+    }
+
+    #[test]
+    fn transport_and_mode_parse() {
+        assert_eq!(Transport::parse("UDP"), Some(Transport::Udp));
+        assert_eq!(Transport::parse("x"), None);
+        assert_eq!(Mode::parse("sync"), Some(Mode::Sync));
+        assert_eq!(Mode::parse("x"), None);
+    }
+}

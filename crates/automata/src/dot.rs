@@ -1,0 +1,174 @@
+//! Graphviz DOT export: regenerates the automaton diagrams of the paper
+//! (Figs. 1, 2, 3, 4, 9, 10) from the loaded models.
+
+use crate::automaton::ColoredAutomaton;
+use crate::merge::MergedAutomaton;
+use std::fmt::Write as _;
+
+/// Palette used to paint states by colour index (merged automata show
+/// one fill per protocol colour, bridge endpoints are visually shared).
+const PALETTE: [&str; 6] =
+    ["lightblue", "lightsalmon", "palegreen", "plum", "khaki", "lightgray"];
+
+fn color_label(color: &crate::color::Color) -> String {
+    let mut label = String::new();
+    for (key, value) in color.pairs() {
+        let _ = writeln!(label, "{key}={value}");
+    }
+    label
+}
+
+/// Renders a single coloured automaton (Figs. 1–3, 9 style).
+pub fn automaton_to_dot(automaton: &ColoredAutomaton) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", automaton.protocol());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for (index, color) in automaton.colors().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  legend_{index} [shape=note, label=\"{}\"];",
+            color_label(color).replace('\n', "\\l")
+        );
+    }
+    for state in automaton.states() {
+        let fill = PALETTE[state.color % PALETTE.len()];
+        let shape = if state.accepting { "doublecircle" } else { "circle" };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={shape}, style=filled, fillcolor={fill}];",
+            state.name
+        );
+    }
+    let initial = automaton.state(automaton.initial()).map(|s| s.name.clone()).unwrap_or_default();
+    let _ = writeln!(out, "  start [shape=point];");
+    let _ = writeln!(out, "  start -> \"{initial}\";");
+    for transition in automaton.transitions() {
+        let from = &automaton.states()[transition.from.0].name;
+        let to = &automaton.states()[transition.to.0].name;
+        let _ = writeln!(
+            out,
+            "  \"{from}\" -> \"{to}\" [label=\"{}{}\"];",
+            transition.action.symbol(),
+            transition.message
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a merged automaton (Figs. 4, 10 style): parts as clusters,
+/// δ-transitions as dashed edges labelled with their λ actions.
+pub fn merged_to_dot(merged: &MergedAutomaton) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", merged.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  compound=true;");
+    for (part_index, part) in merged.parts().iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{part_index} {{");
+        let _ = writeln!(out, "    label=\"{}\";", part.protocol());
+        for state in part.states() {
+            let fill = PALETTE[part_index % PALETTE.len()];
+            let shape = if state.accepting { "doublecircle" } else { "circle" };
+            let _ = writeln!(
+                out,
+                "    \"{}_{}\" [label=\"{}\", shape={shape}, style=filled, fillcolor={fill}];",
+                part.protocol(),
+                state.name,
+                state.name
+            );
+        }
+        for transition in part.transitions() {
+            let from = &part.states()[transition.from.0].name;
+            let to = &part.states()[transition.to.0].name;
+            let _ = writeln!(
+                out,
+                "    \"{0}_{from}\" -> \"{0}_{to}\" [label=\"{1}{2}\"];",
+                part.protocol(),
+                transition.action.symbol(),
+                transition.message
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for delta in merged.deltas() {
+        let from_part = &merged.parts()[delta.from.part.0];
+        let to_part = &merged.parts()[delta.to.part.0];
+        let from = format!(
+            "{}_{}",
+            from_part.protocol(),
+            from_part.states()[delta.from.state.0].name
+        );
+        let to =
+            format!("{}_{}", to_part.protocol(), to_part.states()[delta.to.state.0].name);
+        let mut label = String::from("δ");
+        if !delta.actions.is_empty() {
+            let actions: Vec<String> = delta.actions.iter().map(|a| a.to_string()).collect();
+            let _ = write!(label, "{{{}}}", actions.join(", "));
+        }
+        let _ = writeln!(out, "  \"{from}\" -> \"{to}\" [style=dashed, label=\"{label}\"];");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::{Color, Mode, Transport};
+    use crate::merge::Delta;
+
+    fn slp() -> ColoredAutomaton {
+        ColoredAutomaton::builder("SLP")
+            .color(Color::new(Transport::Udp, 427, Mode::Async).multicast("239.255.255.253"))
+            .state("s0")
+            .state_accepting("s1")
+            .receive("s0", "SLPSrvRequest", "s1")
+            .send("s1", "SLPSrvReply", "s0")
+            .build()
+            .unwrap()
+    }
+
+    fn http() -> ColoredAutomaton {
+        ColoredAutomaton::builder("HTTP")
+            .color(Color::new(Transport::Tcp, 80, Mode::Sync))
+            .state("s0")
+            .state("s1")
+            .state_accepting("s2")
+            .send("s0", "HTTP_GET", "s1")
+            .receive("s1", "HTTP_OK", "s2")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_automaton_dot_contains_states_and_edges() {
+        let dot = automaton_to_dot(&slp());
+        assert!(dot.starts_with("digraph \"SLP\""));
+        assert!(dot.contains("\"s0\" -> \"s1\" [label=\"?SLPSrvRequest\"]"));
+        assert!(dot.contains("doublecircle")); // accepting state
+        assert!(dot.contains("group=239.255.255.253")); // colour legend
+    }
+
+    #[test]
+    fn merged_dot_contains_clusters_and_deltas() {
+        let merged = MergedAutomaton::builder("m")
+            .part(slp())
+            .part(http())
+            .equivalence("HTTP_GET", &["SLPSrvRequest"])
+            .delta(Delta::new("SLP:s1", "HTTP:s0"))
+            .delta(Delta::new("HTTP:s2", "SLP:s1"))
+            .build()
+            .unwrap();
+        let dot = merged_to_dot(&merged);
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains('δ'));
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        assert_eq!(automaton_to_dot(&slp()), automaton_to_dot(&slp()));
+    }
+}

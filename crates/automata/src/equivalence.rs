@@ -1,0 +1,191 @@
+//! The semantic-equivalence operator ⊨ (§III-C, equation (1)):
+//! `n ⊨ m⃗` holds iff every mandatory field of `n` can be filled from a
+//! semantically equivalent field of some message in the sequence `m⃗`.
+//!
+//! Starlink realises ⊨ in two layers: *declarations* (the merge spec
+//! asserts which messages are equivalent, Fig. 5 lines 1–3) and *field
+//! coverage* (the declared assignments must actually fill every mandatory
+//! field of the target — checkable statically against the assignments and
+//! dynamically against a composed instance).
+
+use crate::translation::Assignment;
+use starlink_message::AbstractMessage;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One declaration `target ⊨ sources` (e.g. `SSDP_M-Search ⊨ SLPSrvRequest`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceDecl {
+    /// The message to be produced.
+    pub target: String,
+    /// The received message sequence it is equivalent to.
+    pub sources: Vec<String>,
+}
+
+impl fmt::Display for EquivalenceDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} |= {}", self.target, self.sources.join(", "))
+    }
+}
+
+/// The set of equivalence declarations of a merged automaton.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EquivalenceMap {
+    declarations: Vec<EquivalenceDecl>,
+}
+
+impl EquivalenceMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        EquivalenceMap::default()
+    }
+
+    /// Declares `target ⊨ sources`.
+    pub fn declare(&mut self, target: impl Into<String>, sources: Vec<String>) -> &mut Self {
+        self.declarations.push(EquivalenceDecl { target: target.into(), sources });
+        self
+    }
+
+    /// All declarations.
+    pub fn declarations(&self) -> &[EquivalenceDecl] {
+        &self.declarations
+    }
+
+    /// The declaration for `target`, if any.
+    pub fn for_target(&self, target: &str) -> Option<&EquivalenceDecl> {
+        self.declarations.iter().find(|d| d.target == target)
+    }
+
+    /// True when `target ⊨ received` is declared: a declaration for
+    /// `target` exists whose sources all appear in `received`.
+    pub fn is_declared(&self, target: &str, received: &[&str]) -> bool {
+        match self.for_target(target) {
+            Some(decl) => decl.sources.iter().all(|s| received.contains(&s.as_str())),
+            None => false,
+        }
+    }
+
+    /// Number of declarations.
+    pub fn len(&self) -> usize {
+        self.declarations.len()
+    }
+
+    /// True when no declarations exist.
+    pub fn is_empty(&self) -> bool {
+        self.declarations.is_empty()
+    }
+}
+
+/// Statically checks field coverage for one declaration: every mandatory
+/// field of the `target` blank must be the target of some assignment (or
+/// carry a non-empty default). Returns the uncovered labels.
+pub fn uncovered_mandatory_fields(
+    target_blank: &AbstractMessage,
+    assignments: &[Assignment],
+) -> Vec<String> {
+    let assigned: BTreeSet<&str> = assignments
+        .iter()
+        .filter(|a| a.target_message == target_blank.name())
+        .filter_map(|a| a.target_path.segments().first())
+        .map(|segment| segment.label.as_str())
+        .collect();
+    target_blank
+        .mandatory_labels()
+        .filter(|label| {
+            if assigned.contains(label) {
+                return false;
+            }
+            // A field pre-filled by a schema default (e.g. a rule
+            // discriminator) counts as covered.
+            match target_blank.field(label).and_then(|f| f.value().ok()) {
+                Some(value) => value.is_empty(),
+                None => true,
+            }
+        })
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Dynamically checks `instance ⊨ ...` after translation: are all
+/// mandatory fields filled?
+pub fn holds_for_instance(instance: &AbstractMessage) -> bool {
+    instance.unfilled_mandatory().is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_message::Field;
+
+    fn blank_reply() -> AbstractMessage {
+        let mut msg = AbstractMessage::new("SLP", "SLPSrvReply");
+        msg.push_field(Field::primitive("URL", ""));
+        msg.push_field(Field::primitive("XID", 0u16));
+        msg.mark_mandatory("URL");
+        msg.mark_mandatory("XID");
+        msg
+    }
+
+    #[test]
+    fn declarations_of_fig5_lines_1_to_3() {
+        let mut map = EquivalenceMap::new();
+        map.declare("SSDP_M-Search", vec!["SLPSrvRequest".into()]);
+        map.declare("HTTP_GET", vec!["SSDP_Resp".into()]);
+        map.declare("SLPSrvReply", vec!["HTTP_OK".into()]);
+        assert_eq!(map.len(), 3);
+        assert!(map.is_declared("SSDP_M-Search", &["SLPSrvRequest"]));
+        assert!(!map.is_declared("SSDP_M-Search", &["SomethingElse"]));
+        assert!(!map.is_declared("Unknown", &["SLPSrvRequest"]));
+    }
+
+    #[test]
+    fn multi_source_declaration_requires_all() {
+        let mut map = EquivalenceMap::new();
+        map.declare("Combined", vec!["A".into(), "B".into()]);
+        assert!(map.is_declared("Combined", &["A", "B", "C"]));
+        assert!(!map.is_declared("Combined", &["A"]));
+    }
+
+    #[test]
+    fn coverage_detects_missing_mandatory_assignment() {
+        let blank = blank_reply();
+        let assignments =
+            vec![Assignment::field_to_field("SLPSrvReply", "URL", "HTTP_OK", "URL_BASE")];
+        // XID mandatory but unassigned and empty.
+        assert_eq!(uncovered_mandatory_fields(&blank, &assignments), vec!["XID"]);
+    }
+
+    #[test]
+    fn coverage_accepts_full_assignment_set() {
+        let blank = blank_reply();
+        let assignments = vec![
+            Assignment::field_to_field("SLPSrvReply", "URL", "HTTP_OK", "URL_BASE"),
+            Assignment::field_to_field("SLPSrvReply", "XID", "SLPSrvRequest", "XID"),
+        ];
+        assert!(uncovered_mandatory_fields(&blank, &assignments).is_empty());
+    }
+
+    #[test]
+    fn coverage_accepts_non_empty_defaults() {
+        let mut blank = AbstractMessage::new("P", "M");
+        blank.push_field(Field::primitive("Version", 2u8));
+        blank.mark_mandatory("Version");
+        assert!(uncovered_mandatory_fields(&blank, &[]).is_empty());
+    }
+
+    #[test]
+    fn coverage_ignores_assignments_to_other_messages() {
+        let blank = blank_reply();
+        let assignments = vec![Assignment::field_to_field("Other", "URL", "HTTP_OK", "URL_BASE")];
+        assert_eq!(uncovered_mandatory_fields(&blank, &assignments).len(), 2);
+    }
+
+    #[test]
+    fn instance_check_after_translation() {
+        let mut instance = blank_reply();
+        assert!(!holds_for_instance(&instance));
+        instance.set(&"URL".into(), "service:printer://x".into()).unwrap();
+        instance.set(&"XID".into(), starlink_message::Value::Unsigned(7)).unwrap();
+        assert!(holds_for_instance(&instance));
+    }
+}

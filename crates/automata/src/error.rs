@@ -1,0 +1,60 @@
+//! Error type for automata construction, merging and execution.
+
+use starlink_message::MessageError;
+use std::fmt;
+
+/// Error raised by the automata layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AutomataError {
+    /// A state id did not exist in the automaton.
+    UnknownState(String),
+    /// A part (protocol automaton) name did not exist in a merged automaton.
+    UnknownPart(String),
+    /// A structural rule of colored automata was violated.
+    Invalid(String),
+    /// The merge constraints of §III-C were violated.
+    NotMergeable(String),
+    /// Translation logic failed to apply.
+    Translation(String),
+    /// An execution step was illegal (no matching transition, wrong state
+    /// kind, ...).
+    Execution(String),
+    /// An XML model document was malformed.
+    Xml(String),
+    /// An underlying abstract-message operation failed.
+    Message(MessageError),
+}
+
+impl fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomataError::UnknownState(id) => write!(f, "unknown state {id:?}"),
+            AutomataError::UnknownPart(name) => write!(f, "unknown automaton part {name:?}"),
+            AutomataError::Invalid(msg) => write!(f, "invalid automaton: {msg}"),
+            AutomataError::NotMergeable(msg) => write!(f, "automata are not mergeable: {msg}"),
+            AutomataError::Translation(msg) => write!(f, "translation error: {msg}"),
+            AutomataError::Execution(msg) => write!(f, "execution error: {msg}"),
+            AutomataError::Xml(msg) => write!(f, "invalid automaton XML: {msg}"),
+            AutomataError::Message(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for AutomataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AutomataError::Message(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<MessageError> for AutomataError {
+    fn from(err: MessageError) -> Self {
+        AutomataError::Message(err)
+    }
+}
+
+/// Convenient result alias for automata operations.
+pub type Result<T> = std::result::Result<T, AutomataError>;

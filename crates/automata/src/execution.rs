@@ -1,0 +1,483 @@
+//! Executing a merged automaton: the state machine driven by the
+//! Automata Engine (§IV-B), with per-state message queues and the history
+//! operator ⇒ of §III-B.
+
+use crate::actions::ResolvedAction;
+use crate::automaton::{Action, Transition};
+use crate::error::{AutomataError, Result};
+use crate::merge::{GlobalState, MergedAutomaton, PartId};
+use crate::translation::{apply_assignments, FunctionRegistry, MessageStore};
+use starlink_message::AbstractMessage;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One entry of the execution history: a taken transition plus the
+/// message instance that fired it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// State before the transition.
+    pub from: GlobalState,
+    /// Send or receive.
+    pub action: Action,
+    /// The message instance.
+    pub message: AbstractMessage,
+    /// State the execution rested in after the transition *and* any
+    /// δ-bridging that followed it.
+    pub to: GlobalState,
+}
+
+/// What the engine should do after a step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// λ actions resolved while crossing δ-transitions, in order.
+    pub actions: Vec<ResolvedAction>,
+    /// δ-transitions crossed (bridge states visited).
+    pub bridged: usize,
+    /// The state the execution now rests in.
+    pub state: GlobalState,
+}
+
+/// A running instance of a [`MergedAutomaton`].
+///
+/// The engine drives it with [`Execution::deliver`] (a message arrived)
+/// and [`Execution::next_send`]/[`Execution::sent`] (compose and emit a
+/// message); the execution advances through δ-transitions automatically,
+/// applying translation logic and resolving λ actions on the way.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    automaton: Arc<MergedAutomaton>,
+    functions: Arc<FunctionRegistry>,
+    current: GlobalState,
+    store: MessageStore,
+    queues: BTreeMap<GlobalState, Vec<AbstractMessage>>,
+    history: Vec<HistoryEntry>,
+    /// δ-transitions already crossed; the equation-(4) chain crosses each
+    /// δ exactly once, which is what stops the execution from re-entering
+    /// a bridge it came back through (e.g. Fig. 10's bicoloured node ②).
+    taken_deltas: Vec<bool>,
+}
+
+impl Execution {
+    /// Creates an execution resting in the automaton's initial state.
+    pub fn new(automaton: Arc<MergedAutomaton>, functions: Arc<FunctionRegistry>) -> Self {
+        let current = automaton.initial();
+        let taken_deltas = vec![false; automaton.deltas().len()];
+        Execution {
+            automaton,
+            functions,
+            current,
+            store: MessageStore::new(),
+            queues: BTreeMap::new(),
+            history: Vec::new(),
+            taken_deltas,
+        }
+    }
+
+    /// The automaton being executed.
+    pub fn automaton(&self) -> &MergedAutomaton {
+        &self.automaton
+    }
+
+    /// The state the execution currently rests in.
+    pub fn current(&self) -> GlobalState {
+        self.current
+    }
+
+    /// The part (protocol) of the current state.
+    pub fn current_part(&self) -> PartId {
+        self.current.part
+    }
+
+    /// The message store (received instances + translation targets).
+    pub fn store(&self) -> &MessageStore {
+        &self.store
+    }
+
+    /// Mutable access to the message store — engines use this to
+    /// pre-register schema-typed blank instances for translation targets.
+    pub fn store_mut(&mut self) -> &mut MessageStore {
+        &mut self.store
+    }
+
+    /// The queue of message instances stored at `state` (§III-B: "each
+    /// state maintains a queue to store both incoming and outgoing message
+    /// instances").
+    pub fn queue(&self, state: GlobalState) -> &[AbstractMessage] {
+        self.queues.get(&state).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The full execution history.
+    pub fn history(&self) -> &[HistoryEntry] {
+        &self.history
+    }
+
+    /// The ⇒ operator: the sequence of message instances of `action` kind
+    /// recorded between the `from`-th and `to`-th history entries'
+    /// states — practically, all instances sent/received while the
+    /// execution moved from state `from` to state `to`.
+    pub fn history_between(
+        &self,
+        from: GlobalState,
+        to: GlobalState,
+        action: Action,
+    ) -> Vec<&AbstractMessage> {
+        let start = self.history.iter().position(|e| e.from == from);
+        let end = self.history.iter().rposition(|e| e.to == to);
+        match (start, end) {
+            (Some(start), Some(end)) if start <= end => self.history[start..=end]
+                .iter()
+                .filter(|e| e.action == action)
+                .map(|e| &e.message)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Receive transitions available in the current state.
+    pub fn expected_receives(&self) -> Vec<&Transition> {
+        self.automaton
+            .transitions_from(self.current)
+            .into_iter()
+            .filter(|t| t.action == Action::Receive)
+            .collect()
+    }
+
+    /// The send transition pending in the current state, if any.
+    pub fn pending_send(&self) -> Option<&Transition> {
+        self.automaton
+            .transitions_from(self.current)
+            .into_iter()
+            .find(|t| t.action == Action::Send)
+    }
+
+    /// True when the current state is accepting and nothing is pending.
+    pub fn at_accepting(&self) -> bool {
+        self.automaton.is_accepting(self.current)
+            && self.pending_send().is_none()
+            && self.automaton.deltas_from(self.current).next().is_none()
+    }
+
+    /// Crosses any δ-transitions leaving the current state, applying
+    /// translation logic and resolving λ actions, until the execution
+    /// rests in a state with no outgoing δ.
+    fn bridge(&mut self) -> Result<StepOutcome> {
+        let mut actions = Vec::new();
+        let mut bridged = 0usize;
+        loop {
+            let next = self
+                .automaton
+                .deltas()
+                .iter()
+                .enumerate()
+                .find(|(index, delta)| delta.from == self.current && !self.taken_deltas[*index]);
+            let (index, delta) = match next {
+                Some((index, delta)) => (index, delta.clone()),
+                None => break,
+            };
+            apply_assignments(&delta.assignments, &mut self.store, &self.functions)?;
+            for action in &delta.actions {
+                actions.push(action.resolve(&self.store, &self.functions)?);
+            }
+            self.taken_deltas[index] = true;
+            self.current = delta.to;
+            bridged += 1;
+            if bridged > self.automaton.parts().len() * 4 {
+                return Err(AutomataError::Execution(
+                    "δ-transition cycle without message exchange".into(),
+                ));
+            }
+        }
+        Ok(StepOutcome { actions, bridged, state: self.current })
+    }
+
+    /// Delivers a received message instance: matches it against the
+    /// receive transitions of the current state ("if the abstract
+    /// message's name label matches one of the transition labels then the
+    /// automata moves to the pointed-to state", §IV-B), stores it in the
+    /// receiving state's queue and the message store, and crosses any
+    /// δ-transitions that follow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::Execution`] when no receive transition of
+    /// the current state matches the message name.
+    pub fn deliver(&mut self, message: AbstractMessage) -> Result<StepOutcome> {
+        let transition = self
+            .automaton
+            .transitions_from(self.current)
+            .into_iter()
+            .find(|t| t.action == Action::Receive && t.message == message.name())
+            .cloned()
+            .ok_or_else(|| {
+                AutomataError::Execution(format!(
+                    "state {} has no receive transition for message {:?}",
+                    self.automaton.state_name(self.current),
+                    message.name()
+                ))
+            })?;
+        let receiving_state = self.current;
+        self.queues.entry(receiving_state).or_default().push(message.clone());
+        self.store.insert(message.clone());
+        self.current = GlobalState { part: receiving_state.part, state: transition.to };
+        let outcome = self.bridge()?;
+        self.history.push(HistoryEntry {
+            from: receiving_state,
+            action: Action::Receive,
+            message,
+            to: self.current,
+        });
+        Ok(outcome)
+    }
+
+    /// Returns the message instance to send for the pending send
+    /// transition: the translated instance from the store when present,
+    /// or `None` when the current state has no send transition.
+    pub fn outgoing_instance(&self) -> Option<&AbstractMessage> {
+        let transition = self.pending_send()?;
+        self.store.get(&transition.message)
+    }
+
+    /// The name of the message the pending send transition emits.
+    pub fn next_send(&self) -> Option<&str> {
+        self.pending_send().map(|t| t.message.as_str())
+    }
+
+    /// Records that the pending send transition's message was emitted,
+    /// advancing the automaton (and crossing any δs that follow).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::Execution`] when no send transition is
+    /// pending or its message name differs from `message`.
+    pub fn sent(&mut self, message: AbstractMessage) -> Result<StepOutcome> {
+        let transition = self
+            .pending_send()
+            .cloned()
+            .ok_or_else(|| {
+                AutomataError::Execution(format!(
+                    "state {} has no send transition",
+                    self.automaton.state_name(self.current)
+                ))
+            })?;
+        if transition.message != message.name() {
+            return Err(AutomataError::Execution(format!(
+                "state {} sends {:?}, not {:?}",
+                self.automaton.state_name(self.current),
+                transition.message,
+                message.name()
+            )));
+        }
+        let sending_state = self.current;
+        self.queues.entry(sending_state).or_default().push(message.clone());
+        self.store.insert(message.clone());
+        self.current = GlobalState { part: sending_state.part, state: transition.to };
+        let outcome = self.bridge()?;
+        self.history.push(HistoryEntry {
+            from: sending_state,
+            action: Action::Send,
+            message,
+            to: self.current,
+        });
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::ColoredAutomaton;
+    use crate::color::{Color, Mode, Transport};
+    use crate::merge::Delta;
+    use crate::translation::Assignment;
+    use starlink_message::Field;
+
+    fn slp() -> ColoredAutomaton {
+        ColoredAutomaton::builder("SLP")
+            .color(Color::new(Transport::Udp, 427, Mode::Async).multicast("239.255.255.253"))
+            .state("s0")
+            .state_accepting("s1")
+            .receive("s0", "SLPSrvRequest", "s1")
+            .send("s1", "SLPSrvReply", "s0")
+            .build()
+            .unwrap()
+    }
+
+    fn dns() -> ColoredAutomaton {
+        ColoredAutomaton::builder("DNS")
+            .color(Color::new(Transport::Udp, 5353, Mode::Async).multicast("224.0.0.251"))
+            .state("s0")
+            .state("s1")
+            .state_accepting("s2")
+            .send("s0", "DNS_Question", "s1")
+            .receive("s1", "DNS_Response", "s2")
+            .build()
+            .unwrap()
+    }
+
+    /// The Fig. 10 merged automaton (SLP + mDNS) with its translation
+    /// logic.
+    fn fig10() -> Arc<MergedAutomaton> {
+        Arc::new(
+            MergedAutomaton::builder("slp-mdns")
+                .part(slp())
+                .part(dns())
+                .equivalence("DNS_Question", &["SLPSrvRequest"])
+                .equivalence("SLPSrvReply", &["DNS_Response"])
+                .delta(Delta::new("SLP:s1", "DNS:s0").assignment(Assignment::field_to_field(
+                    "DNS_Question",
+                    "DomainName",
+                    "SLPSrvRequest",
+                    "SRVType",
+                )))
+                .delta(
+                    Delta::new("DNS:s2", "SLP:s1")
+                        .assignment(Assignment::field_to_field(
+                            "SLPSrvReply",
+                            "URL",
+                            "DNS_Response",
+                            "RDATA",
+                        ))
+                        .assignment(Assignment::field_to_field(
+                            "SLPSrvReply",
+                            "XID",
+                            "SLPSrvRequest",
+                            "XID",
+                        )),
+                )
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn slp_request() -> AbstractMessage {
+        let mut msg = AbstractMessage::new("SLP", "SLPSrvRequest");
+        msg.push_field(Field::primitive("XID", 42u16));
+        msg.push_field(Field::primitive("SRVType", "service:printer"));
+        msg
+    }
+
+    fn dns_response() -> AbstractMessage {
+        let mut msg = AbstractMessage::new("DNS", "DNS_Response");
+        msg.push_field(Field::primitive("RDATA", "service:printer://10.0.0.9:631"));
+        msg
+    }
+
+    #[test]
+    fn full_fig10_walkthrough() {
+        let mut exec = Execution::new(fig10(), Arc::new(FunctionRegistry::with_builtins()));
+
+        // ① SLP request arrives; δ into DNS applies the translation.
+        let outcome = exec.deliver(slp_request()).unwrap();
+        assert_eq!(outcome.bridged, 1);
+        assert_eq!(exec.automaton().state_name(exec.current()), "DNS:s0");
+        assert_eq!(
+            exec.store().get("DNS_Question").unwrap().get(&"DomainName".into()).unwrap()
+                .as_str()
+                .unwrap(),
+            "service:printer"
+        );
+
+        // ② Engine composes and sends the DNS question.
+        assert_eq!(exec.next_send(), Some("DNS_Question"));
+        let question = exec.store().get("DNS_Question").unwrap().clone();
+        exec.sent(question).unwrap();
+        assert_eq!(exec.automaton().state_name(exec.current()), "DNS:s1");
+
+        // ③ DNS response arrives; δ back into SLP fills the reply.
+        let outcome = exec.deliver(dns_response()).unwrap();
+        assert_eq!(outcome.bridged, 1);
+        assert_eq!(exec.automaton().state_name(exec.current()), "SLP:s1");
+        let reply = exec.store().get("SLPSrvReply").unwrap();
+        assert_eq!(
+            reply.get(&"URL".into()).unwrap().as_str().unwrap(),
+            "service:printer://10.0.0.9:631"
+        );
+        assert_eq!(reply.get(&"XID".into()).unwrap().as_u64().unwrap(), 42);
+
+        // ④ Engine sends the reply; execution returns to SLP:s0.
+        assert_eq!(exec.next_send(), Some("SLPSrvReply"));
+        let reply = exec.store().get("SLPSrvReply").unwrap().clone();
+        exec.sent(reply).unwrap();
+        assert_eq!(exec.automaton().state_name(exec.current()), "SLP:s0");
+    }
+
+    #[test]
+    fn unmatched_message_is_rejected() {
+        let mut exec = Execution::new(fig10(), Arc::new(FunctionRegistry::with_builtins()));
+        let err = exec.deliver(dns_response()).unwrap_err();
+        assert!(err.to_string().contains("no receive transition"));
+    }
+
+    #[test]
+    fn sent_requires_matching_pending_send() {
+        let mut exec = Execution::new(fig10(), Arc::new(FunctionRegistry::with_builtins()));
+        // No send pending in the initial (receiving) state.
+        assert!(exec.sent(slp_request()).is_err());
+        exec.deliver(slp_request()).unwrap();
+        // Pending send is DNS_Question, not SLPSrvReply.
+        let wrong = AbstractMessage::new("SLP", "SLPSrvReply");
+        assert!(exec.sent(wrong).is_err());
+    }
+
+    #[test]
+    fn queues_store_instances_at_states() {
+        let mut exec = Execution::new(fig10(), Arc::new(FunctionRegistry::with_builtins()));
+        let initial = exec.current();
+        exec.deliver(slp_request()).unwrap();
+        assert_eq!(exec.queue(initial).len(), 1);
+        assert_eq!(exec.queue(initial)[0].name(), "SLPSrvRequest");
+    }
+
+    #[test]
+    fn history_operator_filters_by_action() {
+        let mut exec = Execution::new(fig10(), Arc::new(FunctionRegistry::with_builtins()));
+        let s0 = exec.current();
+        exec.deliver(slp_request()).unwrap();
+        let question = exec.store().get("DNS_Question").unwrap().clone();
+        exec.sent(question).unwrap();
+        exec.deliver(dns_response()).unwrap();
+        let here = exec.current();
+        let received = exec.history_between(s0, here, Action::Receive);
+        assert_eq!(received.len(), 2);
+        assert_eq!(received[0].name(), "SLPSrvRequest");
+        assert_eq!(received[1].name(), "DNS_Response");
+        let sent = exec.history_between(s0, here, Action::Send);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].name(), "DNS_Question");
+    }
+
+    #[test]
+    fn pre_registered_blank_is_used_by_translation() {
+        let mut exec = Execution::new(fig10(), Arc::new(FunctionRegistry::with_builtins()));
+        // Engine pre-registers a schema-typed blank with an extra field.
+        let mut blank = AbstractMessage::new("DNS", "DNS_Question");
+        blank.push_field(Field::primitive("DomainName", ""));
+        blank.push_field(Field::primitive("QType", 12u16));
+        exec.store_mut().insert(blank);
+        exec.deliver(slp_request()).unwrap();
+        let question = exec.store().get("DNS_Question").unwrap();
+        assert_eq!(question.get(&"QType".into()).unwrap().as_u64().unwrap(), 12);
+        assert_eq!(
+            question.get(&"DomainName".into()).unwrap().as_str().unwrap(),
+            "service:printer"
+        );
+    }
+
+    #[test]
+    fn at_accepting_only_when_idle() {
+        let mut exec = Execution::new(fig10(), Arc::new(FunctionRegistry::with_builtins()));
+        assert!(!exec.at_accepting());
+        exec.deliver(slp_request()).unwrap();
+        // DNS:s0 has a pending send, not accepting.
+        assert!(!exec.at_accepting());
+    }
+
+    #[test]
+    fn single_automaton_executes_without_deltas() {
+        let merged = Arc::new(MergedAutomaton::from_single(slp()));
+        let mut exec = Execution::new(merged, Arc::new(FunctionRegistry::with_builtins()));
+        let outcome = exec.deliver(slp_request()).unwrap();
+        assert_eq!(outcome.bridged, 0);
+        assert_eq!(exec.next_send(), Some("SLPSrvReply"));
+    }
+}

@@ -1,0 +1,93 @@
+//! # starlink-automata
+//!
+//! The behavioural models of the Starlink framework (§III of the paper):
+//!
+//! * **k-coloured automata** ([`ColoredAutomaton`], §III-B) — protocol
+//!   behaviour as send/receive transitions over abstract message names,
+//!   with states painted by [`Color`]s carrying the low-level network
+//!   semantics (transport, port, mode, multicast group);
+//! * **merged automata** ([`MergedAutomaton`], §III-C) — several coloured
+//!   automata chained by δ-transitions; [`MergedAutomaton::check_merge`]
+//!   validates the paper's merge constraints (equations (2)–(4)) and
+//!   classifies the merge as weak or strong;
+//! * **translation logic** ([`Assignment`], [`FunctionRegistry`], §III-D)
+//!   — field assignments between semantically equivalent messages
+//!   ([`EquivalenceMap`], the ⊨ operator) and translation functions `T`;
+//! * **λ network actions** ([`NetworkAction`], e.g. `set_host`) executed
+//!   at the network layer while crossing a δ-transition;
+//! * **execution** ([`Execution`], §IV-B) — per-state message queues, the
+//!   history operator ⇒, and automatic bridging through δ-transitions;
+//! * **model I/O** — XML loading/writing ([`load_bridge`],
+//!   [`bridge_to_xml`], Fig. 8 grammar) and Graphviz export
+//!   ([`automaton_to_dot`], [`merged_to_dot`]) regenerating the paper's
+//!   figures.
+//!
+//! ## Example
+//!
+//! ```
+//! use starlink_automata::*;
+//!
+//! // Fig. 1 + Fig. 9 merged as in Fig. 10 (SLP ↔ Bonjour).
+//! let slp = ColoredAutomaton::builder("SLP")
+//!     .color(Color::new(Transport::Udp, 427, Mode::Async).multicast("239.255.255.253"))
+//!     .state("s0")
+//!     .state_accepting("s1")
+//!     .receive("s0", "SLPSrvRequest", "s1")
+//!     .send("s1", "SLPSrvReply", "s0")
+//!     .build()?;
+//! let dns = ColoredAutomaton::builder("DNS")
+//!     .color(Color::new(Transport::Udp, 5353, Mode::Async).multicast("224.0.0.251"))
+//!     .state("s0")
+//!     .state("s1")
+//!     .state_accepting("s2")
+//!     .send("s0", "DNS_Question", "s1")
+//!     .receive("s1", "DNS_Response", "s2")
+//!     .build()?;
+//! let merged = MergedAutomaton::builder("slp-bonjour")
+//!     .part(slp)
+//!     .part(dns)
+//!     .equivalence("DNS_Question", &["SLPSrvRequest"])
+//!     .equivalence("SLPSrvReply", &["DNS_Response"])
+//!     .delta(Delta::new("SLP:s1", "DNS:s0"))
+//!     .delta(Delta::new("DNS:s2", "SLP:s1"))
+//!     .build()?;
+//! let report = merged.check_merge();
+//! assert!(report.is_mergeable());
+//! assert!(report.strongly_merged);
+//! # Ok::<(), starlink_automata::AutomataError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actions;
+mod automaton;
+mod color;
+mod dot;
+mod equivalence;
+mod error;
+mod execution;
+mod merge;
+mod translation;
+mod xml_load;
+
+pub use actions::{NetworkAction, ResolvedAction};
+pub use automaton::{Action, AutomatonBuilder, ColoredAutomaton, State, StateId, Transition};
+pub use color::{Color, ColorKey, Mode, Transport};
+pub use dot::{automaton_to_dot, merged_to_dot};
+pub use equivalence::{
+    holds_for_instance, uncovered_mandatory_fields, EquivalenceDecl, EquivalenceMap,
+};
+pub use error::{AutomataError, Result};
+pub use execution::{Execution, HistoryEntry, StepOutcome};
+pub use merge::{
+    Delta, DeltaTransition, GlobalState, MergeReport, MergedAutomaton, MergedAutomatonBuilder,
+    PartId,
+};
+pub use translation::{
+    apply_assignments, evaluate_source, Assignment, FunctionRegistry, MessageStore, ValueSource,
+};
+pub use xml_load::{
+    automaton_to_element, automaton_to_xml, bridge_to_element, bridge_to_xml, load_automaton,
+    load_automaton_element, load_bridge, load_bridge_element,
+};

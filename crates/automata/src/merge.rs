@@ -1,0 +1,709 @@
+//! Merged automata (§III-C): `A{k1...kn} = (Q, M, q0, F, Act, →, ⇒, δ→, ⊨, P)`.
+//!
+//! A merged automaton chains the k-coloured automata of several protocols
+//! through **δ-transitions** — colour changes carrying λ network actions
+//! and translation logic instead of messages. [`MergedAutomaton::check_merge`]
+//! verifies the paper's merge constraints (equations (2) and (3)) and the
+//! weak-merge chain condition (equation (4)).
+
+use crate::actions::NetworkAction;
+use crate::automaton::{Action, ColoredAutomaton, State, StateId, Transition};
+use crate::color::Color;
+use crate::equivalence::EquivalenceMap;
+use crate::error::{AutomataError, Result};
+use crate::translation::Assignment;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a part (one protocol's automaton) within a merged automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartId(pub usize);
+
+/// A state of the merged automaton: a part plus a state within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalState {
+    /// Which protocol automaton.
+    pub part: PartId,
+    /// Which state within that automaton.
+    pub state: StateId,
+}
+
+impl fmt::Display for GlobalState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.part.0, self.state)
+    }
+}
+
+/// A δ-transition: `s --δ({λ})--> s'` between states of *different*
+/// parts, carrying λ actions and the translation logic applied while
+/// bridging (§IV-B's "bridge state").
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaTransition {
+    /// Source state.
+    pub from: GlobalState,
+    /// Destination state (in another part).
+    pub to: GlobalState,
+    /// λ actions (`set_host`, ...) executed at the network layer.
+    pub actions: Vec<NetworkAction>,
+    /// Field assignments applied to the message store.
+    pub assignments: Vec<Assignment>,
+}
+
+/// A δ-transition under construction, with states referenced as
+/// `"PROTOCOL:state_name"` strings.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    from: String,
+    to: String,
+    actions: Vec<NetworkAction>,
+    assignments: Vec<Assignment>,
+}
+
+impl Delta {
+    /// Creates a δ from `from` to `to` (e.g. `"SLP:s1"` → `"SSDP:s0"`).
+    pub fn new(from: impl Into<String>, to: impl Into<String>) -> Self {
+        Delta { from: from.into(), to: to.into(), actions: Vec::new(), assignments: Vec::new() }
+    }
+
+    /// Attaches a λ action.
+    pub fn action(mut self, action: NetworkAction) -> Self {
+        self.actions.push(action);
+        self
+    }
+
+    /// Attaches a translation assignment.
+    pub fn assignment(mut self, assignment: Assignment) -> Self {
+        self.assignments.push(assignment);
+        self
+    }
+}
+
+/// The result of checking the merge constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Violations of the structural constraints (2)/(3) or of the
+    /// equivalence requirements; empty when mergeable.
+    pub violations: Vec<String>,
+    /// Equation (4): the δ-transitions chain the parts in a directed path
+    /// starting and ending in the same automaton.
+    pub weakly_merged: bool,
+    /// Parts are mergeable two-by-two (δ in both directions for every
+    /// connected pair).
+    pub strongly_merged: bool,
+    /// The part chain discovered for the weak-merge condition.
+    pub chain: Vec<PartId>,
+}
+
+impl MergeReport {
+    /// True when the automaton satisfies the paper's merge definition.
+    pub fn is_mergeable(&self) -> bool {
+        self.violations.is_empty() && self.weakly_merged
+    }
+}
+
+impl fmt::Display for MergeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "mergeable: {} (weak: {}, strong: {})",
+            self.is_mergeable(),
+            self.weakly_merged,
+            self.strongly_merged
+        )?;
+        for violation in &self.violations {
+            writeln!(f, "  violation: {violation}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A merged automaton over `n` protocol parts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedAutomaton {
+    name: String,
+    parts: Vec<ColoredAutomaton>,
+    deltas: Vec<DeltaTransition>,
+    equivalences: EquivalenceMap,
+    initial: GlobalState,
+}
+
+impl MergedAutomaton {
+    /// Starts building a merged automaton.
+    pub fn builder(name: impl Into<String>) -> MergedAutomatonBuilder {
+        MergedAutomatonBuilder {
+            name: name.into(),
+            parts: Vec::new(),
+            deltas: Vec::new(),
+            equivalences: EquivalenceMap::new(),
+            initial: None,
+        }
+    }
+
+    /// Wraps a single coloured automaton as a trivial merged automaton
+    /// (no δ-transitions) so it can be executed by the same engine.
+    pub fn from_single(automaton: ColoredAutomaton) -> Self {
+        let initial = GlobalState { part: PartId(0), state: automaton.initial() };
+        MergedAutomaton {
+            name: automaton.protocol().to_owned(),
+            parts: vec![automaton],
+            deltas: Vec::new(),
+            equivalences: EquivalenceMap::new(),
+            initial,
+        }
+    }
+
+    /// The merged automaton's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The protocol parts in order.
+    pub fn parts(&self) -> &[ColoredAutomaton] {
+        &self.parts
+    }
+
+    /// One part.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::UnknownPart`] for out-of-range ids.
+    pub fn part(&self, id: PartId) -> Result<&ColoredAutomaton> {
+        self.parts.get(id.0).ok_or_else(|| AutomataError::UnknownPart(format!("#{}", id.0)))
+    }
+
+    /// Finds a part by protocol name.
+    pub fn part_by_protocol(&self, protocol: &str) -> Option<PartId> {
+        self.parts.iter().position(|p| p.protocol() == protocol).map(PartId)
+    }
+
+    /// The δ-transitions.
+    pub fn deltas(&self) -> &[DeltaTransition] {
+        &self.deltas
+    }
+
+    /// δ-transitions leaving `state`.
+    pub fn deltas_from(&self, state: GlobalState) -> impl Iterator<Item = &DeltaTransition> {
+        self.deltas.iter().filter(move |d| d.from == state)
+    }
+
+    /// The equivalence declarations.
+    pub fn equivalences(&self) -> &EquivalenceMap {
+        &self.equivalences
+    }
+
+    /// The initial state `q0`.
+    pub fn initial(&self) -> GlobalState {
+        self.initial
+    }
+
+    /// Resolves a global state to its [`State`].
+    ///
+    /// # Errors
+    ///
+    /// Fails for out-of-range parts or states.
+    pub fn state(&self, gs: GlobalState) -> Result<&State> {
+        self.part(gs.part)?.state(gs.state)
+    }
+
+    /// The colour of a global state.
+    ///
+    /// # Errors
+    ///
+    /// Fails for out-of-range parts or states.
+    pub fn color_of(&self, gs: GlobalState) -> Result<&Color> {
+        self.part(gs.part)?.color_of(gs.state)
+    }
+
+    /// Message transitions leaving `state` (within its part).
+    pub fn transitions_from(&self, gs: GlobalState) -> Vec<&Transition> {
+        match self.part(gs.part) {
+            Ok(part) => part.transitions_from(gs.state).collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// True when `state` is accepting in its part.
+    pub fn is_accepting(&self, gs: GlobalState) -> bool {
+        self.state(gs).map(|s| s.accepting).unwrap_or(false)
+    }
+
+    /// Human-readable name of a global state: `"SLP:s1"`.
+    pub fn state_name(&self, gs: GlobalState) -> String {
+        match (self.part(gs.part), self.state(gs)) {
+            (Ok(part), Ok(state)) => format!("{}:{}", part.protocol(), state.name),
+            _ => gs.to_string(),
+        }
+    }
+
+    /// Resolves a `"PROTOCOL:state"` reference.
+    ///
+    /// # Errors
+    ///
+    /// Fails for missing separators, protocols or state names.
+    pub fn resolve_ref(&self, reference: &str) -> Result<GlobalState> {
+        resolve_ref(&self.parts, reference)
+    }
+
+    /// The union of all part colours — the `{k1...kn}` colouring.
+    pub fn colors(&self) -> Vec<&Color> {
+        let mut out = Vec::new();
+        for part in &self.parts {
+            for color in part.colors() {
+                if !out.contains(&color) {
+                    out.push(color);
+                }
+            }
+        }
+        out
+    }
+
+    /// The union message alphabet `M`.
+    pub fn messages(&self) -> Vec<&str> {
+        let set: BTreeSet<&str> =
+            self.parts.iter().flat_map(|p| p.messages().into_iter()).collect();
+        set.into_iter().collect()
+    }
+
+    /// All translation assignments across δ-transitions.
+    pub fn assignments(&self) -> impl Iterator<Item = &Assignment> {
+        self.deltas.iter().flat_map(|d| d.assignments.iter())
+    }
+
+    /// Checks the merge constraints of §III-C.
+    ///
+    /// Structural constraints (violations when broken):
+    ///
+    /// 1. every δ connects states of *different* parts;
+    /// 2. every δ either enters the initial state of its target part
+    ///    (constraint (2)) or leaves an accepting state of its source part
+    ///    (constraint (3));
+    /// 3. a δ entering a part whose initial state sends message `n`
+    ///    requires a declared equivalence `n ⊨ m⃗` with every `m` in the
+    ///    source part's receive alphabet.
+    ///
+    /// Weak merge (equation (4)): the δs can be ordered into a directed
+    /// chain through the parts that starts and ends in the initial part.
+    /// Strong merge: every δ-connected pair of parts is connected in both
+    /// directions.
+    pub fn check_merge(&self) -> MergeReport {
+        let mut violations = Vec::new();
+        for delta in &self.deltas {
+            let from_name = self.state_name(delta.from);
+            let to_name = self.state_name(delta.to);
+            if delta.from.part == delta.to.part {
+                violations.push(format!(
+                    "δ {from_name} → {to_name} stays within one automaton"
+                ));
+                continue;
+            }
+            let to_part = match self.part(delta.to.part) {
+                Ok(p) => p,
+                Err(_) => {
+                    violations.push(format!("δ {from_name} → {to_name}: unknown target part"));
+                    continue;
+                }
+            };
+            let enters_initial = to_part.initial() == delta.to.state;
+            let leaves_accepting =
+                self.state(delta.from).map(|s| s.accepting).unwrap_or(false);
+            if !enters_initial && !leaves_accepting {
+                violations.push(format!(
+                    "δ {from_name} → {to_name} neither enters an initial state (constraint 2) \
+                     nor leaves an accepting state (constraint 3)"
+                ));
+            }
+            if enters_initial {
+                // Constraint (2)'s equivalence premise: the output message
+                // of the target's initial state must be ⊨ to messages
+                // received in the source part.
+                let first_send = to_part
+                    .transitions_from(delta.to.state)
+                    .find(|t| t.action == Action::Send)
+                    .map(|t| t.message.clone());
+                if let Some(message) = first_send {
+                    let from_part = match self.part(delta.from.part) {
+                        Ok(p) => p,
+                        Err(_) => continue,
+                    };
+                    let receivable: Vec<&str> = from_part
+                        .transitions()
+                        .iter()
+                        .filter(|t| t.action == Action::Receive)
+                        .map(|t| t.message.as_str())
+                        .collect();
+                    if !self.equivalences.is_declared(&message, &receivable) {
+                        violations.push(format!(
+                            "δ {from_name} → {to_name}: no declared equivalence \
+                             {message} |= (messages received in {})",
+                            from_part.protocol()
+                        ));
+                    }
+                }
+            }
+        }
+
+        let (weakly_merged, chain) = self.find_chain();
+        let strongly_merged = weakly_merged && self.pairwise_bidirectional();
+        MergeReport { violations, weakly_merged, strongly_merged, chain }
+    }
+
+    /// Searches for the equation-(4) chain: a directed walk starting at
+    /// the initial part that crosses every δ exactly once and visits every
+    /// part. The paper's template uses `n` δ-transitions for `n` automata,
+    /// with the final δ landing "in the same automaton" the path started
+    /// from (Fig. 4) *or* in the last automaton (`s ∈ States(A1) ∪
+    /// States(An)`), so the walk's end part is unconstrained — but fewer
+    /// δs than parts can never close the template and is rejected.
+    fn find_chain(&self) -> (bool, Vec<PartId>) {
+        if self.parts.len() == 1 && self.deltas.is_empty() {
+            return (true, vec![PartId(0)]);
+        }
+        if self.deltas.len() < self.parts.len() {
+            return (false, Vec::new());
+        }
+        let start = self.initial.part;
+        let part_count = self.parts.len();
+        fn dfs(
+            deltas: &[DeltaTransition],
+            used: &mut Vec<bool>,
+            current: PartId,
+            part_count: usize,
+            path: &mut Vec<PartId>,
+        ) -> bool {
+            if used.iter().all(|u| *u) {
+                let visited: BTreeSet<PartId> = path.iter().copied().collect();
+                return visited.len() == part_count;
+            }
+            for (i, delta) in deltas.iter().enumerate() {
+                if used[i] || delta.from.part != current {
+                    continue;
+                }
+                used[i] = true;
+                path.push(delta.to.part);
+                if dfs(deltas, used, delta.to.part, part_count, path) {
+                    return true;
+                }
+                path.pop();
+                used[i] = false;
+            }
+            false
+        }
+        let mut used = vec![false; self.deltas.len()];
+        let mut path = vec![start];
+        let ok = dfs(&self.deltas, &mut used, start, part_count, &mut path);
+        (ok, if ok { path } else { Vec::new() })
+    }
+
+    fn pairwise_bidirectional(&self) -> bool {
+        let pairs: BTreeSet<(PartId, PartId)> =
+            self.deltas.iter().map(|d| (d.from.part, d.to.part)).collect();
+        pairs.iter().all(|(a, b)| pairs.contains(&(*b, *a)))
+    }
+}
+
+fn resolve_ref(parts: &[ColoredAutomaton], reference: &str) -> Result<GlobalState> {
+    let (protocol, state_name) = reference.split_once(':').ok_or_else(|| {
+        AutomataError::Invalid(format!(
+            "state reference {reference:?} must be \"PROTOCOL:state\""
+        ))
+    })?;
+    let part_index = parts
+        .iter()
+        .position(|p| p.protocol() == protocol)
+        .ok_or_else(|| AutomataError::UnknownPart(protocol.to_owned()))?;
+    let state = parts[part_index]
+        .state_by_name(state_name)
+        .ok_or_else(|| AutomataError::UnknownState(reference.to_owned()))?;
+    Ok(GlobalState { part: PartId(part_index), state: state.id })
+}
+
+/// Builder for [`MergedAutomaton`].
+#[derive(Debug, Clone)]
+pub struct MergedAutomatonBuilder {
+    name: String,
+    parts: Vec<ColoredAutomaton>,
+    deltas: Vec<Delta>,
+    equivalences: EquivalenceMap,
+    initial: Option<String>,
+}
+
+impl MergedAutomatonBuilder {
+    /// Adds a protocol part (order defines [`PartId`]s; the first part's
+    /// initial state is the merged initial state unless overridden).
+    pub fn part(mut self, automaton: ColoredAutomaton) -> Self {
+        self.parts.push(automaton);
+        self
+    }
+
+    /// Declares `target ⊨ sources` (Fig. 5 lines 1–3).
+    pub fn equivalence(mut self, target: &str, sources: &[&str]) -> Self {
+        self.equivalences.declare(target, sources.iter().map(|s| (*s).to_owned()).collect());
+        self
+    }
+
+    /// Adds a δ-transition.
+    pub fn delta(mut self, delta: Delta) -> Self {
+        self.deltas.push(delta);
+        self
+    }
+
+    /// Overrides the initial state (`"PROTOCOL:state"`).
+    pub fn initial(mut self, reference: impl Into<String>) -> Self {
+        self.initial = Some(reference.into());
+        self
+    }
+
+    /// Finalises the merged automaton, resolving all state references.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown parts/states or duplicate protocol names.
+    pub fn build(self) -> Result<MergedAutomaton> {
+        if self.parts.is_empty() {
+            return Err(AutomataError::Invalid("merged automaton has no parts".into()));
+        }
+        let mut seen = BTreeSet::new();
+        for part in &self.parts {
+            if !seen.insert(part.protocol().to_owned()) {
+                return Err(AutomataError::Invalid(format!(
+                    "duplicate part protocol {:?}",
+                    part.protocol()
+                )));
+            }
+        }
+        let mut deltas = Vec::with_capacity(self.deltas.len());
+        for delta in &self.deltas {
+            deltas.push(DeltaTransition {
+                from: resolve_ref(&self.parts, &delta.from)?,
+                to: resolve_ref(&self.parts, &delta.to)?,
+                actions: delta.actions.clone(),
+                assignments: delta.assignments.clone(),
+            });
+        }
+        let initial = match &self.initial {
+            Some(reference) => resolve_ref(&self.parts, reference)?,
+            None => GlobalState { part: PartId(0), state: self.parts[0].initial() },
+        };
+        Ok(MergedAutomaton {
+            name: self.name,
+            parts: self.parts,
+            deltas,
+            equivalences: self.equivalences,
+            initial,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::{Mode, Transport};
+
+    /// Fig. 1 — the SLP service-side automaton as seen by the bridge: it
+    /// receives the client's SrvReq and later sends the SrvReply.
+    fn slp() -> ColoredAutomaton {
+        ColoredAutomaton::builder("SLP")
+            .color(Color::new(Transport::Udp, 427, Mode::Async).multicast("239.255.255.253"))
+            .state("s0")
+            .state_accepting("s1")
+            .receive("s0", "SLPSrvRequest", "s1")
+            .send("s1", "SLPSrvReply", "s0")
+            .build()
+            .unwrap()
+    }
+
+    /// Fig. 2 — SSDP client side.
+    fn ssdp() -> ColoredAutomaton {
+        ColoredAutomaton::builder("SSDP")
+            .color(Color::new(Transport::Udp, 1900, Mode::Async).multicast("239.255.255.250"))
+            .state("s0")
+            .state("s1")
+            .state_accepting("s2")
+            .send("s0", "SSDP_M-Search", "s1")
+            .receive("s1", "SSDP_Resp", "s2")
+            .build()
+            .unwrap()
+    }
+
+    /// Fig. 3 — HTTP client side.
+    fn http() -> ColoredAutomaton {
+        ColoredAutomaton::builder("HTTP")
+            .color(Color::new(Transport::Tcp, 80, Mode::Sync))
+            .state("s0")
+            .state("s1")
+            .state_accepting("s2")
+            .send("s0", "HTTP_GET", "s1")
+            .receive("s1", "HTTP_OK", "s2")
+            .build()
+            .unwrap()
+    }
+
+    /// The Fig. 4 merged automaton for SLP + SSDP + HTTP.
+    fn fig4() -> MergedAutomaton {
+        MergedAutomaton::builder("slp-ssdp-http")
+            .part(slp())
+            .part(ssdp())
+            .part(http())
+            .equivalence("SSDP_M-Search", &["SLPSrvRequest"])
+            .equivalence("HTTP_GET", &["SSDP_Resp"])
+            .equivalence("SLPSrvReply", &["HTTP_OK"])
+            .delta(
+                Delta::new("SLP:s1", "SSDP:s0").assignment(Assignment::field_to_field(
+                    "SSDP_M-Search",
+                    "ST",
+                    "SLPSrvRequest",
+                    "SRVType",
+                )),
+            )
+            .delta(Delta::new("SSDP:s2", "HTTP:s0"))
+            .delta(Delta::new("HTTP:s2", "SLP:s1"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fig4_is_weakly_merged() {
+        let merged = fig4();
+        let report = merged.check_merge();
+        assert!(report.is_mergeable(), "{report}");
+        assert!(report.weakly_merged);
+        // The 3-protocol chain is weak, not strong (no return δs per pair).
+        assert!(!report.strongly_merged);
+        assert_eq!(report.chain, vec![PartId(0), PartId(1), PartId(2), PartId(0)]);
+    }
+
+    #[test]
+    fn two_part_bidirectional_merge_is_strong() {
+        // SLP ↔ mDNS style: both δ directions present.
+        let dns = ColoredAutomaton::builder("DNS")
+            .color(Color::new(Transport::Udp, 5353, Mode::Async).multicast("224.0.0.251"))
+            .state("s0")
+            .state("s1")
+            .state_accepting("s2")
+            .send("s0", "DNS_Question", "s1")
+            .receive("s1", "DNS_Response", "s2")
+            .build()
+            .unwrap();
+        let merged = MergedAutomaton::builder("slp-dns")
+            .part(slp())
+            .part(dns)
+            .equivalence("DNS_Question", &["SLPSrvRequest"])
+            .equivalence("SLPSrvReply", &["DNS_Response"])
+            .delta(Delta::new("SLP:s1", "DNS:s0"))
+            .delta(Delta::new("DNS:s2", "SLP:s1"))
+            .build()
+            .unwrap();
+        let report = merged.check_merge();
+        assert!(report.is_mergeable(), "{report}");
+        assert!(report.strongly_merged);
+    }
+
+    #[test]
+    fn missing_equivalence_is_a_violation() {
+        let merged = MergedAutomaton::builder("bad")
+            .part(slp())
+            .part(ssdp())
+            // No equivalence declared for SSDP_M-Search.
+            .equivalence("SLPSrvReply", &["SSDP_Resp"])
+            .delta(Delta::new("SLP:s1", "SSDP:s0"))
+            .delta(Delta::new("SSDP:s2", "SLP:s1"))
+            .build()
+            .unwrap();
+        let report = merged.check_merge();
+        assert!(!report.is_mergeable());
+        assert!(report.violations[0].contains("SSDP_M-Search"));
+    }
+
+    #[test]
+    fn delta_within_one_part_is_a_violation() {
+        let merged = MergedAutomaton::builder("bad")
+            .part(slp())
+            .part(ssdp())
+            .delta(Delta::new("SLP:s0", "SLP:s1"))
+            .build()
+            .unwrap();
+        let report = merged.check_merge();
+        assert!(report.violations.iter().any(|v| v.contains("within one automaton")));
+    }
+
+    #[test]
+    fn delta_into_interior_state_from_non_accepting_is_a_violation() {
+        // SSDP:s1 is neither initial (of SSDP) nor is SLP:s0 accepting.
+        let merged = MergedAutomaton::builder("bad")
+            .part(slp())
+            .part(ssdp())
+            .delta(Delta::new("SLP:s0", "SSDP:s1"))
+            .build()
+            .unwrap();
+        let report = merged.check_merge();
+        assert!(report.violations.iter().any(|v| v.contains("constraint")));
+    }
+
+    #[test]
+    fn broken_chain_is_not_weakly_merged() {
+        // δ out but never back: the path cannot return to SLP.
+        let merged = MergedAutomaton::builder("open")
+            .part(slp())
+            .part(ssdp())
+            .equivalence("SSDP_M-Search", &["SLPSrvRequest"])
+            .delta(Delta::new("SLP:s1", "SSDP:s0"))
+            .build()
+            .unwrap();
+        let report = merged.check_merge();
+        assert!(!report.weakly_merged);
+        assert!(!report.is_mergeable());
+    }
+
+    #[test]
+    fn resolve_ref_and_state_names() {
+        let merged = fig4();
+        let gs = merged.resolve_ref("HTTP:s2").unwrap();
+        assert_eq!(gs.part, PartId(2));
+        assert_eq!(merged.state_name(gs), "HTTP:s2");
+        assert!(merged.resolve_ref("HTTP").is_err());
+        assert!(merged.resolve_ref("GOPHER:s0").is_err());
+        assert!(merged.resolve_ref("HTTP:s9").is_err());
+    }
+
+    #[test]
+    fn colors_are_unioned() {
+        let merged = fig4();
+        assert_eq!(merged.colors().len(), 3); // k1, k2, k3
+    }
+
+    #[test]
+    fn messages_are_unioned() {
+        let merged = fig4();
+        assert_eq!(
+            merged.messages(),
+            vec!["HTTP_GET", "HTTP_OK", "SLPSrvReply", "SLPSrvRequest", "SSDP_M-Search", "SSDP_Resp"]
+        );
+    }
+
+    #[test]
+    fn duplicate_part_protocols_rejected() {
+        let err = MergedAutomaton::builder("dup").part(slp()).part(slp()).build().unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn from_single_wraps_trivially() {
+        let merged = MergedAutomaton::from_single(slp());
+        assert_eq!(merged.parts().len(), 1);
+        assert!(merged.check_merge().is_mergeable());
+        assert_eq!(merged.initial().part, PartId(0));
+    }
+
+    #[test]
+    fn initial_defaults_to_first_part() {
+        let merged = fig4();
+        assert_eq!(merged.initial(), GlobalState { part: PartId(0), state: StateId(0) });
+    }
+
+    #[test]
+    fn deltas_from_filters() {
+        let merged = fig4();
+        let from = merged.resolve_ref("SSDP:s2").unwrap();
+        assert_eq!(merged.deltas_from(from).count(), 1);
+    }
+}

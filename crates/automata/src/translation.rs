@@ -1,0 +1,641 @@
+//! Translation logic (§III-D): assignments moving field content between
+//! semantically equivalent messages, plus the translation functions `T`
+//! for content that is not directly type-compatible.
+
+use crate::error::{AutomataError, Result};
+use starlink_message::{AbstractMessage, FieldPath, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Where an assigned value comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueSource {
+    /// A field of a previously received (or being-built) message:
+    /// `s2j.m2.fieldb` — the optional `state` qualifier mirrors the
+    /// paper's state-indexed retrieval.
+    Field {
+        /// Message name the value is read from.
+        message: String,
+        /// Field path within that message.
+        path: FieldPath,
+        /// Optional state qualifier (`"SSDP:s2"`), informational.
+        state: Option<String>,
+    },
+    /// A constant.
+    Literal(Value),
+    /// A translation function `T(args...)` (§III-D equation (6)).
+    Function {
+        /// Registered function name.
+        name: String,
+        /// Arguments, evaluated recursively.
+        args: Vec<ValueSource>,
+    },
+}
+
+impl ValueSource {
+    /// Shorthand for a field source without state qualifier.
+    pub fn field(message: impl Into<String>, path: impl Into<FieldPath>) -> Self {
+        ValueSource::Field { message: message.into(), path: path.into(), state: None }
+    }
+
+    /// Shorthand for a literal source.
+    pub fn literal(value: impl Into<Value>) -> Self {
+        ValueSource::Literal(value.into())
+    }
+
+    /// Shorthand for a function application.
+    pub fn function(name: impl Into<String>, args: Vec<ValueSource>) -> Self {
+        ValueSource::Function { name: name.into(), args }
+    }
+}
+
+/// One assignment `target_msg.target_field = source` (§III-D equations
+/// (5)/(6)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Message being filled in.
+    pub target_message: String,
+    /// Field of the target message.
+    pub target_path: FieldPath,
+    /// Value source.
+    pub source: ValueSource,
+}
+
+impl Assignment {
+    /// Creates a direct field-to-field assignment (equation (5)).
+    pub fn field_to_field(
+        target_message: impl Into<String>,
+        target_path: impl Into<FieldPath>,
+        source_message: impl Into<String>,
+        source_path: impl Into<FieldPath>,
+    ) -> Self {
+        Assignment {
+            target_message: target_message.into(),
+            target_path: target_path.into(),
+            source: ValueSource::field(source_message, source_path),
+        }
+    }
+
+    /// Creates an assignment from an arbitrary source (equation (6)).
+    pub fn new(
+        target_message: impl Into<String>,
+        target_path: impl Into<FieldPath>,
+        source: ValueSource,
+    ) -> Self {
+        Assignment {
+            target_message: target_message.into(),
+            target_path: target_path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{} = ", self.target_message, self.target_path)?;
+        fn write_source(f: &mut fmt::Formatter<'_>, source: &ValueSource) -> fmt::Result {
+            match source {
+                ValueSource::Field { message, path, .. } => write!(f, "{message}.{path}"),
+                ValueSource::Literal(value) => write!(f, "{value:?}"),
+                ValueSource::Function { name, args } => {
+                    write!(f, "{name}(")?;
+                    for (i, arg) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write_source(f, arg)?;
+                    }
+                    write!(f, ")")
+                }
+            }
+        }
+        write_source(f, &self.source)
+    }
+}
+
+/// The boxed form of a translation function.
+type TranslationFn = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
+/// The registry of translation functions `T`.
+///
+/// ```
+/// use starlink_automata::FunctionRegistry;
+/// use starlink_message::Value;
+///
+/// let registry = FunctionRegistry::with_builtins();
+/// let out = registry
+///     .apply("url-host", &[Value::Str("http://10.0.0.9:5000/desc.xml".into())])
+///     .unwrap();
+/// assert_eq!(out, Value::Str("10.0.0.9".into()));
+/// ```
+#[derive(Clone)]
+pub struct FunctionRegistry {
+    functions: BTreeMap<String, TranslationFn>,
+}
+
+impl fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FunctionRegistry").field("functions", &self.names()).finish()
+    }
+}
+
+fn arg(args: &[Value], index: usize, function: &str) -> Result<Value> {
+    args.get(index).cloned().ok_or_else(|| {
+        AutomataError::Translation(format!("function {function} missing argument #{index}"))
+    })
+}
+
+/// Splits a URL string into (scheme, host, port, path); missing port is 0,
+/// missing path is "/".
+fn split_url(url: &str) -> Result<(String, String, u16, String)> {
+    let (scheme, rest) = url
+        .split_once("://")
+        .ok_or_else(|| AutomataError::Translation(format!("not a URL: {url:?}")))?;
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    let (host, port) = match authority.rsplit_once(':') {
+        Some((h, p)) => {
+            let port = p.parse::<u16>().map_err(|_| {
+                AutomataError::Translation(format!("bad port in URL {url:?}"))
+            })?;
+            (h, port)
+        }
+        None => (authority, 0),
+    };
+    Ok((scheme.to_owned(), host.to_owned(), port, path.to_owned()))
+}
+
+impl FunctionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        FunctionRegistry { functions: BTreeMap::new() }
+    }
+
+    /// Creates a registry with the built-in translation functions:
+    ///
+    /// | name | effect |
+    /// |------|--------|
+    /// | `identity` | first argument unchanged |
+    /// | `to-text` | canonical text rendering |
+    /// | `to-integer` | parse decimal text |
+    /// | `concat` | concatenate text of all arguments |
+    /// | `url-base` | `http://h:p/x` → `http://h:p` |
+    /// | `url-host` | host part of a URL |
+    /// | `url-port` | port of a URL (unsigned) |
+    /// | `url-path` | path part of a URL |
+    /// | `format-url` | (scheme, host, port, path) → URL |
+    /// | `extract-tag` | (text, tag) → content of first `<tag>` element |
+    /// | `slp-to-dns-type` | `service:printer` → `_printer._tcp.local` |
+    /// | `dns-to-slp-type` | `_printer._tcp.local` → `service:printer` |
+    /// | `slp-to-ssdp-type` | `service:printer` → `urn:...:service:printer:1` |
+    /// | `ssdp-to-slp-type` | inverse of the above |
+    pub fn with_builtins() -> Self {
+        let mut registry = FunctionRegistry::new();
+        registry.register("identity", |args| arg(args, 0, "identity"));
+        registry.register("to-text", |args| Ok(Value::Str(arg(args, 0, "to-text")?.to_text())));
+        registry.register("to-integer", |args| {
+            let value = arg(args, 0, "to-integer")?;
+            value
+                .to_text()
+                .trim()
+                .parse::<u64>()
+                .map(Value::Unsigned)
+                .map_err(|_| AutomataError::Translation(format!("cannot parse {value:?} as integer")))
+        });
+        registry.register("concat", |args| {
+            Ok(Value::Str(args.iter().map(Value::to_text).collect::<String>()))
+        });
+        registry.register("url-base", |args| {
+            let url = arg(args, 0, "url-base")?.to_text();
+            let (scheme, host, port, _) = split_url(&url)?;
+            Ok(Value::Str(if port == 0 {
+                format!("{scheme}://{host}")
+            } else {
+                format!("{scheme}://{host}:{port}")
+            }))
+        });
+        registry.register("url-host", |args| {
+            let url = arg(args, 0, "url-host")?.to_text();
+            Ok(Value::Str(split_url(&url)?.1))
+        });
+        registry.register("url-port", |args| {
+            let url = arg(args, 0, "url-port")?.to_text();
+            Ok(Value::Unsigned(u64::from(split_url(&url)?.2)))
+        });
+        registry.register("url-path", |args| {
+            let url = arg(args, 0, "url-path")?.to_text();
+            Ok(Value::Str(split_url(&url)?.3))
+        });
+        registry.register("format-url", |args| {
+            let scheme = arg(args, 0, "format-url")?.to_text();
+            let host = arg(args, 1, "format-url")?.to_text();
+            let port = arg(args, 2, "format-url")?.as_u64().map_err(AutomataError::from)?;
+            let path = args.get(3).map(Value::to_text).unwrap_or_default();
+            let path = if path.is_empty() || path.starts_with('/') { path } else { format!("/{path}") };
+            Ok(Value::Str(format!("{scheme}://{host}:{port}{path}")))
+        });
+        registry.register("slp-to-dns-type", |args| {
+            // "service:printer" → "_printer._tcp.local" (DNS-SD convention).
+            let text = arg(args, 0, "slp-to-dns-type")?.to_text();
+            let name = text.strip_prefix("service:").unwrap_or(&text);
+            let name = name.split(':').next().unwrap_or(name);
+            Ok(Value::Str(format!("_{name}._tcp.local")))
+        });
+        registry.register("dns-to-slp-type", |args| {
+            // "_printer._tcp.local" → "service:printer".
+            let text = arg(args, 0, "dns-to-slp-type")?.to_text();
+            let first = text.split('.').next().unwrap_or(&text);
+            let name = first.strip_prefix('_').unwrap_or(first);
+            Ok(Value::Str(format!("service:{name}")))
+        });
+        registry.register("slp-to-ssdp-type", |args| {
+            // "service:printer" → "urn:schemas-upnp-org:service:printer:1".
+            let text = arg(args, 0, "slp-to-ssdp-type")?.to_text();
+            let name = text.strip_prefix("service:").unwrap_or(&text);
+            let name = name.split(':').next().unwrap_or(name);
+            Ok(Value::Str(format!("urn:schemas-upnp-org:service:{name}:1")))
+        });
+        registry.register("extract-tag", |args| {
+            // extract-tag(text, tag): content of the first <tag>...</tag>
+            // element in `text` — how the SLP reply URL is pulled out of
+            // the UPnP device description (the paper's HTTP_OK.URL_BASE).
+            let text = arg(args, 0, "extract-tag")?.to_text();
+            let tag = arg(args, 1, "extract-tag")?.to_text();
+            let open = format!("<{tag}>");
+            let close = format!("</{tag}>");
+            let start = text.find(&open).ok_or_else(|| {
+                AutomataError::Translation(format!("no <{tag}> element in text"))
+            })? + open.len();
+            let end = text[start..].find(&close).ok_or_else(|| {
+                AutomataError::Translation(format!("unterminated <{tag}> element"))
+            })? + start;
+            Ok(Value::Str(text[start..end].trim().to_owned()))
+        });
+        registry.register("ssdp-to-slp-type", |args| {
+            // "urn:schemas-upnp-org:service:printer:1" → "service:printer".
+            let text = arg(args, 0, "ssdp-to-slp-type")?.to_text();
+            let mut parts = text.split(':').collect::<Vec<_>>();
+            if parts.last().map(|p| p.chars().all(|c| c.is_ascii_digit())).unwrap_or(false) {
+                parts.pop();
+            }
+            let name = parts.last().copied().unwrap_or(&text);
+            Ok(Value::Str(format!("service:{name}")))
+        });
+        registry
+    }
+
+    /// Registers (or replaces) a function.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        function: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.functions.insert(name.into(), Arc::new(function));
+        self
+    }
+
+    /// Applies a registered function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::Translation`] for unknown names or
+    /// function-specific failures.
+    pub fn apply(&self, name: &str, args: &[Value]) -> Result<Value> {
+        let function = self.functions.get(name).ok_or_else(|| {
+            AutomataError::Translation(format!("unknown translation function {name:?}"))
+        })?;
+        function(args)
+    }
+
+    /// Registered function names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.functions.keys().map(String::as_str).collect()
+    }
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        FunctionRegistry::with_builtins()
+    }
+}
+
+/// The store of message instances available to the translation logic:
+/// received messages plus targets being composed, keyed by message name.
+#[derive(Debug, Clone, Default)]
+pub struct MessageStore {
+    messages: BTreeMap<String, AbstractMessage>,
+}
+
+impl MessageStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MessageStore::default()
+    }
+
+    /// Inserts (or replaces) an instance under its message name.
+    pub fn insert(&mut self, message: AbstractMessage) {
+        self.messages.insert(message.name().to_owned(), message);
+    }
+
+    /// Looks up an instance.
+    pub fn get(&self, name: &str) -> Option<&AbstractMessage> {
+        self.messages.get(name)
+    }
+
+    /// Looks up an instance mutably.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut AbstractMessage> {
+        self.messages.get_mut(name)
+    }
+
+    /// Removes an instance, returning it.
+    pub fn take(&mut self, name: &str) -> Option<AbstractMessage> {
+        self.messages.remove(name)
+    }
+
+    /// Returns the instance for `name`, creating an untyped blank when
+    /// absent (engines pre-register schema-typed blanks instead).
+    pub fn ensure(&mut self, name: &str) -> &mut AbstractMessage {
+        self.messages
+            .entry(name.to_owned())
+            .or_insert_with(|| AbstractMessage::new("", name))
+    }
+
+    /// Stored message names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.messages.keys().map(String::as_str).collect()
+    }
+
+    /// Number of stored instances.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+/// Evaluates a [`ValueSource`] against the store.
+///
+/// # Errors
+///
+/// Fails when a referenced message/field is absent or a function fails.
+pub fn evaluate_source(
+    source: &ValueSource,
+    store: &MessageStore,
+    functions: &FunctionRegistry,
+) -> Result<Value> {
+    match source {
+        ValueSource::Field { message, path, .. } => {
+            let instance = store.get(message).ok_or_else(|| {
+                AutomataError::Translation(format!(
+                    "no instance of message {message:?} has been received"
+                ))
+            })?;
+            Ok(instance.get(path)?.clone())
+        }
+        ValueSource::Literal(value) => Ok(value.clone()),
+        ValueSource::Function { name, args } => {
+            let mut values = Vec::with_capacity(args.len());
+            for arg in args {
+                values.push(evaluate_source(arg, store, functions)?);
+            }
+            functions.apply(name, &values)
+        }
+    }
+}
+
+/// Applies a batch of assignments in order, creating target instances in
+/// the store as needed.
+///
+/// # Errors
+///
+/// Fails on the first assignment whose source cannot be evaluated or
+/// whose target path cannot be written.
+pub fn apply_assignments(
+    assignments: &[Assignment],
+    store: &mut MessageStore,
+    functions: &FunctionRegistry,
+) -> Result<()> {
+    for assignment in assignments {
+        let value = evaluate_source(&assignment.source, store, functions)?;
+        let target = store.ensure(&assignment.target_message);
+        target.set_or_insert(&assignment.target_path, value)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_message::Field;
+
+    fn store_with_slp_request() -> MessageStore {
+        let mut store = MessageStore::new();
+        let mut req = AbstractMessage::new("SLP", "SLPSrvRequest");
+        req.push_field(Field::primitive("SRVType", "service:printer"));
+        req.push_field(Field::primitive("XID", 77u16));
+        store.insert(req);
+        store
+    }
+
+    #[test]
+    fn direct_assignment_fig4_node1() {
+        // s20.SSDP_M-Search.ST = s11.SLPSrvRequest.ServiceType
+        let mut store = store_with_slp_request();
+        let functions = FunctionRegistry::with_builtins();
+        let assignment = Assignment::field_to_field("SSDP_M-Search", "ST", "SLPSrvRequest", "SRVType");
+        apply_assignments(&[assignment], &mut store, &functions).unwrap();
+        let search = store.get("SSDP_M-Search").unwrap();
+        assert_eq!(search.get(&"ST".into()).unwrap().as_str().unwrap(), "service:printer");
+    }
+
+    #[test]
+    fn xid_copied_within_protocol() {
+        // s11.SLPSrvReply.XID = s11.SLPSrvRequest.XID (Fig. 5 line 9).
+        let mut store = store_with_slp_request();
+        let functions = FunctionRegistry::with_builtins();
+        let assignment = Assignment::field_to_field("SLPSrvReply", "XID", "SLPSrvRequest", "XID");
+        apply_assignments(&[assignment], &mut store, &functions).unwrap();
+        assert_eq!(
+            store.get("SLPSrvReply").unwrap().get(&"XID".into()).unwrap().as_u64().unwrap(),
+            77
+        );
+    }
+
+    #[test]
+    fn function_assignment_equation_6() {
+        let mut store = MessageStore::new();
+        let mut ok = AbstractMessage::new("HTTP", "HTTP_OK");
+        ok.push_field(Field::primitive("URL", "http://10.0.0.9:5000/desc.xml"));
+        store.insert(ok);
+        let functions = FunctionRegistry::with_builtins();
+        let assignment = Assignment::new(
+            "SLPSrvReply",
+            "URL",
+            ValueSource::function("url-base", vec![ValueSource::field("HTTP_OK", "URL")]),
+        );
+        apply_assignments(&[assignment], &mut store, &functions).unwrap();
+        assert_eq!(
+            store.get("SLPSrvReply").unwrap().get(&"URL".into()).unwrap().as_str().unwrap(),
+            "http://10.0.0.9:5000"
+        );
+    }
+
+    #[test]
+    fn missing_source_message_fails() {
+        let mut store = MessageStore::new();
+        let functions = FunctionRegistry::with_builtins();
+        let assignment = Assignment::field_to_field("A", "x", "Ghost", "y");
+        let err = apply_assignments(&[assignment], &mut store, &functions).unwrap_err();
+        assert!(err.to_string().contains("Ghost"));
+    }
+
+    #[test]
+    fn missing_source_field_fails() {
+        let mut store = store_with_slp_request();
+        let functions = FunctionRegistry::with_builtins();
+        let assignment = Assignment::field_to_field("A", "x", "SLPSrvRequest", "Nope");
+        assert!(apply_assignments(&[assignment], &mut store, &functions).is_err());
+    }
+
+    #[test]
+    fn url_functions() {
+        let f = FunctionRegistry::with_builtins();
+        let url = Value::Str("http://10.0.0.9:5000/desc.xml".into());
+        assert_eq!(f.apply("url-host", std::slice::from_ref(&url)).unwrap().as_str().unwrap(), "10.0.0.9");
+        assert_eq!(f.apply("url-port", std::slice::from_ref(&url)).unwrap().as_u64().unwrap(), 5000);
+        assert_eq!(f.apply("url-path", std::slice::from_ref(&url)).unwrap().as_str().unwrap(), "/desc.xml");
+        assert_eq!(
+            f.apply("url-base", &[Value::Str("http://h/x".into())]).unwrap().as_str().unwrap(),
+            "http://h"
+        );
+        assert_eq!(
+            f.apply(
+                "format-url",
+                &[
+                    Value::Str("http".into()),
+                    Value::Str("h".into()),
+                    Value::Unsigned(80),
+                    Value::Str("desc.xml".into())
+                ]
+            )
+            .unwrap()
+            .as_str()
+            .unwrap(),
+            "http://h:80/desc.xml"
+        );
+    }
+
+    #[test]
+    fn service_type_mappings() {
+        let f = FunctionRegistry::with_builtins();
+        assert_eq!(
+            f.apply("slp-to-dns-type", &[Value::Str("service:printer".into())])
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "_printer._tcp.local"
+        );
+        assert_eq!(
+            f.apply("dns-to-slp-type", &[Value::Str("_printer._tcp.local".into())])
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "service:printer"
+        );
+        assert_eq!(
+            f.apply("slp-to-ssdp-type", &[Value::Str("service:printer".into())])
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "urn:schemas-upnp-org:service:printer:1"
+        );
+        assert_eq!(
+            f.apply(
+                "ssdp-to-slp-type",
+                &[Value::Str("urn:schemas-upnp-org:service:printer:1".into())]
+            )
+            .unwrap()
+            .as_str()
+            .unwrap(),
+            "service:printer"
+        );
+    }
+
+    #[test]
+    fn extract_tag_pulls_element_content() {
+        let f = FunctionRegistry::with_builtins();
+        let body = Value::Str(
+            "<root><URLBase> http://10.0.0.9:5000 </URLBase><x>y</x></root>".into(),
+        );
+        assert_eq!(
+            f.apply("extract-tag", &[body.clone(), Value::Str("URLBase".into())])
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "http://10.0.0.9:5000"
+        );
+        assert!(f.apply("extract-tag", &[body.clone(), Value::Str("missing".into())]).is_err());
+        assert!(f
+            .apply("extract-tag", &[Value::Str("<a>unterminated".into()), Value::Str("a".into())])
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_function_fails() {
+        let f = FunctionRegistry::with_builtins();
+        assert!(f.apply("warp", &[]).is_err());
+    }
+
+    #[test]
+    fn custom_function_registration() {
+        let mut f = FunctionRegistry::new();
+        f.register("double", |args| Ok(Value::Unsigned(args[0].as_u64()? * 2)));
+        assert_eq!(f.apply("double", &[Value::Unsigned(21)]).unwrap(), Value::Unsigned(42));
+    }
+
+    #[test]
+    fn nested_function_sources() {
+        let mut store = MessageStore::new();
+        let mut msg = AbstractMessage::new("P", "M");
+        msg.push_field(Field::primitive("host", "10.0.0.1"));
+        msg.push_field(Field::primitive("port", 8080u16));
+        store.insert(msg);
+        let functions = FunctionRegistry::with_builtins();
+        let source = ValueSource::function(
+            "concat",
+            vec![
+                ValueSource::field("M", "host"),
+                ValueSource::literal(":"),
+                ValueSource::function("to-text", vec![ValueSource::field("M", "port")]),
+            ],
+        );
+        let value = evaluate_source(&source, &store, &functions).unwrap();
+        assert_eq!(value.as_str().unwrap(), "10.0.0.1:8080");
+    }
+
+    #[test]
+    fn assignment_display() {
+        let a = Assignment::new(
+            "SLPSrvReply",
+            "URL",
+            ValueSource::function("url-base", vec![ValueSource::field("HTTP_OK", "URL")]),
+        );
+        assert_eq!(a.to_string(), "SLPSrvReply.URL = url-base(HTTP_OK.URL)");
+    }
+
+    #[test]
+    fn store_ensure_creates_blank() {
+        let mut store = MessageStore::new();
+        store.ensure("X").push_field(Field::primitive("a", 1u8));
+        assert!(store.get("X").is_some());
+        assert_eq!(store.len(), 1);
+        assert!(store.take("X").is_some());
+        assert!(store.is_empty());
+    }
+}

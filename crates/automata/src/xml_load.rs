@@ -1,0 +1,601 @@
+//! Loading coloured automata and merged-automaton ("bridge") models from
+//! XML — the runtime model documents of §IV-B. The `<TranslationLogic>` /
+//! `<Assignment>` / `<Field>` / `<Xpath>` grammar follows Fig. 8 of the
+//! paper exactly; the first `<Field>` of an assignment is the target and
+//! the second entry (a `<Field>`, `<Function>` or `<Literal>`) is the
+//! source.
+
+use crate::actions::NetworkAction;
+use crate::automaton::{AutomatonBuilder, ColoredAutomaton};
+use crate::color::{Color, Mode, Transport};
+use crate::error::{AutomataError, Result};
+use crate::merge::{Delta, MergedAutomaton};
+use crate::translation::{Assignment, ValueSource};
+use starlink_message::{FieldPath, Value};
+use starlink_xml::Element;
+
+fn xml_err(err: starlink_xml::XmlError) -> AutomataError {
+    AutomataError::Xml(err.to_string())
+}
+
+fn msg_err(err: starlink_message::MessageError) -> AutomataError {
+    AutomataError::Xml(err.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Coloured automata
+// ---------------------------------------------------------------------
+
+fn parse_color(element: &Element) -> Result<Color> {
+    let transport_text = element
+        .child_text("transport_protocol")
+        .ok_or_else(|| AutomataError::Xml("Color missing <transport_protocol>".into()))?;
+    let transport = Transport::parse(&transport_text)
+        .ok_or_else(|| AutomataError::Xml(format!("unknown transport {transport_text:?}")))?;
+    let port_text = element
+        .child_text("port")
+        .ok_or_else(|| AutomataError::Xml("Color missing <port>".into()))?;
+    let port: u16 = port_text
+        .parse()
+        .map_err(|_| AutomataError::Xml(format!("bad port {port_text:?}")))?;
+    let mode_text = element.child_text("mode").unwrap_or_else(|| "async".into());
+    let mode = Mode::parse(&mode_text)
+        .ok_or_else(|| AutomataError::Xml(format!("unknown mode {mode_text:?}")))?;
+    let mut color = Color::new(transport, port, mode);
+    let multicast = element.child_text("multicast").map(|t| t == "yes").unwrap_or(false);
+    if multicast {
+        let group = element
+            .child_text("group")
+            .ok_or_else(|| AutomataError::Xml("multicast Color missing <group>".into()))?;
+        color = color.multicast(group);
+    }
+    for child in element.children() {
+        if !matches!(
+            child.name(),
+            "transport_protocol" | "port" | "mode" | "multicast" | "group"
+        ) {
+            color = color.attr(child.name(), child.text());
+        }
+    }
+    Ok(color)
+}
+
+fn color_to_element(color: &Color) -> Element {
+    let mut el = Element::new("Color");
+    el.push_child_with_text("transport_protocol", color.transport().as_str());
+    el.push_child_with_text("port", color.port().to_string());
+    el.push_child_with_text("mode", color.mode().as_str());
+    el.push_child_with_text("multicast", if color.is_multicast() { "yes" } else { "no" });
+    if let Some(group) = color.group() {
+        el.push_child_with_text("group", group);
+    }
+    for (key, value) in color.extras() {
+        el.push_child_with_text(key, value.clone());
+    }
+    el
+}
+
+/// Parses a `<ColoredAutomaton>` document.
+///
+/// # Errors
+///
+/// Returns [`AutomataError::Xml`] for grammar violations and
+/// [`AutomataError::Invalid`] for structural ones.
+pub fn load_automaton(source: &str) -> Result<ColoredAutomaton> {
+    let root = Element::parse(source).map_err(xml_err)?;
+    load_automaton_element(&root)
+}
+
+/// Parses an already-built `<ColoredAutomaton>` element.
+///
+/// # Errors
+///
+/// Same failure modes as [`load_automaton`].
+pub fn load_automaton_element(root: &Element) -> Result<ColoredAutomaton> {
+    if root.name() != "ColoredAutomaton" {
+        return Err(AutomataError::Xml(format!(
+            "expected <ColoredAutomaton>, found <{}>",
+            root.name()
+        )));
+    }
+    let protocol = root.required_attr("protocol").map_err(xml_err)?;
+    let mut builder: AutomatonBuilder = ColoredAutomaton::builder(protocol);
+    let mut initial: Option<String> = None;
+    for child in root.children() {
+        match child.name() {
+            "Color" => builder = builder.color(parse_color(child)?),
+            "State" => {
+                let name = child.required_attr("name").map_err(xml_err)?;
+                let accepting = child.attr("accepting").map(|v| v == "true").unwrap_or(false);
+                builder = if accepting {
+                    builder.state_accepting(name)
+                } else {
+                    builder.state(name)
+                };
+                if child.attr("initial").map(|v| v == "true").unwrap_or(false) {
+                    initial = Some(name.to_owned());
+                }
+            }
+            "Transition" => {
+                let from = child.required_attr("from").map_err(xml_err)?;
+                let to = child.required_attr("to").map_err(xml_err)?;
+                let message = child.required_attr("message").map_err(xml_err)?;
+                let action = child.required_attr("action").map_err(xml_err)?;
+                builder = match action {
+                    "receive" | "?" => builder.receive(from, message, to),
+                    "send" | "!" => builder.send(from, message, to),
+                    other => {
+                        return Err(AutomataError::Xml(format!(
+                            "unknown transition action {other:?}"
+                        )))
+                    }
+                };
+            }
+            other => {
+                return Err(AutomataError::Xml(format!(
+                    "unexpected element <{other}> in ColoredAutomaton"
+                )))
+            }
+        }
+    }
+    if let Some(name) = initial {
+        builder = builder.initial(&name);
+    }
+    builder.build()
+}
+
+/// Renders a coloured automaton back to its XML element.
+pub fn automaton_to_element(automaton: &ColoredAutomaton) -> Element {
+    let mut root = Element::new("ColoredAutomaton");
+    root.set_attr("protocol", automaton.protocol());
+    // Emit colours before the states that use them, preserving builder
+    // semantics (states use the latest colour).
+    let mut emitted_colors = 0usize;
+    for state in automaton.states() {
+        while emitted_colors <= state.color {
+            root.push_element(color_to_element(&automaton.colors()[emitted_colors]));
+            emitted_colors += 1;
+        }
+        let mut el = Element::new("State");
+        el.set_attr("name", &state.name);
+        if state.accepting {
+            el.set_attr("accepting", "true");
+        }
+        if state.id == automaton.initial() {
+            el.set_attr("initial", "true");
+        }
+        root.push_element(el);
+    }
+    for transition in automaton.transitions() {
+        let mut el = Element::new("Transition");
+        el.set_attr("from", &automaton.states()[transition.from.0].name);
+        el.set_attr(
+            "action",
+            match transition.action {
+                crate::automaton::Action::Receive => "receive",
+                crate::automaton::Action::Send => "send",
+            },
+        );
+        el.set_attr("message", &transition.message);
+        el.set_attr("to", &automaton.states()[transition.to.0].name);
+        root.push_element(el);
+    }
+    root
+}
+
+// ---------------------------------------------------------------------
+// Bridges (merged automata + translation logic)
+// ---------------------------------------------------------------------
+
+fn parse_value_source(element: &Element) -> Result<ValueSource> {
+    match element.name() {
+        "Field" => {
+            let message = element
+                .child_text("Message")
+                .ok_or_else(|| AutomataError::Xml("Field missing <Message>".into()))?;
+            let xpath = element
+                .child_text("Xpath")
+                .ok_or_else(|| AutomataError::Xml("Field missing <Xpath>".into()))?;
+            let path = FieldPath::parse(&xpath).map_err(msg_err)?;
+            let state = element.child_text("State");
+            Ok(ValueSource::Field { message, path, state })
+        }
+        "Function" => {
+            let name = element.required_attr("name").map_err(xml_err)?;
+            let mut args = Vec::new();
+            for child in element.children() {
+                args.push(parse_value_source(child)?);
+            }
+            Ok(ValueSource::function(name, args))
+        }
+        "Literal" => {
+            let kind = element.attr("kind").unwrap_or("string");
+            let text = element.text();
+            let value = match kind {
+                "unsigned" => Value::Unsigned(text.parse().map_err(|_| {
+                    AutomataError::Xml(format!("bad unsigned literal {text:?}"))
+                })?),
+                "signed" => Value::Signed(text.parse().map_err(|_| {
+                    AutomataError::Xml(format!("bad signed literal {text:?}"))
+                })?),
+                "bool" => Value::Bool(text == "true"),
+                _ => Value::Str(text),
+            };
+            Ok(ValueSource::Literal(value))
+        }
+        other => Err(AutomataError::Xml(format!("unexpected value source <{other}>"))),
+    }
+}
+
+fn parse_assignment(element: &Element) -> Result<Assignment> {
+    let mut children = element.children();
+    let target_el = children
+        .next()
+        .ok_or_else(|| AutomataError::Xml("Assignment has no target <Field>".into()))?;
+    if target_el.name() != "Field" {
+        return Err(AutomataError::Xml("Assignment target must be a <Field>".into()));
+    }
+    let target_message = target_el
+        .child_text("Message")
+        .ok_or_else(|| AutomataError::Xml("target Field missing <Message>".into()))?;
+    let target_xpath = target_el
+        .child_text("Xpath")
+        .ok_or_else(|| AutomataError::Xml("target Field missing <Xpath>".into()))?;
+    let target_path = FieldPath::parse(&target_xpath).map_err(msg_err)?;
+    let source_el = children
+        .next()
+        .ok_or_else(|| AutomataError::Xml("Assignment has no source".into()))?;
+    let source = parse_value_source(source_el)?;
+    Ok(Assignment { target_message, target_path, source })
+}
+
+fn parse_action(element: &Element) -> Result<NetworkAction> {
+    let name = element.required_attr("name").map_err(xml_err)?;
+    let mut args = Vec::new();
+    for child in element.children() {
+        args.push(parse_value_source(child)?);
+    }
+    Ok(NetworkAction::new(name, args))
+}
+
+/// Parses a `<Bridge>` document: embedded `<ColoredAutomaton>` parts,
+/// `<Equivalence>` declarations, and `<Delta>` transitions carrying
+/// `<Action>`s and Fig. 8-style `<TranslationLogic>`.
+///
+/// # Errors
+///
+/// Returns [`AutomataError::Xml`] for grammar violations and the builder's
+/// errors for unresolved references.
+pub fn load_bridge(source: &str) -> Result<MergedAutomaton> {
+    let root = Element::parse(source).map_err(xml_err)?;
+    load_bridge_element(&root)
+}
+
+/// Parses an already-built `<Bridge>` element.
+///
+/// # Errors
+///
+/// Same failure modes as [`load_bridge`].
+pub fn load_bridge_element(root: &Element) -> Result<MergedAutomaton> {
+    if root.name() != "Bridge" {
+        return Err(AutomataError::Xml(format!("expected <Bridge>, found <{}>", root.name())));
+    }
+    let name = root.attr("name").unwrap_or("bridge");
+    let mut builder = MergedAutomaton::builder(name);
+    for part_el in root.children_named("ColoredAutomaton") {
+        builder = builder.part(load_automaton_element(part_el)?);
+    }
+    for eq_el in root.children_named("Equivalence") {
+        let target = eq_el.required_attr("target").map_err(xml_err)?;
+        let sources_text = eq_el.required_attr("sources").map_err(xml_err)?;
+        let sources: Vec<&str> = sources_text.split(',').map(str::trim).collect();
+        builder = builder.equivalence(target, &sources);
+    }
+    for delta_el in root.children_named("Delta") {
+        let from = delta_el.required_attr("from").map_err(xml_err)?;
+        let to = delta_el.required_attr("to").map_err(xml_err)?;
+        let mut delta = Delta::new(from, to);
+        for action_el in delta_el.children_named("Action") {
+            delta = delta.action(parse_action(action_el)?);
+        }
+        if let Some(logic) = delta_el.child("TranslationLogic") {
+            for assignment_el in logic.children_named("Assignment") {
+                delta = delta.assignment(parse_assignment(assignment_el)?);
+            }
+        }
+        builder = builder.delta(delta);
+    }
+    if let Some(initial) = root.child("Initial") {
+        builder = builder.initial(initial.required_attr("ref").map_err(xml_err)?);
+    }
+    builder.build()
+}
+
+fn value_source_to_element(source: &ValueSource) -> Element {
+    match source {
+        ValueSource::Field { message, path, state } => {
+            let mut el = Element::new("Field");
+            el.push_child_with_text("Message", message.clone());
+            el.push_child_with_text("Xpath", path.to_xpath());
+            if let Some(state) = state {
+                el.push_child_with_text("State", state.clone());
+            }
+            el
+        }
+        ValueSource::Literal(value) => {
+            let mut el = Element::new("Literal");
+            el.set_attr("kind", value.type_name());
+            el.push_text(value.to_text());
+            el
+        }
+        ValueSource::Function { name, args } => {
+            let mut el = Element::new("Function");
+            el.set_attr("name", name.clone());
+            for arg in args {
+                el.push_element(value_source_to_element(arg));
+            }
+            el
+        }
+    }
+}
+
+/// Renders a merged automaton back to its `<Bridge>` XML element
+/// (regenerating the Fig. 5/8 model documents).
+pub fn bridge_to_element(merged: &MergedAutomaton) -> Element {
+    let mut root = Element::new("Bridge");
+    root.set_attr("name", merged.name());
+    for part in merged.parts() {
+        root.push_element(automaton_to_element(part));
+    }
+    for decl in merged.equivalences().declarations() {
+        let mut el = Element::new("Equivalence");
+        el.set_attr("target", &decl.target);
+        el.set_attr("sources", decl.sources.join(","));
+        root.push_element(el);
+    }
+    for delta in merged.deltas() {
+        let mut el = Element::new("Delta");
+        el.set_attr("from", merged.state_name(delta.from));
+        el.set_attr("to", merged.state_name(delta.to));
+        for action in &delta.actions {
+            let mut action_el = Element::new("Action");
+            action_el.set_attr("name", &action.name);
+            for arg in &action.args {
+                action_el.push_element(value_source_to_element(arg));
+            }
+            el.push_element(action_el);
+        }
+        if !delta.assignments.is_empty() {
+            let mut logic = Element::new("TranslationLogic");
+            for assignment in &delta.assignments {
+                let mut assignment_el = Element::new("Assignment");
+                let mut target = Element::new("Field");
+                target.push_child_with_text("Message", assignment.target_message.clone());
+                target.push_child_with_text("Xpath", assignment.target_path.to_xpath());
+                assignment_el.push_element(target);
+                assignment_el.push_element(value_source_to_element(&assignment.source));
+                logic.push_element(assignment_el);
+            }
+            el.push_element(logic);
+        }
+        root.push_element(el);
+    }
+    let initial_name = merged.state_name(merged.initial());
+    let mut initial_el = Element::new("Initial");
+    initial_el.set_attr("ref", initial_name);
+    root.push_element(initial_el);
+    root
+}
+
+/// Renders a merged automaton to a pretty-printed `<Bridge>` document.
+pub fn bridge_to_xml(merged: &MergedAutomaton) -> String {
+    starlink_xml::to_string_pretty(&bridge_to_element(merged))
+}
+
+/// Renders a coloured automaton to a pretty-printed document.
+pub fn automaton_to_xml(automaton: &ColoredAutomaton) -> String {
+    starlink_xml::to_string_pretty(&automaton_to_element(automaton))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 1 as an XML model.
+    const SLP_AUTOMATON: &str = r#"
+    <ColoredAutomaton protocol="SLP">
+      <Color>
+        <transport_protocol>udp</transport_protocol>
+        <port>427</port>
+        <mode>async</mode>
+        <multicast>yes</multicast>
+        <group>239.255.255.253</group>
+      </Color>
+      <State name="s0" initial="true"/>
+      <State name="s1" accepting="true"/>
+      <Transition from="s0" action="receive" message="SLPSrvRequest" to="s1"/>
+      <Transition from="s1" action="send" message="SLPSrvReply" to="s0"/>
+    </ColoredAutomaton>"#;
+
+    const DNS_AUTOMATON: &str = r#"
+    <ColoredAutomaton protocol="DNS">
+      <Color>
+        <transport_protocol>udp</transport_protocol>
+        <port>5353</port>
+        <mode>async</mode>
+        <multicast>yes</multicast>
+        <group>224.0.0.251</group>
+      </Color>
+      <State name="s0" initial="true"/>
+      <State name="s1"/>
+      <State name="s2" accepting="true"/>
+      <Transition from="s0" action="send" message="DNS_Question" to="s1"/>
+      <Transition from="s1" action="receive" message="DNS_Response" to="s2"/>
+    </ColoredAutomaton>"#;
+
+    fn fig10_bridge_xml() -> String {
+        format!(
+            r#"<Bridge name="slp-to-bonjour">
+              {SLP_AUTOMATON}
+              {DNS_AUTOMATON}
+              <Equivalence target="DNS_Question" sources="SLPSrvRequest"/>
+              <Equivalence target="SLPSrvReply" sources="DNS_Response"/>
+              <Delta from="SLP:s1" to="DNS:s0">
+                <TranslationLogic>
+                  <Assignment>
+                    <Field>
+                      <Message>DNS_Question</Message>
+                      <Xpath>/field/primitiveField[label='DomainName']/value</Xpath>
+                    </Field>
+                    <Function name="slp-to-dns-type">
+                      <Field>
+                        <Message>SLPSrvRequest</Message>
+                        <Xpath>/field/primitiveField[label='SRVType']/value</Xpath>
+                      </Field>
+                    </Function>
+                  </Assignment>
+                </TranslationLogic>
+              </Delta>
+              <Delta from="DNS:s2" to="SLP:s1">
+                <TranslationLogic>
+                  <Assignment>
+                    <Field>
+                      <Message>SLPSrvReply</Message>
+                      <Xpath>/field/primitiveField[label='URL']/value</Xpath>
+                    </Field>
+                    <Field>
+                      <Message>DNS_Response</Message>
+                      <Xpath>/field/primitiveField[label='RDATA']/value</Xpath>
+                    </Field>
+                  </Assignment>
+                  <Assignment>
+                    <Field>
+                      <Message>SLPSrvReply</Message>
+                      <Xpath>/field/primitiveField[label='XID']/value</Xpath>
+                    </Field>
+                    <Field>
+                      <Message>SLPSrvRequest</Message>
+                      <Xpath>/field/primitiveField[label='XID']/value</Xpath>
+                    </Field>
+                  </Assignment>
+                </TranslationLogic>
+              </Delta>
+            </Bridge>"#
+        )
+    }
+
+    #[test]
+    fn loads_fig1_automaton() {
+        let automaton = load_automaton(SLP_AUTOMATON).unwrap();
+        assert_eq!(automaton.protocol(), "SLP");
+        assert_eq!(automaton.states().len(), 2);
+        assert_eq!(automaton.colors()[0].port(), 427);
+        assert_eq!(automaton.colors()[0].group(), Some("239.255.255.253"));
+    }
+
+    #[test]
+    fn automaton_roundtrips_through_xml() {
+        let automaton = load_automaton(SLP_AUTOMATON).unwrap();
+        let rendered = automaton_to_xml(&automaton);
+        let reloaded = load_automaton(&rendered).unwrap();
+        assert_eq!(automaton, reloaded);
+    }
+
+    #[test]
+    fn loads_fig10_bridge() {
+        let bridge = load_bridge(&fig10_bridge_xml()).unwrap();
+        assert_eq!(bridge.parts().len(), 2);
+        assert_eq!(bridge.deltas().len(), 2);
+        assert_eq!(bridge.equivalences().len(), 2);
+        let report = bridge.check_merge();
+        assert!(report.is_mergeable(), "{report}");
+        assert!(report.strongly_merged);
+    }
+
+    #[test]
+    fn bridge_assignments_parse_fig8_grammar() {
+        let bridge = load_bridge(&fig10_bridge_xml()).unwrap();
+        let first_delta = &bridge.deltas()[0];
+        assert_eq!(first_delta.assignments.len(), 1);
+        let assignment = &first_delta.assignments[0];
+        assert_eq!(assignment.target_message, "DNS_Question");
+        assert_eq!(assignment.target_path.to_string(), "DomainName");
+        assert!(matches!(&assignment.source, ValueSource::Function { name, .. } if name == "slp-to-dns-type"));
+    }
+
+    #[test]
+    fn bridge_roundtrips_through_xml() {
+        let bridge = load_bridge(&fig10_bridge_xml()).unwrap();
+        let rendered = bridge_to_xml(&bridge);
+        let reloaded = load_bridge(&rendered).unwrap();
+        assert_eq!(bridge, reloaded);
+    }
+
+    #[test]
+    fn bridge_with_action_roundtrips() {
+        let xml = format!(
+            r#"<Bridge name="with-action">
+              {SLP_AUTOMATON}
+              {DNS_AUTOMATON}
+              <Equivalence target="DNS_Question" sources="SLPSrvRequest"/>
+              <Delta from="SLP:s1" to="DNS:s0">
+                <Action name="set_host">
+                  <Function name="url-host">
+                    <Field>
+                      <Message>SLPSrvRequest</Message>
+                      <Xpath>/field/primitiveField[label='URL']/value</Xpath>
+                    </Field>
+                  </Function>
+                  <Literal kind="unsigned">80</Literal>
+                </Action>
+              </Delta>
+              <Delta from="DNS:s2" to="SLP:s1"/>
+            </Bridge>"#
+        );
+        let bridge = load_bridge(&xml).unwrap();
+        assert_eq!(bridge.deltas()[0].actions.len(), 1);
+        assert_eq!(bridge.deltas()[0].actions[0].name, "set_host");
+        let reloaded = load_bridge(&bridge_to_xml(&bridge)).unwrap();
+        assert_eq!(bridge, reloaded);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(load_automaton("<Wrong/>").is_err());
+        assert!(load_bridge("<Wrong/>").is_err());
+        assert!(load_automaton(
+            r#"<ColoredAutomaton protocol="X"><State name="a"/><Color/></ColoredAutomaton>"#
+        )
+        .is_err());
+        // Unknown state reference inside a delta.
+        let bad = format!(
+            r#"<Bridge name="b">{SLP_AUTOMATON}{DNS_AUTOMATON}
+               <Delta from="SLP:s9" to="DNS:s0"/></Bridge>"#
+        );
+        assert!(load_bridge(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_transition_action() {
+        let bad = r#"
+        <ColoredAutomaton protocol="X">
+          <Color><transport_protocol>udp</transport_protocol><port>1</port></Color>
+          <State name="a"/>
+          <Transition from="a" action="teleport" message="M" to="a"/>
+        </ColoredAutomaton>"#;
+        assert!(load_automaton(bad).is_err());
+    }
+
+    #[test]
+    fn initial_override_is_honoured() {
+        let xml = format!(
+            r#"<Bridge name="b">{SLP_AUTOMATON}{DNS_AUTOMATON}
+               <Equivalence target="DNS_Question" sources="SLPSrvRequest"/>
+               <Delta from="SLP:s1" to="DNS:s0"/>
+               <Delta from="DNS:s2" to="SLP:s1"/>
+               <Initial ref="SLP:s0"/></Bridge>"#
+        );
+        let bridge = load_bridge(&xml).unwrap();
+        assert_eq!(bridge.state_name(bridge.initial()), "SLP:s0");
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests on the automata layer: colour-key perfect hashing,
+//! merge-check invariants over randomly generated chain topologies, and
+//! translation-function totality.
+
+use proptest::prelude::*;
+use starlink_automata::{
+    Color, ColoredAutomaton, Delta, FunctionRegistry, MergedAutomaton, Mode, Transport,
+};
+use starlink_message::Value;
+
+fn color_strategy() -> impl Strategy<Value = Color> {
+    (
+        prop_oneof![Just(Transport::Udp), Just(Transport::Tcp)],
+        1u16..60_000,
+        prop_oneof![Just(Mode::Async), Just(Mode::Sync)],
+        prop::option::of(0u8..=15u8),
+    )
+        .prop_map(|(transport, port, mode, group)| {
+            let color = Color::new(transport, port, mode);
+            match group {
+                Some(octet) => color.multicast(format!("239.0.0.{octet}")),
+                None => color,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn color_key_is_a_perfect_hash(a in color_strategy(), b in color_strategy()) {
+        // f is injective on colours: equal keys ⇔ equal colours.
+        prop_assert_eq!(a == b, a.key() == b.key());
+    }
+
+    #[test]
+    fn color_key_is_stable(color in color_strategy()) {
+        prop_assert_eq!(color.key(), color.clone().key());
+    }
+}
+
+/// Builds a request/response service-side automaton for protocol `P{i}`.
+fn service_part(index: usize) -> ColoredAutomaton {
+    ColoredAutomaton::builder(format!("P{index}"))
+        .color(Color::new(Transport::Udp, 1_000 + index as u16, Mode::Async))
+        .state("s0")
+        .state_accepting("s1")
+        .receive("s0", format!("Req{index}").as_str(), "s1")
+        .send("s1", format!("Resp{index}").as_str(), "s0")
+        .build()
+        .expect("valid part")
+}
+
+/// Builds a request/response client-side automaton for protocol `P{i}`.
+fn client_part(index: usize) -> ColoredAutomaton {
+    ColoredAutomaton::builder(format!("P{index}"))
+        .color(Color::new(Transport::Udp, 1_000 + index as u16, Mode::Async))
+        .state("c0")
+        .state("c1")
+        .state_accepting("c2")
+        .send("c0", format!("Req{index}").as_str(), "c1")
+        .receive("c1", format!("Resp{index}").as_str(), "c2")
+        .build()
+        .expect("valid part")
+}
+
+proptest! {
+    #[test]
+    fn two_part_out_and_back_merges_are_always_mergeable(n in 1usize..6) {
+        // A service part bridged to client part n: δ out + δ back, with
+        // the equivalence declared — mergeable for any protocol index.
+        let merged = MergedAutomaton::builder("prop")
+            .part(service_part(0))
+            .part(client_part(n))
+            .equivalence(&format!("Req{n}"), &["Req0"])
+            .equivalence("Resp0", &[&format!("Resp{n}")])
+            .delta(Delta::new("P0:s1", format!("P{n}:c0")))
+            .delta(Delta::new(format!("P{n}:c2"), "P0:s1"))
+            .build()
+            .unwrap();
+        let report = merged.check_merge();
+        prop_assert!(report.is_mergeable(), "{}", report);
+        prop_assert!(report.strongly_merged);
+    }
+
+    #[test]
+    fn dropping_any_delta_breaks_the_merge(drop_first in any::<bool>()) {
+        // Removing either δ from the out-and-back shape must break the
+        // weak-merge chain condition (fewer δs than parts).
+        let mut builder = MergedAutomaton::builder("prop")
+            .part(service_part(0))
+            .part(client_part(1))
+            .equivalence("Req1", &["Req0"])
+            .equivalence("Resp0", &["Resp1"]);
+        builder = if drop_first {
+            builder.delta(Delta::new("P1:c2", "P0:s1"))
+        } else {
+            builder.delta(Delta::new("P0:s1", "P1:c0"))
+        };
+        let merged = builder.build().unwrap();
+        prop_assert!(!merged.check_merge().is_mergeable());
+    }
+
+    #[test]
+    fn missing_equivalence_is_always_reported(n in 1usize..6) {
+        let merged = MergedAutomaton::builder("prop")
+            .part(service_part(0))
+            .part(client_part(n))
+            // No equivalence for Req{n}.
+            .equivalence("Resp0", &[&format!("Resp{n}")])
+            .delta(Delta::new("P0:s1", format!("P{n}:c0")))
+            .delta(Delta::new(format!("P{n}:c2"), "P0:s1"))
+            .build()
+            .unwrap();
+        let report = merged.check_merge();
+        prop_assert!(!report.is_mergeable());
+        let needle = format!("Req{n}");
+        prop_assert!(report.violations.iter().any(|v| v.contains(&needle)));
+    }
+
+    #[test]
+    fn translation_functions_are_total_over_text(
+        name in prop_oneof![
+            Just("to-text"), Just("concat"), Just("slp-to-dns-type"),
+            Just("dns-to-slp-type"), Just("slp-to-ssdp-type"), Just("ssdp-to-slp-type"),
+        ],
+        input in "[ -~]{0,32}",
+    ) {
+        // The vocabulary-mapping functions never panic or error on
+        // arbitrary printable text (they normalise, not validate).
+        let registry = FunctionRegistry::with_builtins();
+        let out = registry.apply(name, &[Value::Str(input)]);
+        prop_assert!(out.is_ok(), "{name}: {out:?}");
+    }
+
+    #[test]
+    fn url_functions_roundtrip_wellformed_urls(
+        host in "[a-z0-9.]{1,16}",
+        port in 1u16..,
+        path in "[a-z0-9/._-]{0,16}",
+    ) {
+        let registry = FunctionRegistry::with_builtins();
+        let url = Value::Str(format!("http://{host}:{port}/{path}"));
+        prop_assert_eq!(
+            registry.apply("url-host", std::slice::from_ref(&url)).unwrap(),
+            Value::Str(host.clone())
+        );
+        prop_assert_eq!(
+            registry.apply("url-port", std::slice::from_ref(&url)).unwrap(),
+            Value::Unsigned(u64::from(port))
+        );
+        // format-url(url parts) reconstructs a URL whose parts re-extract.
+        let rebuilt = registry
+            .apply(
+                "format-url",
+                &[
+                    Value::Str("http".into()),
+                    Value::Str(host.clone()),
+                    Value::Unsigned(u64::from(port)),
+                    Value::Str(format!("/{path}")),
+                ],
+            )
+            .unwrap();
+        prop_assert_eq!(
+            registry.apply("url-host", &[rebuilt]).unwrap(),
+            Value::Str(host)
+        );
+    }
+}

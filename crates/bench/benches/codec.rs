@@ -1,0 +1,63 @@
+//! Criterion microbench: the real computational cost of the **generic,
+//! model-driven codecs** versus the hand-written native codecs — the
+//! price of §IV-A's "general interpreters that execute the MDL
+//! specifications" (an ablation of the framework's genericity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_mdl::{load_mdl, MdlCodec};
+use starlink_protocols::{mdns, slp, ssdp};
+use std::hint::black_box;
+
+fn bench_codecs(c: &mut Criterion) {
+    let slp_codec = MdlCodec::generate(load_mdl(slp::mdl_xml()).unwrap()).unwrap();
+    let ssdp_codec = MdlCodec::generate(load_mdl(ssdp::mdl_xml()).unwrap()).unwrap();
+    let dns_codec = MdlCodec::generate(load_mdl(mdns::mdl_xml()).unwrap()).unwrap();
+
+    let slp_wire = slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(
+        0xBEEF,
+        "service:printer",
+    )));
+    let ssdp_wire = ssdp::encode(&ssdp::SsdpMessage::MSearch(ssdp::MSearch::new(
+        "urn:schemas-upnp-org:service:printer:1",
+    )));
+    let dns_wire = mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(
+        7,
+        "_printer._tcp.local",
+    )))
+    .unwrap();
+
+    let mut group = c.benchmark_group("parse");
+    group.bench_function("slp_mdl_binary", |b| {
+        b.iter(|| slp_codec.parse(black_box(&slp_wire)).unwrap())
+    });
+    group.bench_function("slp_native", |b| b.iter(|| slp::decode(black_box(&slp_wire)).unwrap()));
+    group.bench_function("ssdp_mdl_text", |b| {
+        b.iter(|| ssdp_codec.parse(black_box(&ssdp_wire)).unwrap())
+    });
+    group.bench_function("ssdp_native", |b| {
+        b.iter(|| ssdp::decode(black_box(&ssdp_wire)).unwrap())
+    });
+    group.bench_function("dns_mdl_binary", |b| {
+        b.iter(|| dns_codec.parse(black_box(&dns_wire)).unwrap())
+    });
+    group.bench_function("dns_native", |b| b.iter(|| mdns::decode(black_box(&dns_wire)).unwrap()));
+    group.finish();
+
+    let slp_msg = slp_codec.parse(&slp_wire).unwrap();
+    let ssdp_msg = ssdp_codec.parse(&ssdp_wire).unwrap();
+    let mut group = c.benchmark_group("compose");
+    group.bench_function("slp_mdl_binary", |b| {
+        b.iter(|| slp_codec.compose(black_box(&slp_msg)).unwrap())
+    });
+    group.bench_function("ssdp_mdl_text", |b| {
+        b.iter(|| ssdp_codec.compose(black_box(&ssdp_msg)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_codecs
+}
+criterion_main!(benches);

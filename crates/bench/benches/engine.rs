@@ -1,0 +1,47 @@
+//! Criterion microbench: the real (wall-clock) computational cost of a
+//! complete bridge session — every parse, δ-translation, λ action and
+//! compose the engine performs for one discovery, measured with the fast
+//! calibration so virtual waits do not dominate event counts.
+//!
+//! This is the implementation-cost complement to the virtual-time
+//! Fig. 12(b) table: the paper's ~300 ms translation figures are
+//! protocol-bound; this shows the framework machinery itself costs
+//! microseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_bench::run_bridge_case;
+use starlink_protocols::{bridges::BridgeCase, Calibration};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bridge_session");
+    for case in BridgeCase::all() {
+        group.bench_function(format!("case{}_{}", case.number(), case.name().replace(' ', "_")), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_bridge_case(case, seed, Calibration::fast()))
+            })
+        });
+    }
+    group.finish();
+
+    // Model loading + deployment alone (the runtime-generation step).
+    let mut group = c.benchmark_group("deployment");
+    group.bench_function("load_models_and_deploy_fig10", |b| {
+        b.iter(|| {
+            let mut framework = starlink_core::Starlink::new();
+            starlink_protocols::bridges::load_all_mdls(&mut framework).unwrap();
+            let merged = starlink_protocols::bridges::slp_to_bonjour();
+            black_box(framework.deploy(merged).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion microbench: field-path parsing and evaluation — the cost of
+//! the translation logic's selectors (§III-D / Fig. 8's XPath
+//! expressions) over abstract messages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_message::{AbstractMessage, Field, FieldPath, Value};
+use std::hint::black_box;
+
+fn sample_message() -> AbstractMessage {
+    let mut msg = AbstractMessage::new("SLP", "SLPSrvRequest");
+    msg.push_field(Field::primitive("XID", 7u16));
+    msg.push_field(Field::primitive("SRVType", "service:printer"));
+    msg.push_field(Field::structured(
+        "URL",
+        vec![
+            Field::primitive("protocol", "http"),
+            Field::primitive("address", "10.0.0.1"),
+            Field::primitive("port", 5000u16),
+            Field::primitive("resource", "/desc.xml"),
+        ],
+    ));
+    msg
+}
+
+fn bench_fieldpath(c: &mut Criterion) {
+    let msg = sample_message();
+    let dotted = FieldPath::parse("URL.port").unwrap();
+    let xpath_expr = "/field/structuredField[label='URL']/field/primitiveField[label='port']/value";
+    let xpath = FieldPath::parse(xpath_expr).unwrap();
+
+    let mut group = c.benchmark_group("fieldpath");
+    group.bench_function("parse_dotted", |b| {
+        b.iter(|| FieldPath::parse(black_box("URL.port")).unwrap())
+    });
+    group.bench_function("parse_xpath", |b| {
+        b.iter(|| FieldPath::parse(black_box(xpath_expr)).unwrap())
+    });
+    group.bench_function("get_dotted", |b| b.iter(|| msg.get(black_box(&dotted)).unwrap()));
+    group.bench_function("get_xpath", |b| b.iter(|| msg.get(black_box(&xpath)).unwrap()));
+    group.bench_function("set_top_level", |b| {
+        let mut m = msg.clone();
+        let path = FieldPath::parse("XID").unwrap();
+        b.iter(|| m.set(black_box(&path), Value::Unsigned(9)).unwrap())
+    });
+    group.bench_function("xml_image_render", |b| {
+        b.iter(|| starlink_message::xml::message_to_xml(black_box(&msg)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fieldpath
+}
+criterion_main!(benches);

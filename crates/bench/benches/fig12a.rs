@@ -1,0 +1,24 @@
+//! Regenerates **Fig. 12(a)** — "Response time measures for legacy
+//! discovery protocols": min/median/max over 100 seeded runs of each
+//! native client/service pair, printed next to the paper's published
+//! values.
+//!
+//! Run with `cargo bench -p starlink-bench --bench fig12a`.
+
+use starlink_bench::{fig12a_table, print_table};
+
+fn main() {
+    let runs = 100;
+    let rows = fig12a_table(runs);
+    print_table(
+        &format!("Fig. 12(a) — Response time measures for legacy discovery protocols ({runs} runs)"),
+        &rows,
+    );
+
+    // Shape checks mirrored from the paper: SLP ≫ UPnP > Bonjour.
+    let slp = rows[0].measured.median_ms;
+    let bonjour = rows[1].measured.median_ms;
+    let upnp = rows[2].measured.median_ms;
+    assert!(slp > upnp && upnp > bonjour, "native ordering broken: {slp} {upnp} {bonjour}");
+    println!("\nshape check: SLP ({slp}ms) >> UPnP ({upnp}ms) > Bonjour ({bonjour}ms)  ✓");
+}

@@ -1,0 +1,66 @@
+//! Regenerates the paper's **model figures** from the loaded models:
+//!
+//! * Figs. 1, 2, 3, 9 — coloured automata → Graphviz DOT;
+//! * Figs. 4, 10 — merged automata → Graphviz DOT + merge reports;
+//! * Figs. 5, 8 — merge/translation specifications → Bridge XML;
+//! * Figs. 7, 11 — MDL specifications (verbatim model documents).
+//!
+//! Artefacts are written to `target/figures/`. Run with
+//! `cargo bench -p starlink-bench --bench figures`.
+
+use starlink_automata::{automaton_to_dot, bridge_to_xml, merged_to_dot};
+use starlink_protocols::{bridges::BridgeCase, http, mdns, slp, ssdp};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new("target/figures");
+    fs::create_dir_all(dir).expect("create target/figures");
+    let mut written: Vec<String> = Vec::new();
+    let mut write = |name: &str, content: String| {
+        fs::write(dir.join(name), content).expect("write figure");
+        written.push(name.to_owned());
+    };
+
+    // Figs. 1–3, 9: the coloured automata.
+    write("fig1_slp_automaton.dot", automaton_to_dot(&slp::service_automaton()));
+    write("fig2_ssdp_automaton.dot", automaton_to_dot(&ssdp::client_automaton()));
+    write("fig3_http_automaton.dot", automaton_to_dot(&http::client_automaton(80)));
+    write("fig9_mdns_automaton.dot", automaton_to_dot(&mdns::client_automaton()));
+
+    // Figs. 4, 10: the merged automata (and the other four cases).
+    for case in BridgeCase::all() {
+        let merged = case.build("10.0.0.2");
+        let base = match case {
+            BridgeCase::SlpToUpnp => "fig4_merged_slp_ssdp_http".to_owned(),
+            BridgeCase::SlpToBonjour => "fig10_merged_slp_mdns".to_owned(),
+            other => format!("case{}_merged", other.number()),
+        };
+        write(&format!("{base}.dot"), merged_to_dot(&merged));
+        // Figs. 5/8 equivalent: the full bridge model document with the
+        // TranslationLogic sections.
+        write(&format!("{base}.bridge.xml"), bridge_to_xml(&merged));
+        let report = merged.check_merge();
+        println!(
+            "case {} ({}): mergeable={} weak={} strong={} chain={:?}",
+            case.number(),
+            case.name(),
+            report.is_mergeable(),
+            report.weakly_merged,
+            report.strongly_merged,
+            report.chain
+        );
+        assert!(report.is_mergeable());
+    }
+
+    // Figs. 7, 11: the MDL documents are themselves the model artefacts.
+    write("fig7_slp_mdl.xml", slp::mdl_xml().to_owned());
+    write("fig11_ssdp_mdl.xml", ssdp::mdl_xml().to_owned());
+    write("dns_mdl.xml", mdns::mdl_xml().to_owned());
+    write("http_mdl.xml", http::mdl_xml().to_owned());
+
+    println!("\nwrote {} figure artefacts to target/figures/:", written.len());
+    for name in &written {
+        println!("  {name}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion microbench: runtime model loading — the cost of §II-E
+//! requirement 1 ("the solution is fully generateable at runtime"):
+//! parsing MDL XML documents, generating codecs, and loading bridge
+//! models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_automata::{bridge_to_xml, load_bridge};
+use starlink_mdl::{load_mdl, MdlCodec};
+use starlink_protocols::{bridges, mdns, slp, ssdp};
+use std::hint::black_box;
+
+fn bench_model_loading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_loading");
+    group.bench_function("parse_slp_mdl_xml", |b| {
+        b.iter(|| load_mdl(black_box(slp::mdl_xml())).unwrap())
+    });
+    group.bench_function("parse_ssdp_mdl_xml", |b| {
+        b.iter(|| load_mdl(black_box(ssdp::mdl_xml())).unwrap())
+    });
+    group.bench_function("generate_codec_from_spec", |b| {
+        b.iter(|| MdlCodec::generate(load_mdl(black_box(mdns::mdl_xml())).unwrap()).unwrap())
+    });
+
+    let bridge_xml = bridge_to_xml(&bridges::slp_to_upnp());
+    group.bench_function("load_bridge_xml_fig4", |b| {
+        b.iter(|| load_bridge(black_box(&bridge_xml)).unwrap())
+    });
+    group.bench_function("export_bridge_xml_fig4", |b| {
+        let merged = bridges::slp_to_upnp();
+        b.iter(|| bridge_to_xml(black_box(&merged)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_model_loading
+}
+criterion_main!(benches);

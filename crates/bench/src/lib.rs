@@ -1,0 +1,279 @@
+//! # starlink-bench
+//!
+//! The evaluation harness: everything needed to regenerate the tables and
+//! figures of the paper's §V/§VI from the implementation in this
+//! repository.
+//!
+//! * [`run_native`] — one native discovery (Fig. 12(a) row sample);
+//! * [`run_bridge_case`] — one bridged discovery, returning the bridge's
+//!   translation time (Fig. 12(b) row sample);
+//! * [`sweep`]/[`Stats`] — the paper's min/median/max over repeated runs;
+//! * [`fig12a_table`]/[`fig12b_table`] — the full tables with the paper's
+//!   published values alongside for shape comparison.
+//!
+//! The `benches/` directory contains the runnable harnesses:
+//! `fig12a`/`fig12b` print the tables, `figures` regenerates the model
+//! figures (DOT + XML), and `codec`/`fieldpath`/`engine`/`xml` are
+//! Criterion microbenches of the framework's real computational costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use starlink_core::Starlink;
+use starlink_net::{SimDuration, SimNet};
+use starlink_protocols::{
+    bridges::{self, BridgeCase},
+    mdns, slp, upnp, Calibration, DiscoveryProbe,
+};
+
+/// Host layout used by every experiment (client / bridge / service on one
+/// simulated machine-pair, as in §VI).
+pub const CLIENT: &str = "10.0.0.1";
+/// The bridge host.
+pub const BRIDGE: &str = "10.0.0.2";
+/// The legacy service host.
+pub const SERVICE: &str = "10.0.0.3";
+
+const SLP_TYPE: &str = "service:printer";
+const UPNP_TYPE: &str = "urn:schemas-upnp-org:service:printer:1";
+const DNS_TYPE: &str = "_printer._tcp.local";
+const SERVICE_URL: &str = "service:printer://10.0.0.3:631";
+
+/// The three legacy protocols of Fig. 12(a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum NativeProtocol {
+    /// OpenSLP-modelled SLP.
+    Slp,
+    /// Apple-SDK-modelled Bonjour.
+    Bonjour,
+    /// CyberLink-modelled UPnP.
+    Upnp,
+}
+
+impl NativeProtocol {
+    /// All three protocols in the paper's row order.
+    pub fn all() -> [NativeProtocol; 3] {
+        [NativeProtocol::Slp, NativeProtocol::Bonjour, NativeProtocol::Upnp]
+    }
+
+    /// The paper's row label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NativeProtocol::Slp => "SLP",
+            NativeProtocol::Bonjour => "Bonjour",
+            NativeProtocol::Upnp => "UPnP",
+        }
+    }
+
+    /// The paper's published (min, median, max) in milliseconds.
+    pub fn paper_row(&self) -> (u64, u64, u64) {
+        match self {
+            NativeProtocol::Slp => (5_982, 6_022, 6_053),
+            NativeProtocol::Bonjour => (687, 710, 726),
+            NativeProtocol::Upnp => (945, 1_014, 1_079),
+        }
+    }
+}
+
+/// Runs one *native* discovery (no bridge) and returns the client's
+/// response time.
+///
+/// # Panics
+///
+/// Panics when the discovery does not complete (a harness bug).
+pub fn run_native(protocol: NativeProtocol, seed: u64, calibration: Calibration) -> SimDuration {
+    let probe = DiscoveryProbe::new();
+    let mut sim = SimNet::new(seed);
+    match protocol {
+        NativeProtocol::Slp => {
+            sim.add_actor(SERVICE, slp::SlpService::new(SLP_TYPE, SERVICE_URL, calibration));
+            sim.add_actor(CLIENT, slp::SlpClient::new(SLP_TYPE, probe.clone()));
+        }
+        NativeProtocol::Bonjour => {
+            sim.add_actor(SERVICE, mdns::BonjourService::new(DNS_TYPE, SERVICE_URL, calibration));
+            sim.add_actor(CLIENT, mdns::BonjourClient::new(DNS_TYPE, calibration, probe.clone()));
+        }
+        NativeProtocol::Upnp => {
+            sim.add_actor(SERVICE, upnp::UpnpDevice::new(UPNP_TYPE, SERVICE, calibration));
+            sim.add_actor(CLIENT, upnp::UpnpClient::new(UPNP_TYPE, calibration, probe.clone()));
+        }
+    }
+    sim.run_until_idle();
+    probe.first().expect("native discovery completes").elapsed
+}
+
+/// Runs one *bridged* discovery for `case` and returns the bridge's
+/// translation time ("from when the message was first received by the
+/// framework until the translated output response was sent", §VI).
+///
+/// # Panics
+///
+/// Panics when the bridged discovery does not complete.
+pub fn run_bridge_case(case: BridgeCase, seed: u64, calibration: Calibration) -> SimDuration {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).expect("models load");
+    let (engine, stats) = framework.deploy(case.build(BRIDGE)).expect("bridge deploys");
+
+    let probe = DiscoveryProbe::new();
+    let mut sim = SimNet::new(seed);
+    sim.add_actor(BRIDGE, engine);
+    match case {
+        BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp => {
+            sim.add_actor(SERVICE, upnp::UpnpDevice::new(UPNP_TYPE, SERVICE, calibration));
+        }
+        BridgeCase::SlpToBonjour | BridgeCase::UpnpToBonjour => {
+            sim.add_actor(SERVICE, mdns::BonjourService::new(DNS_TYPE, SERVICE_URL, calibration));
+        }
+        BridgeCase::UpnpToSlp | BridgeCase::BonjourToSlp => {
+            sim.add_actor(SERVICE, slp::SlpService::new(SLP_TYPE, SERVICE_URL, calibration));
+        }
+    }
+    match case {
+        BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => {
+            sim.add_actor(CLIENT, slp::SlpClient::new(SLP_TYPE, probe.clone()));
+        }
+        BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => {
+            sim.add_actor(CLIENT, upnp::UpnpClient::new(UPNP_TYPE, calibration, probe.clone()));
+        }
+        BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => {
+            sim.add_actor(CLIENT, mdns::BonjourClient::new(DNS_TYPE, calibration, probe.clone()));
+        }
+    }
+    sim.run_until_idle();
+    assert_eq!(
+        probe.len(),
+        1,
+        "case {}: discovery incomplete; errors: {:?}",
+        case.number(),
+        stats.errors()
+    );
+    stats.translation_times()[0]
+}
+
+/// min/median/max summary over a sweep, in milliseconds — the statistic
+/// the paper reports ("we repeated the experiment 100 times and took the
+/// min, max, median of these results").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Stats {
+    /// Minimum observed.
+    pub min_ms: u64,
+    /// Median observed.
+    pub median_ms: u64,
+    /// Maximum observed.
+    pub max_ms: u64,
+}
+
+/// Runs `f` for `runs` seeds (0-based offsets on `base_seed`) and
+/// summarises.
+pub fn sweep(runs: u64, base_seed: u64, mut f: impl FnMut(u64) -> SimDuration) -> Stats {
+    let mut samples: Vec<u64> = (0..runs).map(|i| f(base_seed + i).as_millis()).collect();
+    samples.sort_unstable();
+    Stats {
+        min_ms: samples[0],
+        median_ms: samples[samples.len() / 2],
+        max_ms: samples[samples.len() - 1],
+    }
+}
+
+/// One row of a regenerated table: measured vs paper.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label (protocol or case name).
+    pub label: String,
+    /// Measured statistics.
+    pub measured: Stats,
+    /// The paper's published (min, median, max).
+    pub paper: (u64, u64, u64),
+}
+
+/// Regenerates Fig. 12(a): native response times over `runs` seeded runs.
+pub fn fig12a_table(runs: u64) -> Vec<Row> {
+    NativeProtocol::all()
+        .iter()
+        .map(|protocol| Row {
+            label: protocol.name().to_owned(),
+            measured: sweep(runs, 0xA000, |seed| {
+                run_native(*protocol, seed, Calibration::paper())
+            }),
+            paper: protocol.paper_row(),
+        })
+        .collect()
+}
+
+/// The paper's published Fig. 12(b) rows (min, median, max).
+pub fn paper_fig12b_row(case: BridgeCase) -> (u64, u64, u64) {
+    match case {
+        BridgeCase::SlpToUpnp => (319, 337, 343),
+        BridgeCase::SlpToBonjour => (255, 271, 287),
+        BridgeCase::UpnpToSlp => (6_208, 6_311, 6_450),
+        BridgeCase::UpnpToBonjour => (253, 289, 311),
+        BridgeCase::BonjourToUpnp => (334, 359, 379),
+        BridgeCase::BonjourToSlp => (6_168, 6_190, 6_244),
+    }
+}
+
+/// Regenerates Fig. 12(b): bridge translation times over `runs` seeded
+/// runs per case.
+pub fn fig12b_table(runs: u64) -> Vec<Row> {
+    BridgeCase::all()
+        .iter()
+        .map(|case| Row {
+            label: format!("{}. {}", case.number(), case.name()),
+            measured: sweep(runs, 0xB000 + case.number() as u64 * 0x100, |seed| {
+                run_bridge_case(*case, seed, Calibration::paper())
+            }),
+            paper: paper_fig12b_row(*case),
+        })
+        .collect()
+}
+
+/// Prints a table in the paper's layout, with the published values for
+/// comparison.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n{title}");
+    println!("{}", "-".repeat(title.len()));
+    println!(
+        "{:<22} {:>9} {:>11} {:>9}   {:>24}",
+        "", "Min (ms)", "Median (ms)", "Max (ms)", "paper (min/med/max)"
+    );
+    for row in rows {
+        println!(
+            "{:<22} {:>9} {:>11} {:>9}   {:>24}",
+            row.label,
+            row.measured.min_ms,
+            row.measured.median_ms,
+            row.measured.max_ms,
+            format!("{}/{}/{}", row.paper.0, row.paper.1, row.paper.2),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_summarises_sorted() {
+        let stats = sweep(5, 0, |seed| SimDuration::from_millis(10 * (5 - seed)));
+        assert_eq!(stats.min_ms, 10);
+        assert_eq!(stats.median_ms, 30);
+        assert_eq!(stats.max_ms, 50);
+    }
+
+    #[test]
+    fn native_runs_complete_for_all_protocols() {
+        for protocol in NativeProtocol::all() {
+            let elapsed = run_native(protocol, 1, Calibration::fast());
+            assert!(elapsed.as_micros() > 0, "{}", protocol.name());
+        }
+    }
+
+    #[test]
+    fn bridge_runs_complete_for_all_cases() {
+        for case in BridgeCase::all() {
+            let elapsed = run_bridge_case(case, 2, Calibration::fast());
+            assert!(elapsed.as_micros() > 0, "case {}", case.number());
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! The Automata Engine (§IV-B): a network actor that "executes the
+//! behaviour of the merged automata i.e. it controls the sequence of
+//! sending, receiving and translation of messages".
+//!
+//! One [`BridgeEngine`] is deployed per bridge. At receiving states it
+//! listens on the state's colour (port/group), parses arriving bytes with
+//! the protocol's MDL codec, and advances the execution; bridge (δ)
+//! states apply translation logic and λ actions; at sending states it
+//! composes the translated abstract message and emits it with the colour's
+//! network semantics (unicast reply, multicast group, or TCP connection
+//! pointed by a prior `set_host`).
+
+use crate::error::{CoreError, Result};
+use crate::stats::BridgeStats;
+use starlink_automata::{
+    Action, Execution, FunctionRegistry, MergedAutomaton, ResolvedAction, StepOutcome, Transport,
+};
+use starlink_mdl::MdlCodec;
+use starlink_message::AbstractMessage;
+use starlink_net::{Actor, ConnId, Context, Datagram, SimAddr, SimTime, TcpEvent};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Per-part (per-protocol) runtime networking state.
+#[derive(Debug, Default)]
+struct PartState {
+    /// Source of the last datagram received for this part — replies go
+    /// back there (request/response over UDP).
+    reply_to: Option<SimAddr>,
+    /// Connection accepted on this part's listening port (we are the
+    /// server side, e.g. serving HTTP GET in the UPnP→SLP case).
+    server_conn: Option<ConnId>,
+    /// Connection we initiated (client side, e.g. fetching the device
+    /// description in the SLP→UPnP case).
+    client_conn: Option<ConnId>,
+    /// Payloads composed before the client connection finished its
+    /// handshake; flushed on `Connected`.
+    pending_out: VecDeque<Vec<u8>>,
+}
+
+/// The deployed bridge: implements [`Actor`] so it can be dropped into a
+/// simulation as "the framework ... transparently deployed in the
+/// network" (§IV).
+pub struct BridgeEngine {
+    automaton: Arc<MergedAutomaton>,
+    codecs: Vec<Arc<MdlCodec>>,
+    functions: Arc<FunctionRegistry>,
+    stats: BridgeStats,
+    exec: Execution,
+    session_started: Option<SimTime>,
+    set_host: Option<SimAddr>,
+    parts: Vec<PartState>,
+    conn_part: BTreeMap<ConnId, usize>,
+    buffers: BTreeMap<ConnId, Vec<u8>>,
+}
+
+impl std::fmt::Debug for BridgeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BridgeEngine")
+            .field("automaton", &self.automaton.name())
+            .field("session_started", &self.session_started)
+            .finish()
+    }
+}
+
+impl BridgeEngine {
+    /// Creates an engine for `automaton`; `codecs` must be indexed by the
+    /// automaton's part order (the framework resolves them by protocol
+    /// name).
+    pub(crate) fn new(
+        automaton: Arc<MergedAutomaton>,
+        codecs: Vec<Arc<MdlCodec>>,
+        functions: Arc<FunctionRegistry>,
+        stats: BridgeStats,
+    ) -> Self {
+        let parts = (0..automaton.parts().len()).map(|_| PartState::default()).collect();
+        let exec = Self::fresh_execution(&automaton, &codecs, &functions);
+        BridgeEngine {
+            automaton,
+            codecs,
+            functions,
+            stats,
+            exec,
+            session_started: None,
+            set_host: None,
+            parts,
+            conn_part: BTreeMap::new(),
+            buffers: BTreeMap::new(),
+        }
+    }
+
+    /// The stats handle shared with the harness.
+    pub fn stats(&self) -> BridgeStats {
+        self.stats.clone()
+    }
+
+    /// Builds a fresh execution with schema-typed blank instances
+    /// pre-registered for every message the bridge may need to compose
+    /// (assignment targets and send-transition labels).
+    fn fresh_execution(
+        automaton: &Arc<MergedAutomaton>,
+        codecs: &[Arc<MdlCodec>],
+        functions: &Arc<FunctionRegistry>,
+    ) -> Execution {
+        let mut exec = Execution::new(automaton.clone(), functions.clone());
+        let mut targets: BTreeSet<String> = BTreeSet::new();
+        for assignment in automaton.assignments() {
+            targets.insert(assignment.target_message.clone());
+        }
+        for part in automaton.parts() {
+            for transition in part.transitions() {
+                if transition.action == Action::Send {
+                    targets.insert(transition.message.clone());
+                }
+            }
+        }
+        for name in targets {
+            for codec in codecs {
+                if let Ok(schema) = codec.schema(&name) {
+                    exec.store_mut().insert(schema.instantiate());
+                    break;
+                }
+            }
+        }
+        exec
+    }
+
+    fn reset_session(&mut self) {
+        self.exec = Self::fresh_execution(&self.automaton, &self.codecs, &self.functions);
+        self.session_started = None;
+        self.set_host = None;
+        for part in &mut self.parts {
+            *part = PartState::default();
+        }
+        self.conn_part.clear();
+        self.buffers.clear();
+    }
+
+    /// Finds the part a datagram belongs to by its destination port
+    /// (and, for multicast, group address).
+    fn part_for_datagram(&self, datagram: &Datagram) -> Option<usize> {
+        let mut fallback = None;
+        for (index, part) in self.automaton.parts().iter().enumerate() {
+            for color in part.colors() {
+                if color.transport() != Transport::Udp || color.port() != datagram.to.port {
+                    continue;
+                }
+                match (color.group(), datagram.to.is_multicast()) {
+                    (Some(group), true) if group == datagram.to.host => return Some(index),
+                    // Unicast delivery to a port we own also matches a
+                    // multicast colour (responses come back unicast).
+                    _ => fallback = Some(index),
+                }
+            }
+        }
+        fallback
+    }
+
+    fn part_for_listener(&self, local_port: u16) -> Option<usize> {
+        for (index, part) in self.automaton.parts().iter().enumerate() {
+            for color in part.colors() {
+                if color.transport() == Transport::Tcp && color.port() == local_port {
+                    return Some(index);
+                }
+            }
+        }
+        None
+    }
+
+    fn apply_actions(&mut self, ctx: &mut Context<'_>, outcome: &StepOutcome) {
+        for action in &outcome.actions {
+            match action {
+                ResolvedAction::SetHost { host, port } => {
+                    ctx.trace(format!("bridge λ set_host({host}, {port})"));
+                    self.set_host = Some(SimAddr::new(host.clone(), *port));
+                }
+                ResolvedAction::Custom { name, .. } => {
+                    ctx.trace(format!("bridge λ {name}(..) (no engine interpretation)"));
+                }
+            }
+        }
+    }
+
+    /// Delivers a parsed message to the execution and pumps any sends
+    /// that become ready.
+    fn deliver(&mut self, ctx: &mut Context<'_>, message: AbstractMessage) {
+        if self.session_started.is_none() {
+            self.session_started = Some(ctx.now());
+        }
+        match self.exec.deliver(message) {
+            Ok(outcome) => {
+                self.apply_actions(ctx, &outcome);
+                self.pump_sends(ctx);
+            }
+            Err(err) => {
+                self.stats.record_error(err.to_string());
+                ctx.trace(format!("bridge dropped message: {err}"));
+            }
+        }
+    }
+
+    fn session_complete(&self) -> bool {
+        self.exec.at_accepting()
+            || (!self.exec.history().is_empty() && self.exec.current() == self.automaton.initial())
+    }
+
+    /// Composes and emits messages while the execution rests in sending
+    /// states.
+    fn pump_sends(&mut self, ctx: &mut Context<'_>) {
+        while let Some(name) = self.exec.next_send().map(str::to_owned) {
+            let current = self.exec.current();
+            let part_index = current.part.0;
+            let color = match self.automaton.color_of(current) {
+                Ok(color) => color.clone(),
+                Err(err) => {
+                    self.stats.record_error(err.to_string());
+                    return;
+                }
+            };
+            let codec = self.codecs[part_index].clone();
+            let message = match self.exec.store().get(&name) {
+                Some(instance) => instance.clone(),
+                None => AbstractMessage::new(codec.protocol().to_owned(), name.clone()),
+            };
+            // Dynamic ⊨ check (equation (1)): the translated instance must
+            // have every mandatory field filled before it may leave the
+            // framework — an unfilled field means the declared semantic
+            // equivalence did not hold for this exchange.
+            let unfilled = message.unfilled_mandatory();
+            if !unfilled.is_empty() {
+                self.stats.record_error(format!(
+                    "⊨ violation: {name} has unfilled mandatory fields {unfilled:?}"
+                ));
+                ctx.trace(format!(
+                    "bridge refused to send {name}: mandatory fields {unfilled:?} unfilled"
+                ));
+                return;
+            }
+            let bytes = match codec.compose(&message) {
+                Ok(bytes) => bytes,
+                Err(err) => {
+                    self.stats.record_error(format!("compose {name}: {err}"));
+                    ctx.trace(format!("bridge failed to compose {name}: {err}"));
+                    return;
+                }
+            };
+            if let Err(err) = self.emit(ctx, part_index, &color, bytes) {
+                self.stats.record_error(format!("emit {name}: {err}"));
+                ctx.trace(format!("bridge failed to emit {name}: {err}"));
+                return;
+            }
+            match self.exec.sent(message) {
+                Ok(outcome) => self.apply_actions(ctx, &outcome),
+                Err(err) => {
+                    self.stats.record_error(err.to_string());
+                    return;
+                }
+            }
+            if self.session_complete() {
+                if let Some(started) = self.session_started {
+                    self.stats.record_session(started, ctx.now());
+                    ctx.trace(format!(
+                        "bridge session complete in {}",
+                        ctx.now().since(started)
+                    ));
+                }
+                self.reset_session();
+                break;
+            }
+        }
+    }
+
+    /// Emits composed bytes with the colour's network semantics:
+    /// UDP replies go to the requester, UDP requests to the multicast
+    /// group (or a `set_host` target), TCP uses the accepted connection
+    /// when serving or opens one towards the `set_host` target.
+    fn emit(
+        &mut self,
+        ctx: &mut Context<'_>,
+        part_index: usize,
+        color: &starlink_automata::Color,
+        bytes: Vec<u8>,
+    ) -> Result<()> {
+        match color.transport() {
+            Transport::Udp => {
+                let destination = if let Some(reply_to) = self.parts[part_index].reply_to.clone() {
+                    reply_to
+                } else if let Some(target) = self.set_host.clone() {
+                    target
+                } else if let Some(group) = color.group() {
+                    SimAddr::new(group, color.port())
+                } else {
+                    return Err(CoreError::Deployment(format!(
+                        "no destination for unicast UDP send on part #{part_index}: \
+                         no request to reply to, no set_host, no group"
+                    )));
+                };
+                ctx.udp_send(color.port(), destination, bytes);
+                Ok(())
+            }
+            Transport::Tcp => {
+                if let Some(conn) = self.parts[part_index].server_conn {
+                    ctx.tcp_send(conn, bytes).map_err(CoreError::from)
+                } else if let Some(conn) = self.parts[part_index].client_conn {
+                    ctx.tcp_send(conn, bytes).map_err(CoreError::from)
+                } else {
+                    let target = self.set_host.clone().unwrap_or_else(|| {
+                        // Fall back to the colour's own port on the last
+                        // UDP peer's host, the natural default when a
+                        // response named only a host.
+                        SimAddr::new("", color.port())
+                    });
+                    if target.host.is_empty() {
+                        return Err(CoreError::Deployment(
+                            "TCP send requires a prior set_host λ action".into(),
+                        ));
+                    }
+                    let conn = ctx.tcp_connect(target).map_err(CoreError::from)?;
+                    self.conn_part.insert(conn, part_index);
+                    self.parts[part_index].client_conn = Some(conn);
+                    self.parts[part_index].pending_out.push_back(bytes);
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Parses as many messages as the buffered stream for `conn` holds,
+    /// delivering each.
+    fn drain_stream(&mut self, ctx: &mut Context<'_>, conn: ConnId, part_index: usize) {
+        loop {
+            let buffer = self.buffers.entry(conn).or_default();
+            if buffer.is_empty() {
+                break;
+            }
+            match self.codecs[part_index].parse_prefix(buffer) {
+                Ok((message, consumed)) => {
+                    self.buffers.get_mut(&conn).expect("buffer exists").drain(..consumed);
+                    self.deliver(ctx, message);
+                }
+                Err(_) => {
+                    // Incomplete message: wait for more stream data.
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl Actor for BridgeEngine {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Bind every colour of every part: UDP ports + multicast groups
+        // for datagram protocols, listeners for stream protocols.
+        let mut bound: BTreeSet<u16> = BTreeSet::new();
+        for part in self.automaton.parts() {
+            for color in part.colors() {
+                match color.transport() {
+                    Transport::Udp => {
+                        if bound.insert(color.port()) {
+                            if let Err(err) = ctx.bind_udp(color.port()) {
+                                ctx.trace(format!("bridge bind failed: {err}"));
+                            }
+                        }
+                        if let Some(group) = color.group() {
+                            ctx.join_group(SimAddr::new(group, color.port()));
+                        }
+                    }
+                    Transport::Tcp => {
+                        ctx.listen_tcp(color.port());
+                    }
+                }
+            }
+        }
+        ctx.trace(format!("bridge {} deployed", self.automaton.name()));
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, datagram: Datagram) {
+        let Some(part_index) = self.part_for_datagram(&datagram) else {
+            ctx.trace(format!("bridge: no part for datagram to {}", datagram.to));
+            return;
+        };
+        let parsed = self.codecs[part_index].parse(&datagram.payload);
+        match parsed {
+            Ok(message) => {
+                self.parts[part_index].reply_to = Some(datagram.from.clone());
+                self.deliver(ctx, message);
+            }
+            Err(err) => {
+                self.stats.record_error(format!("parse on part #{part_index}: {err}"));
+                ctx.trace(format!("bridge failed to parse datagram: {err}"));
+            }
+        }
+    }
+
+    fn on_tcp(&mut self, ctx: &mut Context<'_>, event: TcpEvent) {
+        match event {
+            TcpEvent::Accepted { conn, peer, local_port } => {
+                let Some(part_index) = self.part_for_listener(local_port) else {
+                    ctx.trace(format!("bridge: no part listens on port {local_port}"));
+                    return;
+                };
+                ctx.trace(format!("bridge accepted {peer} on part #{part_index}"));
+                self.conn_part.insert(conn, part_index);
+                self.parts[part_index].server_conn = Some(conn);
+            }
+            TcpEvent::Connected { conn, .. } => {
+                let Some(&part_index) = self.conn_part.get(&conn) else { return };
+                while let Some(payload) = self.parts[part_index].pending_out.pop_front() {
+                    if let Err(err) = ctx.tcp_send(conn, payload) {
+                        self.stats.record_error(err.to_string());
+                    }
+                }
+            }
+            TcpEvent::Data { conn, payload } => {
+                let Some(&part_index) = self.conn_part.get(&conn) else { return };
+                self.buffers.entry(conn).or_default().extend_from_slice(&payload);
+                self.drain_stream(ctx, conn, part_index);
+            }
+            TcpEvent::Closed { conn } => {
+                if let Some(part_index) = self.conn_part.remove(&conn) {
+                    let part = &mut self.parts[part_index];
+                    if part.server_conn == Some(conn) {
+                        part.server_conn = None;
+                    }
+                    if part.client_conn == Some(conn) {
+                        part.client_conn = None;
+                    }
+                }
+                self.buffers.remove(&conn);
+            }
+        }
+    }
+}

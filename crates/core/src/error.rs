@@ -1,0 +1,79 @@
+//! Error type for the Starlink framework.
+
+use starlink_automata::AutomataError;
+use starlink_mdl::MdlError;
+use starlink_message::MessageError;
+use starlink_net::NetError;
+use std::fmt;
+
+/// Error raised by the framework (model loading, deployment, execution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A required protocol has no loaded MDL codec.
+    MissingCodec(String),
+    /// Deployment-time validation failed (merge constraints, colours).
+    Deployment(String),
+    /// An MDL operation failed.
+    Mdl(MdlError),
+    /// An automata operation failed.
+    Automata(AutomataError),
+    /// A message operation failed.
+    Message(MessageError),
+    /// A network operation failed.
+    Net(NetError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MissingCodec(protocol) => {
+                write!(f, "no MDL codec loaded for protocol {protocol:?}")
+            }
+            CoreError::Deployment(msg) => write!(f, "deployment error: {msg}"),
+            CoreError::Mdl(err) => write!(f, "{err}"),
+            CoreError::Automata(err) => write!(f, "{err}"),
+            CoreError::Message(err) => write!(f, "{err}"),
+            CoreError::Net(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Mdl(err) => Some(err),
+            CoreError::Automata(err) => Some(err),
+            CoreError::Message(err) => Some(err),
+            CoreError::Net(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<MdlError> for CoreError {
+    fn from(err: MdlError) -> Self {
+        CoreError::Mdl(err)
+    }
+}
+
+impl From<AutomataError> for CoreError {
+    fn from(err: AutomataError) -> Self {
+        CoreError::Automata(err)
+    }
+}
+
+impl From<MessageError> for CoreError {
+    fn from(err: MessageError) -> Self {
+        CoreError::Message(err)
+    }
+}
+
+impl From<NetError> for CoreError {
+    fn from(err: NetError) -> Self {
+        CoreError::Net(err)
+    }
+}
+
+/// Convenient result alias for framework operations.
+pub type Result<T> = std::result::Result<T, CoreError>;

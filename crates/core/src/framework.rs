@@ -1,0 +1,257 @@
+//! The Starlink framework facade (Fig. 6): model registries plus bridge
+//! deployment. "The framework is composed of general software elements
+//! that are specialised by models; a process that can be executed
+//! dynamically."
+
+use crate::engine::BridgeEngine;
+use crate::error::{CoreError, Result};
+use crate::stats::BridgeStats;
+use starlink_automata::{load_bridge, FunctionRegistry, MergedAutomaton};
+use starlink_mdl::{load_mdl, MarshallerRegistry, MdlCodec, MdlRegistry};
+use starlink_message::Value;
+use std::sync::Arc;
+
+/// The framework: load MDLs and bridge models at runtime, then deploy
+/// engines.
+///
+/// ```
+/// use starlink_core::Starlink;
+///
+/// let mut starlink = Starlink::new();
+/// starlink.load_mdl_xml(r#"
+///   <MDL protocol="Echo" kind="binary">
+///     <Header type="Echo"><Op>8</Op></Header>
+///     <Message type="Ping"><Rule>Op=1</Rule></Message>
+///   </MDL>"#)?;
+/// assert!(starlink.codec("Echo").is_some());
+/// # Ok::<(), starlink_core::CoreError>(())
+/// ```
+pub struct Starlink {
+    mdls: MdlRegistry,
+    marshallers: Arc<MarshallerRegistry>,
+    functions: FunctionRegistry,
+}
+
+impl std::fmt::Debug for Starlink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Starlink").field("protocols", &self.mdls.protocols()).finish()
+    }
+}
+
+impl Starlink {
+    /// Creates a framework instance with the built-in marshallers and
+    /// translation functions.
+    pub fn new() -> Self {
+        Starlink {
+            mdls: MdlRegistry::new(),
+            marshallers: Arc::new(MarshallerRegistry::with_builtins()),
+            functions: FunctionRegistry::with_builtins(),
+        }
+    }
+
+    /// Creates a framework instance with a custom marshaller registry
+    /// (runtime type plug-ins, §IV-A).
+    pub fn with_marshallers(marshallers: MarshallerRegistry) -> Self {
+        Starlink {
+            mdls: MdlRegistry::new(),
+            marshallers: Arc::new(marshallers),
+            functions: FunctionRegistry::with_builtins(),
+        }
+    }
+
+    /// Loads an MDL XML document, generating and registering its codec.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed documents or inconsistent specs.
+    pub fn load_mdl_xml(&mut self, xml: &str) -> Result<Arc<MdlCodec>> {
+        let spec = load_mdl(xml)?;
+        let codec = Arc::new(MdlCodec::generate_with(spec, self.marshallers.clone())?);
+        self.mdls.insert(codec.clone());
+        Ok(codec)
+    }
+
+    /// The codec loaded for `protocol`, if any.
+    pub fn codec(&self, protocol: &str) -> Option<Arc<MdlCodec>> {
+        self.mdls.get(protocol).cloned()
+    }
+
+    /// Protocols with loaded codecs, sorted.
+    pub fn protocols(&self) -> Vec<&str> {
+        self.mdls.protocols()
+    }
+
+    /// Registers a custom translation function `T` (§III-D).
+    pub fn register_function(
+        &mut self,
+        name: impl Into<String>,
+        function: impl Fn(&[Value]) -> starlink_automata::Result<Value> + Send + Sync + 'static,
+    ) {
+        self.functions.register(name, function);
+    }
+
+    /// Loads a `<Bridge>` XML document into a merged automaton.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed documents or unresolved state references.
+    pub fn load_bridge_xml(&self, xml: &str) -> Result<MergedAutomaton> {
+        Ok(load_bridge(xml)?)
+    }
+
+    /// Deploys a merged automaton as a bridge engine.
+    ///
+    /// Validates the paper's merge constraints first and resolves one
+    /// loaded codec per part protocol. The returned engine is an
+    /// [`starlink_net::Actor`]; add it to a simulation at the bridge's
+    /// host. The [`BridgeStats`] handle reports translation times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Deployment`] when the merge constraints are
+    /// violated and [`CoreError::MissingCodec`] when a part protocol has
+    /// no codec.
+    pub fn deploy(&self, merged: MergedAutomaton) -> Result<(BridgeEngine, BridgeStats)> {
+        let report = merged.check_merge();
+        if !report.is_mergeable() {
+            return Err(CoreError::Deployment(format!(
+                "merge constraints violated: {report}"
+            )));
+        }
+        let mut codecs = Vec::with_capacity(merged.parts().len());
+        for part in merged.parts() {
+            let codec = self
+                .mdls
+                .get(part.protocol())
+                .cloned()
+                .ok_or_else(|| CoreError::MissingCodec(part.protocol().to_owned()))?;
+            codecs.push(codec);
+        }
+        let stats = BridgeStats::new();
+        let engine = BridgeEngine::new(
+            Arc::new(merged),
+            codecs,
+            Arc::new(self.functions.clone()),
+            stats.clone(),
+        );
+        Ok((engine, stats))
+    }
+}
+
+impl Default for Starlink {
+    fn default() -> Self {
+        Starlink::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_automata::{Color, ColoredAutomaton, Delta, Mode, Transport};
+
+    const ECHO_MDL: &str = r#"
+      <MDL protocol="Echo" kind="binary">
+        <Header type="Echo"><Op>8</Op></Header>
+        <Message type="Ping"><Rule>Op=1</Rule></Message>
+        <Message type="Pong"><Rule>Op=2</Rule></Message>
+      </MDL>"#;
+
+    const QUERY_MDL: &str = r#"
+      <MDL protocol="Query" kind="binary">
+        <Header type="Query"><Op>8</Op></Header>
+        <Message type="Ask"><Rule>Op=1</Rule></Message>
+        <Message type="Answer"><Rule>Op=2</Rule></Message>
+      </MDL>"#;
+
+    fn echo_part() -> ColoredAutomaton {
+        ColoredAutomaton::builder("Echo")
+            .color(Color::new(Transport::Udp, 1000, Mode::Async).multicast("239.0.0.1"))
+            .state("s0")
+            .state_accepting("s1")
+            .receive("s0", "Ping", "s1")
+            .send("s1", "Pong", "s0")
+            .build()
+            .unwrap()
+    }
+
+    fn query_part() -> ColoredAutomaton {
+        ColoredAutomaton::builder("Query")
+            .color(Color::new(Transport::Udp, 2000, Mode::Async).multicast("239.0.0.2"))
+            .state("q0")
+            .state("q1")
+            .state_accepting("q2")
+            .send("q0", "Ask", "q1")
+            .receive("q1", "Answer", "q2")
+            .build()
+            .unwrap()
+    }
+
+    fn bridge() -> MergedAutomaton {
+        MergedAutomaton::builder("echo-query")
+            .part(echo_part())
+            .part(query_part())
+            .equivalence("Ask", &["Ping"])
+            .equivalence("Pong", &["Answer"])
+            .delta(Delta::new("Echo:s1", "Query:q0"))
+            .delta(Delta::new("Query:q2", "Echo:s1"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn loads_codecs_and_reports_protocols() {
+        let mut starlink = Starlink::new();
+        starlink.load_mdl_xml(ECHO_MDL).unwrap();
+        starlink.load_mdl_xml(QUERY_MDL).unwrap();
+        assert_eq!(starlink.protocols(), vec!["Echo", "Query"]);
+        assert!(starlink.codec("Echo").is_some());
+        assert!(starlink.codec("Ghost").is_none());
+    }
+
+    #[test]
+    fn deploy_requires_codecs_for_every_part() {
+        let mut starlink = Starlink::new();
+        starlink.load_mdl_xml(ECHO_MDL).unwrap();
+        let err = starlink.deploy(bridge()).unwrap_err();
+        assert!(matches!(err, CoreError::MissingCodec(p) if p == "Query"));
+    }
+
+    #[test]
+    fn deploy_rejects_unmergeable_automata() {
+        let mut starlink = Starlink::new();
+        starlink.load_mdl_xml(ECHO_MDL).unwrap();
+        starlink.load_mdl_xml(QUERY_MDL).unwrap();
+        // Missing return δ: not weakly merged.
+        let broken = MergedAutomaton::builder("broken")
+            .part(echo_part())
+            .part(query_part())
+            .equivalence("Ask", &["Ping"])
+            .delta(Delta::new("Echo:s1", "Query:q0"))
+            .build()
+            .unwrap();
+        let err = starlink.deploy(broken).unwrap_err();
+        assert!(matches!(err, CoreError::Deployment(_)));
+    }
+
+    #[test]
+    fn deploy_succeeds_with_all_models_loaded() {
+        let mut starlink = Starlink::new();
+        starlink.load_mdl_xml(ECHO_MDL).unwrap();
+        starlink.load_mdl_xml(QUERY_MDL).unwrap();
+        let (engine, stats) = starlink.deploy(bridge()).unwrap();
+        assert_eq!(stats.session_count(), 0);
+        drop(engine);
+    }
+
+    #[test]
+    fn custom_function_registration() {
+        let mut starlink = Starlink::new();
+        starlink.register_function("triple", |args| {
+            Ok(Value::Unsigned(args[0].as_u64().map_err(starlink_automata::AutomataError::from)? * 3))
+        });
+        // The function is visible to subsequently deployed engines via the
+        // cloned registry; direct check through deploy is covered by the
+        // engine tests.
+        starlink.load_mdl_xml(ECHO_MDL).unwrap();
+    }
+}

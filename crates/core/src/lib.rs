@@ -1,0 +1,50 @@
+//! # starlink-core
+//!
+//! The **Starlink framework** (§IV of the paper): the runtime that loads
+//! high-level models — MDL message descriptions, coloured automata,
+//! merged automata with translation logic — and executes them as a
+//! transparent protocol bridge in the network.
+//!
+//! Architecture (Fig. 6):
+//!
+//! * **Message composers and parsers** — generated at runtime from MDL
+//!   specifications (provided by `starlink-mdl`, registered here);
+//! * **Automata engine** ([`BridgeEngine`]) — executes the merged
+//!   automaton: listens at receiving states, translates at bridge (δ)
+//!   states, composes and sends at sending states;
+//! * **Network engine** — provided by `starlink-net`; the engine consumes
+//!   state *colours* to bind ports, join multicast groups, open TCP
+//!   connections (pointed by `set_host` λ actions) and send with the
+//!   right semantics.
+//!
+//! [`Starlink`] is the entry point: load models, [`Starlink::deploy`] a
+//! bridge, drop the returned engine into a simulation, and read
+//! translation times from [`BridgeStats`].
+//!
+//! ```
+//! use starlink_core::Starlink;
+//!
+//! let mut starlink = Starlink::new();
+//! starlink.load_mdl_xml(r#"
+//!   <MDL protocol="Echo" kind="binary">
+//!     <Header type="Echo"><Op>8</Op></Header>
+//!     <Message type="Ping"><Rule>Op=1</Rule></Message>
+//!   </MDL>"#)?;
+//! assert_eq!(starlink.protocols(), vec!["Echo"]);
+//! # Ok::<(), starlink_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod framework;
+mod stats;
+mod synthesis;
+
+pub use engine::BridgeEngine;
+pub use error::{CoreError, Result};
+pub use framework::Starlink;
+pub use stats::{BridgeStats, SessionRecord};
+pub use synthesis::{synthesize_bridge, Ontology};

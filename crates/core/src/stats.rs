@@ -1,0 +1,98 @@
+//! Translation-time instrumentation for the Fig. 12(b) measurements:
+//! "the time from when the message was first received by the framework
+//! until the translated output response was sent on the output socket".
+
+use parking_lot::Mutex;
+use starlink_net::{SimDuration, SimTime};
+use std::sync::Arc;
+
+/// One completed bridge session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// When the first message of the session entered the framework.
+    pub started: SimTime,
+    /// When the final translated response left the output socket.
+    pub finished: SimTime,
+}
+
+impl SessionRecord {
+    /// The translation time of this session.
+    pub fn translation_time(&self) -> SimDuration {
+        self.finished.since(self.started)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    sessions: Vec<SessionRecord>,
+    /// Messages that failed to parse/translate (dropped by the engine).
+    errors: Vec<String>,
+}
+
+/// Shared handle onto a bridge's statistics; clone freely — the engine
+/// keeps one end, the harness the other.
+#[derive(Debug, Clone, Default)]
+pub struct BridgeStats {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl BridgeStats {
+    /// Creates an empty stats handle.
+    pub fn new() -> Self {
+        BridgeStats::default()
+    }
+
+    /// Records a completed session.
+    pub fn record_session(&self, started: SimTime, finished: SimTime) {
+        self.inner.lock().sessions.push(SessionRecord { started, finished });
+    }
+
+    /// Records an engine-level error (message dropped).
+    pub fn record_error(&self, description: impl Into<String>) {
+        self.inner.lock().errors.push(description.into());
+    }
+
+    /// Completed sessions so far.
+    pub fn sessions(&self) -> Vec<SessionRecord> {
+        self.inner.lock().sessions.clone()
+    }
+
+    /// Errors recorded so far.
+    pub fn errors(&self) -> Vec<String> {
+        self.inner.lock().errors.clone()
+    }
+
+    /// Number of completed sessions.
+    pub fn session_count(&self) -> usize {
+        self.inner.lock().sessions.len()
+    }
+
+    /// Translation times of all completed sessions.
+    pub fn translation_times(&self) -> Vec<SimDuration> {
+        self.inner.lock().sessions.iter().map(SessionRecord::translation_time).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports_sessions() {
+        let stats = BridgeStats::new();
+        stats.record_session(SimTime::from_millis(10), SimTime::from_millis(350));
+        stats.record_session(SimTime::from_millis(400), SimTime::from_millis(700));
+        assert_eq!(stats.session_count(), 2);
+        let times = stats.translation_times();
+        assert_eq!(times[0], SimDuration::from_millis(340));
+        assert_eq!(times[1], SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let stats = BridgeStats::new();
+        let other = stats.clone();
+        other.record_error("boom");
+        assert_eq!(stats.errors(), vec!["boom"]);
+    }
+}

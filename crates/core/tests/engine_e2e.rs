@@ -1,0 +1,381 @@
+//! End-to-end tests of the bridge engine on the simulated network, with
+//! synthetic legacy peers: a UDP↔UDP bridge and a UDP↔TCP bridge
+//! (exercising the `set_host` λ action and stream reassembly).
+
+use starlink_core::Starlink;
+use starlink_net::{Actor, Context, Datagram, SimAddr, SimNet, TcpEvent};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const PING_MDL: &str = r#"
+  <MDL protocol="Ping" kind="binary">
+    <Header type="Ping"><Op>8</Op></Header>
+    <Message type="PingReq"><Rule>Op=1</Rule><Val>16</Val></Message>
+    <Message type="PingResp"><Rule>Op=2</Rule><Val>16</Val></Message>
+  </MDL>"#;
+
+const QUERY_MDL: &str = r#"
+  <MDL protocol="Query" kind="binary">
+    <Header type="Query"><Op>8</Op></Header>
+    <Message type="Ask"><Rule>Op=1</Rule><Val>16</Val></Message>
+    <Message type="Answer"><Rule>Op=2</Rule><Val>16</Val></Message>
+  </MDL>"#;
+
+/// Text request/response protocol for the TCP case.
+const REST_MDL: &str = r#"
+  <MDL protocol="Rest" kind="text">
+    <Header type="Rest">
+      <Method>32</Method>
+      <Arg>13,10</Arg>
+      <Fields>13,10:58</Fields>
+    </Header>
+    <Message type="RestGet"><Rule>Method=GET</Rule></Message>
+    <Message type="RestOk"><Rule>Method=OK</Rule></Message>
+  </MDL>"#;
+
+const UDP_BRIDGE: &str = r#"
+  <Bridge name="ping-query">
+    <ColoredAutomaton protocol="Ping">
+      <Color>
+        <transport_protocol>udp</transport_protocol>
+        <port>1000</port>
+        <mode>async</mode>
+        <multicast>yes</multicast>
+        <group>239.0.0.1</group>
+      </Color>
+      <State name="s0" initial="true"/>
+      <State name="s1" accepting="true"/>
+      <Transition from="s0" action="receive" message="PingReq" to="s1"/>
+      <Transition from="s1" action="send" message="PingResp" to="s0"/>
+    </ColoredAutomaton>
+    <ColoredAutomaton protocol="Query">
+      <Color>
+        <transport_protocol>udp</transport_protocol>
+        <port>2000</port>
+        <mode>async</mode>
+        <multicast>yes</multicast>
+        <group>239.0.0.2</group>
+      </Color>
+      <State name="q0" initial="true"/>
+      <State name="q1"/>
+      <State name="q2" accepting="true"/>
+      <Transition from="q0" action="send" message="Ask" to="q1"/>
+      <Transition from="q1" action="receive" message="Answer" to="q2"/>
+    </ColoredAutomaton>
+    <Equivalence target="Ask" sources="PingReq"/>
+    <Equivalence target="PingResp" sources="Answer"/>
+    <Delta from="Ping:s1" to="Query:q0">
+      <TranslationLogic>
+        <Assignment>
+          <Field><Message>Ask</Message><Xpath>/field/primitiveField[label='Val']/value</Xpath></Field>
+          <Field><Message>PingReq</Message><Xpath>/field/primitiveField[label='Val']/value</Xpath></Field>
+        </Assignment>
+      </TranslationLogic>
+    </Delta>
+    <Delta from="Query:q2" to="Ping:s1">
+      <TranslationLogic>
+        <Assignment>
+          <Field><Message>PingResp</Message><Xpath>/field/primitiveField[label='Val']/value</Xpath></Field>
+          <Field><Message>Answer</Message><Xpath>/field/primitiveField[label='Val']/value</Xpath></Field>
+        </Assignment>
+      </TranslationLogic>
+    </Delta>
+  </Bridge>"#;
+
+const TCP_BRIDGE: &str = r#"
+  <Bridge name="ping-rest">
+    <ColoredAutomaton protocol="Ping">
+      <Color>
+        <transport_protocol>udp</transport_protocol>
+        <port>1000</port>
+        <mode>async</mode>
+        <multicast>yes</multicast>
+        <group>239.0.0.1</group>
+      </Color>
+      <State name="s0" initial="true"/>
+      <State name="s1" accepting="true"/>
+      <Transition from="s0" action="receive" message="PingReq" to="s1"/>
+      <Transition from="s1" action="send" message="PingResp" to="s0"/>
+    </ColoredAutomaton>
+    <ColoredAutomaton protocol="Rest">
+      <Color>
+        <transport_protocol>tcp</transport_protocol>
+        <port>8080</port>
+        <mode>sync</mode>
+        <multicast>no</multicast>
+      </Color>
+      <State name="h0" initial="true"/>
+      <State name="h1"/>
+      <State name="h2" accepting="true"/>
+      <Transition from="h0" action="send" message="RestGet" to="h1"/>
+      <Transition from="h1" action="receive" message="RestOk" to="h2"/>
+    </ColoredAutomaton>
+    <Equivalence target="RestGet" sources="PingReq"/>
+    <Equivalence target="PingResp" sources="RestOk"/>
+    <Delta from="Ping:s1" to="Rest:h0">
+      <Action name="set_host">
+        <Literal kind="string">10.0.0.3</Literal>
+        <Literal kind="unsigned">8080</Literal>
+      </Action>
+      <TranslationLogic>
+        <Assignment>
+          <Field><Message>RestGet</Message><Xpath>/field/primitiveField[label='Arg']/value</Xpath></Field>
+          <Function name="to-text">
+            <Field><Message>PingReq</Message><Xpath>/field/primitiveField[label='Val']/value</Xpath></Field>
+          </Function>
+        </Assignment>
+      </TranslationLogic>
+    </Delta>
+    <Delta from="Rest:h2" to="Ping:s1">
+      <TranslationLogic>
+        <Assignment>
+          <Field><Message>PingResp</Message><Xpath>/field/primitiveField[label='Val']/value</Xpath></Field>
+          <Function name="to-integer">
+            <Field><Message>RestOk</Message><Xpath>/field/primitiveField[label='Arg']/value</Xpath></Field>
+          </Function>
+        </Assignment>
+      </TranslationLogic>
+    </Delta>
+  </Bridge>"#;
+
+/// A legacy Ping client: multicasts PingReq(val) and records the PingResp
+/// value it gets back.
+struct PingClient {
+    val: u16,
+    got: Arc<AtomicU64>,
+}
+
+impl Actor for PingClient {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.bind_udp(1000).unwrap();
+        // Wire image of PingReq { Op: 1, Val }: 3 bytes.
+        let wire = vec![1u8, (self.val >> 8) as u8, (self.val & 0xFF) as u8];
+        ctx.udp_send(1000, SimAddr::new("239.0.0.1", 1000), wire);
+    }
+
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, datagram: Datagram) {
+        assert_eq!(datagram.payload[0], 2, "expected PingResp opcode");
+        let val = (u64::from(datagram.payload[1]) << 8) | u64::from(datagram.payload[2]);
+        self.got.store(val + 1, Ordering::SeqCst); // +1 so 0 means "nothing"
+    }
+}
+
+/// A legacy Query service: joins the Query group, answers Ask with
+/// Answer carrying `val + 100`.
+struct QueryService;
+
+impl Actor for QueryService {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.bind_udp(2000).unwrap();
+        ctx.join_group(SimAddr::new("239.0.0.2", 2000));
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, datagram: Datagram) {
+        assert_eq!(datagram.payload[0], 1, "expected Ask opcode");
+        let val = (u16::from(datagram.payload[1]) << 8) | u16::from(datagram.payload[2]);
+        let answer = val + 100;
+        let wire = vec![2u8, (answer >> 8) as u8, (answer & 0xFF) as u8];
+        ctx.udp_send(2000, datagram.from, wire);
+    }
+}
+
+/// A legacy REST service over TCP: parses `GET <n>`, replies `OK <n+100>`.
+struct RestService;
+
+impl Actor for RestService {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.listen_tcp(8080);
+    }
+
+    fn on_tcp(&mut self, ctx: &mut Context<'_>, event: TcpEvent) {
+        if let TcpEvent::Data { conn, payload } = event {
+            let text = String::from_utf8_lossy(&payload).into_owned();
+            let first_line = text.lines().next().unwrap_or_default().to_owned();
+            let arg: u64 = first_line
+                .strip_prefix("GET ")
+                .and_then(|rest| rest.trim().parse().ok())
+                .expect("well-formed RestGet");
+            let response = format!("OK {}\r\n\r\n", arg + 100);
+            ctx.tcp_send(conn, response.into_bytes()).unwrap();
+        }
+    }
+}
+
+#[test]
+fn udp_bridge_translates_roundtrip() {
+    let mut starlink = Starlink::new();
+    starlink.load_mdl_xml(PING_MDL).unwrap();
+    starlink.load_mdl_xml(QUERY_MDL).unwrap();
+    let merged = starlink.load_bridge_xml(UDP_BRIDGE).unwrap();
+    assert!(merged.check_merge().is_mergeable());
+    let (engine, stats) = starlink.deploy(merged).unwrap();
+
+    let got = Arc::new(AtomicU64::new(0));
+    let mut sim = SimNet::new(11);
+    sim.add_actor("10.0.0.2", engine); // the bridge
+    sim.add_actor("10.0.0.3", QueryService);
+    sim.add_actor("10.0.0.1", PingClient { val: 7, got: got.clone() });
+    sim.run_until_idle();
+
+    // Ping 7 → Ask 7 → Answer 107 → PingResp 107.
+    assert_eq!(got.load(Ordering::SeqCst), 108);
+    assert_eq!(stats.session_count(), 1);
+    assert!(stats.errors().is_empty(), "engine errors: {:?}", stats.errors());
+    let times = stats.translation_times();
+    assert!(times[0].as_micros() > 0);
+}
+
+#[test]
+fn tcp_bridge_with_set_host_translates_roundtrip() {
+    let mut starlink = Starlink::new();
+    starlink.load_mdl_xml(PING_MDL).unwrap();
+    starlink.load_mdl_xml(REST_MDL).unwrap();
+    let merged = starlink.load_bridge_xml(TCP_BRIDGE).unwrap();
+    assert!(merged.check_merge().is_mergeable());
+    let (engine, stats) = starlink.deploy(merged).unwrap();
+
+    let got = Arc::new(AtomicU64::new(0));
+    let mut sim = SimNet::new(12);
+    sim.add_actor("10.0.0.2", engine);
+    sim.add_actor("10.0.0.3", RestService);
+    sim.add_actor("10.0.0.1", PingClient { val: 41, got: got.clone() });
+    sim.run_until_idle();
+
+    // Ping 41 → GET 41 → OK 141 → PingResp 141.
+    assert_eq!(got.load(Ordering::SeqCst), 142);
+    assert_eq!(stats.session_count(), 1);
+    assert!(stats.errors().is_empty(), "engine errors: {:?}", stats.errors());
+}
+
+#[test]
+fn bridge_handles_sequential_sessions() {
+    let mut starlink = Starlink::new();
+    starlink.load_mdl_xml(PING_MDL).unwrap();
+    starlink.load_mdl_xml(QUERY_MDL).unwrap();
+    let merged = starlink.load_bridge_xml(UDP_BRIDGE).unwrap();
+    let (engine, stats) = starlink.deploy(merged).unwrap();
+
+    /// Sends a second request after receiving the first response.
+    struct RepeatClient {
+        got: Arc<AtomicU64>,
+        remaining: u16,
+    }
+    impl Actor for RepeatClient {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.bind_udp(1000).unwrap();
+            ctx.udp_send(1000, SimAddr::new("239.0.0.1", 1000), vec![1u8, 0, 1]);
+        }
+        fn on_datagram(&mut self, ctx: &mut Context<'_>, datagram: Datagram) {
+            assert_eq!(datagram.payload[0], 2);
+            self.got.fetch_add(1, Ordering::SeqCst);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.udp_send(1000, SimAddr::new("239.0.0.1", 1000), vec![1u8, 0, 2]);
+            }
+        }
+    }
+
+    let got = Arc::new(AtomicU64::new(0));
+    let mut sim = SimNet::new(13);
+    sim.add_actor("10.0.0.2", engine);
+    sim.add_actor("10.0.0.3", QueryService);
+    sim.add_actor("10.0.0.1", RepeatClient { got: got.clone(), remaining: 2 });
+    sim.run_until_idle();
+
+    assert_eq!(got.load(Ordering::SeqCst), 3);
+    assert_eq!(stats.session_count(), 3);
+}
+
+#[test]
+fn unparseable_datagram_is_recorded_not_fatal() {
+    let mut starlink = Starlink::new();
+    starlink.load_mdl_xml(PING_MDL).unwrap();
+    starlink.load_mdl_xml(QUERY_MDL).unwrap();
+    let merged = starlink.load_bridge_xml(UDP_BRIDGE).unwrap();
+    let (engine, stats) = starlink.deploy(merged).unwrap();
+
+    struct Garbage;
+    impl Actor for Garbage {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.bind_udp(1000).unwrap();
+            // Opcode 9 matches no rule.
+            ctx.udp_send(1000, SimAddr::new("239.0.0.1", 1000), vec![9u8, 0xFF]);
+        }
+    }
+
+    let mut sim = SimNet::new(14);
+    sim.add_actor("10.0.0.2", engine);
+    sim.add_actor("10.0.0.1", Garbage);
+    sim.run_until_idle();
+
+    assert_eq!(stats.session_count(), 0);
+    assert_eq!(stats.errors().len(), 1);
+}
+
+#[test]
+fn unfilled_mandatory_field_blocks_the_send() {
+    // Same Ping/Query pair, but Query's Ask payload is declared mandatory
+    // and the bridge "forgets" the translation assignment: the dynamic ⊨
+    // check must refuse the send and record the violation instead of
+    // emitting a half-translated message.
+    const STRICT_QUERY_MDL: &str = r#"
+      <MDL protocol="Query" kind="binary">
+        <Header type="Query"><Op>8</Op></Header>
+        <Message type="Ask"><Rule>Op=1</Rule><ValLen>16</ValLen><Val mandatory="true">ValLen</Val></Message>
+        <Message type="Answer"><Rule>Op=2</Rule><Val>16</Val></Message>
+      </MDL>"#;
+    const FORGETFUL_BRIDGE: &str = r#"
+      <Bridge name="forgetful">
+        <ColoredAutomaton protocol="Ping">
+          <Color>
+            <transport_protocol>udp</transport_protocol>
+            <port>1000</port>
+            <mode>async</mode>
+            <multicast>yes</multicast>
+            <group>239.0.0.1</group>
+          </Color>
+          <State name="s0" initial="true"/>
+          <State name="s1" accepting="true"/>
+          <Transition from="s0" action="receive" message="PingReq" to="s1"/>
+          <Transition from="s1" action="send" message="PingResp" to="s0"/>
+        </ColoredAutomaton>
+        <ColoredAutomaton protocol="Query">
+          <Color>
+            <transport_protocol>udp</transport_protocol>
+            <port>2000</port>
+            <mode>async</mode>
+            <multicast>yes</multicast>
+            <group>239.0.0.2</group>
+          </Color>
+          <State name="q0" initial="true"/>
+          <State name="q1"/>
+          <State name="q2" accepting="true"/>
+          <Transition from="q0" action="send" message="Ask" to="q1"/>
+          <Transition from="q1" action="receive" message="Answer" to="q2"/>
+        </ColoredAutomaton>
+        <Equivalence target="Ask" sources="PingReq"/>
+        <Equivalence target="PingResp" sources="Answer"/>
+        <Delta from="Ping:s1" to="Query:q0"/>
+        <Delta from="Query:q2" to="Ping:s1"/>
+      </Bridge>"#;
+
+    let mut starlink = Starlink::new();
+    starlink.load_mdl_xml(PING_MDL).unwrap();
+    starlink.load_mdl_xml(STRICT_QUERY_MDL).unwrap();
+    let merged = starlink.load_bridge_xml(FORGETFUL_BRIDGE).unwrap();
+    let (engine, stats) = starlink.deploy(merged).unwrap();
+
+    let got = Arc::new(AtomicU64::new(0));
+    let mut sim = SimNet::new(15);
+    sim.add_actor("10.0.0.2", engine);
+    sim.add_actor("10.0.0.3", QueryService);
+    sim.add_actor("10.0.0.1", PingClient { val: 7, got: got.clone() });
+    sim.run_until_idle();
+
+    // Nothing translated reached the service or the client...
+    assert_eq!(got.load(Ordering::SeqCst), 0);
+    assert_eq!(stats.session_count(), 0);
+    // ...and the ⊨ violation names the unfilled field.
+    let errors = stats.errors();
+    assert!(errors.iter().any(|e| e.contains("Val")), "{errors:?}");
+}

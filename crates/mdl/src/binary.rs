@@ -1,0 +1,418 @@
+//! Generic parser and composer for **binary** MDL specifications.
+//!
+//! These are the "general interpreters that execute the message
+//! description language specifications that are loaded" (§IV-A): a single
+//! implementation specialised at runtime by an [`MdlSpec`], never by
+//! protocol-specific code.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::{MdlError, Result};
+use crate::functions::evaluate_functions;
+use crate::marshal::MarshallerRegistry;
+use crate::size::{ResolvedSize, SizeSpec};
+use crate::spec::{FieldSpec, MdlKind, MdlSpec};
+use starlink_message::{AbstractMessage, Field, FieldPath, PrimitiveField};
+use std::sync::Arc;
+
+fn resolve_size(
+    size: &SizeSpec,
+    message: &AbstractMessage,
+    reader_pos: u64,
+) -> Result<ResolvedSize> {
+    match size {
+        SizeSpec::Bits(bits) => Ok(ResolvedSize::Bits(u64::from(*bits))),
+        SizeSpec::FieldRef(label) => {
+            let value = message
+                .field(label)
+                .ok_or_else(|| MdlError::Parse {
+                    reason: format!("length field {label:?} has not been parsed yet"),
+                    offset_bits: reader_pos,
+                })?
+                .value()?;
+            Ok(ResolvedSize::Bytes(value.as_u64()?))
+        }
+        SizeSpec::SelfDelimiting => Ok(ResolvedSize::SelfDelimiting),
+        SizeSpec::Remaining => Ok(ResolvedSize::Remaining),
+        SizeSpec::Delimiter(_) | SizeSpec::DelimitedPairs { .. } => Err(MdlError::Spec(
+            "delimiter sizes are only valid in text MDLs".into(),
+        )),
+    }
+}
+
+/// Parses wire bytes into abstract messages by interpreting a binary
+/// [`MdlSpec`].
+#[derive(Debug, Clone)]
+pub struct BinaryParser {
+    spec: Arc<MdlSpec>,
+    marshallers: Arc<MarshallerRegistry>,
+}
+
+impl BinaryParser {
+    /// Creates a parser for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::Spec`] when the spec is not a binary MDL.
+    pub fn new(spec: Arc<MdlSpec>, marshallers: Arc<MarshallerRegistry>) -> Result<Self> {
+        if spec.kind() != MdlKind::Binary {
+            return Err(MdlError::Spec(format!(
+                "protocol {:?} is not a binary MDL",
+                spec.protocol()
+            )));
+        }
+        Ok(BinaryParser { spec, marshallers })
+    }
+
+    fn parse_field(
+        &self,
+        reader: &mut BitReader<'_>,
+        message: &mut AbstractMessage,
+        field: &FieldSpec,
+    ) -> Result<()> {
+        let size = resolve_size(&field.size, message, reader.position_bits())?;
+        let base = self.spec.base_type(&field.label);
+        let marshaller = self.marshallers.get(base)?;
+        let start = reader.position_bits();
+        let value = marshaller.unmarshal(reader, size)?;
+        let consumed = (reader.position_bits() - start) as u32;
+        message.push_field(Field::Primitive(PrimitiveField::with_length(
+            field.label.clone(),
+            base.to_owned(),
+            consumed,
+            value,
+        )));
+        if field.mandatory {
+            message.mark_mandatory(field.label.clone());
+        }
+        Ok(())
+    }
+
+    /// Parses one message from the start of `bytes`, returning it together
+    /// with the number of bytes consumed (callers feeding TCP streams use
+    /// the count to advance their buffer).
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input or when no message rule matches the header.
+    pub fn parse_prefix(&self, bytes: &[u8]) -> Result<(AbstractMessage, usize)> {
+        let mut reader = BitReader::new(bytes);
+        let mut message = AbstractMessage::new(self.spec.protocol().to_owned(), "");
+        for field in self.spec.header() {
+            self.parse_field(&mut reader, &mut message, field)?;
+        }
+        let selected = self
+            .spec
+            .select_by_rule(&message)
+            .ok_or_else(|| MdlError::NoRuleMatched { protocol: self.spec.protocol().to_owned() })?;
+        message.set_name(selected.name.clone());
+        for field in &selected.fields {
+            self.parse_field(&mut reader, &mut message, field)?;
+        }
+        let consumed = reader.position_bits().div_ceil(8) as usize;
+        Ok((message, consumed))
+    }
+
+    /// Parses one message, requiring that it spans the whole input (the
+    /// datagram case).
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`BinaryParser::parse_prefix`]; trailing bytes are
+    /// tolerated only if they are zero padding.
+    pub fn parse(&self, bytes: &[u8]) -> Result<AbstractMessage> {
+        let (message, _) = self.parse_prefix(bytes)?;
+        Ok(message)
+    }
+}
+
+/// Composes abstract messages to wire bytes by interpreting a binary
+/// [`MdlSpec`].
+#[derive(Debug, Clone)]
+pub struct BinaryComposer {
+    spec: Arc<MdlSpec>,
+    marshallers: Arc<MarshallerRegistry>,
+}
+
+impl BinaryComposer {
+    /// Creates a composer for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::Spec`] when the spec is not a binary MDL.
+    pub fn new(spec: Arc<MdlSpec>, marshallers: Arc<MarshallerRegistry>) -> Result<Self> {
+        if spec.kind() != MdlKind::Binary {
+            return Err(MdlError::Spec(format!(
+                "protocol {:?} is not a binary MDL",
+                spec.protocol()
+            )));
+        }
+        Ok(BinaryComposer { spec, marshallers })
+    }
+
+    /// Composes `message` to its wire image.
+    ///
+    /// Field functions (`f-length`, `f-total-length`, ...) are evaluated
+    /// first, so length fields need not be pre-computed by the caller; the
+    /// message's own copy is not modified.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the message type is unknown to the spec, a field is
+    /// missing, or a value cannot be marshalled.
+    pub fn compose(&self, message: &AbstractMessage) -> Result<Vec<u8>> {
+        let selected = self
+            .spec
+            .message_spec(message.name())
+            .ok_or_else(|| MdlError::UnknownMessage(message.name().to_owned()))?;
+        let fields: Vec<&FieldSpec> =
+            self.spec.header().iter().chain(selected.fields.iter()).collect();
+
+        // Work on a copy: rule discriminators and function fields are
+        // filled in automatically.
+        let mut working = message.clone();
+        for (label, literal) in selected.rule.bindings() {
+            let path = FieldPath::field(label);
+            let needs_fill = match working.field(label) {
+                None => true,
+                Some(f) => f.value().map(|v| v.is_empty()).unwrap_or(false),
+            };
+            if needs_fill {
+                let value = match literal.parse::<u64>() {
+                    Ok(v) => starlink_message::Value::Unsigned(v),
+                    Err(_) => starlink_message::Value::Str(literal.to_owned()),
+                };
+                working.set_or_insert(&path, value)?;
+            }
+        }
+        evaluate_functions(&self.spec, &self.marshallers, &fields, &mut working)?;
+
+        let mut writer = BitWriter::new();
+        for field in &fields {
+            let value = working
+                .field(&field.label)
+                .ok_or_else(|| {
+                    MdlError::Compose(format!(
+                        "message {:?} is missing field {:?}",
+                        message.name(),
+                        field.label
+                    ))
+                })?
+                .value()?;
+            let size = match &field.size {
+                SizeSpec::Bits(bits) => ResolvedSize::Bits(u64::from(*bits)),
+                SizeSpec::FieldRef(ref_label) => {
+                    // The wire width follows the value; cross-check that the
+                    // (possibly auto-computed) length field agrees.
+                    let declared = working
+                        .field(ref_label)
+                        .ok_or_else(|| {
+                            MdlError::Compose(format!("missing length field {ref_label:?}"))
+                        })?
+                        .value()?
+                        .as_u64()?;
+                    let actual = value.as_bytes().map(|b| b.len() as u64).unwrap_or(declared);
+                    if declared != actual {
+                        return Err(MdlError::Compose(format!(
+                            "length field {ref_label:?} is {declared} but {:?} is {actual} bytes",
+                            field.label
+                        )));
+                    }
+                    ResolvedSize::Bytes(actual)
+                }
+                SizeSpec::SelfDelimiting => ResolvedSize::SelfDelimiting,
+                SizeSpec::Remaining => ResolvedSize::Remaining,
+                SizeSpec::Delimiter(_) | SizeSpec::DelimitedPairs { .. } => {
+                    return Err(MdlError::Spec(
+                        "delimiter sizes are only valid in text MDLs".into(),
+                    ))
+                }
+            };
+            let base = self.spec.base_type(&field.label);
+            self.marshallers.get(base)?.marshal(&mut writer, value, size)?;
+        }
+        Ok(writer.into_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+    use crate::spec::MessageSpec;
+    use crate::types::{FieldFunction, TypeDef};
+    use starlink_message::Value;
+
+    /// A miniature SLP-like binary spec exercising fixed widths, rules,
+    /// field references and functions together.
+    fn spec() -> Arc<MdlSpec> {
+        Arc::new(
+            MdlSpec::new("MiniSLP", MdlKind::Binary)
+                .type_entry("SRVType", TypeDef::plain("String"))
+                .type_entry(
+                    "SRVTypeLength",
+                    TypeDef::with_function(
+                        "Integer",
+                        FieldFunction::new("f-length", vec!["SRVType".into()]),
+                    ),
+                )
+                .type_entry(
+                    "MessageLength",
+                    TypeDef::with_function("Integer", FieldFunction::new("f-total-length", vec![])),
+                )
+                .type_entry("URL", TypeDef::plain("String"))
+                .type_entry(
+                    "URLLength",
+                    TypeDef::with_function(
+                        "Integer",
+                        FieldFunction::new("f-length", vec!["URL".into()]),
+                    ),
+                )
+                .header_field(FieldSpec::new("Version", SizeSpec::Bits(8)))
+                .header_field(FieldSpec::new("FunctionID", SizeSpec::Bits(8)))
+                .header_field(FieldSpec::new("MessageLength", SizeSpec::Bits(24)))
+                .header_field(FieldSpec::new("XID", SizeSpec::Bits(16)))
+                .message(
+                    MessageSpec::new("SrvRequest", Rule::parse("FunctionID=1").unwrap())
+                        .field(FieldSpec::new("SRVTypeLength", SizeSpec::Bits(16)))
+                        .field(
+                            FieldSpec::new("SRVType", SizeSpec::FieldRef("SRVTypeLength".into()))
+                                .required(),
+                        ),
+                )
+                .message(
+                    MessageSpec::new("SrvReply", Rule::parse("FunctionID=2").unwrap())
+                        .field(FieldSpec::new("URLLength", SizeSpec::Bits(16)))
+                        .field(FieldSpec::new("URL", SizeSpec::FieldRef("URLLength".into())).required()),
+                ),
+        )
+    }
+
+    fn registry() -> Arc<MarshallerRegistry> {
+        Arc::new(MarshallerRegistry::with_builtins())
+    }
+
+    fn request(service: &str) -> AbstractMessage {
+        let mut msg = spec().schema("SrvRequest").unwrap().instantiate();
+        msg.set(&"Version".into(), Value::Unsigned(2)).unwrap();
+        msg.set(&"XID".into(), Value::Unsigned(0xBEEF)).unwrap();
+        msg.set(&"SRVType".into(), Value::Str(service.into())).unwrap();
+        msg
+    }
+
+    #[test]
+    fn compose_then_parse_roundtrips() {
+        let spec = spec();
+        let composer = BinaryComposer::new(spec.clone(), registry()).unwrap();
+        let parser = BinaryParser::new(spec, registry()).unwrap();
+        let wire = composer.compose(&request("service:printer")).unwrap();
+        let parsed = parser.parse(&wire).unwrap();
+        assert_eq!(parsed.name(), "SrvRequest");
+        assert_eq!(parsed.get(&"XID".into()).unwrap().as_u64().unwrap(), 0xBEEF);
+        assert_eq!(
+            parsed.get(&"SRVType".into()).unwrap().as_str().unwrap(),
+            "service:printer"
+        );
+    }
+
+    #[test]
+    fn compose_fills_length_fields() {
+        let spec = spec();
+        let composer = BinaryComposer::new(spec, registry()).unwrap();
+        let wire = composer.compose(&request("ab")).unwrap();
+        // Header: version(1) + functionID(1) + messageLength(3) + xid(2) = 7
+        // Body: srvTypeLength(2) + "ab"(2) = 4; total = 11.
+        assert_eq!(wire.len(), 11);
+        assert_eq!(&wire[2..5], &[0, 0, 11]); // MessageLength auto-filled
+        assert_eq!(&wire[7..9], &[0, 2]); // SRVTypeLength auto-filled
+    }
+
+    #[test]
+    fn compose_fills_rule_discriminator() {
+        let spec = spec();
+        let composer = BinaryComposer::new(spec.clone(), registry()).unwrap();
+        let wire = composer.compose(&request("x")).unwrap();
+        assert_eq!(wire[1], 1); // FunctionID = 1 from the rule
+    }
+
+    #[test]
+    fn rule_selects_correct_body() {
+        let spec = spec();
+        let composer = BinaryComposer::new(spec.clone(), registry()).unwrap();
+        let parser = BinaryParser::new(spec.clone(), registry()).unwrap();
+        let mut reply = spec.schema("SrvReply").unwrap().instantiate();
+        reply.set(&"URL".into(), Value::Str("service:printer://10.0.0.9".into())).unwrap();
+        let wire = composer.compose(&reply).unwrap();
+        let parsed = parser.parse(&wire).unwrap();
+        assert_eq!(parsed.name(), "SrvReply");
+    }
+
+    #[test]
+    fn unmatched_rule_is_an_error() {
+        let spec = spec();
+        let parser = BinaryParser::new(spec, registry()).unwrap();
+        // FunctionID = 9 matches neither message.
+        let bytes = [2u8, 9, 0, 0, 7, 0, 0];
+        assert!(matches!(parser.parse(&bytes), Err(MdlError::NoRuleMatched { .. })));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let spec = spec();
+        let composer = BinaryComposer::new(spec.clone(), registry()).unwrap();
+        let parser = BinaryParser::new(spec, registry()).unwrap();
+        let wire = composer.compose(&request("service:printer")).unwrap();
+        assert!(matches!(parser.parse(&wire[..wire.len() - 3]), Err(MdlError::Parse { .. })));
+    }
+
+    #[test]
+    fn stale_length_field_is_rejected() {
+        // A hand-built message with a length field that cannot be
+        // reconciled: f-length overwrites it, so corrupt the spec path by
+        // removing the function. This guards the cross-check.
+        let spec = Arc::new(
+            MdlSpec::new("X", MdlKind::Binary)
+                .type_entry("Data", TypeDef::plain("String"))
+                .message(
+                    MessageSpec::new("M", Rule::Always)
+                        .field(FieldSpec::new("Len", SizeSpec::Bits(8)))
+                        .field(FieldSpec::new("Data", SizeSpec::FieldRef("Len".into()))),
+                ),
+        );
+        let composer = BinaryComposer::new(spec, registry()).unwrap();
+        let mut msg = AbstractMessage::new("X", "M");
+        msg.push_field(Field::primitive("Len", 99u8)); // wrong on purpose
+        msg.push_field(Field::primitive("Data", "abc"));
+        let err = composer.compose(&msg).unwrap_err();
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn parse_prefix_reports_consumed_bytes() {
+        let spec = spec();
+        let composer = BinaryComposer::new(spec.clone(), registry()).unwrap();
+        let parser = BinaryParser::new(spec, registry()).unwrap();
+        let mut wire = composer.compose(&request("svc")).unwrap();
+        let message_len = wire.len();
+        wire.extend_from_slice(&[0xAA; 4]); // trailing bytes from a stream
+        let (msg, consumed) = parser.parse_prefix(&wire).unwrap();
+        assert_eq!(consumed, message_len);
+        assert_eq!(msg.name(), "SrvRequest");
+    }
+
+    #[test]
+    fn mandatory_fields_are_marked() {
+        let spec = spec();
+        let composer = BinaryComposer::new(spec.clone(), registry()).unwrap();
+        let parser = BinaryParser::new(spec, registry()).unwrap();
+        let wire = composer.compose(&request("svc")).unwrap();
+        let parsed = parser.parse(&wire).unwrap();
+        assert!(parsed.is_mandatory("SRVType"));
+    }
+
+    #[test]
+    fn text_spec_is_rejected() {
+        let text_spec = Arc::new(MdlSpec::new("T", MdlKind::Text));
+        assert!(BinaryParser::new(text_spec.clone(), registry()).is_err());
+        assert!(BinaryComposer::new(text_spec, registry()).is_err());
+    }
+}

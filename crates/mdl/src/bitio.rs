@@ -1,0 +1,378 @@
+//! Bit-granular readers and writers over byte buffers.
+//!
+//! MDL field sizes are declared **in bits** (§IV-A: "The size is the
+//! length of the field content in bits"), and real binary protocols — SLP
+//! headers, DNS flag words — pack sub-byte fields. All binary marshalling
+//! goes through these two types; bit order is most-significant-bit first
+//! within a byte (network order).
+
+use crate::error::{MdlError, Result};
+
+/// A reader yielding arbitrary-width bit fields from a byte slice.
+///
+/// ```
+/// use starlink_mdl::BitReader;
+///
+/// let mut r = BitReader::new(&[0b1010_0110, 0xFF]);
+/// assert_eq!(r.read_bits(4)?, 0b1010);
+/// assert_eq!(r.read_bits(4)?, 0b0110);
+/// assert_eq!(r.read_bits(8)?, 0xFF);
+/// assert!(r.is_at_end());
+/// # Ok::<(), starlink_mdl::MdlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Cursor position in bits from the start of `data`.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Current position in bits.
+    pub fn position_bits(&self) -> u64 {
+        self.pos
+    }
+
+    /// Bits remaining until the end of input.
+    pub fn remaining_bits(&self) -> u64 {
+        (self.data.len() as u64 * 8).saturating_sub(self.pos)
+    }
+
+    /// True when every bit has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.remaining_bits() == 0
+    }
+
+    fn eof(&self, wanted: u64) -> MdlError {
+        MdlError::Parse {
+            reason: format!("needed {wanted} bits, {} remain", self.remaining_bits()),
+            offset_bits: self.pos,
+        }
+    }
+
+    /// Reads `n` bits (0 ≤ n ≤ 64) as a big-endian unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// Fails when fewer than `n` bits remain or `n > 64`.
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        if n > 64 {
+            return Err(MdlError::Parse {
+                reason: format!("cannot read {n} bits into a u64"),
+                offset_bits: self.pos,
+            });
+        }
+        if u64::from(n) > self.remaining_bits() {
+            return Err(self.eof(u64::from(n)));
+        }
+        let mut out: u64 = 0;
+        for _ in 0..n {
+            let byte = self.data[(self.pos / 8) as usize];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | u64::from(bit);
+            self.pos += 1;
+        }
+        Ok(out)
+    }
+
+    /// Reads `n` whole bytes. Fast path when the cursor is byte-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Fails when fewer than `n * 8` bits remain.
+    pub fn read_bytes(&mut self, n: usize) -> Result<Vec<u8>> {
+        let bits = n as u64 * 8;
+        if bits > self.remaining_bits() {
+            return Err(self.eof(bits));
+        }
+        if self.pos.is_multiple_of(8) {
+            let start = (self.pos / 8) as usize;
+            self.pos += bits;
+            return Ok(self.data[start..start + n].to_vec());
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.read_bits(8)? as u8);
+        }
+        Ok(out)
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails at end of input.
+    pub fn read_u8(&mut self) -> Result<u8> {
+        Ok(self.read_bits(8)? as u8)
+    }
+
+    /// Reads all remaining whole bytes (the cursor must be byte-aligned).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the cursor is mid-byte.
+    pub fn read_remaining(&mut self) -> Result<Vec<u8>> {
+        if !self.pos.is_multiple_of(8) {
+            return Err(MdlError::Parse {
+                reason: "cannot read remainder from unaligned position".into(),
+                offset_bits: self.pos,
+            });
+        }
+        let n = (self.remaining_bits() / 8) as usize;
+        self.read_bytes(n)
+    }
+
+    /// Peeks `n` bits without consuming them.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`BitReader::read_bits`].
+    pub fn peek_bits(&self, n: u32) -> Result<u64> {
+        self.clone().read_bits(n)
+    }
+
+    /// Skips `n` bits.
+    ///
+    /// # Errors
+    ///
+    /// Fails when fewer than `n` bits remain.
+    pub fn skip_bits(&mut self, n: u64) -> Result<()> {
+        if n > self.remaining_bits() {
+            return Err(self.eof(n));
+        }
+        self.pos += n;
+        Ok(())
+    }
+}
+
+/// A writer assembling arbitrary-width bit fields into a byte buffer.
+///
+/// ```
+/// use starlink_mdl::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b1010, 4)?;
+/// w.write_bits(0b0110, 4)?;
+/// w.write_bits(0xFF, 8)?;
+/// assert_eq!(w.into_bytes(), vec![0b1010_0110, 0xFF]);
+/// # Ok::<(), starlink_mdl::MdlError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the buffer (may end mid-byte).
+    bits: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn position_bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Writes the low `n` bits of `value`, most significant first.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `n > 64` or `value` does not fit in `n` bits.
+    pub fn write_bits(&mut self, value: u64, n: u32) -> Result<()> {
+        if n > 64 {
+            return Err(MdlError::Compose(format!("cannot write {n} bits from a u64")));
+        }
+        if n < 64 && value >= (1u64 << n) {
+            return Err(MdlError::Compose(format!(
+                "value {value} does not fit in {n} bits"
+            )));
+        }
+        for i in (0..n).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            let offset = (self.bits % 8) as u8;
+            if offset == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= bit << (7 - offset);
+            self.bits += 1;
+        }
+        Ok(())
+    }
+
+    /// Writes whole bytes. Fast path when the cursor is byte-aligned.
+    pub fn write_bytes(&mut self, data: &[u8]) {
+        if self.bits.is_multiple_of(8) {
+            self.bytes.extend_from_slice(data);
+            self.bits += data.len() as u64 * 8;
+        } else {
+            for byte in data {
+                // Infallible: 8 bits always fit.
+                let _ = self.write_bits(u64::from(*byte), 8);
+            }
+        }
+    }
+
+    /// Writes a single byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.write_bytes(&[byte]);
+    }
+
+    /// Overwrites `n` bits starting at absolute bit offset `at` with the low
+    /// `n` bits of `value`. Used to patch length fields computed after the
+    /// message body is known (e.g. SLP `MessageLength`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the range `[at, at + n)` has not been written yet or the
+    /// value does not fit.
+    pub fn patch_bits(&mut self, at: u64, value: u64, n: u32) -> Result<()> {
+        if n < 64 && value >= (1u64 << n) {
+            return Err(MdlError::Compose(format!(
+                "patch value {value} does not fit in {n} bits"
+            )));
+        }
+        if at + u64::from(n) > self.bits {
+            return Err(MdlError::Compose(format!(
+                "patch range {at}..{} exceeds written length {}",
+                at + u64::from(n),
+                self.bits
+            )));
+        }
+        for i in 0..u64::from(n) {
+            let bit = ((value >> (u64::from(n) - 1 - i)) & 1) as u8;
+            let pos = at + i;
+            let index = (pos / 8) as usize;
+            let shift = 7 - (pos % 8) as u8;
+            self.bytes[index] = (self.bytes[index] & !(1 << shift)) | (bit << shift);
+        }
+        Ok(())
+    }
+
+    /// Finalises the buffer, zero-padding any trailing partial byte.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrows the buffer written so far (includes any partial final byte).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_across_byte_boundaries() {
+        // 0x12345678 read as 4+12+16 bits.
+        let data = [0x12, 0x34, 0x56, 0x78];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.read_bits(4).unwrap(), 0x1);
+        assert_eq!(r.read_bits(12).unwrap(), 0x234);
+        assert_eq!(r.read_bits(16).unwrap(), 0x5678);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn read_zero_bits_is_ok() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_past_end_fails_with_offset() {
+        let mut r = BitReader::new(&[0xAA]);
+        r.read_bits(6).unwrap();
+        let err = r.read_bits(4).unwrap_err();
+        match err {
+            MdlError::Parse { offset_bits, .. } => assert_eq!(offset_bits, 6),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_more_than_64_bits_fails() {
+        let data = [0u8; 16];
+        let mut r = BitReader::new(&data);
+        assert!(r.read_bits(65).is_err());
+    }
+
+    #[test]
+    fn unaligned_byte_reads() {
+        let mut r = BitReader::new(&[0b1111_0000, 0b1010_1010, 0b0101_0101]);
+        r.read_bits(4).unwrap();
+        let bytes = r.read_bytes(2).unwrap();
+        assert_eq!(bytes, vec![0b0000_1010, 0b1010_0101]);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3).unwrap();
+        w.write_bits(0x7FFF, 15).unwrap();
+        w.write_bytes(b"ok");
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(15).unwrap(), 0x7FFF);
+        assert_eq!(r.read_bytes(2).unwrap(), b"ok");
+    }
+
+    #[test]
+    fn write_rejects_oversized_value() {
+        let mut w = BitWriter::new();
+        assert!(w.write_bits(4, 2).is_err());
+        assert!(w.write_bits(3, 2).is_ok());
+    }
+
+    #[test]
+    fn patch_overwrites_earlier_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 24).unwrap(); // placeholder length
+        w.write_bytes(&[0xAB; 5]);
+        w.patch_bits(0, 8, 24).unwrap(); // total = 8 bytes
+        let bytes = w.into_bytes();
+        assert_eq!(&bytes[..3], &[0, 0, 8]);
+        assert_eq!(bytes.len(), 8);
+    }
+
+    #[test]
+    fn patch_out_of_range_fails() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 8).unwrap();
+        assert!(w.patch_bits(4, 1, 8).is_err());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let r = BitReader::new(&[0xF0]);
+        assert_eq!(r.peek_bits(4).unwrap(), 0xF);
+        assert_eq!(r.position_bits(), 0);
+    }
+
+    #[test]
+    fn skip_advances() {
+        let mut r = BitReader::new(&[0xFF, 0x01]);
+        r.skip_bits(8).unwrap();
+        assert_eq!(r.read_bits(8).unwrap(), 1);
+        assert!(r.skip_bits(1).is_err());
+    }
+
+    #[test]
+    fn read_remaining_requires_alignment() {
+        let mut r = BitReader::new(&[0xFF, 0x01]);
+        r.read_bits(4).unwrap();
+        assert!(r.read_remaining().is_err());
+        r.read_bits(4).unwrap();
+        assert_eq!(r.read_remaining().unwrap(), vec![0x01]);
+    }
+}

@@ -1,0 +1,240 @@
+//! The unified codec facade: one object per protocol that parses and
+//! composes messages by interpreting its loaded [`MdlSpec`] — the
+//! "Message Composers and Parsers" boxes of the architecture diagram
+//! (Fig. 6).
+
+use crate::binary::{BinaryComposer, BinaryParser};
+use crate::error::Result;
+use crate::marshal::MarshallerRegistry;
+use crate::spec::{MdlKind, MdlSpec};
+use crate::text::{TextComposer, TextParser};
+use starlink_message::{AbstractMessage, MessageSchema};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+enum Inner {
+    Binary { parser: BinaryParser, composer: BinaryComposer },
+    Text { parser: TextParser, composer: TextComposer },
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Inner::Binary { .. } => write!(f, "Binary"),
+            Inner::Text { .. } => write!(f, "Text"),
+        }
+    }
+}
+
+/// A runtime-generated parser/composer pair for one protocol.
+///
+/// ```
+/// use starlink_mdl::{load_mdl, MdlCodec};
+///
+/// let spec = load_mdl(r#"
+///   <MDL protocol="Echo" kind="binary">
+///     <Header type="Echo"><Tag>8</Tag></Header>
+///     <Message type="Ping"><Rule>Tag=1</Rule></Message>
+///   </MDL>"#)?;
+/// let codec = MdlCodec::generate(spec)?;
+/// let ping = codec.schema("Ping")?.instantiate();
+/// let wire = codec.compose(&ping)?;
+/// assert_eq!(codec.parse(&wire)?.name(), "Ping");
+/// # Ok::<(), starlink_mdl::MdlError>(())
+/// ```
+#[derive(Debug)]
+pub struct MdlCodec {
+    spec: Arc<MdlSpec>,
+    inner: Inner,
+}
+
+impl MdlCodec {
+    /// Generates the codec for `spec` with the built-in marshallers.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the spec's kind and size entries disagree.
+    pub fn generate(spec: MdlSpec) -> Result<Self> {
+        Self::generate_with(spec, Arc::new(MarshallerRegistry::with_builtins()))
+    }
+
+    /// Generates the codec with a custom marshaller registry (runtime type
+    /// extension, §IV-A's FQDN example).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the spec's kind and size entries disagree.
+    pub fn generate_with(spec: MdlSpec, marshallers: Arc<MarshallerRegistry>) -> Result<Self> {
+        let spec = Arc::new(spec);
+        let inner = match spec.kind() {
+            MdlKind::Binary => Inner::Binary {
+                parser: BinaryParser::new(spec.clone(), marshallers.clone())?,
+                composer: BinaryComposer::new(spec.clone(), marshallers)?,
+            },
+            MdlKind::Text => Inner::Text {
+                parser: TextParser::new(spec.clone())?,
+                composer: TextComposer::new(spec.clone())?,
+            },
+        };
+        Ok(MdlCodec { spec, inner })
+    }
+
+    /// The protocol this codec serves.
+    pub fn protocol(&self) -> &str {
+        self.spec.protocol()
+    }
+
+    /// The loaded specification.
+    pub fn spec(&self) -> &MdlSpec {
+        &self.spec
+    }
+
+    /// Parses one message spanning `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures from the underlying interpreter.
+    pub fn parse(&self, bytes: &[u8]) -> Result<AbstractMessage> {
+        match &self.inner {
+            Inner::Binary { parser, .. } => parser.parse(bytes),
+            Inner::Text { parser, .. } => parser.parse(bytes),
+        }
+    }
+
+    /// Parses one message from the front of `bytes`, returning the byte
+    /// count consumed (for stream transports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures from the underlying interpreter.
+    pub fn parse_prefix(&self, bytes: &[u8]) -> Result<(AbstractMessage, usize)> {
+        match &self.inner {
+            Inner::Binary { parser, .. } => parser.parse_prefix(bytes),
+            Inner::Text { parser, .. } => parser.parse_prefix(bytes),
+        }
+    }
+
+    /// Composes `message` to wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compose failures from the underlying interpreter.
+    pub fn compose(&self, message: &AbstractMessage) -> Result<Vec<u8>> {
+        match &self.inner {
+            Inner::Binary { composer, .. } => composer.compose(message),
+            Inner::Text { composer, .. } => composer.compose(message),
+        }
+    }
+
+    /// Derives the schema for one of the spec's message types.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown message names.
+    pub fn schema(&self, name: &str) -> Result<MessageSchema> {
+        self.spec.schema(name)
+    }
+}
+
+/// The per-deployment codec registry: protocol name → codec, shared by
+/// the network-facing sides of a Starlink bridge.
+#[derive(Debug, Default)]
+pub struct MdlRegistry {
+    codecs: BTreeMap<String, Arc<MdlCodec>>,
+}
+
+impl MdlRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MdlRegistry::default()
+    }
+
+    /// Generates and registers a codec for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when codec generation fails.
+    pub fn load(&mut self, spec: MdlSpec) -> Result<Arc<MdlCodec>> {
+        let codec = Arc::new(MdlCodec::generate(spec)?);
+        self.codecs.insert(codec.protocol().to_owned(), codec.clone());
+        Ok(codec)
+    }
+
+    /// Registers an existing codec.
+    pub fn insert(&mut self, codec: Arc<MdlCodec>) {
+        self.codecs.insert(codec.protocol().to_owned(), codec);
+    }
+
+    /// Looks up the codec for a protocol.
+    pub fn get(&self, protocol: &str) -> Option<&Arc<MdlCodec>> {
+        self.codecs.get(protocol)
+    }
+
+    /// Registered protocol names, sorted.
+    pub fn protocols(&self) -> Vec<&str> {
+        self.codecs.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered codecs.
+    pub fn len(&self) -> usize {
+        self.codecs.len()
+    }
+
+    /// True when no codecs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.codecs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml_load::load_mdl;
+
+    const BIN: &str = r#"
+      <MDL protocol="Bin" kind="binary">
+        <Header type="Bin"><Op>8</Op></Header>
+        <Message type="A"><Rule>Op=1</Rule><X>16</X></Message>
+        <Message type="B"><Rule>Op=2</Rule></Message>
+      </MDL>"#;
+
+    const TXT: &str = r#"
+      <MDL protocol="Txt" kind="text">
+        <Header type="Txt">
+          <Method>32</Method>
+          <Rest>13,10</Rest>
+          <Fields>13,10:58</Fields>
+        </Header>
+        <Message type="Req"><Rule>Method=GET</Rule></Message>
+      </MDL>"#;
+
+    #[test]
+    fn codec_dispatches_by_kind() {
+        let bin = MdlCodec::generate(load_mdl(BIN).unwrap()).unwrap();
+        let txt = MdlCodec::generate(load_mdl(TXT).unwrap()).unwrap();
+
+        let mut a = bin.schema("A").unwrap().instantiate();
+        a.set(&"X".into(), starlink_message::Value::Unsigned(7)).unwrap();
+        let wire = bin.compose(&a).unwrap();
+        assert_eq!(wire, vec![1, 0, 7]);
+        assert_eq!(bin.parse(&wire).unwrap().name(), "A");
+
+        let req = txt.schema("Req").unwrap().instantiate();
+        let mut req = req;
+        req.set(&"Rest".into(), starlink_message::Value::Str("HTTP/1.1".into())).unwrap();
+        let wire = txt.compose(&req).unwrap();
+        assert!(wire.starts_with(b"GET HTTP/1.1\r\n"));
+        assert_eq!(txt.parse(&wire).unwrap().name(), "Req");
+    }
+
+    #[test]
+    fn registry_stores_by_protocol() {
+        let mut registry = MdlRegistry::new();
+        registry.load(load_mdl(BIN).unwrap()).unwrap();
+        registry.load(load_mdl(TXT).unwrap()).unwrap();
+        assert_eq!(registry.protocols(), vec!["Bin", "Txt"]);
+        assert!(registry.get("Bin").is_some());
+        assert!(registry.get("Nope").is_none());
+        assert_eq!(registry.len(), 2);
+    }
+}

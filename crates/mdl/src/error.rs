@@ -1,0 +1,73 @@
+//! Error type for MDL loading, parsing and composing.
+
+use starlink_message::MessageError;
+use std::fmt;
+
+/// Error raised by the MDL layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MdlError {
+    /// The MDL XML document was malformed or violated the spec grammar.
+    Spec(String),
+    /// A field referenced a type with no registered marshaller.
+    UnknownType(String),
+    /// A field function (`f-length`, ...) was unknown or misused.
+    Function(String),
+    /// Wire bytes could not be parsed; `offset_bits` locates the failure.
+    Parse {
+        /// Human-readable reason.
+        reason: String,
+        /// Bit offset into the input at which parsing failed.
+        offset_bits: u64,
+    },
+    /// No `<Message>` rule matched the parsed header.
+    NoRuleMatched {
+        /// The protocol whose spec was used.
+        protocol: String,
+    },
+    /// A message could not be composed to wire format.
+    Compose(String),
+    /// The abstract message named a type absent from the spec.
+    UnknownMessage(String),
+    /// An underlying abstract-message operation failed.
+    Message(MessageError),
+}
+
+impl fmt::Display for MdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdlError::Spec(msg) => write!(f, "invalid MDL specification: {msg}"),
+            MdlError::UnknownType(name) => write!(f, "no marshaller registered for type {name:?}"),
+            MdlError::Function(msg) => write!(f, "field function error: {msg}"),
+            MdlError::Parse { reason, offset_bits } => {
+                write!(f, "parse error at bit {offset_bits}: {reason}")
+            }
+            MdlError::NoRuleMatched { protocol } => {
+                write!(f, "no message rule of protocol {protocol:?} matched the header")
+            }
+            MdlError::Compose(msg) => write!(f, "compose error: {msg}"),
+            MdlError::UnknownMessage(name) => {
+                write!(f, "message type {name:?} is not described by the spec")
+            }
+            MdlError::Message(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for MdlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MdlError::Message(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<MessageError> for MdlError {
+    fn from(err: MessageError) -> Self {
+        MdlError::Message(err)
+    }
+}
+
+/// Convenient result alias for MDL operations.
+pub type Result<T> = std::result::Result<T, MdlError>;

@@ -1,0 +1,212 @@
+//! Compose-time field functions (§IV-A): `f-length(field)` computes a
+//! length field from another field's wire image ("the marshaller takes the
+//! value to be written to the URLEntry field, calculates the length and
+//! then composes this as the URLLength value"); `f-total-length()` and
+//! `f-count(field)` are the natural companions needed by SLP and DNS
+//! headers.
+
+use crate::error::{MdlError, Result};
+use crate::marshal::MarshallerRegistry;
+use crate::size::{ResolvedSize, SizeSpec};
+use crate::spec::{FieldSpec, MdlSpec};
+use starlink_message::{AbstractMessage, FieldPath, Value};
+
+/// The sizing context a field uses when its wire width must be derived
+/// from its value rather than from a fixed declaration.
+fn sizing_of(size: &SizeSpec) -> ResolvedSize {
+    match size {
+        SizeSpec::Bits(bits) => ResolvedSize::Bits(u64::from(*bits)),
+        SizeSpec::SelfDelimiting => ResolvedSize::SelfDelimiting,
+        // FieldRef / delimiters / remaining: width follows the value.
+        _ => ResolvedSize::Remaining,
+    }
+}
+
+/// Computes the wire width in bits of `field` given the current `message`
+/// values.
+///
+/// # Errors
+///
+/// Fails when the field is missing from the message or its marshaller
+/// cannot size the value.
+pub fn field_wire_bits(
+    spec: &MdlSpec,
+    marshallers: &MarshallerRegistry,
+    message: &AbstractMessage,
+    field: &FieldSpec,
+) -> Result<u64> {
+    let value = message
+        .field(&field.label)
+        .ok_or_else(|| MdlError::Compose(format!("message is missing field {:?}", field.label)))?
+        .value()?;
+    let marshaller = marshallers.get(spec.base_type(&field.label))?;
+    marshaller.wire_bits(value, sizing_of(&field.size))
+}
+
+/// Evaluates every field function of `fields` against `message`, writing
+/// the computed values back into the message. Local functions
+/// (`f-length`, `f-count`) run first, then `f-total-length`, which needs
+/// every other width settled.
+///
+/// # Errors
+///
+/// Fails on unknown functions, missing argument fields, or unsizable
+/// values.
+pub fn evaluate_functions(
+    spec: &MdlSpec,
+    marshallers: &MarshallerRegistry,
+    fields: &[&FieldSpec],
+    message: &mut AbstractMessage,
+) -> Result<()> {
+    // Pass 1: value-local functions.
+    for field in fields {
+        let Some(def) = spec.types().get(&field.label) else { continue };
+        let Some(function) = &def.function else { continue };
+        match function.name.as_str() {
+            "f-length" => {
+                let target_label = function.args.first().ok_or_else(|| {
+                    MdlError::Function("f-length requires one field argument".into())
+                })?;
+                let target = fields.iter().find(|f| &f.label == target_label).ok_or_else(|| {
+                    MdlError::Function(format!(
+                        "f-length target {target_label:?} is not a field of this message"
+                    ))
+                })?;
+                let bits = field_wire_bits(spec, marshallers, message, target)?;
+                message.set(&FieldPath::field(&field.label), Value::Unsigned(bits / 8))?;
+            }
+            "f-count" => {
+                let target_label = function.args.first().ok_or_else(|| {
+                    MdlError::Function("f-count requires one field argument".into())
+                })?;
+                let count = match message.field(target_label) {
+                    Some(f) => match f.value() {
+                        Ok(Value::List(items)) => items.len() as u64,
+                        Ok(_) => 1,
+                        Err(_) => f.as_structured().map(|s| s.fields().len()).unwrap_or(0) as u64,
+                    },
+                    None => 0,
+                };
+                message.set(&FieldPath::field(&field.label), Value::Unsigned(count))?;
+            }
+            "f-total-length" => {} // second pass
+            other => {
+                return Err(MdlError::Function(format!("unknown field function {other:?}")));
+            }
+        }
+    }
+    // Pass 2: whole-message functions.
+    for field in fields {
+        let Some(def) = spec.types().get(&field.label) else { continue };
+        let Some(function) = &def.function else { continue };
+        if function.name == "f-total-length" {
+            let mut total_bits = 0u64;
+            for f in fields {
+                total_bits += field_wire_bits(spec, marshallers, message, f)?;
+            }
+            message.set(&FieldPath::field(&field.label), Value::Unsigned(total_bits / 8))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+    use crate::spec::{MdlKind, MessageSpec};
+    use crate::types::{FieldFunction, TypeDef};
+    use starlink_message::Field;
+
+    fn spec() -> MdlSpec {
+        MdlSpec::new("T", MdlKind::Binary)
+            .type_entry("Url", TypeDef::plain("String"))
+            .type_entry(
+                "UrlLen",
+                TypeDef::with_function("Integer", FieldFunction::new("f-length", vec!["Url".into()])),
+            )
+            .type_entry(
+                "Total",
+                TypeDef::with_function("Integer", FieldFunction::new("f-total-length", vec![])),
+            )
+            .header_field(FieldSpec::new("Total", SizeSpec::Bits(16)))
+            .message(
+                MessageSpec::new("M", Rule::Always)
+                    .field(FieldSpec::new("UrlLen", SizeSpec::Bits(16)))
+                    .field(FieldSpec::new("Url", SizeSpec::FieldRef("UrlLen".into()))),
+            )
+    }
+
+    fn message(url: &str) -> AbstractMessage {
+        let mut msg = AbstractMessage::new("T", "M");
+        msg.push_field(Field::primitive("Total", 0u16));
+        msg.push_field(Field::primitive("UrlLen", 0u16));
+        msg.push_field(Field::primitive("Url", url));
+        msg
+    }
+
+    fn run(msg: &mut AbstractMessage) {
+        let s = spec();
+        let m = MarshallerRegistry::with_builtins();
+        let body = s.message_spec("M").unwrap();
+        let fields: Vec<&FieldSpec> = s.header().iter().chain(body.fields.iter()).collect();
+        evaluate_functions(&s, &m, &fields, msg).unwrap();
+    }
+
+    #[test]
+    fn f_length_computes_byte_length() {
+        let mut msg = message("http://x/desc.xml");
+        run(&mut msg);
+        assert_eq!(msg.get(&"UrlLen".into()).unwrap().as_u64().unwrap(), 17);
+    }
+
+    #[test]
+    fn f_total_length_counts_all_fields() {
+        let mut msg = message("abcd");
+        run(&mut msg);
+        // Total(2 bytes) + UrlLen(2 bytes) + Url(4 bytes) = 8.
+        assert_eq!(msg.get(&"Total".into()).unwrap().as_u64().unwrap(), 8);
+    }
+
+    #[test]
+    fn unknown_function_is_rejected() {
+        let s = MdlSpec::new("T", MdlKind::Binary)
+            .type_entry("X", TypeDef::with_function("Integer", FieldFunction::new("f-magic", vec![])))
+            .message(MessageSpec::new("M", Rule::Always).field(FieldSpec::new("X", SizeSpec::Bits(8))));
+        let m = MarshallerRegistry::with_builtins();
+        let body = s.message_spec("M").unwrap();
+        let fields: Vec<&FieldSpec> = body.fields.iter().collect();
+        let mut msg = AbstractMessage::new("T", "M");
+        msg.push_field(Field::primitive("X", 0u8));
+        assert!(matches!(
+            evaluate_functions(&s, &m, &fields, &mut msg),
+            Err(MdlError::Function(_))
+        ));
+    }
+
+    #[test]
+    fn f_count_counts_list_items() {
+        let s = MdlSpec::new("T", MdlKind::Binary)
+            .type_entry("Records", TypeDef::plain("String"))
+            .type_entry(
+                "Count",
+                TypeDef::with_function("Integer", FieldFunction::new("f-count", vec!["Records".into()])),
+            )
+            .message(
+                MessageSpec::new("M", Rule::Always)
+                    .field(FieldSpec::new("Count", SizeSpec::Bits(16)))
+                    .field(FieldSpec::new("Records", SizeSpec::Remaining)),
+            );
+        let m = MarshallerRegistry::with_builtins();
+        let body = s.message_spec("M").unwrap();
+        let fields: Vec<&FieldSpec> = body.fields.iter().collect();
+        let mut msg = AbstractMessage::new("T", "M");
+        msg.push_field(Field::primitive("Count", 0u16));
+        msg.push_field(Field::primitive(
+            "Records",
+            vec![Value::Str("a".into()), Value::Str("b".into()), Value::Str("c".into())],
+        ));
+        evaluate_functions(&s, &m, &fields, &mut msg).unwrap();
+        assert_eq!(msg.get(&"Count".into()).unwrap().as_u64().unwrap(), 3);
+    }
+}

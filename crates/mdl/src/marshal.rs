@@ -1,0 +1,575 @@
+//! Pluggable marshallers: the runtime-extensible type system of §IV-A
+//! ("Starlink employs pluggable marshallers and unmarshallers for each of
+//! the types ... to add the FQDN type to this language, we simply plug-in
+//! marshallers that map FQDN byte arrays to a Java String").
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::{MdlError, Result};
+use crate::size::ResolvedSize;
+use starlink_message::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Converts between wire bits and [`Value`]s for one MDL type.
+///
+/// Implementations must be stateless: the same marshaller instance is
+/// shared by every parser/composer of every protocol using the type.
+pub trait Marshaller: Send + Sync {
+    /// The MDL type name this marshaller serves (e.g. `Integer`).
+    fn type_name(&self) -> &str;
+
+    /// Reads a value of `size` from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail on truncated input or sizes they do not
+    /// support.
+    fn unmarshal(&self, reader: &mut BitReader<'_>, size: ResolvedSize) -> Result<Value>;
+
+    /// Writes `value` with `size` to the writer.
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail on type mismatches or unrepresentable sizes.
+    fn marshal(&self, writer: &mut BitWriter, value: &Value, size: ResolvedSize) -> Result<()>;
+
+    /// The number of bits `value` occupies on the wire at `size` — used to
+    /// evaluate `f-length`/`f-total-length` functions before composing.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value cannot be sized (e.g. wrong type).
+    fn wire_bits(&self, value: &Value, size: ResolvedSize) -> Result<u64>;
+}
+
+impl fmt::Debug for dyn Marshaller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Marshaller({})", self.type_name())
+    }
+}
+
+fn fixed_bits(size: ResolvedSize, type_name: &str) -> Result<u64> {
+    size.bits().ok_or_else(|| {
+        MdlError::Compose(format!("type {type_name} requires a fixed size, got {size:?}"))
+    })
+}
+
+/// Unsigned big-endian integers of up to 64 bits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntegerMarshaller;
+
+impl Marshaller for IntegerMarshaller {
+    fn type_name(&self) -> &str {
+        "Integer"
+    }
+
+    fn unmarshal(&self, reader: &mut BitReader<'_>, size: ResolvedSize) -> Result<Value> {
+        let bits = fixed_bits(size, "Integer")?;
+        if bits > 64 {
+            return Err(MdlError::Parse {
+                reason: format!("Integer of {bits} bits exceeds 64"),
+                offset_bits: reader.position_bits(),
+            });
+        }
+        Ok(Value::Unsigned(reader.read_bits(bits as u32)?))
+    }
+
+    fn marshal(&self, writer: &mut BitWriter, value: &Value, size: ResolvedSize) -> Result<()> {
+        let bits = fixed_bits(size, "Integer")?;
+        writer.write_bits(value.as_u64()?, bits as u32)
+    }
+
+    fn wire_bits(&self, _value: &Value, size: ResolvedSize) -> Result<u64> {
+        fixed_bits(size, "Integer")
+    }
+}
+
+/// Signed big-endian two's-complement integers of up to 64 bits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SignedMarshaller;
+
+impl Marshaller for SignedMarshaller {
+    fn type_name(&self) -> &str {
+        "Signed"
+    }
+
+    fn unmarshal(&self, reader: &mut BitReader<'_>, size: ResolvedSize) -> Result<Value> {
+        let bits = fixed_bits(size, "Signed")?;
+        let raw = reader.read_bits(bits as u32)?;
+        let value = if bits == 64 {
+            raw as i64
+        } else {
+            // Sign-extend from `bits` to 64.
+            let sign = 1u64 << (bits - 1);
+            if raw & sign != 0 {
+                (raw | !((1u64 << bits) - 1)) as i64
+            } else {
+                raw as i64
+            }
+        };
+        Ok(Value::Signed(value))
+    }
+
+    fn marshal(&self, writer: &mut BitWriter, value: &Value, size: ResolvedSize) -> Result<()> {
+        let bits = fixed_bits(size, "Signed")?;
+        let v = value.as_i64()?;
+        let truncated = if bits == 64 { v as u64 } else { (v as u64) & ((1u64 << bits) - 1) };
+        writer.write_bits(truncated, bits as u32)
+    }
+
+    fn wire_bits(&self, _value: &Value, size: ResolvedSize) -> Result<u64> {
+        fixed_bits(size, "Signed")
+    }
+}
+
+/// UTF-8 strings, sized in bits/bytes or consuming the remainder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StringMarshaller;
+
+impl StringMarshaller {
+    fn byte_count(size: ResolvedSize, at: u64) -> Result<Option<usize>> {
+        match size {
+            ResolvedSize::Bits(bits) => {
+                if bits % 8 != 0 {
+                    return Err(MdlError::Parse {
+                        reason: format!("String size {bits} bits is not byte-aligned"),
+                        offset_bits: at,
+                    });
+                }
+                Ok(Some((bits / 8) as usize))
+            }
+            ResolvedSize::Bytes(bytes) => Ok(Some(bytes as usize)),
+            ResolvedSize::Remaining => Ok(None),
+            ResolvedSize::SelfDelimiting => Err(MdlError::Parse {
+                reason: "String cannot self-delimit".into(),
+                offset_bits: at,
+            }),
+        }
+    }
+}
+
+impl Marshaller for StringMarshaller {
+    fn type_name(&self) -> &str {
+        "String"
+    }
+
+    fn unmarshal(&self, reader: &mut BitReader<'_>, size: ResolvedSize) -> Result<Value> {
+        let bytes = match Self::byte_count(size, reader.position_bits())? {
+            Some(n) => reader.read_bytes(n)?,
+            None => reader.read_remaining()?,
+        };
+        Ok(Value::Str(String::from_utf8_lossy(&bytes).into_owned()))
+    }
+
+    fn marshal(&self, writer: &mut BitWriter, value: &Value, size: ResolvedSize) -> Result<()> {
+        let bytes = value.as_bytes()?;
+        if let Some(n) = Self::byte_count(size, writer.position_bits())? {
+            if n != bytes.len() {
+                return Err(MdlError::Compose(format!(
+                    "String value is {} bytes but the field is sized {n}",
+                    bytes.len()
+                )));
+            }
+        }
+        writer.write_bytes(bytes);
+        Ok(())
+    }
+
+    fn wire_bits(&self, value: &Value, size: ResolvedSize) -> Result<u64> {
+        match size.bits() {
+            Some(bits) => Ok(bits),
+            None => Ok(value.as_bytes()?.len() as u64 * 8),
+        }
+    }
+}
+
+/// Opaque byte fields.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BytesMarshaller;
+
+impl Marshaller for BytesMarshaller {
+    fn type_name(&self) -> &str {
+        "Bytes"
+    }
+
+    fn unmarshal(&self, reader: &mut BitReader<'_>, size: ResolvedSize) -> Result<Value> {
+        let bytes = match size {
+            ResolvedSize::Bits(bits) if bits % 8 == 0 => reader.read_bytes((bits / 8) as usize)?,
+            ResolvedSize::Bits(bits) => {
+                return Err(MdlError::Parse {
+                    reason: format!("Bytes size {bits} bits is not byte-aligned"),
+                    offset_bits: reader.position_bits(),
+                })
+            }
+            ResolvedSize::Bytes(n) => reader.read_bytes(n as usize)?,
+            ResolvedSize::Remaining => reader.read_remaining()?,
+            ResolvedSize::SelfDelimiting => {
+                return Err(MdlError::Parse {
+                    reason: "Bytes cannot self-delimit".into(),
+                    offset_bits: reader.position_bits(),
+                })
+            }
+        };
+        Ok(Value::Bytes(bytes))
+    }
+
+    fn marshal(&self, writer: &mut BitWriter, value: &Value, size: ResolvedSize) -> Result<()> {
+        let bytes = value.as_bytes()?;
+        if let Some(bits) = size.bits() {
+            if bits != bytes.len() as u64 * 8 {
+                return Err(MdlError::Compose(format!(
+                    "Bytes value is {} bytes but the field is sized {} bits",
+                    bytes.len(),
+                    bits
+                )));
+            }
+        }
+        writer.write_bytes(bytes);
+        Ok(())
+    }
+
+    fn wire_bits(&self, value: &Value, size: ResolvedSize) -> Result<u64> {
+        match size.bits() {
+            Some(bits) => Ok(bits),
+            None => Ok(value.as_bytes()?.len() as u64 * 8),
+        }
+    }
+}
+
+/// Single-bit (or wider) boolean flags.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoolMarshaller;
+
+impl Marshaller for BoolMarshaller {
+    fn type_name(&self) -> &str {
+        "Bool"
+    }
+
+    fn unmarshal(&self, reader: &mut BitReader<'_>, size: ResolvedSize) -> Result<Value> {
+        let bits = fixed_bits(size, "Bool")?;
+        Ok(Value::Bool(reader.read_bits(bits as u32)? != 0))
+    }
+
+    fn marshal(&self, writer: &mut BitWriter, value: &Value, size: ResolvedSize) -> Result<()> {
+        let bits = fixed_bits(size, "Bool")?;
+        writer.write_bits(u64::from(value.as_bool()?), bits as u32)
+    }
+
+    fn wire_bits(&self, _value: &Value, size: ResolvedSize) -> Result<u64> {
+        fixed_bits(size, "Bool")
+    }
+}
+
+/// DNS domain-name encoding (RFC 1035 §3.1): length-prefixed labels with a
+/// zero terminator. This is the plug-in type the paper uses to motivate
+/// marshaller extensibility; it self-delimits, so the declared size is
+/// ignored. Compression pointers are rejected (the mDNS substrate never
+/// emits them).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FqdnMarshaller;
+
+impl Marshaller for FqdnMarshaller {
+    fn type_name(&self) -> &str {
+        "FQDN"
+    }
+
+    fn unmarshal(&self, reader: &mut BitReader<'_>, _size: ResolvedSize) -> Result<Value> {
+        let mut labels: Vec<String> = Vec::new();
+        loop {
+            let len = reader.read_u8()?;
+            if len == 0 {
+                break;
+            }
+            if len & 0xC0 != 0 {
+                return Err(MdlError::Parse {
+                    reason: "FQDN compression pointers are not supported".into(),
+                    offset_bits: reader.position_bits(),
+                });
+            }
+            let bytes = reader.read_bytes(len as usize)?;
+            labels.push(String::from_utf8_lossy(&bytes).into_owned());
+        }
+        Ok(Value::Str(labels.join(".")))
+    }
+
+    fn marshal(&self, writer: &mut BitWriter, value: &Value, _size: ResolvedSize) -> Result<()> {
+        let name = value.as_str()?;
+        if !name.is_empty() {
+            for label in name.split('.') {
+                if label.is_empty() || label.len() > 63 {
+                    return Err(MdlError::Compose(format!(
+                        "FQDN label {label:?} must be 1..=63 bytes"
+                    )));
+                }
+                writer.write_u8(label.len() as u8);
+                writer.write_bytes(label.as_bytes());
+            }
+        }
+        writer.write_u8(0);
+        Ok(())
+    }
+
+    fn wire_bits(&self, value: &Value, _size: ResolvedSize) -> Result<u64> {
+        let name = value.as_str()?;
+        let label_bytes: u64 = if name.is_empty() {
+            0
+        } else {
+            name.split('.').map(|l| l.len() as u64 + 1).sum()
+        };
+        Ok((label_bytes + 1) * 8)
+    }
+}
+
+/// IPv4 addresses: 32 wire bits, dotted-quad string value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ipv4Marshaller;
+
+impl Marshaller for Ipv4Marshaller {
+    fn type_name(&self) -> &str {
+        "IPv4"
+    }
+
+    fn unmarshal(&self, reader: &mut BitReader<'_>, _size: ResolvedSize) -> Result<Value> {
+        let octets = reader.read_bytes(4)?;
+        Ok(Value::Str(format!("{}.{}.{}.{}", octets[0], octets[1], octets[2], octets[3])))
+    }
+
+    fn marshal(&self, writer: &mut BitWriter, value: &Value, _size: ResolvedSize) -> Result<()> {
+        let text = value.as_str()?;
+        let mut octets = [0u8; 4];
+        let mut parts = text.split('.');
+        for slot in &mut octets {
+            *slot = parts
+                .next()
+                .and_then(|p| p.parse::<u8>().ok())
+                .ok_or_else(|| MdlError::Compose(format!("invalid IPv4 literal {text:?}")))?;
+        }
+        if parts.next().is_some() {
+            return Err(MdlError::Compose(format!("invalid IPv4 literal {text:?}")));
+        }
+        writer.write_bytes(&octets);
+        Ok(())
+    }
+
+    fn wire_bits(&self, _value: &Value, _size: ResolvedSize) -> Result<u64> {
+        Ok(32)
+    }
+}
+
+/// The registry of marshallers keyed by MDL type name.
+///
+/// ```
+/// use starlink_mdl::MarshallerRegistry;
+///
+/// let registry = MarshallerRegistry::with_builtins();
+/// assert!(registry.get("Integer").is_ok());
+/// assert!(registry.get("FQDN").is_ok()); // the paper's plug-in example
+/// assert!(registry.get("Quantum").is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MarshallerRegistry {
+    entries: BTreeMap<String, Arc<dyn Marshaller>>,
+}
+
+impl MarshallerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MarshallerRegistry { entries: BTreeMap::new() }
+    }
+
+    /// Creates a registry pre-loaded with the built-in types: `Integer`,
+    /// `Signed`, `String`, `Bytes`, `Bool`, `FQDN`, `IPv4`.
+    pub fn with_builtins() -> Self {
+        let mut registry = MarshallerRegistry::new();
+        registry.register(Arc::new(IntegerMarshaller));
+        registry.register(Arc::new(SignedMarshaller));
+        registry.register(Arc::new(StringMarshaller));
+        registry.register(Arc::new(BytesMarshaller));
+        registry.register(Arc::new(BoolMarshaller));
+        registry.register(Arc::new(FqdnMarshaller));
+        registry.register(Arc::new(Ipv4Marshaller));
+        registry
+    }
+
+    /// Registers (or replaces) a marshaller under its own type name.
+    pub fn register(&mut self, marshaller: Arc<dyn Marshaller>) -> &mut Self {
+        self.entries.insert(marshaller.type_name().to_owned(), marshaller);
+        self
+    }
+
+    /// Looks up a marshaller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::UnknownType`] when no marshaller is registered.
+    pub fn get(&self, type_name: &str) -> Result<&Arc<dyn Marshaller>> {
+        self.entries.get(type_name).ok_or_else(|| MdlError::UnknownType(type_name.to_owned()))
+    }
+
+    /// Registered type names, sorted.
+    pub fn type_names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+}
+
+impl Default for MarshallerRegistry {
+    fn default() -> Self {
+        MarshallerRegistry::with_builtins()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: &dyn Marshaller, value: Value, size: ResolvedSize) -> Value {
+        let mut w = BitWriter::new();
+        m.marshal(&mut w, &value, size).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        m.unmarshal(&mut r, size).unwrap()
+    }
+
+    #[test]
+    fn integer_roundtrip_various_widths() {
+        for (value, bits) in [(0u64, 1), (1, 1), (0xFFFF, 16), (0xABCDEF, 24), (u64::MAX, 64)] {
+            let got = roundtrip(&IntegerMarshaller, Value::Unsigned(value), ResolvedSize::Bits(bits));
+            assert_eq!(got, Value::Unsigned(value), "width {bits}");
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip_with_sign_extension() {
+        for value in [-1i64, -32768, 0, 42, 32767] {
+            let got = roundtrip(&SignedMarshaller, Value::Signed(value), ResolvedSize::Bits(16));
+            assert_eq!(got, Value::Signed(value));
+        }
+    }
+
+    #[test]
+    fn string_roundtrip_by_bytes() {
+        let got = roundtrip(
+            &StringMarshaller,
+            Value::Str("service:printer".into()),
+            ResolvedSize::Bytes(15),
+        );
+        assert_eq!(got, Value::Str("service:printer".into()));
+    }
+
+    #[test]
+    fn string_size_mismatch_rejected() {
+        let mut w = BitWriter::new();
+        let err = StringMarshaller
+            .marshal(&mut w, &Value::Str("abc".into()), ResolvedSize::Bytes(5))
+            .unwrap_err();
+        assert!(err.to_string().contains("sized 5"));
+    }
+
+    #[test]
+    fn string_rejects_unaligned_bits() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert!(StringMarshaller.unmarshal(&mut r, ResolvedSize::Bits(7)).is_err());
+    }
+
+    #[test]
+    fn bytes_remaining_consumes_all() {
+        let data = [1u8, 2, 3];
+        let mut r = BitReader::new(&data);
+        let got = BytesMarshaller.unmarshal(&mut r, ResolvedSize::Remaining).unwrap();
+        assert_eq!(got, Value::Bytes(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn bool_single_bit() {
+        let got = roundtrip(&BoolMarshaller, Value::Bool(true), ResolvedSize::Bits(1));
+        assert_eq!(got, Value::Bool(true));
+    }
+
+    #[test]
+    fn fqdn_roundtrip() {
+        let name = Value::Str("_printer._tcp.local".into());
+        let got = roundtrip(&FqdnMarshaller, name.clone(), ResolvedSize::SelfDelimiting);
+        assert_eq!(got, name);
+    }
+
+    #[test]
+    fn fqdn_wire_encoding_matches_rfc1035() {
+        let mut w = BitWriter::new();
+        FqdnMarshaller
+            .marshal(&mut w, &Value::Str("ab.c".into()), ResolvedSize::SelfDelimiting)
+            .unwrap();
+        assert_eq!(w.into_bytes(), vec![2, b'a', b'b', 1, b'c', 0]);
+    }
+
+    #[test]
+    fn fqdn_root_is_single_zero() {
+        let mut w = BitWriter::new();
+        FqdnMarshaller
+            .marshal(&mut w, &Value::Str(String::new()), ResolvedSize::SelfDelimiting)
+            .unwrap();
+        assert_eq!(w.into_bytes(), vec![0]);
+    }
+
+    #[test]
+    fn fqdn_rejects_compression_pointer() {
+        let mut r = BitReader::new(&[0xC0, 0x0C]);
+        assert!(FqdnMarshaller.unmarshal(&mut r, ResolvedSize::SelfDelimiting).is_err());
+    }
+
+    #[test]
+    fn fqdn_wire_bits_accounts_for_terminator() {
+        let bits =
+            FqdnMarshaller.wire_bits(&Value::Str("ab.c".into()), ResolvedSize::SelfDelimiting).unwrap();
+        assert_eq!(bits, 6 * 8);
+    }
+
+    #[test]
+    fn ipv4_roundtrip() {
+        let got = roundtrip(
+            &Ipv4Marshaller,
+            Value::Str("239.255.255.253".into()),
+            ResolvedSize::Bits(32),
+        );
+        assert_eq!(got, Value::Str("239.255.255.253".into()));
+    }
+
+    #[test]
+    fn ipv4_rejects_bad_literals() {
+        let mut w = BitWriter::new();
+        for bad in ["1.2.3", "1.2.3.4.5", "a.b.c.d", "300.1.1.1"] {
+            assert!(
+                Ipv4Marshaller.marshal(&mut w, &Value::Str(bad.into()), ResolvedSize::Bits(32)).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_lookup_and_extension() {
+        let mut registry = MarshallerRegistry::with_builtins();
+        assert!(registry.get("String").is_ok());
+        assert!(matches!(registry.get("Nope"), Err(MdlError::UnknownType(_))));
+
+        // Runtime extension exactly like the paper's FQDN example.
+        #[derive(Debug)]
+        struct UpperMarshaller;
+        impl Marshaller for UpperMarshaller {
+            fn type_name(&self) -> &str {
+                "Upper"
+            }
+            fn unmarshal(&self, reader: &mut BitReader<'_>, size: ResolvedSize) -> Result<Value> {
+                let v = StringMarshaller.unmarshal(reader, size)?;
+                Ok(Value::Str(v.as_str()?.to_ascii_uppercase()))
+            }
+            fn marshal(&self, writer: &mut BitWriter, value: &Value, size: ResolvedSize) -> Result<()> {
+                StringMarshaller.marshal(writer, value, size)
+            }
+            fn wire_bits(&self, value: &Value, size: ResolvedSize) -> Result<u64> {
+                StringMarshaller.wire_bits(value, size)
+            }
+        }
+        registry.register(Arc::new(UpperMarshaller));
+        assert!(registry.get("Upper").is_ok());
+    }
+}

@@ -1,0 +1,178 @@
+//! Message selection rules: the `<Rule>` entry relating a message body to
+//! a parsed header (§IV-A: "used to relate the correct message body with
+//! the header", e.g. `FunctionID=1`, `Method=M-SEARCH`).
+
+use crate::error::{MdlError, Result};
+use starlink_message::{AbstractMessage, Value};
+
+/// A predicate over already-parsed header fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rule {
+    /// Always matches (single-message protocols).
+    Always,
+    /// `field=literal`: matches when the named field's value equals the
+    /// literal (numerically when both sides parse as integers, textually
+    /// otherwise).
+    FieldEquals {
+        /// Header field label.
+        field: String,
+        /// Expected literal.
+        literal: String,
+    },
+    /// Conjunction of rules (`a=1;b=2`).
+    All(Vec<Rule>),
+}
+
+impl Rule {
+    /// Parses the textual rule form: empty → `Always`; `f=v` →
+    /// `FieldEquals`; `f=v;g=w` → `All`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::Spec`] when a clause has no `=`.
+    pub fn parse(text: &str) -> Result<Self> {
+        let text = text.trim().trim_end_matches('>'); // tolerate Fig. 7's "FunctionID=1>"
+        if text.is_empty() || text == "*" {
+            return Ok(Rule::Always);
+        }
+        let mut clauses = Vec::new();
+        for clause in text.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (field, literal) = clause
+                .split_once('=')
+                .ok_or_else(|| MdlError::Spec(format!("rule clause {clause:?} has no '='")))?;
+            clauses.push(Rule::FieldEquals {
+                field: field.trim().to_owned(),
+                literal: literal.trim().to_owned(),
+            });
+        }
+        match clauses.len() {
+            0 => Ok(Rule::Always),
+            1 => Ok(clauses.pop().expect("checked length")),
+            _ => Ok(Rule::All(clauses)),
+        }
+    }
+
+    /// Renders the textual form.
+    pub fn to_text(&self) -> String {
+        match self {
+            Rule::Always => String::new(),
+            Rule::FieldEquals { field, literal } => format!("{field}={literal}"),
+            Rule::All(clauses) => {
+                clauses.iter().map(Rule::to_text).collect::<Vec<_>>().join(";")
+            }
+        }
+    }
+
+    /// Evaluates the rule against the parsed header fields in `message`.
+    pub fn matches(&self, message: &AbstractMessage) -> bool {
+        match self {
+            Rule::Always => true,
+            Rule::FieldEquals { field, literal } => {
+                let Some(field) = message.field(field) else { return false };
+                let Ok(value) = field.value() else { return false };
+                value_equals_literal(value, literal)
+            }
+            Rule::All(clauses) => clauses.iter().all(|c| c.matches(message)),
+        }
+    }
+
+    /// The field/literal bindings this rule implies; used to pre-fill the
+    /// discriminator fields when composing a message of this type.
+    pub fn bindings(&self) -> Vec<(&str, &str)> {
+        match self {
+            Rule::Always => Vec::new(),
+            Rule::FieldEquals { field, literal } => vec![(field.as_str(), literal.as_str())],
+            Rule::All(clauses) => clauses.iter().flat_map(Rule::bindings).collect(),
+        }
+    }
+}
+
+fn value_equals_literal(value: &Value, literal: &str) -> bool {
+    match value {
+        Value::Unsigned(_) | Value::Signed(_) => match literal.parse::<i128>() {
+            Ok(lit) => match value {
+                Value::Unsigned(v) => i128::from(*v) == lit,
+                Value::Signed(v) => i128::from(*v) == lit,
+                _ => unreachable!(),
+            },
+            Err(_) => false,
+        },
+        other => other.to_text() == literal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_message::Field;
+
+    fn header(function_id: u64, method: &str) -> AbstractMessage {
+        let mut msg = AbstractMessage::new("P", "header");
+        msg.push_field(Field::primitive("FunctionID", function_id));
+        msg.push_field(Field::primitive("Method", method));
+        msg
+    }
+
+    #[test]
+    fn parse_fig7_rule_with_stray_bracket() {
+        // Fig. 7 literally contains `FunctionID=1>`.
+        let rule = Rule::parse("FunctionID=1>").unwrap();
+        assert_eq!(rule, Rule::FieldEquals { field: "FunctionID".into(), literal: "1".into() });
+    }
+
+    #[test]
+    fn numeric_comparison() {
+        let rule = Rule::parse("FunctionID=1").unwrap();
+        assert!(rule.matches(&header(1, "GET")));
+        assert!(!rule.matches(&header(2, "GET")));
+    }
+
+    #[test]
+    fn textual_comparison() {
+        // Fig. 11: Method=M-SEARCH
+        let rule = Rule::parse("Method=M-SEARCH").unwrap();
+        assert!(rule.matches(&header(0, "M-SEARCH")));
+        assert!(!rule.matches(&header(0, "NOTIFY")));
+    }
+
+    #[test]
+    fn missing_field_never_matches() {
+        let rule = Rule::parse("Nope=1").unwrap();
+        assert!(!rule.matches(&header(1, "GET")));
+    }
+
+    #[test]
+    fn conjunction() {
+        let rule = Rule::parse("FunctionID=1;Method=GET").unwrap();
+        assert!(rule.matches(&header(1, "GET")));
+        assert!(!rule.matches(&header(1, "POST")));
+    }
+
+    #[test]
+    fn empty_rule_always_matches() {
+        assert!(Rule::parse("").unwrap().matches(&header(9, "x")));
+        assert!(Rule::parse("*").unwrap().matches(&header(9, "x")));
+    }
+
+    #[test]
+    fn malformed_clause_rejected() {
+        assert!(Rule::parse("FunctionID").is_err());
+    }
+
+    #[test]
+    fn bindings_expose_discriminators() {
+        let rule = Rule::parse("FunctionID=2;Version=1").unwrap();
+        assert_eq!(rule.bindings(), vec![("FunctionID", "2"), ("Version", "1")]);
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        for text in ["FunctionID=1", "a=1;b=2", ""] {
+            assert_eq!(Rule::parse(text).unwrap().to_text(), text);
+        }
+    }
+}

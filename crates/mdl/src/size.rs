@@ -1,0 +1,226 @@
+//! Field size declarations and their runtime resolution.
+//!
+//! An MDL field's size entry takes several concrete forms in the paper:
+//!
+//! * a fixed **bit count** in binary specs (`<XID>16</XID>`, Fig. 7);
+//! * a **field reference** whose value gives the byte length
+//!   (`<LangTag>LangTagLen</LangTag>`, Fig. 7);
+//! * one or two **delimiter byte lists** in text specs
+//!   (`<Version>13,10</Version>`, `<Fields>13,10:58</Fields>`, Fig. 11).
+
+use crate::error::{MdlError, Result};
+
+/// A declared field size, straight from the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SizeSpec {
+    /// Fixed size in bits (binary MDLs).
+    Bits(u32),
+    /// Size in **bytes** given by the value of a previously parsed field.
+    FieldRef(String),
+    /// Field extends to (and consumes) the delimiter byte sequence
+    /// (text MDLs).
+    Delimiter(Vec<u8>),
+    /// Repeated `label<split>value` lines, each terminated by `line`,
+    /// ending at an empty line (text MDL `<Fields>` entry).
+    DelimitedPairs {
+        /// Line terminator bytes (e.g. `\r\n`).
+        line: Vec<u8>,
+        /// Label/value split byte(s) (e.g. `:`).
+        split: Vec<u8>,
+    },
+    /// The marshaller self-delimits (e.g. DNS FQDN label encoding).
+    SelfDelimiting,
+    /// The field consumes everything to the end of the message (bodies).
+    Remaining,
+}
+
+impl SizeSpec {
+    /// Parses the textual size entry of a binary MDL field.
+    ///
+    /// Digits mean bits; anything else is a field reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::Spec`] for empty entries.
+    pub fn parse_binary(text: &str) -> Result<Self> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Err(MdlError::Spec("empty size entry".into()));
+        }
+        if text.eq_ignore_ascii_case("rest") || text.eq_ignore_ascii_case("remaining") {
+            return Ok(SizeSpec::Remaining);
+        }
+        if text.eq_ignore_ascii_case("self") {
+            return Ok(SizeSpec::SelfDelimiting);
+        }
+        if text.chars().all(|c| c.is_ascii_digit()) {
+            let bits: u32 = text
+                .parse()
+                .map_err(|_| MdlError::Spec(format!("bit count {text:?} out of range")))?;
+            return Ok(SizeSpec::Bits(bits));
+        }
+        Ok(SizeSpec::FieldRef(text.to_owned()))
+    }
+
+    /// Parses the textual size entry of a text MDL field.
+    ///
+    /// A comma-separated byte list is a delimiter (`13,10` → CRLF); with a
+    /// `:`-separated second list it declares repeated header pairs
+    /// (`13,10:58`). Non-numeric entries are field references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::Spec`] for empty or out-of-range byte values.
+    pub fn parse_text(text: &str) -> Result<Self> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Err(MdlError::Spec("empty size entry".into()));
+        }
+        if text.eq_ignore_ascii_case("rest") || text.eq_ignore_ascii_case("remaining") {
+            return Ok(SizeSpec::Remaining);
+        }
+        let parse_bytes = |list: &str| -> Result<Vec<u8>> {
+            list.split(',')
+                .map(|part| {
+                    part.trim().parse::<u8>().map_err(|_| {
+                        MdlError::Spec(format!("invalid delimiter byte {part:?} in {text:?}"))
+                    })
+                })
+                .collect()
+        };
+        if let Some((line, split)) = text.split_once(':') {
+            return Ok(SizeSpec::DelimitedPairs {
+                line: parse_bytes(line)?,
+                split: parse_bytes(split)?,
+            });
+        }
+        if text.split(',').all(|p| p.trim().chars().all(|c| c.is_ascii_digit()) && !p.trim().is_empty())
+        {
+            return Ok(SizeSpec::Delimiter(parse_bytes(text)?));
+        }
+        Ok(SizeSpec::FieldRef(text.to_owned()))
+    }
+
+    /// Renders the spec back to its MDL text form.
+    pub fn to_text(&self) -> String {
+        match self {
+            SizeSpec::Bits(bits) => bits.to_string(),
+            SizeSpec::FieldRef(label) => label.clone(),
+            SizeSpec::Delimiter(bytes) => {
+                bytes.iter().map(u8::to_string).collect::<Vec<_>>().join(",")
+            }
+            SizeSpec::DelimitedPairs { line, split } => format!(
+                "{}:{}",
+                line.iter().map(u8::to_string).collect::<Vec<_>>().join(","),
+                split.iter().map(u8::to_string).collect::<Vec<_>>().join(",")
+            ),
+            SizeSpec::SelfDelimiting => "self".into(),
+            SizeSpec::Remaining => "rest".into(),
+        }
+    }
+}
+
+/// A size after resolving field references against already-parsed fields:
+/// what a marshaller actually consumes or produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedSize {
+    /// Exactly this many bits.
+    Bits(u64),
+    /// Exactly this many bytes (from a field reference).
+    Bytes(u64),
+    /// The marshaller determines its own extent.
+    SelfDelimiting,
+    /// Everything remaining in the input.
+    Remaining,
+}
+
+impl ResolvedSize {
+    /// The size in bits when it is statically known.
+    pub fn bits(&self) -> Option<u64> {
+        match self {
+            ResolvedSize::Bits(b) => Some(*b),
+            ResolvedSize::Bytes(b) => Some(b * 8),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_digits_are_bits() {
+        assert_eq!(SizeSpec::parse_binary("16").unwrap(), SizeSpec::Bits(16));
+    }
+
+    #[test]
+    fn binary_label_is_field_ref() {
+        assert_eq!(
+            SizeSpec::parse_binary("LangTagLen").unwrap(),
+            SizeSpec::FieldRef("LangTagLen".into())
+        );
+    }
+
+    #[test]
+    fn binary_rest_and_self() {
+        assert_eq!(SizeSpec::parse_binary("rest").unwrap(), SizeSpec::Remaining);
+        assert_eq!(SizeSpec::parse_binary("self").unwrap(), SizeSpec::SelfDelimiting);
+    }
+
+    #[test]
+    fn text_single_delimiter() {
+        // Fig. 11: <Version>13,10</Version>
+        assert_eq!(SizeSpec::parse_text("13,10").unwrap(), SizeSpec::Delimiter(vec![13, 10]));
+        // Fig. 11: <Method>32</Method> — a single space byte.
+        assert_eq!(SizeSpec::parse_text("32").unwrap(), SizeSpec::Delimiter(vec![32]));
+    }
+
+    #[test]
+    fn text_pairs_delimiter() {
+        // Fig. 11: <Fields>13,10:58</Fields>
+        assert_eq!(
+            SizeSpec::parse_text("13,10:58").unwrap(),
+            SizeSpec::DelimitedPairs { line: vec![13, 10], split: vec![58] }
+        );
+    }
+
+    #[test]
+    fn text_field_ref_and_rest() {
+        assert_eq!(
+            SizeSpec::parse_text("ContentLength").unwrap(),
+            SizeSpec::FieldRef("ContentLength".into())
+        );
+        assert_eq!(SizeSpec::parse_text("rest").unwrap(), SizeSpec::Remaining);
+    }
+
+    #[test]
+    fn rejects_bad_entries() {
+        assert!(SizeSpec::parse_binary("").is_err());
+        assert!(SizeSpec::parse_text("300,10").is_err());
+        assert!(SizeSpec::parse_text("13,:58").is_err());
+    }
+
+    type ParseFn = fn(&str) -> Result<SizeSpec>;
+
+    #[test]
+    fn to_text_roundtrip() {
+        let cases: [(&str, ParseFn); 5] = [
+            ("16", SizeSpec::parse_binary),
+            ("LangTagLen", SizeSpec::parse_binary),
+            ("13,10", SizeSpec::parse_text),
+            ("13,10:58", SizeSpec::parse_text),
+            ("rest", SizeSpec::parse_text),
+        ];
+        for (text, parse) in cases {
+            assert_eq!(parse(text).unwrap().to_text(), text);
+        }
+    }
+
+    #[test]
+    fn resolved_bits() {
+        assert_eq!(ResolvedSize::Bits(12).bits(), Some(12));
+        assert_eq!(ResolvedSize::Bytes(3).bits(), Some(24));
+        assert_eq!(ResolvedSize::Remaining.bits(), None);
+    }
+}

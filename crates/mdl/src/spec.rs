@@ -1,0 +1,372 @@
+//! The in-memory model of an MDL specification (§IV-A).
+
+use crate::error::{MdlError, Result};
+use crate::rule::Rule;
+use crate::size::SizeSpec;
+use crate::types::{TypeDef, TypeTable};
+use starlink_message::{FieldSchema, MessageSchema};
+
+/// Whether the protocol's wire image is a bit/byte sequence or delimited
+/// text ("specialised languages for binary messages, text messages ...
+/// can be plugged into the framework", §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MdlKind {
+    /// Bit-structured messages (SLP, DNS).
+    Binary,
+    /// Line/delimiter-structured messages (SSDP, HTTP).
+    Text,
+}
+
+impl MdlKind {
+    /// Parses the `kind` attribute value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::Spec`] for unknown kinds.
+    pub fn parse(text: &str) -> Result<Self> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "binary" => Ok(MdlKind::Binary),
+            "text" => Ok(MdlKind::Text),
+            other => Err(MdlError::Spec(format!("unknown MDL kind {other:?}"))),
+        }
+    }
+
+    /// The canonical attribute value.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MdlKind::Binary => "binary",
+            MdlKind::Text => "text",
+        }
+    }
+}
+
+/// One field of a header or message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Field label (also the key into the type table).
+    pub label: String,
+    /// Declared size.
+    pub size: SizeSpec,
+    /// Whether the ⊨ operator treats this field as mandatory.
+    pub mandatory: bool,
+}
+
+impl FieldSpec {
+    /// Creates a field spec.
+    pub fn new(label: impl Into<String>, size: SizeSpec) -> Self {
+        FieldSpec { label: label.into(), size, mandatory: false }
+    }
+
+    /// Builder: marks the field mandatory.
+    pub fn required(mut self) -> Self {
+        self.mandatory = true;
+        self
+    }
+}
+
+/// A `<Message>` section: name, selection rule, body fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageSpec {
+    /// Message type name (e.g. `SLPSrvRequest`).
+    pub name: String,
+    /// Predicate on header fields selecting this body.
+    pub rule: Rule,
+    /// Body fields in wire order.
+    pub fields: Vec<FieldSpec>,
+}
+
+impl MessageSpec {
+    /// Creates a message spec.
+    pub fn new(name: impl Into<String>, rule: Rule) -> Self {
+        MessageSpec { name: name.into(), rule, fields: Vec::new() }
+    }
+
+    /// Builder: appends a body field.
+    pub fn field(mut self, field: FieldSpec) -> Self {
+        self.fields.push(field);
+        self
+    }
+}
+
+/// A complete MDL specification for one protocol.
+///
+/// ```
+/// use starlink_mdl::{MdlSpec, MdlKind, FieldSpec, MessageSpec, Rule, SizeSpec};
+///
+/// let spec = MdlSpec::new("SLP", MdlKind::Binary)
+///     .header_field(FieldSpec::new("Version", SizeSpec::Bits(8)))
+///     .header_field(FieldSpec::new("FunctionID", SizeSpec::Bits(8)))
+///     .message(
+///         MessageSpec::new("SLPSrvRequest", Rule::parse("FunctionID=1")?)
+///             .field(FieldSpec::new("SRVTypeLength", SizeSpec::Bits(16)))
+///             .field(FieldSpec::new("SRVType", SizeSpec::FieldRef("SRVTypeLength".into()))),
+///     );
+/// assert_eq!(spec.messages().len(), 1);
+/// # Ok::<(), starlink_mdl::MdlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MdlSpec {
+    protocol: String,
+    kind: MdlKind,
+    types: TypeTable,
+    header: Vec<FieldSpec>,
+    messages: Vec<MessageSpec>,
+}
+
+impl MdlSpec {
+    /// Creates an empty spec for `protocol`.
+    pub fn new(protocol: impl Into<String>, kind: MdlKind) -> Self {
+        MdlSpec {
+            protocol: protocol.into(),
+            kind,
+            types: TypeTable::new(),
+            header: Vec::new(),
+            messages: Vec::new(),
+        }
+    }
+
+    /// The protocol name (`SLP`, `SSDP`, ...).
+    pub fn protocol(&self) -> &str {
+        &self.protocol
+    }
+
+    /// Binary or text.
+    pub fn kind(&self) -> MdlKind {
+        self.kind
+    }
+
+    /// The type table.
+    pub fn types(&self) -> &TypeTable {
+        &self.types
+    }
+
+    /// Header fields in wire order.
+    pub fn header(&self) -> &[FieldSpec] {
+        &self.header
+    }
+
+    /// Message sections in declaration order (rule evaluation order).
+    pub fn messages(&self) -> &[MessageSpec] {
+        &self.messages
+    }
+
+    /// Builder: registers a type entry.
+    pub fn type_entry(mut self, label: impl Into<String>, def: TypeDef) -> Self {
+        self.types.insert(label, def);
+        self
+    }
+
+    /// Builder: appends a header field.
+    pub fn header_field(mut self, field: FieldSpec) -> Self {
+        self.header.push(field);
+        self
+    }
+
+    /// Builder: appends a message section.
+    pub fn message(mut self, message: MessageSpec) -> Self {
+        self.messages.push(message);
+        self
+    }
+
+    /// Looks up a message section by name.
+    pub fn message_spec(&self, name: &str) -> Option<&MessageSpec> {
+        self.messages.iter().find(|m| m.name == name)
+    }
+
+    /// Selects the message section whose rule matches the parsed header.
+    pub fn select_by_rule(&self, header: &starlink_message::AbstractMessage) -> Option<&MessageSpec> {
+        self.messages.iter().find(|m| m.rule.matches(header))
+    }
+
+    /// The marshaller base name for a field label (defaulting to `Integer`
+    /// for binary specs and `String` for text specs, matching the paper's
+    /// elided listings).
+    pub fn base_type(&self, label: &str) -> &str {
+        let default = match self.kind {
+            MdlKind::Binary => "Integer",
+            MdlKind::Text => "String",
+        };
+        self.types.base_or(label, default)
+    }
+
+    /// Derives the abstract-message schema of one message type: the header
+    /// fields followed by the body fields, with rule discriminators
+    /// pre-bound as defaults so composed messages select the right rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::UnknownMessage`] for unknown names.
+    pub fn schema(&self, name: &str) -> Result<MessageSchema> {
+        let message = self
+            .message_spec(name)
+            .ok_or_else(|| MdlError::UnknownMessage(name.to_owned()))?;
+        let mut schema = MessageSchema::new(self.protocol.clone(), name);
+        let bindings = message.rule.bindings();
+        for field in self.header.iter().chain(message.fields.iter()) {
+            let mut fs = FieldSchema::primitive(field.label.clone(), self.base_type(&field.label));
+            if let SizeSpec::Bits(bits) = field.size {
+                fs = fs.with_length(bits);
+            }
+            if field.mandatory {
+                fs = fs.required();
+            }
+            if let Some((_, literal)) = bindings.iter().find(|(f, _)| *f == field.label) {
+                fs = match self.base_type(&field.label) {
+                    "Integer" | "Unsigned" | "Signed" => match literal.parse::<u64>() {
+                        Ok(v) => fs.with_default(v),
+                        Err(_) => fs.with_default(literal.to_string()),
+                    },
+                    _ => fs.with_default(literal.to_string()),
+                };
+            }
+            schema = schema.field(fs);
+        }
+        Ok(schema)
+    }
+
+    /// Validates internal consistency: field references resolve to earlier
+    /// fields, types with functions reference known labels, message names
+    /// are unique.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::Spec`] describing the first violation.
+    pub fn validate(&self) -> Result<()> {
+        let mut seen = std::collections::BTreeSet::new();
+        for message in &self.messages {
+            if !seen.insert(&message.name) {
+                return Err(MdlError::Spec(format!("duplicate message type {:?}", message.name)));
+            }
+        }
+        for message in &self.messages {
+            let mut known: Vec<&str> = self.header.iter().map(|f| f.label.as_str()).collect();
+            for field in &message.fields {
+                if let SizeSpec::FieldRef(target) = &field.size {
+                    if !known.contains(&target.as_str()) {
+                        return Err(MdlError::Spec(format!(
+                            "field {:?} of message {:?} references {:?} before it is parsed",
+                            field.label, message.name, target
+                        )));
+                    }
+                }
+                known.push(field.label.as_str());
+            }
+        }
+        // Header field refs must reference earlier header fields.
+        let mut known: Vec<&str> = Vec::new();
+        for field in &self.header {
+            if let SizeSpec::FieldRef(target) = &field.size {
+                if !known.contains(&target.as_str()) {
+                    return Err(MdlError::Spec(format!(
+                        "header field {:?} references {:?} before it is parsed",
+                        field.label, target
+                    )));
+                }
+            }
+            known.push(field.label.as_str());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FieldFunction;
+    use starlink_message::Value;
+
+    fn spec() -> MdlSpec {
+        MdlSpec::new("SLP", MdlKind::Binary)
+            .type_entry("SRVType", TypeDef::plain("String"))
+            .type_entry(
+                "SRVTypeLength",
+                TypeDef::with_function(
+                    "Integer",
+                    FieldFunction::new("f-length", vec!["SRVType".into()]),
+                ),
+            )
+            .header_field(FieldSpec::new("Version", SizeSpec::Bits(8)))
+            .header_field(FieldSpec::new("FunctionID", SizeSpec::Bits(8)))
+            .message(
+                MessageSpec::new("SLPSrvRequest", Rule::parse("FunctionID=1").unwrap())
+                    .field(FieldSpec::new("SRVTypeLength", SizeSpec::Bits(16)))
+                    .field(
+                        FieldSpec::new("SRVType", SizeSpec::FieldRef("SRVTypeLength".into()))
+                            .required(),
+                    ),
+            )
+            .message(MessageSpec::new("SLPSrvReply", Rule::parse("FunctionID=2").unwrap()))
+    }
+
+    #[test]
+    fn base_type_defaults_by_kind() {
+        let s = spec();
+        assert_eq!(s.base_type("SRVType"), "String");
+        assert_eq!(s.base_type("Version"), "Integer"); // not in table, binary default
+        let text = MdlSpec::new("SSDP", MdlKind::Text);
+        assert_eq!(text.base_type("Anything"), "String");
+    }
+
+    #[test]
+    fn schema_includes_header_and_body() {
+        let schema = spec().schema("SLPSrvRequest").unwrap();
+        let labels: Vec<&str> = schema.fields().iter().map(|f| f.label.as_str()).collect();
+        assert_eq!(labels, vec!["Version", "FunctionID", "SRVTypeLength", "SRVType"]);
+    }
+
+    #[test]
+    fn schema_prebinds_rule_discriminators() {
+        let schema = spec().schema("SLPSrvRequest").unwrap();
+        let msg = schema.instantiate();
+        assert_eq!(msg.get(&"FunctionID".into()).unwrap(), &Value::Unsigned(1));
+    }
+
+    #[test]
+    fn schema_marks_mandatory() {
+        let schema = spec().schema("SLPSrvRequest").unwrap();
+        assert!(schema.instantiate().is_mandatory("SRVType"));
+    }
+
+    #[test]
+    fn schema_unknown_message_fails() {
+        assert!(matches!(spec().schema("Nope"), Err(MdlError::UnknownMessage(_))));
+    }
+
+    #[test]
+    fn select_by_rule_picks_matching_body() {
+        let s = spec();
+        let mut header = starlink_message::AbstractMessage::new("SLP", "header");
+        header.push_field(starlink_message::Field::primitive("FunctionID", 2u8));
+        assert_eq!(s.select_by_rule(&header).unwrap().name, "SLPSrvReply");
+    }
+
+    #[test]
+    fn validate_accepts_good_spec() {
+        assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_forward_reference() {
+        let bad = MdlSpec::new("X", MdlKind::Binary).message(
+            MessageSpec::new("M", Rule::Always)
+                .field(FieldSpec::new("Data", SizeSpec::FieldRef("Len".into())))
+                .field(FieldSpec::new("Len", SizeSpec::Bits(16))),
+        );
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_message_names() {
+        let bad = MdlSpec::new("X", MdlKind::Binary)
+            .message(MessageSpec::new("M", Rule::Always))
+            .message(MessageSpec::new("M", Rule::Always));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn kind_parse() {
+        assert_eq!(MdlKind::parse("Binary").unwrap(), MdlKind::Binary);
+        assert_eq!(MdlKind::parse("text").unwrap(), MdlKind::Text);
+        assert!(MdlKind::parse("xml").is_err());
+    }
+}

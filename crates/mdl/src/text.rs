@@ -1,0 +1,466 @@
+//! Generic parser and composer for **text** MDL specifications (Fig. 11).
+//!
+//! Text protocols (SSDP, HTTP) have "no fixed layout or ordering of
+//! fields" (§V-B); the MDL instead identifies *boundaries*: start-line
+//! fields delimited by byte sequences (space, CRLF), then repeated
+//! `label: value` pairs split at an inner boundary (`:`), ending at an
+//! empty line, optionally followed by a body.
+
+use crate::error::{MdlError, Result};
+use crate::size::SizeSpec;
+use crate::spec::{FieldSpec, MdlKind, MdlSpec};
+use starlink_message::{AbstractMessage, Field, PrimitiveField, Value};
+use std::sync::Arc;
+
+fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() || from > haystack.len() {
+        return None;
+    }
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|i| i + from)
+}
+
+/// Converts raw field text into a [`Value`] according to the declared base
+/// type (`Integer` fields of text protocols carry decimal digits).
+fn text_to_value(base: &str, text: &str) -> Result<Value> {
+    match base {
+        "Integer" | "Unsigned" => text.trim().parse::<u64>().map(Value::Unsigned).map_err(|_| {
+            MdlError::Parse {
+                reason: format!("expected an integer, found {text:?}"),
+                offset_bits: 0,
+            }
+        }),
+        "Signed" => text.trim().parse::<i64>().map(Value::Signed).map_err(|_| MdlError::Parse {
+            reason: format!("expected a signed integer, found {text:?}"),
+            offset_bits: 0,
+        }),
+        "Bool" => match text.trim() {
+            "true" | "1" => Ok(Value::Bool(true)),
+            "false" | "0" => Ok(Value::Bool(false)),
+            other => Err(MdlError::Parse {
+                reason: format!("expected a boolean, found {other:?}"),
+                offset_bits: 0,
+            }),
+        },
+        _ => Ok(Value::Str(text.to_owned())),
+    }
+}
+
+/// Parses wire bytes into abstract messages by interpreting a text
+/// [`MdlSpec`].
+#[derive(Debug, Clone)]
+pub struct TextParser {
+    spec: Arc<MdlSpec>,
+}
+
+impl TextParser {
+    /// Creates a parser for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::Spec`] when the spec is not a text MDL.
+    pub fn new(spec: Arc<MdlSpec>) -> Result<Self> {
+        if spec.kind() != MdlKind::Text {
+            return Err(MdlError::Spec(format!("protocol {:?} is not a text MDL", spec.protocol())));
+        }
+        Ok(TextParser { spec })
+    }
+
+    fn parse_field(
+        &self,
+        bytes: &[u8],
+        pos: &mut usize,
+        message: &mut AbstractMessage,
+        field: &FieldSpec,
+    ) -> Result<()> {
+        match &field.size {
+            SizeSpec::Delimiter(delim) => {
+                let end = find(bytes, delim, *pos).ok_or_else(|| MdlError::Parse {
+                    reason: format!(
+                        "field {:?}: delimiter {delim:?} not found",
+                        field.label
+                    ),
+                    offset_bits: *pos as u64 * 8,
+                })?;
+                let raw = String::from_utf8_lossy(&bytes[*pos..end]).into_owned();
+                *pos = end + delim.len();
+                let base = self.spec.base_type(&field.label);
+                let value = text_to_value(base, &raw)?;
+                message.push_field(Field::Primitive(PrimitiveField::new(
+                    field.label.clone(),
+                    base.to_owned(),
+                    value,
+                )));
+            }
+            SizeSpec::DelimitedPairs { line, split } => {
+                loop {
+                    if *pos >= bytes.len() {
+                        break;
+                    }
+                    // An immediate line terminator is the empty line that
+                    // ends the pair section; consume it and stop.
+                    if bytes[*pos..].starts_with(line) {
+                        *pos += line.len();
+                        break;
+                    }
+                    let end = match find(bytes, line, *pos) {
+                        Some(end) => end,
+                        None => bytes.len(),
+                    };
+                    let raw = &bytes[*pos..end];
+                    *pos = (end + line.len()).min(bytes.len());
+                    let split_at = find(raw, split, 0).ok_or_else(|| MdlError::Parse {
+                        reason: format!(
+                            "header line {:?} has no {split:?} separator",
+                            String::from_utf8_lossy(raw)
+                        ),
+                        offset_bits: *pos as u64 * 8,
+                    })?;
+                    let label = String::from_utf8_lossy(&raw[..split_at]).trim().to_owned();
+                    let text =
+                        String::from_utf8_lossy(&raw[split_at + split.len()..]).trim().to_owned();
+                    let base = self.spec.base_type(&label).to_owned();
+                    let value = text_to_value(&base, &text).unwrap_or(Value::Str(text));
+                    message.push_field(Field::Primitive(PrimitiveField::new(label, base, value)));
+                }
+            }
+            SizeSpec::FieldRef(label) => {
+                let count = message
+                    .field(label)
+                    .ok_or_else(|| MdlError::Parse {
+                        reason: format!("length field {label:?} has not been parsed yet"),
+                        offset_bits: *pos as u64 * 8,
+                    })?
+                    .value()?
+                    .as_u64()? as usize;
+                if *pos + count > bytes.len() {
+                    return Err(MdlError::Parse {
+                        reason: format!("field {:?} needs {count} bytes", field.label),
+                        offset_bits: *pos as u64 * 8,
+                    });
+                }
+                let raw = String::from_utf8_lossy(&bytes[*pos..*pos + count]).into_owned();
+                *pos += count;
+                let base = self.spec.base_type(&field.label);
+                message.push_field(Field::Primitive(PrimitiveField::new(
+                    field.label.clone(),
+                    base.to_owned(),
+                    text_to_value(base, &raw)?,
+                )));
+            }
+            SizeSpec::Remaining => {
+                let raw = String::from_utf8_lossy(&bytes[*pos..]).into_owned();
+                *pos = bytes.len();
+                let base = self.spec.base_type(&field.label);
+                message.push_field(Field::Primitive(PrimitiveField::new(
+                    field.label.clone(),
+                    base.to_owned(),
+                    Value::Str(raw),
+                )));
+            }
+            SizeSpec::Bits(_) | SizeSpec::SelfDelimiting => {
+                return Err(MdlError::Spec(format!(
+                    "field {:?}: bit sizes are only valid in binary MDLs",
+                    field.label
+                )));
+            }
+        }
+        if field.mandatory {
+            message.mark_mandatory(field.label.clone());
+        }
+        Ok(())
+    }
+
+    /// Parses one message from `bytes`, returning it and the bytes
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing delimiters or when no message rule matches.
+    pub fn parse_prefix(&self, bytes: &[u8]) -> Result<(AbstractMessage, usize)> {
+        let mut pos = 0usize;
+        let mut message = AbstractMessage::new(self.spec.protocol().to_owned(), "");
+        for field in self.spec.header() {
+            self.parse_field(bytes, &mut pos, &mut message, field)?;
+        }
+        let selected = self
+            .spec
+            .select_by_rule(&message)
+            .ok_or_else(|| MdlError::NoRuleMatched { protocol: self.spec.protocol().to_owned() })?;
+        message.set_name(selected.name.clone());
+        for field in &selected.fields {
+            self.parse_field(bytes, &mut pos, &mut message, field)?;
+        }
+        Ok((message, pos))
+    }
+
+    /// Parses one message spanning the input.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`TextParser::parse_prefix`].
+    pub fn parse(&self, bytes: &[u8]) -> Result<AbstractMessage> {
+        let (message, _) = self.parse_prefix(bytes)?;
+        Ok(message)
+    }
+}
+
+/// Composes abstract messages to wire text by interpreting a text
+/// [`MdlSpec`].
+#[derive(Debug, Clone)]
+pub struct TextComposer {
+    spec: Arc<MdlSpec>,
+}
+
+impl TextComposer {
+    /// Creates a composer for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::Spec`] when the spec is not a text MDL.
+    pub fn new(spec: Arc<MdlSpec>) -> Result<Self> {
+        if spec.kind() != MdlKind::Text {
+            return Err(MdlError::Spec(format!("protocol {:?} is not a text MDL", spec.protocol())));
+        }
+        Ok(TextComposer { spec })
+    }
+
+    /// Composes `message` to its wire image.
+    ///
+    /// Start-line fields are written in spec order with their delimiters;
+    /// every message field *not* declared in the spec becomes a
+    /// `label<split> value` pair line (in message field order); a
+    /// `Remaining` field, if declared, is written last as the body.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the message type is unknown, a declared field is
+    /// missing, or a structured field is present (text messages are flat).
+    pub fn compose(&self, message: &AbstractMessage) -> Result<Vec<u8>> {
+        let selected = self
+            .spec
+            .message_spec(message.name())
+            .ok_or_else(|| MdlError::UnknownMessage(message.name().to_owned()))?;
+        let declared: Vec<&FieldSpec> =
+            self.spec.header().iter().chain(selected.fields.iter()).collect();
+        let declared_labels: Vec<&str> = declared.iter().map(|f| f.label.as_str()).collect();
+        let bindings = selected.rule.bindings();
+
+        let field_text = |label: &str| -> Result<Option<String>> {
+            if let Some(field) = message.field(label) {
+                return Ok(Some(field.value()?.to_text()));
+            }
+            if let Some((_, literal)) = bindings.iter().find(|(f, _)| *f == label) {
+                return Ok(Some((*literal).to_owned()));
+            }
+            Ok(None)
+        };
+
+        let mut out: Vec<u8> = Vec::new();
+        for field in &declared {
+            match &field.size {
+                SizeSpec::Delimiter(delim) => {
+                    let text = field_text(&field.label)?.ok_or_else(|| {
+                        MdlError::Compose(format!(
+                            "message {:?} is missing field {:?}",
+                            message.name(),
+                            field.label
+                        ))
+                    })?;
+                    out.extend_from_slice(text.as_bytes());
+                    out.extend_from_slice(delim);
+                }
+                SizeSpec::DelimitedPairs { line, split } => {
+                    for pair in message.fields() {
+                        let label = pair.label();
+                        if declared_labels.contains(&label) {
+                            continue;
+                        }
+                        let value = pair.value().map_err(|_| {
+                            MdlError::Compose(format!(
+                                "text messages are flat; field {label:?} is structured"
+                            ))
+                        })?;
+                        out.extend_from_slice(label.as_bytes());
+                        out.extend_from_slice(split);
+                        out.push(b' ');
+                        out.extend_from_slice(value.to_text().as_bytes());
+                        out.extend_from_slice(line);
+                    }
+                    // Empty line terminates the pair section.
+                    out.extend_from_slice(line);
+                }
+                SizeSpec::FieldRef(_) | SizeSpec::Remaining => {
+                    if let Some(text) = field_text(&field.label)? {
+                        out.extend_from_slice(text.as_bytes());
+                    }
+                }
+                SizeSpec::Bits(_) | SizeSpec::SelfDelimiting => {
+                    return Err(MdlError::Spec(format!(
+                        "field {:?}: bit sizes are only valid in binary MDLs",
+                        field.label
+                    )));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+    use crate::spec::MessageSpec;
+    use crate::types::TypeDef;
+
+    /// The SSDP MDL of Fig. 11, transcribed programmatically.
+    fn ssdp_spec() -> Arc<MdlSpec> {
+        Arc::new(
+            MdlSpec::new("SSDP", MdlKind::Text)
+                .type_entry("Method", TypeDef::plain("String"))
+                .type_entry("URI", TypeDef::plain("String"))
+                .type_entry("Version", TypeDef::plain("String"))
+                .type_entry("ST", TypeDef::plain("String"))
+                .type_entry("MX", TypeDef::plain("Integer"))
+                .header_field(FieldSpec::new("Method", SizeSpec::Delimiter(vec![32])))
+                .header_field(FieldSpec::new("URI", SizeSpec::Delimiter(vec![32])))
+                .header_field(FieldSpec::new("Version", SizeSpec::Delimiter(vec![13, 10])))
+                .header_field(FieldSpec::new(
+                    "Fields",
+                    SizeSpec::DelimitedPairs { line: vec![13, 10], split: vec![58] },
+                ))
+                .message(MessageSpec::new("SSDP_M-Search", Rule::parse("Method=M-SEARCH").unwrap()))
+                .message(MessageSpec::new("SSDP_Resp", Rule::parse("Method=HTTP/1.1").unwrap())),
+        )
+    }
+
+    const M_SEARCH: &[u8] = b"M-SEARCH * HTTP/1.1\r\n\
+        HOST: 239.255.255.250:1900\r\n\
+        MAN: \"ssdp:discover\"\r\n\
+        MX: 2\r\n\
+        ST: urn:schemas-upnp-org:service:Printer:1\r\n\
+        \r\n";
+
+    #[test]
+    fn parses_m_search() {
+        let parser = TextParser::new(ssdp_spec()).unwrap();
+        let msg = parser.parse(M_SEARCH).unwrap();
+        assert_eq!(msg.name(), "SSDP_M-Search");
+        assert_eq!(msg.get(&"Method".into()).unwrap().as_str().unwrap(), "M-SEARCH");
+        assert_eq!(
+            msg.get(&"ST".into()).unwrap().as_str().unwrap(),
+            "urn:schemas-upnp-org:service:Printer:1"
+        );
+        // MX is declared Integer in the type table, so it parses numeric.
+        assert_eq!(msg.get(&"MX".into()).unwrap().as_u64().unwrap(), 2);
+    }
+
+    #[test]
+    fn rule_distinguishes_response() {
+        let parser = TextParser::new(ssdp_spec()).unwrap();
+        let resp = b"HTTP/1.1 200 OK\r\nST: x\r\nLOCATION: http://10.0.0.9:5000/desc.xml\r\n\r\n";
+        let msg = parser.parse(resp).unwrap();
+        assert_eq!(msg.name(), "SSDP_Resp");
+        assert_eq!(
+            msg.get(&"LOCATION".into()).unwrap().as_str().unwrap(),
+            "http://10.0.0.9:5000/desc.xml"
+        );
+    }
+
+    #[test]
+    fn compose_then_parse_roundtrips() {
+        let spec = ssdp_spec();
+        let parser = TextParser::new(spec.clone()).unwrap();
+        let composer = TextComposer::new(spec).unwrap();
+        let original = parser.parse(M_SEARCH).unwrap();
+        let wire = composer.compose(&original).unwrap();
+        let reparsed = parser.parse(&wire).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn compose_fills_start_line_from_rule_bindings() {
+        let spec = ssdp_spec();
+        let composer = TextComposer::new(spec).unwrap();
+        let mut msg = AbstractMessage::new("SSDP", "SSDP_M-Search");
+        msg.push_field(Field::primitive("URI", "*"));
+        msg.push_field(Field::primitive("Version", "HTTP/1.1"));
+        msg.push_field(Field::primitive("ST", "urn:x"));
+        let wire = composer.compose(&msg).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("M-SEARCH * HTTP/1.1\r\n"));
+        assert!(text.contains("ST: urn:x\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn missing_delimiter_is_an_error() {
+        let parser = TextParser::new(ssdp_spec()).unwrap();
+        assert!(parser.parse(b"M-SEARCH").is_err());
+    }
+
+    #[test]
+    fn header_line_without_split_is_an_error() {
+        let parser = TextParser::new(ssdp_spec()).unwrap();
+        let bad = b"M-SEARCH * HTTP/1.1\r\nNOSPLIT\r\n\r\n";
+        assert!(parser.parse(bad).is_err());
+    }
+
+    #[test]
+    fn pair_section_tolerates_missing_final_empty_line() {
+        let parser = TextParser::new(ssdp_spec()).unwrap();
+        let msg = parser.parse(b"M-SEARCH * HTTP/1.1\r\nST: x\r\n").unwrap();
+        assert_eq!(msg.get(&"ST".into()).unwrap().as_str().unwrap(), "x");
+    }
+
+    #[test]
+    fn body_field_consumes_remaining() {
+        let spec = Arc::new(
+            MdlSpec::new("HTTP", MdlKind::Text)
+                .header_field(FieldSpec::new("Method", SizeSpec::Delimiter(vec![32])))
+                .header_field(FieldSpec::new("Rest", SizeSpec::Delimiter(vec![13, 10])))
+                .header_field(FieldSpec::new(
+                    "Fields",
+                    SizeSpec::DelimitedPairs { line: vec![13, 10], split: vec![58] },
+                ))
+                .message(
+                    MessageSpec::new("Response", Rule::Always)
+                        .field(FieldSpec::new("Body", SizeSpec::Remaining)),
+                ),
+        );
+        let parser = TextParser::new(spec.clone()).unwrap();
+        let composer = TextComposer::new(spec).unwrap();
+        let wire = b"HTTP/1.1 200 OK\r\nServer: x\r\n\r\n<xml>body</xml>";
+        let msg = parser.parse(wire).unwrap();
+        assert_eq!(msg.get(&"Body".into()).unwrap().as_str().unwrap(), "<xml>body</xml>");
+        let back = composer.compose(&msg).unwrap();
+        assert_eq!(back, wire);
+    }
+
+    #[test]
+    fn structured_fields_are_rejected() {
+        let composer = TextComposer::new(ssdp_spec()).unwrap();
+        let mut msg = AbstractMessage::new("SSDP", "SSDP_M-Search");
+        msg.push_field(Field::primitive("Method", "M-SEARCH"));
+        msg.push_field(Field::primitive("URI", "*"));
+        msg.push_field(Field::primitive("Version", "HTTP/1.1"));
+        msg.push_field(Field::structured("Nested", vec![Field::primitive("a", 1u8)]));
+        assert!(composer.compose(&msg).is_err());
+    }
+
+    #[test]
+    fn binary_spec_is_rejected() {
+        let spec = Arc::new(MdlSpec::new("B", MdlKind::Binary));
+        assert!(TextParser::new(spec.clone()).is_err());
+        assert!(TextComposer::new(spec).is_err());
+    }
+
+    #[test]
+    fn parse_prefix_reports_consumed() {
+        let parser = TextParser::new(ssdp_spec()).unwrap();
+        let mut data = M_SEARCH.to_vec();
+        data.extend_from_slice(b"NEXT MESSAGE");
+        let (_, consumed) = parser.parse_prefix(&data).unwrap();
+        assert_eq!(consumed, M_SEARCH.len());
+    }
+}

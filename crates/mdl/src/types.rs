@@ -1,0 +1,197 @@
+//! The `<Types>` section of an MDL specification (§IV-A, Fig. 7):
+//! maps field labels to marshaller type names and optional field
+//! functions such as `Integer[f-length(URLEntry)]`.
+
+use crate::error::{MdlError, Result};
+use std::collections::BTreeMap;
+
+/// A function attached to a type entry, executed by the composer when the
+/// field is written (§IV-A: "the named f-method is executed by the
+/// marshaller when writing the type").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldFunction {
+    /// Function name, e.g. `f-length`.
+    pub name: String,
+    /// Argument field labels, e.g. `["URLEntry"]`.
+    pub args: Vec<String>,
+}
+
+impl FieldFunction {
+    /// Creates a function reference.
+    pub fn new(name: impl Into<String>, args: Vec<String>) -> Self {
+        FieldFunction { name: name.into(), args }
+    }
+}
+
+/// One entry of the type table: the base marshaller plus optional function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDef {
+    /// Marshaller name (`Integer`, `String`, `FQDN`, ...).
+    pub base: String,
+    /// Function evaluated at compose time, if any.
+    pub function: Option<FieldFunction>,
+}
+
+impl TypeDef {
+    /// Creates a plain type definition.
+    pub fn plain(base: impl Into<String>) -> Self {
+        TypeDef { base: base.into(), function: None }
+    }
+
+    /// Creates a type definition with an attached function.
+    pub fn with_function(base: impl Into<String>, function: FieldFunction) -> Self {
+        TypeDef { base: base.into(), function: Some(function) }
+    }
+
+    /// Parses the textual form used in MDL XML:
+    /// `Integer`, `Integer[f-length(URLEntry)]`, `Integer[f-total-length()]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::Spec`] for malformed bracket/paren syntax.
+    pub fn parse(text: &str) -> Result<Self> {
+        let text = text.trim();
+        let malformed = || MdlError::Spec(format!("malformed type expression {text:?}"));
+        match text.find('[') {
+            None => {
+                if text.is_empty() {
+                    return Err(malformed());
+                }
+                Ok(TypeDef::plain(text))
+            }
+            Some(open) => {
+                let base = text[..open].trim();
+                if base.is_empty() {
+                    return Err(malformed());
+                }
+                let inner = text[open + 1..].strip_suffix(']').ok_or_else(malformed)?;
+                let paren = inner.find('(').ok_or_else(malformed)?;
+                let name = inner[..paren].trim();
+                if name.is_empty() {
+                    return Err(malformed());
+                }
+                let args_text = inner[paren + 1..].strip_suffix(')').ok_or_else(malformed)?;
+                let args: Vec<String> = args_text
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                Ok(TypeDef::with_function(base, FieldFunction::new(name, args)))
+            }
+        }
+    }
+
+    /// Renders the textual form (inverse of [`TypeDef::parse`]).
+    pub fn to_text(&self) -> String {
+        match &self.function {
+            None => self.base.clone(),
+            Some(function) => {
+                format!("{}[{}({})]", self.base, function.name, function.args.join(","))
+            }
+        }
+    }
+}
+
+/// The full `<Types>` table: field label → type definition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TypeTable {
+    entries: BTreeMap<String, TypeDef>,
+}
+
+impl TypeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        TypeTable::default()
+    }
+
+    /// Registers a type for a field label.
+    pub fn insert(&mut self, label: impl Into<String>, def: TypeDef) -> &mut Self {
+        self.entries.insert(label.into(), def);
+        self
+    }
+
+    /// Looks up a field label.
+    pub fn get(&self, label: &str) -> Option<&TypeDef> {
+        self.entries.get(label)
+    }
+
+    /// The marshaller base name for `label`, falling back to `default`
+    /// when the label has no entry (the paper's listings elide entries for
+    /// obvious integer header fields).
+    pub fn base_or<'t>(&'t self, label: &str, default: &'t str) -> &'t str {
+        self.get(label).map(|def| def.base.as_str()).unwrap_or(default)
+    }
+
+    /// Iterates over entries in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TypeDef)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_type() {
+        let def = TypeDef::parse("Integer").unwrap();
+        assert_eq!(def.base, "Integer");
+        assert!(def.function.is_none());
+    }
+
+    #[test]
+    fn parse_function_type_from_fig7() {
+        // Exactly the Fig. 7 line: Integer[f-length(URLEntry)]
+        let def = TypeDef::parse("Integer[f-length(URLEntry)]").unwrap();
+        assert_eq!(def.base, "Integer");
+        let f = def.function.unwrap();
+        assert_eq!(f.name, "f-length");
+        assert_eq!(f.args, vec!["URLEntry"]);
+    }
+
+    #[test]
+    fn parse_zero_arg_function() {
+        let def = TypeDef::parse("Integer[f-total-length()]").unwrap();
+        assert_eq!(def.function.unwrap().args.len(), 0);
+    }
+
+    #[test]
+    fn parse_multi_arg_function() {
+        let def = TypeDef::parse("String[f-concat(A, B)]").unwrap();
+        assert_eq!(def.function.unwrap().args, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "[f()]", "Integer[f-length", "Integer[f-length(x]", "Integer[(x)]"] {
+            assert!(TypeDef::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn to_text_roundtrip() {
+        for text in ["Integer", "Integer[f-length(URLEntry)]", "String[f-concat(A,B)]"] {
+            assert_eq!(TypeDef::parse(text).unwrap().to_text(), text);
+        }
+    }
+
+    #[test]
+    fn table_lookup_and_default() {
+        let mut table = TypeTable::new();
+        table.insert("Version", TypeDef::plain("Integer"));
+        assert_eq!(table.base_or("Version", "String"), "Integer");
+        assert_eq!(table.base_or("Unknown", "String"), "String");
+        assert_eq!(table.len(), 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! Loading MDL specifications from their XML documents — the runtime
+//! model-loading step of §IV-A ("an MDL specification ... is loaded into
+//! composers and parsers to specialise these components at runtime").
+//!
+//! The document grammar follows Figs. 7 and 11 of the paper:
+//!
+//! ```xml
+//! <MDL protocol="SLP" kind="binary">
+//!   <Types>
+//!     <Version>Integer</Version>
+//!     <URLLength>Integer[f-length(URLEntry)]</URLLength>
+//!   </Types>
+//!   <Header type="SLP">
+//!     <Version>8</Version>
+//!     <XID>16</XID>
+//!   </Header>
+//!   <Message type="SLPSrvRequest">
+//!     <Rule>FunctionID=1</Rule>
+//!     <SRVTypeLength>16</SRVTypeLength>
+//!     <SRVType mandatory="true">SRVTypeLength</SRVType>
+//!   </Message>
+//! </MDL>
+//! ```
+//!
+//! The only additions over the paper's listings are the explicit root
+//! element with `protocol`/`kind` attributes (the paper leaves the wrapper
+//! implicit) and the optional `mandatory` attribute feeding the ⊨
+//! operator.
+
+use crate::error::{MdlError, Result};
+use crate::rule::Rule;
+use crate::size::SizeSpec;
+use crate::spec::{FieldSpec, MdlKind, MdlSpec, MessageSpec};
+use crate::types::TypeDef;
+use starlink_xml::Element;
+
+fn xml_err(err: starlink_xml::XmlError) -> MdlError {
+    MdlError::Spec(format!("XML error: {err}"))
+}
+
+fn parse_field(element: &Element, kind: MdlKind) -> Result<FieldSpec> {
+    let size_text = element.text();
+    let size = match kind {
+        MdlKind::Binary => SizeSpec::parse_binary(&size_text)?,
+        MdlKind::Text => SizeSpec::parse_text(&size_text)?,
+    };
+    let mut field = FieldSpec::new(element.name(), size);
+    if element.attr("mandatory").map(|v| v == "true").unwrap_or(false) {
+        field = field.required();
+    }
+    Ok(field)
+}
+
+/// Parses an MDL XML document into a validated [`MdlSpec`].
+///
+/// # Errors
+///
+/// Returns [`MdlError::Spec`] for malformed XML, unknown kinds, bad size
+/// or rule entries, or a spec failing [`MdlSpec::validate`].
+pub fn load_mdl(source: &str) -> Result<MdlSpec> {
+    let root = Element::parse(source).map_err(xml_err)?;
+    load_mdl_element(&root)
+}
+
+/// Parses an already-built XML element (root `<MDL>`) into an [`MdlSpec`].
+///
+/// # Errors
+///
+/// Same failure modes as [`load_mdl`].
+pub fn load_mdl_element(root: &Element) -> Result<MdlSpec> {
+    if root.name() != "MDL" {
+        return Err(MdlError::Spec(format!("expected <MDL> root, found <{}>", root.name())));
+    }
+    let protocol = root.required_attr("protocol").map_err(xml_err)?;
+    let kind = MdlKind::parse(root.required_attr("kind").map_err(xml_err)?)?;
+    let mut spec = MdlSpec::new(protocol, kind);
+
+    if let Some(types) = root.child("Types") {
+        for entry in types.children() {
+            spec = spec.type_entry(entry.name(), TypeDef::parse(&entry.text())?);
+        }
+    }
+
+    if let Some(header) = root.child("Header") {
+        for entry in header.children() {
+            spec = spec.header_field(parse_field(entry, kind)?);
+        }
+    }
+
+    for message_el in root.children_named("Message") {
+        let name = message_el.required_attr("type").map_err(xml_err)?;
+        let rule = match message_el.child("Rule") {
+            Some(rule_el) => Rule::parse(&rule_el.text())?,
+            None => Rule::Always,
+        };
+        let mut message = MessageSpec::new(name, rule);
+        for entry in message_el.children() {
+            if entry.name() == "Rule" {
+                continue;
+            }
+            message = message.field(parse_field(entry, kind)?);
+        }
+        spec = spec.message(message);
+    }
+
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Renders a spec back to its XML document form (used to regenerate the
+/// paper's Fig. 7/11 listings from the loaded models).
+pub fn mdl_to_element(spec: &MdlSpec) -> Element {
+    let mut root = Element::new("MDL");
+    root.set_attr("protocol", spec.protocol());
+    root.set_attr("kind", spec.kind().as_str());
+
+    if !spec.types().is_empty() {
+        let mut types = Element::new("Types");
+        for (label, def) in spec.types().iter() {
+            types.push_child_with_text(label, def.to_text());
+        }
+        root.push_element(types);
+    }
+
+    if !spec.header().is_empty() {
+        let mut header = Element::new("Header");
+        header.set_attr("type", spec.protocol());
+        for field in spec.header() {
+            let mut el = Element::new(&field.label);
+            el.push_text(field.size.to_text());
+            if field.mandatory {
+                el.set_attr("mandatory", "true");
+            }
+            header.push_element(el);
+        }
+        root.push_element(header);
+    }
+
+    for message in spec.messages() {
+        let mut el = Element::new("Message");
+        el.set_attr("type", &message.name);
+        let rule_text = message.rule.to_text();
+        if !rule_text.is_empty() {
+            el.push_child_with_text("Rule", rule_text);
+        }
+        for field in &message.fields {
+            let mut field_el = Element::new(&field.label);
+            field_el.push_text(field.size.to_text());
+            if field.mandatory {
+                field_el.set_attr("mandatory", "true");
+            }
+            el.push_element(field_el);
+        }
+        root.push_element(el);
+    }
+    root
+}
+
+/// Renders a spec to a pretty-printed XML string.
+pub fn mdl_to_xml(spec: &MdlSpec) -> String {
+    starlink_xml::to_string_pretty(&mdl_to_element(spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A condensed version of Fig. 7 (SLP, binary).
+    const SLP_MDL: &str = r#"
+    <MDL protocol="SLP" kind="binary">
+      <Types>
+        <Version>Integer</Version>
+        <SRVType>String</SRVType>
+        <SRVTypeLength>Integer[f-length(SRVType)]</SRVTypeLength>
+        <MessageLength>Integer[f-total-length()]</MessageLength>
+      </Types>
+      <Header type="SLP">
+        <Version>8</Version>
+        <FunctionID>8</FunctionID>
+        <MessageLength>24</MessageLength>
+        <XID>16</XID>
+      </Header>
+      <Message type="SLPSrvRequest">
+        <Rule>FunctionID=1</Rule>
+        <SRVTypeLength>16</SRVTypeLength>
+        <SRVType mandatory="true">SRVTypeLength</SRVType>
+      </Message>
+    </MDL>"#;
+
+    /// Fig. 11 verbatim in structure (SSDP, text).
+    const SSDP_MDL: &str = r#"
+    <MDL protocol="SSDP" kind="text">
+      <Types>
+        <Method>String</Method>
+        <URI>String</URI>
+        <Version>String</Version>
+        <ST>String</ST>
+        <MX>Integer</MX>
+      </Types>
+      <Header type="SSDP">
+        <Method>32</Method>
+        <URI>32</URI>
+        <Version>13,10</Version>
+        <Fields>13,10:58</Fields>
+      </Header>
+      <Message type="SSDP_M-Search">
+        <Rule>Method=M-SEARCH</Rule>
+      </Message>
+      <Message type="SSDP_Resp">
+        <Rule>Method=HTTP/1.1</Rule>
+      </Message>
+    </MDL>"#;
+
+    #[test]
+    fn loads_binary_mdl() {
+        let spec = load_mdl(SLP_MDL).unwrap();
+        assert_eq!(spec.protocol(), "SLP");
+        assert_eq!(spec.kind(), MdlKind::Binary);
+        assert_eq!(spec.header().len(), 4);
+        assert_eq!(spec.messages().len(), 1);
+        assert_eq!(spec.header()[2].size, SizeSpec::Bits(24));
+        let msg = &spec.messages()[0];
+        assert_eq!(msg.fields[1].size, SizeSpec::FieldRef("SRVTypeLength".into()));
+        assert!(msg.fields[1].mandatory);
+    }
+
+    #[test]
+    fn loads_text_mdl_fig11() {
+        let spec = load_mdl(SSDP_MDL).unwrap();
+        assert_eq!(spec.kind(), MdlKind::Text);
+        assert_eq!(spec.header()[0].size, SizeSpec::Delimiter(vec![32]));
+        assert_eq!(
+            spec.header()[3].size,
+            SizeSpec::DelimitedPairs { line: vec![13, 10], split: vec![58] }
+        );
+        assert_eq!(spec.messages().len(), 2);
+    }
+
+    #[test]
+    fn function_types_parse() {
+        let spec = load_mdl(SLP_MDL).unwrap();
+        let def = spec.types().get("SRVTypeLength").unwrap();
+        assert_eq!(def.function.as_ref().unwrap().name, "f-length");
+    }
+
+    #[test]
+    fn roundtrip_via_writer() {
+        for source in [SLP_MDL, SSDP_MDL] {
+            let spec = load_mdl(source).unwrap();
+            let rendered = mdl_to_xml(&spec);
+            let reloaded = load_mdl(&rendered).unwrap();
+            assert_eq!(spec, reloaded);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        assert!(load_mdl("<NotMDL/>").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_attributes() {
+        assert!(load_mdl("<MDL kind=\"binary\"/>").is_err());
+        assert!(load_mdl("<MDL protocol=\"X\"/>").is_err());
+        assert!(load_mdl("<MDL protocol=\"X\" kind=\"quantum\"/>").is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_spec_semantics() {
+        // Forward reference caught by MdlSpec::validate.
+        let bad = r#"
+        <MDL protocol="X" kind="binary">
+          <Message type="M">
+            <Data>Len</Data>
+            <Len>16</Len>
+          </Message>
+        </MDL>"#;
+        assert!(load_mdl(bad).is_err());
+    }
+
+    #[test]
+    fn message_without_rule_is_always() {
+        let src = r#"
+        <MDL protocol="X" kind="binary">
+          <Message type="Only"><A>8</A></Message>
+        </MDL>"#;
+        let spec = load_mdl(src).unwrap();
+        assert_eq!(spec.messages()[0].rule, Rule::Always);
+    }
+}

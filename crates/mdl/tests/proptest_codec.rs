@@ -1,0 +1,147 @@
+//! Property tests on the MDL layer: bit I/O round-trips and full
+//! compose→parse round-trips through a representative binary spec.
+
+use proptest::prelude::*;
+use starlink_mdl::{
+    load_mdl, BitReader, BitWriter, MdlCodec, ResolvedSize,
+};
+use starlink_message::Value;
+
+proptest! {
+    #[test]
+    fn bitio_roundtrip_bit_sequences(fields in prop::collection::vec((any::<u64>(), 1u32..=64), 1..12)) {
+        let mut writer = BitWriter::new();
+        let mut expected = Vec::new();
+        for (value, bits) in &fields {
+            let masked = if *bits == 64 { *value } else { value & ((1u64 << bits) - 1) };
+            writer.write_bits(masked, *bits).unwrap();
+            expected.push((masked, *bits));
+        }
+        let bytes = writer.into_bytes();
+        let mut reader = BitReader::new(&bytes);
+        for (value, bits) in expected {
+            prop_assert_eq!(reader.read_bits(bits).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn bitio_never_reads_past_end(data in prop::collection::vec(any::<u8>(), 0..16), bits in 0u32..=64) {
+        let mut reader = BitReader::new(&data);
+        let result = reader.read_bits(bits);
+        if u64::from(bits) <= data.len() as u64 * 8 {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    #[test]
+    fn fqdn_marshaller_roundtrip(labels in prop::collection::vec("[a-z0-9]{1,12}", 1..5)) {
+        use starlink_mdl::{FqdnMarshaller, Marshaller};
+        let name = Value::Str(labels.join("."));
+        let mut writer = BitWriter::new();
+        FqdnMarshaller.marshal(&mut writer, &name, ResolvedSize::SelfDelimiting).unwrap();
+        let bytes = writer.into_bytes();
+        let mut reader = BitReader::new(&bytes);
+        let back = FqdnMarshaller.unmarshal(&mut reader, ResolvedSize::SelfDelimiting).unwrap();
+        prop_assert_eq!(back, name);
+        // Sizing agrees with what was actually written.
+        let declared = FqdnMarshaller
+            .wire_bits(&Value::Str(labels.join(".")), ResolvedSize::SelfDelimiting)
+            .unwrap();
+        prop_assert_eq!(declared, bytes.len() as u64 * 8);
+    }
+}
+
+const SPEC: &str = r#"
+  <MDL protocol="Prop" kind="binary">
+    <Types>
+      <Payload>String</Payload>
+      <PayloadLen>Integer[f-length(Payload)]</PayloadLen>
+      <Total>Integer[f-total-length()]</Total>
+    </Types>
+    <Header type="Prop">
+      <Version>4</Version>
+      <Op>4</Op>
+      <Total>16</Total>
+      <Tag>16</Tag>
+    </Header>
+    <Message type="Data">
+      <Rule>Op=1</Rule>
+      <PayloadLen>16</PayloadLen>
+      <Payload>PayloadLen</Payload>
+    </Message>
+  </MDL>"#;
+
+proptest! {
+    #[test]
+    fn compose_parse_roundtrip_with_functions(
+        version in 0u64..16,
+        tag in any::<u16>(),
+        payload in "[ -~]{0,64}",
+    ) {
+        let codec = MdlCodec::generate(load_mdl(SPEC).unwrap()).unwrap();
+        let mut msg = codec.schema("Data").unwrap().instantiate();
+        msg.set(&"Version".into(), Value::Unsigned(version)).unwrap();
+        msg.set(&"Tag".into(), Value::Unsigned(u64::from(tag))).unwrap();
+        msg.set(&"Payload".into(), Value::Str(payload.clone())).unwrap();
+        let wire = codec.compose(&msg).unwrap();
+        // The auto-computed total length matches the wire image.
+        let parsed = codec.parse(&wire).unwrap();
+        prop_assert_eq!(parsed.get(&"Total".into()).unwrap().as_u64().unwrap(), wire.len() as u64);
+        prop_assert_eq!(parsed.get(&"Version".into()).unwrap().as_u64().unwrap(), version);
+        prop_assert_eq!(parsed.get(&"Tag".into()).unwrap().as_u64().unwrap(), u64::from(tag));
+        prop_assert_eq!(parsed.get(&"Payload".into()).unwrap().as_str().unwrap(), payload.as_str());
+        // Idempotence: recomposing the parsed message is byte-identical.
+        prop_assert_eq!(codec.compose(&parsed).unwrap(), wire);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let codec = MdlCodec::generate(load_mdl(SPEC).unwrap()).unwrap();
+        let _ = codec.parse(&data); // may Err, must not panic
+    }
+}
+
+const TEXT_SPEC: &str = r#"
+  <MDL protocol="PropText" kind="text">
+    <Header type="PropText">
+      <Verb>32</Verb>
+      <Rest>13,10</Rest>
+      <Fields>13,10:58</Fields>
+    </Header>
+    <Message type="Req"><Rule>Verb=REQ</Rule></Message>
+  </MDL>"#;
+
+proptest! {
+    #[test]
+    fn text_codec_roundtrips_header_pairs(
+        pairs in prop::collection::btree_map("[A-Za-z][A-Za-z0-9-]{0,8}", "[a-zA-Z0-9 ./]{0,16}", 0..5),
+    ) {
+        // Labels that collide with declared fields would shadow them.
+        prop_assume!(!pairs.contains_key("Verb") && !pairs.contains_key("Rest") && !pairs.contains_key("Fields"));
+        let codec = MdlCodec::generate(load_mdl(TEXT_SPEC).unwrap()).unwrap();
+        let mut wire = b"REQ path\r\n".to_vec();
+        for (label, value) in &pairs {
+            wire.extend_from_slice(format!("{label}: {value}\r\n").as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        let msg = codec.parse(&wire).unwrap();
+        for (label, value) in &pairs {
+            prop_assert_eq!(
+                msg.get(&starlink_message::FieldPath::field(label)).unwrap().to_text(),
+                value.trim().to_owned()
+            );
+        }
+        // Parse∘compose is a fixed point at the abstract-message level.
+        let recomposed = codec.compose(&msg).unwrap();
+        let reparsed = codec.parse(&recomposed).unwrap();
+        prop_assert_eq!(reparsed, msg);
+    }
+
+    #[test]
+    fn text_parser_never_panics(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let codec = MdlCodec::generate(load_mdl(TEXT_SPEC).unwrap()).unwrap();
+        let _ = codec.parse(&data);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for abstract-message operations.
+
+use std::fmt;
+
+/// Error raised by field access, path evaluation or value coercion on an
+/// abstract message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MessageError {
+    /// No field matched the given path/label.
+    FieldNotFound {
+        /// The path or label that failed to resolve.
+        path: String,
+        /// The message the lookup ran against.
+        message: String,
+    },
+    /// A path segment addressed a primitive field as if it were structured.
+    NotStructured(String),
+    /// A path segment addressed a structured field as if it were primitive.
+    NotPrimitive(String),
+    /// A value had the wrong type for the requested coercion.
+    TypeMismatch {
+        /// The coercion that was requested.
+        expected: &'static str,
+        /// The actual type of the value.
+        found: &'static str,
+    },
+    /// A path expression could not be parsed.
+    PathSyntax(String),
+    /// A schema constraint was violated when instantiating or validating.
+    Schema(String),
+}
+
+impl fmt::Display for MessageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MessageError::FieldNotFound { path, message } => {
+                write!(f, "field {path:?} not found in message {message:?}")
+            }
+            MessageError::NotStructured(label) => {
+                write!(f, "field {label:?} is primitive but was addressed as structured")
+            }
+            MessageError::NotPrimitive(label) => {
+                write!(f, "field {label:?} is structured but was addressed as primitive")
+            }
+            MessageError::TypeMismatch { expected, found } => {
+                write!(f, "value type mismatch: expected {expected}, found {found}")
+            }
+            MessageError::PathSyntax(expr) => write!(f, "invalid field path {expr:?}"),
+            MessageError::Schema(msg) => write!(f, "schema violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MessageError {}
+
+/// Convenient result alias for message operations.
+pub type Result<T> = std::result::Result<T, MessageError>;

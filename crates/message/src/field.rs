@@ -1,0 +1,281 @@
+//! Primitive and structured fields (§III-A).
+
+use crate::error::{MessageError, Result};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A primitive field: "a label naming the field, a type describing the type
+/// of the data content, a length defining the length in bits of the field,
+/// and the value" (§III-A).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrimitiveField {
+    label: String,
+    type_name: String,
+    length_bits: Option<u32>,
+    value: Value,
+}
+
+impl PrimitiveField {
+    /// Creates a primitive field with no declared bit length.
+    pub fn new(label: impl Into<String>, type_name: impl Into<String>, value: Value) -> Self {
+        PrimitiveField {
+            label: label.into(),
+            type_name: type_name.into(),
+            length_bits: None,
+            value,
+        }
+    }
+
+    /// Creates a primitive field with a declared bit length.
+    pub fn with_length(
+        label: impl Into<String>,
+        type_name: impl Into<String>,
+        length_bits: u32,
+        value: Value,
+    ) -> Self {
+        PrimitiveField {
+            label: label.into(),
+            type_name: type_name.into(),
+            length_bits: Some(length_bits),
+            value,
+        }
+    }
+
+    /// The field label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The declared MDL type name (e.g. `Integer`, `String`, `FQDN`).
+    pub fn type_name(&self) -> &str {
+        &self.type_name
+    }
+
+    /// The declared length in bits, when fixed.
+    pub fn length_bits(&self) -> Option<u32> {
+        self.length_bits
+    }
+
+    /// The field content.
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+
+    /// Mutable access to the field content.
+    pub fn value_mut(&mut self) -> &mut Value {
+        &mut self.value
+    }
+
+    /// Replaces the field content.
+    pub fn set_value(&mut self, value: Value) {
+        self.value = value;
+    }
+}
+
+/// A structured field "composed of multiple primitive fields" (§III-A) —
+/// in practice of arbitrary sub-fields, e.g. a URL of protocol/address/
+/// port/resource.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StructuredField {
+    label: String,
+    fields: Vec<Field>,
+}
+
+impl StructuredField {
+    /// Creates an empty structured field.
+    pub fn new(label: impl Into<String>) -> Self {
+        StructuredField { label: label.into(), fields: Vec::new() }
+    }
+
+    /// Creates a structured field from parts.
+    pub fn with_fields(label: impl Into<String>, fields: Vec<Field>) -> Self {
+        StructuredField { label: label.into(), fields }
+    }
+
+    /// The field label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The contained sub-fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Mutable access to the contained sub-fields.
+    pub fn fields_mut(&mut self) -> &mut Vec<Field> {
+        &mut self.fields
+    }
+
+    /// Looks up a direct sub-field by label.
+    pub fn field(&self, label: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.label() == label)
+    }
+
+    /// Looks up a direct sub-field by label, mutably.
+    pub fn field_mut(&mut self, label: &str) -> Option<&mut Field> {
+        self.fields.iter_mut().find(|f| f.label() == label)
+    }
+
+    /// Appends a sub-field.
+    pub fn push(&mut self, field: Field) -> &mut Self {
+        self.fields.push(field);
+        self
+    }
+}
+
+/// Either a [`PrimitiveField`] or a [`StructuredField`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Field {
+    /// A leaf field carrying a [`Value`].
+    Primitive(PrimitiveField),
+    /// A group of sub-fields.
+    Structured(StructuredField),
+}
+
+impl Field {
+    /// Shorthand for a primitive field with inferred type name.
+    ///
+    /// The type name is derived from the value variant; use
+    /// [`PrimitiveField::new`] to control it explicitly.
+    pub fn primitive(label: impl Into<String>, value: impl Into<Value>) -> Self {
+        let value = value.into();
+        let type_name = match &value {
+            Value::Unsigned(_) | Value::Signed(_) => "Integer",
+            Value::Str(_) => "String",
+            Value::Bytes(_) => "Bytes",
+            Value::Bool(_) => "Bool",
+            Value::List(_) => "List",
+        };
+        Field::Primitive(PrimitiveField::new(label, type_name, value))
+    }
+
+    /// Shorthand for a structured field.
+    pub fn structured(label: impl Into<String>, fields: Vec<Field>) -> Self {
+        Field::Structured(StructuredField::with_fields(label, fields))
+    }
+
+    /// The field label.
+    pub fn label(&self) -> &str {
+        match self {
+            Field::Primitive(p) => p.label(),
+            Field::Structured(s) => s.label(),
+        }
+    }
+
+    /// True for primitive fields.
+    pub fn is_primitive(&self) -> bool {
+        matches!(self, Field::Primitive(_))
+    }
+
+    /// Borrows the primitive form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::NotPrimitive`] for structured fields.
+    pub fn as_primitive(&self) -> Result<&PrimitiveField> {
+        match self {
+            Field::Primitive(p) => Ok(p),
+            Field::Structured(s) => Err(MessageError::NotPrimitive(s.label().to_owned())),
+        }
+    }
+
+    /// Borrows the primitive form mutably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::NotPrimitive`] for structured fields.
+    pub fn as_primitive_mut(&mut self) -> Result<&mut PrimitiveField> {
+        match self {
+            Field::Primitive(p) => Ok(p),
+            Field::Structured(s) => Err(MessageError::NotPrimitive(s.label().to_owned())),
+        }
+    }
+
+    /// Borrows the structured form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::NotStructured`] for primitive fields.
+    pub fn as_structured(&self) -> Result<&StructuredField> {
+        match self {
+            Field::Structured(s) => Ok(s),
+            Field::Primitive(p) => Err(MessageError::NotStructured(p.label().to_owned())),
+        }
+    }
+
+    /// Borrows the structured form mutably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::NotStructured`] for primitive fields.
+    pub fn as_structured_mut(&mut self) -> Result<&mut StructuredField> {
+        match self {
+            Field::Structured(s) => Ok(s),
+            Field::Primitive(p) => Err(MessageError::NotStructured(p.label().to_owned())),
+        }
+    }
+
+    /// The value of a primitive field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::NotPrimitive`] for structured fields.
+    pub fn value(&self) -> Result<&Value> {
+        self.as_primitive().map(PrimitiveField::value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url_field() -> Field {
+        Field::structured(
+            "URL",
+            vec![
+                Field::primitive("protocol", "http"),
+                Field::primitive("address", "10.0.0.1"),
+                Field::primitive("port", 8080u16),
+                Field::primitive("resource", "/desc.xml"),
+            ],
+        )
+    }
+
+    #[test]
+    fn primitive_shorthand_infers_type_names() {
+        let f = Field::primitive("XID", 77u16);
+        assert_eq!(f.as_primitive().unwrap().type_name(), "Integer");
+        let f = Field::primitive("ST", "urn:x");
+        assert_eq!(f.as_primitive().unwrap().type_name(), "String");
+    }
+
+    #[test]
+    fn structured_lookup() {
+        let url = url_field();
+        let s = url.as_structured().unwrap();
+        assert_eq!(s.field("port").unwrap().value().unwrap().as_u64().unwrap(), 8080);
+        assert!(s.field("missing").is_none());
+    }
+
+    #[test]
+    fn wrong_shape_errors() {
+        let url = url_field();
+        assert!(url.as_primitive().is_err());
+        let prim = Field::primitive("x", 1u8);
+        assert!(prim.as_structured().is_err());
+    }
+
+    #[test]
+    fn set_value_replaces_content() {
+        let mut f = Field::primitive("XID", 1u8);
+        f.as_primitive_mut().unwrap().set_value(Value::Unsigned(9));
+        assert_eq!(f.value().unwrap().as_u64().unwrap(), 9);
+    }
+
+    #[test]
+    fn with_length_records_bits() {
+        let f = PrimitiveField::with_length("XID", "Integer", 16, Value::Unsigned(0));
+        assert_eq!(f.length_bits(), Some(16));
+    }
+}

@@ -1,0 +1,57 @@
+//! # starlink-message
+//!
+//! The **abstract message** layer of the Starlink framework (§III-A of the
+//! paper): a protocol-independent representation of network messages that
+//! the rest of the system — MDL parsers/composers, the automata engine and
+//! the translation logic — manipulates without ever touching wire bytes.
+//!
+//! An [`AbstractMessage`] is an ordered set of [`Field`]s; each field is
+//! either a [`PrimitiveField`] (label, type name, bit length, [`Value`]) or
+//! a [`StructuredField`] of sub-fields. Fields are addressed by
+//! [`FieldPath`]s, which parse from both the paper's dotted notation
+//! (`msg.field`) and the XPath subset used in the XML translation logic
+//! (`/field/primitiveField[label='ST']/value`, Fig. 8).
+//!
+//! [`MessageSchema`] describes a message type's shape and instantiates
+//! blank messages for composition; the [`xml`] module renders the canonical
+//! XML image of a message that the XPath selectors are defined against.
+//!
+//! ## Example
+//!
+//! ```
+//! use starlink_message::{AbstractMessage, Field, FieldPath, Value};
+//!
+//! // The bridge state of Fig. 4: assign SSDP's ST field from SLP's
+//! // ServiceType field.
+//! let mut slp_req = AbstractMessage::new("SLP", "SLPSrvRequest");
+//! slp_req.push_field(Field::primitive("ServiceType", "service:printer"));
+//!
+//! let mut ssdp_search = AbstractMessage::new("SSDP", "SSDP_M-Search");
+//! ssdp_search.push_field(Field::primitive("ST", ""));
+//!
+//! let source = FieldPath::parse("/field/primitiveField[label='ServiceType']/value")?;
+//! let target = FieldPath::parse("/field/primitiveField[label='ST']/value")?;
+//! let value = slp_req.get(&source)?.clone();
+//! ssdp_search.set(&target, value)?;
+//!
+//! assert_eq!(ssdp_search.get(&"ST".into())?, &Value::Str("service:printer".into()));
+//! # Ok::<(), starlink_message::MessageError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod field;
+mod message;
+mod path;
+mod schema;
+mod value;
+pub mod xml;
+
+pub use error::{MessageError, Result};
+pub use field::{Field, PrimitiveField, StructuredField};
+pub use message::AbstractMessage;
+pub use path::{FieldPath, PathSegment, SegmentKind};
+pub use schema::{FieldSchema, MessageSchema};
+pub use value::Value;

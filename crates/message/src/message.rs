@@ -1,0 +1,414 @@
+//! The abstract message (§III-A): "the information derived from a network
+//! message ... described in a protocol independent manner".
+
+use crate::error::{MessageError, Result};
+use crate::field::{Field, PrimitiveField, StructuredField};
+use crate::path::{FieldPath, SegmentKind};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A protocol-independent message: a named, ordered set of fields, plus
+/// the set of labels the protocol considers *mandatory* (used by the
+/// semantic-equivalence operator ⊨ of §III-C).
+///
+/// ```
+/// use starlink_message::{AbstractMessage, Field, Value};
+///
+/// let mut msg = AbstractMessage::new("SLP", "SLPSrvRequest");
+/// msg.push_field(Field::primitive("XID", 42u16));
+/// msg.push_field(Field::primitive("SRVType", "service:printer"));
+/// assert_eq!(msg.get(&"SRVType".into())?, &Value::Str("service:printer".into()));
+/// # Ok::<(), starlink_message::MessageError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbstractMessage {
+    protocol: String,
+    name: String,
+    fields: Vec<Field>,
+    mandatory: BTreeSet<String>,
+}
+
+impl AbstractMessage {
+    /// Creates an empty message of the given protocol and message type.
+    pub fn new(protocol: impl Into<String>, name: impl Into<String>) -> Self {
+        AbstractMessage {
+            protocol: protocol.into(),
+            name: name.into(),
+            fields: Vec::new(),
+            mandatory: BTreeSet::new(),
+        }
+    }
+
+    /// The protocol this message belongs to (e.g. `SLP`).
+    pub fn protocol(&self) -> &str {
+        &self.protocol
+    }
+
+    /// The message type label (e.g. `SLPSrvRequest`), matched against
+    /// automaton transition labels by the engine (§IV-B).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the message (used when a parser refines a generic header
+    /// match into a concrete message type via its `<Rule>`).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The top-level fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Mutable access to the top-level fields.
+    pub fn fields_mut(&mut self) -> &mut Vec<Field> {
+        &mut self.fields
+    }
+
+    /// Labels of fields that are mandatory for this message type.
+    pub fn mandatory_labels(&self) -> impl Iterator<Item = &str> {
+        self.mandatory.iter().map(String::as_str)
+    }
+
+    /// Marks a field label as mandatory.
+    pub fn mark_mandatory(&mut self, label: impl Into<String>) -> &mut Self {
+        self.mandatory.insert(label.into());
+        self
+    }
+
+    /// True when `label` is marked mandatory.
+    pub fn is_mandatory(&self, label: &str) -> bool {
+        self.mandatory.contains(label)
+    }
+
+    /// Appends a top-level field.
+    pub fn push_field(&mut self, field: Field) -> &mut Self {
+        self.fields.push(field);
+        self
+    }
+
+    /// Looks up a top-level field by label.
+    pub fn field(&self, label: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.label() == label)
+    }
+
+    /// Looks up a top-level field by label, mutably.
+    pub fn field_mut(&mut self, label: &str) -> Option<&mut Field> {
+        self.fields.iter_mut().find(|f| f.label() == label)
+    }
+
+    /// True when a field with the given label exists at the top level.
+    pub fn has_field(&self, label: &str) -> bool {
+        self.field(label).is_some()
+    }
+
+    fn not_found(&self, path: &FieldPath) -> MessageError {
+        MessageError::FieldNotFound { path: path.to_string(), message: self.name.clone() }
+    }
+
+    /// Resolves `path` to a field reference.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a segment does not resolve, or a shape constraint
+    /// (`primitiveField`/`structuredField`) is violated.
+    pub fn resolve(&self, path: &FieldPath) -> Result<&Field> {
+        let mut fields: &[Field] = &self.fields;
+        let mut current: Option<&Field> = None;
+        for segment in path.segments() {
+            let field = fields
+                .iter()
+                .find(|f| f.label() == segment.label)
+                .ok_or_else(|| self.not_found(path))?;
+            match segment.kind {
+                SegmentKind::Primitive if !field.is_primitive() => {
+                    return Err(MessageError::NotPrimitive(segment.label.clone()));
+                }
+                SegmentKind::Structured if field.is_primitive() => {
+                    return Err(MessageError::NotStructured(segment.label.clone()));
+                }
+                _ => {}
+            }
+            current = Some(field);
+            fields = match field {
+                Field::Structured(s) => s.fields(),
+                Field::Primitive(_) => &[],
+            };
+        }
+        current.ok_or_else(|| self.not_found(path))
+    }
+
+    /// Resolves `path` to a mutable field reference.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AbstractMessage::resolve`].
+    pub fn resolve_mut(&mut self, path: &FieldPath) -> Result<&mut Field> {
+        let not_found = self.not_found(path);
+        let mut fields: &mut Vec<Field> = &mut self.fields;
+        let segments = path.segments();
+        for (i, segment) in segments.iter().enumerate() {
+            let index = fields
+                .iter()
+                .position(|f| f.label() == segment.label)
+                .ok_or_else(|| not_found.clone())?;
+            let field = &mut fields[index];
+            match segment.kind {
+                SegmentKind::Primitive if !field.is_primitive() => {
+                    return Err(MessageError::NotPrimitive(segment.label.clone()));
+                }
+                SegmentKind::Structured if field.is_primitive() => {
+                    return Err(MessageError::NotStructured(segment.label.clone()));
+                }
+                _ => {}
+            }
+            if i == segments.len() - 1 {
+                return Ok(&mut fields[index]);
+            }
+            fields = match &mut fields[index] {
+                Field::Structured(s) => s.fields_mut(),
+                Field::Primitive(_) => return Err(MessageError::NotStructured(segment.label.clone())),
+            };
+        }
+        Err(not_found)
+    }
+
+    /// Reads the value addressed by `path` (§III-D assignment source).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the path does not resolve to a primitive field.
+    pub fn get(&self, path: &FieldPath) -> Result<&Value> {
+        self.resolve(path)?.value()
+    }
+
+    /// Writes the value addressed by `path` (§III-D assignment target).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the path does not resolve to a primitive field.
+    pub fn set(&mut self, path: &FieldPath, value: Value) -> Result<()> {
+        self.resolve_mut(path)?.as_primitive_mut()?.set_value(value);
+        Ok(())
+    }
+
+    /// Writes the value addressed by `path`, creating missing path
+    /// components (structured interior segments, primitive leaf) on the
+    /// way. Used when composing messages field-by-field.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an *existing* field on the path has the wrong shape.
+    pub fn set_or_insert(&mut self, path: &FieldPath, value: Value) -> Result<()> {
+        let segments = path.segments();
+        let mut fields: &mut Vec<Field> = &mut self.fields;
+        for (i, segment) in segments.iter().enumerate() {
+            let last = i == segments.len() - 1;
+            let index = fields.iter().position(|f| f.label() == segment.label);
+            let index = match index {
+                Some(index) => index,
+                None => {
+                    let field = if last {
+                        Field::primitive(segment.label.clone(), value.clone())
+                    } else {
+                        Field::Structured(StructuredField::new(segment.label.clone()))
+                    };
+                    fields.push(field);
+                    fields.len() - 1
+                }
+            };
+            if last {
+                fields[index].as_primitive_mut()?.set_value(value);
+                return Ok(());
+            }
+            fields = match &mut fields[index] {
+                Field::Structured(s) => s.fields_mut(),
+                Field::Primitive(_) => {
+                    return Err(MessageError::NotStructured(segment.label.clone()))
+                }
+            };
+        }
+        unreachable!("paths always have at least one segment")
+    }
+
+    /// Iterates over every primitive field in the message, depth-first,
+    /// yielding `(path, field)` pairs.
+    pub fn primitive_fields(&self) -> Vec<(FieldPath, &PrimitiveField)> {
+        fn walk<'m>(
+            prefix: Option<&FieldPath>,
+            fields: &'m [Field],
+            out: &mut Vec<(FieldPath, &'m PrimitiveField)>,
+        ) {
+            for field in fields {
+                let path = match prefix {
+                    Some(p) => p.join(field.label()),
+                    None => FieldPath::field(field.label()),
+                };
+                match field {
+                    Field::Primitive(p) => out.push((path, p)),
+                    Field::Structured(s) => walk(Some(&path), s.fields(), out),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(None, &self.fields, &mut out);
+        out
+    }
+
+    /// Mandatory fields of this message that are missing or still empty —
+    /// the `Mfields(n)` check backing the ⊨ operator.
+    pub fn unfilled_mandatory(&self) -> Vec<&str> {
+        self.mandatory
+            .iter()
+            .filter(|label| {
+                match self.field(label) {
+                    Some(field) => match field.value() {
+                        Ok(value) => value.is_empty(),
+                        Err(_) => false, // structured: treated as filled if present
+                    },
+                    None => true,
+                }
+            })
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+impl fmt::Display for AbstractMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}::{}", self.protocol, self.name)?;
+        fn write_fields(
+            f: &mut fmt::Formatter<'_>,
+            fields: &[Field],
+            depth: usize,
+        ) -> fmt::Result {
+            for field in fields {
+                for _ in 0..depth {
+                    write!(f, "  ")?;
+                }
+                match field {
+                    Field::Primitive(p) => {
+                        writeln!(f, "{}: {} = {}", p.label(), p.type_name(), p.value())?;
+                    }
+                    Field::Structured(s) => {
+                        writeln!(f, "{}:", s.label())?;
+                        write_fields(f, s.fields(), depth + 1)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        write_fields(f, &self.fields, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AbstractMessage {
+        let mut msg = AbstractMessage::new("SLP", "SLPSrvRequest");
+        msg.push_field(Field::primitive("XID", 7u16));
+        msg.push_field(Field::primitive("SRVType", "service:printer"));
+        msg.push_field(Field::structured(
+            "URL",
+            vec![Field::primitive("address", "10.0.0.1"), Field::primitive("port", 427u16)],
+        ));
+        msg.mark_mandatory("SRVType");
+        msg
+    }
+
+    #[test]
+    fn get_top_level_and_nested() {
+        let msg = sample();
+        assert_eq!(msg.get(&"XID".into()).unwrap().as_u64().unwrap(), 7);
+        assert_eq!(msg.get(&"URL.port".into()).unwrap().as_u64().unwrap(), 427);
+    }
+
+    #[test]
+    fn get_via_xpath() {
+        let msg = sample();
+        let path = FieldPath::parse_xpath(
+            "/field/structuredField[label='URL']/field/primitiveField[label='address']/value",
+        )
+        .unwrap();
+        assert_eq!(msg.get(&path).unwrap().as_str().unwrap(), "10.0.0.1");
+    }
+
+    #[test]
+    fn xpath_shape_constraints_enforced() {
+        let msg = sample();
+        let wrong = FieldPath::parse_xpath("/field/structuredField[label='XID']/value");
+        assert!(msg.get(&wrong.unwrap()).is_err());
+    }
+
+    #[test]
+    fn set_replaces_value() {
+        let mut msg = sample();
+        msg.set(&"XID".into(), Value::Unsigned(99)).unwrap();
+        assert_eq!(msg.get(&"XID".into()).unwrap().as_u64().unwrap(), 99);
+    }
+
+    #[test]
+    fn set_missing_field_fails() {
+        let mut msg = sample();
+        assert!(msg.set(&"Nope".into(), Value::Unsigned(1)).is_err());
+    }
+
+    #[test]
+    fn set_or_insert_creates_interior_structure() {
+        let mut msg = AbstractMessage::new("P", "M");
+        msg.set_or_insert(&"A.B.C".into(), Value::Str("x".into())).unwrap();
+        assert_eq!(msg.get(&"A.B.C".into()).unwrap().as_str().unwrap(), "x");
+        // Existing structure is reused, not duplicated.
+        msg.set_or_insert(&"A.B.D".into(), Value::Unsigned(1)).unwrap();
+        let a = msg.field("A").unwrap().as_structured().unwrap();
+        assert_eq!(a.fields().len(), 1);
+    }
+
+    #[test]
+    fn set_or_insert_rejects_shape_conflict() {
+        let mut msg = sample();
+        // XID is primitive; cannot traverse through it.
+        assert!(msg.set_or_insert(&"XID.sub".into(), Value::Unsigned(1)).is_err());
+    }
+
+    #[test]
+    fn primitive_fields_walks_depth_first() {
+        let msg = sample();
+        let flat: Vec<String> =
+            msg.primitive_fields().iter().map(|(p, _)| p.to_string()).collect();
+        assert_eq!(flat, vec!["XID", "SRVType", "URL.address", "URL.port"]);
+    }
+
+    #[test]
+    fn unfilled_mandatory_reports_empty_and_missing() {
+        let mut msg = AbstractMessage::new("SLP", "SLPSrvReply");
+        msg.mark_mandatory("URL");
+        msg.mark_mandatory("XID");
+        msg.push_field(Field::primitive("URL", ""));
+        let unfilled = msg.unfilled_mandatory();
+        assert!(unfilled.contains(&"URL")); // present but empty
+        assert!(unfilled.contains(&"XID")); // missing entirely
+        msg.set(&"URL".into(), Value::Str("service:printer://x".into())).unwrap();
+        msg.push_field(Field::primitive("XID", 5u16));
+        assert!(msg.unfilled_mandatory().is_empty());
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let rendered = sample().to_string();
+        assert!(rendered.contains("SLP::SLPSrvRequest"));
+        assert!(rendered.contains("    port: Integer = 427"));
+    }
+
+    #[test]
+    fn field_not_found_error_names_message() {
+        let msg = sample();
+        let err = msg.get(&"Bogus".into()).unwrap_err();
+        assert!(err.to_string().contains("SLPSrvRequest"));
+    }
+}

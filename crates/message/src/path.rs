@@ -1,0 +1,345 @@
+//! Field paths: the `msg.field` selection operator of §III-A and the
+//! XPath subset used by the XML translation logic of §IV-B (Fig. 8).
+//!
+//! Two concrete syntaxes parse into the same [`FieldPath`]:
+//!
+//! * **dotted** — `URL.port`, as the paper writes `msg.field`;
+//! * **XPath subset** — `/field/primitiveField[label='ST']/value`, the
+//!   form the XML translation-logic documents use against the XML image
+//!   of an abstract message.
+
+use crate::error::{MessageError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// What kind of field a path segment expects to traverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// No constraint (dotted syntax).
+    Any,
+    /// Must resolve to a primitive field (`primitiveField[...]`).
+    Primitive,
+    /// Must resolve to a structured field (`structuredField[...]`).
+    Structured,
+}
+
+/// One step of a [`FieldPath`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathSegment {
+    /// Label of the field to select.
+    pub label: String,
+    /// Shape constraint for the selected field.
+    pub kind: SegmentKind,
+}
+
+impl PathSegment {
+    /// Creates an unconstrained segment.
+    pub fn any(label: impl Into<String>) -> Self {
+        PathSegment { label: label.into(), kind: SegmentKind::Any }
+    }
+}
+
+/// A parsed path addressing one field (usually one primitive field) inside
+/// an abstract message.
+///
+/// ```
+/// use starlink_message::FieldPath;
+///
+/// let dotted: FieldPath = "URL.port".parse()?;
+/// let xpath = FieldPath::parse_xpath(
+///     "/field/structuredField[label='URL']/field/primitiveField[label='port']/value",
+/// )?;
+/// // Both address the same field; the XPath form additionally constrains
+/// // the field shapes it traverses.
+/// assert_eq!(dotted.to_string(), xpath.to_string());
+/// # Ok::<(), starlink_message::MessageError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FieldPath {
+    segments: Vec<PathSegment>,
+}
+
+impl FieldPath {
+    /// Builds a path from raw segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::PathSyntax`] when `segments` is empty.
+    pub fn new(segments: Vec<PathSegment>) -> Result<Self> {
+        if segments.is_empty() {
+            return Err(MessageError::PathSyntax("(empty)".into()));
+        }
+        Ok(FieldPath { segments })
+    }
+
+    /// Builds a single-segment path addressing a top-level field.
+    pub fn field(label: impl Into<String>) -> Self {
+        FieldPath { segments: vec![PathSegment::any(label)] }
+    }
+
+    /// Parses the dotted syntax (`a.b.c`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::PathSyntax`] for empty input or empty
+    /// segments (`a..b`).
+    pub fn parse_dotted(expr: &str) -> Result<Self> {
+        let expr = expr.trim();
+        if expr.is_empty() {
+            return Err(MessageError::PathSyntax(expr.to_owned()));
+        }
+        let mut segments = Vec::new();
+        for part in expr.split('.') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(MessageError::PathSyntax(expr.to_owned()));
+            }
+            segments.push(PathSegment::any(part));
+        }
+        FieldPath::new(segments)
+    }
+
+    /// Parses the XPath subset used by the XML translation logic:
+    /// `/field/(primitiveField|structuredField)[label='X']/...(/value)?`.
+    ///
+    /// The leading `/field` container steps and a trailing `/value` step
+    /// are structural artefacts of the abstract-message XML schema and are
+    /// absorbed; only the label selectors become path segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::PathSyntax`] on any deviation from the
+    /// grammar above.
+    pub fn parse_xpath(expr: &str) -> Result<Self> {
+        let syntax = || MessageError::PathSyntax(expr.to_owned());
+        let trimmed = expr.trim();
+        let body = trimmed.strip_prefix('/').ok_or_else(syntax)?;
+        let mut segments = Vec::new();
+        let mut steps = body.split('/').peekable();
+        // Leading container step.
+        if steps.next() != Some("field") {
+            return Err(syntax());
+        }
+        while let Some(step) = steps.next() {
+            if step == "value" {
+                // Terminal `/value`: nothing may follow.
+                if steps.next().is_some() {
+                    return Err(syntax());
+                }
+                break;
+            }
+            if step == "field" {
+                // Interior container step between structured levels.
+                continue;
+            }
+            let (kind, rest) = if let Some(rest) = step.strip_prefix("primitiveField") {
+                (SegmentKind::Primitive, rest)
+            } else if let Some(rest) = step.strip_prefix("structuredField") {
+                (SegmentKind::Structured, rest)
+            } else {
+                return Err(syntax());
+            };
+            let predicate = rest.strip_prefix('[').and_then(|r| r.strip_suffix(']')).ok_or_else(syntax)?;
+            let label_expr = predicate.strip_prefix("label=").ok_or_else(syntax)?;
+            let label = label_expr
+                .strip_prefix('\'')
+                .and_then(|r| r.strip_suffix('\''))
+                .or_else(|| label_expr.strip_prefix('"').and_then(|r| r.strip_suffix('"')))
+                .ok_or_else(syntax)?;
+            if label.is_empty() {
+                return Err(syntax());
+            }
+            segments.push(PathSegment { label: label.to_owned(), kind });
+        }
+        FieldPath::new(segments)
+    }
+
+    /// Parses either syntax: XPath when the expression starts with `/`,
+    /// dotted otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::PathSyntax`] when neither grammar matches.
+    pub fn parse(expr: &str) -> Result<Self> {
+        if expr.trim_start().starts_with('/') {
+            FieldPath::parse_xpath(expr)
+        } else {
+            FieldPath::parse_dotted(expr)
+        }
+    }
+
+    /// The path segments in traversal order.
+    pub fn segments(&self) -> &[PathSegment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Always false: paths have at least one segment.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Extends the path by one unconstrained segment, returning a new path.
+    pub fn join(&self, label: impl Into<String>) -> Self {
+        let mut segments = self.segments.clone();
+        segments.push(PathSegment::any(label));
+        FieldPath { segments }
+    }
+
+    /// Renders the XPath form of this path against the abstract-message
+    /// XML schema (the inverse of [`FieldPath::parse_xpath`], using
+    /// `primitiveField` for the final step and `structuredField` for
+    /// interior steps when the kind is unconstrained).
+    pub fn to_xpath(&self) -> String {
+        let mut out = String::from("/field");
+        let last = self.segments.len() - 1;
+        for (i, segment) in self.segments.iter().enumerate() {
+            let tag = match segment.kind {
+                SegmentKind::Primitive => "primitiveField",
+                SegmentKind::Structured => "structuredField",
+                SegmentKind::Any => {
+                    if i == last {
+                        "primitiveField"
+                    } else {
+                        "structuredField"
+                    }
+                }
+            };
+            out.push('/');
+            out.push_str(tag);
+            out.push_str("[label='");
+            out.push_str(&segment.label);
+            out.push_str("']");
+            if i != last {
+                out.push_str("/field");
+            }
+        }
+        out.push_str("/value");
+        out
+    }
+}
+
+impl fmt::Display for FieldPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, segment) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{}", segment.label)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for FieldPath {
+    type Err = MessageError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        FieldPath::parse(s)
+    }
+}
+
+impl From<&str> for FieldPath {
+    fn from(s: &str) -> Self {
+        // Infallible convenience for literals; panics on syntax errors,
+        // which for inline literals is a programming error.
+        FieldPath::parse(s).expect("invalid field path literal")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_single_and_nested() {
+        let p = FieldPath::parse_dotted("ServiceType").unwrap();
+        assert_eq!(p.len(), 1);
+        let p = FieldPath::parse_dotted("URL.port").unwrap();
+        assert_eq!(p.segments()[1].label, "port");
+    }
+
+    #[test]
+    fn dotted_rejects_empty_segments() {
+        assert!(FieldPath::parse_dotted("").is_err());
+        assert!(FieldPath::parse_dotted("a..b").is_err());
+    }
+
+    #[test]
+    fn xpath_fig8_form() {
+        // Exactly the expression from Fig. 8 of the paper.
+        let p = FieldPath::parse_xpath("/field/primitiveField[label='ST']/value").unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.segments()[0].label, "ST");
+        assert_eq!(p.segments()[0].kind, SegmentKind::Primitive);
+    }
+
+    #[test]
+    fn xpath_nested_form() {
+        let p = FieldPath::parse_xpath(
+            "/field/structuredField[label='URL']/field/primitiveField[label='port']/value",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.segments()[0].kind, SegmentKind::Structured);
+        assert_eq!(p.segments()[1].label, "port");
+    }
+
+    #[test]
+    fn xpath_without_value_suffix() {
+        let p = FieldPath::parse_xpath("/field/primitiveField[label='XID']").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn xpath_double_quotes_accepted() {
+        let p = FieldPath::parse_xpath("/field/primitiveField[label=\"A\"]/value").unwrap();
+        assert_eq!(p.segments()[0].label, "A");
+    }
+
+    #[test]
+    fn xpath_rejects_malformed() {
+        for bad in [
+            "field/primitiveField[label='A']",
+            "/primitiveField[label='A']",
+            "/field/otherField[label='A']",
+            "/field/primitiveField[name='A']",
+            "/field/primitiveField[label='A']/value/extra",
+            "/field/primitiveField[label='']/value",
+        ] {
+            assert!(FieldPath::parse_xpath(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn xpath_roundtrip() {
+        let expr = "/field/structuredField[label='URL']/field/primitiveField[label='port']/value";
+        let p = FieldPath::parse_xpath(expr).unwrap();
+        assert_eq!(p.to_xpath(), expr);
+    }
+
+    #[test]
+    fn parse_dispatches_on_leading_slash() {
+        assert_eq!(
+            FieldPath::parse("/field/primitiveField[label='A']/value").unwrap().to_string(),
+            FieldPath::parse("A").unwrap().to_string()
+        );
+    }
+
+    #[test]
+    fn display_is_dotted() {
+        let p = FieldPath::parse("URL.port").unwrap();
+        assert_eq!(p.to_string(), "URL.port");
+    }
+
+    #[test]
+    fn join_extends() {
+        let p = FieldPath::field("URL").join("port");
+        assert_eq!(p.to_string(), "URL.port");
+    }
+}

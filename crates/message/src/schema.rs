@@ -1,0 +1,291 @@
+//! Message schemas: the shape of a message type, used to instantiate
+//! blank abstract messages that translation logic then fills in.
+
+use crate::error::{MessageError, Result};
+use crate::field::{Field, PrimitiveField, StructuredField};
+use crate::message::AbstractMessage;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Schema of one field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldSchema {
+    /// Field label.
+    pub label: String,
+    /// MDL type name (`Integer`, `String`, ...). Empty for structured.
+    pub type_name: String,
+    /// Fixed bit length, when declared.
+    pub length_bits: Option<u32>,
+    /// Whether the ⊨ operator requires this field to be filled.
+    pub mandatory: bool,
+    /// Default value used at instantiation (None derives one from the type).
+    pub default: Option<Value>,
+    /// Sub-field schemas; non-empty makes this a structured field.
+    pub children: Vec<FieldSchema>,
+}
+
+impl FieldSchema {
+    /// Creates a primitive field schema.
+    pub fn primitive(label: impl Into<String>, type_name: impl Into<String>) -> Self {
+        FieldSchema {
+            label: label.into(),
+            type_name: type_name.into(),
+            length_bits: None,
+            mandatory: false,
+            default: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Creates a structured field schema.
+    pub fn structured(label: impl Into<String>, children: Vec<FieldSchema>) -> Self {
+        FieldSchema {
+            label: label.into(),
+            type_name: String::new(),
+            length_bits: None,
+            mandatory: false,
+            default: None,
+            children,
+        }
+    }
+
+    /// Builder: set the declared bit length.
+    pub fn with_length(mut self, bits: u32) -> Self {
+        self.length_bits = Some(bits);
+        self
+    }
+
+    /// Builder: mark mandatory.
+    pub fn required(mut self) -> Self {
+        self.mandatory = true;
+        self
+    }
+
+    /// Builder: set the default value.
+    pub fn with_default(mut self, value: impl Into<Value>) -> Self {
+        self.default = Some(value.into());
+        self
+    }
+
+    /// True when this schema describes a structured field.
+    pub fn is_structured(&self) -> bool {
+        !self.children.is_empty()
+    }
+
+    fn default_value(&self) -> Value {
+        if let Some(v) = &self.default {
+            return v.clone();
+        }
+        match self.type_name.as_str() {
+            "Integer" | "Unsigned" => Value::Unsigned(0),
+            "Signed" => Value::Signed(0),
+            "Bool" => Value::Bool(false),
+            "Bytes" | "Opaque" => Value::Bytes(Vec::new()),
+            "List" => Value::List(Vec::new()),
+            // String, FQDN, URL and any unknown custom type default to text.
+            _ => Value::Str(String::new()),
+        }
+    }
+
+    fn instantiate(&self) -> Field {
+        if self.is_structured() {
+            Field::Structured(StructuredField::with_fields(
+                self.label.clone(),
+                self.children.iter().map(FieldSchema::instantiate).collect(),
+            ))
+        } else {
+            let mut prim =
+                PrimitiveField::new(self.label.clone(), self.type_name.clone(), self.default_value());
+            if let Some(bits) = self.length_bits {
+                prim = PrimitiveField::with_length(
+                    self.label.clone(),
+                    self.type_name.clone(),
+                    bits,
+                    prim.value().clone(),
+                );
+            }
+            Field::Primitive(prim)
+        }
+    }
+}
+
+/// Schema of a message type: protocol, name and ordered field schemas.
+///
+/// ```
+/// use starlink_message::{MessageSchema, FieldSchema};
+///
+/// let schema = MessageSchema::new("SLP", "SLPSrvReply")
+///     .field(FieldSchema::primitive("XID", "Integer").with_length(16))
+///     .field(FieldSchema::primitive("URL", "String").required());
+/// let blank = schema.instantiate();
+/// assert_eq!(blank.name(), "SLPSrvReply");
+/// assert_eq!(blank.unfilled_mandatory(), vec!["URL"]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageSchema {
+    protocol: String,
+    name: String,
+    fields: Vec<FieldSchema>,
+}
+
+impl MessageSchema {
+    /// Creates an empty schema.
+    pub fn new(protocol: impl Into<String>, name: impl Into<String>) -> Self {
+        MessageSchema { protocol: protocol.into(), name: name.into(), fields: Vec::new() }
+    }
+
+    /// Builder: appends a field schema.
+    pub fn field(mut self, field: FieldSchema) -> Self {
+        self.fields.push(field);
+        self
+    }
+
+    /// The protocol name.
+    pub fn protocol(&self) -> &str {
+        &self.protocol
+    }
+
+    /// The message type name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The field schemas in order.
+    pub fn fields(&self) -> &[FieldSchema] {
+        &self.fields
+    }
+
+    /// Looks up a field schema by label (top level only).
+    pub fn field_schema(&self, label: &str) -> Option<&FieldSchema> {
+        self.fields.iter().find(|f| f.label == label)
+    }
+
+    /// Instantiates a blank message: every field present with its default
+    /// value, mandatory labels registered.
+    pub fn instantiate(&self) -> AbstractMessage {
+        let mut msg = AbstractMessage::new(self.protocol.clone(), self.name.clone());
+        for field in &self.fields {
+            msg.push_field(field.instantiate());
+            if field.mandatory {
+                msg.mark_mandatory(field.label.clone());
+            }
+        }
+        msg
+    }
+
+    /// Checks that `message` structurally conforms to this schema: every
+    /// schema field present (recursively) with matching shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::Schema`] naming the first offending field.
+    pub fn validate(&self, message: &AbstractMessage) -> Result<()> {
+        fn check(expected: &[FieldSchema], actual: &[Field], context: &str) -> Result<()> {
+            for schema in expected {
+                let field = actual.iter().find(|f| f.label() == schema.label).ok_or_else(|| {
+                    MessageError::Schema(format!("missing field {}{}", context, schema.label))
+                })?;
+                match (schema.is_structured(), field) {
+                    (true, Field::Structured(s)) => {
+                        let nested = format!("{}{}.", context, schema.label);
+                        check(&schema.children, s.fields(), &nested)?;
+                    }
+                    (false, Field::Primitive(_)) => {}
+                    (true, Field::Primitive(_)) => {
+                        return Err(MessageError::Schema(format!(
+                            "field {}{} should be structured",
+                            context, schema.label
+                        )));
+                    }
+                    (false, Field::Structured(_)) => {
+                        return Err(MessageError::Schema(format!(
+                            "field {}{} should be primitive",
+                            context, schema.label
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        }
+        if message.name() != self.name {
+            return Err(MessageError::Schema(format!(
+                "message name {:?} does not match schema {:?}",
+                message.name(),
+                self.name
+            )));
+        }
+        check(&self.fields, message.fields(), "")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply_schema() -> MessageSchema {
+        MessageSchema::new("SLP", "SLPSrvReply")
+            .field(FieldSchema::primitive("XID", "Integer").with_length(16))
+            .field(FieldSchema::primitive("URL", "String").required())
+            .field(FieldSchema::structured(
+                "Origin",
+                vec![
+                    FieldSchema::primitive("address", "String"),
+                    FieldSchema::primitive("port", "Integer"),
+                ],
+            ))
+    }
+
+    #[test]
+    fn instantiate_fills_defaults() {
+        let msg = reply_schema().instantiate();
+        assert_eq!(msg.get(&"XID".into()).unwrap(), &Value::Unsigned(0));
+        assert_eq!(msg.get(&"URL".into()).unwrap(), &Value::Str(String::new()));
+        assert_eq!(msg.get(&"Origin.port".into()).unwrap(), &Value::Unsigned(0));
+    }
+
+    #[test]
+    fn instantiate_registers_mandatory() {
+        let msg = reply_schema().instantiate();
+        assert!(msg.is_mandatory("URL"));
+        assert!(!msg.is_mandatory("XID"));
+    }
+
+    #[test]
+    fn explicit_default_wins() {
+        let schema = MessageSchema::new("P", "M")
+            .field(FieldSchema::primitive("Version", "Integer").with_default(2u8));
+        let msg = schema.instantiate();
+        assert_eq!(msg.get(&"Version".into()).unwrap().as_u64().unwrap(), 2);
+    }
+
+    #[test]
+    fn validate_accepts_instantiated() {
+        let schema = reply_schema();
+        assert!(schema.validate(&schema.instantiate()).is_ok());
+    }
+
+    #[test]
+    fn validate_flags_missing_nested_field() {
+        let schema = reply_schema();
+        let mut msg = schema.instantiate();
+        let origin = msg.field_mut("Origin").unwrap().as_structured_mut().unwrap();
+        origin.fields_mut().retain(|f| f.label() != "port");
+        let err = schema.validate(&msg).unwrap_err();
+        assert!(err.to_string().contains("Origin.port"));
+    }
+
+    #[test]
+    fn validate_flags_shape_mismatch() {
+        let schema = reply_schema();
+        let mut msg = schema.instantiate();
+        *msg.field_mut("Origin").unwrap() = Field::primitive("Origin", 1u8);
+        assert!(schema.validate(&msg).is_err());
+    }
+
+    #[test]
+    fn validate_flags_wrong_name() {
+        let schema = reply_schema();
+        let msg = AbstractMessage::new("SLP", "Other");
+        assert!(schema.validate(&msg).is_err());
+    }
+}

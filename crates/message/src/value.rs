@@ -1,0 +1,322 @@
+//! Typed values carried by primitive fields.
+
+use crate::error::{MessageError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The content of a primitive field (§III-A: "the value i.e. the content of
+/// the field").
+///
+/// The set of variants is closed: every marshaller in the MDL layer maps a
+/// wire type onto one of these, which is what lets the translation logic
+/// move content between arbitrary protocols without knowing either wire
+/// format.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// An unsigned integer (covers every binary integer field up to 64 bits).
+    Unsigned(u64),
+    /// A signed integer.
+    Signed(i64),
+    /// A UTF-8 string (text-protocol fields, FQDNs, URLs, ...).
+    Str(String),
+    /// Raw bytes for opaque fields.
+    Bytes(Vec<u8>),
+    /// A boolean flag.
+    Bool(bool),
+    /// An ordered list of values (e.g. repeated DNS records).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// A short name for the variant, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Unsigned(_) => "unsigned",
+            Value::Signed(_) => "signed",
+            Value::Str(_) => "string",
+            Value::Bytes(_) => "bytes",
+            Value::Bool(_) => "bool",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Coerces to `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::TypeMismatch`] unless the value is an
+    /// in-range integer or a numeric string.
+    pub fn as_u64(&self) -> Result<u64> {
+        match self {
+            Value::Unsigned(v) => Ok(*v),
+            Value::Signed(v) if *v >= 0 => Ok(*v as u64),
+            Value::Str(s) => {
+                s.trim().parse::<u64>().map_err(|_| self.mismatch("unsigned"))
+            }
+            Value::Bool(b) => Ok(u64::from(*b)),
+            _ => Err(self.mismatch("unsigned")),
+        }
+    }
+
+    /// Coerces to `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::TypeMismatch`] unless the value is an
+    /// in-range integer or a numeric string.
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Signed(v) => Ok(*v),
+            Value::Unsigned(v) => {
+                i64::try_from(*v).map_err(|_| self.mismatch("signed"))
+            }
+            Value::Str(s) => s.trim().parse::<i64>().map_err(|_| self.mismatch("signed")),
+            Value::Bool(b) => Ok(i64::from(*b)),
+            _ => Err(self.mismatch("signed")),
+        }
+    }
+
+    /// Borrows the value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::TypeMismatch`] unless the value is a string.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(self.mismatch("string")),
+        }
+    }
+
+    /// Borrows the value as raw bytes (strings are viewed as UTF-8 bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::TypeMismatch`] for non-byte-like values.
+    pub fn as_bytes(&self) -> Result<&[u8]> {
+        match self {
+            Value::Bytes(b) => Ok(b),
+            Value::Str(s) => Ok(s.as_bytes()),
+            _ => Err(self.mismatch("bytes")),
+        }
+    }
+
+    /// Coerces to `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::TypeMismatch`] unless the value is a bool or
+    /// 0/1 integer.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            Value::Unsigned(0) | Value::Signed(0) => Ok(false),
+            Value::Unsigned(1) | Value::Signed(1) => Ok(true),
+            _ => Err(self.mismatch("bool")),
+        }
+    }
+
+    /// Borrows the value as a list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::TypeMismatch`] unless the value is a list.
+    pub fn as_list(&self) -> Result<&[Value]> {
+        match self {
+            Value::List(items) => Ok(items),
+            _ => Err(self.mismatch("list")),
+        }
+    }
+
+    /// Renders the value as the string a text protocol would carry: numbers
+    /// in decimal, bytes lossily decoded, lists comma-separated.
+    ///
+    /// This is the canonical lossy conversion used when translation logic
+    /// assigns a binary field to a text field (e.g. an SLP `XID` integer
+    /// into an SSDP header line).
+    pub fn to_text(&self) -> String {
+        match self {
+            Value::Unsigned(v) => v.to_string(),
+            Value::Signed(v) => v.to_string(),
+            Value::Str(s) => s.clone(),
+            Value::Bytes(b) => String::from_utf8_lossy(b).into_owned(),
+            Value::Bool(b) => b.to_string(),
+            Value::List(items) => {
+                items.iter().map(Value::to_text).collect::<Vec<_>>().join(",")
+            }
+        }
+    }
+
+    /// True when the value is the "empty" value of its variant (0, empty
+    /// string/bytes/list, false). Used when checking which mandatory fields
+    /// of a composed message are still unfilled.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Value::Unsigned(v) => *v == 0,
+            Value::Signed(v) => *v == 0,
+            Value::Str(s) => s.is_empty(),
+            Value::Bytes(b) => b.is_empty(),
+            Value::Bool(b) => !*b,
+            Value::List(items) => items.is_empty(),
+        }
+    }
+
+    fn mismatch(&self, expected: &'static str) -> MessageError {
+        MessageError::TypeMismatch { expected, found: self.type_name() }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bytes(b) => {
+                write!(f, "0x")?;
+                for byte in b {
+                    write!(f, "{byte:02x}")?;
+                }
+                Ok(())
+            }
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            other => f.write_str(&other.to_text()),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Unsigned(0)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Unsigned(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Unsigned(u64::from(v))
+    }
+}
+
+impl From<u16> for Value {
+    fn from(v: u16) -> Self {
+        Value::Unsigned(u64::from(v))
+    }
+}
+
+impl From<u8> for Value {
+    fn from(v: u8) -> Self {
+        Value::Unsigned(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Signed(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Signed(i64::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Unsigned(7).as_u64().unwrap(), 7);
+        assert_eq!(Value::Signed(7).as_u64().unwrap(), 7);
+        assert_eq!(Value::Str("42".into()).as_u64().unwrap(), 42);
+        assert!(Value::Signed(-1).as_u64().is_err());
+        assert_eq!(Value::Unsigned(9).as_i64().unwrap(), 9);
+        assert!(Value::Unsigned(u64::MAX).as_i64().is_err());
+    }
+
+    #[test]
+    fn string_and_bytes_views() {
+        assert_eq!(Value::Str("x".into()).as_str().unwrap(), "x");
+        assert!(Value::Unsigned(1).as_str().is_err());
+        assert_eq!(Value::Str("ab".into()).as_bytes().unwrap(), b"ab");
+        assert_eq!(Value::Bytes(vec![1, 2]).as_bytes().unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn bool_coercions() {
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert!(!Value::Unsigned(0).as_bool().unwrap());
+        assert!(Value::Unsigned(2).as_bool().is_err());
+    }
+
+    #[test]
+    fn to_text_is_lossy_but_total() {
+        assert_eq!(Value::Unsigned(80).to_text(), "80");
+        assert_eq!(Value::Bytes(b"hi".to_vec()).to_text(), "hi");
+        assert_eq!(
+            Value::List(vec![Value::Unsigned(1), Value::Str("a".into())]).to_text(),
+            "1,a"
+        );
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Value::Unsigned(0).is_empty());
+        assert!(Value::Str(String::new()).is_empty());
+        assert!(!Value::Str("x".into()).is_empty());
+    }
+
+    #[test]
+    fn display_of_bytes_is_hex() {
+        assert_eq!(Value::Bytes(vec![0xde, 0xad]).to_string(), "0xdead");
+    }
+
+    #[test]
+    fn mismatch_error_names_both_types() {
+        let err = Value::Unsigned(1).as_str().unwrap_err();
+        assert_eq!(err.to_string(), "value type mismatch: expected string, found unsigned");
+    }
+}

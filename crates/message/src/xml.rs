@@ -1,0 +1,286 @@
+//! The XML image of an abstract message.
+//!
+//! §IV-A: "concretely, this is a Java object which conforms to an XML
+//! schema of the abstract message representation ... this conformance to
+//! the schema allows XPath expressions to be used to read and write field
+//! values". Here the canonical object is [`AbstractMessage`]; this module
+//! provides the equivalent XML rendering (and loader), which is what the
+//! `/field/primitiveField[label='X']/value` selectors of the translation
+//! logic are defined against.
+
+use crate::error::{MessageError, Result};
+use crate::field::{Field, PrimitiveField, StructuredField};
+use crate::message::AbstractMessage;
+use crate::value::Value;
+use starlink_xml::Element;
+
+fn value_to_named_element(tag: &str, value: &Value) -> Element {
+    let mut el = Element::new(tag);
+    el.set_attr("kind", value.type_name());
+    match value {
+        Value::List(items) => {
+            for item in items {
+                el.push_element(value_to_named_element("item", item));
+            }
+        }
+        Value::Bytes(bytes) => {
+            el.push_text(hex_encode(bytes));
+        }
+        other => {
+            el.push_text(other.to_text());
+        }
+    }
+    el
+}
+
+fn value_to_element(value: &Value) -> Element {
+    value_to_named_element("value", value)
+}
+
+fn value_from_element(el: &Element) -> Result<Value> {
+    let kind = el.attr("kind").unwrap_or("string");
+    // Strings keep their whitespace verbatim; every other kind is
+    // whitespace-insensitive and parses from the trimmed form.
+    if kind == "string" {
+        return Ok(Value::Str(el.raw_text()));
+    }
+    let text = el.text();
+    match kind {
+        "unsigned" => text
+            .parse::<u64>()
+            .map(Value::Unsigned)
+            .map_err(|_| MessageError::Schema(format!("bad unsigned literal {text:?}"))),
+        "signed" => text
+            .parse::<i64>()
+            .map(Value::Signed)
+            .map_err(|_| MessageError::Schema(format!("bad signed literal {text:?}"))),
+        "bool" => match text.as_str() {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            other => Err(MessageError::Schema(format!("bad bool literal {other:?}"))),
+        },
+        "bytes" => hex_decode(&text)
+            .map(Value::Bytes)
+            .ok_or_else(|| MessageError::Schema(format!("bad hex literal {text:?}"))),
+        "list" => {
+            let mut items = Vec::new();
+            for item in el.children_named("item") {
+                items.push(value_from_element(item)?);
+            }
+            Ok(Value::List(items))
+        }
+        _ => Ok(Value::Str(text)),
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    let text = text.trim();
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&text[i..i + 2], 16).ok())
+        .collect()
+}
+
+fn field_to_element(field: &Field) -> Element {
+    match field {
+        Field::Primitive(p) => {
+            let mut el = Element::new("primitiveField");
+            el.push_child_with_text("label", p.label());
+            el.push_child_with_text("type", p.type_name());
+            if let Some(bits) = p.length_bits() {
+                el.push_child_with_text("length", bits.to_string());
+            }
+            el.push_element(value_to_element(p.value()));
+            el
+        }
+        Field::Structured(s) => {
+            let mut el = Element::new("structuredField");
+            el.push_child_with_text("label", s.label());
+            let mut container = Element::new("field");
+            for sub in s.fields() {
+                container.push_element(field_to_element(sub));
+            }
+            el.push_element(container);
+            el
+        }
+    }
+}
+
+fn field_from_element(el: &Element) -> Result<Field> {
+    match el.name() {
+        "primitiveField" => {
+            let label = el
+                .child_text("label")
+                .ok_or_else(|| MessageError::Schema("primitiveField missing <label>".into()))?;
+            let type_name = el.child_text("type").unwrap_or_else(|| "String".into());
+            let value = match el.child("value") {
+                Some(v) => value_from_element(v)?,
+                None => Value::Str(String::new()),
+            };
+            let mut prim = PrimitiveField::new(label.clone(), type_name.clone(), value);
+            if let Some(bits) = el.child_text("length").and_then(|t| t.parse::<u32>().ok()) {
+                prim = PrimitiveField::with_length(label, type_name, bits, prim.value().clone());
+            }
+            Ok(Field::Primitive(prim))
+        }
+        "structuredField" => {
+            let label = el
+                .child_text("label")
+                .ok_or_else(|| MessageError::Schema("structuredField missing <label>".into()))?;
+            let mut structured = StructuredField::new(label);
+            if let Some(container) = el.child("field") {
+                for sub in container.children() {
+                    structured.push(field_from_element(sub)?);
+                }
+            }
+            Ok(Field::Structured(structured))
+        }
+        other => Err(MessageError::Schema(format!("unexpected field element <{other}>"))),
+    }
+}
+
+/// Renders `message` as its canonical XML [`Element`].
+pub fn message_to_element(message: &AbstractMessage) -> Element {
+    let mut root = Element::new("abstractMessage");
+    root.set_attr("protocol", message.protocol());
+    root.set_attr("name", message.name());
+    let mut container = Element::new("field");
+    for field in message.fields() {
+        container.push_element(field_to_element(field));
+    }
+    root.push_element(container);
+    for label in message.mandatory_labels() {
+        root.push_child_with_text("mandatory", label);
+    }
+    root
+}
+
+/// Renders `message` as an XML string (the wire-independent debug/export
+/// format).
+pub fn message_to_xml(message: &AbstractMessage) -> String {
+    starlink_xml::to_string_pretty(&message_to_element(message))
+}
+
+/// Parses the canonical XML [`Element`] form back into a message.
+///
+/// # Errors
+///
+/// Returns [`MessageError::Schema`] for structural violations.
+pub fn message_from_element(root: &Element) -> Result<AbstractMessage> {
+    if root.name() != "abstractMessage" {
+        return Err(MessageError::Schema(format!(
+            "expected <abstractMessage>, found <{}>",
+            root.name()
+        )));
+    }
+    let protocol = root.attr("protocol").unwrap_or_default().to_owned();
+    let name = root
+        .attr("name")
+        .ok_or_else(|| MessageError::Schema("abstractMessage missing name".into()))?
+        .to_owned();
+    let mut message = AbstractMessage::new(protocol, name);
+    if let Some(container) = root.child("field") {
+        for field in container.children() {
+            message.push_field(field_from_element(field)?);
+        }
+    }
+    for mandatory in root.children_named("mandatory") {
+        message.mark_mandatory(mandatory.text());
+    }
+    Ok(message)
+}
+
+/// Parses the XML string form back into a message.
+///
+/// # Errors
+///
+/// Returns [`MessageError::Schema`] for malformed XML or structure.
+pub fn message_from_xml(source: &str) -> Result<AbstractMessage> {
+    let root = Element::parse(source)
+        .map_err(|e| MessageError::Schema(format!("invalid message XML: {e}")))?;
+    message_from_element(&root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AbstractMessage {
+        let mut msg = AbstractMessage::new("SLP", "SLPSrvRequest");
+        msg.push_field(Field::Primitive(PrimitiveField::with_length(
+            "XID",
+            "Integer",
+            16,
+            Value::Unsigned(7),
+        )));
+        msg.push_field(Field::primitive("SRVType", "service:printer"));
+        msg.push_field(Field::structured(
+            "URL",
+            vec![
+                Field::primitive("address", "10.0.0.1"),
+                Field::primitive("port", 427u16),
+            ],
+        ));
+        msg.push_field(Field::primitive("Opaque", vec![1u8, 2, 0xff]));
+        msg.push_field(Field::primitive(
+            "Records",
+            vec![Value::Str("a".into()), Value::Unsigned(2)],
+        ));
+        msg.mark_mandatory("SRVType");
+        msg
+    }
+
+    #[test]
+    fn roundtrip_through_xml() {
+        let msg = sample();
+        let xml = message_to_xml(&msg);
+        let back = message_from_xml(&xml).unwrap();
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn xml_form_matches_xpath_schema() {
+        // The element layout must match what FieldPath::parse_xpath
+        // assumes: field/primitiveField/label+value.
+        let xml = message_to_xml(&sample());
+        assert!(xml.contains("<primitiveField>"));
+        assert!(xml.contains("<label>SRVType</label>"));
+        assert!(xml.contains("<structuredField>"));
+    }
+
+    #[test]
+    fn bytes_roundtrip_as_hex() {
+        let xml = message_to_xml(&sample());
+        assert!(xml.contains("0102ff"));
+    }
+
+    #[test]
+    fn mandatory_labels_roundtrip() {
+        let back = message_from_xml(&message_to_xml(&sample())).unwrap();
+        assert!(back.is_mandatory("SRVType"));
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        assert!(message_from_xml("<other/>").is_err());
+    }
+
+    #[test]
+    fn hex_codec() {
+        assert_eq!(hex_encode(&[0x00, 0xab]), "00ab");
+        assert_eq!(hex_decode("00ab").unwrap(), vec![0x00, 0xab]);
+        assert!(hex_decode("0").is_none());
+        assert!(hex_decode("zz").is_none());
+    }
+}

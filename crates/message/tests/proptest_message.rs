@@ -1,0 +1,90 @@
+//! Property tests on abstract messages: path algebra, set/get coherence,
+//! and the XML image round-trip.
+
+use proptest::prelude::*;
+use starlink_message::{xml, AbstractMessage, Field, FieldPath, Value};
+
+fn label_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_-]{0,10}"
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<u64>().prop_map(Value::Unsigned),
+        any::<i64>().prop_map(Value::Signed),
+        "[ -~]{0,16}".prop_map(Value::Str),
+        prop::collection::vec(any::<u8>(), 0..12).prop_map(Value::Bytes),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+/// A message with unique top-level labels (duplicate labels are legal in
+/// the wire model but path lookup addresses the first, so uniqueness
+/// keeps the oracle simple).
+fn message_strategy() -> impl Strategy<Value = AbstractMessage> {
+    prop::collection::btree_map(label_strategy(), value_strategy(), 1..8).prop_map(|fields| {
+        let mut msg = AbstractMessage::new("Prop", "PropMsg");
+        for (label, value) in fields {
+            msg.push_field(Field::primitive(label, value));
+        }
+        msg
+    })
+}
+
+proptest! {
+    #[test]
+    fn set_then_get_returns_value(msg in message_strategy(), value in value_strategy()) {
+        let mut msg = msg;
+        let label = msg.fields()[0].label().to_owned();
+        let path = FieldPath::field(&label);
+        msg.set(&path, value.clone()).unwrap();
+        prop_assert_eq!(msg.get(&path).unwrap(), &value);
+    }
+
+    #[test]
+    fn xml_image_roundtrip(msg in message_strategy()) {
+        let rendered = xml::message_to_xml(&msg);
+        let back = xml::message_from_xml(&rendered).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn xpath_form_of_every_field_resolves(msg in message_strategy()) {
+        for (path, prim) in msg.primitive_fields() {
+            // The XPath rendering of a discovered path must resolve to
+            // the same value.
+            let xpath = FieldPath::parse(&path.to_xpath()).unwrap();
+            prop_assert_eq!(msg.get(&xpath).unwrap(), prim.value());
+        }
+    }
+
+    #[test]
+    fn dotted_path_roundtrip(labels in prop::collection::vec(label_strategy(), 1..4)) {
+        let expr = labels.join(".");
+        let path = FieldPath::parse_dotted(&expr).unwrap();
+        prop_assert_eq!(path.to_string(), expr);
+        prop_assert_eq!(path.len(), labels.len());
+    }
+
+    #[test]
+    fn set_or_insert_creates_then_get_finds(
+        labels in prop::collection::vec(label_strategy(), 1..4),
+        value in value_strategy(),
+    ) {
+        // Nested labels must be distinct from each other to avoid
+        // shape conflicts in this oracle.
+        let mut unique = labels.clone();
+        unique.dedup();
+        prop_assume!(unique.len() == labels.len());
+        let mut msg = AbstractMessage::new("P", "M");
+        let path = FieldPath::parse_dotted(&labels.join(".")).unwrap();
+        msg.set_or_insert(&path, value.clone()).unwrap();
+        prop_assert_eq!(msg.get(&path).unwrap(), &value);
+    }
+
+    #[test]
+    fn to_text_is_total(value in value_strategy()) {
+        let _ = value.to_text();
+        let _ = value.to_string();
+    }
+}

@@ -1,0 +1,85 @@
+//! Simulated addresses: hosts are named by IPv4-style strings, endpoints
+//! add a port, and multicast groups are `239.x`/`224.x` style addresses
+//! that hosts join.
+
+use crate::error::{NetError, Result};
+use std::fmt;
+
+/// A host + port endpoint in the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SimAddr {
+    /// Host address string (e.g. `"10.0.0.1"` or `"239.255.255.253"`).
+    pub host: String,
+    /// Port number.
+    pub port: u16,
+}
+
+impl SimAddr {
+    /// Creates an endpoint.
+    pub fn new(host: impl Into<String>, port: u16) -> Self {
+        SimAddr { host: host.into(), port }
+    }
+
+    /// Parses `"host:port"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidAddress`] when the port is missing or
+    /// non-numeric.
+    pub fn parse(text: &str) -> Result<Self> {
+        let (host, port) = text
+            .rsplit_once(':')
+            .ok_or_else(|| NetError::InvalidAddress(text.to_owned()))?;
+        let port =
+            port.parse::<u16>().map_err(|_| NetError::InvalidAddress(text.to_owned()))?;
+        if host.is_empty() {
+            return Err(NetError::InvalidAddress(text.to_owned()));
+        }
+        Ok(SimAddr::new(host, port))
+    }
+
+    /// True when the host address is in the IPv4 multicast range
+    /// (224.0.0.0 – 239.255.255.255).
+    pub fn is_multicast(&self) -> bool {
+        self.host
+            .split('.')
+            .next()
+            .and_then(|octet| octet.parse::<u8>().ok())
+            .map(|octet| (224..=239).contains(&octet))
+            .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for SimAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let addr = SimAddr::parse("239.255.255.253:427").unwrap();
+        assert_eq!(addr.host, "239.255.255.253");
+        assert_eq!(addr.port, 427);
+        assert_eq!(addr.to_string(), "239.255.255.253:427");
+    }
+
+    #[test]
+    fn parse_rejects_bad_addresses() {
+        for bad in ["nohost", "h:", ":80", "h:notaport", "h:99999"] {
+            assert!(SimAddr::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn multicast_detection() {
+        assert!(SimAddr::new("239.255.255.250", 1900).is_multicast());
+        assert!(SimAddr::new("224.0.0.251", 5353).is_multicast());
+        assert!(!SimAddr::new("10.0.0.1", 80).is_multicast());
+        assert!(!SimAddr::new("localhost", 80).is_multicast());
+    }
+}

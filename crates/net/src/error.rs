@@ -1,0 +1,54 @@
+//! Error type for the network engines.
+
+use std::fmt;
+
+/// Error raised by the simulated (or loopback) network engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The host name is not registered in the simulation.
+    UnknownHost(String),
+    /// A UDP port was already bound on the host.
+    PortInUse {
+        /// Host name.
+        host: String,
+        /// Port number.
+        port: u16,
+    },
+    /// A TCP connection id did not resolve (never opened or already
+    /// closed).
+    NotConnected(u64),
+    /// No listener accepts connections at the destination.
+    ConnectionRefused {
+        /// Destination host.
+        host: String,
+        /// Destination port.
+        port: u16,
+    },
+    /// An address string could not be parsed.
+    InvalidAddress(String),
+    /// An I/O error from the loopback engine.
+    Io(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownHost(host) => write!(f, "unknown host {host:?}"),
+            NetError::PortInUse { host, port } => {
+                write!(f, "port {port} already bound on {host}")
+            }
+            NetError::NotConnected(id) => write!(f, "connection #{id} is not open"),
+            NetError::ConnectionRefused { host, port } => {
+                write!(f, "connection refused by {host}:{port}")
+            }
+            NetError::InvalidAddress(addr) => write!(f, "invalid address {addr:?}"),
+            NetError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Convenient result alias for network operations.
+pub type Result<T> = std::result::Result<T, NetError>;

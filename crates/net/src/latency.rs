@@ -1,0 +1,90 @@
+//! Link latency models. Deterministic given a seed: jitter comes from the
+//! simulation's own RNG stream, so every 100-run sweep of the Fig. 12
+//! harness regenerates identical tables.
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How long a packet takes from one host to another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Every delivery takes exactly this long.
+    Fixed(SimDuration),
+    /// Uniformly distributed in `[min, max]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        min: SimDuration,
+        /// Upper bound (inclusive).
+        max: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// A conventional same-host latency (the paper ran client, service and
+    /// bridge on one machine "to avoid measuring additional network
+    /// latency"): 0.2–0.6 ms, the cost of loopback + stack traversal.
+    pub fn local_machine() -> Self {
+        LatencyModel::Uniform {
+            min: SimDuration::from_micros(200),
+            max: SimDuration::from_micros(600),
+        }
+    }
+
+    /// Samples a delivery latency.
+    pub fn sample(&self, rng: &mut StdRng) -> SimDuration {
+        match self {
+            LatencyModel::Fixed(latency) => *latency,
+            LatencyModel::Uniform { min, max } => {
+                let lo = min.as_micros();
+                let hi = max.as_micros().max(lo);
+                SimDuration::from_micros(rng.gen_range(lo..=hi))
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::local_machine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let model = LatencyModel::Fixed(SimDuration::from_millis(5));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(model.sample(&mut rng), SimDuration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let model = LatencyModel::Uniform {
+            min: SimDuration::from_micros(100),
+            max: SimDuration::from_micros(200),
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let sample = model.sample(&mut rng);
+            assert!(sample >= SimDuration::from_micros(100));
+            assert!(sample <= SimDuration::from_micros(200));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_samples() {
+        let model = LatencyModel::local_machine();
+        let a: Vec<_> =
+            (0..20).map(|_| model.sample(&mut StdRng::seed_from_u64(3))).collect();
+        let b: Vec<_> =
+            (0..20).map(|_| model.sample(&mut StdRng::seed_from_u64(3))).collect();
+        assert_eq!(a, b);
+    }
+}

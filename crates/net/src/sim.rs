@@ -1,0 +1,827 @@
+//! The deterministic discrete-event network simulator.
+//!
+//! Hosts are [`Actor`]s reacting to datagrams, TCP events and timers; the
+//! simulator owns a single virtual clock and a totally ordered event
+//! queue, so a seeded run replays bit-identically. This is the substrate
+//! on which the legacy protocol endpoints and the Starlink bridge of the
+//! evaluation (§V/§VI) execute.
+
+use crate::addr::SimAddr;
+use crate::error::{NetError, Result};
+use crate::latency::LatencyModel;
+use crate::time::{SimDuration, SimTime};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// A UDP datagram delivered to an actor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sender endpoint.
+    pub from: SimAddr,
+    /// Destination endpoint as addressed (multicast group or unicast).
+    pub to: SimAddr,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Identifier of a simulated TCP connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+/// Identifier of a pending timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(u64);
+
+/// TCP lifecycle events delivered to actors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpEvent {
+    /// An outbound connection completed (initiator side).
+    Connected {
+        /// The connection.
+        conn: ConnId,
+        /// The accepting endpoint.
+        peer: SimAddr,
+    },
+    /// An inbound connection arrived (listener side).
+    Accepted {
+        /// The connection.
+        conn: ConnId,
+        /// The initiating endpoint.
+        peer: SimAddr,
+        /// The local listening port that accepted.
+        local_port: u16,
+    },
+    /// Stream data arrived.
+    Data {
+        /// The connection.
+        conn: ConnId,
+        /// Payload bytes.
+        payload: Bytes,
+    },
+    /// The peer closed the connection.
+    Closed {
+        /// The connection.
+        conn: ConnId,
+    },
+}
+
+/// A simulated host's behaviour. All methods default to no-ops so actors
+/// implement only what they use.
+pub trait Actor {
+    /// Called once when the simulation starts (or when the actor is added
+    /// to a running simulation).
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// A datagram arrived on a bound port or joined group.
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, _datagram: Datagram) {}
+
+    /// A TCP event arrived.
+    fn on_tcp(&mut self, _ctx: &mut Context<'_>, _event: TcpEvent) {}
+
+    /// A timer set via [`Context::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _tag: u64) {}
+}
+
+#[derive(Debug)]
+struct Connection {
+    initiator: SimAddr,
+    target: SimAddr,
+    open: bool,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Start,
+    Datagram(Datagram),
+    TcpAccepted { conn: u64, peer: SimAddr, local_port: u16 },
+    TcpConnected { conn: u64, peer: SimAddr },
+    TcpData { conn: u64, payload: Bytes },
+    TcpClosed { conn: u64 },
+    Timer { id: u64, tag: u64 },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    host: String,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// One line of the delivery trace (debugging/verification aid).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the entry was recorded.
+    pub at: SimTime,
+    /// What happened.
+    pub description: String,
+}
+
+#[derive(Debug)]
+struct World {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    rng: StdRng,
+    latency: LatencyModel,
+    udp_bindings: BTreeSet<(String, u16)>,
+    groups: BTreeMap<SimAddr, BTreeSet<String>>,
+    tcp_listeners: BTreeSet<(String, u16)>,
+    connections: BTreeMap<u64, Connection>,
+    next_conn: u64,
+    next_ephemeral: u16,
+    next_timer: u64,
+    cancelled_timers: BTreeSet<u64>,
+    trace: Vec<TraceEntry>,
+    hosts: BTreeSet<String>,
+}
+
+impl World {
+    fn schedule(&mut self, at: SimTime, host: String, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { at, seq, host, kind }));
+    }
+
+    fn latency(&mut self) -> SimDuration {
+        self.latency.sample(&mut self.rng)
+    }
+
+    fn trace(&mut self, description: String) {
+        let at = self.now;
+        self.trace.push(TraceEntry { at, description });
+    }
+}
+
+/// The capabilities an actor has while handling an event.
+#[derive(Debug)]
+pub struct Context<'w> {
+    world: &'w mut World,
+    host: &'w str,
+}
+
+impl Context<'_> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// The host this actor runs on.
+    pub fn host(&self) -> &str {
+        self.host
+    }
+
+    /// Binds a UDP port on this host; datagrams addressed to it will be
+    /// delivered to the actor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PortInUse`] when already bound.
+    pub fn bind_udp(&mut self, port: u16) -> Result<()> {
+        let key = (self.host.to_owned(), port);
+        if !self.world.udp_bindings.insert(key) {
+            return Err(NetError::PortInUse { host: self.host.to_owned(), port });
+        }
+        Ok(())
+    }
+
+    /// Joins a multicast group endpoint (group address + port); all
+    /// datagrams sent to the group are delivered to members.
+    pub fn join_group(&mut self, group: SimAddr) {
+        self.world.groups.entry(group).or_default().insert(self.host.to_owned());
+    }
+
+    /// Leaves a multicast group endpoint.
+    pub fn leave_group(&mut self, group: &SimAddr) {
+        if let Some(members) = self.world.groups.get_mut(group) {
+            members.remove(self.host);
+        }
+    }
+
+    /// Sends a UDP datagram from `from_port` on this host. Multicast
+    /// destinations fan out to every group member except the sender;
+    /// unicast destinations are delivered when the target host has bound
+    /// the port (silently dropped — and traced — otherwise, like real
+    /// UDP).
+    pub fn udp_send(&mut self, from_port: u16, to: SimAddr, payload: impl Into<Bytes>) {
+        let payload: Bytes = payload.into();
+        let from = SimAddr::new(self.host, from_port);
+        if to.is_multicast() {
+            let members: Vec<String> = self
+                .world
+                .groups
+                .get(&to)
+                .map(|m| m.iter().filter(|h| h.as_str() != self.host).cloned().collect())
+                .unwrap_or_default();
+            self.world.trace(format!(
+                "udp multicast {from} -> {to} ({} bytes, {} members)",
+                payload.len(),
+                members.len()
+            ));
+            for member in members {
+                let latency = self.world.latency();
+                let at = self.world.now + latency;
+                self.world.schedule(
+                    at,
+                    member,
+                    EventKind::Datagram(Datagram {
+                        from: from.clone(),
+                        to: to.clone(),
+                        payload: payload.clone(),
+                    }),
+                );
+            }
+        } else {
+            let bound = self.world.udp_bindings.contains(&(to.host.clone(), to.port));
+            if bound {
+                self.world
+                    .trace(format!("udp {from} -> {to} ({} bytes)", payload.len()));
+                let latency = self.world.latency();
+                let at = self.world.now + latency;
+                self.world.schedule(
+                    at,
+                    to.host.clone(),
+                    EventKind::Datagram(Datagram { from, to, payload }),
+                );
+            } else {
+                self.world.trace(format!(
+                    "udp {from} -> {to} dropped (no binding)"
+                ));
+            }
+        }
+    }
+
+    /// Starts listening for TCP connections on `port`.
+    pub fn listen_tcp(&mut self, port: u16) {
+        self.world.tcp_listeners.insert((self.host.to_owned(), port));
+    }
+
+    /// Opens a TCP connection to `to`. The listener receives
+    /// [`TcpEvent::Accepted`] after one latency, the initiator
+    /// [`TcpEvent::Connected`] after two (SYN → SYN/ACK).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::ConnectionRefused`] when nothing listens at
+    /// the destination.
+    pub fn tcp_connect(&mut self, to: SimAddr) -> Result<ConnId> {
+        if !self.world.tcp_listeners.contains(&(to.host.clone(), to.port)) {
+            return Err(NetError::ConnectionRefused { host: to.host, port: to.port });
+        }
+        let conn = self.world.next_conn;
+        self.world.next_conn += 1;
+        let local_port = self.world.next_ephemeral;
+        self.world.next_ephemeral = self.world.next_ephemeral.wrapping_add(1).max(49152);
+        let initiator = SimAddr::new(self.host, local_port);
+        self.world.connections.insert(
+            conn,
+            Connection { initiator: initiator.clone(), target: to.clone(), open: true },
+        );
+        self.world.trace(format!("tcp connect {initiator} -> {to} (#{conn})"));
+        let one_way = self.world.latency();
+        let accepted_at = self.world.now + one_way;
+        self.world.schedule(
+            accepted_at,
+            to.host.clone(),
+            EventKind::TcpAccepted { conn, peer: initiator, local_port: to.port },
+        );
+        let back = self.world.latency();
+        let connected_at = accepted_at + back;
+        self.world.schedule(
+            connected_at,
+            self.host.to_owned(),
+            EventKind::TcpConnected { conn, peer: to },
+        );
+        Ok(ConnId(conn))
+    }
+
+    /// Sends stream data on an open connection; delivered to the peer
+    /// after one latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NotConnected`] for unknown/closed connections.
+    pub fn tcp_send(&mut self, conn: ConnId, payload: impl Into<Bytes>) -> Result<()> {
+        let payload: Bytes = payload.into();
+        let (peer_host, description) = {
+            let connection = self
+                .world
+                .connections
+                .get(&conn.0)
+                .filter(|c| c.open)
+                .ok_or(NetError::NotConnected(conn.0))?;
+            let peer = if connection.initiator.host == self.host {
+                connection.target.host.clone()
+            } else {
+                connection.initiator.host.clone()
+            };
+            (peer.clone(), format!("tcp data #{} {} -> {peer} ({} bytes)", conn.0, self.host, payload.len()))
+        };
+        self.world.trace(description);
+        let latency = self.world.latency();
+        let at = self.world.now + latency;
+        self.world.schedule(at, peer_host, EventKind::TcpData { conn: conn.0, payload });
+        Ok(())
+    }
+
+    /// Closes a connection; the peer receives [`TcpEvent::Closed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NotConnected`] for unknown/closed connections.
+    pub fn tcp_close(&mut self, conn: ConnId) -> Result<()> {
+        let peer_host = {
+            let connection = self
+                .world
+                .connections
+                .get_mut(&conn.0)
+                .filter(|c| c.open)
+                .ok_or(NetError::NotConnected(conn.0))?;
+            connection.open = false;
+            if connection.initiator.host == self.host {
+                connection.target.host.clone()
+            } else {
+                connection.initiator.host.clone()
+            }
+        };
+        self.world.trace(format!("tcp close #{} by {}", conn.0, self.host));
+        let latency = self.world.latency();
+        let at = self.world.now + latency;
+        self.world.schedule(at, peer_host, EventKind::TcpClosed { conn: conn.0 });
+        Ok(())
+    }
+
+    /// Schedules a timer for this actor after `delay`; `tag` is returned
+    /// to [`Actor::on_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = self.world.next_timer;
+        self.world.next_timer += 1;
+        let at = self.world.now + delay;
+        self.world.schedule(at, self.host.to_owned(), EventKind::Timer { id, tag });
+        TimerId(id)
+    }
+
+    /// Cancels a pending timer (firing becomes a no-op).
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.world.cancelled_timers.insert(timer.0);
+    }
+
+    /// Uniform random integer in `[lo, hi]` from the simulation's seeded
+    /// stream (for protocol-level jitter like SSDP's MX backoff).
+    pub fn rand_range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.world.rng.gen_range(lo..=hi.max(lo))
+    }
+
+    /// Appends a line to the simulation trace.
+    pub fn trace(&mut self, description: impl Into<String>) {
+        self.world.trace(description.into());
+    }
+}
+
+/// The simulation: hosts, clock and event queue.
+///
+/// ```
+/// use starlink_net::{SimNet, Actor, Context, Datagram, SimAddr};
+///
+/// struct Echo;
+/// impl Actor for Echo {
+///     fn on_start(&mut self, ctx: &mut Context<'_>) {
+///         ctx.bind_udp(9).unwrap();
+///     }
+///     fn on_datagram(&mut self, ctx: &mut Context<'_>, datagram: Datagram) {
+///         ctx.udp_send(9, datagram.from, datagram.payload);
+///     }
+/// }
+///
+/// struct Probe;
+/// impl Actor for Probe {
+///     fn on_start(&mut self, ctx: &mut Context<'_>) {
+///         ctx.bind_udp(1000).unwrap();
+///         ctx.udp_send(1000, SimAddr::new("10.0.0.2", 9), &b"ping"[..]);
+///     }
+/// }
+///
+/// // Start order matters: the echo server must bind its port before the
+/// // probe's datagram is sent (actors start in registration order).
+/// let mut sim = SimNet::new(42);
+/// sim.add_actor("10.0.0.2", Echo);
+/// sim.add_actor("10.0.0.1", Probe);
+/// sim.run_until_idle();
+/// assert!(sim.now().as_micros() > 0);
+/// ```
+#[derive(Debug)]
+pub struct SimNet {
+    world: World,
+    actors: BTreeMap<String, Option<Box<dyn Actor>>>,
+}
+
+impl std::fmt::Debug for dyn Actor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Actor")
+    }
+}
+
+impl SimNet {
+    /// Creates a simulation seeded with `seed` (identical seeds replay
+    /// identical runs).
+    pub fn new(seed: u64) -> Self {
+        SimNet {
+            world: World {
+                now: SimTime::ZERO,
+                seq: 0,
+                events: BinaryHeap::new(),
+                rng: StdRng::seed_from_u64(seed),
+                latency: LatencyModel::default(),
+                udp_bindings: BTreeSet::new(),
+                groups: BTreeMap::new(),
+                tcp_listeners: BTreeSet::new(),
+                connections: BTreeMap::new(),
+                next_conn: 1,
+                next_ephemeral: 49152,
+                next_timer: 1,
+                cancelled_timers: BTreeSet::new(),
+                trace: Vec::new(),
+                hosts: BTreeSet::new(),
+            },
+            actors: BTreeMap::new(),
+        }
+    }
+
+    /// Replaces the latency model (default: [`LatencyModel::local_machine`]).
+    pub fn set_latency(&mut self, latency: LatencyModel) {
+        self.world.latency = latency;
+    }
+
+    /// Adds a host running `actor`; its [`Actor::on_start`] runs as the
+    /// first event at the current virtual time.
+    pub fn add_actor(&mut self, host: impl Into<String>, actor: impl Actor + 'static) {
+        let host = host.into();
+        self.world.hosts.insert(host.clone());
+        self.actors.insert(host.clone(), Some(Box::new(actor)));
+        let now = self.world.now;
+        self.world.schedule(now, host, EventKind::Start);
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// The delivery trace accumulated so far.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.world.trace
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.world.events.len()
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        // Cancelled timers are dropped before touching the actor.
+        if let EventKind::Timer { id, .. } = &event.kind {
+            if self.world.cancelled_timers.remove(id) {
+                return;
+            }
+        }
+        // Take the actor out of its slot so the context can borrow the
+        // world mutably; single-threaded, so the slot cannot be observed
+        // empty by anyone else.
+        let Some(slot) = self.actors.get_mut(&event.host) else {
+            return;
+        };
+        let Some(mut actor) = slot.take() else {
+            return;
+        };
+        {
+            let mut ctx = Context { world: &mut self.world, host: &event.host };
+            match event.kind {
+                EventKind::Start => actor.on_start(&mut ctx),
+                EventKind::Datagram(datagram) => actor.on_datagram(&mut ctx, datagram),
+                EventKind::TcpAccepted { conn, peer, local_port } => actor.on_tcp(
+                    &mut ctx,
+                    TcpEvent::Accepted { conn: ConnId(conn), peer, local_port },
+                ),
+                EventKind::TcpConnected { conn, peer } => {
+                    actor.on_tcp(&mut ctx, TcpEvent::Connected { conn: ConnId(conn), peer })
+                }
+                EventKind::TcpData { conn, payload } => {
+                    actor.on_tcp(&mut ctx, TcpEvent::Data { conn: ConnId(conn), payload })
+                }
+                EventKind::TcpClosed { conn } => {
+                    actor.on_tcp(&mut ctx, TcpEvent::Closed { conn: ConnId(conn) })
+                }
+                EventKind::Timer { tag, .. } => actor.on_timer(&mut ctx, tag),
+            }
+        }
+        if let Some(slot) = self.actors.get_mut(&event.host) {
+            *slot = Some(actor);
+        }
+    }
+
+    /// Processes the next event; returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.world.events.pop() else {
+            return false;
+        };
+        self.world.now = event.at;
+        self.dispatch(event);
+        true
+    }
+
+    /// Runs until no events remain, returning the final virtual time.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        while self.step() {}
+        self.world.now
+    }
+
+    /// Runs until the queue is empty or the next event is after
+    /// `deadline`; the clock never advances beyond processed events.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        loop {
+            match self.world.events.peek() {
+                Some(Reverse(event)) if event.at <= deadline => {
+                    let Reverse(event) = self.world.events.pop().expect("peeked");
+                    self.world.now = event.at;
+                    self.dispatch(event);
+                }
+                _ => break,
+            }
+        }
+        self.world.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Records every datagram payload it receives.
+    struct Sink {
+        port: u16,
+        group: Option<SimAddr>,
+        received: Arc<AtomicUsize>,
+    }
+
+    impl Actor for Sink {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.bind_udp(self.port).unwrap();
+            if let Some(group) = self.group.clone() {
+                ctx.join_group(group);
+            }
+        }
+        fn on_datagram(&mut self, _ctx: &mut Context<'_>, _datagram: Datagram) {
+            self.received.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Sends one unicast datagram at start.
+    struct OneShot {
+        to: SimAddr,
+    }
+
+    impl Actor for OneShot {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.bind_udp(5000).unwrap();
+            ctx.udp_send(5000, self.to.clone(), &b"hello"[..]);
+        }
+    }
+
+    #[test]
+    fn unicast_delivery_advances_clock() {
+        let received = Arc::new(AtomicUsize::new(0));
+        let mut sim = SimNet::new(1);
+        sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received: received.clone() });
+        sim.add_actor("10.0.0.1", OneShot { to: SimAddr::new("10.0.0.2", 80) });
+        let end = sim.run_until_idle();
+        assert_eq!(received.load(Ordering::SeqCst), 1);
+        assert!(end.as_micros() >= 200, "latency applied");
+    }
+
+    #[test]
+    fn datagram_to_unbound_port_is_dropped() {
+        let received = Arc::new(AtomicUsize::new(0));
+        let mut sim = SimNet::new(1);
+        sim.add_actor("10.0.0.2", Sink { port: 81, group: None, received: received.clone() });
+        sim.add_actor("10.0.0.1", OneShot { to: SimAddr::new("10.0.0.2", 80) });
+        sim.run_until_idle();
+        assert_eq!(received.load(Ordering::SeqCst), 0);
+        assert!(sim.trace().iter().any(|t| t.description.contains("dropped")));
+    }
+
+    #[test]
+    fn multicast_fans_out_excluding_sender() {
+        let group = SimAddr::new("239.255.255.250", 1900);
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = Arc::new(AtomicUsize::new(0));
+        let mut sim = SimNet::new(2);
+        sim.add_actor(
+            "10.0.0.2",
+            Sink { port: 1900, group: Some(group.clone()), received: a.clone() },
+        );
+        sim.add_actor(
+            "10.0.0.3",
+            Sink { port: 1900, group: Some(group.clone()), received: b.clone() },
+        );
+
+        struct Caster {
+            group: SimAddr,
+        }
+        impl Actor for Caster {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.bind_udp(1900).unwrap();
+                ctx.join_group(self.group.clone());
+                ctx.udp_send(1900, self.group.clone(), &b"M-SEARCH"[..]);
+            }
+        }
+        sim.add_actor("10.0.0.1", Caster { group });
+        sim.run_until_idle();
+        assert_eq!(a.load(Ordering::SeqCst), 1);
+        assert_eq!(b.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        fn run(seed: u64) -> (SimTime, usize) {
+            let received = Arc::new(AtomicUsize::new(0));
+            let mut sim = SimNet::new(seed);
+            sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received: received.clone() });
+            sim.add_actor("10.0.0.1", OneShot { to: SimAddr::new("10.0.0.2", 80) });
+            (sim.run_until_idle(), sim.trace().len())
+        }
+        assert_eq!(run(7), run(7));
+        // Different seeds give different latencies (with high probability).
+        assert_ne!(run(7).0, run(8).0);
+    }
+
+    #[test]
+    fn tcp_handshake_data_and_close() {
+        struct Server {
+            log: Arc<AtomicU64>,
+        }
+        impl Actor for Server {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.listen_tcp(80);
+            }
+            fn on_tcp(&mut self, ctx: &mut Context<'_>, event: TcpEvent) {
+                match event {
+                    TcpEvent::Accepted { .. } => {
+                        self.log.fetch_add(1, Ordering::SeqCst);
+                    }
+                    TcpEvent::Data { conn, payload } => {
+                        assert_eq!(&payload[..], b"GET /");
+                        self.log.fetch_add(10, Ordering::SeqCst);
+                        ctx.tcp_send(conn, &b"200 OK"[..]).unwrap();
+                    }
+                    TcpEvent::Closed { .. } => {
+                        self.log.fetch_add(100, Ordering::SeqCst);
+                    }
+                    TcpEvent::Connected { .. } => unreachable!(),
+                }
+            }
+        }
+        struct Client {
+            log: Arc<AtomicU64>,
+        }
+        impl Actor for Client {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.tcp_connect(SimAddr::new("10.0.0.2", 80)).unwrap();
+            }
+            fn on_tcp(&mut self, ctx: &mut Context<'_>, event: TcpEvent) {
+                match event {
+                    TcpEvent::Connected { conn, .. } => {
+                        self.log.fetch_add(1000, Ordering::SeqCst);
+                        ctx.tcp_send(conn, &b"GET /"[..]).unwrap();
+                    }
+                    TcpEvent::Data { conn, payload } => {
+                        assert_eq!(&payload[..], b"200 OK");
+                        self.log.fetch_add(10000, Ordering::SeqCst);
+                        ctx.tcp_close(conn).unwrap();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let server_log = Arc::new(AtomicU64::new(0));
+        let client_log = Arc::new(AtomicU64::new(0));
+        let mut sim = SimNet::new(3);
+        sim.add_actor("10.0.0.2", Server { log: server_log.clone() });
+        sim.add_actor("10.0.0.1", Client { log: client_log.clone() });
+        sim.run_until_idle();
+        assert_eq!(server_log.load(Ordering::SeqCst), 111); // accept + data + close
+        assert_eq!(client_log.load(Ordering::SeqCst), 11000); // connected + data
+    }
+
+    #[test]
+    fn tcp_connect_refused_without_listener() {
+        struct Lonely;
+        impl Actor for Lonely {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let err = ctx.tcp_connect(SimAddr::new("10.0.0.9", 80)).unwrap_err();
+                assert!(matches!(err, NetError::ConnectionRefused { .. }));
+            }
+        }
+        let mut sim = SimNet::new(4);
+        sim.add_actor("10.0.0.1", Lonely);
+        sim.run_until_idle();
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        use std::sync::Mutex;
+        struct Timed {
+            fired: Arc<Mutex<Vec<u64>>>,
+        }
+        impl Actor for Timed {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                let cancel_me = ctx.set_timer(SimDuration::from_millis(5), 2);
+                ctx.set_timer(SimDuration::from_millis(20), 3);
+                ctx.cancel_timer(cancel_me);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+                self.fired.lock().unwrap().push(tag);
+                assert!(ctx.now() >= SimTime::from_millis(10));
+            }
+        }
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = SimNet::new(5);
+        sim.add_actor("10.0.0.1", Timed { fired: fired.clone() });
+        sim.run_until_idle();
+        assert_eq!(*fired.lock().unwrap(), vec![1, 3]); // tag 2 cancelled
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        struct Late;
+        impl Actor for Late {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_secs(10), 0);
+            }
+        }
+        let mut sim = SimNet::new(6);
+        sim.add_actor("10.0.0.1", Late);
+        sim.run_until(SimTime::from_millis(100));
+        assert_eq!(sim.pending_events(), 1);
+        assert!(sim.now() <= SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        struct Binder;
+        impl Actor for Binder {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.bind_udp(427).unwrap();
+                assert!(matches!(ctx.bind_udp(427), Err(NetError::PortInUse { .. })));
+            }
+        }
+        let mut sim = SimNet::new(7);
+        sim.add_actor("10.0.0.1", Binder);
+        sim.run_until_idle();
+    }
+
+    #[test]
+    fn rand_range_is_seeded() {
+        struct R {
+            out: Arc<AtomicU64>,
+        }
+        impl Actor for R {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                self.out.store(ctx.rand_range(0, 1_000_000), Ordering::SeqCst);
+            }
+        }
+        let run = |seed| {
+            let out = Arc::new(AtomicU64::new(0));
+            let mut sim = SimNet::new(seed);
+            sim.add_actor("h", R { out: out.clone() });
+            sim.run_until_idle();
+            out.load(Ordering::SeqCst)
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

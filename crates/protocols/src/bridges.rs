@@ -1,0 +1,509 @@
+//! The six case-study bridges of §V: merged automata (with translation
+//! logic and λ actions) for every ordered pair of the three discovery
+//! protocols. Cases 1 and 2 are the paper's Figs. 4 and 10; the remaining
+//! four complete the 3×2 matrix the evaluation reports.
+//!
+//! In the reverse cases (UPnP or Bonjour clients discovering an SLP/
+//! Bonjour service) the bridge itself serves the device-description HTTP
+//! GET, so its SSDP response LOCATION points at the bridge host — which
+//! is why those constructors take `bridge_host`.
+
+use crate::{http, mdns, slp, ssdp};
+use starlink_automata::{
+    Assignment, Delta, MergedAutomaton, NetworkAction, ValueSource,
+};
+use starlink_core::Starlink;
+use starlink_message::Value;
+
+/// Loads the four protocol MDLs into a framework instance (the model-
+/// loading step every deployment starts with).
+///
+/// # Errors
+///
+/// Propagates MDL loading failures (impossible for the embedded specs
+/// unless they are edited).
+pub fn load_all_mdls(starlink: &mut Starlink) -> starlink_core::Result<()> {
+    starlink.load_mdl_xml(slp::mdl_xml())?;
+    starlink.load_mdl_xml(mdns::mdl_xml())?;
+    starlink.load_mdl_xml(ssdp::mdl_xml())?;
+    starlink.load_mdl_xml(http::mdl_xml())?;
+    Ok(())
+}
+
+fn lit(value: impl Into<Value>) -> ValueSource {
+    ValueSource::literal(value)
+}
+
+fn field(message: &str, path: &str) -> ValueSource {
+    ValueSource::field(message, path)
+}
+
+fn func(name: &str, args: Vec<ValueSource>) -> ValueSource {
+    ValueSource::function(name, args)
+}
+
+fn assign(target: &str, path: &str, source: ValueSource) -> Assignment {
+    Assignment::new(target, path, source)
+}
+
+/// Fills the constant start-line and header fields of an outgoing
+/// `SSDP_M-Search`, plus its translated `ST`.
+fn msearch_assignments(delta: Delta, st_source: ValueSource) -> Delta {
+    delta
+        .assignment(assign("SSDP_M-Search", "URI", lit("*")))
+        .assignment(assign("SSDP_M-Search", "Version", lit("HTTP/1.1")))
+        .assignment(assign(
+            "SSDP_M-Search",
+            "HOST",
+            lit(format!("{}:{}", ssdp::SSDP_GROUP, ssdp::SSDP_PORT)),
+        ))
+        .assignment(assign("SSDP_M-Search", "MAN", lit("\"ssdp:discover\"")))
+        .assignment(assign("SSDP_M-Search", "MX", lit(2u64)))
+        .assignment(assign("SSDP_M-Search", "ST", st_source))
+}
+
+/// Fills an outgoing `SSDP_Resp` whose LOCATION points at the bridge's
+/// own HTTP listener (reverse cases).
+fn ssdp_resp_assignments(delta: Delta, bridge_host: &str, st_source: ValueSource) -> Delta {
+    delta
+        .assignment(assign("SSDP_Resp", "URI", lit("200")))
+        .assignment(assign("SSDP_Resp", "Version", lit("OK")))
+        .assignment(assign("SSDP_Resp", "CACHE-CONTROL", lit("max-age=1800")))
+        .assignment(assign(
+            "SSDP_Resp",
+            "LOCATION",
+            lit(format!("http://{bridge_host}:{}/desc.xml", http::HTTP_PORT)),
+        ))
+        .assignment(assign("SSDP_Resp", "ST", st_source))
+        .assignment(assign("SSDP_Resp", "USN", lit("uuid:starlink-bridge")))
+}
+
+/// The `set_host` λ of Fig. 5 line 11: point the next TCP connection at
+/// the host/port named by the SSDP response's LOCATION header.
+fn set_host_from_location() -> NetworkAction {
+    NetworkAction::set_host(
+        func("url-host", vec![field("SSDP_Resp", "LOCATION")]),
+        func("url-port", vec![field("SSDP_Resp", "LOCATION")]),
+    )
+}
+
+/// Fills the GET the bridge issues for the device description.
+fn http_get_assignments(delta: Delta) -> Delta {
+    delta
+        .assignment(assign(
+            "HTTP_GET",
+            "URI",
+            func("url-path", vec![field("SSDP_Resp", "LOCATION")]),
+        ))
+        .assignment(assign("HTTP_GET", "Version", lit("HTTP/1.1")))
+        .assignment(assign(
+            "HTTP_GET",
+            "HOST",
+            func(
+                "concat",
+                vec![
+                    func("url-host", vec![field("SSDP_Resp", "LOCATION")]),
+                    lit(":"),
+                    func("to-text", vec![func("url-port", vec![field("SSDP_Resp", "LOCATION")])]),
+                ],
+            ),
+        ))
+}
+
+/// Fills the description document the bridge serves in the reverse
+/// cases, embedding the discovered URL.
+fn http_ok_assignments(delta: Delta, url_source: ValueSource) -> Delta {
+    delta
+        .assignment(assign("HTTP_OK", "URI", lit("200")))
+        .assignment(assign("HTTP_OK", "Version", lit("OK")))
+        .assignment(assign("HTTP_OK", "CONTENT-TYPE", lit("text/xml")))
+        .assignment(assign(
+            "HTTP_OK",
+            "Body",
+            func("concat", vec![lit("<root><URLBase>"), url_source, lit("</URLBase></root>")]),
+        ))
+}
+
+/// Case 1 — **SLP → UPnP** (Fig. 4): an SLP client's lookup answered by
+/// a UPnP device, chaining SLP, SSDP and HTTP.
+pub fn slp_to_upnp() -> MergedAutomaton {
+    MergedAutomaton::builder("slp-to-upnp")
+        .part(slp::service_automaton())
+        .part(ssdp::client_automaton())
+        .part(http::client_automaton(http::HTTP_PORT))
+        .equivalence("SSDP_M-Search", &["SLPSrvRequest"])
+        .equivalence("HTTP_GET", &["SSDP_Resp"])
+        .equivalence("SLPSrvReply", &["HTTP_OK"])
+        .delta(msearch_assignments(
+            Delta::new("SLP:s1", "SSDP:s0"),
+            func("slp-to-ssdp-type", vec![field("SLPSrvRequest", "SRVType")]),
+        ))
+        .delta(http_get_assignments(
+            Delta::new("SSDP:s2", "HTTP:h0").action(set_host_from_location()),
+        ))
+        .delta(
+            Delta::new("HTTP:h2", "SLP:s1")
+                .assignment(assign(
+                    "SLPSrvReply",
+                    "URLEntry",
+                    func("extract-tag", vec![field("HTTP_OK", "Body"), lit("URLBase")]),
+                ))
+                .assignment(assign("SLPSrvReply", "XID", field("SLPSrvRequest", "XID")))
+                .assignment(assign("SLPSrvReply", "LangTag", field("SLPSrvRequest", "LangTag")))
+                .assignment(assign("SLPSrvReply", "Version", lit(2u64)))
+                .assignment(assign("SLPSrvReply", "LifeTime", lit(60u64))),
+        )
+        .build()
+        .expect("case 1 bridge is well-formed")
+}
+
+/// Case 2 — **SLP → Bonjour** (Fig. 10): an SLP client's lookup answered
+/// by a Bonjour responder.
+pub fn slp_to_bonjour() -> MergedAutomaton {
+    MergedAutomaton::builder("slp-to-bonjour")
+        .part(slp::service_automaton())
+        .part(mdns::client_automaton())
+        .equivalence("DNS_Question", &["SLPSrvRequest"])
+        .equivalence("SLPSrvReply", &["DNS_Response"])
+        .delta(
+            Delta::new("SLP:s1", "DNS:s0")
+                .assignment(assign(
+                    "DNS_Question",
+                    "QName",
+                    func("slp-to-dns-type", vec![field("SLPSrvRequest", "SRVType")]),
+                ))
+                .assignment(assign("DNS_Question", "ID", field("SLPSrvRequest", "XID")))
+                .assignment(assign("DNS_Question", "QDCount", lit(1u64)))
+                .assignment(assign("DNS_Question", "QType", lit(u64::from(mdns::TYPE_PTR))))
+                .assignment(assign("DNS_Question", "QClass", lit(u64::from(mdns::CLASS_IN)))),
+        )
+        .delta(
+            Delta::new("DNS:s2", "SLP:s1")
+                .assignment(assign("SLPSrvReply", "URLEntry", field("DNS_Response", "RData")))
+                .assignment(assign("SLPSrvReply", "XID", field("SLPSrvRequest", "XID")))
+                .assignment(assign("SLPSrvReply", "LangTag", field("SLPSrvRequest", "LangTag")))
+                .assignment(assign("SLPSrvReply", "Version", lit(2u64)))
+                .assignment(assign("SLPSrvReply", "LifeTime", lit(60u64))),
+        )
+        .build()
+        .expect("case 2 bridge is well-formed")
+}
+
+/// Case 3 — **UPnP → SLP**: a UPnP control point's search answered by an
+/// SLP service; the bridge also serves the description GET, so LOCATION
+/// names `bridge_host`.
+pub fn upnp_to_slp(bridge_host: &str) -> MergedAutomaton {
+    MergedAutomaton::builder("upnp-to-slp")
+        .part(ssdp::service_automaton())
+        .part(slp::client_automaton())
+        .part(http::server_automaton(http::HTTP_PORT))
+        .equivalence("SLPSrvRequest", &["SSDP_M-Search"])
+        .equivalence("SSDP_Resp", &["SLPSrvReply"])
+        .equivalence("HTTP_OK", &["SLPSrvReply"])
+        .delta(
+            Delta::new("SSDP:r1", "SLP:p0")
+                .assignment(assign(
+                    "SLPSrvRequest",
+                    "SRVType",
+                    func("ssdp-to-slp-type", vec![field("SSDP_M-Search", "ST")]),
+                ))
+                .assignment(assign("SLPSrvRequest", "Version", lit(2u64)))
+                .assignment(assign("SLPSrvRequest", "XID", lit(42u64)))
+                .assignment(assign("SLPSrvRequest", "LangTag", lit("en"))),
+        )
+        .delta(ssdp_resp_assignments(
+            Delta::new("SLP:p2", "SSDP:r1"),
+            bridge_host,
+            field("SSDP_M-Search", "ST"),
+        ))
+        .delta(http_ok_assignments(
+            Delta::new("SSDP:r2", "HTTP:g0"),
+            field("SLPSrvReply", "URLEntry"),
+        ))
+        .build()
+        .expect("case 3 bridge is well-formed")
+}
+
+/// Case 4 — **UPnP → Bonjour**: a UPnP control point's search answered by
+/// a Bonjour responder; the bridge serves the description GET.
+pub fn upnp_to_bonjour(bridge_host: &str) -> MergedAutomaton {
+    MergedAutomaton::builder("upnp-to-bonjour")
+        .part(ssdp::service_automaton())
+        .part(mdns::client_automaton())
+        .part(http::server_automaton(http::HTTP_PORT))
+        .equivalence("DNS_Question", &["SSDP_M-Search"])
+        .equivalence("SSDP_Resp", &["DNS_Response"])
+        .equivalence("HTTP_OK", &["DNS_Response"])
+        .delta(
+            Delta::new("SSDP:r1", "DNS:s0")
+                .assignment(assign(
+                    "DNS_Question",
+                    "QName",
+                    func(
+                        "slp-to-dns-type",
+                        vec![func("ssdp-to-slp-type", vec![field("SSDP_M-Search", "ST")])],
+                    ),
+                ))
+                .assignment(assign("DNS_Question", "ID", lit(1u64)))
+                .assignment(assign("DNS_Question", "QDCount", lit(1u64)))
+                .assignment(assign("DNS_Question", "QType", lit(u64::from(mdns::TYPE_PTR))))
+                .assignment(assign("DNS_Question", "QClass", lit(u64::from(mdns::CLASS_IN)))),
+        )
+        .delta(ssdp_resp_assignments(
+            Delta::new("DNS:s2", "SSDP:r1"),
+            bridge_host,
+            field("SSDP_M-Search", "ST"),
+        ))
+        .delta(http_ok_assignments(
+            Delta::new("SSDP:r2", "HTTP:g0"),
+            field("DNS_Response", "RData"),
+        ))
+        .build()
+        .expect("case 4 bridge is well-formed")
+}
+
+/// Case 5 — **Bonjour → UPnP**: a Bonjour browser's question answered by
+/// a UPnP device (the Fig. 4 chain with mDNS in place of SLP).
+pub fn bonjour_to_upnp() -> MergedAutomaton {
+    MergedAutomaton::builder("bonjour-to-upnp")
+        .part(mdns::service_automaton())
+        .part(ssdp::client_automaton())
+        .part(http::client_automaton(http::HTTP_PORT))
+        .equivalence("SSDP_M-Search", &["DNS_Question"])
+        .equivalence("HTTP_GET", &["SSDP_Resp"])
+        .equivalence("DNS_Response", &["HTTP_OK"])
+        .delta(msearch_assignments(
+            Delta::new("DNS:d1", "SSDP:s0"),
+            func(
+                "slp-to-ssdp-type",
+                vec![func("dns-to-slp-type", vec![field("DNS_Question", "QName")])],
+            ),
+        ))
+        .delta(http_get_assignments(
+            Delta::new("SSDP:s2", "HTTP:h0").action(set_host_from_location()),
+        ))
+        .delta(
+            Delta::new("HTTP:h2", "DNS:d1")
+                .assignment(assign(
+                    "DNS_Response",
+                    "RData",
+                    func("extract-tag", vec![field("HTTP_OK", "Body"), lit("URLBase")]),
+                ))
+                .assignment(assign("DNS_Response", "ID", field("DNS_Question", "ID")))
+                .assignment(assign("DNS_Response", "AName", field("DNS_Question", "QName")))
+                .assignment(assign("DNS_Response", "ANCount", lit(1u64)))
+                .assignment(assign("DNS_Response", "AType", lit(u64::from(mdns::TYPE_PTR))))
+                .assignment(assign("DNS_Response", "AClass", lit(u64::from(mdns::CLASS_IN))))
+                .assignment(assign("DNS_Response", "TTL", lit(120u64))),
+        )
+        .build()
+        .expect("case 5 bridge is well-formed")
+}
+
+/// Case 6 — **Bonjour → SLP**: a Bonjour browser's question answered by
+/// an SLP service (the Fig. 10 chain reversed).
+pub fn bonjour_to_slp() -> MergedAutomaton {
+    MergedAutomaton::builder("bonjour-to-slp")
+        .part(mdns::service_automaton())
+        .part(slp::client_automaton())
+        .equivalence("SLPSrvRequest", &["DNS_Question"])
+        .equivalence("DNS_Response", &["SLPSrvReply"])
+        .delta(
+            Delta::new("DNS:d1", "SLP:p0")
+                .assignment(assign(
+                    "SLPSrvRequest",
+                    "SRVType",
+                    func("dns-to-slp-type", vec![field("DNS_Question", "QName")]),
+                ))
+                .assignment(assign("SLPSrvRequest", "Version", lit(2u64)))
+                .assignment(assign("SLPSrvRequest", "XID", field("DNS_Question", "ID")))
+                .assignment(assign("SLPSrvRequest", "LangTag", lit("en"))),
+        )
+        .delta(
+            Delta::new("SLP:p2", "DNS:d1")
+                .assignment(assign("DNS_Response", "RData", field("SLPSrvReply", "URLEntry")))
+                .assignment(assign("DNS_Response", "ID", field("DNS_Question", "ID")))
+                .assignment(assign("DNS_Response", "AName", field("DNS_Question", "QName")))
+                .assignment(assign("DNS_Response", "ANCount", lit(1u64)))
+                .assignment(assign("DNS_Response", "AType", lit(u64::from(mdns::TYPE_PTR))))
+                .assignment(assign("DNS_Response", "AClass", lit(u64::from(mdns::CLASS_IN))))
+                .assignment(assign("DNS_Response", "TTL", lit(120u64))),
+        )
+        .build()
+        .expect("case 6 bridge is well-formed")
+}
+
+/// The six bridge cases of Fig. 12(b), in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BridgeCase {
+    /// Case 1: SLP client, UPnP device.
+    SlpToUpnp,
+    /// Case 2: SLP client, Bonjour responder.
+    SlpToBonjour,
+    /// Case 3: UPnP control point, SLP service.
+    UpnpToSlp,
+    /// Case 4: UPnP control point, Bonjour responder.
+    UpnpToBonjour,
+    /// Case 5: Bonjour browser, UPnP device.
+    BonjourToUpnp,
+    /// Case 6: Bonjour browser, SLP service.
+    BonjourToSlp,
+}
+
+impl BridgeCase {
+    /// All six cases in paper order.
+    pub fn all() -> [BridgeCase; 6] {
+        [
+            BridgeCase::SlpToUpnp,
+            BridgeCase::SlpToBonjour,
+            BridgeCase::UpnpToSlp,
+            BridgeCase::UpnpToBonjour,
+            BridgeCase::BonjourToUpnp,
+            BridgeCase::BonjourToSlp,
+        ]
+    }
+
+    /// The paper's case number (1–6).
+    pub fn number(&self) -> usize {
+        match self {
+            BridgeCase::SlpToUpnp => 1,
+            BridgeCase::SlpToBonjour => 2,
+            BridgeCase::UpnpToSlp => 3,
+            BridgeCase::UpnpToBonjour => 4,
+            BridgeCase::BonjourToUpnp => 5,
+            BridgeCase::BonjourToSlp => 6,
+        }
+    }
+
+    /// The paper's row label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BridgeCase::SlpToUpnp => "SLP to UPnP",
+            BridgeCase::SlpToBonjour => "SLP to Bonjour",
+            BridgeCase::UpnpToSlp => "UPnP to SLP",
+            BridgeCase::UpnpToBonjour => "UPnP to Bonjour",
+            BridgeCase::BonjourToUpnp => "Bonjour to UPnP",
+            BridgeCase::BonjourToSlp => "Bonjour to SLP",
+        }
+    }
+
+    /// Builds the merged automaton for this case; `bridge_host` is the
+    /// address the bridge is deployed on (needed by the reverse cases'
+    /// LOCATION header).
+    pub fn build(&self, bridge_host: &str) -> MergedAutomaton {
+        match self {
+            BridgeCase::SlpToUpnp => slp_to_upnp(),
+            BridgeCase::SlpToBonjour => slp_to_bonjour(),
+            BridgeCase::UpnpToSlp => upnp_to_slp(bridge_host),
+            BridgeCase::UpnpToBonjour => upnp_to_bonjour(bridge_host),
+            BridgeCase::BonjourToUpnp => bonjour_to_upnp(),
+            BridgeCase::BonjourToSlp => bonjour_to_slp(),
+        }
+    }
+
+    /// The paper's Fig. 12(b) median translation time in milliseconds
+    /// (for shape comparison in the benches).
+    pub fn paper_median_ms(&self) -> u64 {
+        match self {
+            BridgeCase::SlpToUpnp => 337,
+            BridgeCase::SlpToBonjour => 271,
+            BridgeCase::UpnpToSlp => 6_311,
+            BridgeCase::UpnpToBonjour => 289,
+            BridgeCase::BonjourToUpnp => 359,
+            BridgeCase::BonjourToSlp => 6_190,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_automata::uncovered_mandatory_fields;
+    use starlink_mdl::{load_mdl, MdlCodec};
+
+    #[test]
+    fn all_six_bridges_satisfy_merge_constraints() {
+        for case in BridgeCase::all() {
+            let merged = case.build("10.0.0.2");
+            let report = merged.check_merge();
+            assert!(report.is_mergeable(), "case {} ({}): {report}", case.number(), case.name());
+        }
+    }
+
+    #[test]
+    fn two_part_bridges_are_strongly_merged_chains_are_weak() {
+        // SLP↔Bonjour pairs merge strongly (δ both ways); the three-part
+        // chains involving HTTP are only weakly merged — exactly the
+        // distinction §III-C draws for Fig. 4.
+        assert!(slp_to_bonjour().check_merge().strongly_merged);
+        assert!(bonjour_to_slp().check_merge().strongly_merged);
+        assert!(!slp_to_upnp().check_merge().strongly_merged);
+        assert!(slp_to_upnp().check_merge().weakly_merged);
+    }
+
+    #[test]
+    fn translation_logic_covers_mandatory_fields() {
+        // The ⊨ check of equation (1): every mandatory field of every
+        // composed message is covered by an assignment (or a schema
+        // default).
+        let codecs: Vec<MdlCodec> = [
+            crate::slp::mdl_xml(),
+            crate::mdns::mdl_xml(),
+            crate::ssdp::mdl_xml(),
+            crate::http::mdl_xml(),
+        ]
+        .iter()
+        .map(|xml| MdlCodec::generate(load_mdl(xml).unwrap()).unwrap())
+        .collect();
+        for case in BridgeCase::all() {
+            let merged = case.build("10.0.0.2");
+            let assignments: Vec<_> = merged.assignments().cloned().collect();
+            for decl in merged.equivalences().declarations() {
+                let Some(schema) =
+                    codecs.iter().find_map(|c| c.schema(&decl.target).ok())
+                else {
+                    panic!("no schema for {}", decl.target);
+                };
+                let blank = schema.instantiate();
+                let uncovered = uncovered_mandatory_fields(&blank, &assignments);
+                assert!(
+                    uncovered.is_empty(),
+                    "case {}: {} leaves mandatory fields unfilled: {uncovered:?}",
+                    case.number(),
+                    decl.target
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_xml_roundtrip() {
+        // Every bridge survives export to the Fig. 5/8 XML document form
+        // and reloading — the "models only" claim. The XML document form
+        // is canonical (XPath selectors carry explicit field-shape
+        // constraints that the programmatic dotted form leaves open), so
+        // the invariant is that export∘load is a fixed point and the
+        // reloaded bridge still satisfies the merge constraints.
+        for case in BridgeCase::all() {
+            let merged = case.build("10.0.0.2");
+            let xml = starlink_automata::bridge_to_xml(&merged);
+            let reloaded = starlink_automata::load_bridge(&xml)
+                .unwrap_or_else(|e| panic!("case {}: {e}", case.number()));
+            assert_eq!(
+                xml,
+                starlink_automata::bridge_to_xml(&reloaded),
+                "case {}: XML form is not a fixed point",
+                case.number()
+            );
+            assert!(reloaded.check_merge().is_mergeable(), "case {}", case.number());
+        }
+    }
+
+    #[test]
+    fn case_metadata() {
+        assert_eq!(BridgeCase::all().len(), 6);
+        assert_eq!(BridgeCase::SlpToUpnp.number(), 1);
+        assert_eq!(BridgeCase::BonjourToSlp.name(), "Bonjour to SLP");
+        assert!(BridgeCase::UpnpToSlp.paper_median_ms() > 6_000);
+    }
+}

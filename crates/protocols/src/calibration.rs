@@ -1,0 +1,140 @@
+//! Latency calibration for the legacy protocol endpoints.
+//!
+//! The paper's Fig. 12(a) medians are dominated by legacy-stack behaviour
+//! (OpenSLP ≈ 6022 ms, Apple Bonjour ≈ 710 ms, CyberLink UPnP ≈ 1014 ms).
+//! We model each stack's service-side response delay and client-side
+//! processing overhead as uniform ranges whose sums land on the published
+//! native figures; the **bridge** numbers of Fig. 12(b) are then *not*
+//! calibrated — they emerge from the engine's actual behaviour, bounded
+//! by the target protocol's response delay exactly as §VI describes.
+//!
+//! Derivation (all ms, native = service delay + client overhead + links):
+//!
+//! | protocol | service delay | client overhead | native range | paper |
+//! |----------|---------------|-----------------|--------------|-------|
+//! | SLP      | 5981–6051     | ~0 (receipt)    | 5982–6053    | 5982/6022/6053 |
+//! | Bonjour  | 252–286       | 430–448         | 683–735      | 687/710/726 |
+//! | UPnP     | 225–248 (SSDP) + 86–92 (HTTP) + 6–10 think | 622–726 | 940–1078 | 945/1014/1079 |
+
+use starlink_net::{Context, SimDuration};
+
+/// A uniform virtual-delay range in milliseconds, sampled with
+/// microsecond granularity from the simulation's seeded RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayRange {
+    /// Lower bound in milliseconds (inclusive).
+    pub min_ms: u64,
+    /// Upper bound in milliseconds (inclusive).
+    pub max_ms: u64,
+}
+
+impl DelayRange {
+    /// Creates a range.
+    pub const fn new(min_ms: u64, max_ms: u64) -> Self {
+        DelayRange { min_ms, max_ms }
+    }
+
+    /// Samples a delay from the simulation's RNG stream.
+    pub fn sample(&self, ctx: &mut Context<'_>) -> SimDuration {
+        SimDuration::from_micros(ctx.rand_range(self.min_ms * 1_000, self.max_ms * 1_000))
+    }
+
+    /// The midpoint in milliseconds (the expected median of a uniform
+    /// sample).
+    pub fn midpoint_ms(&self) -> u64 {
+        (self.min_ms + self.max_ms) / 2
+    }
+}
+
+/// The full calibration set used by the legacy endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Calibration {
+    /// OpenSLP's service-side response delay (multicast convergence wait):
+    /// the source of the paper's ≈6 s SLP figures.
+    pub slp_service_delay: DelayRange,
+    /// mDNS responder delay before answering a PTR question.
+    pub mdns_service_delay: DelayRange,
+    /// Apple SDK client-side overhead (daemon IPC + callback dispatch)
+    /// between the mDNS answer arriving and the application seeing it.
+    pub bonjour_client_overhead: DelayRange,
+    /// UPnP device delay before answering an M-SEARCH (within MX).
+    pub ssdp_device_delay: DelayRange,
+    /// UPnP device delay serving the description document over HTTP.
+    pub http_device_delay: DelayRange,
+    /// CyberLink client think-time between the SSDP response and the
+    /// description GET.
+    pub upnp_client_think: DelayRange,
+    /// CyberLink client-side stack overhead before the application sees
+    /// the discovered device.
+    pub upnp_client_overhead: DelayRange,
+}
+
+impl Calibration {
+    /// The paper-derived calibration (see module docs).
+    pub const fn paper() -> Self {
+        Calibration {
+            slp_service_delay: DelayRange::new(5_981, 6_051),
+            mdns_service_delay: DelayRange::new(252, 286),
+            bonjour_client_overhead: DelayRange::new(430, 448),
+            ssdp_device_delay: DelayRange::new(225, 248),
+            http_device_delay: DelayRange::new(86, 92),
+            upnp_client_think: DelayRange::new(6, 10),
+            upnp_client_overhead: DelayRange::new(622, 726),
+        }
+    }
+
+    /// A fast calibration for unit tests (every delay 1–2 ms) so test
+    /// suites do not simulate six virtual seconds per case.
+    pub const fn fast() -> Self {
+        Calibration {
+            slp_service_delay: DelayRange::new(4, 6),
+            mdns_service_delay: DelayRange::new(2, 3),
+            bonjour_client_overhead: DelayRange::new(1, 2),
+            ssdp_device_delay: DelayRange::new(2, 3),
+            http_device_delay: DelayRange::new(1, 2),
+            upnp_client_think: DelayRange::new(1, 1),
+            upnp_client_overhead: DelayRange::new(1, 2),
+        }
+    }
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_sums_to_published_medians() {
+        let cal = Calibration::paper();
+        // Native SLP median ≈ 6022 ms (paper Fig. 12(a)).
+        let slp = cal.slp_service_delay.midpoint_ms();
+        assert!((6_000..=6_030).contains(&slp), "slp median {slp}");
+        // Native Bonjour median ≈ 710 ms.
+        let bonjour = cal.mdns_service_delay.midpoint_ms() + cal.bonjour_client_overhead.midpoint_ms();
+        assert!((695..=725).contains(&bonjour), "bonjour median {bonjour}");
+        // Native UPnP median ≈ 1014 ms.
+        let upnp = cal.ssdp_device_delay.midpoint_ms()
+            + cal.http_device_delay.midpoint_ms()
+            + cal.upnp_client_think.midpoint_ms()
+            + cal.upnp_client_overhead.midpoint_ms();
+        assert!((990..=1_040).contains(&upnp), "upnp median {upnp}");
+    }
+
+    #[test]
+    fn bridge_bounds_follow_target_protocol() {
+        // §VI: "the cost of translation is bounded by the response of the
+        // legacy protocols". Bridging *to* UPnP must stay near the SSDP +
+        // HTTP delays (paper case 1: 319–343 ms).
+        let cal = Calibration::paper();
+        let to_upnp_min = cal.ssdp_device_delay.min_ms + cal.http_device_delay.min_ms;
+        let to_upnp_max = cal.ssdp_device_delay.max_ms + cal.http_device_delay.max_ms;
+        assert!(to_upnp_min >= 300 && to_upnp_max <= 350, "{to_upnp_min}..{to_upnp_max}");
+        // Bridging *to* Bonjour near the mDNS delay (paper case 2: 255–287 ms).
+        assert!(cal.mdns_service_delay.min_ms >= 245 && cal.mdns_service_delay.max_ms <= 295);
+    }
+}

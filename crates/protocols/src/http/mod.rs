@@ -1,0 +1,10 @@
+//! HTTP/1.1 (the retrieval leg of UPnP discovery, Fig. 3): native wire
+//! codec and Starlink models.
+
+mod models;
+mod wire;
+
+pub use models::{client_automaton, color, mdl_xml, server_automaton};
+pub use wire::{
+    decode, device_description, encode, HttpGet, HttpMessage, HttpOk, HTTP_PORT, UPNP_HTTP_PORT,
+};

@@ -1,0 +1,92 @@
+//! Starlink models of HTTP: the text MDL and the Fig. 3 automaton.
+
+use starlink_automata::{Color, ColoredAutomaton, Mode, Transport};
+
+/// The HTTP MDL document (text MDL with a `rest` body field).
+pub fn mdl_xml() -> &'static str {
+    include_str!("../../specs/http.xml")
+}
+
+/// The HTTP colour of Fig. 3 at a given port: TCP, sync, unicast.
+pub fn color(port: u16) -> Color {
+    Color::new(Transport::Tcp, port, Mode::Sync)
+}
+
+/// Fig. 3 exactly — client side (the bridge fetches a device
+/// description): send GET, await 200 OK.
+pub fn client_automaton(port: u16) -> ColoredAutomaton {
+    ColoredAutomaton::builder("HTTP")
+        .color(color(port))
+        .state("h0")
+        .state("h1")
+        .state_accepting("h2")
+        .send("h0", "HTTP_GET", "h1")
+        .receive("h1", "HTTP_OK", "h2")
+        .build()
+        .expect("static HTTP client automaton is valid")
+}
+
+/// Server side (the bridge serves the description, cases 3 and 4):
+/// receive GET, send 200 OK.
+pub fn server_automaton(port: u16) -> ColoredAutomaton {
+    ColoredAutomaton::builder("HTTP")
+        .color(color(port))
+        .state("g0")
+        .state("g1")
+        .state_accepting("g2")
+        .receive("g0", "HTTP_GET", "g1")
+        .send("g1", "HTTP_OK", "g2")
+        .build()
+        .expect("static HTTP server automaton is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::wire::{self, HttpGet, HttpMessage, HttpOk};
+    use starlink_mdl::{load_mdl, MdlCodec};
+
+    fn codec() -> MdlCodec {
+        MdlCodec::generate(load_mdl(mdl_xml()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn mdl_parses_native_get() {
+        let native = wire::encode(&HttpMessage::Get(HttpGet::new("/desc.xml", "h:5000")));
+        let msg = codec().parse(&native).unwrap();
+        assert_eq!(msg.name(), "HTTP_GET");
+        assert_eq!(msg.get(&"URI".into()).unwrap().as_str().unwrap(), "/desc.xml");
+        assert_eq!(msg.get(&"HOST".into()).unwrap().as_str().unwrap(), "h:5000");
+    }
+
+    #[test]
+    fn mdl_parses_native_ok_with_body() {
+        let native = wire::encode(&HttpMessage::Ok(HttpOk::xml(
+            wire::device_description("http://10.0.0.3:5000", "urn:x"),
+        )));
+        let msg = codec().parse(&native).unwrap();
+        assert_eq!(msg.name(), "HTTP_OK");
+        let body = msg.get(&"Body".into()).unwrap().as_str().unwrap().to_owned();
+        assert!(body.contains("<URLBase>http://10.0.0.3:5000</URLBase>"));
+    }
+
+    #[test]
+    fn mdl_composed_ok_is_natively_decodable() {
+        let codec = codec();
+        let native = wire::encode(&HttpMessage::Ok(HttpOk::xml("<root/>")));
+        let msg = codec.parse(&native).unwrap();
+        let recomposed = codec.compose(&msg).unwrap();
+        match wire::decode(&recomposed).unwrap() {
+            HttpMessage::Ok(ok) => assert_eq!(ok.body, "<root/>"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn colors_are_sync_tcp() {
+        let c = color(80);
+        assert_eq!(c.transport(), Transport::Tcp);
+        assert_eq!(c.mode(), Mode::Sync);
+        assert!(!c.is_multicast());
+    }
+}

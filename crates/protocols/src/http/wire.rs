@@ -1,0 +1,128 @@
+//! Native HTTP/1.1 wire codec (the minimal GET / 200 OK exchange UPnP
+//! description retrieval needs, Fig. 3).
+
+use crate::ssdp::split_head;
+use crate::WireError;
+
+/// Default HTTP port of the Fig. 3 colour.
+pub const HTTP_PORT: u16 = 80;
+/// The port UPnP devices in this substrate serve descriptions on.
+pub const UPNP_HTTP_PORT: u16 = 5000;
+
+/// A parsed HTTP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpMessage {
+    /// A GET request.
+    Get(HttpGet),
+    /// A 200 OK response.
+    Ok(HttpOk),
+}
+
+/// An HTTP GET request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpGet {
+    /// Request path (e.g. `/desc.xml`).
+    pub path: String,
+    /// Host header value.
+    pub host: String,
+}
+
+impl HttpGet {
+    /// Creates a GET for `path` at `host`.
+    pub fn new(path: impl Into<String>, host: impl Into<String>) -> Self {
+        HttpGet { path: path.into(), host: host.into() }
+    }
+}
+
+/// An HTTP 200 OK response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpOk {
+    /// Content-Type header value.
+    pub content_type: String,
+    /// Response body (the UPnP device description document).
+    pub body: String,
+}
+
+impl HttpOk {
+    /// Creates an XML response.
+    pub fn xml(body: impl Into<String>) -> Self {
+        HttpOk { content_type: "text/xml".into(), body: body.into() }
+    }
+}
+
+/// Builds the UPnP device description document served by devices (and by
+/// the bridge in the reverse cases): `<URLBase>` carries the service
+/// endpoint the paper's translation logic extracts (`HTTP_OK.URL_BASE`).
+pub fn device_description(url_base: &str, service_type: &str) -> String {
+    format!(
+        "<root><URLBase>{url_base}</URLBase><device><serviceType>{service_type}</serviceType></device></root>"
+    )
+}
+
+/// Encodes a message to wire text.
+pub fn encode(message: &HttpMessage) -> Vec<u8> {
+    match message {
+        HttpMessage::Get(get) => {
+            format!("GET {} HTTP/1.1\r\nHOST: {}\r\n\r\n", get.path, get.host).into_bytes()
+        }
+        HttpMessage::Ok(ok) => format!(
+            "HTTP/1.1 200 OK\r\nCONTENT-TYPE: {}\r\nCONTENT-LENGTH: {}\r\n\r\n{}",
+            ok.content_type,
+            ok.body.len(),
+            ok.body
+        )
+        .into_bytes(),
+    }
+}
+
+/// Decodes wire text.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for non-GET/non-200 messages.
+pub fn decode(bytes: &[u8]) -> Result<HttpMessage, WireError> {
+    let (start, headers) = split_head(bytes)?;
+    if let Some(rest) = start.strip_prefix("GET ") {
+        let path = rest.split_whitespace().next().unwrap_or("/").to_owned();
+        let host = headers.get("HOST").cloned().unwrap_or_default();
+        Ok(HttpMessage::Get(HttpGet { path, host }))
+    } else if start.starts_with("HTTP/1.1 200") {
+        let content_type = headers.get("CONTENT-TYPE").cloned().unwrap_or_default();
+        let text = String::from_utf8_lossy(bytes);
+        let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+        Ok(HttpMessage::Ok(HttpOk { content_type, body }))
+    } else {
+        Err(WireError(format!("unsupported HTTP start line {start:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_roundtrip() {
+        let get = HttpGet::new("/desc.xml", "10.0.0.3:5000");
+        let wire = encode(&HttpMessage::Get(get.clone()));
+        assert_eq!(decode(&wire).unwrap(), HttpMessage::Get(get));
+    }
+
+    #[test]
+    fn ok_roundtrip() {
+        let ok = HttpOk::xml(device_description("http://10.0.0.3:5000", "urn:x:printer:1"));
+        let wire = encode(&HttpMessage::Ok(ok.clone()));
+        assert_eq!(decode(&wire).unwrap(), HttpMessage::Ok(ok));
+    }
+
+    #[test]
+    fn description_carries_url_base() {
+        let desc = device_description("http://10.0.0.3:5000", "urn:x");
+        assert!(desc.contains("<URLBase>http://10.0.0.3:5000</URLBase>"));
+    }
+
+    #[test]
+    fn decode_rejects_other_methods() {
+        assert!(decode(b"POST / HTTP/1.1\r\n\r\n").is_err());
+        assert!(decode(b"HTTP/1.1 404 Not Found\r\n\r\n").is_err());
+    }
+}

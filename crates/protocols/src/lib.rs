@@ -1,0 +1,53 @@
+//! # starlink-protocols
+//!
+//! The legacy protocol substrates of the Starlink evaluation (§V): native
+//! wire codecs, calibrated legacy endpoints ("simple legacy applications
+//! to lookup a simple test service, and respond to lookup requests") and
+//! the Starlink models — MDL documents and coloured automata — for:
+//!
+//! * [`slp`] — Service Location Protocol (binary, Figs. 1/7);
+//! * [`mdns`] — Bonjour / mDNS (binary DNS, Fig. 9);
+//! * [`ssdp`] — the discovery leg of UPnP (text, Figs. 2/11);
+//! * [`http`] — the retrieval leg of UPnP (text over TCP, Fig. 3);
+//! * [`upnp`] — composite UPnP control point and device;
+//! * [`bridges`] — the six case-study merged automata (Figs. 4/10 plus
+//!   the four remaining pairs), with [`bridges::BridgeCase`] indexing the
+//!   Fig. 12(b) rows;
+//! * [`calibration`] — the Fig. 12(a)-derived latency model;
+//! * [`probe`] — client-side response-time measurement.
+//!
+//! The native codecs and the MDL-driven codecs are tested against each
+//! other in both directions: the transparency requirement means the
+//! bridge must consume exactly the bytes legacy stacks emit, and emit
+//! exactly the bytes legacy stacks consume.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridges;
+pub mod calibration;
+pub mod http;
+pub mod mdns;
+pub mod probe;
+pub mod slp;
+pub mod ssdp;
+pub mod upnp;
+mod util;
+
+pub use bridges::BridgeCase;
+pub use calibration::{Calibration, DelayRange};
+pub use probe::{Discovery, DiscoveryProbe};
+
+use std::fmt;
+
+/// Error raised by the native wire codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}

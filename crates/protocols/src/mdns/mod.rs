@@ -1,0 +1,13 @@
+//! mDNS / Bonjour (DNS over multicast UDP, RFC 6762 subset): native wire
+//! codec, legacy endpoints, and the Starlink models of Fig. 9.
+
+mod actors;
+mod models;
+mod wire;
+
+pub use actors::{BonjourClient, BonjourService};
+pub use models::{client_automaton, color, mdl_xml, service_automaton};
+pub use wire::{
+    decode, encode, DnsMessage, DnsQuestion, DnsResponse, CLASS_IN, FLAGS_QUERY, FLAGS_RESPONSE,
+    MDNS_GROUP, MDNS_PORT, TYPE_PTR,
+};

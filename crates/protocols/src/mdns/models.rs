@@ -1,0 +1,123 @@
+//! Starlink models of mDNS/Bonjour: the DNS MDL and the Fig. 9 automaton.
+
+use crate::mdns::wire::{MDNS_GROUP, MDNS_PORT};
+use starlink_automata::{Color, ColoredAutomaton, Mode, Transport};
+
+/// The DNS MDL document (questions and responses, §V-A: "this MDL
+/// describes DNS questions and responses"). Uses the plug-in `FQDN`
+/// marshaller for names — the paper's own extensibility example.
+pub fn mdl_xml() -> &'static str {
+    include_str!("../../specs/dns.xml")
+}
+
+/// The mDNS colour of Fig. 9: UDP 5353, async, multicast 224.0.0.251.
+pub fn color() -> Color {
+    Color::new(Transport::Udp, MDNS_PORT, Mode::Async).multicast(MDNS_GROUP)
+}
+
+/// Fig. 9 exactly — the client-side automaton (the bridge queries a
+/// legacy Bonjour responder): send a question, await the response.
+pub fn client_automaton() -> ColoredAutomaton {
+    ColoredAutomaton::builder("DNS")
+        .color(color())
+        .state("s0")
+        .state("s1")
+        .state_accepting("s2")
+        .send("s0", "DNS_Question", "s1")
+        .receive("s1", "DNS_Response", "s2")
+        .build()
+        .expect("static mDNS client automaton is valid")
+}
+
+/// The service-side automaton (the bridge answers legacy Bonjour
+/// browsers, cases 5 and 6): receive a question, later send the response.
+pub fn service_automaton() -> ColoredAutomaton {
+    ColoredAutomaton::builder("DNS")
+        .color(color())
+        .state("d0")
+        .state_accepting("d1")
+        .receive("d0", "DNS_Question", "d1")
+        .send("d1", "DNS_Response", "d0")
+        .build()
+        .expect("static mDNS service automaton is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdns::wire::{self, DnsMessage, DnsQuestion, DnsResponse};
+    use starlink_mdl::{load_mdl, MdlCodec};
+    use starlink_message::Value;
+
+    fn codec() -> MdlCodec {
+        MdlCodec::generate(load_mdl(mdl_xml()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn mdl_parses_native_question() {
+        let native =
+            wire::encode(&DnsMessage::Question(DnsQuestion::new(9, "_printer._tcp.local")))
+                .unwrap();
+        let msg = codec().parse(&native).unwrap();
+        assert_eq!(msg.name(), "DNS_Question");
+        assert_eq!(msg.get(&"ID".into()).unwrap().as_u64().unwrap(), 9);
+        assert_eq!(
+            msg.get(&"QName".into()).unwrap().as_str().unwrap(),
+            "_printer._tcp.local"
+        );
+        assert_eq!(msg.get(&"QType".into()).unwrap().as_u64().unwrap(), 12);
+    }
+
+    #[test]
+    fn mdl_parses_native_response() {
+        let native = wire::encode(&DnsMessage::Response(DnsResponse::new(
+            9,
+            "_printer._tcp.local",
+            "service:printer://10.0.0.9:631",
+        )))
+        .unwrap();
+        let msg = codec().parse(&native).unwrap();
+        assert_eq!(msg.name(), "DNS_Response");
+        assert_eq!(
+            msg.get(&"RData".into()).unwrap().as_str().unwrap(),
+            "service:printer://10.0.0.9:631"
+        );
+        assert_eq!(msg.get(&"TTL".into()).unwrap().as_u64().unwrap(), 120);
+    }
+
+    #[test]
+    fn mdl_composes_question_native_codec_reads() {
+        let codec = codec();
+        let mut q = codec.schema("DNS_Question").unwrap().instantiate();
+        q.set(&"ID".into(), Value::Unsigned(5)).unwrap();
+        q.set(&"QDCount".into(), Value::Unsigned(1)).unwrap();
+        q.set(&"QName".into(), Value::Str("_printer._tcp.local".into())).unwrap();
+        q.set(&"QType".into(), Value::Unsigned(12)).unwrap();
+        q.set(&"QClass".into(), Value::Unsigned(1)).unwrap();
+        let bytes = codec.compose(&q).unwrap();
+        assert_eq!(
+            wire::decode(&bytes).unwrap(),
+            DnsMessage::Question(DnsQuestion::new(5, "_printer._tcp.local"))
+        );
+    }
+
+    #[test]
+    fn mdl_wire_roundtrip() {
+        let codec = codec();
+        for native in [
+            wire::encode(&DnsMessage::Question(DnsQuestion::new(1, "_x._tcp.local"))).unwrap(),
+            wire::encode(&DnsMessage::Response(DnsResponse::new(1, "_x._tcp.local", "url")))
+                .unwrap(),
+        ] {
+            let msg = codec.parse(&native).unwrap();
+            assert_eq!(codec.compose(&msg).unwrap(), native);
+        }
+    }
+
+    #[test]
+    fn automata_shapes() {
+        assert_eq!(client_automaton().transitions().len(), 2);
+        assert_eq!(service_automaton().transitions().len(), 2);
+        assert_eq!(color().group(), Some("224.0.0.251"));
+    }
+}

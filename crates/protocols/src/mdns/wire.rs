@@ -1,0 +1,188 @@
+//! Native mDNS wire codec (RFC 1035/6762 subset — Bonjour carries DNS
+//! messages, §V-A: "Bonjour uses DNS messages so this MDL describes DNS
+//! questions and responses").
+//!
+//! Header: ID(16) Flags(16) QDCount(16) ANCount(16) NSCount(16)
+//! ARCount(16). Questions carry one PTR query; responses carry one
+//! answer record whose RDATA is the service URL.
+
+use crate::util::{read_dns_name, write_dns_name, Cursor, Writer};
+use crate::WireError;
+
+/// The mDNS well-known port.
+pub const MDNS_PORT: u16 = 5353;
+/// The mDNS IPv4 multicast group (Fig. 9).
+pub const MDNS_GROUP: &str = "224.0.0.251";
+/// Flags word of a standard query.
+pub const FLAGS_QUERY: u16 = 0x0000;
+/// Flags word of an authoritative response (QR|AA).
+pub const FLAGS_RESPONSE: u16 = 0x8400;
+/// PTR record type.
+pub const TYPE_PTR: u16 = 12;
+/// IN class.
+pub const CLASS_IN: u16 = 1;
+
+/// A parsed DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsMessage {
+    /// A question (service browse).
+    Question(DnsQuestion),
+    /// A response (service answer).
+    Response(DnsResponse),
+}
+
+/// A one-question DNS query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsQuestion {
+    /// Transaction id (0 in real mDNS; kept for bridging to XID-carrying
+    /// protocols).
+    pub id: u16,
+    /// Queried name, e.g. `_printer._tcp.local`.
+    pub qname: String,
+    /// Query type (PTR).
+    pub qtype: u16,
+    /// Query class (IN).
+    pub qclass: u16,
+}
+
+impl DnsQuestion {
+    /// Creates a PTR/IN question for `qname`.
+    pub fn new(id: u16, qname: impl Into<String>) -> Self {
+        DnsQuestion { id, qname: qname.into(), qtype: TYPE_PTR, qclass: CLASS_IN }
+    }
+}
+
+/// A one-answer DNS response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsResponse {
+    /// Transaction id (copied from the question).
+    pub id: u16,
+    /// Answer owner name.
+    pub name: String,
+    /// Record type.
+    pub rtype: u16,
+    /// Record class.
+    pub rclass: u16,
+    /// Time to live in seconds.
+    pub ttl: u32,
+    /// Record data — the service URL in this substrate.
+    pub rdata: String,
+}
+
+impl DnsResponse {
+    /// Creates a PTR/IN answer carrying `rdata` for `name`.
+    pub fn new(id: u16, name: impl Into<String>, rdata: impl Into<String>) -> Self {
+        DnsResponse {
+            id,
+            name: name.into(),
+            rtype: TYPE_PTR,
+            rclass: CLASS_IN,
+            ttl: 120,
+            rdata: rdata.into(),
+        }
+    }
+}
+
+/// Encodes a message to its wire image.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for unencodable DNS names.
+pub fn encode(message: &DnsMessage) -> Result<Vec<u8>, WireError> {
+    let mut writer = Writer::new();
+    match message {
+        DnsMessage::Question(q) => {
+            writer.u16(q.id);
+            writer.u16(FLAGS_QUERY);
+            writer.u16(1); // QDCount
+            writer.u16(0);
+            writer.u16(0);
+            writer.u16(0);
+            write_dns_name(&mut writer, &q.qname)?;
+            writer.u16(q.qtype);
+            writer.u16(q.qclass);
+        }
+        DnsMessage::Response(r) => {
+            writer.u16(r.id);
+            writer.u16(FLAGS_RESPONSE);
+            writer.u16(0);
+            writer.u16(1); // ANCount
+            writer.u16(0);
+            writer.u16(0);
+            write_dns_name(&mut writer, &r.name)?;
+            writer.u16(r.rtype);
+            writer.u16(r.rclass);
+            writer.u32(r.ttl);
+            writer.u16(r.rdata.len() as u16);
+            writer.bytes(r.rdata.as_bytes());
+        }
+    }
+    Ok(writer.into_bytes())
+}
+
+/// Decodes a wire image.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for truncated input or unexpected flags.
+pub fn decode(bytes: &[u8]) -> Result<DnsMessage, WireError> {
+    let mut cursor = Cursor::new(bytes);
+    let id = cursor.u16()?;
+    let flags = cursor.u16()?;
+    let _qd = cursor.u16()?;
+    let _an = cursor.u16()?;
+    let _ns = cursor.u16()?;
+    let _ar = cursor.u16()?;
+    if flags & 0x8000 == 0 {
+        let qname = read_dns_name(&mut cursor)?;
+        let qtype = cursor.u16()?;
+        let qclass = cursor.u16()?;
+        Ok(DnsMessage::Question(DnsQuestion { id, qname, qtype, qclass }))
+    } else {
+        let name = read_dns_name(&mut cursor)?;
+        let rtype = cursor.u16()?;
+        let rclass = cursor.u16()?;
+        let ttl = cursor.u32()?;
+        let rdlength = cursor.u16()? as usize;
+        let rdata = String::from_utf8_lossy(&cursor.bytes(rdlength)?).into_owned();
+        Ok(DnsMessage::Response(DnsResponse { id, name, rtype, rclass, ttl, rdata }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_roundtrip() {
+        let q = DnsQuestion::new(7, "_printer._tcp.local");
+        let wire = encode(&DnsMessage::Question(q.clone())).unwrap();
+        assert_eq!(decode(&wire).unwrap(), DnsMessage::Question(q));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = DnsResponse::new(7, "_printer._tcp.local", "service:printer://10.0.0.9:631");
+        let wire = encode(&DnsMessage::Response(r.clone())).unwrap();
+        assert_eq!(decode(&wire).unwrap(), DnsMessage::Response(r));
+    }
+
+    #[test]
+    fn header_counts_match_rfc1035() {
+        let wire =
+            encode(&DnsMessage::Question(DnsQuestion::new(1, "_x._tcp.local"))).unwrap();
+        assert_eq!(&wire[4..6], &[0, 1]); // QDCount = 1
+        assert_eq!(&wire[6..8], &[0, 0]); // ANCount = 0
+        let wire = encode(&DnsMessage::Response(DnsResponse::new(1, "a.local", "u"))).unwrap();
+        assert_eq!(&wire[4..6], &[0, 0]); // QDCount = 0
+        assert_eq!(&wire[6..8], &[0, 1]); // ANCount = 1
+        assert_eq!(&wire[2..4], &[0x84, 0x00]); // Flags
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let wire =
+            encode(&DnsMessage::Response(DnsResponse::new(1, "a.local", "url"))).unwrap();
+        assert!(decode(&wire[..wire.len() - 2]).is_err());
+    }
+}

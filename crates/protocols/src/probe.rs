@@ -1,0 +1,74 @@
+//! Shared measurement probe: legacy clients record their discovery
+//! outcomes here, and the Fig. 12(a) harness reads them back.
+
+use starlink_net::{SimDuration, SimTime};
+use std::sync::{Arc, Mutex};
+
+/// One completed discovery as observed by a legacy client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Discovery {
+    /// The service URL the client obtained.
+    pub url: String,
+    /// Response time: "from when the client sent the message until the
+    /// response was received" (§VI).
+    pub elapsed: SimDuration,
+    /// Virtual time of completion.
+    pub at: SimTime,
+}
+
+/// Clonable handle collecting [`Discovery`] records across the
+/// simulation boundary.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryProbe {
+    inner: Arc<Mutex<Vec<Discovery>>>,
+}
+
+impl DiscoveryProbe {
+    /// Creates an empty probe.
+    pub fn new() -> Self {
+        DiscoveryProbe::default()
+    }
+
+    /// Records a completed discovery.
+    pub fn record(&self, url: impl Into<String>, elapsed: SimDuration, at: SimTime) {
+        self.inner
+            .lock()
+            .expect("probe lock")
+            .push(Discovery { url: url.into(), elapsed, at });
+    }
+
+    /// All recorded discoveries.
+    pub fn results(&self) -> Vec<Discovery> {
+        self.inner.lock().expect("probe lock").clone()
+    }
+
+    /// The first discovery, if any completed.
+    pub fn first(&self) -> Option<Discovery> {
+        self.inner.lock().expect("probe lock").first().cloned()
+    }
+
+    /// Number of completed discoveries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("probe lock").len()
+    }
+
+    /// True when nothing completed.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("probe lock").is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_shares_records_across_clones() {
+        let probe = DiscoveryProbe::new();
+        let other = probe.clone();
+        other.record("service:printer://x", SimDuration::from_millis(5), SimTime::from_millis(9));
+        assert_eq!(probe.len(), 1);
+        assert_eq!(probe.first().unwrap().url, "service:printer://x");
+        assert!(!probe.is_empty());
+    }
+}

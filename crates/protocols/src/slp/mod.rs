@@ -1,0 +1,13 @@
+//! SLP (Service Location Protocol, RFC 2608 subset): native wire codec,
+//! legacy client/service actors, and the Starlink models of Figs. 1 and 7.
+
+mod actors;
+mod models;
+mod wire;
+
+pub use actors::{SlpClient, SlpService, SLP_CLIENT_PORT};
+pub use models::{client_automaton, color, mdl_xml, service_automaton};
+pub use wire::{
+    decode, encode, SlpMessage, SrvRply, SrvRqst, FN_SRVRPLY, FN_SRVRQST, SLP_GROUP, SLP_PORT,
+    SLP_VERSION,
+};

@@ -1,0 +1,114 @@
+//! Starlink models of SLP: the MDL specification (Fig. 7) and the
+//! coloured automata (Fig. 1).
+
+use crate::slp::wire::{SLP_GROUP, SLP_PORT};
+use starlink_automata::{Color, ColoredAutomaton, Mode, Transport};
+
+/// The SLP MDL document (Fig. 7 of the paper, completed with the reply
+/// message and explicit length-function types).
+pub fn mdl_xml() -> &'static str {
+    include_str!("../../specs/slp.xml")
+}
+
+/// The SLP colour of Fig. 1: UDP 427, async, multicast 239.255.255.253.
+pub fn color() -> Color {
+    Color::new(Transport::Udp, SLP_PORT, Mode::Async).multicast(SLP_GROUP)
+}
+
+/// Fig. 1 exactly — the *service-side* automaton the bridge embodies when
+/// legacy SLP clients talk to it: receive a SrvRqst, later send the
+/// SrvRply.
+pub fn service_automaton() -> ColoredAutomaton {
+    ColoredAutomaton::builder("SLP")
+        .color(color())
+        .state("s0")
+        .state_accepting("s1")
+        .receive("s0", "SLPSrvRequest", "s1")
+        .send("s1", "SLPSrvReply", "s0")
+        .build()
+        .expect("static SLP service automaton is valid")
+}
+
+/// The *client-side* automaton the bridge embodies when it performs an
+/// SLP lookup against a legacy service (cases 3 and 6).
+pub fn client_automaton() -> ColoredAutomaton {
+    ColoredAutomaton::builder("SLP")
+        .color(color())
+        .state("p0")
+        .state("p1")
+        .state_accepting("p2")
+        .send("p0", "SLPSrvRequest", "p1")
+        .receive("p1", "SLPSrvReply", "p2")
+        .build()
+        .expect("static SLP client automaton is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slp::wire::{self, SlpMessage, SrvRply, SrvRqst};
+    use starlink_mdl::{load_mdl, MdlCodec};
+    use starlink_message::Value;
+
+    fn codec() -> MdlCodec {
+        MdlCodec::generate(load_mdl(mdl_xml()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn mdl_parses_native_request_wire() {
+        // The generic, model-driven parser must read exactly what the
+        // native codec emits — the transparency requirement of §V.
+        let native = wire::encode(&SlpMessage::SrvRqst(SrvRqst::new(0xBEEF, "service:printer")));
+        let msg = codec().parse(&native).unwrap();
+        assert_eq!(msg.name(), "SLPSrvRequest");
+        assert_eq!(msg.get(&"XID".into()).unwrap().as_u64().unwrap(), 0xBEEF);
+        assert_eq!(msg.get(&"SRVType".into()).unwrap().as_str().unwrap(), "service:printer");
+        assert_eq!(msg.get(&"LangTag".into()).unwrap().as_str().unwrap(), "en");
+    }
+
+    #[test]
+    fn mdl_composes_wire_the_native_codec_reads() {
+        let codec = codec();
+        let mut reply = codec.schema("SLPSrvReply").unwrap().instantiate();
+        reply.set(&"Version".into(), Value::Unsigned(2)).unwrap();
+        reply.set(&"XID".into(), Value::Unsigned(7)).unwrap();
+        reply.set(&"LangTag".into(), Value::Str("en".into())).unwrap();
+        reply.set(&"LifeTime".into(), Value::Unsigned(60)).unwrap();
+        reply.set(&"URLEntry".into(), Value::Str("service:printer://10.0.0.9:631".into())).unwrap();
+        let wire_bytes = codec.compose(&reply).unwrap();
+        let decoded = wire::decode(&wire_bytes).unwrap();
+        assert_eq!(
+            decoded,
+            SlpMessage::SrvRply(SrvRply::new(7, "service:printer://10.0.0.9:631"))
+        );
+    }
+
+    #[test]
+    fn mdl_roundtrip_both_messages() {
+        let codec = codec();
+        for native in [
+            wire::encode(&SlpMessage::SrvRqst(SrvRqst::new(1, "service:printer"))),
+            wire::encode(&SlpMessage::SrvRply(SrvRply::new(1, "service:printer://x"))),
+        ] {
+            let msg = codec.parse(&native).unwrap();
+            let recomposed = codec.compose(&msg).unwrap();
+            assert_eq!(native, recomposed);
+        }
+    }
+
+    #[test]
+    fn automata_are_valid_and_colored() {
+        let service = service_automaton();
+        assert_eq!(service.colors().len(), 1);
+        assert_eq!(service.color_of(service.initial()).unwrap().port(), 427);
+        let client = client_automaton();
+        assert_eq!(client.messages(), vec!["SLPSrvReply", "SLPSrvRequest"]);
+    }
+
+    #[test]
+    fn mandatory_fields_marked_by_spec() {
+        let native = wire::encode(&SlpMessage::SrvRqst(SrvRqst::new(1, "x")));
+        let msg = codec().parse(&native).unwrap();
+        assert!(msg.is_mandatory("SRVType"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Native SLP wire codec (RFC 2608 subset, the layout of Fig. 7).
+//!
+//! Header: Version(8) FunctionID(8) MessageLength(24) Reserved(16)
+//! NextExtOffset(24) XID(16) LangTagLen(16) LangTag.
+//! SrvRqst body: PRList, SrvType, Predicate, SPI (each 16-bit length +
+//! bytes). SrvRply body: ErrorCode(16) LifeTime(16) URLLength(16) URL.
+
+use crate::util::{Cursor, Writer};
+use crate::WireError;
+
+/// The SLP well-known port.
+pub const SLP_PORT: u16 = 427;
+/// The SLP administrative multicast group (per the paper's Fig. 1).
+pub const SLP_GROUP: &str = "239.255.255.253";
+/// SLP protocol version 2.
+pub const SLP_VERSION: u8 = 2;
+/// Function id of a service request.
+pub const FN_SRVRQST: u8 = 1;
+/// Function id of a service reply.
+pub const FN_SRVRPLY: u8 = 2;
+
+/// A parsed SLP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlpMessage {
+    /// SrvRqst: a service lookup.
+    SrvRqst(SrvRqst),
+    /// SrvRply: a lookup answer.
+    SrvRply(SrvRply),
+}
+
+/// An SLP service request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrvRqst {
+    /// Transaction id.
+    pub xid: u16,
+    /// Language tag (e.g. `en`).
+    pub lang_tag: String,
+    /// Previous-responder list.
+    pub prlist: String,
+    /// Requested service type (e.g. `service:printer`).
+    pub service_type: String,
+    /// Attribute predicate.
+    pub predicate: String,
+    /// SPI string.
+    pub spi: String,
+}
+
+impl SrvRqst {
+    /// Creates a minimal request for `service_type`.
+    pub fn new(xid: u16, service_type: impl Into<String>) -> Self {
+        SrvRqst {
+            xid,
+            lang_tag: "en".into(),
+            prlist: String::new(),
+            service_type: service_type.into(),
+            predicate: String::new(),
+            spi: String::new(),
+        }
+    }
+}
+
+/// An SLP service reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrvRply {
+    /// Transaction id (copied from the request).
+    pub xid: u16,
+    /// Language tag.
+    pub lang_tag: String,
+    /// Error code (0 = ok).
+    pub error_code: u16,
+    /// URL entry lifetime in seconds.
+    pub lifetime: u16,
+    /// The service URL.
+    pub url: String,
+}
+
+impl SrvRply {
+    /// Creates a success reply.
+    pub fn new(xid: u16, url: impl Into<String>) -> Self {
+        SrvRply { xid, lang_tag: "en".into(), error_code: 0, lifetime: 60, url: url.into() }
+    }
+}
+
+fn encode_header(writer: &mut Writer, function_id: u8, xid: u16, lang_tag: &str) {
+    writer.u8(SLP_VERSION);
+    writer.u8(function_id);
+    writer.u24(0); // MessageLength, patched after the body is written
+    writer.u16(0); // Reserved/flags
+    writer.u24(0); // NextExtOffset
+    writer.u16(xid);
+    writer.lp_string(lang_tag);
+}
+
+/// Encodes a message to its wire image.
+pub fn encode(message: &SlpMessage) -> Vec<u8> {
+    let mut writer = Writer::new();
+    match message {
+        SlpMessage::SrvRqst(rqst) => {
+            encode_header(&mut writer, FN_SRVRQST, rqst.xid, &rqst.lang_tag);
+            writer.lp_string(&rqst.prlist);
+            writer.lp_string(&rqst.service_type);
+            writer.lp_string(&rqst.predicate);
+            writer.lp_string(&rqst.spi);
+        }
+        SlpMessage::SrvRply(rply) => {
+            encode_header(&mut writer, FN_SRVRPLY, rply.xid, &rply.lang_tag);
+            writer.u16(rply.error_code);
+            writer.u16(rply.lifetime);
+            writer.lp_string(&rply.url);
+        }
+    }
+    let total = writer.len() as u32;
+    writer.patch_u24(2, total);
+    writer.into_bytes()
+}
+
+/// Decodes a wire image.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for truncated input or unknown function ids.
+pub fn decode(bytes: &[u8]) -> Result<SlpMessage, WireError> {
+    let mut cursor = Cursor::new(bytes);
+    let version = cursor.u8()?;
+    if version != SLP_VERSION && version != 0 {
+        return Err(WireError(format!("unsupported SLP version {version}")));
+    }
+    let function_id = cursor.u8()?;
+    let declared_length = cursor.u24()? as usize;
+    if declared_length != 0 && declared_length > bytes.len() {
+        return Err(WireError(format!(
+            "SLP message declares {declared_length} bytes, only {} present",
+            bytes.len()
+        )));
+    }
+    let _reserved = cursor.u16()?;
+    let _next_ext = cursor.u24()?;
+    let xid = cursor.u16()?;
+    let lang_tag = cursor.lp_string()?;
+    match function_id {
+        FN_SRVRQST => {
+            let prlist = cursor.lp_string()?;
+            let service_type = cursor.lp_string()?;
+            let predicate = cursor.lp_string()?;
+            let spi = cursor.lp_string()?;
+            Ok(SlpMessage::SrvRqst(SrvRqst { xid, lang_tag, prlist, service_type, predicate, spi }))
+        }
+        FN_SRVRPLY => {
+            let error_code = cursor.u16()?;
+            let lifetime = cursor.u16()?;
+            let url = cursor.lp_string()?;
+            Ok(SlpMessage::SrvRply(SrvRply { xid, lang_tag, error_code, lifetime, url }))
+        }
+        other => Err(WireError(format!("unknown SLP function id {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srvrqst_roundtrip() {
+        let rqst = SrvRqst::new(0xBEEF, "service:printer");
+        let wire = encode(&SlpMessage::SrvRqst(rqst.clone()));
+        assert_eq!(decode(&wire).unwrap(), SlpMessage::SrvRqst(rqst));
+    }
+
+    #[test]
+    fn srvrply_roundtrip() {
+        let rply = SrvRply::new(7, "service:printer://10.0.0.9:631");
+        let wire = encode(&SlpMessage::SrvRply(rply.clone()));
+        assert_eq!(decode(&wire).unwrap(), SlpMessage::SrvRply(rply));
+    }
+
+    #[test]
+    fn message_length_is_patched() {
+        let wire = encode(&SlpMessage::SrvRqst(SrvRqst::new(1, "x")));
+        let declared = u32::from_be_bytes([0, wire[2], wire[3], wire[4]]) as usize;
+        assert_eq!(declared, wire.len());
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let wire = encode(&SlpMessage::SrvRqst(SrvRqst::new(1, "service:printer")));
+        assert!(decode(&wire[..10]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_function() {
+        let mut wire = encode(&SlpMessage::SrvRqst(SrvRqst::new(1, "x")));
+        wire[1] = 9;
+        assert!(decode(&wire).is_err());
+    }
+
+    #[test]
+    fn decode_tolerates_version_zero_from_model_driven_peers() {
+        // The Starlink bridge may compose with Version 0 unless the
+        // translation logic sets it; the decoder is lenient (like real
+        // stacks are towards the reserved bits).
+        let mut wire = encode(&SlpMessage::SrvRqst(SrvRqst::new(1, "x")));
+        wire[0] = 0;
+        assert!(decode(&wire).is_ok());
+    }
+
+    #[test]
+    fn header_layout_matches_fig7() {
+        let wire = encode(&SlpMessage::SrvRqst(SrvRqst::new(0x1234, "ab")));
+        assert_eq!(wire[0], 2); // Version
+        assert_eq!(wire[1], 1); // FunctionID
+        assert_eq!(&wire[10..12], &[0x12, 0x34]); // XID at offset 10
+        assert_eq!(&wire[12..14], &[0, 2]); // LangTagLen
+        assert_eq!(&wire[14..16], b"en"); // LangTag
+    }
+}

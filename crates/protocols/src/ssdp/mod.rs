@@ -1,0 +1,12 @@
+//! SSDP (Simple Service Discovery Protocol, the discovery layer of
+//! UPnP): native wire codec and the Starlink models of Figs. 2 and 11.
+//! The legacy endpoints live in [`crate::upnp`] since UPnP discovery
+//! spans SSDP + HTTP.
+
+mod models;
+mod wire;
+
+pub(crate) use wire::split_head;
+
+pub use models::{client_automaton, color, mdl_xml, service_automaton};
+pub use wire::{decode, encode, MSearch, SsdpMessage, SsdpResponse, SSDP_GROUP, SSDP_PORT};

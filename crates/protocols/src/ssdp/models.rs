@@ -1,0 +1,96 @@
+//! Starlink models of SSDP: the Fig. 11 MDL and the Fig. 2 automaton.
+
+use crate::ssdp::wire::{SSDP_GROUP, SSDP_PORT};
+use starlink_automata::{Color, ColoredAutomaton, Mode, Transport};
+
+/// The SSDP MDL document — Fig. 11 of the paper (text MDL: boundary
+/// delimiters instead of bit widths).
+pub fn mdl_xml() -> &'static str {
+    include_str!("../../specs/ssdp.xml")
+}
+
+/// The SSDP colour of Fig. 2: UDP 1900, async, multicast 239.255.255.250.
+pub fn color() -> Color {
+    Color::new(Transport::Udp, SSDP_PORT, Mode::Async).multicast(SSDP_GROUP)
+}
+
+/// Fig. 2 exactly — client side (the bridge searches for UPnP devices):
+/// send M-SEARCH, await the response.
+pub fn client_automaton() -> ColoredAutomaton {
+    ColoredAutomaton::builder("SSDP")
+        .color(color())
+        .state("s0")
+        .state("s1")
+        .state_accepting("s2")
+        .send("s0", "SSDP_M-Search", "s1")
+        .receive("s1", "SSDP_Resp", "s2")
+        .build()
+        .expect("static SSDP client automaton is valid")
+}
+
+/// Service side (the bridge answers legacy UPnP control points, cases 3
+/// and 4): receive M-SEARCH, later send the response.
+pub fn service_automaton() -> ColoredAutomaton {
+    ColoredAutomaton::builder("SSDP")
+        .color(color())
+        .state("r0")
+        .state("r1")
+        .state_accepting("r2")
+        .receive("r0", "SSDP_M-Search", "r1")
+        .send("r1", "SSDP_Resp", "r2")
+        .build()
+        .expect("static SSDP service automaton is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssdp::wire::{self, MSearch, SsdpMessage, SsdpResponse};
+    use starlink_mdl::{load_mdl, MdlCodec};
+
+    fn codec() -> MdlCodec {
+        MdlCodec::generate(load_mdl(mdl_xml()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn mdl_parses_native_msearch() {
+        let native = wire::encode(&SsdpMessage::MSearch(MSearch::new("urn:x:printer:1")));
+        let msg = codec().parse(&native).unwrap();
+        assert_eq!(msg.name(), "SSDP_M-Search");
+        assert_eq!(msg.get(&"ST".into()).unwrap().as_str().unwrap(), "urn:x:printer:1");
+        assert_eq!(msg.get(&"MX".into()).unwrap().as_u64().unwrap(), 2);
+    }
+
+    #[test]
+    fn mdl_parses_native_response() {
+        let native = wire::encode(&SsdpMessage::Response(SsdpResponse::new(
+            "urn:x",
+            "uuid:1",
+            "http://10.0.0.3:5000/desc.xml",
+        )));
+        let msg = codec().parse(&native).unwrap();
+        assert_eq!(msg.name(), "SSDP_Resp");
+        assert_eq!(
+            msg.get(&"LOCATION".into()).unwrap().as_str().unwrap(),
+            "http://10.0.0.3:5000/desc.xml"
+        );
+    }
+
+    #[test]
+    fn mdl_roundtrip_preserves_native_decodability() {
+        // Model-parsed then model-composed SSDP must still decode with
+        // the native codec (field order may differ; semantics must not).
+        let codec = codec();
+        let native = wire::encode(&SsdpMessage::MSearch(MSearch::new("urn:x:printer:1")));
+        let msg = codec.parse(&native).unwrap();
+        let recomposed = codec.compose(&msg).unwrap();
+        let decoded = wire::decode(&recomposed).unwrap();
+        assert_eq!(decoded, SsdpMessage::MSearch(MSearch::new("urn:x:printer:1")));
+    }
+
+    #[test]
+    fn automata_shapes() {
+        assert_eq!(client_automaton().messages(), vec!["SSDP_M-Search", "SSDP_Resp"]);
+        assert_eq!(service_automaton().states().len(), 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Native SSDP wire codec (UPnP discovery, text over multicast UDP).
+
+use crate::WireError;
+use std::collections::BTreeMap;
+
+/// The SSDP well-known port.
+pub const SSDP_PORT: u16 = 1900;
+/// The SSDP multicast group (Fig. 2).
+pub const SSDP_GROUP: &str = "239.255.255.250";
+
+/// A parsed SSDP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsdpMessage {
+    /// An M-SEARCH discovery request.
+    MSearch(MSearch),
+    /// A 200 OK discovery response.
+    Response(SsdpResponse),
+}
+
+/// An SSDP M-SEARCH request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MSearch {
+    /// Search target, e.g. `urn:schemas-upnp-org:service:printer:1`.
+    pub st: String,
+    /// Maximum response delay in seconds.
+    pub mx: u32,
+}
+
+impl MSearch {
+    /// Creates an M-SEARCH for `st` with the conventional MX of 2.
+    pub fn new(st: impl Into<String>) -> Self {
+        MSearch { st: st.into(), mx: 2 }
+    }
+}
+
+/// An SSDP discovery response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsdpResponse {
+    /// Search target echoed from the request.
+    pub st: String,
+    /// Unique service name.
+    pub usn: String,
+    /// URL of the device description document.
+    pub location: String,
+}
+
+impl SsdpResponse {
+    /// Creates a response.
+    pub fn new(
+        st: impl Into<String>,
+        usn: impl Into<String>,
+        location: impl Into<String>,
+    ) -> Self {
+        SsdpResponse { st: st.into(), usn: usn.into(), location: location.into() }
+    }
+}
+
+/// Encodes a message to its wire text.
+pub fn encode(message: &SsdpMessage) -> Vec<u8> {
+    match message {
+        SsdpMessage::MSearch(m) => format!(
+            "M-SEARCH * HTTP/1.1\r\nHOST: {SSDP_GROUP}:{SSDP_PORT}\r\nMAN: \"ssdp:discover\"\r\nMX: {}\r\nST: {}\r\n\r\n",
+            m.mx, m.st
+        )
+        .into_bytes(),
+        SsdpMessage::Response(r) => format!(
+            "HTTP/1.1 200 OK\r\nCACHE-CONTROL: max-age=1800\r\nEXT: \r\nLOCATION: {}\r\nST: {}\r\nUSN: {}\r\n\r\n",
+            r.location, r.st, r.usn
+        )
+        .into_bytes(),
+    }
+}
+
+/// Splits an HTTP-style text message into (start line, headers).
+pub(crate) fn split_head(bytes: &[u8]) -> Result<(String, BTreeMap<String, String>), WireError> {
+    let text = String::from_utf8_lossy(bytes);
+    let mut lines = text.split("\r\n");
+    let start = lines
+        .next()
+        .filter(|l| !l.is_empty())
+        .ok_or_else(|| WireError("empty message".into()))?
+        .to_owned();
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| WireError(format!("header line without colon: {line:?}")))?;
+        headers.insert(name.trim().to_ascii_uppercase(), value.trim().to_owned());
+    }
+    Ok((start, headers))
+}
+
+/// Decodes wire text.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for malformed start lines or missing mandatory
+/// headers.
+pub fn decode(bytes: &[u8]) -> Result<SsdpMessage, WireError> {
+    let (start, headers) = split_head(bytes)?;
+    if start.starts_with("M-SEARCH") {
+        let st = headers
+            .get("ST")
+            .cloned()
+            .ok_or_else(|| WireError("M-SEARCH without ST header".into()))?;
+        let mx = headers.get("MX").and_then(|v| v.parse().ok()).unwrap_or(1);
+        Ok(SsdpMessage::MSearch(MSearch { st, mx }))
+    } else if start.starts_with("HTTP/1.1") {
+        let st = headers.get("ST").cloned().unwrap_or_default();
+        let usn = headers.get("USN").cloned().unwrap_or_default();
+        let location = headers
+            .get("LOCATION")
+            .cloned()
+            .ok_or_else(|| WireError("SSDP response without LOCATION header".into()))?;
+        Ok(SsdpMessage::Response(SsdpResponse { st, usn, location }))
+    } else {
+        Err(WireError(format!("unknown SSDP start line {start:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msearch_roundtrip() {
+        let m = MSearch::new("urn:schemas-upnp-org:service:printer:1");
+        let wire = encode(&SsdpMessage::MSearch(m.clone()));
+        assert_eq!(decode(&wire).unwrap(), SsdpMessage::MSearch(m));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = SsdpResponse::new("urn:x", "uuid:1", "http://10.0.0.3:5000/desc.xml");
+        let wire = encode(&SsdpMessage::Response(r.clone()));
+        assert_eq!(decode(&wire).unwrap(), SsdpMessage::Response(r));
+    }
+
+    #[test]
+    fn wire_text_has_crlf_framing() {
+        let wire = encode(&SsdpMessage::MSearch(MSearch::new("urn:x")));
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("M-SEARCH * HTTP/1.1\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(b"NOTIFY * HTTP/1.1\r\n\r\n").is_err());
+        assert!(decode(b"").is_err());
+        assert!(decode(b"M-SEARCH * HTTP/1.1\r\n\r\n").is_err()); // no ST
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for XML parsing.
+
+use std::fmt;
+
+/// Position of an error inside the source text (1-based line/column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub column: u32,
+}
+
+impl Position {
+    /// Creates a new position.
+    pub fn new(line: u32, column: u32) -> Self {
+        Position { line, column }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Error raised while lexing or parsing an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    kind: XmlErrorKind,
+    position: Position,
+}
+
+/// The category of an [`XmlError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XmlErrorKind {
+    /// Reached end of input while more content was required.
+    UnexpectedEof,
+    /// An unexpected character was found.
+    UnexpectedChar(char),
+    /// A closing tag did not match the currently open element.
+    MismatchedTag {
+        /// The element that was open.
+        expected: String,
+        /// The closing tag that was found.
+        found: String,
+    },
+    /// An element or attribute name was empty or malformed.
+    InvalidName(String),
+    /// An entity reference could not be decoded.
+    InvalidEntity(String),
+    /// Markup found after the document element closed.
+    TrailingContent,
+    /// The document contained no root element.
+    NoRootElement,
+    /// A structural expectation of a consumer was violated (missing
+    /// child/attribute, wrong text content).
+    Structure(String),
+}
+
+impl XmlError {
+    /// Creates an error at the given position.
+    pub fn new(kind: XmlErrorKind, position: Position) -> Self {
+        XmlError { kind, position }
+    }
+
+    /// Creates a structural error without a meaningful source position.
+    pub fn structure(message: impl Into<String>) -> Self {
+        XmlError {
+            kind: XmlErrorKind::Structure(message.into()),
+            position: Position::default(),
+        }
+    }
+
+    /// The category of the failure.
+    pub fn kind(&self) -> &XmlErrorKind {
+        &self.kind
+    }
+
+    /// Where the failure occurred in the source text.
+    pub fn position(&self) -> Position {
+        self.position
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            XmlErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "mismatched closing tag: expected </{expected}>, found </{found}>")
+            }
+            XmlErrorKind::InvalidName(name) => write!(f, "invalid XML name {name:?}"),
+            XmlErrorKind::InvalidEntity(ent) => write!(f, "invalid entity reference &{ent};"),
+            XmlErrorKind::TrailingContent => write!(f, "content after document element"),
+            XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
+            XmlErrorKind::Structure(msg) => write!(f, "{msg}"),
+        }?;
+        if self.position != Position::default() {
+            write!(f, " at {}", self.position)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Convenient result alias for XML operations.
+pub type Result<T> = std::result::Result<T, XmlError>;

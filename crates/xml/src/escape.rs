@@ -1,0 +1,112 @@
+//! Entity escaping and unescaping for XML text and attribute values.
+
+use crate::error::{Position, Result, XmlError, XmlErrorKind};
+
+/// Escapes the five predefined XML entities in `input`.
+///
+/// ```
+/// assert_eq!(starlink_xml::escape("a < b & c"), "a &lt; b &amp; c");
+/// ```
+pub fn escape(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Decodes entity references (`&amp;`, `&#nn;`, `&#xnn;`, ...) in `input`.
+///
+/// # Errors
+///
+/// Returns [`XmlErrorKind::InvalidEntity`] for unterminated or unknown
+/// references.
+///
+/// ```
+/// assert_eq!(starlink_xml::unescape("a &lt; b").unwrap(), "a < b");
+/// ```
+pub fn unescape(input: &str) -> Result<String> {
+    let mut out = String::with_capacity(input.len());
+    let mut chars = input.char_indices();
+    while let Some((start, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &input[start + 1..];
+        let end = rest.find(';').ok_or_else(|| {
+            XmlError::new(
+                XmlErrorKind::InvalidEntity(rest.chars().take(8).collect()),
+                Position::default(),
+            )
+        })?;
+        let name = &rest[..end];
+        out.push(decode_entity(name)?);
+        // Skip the entity body and the terminating ';'.
+        for _ in 0..end + 1 {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+fn decode_entity(name: &str) -> Result<char> {
+    let invalid =
+        || XmlError::new(XmlErrorKind::InvalidEntity(name.to_owned()), Position::default());
+    match name {
+        "amp" => Ok('&'),
+        "lt" => Ok('<'),
+        "gt" => Ok('>'),
+        "quot" => Ok('"'),
+        "apos" => Ok('\''),
+        _ => {
+            let digits = name.strip_prefix('#').ok_or_else(invalid)?;
+            let code = if let Some(hex) = digits.strip_prefix('x').or(digits.strip_prefix('X')) {
+                u32::from_str_radix(hex, 16).map_err(|_| invalid())?
+            } else {
+                digits.parse::<u32>().map_err(|_| invalid())?
+            };
+            char::from_u32(code).ok_or_else(invalid)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrips_specials() {
+        let raw = "<a href=\"x\">&'q'</a>";
+        let escaped = escape(raw);
+        assert!(!escaped.contains('<'));
+        assert_eq!(unescape(&escaped).unwrap(), raw);
+    }
+
+    #[test]
+    fn unescape_decodes_numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;").unwrap(), "AB");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entity() {
+        assert!(unescape("&bogus;").is_err());
+    }
+
+    #[test]
+    fn unescape_rejects_unterminated_entity() {
+        assert!(unescape("&amp").is_err());
+    }
+
+    #[test]
+    fn unescape_passes_plain_text() {
+        assert_eq!(unescape("plain text").unwrap(), "plain text");
+    }
+}

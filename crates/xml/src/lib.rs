@@ -1,0 +1,47 @@
+//! # starlink-xml
+//!
+//! A deliberately small XML library backing the Starlink model DSLs
+//! (Message Description Language specifications, coloured-automaton
+//! definitions, and merged-automaton/translation-logic documents — the
+//! artefacts of Figs. 5, 7, 8 and 11 of the paper).
+//!
+//! The Starlink framework loads all of its interoperability logic at
+//! runtime from XML documents, so the only hard requirements here are:
+//!
+//! * a forgiving **pull parser** ([`Reader`]) producing [`Event`]s,
+//! * an owned **DOM** ([`Element`], [`Node`]) with ergonomic child /
+//!   attribute accessors used by the spec loaders, and
+//! * a **writer** able to re-emit documents ([`to_string`],
+//!   [`to_string_pretty`]) so that models can be round-tripped, diffed and
+//!   regenerated for the paper's figure listings.
+//!
+//! Namespaces, DTD validation and encodings other than UTF-8 are out of
+//! scope: no Starlink model uses them.
+//!
+//! ## Example
+//!
+//! ```
+//! use starlink_xml::Element;
+//!
+//! let mdl = Element::parse(
+//!     "<Message type=\"SLPSrvRequest\"><Rule>FunctionID=1</Rule></Message>",
+//! )?;
+//! assert_eq!(mdl.required_attr("type")?, "SLPSrvRequest");
+//! assert_eq!(mdl.required_child("Rule")?.text(), "FunctionID=1");
+//! # Ok::<(), starlink_xml::XmlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod escape;
+mod node;
+mod reader;
+mod writer;
+
+pub use error::{Position, Result, XmlError, XmlErrorKind};
+pub use escape::{escape, unescape};
+pub use node::{Element, Node};
+pub use reader::{Event, Reader};
+pub use writer::{to_string, to_string_pretty, write_element, WriteOptions};

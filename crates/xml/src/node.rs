@@ -1,0 +1,297 @@
+//! A small owned DOM built on top of the pull [`Reader`].
+
+use crate::error::{Result, XmlError, XmlErrorKind};
+use crate::reader::{Event, Reader};
+
+/// A node in the document tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// A text run (entities already decoded).
+    Text(String),
+    /// A comment body.
+    Comment(String),
+}
+
+impl Node {
+    /// Returns the contained element, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(el) => Some(el),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained text, if this node is a text run.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// An XML element: name, attributes and ordered children.
+///
+/// ```
+/// use starlink_xml::Element;
+///
+/// let doc = Element::parse("<Header type='SLP'><XID>16</XID></Header>").unwrap();
+/// assert_eq!(doc.name(), "Header");
+/// assert_eq!(doc.attr("type"), Some("SLP"));
+/// assert_eq!(doc.child("XID").unwrap().text(), "16");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    name: String,
+    attributes: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an empty element with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Parses a complete document and returns its root element.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed XML, a missing root element, or
+    /// non-whitespace content outside the root.
+    pub fn parse(source: &str) -> Result<Element> {
+        let mut reader = Reader::new(source);
+        let mut root: Option<Element> = None;
+        while let Some(event) = reader.next_event()? {
+            match event {
+                Event::Start { name, attributes, self_closing } => {
+                    if root.is_some() {
+                        return Err(XmlError::new(XmlErrorKind::TrailingContent, reader.position()));
+                    }
+                    let mut element = Element { name, attributes, children: Vec::new() };
+                    if !self_closing {
+                        Self::parse_children(&mut reader, &mut element)?;
+                    }
+                    root = Some(element);
+                }
+                Event::Text(text) if text.trim().is_empty() => {}
+                Event::Comment(_) => {}
+                Event::Text(_) => {
+                    return Err(XmlError::new(XmlErrorKind::TrailingContent, reader.position()))
+                }
+                Event::End { .. } => {
+                    return Err(XmlError::new(
+                        XmlErrorKind::MismatchedTag { expected: "(none)".into(), found: "?".into() },
+                        reader.position(),
+                    ))
+                }
+            }
+        }
+        root.ok_or_else(|| XmlError::new(XmlErrorKind::NoRootElement, Default::default()))
+    }
+
+    fn parse_children(reader: &mut Reader<'_>, parent: &mut Element) -> Result<()> {
+        loop {
+            let event = reader
+                .next_event()?
+                .ok_or_else(|| XmlError::new(XmlErrorKind::UnexpectedEof, reader.position()))?;
+            match event {
+                Event::Start { name, attributes, self_closing } => {
+                    let mut element = Element { name, attributes, children: Vec::new() };
+                    if !self_closing {
+                        Self::parse_children(reader, &mut element)?;
+                    }
+                    parent.children.push(Node::Element(element));
+                }
+                Event::End { name } => {
+                    if name != parent.name {
+                        return Err(XmlError::new(
+                            XmlErrorKind::MismatchedTag { expected: parent.name.clone(), found: name },
+                            reader.position(),
+                        ));
+                    }
+                    return Ok(());
+                }
+                Event::Text(text) => parent.children.push(Node::Text(text)),
+                Event::Comment(body) => parent.children.push(Node::Comment(body)),
+            }
+        }
+    }
+
+    /// The element name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All attributes in document order.
+    pub fn attributes(&self) -> &[(String, String)] {
+        &self.attributes
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Looks up an attribute, failing with a structural error naming the
+    /// element when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XmlErrorKind::Structure`] when the attribute is missing.
+    pub fn required_attr(&self, name: &str) -> Result<&str> {
+        self.attr(name).ok_or_else(|| {
+            XmlError::structure(format!("element <{}> is missing attribute {name:?}", self.name))
+        })
+    }
+
+    /// Sets (or replaces) an attribute.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attributes.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.attributes.push((name, value));
+        }
+        self
+    }
+
+    /// All child nodes in document order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Iterates over child *elements* only.
+    pub fn children(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Iterates over child elements with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children().filter(move |el| el.name == name)
+    }
+
+    /// The first child element with the given name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children().find(|el| el.name == name)
+    }
+
+    /// The first child element with the given name, failing with a
+    /// structural error when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XmlErrorKind::Structure`] when no such child exists.
+    pub fn required_child(&self, name: &str) -> Result<&Element> {
+        self.child(name).ok_or_else(|| {
+            XmlError::structure(format!("element <{}> is missing child <{name}>", self.name))
+        })
+    }
+
+    /// Concatenated, trimmed text content of this element (direct text
+    /// children only).
+    pub fn text(&self) -> String {
+        self.raw_text().trim().to_owned()
+    }
+
+    /// Concatenated text content *without* trimming — for elements whose
+    /// whitespace is significant (e.g. abstract-message string values).
+    pub fn raw_text(&self) -> String {
+        let mut out = String::new();
+        for node in &self.children {
+            if let Node::Text(t) = node {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Text content of the named child, if present.
+    pub fn child_text(&self, name: &str) -> Option<String> {
+        self.child(name).map(Element::text)
+    }
+
+    /// Appends a child element, returning `self` for chaining.
+    pub fn push_element(&mut self, element: Element) -> &mut Self {
+        self.children.push(Node::Element(element));
+        self
+    }
+
+    /// Appends a text node, returning `self` for chaining.
+    pub fn push_text(&mut self, text: impl Into<String>) -> &mut Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Builder-style helper: creates `<name>text</name>` and appends it.
+    pub fn push_child_with_text(&mut self, name: &str, text: impl Into<String>) -> &mut Self {
+        let mut child = Element::new(name);
+        child.push_text(text);
+        self.push_element(child)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+        <Types>
+            <Version>Integer</Version>
+            <URLEntry>String</URLEntry>
+            <URLLength>Integer[f-length(URLEntry)]</URLLength>
+        </Types>"#;
+
+    #[test]
+    fn parse_builds_tree() {
+        let root = Element::parse(DOC).unwrap();
+        assert_eq!(root.name(), "Types");
+        assert_eq!(root.children().count(), 3);
+        assert_eq!(root.child_text("Version").unwrap(), "Integer");
+        assert_eq!(root.child_text("URLLength").unwrap(), "Integer[f-length(URLEntry)]");
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let root = Element::parse("<a><b>1</b><c/><b>2</b></a>").unwrap();
+        let bs: Vec<String> = root.children_named("b").map(Element::text).collect();
+        assert_eq!(bs, vec!["1", "2"]);
+    }
+
+    #[test]
+    fn required_child_errors_with_context() {
+        let root = Element::parse("<a/>").unwrap();
+        let err = root.required_child("missing").unwrap_err();
+        assert!(err.to_string().contains("<a>"));
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn mismatched_close_is_an_error() {
+        assert!(Element::parse("<a><b></a></b>").is_err());
+    }
+
+    #[test]
+    fn trailing_root_is_an_error() {
+        assert!(Element::parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut el = Element::new("x");
+        el.set_attr("k", "1");
+        el.set_attr("k", "2");
+        assert_eq!(el.attr("k"), Some("2"));
+        assert_eq!(el.attributes().len(), 1);
+    }
+
+    #[test]
+    fn comments_are_preserved_as_nodes() {
+        let root = Element::parse("<a><!-- hi --><b/></a>").unwrap();
+        assert_eq!(root.nodes().len(), 2);
+        assert_eq!(root.children().count(), 1);
+    }
+}

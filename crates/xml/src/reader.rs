@@ -1,0 +1,343 @@
+//! A minimal pull (streaming) XML parser.
+//!
+//! Supports the XML subset used by the Starlink model DSLs: elements,
+//! attributes (single- or double-quoted), text with entity references,
+//! CDATA sections, comments, XML declarations and DOCTYPE (both skipped).
+//! Namespaces are treated literally (prefixes stay part of the name).
+
+use crate::error::{Position, Result, XmlError, XmlErrorKind};
+use crate::escape::unescape;
+
+/// A single parsing event produced by [`Reader::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An opening tag, e.g. `<Message type="SLP">`; `self_closing` is set
+    /// for `<empty/>` (no matching [`Event::End`] follows).
+    Start {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<(String, String)>,
+        /// Whether the tag was `<name .../>`.
+        self_closing: bool,
+    },
+    /// A closing tag, e.g. `</Message>`.
+    End {
+        /// Element name.
+        name: String,
+    },
+    /// Character data with entities decoded. Whitespace-only runs between
+    /// tags are still reported; consumers decide whether to keep them.
+    Text(String),
+    /// A comment (`<!-- ... -->`) body.
+    Comment(String),
+}
+
+/// A pull parser over a complete XML source string.
+///
+/// ```
+/// use starlink_xml::{Reader, Event};
+///
+/// let mut reader = Reader::new("<a x='1'>hi</a>");
+/// assert!(matches!(reader.next_event().unwrap(), Some(Event::Start { .. })));
+/// assert_eq!(reader.next_event().unwrap(), Some(Event::Text("hi".into())));
+/// assert!(matches!(reader.next_event().unwrap(), Some(Event::End { .. })));
+/// assert_eq!(reader.next_event().unwrap(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Reader { src: source.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    /// Current position for error reporting.
+    pub fn position(&self) -> Position {
+        Position::new(self.line, self.col)
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.position())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<()> {
+        match self.bump() {
+            Some(b) if b == expected => Ok(()),
+            Some(b) => Err(self.err(XmlErrorKind::UnexpectedChar(b as char))),
+            None => Err(self.err(XmlErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn starts_with(&self, prefix: &[u8]) -> bool {
+        self.src[self.pos..].starts_with(prefix)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    /// Advances past `prefix`, which the caller has already matched.
+    fn skip_known(&mut self, prefix: &[u8]) {
+        for _ in 0..prefix.len() {
+            self.bump();
+        }
+    }
+
+    /// Skips until (and including) the byte sequence `terminator`,
+    /// returning the skipped body.
+    fn take_until(&mut self, terminator: &[u8]) -> Result<String> {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            if self.starts_with(terminator) {
+                let body = &self.src[start..self.pos];
+                self.skip_known(terminator);
+                return Ok(String::from_utf8_lossy(body).into_owned());
+            }
+            self.bump();
+        }
+        Err(self.err(XmlErrorKind::UnexpectedEof))
+    }
+
+    fn read_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let c = b as char;
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            let found = self.peek().map(|b| (b as char).to_string()).unwrap_or_default();
+            return Err(self.err(XmlErrorKind::InvalidName(found)));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn read_attribute_value(&mut self) -> Result<String> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            Some(other) => return Err(self.err(XmlErrorKind::UnexpectedChar(other as char))),
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+        };
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.bump();
+                return unescape(&raw);
+            }
+            self.bump();
+        }
+        Err(self.err(XmlErrorKind::UnexpectedEof))
+    }
+
+    fn read_start_tag(&mut self) -> Result<Event> {
+        // Caller consumed '<'.
+        let name = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    return Ok(Event::Start { name, attributes, self_closing: false });
+                }
+                Some(b'/') => {
+                    self.bump();
+                    self.eat(b'>')?;
+                    return Ok(Event::Start { name, attributes, self_closing: true });
+                }
+                Some(_) => {
+                    let attr_name = self.read_name()?;
+                    self.skip_whitespace();
+                    // Bare attributes (`<x checked>`) are not part of XML;
+                    // require '='.
+                    self.eat(b'=')?;
+                    self.skip_whitespace();
+                    let value = self.read_attribute_value()?;
+                    attributes.push((attr_name, value));
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn read_end_tag(&mut self) -> Result<Event> {
+        // Caller consumed "</".
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        self.eat(b'>')?;
+        Ok(Event::End { name })
+    }
+
+    /// Returns the next event, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`XmlError`] on malformed markup.
+    pub fn next_event(&mut self) -> Result<Option<Event>> {
+        loop {
+            if self.pos >= self.src.len() {
+                return Ok(None);
+            }
+            if self.peek() == Some(b'<') {
+                match self.peek_at(1) {
+                    Some(b'/') => {
+                        self.skip_known(b"</");
+                        return self.read_end_tag().map(Some);
+                    }
+                    Some(b'?') => {
+                        // XML declaration / processing instruction: skip.
+                        self.skip_known(b"<?");
+                        self.take_until(b"?>")?;
+                        continue;
+                    }
+                    Some(b'!') => {
+                        if self.starts_with(b"<!--") {
+                            self.skip_known(b"<!--");
+                            let body = self.take_until(b"-->")?;
+                            return Ok(Some(Event::Comment(body)));
+                        }
+                        if self.starts_with(b"<![CDATA[") {
+                            self.skip_known(b"<![CDATA[");
+                            let body = self.take_until(b"]]>")?;
+                            return Ok(Some(Event::Text(body)));
+                        }
+                        // DOCTYPE or similar: skip to the matching '>'.
+                        self.skip_known(b"<!");
+                        self.take_until(b">")?;
+                        continue;
+                    }
+                    Some(_) => {
+                        self.bump(); // consume '<'
+                        return self.read_start_tag().map(Some);
+                    }
+                    None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+                }
+            }
+            // Text run up to the next '<' or EOF.
+            let start = self.pos;
+            while self.peek().is_some() && self.peek() != Some(b'<') {
+                self.bump();
+            }
+            let raw = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            let text = unescape(&raw)?;
+            return Ok(Some(Event::Text(text)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<Event> {
+        let mut reader = Reader::new(src);
+        let mut out = Vec::new();
+        while let Some(event) = reader.next_event().unwrap() {
+            out.push(event);
+        }
+        out
+    }
+
+    #[test]
+    fn parses_nested_elements() {
+        let evs = events("<a><b>1</b><b>2</b></a>");
+        assert_eq!(evs.len(), 8);
+        assert!(matches!(&evs[0], Event::Start { name, .. } if name == "a"));
+        assert!(matches!(&evs[7], Event::End { name } if name == "a"));
+    }
+
+    #[test]
+    fn parses_attributes_in_both_quote_styles() {
+        let evs = events(r#"<m type="SLP" mode='fast'/>"#);
+        match &evs[0] {
+            Event::Start { attributes, self_closing, .. } => {
+                assert!(*self_closing);
+                assert_eq!(attributes[0], ("type".into(), "SLP".into()));
+                assert_eq!(attributes[1], ("mode".into(), "fast".into()));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decodes_entities_in_text_and_attributes() {
+        let evs = events(r#"<a v="&lt;x&gt;">1 &amp; 2</a>"#);
+        match &evs[0] {
+            Event::Start { attributes, .. } => assert_eq!(attributes[0].1, "<x>"),
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(evs[1], Event::Text("1 & 2".into()));
+    }
+
+    #[test]
+    fn skips_declaration_and_doctype() {
+        let evs = events("<?xml version=\"1.0\"?><!DOCTYPE a><a/>");
+        assert!(matches!(&evs[0], Event::Start { name, .. } if name == "a"));
+    }
+
+    #[test]
+    fn reports_comments() {
+        let evs = events("<a><!-- note --></a>");
+        assert_eq!(evs[1], Event::Comment(" note ".into()));
+    }
+
+    #[test]
+    fn parses_cdata_verbatim() {
+        let evs = events("<a><![CDATA[1 < 2 & 3]]></a>");
+        assert_eq!(evs[1], Event::Text("1 < 2 & 3".into()));
+    }
+
+    #[test]
+    fn errors_on_unterminated_tag() {
+        let mut reader = Reader::new("<a");
+        assert!(reader.next_event().is_err());
+    }
+
+    #[test]
+    fn errors_on_unterminated_comment() {
+        let mut reader = Reader::new("<!-- oops");
+        assert!(reader.next_event().is_err());
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let mut reader = Reader::new("<a>\n\n<");
+        reader.next_event().unwrap(); // <a>
+        reader.next_event().unwrap(); // text
+        let err = reader.next_event().unwrap_err();
+        assert_eq!(err.position().line, 3);
+    }
+}

@@ -1,0 +1,162 @@
+//! Serialising a DOM [`Element`] back to XML text.
+
+use crate::escape::escape;
+use crate::node::{Element, Node};
+use std::fmt::Write as _;
+
+/// Formatting options for [`write_element`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Indentation width in spaces (pretty printing); `None` writes compact
+    /// single-line output.
+    pub indent: Option<usize>,
+    /// Whether to emit an `<?xml version="1.0"?>` declaration first.
+    pub declaration: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { indent: Some(2), declaration: false }
+    }
+}
+
+/// Serialises `element` with the given options.
+///
+/// ```
+/// use starlink_xml::{Element, to_string};
+///
+/// let el = Element::parse("<a x='1'><b>t</b></a>").unwrap();
+/// assert_eq!(to_string(&el), "<a x=\"1\"><b>t</b></a>");
+/// ```
+pub fn write_element(element: &Element, options: WriteOptions) -> String {
+    let mut out = String::new();
+    if options.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if options.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    write_node(&mut out, element, options.indent, 0);
+    out
+}
+
+/// Serialises `element` compactly (no indentation, no declaration).
+pub fn to_string(element: &Element) -> String {
+    write_element(element, WriteOptions { indent: None, declaration: false })
+}
+
+/// Serialises `element` with 2-space indentation.
+pub fn to_string_pretty(element: &Element) -> String {
+    write_element(element, WriteOptions::default())
+}
+
+fn write_node(out: &mut String, element: &Element, indent: Option<usize>, depth: usize) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(width) = indent {
+            for _ in 0..width * depth {
+                out.push(' ');
+            }
+        }
+    };
+    pad(out, depth);
+    let _ = write!(out, "<{}", element.name());
+    for (name, value) in element.attributes() {
+        let _ = write!(out, " {}=\"{}\"", name, escape(value));
+    }
+    if element.nodes().is_empty() {
+        out.push_str("/>");
+        if indent.is_some() {
+            out.push('\n');
+        }
+        return;
+    }
+    out.push('>');
+
+    // Elements whose children are text-only stay on one line even when
+    // pretty-printing, matching the style of the paper's MDL listings.
+    let text_only = element.nodes().iter().all(|n| matches!(n, Node::Text(_)));
+    if text_only {
+        for node in element.nodes() {
+            if let Node::Text(t) = node {
+                out.push_str(&escape(t));
+            }
+        }
+    } else {
+        if indent.is_some() {
+            out.push('\n');
+        }
+        for node in element.nodes() {
+            match node {
+                Node::Element(child) => write_node(out, child, indent, depth + 1),
+                Node::Text(t) => {
+                    if !t.trim().is_empty() {
+                        pad(out, depth + 1);
+                        out.push_str(&escape(t.trim()));
+                        if indent.is_some() {
+                            out.push('\n');
+                        }
+                    }
+                }
+                Node::Comment(body) => {
+                    pad(out, depth + 1);
+                    let _ = write!(out, "<!--{body}-->");
+                    if indent.is_some() {
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        pad(out, depth);
+    }
+    let _ = write!(out, "</{}>", element.name());
+    if indent.is_some() {
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Element;
+
+    #[test]
+    fn compact_roundtrip() {
+        let src = r#"<Header type="SLP"><XID>16</XID><LangTag>LangTagLen</LangTag></Header>"#;
+        let parsed = Element::parse(src).unwrap();
+        assert_eq!(to_string(&parsed), src);
+    }
+
+    #[test]
+    fn escapes_attribute_values() {
+        let mut el = Element::new("a");
+        el.set_attr("v", "1 < 2 & \"x\"");
+        let text = to_string(&el);
+        assert_eq!(text, r#"<a v="1 &lt; 2 &amp; &quot;x&quot;"/>"#);
+        // And it parses back to the same value.
+        let back = Element::parse(&text).unwrap();
+        assert_eq!(back.attr("v"), Some("1 < 2 & \"x\""));
+    }
+
+    #[test]
+    fn pretty_print_indents_nested_elements() {
+        let parsed = Element::parse("<a><b><c>1</c></b></a>").unwrap();
+        let pretty = to_string_pretty(&parsed);
+        assert!(pretty.contains("\n  <b>"));
+        assert!(pretty.contains("\n    <c>1</c>"));
+    }
+
+    #[test]
+    fn declaration_is_emitted_when_requested() {
+        let el = Element::new("root");
+        let text = write_element(&el, WriteOptions { indent: None, declaration: true });
+        assert!(text.starts_with("<?xml"));
+    }
+
+    #[test]
+    fn parse_write_parse_is_stable() {
+        let src = "<m><!-- c --><f a=\"1\">t&amp;u</f><g/></m>";
+        let once = Element::parse(src).unwrap();
+        let twice = Element::parse(&to_string(&once)).unwrap();
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests: XML write→parse round-trips for arbitrary trees, and
+//! escaping totality.
+
+use proptest::prelude::*;
+use starlink_xml::{escape, to_string, to_string_pretty, unescape, Element};
+
+/// Generates XML-name-safe identifiers.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_.-]{0,12}"
+}
+
+/// Generates attribute/text content including XML-special characters.
+fn content_strategy() -> impl Strategy<Value = String> {
+    // Printable ASCII incl. <, >, &, quotes.
+    "[ -~]{0,24}"
+}
+
+/// Generates an element tree of bounded depth/width.
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), prop::collection::vec((name_strategy(), content_strategy()), 0..3))
+        .prop_map(|(name, attrs)| {
+            let mut el = Element::new(name);
+            for (k, v) in attrs {
+                el.set_attr(k, v);
+            }
+            el
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), content_strategy()), 0..3),
+            prop::collection::vec(inner, 0..4),
+            content_strategy(),
+        )
+            .prop_map(|(name, attrs, children, text)| {
+                let mut el = Element::new(name);
+                for (k, v) in attrs {
+                    el.set_attr(k, v);
+                }
+                // Text first (trimmed non-empty only, so the writer's
+                // whitespace normalisation cannot change it).
+                let trimmed = text.trim();
+                if !trimmed.is_empty() && children.is_empty() {
+                    el.push_text(trimmed.to_owned());
+                }
+                for child in children {
+                    el.push_element(child);
+                }
+                el
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn escape_unescape_roundtrip(s in "[ -~]{0,64}") {
+        prop_assert_eq!(unescape(&escape(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn compact_write_parse_roundtrip(el in element_strategy()) {
+        let text = to_string(&el);
+        let parsed = Element::parse(&text).unwrap();
+        prop_assert_eq!(parsed, el);
+    }
+
+    #[test]
+    fn pretty_write_parse_is_stable(el in element_strategy()) {
+        // Pretty printing may normalise whitespace, but a second
+        // round-trip must be a fixed point.
+        let once = Element::parse(&to_string_pretty(&el)).unwrap();
+        let twice = Element::parse(&to_string_pretty(&once)).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parse_never_panics_on_ascii(s in "[ -~]{0,64}") {
+        let _ = Element::parse(&s);
+    }
+}

@@ -1,0 +1,70 @@
+//! The paper's future work, working: the framework **generates the
+//! merged automaton itself** from an ontology (§VII: "ontologies
+//! describing two protocols would be reasoned upon and the semantic
+//! matches would be inferred, i.e., the fields where data can be
+//! translated").
+//!
+//! Run with `cargo run --example auto_bridge`.
+
+use starlink::automata::bridge_to_xml;
+use starlink::core::{synthesize_bridge, Ontology, Starlink};
+use starlink::net::SimNet;
+use starlink::protocols::{bridges, mdns, slp, Calibration, DiscoveryProbe};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework)?;
+
+    // The ontology: concepts over fields, vocabulary conversions,
+    // protocol constants. This is the only human input — the δs, the
+    // equivalences and the assignments are inferred.
+    let ontology = Ontology::new()
+        .concept("SLPSrvRequest", "SRVType", "service-type-slp")
+        .concept("DNS_Question", "QName", "service-type-dns")
+        .conversion("service-type-slp", "service-type-dns", "slp-to-dns-type")
+        .concept("DNS_Response", "RData", "service-url")
+        .concept("SLPSrvReply", "URLEntry", "service-url")
+        .concept("SLPSrvRequest", "XID", "txn")
+        .concept("DNS_Question", "ID", "txn")
+        .concept("SLPSrvReply", "XID", "txn")
+        .constant("DNS_Question", "QDCount", 1u64)
+        .constant("DNS_Question", "QType", 12u64)
+        .constant("DNS_Question", "QClass", 1u64)
+        .constant("SLPSrvReply", "Version", 2u64)
+        .constant("SLPSrvReply", "LifeTime", 60u64);
+
+    let merged = synthesize_bridge(
+        &framework,
+        "auto-slp-bonjour",
+        slp::service_automaton(),
+        mdns::client_automaton(),
+        &ontology,
+    )?;
+
+    println!("generated merged automaton (model document):\n");
+    println!("{}", bridge_to_xml(&merged));
+
+    let (engine, stats) = framework.deploy(merged)?;
+    let probe = DiscoveryProbe::new();
+    let mut sim = SimNet::new(3);
+    sim.add_actor("10.0.0.2", engine);
+    sim.add_actor(
+        "10.0.0.3",
+        mdns::BonjourService::new(
+            "_printer._tcp.local",
+            "service:printer://10.0.0.3:631",
+            Calibration::paper(),
+        ),
+    );
+    sim.add_actor("10.0.0.1", slp::SlpClient::new("service:printer", probe.clone()));
+    sim.run_until_idle();
+
+    let result = probe.first().expect("lookup answered");
+    println!(
+        "SLP client received {:?} through the machine-generated bridge ({} session, {}).",
+        result.url,
+        stats.session_count(),
+        stats.translation_times()[0]
+    );
+    Ok(())
+}

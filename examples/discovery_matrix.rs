@@ -1,0 +1,103 @@
+//! The full §V case-study matrix: all six protocol pairs, each running a
+//! legacy client of one protocol against a legacy service of another
+//! with the Starlink bridge in between.
+//!
+//! Run with `cargo run --example discovery_matrix`.
+
+use starlink::core::Starlink;
+use starlink::net::SimNet;
+use starlink::protocols::{
+    bridges::{self, BridgeCase},
+    mdns, slp, upnp, Calibration, DiscoveryProbe,
+};
+
+const CLIENT: &str = "10.0.0.1";
+const BRIDGE: &str = "10.0.0.2";
+const SERVICE: &str = "10.0.0.3";
+
+fn run(case: BridgeCase, calibration: Calibration) -> (String, u64, u64) {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).expect("models load");
+    let (engine, stats) = framework.deploy(case.build(BRIDGE)).expect("deploys");
+
+    let probe = DiscoveryProbe::new();
+    let mut sim = SimNet::new(42 + case.number() as u64);
+    sim.add_actor(BRIDGE, engine);
+    match case {
+        BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp => {
+            sim.add_actor(
+                SERVICE,
+                upnp::UpnpDevice::new(
+                    "urn:schemas-upnp-org:service:printer:1",
+                    SERVICE,
+                    calibration,
+                ),
+            );
+        }
+        BridgeCase::SlpToBonjour | BridgeCase::UpnpToBonjour => {
+            sim.add_actor(
+                SERVICE,
+                mdns::BonjourService::new(
+                    "_printer._tcp.local",
+                    "service:printer://10.0.0.3:631",
+                    calibration,
+                ),
+            );
+        }
+        BridgeCase::UpnpToSlp | BridgeCase::BonjourToSlp => {
+            sim.add_actor(
+                SERVICE,
+                slp::SlpService::new(
+                    "service:printer",
+                    "service:printer://10.0.0.3:631",
+                    calibration,
+                ),
+            );
+        }
+    }
+    match case {
+        BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => {
+            sim.add_actor(CLIENT, slp::SlpClient::new("service:printer", probe.clone()));
+        }
+        BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => {
+            sim.add_actor(
+                CLIENT,
+                upnp::UpnpClient::new(
+                    "urn:schemas-upnp-org:service:printer:1",
+                    calibration,
+                    probe.clone(),
+                ),
+            );
+        }
+        BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => {
+            sim.add_actor(
+                CLIENT,
+                mdns::BonjourClient::new("_printer._tcp.local", calibration, probe.clone()),
+            );
+        }
+    }
+    sim.run_until_idle();
+    let result = probe.first().expect("discovery completed");
+    (result.url, result.elapsed.as_millis(), stats.translation_times()[0].as_millis())
+}
+
+fn main() {
+    println!("§V case-study matrix (paper calibration):\n");
+    println!(
+        "{:<4} {:<18} {:<36} {:>12} {:>14} {:>12}",
+        "#", "case", "URL delivered to the legacy client", "client (ms)", "bridge (ms)", "paper (ms)"
+    );
+    for case in BridgeCase::all() {
+        let (url, client_ms, bridge_ms) = run(case, Calibration::paper());
+        println!(
+            "{:<4} {:<18} {:<36} {:>12} {:>14} {:>12}",
+            case.number(),
+            case.name(),
+            url,
+            client_ms,
+            bridge_ms,
+            case.paper_median_ms(),
+        );
+    }
+    println!("\nall six heterogeneous pairs interoperate — the §V hypothesis holds.");
+}

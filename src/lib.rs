@@ -1,0 +1,66 @@
+//! # Starlink
+//!
+//! A from-scratch Rust reproduction of **"Starlink: Runtime
+//! Interoperability between Heterogeneous Middleware Protocols"**
+//! (Bromberg, Grace, Réveillère — ICDCS 2011).
+//!
+//! Starlink creates protocol bridges *at runtime* from high-level models
+//! only: abstract message descriptions (MDL), k-coloured automata for
+//! protocol behaviour, and merged automata carrying translation logic.
+//! This facade crate re-exports the full stack:
+//!
+//! | module | crate | paper section |
+//! |--------|-------|---------------|
+//! | [`xml`] | `starlink-xml` | model document syntax |
+//! | [`message`] | `starlink-message` | §III-A abstract messages |
+//! | [`mdl`] | `starlink-mdl` | §IV-A message description language |
+//! | [`automata`] | `starlink-automata` | §III-B/C/D coloured + merged automata |
+//! | [`net`] | `starlink-net` | network engine (simulator) |
+//! | [`core`] | `starlink-core` | §IV framework + automata engine |
+//! | [`protocols`] | `starlink-protocols` | §V SLP / Bonjour / UPnP substrates |
+//!
+//! ## Quickstart: deploy the Fig. 10 bridge
+//!
+//! ```
+//! use starlink::core::Starlink;
+//! use starlink::net::SimNet;
+//! use starlink::protocols::{bridges, slp, mdns, Calibration, DiscoveryProbe};
+//!
+//! // 1. Load the protocol models (MDL documents) at runtime.
+//! let mut framework = Starlink::new();
+//! bridges::load_all_mdls(&mut framework)?;
+//!
+//! // 2. Build + deploy the SLP→Bonjour merged automaton (Fig. 10).
+//! let (engine, stats) = framework.deploy(bridges::slp_to_bonjour())?;
+//!
+//! // 3. Drop legacy peers and the bridge into a simulated network.
+//! let probe = DiscoveryProbe::new();
+//! let mut sim = SimNet::new(7);
+//! sim.add_actor("10.0.0.2", engine);
+//! sim.add_actor(
+//!     "10.0.0.3",
+//!     mdns::BonjourService::new(
+//!         "_printer._tcp.local",
+//!         "service:printer://10.0.0.3:631",
+//!         Calibration::fast(),
+//!     ),
+//! );
+//! sim.add_actor("10.0.0.1", slp::SlpClient::new("service:printer", probe.clone()));
+//! sim.run_until_idle();
+//!
+//! // The SLP client's lookup was answered by the Bonjour responder.
+//! assert_eq!(probe.first().unwrap().url, "service:printer://10.0.0.3:631");
+//! assert_eq!(stats.session_count(), 1);
+//! # Ok::<(), starlink::core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use starlink_automata as automata;
+pub use starlink_core as core;
+pub use starlink_mdl as mdl;
+pub use starlink_message as message;
+pub use starlink_net as net;
+pub use starlink_protocols as protocols;
+pub use starlink_xml as xml;

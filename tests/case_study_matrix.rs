@@ -1,0 +1,174 @@
+//! The §V case-study matrix: "There are six particular cases i.e. SLP to
+//! UPnP and Bonjour, UPnP to SLP and Bonjour, and Bonjour to SLP and
+//! UPnP. For each case, the legacy lookup application received a response
+//! to the lookup request from the heterogeneous protocol."
+//!
+//! Each test wires a *legacy* client of protocol A, a *legacy* service of
+//! protocol B, and the Starlink bridge for (A, B) into one simulated
+//! network — the legacy endpoints are the same actors used natively, so
+//! transparency is by construction.
+
+use starlink::core::Starlink;
+use starlink::net::{SimNet, SimTime};
+use starlink::protocols::{
+    bridges::{self, BridgeCase},
+    mdns, slp, upnp, Calibration, DiscoveryProbe,
+};
+
+const CLIENT: &str = "10.0.0.1";
+const BRIDGE: &str = "10.0.0.2";
+const SERVICE: &str = "10.0.0.3";
+
+const SLP_TYPE: &str = "service:printer";
+const UPNP_TYPE: &str = "urn:schemas-upnp-org:service:printer:1";
+const DNS_TYPE: &str = "_printer._tcp.local";
+
+/// Deploys the bridge for `case` and runs one discovery with the given
+/// legacy peers, returning the client's probe and the bridge stats.
+fn run_case(
+    case: BridgeCase,
+    seed: u64,
+    calibration: Calibration,
+) -> (DiscoveryProbe, starlink::core::BridgeStats, SimTime) {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).expect("models load");
+    let merged = case.build(BRIDGE);
+    let (engine, stats) = framework.deploy(merged).expect("bridge deploys");
+
+    let probe = DiscoveryProbe::new();
+    let mut sim = SimNet::new(seed);
+    sim.add_actor(BRIDGE, engine);
+    match case {
+        BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp => {
+            sim.add_actor(SERVICE, upnp::UpnpDevice::new(UPNP_TYPE, SERVICE, calibration));
+        }
+        BridgeCase::SlpToBonjour | BridgeCase::UpnpToBonjour => {
+            sim.add_actor(
+                SERVICE,
+                mdns::BonjourService::new(DNS_TYPE, "service:printer://10.0.0.3:631", calibration),
+            );
+        }
+        BridgeCase::UpnpToSlp | BridgeCase::BonjourToSlp => {
+            sim.add_actor(
+                SERVICE,
+                slp::SlpService::new(SLP_TYPE, "service:printer://10.0.0.3:631", calibration),
+            );
+        }
+    }
+    match case {
+        BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => {
+            sim.add_actor(CLIENT, slp::SlpClient::new(SLP_TYPE, probe.clone()));
+        }
+        BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => {
+            sim.add_actor(CLIENT, upnp::UpnpClient::new(UPNP_TYPE, calibration, probe.clone()));
+        }
+        BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => {
+            sim.add_actor(
+                CLIENT,
+                mdns::BonjourClient::new(DNS_TYPE, calibration, probe.clone()),
+            );
+        }
+    }
+    let end = sim.run_until_idle();
+    (probe, stats, end)
+}
+
+#[test]
+fn case_1_slp_client_discovers_upnp_device() {
+    let (probe, stats, _) = run_case(BridgeCase::SlpToUpnp, 101, Calibration::fast());
+    let result = probe.first().expect("SLP client got a reply");
+    // The URL delivered to the SLP client is the UPnP device's URLBase.
+    assert_eq!(result.url, "http://10.0.0.3:5000");
+    assert_eq!(stats.session_count(), 1);
+    assert!(stats.errors().is_empty(), "bridge errors: {:?}", stats.errors());
+}
+
+#[test]
+fn case_2_slp_client_discovers_bonjour_service() {
+    let (probe, stats, _) = run_case(BridgeCase::SlpToBonjour, 102, Calibration::fast());
+    let result = probe.first().expect("SLP client got a reply");
+    assert_eq!(result.url, "service:printer://10.0.0.3:631");
+    assert_eq!(stats.session_count(), 1);
+    assert!(stats.errors().is_empty(), "bridge errors: {:?}", stats.errors());
+}
+
+#[test]
+fn case_3_upnp_client_discovers_slp_service() {
+    let (probe, stats, _) = run_case(BridgeCase::UpnpToSlp, 103, Calibration::fast());
+    let result = probe.first().expect("UPnP client got a description");
+    // The control point extracts URLBase from the description the bridge
+    // served, which embeds the SLP service URL.
+    assert_eq!(result.url, "service:printer://10.0.0.3:631");
+    assert_eq!(stats.session_count(), 1);
+    assert!(stats.errors().is_empty(), "bridge errors: {:?}", stats.errors());
+}
+
+#[test]
+fn case_4_upnp_client_discovers_bonjour_service() {
+    let (probe, stats, _) = run_case(BridgeCase::UpnpToBonjour, 104, Calibration::fast());
+    let result = probe.first().expect("UPnP client got a description");
+    assert_eq!(result.url, "service:printer://10.0.0.3:631");
+    assert_eq!(stats.session_count(), 1);
+    assert!(stats.errors().is_empty(), "bridge errors: {:?}", stats.errors());
+}
+
+#[test]
+fn case_5_bonjour_client_discovers_upnp_device() {
+    let (probe, stats, _) = run_case(BridgeCase::BonjourToUpnp, 105, Calibration::fast());
+    let result = probe.first().expect("Bonjour client got an answer");
+    assert_eq!(result.url, "http://10.0.0.3:5000");
+    assert_eq!(stats.session_count(), 1);
+    assert!(stats.errors().is_empty(), "bridge errors: {:?}", stats.errors());
+}
+
+#[test]
+fn case_6_bonjour_client_discovers_slp_service() {
+    let (probe, stats, _) = run_case(BridgeCase::BonjourToSlp, 106, Calibration::fast());
+    let result = probe.first().expect("Bonjour client got an answer");
+    assert_eq!(result.url, "service:printer://10.0.0.3:631");
+    assert_eq!(stats.session_count(), 1);
+    assert!(stats.errors().is_empty(), "bridge errors: {:?}", stats.errors());
+}
+
+#[test]
+fn all_cases_succeed_across_seeds() {
+    // Robustness: the matrix holds for several RNG seeds (different
+    // latency samples and response jitter).
+    for seed in [7, 8, 9] {
+        for case in BridgeCase::all() {
+            let (probe, stats, _) = run_case(case, seed, Calibration::fast());
+            assert_eq!(
+                probe.len(),
+                1,
+                "case {} ({}) seed {seed}: no discovery; bridge errors: {:?}",
+                case.number(),
+                case.name(),
+                stats.errors()
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_calibration_translation_times_have_the_published_shape() {
+    // One seeded run per case with the paper calibration: SLP-target
+    // cases sit near the 6 s SLP response floor; the others in the low
+    // hundreds of ms (§VI's analysis).
+    for case in BridgeCase::all() {
+        let (probe, stats, _) = run_case(case, 200 + case.number() as u64, Calibration::paper());
+        assert_eq!(probe.len(), 1, "case {} did not complete", case.number());
+        let times = stats.translation_times();
+        assert_eq!(times.len(), 1);
+        let ms = times[0].as_millis();
+        match case {
+            BridgeCase::UpnpToSlp | BridgeCase::BonjourToSlp => {
+                assert!((5_900..=6_300).contains(&ms), "case {}: {ms}ms", case.number());
+            }
+            _ => {
+                assert!((200..=450).contains(&ms), "case {}: {ms}ms", case.number());
+            }
+        }
+        // All within discovery timeout bounds (OpenSLP default 15 s).
+        assert!(ms < 15_000);
+    }
+}

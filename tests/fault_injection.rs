@@ -1,0 +1,163 @@
+//! Failure-injection tests: the bridge engine must degrade gracefully —
+//! record and drop, never wedge — under garbage traffic, protocol
+//! violations and absent services.
+
+use starlink::core::Starlink;
+use starlink::net::{Actor, Context, SimAddr, SimNet, SimTime};
+use starlink::protocols::{bridges, mdns, slp, Calibration, DiscoveryProbe};
+
+fn deployed_bridge() -> (starlink::core::BridgeEngine, starlink::core::BridgeStats) {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+    framework.deploy(bridges::slp_to_bonjour()).unwrap()
+}
+
+/// Sends raw bytes at the SLP group at start.
+struct RawSender {
+    payload: Vec<u8>,
+    to: SimAddr,
+}
+
+impl Actor for RawSender {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.bind_udp(40_000).unwrap();
+        ctx.udp_send(40_000, self.to.clone(), self.payload.clone());
+    }
+}
+
+#[test]
+fn garbage_datagrams_are_recorded_and_dropped() {
+    let (engine, stats) = deployed_bridge();
+    let mut sim = SimNet::new(1);
+    sim.add_actor("10.0.0.2", engine);
+    sim.add_actor(
+        "10.0.0.1",
+        RawSender {
+            payload: vec![0xFF; 40],
+            to: SimAddr::new(slp::SLP_GROUP, slp::SLP_PORT),
+        },
+    );
+    sim.run_until_idle();
+    assert_eq!(stats.session_count(), 0);
+    assert_eq!(stats.errors().len(), 1, "errors: {:?}", stats.errors());
+}
+
+#[test]
+fn truncated_slp_header_is_not_fatal() {
+    let (engine, stats) = deployed_bridge();
+    let mut sim = SimNet::new(2);
+    sim.add_actor("10.0.0.2", engine);
+    // Three bytes of a valid-looking header, then nothing.
+    sim.add_actor(
+        "10.0.0.1",
+        RawSender { payload: vec![2, 1, 0], to: SimAddr::new(slp::SLP_GROUP, slp::SLP_PORT) },
+    );
+    sim.run_until_idle();
+    assert_eq!(stats.errors().len(), 1);
+}
+
+#[test]
+fn wrong_message_for_state_is_dropped_and_session_survives() {
+    // An unsolicited SrvRply arrives first (the bridge's SLP part expects
+    // a SrvRqst); afterwards a real lookup must still succeed.
+    struct ReplyThenNothing;
+    impl Actor for ReplyThenNothing {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.bind_udp(40_001).unwrap();
+            let rogue = slp::encode(&slp::SlpMessage::SrvRply(slp::SrvRply::new(1, "x")));
+            ctx.udp_send(40_001, SimAddr::new(slp::SLP_GROUP, slp::SLP_PORT), rogue);
+        }
+    }
+
+    let (engine, stats) = deployed_bridge();
+    let probe = DiscoveryProbe::new();
+    let mut sim = SimNet::new(3);
+    sim.add_actor("10.0.0.2", engine);
+    sim.add_actor(
+        "10.0.0.3",
+        mdns::BonjourService::new(
+            "_printer._tcp.local",
+            "service:printer://10.0.0.3:631",
+            Calibration::fast(),
+        ),
+    );
+    sim.add_actor("10.0.0.9", ReplyThenNothing);
+    sim.run_until(SimTime::from_millis(5));
+    // Now the real client arrives.
+    sim.add_actor("10.0.0.1", slp::SlpClient::new("service:printer", probe.clone()));
+    sim.run_until_idle();
+
+    assert_eq!(stats.errors().len(), 1, "rogue reply recorded: {:?}", stats.errors());
+    assert_eq!(probe.len(), 1, "later lookup still succeeds");
+    assert_eq!(stats.session_count(), 1);
+}
+
+#[test]
+fn missing_target_service_leaves_no_bogus_reply() {
+    // No Bonjour responder exists: the SLP client must simply receive
+    // nothing (as with a real unanswered lookup) and the bridge must not
+    // fabricate a reply.
+    let (engine, stats) = deployed_bridge();
+    let probe = DiscoveryProbe::new();
+    let mut sim = SimNet::new(4);
+    sim.add_actor("10.0.0.2", engine);
+    sim.add_actor("10.0.0.1", slp::SlpClient::new("service:printer", probe.clone()));
+    sim.run_until_idle();
+    assert!(probe.is_empty());
+    assert_eq!(stats.session_count(), 0);
+}
+
+#[test]
+fn duplicate_responses_do_not_double_reply() {
+    // Two Bonjour responders answer the same question; the bridge's
+    // merged automaton consumes the first response, drops the second
+    // (no matching receive state), and the client gets exactly one reply.
+    let (engine, stats) = deployed_bridge();
+    let probe = DiscoveryProbe::new();
+    let mut sim = SimNet::new(5);
+    sim.add_actor("10.0.0.2", engine);
+    for host in ["10.0.0.3", "10.0.0.4"] {
+        sim.add_actor(
+            host,
+            mdns::BonjourService::new(
+                "_printer._tcp.local",
+                format!("service:printer://{host}:631"),
+                Calibration::fast(),
+            ),
+        );
+    }
+    sim.add_actor("10.0.0.1", slp::SlpClient::new("service:printer", probe.clone()));
+    sim.run_until_idle();
+    assert_eq!(probe.len(), 1, "client must see exactly one reply");
+    assert_eq!(stats.session_count(), 1);
+    // The second responder's answer was recorded as undeliverable.
+    assert!(!stats.errors().is_empty());
+}
+
+#[test]
+fn bridge_survives_a_burst_of_mixed_garbage_then_works() {
+    let (engine, stats) = deployed_bridge();
+    let probe = DiscoveryProbe::new();
+    let mut sim = SimNet::new(6);
+    sim.add_actor("10.0.0.2", engine);
+    sim.add_actor(
+        "10.0.0.3",
+        mdns::BonjourService::new(
+            "_printer._tcp.local",
+            "service:printer://10.0.0.3:631",
+            Calibration::fast(),
+        ),
+    );
+    for (i, payload) in
+        [vec![], vec![0x00], vec![2, 9, 9, 9], b"GET / HTTP/1.1\r\n\r\n".to_vec()].into_iter().enumerate()
+    {
+        sim.add_actor(
+            format!("10.0.1.{i}"),
+            RawSender { payload, to: SimAddr::new(slp::SLP_GROUP, slp::SLP_PORT) },
+        );
+    }
+    sim.run_until(SimTime::from_millis(10));
+    sim.add_actor("10.0.0.1", slp::SlpClient::new("service:printer", probe.clone()));
+    sim.run_until_idle();
+    assert_eq!(probe.len(), 1, "bridge wedged by garbage; errors: {:?}", stats.errors());
+}
