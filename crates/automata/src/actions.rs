@@ -129,10 +129,7 @@ mod tests {
             ValueSource::function("url-port", vec![ValueSource::field("SSDP_Resp", "LOCATION")]),
         );
         let resolved = action.resolve(&store(), &FunctionRegistry::with_builtins()).unwrap();
-        assert_eq!(
-            resolved,
-            ResolvedAction::SetHost { host: "10.0.0.9".into(), port: 5000 }
-        );
+        assert_eq!(resolved, ResolvedAction::SetHost { host: "10.0.0.9".into(), port: 5000 });
     }
 
     #[test]

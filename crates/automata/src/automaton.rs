@@ -168,8 +168,7 @@ impl ColoredAutomaton {
 
     /// The message alphabet `M` (sorted, deduplicated).
     pub fn messages(&self) -> Vec<&str> {
-        let set: BTreeSet<&str> =
-            self.transitions.iter().map(|t| t.message.as_str()).collect();
+        let set: BTreeSet<&str> = self.transitions.iter().map(|t| t.message.as_str()).collect();
         set.into_iter().collect()
     }
 
@@ -256,7 +255,12 @@ impl AutomatonBuilder {
 
     /// Adds a receive transition `from --?message--> to`.
     pub fn receive(mut self, from: &str, message: &str, to: &str) -> Self {
-        self.transitions.push((from.to_owned(), Action::Receive, message.to_owned(), to.to_owned()));
+        self.transitions.push((
+            from.to_owned(),
+            Action::Receive,
+            message.to_owned(),
+            to.to_owned(),
+        ));
         self
     }
 

@@ -181,12 +181,8 @@ impl Color {
     /// equal keys and distinct colours distinct keys (perfect hashing via
     /// canonical strings).
     pub fn key(&self) -> ColorKey {
-        let text = self
-            .pairs()
-            .iter()
-            .map(|(k, v)| format!("{k}={v}"))
-            .collect::<Vec<_>>()
-            .join(";");
+        let text =
+            self.pairs().iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(";");
         ColorKey(text)
     }
 }

@@ -7,8 +7,7 @@ use std::fmt::Write as _;
 
 /// Palette used to paint states by colour index (merged automata show
 /// one fill per protocol colour, bridge endpoints are visually shared).
-const PALETTE: [&str; 6] =
-    ["lightblue", "lightsalmon", "palegreen", "plum", "khaki", "lightgray"];
+const PALETTE: [&str; 6] = ["lightblue", "lightsalmon", "palegreen", "plum", "khaki", "lightgray"];
 
 fn color_label(color: &crate::color::Color) -> String {
     let mut label = String::new();
@@ -34,11 +33,8 @@ pub fn automaton_to_dot(automaton: &ColoredAutomaton) -> String {
     for state in automaton.states() {
         let fill = PALETTE[state.color % PALETTE.len()];
         let shape = if state.accepting { "doublecircle" } else { "circle" };
-        let _ = writeln!(
-            out,
-            "  \"{}\" [shape={shape}, style=filled, fillcolor={fill}];",
-            state.name
-        );
+        let _ =
+            writeln!(out, "  \"{}\" [shape={shape}, style=filled, fillcolor={fill}];", state.name);
     }
     let initial = automaton.state(automaton.initial()).map(|s| s.name.clone()).unwrap_or_default();
     let _ = writeln!(out, "  start [shape=point];");
@@ -94,13 +90,9 @@ pub fn merged_to_dot(merged: &MergedAutomaton) -> String {
     for delta in merged.deltas() {
         let from_part = &merged.parts()[delta.from.part.0];
         let to_part = &merged.parts()[delta.to.part.0];
-        let from = format!(
-            "{}_{}",
-            from_part.protocol(),
-            from_part.states()[delta.from.state.0].name
-        );
-        let to =
-            format!("{}_{}", to_part.protocol(), to_part.states()[delta.to.state.0].name);
+        let from =
+            format!("{}_{}", from_part.protocol(), from_part.states()[delta.from.state.0].name);
+        let to = format!("{}_{}", to_part.protocol(), to_part.states()[delta.to.state.0].name);
         let mut label = String::from("δ");
         if !delta.actions.is_empty() {
             let actions: Vec<String> = delta.actions.iter().map(|a| a.to_string()).collect();

@@ -144,10 +144,7 @@ impl Execution {
 
     /// The send transition pending in the current state, if any.
     pub fn pending_send(&self) -> Option<&Transition> {
-        self.automaton
-            .transitions_from(self.current)
-            .into_iter()
-            .find(|t| t.action == Action::Send)
+        self.automaton.transitions_from(self.current).into_iter().find(|t| t.action == Action::Send)
     }
 
     /// True when the current state is accepting and nothing is pending.
@@ -164,12 +161,10 @@ impl Execution {
         let mut actions = Vec::new();
         let mut bridged = 0usize;
         loop {
-            let next = self
-                .automaton
-                .deltas()
-                .iter()
-                .enumerate()
-                .find(|(index, delta)| delta.from == self.current && !self.taken_deltas[*index]);
+            let next =
+                self.automaton.deltas().iter().enumerate().find(|(index, delta)| {
+                    delta.from == self.current && !self.taken_deltas[*index]
+                });
             let (index, delta) = match next {
                 Some((index, delta)) => (index, delta.clone()),
                 None => break,
@@ -250,15 +245,12 @@ impl Execution {
     /// Returns [`AutomataError::Execution`] when no send transition is
     /// pending or its message name differs from `message`.
     pub fn sent(&mut self, message: AbstractMessage) -> Result<StepOutcome> {
-        let transition = self
-            .pending_send()
-            .cloned()
-            .ok_or_else(|| {
-                AutomataError::Execution(format!(
-                    "state {} has no send transition",
-                    self.automaton.state_name(self.current)
-                ))
-            })?;
+        let transition = self.pending_send().cloned().ok_or_else(|| {
+            AutomataError::Execution(format!(
+                "state {} has no send transition",
+                self.automaton.state_name(self.current)
+            ))
+        })?;
         if transition.message != message.name() {
             return Err(AutomataError::Execution(format!(
                 "state {} sends {:?}, not {:?}",
@@ -371,7 +363,11 @@ mod tests {
         assert_eq!(outcome.bridged, 1);
         assert_eq!(exec.automaton().state_name(exec.current()), "DNS:s0");
         assert_eq!(
-            exec.store().get("DNS_Question").unwrap().get(&"DomainName".into()).unwrap()
+            exec.store()
+                .get("DNS_Question")
+                .unwrap()
+                .get(&"DomainName".into())
+                .unwrap()
                 .as_str()
                 .unwrap(),
             "service:printer"

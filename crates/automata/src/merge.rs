@@ -291,9 +291,7 @@ impl MergedAutomaton {
             let from_name = self.state_name(delta.from);
             let to_name = self.state_name(delta.to);
             if delta.from.part == delta.to.part {
-                violations.push(format!(
-                    "δ {from_name} → {to_name} stays within one automaton"
-                ));
+                violations.push(format!("δ {from_name} → {to_name} stays within one automaton"));
                 continue;
             }
             let to_part = match self.part(delta.to.part) {
@@ -304,8 +302,7 @@ impl MergedAutomaton {
                 }
             };
             let enters_initial = to_part.initial() == delta.to.state;
-            let leaves_accepting =
-                self.state(delta.from).map(|s| s.accepting).unwrap_or(false);
+            let leaves_accepting = self.state(delta.from).map(|s| s.accepting).unwrap_or(false);
             if !enters_initial && !leaves_accepting {
                 violations.push(format!(
                     "δ {from_name} → {to_name} neither enters an initial state (constraint 2) \
@@ -403,9 +400,7 @@ impl MergedAutomaton {
 
 fn resolve_ref(parts: &[ColoredAutomaton], reference: &str) -> Result<GlobalState> {
     let (protocol, state_name) = reference.split_once(':').ok_or_else(|| {
-        AutomataError::Invalid(format!(
-            "state reference {reference:?} must be \"PROTOCOL:state\""
-        ))
+        AutomataError::Invalid(format!("state reference {reference:?} must be \"PROTOCOL:state\""))
     })?;
     let part_index = parts
         .iter()
@@ -547,14 +542,12 @@ mod tests {
             .equivalence("SSDP_M-Search", &["SLPSrvRequest"])
             .equivalence("HTTP_GET", &["SSDP_Resp"])
             .equivalence("SLPSrvReply", &["HTTP_OK"])
-            .delta(
-                Delta::new("SLP:s1", "SSDP:s0").assignment(Assignment::field_to_field(
-                    "SSDP_M-Search",
-                    "ST",
-                    "SLPSrvRequest",
-                    "SRVType",
-                )),
-            )
+            .delta(Delta::new("SLP:s1", "SSDP:s0").assignment(Assignment::field_to_field(
+                "SSDP_M-Search",
+                "ST",
+                "SLPSrvRequest",
+                "SRVType",
+            )))
             .delta(Delta::new("SSDP:s2", "HTTP:s0"))
             .delta(Delta::new("HTTP:s2", "SLP:s1"))
             .build()
@@ -676,7 +669,14 @@ mod tests {
         let merged = fig4();
         assert_eq!(
             merged.messages(),
-            vec!["HTTP_GET", "HTTP_OK", "SLPSrvReply", "SLPSrvRequest", "SSDP_M-Search", "SSDP_Resp"]
+            vec![
+                "HTTP_GET",
+                "HTTP_OK",
+                "SLPSrvReply",
+                "SLPSrvRequest",
+                "SSDP_M-Search",
+                "SSDP_Resp"
+            ]
         );
     }
 

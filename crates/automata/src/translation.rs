@@ -158,9 +158,9 @@ fn split_url(url: &str) -> Result<(String, String, u16, String)> {
     };
     let (host, port) = match authority.rsplit_once(':') {
         Some((h, p)) => {
-            let port = p.parse::<u16>().map_err(|_| {
-                AutomataError::Translation(format!("bad port in URL {url:?}"))
-            })?;
+            let port = p
+                .parse::<u16>()
+                .map_err(|_| AutomataError::Translation(format!("bad port in URL {url:?}")))?;
             (h, port)
         }
         None => (authority, 0),
@@ -198,12 +198,9 @@ impl FunctionRegistry {
         registry.register("to-text", |args| Ok(Value::Str(arg(args, 0, "to-text")?.to_text())));
         registry.register("to-integer", |args| {
             let value = arg(args, 0, "to-integer")?;
-            value
-                .to_text()
-                .trim()
-                .parse::<u64>()
-                .map(Value::Unsigned)
-                .map_err(|_| AutomataError::Translation(format!("cannot parse {value:?} as integer")))
+            value.to_text().trim().parse::<u64>().map(Value::Unsigned).map_err(|_| {
+                AutomataError::Translation(format!("cannot parse {value:?} as integer"))
+            })
         });
         registry.register("concat", |args| {
             Ok(Value::Str(args.iter().map(Value::to_text).collect::<String>()))
@@ -234,7 +231,8 @@ impl FunctionRegistry {
             let host = arg(args, 1, "format-url")?.to_text();
             let port = arg(args, 2, "format-url")?.as_u64().map_err(AutomataError::from)?;
             let path = args.get(3).map(Value::to_text).unwrap_or_default();
-            let path = if path.is_empty() || path.starts_with('/') { path } else { format!("/{path}") };
+            let path =
+                if path.is_empty() || path.starts_with('/') { path } else { format!("/{path}") };
             Ok(Value::Str(format!("{scheme}://{host}:{port}{path}")))
         });
         registry.register("slp-to-dns-type", |args| {
@@ -266,9 +264,10 @@ impl FunctionRegistry {
             let tag = arg(args, 1, "extract-tag")?.to_text();
             let open = format!("<{tag}>");
             let close = format!("</{tag}>");
-            let start = text.find(&open).ok_or_else(|| {
-                AutomataError::Translation(format!("no <{tag}> element in text"))
-            })? + open.len();
+            let start = text
+                .find(&open)
+                .ok_or_else(|| AutomataError::Translation(format!("no <{tag}> element in text")))?
+                + open.len();
             let end = text[start..].find(&close).ok_or_else(|| {
                 AutomataError::Translation(format!("unterminated <{tag}> element"))
             })? + start;
@@ -358,9 +357,7 @@ impl MessageStore {
     /// Returns the instance for `name`, creating an untyped blank when
     /// absent (engines pre-register schema-typed blanks instead).
     pub fn ensure(&mut self, name: &str) -> &mut AbstractMessage {
-        self.messages
-            .entry(name.to_owned())
-            .or_insert_with(|| AbstractMessage::new("", name))
+        self.messages.entry(name.to_owned()).or_insert_with(|| AbstractMessage::new("", name))
     }
 
     /// Stored message names, sorted.
@@ -448,7 +445,8 @@ mod tests {
         // s20.SSDP_M-Search.ST = s11.SLPSrvRequest.ServiceType
         let mut store = store_with_slp_request();
         let functions = FunctionRegistry::with_builtins();
-        let assignment = Assignment::field_to_field("SSDP_M-Search", "ST", "SLPSrvRequest", "SRVType");
+        let assignment =
+            Assignment::field_to_field("SSDP_M-Search", "ST", "SLPSrvRequest", "SRVType");
         apply_assignments(&[assignment], &mut store, &functions).unwrap();
         let search = store.get("SSDP_M-Search").unwrap();
         assert_eq!(search.get(&"ST".into()).unwrap().as_str().unwrap(), "service:printer");
@@ -507,9 +505,18 @@ mod tests {
     fn url_functions() {
         let f = FunctionRegistry::with_builtins();
         let url = Value::Str("http://10.0.0.9:5000/desc.xml".into());
-        assert_eq!(f.apply("url-host", std::slice::from_ref(&url)).unwrap().as_str().unwrap(), "10.0.0.9");
-        assert_eq!(f.apply("url-port", std::slice::from_ref(&url)).unwrap().as_u64().unwrap(), 5000);
-        assert_eq!(f.apply("url-path", std::slice::from_ref(&url)).unwrap().as_str().unwrap(), "/desc.xml");
+        assert_eq!(
+            f.apply("url-host", std::slice::from_ref(&url)).unwrap().as_str().unwrap(),
+            "10.0.0.9"
+        );
+        assert_eq!(
+            f.apply("url-port", std::slice::from_ref(&url)).unwrap().as_u64().unwrap(),
+            5000
+        );
+        assert_eq!(
+            f.apply("url-path", std::slice::from_ref(&url)).unwrap().as_str().unwrap(),
+            "/desc.xml"
+        );
         assert_eq!(
             f.apply("url-base", &[Value::Str("http://h/x".into())]).unwrap().as_str().unwrap(),
             "http://h"
@@ -570,9 +577,8 @@ mod tests {
     #[test]
     fn extract_tag_pulls_element_content() {
         let f = FunctionRegistry::with_builtins();
-        let body = Value::Str(
-            "<root><URLBase> http://10.0.0.9:5000 </URLBase><x>y</x></root>".into(),
-        );
+        let body =
+            Value::Str("<root><URLBase> http://10.0.0.9:5000 </URLBase><x>y</x></root>".into());
         assert_eq!(
             f.apply("extract-tag", &[body.clone(), Value::Str("URLBase".into())])
                 .unwrap()

@@ -35,9 +35,8 @@ fn parse_color(element: &Element) -> Result<Color> {
     let port_text = element
         .child_text("port")
         .ok_or_else(|| AutomataError::Xml("Color missing <port>".into()))?;
-    let port: u16 = port_text
-        .parse()
-        .map_err(|_| AutomataError::Xml(format!("bad port {port_text:?}")))?;
+    let port: u16 =
+        port_text.parse().map_err(|_| AutomataError::Xml(format!("bad port {port_text:?}")))?;
     let mode_text = element.child_text("mode").unwrap_or_else(|| "async".into());
     let mode = Mode::parse(&mode_text)
         .ok_or_else(|| AutomataError::Xml(format!("unknown mode {mode_text:?}")))?;
@@ -50,10 +49,7 @@ fn parse_color(element: &Element) -> Result<Color> {
         color = color.multicast(group);
     }
     for child in element.children() {
-        if !matches!(
-            child.name(),
-            "transport_protocol" | "port" | "mode" | "multicast" | "group"
-        ) {
+        if !matches!(child.name(), "transport_protocol" | "port" | "mode" | "multicast" | "group") {
             color = color.attr(child.name(), child.text());
         }
     }
@@ -107,11 +103,8 @@ pub fn load_automaton_element(root: &Element) -> Result<ColoredAutomaton> {
             "State" => {
                 let name = child.required_attr("name").map_err(xml_err)?;
                 let accepting = child.attr("accepting").map(|v| v == "true").unwrap_or(false);
-                builder = if accepting {
-                    builder.state_accepting(name)
-                } else {
-                    builder.state(name)
-                };
+                builder =
+                    if accepting { builder.state_accepting(name) } else { builder.state(name) };
                 if child.attr("initial").map(|v| v == "true").unwrap_or(false) {
                     initial = Some(name.to_owned());
                 }
@@ -212,12 +205,15 @@ fn parse_value_source(element: &Element) -> Result<ValueSource> {
             let kind = element.attr("kind").unwrap_or("string");
             let text = element.text();
             let value = match kind {
-                "unsigned" => Value::Unsigned(text.parse().map_err(|_| {
-                    AutomataError::Xml(format!("bad unsigned literal {text:?}"))
-                })?),
-                "signed" => Value::Signed(text.parse().map_err(|_| {
-                    AutomataError::Xml(format!("bad signed literal {text:?}"))
-                })?),
+                "unsigned" => {
+                    Value::Unsigned(text.parse().map_err(|_| {
+                        AutomataError::Xml(format!("bad unsigned literal {text:?}"))
+                    })?)
+                }
+                "signed" => Value::Signed(
+                    text.parse()
+                        .map_err(|_| AutomataError::Xml(format!("bad signed literal {text:?}")))?,
+                ),
                 "bool" => Value::Bool(text == "true"),
                 _ => Value::Str(text),
             };
@@ -242,9 +238,8 @@ fn parse_assignment(element: &Element) -> Result<Assignment> {
         .child_text("Xpath")
         .ok_or_else(|| AutomataError::Xml("target Field missing <Xpath>".into()))?;
     let target_path = FieldPath::parse(&target_xpath).map_err(msg_err)?;
-    let source_el = children
-        .next()
-        .ok_or_else(|| AutomataError::Xml("Assignment has no source".into()))?;
+    let source_el =
+        children.next().ok_or_else(|| AutomataError::Xml("Assignment has no source".into()))?;
     let source = parse_value_source(source_el)?;
     Ok(Assignment { target_message, target_path, source })
 }
@@ -520,7 +515,9 @@ mod tests {
         let assignment = &first_delta.assignments[0];
         assert_eq!(assignment.target_message, "DNS_Question");
         assert_eq!(assignment.target_path.to_string(), "DomainName");
-        assert!(matches!(&assignment.source, ValueSource::Function { name, .. } if name == "slp-to-dns-type"));
+        assert!(
+            matches!(&assignment.source, ValueSource::Function { name, .. } if name == "slp-to-dns-type")
+        );
     }
 
     #[test]

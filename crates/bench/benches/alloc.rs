@@ -1,0 +1,131 @@
+//! Heap-allocation census of the codec hot path: how many allocator
+//! calls one parse / compose / parse→compose round costs per protocol.
+//!
+//! Wall-clock microbenches (`codec.rs`) can hide allocator pressure
+//! behind a warm cache; this harness counts `alloc` calls exactly, which
+//! is the regression metric `BENCH_codec.json` tracks alongside time.
+//!
+//! Run with `cargo bench -p starlink-bench --bench alloc`. Set
+//! `ALLOC_BENCH_JSON=<path>` to also write the counts as JSON.
+
+use starlink_mdl::{load_mdl, MdlCodec};
+use starlink_protocols::{mdns, slp, ssdp};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Counts allocator calls made while enabled; delegates to the system
+/// allocator.
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` `runs` times and returns the mean allocator calls per run.
+fn count_allocs(runs: u64, mut f: impl FnMut()) -> u64 {
+    // One untracked warm-up run so lazy one-time initialisation (e.g.
+    // lookup tables) does not inflate the per-message figure.
+    f();
+    ALLOCS.store(0, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+    for _ in 0..runs {
+        f();
+    }
+    ENABLED.store(false, Ordering::Relaxed);
+    ALLOCS.load(Ordering::Relaxed) / runs
+}
+
+struct Census {
+    label: &'static str,
+    parse: u64,
+    compose: u64,
+    roundtrip: u64,
+}
+
+fn census(label: &'static str, codec: &MdlCodec, wire: &[u8]) -> Census {
+    const RUNS: u64 = 200;
+    let message = codec.parse(wire).expect("census wire parses");
+    let mut scratch = Vec::new();
+    Census {
+        label,
+        parse: count_allocs(RUNS, || {
+            std::hint::black_box(codec.parse(std::hint::black_box(wire)).unwrap());
+        }),
+        compose: count_allocs(RUNS, || {
+            codec.compose_into(std::hint::black_box(&message), &mut scratch).unwrap();
+            std::hint::black_box(&scratch);
+        }),
+        roundtrip: count_allocs(RUNS, || {
+            let parsed = codec.parse(std::hint::black_box(wire)).unwrap();
+            codec.compose_into(&parsed, &mut scratch).unwrap();
+            std::hint::black_box(&scratch);
+        }),
+    }
+}
+
+fn main() {
+    let slp_codec = MdlCodec::generate(load_mdl(slp::mdl_xml()).unwrap()).unwrap();
+    let ssdp_codec = MdlCodec::generate(load_mdl(ssdp::mdl_xml()).unwrap()).unwrap();
+    let dns_codec = MdlCodec::generate(load_mdl(mdns::mdl_xml()).unwrap()).unwrap();
+
+    let slp_wire =
+        slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(0xBEEF, "service:printer")));
+    let ssdp_wire = ssdp::encode(&ssdp::SsdpMessage::MSearch(ssdp::MSearch::new(
+        "urn:schemas-upnp-org:service:printer:1",
+    )));
+    let dns_wire =
+        mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(7, "_printer._tcp.local")))
+            .unwrap();
+
+    let rows = [
+        census("slp_binary", &slp_codec, &slp_wire),
+        census("ssdp_text", &ssdp_codec, &ssdp_wire),
+        census("dns_binary", &dns_codec, &dns_wire),
+    ];
+
+    println!("allocator calls per message (mean of 200 runs):");
+    println!("{:<12} {:>7} {:>9} {:>11}", "codec", "parse", "compose", "roundtrip");
+    for row in &rows {
+        println!("{:<12} {:>7} {:>9} {:>11}", row.label, row.parse, row.compose, row.roundtrip);
+    }
+
+    if let Ok(path) = std::env::var("ALLOC_BENCH_JSON") {
+        let mut out = String::from("[\n");
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"codec\": \"{}\", \"parse_allocs\": {}, \"compose_allocs\": {}, \
+                 \"roundtrip_allocs\": {}}}{}\n",
+                row.label,
+                row.parse,
+                row.compose,
+                row.roundtrip,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("write alloc census JSON");
+        eprintln!("alloc bench: wrote {path}");
+    }
+}

@@ -13,18 +13,14 @@ fn bench_codecs(c: &mut Criterion) {
     let ssdp_codec = MdlCodec::generate(load_mdl(ssdp::mdl_xml()).unwrap()).unwrap();
     let dns_codec = MdlCodec::generate(load_mdl(mdns::mdl_xml()).unwrap()).unwrap();
 
-    let slp_wire = slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(
-        0xBEEF,
-        "service:printer",
-    )));
+    let slp_wire =
+        slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(0xBEEF, "service:printer")));
     let ssdp_wire = ssdp::encode(&ssdp::SsdpMessage::MSearch(ssdp::MSearch::new(
         "urn:schemas-upnp-org:service:printer:1",
     )));
-    let dns_wire = mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(
-        7,
-        "_printer._tcp.local",
-    )))
-    .unwrap();
+    let dns_wire =
+        mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(7, "_printer._tcp.local")))
+            .unwrap();
 
     let mut group = c.benchmark_group("parse");
     group.bench_function("slp_mdl_binary", |b| {
@@ -34,9 +30,8 @@ fn bench_codecs(c: &mut Criterion) {
     group.bench_function("ssdp_mdl_text", |b| {
         b.iter(|| ssdp_codec.parse(black_box(&ssdp_wire)).unwrap())
     });
-    group.bench_function("ssdp_native", |b| {
-        b.iter(|| ssdp::decode(black_box(&ssdp_wire)).unwrap())
-    });
+    group
+        .bench_function("ssdp_native", |b| b.iter(|| ssdp::decode(black_box(&ssdp_wire)).unwrap()));
     group.bench_function("dns_mdl_binary", |b| {
         b.iter(|| dns_codec.parse(black_box(&dns_wire)).unwrap())
     });

@@ -16,13 +16,16 @@ use std::hint::black_box;
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("bridge_session");
     for case in BridgeCase::all() {
-        group.bench_function(format!("case{}_{}", case.number(), case.name().replace(' ', "_")), |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(run_bridge_case(case, seed, Calibration::fast()))
-            })
-        });
+        group.bench_function(
+            format!("case{}_{}", case.number(), case.name().replace(' ', "_")),
+            |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_bridge_case(case, seed, Calibration::fast()))
+                })
+            },
+        );
     }
     group.finish();
 

@@ -11,7 +11,9 @@ fn main() {
     let runs = 100;
     let rows = fig12a_table(runs);
     print_table(
-        &format!("Fig. 12(a) — Response time measures for legacy discovery protocols ({runs} runs)"),
+        &format!(
+            "Fig. 12(a) — Response time measures for legacy discovery protocols ({runs} runs)"
+        ),
         &rows,
     );
 

@@ -15,11 +15,40 @@
 //! `fig12a`/`fig12b` print the tables, `figures` regenerates the model
 //! figures (DOT + XML), and `codec`/`fieldpath`/`engine`/`xml` are
 //! Criterion microbenches of the framework's real computational costs.
+//!
+//! # Performance
+//!
+//! The parse → translate → compose pipeline is the repository's hot
+//! path — the analogue of the per-message translation latency §VI
+//! measures. Two benches guard it against regressions:
+//!
+//! * **`codec`** — wall-clock time per message for the model-driven
+//!   codecs next to the hand-written native codecs (the price of
+//!   genericity);
+//! * **`alloc`** — exact allocator calls per parse / compose /
+//!   round-trip, counted by a wrapping global allocator (wall-clock
+//!   benches can hide allocator pressure behind a warm cache).
+//!
+//! `BENCH_codec.json` at the repository root snapshots both. To
+//! regenerate it after touching the codec path:
+//!
+//! ```sh
+//! CRITERION_SHIM_JSON=/tmp/codec.json cargo bench -p starlink-bench --bench codec
+//! ALLOC_BENCH_JSON=/tmp/alloc.json   cargo bench -p starlink-bench --bench alloc
+//! ```
+//!
+//! then merge the two JSON files into `BENCH_codec.json`, keeping the
+//! previous numbers as the `before` entries so the trajectory stays
+//! visible. The current snapshot records the zero-allocation codec pass:
+//! interned `Label`s end the per-field `String` clones, codecs compile
+//! their specs into flat field plans at generation time, composers write
+//! into a reusable scratch buffer (`compose_into`), and the bit I/O
+//! layer moves whole bytes instead of single bits wherever alignment
+//! allows.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
 use starlink_core::Starlink;
 use starlink_net::{SimDuration, SimNet};
 use starlink_protocols::{
@@ -41,7 +70,7 @@ const DNS_TYPE: &str = "_printer._tcp.local";
 const SERVICE_URL: &str = "service:printer://10.0.0.3:631";
 
 /// The three legacy protocols of Fig. 12(a).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NativeProtocol {
     /// OpenSLP-modelled SLP.
     Slp,
@@ -154,7 +183,7 @@ pub fn run_bridge_case(case: BridgeCase, seed: u64, calibration: Calibration) ->
 /// min/median/max summary over a sweep, in milliseconds — the statistic
 /// the paper reports ("we repeated the experiment 100 times and took the
 /// min, max, median of these results").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Stats {
     /// Minimum observed.
     pub min_ms: u64,
@@ -177,7 +206,7 @@ pub fn sweep(runs: u64, base_seed: u64, mut f: impl FnMut(u64) -> SimDuration) -
 }
 
 /// One row of a regenerated table: measured vs paper.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Row label (protocol or case name).
     pub label: String,
@@ -193,9 +222,7 @@ pub fn fig12a_table(runs: u64) -> Vec<Row> {
         .iter()
         .map(|protocol| Row {
             label: protocol.name().to_owned(),
-            measured: sweep(runs, 0xA000, |seed| {
-                run_native(*protocol, seed, Calibration::paper())
-            }),
+            measured: sweep(runs, 0xA000, |seed| run_native(*protocol, seed, Calibration::paper())),
             paper: protocol.paper_row(),
         })
         .collect()

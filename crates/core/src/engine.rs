@@ -9,11 +9,18 @@
 //! composes the translated abstract message and emits it with the colour's
 //! network semantics (unicast reply, multicast group, or TCP connection
 //! pointed by a prior `set_host`).
+//!
+//! All routing decisions are **precomputed at deployment**: datagram →
+//! part and listener → part lookup tables, the per-state emit plans
+//! (transport/port/group), and the blank schema instances a fresh session
+//! needs. The per-message path does table lookups and reuses one compose
+//! scratch buffer — it allocates only what the network layer must own.
 
 use crate::error::{CoreError, Result};
 use crate::stats::BridgeStats;
 use starlink_automata::{
-    Action, Execution, FunctionRegistry, MergedAutomaton, ResolvedAction, StepOutcome, Transport,
+    Action, Execution, FunctionRegistry, GlobalState, MergedAutomaton, PartId, ResolvedAction,
+    StateId, StepOutcome, Transport,
 };
 use starlink_mdl::MdlCodec;
 use starlink_message::AbstractMessage;
@@ -38,6 +45,15 @@ struct PartState {
     pending_out: VecDeque<Vec<u8>>,
 }
 
+/// Network semantics of sending from one state, resolved at deployment.
+#[derive(Debug, Clone)]
+struct EmitSpec {
+    transport: Transport,
+    port: u16,
+    /// The colour's multicast group endpoint, pre-built.
+    group: Option<SimAddr>,
+}
+
 /// The deployed bridge: implements [`Actor`] so it can be dropped into a
 /// simulation as "the framework ... transparently deployed in the
 /// network" (§IV).
@@ -52,6 +68,20 @@ pub struct BridgeEngine {
     parts: Vec<PartState>,
     conn_part: BTreeMap<ConnId, usize>,
     buffers: BTreeMap<ConnId, Vec<u8>>,
+    /// (UDP port, multicast group) → part, first declaration wins.
+    udp_exact: BTreeMap<(u16, Arc<str>), usize>,
+    /// UDP port → part for unicast delivery, last declaration wins
+    /// (responses come back unicast even on multicast colours).
+    udp_fallback: BTreeMap<u16, usize>,
+    /// TCP listening port → part, first declaration wins.
+    tcp_parts: BTreeMap<u16, usize>,
+    /// Per-state emit plans.
+    emit_specs: BTreeMap<GlobalState, EmitSpec>,
+    /// Blank schema-typed instances for every message the bridge may
+    /// compose; cloned into each fresh session's store.
+    blank_instances: Vec<AbstractMessage>,
+    /// Scratch buffer reused by every compose.
+    compose_buf: Vec<u8>,
 }
 
 impl std::fmt::Debug for BridgeEngine {
@@ -66,7 +96,7 @@ impl std::fmt::Debug for BridgeEngine {
 impl BridgeEngine {
     /// Creates an engine for `automaton`; `codecs` must be indexed by the
     /// automaton's part order (the framework resolves them by protocol
-    /// name).
+    /// name). All routing tables are computed here, once.
     pub(crate) fn new(
         automaton: Arc<MergedAutomaton>,
         codecs: Vec<Arc<MdlCodec>>,
@@ -74,7 +104,67 @@ impl BridgeEngine {
         stats: BridgeStats,
     ) -> Self {
         let parts = (0..automaton.parts().len()).map(|_| PartState::default()).collect();
-        let exec = Self::fresh_execution(&automaton, &codecs, &functions);
+
+        let mut udp_exact: BTreeMap<(u16, Arc<str>), usize> = BTreeMap::new();
+        let mut udp_fallback: BTreeMap<u16, usize> = BTreeMap::new();
+        let mut tcp_parts: BTreeMap<u16, usize> = BTreeMap::new();
+        for (index, part) in automaton.parts().iter().enumerate() {
+            for color in part.colors() {
+                match color.transport() {
+                    Transport::Udp => {
+                        if let Some(group) = color.group() {
+                            udp_exact.entry((color.port(), Arc::from(group))).or_insert(index);
+                        }
+                        udp_fallback.insert(color.port(), index);
+                    }
+                    Transport::Tcp => {
+                        tcp_parts.entry(color.port()).or_insert(index);
+                    }
+                }
+            }
+        }
+
+        let mut emit_specs = BTreeMap::new();
+        for (pi, part) in automaton.parts().iter().enumerate() {
+            for si in 0..part.states().len() {
+                let gs = GlobalState { part: PartId(pi), state: StateId(si) };
+                if let Ok(color) = part.color_of(StateId(si)) {
+                    emit_specs.insert(
+                        gs,
+                        EmitSpec {
+                            transport: color.transport(),
+                            port: color.port(),
+                            group: color.group().map(|g| SimAddr::new(g, color.port())),
+                        },
+                    );
+                }
+            }
+        }
+
+        // Schema-typed blank instances for every message the bridge may
+        // need to compose (assignment targets and send-transition labels).
+        let mut targets: BTreeSet<&str> = BTreeSet::new();
+        for assignment in automaton.assignments() {
+            targets.insert(&assignment.target_message);
+        }
+        for part in automaton.parts() {
+            for transition in part.transitions() {
+                if transition.action == Action::Send {
+                    targets.insert(&transition.message);
+                }
+            }
+        }
+        let mut blank_instances = Vec::with_capacity(targets.len());
+        for name in targets {
+            for codec in &codecs {
+                if let Ok(schema) = codec.schema(name) {
+                    blank_instances.push(schema.instantiate());
+                    break;
+                }
+            }
+        }
+
+        let exec = Self::fresh_execution(&automaton, &functions, &blank_instances);
         BridgeEngine {
             automaton,
             codecs,
@@ -86,6 +176,12 @@ impl BridgeEngine {
             parts,
             conn_part: BTreeMap::new(),
             buffers: BTreeMap::new(),
+            udp_exact,
+            udp_fallback,
+            tcp_parts,
+            emit_specs,
+            blank_instances,
+            compose_buf: Vec::new(),
         }
     }
 
@@ -94,39 +190,22 @@ impl BridgeEngine {
         self.stats.clone()
     }
 
-    /// Builds a fresh execution with schema-typed blank instances
-    /// pre-registered for every message the bridge may need to compose
-    /// (assignment targets and send-transition labels).
+    /// Builds a fresh execution with the precomputed blank instances
+    /// registered in its store.
     fn fresh_execution(
         automaton: &Arc<MergedAutomaton>,
-        codecs: &[Arc<MdlCodec>],
         functions: &Arc<FunctionRegistry>,
+        blank_instances: &[AbstractMessage],
     ) -> Execution {
         let mut exec = Execution::new(automaton.clone(), functions.clone());
-        let mut targets: BTreeSet<String> = BTreeSet::new();
-        for assignment in automaton.assignments() {
-            targets.insert(assignment.target_message.clone());
-        }
-        for part in automaton.parts() {
-            for transition in part.transitions() {
-                if transition.action == Action::Send {
-                    targets.insert(transition.message.clone());
-                }
-            }
-        }
-        for name in targets {
-            for codec in codecs {
-                if let Ok(schema) = codec.schema(&name) {
-                    exec.store_mut().insert(schema.instantiate());
-                    break;
-                }
-            }
+        for blank in blank_instances {
+            exec.store_mut().insert(blank.clone());
         }
         exec
     }
 
     fn reset_session(&mut self) {
-        self.exec = Self::fresh_execution(&self.automaton, &self.codecs, &self.functions);
+        self.exec = Self::fresh_execution(&self.automaton, &self.functions, &self.blank_instances);
         self.session_started = None;
         self.set_host = None;
         for part in &mut self.parts {
@@ -137,34 +216,19 @@ impl BridgeEngine {
     }
 
     /// Finds the part a datagram belongs to by its destination port
-    /// (and, for multicast, group address).
+    /// (and, for multicast, group address) — a table lookup.
     fn part_for_datagram(&self, datagram: &Datagram) -> Option<usize> {
-        let mut fallback = None;
-        for (index, part) in self.automaton.parts().iter().enumerate() {
-            for color in part.colors() {
-                if color.transport() != Transport::Udp || color.port() != datagram.to.port {
-                    continue;
-                }
-                match (color.group(), datagram.to.is_multicast()) {
-                    (Some(group), true) if group == datagram.to.host => return Some(index),
-                    // Unicast delivery to a port we own also matches a
-                    // multicast colour (responses come back unicast).
-                    _ => fallback = Some(index),
-                }
+        if datagram.to.is_multicast() {
+            let key = (datagram.to.port, datagram.to.host.clone());
+            if let Some(&part) = self.udp_exact.get(&key) {
+                return Some(part);
             }
         }
-        fallback
+        self.udp_fallback.get(&datagram.to.port).copied()
     }
 
     fn part_for_listener(&self, local_port: u16) -> Option<usize> {
-        for (index, part) in self.automaton.parts().iter().enumerate() {
-            for color in part.colors() {
-                if color.transport() == Transport::Tcp && color.port() == local_port {
-                    return Some(index);
-                }
-            }
-        }
-        None
+        self.tcp_parts.get(&local_port).copied()
     }
 
     fn apply_actions(&mut self, ctx: &mut Context<'_>, outcome: &StepOutcome) {
@@ -172,7 +236,7 @@ impl BridgeEngine {
             match action {
                 ResolvedAction::SetHost { host, port } => {
                     ctx.trace(format!("bridge λ set_host({host}, {port})"));
-                    self.set_host = Some(SimAddr::new(host.clone(), *port));
+                    self.set_host = Some(SimAddr::new(host.as_str(), *port));
                 }
                 ResolvedAction::Custom { name, .. } => {
                     ctx.trace(format!("bridge λ {name}(..) (no engine interpretation)"));
@@ -210,17 +274,14 @@ impl BridgeEngine {
         while let Some(name) = self.exec.next_send().map(str::to_owned) {
             let current = self.exec.current();
             let part_index = current.part.0;
-            let color = match self.automaton.color_of(current) {
-                Ok(color) => color.clone(),
-                Err(err) => {
-                    self.stats.record_error(err.to_string());
-                    return;
-                }
+            let Some(spec) = self.emit_specs.get(&current).cloned() else {
+                self.stats.record_error(format!("state {current} has no colour to send on"));
+                return;
             };
             let codec = self.codecs[part_index].clone();
             let message = match self.exec.store().get(&name) {
                 Some(instance) => instance.clone(),
-                None => AbstractMessage::new(codec.protocol().to_owned(), name.clone()),
+                None => AbstractMessage::new(codec.protocol(), name.as_str()),
             };
             // Dynamic ⊨ check (equation (1)): the translated instance must
             // have every mandatory field filled before it may leave the
@@ -236,15 +297,16 @@ impl BridgeEngine {
                 ));
                 return;
             }
-            let bytes = match codec.compose(&message) {
-                Ok(bytes) => bytes,
-                Err(err) => {
-                    self.stats.record_error(format!("compose {name}: {err}"));
-                    ctx.trace(format!("bridge failed to compose {name}: {err}"));
-                    return;
-                }
-            };
-            if let Err(err) = self.emit(ctx, part_index, &color, bytes) {
+            let mut payload = std::mem::take(&mut self.compose_buf);
+            if let Err(err) = codec.compose_into(&message, &mut payload) {
+                self.compose_buf = payload;
+                self.stats.record_error(format!("compose {name}: {err}"));
+                ctx.trace(format!("bridge failed to compose {name}: {err}"));
+                return;
+            }
+            let emitted = self.emit(ctx, part_index, &spec, &payload);
+            self.compose_buf = payload;
+            if let Err(err) = emitted {
                 self.stats.record_error(format!("emit {name}: {err}"));
                 ctx.trace(format!("bridge failed to emit {name}: {err}"));
                 return;
@@ -259,10 +321,7 @@ impl BridgeEngine {
             if self.session_complete() {
                 if let Some(started) = self.session_started {
                     self.stats.record_session(started, ctx.now());
-                    ctx.trace(format!(
-                        "bridge session complete in {}",
-                        ctx.now().since(started)
-                    ));
+                    ctx.trace(format!("bridge session complete in {}", ctx.now().since(started)));
                 }
                 self.reset_session();
                 break;
@@ -278,47 +337,41 @@ impl BridgeEngine {
         &mut self,
         ctx: &mut Context<'_>,
         part_index: usize,
-        color: &starlink_automata::Color,
-        bytes: Vec<u8>,
+        spec: &EmitSpec,
+        payload: &[u8],
     ) -> Result<()> {
-        match color.transport() {
+        match spec.transport {
             Transport::Udp => {
                 let destination = if let Some(reply_to) = self.parts[part_index].reply_to.clone() {
                     reply_to
                 } else if let Some(target) = self.set_host.clone() {
                     target
-                } else if let Some(group) = color.group() {
-                    SimAddr::new(group, color.port())
+                } else if let Some(group) = spec.group.clone() {
+                    group
                 } else {
                     return Err(CoreError::Deployment(format!(
                         "no destination for unicast UDP send on part #{part_index}: \
                          no request to reply to, no set_host, no group"
                     )));
                 };
-                ctx.udp_send(color.port(), destination, bytes);
+                ctx.udp_send(spec.port, destination, payload);
                 Ok(())
             }
             Transport::Tcp => {
                 if let Some(conn) = self.parts[part_index].server_conn {
-                    ctx.tcp_send(conn, bytes).map_err(CoreError::from)
+                    ctx.tcp_send(conn, payload).map_err(CoreError::from)
                 } else if let Some(conn) = self.parts[part_index].client_conn {
-                    ctx.tcp_send(conn, bytes).map_err(CoreError::from)
+                    ctx.tcp_send(conn, payload).map_err(CoreError::from)
                 } else {
-                    let target = self.set_host.clone().unwrap_or_else(|| {
-                        // Fall back to the colour's own port on the last
-                        // UDP peer's host, the natural default when a
-                        // response named only a host.
-                        SimAddr::new("", color.port())
-                    });
-                    if target.host.is_empty() {
+                    let Some(target) = self.set_host.clone() else {
                         return Err(CoreError::Deployment(
                             "TCP send requires a prior set_host λ action".into(),
                         ));
-                    }
+                    };
                     let conn = ctx.tcp_connect(target).map_err(CoreError::from)?;
                     self.conn_part.insert(conn, part_index);
                     self.parts[part_index].client_conn = Some(conn);
-                    self.parts[part_index].pending_out.push_back(bytes);
+                    self.parts[part_index].pending_out.push_back(payload.to_vec());
                     Ok(())
                 }
             }

@@ -114,9 +114,7 @@ impl Starlink {
     pub fn deploy(&self, merged: MergedAutomaton) -> Result<(BridgeEngine, BridgeStats)> {
         let report = merged.check_merge();
         if !report.is_mergeable() {
-            return Err(CoreError::Deployment(format!(
-                "merge constraints violated: {report}"
-            )));
+            return Err(CoreError::Deployment(format!("merge constraints violated: {report}")));
         }
         let mut codecs = Vec::with_capacity(merged.parts().len());
         for part in merged.parts() {
@@ -247,7 +245,9 @@ mod tests {
     fn custom_function_registration() {
         let mut starlink = Starlink::new();
         starlink.register_function("triple", |args| {
-            Ok(Value::Unsigned(args[0].as_u64().map_err(starlink_automata::AutomataError::from)? * 3))
+            Ok(Value::Unsigned(
+                args[0].as_u64().map_err(starlink_automata::AutomataError::from)? * 3,
+            ))
         });
         // The function is visible to subsequently deployed engines via the
         // cloned registry; direct check through deploy is covered by the

@@ -2,9 +2,8 @@
 //! "the time from when the message was first received by the framework
 //! until the translated output response was sent on the output socket".
 
-use parking_lot::Mutex;
 use starlink_net::{SimDuration, SimTime};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// One completed bridge session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,34 +41,39 @@ impl BridgeStats {
         BridgeStats::default()
     }
 
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // Single-threaded simulations cannot poison; recover regardless.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Records a completed session.
     pub fn record_session(&self, started: SimTime, finished: SimTime) {
-        self.inner.lock().sessions.push(SessionRecord { started, finished });
+        self.lock().sessions.push(SessionRecord { started, finished });
     }
 
     /// Records an engine-level error (message dropped).
     pub fn record_error(&self, description: impl Into<String>) {
-        self.inner.lock().errors.push(description.into());
+        self.lock().errors.push(description.into());
     }
 
     /// Completed sessions so far.
     pub fn sessions(&self) -> Vec<SessionRecord> {
-        self.inner.lock().sessions.clone()
+        self.lock().sessions.clone()
     }
 
     /// Errors recorded so far.
     pub fn errors(&self) -> Vec<String> {
-        self.inner.lock().errors.clone()
+        self.lock().errors.clone()
     }
 
     /// Number of completed sessions.
     pub fn session_count(&self) -> usize {
-        self.inner.lock().sessions.len()
+        self.lock().sessions.len()
     }
 
     /// Translation times of all completed sessions.
     pub fn translation_times(&self) -> Vec<SimDuration> {
-        self.inner.lock().sessions.iter().map(SessionRecord::translation_time).collect()
+        self.lock().sessions.iter().map(SessionRecord::translation_time).collect()
     }
 }
 

@@ -4,15 +4,127 @@
 //! description language specifications that are loaded" (§IV-A): a single
 //! implementation specialised at runtime by an [`MdlSpec`], never by
 //! protocol-specific code.
+//!
+//! Generation *compiles* the spec once into flat field plans — label and
+//! type-name [`Label`]s, the marshaller, the resolved length-field index
+//! and the compose-time function — so the per-message hot path touches no
+//! type-table or registry lookups and allocates nothing per field beyond
+//! the field's own value.
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::error::{MdlError, Result};
-use crate::functions::evaluate_functions;
-use crate::marshal::MarshallerRegistry;
+use crate::intern::LabelInterner;
+use crate::marshal::{Marshaller, MarshallerRegistry};
 use crate::size::{ResolvedSize, SizeSpec};
 use crate::spec::{FieldSpec, MdlKind, MdlSpec};
-use starlink_message::{AbstractMessage, Field, FieldPath, PrimitiveField};
+use starlink_message::{AbstractMessage, Field, Label, PrimitiveField, Value};
 use std::sync::Arc;
+
+/// Compose-time field function, compiled from the type table.
+#[derive(Debug, Clone)]
+enum PlanFunction {
+    /// `f-length(target)`: byte length of the target field's wire image.
+    Length {
+        /// Index of the target field in the same plan.
+        target: usize,
+    },
+    /// `f-count(target)`: number of items in the target field.
+    Count {
+        /// Label of the counted field.
+        target: Label,
+    },
+    /// `f-total-length()`: byte length of the whole message.
+    TotalLength,
+}
+
+/// One field of a compiled wire plan.
+#[derive(Clone)]
+struct PlanField {
+    label: Label,
+    base: Label,
+    size: SizeSpec,
+    mandatory: bool,
+    marshaller: Arc<dyn Marshaller>,
+    /// For [`SizeSpec::FieldRef`] sizes: index of the referenced length
+    /// field in the same plan (compose-time cross-check).
+    size_ref: Option<usize>,
+    function: Option<PlanFunction>,
+}
+
+impl std::fmt::Debug for PlanField {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanField")
+            .field("label", &self.label)
+            .field("base", &self.base)
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+/// Compiles `fields` into a flat plan. `complete` marks plans spanning a
+/// whole message (header + body, the composer case): there a function
+/// whose target is absent can only be a spec-authoring bug and is
+/// rejected; partial (parser header/body) plans tolerate it because the
+/// parser never evaluates functions.
+fn compile_plan(
+    spec: &MdlSpec,
+    marshallers: &MarshallerRegistry,
+    fields: &[&FieldSpec],
+    interner: &mut LabelInterner,
+    complete: bool,
+) -> Result<Vec<PlanField>> {
+    let mut plan: Vec<PlanField> = Vec::with_capacity(fields.len());
+    for field in fields {
+        let base = spec.base_type(&field.label);
+        plan.push(PlanField {
+            label: field.label.clone(),
+            base: interner.intern(base),
+            size: field.size.clone(),
+            mandatory: field.mandatory,
+            marshaller: marshallers.get(base)?.clone(),
+            size_ref: None,
+            function: None,
+        });
+    }
+    for i in 0..plan.len() {
+        if let SizeSpec::FieldRef(ref_label) = &plan[i].size {
+            // `MdlSpec::validate` guarantees the reference resolves to an
+            // earlier field for full message plans; header-only plans may
+            // legitimately not contain body-referenced fields.
+            plan[i].size_ref = plan[..i].iter().position(|p| p.label == *ref_label);
+        }
+        let Some(def) = spec.types().get(plan[i].label.as_str()) else { continue };
+        let Some(function) = &def.function else { continue };
+        plan[i].function = Some(match function.name.as_str() {
+            "f-length" => {
+                let target_label = function.args.first().ok_or_else(|| {
+                    MdlError::Function("f-length requires one field argument".into())
+                })?;
+                match plan.iter().position(|p| p.label == *target_label) {
+                    Some(target) => PlanFunction::Length { target },
+                    None if complete => {
+                        return Err(MdlError::Function(format!(
+                            "f-length target {target_label:?} is not a field of this message"
+                        )));
+                    }
+                    // Partial (parser) plan: the function never runs.
+                    None => continue,
+                }
+            }
+            "f-count" => {
+                let target_label = function.args.first().ok_or_else(|| {
+                    MdlError::Function("f-count requires one field argument".into())
+                })?;
+                PlanFunction::Count { target: interner.intern(target_label) }
+            }
+            "f-total-length" => PlanFunction::TotalLength,
+            other => {
+                return Err(MdlError::Function(format!("unknown field function {other:?}")));
+            }
+        });
+    }
+    Ok(plan)
+}
 
 fn resolve_size(
     size: &SizeSpec,
@@ -33,9 +145,9 @@ fn resolve_size(
         }
         SizeSpec::SelfDelimiting => Ok(ResolvedSize::SelfDelimiting),
         SizeSpec::Remaining => Ok(ResolvedSize::Remaining),
-        SizeSpec::Delimiter(_) | SizeSpec::DelimitedPairs { .. } => Err(MdlError::Spec(
-            "delimiter sizes are only valid in text MDLs".into(),
-        )),
+        SizeSpec::Delimiter(_) | SizeSpec::DelimitedPairs { .. } => {
+            Err(MdlError::Spec("delimiter sizes are only valid in text MDLs".into()))
+        }
     }
 }
 
@@ -44,15 +156,19 @@ fn resolve_size(
 #[derive(Debug, Clone)]
 pub struct BinaryParser {
     spec: Arc<MdlSpec>,
-    marshallers: Arc<MarshallerRegistry>,
+    protocol: Label,
+    header: Vec<PlanField>,
+    /// Body plans, parallel to `spec.messages()`.
+    bodies: Vec<(Label, Vec<PlanField>)>,
 }
 
 impl BinaryParser {
-    /// Creates a parser for `spec`.
+    /// Creates a parser for `spec`, compiling its field plans.
     ///
     /// # Errors
     ///
-    /// Returns [`MdlError::Spec`] when the spec is not a binary MDL.
+    /// Returns [`MdlError::Spec`] when the spec is not a binary MDL and
+    /// [`MdlError::UnknownType`] for unregistered marshaller types.
     pub fn new(spec: Arc<MdlSpec>, marshallers: Arc<MarshallerRegistry>) -> Result<Self> {
         if spec.kind() != MdlKind::Binary {
             return Err(MdlError::Spec(format!(
@@ -60,24 +176,34 @@ impl BinaryParser {
                 spec.protocol()
             )));
         }
-        Ok(BinaryParser { spec, marshallers })
+        let mut interner = LabelInterner::default();
+        let header_refs: Vec<&FieldSpec> = spec.header().iter().collect();
+        let header = compile_plan(&spec, &marshallers, &header_refs, &mut interner, false)?;
+        let mut bodies = Vec::with_capacity(spec.messages().len());
+        for message in spec.messages() {
+            let field_refs: Vec<&FieldSpec> = message.fields.iter().collect();
+            bodies.push((
+                message.name.clone(),
+                compile_plan(&spec, &marshallers, &field_refs, &mut interner, false)?,
+            ));
+        }
+        let protocol = spec.protocol_label().clone();
+        Ok(BinaryParser { spec, protocol, header, bodies })
     }
 
     fn parse_field(
         &self,
         reader: &mut BitReader<'_>,
         message: &mut AbstractMessage,
-        field: &FieldSpec,
+        field: &PlanField,
     ) -> Result<()> {
         let size = resolve_size(&field.size, message, reader.position_bits())?;
-        let base = self.spec.base_type(&field.label);
-        let marshaller = self.marshallers.get(base)?;
         let start = reader.position_bits();
-        let value = marshaller.unmarshal(reader, size)?;
+        let value = field.marshaller.unmarshal(reader, size)?;
         let consumed = (reader.position_bits() - start) as u32;
         message.push_field(Field::Primitive(PrimitiveField::with_length(
             field.label.clone(),
-            base.to_owned(),
+            field.base.clone(),
             consumed,
             value,
         )));
@@ -96,16 +222,17 @@ impl BinaryParser {
     /// Fails on truncated input or when no message rule matches the header.
     pub fn parse_prefix(&self, bytes: &[u8]) -> Result<(AbstractMessage, usize)> {
         let mut reader = BitReader::new(bytes);
-        let mut message = AbstractMessage::new(self.spec.protocol().to_owned(), "");
-        for field in self.spec.header() {
+        let mut message = AbstractMessage::new(self.protocol.clone(), Label::empty());
+        for field in &self.header {
             self.parse_field(&mut reader, &mut message, field)?;
         }
-        let selected = self
-            .spec
-            .select_by_rule(&message)
-            .ok_or_else(|| MdlError::NoRuleMatched { protocol: self.spec.protocol().to_owned() })?;
-        message.set_name(selected.name.clone());
-        for field in &selected.fields {
+        let selected =
+            self.spec.messages().iter().position(|m| m.rule.matches(&message)).ok_or_else(
+                || MdlError::NoRuleMatched { protocol: self.spec.protocol().to_owned() },
+            )?;
+        let (name, body) = &self.bodies[selected];
+        message.set_name(name.clone());
+        for field in body {
             self.parse_field(&mut reader, &mut message, field)?;
         }
         let consumed = reader.position_bits().div_ceil(8) as usize;
@@ -129,16 +256,27 @@ impl BinaryParser {
 /// [`MdlSpec`].
 #[derive(Debug, Clone)]
 pub struct BinaryComposer {
-    spec: Arc<MdlSpec>,
-    marshallers: Arc<MarshallerRegistry>,
+    /// Full (header + body) plans and pre-parsed rule bindings, parallel
+    /// to the spec's message sections.
+    messages: Vec<CompiledMessage>,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledMessage {
+    name: Label,
+    plan: Vec<PlanField>,
+    /// Rule discriminators: plan index → literal value to fill when the
+    /// message leaves the field empty.
+    bindings: Vec<(usize, Value)>,
 }
 
 impl BinaryComposer {
-    /// Creates a composer for `spec`.
+    /// Creates a composer for `spec`, compiling its field plans.
     ///
     /// # Errors
     ///
-    /// Returns [`MdlError::Spec`] when the spec is not a binary MDL.
+    /// Returns [`MdlError::Spec`] when the spec is not a binary MDL and
+    /// [`MdlError::UnknownType`] for unregistered marshaller types.
     pub fn new(spec: Arc<MdlSpec>, marshallers: Arc<MarshallerRegistry>) -> Result<Self> {
         if spec.kind() != MdlKind::Binary {
             return Err(MdlError::Spec(format!(
@@ -146,70 +284,168 @@ impl BinaryComposer {
                 spec.protocol()
             )));
         }
-        Ok(BinaryComposer { spec, marshallers })
+        let mut interner = LabelInterner::default();
+        let mut messages = Vec::with_capacity(spec.messages().len());
+        for message in spec.messages() {
+            let fields: Vec<&FieldSpec> =
+                spec.header().iter().chain(message.fields.iter()).collect();
+            let plan = compile_plan(&spec, &marshallers, &fields, &mut interner, true)?;
+            let mut bindings = Vec::new();
+            for (label, literal) in message.rule.bindings() {
+                let Some(index) = plan.iter().position(|p| p.label == label) else {
+                    continue;
+                };
+                let value = match literal.parse::<u64>() {
+                    Ok(v) => Value::Unsigned(v),
+                    Err(_) => Value::Str(literal.to_owned()),
+                };
+                bindings.push((index, value));
+            }
+            messages.push(CompiledMessage { name: message.name.clone(), plan, bindings });
+        }
+        Ok(BinaryComposer { messages })
+    }
+
+    /// The value of plan field `index`: the compose-time override when one
+    /// was computed, the message's own field otherwise.
+    fn value_of<'a>(
+        &self,
+        compiled: &'a CompiledMessage,
+        overrides: &'a [Option<Value>],
+        message: &'a AbstractMessage,
+        index: usize,
+    ) -> Result<&'a Value> {
+        if let Some(value) = &overrides[index] {
+            return Ok(value);
+        }
+        let field = &compiled.plan[index];
+        message
+            .field(&field.label)
+            .ok_or_else(|| {
+                MdlError::Compose(format!(
+                    "message {:?} is missing field {:?}",
+                    message.name(),
+                    field.label
+                ))
+            })?
+            .value()
+            .map_err(MdlError::from)
+    }
+
+    /// Wire width in bits of plan field `index` given current values.
+    fn wire_bits_of(
+        &self,
+        compiled: &CompiledMessage,
+        overrides: &[Option<Value>],
+        message: &AbstractMessage,
+        index: usize,
+    ) -> Result<u64> {
+        let field = &compiled.plan[index];
+        let sizing = match &field.size {
+            SizeSpec::Bits(bits) => ResolvedSize::Bits(u64::from(*bits)),
+            SizeSpec::SelfDelimiting => ResolvedSize::SelfDelimiting,
+            // FieldRef / remaining: width follows the value.
+            _ => ResolvedSize::Remaining,
+        };
+        let value = self.value_of(compiled, overrides, message, index)?;
+        field.marshaller.wire_bits(value, sizing)
     }
 
     /// Composes `message` to its wire image.
     ///
     /// Field functions (`f-length`, `f-total-length`, ...) are evaluated
     /// first, so length fields need not be pre-computed by the caller; the
-    /// message's own copy is not modified.
+    /// message itself is never modified (computed values live in a
+    /// compose-local override table).
     ///
     /// # Errors
     ///
     /// Fails when the message type is unknown to the spec, a field is
     /// missing, or a value cannot be marshalled.
     pub fn compose(&self, message: &AbstractMessage) -> Result<Vec<u8>> {
-        let selected = self
-            .spec
-            .message_spec(message.name())
-            .ok_or_else(|| MdlError::UnknownMessage(message.name().to_owned()))?;
-        let fields: Vec<&FieldSpec> =
-            self.spec.header().iter().chain(selected.fields.iter()).collect();
+        let mut out = Vec::new();
+        self.compose_into(message, &mut out)?;
+        Ok(out)
+    }
 
-        // Work on a copy: rule discriminators and function fields are
-        // filled in automatically.
-        let mut working = message.clone();
-        for (label, literal) in selected.rule.bindings() {
-            let path = FieldPath::field(label);
-            let needs_fill = match working.field(label) {
+    /// Composes `message` into a caller-provided buffer (cleared first),
+    /// amortising the output allocation across messages.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`BinaryComposer::compose`].
+    pub fn compose_into(&self, message: &AbstractMessage, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
+        let compiled = self
+            .messages
+            .iter()
+            .find(|m| m.name == message.name())
+            .ok_or_else(|| MdlError::UnknownMessage(message.name().to_owned()))?;
+        let plan = &compiled.plan;
+
+        // Compose-local overrides: rule discriminators and function-computed
+        // length fields. The caller's message is left untouched.
+        let mut overrides: Vec<Option<Value>> = vec![None; plan.len()];
+        for (index, literal) in &compiled.bindings {
+            let needs_fill = match message.field(&plan[*index].label) {
                 None => true,
-                Some(f) => f.value().map(|v| v.is_empty()).unwrap_or(false),
+                Some(f) => f.value().map(Value::is_empty).unwrap_or(false),
             };
             if needs_fill {
-                let value = match literal.parse::<u64>() {
-                    Ok(v) => starlink_message::Value::Unsigned(v),
-                    Err(_) => starlink_message::Value::Str(literal.to_owned()),
-                };
-                working.set_or_insert(&path, value)?;
+                overrides[*index] = Some(literal.clone());
             }
         }
-        evaluate_functions(&self.spec, &self.marshallers, &fields, &mut working)?;
+        // Value-local functions first; f-total-length needs them settled.
+        for index in 0..plan.len() {
+            match &plan[index].function {
+                Some(PlanFunction::Length { target }) => {
+                    let bits = self.wire_bits_of(compiled, &overrides, message, *target)?;
+                    overrides[index] = Some(Value::Unsigned(bits / 8));
+                }
+                Some(PlanFunction::Count { target }) => {
+                    let count = match message.field(target) {
+                        Some(f) => match f.value() {
+                            Ok(Value::List(items)) => items.len() as u64,
+                            Ok(_) => 1,
+                            Err(_) => {
+                                f.as_structured().map(|s| s.fields().len()).unwrap_or(0) as u64
+                            }
+                        },
+                        None => 0,
+                    };
+                    overrides[index] = Some(Value::Unsigned(count));
+                }
+                _ => {}
+            }
+        }
+        for index in 0..plan.len() {
+            if matches!(plan[index].function, Some(PlanFunction::TotalLength)) {
+                let mut total_bits = 0u64;
+                for i in 0..plan.len() {
+                    total_bits += self.wire_bits_of(compiled, &overrides, message, i)?;
+                }
+                overrides[index] = Some(Value::Unsigned(total_bits / 8));
+            }
+        }
 
-        let mut writer = BitWriter::new();
-        for field in &fields {
-            let value = working
-                .field(&field.label)
-                .ok_or_else(|| {
-                    MdlError::Compose(format!(
-                        "message {:?} is missing field {:?}",
-                        message.name(),
-                        field.label
-                    ))
-                })?
-                .value()?;
+        let mut writer = BitWriter::with_buffer(std::mem::take(out));
+        for (index, field) in plan.iter().enumerate() {
             let size = match &field.size {
                 SizeSpec::Bits(bits) => ResolvedSize::Bits(u64::from(*bits)),
                 SizeSpec::FieldRef(ref_label) => {
                     // The wire width follows the value; cross-check that the
                     // (possibly auto-computed) length field agrees.
-                    let declared = working
-                        .field(ref_label)
-                        .ok_or_else(|| {
-                            MdlError::Compose(format!("missing length field {ref_label:?}"))
-                        })?
-                        .value()?
-                        .as_u64()?;
+                    let declared = match field.size_ref {
+                        Some(ref_index) => {
+                            self.value_of(compiled, &overrides, message, ref_index)?.as_u64()?
+                        }
+                        None => {
+                            return Err(MdlError::Compose(format!(
+                                "missing length field {ref_label:?}"
+                            )))
+                        }
+                    };
+                    let value = self.value_of(compiled, &overrides, message, index)?;
                     let actual = value.as_bytes().map(|b| b.len() as u64).unwrap_or(declared);
                     if declared != actual {
                         return Err(MdlError::Compose(format!(
@@ -227,10 +463,11 @@ impl BinaryComposer {
                     ))
                 }
             };
-            let base = self.spec.base_type(&field.label);
-            self.marshallers.get(base)?.marshal(&mut writer, value, size)?;
+            let value = self.value_of(compiled, &overrides, message, index)?;
+            field.marshaller.marshal(&mut writer, value, size)?;
         }
-        Ok(writer.into_bytes())
+        *out = writer.into_bytes();
+        Ok(())
     }
 }
 
@@ -282,7 +519,10 @@ mod tests {
                 .message(
                     MessageSpec::new("SrvReply", Rule::parse("FunctionID=2").unwrap())
                         .field(FieldSpec::new("URLLength", SizeSpec::Bits(16)))
-                        .field(FieldSpec::new("URL", SizeSpec::FieldRef("URLLength".into())).required()),
+                        .field(
+                            FieldSpec::new("URL", SizeSpec::FieldRef("URLLength".into()))
+                                .required(),
+                        ),
                 ),
         )
     }
@@ -308,10 +548,7 @@ mod tests {
         let parsed = parser.parse(&wire).unwrap();
         assert_eq!(parsed.name(), "SrvRequest");
         assert_eq!(parsed.get(&"XID".into()).unwrap().as_u64().unwrap(), 0xBEEF);
-        assert_eq!(
-            parsed.get(&"SRVType".into()).unwrap().as_str().unwrap(),
-            "service:printer"
-        );
+        assert_eq!(parsed.get(&"SRVType".into()).unwrap().as_str().unwrap(), "service:printer");
     }
 
     #[test]
@@ -324,6 +561,30 @@ mod tests {
         assert_eq!(wire.len(), 11);
         assert_eq!(&wire[2..5], &[0, 0, 11]); // MessageLength auto-filled
         assert_eq!(&wire[7..9], &[0, 2]); // SRVTypeLength auto-filled
+    }
+
+    #[test]
+    fn compose_does_not_mutate_the_message() {
+        let spec = spec();
+        let composer = BinaryComposer::new(spec, registry()).unwrap();
+        let msg = request("service:printer");
+        let before = msg.clone();
+        composer.compose(&msg).unwrap();
+        assert_eq!(msg, before, "compose must not write computed fields back");
+    }
+
+    #[test]
+    fn compose_into_reuses_the_buffer() {
+        let spec = spec();
+        let composer = BinaryComposer::new(spec, registry()).unwrap();
+        let msg = request("service:printer");
+        let mut scratch = Vec::new();
+        composer.compose_into(&msg, &mut scratch).unwrap();
+        let first = scratch.clone();
+        let capacity = scratch.capacity();
+        composer.compose_into(&msg, &mut scratch).unwrap();
+        assert_eq!(scratch, first);
+        assert_eq!(scratch.capacity(), capacity, "no regrowth on reuse");
     }
 
     #[test]

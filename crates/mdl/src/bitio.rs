@@ -70,12 +70,18 @@ impl<'a> BitReader<'a> {
         if u64::from(n) > self.remaining_bits() {
             return Err(self.eof(u64::from(n)));
         }
+        // Chunked: consume up to a whole byte per step instead of a bit.
         let mut out: u64 = 0;
-        for _ in 0..n {
+        let mut remaining = n;
+        while remaining > 0 {
             let byte = self.data[(self.pos / 8) as usize];
-            let bit = (byte >> (7 - (self.pos % 8))) & 1;
-            out = (out << 1) | u64::from(bit);
-            self.pos += 1;
+            let offset = (self.pos % 8) as u32;
+            let available = 8 - offset;
+            let take = available.min(remaining);
+            let chunk = (byte >> (available - take)) & (((1u16 << take) - 1) as u8);
+            out = (out << take) | u64::from(chunk);
+            self.pos += u64::from(take);
+            remaining -= take;
         }
         Ok(out)
     }
@@ -91,14 +97,24 @@ impl<'a> BitReader<'a> {
             return Err(self.eof(bits));
         }
         if self.pos.is_multiple_of(8) {
+            // Aligned fast path: one memcpy.
             let start = (self.pos / 8) as usize;
             self.pos += bits;
             return Ok(self.data[start..start + n].to_vec());
         }
+        // Unaligned: each output byte spans two input bytes; shift once
+        // per byte instead of once per bit. The bounds check above
+        // guarantees `start + n` is a valid index (the cursor sits
+        // mid-byte, so a trailing partial byte must exist).
+        let shift = (self.pos % 8) as u32;
+        let start = (self.pos / 8) as usize;
         let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.read_bits(8)? as u8);
+        for i in 0..n {
+            let hi = self.data[start + i] << shift;
+            let lo = self.data[start + i + 1] >> (8 - shift);
+            out.push(hi | lo);
         }
+        self.pos += bits;
         Ok(out)
     }
 
@@ -175,6 +191,15 @@ impl BitWriter {
         BitWriter::default()
     }
 
+    /// Creates a writer that assembles into `buffer` (cleared first),
+    /// reusing its capacity. Recover the buffer with
+    /// [`BitWriter::into_bytes`] — the scratch-reuse pattern of the
+    /// codec hot path.
+    pub fn with_buffer(mut buffer: Vec<u8>) -> Self {
+        buffer.clear();
+        BitWriter { bytes: buffer, bits: 0 }
+    }
+
     /// Number of bits written so far.
     pub fn position_bits(&self) -> u64 {
         self.bits
@@ -190,34 +215,41 @@ impl BitWriter {
             return Err(MdlError::Compose(format!("cannot write {n} bits from a u64")));
         }
         if n < 64 && value >= (1u64 << n) {
-            return Err(MdlError::Compose(format!(
-                "value {value} does not fit in {n} bits"
-            )));
+            return Err(MdlError::Compose(format!("value {value} does not fit in {n} bits")));
         }
-        for i in (0..n).rev() {
-            let bit = ((value >> i) & 1) as u8;
-            let offset = (self.bits % 8) as u8;
+        // Chunked: fill up to a whole byte per step instead of a bit.
+        let mut remaining = n;
+        while remaining > 0 {
+            let offset = (self.bits % 8) as u32;
             if offset == 0 {
                 self.bytes.push(0);
             }
+            let space = 8 - offset;
+            let take = space.min(remaining); // ≤ 8
+            let chunk = ((value >> (remaining - take)) & ((1u64 << take) - 1)) as u8;
             let last = self.bytes.len() - 1;
-            self.bytes[last] |= bit << (7 - offset);
-            self.bits += 1;
+            self.bytes[last] |= chunk << (space - take);
+            self.bits += u64::from(take);
+            remaining -= take;
         }
         Ok(())
     }
 
-    /// Writes whole bytes. Fast path when the cursor is byte-aligned.
+    /// Writes whole bytes. Byte-aligned cursors take a single
+    /// `extend_from_slice`; unaligned cursors shift once per byte.
     pub fn write_bytes(&mut self, data: &[u8]) {
         if self.bits.is_multiple_of(8) {
             self.bytes.extend_from_slice(data);
             self.bits += data.len() as u64 * 8;
-        } else {
-            for byte in data {
-                // Infallible: 8 bits always fit.
-                let _ = self.write_bits(u64::from(*byte), 8);
-            }
+            return;
         }
+        let offset = (self.bits % 8) as u32;
+        self.bytes.reserve(data.len());
+        for (last, &byte) in (self.bytes.len() - 1..).zip(data.iter()) {
+            self.bytes[last] |= byte >> offset;
+            self.bytes.push(byte << (8 - offset));
+        }
+        self.bits += data.len() as u64 * 8;
     }
 
     /// Writes a single byte.
@@ -235,9 +267,7 @@ impl BitWriter {
     /// value does not fit.
     pub fn patch_bits(&mut self, at: u64, value: u64, n: u32) -> Result<()> {
         if n < 64 && value >= (1u64 << n) {
-            return Err(MdlError::Compose(format!(
-                "patch value {value} does not fit in {n} bits"
-            )));
+            return Err(MdlError::Compose(format!("patch value {value} does not fit in {n} bits")));
         }
         if at + u64::from(n) > self.bits {
             return Err(MdlError::Compose(format!(

@@ -126,6 +126,20 @@ impl MdlCodec {
         }
     }
 
+    /// Composes `message` into a caller-provided buffer, clearing it
+    /// first. Callers on the hot path keep one scratch buffer alive and
+    /// amortise the output allocation across messages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compose failures from the underlying interpreter.
+    pub fn compose_into(&self, message: &AbstractMessage, out: &mut Vec<u8>) -> Result<()> {
+        match &self.inner {
+            Inner::Binary { composer, .. } => composer.compose_into(message, out),
+            Inner::Text { composer, .. } => composer.compose_into(message, out),
+        }
+    }
+
     /// Derives the schema for one of the spec's message types.
     ///
     /// # Errors

@@ -123,7 +123,10 @@ mod tests {
             .type_entry("Url", TypeDef::plain("String"))
             .type_entry(
                 "UrlLen",
-                TypeDef::with_function("Integer", FieldFunction::new("f-length", vec!["Url".into()])),
+                TypeDef::with_function(
+                    "Integer",
+                    FieldFunction::new("f-length", vec!["Url".into()]),
+                ),
             )
             .type_entry(
                 "Total",
@@ -171,8 +174,13 @@ mod tests {
     #[test]
     fn unknown_function_is_rejected() {
         let s = MdlSpec::new("T", MdlKind::Binary)
-            .type_entry("X", TypeDef::with_function("Integer", FieldFunction::new("f-magic", vec![])))
-            .message(MessageSpec::new("M", Rule::Always).field(FieldSpec::new("X", SizeSpec::Bits(8))));
+            .type_entry(
+                "X",
+                TypeDef::with_function("Integer", FieldFunction::new("f-magic", vec![])),
+            )
+            .message(
+                MessageSpec::new("M", Rule::Always).field(FieldSpec::new("X", SizeSpec::Bits(8))),
+            );
         let m = MarshallerRegistry::with_builtins();
         let body = s.message_spec("M").unwrap();
         let fields: Vec<&FieldSpec> = body.fields.iter().collect();
@@ -190,7 +198,10 @@ mod tests {
             .type_entry("Records", TypeDef::plain("String"))
             .type_entry(
                 "Count",
-                TypeDef::with_function("Integer", FieldFunction::new("f-count", vec!["Records".into()])),
+                TypeDef::with_function(
+                    "Integer",
+                    FieldFunction::new("f-count", vec!["Records".into()]),
+                ),
             )
             .message(
                 MessageSpec::new("M", Rule::Always)

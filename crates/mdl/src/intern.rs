@@ -1,0 +1,20 @@
+//! Crate-internal label interner used while compiling specs into field
+//! plans: every plan field sharing a base type (or any other repeated
+//! name) ends up holding the same `Arc<str>` allocation.
+
+use starlink_message::Label;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Default)]
+pub(crate) struct LabelInterner(BTreeMap<String, Label>);
+
+impl LabelInterner {
+    pub(crate) fn intern(&mut self, text: &str) -> Label {
+        if let Some(label) = self.0.get(text) {
+            return label.clone();
+        }
+        let label = Label::from(text);
+        self.0.insert(text.to_owned(), label.clone());
+        label
+    }
+}

@@ -55,6 +55,7 @@ mod bitio;
 mod codec;
 mod error;
 mod functions;
+mod intern;
 mod marshal;
 mod rule;
 mod size;

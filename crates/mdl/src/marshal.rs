@@ -312,11 +312,8 @@ impl Marshaller for FqdnMarshaller {
 
     fn wire_bits(&self, value: &Value, _size: ResolvedSize) -> Result<u64> {
         let name = value.as_str()?;
-        let label_bytes: u64 = if name.is_empty() {
-            0
-        } else {
-            name.split('.').map(|l| l.len() as u64 + 1).sum()
-        };
+        let label_bytes: u64 =
+            if name.is_empty() { 0 } else { name.split('.').map(|l| l.len() as u64 + 1).sum() };
         Ok((label_bytes + 1) * 8)
     }
 }
@@ -434,7 +431,8 @@ mod tests {
     #[test]
     fn integer_roundtrip_various_widths() {
         for (value, bits) in [(0u64, 1), (1, 1), (0xFFFF, 16), (0xABCDEF, 24), (u64::MAX, 64)] {
-            let got = roundtrip(&IntegerMarshaller, Value::Unsigned(value), ResolvedSize::Bits(bits));
+            let got =
+                roundtrip(&IntegerMarshaller, Value::Unsigned(value), ResolvedSize::Bits(bits));
             assert_eq!(got, Value::Unsigned(value), "width {bits}");
         }
     }
@@ -519,8 +517,9 @@ mod tests {
 
     #[test]
     fn fqdn_wire_bits_accounts_for_terminator() {
-        let bits =
-            FqdnMarshaller.wire_bits(&Value::Str("ab.c".into()), ResolvedSize::SelfDelimiting).unwrap();
+        let bits = FqdnMarshaller
+            .wire_bits(&Value::Str("ab.c".into()), ResolvedSize::SelfDelimiting)
+            .unwrap();
         assert_eq!(bits, 6 * 8);
     }
 
@@ -539,7 +538,9 @@ mod tests {
         let mut w = BitWriter::new();
         for bad in ["1.2.3", "1.2.3.4.5", "a.b.c.d", "300.1.1.1"] {
             assert!(
-                Ipv4Marshaller.marshal(&mut w, &Value::Str(bad.into()), ResolvedSize::Bits(32)).is_err(),
+                Ipv4Marshaller
+                    .marshal(&mut w, &Value::Str(bad.into()), ResolvedSize::Bits(32))
+                    .is_err(),
                 "accepted {bad:?}"
             );
         }
@@ -562,7 +563,12 @@ mod tests {
                 let v = StringMarshaller.unmarshal(reader, size)?;
                 Ok(Value::Str(v.as_str()?.to_ascii_uppercase()))
             }
-            fn marshal(&self, writer: &mut BitWriter, value: &Value, size: ResolvedSize) -> Result<()> {
+            fn marshal(
+                &self,
+                writer: &mut BitWriter,
+                value: &Value,
+                size: ResolvedSize,
+            ) -> Result<()> {
                 StringMarshaller.marshal(writer, value, size)
             }
             fn wire_bits(&self, value: &Value, size: ResolvedSize) -> Result<u64> {

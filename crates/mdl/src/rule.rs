@@ -61,9 +61,7 @@ impl Rule {
         match self {
             Rule::Always => String::new(),
             Rule::FieldEquals { field, literal } => format!("{field}={literal}"),
-            Rule::All(clauses) => {
-                clauses.iter().map(Rule::to_text).collect::<Vec<_>>().join(";")
-            }
+            Rule::All(clauses) => clauses.iter().map(Rule::to_text).collect::<Vec<_>>().join(";"),
         }
     }
 

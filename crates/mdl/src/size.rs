@@ -94,7 +94,9 @@ impl SizeSpec {
                 split: parse_bytes(split)?,
             });
         }
-        if text.split(',').all(|p| p.trim().chars().all(|c| c.is_ascii_digit()) && !p.trim().is_empty())
+        if text
+            .split(',')
+            .all(|p| p.trim().chars().all(|c| c.is_ascii_digit()) && !p.trim().is_empty())
         {
             return Ok(SizeSpec::Delimiter(parse_bytes(text)?));
         }

@@ -4,7 +4,7 @@ use crate::error::{MdlError, Result};
 use crate::rule::Rule;
 use crate::size::SizeSpec;
 use crate::types::{TypeDef, TypeTable};
-use starlink_message::{FieldSchema, MessageSchema};
+use starlink_message::{FieldSchema, Label, MessageSchema};
 
 /// Whether the protocol's wire image is a bit/byte sequence or delimited
 /// text ("specialised languages for binary messages, text messages ...
@@ -44,7 +44,7 @@ impl MdlKind {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FieldSpec {
     /// Field label (also the key into the type table).
-    pub label: String,
+    pub label: Label,
     /// Declared size.
     pub size: SizeSpec,
     /// Whether the ⊨ operator treats this field as mandatory.
@@ -53,7 +53,7 @@ pub struct FieldSpec {
 
 impl FieldSpec {
     /// Creates a field spec.
-    pub fn new(label: impl Into<String>, size: SizeSpec) -> Self {
+    pub fn new(label: impl Into<Label>, size: SizeSpec) -> Self {
         FieldSpec { label: label.into(), size, mandatory: false }
     }
 
@@ -68,7 +68,7 @@ impl FieldSpec {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MessageSpec {
     /// Message type name (e.g. `SLPSrvRequest`).
-    pub name: String,
+    pub name: Label,
     /// Predicate on header fields selecting this body.
     pub rule: Rule,
     /// Body fields in wire order.
@@ -77,7 +77,7 @@ pub struct MessageSpec {
 
 impl MessageSpec {
     /// Creates a message spec.
-    pub fn new(name: impl Into<String>, rule: Rule) -> Self {
+    pub fn new(name: impl Into<Label>, rule: Rule) -> Self {
         MessageSpec { name: name.into(), rule, fields: Vec::new() }
     }
 
@@ -106,7 +106,7 @@ impl MessageSpec {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MdlSpec {
-    protocol: String,
+    protocol: Label,
     kind: MdlKind,
     types: TypeTable,
     header: Vec<FieldSpec>,
@@ -115,7 +115,7 @@ pub struct MdlSpec {
 
 impl MdlSpec {
     /// Creates an empty spec for `protocol`.
-    pub fn new(protocol: impl Into<String>, kind: MdlKind) -> Self {
+    pub fn new(protocol: impl Into<Label>, kind: MdlKind) -> Self {
         MdlSpec {
             protocol: protocol.into(),
             kind,
@@ -127,6 +127,11 @@ impl MdlSpec {
 
     /// The protocol name (`SLP`, `SSDP`, ...).
     pub fn protocol(&self) -> &str {
+        &self.protocol
+    }
+
+    /// The protocol name as a shared label (allocation-free to clone).
+    pub fn protocol_label(&self) -> &Label {
         &self.protocol
     }
 
@@ -174,7 +179,10 @@ impl MdlSpec {
     }
 
     /// Selects the message section whose rule matches the parsed header.
-    pub fn select_by_rule(&self, header: &starlink_message::AbstractMessage) -> Option<&MessageSpec> {
+    pub fn select_by_rule(
+        &self,
+        header: &starlink_message::AbstractMessage,
+    ) -> Option<&MessageSpec> {
         self.messages.iter().find(|m| m.rule.matches(header))
     }
 
@@ -197,9 +205,8 @@ impl MdlSpec {
     ///
     /// Returns [`MdlError::UnknownMessage`] for unknown names.
     pub fn schema(&self, name: &str) -> Result<MessageSchema> {
-        let message = self
-            .message_spec(name)
-            .ok_or_else(|| MdlError::UnknownMessage(name.to_owned()))?;
+        let message =
+            self.message_spec(name).ok_or_else(|| MdlError::UnknownMessage(name.to_owned()))?;
         let mut schema = MessageSchema::new(self.protocol.clone(), name);
         let bindings = message.rule.bindings();
         for field in self.header.iter().chain(message.fields.iter()) {

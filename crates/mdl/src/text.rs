@@ -5,11 +5,20 @@
 //! fields delimited by byte sequences (space, CRLF), then repeated
 //! `label: value` pairs split at an inner boundary (`:`), ending at an
 //! empty line, optionally followed by a body.
+//!
+//! The hot path borrows subslices of the input: field text is inspected
+//! as `&str` in place and owned only when it becomes a [`Value::Str`]
+//! (or, for non-UTF-8 input, through the lossy fallback). Labels of
+//! declared fields and known header names are interned [`Label`]s, so a
+//! parsed field costs one value allocation — never a `String` clone.
 
 use crate::error::{MdlError, Result};
+use crate::intern::LabelInterner;
 use crate::size::SizeSpec;
 use crate::spec::{FieldSpec, MdlKind, MdlSpec};
-use starlink_message::{AbstractMessage, Field, PrimitiveField, Value};
+use starlink_message::{AbstractMessage, Field, Label, PrimitiveField, Value};
+use std::collections::BTreeMap;
+use std::io::Write as _;
 use std::sync::Arc;
 
 fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
@@ -20,15 +29,16 @@ fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
 }
 
 /// Converts raw field text into a [`Value`] according to the declared base
-/// type (`Integer` fields of text protocols carry decimal digits).
+/// type (`Integer` fields of text protocols carry decimal digits). The
+/// only allocation is the owned string of a `Value::Str`.
 fn text_to_value(base: &str, text: &str) -> Result<Value> {
     match base {
-        "Integer" | "Unsigned" => text.trim().parse::<u64>().map(Value::Unsigned).map_err(|_| {
-            MdlError::Parse {
+        "Integer" | "Unsigned" => {
+            text.trim().parse::<u64>().map(Value::Unsigned).map_err(|_| MdlError::Parse {
                 reason: format!("expected an integer, found {text:?}"),
                 offset_bits: 0,
-            }
-        }),
+            })
+        }
         "Signed" => text.trim().parse::<i64>().map(Value::Signed).map_err(|_| MdlError::Parse {
             reason: format!("expected a signed integer, found {text:?}"),
             offset_bits: 0,
@@ -45,24 +55,124 @@ fn text_to_value(base: &str, text: &str) -> Result<Value> {
     }
 }
 
+/// Converts raw field bytes, borrowing valid UTF-8 and falling back to a
+/// lossy copy only for invalid input.
+fn bytes_to_value(base: &str, raw: &[u8]) -> Result<Value> {
+    match std::str::from_utf8(raw) {
+        Ok(text) => text_to_value(base, text),
+        // Non-UTF-8 is only representable as text lossily; numeric bases
+        // cannot parse it either way, so surface it as a string.
+        Err(_) => text_to_value(base, &String::from_utf8_lossy(raw)),
+    }
+}
+
+/// Appends the text image of `value` to `out` without intermediate
+/// `String`s for the common variants.
+fn extend_value_text(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Str(s) => out.extend_from_slice(s.as_bytes()),
+        Value::Unsigned(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::Signed(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Bytes(b) => match std::str::from_utf8(b) {
+            Ok(text) => out.extend_from_slice(text.as_bytes()),
+            Err(_) => out.extend_from_slice(String::from_utf8_lossy(b).as_bytes()),
+        },
+        Value::List(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                extend_value_text(out, item);
+            }
+        }
+    }
+}
+
+/// One declared field, with its label and base type pre-interned.
+#[derive(Debug, Clone)]
+struct TextPlanField {
+    label: Label,
+    base: Label,
+    size: SizeSpec,
+    mandatory: bool,
+}
+
+fn compile_text_plan(
+    spec: &MdlSpec,
+    fields: &[FieldSpec],
+    interner: &mut LabelInterner,
+) -> Vec<TextPlanField> {
+    fields
+        .iter()
+        .map(|field| TextPlanField {
+            label: field.label.clone(),
+            base: interner.intern(spec.base_type(&field.label)),
+            size: field.size.clone(),
+            mandatory: field.mandatory,
+        })
+        .collect()
+}
+
 /// Parses wire bytes into abstract messages by interpreting a text
 /// [`MdlSpec`].
 #[derive(Debug, Clone)]
 pub struct TextParser {
     spec: Arc<MdlSpec>,
+    protocol: Label,
+    header: Vec<TextPlanField>,
+    /// Body plans, parallel to `spec.messages()`.
+    bodies: Vec<(Label, Vec<TextPlanField>)>,
+    /// Known `label: value` pair names (the type table) → base type,
+    /// pre-interned so repeated headers like `ST`/`LOCATION` never
+    /// allocate a label.
+    known_pairs: BTreeMap<Label, Label>,
+    /// Base type for pair labels absent from the type table.
+    default_base: Label,
 }
 
 impl TextParser {
-    /// Creates a parser for `spec`.
+    /// Creates a parser for `spec`, compiling its field plans.
     ///
     /// # Errors
     ///
     /// Returns [`MdlError::Spec`] when the spec is not a text MDL.
     pub fn new(spec: Arc<MdlSpec>) -> Result<Self> {
         if spec.kind() != MdlKind::Text {
-            return Err(MdlError::Spec(format!("protocol {:?} is not a text MDL", spec.protocol())));
+            return Err(MdlError::Spec(format!(
+                "protocol {:?} is not a text MDL",
+                spec.protocol()
+            )));
         }
-        Ok(TextParser { spec })
+        let mut interner = LabelInterner::default();
+        let header = compile_text_plan(&spec, spec.header(), &mut interner);
+        let bodies = spec
+            .messages()
+            .iter()
+            .map(|m| (m.name.clone(), compile_text_plan(&spec, &m.fields, &mut interner)))
+            .collect();
+        let known_pairs = spec
+            .types()
+            .iter()
+            .map(|(label, def)| (interner.intern(label), interner.intern(def.base.as_str())))
+            .collect();
+        let default_base = interner.intern("String");
+        let protocol = spec.protocol_label().clone();
+        Ok(TextParser { spec, protocol, header, bodies, known_pairs, default_base })
+    }
+
+    /// The interned label/base pair for a `label: value` header name.
+    fn pair_label(&self, name: &str) -> (Label, Label) {
+        match self.known_pairs.get_key_value(name) {
+            Some((label, base)) => (label.clone(), base.clone()),
+            None => (Label::from(name), self.default_base.clone()),
+        }
     }
 
     fn parse_field(
@@ -70,24 +180,19 @@ impl TextParser {
         bytes: &[u8],
         pos: &mut usize,
         message: &mut AbstractMessage,
-        field: &FieldSpec,
+        field: &TextPlanField,
     ) -> Result<()> {
         match &field.size {
             SizeSpec::Delimiter(delim) => {
                 let end = find(bytes, delim, *pos).ok_or_else(|| MdlError::Parse {
-                    reason: format!(
-                        "field {:?}: delimiter {delim:?} not found",
-                        field.label
-                    ),
+                    reason: format!("field {:?}: delimiter {delim:?} not found", field.label),
                     offset_bits: *pos as u64 * 8,
                 })?;
-                let raw = String::from_utf8_lossy(&bytes[*pos..end]).into_owned();
+                let value = bytes_to_value(&field.base, &bytes[*pos..end])?;
                 *pos = end + delim.len();
-                let base = self.spec.base_type(&field.label);
-                let value = text_to_value(base, &raw)?;
                 message.push_field(Field::Primitive(PrimitiveField::new(
                     field.label.clone(),
-                    base.to_owned(),
+                    field.base.clone(),
                     value,
                 )));
             }
@@ -115,11 +220,17 @@ impl TextParser {
                         ),
                         offset_bits: *pos as u64 * 8,
                     })?;
-                    let label = String::from_utf8_lossy(&raw[..split_at]).trim().to_owned();
-                    let text =
-                        String::from_utf8_lossy(&raw[split_at + split.len()..]).trim().to_owned();
-                    let base = self.spec.base_type(&label).to_owned();
-                    let value = text_to_value(&base, &text).unwrap_or(Value::Str(text));
+                    let name = String::from_utf8_lossy(&raw[..split_at]);
+                    let (label, base) = self.pair_label(name.trim());
+                    let text_bytes = &raw[split_at + split.len()..];
+                    let value = match std::str::from_utf8(text_bytes) {
+                        Ok(text) => {
+                            let text = text.trim();
+                            text_to_value(&base, text)
+                                .unwrap_or_else(|_| Value::Str(text.to_owned()))
+                        }
+                        Err(_) => Value::Str(String::from_utf8_lossy(text_bytes).trim().to_owned()),
+                    };
                     message.push_field(Field::Primitive(PrimitiveField::new(label, base, value)));
                 }
             }
@@ -138,23 +249,25 @@ impl TextParser {
                         offset_bits: *pos as u64 * 8,
                     });
                 }
-                let raw = String::from_utf8_lossy(&bytes[*pos..*pos + count]).into_owned();
+                let value = bytes_to_value(&field.base, &bytes[*pos..*pos + count])?;
                 *pos += count;
-                let base = self.spec.base_type(&field.label);
                 message.push_field(Field::Primitive(PrimitiveField::new(
                     field.label.clone(),
-                    base.to_owned(),
-                    text_to_value(base, &raw)?,
+                    field.base.clone(),
+                    value,
                 )));
             }
             SizeSpec::Remaining => {
-                let raw = String::from_utf8_lossy(&bytes[*pos..]).into_owned();
+                let raw = &bytes[*pos..];
+                let text = match std::str::from_utf8(raw) {
+                    Ok(text) => text.to_owned(),
+                    Err(_) => String::from_utf8_lossy(raw).into_owned(),
+                };
                 *pos = bytes.len();
-                let base = self.spec.base_type(&field.label);
                 message.push_field(Field::Primitive(PrimitiveField::new(
                     field.label.clone(),
-                    base.to_owned(),
-                    Value::Str(raw),
+                    field.base.clone(),
+                    Value::Str(text),
                 )));
             }
             SizeSpec::Bits(_) | SizeSpec::SelfDelimiting => {
@@ -178,16 +291,17 @@ impl TextParser {
     /// Fails on missing delimiters or when no message rule matches.
     pub fn parse_prefix(&self, bytes: &[u8]) -> Result<(AbstractMessage, usize)> {
         let mut pos = 0usize;
-        let mut message = AbstractMessage::new(self.spec.protocol().to_owned(), "");
-        for field in self.spec.header() {
+        let mut message = AbstractMessage::new(self.protocol.clone(), Label::empty());
+        for field in &self.header {
             self.parse_field(bytes, &mut pos, &mut message, field)?;
         }
-        let selected = self
-            .spec
-            .select_by_rule(&message)
-            .ok_or_else(|| MdlError::NoRuleMatched { protocol: self.spec.protocol().to_owned() })?;
-        message.set_name(selected.name.clone());
-        for field in &selected.fields {
+        let selected =
+            self.spec.messages().iter().position(|m| m.rule.matches(&message)).ok_or_else(
+                || MdlError::NoRuleMatched { protocol: self.spec.protocol().to_owned() },
+            )?;
+        let (name, body) = &self.bodies[selected];
+        message.set_name(name.clone());
+        for field in body {
             self.parse_field(bytes, &mut pos, &mut message, field)?;
         }
         Ok((message, pos))
@@ -208,20 +322,49 @@ impl TextParser {
 /// [`MdlSpec`].
 #[derive(Debug, Clone)]
 pub struct TextComposer {
-    spec: Arc<MdlSpec>,
+    /// Compiled plans, parallel to the spec's message sections.
+    messages: Vec<CompiledTextMessage>,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledTextMessage {
+    name: Label,
+    /// Header + body fields in wire order.
+    fields: Vec<TextPlanField>,
+    /// Rule bindings: label → literal fallback for absent fields.
+    bindings: Vec<(Label, String)>,
 }
 
 impl TextComposer {
-    /// Creates a composer for `spec`.
+    /// Creates a composer for `spec`, compiling its field plans.
     ///
     /// # Errors
     ///
     /// Returns [`MdlError::Spec`] when the spec is not a text MDL.
     pub fn new(spec: Arc<MdlSpec>) -> Result<Self> {
         if spec.kind() != MdlKind::Text {
-            return Err(MdlError::Spec(format!("protocol {:?} is not a text MDL", spec.protocol())));
+            return Err(MdlError::Spec(format!(
+                "protocol {:?} is not a text MDL",
+                spec.protocol()
+            )));
         }
-        Ok(TextComposer { spec })
+        let mut interner = LabelInterner::default();
+        let messages = spec
+            .messages()
+            .iter()
+            .map(|message| {
+                let mut fields = compile_text_plan(&spec, spec.header(), &mut interner);
+                fields.extend(compile_text_plan(&spec, &message.fields, &mut interner));
+                let bindings = message
+                    .rule
+                    .bindings()
+                    .into_iter()
+                    .map(|(label, literal)| (Label::from(label), literal.to_owned()))
+                    .collect();
+                CompiledTextMessage { name: message.name.clone(), fields, bindings }
+            })
+            .collect();
+        Ok(TextComposer { messages })
     }
 
     /// Composes `message` to its wire image.
@@ -236,43 +379,55 @@ impl TextComposer {
     /// Fails when the message type is unknown, a declared field is
     /// missing, or a structured field is present (text messages are flat).
     pub fn compose(&self, message: &AbstractMessage) -> Result<Vec<u8>> {
-        let selected = self
-            .spec
-            .message_spec(message.name())
-            .ok_or_else(|| MdlError::UnknownMessage(message.name().to_owned()))?;
-        let declared: Vec<&FieldSpec> =
-            self.spec.header().iter().chain(selected.fields.iter()).collect();
-        let declared_labels: Vec<&str> = declared.iter().map(|f| f.label.as_str()).collect();
-        let bindings = selected.rule.bindings();
+        let mut out = Vec::new();
+        self.compose_into(message, &mut out)?;
+        Ok(out)
+    }
 
-        let field_text = |label: &str| -> Result<Option<String>> {
+    /// Composes `message` into a caller-provided buffer (cleared first),
+    /// amortising the output allocation across messages.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`TextComposer::compose`].
+    pub fn compose_into(&self, message: &AbstractMessage, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
+        let compiled = self
+            .messages
+            .iter()
+            .find(|m| m.name == message.name())
+            .ok_or_else(|| MdlError::UnknownMessage(message.name().to_owned()))?;
+
+        // Writes the field's value, or the rule-binding literal for absent
+        // fields; reports whether anything was written.
+        let write_field_text = |label: &Label, out: &mut Vec<u8>| -> Result<bool> {
             if let Some(field) = message.field(label) {
-                return Ok(Some(field.value()?.to_text()));
+                extend_value_text(out, field.value()?);
+                return Ok(true);
             }
-            if let Some((_, literal)) = bindings.iter().find(|(f, _)| *f == label) {
-                return Ok(Some((*literal).to_owned()));
+            if let Some((_, literal)) = compiled.bindings.iter().find(|(bound, _)| bound == label) {
+                out.extend_from_slice(literal.as_bytes());
+                return Ok(true);
             }
-            Ok(None)
+            Ok(false)
         };
 
-        let mut out: Vec<u8> = Vec::new();
-        for field in &declared {
+        for field in &compiled.fields {
             match &field.size {
                 SizeSpec::Delimiter(delim) => {
-                    let text = field_text(&field.label)?.ok_or_else(|| {
-                        MdlError::Compose(format!(
+                    if !write_field_text(&field.label, out)? {
+                        return Err(MdlError::Compose(format!(
                             "message {:?} is missing field {:?}",
                             message.name(),
                             field.label
-                        ))
-                    })?;
-                    out.extend_from_slice(text.as_bytes());
+                        )));
+                    }
                     out.extend_from_slice(delim);
                 }
                 SizeSpec::DelimitedPairs { line, split } => {
                     for pair in message.fields() {
                         let label = pair.label();
-                        if declared_labels.contains(&label) {
+                        if compiled.fields.iter().any(|f| f.label == label) {
                             continue;
                         }
                         let value = pair.value().map_err(|_| {
@@ -283,16 +438,14 @@ impl TextComposer {
                         out.extend_from_slice(label.as_bytes());
                         out.extend_from_slice(split);
                         out.push(b' ');
-                        out.extend_from_slice(value.to_text().as_bytes());
+                        extend_value_text(out, value);
                         out.extend_from_slice(line);
                     }
                     // Empty line terminates the pair section.
                     out.extend_from_slice(line);
                 }
                 SizeSpec::FieldRef(_) | SizeSpec::Remaining => {
-                    if let Some(text) = field_text(&field.label)? {
-                        out.extend_from_slice(text.as_bytes());
-                    }
+                    write_field_text(&field.label, out)?;
                 }
                 SizeSpec::Bits(_) | SizeSpec::SelfDelimiting => {
                     return Err(MdlError::Spec(format!(
@@ -302,7 +455,7 @@ impl TextComposer {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -376,6 +529,21 @@ mod tests {
         let wire = composer.compose(&original).unwrap();
         let reparsed = parser.parse(&wire).unwrap();
         assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn compose_into_reuses_the_buffer() {
+        let spec = ssdp_spec();
+        let parser = TextParser::new(spec.clone()).unwrap();
+        let composer = TextComposer::new(spec).unwrap();
+        let msg = parser.parse(M_SEARCH).unwrap();
+        let mut scratch = Vec::new();
+        composer.compose_into(&msg, &mut scratch).unwrap();
+        let first = scratch.clone();
+        let capacity = scratch.capacity();
+        composer.compose_into(&msg, &mut scratch).unwrap();
+        assert_eq!(scratch, first);
+        assert_eq!(scratch.capacity(), capacity, "no regrowth on reuse");
     }
 
     #[test]
@@ -453,6 +621,17 @@ mod tests {
         let spec = Arc::new(MdlSpec::new("B", MdlKind::Binary));
         assert!(TextParser::new(spec.clone()).is_err());
         assert!(TextComposer::new(spec).is_err());
+    }
+
+    #[test]
+    fn non_utf8_field_text_falls_back_lossily() {
+        let parser = TextParser::new(ssdp_spec()).unwrap();
+        let mut wire = b"M-SEARCH * HTTP/1.1\r\nST: ".to_vec();
+        wire.extend_from_slice(&[0xFF, 0xFE]);
+        wire.extend_from_slice(b"\r\n\r\n");
+        let msg = parser.parse(&wire).unwrap();
+        let text = msg.get(&"ST".into()).unwrap().as_str().unwrap().to_owned();
+        assert_eq!(text, "\u{FFFD}\u{FFFD}");
     }
 
     #[test]

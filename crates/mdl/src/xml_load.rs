@@ -126,7 +126,7 @@ pub fn mdl_to_element(spec: &MdlSpec) -> Element {
         let mut header = Element::new("Header");
         header.set_attr("type", spec.protocol());
         for field in spec.header() {
-            let mut el = Element::new(&field.label);
+            let mut el = Element::new(field.label.as_str());
             el.push_text(field.size.to_text());
             if field.mandatory {
                 el.set_attr("mandatory", "true");
@@ -138,13 +138,13 @@ pub fn mdl_to_element(spec: &MdlSpec) -> Element {
 
     for message in spec.messages() {
         let mut el = Element::new("Message");
-        el.set_attr("type", &message.name);
+        el.set_attr("type", message.name.as_str());
         let rule_text = message.rule.to_text();
         if !rule_text.is_empty() {
             el.push_child_with_text("Rule", rule_text);
         }
         for field in &message.fields {
-            let mut field_el = Element::new(&field.label);
+            let mut field_el = Element::new(field.label.as_str());
             field_el.push_text(field.size.to_text());
             if field.mandatory {
                 field_el.set_attr("mandatory", "true");

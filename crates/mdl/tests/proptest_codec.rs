@@ -2,9 +2,7 @@
 //! compose→parse round-trips through a representative binary spec.
 
 use proptest::prelude::*;
-use starlink_mdl::{
-    load_mdl, BitReader, BitWriter, MdlCodec, ResolvedSize,
-};
+use starlink_mdl::{load_mdl, BitReader, BitWriter, MdlCodec, ResolvedSize};
 use starlink_message::Value;
 
 proptest! {
@@ -50,6 +48,131 @@ proptest! {
             .wire_bits(&Value::Str(labels.join(".")), ResolvedSize::SelfDelimiting)
             .unwrap();
         prop_assert_eq!(declared, bytes.len() as u64 * 8);
+    }
+}
+
+/// Reference bit-by-bit writer: the original `BitWriter` algorithm the
+/// chunked fast paths must match exactly.
+fn reference_write(fields: &[(u64, u32)], byte_runs: &[(usize, Vec<u8>)]) -> Vec<u8> {
+    let mut bytes: Vec<u8> = Vec::new();
+    let mut bits: u64 = 0;
+    let push_bit = |bytes: &mut Vec<u8>, bits: &mut u64, bit: u8| {
+        let offset = (*bits % 8) as u8;
+        if offset == 0 {
+            bytes.push(0);
+        }
+        let last = bytes.len() - 1;
+        bytes[last] |= bit << (7 - offset);
+        *bits += 1;
+    };
+    for (run, (value, width)) in fields.iter().enumerate() {
+        for i in (0..*width).rev() {
+            push_bit(&mut bytes, &mut bits, ((value >> i) & 1) as u8);
+        }
+        for (at, data) in byte_runs {
+            if *at == run {
+                for byte in data {
+                    for i in (0..8).rev() {
+                        push_bit(&mut bytes, &mut bits, (byte >> i) & 1);
+                    }
+                }
+            }
+        }
+    }
+    bytes
+}
+
+/// Reference bit-by-bit reader.
+fn reference_read_bits(data: &[u8], pos: &mut u64, n: u32) -> u64 {
+    let mut out = 0u64;
+    for _ in 0..n {
+        let byte = data[(*pos / 8) as usize];
+        let bit = (byte >> (7 - (*pos % 8))) & 1;
+        out = (out << 1) | u64::from(bit);
+        *pos += 1;
+    }
+    out
+}
+
+proptest! {
+    /// The chunked `write_bits`/`write_bytes` fast paths produce byte
+    /// streams identical to the bit-by-bit reference, for aligned and
+    /// unaligned cursors alike.
+    #[test]
+    fn bitio_fast_paths_match_bit_by_bit_writer(
+        fields in prop::collection::vec((any::<u64>(), 0u32..=64), 1..8),
+        byte_runs in prop::collection::vec((0usize..8, prop::collection::vec(any::<u8>(), 0..9)), 0..4),
+    ) {
+        let masked: Vec<(u64, u32)> = fields
+            .iter()
+            .map(|(v, w)| (if *w == 64 { *v } else { v & ((1u64 << w) - 1) }, *w))
+            .collect();
+        let mut writer = BitWriter::new();
+        for (run, (value, width)) in masked.iter().enumerate() {
+            writer.write_bits(*value, *width).unwrap();
+            for (at, data) in &byte_runs {
+                if *at == run {
+                    writer.write_bytes(data);
+                }
+            }
+        }
+        prop_assert_eq!(writer.into_bytes(), reference_write(&masked, &byte_runs));
+    }
+
+    /// `read_bytes` at aligned and unaligned positions returns exactly
+    /// the bytes a bit-by-bit reader yields from the same cursor.
+    #[test]
+    fn bitio_read_bytes_matches_bit_by_bit_reader(
+        data in prop::collection::vec(any::<u8>(), 1..32),
+        prefix in 0u32..16,
+        take in 0usize..16,
+    ) {
+        let total_bits = data.len() as u64 * 8;
+        prop_assume!(u64::from(prefix) + take as u64 * 8 <= total_bits);
+        let mut reader = BitReader::new(&data);
+        reader.read_bits(prefix).unwrap();
+        let fast = reader.read_bytes(take).unwrap();
+        let mut pos = u64::from(prefix);
+        let reference: Vec<u8> = (0..take)
+            .map(|_| reference_read_bits(&data, &mut pos, 8) as u8)
+            .collect();
+        prop_assert_eq!(fast, reference);
+        prop_assert_eq!(reader.position_bits(), pos);
+    }
+
+    /// Chunked `read_bits` agrees with the bit-by-bit reference across
+    /// arbitrary split points.
+    #[test]
+    fn bitio_read_bits_matches_bit_by_bit_reader(
+        data in prop::collection::vec(any::<u8>(), 1..16),
+        widths in prop::collection::vec(0u32..=64, 1..6),
+    ) {
+        let total: u64 = widths.iter().map(|w| u64::from(*w)).sum();
+        prop_assume!(total <= data.len() as u64 * 8);
+        let mut reader = BitReader::new(&data);
+        let mut pos = 0u64;
+        for width in &widths {
+            let fast = reader.read_bits(*width).unwrap();
+            let reference = reference_read_bits(&data, &mut pos, *width);
+            prop_assert_eq!(fast, reference, "width {}", width);
+        }
+    }
+
+    /// Scratch-buffer composition (`BitWriter::with_buffer`) is
+    /// indistinguishable from a fresh writer.
+    #[test]
+    fn bitio_with_buffer_matches_fresh_writer(
+        fields in prop::collection::vec((any::<u64>(), 1u32..=64), 1..8),
+        junk in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut fresh = BitWriter::new();
+        let mut reused = BitWriter::with_buffer(junk);
+        for (value, width) in &fields {
+            let masked = if *width == 64 { *value } else { value & ((1u64 << width) - 1) };
+            fresh.write_bits(masked, *width).unwrap();
+            reused.write_bits(masked, *width).unwrap();
+        }
+        prop_assert_eq!(fresh.into_bytes(), reused.into_bytes());
     }
 }
 

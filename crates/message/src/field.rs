@@ -1,23 +1,23 @@
 //! Primitive and structured fields (§III-A).
 
 use crate::error::{MessageError, Result};
+use crate::label::Label;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// A primitive field: "a label naming the field, a type describing the type
 /// of the data content, a length defining the length in bits of the field,
 /// and the value" (§III-A).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrimitiveField {
-    label: String,
-    type_name: String,
+    label: Label,
+    type_name: Label,
     length_bits: Option<u32>,
     value: Value,
 }
 
 impl PrimitiveField {
     /// Creates a primitive field with no declared bit length.
-    pub fn new(label: impl Into<String>, type_name: impl Into<String>, value: Value) -> Self {
+    pub fn new(label: impl Into<Label>, type_name: impl Into<Label>, value: Value) -> Self {
         PrimitiveField {
             label: label.into(),
             type_name: type_name.into(),
@@ -28,8 +28,8 @@ impl PrimitiveField {
 
     /// Creates a primitive field with a declared bit length.
     pub fn with_length(
-        label: impl Into<String>,
-        type_name: impl Into<String>,
+        label: impl Into<Label>,
+        type_name: impl Into<Label>,
         length_bits: u32,
         value: Value,
     ) -> Self {
@@ -75,20 +75,20 @@ impl PrimitiveField {
 /// A structured field "composed of multiple primitive fields" (§III-A) —
 /// in practice of arbitrary sub-fields, e.g. a URL of protocol/address/
 /// port/resource.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StructuredField {
-    label: String,
+    label: Label,
     fields: Vec<Field>,
 }
 
 impl StructuredField {
     /// Creates an empty structured field.
-    pub fn new(label: impl Into<String>) -> Self {
+    pub fn new(label: impl Into<Label>) -> Self {
         StructuredField { label: label.into(), fields: Vec::new() }
     }
 
     /// Creates a structured field from parts.
-    pub fn with_fields(label: impl Into<String>, fields: Vec<Field>) -> Self {
+    pub fn with_fields(label: impl Into<Label>, fields: Vec<Field>) -> Self {
         StructuredField { label: label.into(), fields }
     }
 
@@ -125,7 +125,7 @@ impl StructuredField {
 }
 
 /// Either a [`PrimitiveField`] or a [`StructuredField`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Field {
     /// A leaf field carrying a [`Value`].
     Primitive(PrimitiveField),
@@ -138,7 +138,7 @@ impl Field {
     ///
     /// The type name is derived from the value variant; use
     /// [`PrimitiveField::new`] to control it explicitly.
-    pub fn primitive(label: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn primitive(label: impl Into<Label>, value: impl Into<Value>) -> Self {
         let value = value.into();
         let type_name = match &value {
             Value::Unsigned(_) | Value::Signed(_) => "Integer",
@@ -151,7 +151,7 @@ impl Field {
     }
 
     /// Shorthand for a structured field.
-    pub fn structured(label: impl Into<String>, fields: Vec<Field>) -> Self {
+    pub fn structured(label: impl Into<Label>, fields: Vec<Field>) -> Self {
         Field::Structured(StructuredField::with_fields(label, fields))
     }
 

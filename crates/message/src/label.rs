@@ -1,0 +1,190 @@
+//! Cheap shared field labels.
+//!
+//! Field labels (and the label-like strings around them: type names,
+//! protocol and message names) are written once when a model is loaded
+//! and then copied into every parsed message, every schema instantiation
+//! and every translation step. Backing them with an `Arc<str>` makes
+//! each of those copies a reference-count bump instead of a heap
+//! allocation — the core of the zero-allocation codec hot path.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable string used for field labels, type
+/// names and message names.
+///
+/// ```
+/// use starlink_message::Label;
+///
+/// let label: Label = "SRVType".into();
+/// let copy = label.clone(); // reference-count bump, no allocation
+/// assert_eq!(copy, "SRVType");
+/// assert_eq!(label.as_str().len(), 7);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(Arc<str>);
+
+impl Label {
+    /// Creates a label from anything string-like.
+    pub fn new(text: impl Into<Label>) -> Self {
+        text.into()
+    }
+
+    /// The empty label (one process-wide allocation, shared by every
+    /// caller — cloning and constructing are both allocation-free).
+    pub fn empty() -> Self {
+        static EMPTY: std::sync::OnceLock<Label> = std::sync::OnceLock::new();
+        EMPTY.get_or_init(|| Label(Arc::from(""))).clone()
+    }
+
+    /// Borrows the text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for Label {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Label {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for Label {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Default for Label {
+    fn default() -> Self {
+        Label::empty()
+    }
+}
+
+impl From<&str> for Label {
+    fn from(text: &str) -> Self {
+        Label(Arc::from(text))
+    }
+}
+
+impl From<String> for Label {
+    fn from(text: String) -> Self {
+        Label(Arc::from(text))
+    }
+}
+
+impl From<&String> for Label {
+    fn from(text: &String) -> Self {
+        Label(Arc::from(text.as_str()))
+    }
+}
+
+impl From<&Label> for Label {
+    fn from(label: &Label) -> Self {
+        label.clone()
+    }
+}
+
+impl From<Label> for String {
+    fn from(label: Label) -> Self {
+        label.0.as_ref().to_owned()
+    }
+}
+
+impl PartialEq<str> for Label {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Label {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Label {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Label> for str {
+    fn eq(&self, other: &Label) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Label> for &str {
+    fn eq(&self, other: &Label) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Label> for String {
+    fn eq(&self, other: &Label) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a: Label = "ServiceType".into();
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn compares_against_string_types() {
+        let label = Label::from("XID");
+        assert_eq!(label, "XID");
+        assert_eq!("XID", label);
+        assert_eq!(label, String::from("XID"));
+        assert_ne!(label, "xid");
+    }
+
+    #[test]
+    fn orders_and_hashes_like_str() {
+        use std::collections::BTreeSet;
+        let mut set: BTreeSet<Label> = BTreeSet::new();
+        set.insert("b".into());
+        set.insert("a".into());
+        // Borrow<str> lets str keys query Label sets.
+        assert!(set.contains("a"));
+        let ordered: Vec<&str> = set.iter().map(Label::as_str).collect();
+        assert_eq!(ordered, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn displays_bare_and_debugs_quoted() {
+        let label = Label::from("URL");
+        assert_eq!(label.to_string(), "URL");
+        assert_eq!(format!("{label:?}"), "\"URL\"");
+    }
+}

@@ -43,6 +43,7 @@
 
 mod error;
 mod field;
+mod label;
 mod message;
 mod path;
 mod schema;
@@ -51,6 +52,7 @@ pub mod xml;
 
 pub use error::{MessageError, Result};
 pub use field::{Field, PrimitiveField, StructuredField};
+pub use label::Label;
 pub use message::AbstractMessage;
 pub use path::{FieldPath, PathSegment, SegmentKind};
 pub use schema::{FieldSchema, MessageSchema};

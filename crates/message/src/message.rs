@@ -3,9 +3,9 @@
 
 use crate::error::{MessageError, Result};
 use crate::field::{Field, PrimitiveField, StructuredField};
+use crate::label::Label;
 use crate::path::{FieldPath, SegmentKind};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -22,17 +22,17 @@ use std::fmt;
 /// assert_eq!(msg.get(&"SRVType".into())?, &Value::Str("service:printer".into()));
 /// # Ok::<(), starlink_message::MessageError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AbstractMessage {
-    protocol: String,
-    name: String,
+    protocol: Label,
+    name: Label,
     fields: Vec<Field>,
-    mandatory: BTreeSet<String>,
+    mandatory: BTreeSet<Label>,
 }
 
 impl AbstractMessage {
     /// Creates an empty message of the given protocol and message type.
-    pub fn new(protocol: impl Into<String>, name: impl Into<String>) -> Self {
+    pub fn new(protocol: impl Into<Label>, name: impl Into<Label>) -> Self {
         AbstractMessage {
             protocol: protocol.into(),
             name: name.into(),
@@ -54,7 +54,7 @@ impl AbstractMessage {
 
     /// Renames the message (used when a parser refines a generic header
     /// match into a concrete message type via its `<Rule>`).
-    pub fn set_name(&mut self, name: impl Into<String>) {
+    pub fn set_name(&mut self, name: impl Into<Label>) {
         self.name = name.into();
     }
 
@@ -70,11 +70,11 @@ impl AbstractMessage {
 
     /// Labels of fields that are mandatory for this message type.
     pub fn mandatory_labels(&self) -> impl Iterator<Item = &str> {
-        self.mandatory.iter().map(String::as_str)
+        self.mandatory.iter().map(Label::as_str)
     }
 
     /// Marks a field label as mandatory.
-    pub fn mark_mandatory(&mut self, label: impl Into<String>) -> &mut Self {
+    pub fn mark_mandatory(&mut self, label: impl Into<Label>) -> &mut Self {
         self.mandatory.insert(label.into());
         self
     }
@@ -106,7 +106,10 @@ impl AbstractMessage {
     }
 
     fn not_found(&self, path: &FieldPath) -> MessageError {
-        MessageError::FieldNotFound { path: path.to_string(), message: self.name.clone() }
+        MessageError::FieldNotFound {
+            path: path.to_string(),
+            message: self.name.as_str().to_owned(),
+        }
     }
 
     /// Resolves `path` to a field reference.
@@ -125,10 +128,10 @@ impl AbstractMessage {
                 .ok_or_else(|| self.not_found(path))?;
             match segment.kind {
                 SegmentKind::Primitive if !field.is_primitive() => {
-                    return Err(MessageError::NotPrimitive(segment.label.clone()));
+                    return Err(MessageError::NotPrimitive(segment.label.as_str().to_owned()));
                 }
                 SegmentKind::Structured if field.is_primitive() => {
-                    return Err(MessageError::NotStructured(segment.label.clone()));
+                    return Err(MessageError::NotStructured(segment.label.as_str().to_owned()));
                 }
                 _ => {}
             }
@@ -158,10 +161,10 @@ impl AbstractMessage {
             let field = &mut fields[index];
             match segment.kind {
                 SegmentKind::Primitive if !field.is_primitive() => {
-                    return Err(MessageError::NotPrimitive(segment.label.clone()));
+                    return Err(MessageError::NotPrimitive(segment.label.as_str().to_owned()));
                 }
                 SegmentKind::Structured if field.is_primitive() => {
-                    return Err(MessageError::NotStructured(segment.label.clone()));
+                    return Err(MessageError::NotStructured(segment.label.as_str().to_owned()));
                 }
                 _ => {}
             }
@@ -170,7 +173,9 @@ impl AbstractMessage {
             }
             fields = match &mut fields[index] {
                 Field::Structured(s) => s.fields_mut(),
-                Field::Primitive(_) => return Err(MessageError::NotStructured(segment.label.clone())),
+                Field::Primitive(_) => {
+                    return Err(MessageError::NotStructured(segment.label.as_str().to_owned()))
+                }
             };
         }
         Err(not_found)
@@ -227,7 +232,7 @@ impl AbstractMessage {
             fields = match &mut fields[index] {
                 Field::Structured(s) => s.fields_mut(),
                 Field::Primitive(_) => {
-                    return Err(MessageError::NotStructured(segment.label.clone()))
+                    return Err(MessageError::NotStructured(segment.label.as_str().to_owned()))
                 }
             };
         }
@@ -272,7 +277,7 @@ impl AbstractMessage {
                     None => true,
                 }
             })
-            .map(String::as_str)
+            .map(Label::as_str)
             .collect()
     }
 }
@@ -280,11 +285,7 @@ impl AbstractMessage {
 impl fmt::Display for AbstractMessage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}::{}", self.protocol, self.name)?;
-        fn write_fields(
-            f: &mut fmt::Formatter<'_>,
-            fields: &[Field],
-            depth: usize,
-        ) -> fmt::Result {
+        fn write_fields(f: &mut fmt::Formatter<'_>, fields: &[Field], depth: usize) -> fmt::Result {
             for field in fields {
                 for _ in 0..depth {
                     write!(f, "  ")?;
@@ -379,8 +380,7 @@ mod tests {
     #[test]
     fn primitive_fields_walks_depth_first() {
         let msg = sample();
-        let flat: Vec<String> =
-            msg.primitive_fields().iter().map(|(p, _)| p.to_string()).collect();
+        let flat: Vec<String> = msg.primitive_fields().iter().map(|(p, _)| p.to_string()).collect();
         assert_eq!(flat, vec!["XID", "SRVType", "URL.address", "URL.port"]);
     }
 

@@ -9,12 +9,12 @@
 //!   of an abstract message.
 
 use crate::error::{MessageError, Result};
-use serde::{Deserialize, Serialize};
+use crate::label::Label;
 use std::fmt;
 use std::str::FromStr;
 
 /// What kind of field a path segment expects to traverse.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SegmentKind {
     /// No constraint (dotted syntax).
     Any,
@@ -25,17 +25,17 @@ pub enum SegmentKind {
 }
 
 /// One step of a [`FieldPath`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PathSegment {
     /// Label of the field to select.
-    pub label: String,
+    pub label: Label,
     /// Shape constraint for the selected field.
     pub kind: SegmentKind,
 }
 
 impl PathSegment {
     /// Creates an unconstrained segment.
-    pub fn any(label: impl Into<String>) -> Self {
+    pub fn any(label: impl Into<Label>) -> Self {
         PathSegment { label: label.into(), kind: SegmentKind::Any }
     }
 }
@@ -55,7 +55,7 @@ impl PathSegment {
 /// assert_eq!(dotted.to_string(), xpath.to_string());
 /// # Ok::<(), starlink_message::MessageError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FieldPath {
     segments: Vec<PathSegment>,
 }
@@ -74,7 +74,7 @@ impl FieldPath {
     }
 
     /// Builds a single-segment path addressing a top-level field.
-    pub fn field(label: impl Into<String>) -> Self {
+    pub fn field(label: impl Into<Label>) -> Self {
         FieldPath { segments: vec![PathSegment::any(label)] }
     }
 
@@ -140,7 +140,8 @@ impl FieldPath {
             } else {
                 return Err(syntax());
             };
-            let predicate = rest.strip_prefix('[').and_then(|r| r.strip_suffix(']')).ok_or_else(syntax)?;
+            let predicate =
+                rest.strip_prefix('[').and_then(|r| r.strip_suffix(']')).ok_or_else(syntax)?;
             let label_expr = predicate.strip_prefix("label=").ok_or_else(syntax)?;
             let label = label_expr
                 .strip_prefix('\'')
@@ -150,7 +151,7 @@ impl FieldPath {
             if label.is_empty() {
                 return Err(syntax());
             }
-            segments.push(PathSegment { label: label.to_owned(), kind });
+            segments.push(PathSegment { label: label.into(), kind });
         }
         FieldPath::new(segments)
     }
@@ -185,7 +186,7 @@ impl FieldPath {
     }
 
     /// Extends the path by one unconstrained segment, returning a new path.
-    pub fn join(&self, label: impl Into<String>) -> Self {
+    pub fn join(&self, label: impl Into<Label>) -> Self {
         let mut segments = self.segments.clone();
         segments.push(PathSegment::any(label));
         FieldPath { segments }

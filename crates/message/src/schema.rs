@@ -3,17 +3,17 @@
 
 use crate::error::{MessageError, Result};
 use crate::field::{Field, PrimitiveField, StructuredField};
+use crate::label::Label;
 use crate::message::AbstractMessage;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// Schema of one field.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FieldSchema {
     /// Field label.
-    pub label: String,
+    pub label: Label,
     /// MDL type name (`Integer`, `String`, ...). Empty for structured.
-    pub type_name: String,
+    pub type_name: Label,
     /// Fixed bit length, when declared.
     pub length_bits: Option<u32>,
     /// Whether the ⊨ operator requires this field to be filled.
@@ -26,7 +26,7 @@ pub struct FieldSchema {
 
 impl FieldSchema {
     /// Creates a primitive field schema.
-    pub fn primitive(label: impl Into<String>, type_name: impl Into<String>) -> Self {
+    pub fn primitive(label: impl Into<Label>, type_name: impl Into<Label>) -> Self {
         FieldSchema {
             label: label.into(),
             type_name: type_name.into(),
@@ -38,10 +38,10 @@ impl FieldSchema {
     }
 
     /// Creates a structured field schema.
-    pub fn structured(label: impl Into<String>, children: Vec<FieldSchema>) -> Self {
+    pub fn structured(label: impl Into<Label>, children: Vec<FieldSchema>) -> Self {
         FieldSchema {
             label: label.into(),
-            type_name: String::new(),
+            type_name: Label::empty(),
             length_bits: None,
             mandatory: false,
             default: None,
@@ -94,8 +94,11 @@ impl FieldSchema {
                 self.children.iter().map(FieldSchema::instantiate).collect(),
             ))
         } else {
-            let mut prim =
-                PrimitiveField::new(self.label.clone(), self.type_name.clone(), self.default_value());
+            let mut prim = PrimitiveField::new(
+                self.label.clone(),
+                self.type_name.clone(),
+                self.default_value(),
+            );
             if let Some(bits) = self.length_bits {
                 prim = PrimitiveField::with_length(
                     self.label.clone(),
@@ -121,16 +124,16 @@ impl FieldSchema {
 /// assert_eq!(blank.name(), "SLPSrvReply");
 /// assert_eq!(blank.unfilled_mandatory(), vec!["URL"]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MessageSchema {
-    protocol: String,
-    name: String,
+    protocol: Label,
+    name: Label,
     fields: Vec<FieldSchema>,
 }
 
 impl MessageSchema {
     /// Creates an empty schema.
-    pub fn new(protocol: impl Into<String>, name: impl Into<String>) -> Self {
+    pub fn new(protocol: impl Into<Label>, name: impl Into<Label>) -> Self {
         MessageSchema { protocol: protocol.into(), name: name.into(), fields: Vec::new() }
     }
 

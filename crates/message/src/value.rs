@@ -1,7 +1,6 @@
 //! Typed values carried by primitive fields.
 
 use crate::error::{MessageError, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The content of a primitive field (§III-A: "the value i.e. the content of
@@ -11,7 +10,7 @@ use std::fmt;
 /// wire type onto one of these, which is what lets the translation logic
 /// move content between arbitrary protocols without knowing either wire
 /// format.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// An unsigned integer (covers every binary integer field up to 64 bits).
     Unsigned(u64),
@@ -50,9 +49,7 @@ impl Value {
         match self {
             Value::Unsigned(v) => Ok(*v),
             Value::Signed(v) if *v >= 0 => Ok(*v as u64),
-            Value::Str(s) => {
-                s.trim().parse::<u64>().map_err(|_| self.mismatch("unsigned"))
-            }
+            Value::Str(s) => s.trim().parse::<u64>().map_err(|_| self.mismatch("unsigned")),
             Value::Bool(b) => Ok(u64::from(*b)),
             _ => Err(self.mismatch("unsigned")),
         }
@@ -67,9 +64,7 @@ impl Value {
     pub fn as_i64(&self) -> Result<i64> {
         match self {
             Value::Signed(v) => Ok(*v),
-            Value::Unsigned(v) => {
-                i64::try_from(*v).map_err(|_| self.mismatch("signed"))
-            }
+            Value::Unsigned(v) => i64::try_from(*v).map_err(|_| self.mismatch("signed")),
             Value::Str(s) => s.trim().parse::<i64>().map_err(|_| self.mismatch("signed")),
             Value::Bool(b) => Ok(i64::from(*b)),
             _ => Err(self.mismatch("signed")),
@@ -141,9 +136,7 @@ impl Value {
             Value::Str(s) => s.clone(),
             Value::Bytes(b) => String::from_utf8_lossy(b).into_owned(),
             Value::Bool(b) => b.to_string(),
-            Value::List(items) => {
-                items.iter().map(Value::to_text).collect::<Vec<_>>().join(",")
-            }
+            Value::List(items) => items.iter().map(Value::to_text).collect::<Vec<_>>().join(","),
         }
     }
 
@@ -296,10 +289,7 @@ mod tests {
     fn to_text_is_lossy_but_total() {
         assert_eq!(Value::Unsigned(80).to_text(), "80");
         assert_eq!(Value::Bytes(b"hi".to_vec()).to_text(), "hi");
-        assert_eq!(
-            Value::List(vec![Value::Unsigned(1), Value::Str("a".into())]).to_text(),
-            "1,a"
-        );
+        assert_eq!(Value::List(vec![Value::Unsigned(1), Value::Str("a".into())]).to_text(), "1,a");
     }
 
     #[test]

@@ -86,10 +86,7 @@ fn hex_decode(text: &str) -> Option<Vec<u8>> {
     if !text.len().is_multiple_of(2) {
         return None;
     }
-    (0..text.len())
-        .step_by(2)
-        .map(|i| u8::from_str_radix(&text[i..i + 2], 16).ok())
-        .collect()
+    (0..text.len()).step_by(2).map(|i| u8::from_str_radix(&text[i..i + 2], 16).ok()).collect()
 }
 
 fn field_to_element(field: &Field) -> Element {
@@ -227,10 +224,7 @@ mod tests {
         msg.push_field(Field::primitive("SRVType", "service:printer"));
         msg.push_field(Field::structured(
             "URL",
-            vec![
-                Field::primitive("address", "10.0.0.1"),
-                Field::primitive("port", 427u16),
-            ],
+            vec![Field::primitive("address", "10.0.0.1"), Field::primitive("port", 427u16)],
         ));
         msg.push_field(Field::primitive("Opaque", vec![1u8, 2, 0xff]));
         msg.push_field(Field::primitive(

@@ -4,19 +4,24 @@
 
 use crate::error::{NetError, Result};
 use std::fmt;
+use std::sync::Arc;
 
 /// A host + port endpoint in the simulated network.
+///
+/// The host is a shared string: cloning an address — which the simulator
+/// does for every scheduled delivery — bumps a reference count instead of
+/// copying the text.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SimAddr {
     /// Host address string (e.g. `"10.0.0.1"` or `"239.255.255.253"`).
-    pub host: String,
+    pub host: Arc<str>,
     /// Port number.
     pub port: u16,
 }
 
 impl SimAddr {
     /// Creates an endpoint.
-    pub fn new(host: impl Into<String>, port: u16) -> Self {
+    pub fn new(host: impl Into<Arc<str>>, port: u16) -> Self {
         SimAddr { host: host.into(), port }
     }
 
@@ -27,11 +32,9 @@ impl SimAddr {
     /// Returns [`NetError::InvalidAddress`] when the port is missing or
     /// non-numeric.
     pub fn parse(text: &str) -> Result<Self> {
-        let (host, port) = text
-            .rsplit_once(':')
-            .ok_or_else(|| NetError::InvalidAddress(text.to_owned()))?;
-        let port =
-            port.parse::<u16>().map_err(|_| NetError::InvalidAddress(text.to_owned()))?;
+        let (host, port) =
+            text.rsplit_once(':').ok_or_else(|| NetError::InvalidAddress(text.to_owned()))?;
+        let port = port.parse::<u16>().map_err(|_| NetError::InvalidAddress(text.to_owned()))?;
         if host.is_empty() {
             return Err(NetError::InvalidAddress(text.to_owned()));
         }
@@ -63,7 +66,7 @@ mod tests {
     #[test]
     fn parse_roundtrip() {
         let addr = SimAddr::parse("239.255.255.253:427").unwrap();
-        assert_eq!(addr.host, "239.255.255.253");
+        assert_eq!(addr.host.as_ref(), "239.255.255.253");
         assert_eq!(addr.port, 427);
         assert_eq!(addr.to_string(), "239.255.255.253:427");
     }

@@ -81,10 +81,8 @@ mod tests {
     #[test]
     fn same_seed_same_samples() {
         let model = LatencyModel::local_machine();
-        let a: Vec<_> =
-            (0..20).map(|_| model.sample(&mut StdRng::seed_from_u64(3))).collect();
-        let b: Vec<_> =
-            (0..20).map(|_| model.sample(&mut StdRng::seed_from_u64(3))).collect();
+        let a: Vec<_> = (0..20).map(|_| model.sample(&mut StdRng::seed_from_u64(3))).collect();
+        let b: Vec<_> = (0..20).map(|_| model.sample(&mut StdRng::seed_from_u64(3))).collect();
         assert_eq!(a, b);
     }
 }

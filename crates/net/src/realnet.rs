@@ -25,8 +25,7 @@ impl LoopbackUdp {
     /// Returns [`NetError::Io`] when binding fails (e.g. no network
     /// namespace available).
     pub fn bind() -> Result<Self> {
-        let socket =
-            UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| NetError::Io(e.to_string()))?;
+        let socket = UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| NetError::Io(e.to_string()))?;
         socket
             .set_read_timeout(Some(Duration::from_secs(5)))
             .map_err(|e| NetError::Io(e.to_string()))?;
@@ -39,11 +38,7 @@ impl LoopbackUdp {
     ///
     /// Returns [`NetError::Io`] when the local address cannot be read.
     pub fn port(&self) -> Result<u16> {
-        Ok(self
-            .socket
-            .local_addr()
-            .map_err(|e| NetError::Io(e.to_string()))?
-            .port())
+        Ok(self.socket.local_addr().map_err(|e| NetError::Io(e.to_string()))?.port())
     }
 
     /// Sends a datagram to another loopback port.
@@ -78,9 +73,7 @@ impl LoopbackUdp {
     ///
     /// Returns [`NetError::Io`] when the option cannot be set.
     pub fn set_timeout(&self, timeout: Duration) -> Result<()> {
-        self.socket
-            .set_read_timeout(Some(timeout))
-            .map_err(|e| NetError::Io(e.to_string()))
+        self.socket.set_read_timeout(Some(timeout)).map_err(|e| NetError::Io(e.to_string()))
     }
 }
 

@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::Arc;
 
 /// A UDP datagram delivered to an actor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,7 +108,7 @@ enum EventKind {
 struct Event {
     at: SimTime,
     seq: u64,
-    host: String,
+    host: Arc<str>,
     kind: EventKind,
 }
 
@@ -147,20 +148,20 @@ struct World {
     events: BinaryHeap<Reverse<Event>>,
     rng: StdRng,
     latency: LatencyModel,
-    udp_bindings: BTreeSet<(String, u16)>,
-    groups: BTreeMap<SimAddr, BTreeSet<String>>,
-    tcp_listeners: BTreeSet<(String, u16)>,
+    udp_bindings: BTreeSet<(Arc<str>, u16)>,
+    groups: BTreeMap<SimAddr, BTreeSet<Arc<str>>>,
+    tcp_listeners: BTreeSet<(Arc<str>, u16)>,
     connections: BTreeMap<u64, Connection>,
     next_conn: u64,
     next_ephemeral: u16,
     next_timer: u64,
     cancelled_timers: BTreeSet<u64>,
     trace: Vec<TraceEntry>,
-    hosts: BTreeSet<String>,
+    hosts: BTreeSet<Arc<str>>,
 }
 
 impl World {
-    fn schedule(&mut self, at: SimTime, host: String, kind: EventKind) {
+    fn schedule(&mut self, at: SimTime, host: Arc<str>, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Reverse(Event { at, seq, host, kind }));
@@ -180,7 +181,7 @@ impl World {
 #[derive(Debug)]
 pub struct Context<'w> {
     world: &'w mut World,
-    host: &'w str,
+    host: &'w Arc<str>,
 }
 
 impl Context<'_> {
@@ -201,9 +202,9 @@ impl Context<'_> {
     ///
     /// Returns [`NetError::PortInUse`] when already bound.
     pub fn bind_udp(&mut self, port: u16) -> Result<()> {
-        let key = (self.host.to_owned(), port);
+        let key = (self.host.clone(), port);
         if !self.world.udp_bindings.insert(key) {
-            return Err(NetError::PortInUse { host: self.host.to_owned(), port });
+            return Err(NetError::PortInUse { host: self.host.as_ref().to_owned(), port });
         }
         Ok(())
     }
@@ -211,13 +212,13 @@ impl Context<'_> {
     /// Joins a multicast group endpoint (group address + port); all
     /// datagrams sent to the group are delivered to members.
     pub fn join_group(&mut self, group: SimAddr) {
-        self.world.groups.entry(group).or_default().insert(self.host.to_owned());
+        self.world.groups.entry(group).or_default().insert(self.host.clone());
     }
 
     /// Leaves a multicast group endpoint.
     pub fn leave_group(&mut self, group: &SimAddr) {
         if let Some(members) = self.world.groups.get_mut(group) {
-            members.remove(self.host);
+            members.remove(self.host.as_ref());
         }
     }
 
@@ -228,13 +229,13 @@ impl Context<'_> {
     /// UDP).
     pub fn udp_send(&mut self, from_port: u16, to: SimAddr, payload: impl Into<Bytes>) {
         let payload: Bytes = payload.into();
-        let from = SimAddr::new(self.host, from_port);
+        let from = SimAddr::new(self.host.clone(), from_port);
         if to.is_multicast() {
-            let members: Vec<String> = self
+            let members: Vec<Arc<str>> = self
                 .world
                 .groups
                 .get(&to)
-                .map(|m| m.iter().filter(|h| h.as_str() != self.host).cloned().collect())
+                .map(|m| m.iter().filter(|h| h.as_ref() != self.host.as_ref()).cloned().collect())
                 .unwrap_or_default();
             self.world.trace(format!(
                 "udp multicast {from} -> {to} ({} bytes, {} members)",
@@ -257,8 +258,7 @@ impl Context<'_> {
         } else {
             let bound = self.world.udp_bindings.contains(&(to.host.clone(), to.port));
             if bound {
-                self.world
-                    .trace(format!("udp {from} -> {to} ({} bytes)", payload.len()));
+                self.world.trace(format!("udp {from} -> {to} ({} bytes)", payload.len()));
                 let latency = self.world.latency();
                 let at = self.world.now + latency;
                 self.world.schedule(
@@ -267,16 +267,14 @@ impl Context<'_> {
                     EventKind::Datagram(Datagram { from, to, payload }),
                 );
             } else {
-                self.world.trace(format!(
-                    "udp {from} -> {to} dropped (no binding)"
-                ));
+                self.world.trace(format!("udp {from} -> {to} dropped (no binding)"));
             }
         }
     }
 
     /// Starts listening for TCP connections on `port`.
     pub fn listen_tcp(&mut self, port: u16) {
-        self.world.tcp_listeners.insert((self.host.to_owned(), port));
+        self.world.tcp_listeners.insert((self.host.clone(), port));
     }
 
     /// Opens a TCP connection to `to`. The listener receives
@@ -289,13 +287,16 @@ impl Context<'_> {
     /// the destination.
     pub fn tcp_connect(&mut self, to: SimAddr) -> Result<ConnId> {
         if !self.world.tcp_listeners.contains(&(to.host.clone(), to.port)) {
-            return Err(NetError::ConnectionRefused { host: to.host, port: to.port });
+            return Err(NetError::ConnectionRefused {
+                host: to.host.as_ref().to_owned(),
+                port: to.port,
+            });
         }
         let conn = self.world.next_conn;
         self.world.next_conn += 1;
         let local_port = self.world.next_ephemeral;
         self.world.next_ephemeral = self.world.next_ephemeral.wrapping_add(1).max(49152);
-        let initiator = SimAddr::new(self.host, local_port);
+        let initiator = SimAddr::new(self.host.clone(), local_port);
         self.world.connections.insert(
             conn,
             Connection { initiator: initiator.clone(), target: to.clone(), open: true },
@@ -312,7 +313,7 @@ impl Context<'_> {
         let connected_at = accepted_at + back;
         self.world.schedule(
             connected_at,
-            self.host.to_owned(),
+            self.host.clone(),
             EventKind::TcpConnected { conn, peer: to },
         );
         Ok(ConnId(conn))
@@ -333,12 +334,15 @@ impl Context<'_> {
                 .get(&conn.0)
                 .filter(|c| c.open)
                 .ok_or(NetError::NotConnected(conn.0))?;
-            let peer = if connection.initiator.host == self.host {
+            let peer = if connection.initiator.host.as_ref() == self.host.as_ref() {
                 connection.target.host.clone()
             } else {
                 connection.initiator.host.clone()
             };
-            (peer.clone(), format!("tcp data #{} {} -> {peer} ({} bytes)", conn.0, self.host, payload.len()))
+            (
+                peer.clone(),
+                format!("tcp data #{} {} -> {peer} ({} bytes)", conn.0, self.host, payload.len()),
+            )
         };
         self.world.trace(description);
         let latency = self.world.latency();
@@ -361,7 +365,7 @@ impl Context<'_> {
                 .filter(|c| c.open)
                 .ok_or(NetError::NotConnected(conn.0))?;
             connection.open = false;
-            if connection.initiator.host == self.host {
+            if connection.initiator.host.as_ref() == self.host.as_ref() {
                 connection.target.host.clone()
             } else {
                 connection.initiator.host.clone()
@@ -380,7 +384,7 @@ impl Context<'_> {
         let id = self.world.next_timer;
         self.world.next_timer += 1;
         let at = self.world.now + delay;
-        self.world.schedule(at, self.host.to_owned(), EventKind::Timer { id, tag });
+        self.world.schedule(at, self.host.clone(), EventKind::Timer { id, tag });
         TimerId(id)
     }
 
@@ -435,7 +439,7 @@ impl Context<'_> {
 #[derive(Debug)]
 pub struct SimNet {
     world: World,
-    actors: BTreeMap<String, Option<Box<dyn Actor>>>,
+    actors: BTreeMap<Arc<str>, Option<Box<dyn Actor>>>,
 }
 
 impl std::fmt::Debug for dyn Actor {
@@ -478,7 +482,7 @@ impl SimNet {
     /// Adds a host running `actor`; its [`Actor::on_start`] runs as the
     /// first event at the current virtual time.
     pub fn add_actor(&mut self, host: impl Into<String>, actor: impl Actor + 'static) {
-        let host = host.into();
+        let host: Arc<str> = Arc::from(host.into());
         self.world.hosts.insert(host.clone());
         self.actors.insert(host.clone(), Some(Box::new(actor)));
         let now = self.world.now;
@@ -521,10 +525,8 @@ impl SimNet {
             match event.kind {
                 EventKind::Start => actor.on_start(&mut ctx),
                 EventKind::Datagram(datagram) => actor.on_datagram(&mut ctx, datagram),
-                EventKind::TcpAccepted { conn, peer, local_port } => actor.on_tcp(
-                    &mut ctx,
-                    TcpEvent::Accepted { conn: ConnId(conn), peer, local_port },
-                ),
+                EventKind::TcpAccepted { conn, peer, local_port } => actor
+                    .on_tcp(&mut ctx, TcpEvent::Accepted { conn: ConnId(conn), peer, local_port }),
                 EventKind::TcpConnected { conn, peer } => {
                     actor.on_tcp(&mut ctx, TcpEvent::Connected { conn: ConnId(conn), peer })
                 }

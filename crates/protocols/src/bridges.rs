@@ -9,9 +9,7 @@
 //! is why those constructors take `bridge_host`.
 
 use crate::{http, mdns, slp, ssdp};
-use starlink_automata::{
-    Assignment, Delta, MergedAutomaton, NetworkAction, ValueSource,
-};
+use starlink_automata::{Assignment, Delta, MergedAutomaton, NetworkAction, ValueSource};
 use starlink_core::Starlink;
 use starlink_message::Value;
 
@@ -459,9 +457,7 @@ mod tests {
             let merged = case.build("10.0.0.2");
             let assignments: Vec<_> = merged.assignments().cloned().collect();
             for decl in merged.equivalences().declarations() {
-                let Some(schema) =
-                    codecs.iter().find_map(|c| c.schema(&decl.target).ok())
-                else {
+                let Some(schema) = codecs.iter().find_map(|c| c.schema(&decl.target).ok()) else {
                     panic!("no schema for {}", decl.target);
                 };
                 let blank = schema.instantiate();

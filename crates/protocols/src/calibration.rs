@@ -115,7 +115,8 @@ mod tests {
         let slp = cal.slp_service_delay.midpoint_ms();
         assert!((6_000..=6_030).contains(&slp), "slp median {slp}");
         // Native Bonjour median ≈ 710 ms.
-        let bonjour = cal.mdns_service_delay.midpoint_ms() + cal.bonjour_client_overhead.midpoint_ms();
+        let bonjour =
+            cal.mdns_service_delay.midpoint_ms() + cal.bonjour_client_overhead.midpoint_ms();
         assert!((695..=725).contains(&bonjour), "bonjour median {bonjour}");
         // Native UPnP median ≈ 1014 ms.
         let upnp = cal.ssdp_device_delay.midpoint_ms()

@@ -61,9 +61,10 @@ mod tests {
 
     #[test]
     fn mdl_parses_native_ok_with_body() {
-        let native = wire::encode(&HttpMessage::Ok(HttpOk::xml(
-            wire::device_description("http://10.0.0.3:5000", "urn:x"),
-        )));
+        let native = wire::encode(&HttpMessage::Ok(HttpOk::xml(wire::device_description(
+            "http://10.0.0.3:5000",
+            "urn:x",
+        ))));
         let msg = codec().parse(&native).unwrap();
         assert_eq!(msg.name(), "HTTP_OK");
         let body = msg.get(&"Body".into()).unwrap().as_str().unwrap().to_owned();

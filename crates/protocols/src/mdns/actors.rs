@@ -73,17 +73,8 @@ pub struct BonjourService {
 
 impl BonjourService {
     /// Creates a responder for `qname` advertising `url`.
-    pub fn new(
-        qname: impl Into<String>,
-        url: impl Into<String>,
-        calibration: Calibration,
-    ) -> Self {
-        BonjourService {
-            qname: qname.into(),
-            url: url.into(),
-            calibration,
-            pending: Vec::new(),
-        }
+    pub fn new(qname: impl Into<String>, url: impl Into<String>, calibration: Calibration) -> Self {
+        BonjourService { qname: qname.into(), url: url.into(), calibration, pending: Vec::new() }
     }
 }
 

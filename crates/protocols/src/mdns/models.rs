@@ -61,10 +61,7 @@ mod tests {
         let msg = codec().parse(&native).unwrap();
         assert_eq!(msg.name(), "DNS_Question");
         assert_eq!(msg.get(&"ID".into()).unwrap().as_u64().unwrap(), 9);
-        assert_eq!(
-            msg.get(&"QName".into()).unwrap().as_str().unwrap(),
-            "_printer._tcp.local"
-        );
+        assert_eq!(msg.get(&"QName".into()).unwrap().as_str().unwrap(), "_printer._tcp.local");
         assert_eq!(msg.get(&"QType".into()).unwrap().as_u64().unwrap(), 12);
     }
 

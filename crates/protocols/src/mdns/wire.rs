@@ -169,8 +169,7 @@ mod tests {
 
     #[test]
     fn header_counts_match_rfc1035() {
-        let wire =
-            encode(&DnsMessage::Question(DnsQuestion::new(1, "_x._tcp.local"))).unwrap();
+        let wire = encode(&DnsMessage::Question(DnsQuestion::new(1, "_x._tcp.local"))).unwrap();
         assert_eq!(&wire[4..6], &[0, 1]); // QDCount = 1
         assert_eq!(&wire[6..8], &[0, 0]); // ANCount = 0
         let wire = encode(&DnsMessage::Response(DnsResponse::new(1, "a.local", "u"))).unwrap();
@@ -181,8 +180,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncated() {
-        let wire =
-            encode(&DnsMessage::Response(DnsResponse::new(1, "a.local", "url"))).unwrap();
+        let wire = encode(&DnsMessage::Response(DnsResponse::new(1, "a.local", "url"))).unwrap();
         assert!(decode(&wire[..wire.len() - 2]).is_err());
     }
 }

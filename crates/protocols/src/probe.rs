@@ -31,10 +31,7 @@ impl DiscoveryProbe {
 
     /// Records a completed discovery.
     pub fn record(&self, url: impl Into<String>, elapsed: SimDuration, at: SimTime) {
-        self.inner
-            .lock()
-            .expect("probe lock")
-            .push(Discovery { url: url.into(), elapsed, at });
+        self.inner.lock().expect("probe lock").push(Discovery { url: url.into(), elapsed, at });
     }
 
     /// All recorded discoveries.

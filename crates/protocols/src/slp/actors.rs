@@ -118,7 +118,11 @@ mod tests {
         let mut sim = SimNet::new(21);
         sim.add_actor(
             "10.0.0.3",
-            SlpService::new("service:printer", "service:printer://10.0.0.3:631", Calibration::fast()),
+            SlpService::new(
+                "service:printer",
+                "service:printer://10.0.0.3:631",
+                Calibration::fast(),
+            ),
         );
         sim.add_actor("10.0.0.1", SlpClient::new("service:printer", probe.clone()));
         sim.run_until_idle();

@@ -77,10 +77,7 @@ mod tests {
         reply.set(&"URLEntry".into(), Value::Str("service:printer://10.0.0.9:631".into())).unwrap();
         let wire_bytes = codec.compose(&reply).unwrap();
         let decoded = wire::decode(&wire_bytes).unwrap();
-        assert_eq!(
-            decoded,
-            SlpMessage::SrvRply(SrvRply::new(7, "service:printer://10.0.0.9:631"))
-        );
+        assert_eq!(decoded, SlpMessage::SrvRply(SrvRply::new(7, "service:printer://10.0.0.9:631")));
     }
 
     #[test]

@@ -46,11 +46,7 @@ pub struct SsdpResponse {
 
 impl SsdpResponse {
     /// Creates a response.
-    pub fn new(
-        st: impl Into<String>,
-        usn: impl Into<String>,
-        location: impl Into<String>,
-    ) -> Self {
+    pub fn new(st: impl Into<String>, usn: impl Into<String>, location: impl Into<String>) -> Self {
         SsdpResponse { st: st.into(), usn: usn.into(), location: location.into() }
     }
 }

@@ -107,11 +107,8 @@ impl Actor for UpnpDevice {
             else {
                 return;
             };
-            let response = SsdpResponse::new(
-                search.st,
-                format!("uuid:device-{}", self.host),
-                self.location(),
-            );
+            let response =
+                SsdpResponse::new(search.st, format!("uuid:device-{}", self.host), self.location());
             let wire = ssdp::encode(&SsdpMessage::Response(response));
             ctx.udp_send(SSDP_PORT, reply_to, wire);
         }

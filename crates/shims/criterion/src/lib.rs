@@ -1,0 +1,296 @@
+//! Offline shim for the `criterion` benchmarking crate.
+//!
+//! Implements the API subset this workspace's benches use: [`Criterion`]
+//! configuration builders, [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is plain wall-clock sampling: a doubling
+//! calibration phase sizes the per-sample iteration count, then
+//! `sample_size` timed samples produce min/median/mean/max ns-per-
+//! iteration statistics.
+//!
+//! Every completed benchmark is printed to stdout, and when the
+//! `CRITERION_SHIM_JSON` environment variable names a file path the
+//! accumulated results are additionally written there as a JSON array —
+//! the hook the repository's `BENCH_*.json` regression snapshots use.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (empty when benched outside a group).
+    pub group: String,
+    /// Benchmark id inside the group.
+    pub name: String,
+    /// Minimum observed nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Median observed nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean observed nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Maximum observed nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+fn results() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000_000.0 {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    } else if ns >= 1_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times closures over a fixed iteration count.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured iteration count, recording the
+    /// total elapsed wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark configuration and entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the calibration/warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, group: name.into() }
+    }
+
+    /// Benches a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_bench(&config, String::new(), id.into(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benches one function under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.criterion.clone();
+        run_bench(&config, self.group.clone(), id.into(), f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no buffering happens).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(config: &Criterion, group: String, name: String, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration doubles the iteration count until one run costs at
+    // least the warm-up budget; this also serves as cache/branch warm-up.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    loop {
+        f(&mut bencher);
+        if bencher.elapsed >= config.warm_up_time || bencher.iters >= 1 << 30 {
+            break;
+        }
+        bencher.iters = (bencher.iters * 2).max(
+            // Jump straight to scale once a measurable elapsed exists.
+            if bencher.elapsed.as_nanos() > 0 {
+                let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters);
+                let target = config.warm_up_time.as_nanos();
+                ((target / per_iter.max(1)) as u64).max(bencher.iters * 2)
+            } else {
+                bencher.iters * 2
+            },
+        );
+    }
+    let per_iter_ns = (bencher.elapsed.as_nanos() / u128::from(bencher.iters)).max(1) as u64;
+    let per_sample_budget =
+        (config.measurement_time.as_nanos() / config.sample_size as u128).max(1);
+    let sample_iters = ((per_sample_budget / u128::from(per_iter_ns)) as u64).max(1);
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut sample = Bencher { iters: sample_iters, elapsed: Duration::ZERO };
+        f(&mut sample);
+        samples_ns.push(sample.elapsed.as_nanos() as f64 / sample_iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let min = samples_ns[0];
+    let max = *samples_ns.last().expect("non-empty samples");
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+    let label = if group.is_empty() { name.clone() } else { format!("{group}/{name}") };
+    println!(
+        "{label:<44} time: [{} {} {}]  ({} samples × {} iters)",
+        format_ns(min),
+        format_ns(median),
+        format_ns(max),
+        samples_ns.len(),
+        sample_iters,
+    );
+    results().lock().expect("results lock").push(BenchResult {
+        group,
+        name,
+        min_ns: min,
+        median_ns: median,
+        mean_ns: mean,
+        max_ns: max,
+        samples: samples_ns.len(),
+        iters_per_sample: sample_iters,
+    });
+}
+
+/// Writes accumulated results as JSON to `CRITERION_SHIM_JSON`, if set.
+/// Called by the `criterion_main!`-generated `main` after all groups ran.
+pub fn flush_results() {
+    let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+        return;
+    };
+    let results = results().lock().expect("results lock");
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"group\": \"{}\", \"name\": \"{}\", \"min_ns\": {:.1}, \
+             \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"max_ns\": {:.1}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            r.group.escape_default(),
+            r.name.escape_default(),
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.max_ns,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write {path}: {err}");
+    } else {
+        eprintln!("criterion shim: wrote {} results to {path}", results.len());
+    }
+}
+
+/// Declares a group-runner function over benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group then flushing
+/// the optional JSON summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (`--bench`); they select
+            // nothing in this shim, which always runs every target.
+            $( $group(); )+
+            $crate::flush_results();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_stats() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        let results = results().lock().unwrap();
+        let r = results.iter().find(|r| r.name == "noop_sum").unwrap();
+        assert!(r.min_ns > 0.0 && r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+    }
+}

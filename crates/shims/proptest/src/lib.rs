@@ -1,0 +1,806 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Provides deterministic random-input property testing with the API
+//! subset this workspace uses: the [`Strategy`] trait with `prop_map`
+//! and `prop_recursive`, regex-literal string strategies (character
+//! classes with `{m,n}` quantifiers), integer-range strategies,
+//! [`any`], [`Just`], tuple strategies, `prop::collection::{vec,
+//! btree_map}`, `prop::option::of`, and the `proptest!`,
+//! `prop_assert*!`, `prop_assume!` and `prop_oneof!` macros.
+//!
+//! Differences from upstream: no shrinking (failures report the seed and
+//! iteration so they replay deterministically), and generation is not
+//! stream-compatible with the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+use std::sync::Arc;
+
+/// Deterministic generator state handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next 64 uniform bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform usize in `[lo, hi]`.
+    pub fn usize_between(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is violated.
+    Fail(String),
+    /// The inputs did not meet a `prop_assume!` precondition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Result type of a generated test body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Builds a recursive strategy: values are drawn either from `self`
+    /// (the leaf) or from `recurse` applied to the strategy built so
+    /// far, nested at most `depth` levels. The `_desired_size` and
+    /// `_expected_branch_size` parameters are accepted for upstream
+    /// signature compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(current).boxed();
+            // Lean towards leaves so expected size stays bounded.
+            current = Union { choices: vec![leaf.clone(), branch] }.boxed();
+        }
+        current
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between strategies of one value type (`prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `choices` (must be non-empty).
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        Union { choices }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.choices.len() as u64) as usize;
+        self.choices[index].generate(rng)
+    }
+}
+
+/// A strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy for any value of a type (the `any::<T>()` entry point).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+/// Creates the full-range strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any { marker: std::marker::PhantomData }
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(i8, i16, i32, i64);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                self.start() + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX as u128) - (self.start as u128) + 1;
+                self.start + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                (self.start as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                (*self.start() as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategies!(i8, i16, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------
+// Regex-literal string strategies.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Candidate characters (expanded character class or one literal).
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// The parsed form of a regex-literal strategy. Supports sequences of
+/// character classes (`[A-Za-z0-9_-]`, `[ -~]`) and literal characters,
+/// each with an optional `{n}` / `{m,n}` quantifier.
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    atoms: Vec<Atom>,
+}
+
+fn parse_class(pattern: &[char], mut i: usize) -> (Vec<char>, usize) {
+    // `i` points just past '['. A leading ']' would be literal; unused
+    // by this workspace, so treat ']' as the terminator throughout.
+    let mut chars = Vec::new();
+    while i < pattern.len() && pattern[i] != ']' {
+        let lo = pattern[i];
+        if i + 2 < pattern.len() && pattern[i + 1] == '-' && pattern[i + 2] != ']' {
+            let hi = pattern[i + 2];
+            assert!(lo <= hi, "invalid class range {lo}-{hi}");
+            for c in lo..=hi {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(lo);
+            i += 1;
+        }
+    }
+    assert!(i < pattern.len(), "unterminated character class");
+    (chars, i + 1) // past ']'
+}
+
+fn parse_quantifier(pattern: &[char], i: usize) -> (usize, usize, usize) {
+    if i < pattern.len() && pattern[i] == '{' {
+        let close =
+            pattern[i..].iter().position(|&c| c == '}').expect("unterminated quantifier") + i;
+        let body: String = pattern[i + 1..close].iter().collect();
+        let (min, max) = match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("quantifier min"),
+                hi.trim().parse().expect("quantifier max"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("quantifier count");
+                (n, n)
+            }
+        };
+        (min, max, close + 1)
+    } else {
+        (1, 1, i)
+    }
+}
+
+impl RegexStrategy {
+    /// Parses the supported regex subset; panics on anything else (a
+    /// test-authoring error, mirroring upstream's parse failure).
+    pub fn parse(pattern: &str) -> Self {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let (class, next) = match chars[i] {
+                '[' => parse_class(&chars, i + 1),
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "dangling escape");
+                    (vec![chars[i + 1]], i + 2)
+                }
+                c => {
+                    assert!(
+                        !matches!(c, '(' | ')' | '|' | '*' | '+' | '?' | '.'),
+                        "regex feature {c:?} is not supported by the proptest shim"
+                    );
+                    (vec![c], i + 1)
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, next);
+            assert!(min <= max, "quantifier {min},{max} inverted");
+            atoms.push(Atom { chars: class, min, max });
+            i = next;
+        }
+        RegexStrategy { atoms }
+    }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = rng.usize_between(atom.min, atom.max);
+            for _ in 0..count {
+                out.push(atom.chars[rng.usize_between(0, atom.chars.len() - 1)]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsed per call; test-only cost, keeps the `&str`-is-a-strategy
+        // ergonomics of upstream without a global cache.
+        RegexStrategy::parse(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        RegexStrategy::parse(self).generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collections and option.
+// ---------------------------------------------------------------------
+
+/// Bounds on generated collection sizes.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use std::collections::BTreeMap;
+
+        /// Strategy for `Vec<T>` with sizes in `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors of `element` values.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let count = rng.usize_between(self.size.min, self.size.max);
+                (0..count).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeMap<K, V>` with sizes in `size`.
+        #[derive(Debug, Clone)]
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: SizeRange,
+        }
+
+        /// Generates maps of `key`/`value` pairs. Duplicate keys collapse,
+        /// so the generated map may be smaller than requested (as
+        /// upstream).
+        pub fn btree_map<K, V>(
+            key: K,
+            value: V,
+            size: impl Into<SizeRange>,
+        ) -> BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            V: Strategy,
+            K::Value: Ord,
+        {
+            BTreeMapStrategy { key, value, size: size.into() }
+        }
+
+        impl<K, V> Strategy for BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            V: Strategy,
+            K::Value: Ord,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+                let count = rng.usize_between(self.size.min, self.size.max);
+                (0..count).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy for `Option<T>`: `None` one time in four.
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// Generates `Some(inner)` ~75% of the time, `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner.
+// ---------------------------------------------------------------------
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(96)
+}
+
+/// Executes `body` for each generated case; panics on the first failing
+/// case with enough context to replay it.
+pub fn run_proptest(name: &str, mut body: impl FnMut(&mut TestRng) -> TestCaseResult) {
+    let cases = case_count();
+    // Stable per-test seed so failures replay without extra plumbing.
+    let base: u64 = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3));
+    let mut rejected = 0u64;
+    let mut executed = 0u64;
+    let mut iteration = 0u64;
+    let max_rejects = cases * 16;
+    while executed < cases {
+        let mut rng = TestRng::new(base.wrapping_add(iteration));
+        match body(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property {name}: too many rejected cases ({rejected}); \
+                     weaken the prop_assume! precondition"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "property {name} failed at iteration {iteration} \
+                     (seed {:#x}): {message}",
+                    base.wrapping_add(iteration)
+                );
+            }
+        }
+        iteration += 1;
+    }
+}
+
+/// Declares property tests: each function body runs once per generated
+/// case with its arguments drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __proptest_rng);)+
+                    let __proptest_result: $crate::TestCaseResult = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    __proptest_result
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Rejects the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($choice:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($choice)),+])
+    };
+}
+
+/// The conventional glob import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+        BoxedStrategy, Just, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_strategies_respect_shape() {
+        let mut rng = super::TestRng::new(1);
+        for _ in 0..200 {
+            let s = super::Strategy::generate(&"[A-Za-z][A-Za-z0-9_-]{0,10}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 11, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            let t = super::Strategy::generate(&"[ -~]{0,16}", &mut rng);
+            assert!(t.len() <= 16);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = super::TestRng::new(2);
+        for _ in 0..200 {
+            let v = super::Strategy::generate(&(1u32..=64), &mut rng);
+            assert!((1..=64).contains(&v));
+            let w = super::Strategy::generate(&(0u64..16), &mut rng);
+            assert!(w < 16);
+            let p = super::Strategy::generate(&(1u16..), &mut rng);
+            assert!(p >= 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(v in prop::collection::vec(any::<u8>(), 0..8), flag in any::<bool>()) {
+            prop_assert!(v.len() < 8);
+            if flag {
+                let sum: u64 = v.iter().map(|b| u64::from(*b)).sum();
+                prop_assert!(sum <= v.len() as u64 * 255);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+}

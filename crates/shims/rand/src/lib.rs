@@ -1,0 +1,167 @@
+//! Offline shim for the `rand` crate: seedable deterministic RNG with
+//! `gen_range` over integer ranges — the surface `starlink-net` uses.
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64, which matches the
+//! determinism contract the simulator needs (same seed → same stream);
+//! it does not reproduce the upstream `StdRng` stream bit-for-bit.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable construction, mirroring `rand::SeedableRng`'s `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Bounds usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Inclusive low and high bounds of the range.
+    fn bounds(&self) -> (T, T);
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// The random-value methods the workspace uses.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: RangeSample,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.bounds();
+        T::sample_between(self.next_u64(), lo, hi)
+    }
+}
+
+/// Integer types producible by [`Rng::gen_range`].
+pub trait RangeSample: Copy {
+    /// Maps 64 uniform bits into `[lo, hi]`.
+    fn sample_between(bits: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_range_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_between(bits: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + ((bits as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_sample_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_sample_signed {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_between(bits: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128) - (lo as i128) + 1;
+                (lo as i128 + (bits as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample_signed!(i32, i64);
+
+/// Named RNGs, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (the shim's `StdRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the standard way to seed xoshiro.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(200u64..=600);
+            assert!((200..=600).contains(&v));
+            let w: usize = rng.gen_range(0usize..5);
+            assert!(w < 5);
+            let s: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+}

@@ -67,10 +67,7 @@ impl XmlError {
 
     /// Creates a structural error without a meaningful source position.
     pub fn structure(message: impl Into<String>) -> Self {
-        XmlError {
-            kind: XmlErrorKind::Structure(message.into()),
-            position: Position::default(),
-        }
+        XmlError { kind: XmlErrorKind::Structure(message.into()), position: Position::default() }
     }
 
     /// The category of the failure.

@@ -68,7 +68,10 @@ impl Element {
             match event {
                 Event::Start { name, attributes, self_closing } => {
                     if root.is_some() {
-                        return Err(XmlError::new(XmlErrorKind::TrailingContent, reader.position()));
+                        return Err(XmlError::new(
+                            XmlErrorKind::TrailingContent,
+                            reader.position(),
+                        ));
                     }
                     let mut element = Element { name, attributes, children: Vec::new() };
                     if !self_closing {
@@ -83,7 +86,10 @@ impl Element {
                 }
                 Event::End { .. } => {
                     return Err(XmlError::new(
-                        XmlErrorKind::MismatchedTag { expected: "(none)".into(), found: "?".into() },
+                        XmlErrorKind::MismatchedTag {
+                            expected: "(none)".into(),
+                            found: "?".into(),
+                        },
                         reader.position(),
                     ))
                 }
@@ -108,7 +114,10 @@ impl Element {
                 Event::End { name } => {
                     if name != parent.name {
                         return Err(XmlError::new(
-                            XmlErrorKind::MismatchedTag { expected: parent.name.clone(), found: name },
+                            XmlErrorKind::MismatchedTag {
+                                expected: parent.name.clone(),
+                                found: name,
+                            },
                             reader.position(),
                         ));
                     }

@@ -17,14 +17,15 @@ fn content_strategy() -> impl Strategy<Value = String> {
 
 /// Generates an element tree of bounded depth/width.
 fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (name_strategy(), prop::collection::vec((name_strategy(), content_strategy()), 0..3))
-        .prop_map(|(name, attrs)| {
-            let mut el = Element::new(name);
-            for (k, v) in attrs {
-                el.set_attr(k, v);
-            }
-            el
-        });
+    let leaf =
+        (name_strategy(), prop::collection::vec((name_strategy(), content_strategy()), 0..3))
+            .prop_map(|(name, attrs)| {
+                let mut el = Element::new(name);
+                for (k, v) in attrs {
+                    el.set_attr(k, v);
+                }
+                el
+            });
     leaf.prop_recursive(3, 24, 4, |inner| {
         (
             name_strategy(),

@@ -85,7 +85,12 @@ fn main() {
     println!("§V case-study matrix (paper calibration):\n");
     println!(
         "{:<4} {:<18} {:<36} {:>12} {:>14} {:>12}",
-        "#", "case", "URL delivered to the legacy client", "client (ms)", "bridge (ms)", "paper (ms)"
+        "#",
+        "case",
+        "URL delivered to the legacy client",
+        "client (ms)",
+        "bridge (ms)",
+        "paper (ms)"
     );
     for case in BridgeCase::all() {
         let (url, client_ms, bridge_ms) = run(case, Calibration::paper());

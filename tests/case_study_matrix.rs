@@ -63,10 +63,7 @@ fn run_case(
             sim.add_actor(CLIENT, upnp::UpnpClient::new(UPNP_TYPE, calibration, probe.clone()));
         }
         BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => {
-            sim.add_actor(
-                CLIENT,
-                mdns::BonjourClient::new(DNS_TYPE, calibration, probe.clone()),
-            );
+            sim.add_actor(CLIENT, mdns::BonjourClient::new(DNS_TYPE, calibration, probe.clone()));
         }
     }
     let end = sim.run_until_idle();

@@ -32,10 +32,7 @@ fn garbage_datagrams_are_recorded_and_dropped() {
     sim.add_actor("10.0.0.2", engine);
     sim.add_actor(
         "10.0.0.1",
-        RawSender {
-            payload: vec![0xFF; 40],
-            to: SimAddr::new(slp::SLP_GROUP, slp::SLP_PORT),
-        },
+        RawSender { payload: vec![0xFF; 40], to: SimAddr::new(slp::SLP_GROUP, slp::SLP_PORT) },
     );
     sim.run_until_idle();
     assert_eq!(stats.session_count(), 0);
@@ -148,8 +145,9 @@ fn bridge_survives_a_burst_of_mixed_garbage_then_works() {
             Calibration::fast(),
         ),
     );
-    for (i, payload) in
-        [vec![], vec![0x00], vec![2, 9, 9, 9], b"GET / HTTP/1.1\r\n\r\n".to_vec()].into_iter().enumerate()
+    for (i, payload) in [vec![], vec![0x00], vec![2, 9, 9, 9], b"GET / HTTP/1.1\r\n\r\n".to_vec()]
+        .into_iter()
+        .enumerate()
     {
         sim.add_actor(
             format!("10.0.1.{i}"),

@@ -77,9 +77,6 @@ fn mdl_codec_interoperates_with_native_peer_over_real_udp() {
     let (payload, _) = model_side.recv().unwrap();
     let parsed = codec.parse(&payload).unwrap();
     assert_eq!(parsed.name(), "DNS_Response");
-    assert_eq!(
-        parsed.get(&"RData".into()).unwrap().as_str().unwrap(),
-        "service:printer://real"
-    );
+    assert_eq!(parsed.get(&"RData".into()).unwrap().as_str().unwrap(), "service:printer://real");
     handle.join().unwrap();
 }

@@ -33,11 +33,9 @@ fn mdl_codec_reads_every_native_slp_message() {
 #[test]
 fn mdl_codec_reads_every_native_dns_message() {
     let codec = MdlCodec::generate(load_mdl(mdns::mdl_xml()).unwrap()).unwrap();
-    let q = mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(
-        1,
-        "_printer._tcp.local",
-    )))
-    .unwrap();
+    let q =
+        mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(1, "_printer._tcp.local")))
+            .unwrap();
     let r = mdns::encode(&mdns::DnsMessage::Response(mdns::DnsResponse::new(
         1,
         "_printer._tcp.local",
