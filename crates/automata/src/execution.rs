@@ -142,6 +142,13 @@ impl Execution {
             .collect()
     }
 
+    /// True when the current state can receive `message` — the
+    /// non-allocating form of [`Execution::expected_receives`], used on
+    /// the engine's per-datagram routing path.
+    pub fn expects_receive(&self, message: &str) -> bool {
+        self.automaton.has_receive_transition(self.current, message)
+    }
+
     /// The send transition pending in the current state, if any.
     pub fn pending_send(&self) -> Option<&Transition> {
         self.automaton.transitions_from(self.current).into_iter().find(|t| t.action == Action::Send)

@@ -222,6 +222,17 @@ impl MergedAutomaton {
         }
     }
 
+    /// True when `gs` has a receive transition for `message` —
+    /// non-allocating, for per-message session routing.
+    pub fn has_receive_transition(&self, gs: GlobalState, message: &str) -> bool {
+        match self.part(gs.part) {
+            Ok(part) => part
+                .transitions_from(gs.state)
+                .any(|t| t.action == Action::Receive && t.message == message),
+            Err(_) => false,
+        }
+    }
+
     /// True when `state` is accepting in its part.
     pub fn is_accepting(&self, gs: GlobalState) -> bool {
         self.state(gs).map(|s| s.accepting).unwrap_or(false)

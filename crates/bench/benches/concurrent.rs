@@ -1,0 +1,56 @@
+//! Criterion microbench: wall-clock cost of serving N concurrent bridge
+//! sessions through one engine — the multi-session runtime scenario
+//! (staggered clients, overlapping sessions, per-session executions).
+//!
+//! The single-session `engine` bench measures the machinery cost of one
+//! discovery; this one measures how that cost scales when 100 clients
+//! interleave, which is what a network-transparent bridge actually
+//! serves. Fast calibration keeps virtual waits from dominating event
+//! counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_bench::run_concurrent_clients;
+use starlink_protocols::{bridges::BridgeCase, Calibration};
+use std::hint::black_box;
+
+fn bench_concurrent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bridge_concurrent_100");
+    for case in BridgeCase::all() {
+        group.bench_function(
+            format!("case{}_{}", case.number(), case.name().replace(' ', "_")),
+            |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_concurrent_clients(case, 100, seed, Calibration::fast()))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Scaling shape: the same case at increasing client counts.
+    let mut group = c.benchmark_group("bridge_concurrent_scaling");
+    for clients in [1usize, 10, 100] {
+        group.bench_function(format!("slp_to_bonjour_{clients}_clients"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_concurrent_clients(
+                    BridgeCase::SlpToBonjour,
+                    clients,
+                    seed,
+                    Calibration::fast(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_concurrent
+}
+criterion_main!(benches);

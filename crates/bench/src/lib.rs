@@ -27,14 +27,18 @@
 //!   genericity);
 //! * **`alloc`** — exact allocator calls per parse / compose /
 //!   round-trip, counted by a wrapping global allocator (wall-clock
-//!   benches can hide allocator pressure behind a warm cache).
+//!   benches can hide allocator pressure behind a warm cache);
+//! * **`concurrent`** — wall-clock per run of N staggered clients
+//!   through one engine (the multi-session runtime scenario), next to
+//!   the single-session `engine` bench.
 //!
-//! `BENCH_codec.json` at the repository root snapshots both. To
-//! regenerate it after touching the codec path:
+//! `BENCH_codec.json` at the repository root snapshots them. To
+//! regenerate it after touching the codec or runtime path:
 //!
 //! ```sh
 //! CRITERION_SHIM_JSON=/tmp/codec.json cargo bench -p starlink-bench --bench codec
 //! ALLOC_BENCH_JSON=/tmp/alloc.json   cargo bench -p starlink-bench --bench alloc
+//! CRITERION_SHIM_JSON=/tmp/conc.json cargo bench -p starlink-bench --bench concurrent
 //! ```
 //!
 //! then merge the two JSON files into `BENCH_codec.json`, keeping the
@@ -49,8 +53,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use starlink_core::Starlink;
-use starlink_net::{SimDuration, SimNet};
+use starlink_core::{ConcurrencyStats, Starlink};
+use starlink_net::{DelayedActor, SimDuration, SimNet};
 use starlink_protocols::{
     bridges::{self, BridgeCase},
     mdns, slp, upnp, Calibration, DiscoveryProbe,
@@ -180,6 +184,103 @@ pub fn run_bridge_case(case: BridgeCase, seed: u64, calibration: Calibration) ->
     stats.translation_times()[0]
 }
 
+/// The service URL a client of `case` is expected to discover.
+pub fn expected_discovery_url(case: BridgeCase) -> &'static str {
+    match case {
+        BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp => "http://10.0.0.3:5000",
+        _ => SERVICE_URL,
+    }
+}
+
+/// Runs one concurrent legacy client of `case`'s source protocol per
+/// `stagger_us` entry through one bridge + one target service (the
+/// multi-session runtime scenario): client `i` starts after
+/// `stagger_us[i]` µs so datagrams of different sessions interleave
+/// mid-exchange. Returns one probe per client plus the bridge stats —
+/// nothing is asserted, so tests can probe failure modes too.
+pub fn run_concurrent_clients_with(
+    case: BridgeCase,
+    seed: u64,
+    calibration: Calibration,
+    stagger_us: &[u64],
+) -> (Vec<DiscoveryProbe>, starlink_core::BridgeStats) {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).expect("models load");
+    let (engine, stats) = framework.deploy(case.build(BRIDGE)).expect("bridge deploys");
+
+    let mut sim = SimNet::new(seed);
+    sim.add_actor(BRIDGE, engine);
+    match case {
+        BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp => {
+            sim.add_actor(SERVICE, upnp::UpnpDevice::new(UPNP_TYPE, SERVICE, calibration));
+        }
+        BridgeCase::SlpToBonjour | BridgeCase::UpnpToBonjour => {
+            sim.add_actor(SERVICE, mdns::BonjourService::new(DNS_TYPE, SERVICE_URL, calibration));
+        }
+        BridgeCase::UpnpToSlp | BridgeCase::BonjourToSlp => {
+            sim.add_actor(SERVICE, slp::SlpService::new(SLP_TYPE, SERVICE_URL, calibration));
+        }
+    }
+    let mut probes = Vec::with_capacity(stagger_us.len());
+    for (i, &offset) in stagger_us.iter().enumerate() {
+        let probe = DiscoveryProbe::new();
+        probes.push(probe.clone());
+        let host = format!("10.0.{}.{}", 1 + i / 200, 1 + i % 200);
+        let delay = SimDuration::from_micros(offset);
+        match case {
+            BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => {
+                sim.add_actor(host, DelayedActor::new(delay, slp::SlpClient::new(SLP_TYPE, probe)));
+            }
+            BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => {
+                sim.add_actor(
+                    host,
+                    DelayedActor::new(delay, upnp::UpnpClient::new(UPNP_TYPE, calibration, probe)),
+                );
+            }
+            BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => {
+                sim.add_actor(
+                    host,
+                    DelayedActor::new(
+                        delay,
+                        mdns::BonjourClient::new(DNS_TYPE, calibration, probe),
+                    ),
+                );
+            }
+        }
+    }
+    sim.run_until_idle();
+    (probes, stats)
+}
+
+/// Runs `clients` concurrent legacy clients of `case`'s source protocol
+/// through one bridge (client `i` staggered by `i * 250 µs`), asserting
+/// every client completes its own discovery, and returns the bridge's
+/// session-lifecycle counters.
+///
+/// # Panics
+///
+/// Panics when any client fails to complete its own discovery — the
+/// multi-session invariant this scenario exists to exercise.
+pub fn run_concurrent_clients(
+    case: BridgeCase,
+    clients: usize,
+    seed: u64,
+    calibration: Calibration,
+) -> ConcurrencyStats {
+    let stagger: Vec<u64> = (0..clients as u64).map(|i| i * 250).collect();
+    let (probes, stats) = run_concurrent_clients_with(case, seed, calibration, &stagger);
+    for (i, probe) in probes.iter().enumerate() {
+        assert_eq!(
+            probe.results().len(),
+            1,
+            "case {} client {i}/{clients}: discovery incomplete; errors: {:?}",
+            case.number(),
+            stats.errors()
+        );
+    }
+    stats.concurrency()
+}
+
 /// min/median/max summary over a sweep, in milliseconds — the statistic
 /// the paper reports ("we repeated the experiment 100 times and took the
 /// min, max, median of these results").
@@ -301,6 +402,21 @@ mod tests {
         for case in BridgeCase::all() {
             let elapsed = run_bridge_case(case, 2, Calibration::fast());
             assert!(elapsed.as_micros() > 0, "case {}", case.number());
+        }
+    }
+
+    #[test]
+    fn concurrent_runs_complete_for_all_cases() {
+        for case in BridgeCase::all() {
+            let c = run_concurrent_clients(case, 10, 3, Calibration::fast());
+            assert_eq!(c.completed, 10, "case {}", case.number());
+            assert_eq!(c.active, 0, "case {}", case.number());
+            assert!(
+                c.peak_active >= 2,
+                "case {}: no overlap (peak {})",
+                case.number(),
+                c.peak_active
+            );
         }
     }
 }

@@ -2,13 +2,37 @@
 //! behaviour of the merged automata i.e. it controls the sequence of
 //! sending, receiving and translation of messages".
 //!
-//! One [`BridgeEngine`] is deployed per bridge. At receiving states it
-//! listens on the state's colour (port/group), parses arriving bytes with
-//! the protocol's MDL codec, and advances the execution; bridge (δ)
-//! states apply translation logic and λ actions; at sending states it
-//! composes the translated abstract message and emits it with the colour's
-//! network semantics (unicast reply, multicast group, or TCP connection
-//! pointed by a prior `set_host`).
+//! One [`BridgeEngine`] is deployed per bridge, but — mediating
+//! connectors serve many simultaneous interaction pairs — it is a
+//! **multi-session runtime**, not a single state machine. Every
+//! concurrently active client drives its own [`Execution`] inside a
+//! session table:
+//!
+//! * **Keying** — a session is identified by its originator: the source
+//!   [`SimAddr`] of the first datagram ([`SessionKey::Peer`]) or the
+//!   accepted connection for TCP-originated flows ([`SessionKey::Conn`]).
+//!   A pluggable [`SessionCorrelator`] can override this with
+//!   protocol-level keys (XID/transaction-id style,
+//!   [`SessionKey::Correlated`]) so retransmissions collapse onto one
+//!   session and responses match by id rather than arrival order.
+//! * **Routing** — each inbound datagram/TCP event is routed to exactly
+//!   one session: by correlation key, by source address, or — for
+//!   replies arriving from the *target* side of the bridge, whose source
+//!   is the legacy service, not the originator — to the oldest session
+//!   whose execution is waiting to receive that message on that part.
+//! * **Lifecycle** — sessions are created lazily on the first
+//!   successfully delivered message, reaped on completion, torn down on
+//!   compose/emit/⊨ failure (a failed session can never wedge the
+//!   bridge), and expired by a timer-driven idle timeout
+//!   ([`EngineConfig::idle_timeout`]).
+//!
+//! At receiving states a session listens on the state's colour
+//! (port/group), parses arriving bytes with the protocol's MDL codec,
+//! and advances its execution; bridge (δ) states apply translation logic
+//! and λ actions; at sending states it composes the translated abstract
+//! message and emits it with the colour's network semantics (unicast
+//! reply, multicast group, or TCP connection pointed by a prior
+//! `set_host`).
 //!
 //! All routing decisions are **precomputed at deployment**: datagram →
 //! part and listener → part lookup tables, the per-state emit plans
@@ -24,11 +48,135 @@ use starlink_automata::{
 };
 use starlink_mdl::MdlCodec;
 use starlink_message::AbstractMessage;
-use starlink_net::{Actor, ConnId, Context, Datagram, SimAddr, SimTime, TcpEvent};
+use starlink_net::{
+    Actor, ConnId, Context, Datagram, SimAddr, SimDuration, SimTime, TcpEvent, TimerId,
+};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
-/// Per-part (per-protocol) runtime networking state.
+/// Identity of a bridge session: who originated the interaction.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SessionKey {
+    /// A UDP-originated session, keyed by the originator's endpoint.
+    Peer(SimAddr),
+    /// A TCP-originated session, keyed by the accepted connection.
+    Conn(ConnId),
+    /// A correlator-derived key: (part index, protocol-level id), e.g.
+    /// an SLP XID or DNS transaction id.
+    Correlated(usize, u64),
+}
+
+impl std::fmt::Display for SessionKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionKey::Peer(addr) => write!(f, "peer {addr}"),
+            SessionKey::Conn(conn) => write!(f, "conn #{}", conn.0),
+            SessionKey::Correlated(part, id) => write!(f, "part#{part} id {id:#x}"),
+        }
+    }
+}
+
+/// Per-protocol session correlation hook (§IV's engine is model-driven;
+/// how a protocol correlates request and response — XID, transaction id,
+/// source endpoint — is itself protocol knowledge, so it plugs in).
+///
+/// Both hooks default to `None`, which selects the engine's built-in
+/// routing: source-address keying for originators plus oldest-waiting-
+/// receiver matching for replies from the target side.
+pub trait SessionCorrelator: Send + Sync {
+    /// Derives the session key an *inbound* message belongs to.
+    fn inbound_key(
+        &self,
+        _part: usize,
+        _protocol: &str,
+        _message: &AbstractMessage,
+        _from: &SimAddr,
+    ) -> Option<SessionKey> {
+        None
+    }
+
+    /// Derives an alias key from an *outbound* message, so the reply that
+    /// echoes the same id finds the session that sent it.
+    fn outbound_key(
+        &self,
+        _part: usize,
+        _protocol: &str,
+        _message: &AbstractMessage,
+    ) -> Option<SessionKey> {
+        None
+    }
+}
+
+/// A [`SessionCorrelator`] that keys sessions on a numeric field per
+/// protocol (e.g. SLP's `XID`, DNS's `ID`): XID-style correlation as a
+/// reusable model.
+#[derive(Debug, Clone, Default)]
+pub struct FieldCorrelator {
+    fields: BTreeMap<String, String>,
+}
+
+impl FieldCorrelator {
+    /// Creates a correlator mapping protocol names to the field carrying
+    /// their transaction id.
+    pub fn new<P: Into<String>, F: Into<String>>(pairs: impl IntoIterator<Item = (P, F)>) -> Self {
+        FieldCorrelator { fields: pairs.into_iter().map(|(p, f)| (p.into(), f.into())).collect() }
+    }
+
+    fn key_of(&self, part: usize, protocol: &str, message: &AbstractMessage) -> Option<SessionKey> {
+        let field = self.fields.get(protocol)?;
+        let value = message.get(&field.as_str().into()).ok()?.as_u64().ok()?;
+        Some(SessionKey::Correlated(part, value))
+    }
+}
+
+impl SessionCorrelator for FieldCorrelator {
+    fn inbound_key(
+        &self,
+        part: usize,
+        protocol: &str,
+        message: &AbstractMessage,
+        _from: &SimAddr,
+    ) -> Option<SessionKey> {
+        self.key_of(part, protocol, message)
+    }
+
+    fn outbound_key(
+        &self,
+        part: usize,
+        protocol: &str,
+        message: &AbstractMessage,
+    ) -> Option<SessionKey> {
+        self.key_of(part, protocol, message)
+    }
+}
+
+/// Runtime policy of a deployed engine.
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// A session with no activity for this long is expired and torn
+    /// down. Must exceed the slowest legacy response delay (OpenSLP
+    /// answers after ~6 s).
+    pub idle_timeout: SimDuration,
+    /// Optional protocol-level session correlation hook.
+    pub correlator: Option<Arc<dyn SessionCorrelator>>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { idle_timeout: SimDuration::from_secs(30), correlator: None }
+    }
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("idle_timeout", &self.idle_timeout)
+            .field("correlator", &self.correlator.as_ref().map(|_| "<dyn>"))
+            .finish()
+    }
+}
+
+/// Per-part (per-protocol) networking state of one session.
 #[derive(Debug, Default)]
 struct PartState {
     /// Source of the last datagram received for this part — replies go
@@ -45,6 +193,28 @@ struct PartState {
     pending_out: VecDeque<Vec<u8>>,
 }
 
+/// One live interaction pair: the per-client state the engine multiplexes.
+#[derive(Debug)]
+struct Session {
+    exec: Execution,
+    /// When the first message of the session entered the framework.
+    started: SimTime,
+    /// Last time an event touched this session (idle-expiry clock).
+    last_activity: SimTime,
+    /// Creation order, for deterministic oldest-first reply matching.
+    seq: u64,
+    set_host: Option<SimAddr>,
+    parts: Vec<PartState>,
+    /// Connections owned by this session.
+    conns: Vec<ConnId>,
+    /// Correlator-registered alias keys pointing at this session.
+    aliases: Vec<SessionKey>,
+    /// Pending idle-expiry timer (id for cancellation, tag for lookup).
+    timer: Option<(TimerId, u64)>,
+    /// Set when a compose/emit/⊨ failure condemned the session.
+    failed: bool,
+}
+
 /// Network semantics of sending from one state, resolved at deployment.
 #[derive(Debug, Clone)]
 struct EmitSpec {
@@ -52,6 +222,14 @@ struct EmitSpec {
     port: u16,
     /// The colour's multicast group endpoint, pre-built.
     group: Option<SimAddr>,
+}
+
+/// Where an inbound message should go.
+enum Route {
+    /// An existing session claims it.
+    Existing(SessionKey),
+    /// No session claims it; a new one may be opened under this key.
+    Fresh(SessionKey),
 }
 
 /// The deployed bridge: implements [`Actor`] so it can be dropped into a
@@ -62,25 +240,33 @@ pub struct BridgeEngine {
     codecs: Vec<Arc<MdlCodec>>,
     functions: Arc<FunctionRegistry>,
     stats: BridgeStats,
-    exec: Execution,
-    session_started: Option<SimTime>,
-    set_host: Option<SimAddr>,
-    parts: Vec<PartState>,
-    conn_part: BTreeMap<ConnId, usize>,
+    config: EngineConfig,
+    /// The session table: one live execution per interaction pair.
+    sessions: BTreeMap<SessionKey, Session>,
+    /// Correlator-registered alias → primary session key.
+    aliases: BTreeMap<SessionKey, SessionKey>,
+    /// Open connection → (owning session, part).
+    conn_sessions: BTreeMap<ConnId, (SessionKey, usize)>,
+    /// Pending expiry-timer tag → session key.
+    timer_sessions: BTreeMap<u64, SessionKey>,
+    next_timer_tag: u64,
+    next_session_seq: u64,
+    /// Per-connection stream reassembly buffers.
     buffers: BTreeMap<ConnId, Vec<u8>>,
     /// (UDP port, multicast group) → part, first declaration wins.
     udp_exact: BTreeMap<(u16, Arc<str>), usize>,
-    /// UDP port → part for unicast delivery, last declaration wins
-    /// (responses come back unicast even on multicast colours).
+    /// UDP port → part for unicast delivery (responses come back unicast
+    /// even on multicast colours). Cross-part collisions are rejected at
+    /// deployment.
     udp_fallback: BTreeMap<u16, usize>,
-    /// TCP listening port → part, first declaration wins.
+    /// TCP listening port → part; cross-part collisions rejected.
     tcp_parts: BTreeMap<u16, usize>,
     /// Per-state emit plans.
     emit_specs: BTreeMap<GlobalState, EmitSpec>,
     /// Blank schema-typed instances for every message the bridge may
     /// compose; cloned into each fresh session's store.
     blank_instances: Vec<AbstractMessage>,
-    /// Scratch buffer reused by every compose.
+    /// Scratch buffer reused by every compose, across all sessions.
     compose_buf: Vec<u8>,
 }
 
@@ -88,7 +274,7 @@ impl std::fmt::Debug for BridgeEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BridgeEngine")
             .field("automaton", &self.automaton.name())
-            .field("session_started", &self.session_started)
+            .field("active_sessions", &self.sessions.len())
             .finish()
     }
 }
@@ -97,14 +283,20 @@ impl BridgeEngine {
     /// Creates an engine for `automaton`; `codecs` must be indexed by the
     /// automaton's part order (the framework resolves them by protocol
     /// name). All routing tables are computed here, once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Deployment`] when two parts declare colours
+    /// on the same UDP port or TCP listening port — such a bridge cannot
+    /// route inbound traffic unambiguously, so the collision surfaces at
+    /// deployment instead of as silent misrouting.
     pub(crate) fn new(
         automaton: Arc<MergedAutomaton>,
         codecs: Vec<Arc<MdlCodec>>,
         functions: Arc<FunctionRegistry>,
         stats: BridgeStats,
-    ) -> Self {
-        let parts = (0..automaton.parts().len()).map(|_| PartState::default()).collect();
-
+        config: EngineConfig,
+    ) -> Result<Self> {
         let mut udp_exact: BTreeMap<(u16, Arc<str>), usize> = BTreeMap::new();
         let mut udp_fallback: BTreeMap<u16, usize> = BTreeMap::new();
         let mut tcp_parts: BTreeMap<u16, usize> = BTreeMap::new();
@@ -115,10 +307,31 @@ impl BridgeEngine {
                         if let Some(group) = color.group() {
                             udp_exact.entry((color.port(), Arc::from(group))).or_insert(index);
                         }
+                        if let Some(&prev) = udp_fallback.get(&color.port()) {
+                            if prev != index {
+                                return Err(CoreError::Deployment(format!(
+                                    "parts {:?} and {:?} both declare colours on UDP port {}: \
+                                     inbound datagrams would be misrouted",
+                                    automaton.parts()[prev].protocol(),
+                                    part.protocol(),
+                                    color.port()
+                                )));
+                            }
+                        }
                         udp_fallback.insert(color.port(), index);
                     }
                     Transport::Tcp => {
-                        tcp_parts.entry(color.port()).or_insert(index);
+                        if let Some(&prev) = tcp_parts.get(&color.port()) {
+                            if prev != index {
+                                return Err(CoreError::Deployment(format!(
+                                    "parts {:?} and {:?} both listen on TCP port {}",
+                                    automaton.parts()[prev].protocol(),
+                                    part.protocol(),
+                                    color.port()
+                                )));
+                            }
+                        }
+                        tcp_parts.insert(color.port(), index);
                     }
                 }
             }
@@ -164,17 +377,18 @@ impl BridgeEngine {
             }
         }
 
-        let exec = Self::fresh_execution(&automaton, &functions, &blank_instances);
-        BridgeEngine {
+        Ok(BridgeEngine {
             automaton,
             codecs,
             functions,
             stats,
-            exec,
-            session_started: None,
-            set_host: None,
-            parts,
-            conn_part: BTreeMap::new(),
+            config,
+            sessions: BTreeMap::new(),
+            aliases: BTreeMap::new(),
+            conn_sessions: BTreeMap::new(),
+            timer_sessions: BTreeMap::new(),
+            next_timer_tag: 0,
+            next_session_seq: 0,
             buffers: BTreeMap::new(),
             udp_exact,
             udp_fallback,
@@ -182,7 +396,7 @@ impl BridgeEngine {
             emit_specs,
             blank_instances,
             compose_buf: Vec::new(),
-        }
+        })
     }
 
     /// The stats handle shared with the harness.
@@ -190,29 +404,27 @@ impl BridgeEngine {
         self.stats.clone()
     }
 
-    /// Builds a fresh execution with the precomputed blank instances
-    /// registered in its store.
-    fn fresh_execution(
-        automaton: &Arc<MergedAutomaton>,
-        functions: &Arc<FunctionRegistry>,
-        blank_instances: &[AbstractMessage],
-    ) -> Execution {
-        let mut exec = Execution::new(automaton.clone(), functions.clone());
-        for blank in blank_instances {
+    /// Builds a fresh session resting in the automaton's initial state,
+    /// with the precomputed blank instances registered in its store.
+    fn fresh_session(&mut self, now: SimTime) -> Session {
+        let mut exec = Execution::new(self.automaton.clone(), self.functions.clone());
+        for blank in &self.blank_instances {
             exec.store_mut().insert(blank.clone());
         }
-        exec
-    }
-
-    fn reset_session(&mut self) {
-        self.exec = Self::fresh_execution(&self.automaton, &self.functions, &self.blank_instances);
-        self.session_started = None;
-        self.set_host = None;
-        for part in &mut self.parts {
-            *part = PartState::default();
+        let seq = self.next_session_seq;
+        self.next_session_seq += 1;
+        Session {
+            exec,
+            started: now,
+            last_activity: now,
+            seq,
+            set_host: None,
+            parts: (0..self.automaton.parts().len()).map(|_| PartState::default()).collect(),
+            conns: Vec::new(),
+            aliases: Vec::new(),
+            timer: None,
+            failed: false,
         }
-        self.conn_part.clear();
-        self.buffers.clear();
     }
 
     /// Finds the part a datagram belongs to by its destination port
@@ -231,12 +443,100 @@ impl BridgeEngine {
         self.tcp_parts.get(&local_port).copied()
     }
 
-    fn apply_actions(&mut self, ctx: &mut Context<'_>, outcome: &StepOutcome) {
+    /// Decides which session an inbound datagram belongs to: correlator
+    /// key first, then source-address key, then the oldest session whose
+    /// execution is waiting to receive this message on this part
+    /// (replies from the target side arrive from the legacy service's
+    /// address, never the originator's).
+    fn route_inbound(&self, part: usize, message: &AbstractMessage, from: &SimAddr) -> Route {
+        if let Some(correlator) = &self.config.correlator {
+            let protocol = self.automaton.parts()[part].protocol();
+            if let Some(key) = correlator.inbound_key(part, protocol, message, from) {
+                let key = self.aliases.get(&key).cloned().unwrap_or(key);
+                return if self.sessions.contains_key(&key) {
+                    Route::Existing(key)
+                } else {
+                    Route::Fresh(key)
+                };
+            }
+        }
+        let peer = SessionKey::Peer(from.clone());
+        if self.sessions.contains_key(&peer) {
+            return Route::Existing(peer);
+        }
+        if let Some(key) = self.waiting_receiver(part, message.name()) {
+            return Route::Existing(key);
+        }
+        Route::Fresh(peer)
+    }
+
+    /// The oldest live session whose execution rests in `part` at a
+    /// state with a receive transition for `name`. (Failed sessions are
+    /// torn down in `conclude`, so everything in the table is live.)
+    fn waiting_receiver(&self, part: usize, name: &str) -> Option<SessionKey> {
+        self.sessions
+            .iter()
+            .filter(|(_, session)| {
+                session.exec.current().part.0 == part && session.exec.expects_receive(name)
+            })
+            .min_by_key(|(_, session)| session.seq)
+            .map(|(key, _)| key.clone())
+    }
+
+    /// Arms the idle-expiry timer for a freshly registered session.
+    fn arm_expiry(&mut self, ctx: &mut Context<'_>, key: &SessionKey, session: &mut Session) {
+        let tag = self.next_timer_tag;
+        self.next_timer_tag += 1;
+        let id = ctx.set_timer(self.config.idle_timeout, tag);
+        self.timer_sessions.insert(tag, key.clone());
+        session.timer = Some((id, tag));
+    }
+
+    /// Unlinks a session's engine-level bookkeeping: expiry timer,
+    /// aliases, connection routes and stream buffers.
+    fn unlink(&mut self, ctx: &mut Context<'_>, session: &mut Session) {
+        if let Some((id, tag)) = session.timer.take() {
+            if self.timer_sessions.remove(&tag).is_some() {
+                ctx.cancel_timer(id);
+            }
+        }
+        for alias in session.aliases.drain(..) {
+            self.aliases.remove(&alias);
+        }
+        for conn in session.conns.drain(..) {
+            self.conn_sessions.remove(&conn);
+            self.buffers.remove(&conn);
+        }
+    }
+
+    /// Ends a session after an event: reaped on completion, torn down on
+    /// failure, or put back into the table.
+    fn conclude(&mut self, ctx: &mut Context<'_>, key: SessionKey, mut session: Session) {
+        if session.failed {
+            self.unlink(ctx, &mut session);
+            self.stats.record_session_failed();
+            ctx.trace(format!("bridge session {key} failed and was torn down"));
+        } else if self.session_complete(&session) {
+            self.unlink(ctx, &mut session);
+            self.stats.record_session(session.started, ctx.now());
+            ctx.trace(format!("bridge session complete in {}", ctx.now().since(session.started)));
+        } else {
+            self.sessions.insert(key, session);
+        }
+    }
+
+    fn session_complete(&self, session: &Session) -> bool {
+        session.exec.at_accepting()
+            || (!session.exec.history().is_empty()
+                && session.exec.current() == self.automaton.initial())
+    }
+
+    fn apply_actions(&self, ctx: &mut Context<'_>, session: &mut Session, outcome: &StepOutcome) {
         for action in &outcome.actions {
             match action {
                 ResolvedAction::SetHost { host, port } => {
                     ctx.trace(format!("bridge λ set_host({host}, {port})"));
-                    self.set_host = Some(SimAddr::new(host.as_str(), *port));
+                    session.set_host = Some(SimAddr::new(host.as_str(), *port));
                 }
                 ResolvedAction::Custom { name, .. } => {
                     ctx.trace(format!("bridge λ {name}(..) (no engine interpretation)"));
@@ -245,41 +545,45 @@ impl BridgeEngine {
         }
     }
 
-    /// Delivers a parsed message to the execution and pumps any sends
-    /// that become ready.
-    fn deliver(&mut self, ctx: &mut Context<'_>, message: AbstractMessage) {
-        if self.session_started.is_none() {
-            self.session_started = Some(ctx.now());
-        }
-        match self.exec.deliver(message) {
+    /// Delivers a parsed message to a session's execution and pumps any
+    /// sends that become ready. Returns whether the execution accepted
+    /// the message.
+    fn deliver(
+        &mut self,
+        ctx: &mut Context<'_>,
+        key: &SessionKey,
+        session: &mut Session,
+        message: AbstractMessage,
+    ) -> bool {
+        match session.exec.deliver(message) {
             Ok(outcome) => {
-                self.apply_actions(ctx, &outcome);
-                self.pump_sends(ctx);
+                self.apply_actions(ctx, session, &outcome);
+                self.pump_sends(ctx, key, session);
+                true
             }
             Err(err) => {
                 self.stats.record_error(err.to_string());
                 ctx.trace(format!("bridge dropped message: {err}"));
+                false
             }
         }
     }
 
-    fn session_complete(&self) -> bool {
-        self.exec.at_accepting()
-            || (!self.exec.history().is_empty() && self.exec.current() == self.automaton.initial())
-    }
-
-    /// Composes and emits messages while the execution rests in sending
-    /// states.
-    fn pump_sends(&mut self, ctx: &mut Context<'_>) {
-        while let Some(name) = self.exec.next_send().map(str::to_owned) {
-            let current = self.exec.current();
+    /// Composes and emits messages while the session's execution rests in
+    /// sending states. Any compose/emit/⊨ failure condemns the session
+    /// (`failed`), so the caller tears it down instead of leaving the
+    /// bridge wedged mid-exchange.
+    fn pump_sends(&mut self, ctx: &mut Context<'_>, key: &SessionKey, session: &mut Session) {
+        while let Some(name) = session.exec.next_send().map(str::to_owned) {
+            let current = session.exec.current();
             let part_index = current.part.0;
             let Some(spec) = self.emit_specs.get(&current).cloned() else {
                 self.stats.record_error(format!("state {current} has no colour to send on"));
+                session.failed = true;
                 return;
             };
             let codec = self.codecs[part_index].clone();
-            let message = match self.exec.store().get(&name) {
+            let message = match session.exec.store().get(&name) {
                 Some(instance) => instance.clone(),
                 None => AbstractMessage::new(codec.protocol(), name.as_str()),
             };
@@ -295,6 +599,7 @@ impl BridgeEngine {
                 ctx.trace(format!(
                     "bridge refused to send {name}: mandatory fields {unfilled:?} unfilled"
                 ));
+                session.failed = true;
                 return;
             }
             let mut payload = std::mem::take(&mut self.compose_buf);
@@ -302,28 +607,35 @@ impl BridgeEngine {
                 self.compose_buf = payload;
                 self.stats.record_error(format!("compose {name}: {err}"));
                 ctx.trace(format!("bridge failed to compose {name}: {err}"));
+                session.failed = true;
                 return;
             }
-            let emitted = self.emit(ctx, part_index, &spec, &payload);
+            let emitted = self.emit(ctx, key, session, part_index, &spec, &payload);
             self.compose_buf = payload;
             if let Err(err) = emitted {
                 self.stats.record_error(format!("emit {name}: {err}"));
                 ctx.trace(format!("bridge failed to emit {name}: {err}"));
+                session.failed = true;
                 return;
             }
-            match self.exec.sent(message) {
-                Ok(outcome) => self.apply_actions(ctx, &outcome),
+            if let Some(correlator) = &self.config.correlator {
+                let protocol = self.automaton.parts()[part_index].protocol();
+                if let Some(alias) = correlator.outbound_key(part_index, protocol, &message) {
+                    if !self.aliases.contains_key(&alias) {
+                        self.aliases.insert(alias.clone(), key.clone());
+                        session.aliases.push(alias);
+                    }
+                }
+            }
+            match session.exec.sent(message) {
+                Ok(outcome) => self.apply_actions(ctx, session, &outcome),
                 Err(err) => {
                     self.stats.record_error(err.to_string());
+                    session.failed = true;
                     return;
                 }
             }
-            if self.session_complete() {
-                if let Some(started) = self.session_started {
-                    self.stats.record_session(started, ctx.now());
-                    ctx.trace(format!("bridge session complete in {}", ctx.now().since(started)));
-                }
-                self.reset_session();
+            if self.session_complete(session) {
                 break;
             }
         }
@@ -336,15 +648,18 @@ impl BridgeEngine {
     fn emit(
         &mut self,
         ctx: &mut Context<'_>,
+        key: &SessionKey,
+        session: &mut Session,
         part_index: usize,
         spec: &EmitSpec,
         payload: &[u8],
     ) -> Result<()> {
         match spec.transport {
             Transport::Udp => {
-                let destination = if let Some(reply_to) = self.parts[part_index].reply_to.clone() {
+                let destination = if let Some(reply_to) = session.parts[part_index].reply_to.clone()
+                {
                     reply_to
-                } else if let Some(target) = self.set_host.clone() {
+                } else if let Some(target) = session.set_host.clone() {
                     target
                 } else if let Some(group) = spec.group.clone() {
                     group
@@ -358,20 +673,21 @@ impl BridgeEngine {
                 Ok(())
             }
             Transport::Tcp => {
-                if let Some(conn) = self.parts[part_index].server_conn {
+                if let Some(conn) = session.parts[part_index].server_conn {
                     ctx.tcp_send(conn, payload).map_err(CoreError::from)
-                } else if let Some(conn) = self.parts[part_index].client_conn {
+                } else if let Some(conn) = session.parts[part_index].client_conn {
                     ctx.tcp_send(conn, payload).map_err(CoreError::from)
                 } else {
-                    let Some(target) = self.set_host.clone() else {
+                    let Some(target) = session.set_host.clone() else {
                         return Err(CoreError::Deployment(
                             "TCP send requires a prior set_host λ action".into(),
                         ));
                     };
                     let conn = ctx.tcp_connect(target).map_err(CoreError::from)?;
-                    self.conn_part.insert(conn, part_index);
-                    self.parts[part_index].client_conn = Some(conn);
-                    self.parts[part_index].pending_out.push_back(payload.to_vec());
+                    self.conn_sessions.insert(conn, (key.clone(), part_index));
+                    session.conns.push(conn);
+                    session.parts[part_index].client_conn = Some(conn);
+                    session.parts[part_index].pending_out.push_back(payload.to_vec());
                     Ok(())
                 }
             }
@@ -379,23 +695,54 @@ impl BridgeEngine {
     }
 
     /// Parses as many messages as the buffered stream for `conn` holds,
-    /// delivering each.
-    fn drain_stream(&mut self, ctx: &mut Context<'_>, conn: ConnId, part_index: usize) {
+    /// delivering each to the owning session.
+    fn drain_stream(
+        &mut self,
+        ctx: &mut Context<'_>,
+        key: &SessionKey,
+        session: &mut Session,
+        conn: ConnId,
+        part_index: usize,
+    ) {
         loop {
-            let buffer = self.buffers.entry(conn).or_default();
+            if session.failed || self.session_complete(session) {
+                break;
+            }
+            let Some(buffer) = self.buffers.get(&conn) else { break };
             if buffer.is_empty() {
                 break;
             }
             match self.codecs[part_index].parse_prefix(buffer) {
                 Ok((message, consumed)) => {
                     self.buffers.get_mut(&conn).expect("buffer exists").drain(..consumed);
-                    self.deliver(ctx, message);
+                    self.deliver(ctx, key, session, message);
                 }
                 Err(_) => {
                     // Incomplete message: wait for more stream data.
                     break;
                 }
             }
+        }
+    }
+
+    /// Handles a datagram routed to a fresh key: a session is opened only
+    /// when its first message actually advances a fresh execution, so
+    /// rogue traffic (replies without a session, duplicates after
+    /// completion) is recorded and dropped without occupying the table.
+    fn open_session(
+        &mut self,
+        ctx: &mut Context<'_>,
+        key: SessionKey,
+        part_index: usize,
+        from: SimAddr,
+        message: AbstractMessage,
+    ) {
+        let mut session = self.fresh_session(ctx.now());
+        session.parts[part_index].reply_to = Some(from);
+        if self.deliver(ctx, &key, &mut session, message) {
+            self.stats.record_session_started();
+            self.arm_expiry(ctx, &key, &mut session);
+            self.conclude(ctx, key, session);
         }
     }
 }
@@ -433,14 +780,33 @@ impl Actor for BridgeEngine {
             return;
         };
         let parsed = self.codecs[part_index].parse(&datagram.payload);
-        match parsed {
-            Ok(message) => {
-                self.parts[part_index].reply_to = Some(datagram.from.clone());
-                self.deliver(ctx, message);
-            }
+        let message = match parsed {
+            Ok(message) => message,
             Err(err) => {
                 self.stats.record_error(format!("parse on part #{part_index}: {err}"));
                 ctx.trace(format!("bridge failed to parse datagram: {err}"));
+                return;
+            }
+        };
+        match self.route_inbound(part_index, &message, &datagram.from) {
+            Route::Existing(key) => {
+                let mut session = self.sessions.remove(&key).expect("routed to live session");
+                // The reply address and activity clock follow the sender
+                // only when the execution accepts the message; a rejected
+                // duplicate or spoofed datagram must neither hijack where
+                // replies go nor keep deferring the idle expiry of a
+                // session that is otherwise dead.
+                let previous_reply_to = session.parts[part_index].reply_to.replace(datagram.from);
+                let previous_activity = session.last_activity;
+                session.last_activity = ctx.now();
+                if !self.deliver(ctx, &key, &mut session, message) {
+                    session.parts[part_index].reply_to = previous_reply_to;
+                    session.last_activity = previous_activity;
+                }
+                self.conclude(ctx, key, session);
+            }
+            Route::Fresh(key) => {
+                self.open_session(ctx, key, part_index, datagram.from.clone(), message);
             }
         }
     }
@@ -452,35 +818,119 @@ impl Actor for BridgeEngine {
                     ctx.trace(format!("bridge: no part listens on port {local_port}"));
                     return;
                 };
+                // Correlate the connection with the session that told
+                // this peer to connect: the oldest session resting in the
+                // listening part whose recorded originator shares the
+                // peer's host and whose part slot is still free — a
+                // session already serving one accepted connection must
+                // not have it overwritten by a second same-host connect
+                // (that one pairs with the next waiting session instead).
+                // Anything else *originates* its own session — grafting
+                // an unmatched peer onto a waiting session would hand one
+                // client's exchange to a stranger (peers whose connect
+                // address genuinely differs from their datagram address
+                // need a `SessionCorrelator`).
+                let matched = self
+                    .sessions
+                    .iter()
+                    .filter(|(_, s)| {
+                        s.exec.current().part.0 == part_index
+                            && s.parts[part_index].server_conn.is_none()
+                            && s.parts.iter().any(|p| {
+                                p.reply_to.as_ref().is_some_and(|addr| addr.host == peer.host)
+                            })
+                    })
+                    .min_by_key(|(_, s)| s.seq)
+                    .map(|(key, _)| key.clone());
                 ctx.trace(format!("bridge accepted {peer} on part #{part_index}"));
-                self.conn_part.insert(conn, part_index);
-                self.parts[part_index].server_conn = Some(conn);
-            }
-            TcpEvent::Connected { conn, .. } => {
-                let Some(&part_index) = self.conn_part.get(&conn) else { return };
-                while let Some(payload) = self.parts[part_index].pending_out.pop_front() {
-                    if let Err(err) = ctx.tcp_send(conn, payload) {
-                        self.stats.record_error(err.to_string());
+                match matched {
+                    Some(key) => {
+                        let mut session = self.sessions.remove(&key).expect("matched live session");
+                        session.parts[part_index].server_conn = Some(conn);
+                        session.conns.push(conn);
+                        session.last_activity = ctx.now();
+                        self.conn_sessions.insert(conn, (key.clone(), part_index));
+                        self.sessions.insert(key, session);
+                    }
+                    None => {
+                        let key = SessionKey::Conn(conn);
+                        let mut session = self.fresh_session(ctx.now());
+                        session.parts[part_index].server_conn = Some(conn);
+                        session.conns.push(conn);
+                        self.conn_sessions.insert(conn, (key.clone(), part_index));
+                        self.stats.record_session_started();
+                        self.arm_expiry(ctx, &key, &mut session);
+                        self.sessions.insert(key, session);
                     }
                 }
             }
+            TcpEvent::Connected { conn, .. } => {
+                let Some((key, part_index)) = self.conn_sessions.get(&conn).cloned() else {
+                    return;
+                };
+                let Some(mut session) = self.sessions.remove(&key) else { return };
+                session.last_activity = ctx.now();
+                while let Some(payload) = session.parts[part_index].pending_out.pop_front() {
+                    if let Err(err) = ctx.tcp_send(conn, payload) {
+                        // A lost handshake-buffered request condemns the
+                        // session like any other emit failure.
+                        self.stats.record_error(format!("flush on connect: {err}"));
+                        session.failed = true;
+                        break;
+                    }
+                }
+                self.conclude(ctx, key, session);
+            }
             TcpEvent::Data { conn, payload } => {
-                let Some(&part_index) = self.conn_part.get(&conn) else { return };
+                let Some((key, part_index)) = self.conn_sessions.get(&conn).cloned() else {
+                    return;
+                };
                 self.buffers.entry(conn).or_default().extend_from_slice(&payload);
-                self.drain_stream(ctx, conn, part_index);
+                let Some(mut session) = self.sessions.remove(&key) else { return };
+                session.last_activity = ctx.now();
+                self.drain_stream(ctx, &key, &mut session, conn, part_index);
+                self.conclude(ctx, key, session);
             }
             TcpEvent::Closed { conn } => {
-                if let Some(part_index) = self.conn_part.remove(&conn) {
-                    let part = &mut self.parts[part_index];
-                    if part.server_conn == Some(conn) {
-                        part.server_conn = None;
-                    }
-                    if part.client_conn == Some(conn) {
-                        part.client_conn = None;
+                if let Some((key, part_index)) = self.conn_sessions.remove(&conn) {
+                    if let Some(session) = self.sessions.get_mut(&key) {
+                        let part = &mut session.parts[part_index];
+                        if part.server_conn == Some(conn) {
+                            part.server_conn = None;
+                        }
+                        if part.client_conn == Some(conn) {
+                            part.client_conn = None;
+                        }
+                        session.conns.retain(|c| *c != conn);
                     }
                 }
                 self.buffers.remove(&conn);
             }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        let Some(key) = self.timer_sessions.remove(&tag) else { return };
+        let Some(mut session) = self.sessions.remove(&key) else { return };
+        session.timer = None;
+        let deadline = session.last_activity + self.config.idle_timeout;
+        if ctx.now() >= deadline {
+            self.unlink(ctx, &mut session);
+            self.stats.record_session_expired();
+            ctx.trace(format!(
+                "bridge session {key} expired after {} idle",
+                ctx.now().since(session.last_activity)
+            ));
+        } else {
+            // Activity since the timer was armed: re-arm for the
+            // remaining idle window.
+            let remaining = deadline.since(ctx.now());
+            let new_tag = self.next_timer_tag;
+            self.next_timer_tag += 1;
+            let id = ctx.set_timer(remaining, new_tag);
+            self.timer_sessions.insert(new_tag, key.clone());
+            session.timer = Some((id, new_tag));
+            self.sessions.insert(key, session);
         }
     }
 }

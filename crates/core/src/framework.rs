@@ -3,7 +3,7 @@
 //! that are specialised by models; a process that can be executed
 //! dynamically."
 
-use crate::engine::BridgeEngine;
+use crate::engine::{BridgeEngine, EngineConfig};
 use crate::error::{CoreError, Result};
 use crate::stats::BridgeStats;
 use starlink_automata::{load_bridge, FunctionRegistry, MergedAutomaton};
@@ -109,9 +109,23 @@ impl Starlink {
     /// # Errors
     ///
     /// Returns [`CoreError::Deployment`] when the merge constraints are
-    /// violated and [`CoreError::MissingCodec`] when a part protocol has
-    /// no codec.
+    /// violated (or two parts declare colours on the same port) and
+    /// [`CoreError::MissingCodec`] when a part protocol has no codec.
     pub fn deploy(&self, merged: MergedAutomaton) -> Result<(BridgeEngine, BridgeStats)> {
+        self.deploy_with(merged, EngineConfig::default())
+    }
+
+    /// Deploys a merged automaton with an explicit runtime policy (idle
+    /// timeout, session correlator).
+    ///
+    /// # Errors
+    ///
+    /// As [`Starlink::deploy`].
+    pub fn deploy_with(
+        &self,
+        merged: MergedAutomaton,
+        config: EngineConfig,
+    ) -> Result<(BridgeEngine, BridgeStats)> {
         let report = merged.check_merge();
         if !report.is_mergeable() {
             return Err(CoreError::Deployment(format!("merge constraints violated: {report}")));
@@ -131,7 +145,8 @@ impl Starlink {
             codecs,
             Arc::new(self.functions.clone()),
             stats.clone(),
-        );
+            config,
+        )?;
         Ok((engine, stats))
     }
 }
@@ -239,6 +254,40 @@ mod tests {
         let (engine, stats) = starlink.deploy(bridge()).unwrap();
         assert_eq!(stats.session_count(), 0);
         drop(engine);
+    }
+
+    #[test]
+    fn deploy_rejects_udp_port_collision_between_parts() {
+        // Two parts declaring colours on the same UDP port cannot be
+        // routed unambiguously: before the session-table runtime this
+        // silently misrouted (last declaration won in the fallback
+        // table); now it is a deployment error.
+        let mut starlink = Starlink::new();
+        starlink.load_mdl_xml(ECHO_MDL).unwrap();
+        starlink.load_mdl_xml(QUERY_MDL).unwrap();
+        let clashing_query = ColoredAutomaton::builder("Query")
+            .color(Color::new(Transport::Udp, 1000, Mode::Async).multicast("239.0.0.2"))
+            .state("q0")
+            .state("q1")
+            .state_accepting("q2")
+            .send("q0", "Ask", "q1")
+            .receive("q1", "Answer", "q2")
+            .build()
+            .unwrap();
+        let merged = MergedAutomaton::builder("clash")
+            .part(echo_part())
+            .part(clashing_query)
+            .equivalence("Ask", &["Ping"])
+            .equivalence("Pong", &["Answer"])
+            .delta(Delta::new("Echo:s1", "Query:q0"))
+            .delta(Delta::new("Query:q2", "Echo:s1"))
+            .build()
+            .unwrap();
+        let err = starlink.deploy(merged).unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Deployment(msg) if msg.contains("UDP port 1000")),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

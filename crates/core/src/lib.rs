@@ -43,8 +43,8 @@ mod framework;
 mod stats;
 mod synthesis;
 
-pub use engine::BridgeEngine;
+pub use engine::{BridgeEngine, EngineConfig, FieldCorrelator, SessionCorrelator, SessionKey};
 pub use error::{CoreError, Result};
 pub use framework::Starlink;
-pub use stats::{BridgeStats, SessionRecord};
+pub use stats::{BridgeStats, ConcurrencyStats, SessionRecord};
 pub use synthesis::{synthesize_bridge, Ontology};

@@ -21,11 +21,32 @@ impl SessionRecord {
     }
 }
 
+/// Session-lifecycle counters of a multi-session bridge: how many
+/// sessions were opened, how many are live right now, the concurrency
+/// high-water mark, and how the closed ones ended.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConcurrencyStats {
+    /// Sessions opened since deployment.
+    pub started: u64,
+    /// Sessions that ran to completion.
+    pub completed: u64,
+    /// Sessions torn down after a compose/emit/⊨ failure.
+    pub failed: u64,
+    /// Sessions reaped by the idle-expiry timer.
+    pub expired: u64,
+    /// Sessions live right now (the concurrency gauge).
+    pub active: u64,
+    /// Highest number of simultaneously live sessions observed.
+    pub peak_active: u64,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     sessions: Vec<SessionRecord>,
     /// Messages that failed to parse/translate (dropped by the engine).
     errors: Vec<String>,
+    /// Session-lifecycle counters.
+    concurrency: ConcurrencyStats,
 }
 
 /// Shared handle onto a bridge's statistics; clone freely — the engine
@@ -48,7 +69,38 @@ impl BridgeStats {
 
     /// Records a completed session.
     pub fn record_session(&self, started: SimTime, finished: SimTime) {
-        self.lock().sessions.push(SessionRecord { started, finished });
+        let mut inner = self.lock();
+        inner.sessions.push(SessionRecord { started, finished });
+        inner.concurrency.completed += 1;
+        inner.concurrency.active = inner.concurrency.active.saturating_sub(1);
+    }
+
+    /// Records a session opening (the concurrency gauge rises).
+    pub fn record_session_started(&self) {
+        let mut inner = self.lock();
+        inner.concurrency.started += 1;
+        inner.concurrency.active += 1;
+        inner.concurrency.peak_active = inner.concurrency.peak_active.max(inner.concurrency.active);
+    }
+
+    /// Records a session torn down after a compose/emit/⊨ failure (the
+    /// failure itself is recorded separately via [`BridgeStats::record_error`]).
+    pub fn record_session_failed(&self) {
+        let mut inner = self.lock();
+        inner.concurrency.failed += 1;
+        inner.concurrency.active = inner.concurrency.active.saturating_sub(1);
+    }
+
+    /// Records a session reaped by the idle-expiry timer.
+    pub fn record_session_expired(&self) {
+        let mut inner = self.lock();
+        inner.concurrency.expired += 1;
+        inner.concurrency.active = inner.concurrency.active.saturating_sub(1);
+    }
+
+    /// The session-lifecycle counters.
+    pub fn concurrency(&self) -> ConcurrencyStats {
+        self.lock().concurrency
     }
 
     /// Records an engine-level error (message dropped).
@@ -98,5 +150,22 @@ mod tests {
         let other = stats.clone();
         other.record_error("boom");
         assert_eq!(stats.errors(), vec!["boom"]);
+    }
+
+    #[test]
+    fn concurrency_gauge_tracks_lifecycle() {
+        let stats = BridgeStats::new();
+        stats.record_session_started();
+        stats.record_session_started();
+        stats.record_session_started();
+        let c = stats.concurrency();
+        assert_eq!((c.started, c.active, c.peak_active), (3, 3, 3));
+        stats.record_session(SimTime::ZERO, SimTime::from_millis(1));
+        stats.record_session_failed();
+        stats.record_session_expired();
+        let c = stats.concurrency();
+        assert_eq!(c.active, 0);
+        assert_eq!(c.peak_active, 3);
+        assert_eq!((c.completed, c.failed, c.expired), (1, 1, 1));
     }
 }

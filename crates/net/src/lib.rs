@@ -53,6 +53,8 @@ mod time;
 pub use addr::SimAddr;
 pub use error::{NetError, Result};
 pub use latency::LatencyModel;
-pub use realnet::LoopbackUdp;
-pub use sim::{Actor, ConnId, Context, Datagram, SimNet, TcpEvent, TimerId, TraceEntry};
+pub use realnet::{LoopbackUdp, UdpBridge};
+pub use sim::{
+    Actor, ConnId, Context, Datagram, DelayedActor, SimNet, TcpEvent, TimerId, TraceEntry,
+};
 pub use time::{SimDuration, SimTime};

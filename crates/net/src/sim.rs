@@ -86,6 +86,48 @@ pub trait Actor {
     fn on_timer(&mut self, _ctx: &mut Context<'_>, _tag: u64) {}
 }
 
+/// Wraps an actor so its [`Actor::on_start`] runs after a delay — the
+/// building block for staggered/interleaved multi-client scenarios.
+///
+/// The wrapper reserves timer tag `u64::MAX` for the deferred start and
+/// forwards every other event to the inner actor untouched.
+#[derive(Debug)]
+pub struct DelayedActor<A> {
+    delay: crate::time::SimDuration,
+    inner: A,
+    started: bool,
+}
+
+impl<A: Actor> DelayedActor<A> {
+    /// Wraps `inner` so it starts `delay` after the simulation adds it.
+    pub fn new(delay: crate::time::SimDuration, inner: A) -> Self {
+        DelayedActor { delay, inner, started: false }
+    }
+}
+
+impl<A: Actor> Actor for DelayedActor<A> {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.delay, u64::MAX);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, datagram: Datagram) {
+        self.inner.on_datagram(ctx, datagram);
+    }
+
+    fn on_tcp(&mut self, ctx: &mut Context<'_>, event: TcpEvent) {
+        self.inner.on_tcp(ctx, event);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        if tag == u64::MAX && !self.started {
+            self.started = true;
+            self.inner.on_start(ctx);
+        } else {
+            self.inner.on_timer(ctx, tag);
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Connection {
     initiator: SimAddr,
@@ -158,6 +200,15 @@ struct World {
     cancelled_timers: BTreeSet<u64>,
     trace: Vec<TraceEntry>,
     hosts: BTreeSet<Arc<str>>,
+    /// Hosts that live *outside* the simulation (real sockets behind a
+    /// gateway loop). Unicast datagrams addressed to them are queued in
+    /// `egress` instead of being delivered or dropped.
+    external_hosts: BTreeSet<Arc<str>>,
+    /// Endpoints outside the simulation that joined a multicast group;
+    /// group sends fan out to them through `egress` too.
+    external_group_members: BTreeMap<SimAddr, BTreeSet<SimAddr>>,
+    /// Datagrams leaving the simulation, drained by the gateway loop.
+    egress: Vec<Datagram>,
 }
 
 impl World {
@@ -255,6 +306,23 @@ impl Context<'_> {
                     }),
                 );
             }
+            let external: Vec<SimAddr> = self
+                .world
+                .external_group_members
+                .get(&to)
+                .map(|m| m.iter().cloned().collect())
+                .unwrap_or_default();
+            for member in external {
+                self.world.trace(format!("udp egress {from} -> {member} (group {to})"));
+                self.world.egress.push(Datagram {
+                    from: from.clone(),
+                    to: member,
+                    payload: payload.clone(),
+                });
+            }
+        } else if self.world.external_hosts.contains(&to.host) {
+            self.world.trace(format!("udp egress {from} -> {to} ({} bytes)", payload.len()));
+            self.world.egress.push(Datagram { from, to, payload });
         } else {
             let bound = self.world.udp_bindings.contains(&(to.host.clone(), to.port));
             if bound {
@@ -469,9 +537,44 @@ impl SimNet {
                 cancelled_timers: BTreeSet::new(),
                 trace: Vec::new(),
                 hosts: BTreeSet::new(),
+                external_hosts: BTreeSet::new(),
+                external_group_members: BTreeMap::new(),
+                egress: Vec::new(),
             },
             actors: BTreeMap::new(),
         }
+    }
+
+    /// Declares `host` as living outside the simulation: unicast
+    /// datagrams addressed to it are queued for [`SimNet::drain_egress`]
+    /// instead of being dropped. A gateway loop (e.g. the realnet
+    /// [`crate::UdpBridge`]) forwards them over real sockets.
+    pub fn register_external_host(&mut self, host: impl Into<Arc<str>>) {
+        self.world.external_hosts.insert(host.into());
+    }
+
+    /// Registers an endpoint outside the simulation as a member of a
+    /// multicast `group`; group sends fan out to it through the egress
+    /// queue.
+    pub fn join_group_external(&mut self, group: SimAddr, member: SimAddr) {
+        self.world.external_group_members.entry(group).or_default().insert(member);
+    }
+
+    /// Injects a datagram arriving from outside the simulation; it is
+    /// delivered to `datagram.to.host` at the current virtual time (the
+    /// real network already paid its latency). The sender's host is
+    /// implicitly registered as external so replies can leave again.
+    pub fn inject_datagram(&mut self, datagram: Datagram) {
+        self.world.external_hosts.insert(datagram.from.host.clone());
+        let now = self.world.now;
+        let host = datagram.to.host.clone();
+        self.world.schedule(now, host, EventKind::Datagram(datagram));
+    }
+
+    /// Drains the datagrams queued for external endpoints since the last
+    /// call.
+    pub fn drain_egress(&mut self) -> Vec<Datagram> {
+        std::mem::take(&mut self.world.egress)
     }
 
     /// Replaces the latency model (default: [`LatencyModel::local_machine`]).
@@ -505,12 +608,6 @@ impl SimNet {
     }
 
     fn dispatch(&mut self, event: Event) {
-        // Cancelled timers are dropped before touching the actor.
-        if let EventKind::Timer { id, .. } = &event.kind {
-            if self.world.cancelled_timers.remove(id) {
-                return;
-            }
-        }
         // Take the actor out of its slot so the context can borrow the
         // world mutably; single-threaded, so the slot cannot be observed
         // empty by anyone else.
@@ -544,14 +641,33 @@ impl SimNet {
         }
     }
 
+    /// Drops the event without dispatching when it is a cancelled timer.
+    /// Cancelled timers do not advance the virtual clock either — they
+    /// were revoked before firing, so time must not fast-forward to them
+    /// (a completed bridge session cancelling its idle-expiry timer must
+    /// not stretch `run_until_idle` by the timeout).
+    fn consume_if_cancelled(&mut self, event: &Event) -> bool {
+        if let EventKind::Timer { id, .. } = &event.kind {
+            if self.world.cancelled_timers.remove(id) {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Processes the next event; returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(event)) = self.world.events.pop() else {
-            return false;
-        };
-        self.world.now = event.at;
-        self.dispatch(event);
-        true
+        loop {
+            let Some(Reverse(event)) = self.world.events.pop() else {
+                return false;
+            };
+            if self.consume_if_cancelled(&event) {
+                continue;
+            }
+            self.world.now = event.at;
+            self.dispatch(event);
+            return true;
+        }
     }
 
     /// Runs until no events remain, returning the final virtual time.
@@ -567,6 +683,9 @@ impl SimNet {
             match self.world.events.peek() {
                 Some(Reverse(event)) if event.at <= deadline => {
                     let Reverse(event) = self.world.events.pop().expect("peeked");
+                    if self.consume_if_cancelled(&event) {
+                        continue;
+                    }
                     self.world.now = event.at;
                     self.dispatch(event);
                 }
@@ -805,6 +924,82 @@ mod tests {
         let mut sim = SimNet::new(7);
         sim.add_actor("10.0.0.1", Binder);
         sim.run_until_idle();
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_advance_clock() {
+        struct Canceller;
+        impl Actor for Canceller {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+                let late = ctx.set_timer(SimDuration::from_secs(60), 2);
+                ctx.cancel_timer(late);
+            }
+        }
+        let mut sim = SimNet::new(11);
+        sim.add_actor("10.0.0.1", Canceller);
+        let end = sim.run_until_idle();
+        assert_eq!(end, SimTime::from_millis(1), "cancelled timer stretched the run to {end:?}");
+    }
+
+    #[test]
+    fn external_unicast_is_queued_for_egress() {
+        let mut sim = SimNet::new(12);
+        sim.register_external_host("127.0.0.1");
+        sim.add_actor("10.0.0.1", OneShot { to: SimAddr::new("127.0.0.1", 9000) });
+        sim.run_until_idle();
+        let egress = sim.drain_egress();
+        assert_eq!(egress.len(), 1);
+        assert_eq!(egress[0].to, SimAddr::new("127.0.0.1", 9000));
+        assert_eq!(&egress[0].payload[..], b"hello");
+        assert!(sim.drain_egress().is_empty(), "drain consumes the queue");
+    }
+
+    #[test]
+    fn external_group_member_receives_multicast_via_egress() {
+        let group = SimAddr::new("239.0.0.9", 4000);
+        let mut sim = SimNet::new(13);
+        sim.join_group_external(group.clone(), SimAddr::new("127.0.0.1", 5555));
+        struct Caster {
+            group: SimAddr,
+        }
+        impl Actor for Caster {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.bind_udp(4000).unwrap();
+                ctx.udp_send(4000, self.group.clone(), &b"hi"[..]);
+            }
+        }
+        sim.add_actor("10.0.0.1", Caster { group });
+        sim.run_until_idle();
+        let egress = sim.drain_egress();
+        assert_eq!(egress.len(), 1);
+        assert_eq!(egress[0].to, SimAddr::new("127.0.0.1", 5555));
+    }
+
+    #[test]
+    fn injected_datagram_is_delivered_and_reply_leaves_again() {
+        struct Echo;
+        impl Actor for Echo {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.bind_udp(9).unwrap();
+            }
+            fn on_datagram(&mut self, ctx: &mut Context<'_>, datagram: Datagram) {
+                ctx.udp_send(9, datagram.from, datagram.payload);
+            }
+        }
+        let mut sim = SimNet::new(14);
+        sim.add_actor("10.0.0.2", Echo);
+        sim.run_until_idle();
+        sim.inject_datagram(Datagram {
+            from: SimAddr::new("127.0.0.1", 40_001),
+            to: SimAddr::new("10.0.0.2", 9),
+            payload: Bytes::copy_from_slice(b"ping"),
+        });
+        sim.run_until_idle();
+        let egress = sim.drain_egress();
+        assert_eq!(egress.len(), 1, "reply to the external sender left the sim");
+        assert_eq!(egress[0].to, SimAddr::new("127.0.0.1", 40_001));
+        assert_eq!(&egress[0].payload[..], b"ping");
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! The multi-session runtime: a bridge is a mediating connector serving
+//! *many simultaneous interaction pairs*. These tests interleave
+//! concurrent legacy clients over every bridge case and assert that each
+//! one completes its own session with correct reply addressing, that a
+//! failed session is torn down instead of wedging the bridge, and that
+//! idle sessions expire.
+
+use starlink::automata::{Assignment, Delta, MergedAutomaton, ValueSource};
+use starlink::core::{BridgeStats, EngineConfig, FieldCorrelator, Starlink};
+use starlink::net::{Actor, Context, DelayedActor, SimAddr, SimDuration, SimNet};
+use starlink::protocols::{
+    bridges::{self, BridgeCase},
+    mdns, slp, upnp, Calibration, DiscoveryProbe,
+};
+use starlink_bench::{expected_discovery_url as expected_url, run_concurrent_clients_with};
+use std::sync::Arc;
+
+const BRIDGE: &str = "10.0.0.2";
+const SERVICE: &str = "10.0.0.3";
+
+const SLP_TYPE: &str = "service:printer";
+const UPNP_TYPE: &str = "urn:schemas-upnp-org:service:printer:1";
+const DNS_TYPE: &str = "_printer._tcp.local";
+const SERVICE_URL: &str = "service:printer://10.0.0.3:631";
+
+/// Runs `clients` interleaved legacy clients of the case's source
+/// protocol against one bridge + one target service (client `i` starts
+/// after `stagger_us[i % len]` µs so datagrams of different sessions
+/// genuinely interleave mid-session), via the shared harness in
+/// `starlink-bench`.
+fn run_interleaved(
+    case: BridgeCase,
+    clients: usize,
+    seed: u64,
+    stagger_us: &[u64],
+) -> (Vec<DiscoveryProbe>, BridgeStats) {
+    let stagger: Vec<u64> = (0..clients).map(|i| stagger_us[i % stagger_us.len()]).collect();
+    run_concurrent_clients_with(case, seed, Calibration::fast(), &stagger)
+}
+
+#[test]
+fn two_clients_interleaving_mid_session_stay_isolated_in_all_six_cases() {
+    // The second client's request arrives while the first session is
+    // mid-exchange (fast service delays are 1–6 ms; the stagger is well
+    // inside that): before the session table, that datagram landed in
+    // the first client's execution and clobbered its reply address.
+    for case in BridgeCase::all() {
+        let (probes, stats) = run_interleaved(case, 2, 400 + case.number() as u64, &[0, 900]);
+        for (i, probe) in probes.iter().enumerate() {
+            let results = probe.results();
+            assert_eq!(
+                results.len(),
+                1,
+                "case {} client {i}: expected exactly one reply, got {results:?}; errors: {:?}",
+                case.number(),
+                stats.errors()
+            );
+            assert_eq!(results[0].url, expected_url(case), "case {} client {i}", case.number());
+        }
+        assert_eq!(stats.session_count(), 2, "case {}", case.number());
+        assert!(
+            stats.errors().is_empty(),
+            "case {}: bridge errors {:?}",
+            case.number(),
+            stats.errors()
+        );
+        let c = stats.concurrency();
+        assert_eq!((c.started, c.completed, c.active), (2, 2, 0), "case {}", case.number());
+    }
+}
+
+#[test]
+fn hundred_interleaved_clients_complete_hundred_distinct_sessions_per_case() {
+    // The acceptance scenario: 100 clients whose sessions overlap
+    // heavily; every reply must return to its own originator, and the
+    // concurrency gauge must actually see many live sessions at once.
+    let stagger: Vec<u64> = (0..20).map(|i| i * 250).collect();
+    for case in BridgeCase::all() {
+        let (probes, stats) = run_interleaved(case, 100, 500 + case.number() as u64, &stagger);
+        let mut completed = 0usize;
+        for (i, probe) in probes.iter().enumerate() {
+            let results = probe.results();
+            assert_eq!(
+                results.len(),
+                1,
+                "case {} client {i}: {} replies; errors: {:?}",
+                case.number(),
+                results.len(),
+                stats.errors()
+            );
+            assert_eq!(results[0].url, expected_url(case), "case {} client {i}", case.number());
+            completed += 1;
+        }
+        assert_eq!(completed, 100);
+        assert_eq!(stats.session_count(), 100, "case {}", case.number());
+        assert!(
+            stats.errors().is_empty(),
+            "case {}: bridge errors {:?}",
+            case.number(),
+            stats.errors()
+        );
+        let c = stats.concurrency();
+        assert_eq!((c.started, c.completed), (100, 100), "case {}", case.number());
+        assert_eq!(c.active, 0, "case {}", case.number());
+        assert!(
+            c.peak_active >= 10,
+            "case {}: sessions did not overlap (peak {})",
+            case.number(),
+            c.peak_active
+        );
+    }
+}
+
+/// The SLP→Bonjour bridge with its `DNS_Question.QName` assignment
+/// removed: the dynamic ⊨ check refuses to compose the question, which
+/// used to leave the singleton engine stuck mid-session forever.
+fn broken_slp_to_bonjour() -> MergedAutomaton {
+    let lit = |v: &str| ValueSource::literal(v);
+    MergedAutomaton::builder("broken-slp-to-bonjour")
+        .part(slp::service_automaton())
+        .part(mdns::client_automaton())
+        .equivalence("DNS_Question", &["SLPSrvRequest"])
+        .equivalence("SLPSrvReply", &["DNS_Response"])
+        .delta(
+            // QName deliberately unassigned.
+            Delta::new("SLP:s1", "DNS:s0")
+                .assignment(Assignment::new(
+                    "DNS_Question",
+                    "ID",
+                    ValueSource::field("SLPSrvRequest", "XID"),
+                ))
+                .assignment(Assignment::new("DNS_Question", "QDCount", ValueSource::literal(1u64)))
+                .assignment(Assignment::new("DNS_Question", "QType", ValueSource::literal(12u64)))
+                .assignment(Assignment::new("DNS_Question", "QClass", ValueSource::literal(1u64))),
+        )
+        .delta(
+            Delta::new("DNS:s2", "SLP:s1")
+                .assignment(Assignment::new(
+                    "SLPSrvReply",
+                    "URLEntry",
+                    ValueSource::field("DNS_Response", "RData"),
+                ))
+                .assignment(Assignment::new(
+                    "SLPSrvReply",
+                    "XID",
+                    ValueSource::field("SLPSrvRequest", "XID"),
+                ))
+                .assignment(Assignment::new("SLPSrvReply", "LangTag", lit("en")))
+                .assignment(Assignment::new("SLPSrvReply", "Version", ValueSource::literal(2u64)))
+                .assignment(Assignment::new(
+                    "SLPSrvReply",
+                    "LifeTime",
+                    ValueSource::literal(60u64),
+                )),
+        )
+        .build()
+        .expect("broken bridge still satisfies the merge constraints")
+}
+
+#[test]
+fn wedge_regression_compose_failure_tears_down_the_session_not_the_bridge() {
+    // Before the session table, pump_sends early-returned on a ⊨/compose
+    // error, leaving the single execution stuck: the next client's
+    // request was dropped with "no receive transition" and the bridge
+    // was wedged until restart. Now each failure condemns only its own
+    // session.
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+    let (engine, stats) = framework.deploy(broken_slp_to_bonjour()).unwrap();
+
+    let mut sim = SimNet::new(600);
+    sim.add_actor(BRIDGE, engine);
+    sim.add_actor(SERVICE, mdns::BonjourService::new(DNS_TYPE, SERVICE_URL, Calibration::fast()));
+    let probe_a = DiscoveryProbe::new();
+    let probe_b = DiscoveryProbe::new();
+    sim.add_actor("10.0.1.1", slp::SlpClient::new(SLP_TYPE, probe_a.clone()));
+    sim.add_actor(
+        "10.0.1.2",
+        DelayedActor::new(
+            SimDuration::from_millis(2),
+            slp::SlpClient::new(SLP_TYPE, probe_b.clone()),
+        ),
+    );
+    sim.run_until_idle();
+
+    let c = stats.concurrency();
+    assert_eq!(c.started, 2, "both clients opened their own session");
+    assert_eq!(c.failed, 2, "both sessions failed independently and were torn down");
+    assert_eq!(c.active, 0, "nothing left wedged in the table");
+    let errors = stats.errors();
+    assert_eq!(errors.len(), 2, "one ⊨ violation per session: {errors:?}");
+    assert!(
+        errors.iter().all(|e| e.contains("⊨ violation")),
+        "the second client must hit its own compose error, not a wedged \
+         execution's 'no receive transition': {errors:?}"
+    );
+    assert!(probe_a.is_empty() && probe_b.is_empty());
+}
+
+#[test]
+fn expired_session_is_reaped_and_a_later_client_succeeds() {
+    // Client A asks while no responder exists: its session can never
+    // finish and is expired by the idle timeout. A later client (after a
+    // responder appeared) completes normally — before the session table
+    // the stuck execution swallowed B's request forever.
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+    let config =
+        EngineConfig { idle_timeout: SimDuration::from_millis(50), ..EngineConfig::default() };
+    let (engine, stats) = framework.deploy_with(bridges::slp_to_bonjour(), config).unwrap();
+
+    let probe_a = DiscoveryProbe::new();
+    let probe_b = DiscoveryProbe::new();
+    let mut sim = SimNet::new(601);
+    sim.add_actor(BRIDGE, engine);
+    sim.add_actor("10.0.1.1", slp::SlpClient::new(SLP_TYPE, probe_a.clone()));
+    sim.run_until(starlink::net::SimTime::from_millis(80));
+
+    sim.add_actor(SERVICE, mdns::BonjourService::new(DNS_TYPE, SERVICE_URL, Calibration::fast()));
+    sim.add_actor("10.0.1.2", slp::SlpClient::new(SLP_TYPE, probe_b.clone()));
+    sim.run_until_idle();
+
+    let c = stats.concurrency();
+    assert_eq!(c.expired, 1, "client A's session was reaped by the idle timer");
+    assert_eq!(c.completed, 1, "client B completed after the expiry");
+    assert_eq!(c.active, 0);
+    assert!(probe_a.is_empty(), "no fabricated reply for A");
+    assert_eq!(probe_b.results().len(), 1);
+    assert_eq!(probe_b.first().unwrap().url, SERVICE_URL);
+}
+
+#[test]
+fn rejected_duplicate_does_not_hijack_the_reply_address() {
+    // With XID correlation, a duplicate of client A's request arriving
+    // from a *different host* routes to A's session but is rejected by
+    // the execution (A's session is already awaiting the target-side
+    // response). The reply address must stay A's — a rejected message
+    // must never redirect where the final reply goes.
+    struct Spoofer;
+    impl Actor for Spoofer {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.bind_udp(40_200).unwrap();
+            // Same XID as SlpClient's hardcoded 0x1234.
+            let rqst = slp::SrvRqst::new(0x1234, SLP_TYPE);
+            let wire = slp::encode(&slp::SlpMessage::SrvRqst(rqst));
+            ctx.udp_send(40_200, SimAddr::new(slp::SLP_GROUP, slp::SLP_PORT), wire);
+        }
+    }
+
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+    let config = EngineConfig {
+        correlator: Some(Arc::new(FieldCorrelator::new([("SLP", "XID"), ("DNS", "ID")]))),
+        ..EngineConfig::default()
+    };
+    let (engine, stats) = framework.deploy_with(bridges::slp_to_bonjour(), config).unwrap();
+
+    let probe = DiscoveryProbe::new();
+    let mut sim = SimNet::new(603);
+    sim.add_actor(BRIDGE, engine);
+    sim.add_actor(SERVICE, mdns::BonjourService::new(DNS_TYPE, SERVICE_URL, Calibration::fast()));
+    sim.add_actor("10.0.1.1", slp::SlpClient::new(SLP_TYPE, probe.clone()));
+    // The spoofed duplicate lands while A's session awaits the mDNS
+    // response (service delay is 2–3 ms).
+    sim.add_actor("10.0.9.9", DelayedActor::new(SimDuration::from_millis(1), Spoofer));
+    sim.run_until_idle();
+
+    assert_eq!(
+        probe.results().len(),
+        1,
+        "the reply must reach the originator, not the spoofer; errors: {:?}",
+        stats.errors()
+    );
+    assert_eq!(stats.errors().len(), 1, "the duplicate was recorded and dropped");
+    assert_eq!(stats.concurrency().started, 1);
+}
+
+#[test]
+fn unmatched_tcp_connect_does_not_steal_a_concurrent_session() {
+    // Case 3 with two UPnP clients resting at the bridge's HTTP part and
+    // a rogue peer connecting from an unknown host: the rogue must
+    // originate its own (doomed) session, not be grafted onto the
+    // oldest client's — grafting hands one client's description
+    // exchange to a stranger and strands the client.
+    struct RogueConnector;
+    impl Actor for RogueConnector {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let target = SimAddr::new(BRIDGE, starlink::protocols::http::HTTP_PORT);
+            if let Err(err) = ctx.tcp_connect(target) {
+                ctx.trace(format!("rogue connect failed: {err}"));
+            }
+        }
+        fn on_tcp(&mut self, ctx: &mut Context<'_>, event: starlink::net::TcpEvent) {
+            if let starlink::net::TcpEvent::Connected { conn, .. } = event {
+                let get = starlink::protocols::http::HttpGet::new("/desc.xml", "10.0.0.2:80");
+                let wire = starlink::protocols::http::encode(
+                    &starlink::protocols::http::HttpMessage::Get(get),
+                );
+                let _ = ctx.tcp_send(conn, wire);
+            }
+        }
+    }
+
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+    let config =
+        EngineConfig { idle_timeout: SimDuration::from_millis(200), ..EngineConfig::default() };
+    let (engine, stats) = framework.deploy_with(bridges::upnp_to_slp(BRIDGE), config).unwrap();
+
+    // Stretch the clients' pre-GET think time so both sessions rest at
+    // the HTTP part when the rogue connects (~8 ms).
+    let mut calibration = Calibration::fast();
+    calibration.upnp_client_think = starlink::protocols::DelayRange::new(5, 5);
+
+    let probe_a = DiscoveryProbe::new();
+    let probe_b = DiscoveryProbe::new();
+    let mut sim = SimNet::new(604);
+    sim.add_actor(BRIDGE, engine);
+    sim.add_actor(SERVICE, slp::SlpService::new(SLP_TYPE, SERVICE_URL, calibration));
+    sim.add_actor("10.0.1.1", upnp::UpnpClient::new(UPNP_TYPE, calibration, probe_a.clone()));
+    sim.add_actor(
+        "10.0.1.2",
+        DelayedActor::new(
+            SimDuration::from_micros(1_500),
+            upnp::UpnpClient::new(UPNP_TYPE, calibration, probe_b.clone()),
+        ),
+    );
+    sim.add_actor("10.0.9.9", DelayedActor::new(SimDuration::from_millis(8), RogueConnector));
+    sim.run_until_idle();
+
+    assert_eq!(probe_a.results().len(), 1, "client A completed; errors: {:?}", stats.errors());
+    assert_eq!(probe_b.results().len(), 1, "client B completed; errors: {:?}", stats.errors());
+    assert_eq!(probe_a.first().unwrap().url, SERVICE_URL);
+    assert_eq!(probe_b.first().unwrap().url, SERVICE_URL);
+    let c = stats.concurrency();
+    assert_eq!(c.started, 3, "the rogue originated its own session");
+    assert_eq!(c.completed, 2);
+    assert_eq!(c.expired, 1, "the rogue's doomed session was reaped by the idle timer");
+    assert_eq!(c.active, 0, "nothing left grafted in the table");
+    assert_eq!(stats.errors().len(), 1, "the rogue's GET was rejected: {:?}", stats.errors());
+}
+
+/// A client that retransmits the same XID from two different source
+/// ports, as real SLP user agents do on retry.
+struct RetransmittingSlpClient {
+    xid: u16,
+}
+
+impl Actor for RetransmittingSlpClient {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let rqst = slp::SrvRqst::new(self.xid, SLP_TYPE);
+        let wire = slp::encode(&slp::SlpMessage::SrvRqst(rqst));
+        for port in [40_100u16, 40_101] {
+            ctx.bind_udp(port).unwrap();
+            ctx.udp_send(port, SimAddr::new(slp::SLP_GROUP, slp::SLP_PORT), wire.clone());
+        }
+    }
+}
+
+#[test]
+fn field_correlator_collapses_retransmissions_onto_one_session() {
+    // With the XID/ID correlation hook plugged in, a retransmission from
+    // a different source port maps onto the same session instead of
+    // opening a second one (source-address keying alone cannot know).
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+    let config = EngineConfig {
+        correlator: Some(Arc::new(FieldCorrelator::new([("SLP", "XID"), ("DNS", "ID")]))),
+        ..EngineConfig::default()
+    };
+    let (engine, stats) = framework.deploy_with(bridges::slp_to_bonjour(), config).unwrap();
+
+    let mut sim = SimNet::new(602);
+    sim.add_actor(BRIDGE, engine);
+    sim.add_actor(SERVICE, mdns::BonjourService::new(DNS_TYPE, SERVICE_URL, Calibration::fast()));
+    sim.add_actor("10.0.1.1", RetransmittingSlpClient { xid: 0x4242 });
+    sim.run_until_idle();
+
+    let c = stats.concurrency();
+    assert_eq!(c.started, 1, "retransmission collapsed onto the original session");
+    assert_eq!(stats.session_count(), 1);
+    assert_eq!(
+        stats.errors().len(),
+        1,
+        "the duplicate request is recorded and dropped inside the session: {:?}",
+        stats.errors()
+    );
+}

@@ -1,11 +1,15 @@
-//! Real-socket smoke tests: the wire codecs (native and MDL-driven) work
-//! over actual UDP sockets on loopback, demonstrating that nothing in
-//! the message stack depends on simulator artefacts. Tests skip quietly
-//! when the environment forbids socket creation.
+//! Real-socket tests: the wire codecs (native and MDL-driven) work over
+//! actual UDP sockets on loopback, and the bridge engine serves *live*
+//! multi-client traffic behind real sockets through the
+//! [`starlink::net::UdpBridge`] gateway loop — demonstrating that
+//! nothing in the stack depends on simulator artefacts. Tests skip
+//! quietly when the environment forbids socket creation.
 
+use starlink::core::Starlink;
 use starlink::mdl::{load_mdl, MdlCodec};
-use starlink::net::LoopbackUdp;
-use starlink::protocols::{mdns, slp};
+use starlink::net::{LoopbackUdp, SimAddr, UdpBridge};
+use starlink::protocols::{bridges, mdns, slp};
+use std::time::Duration;
 
 fn sockets() -> Option<(LoopbackUdp, LoopbackUdp)> {
     match (LoopbackUdp::bind(), LoopbackUdp::bind()) {
@@ -79,4 +83,75 @@ fn mdl_codec_interoperates_with_native_peer_over_real_udp() {
     assert_eq!(parsed.name(), "DNS_Response");
     assert_eq!(parsed.get(&"RData".into()).unwrap().as_str().unwrap(), "service:printer://real");
     handle.join().unwrap();
+}
+
+#[test]
+fn bridge_engine_serves_live_multi_client_traffic_over_real_udp() {
+    // A deployed SLP→Bonjour bridge hosted behind real loopback sockets:
+    // several real SLP clients fire requests concurrently, a real
+    // Bonjour-style responder answers the bridge's translated questions,
+    // and every client must get its own reply back on its own socket.
+    const CLIENTS: usize = 6;
+    const SERVICE_URL: &str = "service:printer://127.0.0.1:631";
+
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+    let (engine, stats) = framework.deploy(bridges::slp_to_bonjour()).unwrap();
+    let Ok(mut bridge) =
+        UdpBridge::deploy(91, "10.0.0.2", engine, &[slp::SLP_PORT, mdns::MDNS_PORT])
+    else {
+        eprintln!("skipping: loopback UDP unavailable in this environment");
+        return;
+    };
+    let slp_port = bridge.real_port(slp::SLP_PORT).unwrap();
+
+    // The responder lives outside the gateway's simulation; it joins the
+    // mDNS group so the bridge's multicast questions reach its socket.
+    let responder = LoopbackUdp::bind_with_timeout(Duration::from_secs(5)).unwrap();
+    bridge.join_group_external(
+        SimAddr::new(mdns::MDNS_GROUP, mdns::MDNS_PORT),
+        responder.port().unwrap(),
+    );
+    let responder_handle = std::thread::spawn(move || {
+        for _ in 0..CLIENTS {
+            let Ok((payload, from)) = responder.recv() else { return };
+            let Ok(mdns::DnsMessage::Question(q)) = mdns::decode(&payload) else {
+                continue;
+            };
+            let response = mdns::DnsResponse::new(q.id, q.qname, SERVICE_URL);
+            let wire = mdns::encode(&mdns::DnsMessage::Response(response)).unwrap();
+            responder.send_to(&wire, from).unwrap();
+        }
+    });
+
+    let mut client_handles = Vec::new();
+    for i in 0..CLIENTS {
+        let client = LoopbackUdp::bind_with_timeout(Duration::from_secs(5)).unwrap();
+        let xid = 0x1000 + i as u16;
+        client_handles.push(std::thread::spawn(move || {
+            let rqst = slp::SrvRqst::new(xid, "service:printer");
+            client.send_to(&slp::encode(&slp::SlpMessage::SrvRqst(rqst)), slp_port).unwrap();
+            let (payload, _) = client.recv().expect("reply within the socket timeout");
+            match slp::decode(&payload).unwrap() {
+                slp::SlpMessage::SrvRply(rply) => (xid, rply.xid, rply.url),
+                other => panic!("unexpected {other:?}"),
+            }
+        }));
+    }
+
+    // Pump the gateway while clients and responder run on their threads.
+    let stats_probe = stats.clone();
+    bridge.pump_until(Duration::from_secs(10), || stats_probe.session_count() >= CLIENTS).unwrap();
+
+    for handle in client_handles {
+        let (sent_xid, got_xid, url) = handle.join().unwrap();
+        assert_eq!(got_xid, sent_xid, "reply XID belongs to this client's own session");
+        assert_eq!(url, SERVICE_URL);
+    }
+    responder_handle.join().unwrap();
+    assert_eq!(stats.session_count(), CLIENTS);
+    assert!(stats.errors().is_empty(), "bridge errors: {:?}", stats.errors());
+    let c = stats.concurrency();
+    assert_eq!(c.completed, CLIENTS as u64);
+    assert_eq!(c.active, 0);
 }

@@ -1,0 +1,39 @@
+//! Property test: for *any* interleaving order of concurrent clients —
+//! random client count, random per-client start offsets, random seed,
+//! any bridge case — every client completes exactly one session and
+//! every reply reaches its own originator.
+
+use proptest::prelude::*;
+use starlink::protocols::{bridges::BridgeCase, Calibration};
+use starlink_bench::{expected_discovery_url, run_concurrent_clients_with};
+
+proptest! {
+    #[test]
+    fn any_interleaving_order_keeps_sessions_isolated(
+        seed in 0u64..10_000,
+        case_index in 0usize..6,
+        offsets in prop::collection::vec(0u64..8_000, 2..10),
+    ) {
+        let case = BridgeCase::all()[case_index];
+        let (probes, stats) =
+            run_concurrent_clients_with(case, seed, Calibration::fast(), &offsets);
+
+        for (i, probe) in probes.iter().enumerate() {
+            let results = probe.results();
+            prop_assert_eq!(
+                results.len(),
+                1,
+                "case {} client {} (seed {}, offsets {:?}): errors {:?}",
+                case.number(),
+                i,
+                seed,
+                &offsets,
+                stats.errors()
+            );
+            prop_assert_eq!(results[0].url.as_str(), expected_discovery_url(case));
+        }
+        prop_assert_eq!(stats.session_count(), offsets.len());
+        prop_assert_eq!(stats.concurrency().active, 0);
+        prop_assert!(stats.errors().is_empty(), "errors: {:?}", stats.errors());
+    }
+}
