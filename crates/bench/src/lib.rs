@@ -30,16 +30,33 @@
 //!   benches can hide allocator pressure behind a warm cache);
 //! * **`concurrent`** — wall-clock per run of N staggered clients
 //!   through one engine (the multi-session runtime scenario), next to
-//!   the single-session `engine` bench.
+//!   the single-session `engine` bench;
+//! * **`throughput`** — the sharded saturation suite: sustained
+//!   msgs/sec and p50/p99 session latency for all six cases at
+//!   1/2/4/8 shards, driven by the wire-level client harness in
+//!   [`sharded`] with every reply verified.
 //!
-//! `BENCH_codec.json` at the repository root snapshots them. To
-//! regenerate it after touching the codec or runtime path:
+//! `BENCH_codec.json` at the repository root snapshots the first three.
+//! To regenerate it after touching the codec or runtime path:
 //!
 //! ```sh
 //! CRITERION_SHIM_JSON=/tmp/codec.json cargo bench -p starlink-bench --bench codec
 //! ALLOC_BENCH_JSON=/tmp/alloc.json   cargo bench -p starlink-bench --bench alloc
 //! CRITERION_SHIM_JSON=/tmp/conc.json cargo bench -p starlink-bench --bench concurrent
 //! ```
+//!
+//! `BENCH_throughput.json` snapshots the sharded suite; regenerate with
+//!
+//! ```sh
+//! THROUGHPUT_BENCH_JSON=BENCH_throughput.json \
+//!   cargo bench -p starlink-bench --bench throughput
+//! ```
+//!
+//! (knobs: `THROUGHPUT_CLIENTS`, `THROUGHPUT_REPS`, `THROUGHPUT_SHARDS`,
+//! `THROUGHPUT_WAVE`). Shard workers are OS threads, so aggregate
+//! msgs/sec grows with the shard count only up to the machine's core
+//! count — the JSON records `cores_available` for that reason, and
+//! numbers regenerated on a single-core container show a flat curve.
 //!
 //! then merge the two JSON files into `BENCH_codec.json`, keeping the
 //! previous numbers as the `before` entries so the trajectory stays
@@ -52,6 +69,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod sharded;
+
+pub use sharded::{
+    run_sharded_case, run_sharded_mixed, ClientOutcome, ShardedRun, ShardedWorkload,
+};
 
 use starlink_core::{ConcurrencyStats, Starlink};
 use starlink_net::{DelayedActor, SimDuration, SimNet};

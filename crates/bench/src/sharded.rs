@@ -1,0 +1,461 @@
+//! Wire-level multi-client driver for the sharded bridge runtime.
+//!
+//! The simulator-based harnesses ([`crate::run_concurrent_clients`])
+//! host legacy *actors* next to the engine inside one `SimNet` — which
+//! is single-threaded by construction, so it can never show shard
+//! scaling. This driver instead plays the legacy clients **at the wire
+//! level** from outside: it encodes native request bytes (the same
+//! bytes real stacks emit), pushes them through
+//! [`ShardedBridge::dispatch`]'s hash-pinned ingress exactly like a
+//! socket gateway would, and decodes the replies each client gets back.
+//! Each shard's private simulation hosts the engine shard plus one
+//! target-side service instance.
+//!
+//! All six [`BridgeCase`]s are covered, including the UPnP-source cases
+//! whose clients follow their SSDP 200 OK with a TCP `GET` of the
+//! description document (carried over the shard's external-TCP
+//! boundary).
+
+use crate::{BRIDGE, SERVICE};
+use fxhash::FxHashMap;
+use starlink_core::{EngineConfig, ShardInput, ShardOutput, ShardedBridge, ShardedStats, Starlink};
+use starlink_net::{Bytes, Datagram, LatencyModel, SimAddr, SimDuration, SimTime};
+use starlink_protocols::{
+    bridges::{self, BridgeCase},
+    http, mdns, slp, ssdp, upnp, Calibration,
+};
+use std::time::{Duration, Instant};
+
+const SLP_TYPE: &str = "service:printer";
+const UPNP_TYPE: &str = "urn:schemas-upnp-org:service:printer:1";
+const DNS_TYPE: &str = "_printer._tcp.local";
+const SERVICE_URL: &str = "service:printer://10.0.0.3:631";
+
+/// Parameters of one sharded run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedWorkload {
+    /// Number of engine shards (worker threads).
+    pub shards: usize,
+    /// Number of wire-level clients, each driving one session.
+    pub clients: usize,
+    /// Seed for the per-shard simulations (`seed + shard`).
+    pub seed: u64,
+    /// Legacy-stack delay model for the in-shard service actors.
+    pub calibration: Calibration,
+    /// Replace each shard's link latency with zero — saturation mode:
+    /// sustained throughput then measures engine compute, not modelled
+    /// waits.
+    pub instant_network: bool,
+    /// Sessions started per driver iteration (pipelining depth control).
+    pub wave: usize,
+    /// Wall-clock safety cap on the whole run.
+    pub timeout: Duration,
+}
+
+impl ShardedWorkload {
+    /// A workload with test-friendly defaults (fast calibration,
+    /// modelled link latency, waves of 64).
+    pub fn new(shards: usize, clients: usize) -> Self {
+        ShardedWorkload {
+            shards,
+            clients,
+            seed: 7,
+            calibration: Calibration::fast(),
+            instant_network: false,
+            wave: 64,
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Saturation mode: zero link latency and zero legacy-stack delays.
+    pub fn saturating(mut self) -> Self {
+        self.instant_network = true;
+        self.calibration = Calibration::instant();
+        self
+    }
+}
+
+/// What one wire-level client observed.
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    /// The client's unique source host.
+    pub host: String,
+    /// The shard its traffic was pinned to.
+    pub shard: usize,
+    /// The service URL it discovered, when its session completed.
+    pub url: Option<String>,
+    /// Whether the reply echoed this client's own transaction id (SLP
+    /// XID / DNS ID; vacuously true for UPnP, whose SSDP has no id).
+    pub id_ok: bool,
+    /// Wall-clock latency from request dispatch to final reply.
+    pub latency: Option<Duration>,
+}
+
+/// The result of one sharded run.
+#[derive(Debug)]
+pub struct ShardedRun {
+    /// The case driven.
+    pub case: BridgeCase,
+    /// Shard count of the run.
+    pub shards: usize,
+    /// Per-client observations.
+    pub outcomes: Vec<ClientOutcome>,
+    /// Messages through the dispatch boundary (ingress + egress items).
+    pub messages: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Per-shard and fleet-wide engine statistics.
+    pub stats: ShardedStats,
+}
+
+impl ShardedRun {
+    /// Clients whose session completed with a discovered URL.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.url.is_some()).count()
+    }
+
+    /// Sustained message rate over the run.
+    pub fn msgs_per_sec(&self) -> f64 {
+        self.messages as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Completed sessions per second over the run.
+    pub fn sessions_per_sec(&self) -> f64 {
+        self.completed() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The `p`-th percentile (0–100) of session latency, in µs.
+    pub fn latency_percentile_us(&self, p: f64) -> u64 {
+        let mut samples: Vec<u64> =
+            self.outcomes.iter().filter_map(|o| o.latency.map(|l| l.as_micros() as u64)).collect();
+        if samples.is_empty() {
+            return 0;
+        }
+        samples.sort_unstable();
+        let rank = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+        samples[rank.min(samples.len() - 1)]
+    }
+
+    /// Panics unless every client completed with the expected URL and
+    /// its own transaction id, with no engine errors on any shard — the
+    /// sharded-correctness invariant.
+    pub fn assert_isolated(&self) {
+        for (i, outcome) in self.outcomes.iter().enumerate() {
+            assert_eq!(
+                outcome.url.as_deref(),
+                Some(crate::expected_discovery_url(self.case)),
+                "case {} client {i} ({} on shard {}): wrong/missing reply; errors: {:?}",
+                self.case.number(),
+                outcome.host,
+                outcome.shard,
+                self.stats.errors()
+            );
+            assert!(
+                outcome.id_ok,
+                "case {} client {i} ({}): reply carried another session's id",
+                self.case.number(),
+                outcome.host
+            );
+        }
+        assert_eq!(self.stats.session_count(), self.outcomes.len());
+        assert!(self.stats.errors().is_empty(), "engine errors: {:?}", self.stats.errors());
+        let c = self.stats.concurrency();
+        assert_eq!(c.completed, self.outcomes.len() as u64);
+        assert_eq!(c.active, 0);
+    }
+}
+
+/// Client-side protocol phase.
+enum Phase {
+    /// UDP request sent; awaiting the unicast reply datagram.
+    AwaitUdpReply,
+    /// (UPnP) M-SEARCH sent; awaiting the SSDP 200 OK.
+    AwaitSsdp,
+    /// (UPnP) description GET sent; awaiting the HTTP response.
+    AwaitHttp,
+    Done,
+}
+
+struct Client {
+    host: String,
+    shard: usize,
+    phase: Phase,
+    started: Option<Instant>,
+    outcome: ClientOutcome,
+}
+
+/// The source port a case's client sends its UDP request from.
+fn client_udp_port(case: BridgeCase) -> u16 {
+    match case {
+        BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => 41_000,
+        BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => ssdp::SSDP_PORT,
+        BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => 42_000,
+    }
+}
+
+/// The bridge port a case's client addresses its UDP request to.
+fn bridge_udp_port(case: BridgeCase) -> u16 {
+    match case {
+        BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => slp::SLP_PORT,
+        BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => ssdp::SSDP_PORT,
+        BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => mdns::MDNS_PORT,
+    }
+}
+
+/// The native request bytes client `index` sends (unique id per client
+/// where the protocol carries one).
+fn request_wire(case: BridgeCase, index: usize) -> Vec<u8> {
+    let id = index as u16;
+    match case {
+        BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => {
+            slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(id, SLP_TYPE)))
+        }
+        BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => {
+            ssdp::encode(&ssdp::SsdpMessage::MSearch(ssdp::MSearch::new(UPNP_TYPE)))
+        }
+        BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => {
+            mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(id, DNS_TYPE)))
+                .expect("question encodes")
+        }
+    }
+}
+
+/// Splits `http://host:port/path` into (host, port).
+fn parse_location(location: &str) -> (String, u16) {
+    let rest = location.strip_prefix("http://").unwrap_or(location);
+    let authority = rest.split('/').next().unwrap_or(rest);
+    match authority.rsplit_once(':') {
+        Some((host, port)) => (host.to_owned(), port.parse().unwrap_or(80)),
+        None => (authority.to_owned(), 80),
+    }
+}
+
+/// Runs `workload.clients` wire-level clients of `case`'s source
+/// protocol through a [`ShardedBridge`] with `workload.shards` engine
+/// shards (each shard's simulation also hosts one target-side service).
+/// Nothing is asserted — use [`ShardedRun::assert_isolated`] or inspect
+/// the outcomes.
+///
+/// # Panics
+///
+/// Panics on harness bugs (models fail to load / deploy).
+pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedRun {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).expect("models load");
+    let (engines, stats) = framework
+        .deploy_sharded(case.build(BRIDGE), EngineConfig::default(), workload.shards)
+        .expect("sharded bridge deploys");
+    let calibration = workload.calibration;
+    let instant_network = workload.instant_network;
+    let mut bridge = ShardedBridge::launch(workload.seed, BRIDGE, engines, |_, sim| {
+        if instant_network {
+            sim.set_latency(LatencyModel::Fixed(SimDuration::ZERO));
+        }
+        match case {
+            BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp => {
+                sim.add_actor(SERVICE, upnp::UpnpDevice::new(UPNP_TYPE, SERVICE, calibration));
+            }
+            BridgeCase::SlpToBonjour | BridgeCase::UpnpToBonjour => {
+                sim.add_actor(
+                    SERVICE,
+                    mdns::BonjourService::new(DNS_TYPE, SERVICE_URL, calibration),
+                );
+            }
+            BridgeCase::UpnpToSlp | BridgeCase::BonjourToSlp => {
+                sim.add_actor(SERVICE, slp::SlpService::new(SLP_TYPE, SERVICE_URL, calibration));
+            }
+        }
+    });
+
+    let mut clients: Vec<Client> = (0..workload.clients)
+        .map(|i| {
+            let host = format!("10.20.{}.{}", 1 + i / 200, 1 + i % 200);
+            let shard = bridge.shard_of(&host);
+            Client {
+                host: host.clone(),
+                shard,
+                phase: Phase::AwaitUdpReply,
+                started: None,
+                outcome: ClientOutcome { host, shard, url: None, id_ok: true, latency: None },
+            }
+        })
+        .collect();
+    let by_host: FxHashMap<String, usize> =
+        clients.iter().enumerate().map(|(i, c)| (c.host.clone(), i)).collect();
+
+    let udp_port = client_udp_port(case);
+    let to = SimAddr::new(BRIDGE, bridge_udp_port(case));
+    let upnp_source = matches!(case, BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour);
+
+    let run_start = Instant::now();
+    let deadline = run_start + workload.timeout;
+    let mut messages = 0u64;
+    let mut completed = 0usize;
+    let mut next_start = 0usize;
+    let mut iteration = 0u64;
+    let mut inputs: Vec<ShardInput> = Vec::new();
+    let mut outputs: Vec<(usize, ShardOutput)> = Vec::new();
+
+    while completed < clients.len() && Instant::now() < deadline {
+        // Start the next wave of sessions.
+        let wave_end = (next_start + workload.wave.max(1)).min(clients.len());
+        for (index, client) in clients.iter_mut().enumerate().take(wave_end).skip(next_start) {
+            if upnp_source {
+                client.phase = Phase::AwaitSsdp;
+            }
+            client.started = Some(Instant::now());
+            inputs.push(ShardInput::Datagram(Datagram {
+                from: SimAddr::new(client.host.as_str(), udp_port),
+                to: to.clone(),
+                payload: Bytes::copy_from_slice(&request_wire(case, index)),
+            }));
+        }
+        next_start = wave_end;
+
+        iteration += 1;
+        messages += inputs.len() as u64;
+        // One virtual millisecond per driver iteration: in-shard timers
+        // (service delays, idle expiry) advance deterministically with
+        // the drive loop, not with wall time.
+        bridge.dispatch(SimTime::from_micros(iteration * 1_000), inputs.drain(..));
+        bridge.flush();
+        bridge.drain_into(&mut outputs);
+        messages += outputs.len() as u64;
+
+        for (shard, output) in outputs.drain(..) {
+            match output {
+                ShardOutput::Datagram(datagram) => {
+                    let Some(&index) = by_host.get(datagram.to.host.as_ref()) else { continue };
+                    let client = &mut clients[index];
+                    debug_assert_eq!(shard, client.shard, "reply left the pinned shard");
+                    match client.phase {
+                        Phase::AwaitUdpReply => {
+                            let Some((url, id_ok)) =
+                                decode_udp_reply(case, index, &datagram.payload)
+                            else {
+                                continue;
+                            };
+                            client.outcome.id_ok &= id_ok;
+                            finish(client, url, &mut completed);
+                        }
+                        Phase::AwaitSsdp => {
+                            let Ok(ssdp::SsdpMessage::Response(response)) =
+                                ssdp::decode(&datagram.payload)
+                            else {
+                                continue;
+                            };
+                            let (host, port) = parse_location(&response.location);
+                            let get = http::HttpGet::new("/desc.xml", format!("{host}:{port}"));
+                            let token = index as u64;
+                            inputs.push(ShardInput::TcpConnect {
+                                token,
+                                from: SimAddr::new(client.host.as_str(), 49_152),
+                                to: SimAddr::new(host, port),
+                            });
+                            inputs.push(ShardInput::TcpData {
+                                token,
+                                payload: Bytes::copy_from_slice(&http::encode(
+                                    &http::HttpMessage::Get(get),
+                                )),
+                            });
+                            client.phase = Phase::AwaitHttp;
+                        }
+                        Phase::AwaitHttp | Phase::Done => {}
+                    }
+                }
+                ShardOutput::TcpData { token, payload } => {
+                    let index = token as usize;
+                    let Some(client) = clients.get_mut(index) else { continue };
+                    if !matches!(client.phase, Phase::AwaitHttp) {
+                        continue;
+                    }
+                    let Ok(http::HttpMessage::Ok(ok)) = http::decode(&payload) else {
+                        continue;
+                    };
+                    let url = ok
+                        .body
+                        .split_once("<URLBase>")
+                        .and_then(|(_, rest)| rest.split_once("</URLBase>"))
+                        .map(|(base, _)| base.trim().to_owned())
+                        .unwrap_or_default();
+                    inputs.push(ShardInput::TcpClose { token });
+                    finish(client, url, &mut completed);
+                }
+                ShardOutput::TcpClosed { .. } | ShardOutput::TcpConnectFailed { .. } => {}
+            }
+        }
+    }
+
+    let elapsed = run_start.elapsed();
+    ShardedRun {
+        case,
+        shards: workload.shards,
+        outcomes: clients.into_iter().map(|c| c.outcome).collect(),
+        messages,
+        elapsed,
+        stats,
+    }
+}
+
+/// Decodes the final unicast reply of a UDP-source case, returning the
+/// discovered URL and whether the reply echoed the client's own id.
+fn decode_udp_reply(case: BridgeCase, index: usize, payload: &[u8]) -> Option<(String, bool)> {
+    let id = index as u16;
+    match case {
+        BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => match slp::decode(payload) {
+            Ok(slp::SlpMessage::SrvRply(rply)) => Some((rply.url, rply.xid == id)),
+            _ => None,
+        },
+        BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => match mdns::decode(payload) {
+            Ok(mdns::DnsMessage::Response(response)) => Some((response.rdata, response.id == id)),
+            _ => None,
+        },
+        BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => None,
+    }
+}
+
+fn finish(client: &mut Client, url: String, completed: &mut usize) {
+    client.phase = Phase::Done;
+    client.outcome.url = Some(url);
+    client.outcome.latency = client.started.map(|s| s.elapsed());
+    *completed += 1;
+}
+
+/// Runs every [`BridgeCase`] at `shards` shards and returns the six
+/// runs — the mixed workload the throughput acceptance criterion is
+/// measured on (aggregate msgs/sec = Σ messages / Σ elapsed).
+pub fn run_sharded_mixed(workload: ShardedWorkload) -> Vec<ShardedRun> {
+    BridgeCase::all()
+        .iter()
+        .map(|case| {
+            let mut w = workload;
+            w.seed = workload.seed + case.number() as u64 * 0x1000;
+            run_sharded_case(*case, w)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_smoke_every_case_completes_on_two_shards() {
+        // The short-mode throughput smoke wired into `cargo test`: every
+        // case, a handful of clients, two shards, full isolation checks.
+        for case in BridgeCase::all() {
+            let run = run_sharded_case(case, ShardedWorkload::new(2, 8));
+            run.assert_isolated();
+            assert!(run.messages >= 16, "case {}: {} messages", case.number(), run.messages);
+        }
+    }
+
+    #[test]
+    fn sharded_smoke_saturation_mode_completes() {
+        let run =
+            run_sharded_case(BridgeCase::SlpToBonjour, ShardedWorkload::new(4, 32).saturating());
+        run.assert_isolated();
+        assert!(run.msgs_per_sec() > 0.0);
+        assert!(run.latency_percentile_us(99.0) >= run.latency_percentile_us(50.0));
+    }
+}

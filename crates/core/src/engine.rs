@@ -42,6 +42,7 @@
 
 use crate::error::{CoreError, Result};
 use crate::stats::BridgeStats;
+use fxhash::FxHashMap;
 use starlink_automata::{
     Action, Execution, FunctionRegistry, GlobalState, MergedAutomaton, PartId, ResolvedAction,
     StateId, StepOutcome, Transport,
@@ -55,7 +56,10 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// Identity of a bridge session: who originated the interaction.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+///
+/// Hashable so the session table (and [`crate::ShardedBridge`]'s shard
+/// pinning) can use fast hash maps instead of ordered trees.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SessionKey {
     /// A UDP-originated session, keyed by the originator's endpoint.
     Peer(SimAddr),
@@ -242,27 +246,30 @@ pub struct BridgeEngine {
     stats: BridgeStats,
     config: EngineConfig,
     /// The session table: one live execution per interaction pair.
-    sessions: BTreeMap<SessionKey, Session>,
+    /// Ordered iteration is never needed — routing picks sessions by
+    /// minimum `seq`, not map order — so every per-message lookup table
+    /// here uses the fast non-cryptographic hasher from `fxhash`.
+    sessions: FxHashMap<SessionKey, Session>,
     /// Correlator-registered alias → primary session key.
-    aliases: BTreeMap<SessionKey, SessionKey>,
+    aliases: FxHashMap<SessionKey, SessionKey>,
     /// Open connection → (owning session, part).
-    conn_sessions: BTreeMap<ConnId, (SessionKey, usize)>,
+    conn_sessions: FxHashMap<ConnId, (SessionKey, usize)>,
     /// Pending expiry-timer tag → session key.
-    timer_sessions: BTreeMap<u64, SessionKey>,
+    timer_sessions: FxHashMap<u64, SessionKey>,
     next_timer_tag: u64,
     next_session_seq: u64,
     /// Per-connection stream reassembly buffers.
-    buffers: BTreeMap<ConnId, Vec<u8>>,
+    buffers: FxHashMap<ConnId, Vec<u8>>,
     /// (UDP port, multicast group) → part, first declaration wins.
-    udp_exact: BTreeMap<(u16, Arc<str>), usize>,
+    udp_exact: FxHashMap<(u16, Arc<str>), usize>,
     /// UDP port → part for unicast delivery (responses come back unicast
     /// even on multicast colours). Cross-part collisions are rejected at
     /// deployment.
-    udp_fallback: BTreeMap<u16, usize>,
+    udp_fallback: FxHashMap<u16, usize>,
     /// TCP listening port → part; cross-part collisions rejected.
-    tcp_parts: BTreeMap<u16, usize>,
+    tcp_parts: FxHashMap<u16, usize>,
     /// Per-state emit plans.
-    emit_specs: BTreeMap<GlobalState, EmitSpec>,
+    emit_specs: FxHashMap<GlobalState, EmitSpec>,
     /// Blank schema-typed instances for every message the bridge may
     /// compose; cloned into each fresh session's store.
     blank_instances: Vec<AbstractMessage>,
@@ -297,9 +304,9 @@ impl BridgeEngine {
         stats: BridgeStats,
         config: EngineConfig,
     ) -> Result<Self> {
-        let mut udp_exact: BTreeMap<(u16, Arc<str>), usize> = BTreeMap::new();
-        let mut udp_fallback: BTreeMap<u16, usize> = BTreeMap::new();
-        let mut tcp_parts: BTreeMap<u16, usize> = BTreeMap::new();
+        let mut udp_exact: FxHashMap<(u16, Arc<str>), usize> = FxHashMap::default();
+        let mut udp_fallback: FxHashMap<u16, usize> = FxHashMap::default();
+        let mut tcp_parts: FxHashMap<u16, usize> = FxHashMap::default();
         for (index, part) in automaton.parts().iter().enumerate() {
             for color in part.colors() {
                 match color.transport() {
@@ -337,7 +344,7 @@ impl BridgeEngine {
             }
         }
 
-        let mut emit_specs = BTreeMap::new();
+        let mut emit_specs = FxHashMap::default();
         for (pi, part) in automaton.parts().iter().enumerate() {
             for si in 0..part.states().len() {
                 let gs = GlobalState { part: PartId(pi), state: StateId(si) };
@@ -383,13 +390,13 @@ impl BridgeEngine {
             functions,
             stats,
             config,
-            sessions: BTreeMap::new(),
-            aliases: BTreeMap::new(),
-            conn_sessions: BTreeMap::new(),
-            timer_sessions: BTreeMap::new(),
+            sessions: FxHashMap::default(),
+            aliases: FxHashMap::default(),
+            conn_sessions: FxHashMap::default(),
+            timer_sessions: FxHashMap::default(),
             next_timer_tag: 0,
             next_session_seq: 0,
-            buffers: BTreeMap::new(),
+            buffers: FxHashMap::default(),
             udp_exact,
             udp_fallback,
             tcp_parts,

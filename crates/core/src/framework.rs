@@ -5,7 +5,7 @@
 
 use crate::engine::{BridgeEngine, EngineConfig};
 use crate::error::{CoreError, Result};
-use crate::stats::BridgeStats;
+use crate::stats::{AtomicConcurrency, BridgeStats, ShardedStats};
 use starlink_automata::{load_bridge, FunctionRegistry, MergedAutomaton};
 use starlink_mdl::{load_mdl, MarshallerRegistry, MdlCodec, MdlRegistry};
 use starlink_message::Value;
@@ -126,6 +126,63 @@ impl Starlink {
         merged: MergedAutomaton,
         config: EngineConfig,
     ) -> Result<(BridgeEngine, BridgeStats)> {
+        let (merged, codecs) = self.check_and_resolve(merged)?;
+        let stats = BridgeStats::new();
+        let engine = BridgeEngine::new(
+            Arc::new(merged),
+            codecs,
+            Arc::new(self.functions.clone()),
+            stats.clone(),
+            config,
+        )?;
+        Ok((engine, stats))
+    }
+
+    /// Deploys a merged automaton as `shards` independent engines for a
+    /// [`crate::ShardedBridge`]: the automaton, codecs and function
+    /// registry are shared (`Arc`), while each engine gets its own
+    /// session table and a shard-local [`BridgeStats`] mirroring into
+    /// the returned [`ShardedStats`]' fleet-wide gauge. Hand the engines
+    /// to [`crate::ShardedBridge::launch`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Starlink::deploy`], plus [`CoreError::Deployment`] when
+    /// `shards` is zero.
+    pub fn deploy_sharded(
+        &self,
+        merged: MergedAutomaton,
+        config: EngineConfig,
+        shards: usize,
+    ) -> Result<(Vec<BridgeEngine>, ShardedStats)> {
+        if shards == 0 {
+            return Err(CoreError::Deployment("a sharded bridge needs at least one shard".into()));
+        }
+        let (merged, codecs) = self.check_and_resolve(merged)?;
+        let automaton = Arc::new(merged);
+        let functions = Arc::new(self.functions.clone());
+        let gauge = Arc::new(AtomicConcurrency::new());
+        let mut engines = Vec::with_capacity(shards);
+        let mut shard_stats = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let stats = BridgeStats::with_mirror(gauge.clone());
+            engines.push(BridgeEngine::new(
+                automaton.clone(),
+                codecs.clone(),
+                functions.clone(),
+                stats.clone(),
+                config.clone(),
+            )?);
+            shard_stats.push(stats);
+        }
+        Ok((engines, ShardedStats::new(shard_stats, gauge)))
+    }
+
+    /// Validates the merge constraints and resolves one codec per part.
+    fn check_and_resolve(
+        &self,
+        merged: MergedAutomaton,
+    ) -> Result<(MergedAutomaton, Vec<Arc<MdlCodec>>)> {
         let report = merged.check_merge();
         if !report.is_mergeable() {
             return Err(CoreError::Deployment(format!("merge constraints violated: {report}")));
@@ -139,15 +196,7 @@ impl Starlink {
                 .ok_or_else(|| CoreError::MissingCodec(part.protocol().to_owned()))?;
             codecs.push(codec);
         }
-        let stats = BridgeStats::new();
-        let engine = BridgeEngine::new(
-            Arc::new(merged),
-            codecs,
-            Arc::new(self.functions.clone()),
-            stats.clone(),
-            config,
-        )?;
-        Ok((engine, stats))
+        Ok((merged, codecs))
     }
 }
 

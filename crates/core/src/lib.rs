@@ -40,11 +40,13 @@
 mod engine;
 mod error;
 mod framework;
+mod shard;
 mod stats;
 mod synthesis;
 
 pub use engine::{BridgeEngine, EngineConfig, FieldCorrelator, SessionCorrelator, SessionKey};
 pub use error::{CoreError, Result};
 pub use framework::Starlink;
-pub use stats::{BridgeStats, ConcurrencyStats, SessionRecord};
+pub use shard::{ShardInput, ShardOutput, ShardedBridge};
+pub use stats::{AtomicConcurrency, BridgeStats, ConcurrencyStats, SessionRecord, ShardedStats};
 pub use synthesis::{synthesize_bridge, Ontology};

@@ -1,8 +1,21 @@
 //! Translation-time instrumentation for the Fig. 12(b) measurements:
 //! "the time from when the message was first received by the framework
 //! until the translated output response was sent on the output socket".
+//!
+//! Two aggregation layers serve the sharded runtime:
+//!
+//! * every shard's engine owns a plain [`BridgeStats`] it updates with
+//!   zero contention (nothing else touches that handle's mutex);
+//! * the lifecycle counters are additionally *mirrored* into one shared
+//!   [`AtomicConcurrency`] ([`BridgeStats::with_mirror`]) — plain atomic
+//!   adds, no locks — so the fleet-wide gauge (including the true global
+//!   `peak_active` high-water mark) is readable while every shard runs.
+//!
+//! [`BridgeStats::merge_from`] / [`ConcurrencyStats::merge`] fold
+//! per-shard snapshots into one report after the fact.
 
 use starlink_net::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// One completed bridge session.
@@ -40,6 +53,72 @@ pub struct ConcurrencyStats {
     pub peak_active: u64,
 }
 
+impl ConcurrencyStats {
+    /// Folds another counter set into this one: every counter is summed.
+    ///
+    /// Summing `peak_active` makes the merged peak an *upper bound* on
+    /// the true global high-water mark (shards rarely peak at the same
+    /// instant); the shared [`AtomicConcurrency`] mirror tracks the
+    /// exact global peak live.
+    pub fn merge(&mut self, other: &ConcurrencyStats) {
+        self.started += other.started;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.expired += other.expired;
+        self.active += other.active;
+        self.peak_active += other.peak_active;
+    }
+}
+
+/// Lock-free session-lifecycle counters: the shard-local stats of a
+/// sharded bridge all mirror into one shared instance, so aggregate
+/// counters (and the true fleet-wide `peak_active`) never take a lock on
+/// the per-message path.
+#[derive(Debug, Default)]
+pub struct AtomicConcurrency {
+    started: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    expired: AtomicU64,
+    active: AtomicU64,
+    peak_active: AtomicU64,
+}
+
+impl AtomicConcurrency {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        AtomicConcurrency::default()
+    }
+
+    fn record_started(&self) {
+        self.started.fetch_add(1, Ordering::Relaxed);
+        let live = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_active.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn record_closed(&self, outcome: &AtomicU64) {
+        outcome.fetch_add(1, Ordering::Relaxed);
+        // Saturating decrement: a stray double-close must not wrap the
+        // gauge to u64::MAX.
+        let _ = self.active.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+            Some(live.saturating_sub(1))
+        });
+    }
+
+    /// A consistent-enough snapshot of the counters (each field is read
+    /// atomically; the set is not sealed against concurrent updates).
+    pub fn snapshot(&self) -> ConcurrencyStats {
+        ConcurrencyStats {
+            started: self.started.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            peak_active: self.peak_active.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     sessions: Vec<SessionRecord>,
@@ -54,6 +133,9 @@ struct Inner {
 #[derive(Debug, Clone, Default)]
 pub struct BridgeStats {
     inner: Arc<Mutex<Inner>>,
+    /// Optional lock-free mirror of the lifecycle counters, shared by
+    /// every shard of a sharded deployment.
+    mirror: Option<Arc<AtomicConcurrency>>,
 }
 
 impl BridgeStats {
@@ -62,8 +144,16 @@ impl BridgeStats {
         BridgeStats::default()
     }
 
+    /// Creates a stats handle that additionally mirrors every lifecycle
+    /// transition into `mirror` with plain atomic adds — the shard-local
+    /// end of a fleet-wide gauge.
+    pub fn with_mirror(mirror: Arc<AtomicConcurrency>) -> Self {
+        BridgeStats { inner: Arc::default(), mirror: Some(mirror) }
+    }
+
     fn lock(&self) -> MutexGuard<'_, Inner> {
-        // Single-threaded simulations cannot poison; recover regardless.
+        // The handle is only ever locked uncontended (one engine per
+        // handle); recover from poisoning regardless.
         self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
@@ -73,6 +163,10 @@ impl BridgeStats {
         inner.sessions.push(SessionRecord { started, finished });
         inner.concurrency.completed += 1;
         inner.concurrency.active = inner.concurrency.active.saturating_sub(1);
+        drop(inner);
+        if let Some(mirror) = &self.mirror {
+            mirror.record_closed(&mirror.completed);
+        }
     }
 
     /// Records a session opening (the concurrency gauge rises).
@@ -81,6 +175,10 @@ impl BridgeStats {
         inner.concurrency.started += 1;
         inner.concurrency.active += 1;
         inner.concurrency.peak_active = inner.concurrency.peak_active.max(inner.concurrency.active);
+        drop(inner);
+        if let Some(mirror) = &self.mirror {
+            mirror.record_started();
+        }
     }
 
     /// Records a session torn down after a compose/emit/⊨ failure (the
@@ -89,6 +187,10 @@ impl BridgeStats {
         let mut inner = self.lock();
         inner.concurrency.failed += 1;
         inner.concurrency.active = inner.concurrency.active.saturating_sub(1);
+        drop(inner);
+        if let Some(mirror) = &self.mirror {
+            mirror.record_closed(&mirror.failed);
+        }
     }
 
     /// Records a session reaped by the idle-expiry timer.
@@ -96,6 +198,10 @@ impl BridgeStats {
         let mut inner = self.lock();
         inner.concurrency.expired += 1;
         inner.concurrency.active = inner.concurrency.active.saturating_sub(1);
+        drop(inner);
+        if let Some(mirror) = &self.mirror {
+            mirror.record_closed(&mirror.expired);
+        }
     }
 
     /// The session-lifecycle counters.
@@ -126,6 +232,80 @@ impl BridgeStats {
     /// Translation times of all completed sessions.
     pub fn translation_times(&self) -> Vec<SimDuration> {
         self.lock().sessions.iter().map(SessionRecord::translation_time).collect()
+    }
+
+    /// Folds a snapshot of `other` into this handle: session records and
+    /// errors are appended, lifecycle counters merged per
+    /// [`ConcurrencyStats::merge`]. Used to aggregate per-shard stats
+    /// into one fleet-wide report.
+    pub fn merge_from(&self, other: &BridgeStats) {
+        let (sessions, errors, concurrency) = {
+            let other = other.lock();
+            (other.sessions.clone(), other.errors.clone(), other.concurrency)
+        };
+        let mut inner = self.lock();
+        inner.sessions.extend(sessions);
+        inner.errors.extend(errors);
+        inner.concurrency.merge(&concurrency);
+    }
+}
+
+/// The statistics of a sharded deployment: one [`BridgeStats`] per
+/// shard (each updated contention-free by its own engine) plus the
+/// shared lock-free [`AtomicConcurrency`] gauge they all mirror into.
+#[derive(Debug, Clone)]
+pub struct ShardedStats {
+    shards: Vec<BridgeStats>,
+    gauge: Arc<AtomicConcurrency>,
+}
+
+impl ShardedStats {
+    pub(crate) fn new(shards: Vec<BridgeStats>, gauge: Arc<AtomicConcurrency>) -> Self {
+        ShardedStats { shards, gauge }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The stats handle of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> &BridgeStats {
+        &self.shards[shard]
+    }
+
+    /// The fleet-wide lifecycle counters, read lock-free from the shared
+    /// gauge (exact global `peak_active` included).
+    pub fn concurrency(&self) -> ConcurrencyStats {
+        self.gauge.snapshot()
+    }
+
+    /// Folds every shard's snapshot into one fresh [`BridgeStats`].
+    pub fn merged(&self) -> BridgeStats {
+        let merged = BridgeStats::new();
+        for shard in &self.shards {
+            merged.merge_from(shard);
+        }
+        merged
+    }
+
+    /// Completed sessions across all shards.
+    pub fn session_count(&self) -> usize {
+        self.shards.iter().map(BridgeStats::session_count).sum()
+    }
+
+    /// Errors recorded by any shard.
+    pub fn errors(&self) -> Vec<String> {
+        self.shards.iter().flat_map(BridgeStats::errors).collect()
+    }
+
+    /// Translation times of all completed sessions across all shards.
+    pub fn translation_times(&self) -> Vec<SimDuration> {
+        self.shards.iter().flat_map(BridgeStats::translation_times).collect()
     }
 }
 
@@ -167,5 +347,61 @@ mod tests {
         assert_eq!(c.active, 0);
         assert_eq!(c.peak_active, 3);
         assert_eq!((c.completed, c.failed, c.expired), (1, 1, 1));
+    }
+
+    #[test]
+    fn merged_counters_equal_the_sum_of_shard_counters() {
+        // Three shard-local handles, all mirroring one atomic gauge.
+        let gauge = Arc::new(AtomicConcurrency::new());
+        let shards: Vec<BridgeStats> =
+            (0..3).map(|_| BridgeStats::with_mirror(gauge.clone())).collect();
+        for (i, shard) in shards.iter().enumerate() {
+            for s in 0..=i as u64 {
+                shard.record_session_started();
+                shard.record_session(SimTime::ZERO, SimTime::from_millis(s + 1));
+            }
+        }
+        shards[0].record_session_started();
+        shards[0].record_session_failed();
+        shards[2].record_session_started();
+        shards[2].record_session_expired();
+        shards[1].record_error("shard 1 parse error");
+
+        // Lock-based fold.
+        let merged = BridgeStats::new();
+        let mut expected = ConcurrencyStats::default();
+        for shard in &shards {
+            merged.merge_from(shard);
+            expected.merge(&shard.concurrency());
+        }
+        assert_eq!(merged.concurrency(), expected);
+        assert_eq!(merged.session_count(), 1 + 2 + 3);
+        assert_eq!(merged.errors(), vec!["shard 1 parse error"]);
+
+        // Lock-free mirror: same totals (peak differs — the mirror
+        // tracks the *global* gauge, the fold sums per-shard peaks).
+        let live = gauge.snapshot();
+        assert_eq!(live.started, expected.started);
+        assert_eq!(live.completed, expected.completed);
+        assert_eq!(live.failed, expected.failed);
+        assert_eq!(live.expired, expected.expired);
+        assert_eq!(live.active, 0);
+    }
+
+    #[test]
+    fn atomic_mirror_tracks_global_peak_across_shards() {
+        let gauge = Arc::new(AtomicConcurrency::new());
+        let a = BridgeStats::with_mirror(gauge.clone());
+        let b = BridgeStats::with_mirror(gauge.clone());
+        a.record_session_started();
+        b.record_session_started();
+        a.record_session(SimTime::ZERO, SimTime::from_millis(1));
+        b.record_session(SimTime::ZERO, SimTime::from_millis(1));
+        // Each shard peaked at 1, but 2 sessions were live at once: only
+        // the shared mirror sees it.
+        assert_eq!(a.concurrency().peak_active, 1);
+        assert_eq!(b.concurrency().peak_active, 1);
+        assert_eq!(gauge.snapshot().peak_active, 2);
+        assert_eq!(gauge.snapshot().active, 0);
     }
 }

@@ -2,11 +2,11 @@
 //! plans: every plan field sharing a base type (or any other repeated
 //! name) ends up holding the same `Arc<str>` allocation.
 
+use fxhash::FxHashMap;
 use starlink_message::Label;
-use std::collections::BTreeMap;
 
 #[derive(Debug, Default)]
-pub(crate) struct LabelInterner(BTreeMap<String, Label>);
+pub(crate) struct LabelInterner(FxHashMap<String, Label>);
 
 impl LabelInterner {
     pub(crate) fn intern(&mut self, text: &str) -> Label {

@@ -51,10 +51,12 @@ mod sim;
 mod time;
 
 pub use addr::SimAddr;
+pub use bytes::Bytes;
 pub use error::{NetError, Result};
 pub use latency::LatencyModel;
-pub use realnet::{LoopbackUdp, UdpBridge};
+pub use realnet::{BufferPool, LoopbackUdp, UdpBridge, MAX_DATAGRAM};
 pub use sim::{
-    Actor, ConnId, Context, Datagram, DelayedActor, SimNet, TcpEvent, TimerId, TraceEntry,
+    Actor, ConnId, Context, Datagram, DelayedActor, ExternalTcpEvent, SimNet, TcpEvent, TimerId,
+    TraceEntry,
 };
 pub use time::{SimDuration, SimTime};

@@ -25,6 +25,47 @@ use crate::time::SimTime;
 use std::net::UdpSocket;
 use std::time::{Duration, Instant};
 
+/// The largest UDP payload a loopback socket can carry (64 KiB minus
+/// headers fits; a full 64 KiB scratch buffer always suffices).
+pub const MAX_DATAGRAM: usize = 65_536;
+
+/// A pool of reusable receive buffers for [`LoopbackUdp::recv_into`]/
+/// [`LoopbackUdp::try_recv_into`] callers: acquire before a receive
+/// loop, release once payloads are copied out, and steady state
+/// performs **zero** buffer allocations (the old `recv` path allocated
+/// — and zeroed — a fresh 64 KiB `Vec` per datagram). `UdpBridge`
+/// drains all its sockets through one pooled buffer per pump pass;
+/// callers that keep several receives in flight pool one per receive.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+}
+
+impl BufferPool {
+    /// Creates an empty pool (buffers are allocated on first use and
+    /// retained thereafter).
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Takes a [`MAX_DATAGRAM`]-sized buffer from the pool, allocating
+    /// only when the pool is empty.
+    pub fn acquire(&mut self) -> Vec<u8> {
+        self.free.pop().unwrap_or_else(|| vec![0u8; MAX_DATAGRAM])
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn release(&mut self, mut buf: Vec<u8>) {
+        buf.resize(MAX_DATAGRAM, 0);
+        self.free.push(buf);
+    }
+
+    /// Buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
 /// A bound UDP endpoint on 127.0.0.1 with an ephemeral port.
 #[derive(Debug)]
 pub struct LoopbackUdp {
@@ -92,32 +133,61 @@ impl LoopbackUdp {
     /// Receives one datagram (blocking up to the configured timeout),
     /// returning the payload and the sender's port.
     ///
+    /// Allocates a fresh payload `Vec` per call; hot loops should prefer
+    /// [`LoopbackUdp::recv_into`] with a pooled buffer.
+    ///
     /// # Errors
     ///
     /// Returns [`NetError::Io`] on timeout or socket failure.
     pub fn recv(&self) -> Result<(Vec<u8>, u16)> {
-        let mut buf = vec![0u8; 65536];
-        let (len, from) =
-            self.socket.recv_from(&mut buf).map_err(|e| NetError::Io(e.to_string()))?;
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        let (len, from) = self.recv_into(&mut buf)?;
         buf.truncate(len);
-        Ok((buf, from.port()))
+        Ok((buf, from))
+    }
+
+    /// Receives one datagram into a caller-provided buffer (blocking up
+    /// to the configured timeout), returning the payload length and the
+    /// sender's port — the zero-allocation receive path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] on timeout or socket failure.
+    pub fn recv_into(&self, buf: &mut [u8]) -> Result<(usize, u16)> {
+        let (len, from) = self.socket.recv_from(buf).map_err(|e| NetError::Io(e.to_string()))?;
+        Ok((len, from.port()))
     }
 
     /// Polls for one datagram without blocking: `Ok(None)` when nothing
     /// is queued. Requires non-blocking mode (or is bounded by the read
     /// timeout otherwise).
     ///
+    /// Allocates a fresh payload `Vec` per datagram; hot loops should
+    /// prefer [`LoopbackUdp::try_recv_into`] with a pooled buffer.
+    ///
     /// # Errors
     ///
     /// Returns [`NetError::Io`] on socket failures other than
     /// would-block/timeout.
     pub fn try_recv(&self) -> Result<Option<(Vec<u8>, u16)>> {
-        let mut buf = vec![0u8; 65536];
-        match self.socket.recv_from(&mut buf) {
-            Ok((len, from)) => {
-                buf.truncate(len);
-                Ok(Some((buf, from.port())))
-            }
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        Ok(self.try_recv_into(&mut buf)?.map(|(len, from)| {
+            buf.truncate(len);
+            (buf, from)
+        }))
+    }
+
+    /// Polls for one datagram into a caller-provided buffer without
+    /// blocking: `Ok(None)` when nothing is queued — the zero-allocation
+    /// poll path used by the gateway's batched pump.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] on socket failures other than
+    /// would-block/timeout.
+    pub fn try_recv_into(&self, buf: &mut [u8]) -> Result<Option<(usize, u16)>> {
+        match self.socket.recv_from(buf) {
+            Ok((len, from)) => Ok(Some((len, from.port()))),
             Err(err)
                 if err.kind() == std::io::ErrorKind::WouldBlock
                     || err.kind() == std::io::ErrorKind::TimedOut =>
@@ -164,6 +234,13 @@ pub struct UdpBridge {
     host: std::sync::Arc<str>,
     sockets: Vec<(u16, LoopbackUdp)>,
     epoch: Instant,
+    /// Pooled receive buffers: a pump pass borrows one per datagram and
+    /// returns it once the payload is copied into the simulation.
+    pool: BufferPool,
+    /// Arrival batch reused across pump passes (capacity persists).
+    arrivals: Vec<Datagram>,
+    /// Egress batch reused across pump passes.
+    egress: Vec<Datagram>,
 }
 
 impl UdpBridge {
@@ -191,7 +268,15 @@ impl UdpBridge {
         for &port in udp_ports {
             sockets.push((port, LoopbackUdp::bind_nonblocking()?));
         }
-        Ok(UdpBridge { sim, host, sockets, epoch: Instant::now() })
+        Ok(UdpBridge {
+            sim,
+            host,
+            sockets,
+            epoch: Instant::now(),
+            pool: BufferPool::new(),
+            arrivals: Vec::new(),
+            egress: Vec::new(),
+        })
     }
 
     /// The real loopback port exposing the actor's simulated `sim_port`.
@@ -213,37 +298,44 @@ impl UdpBridge {
         self.sim.trace().len()
     }
 
-    /// One gateway iteration: polls every socket, injects arrivals,
-    /// advances the virtual clock to the real elapsed time, and flushes
-    /// egress datagrams out of their sockets. Returns the number of
-    /// datagrams forwarded in either direction.
+    /// One gateway iteration: drains every socket into a reusable batch
+    /// of pooled buffers (no per-datagram allocation), injects the whole
+    /// batch, advances the virtual clock to the real elapsed time, and
+    /// flushes the egress batch out of the matching sockets. Returns the
+    /// number of datagrams forwarded in either direction.
     ///
     /// # Errors
     ///
     /// Returns [`NetError::Io`] on socket failures.
     pub fn pump(&mut self) -> Result<usize> {
         let mut forwarded = 0usize;
-        let mut arrivals = Vec::new();
+        // Ingress phase: drain all sockets into one batch before touching
+        // the simulation, so a burst arriving across several ports is
+        // dispatched in a single virtual-clock advance.
+        self.arrivals.clear();
+        let mut buf = self.pool.acquire();
         for (sim_port, socket) in &self.sockets {
-            while let Some((payload, from_port)) = socket.try_recv()? {
-                arrivals.push(Datagram {
+            while let Some((len, from_port)) = socket.try_recv_into(&mut buf)? {
+                self.arrivals.push(Datagram {
                     from: SimAddr::new("127.0.0.1", from_port),
                     to: SimAddr { host: self.host.clone(), port: *sim_port },
-                    payload: payload.into(),
+                    payload: bytes::Bytes::copy_from_slice(&buf[..len]),
                 });
             }
         }
-        for datagram in arrivals {
+        self.pool.release(buf);
+        for datagram in self.arrivals.drain(..) {
             self.sim.inject_datagram(datagram);
             forwarded += 1;
         }
         let elapsed = self.epoch.elapsed();
         self.sim.run_until(SimTime::from_micros(elapsed.as_micros() as u64));
-        // Forward everything deliverable first, then surface any
-        // misconfiguration: erroring mid-loop would drop queued datagrams
-        // from correctly exposed ports.
+        // Egress phase: forward everything deliverable first, then
+        // surface any misconfiguration — erroring mid-loop would drop
+        // queued datagrams from correctly exposed ports.
+        self.sim.drain_egress_into(&mut self.egress);
         let mut unexposed: Option<Datagram> = None;
-        for datagram in self.sim.drain_egress() {
+        for datagram in self.egress.drain(..) {
             match self.sockets.iter().find(|(port, _)| *port == datagram.from.port) {
                 Some((_, socket)) => {
                     socket.send_to(&datagram.payload, datagram.to.port)?;
@@ -265,21 +357,40 @@ impl UdpBridge {
         Ok(forwarded)
     }
 
-    /// Pumps for up to `budget` real time, sleeping briefly between
-    /// iterations, until `done()` reports true. Returns whether `done`
-    /// was reached within the budget.
+    /// Pumps for up to `budget` real time until `done()` reports true,
+    /// returning whether it was reached within the budget.
+    ///
+    /// Active passes (datagrams moved) loop back immediately; idle
+    /// passes back off — first a scheduler yield, then sleeps doubling
+    /// up to 2 ms — so a waiting gateway neither burns a core nor adds
+    /// latency when traffic resumes mid-burst.
     ///
     /// # Errors
     ///
     /// Returns [`NetError::Io`] on socket failures.
     pub fn pump_until(&mut self, budget: Duration, mut done: impl FnMut() -> bool) -> Result<bool> {
+        const MAX_BACKOFF: Duration = Duration::from_millis(2);
         let deadline = Instant::now() + budget;
+        let mut backoff: Option<Duration> = None;
         while Instant::now() < deadline {
-            self.pump()?;
+            let moved = self.pump()?;
             if done() {
                 return Ok(true);
             }
-            std::thread::sleep(Duration::from_millis(1));
+            if moved > 0 {
+                backoff = None;
+            } else {
+                match backoff {
+                    None => {
+                        std::thread::yield_now();
+                        backoff = Some(Duration::from_micros(250));
+                    }
+                    Some(pause) => {
+                        std::thread::sleep(pause);
+                        backoff = Some((pause * 2).min(MAX_BACKOFF));
+                    }
+                }
+            }
         }
         self.pump()?;
         Ok(done())

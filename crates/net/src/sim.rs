@@ -71,7 +71,12 @@ pub enum TcpEvent {
 
 /// A simulated host's behaviour. All methods default to no-ops so actors
 /// implement only what they use.
-pub trait Actor {
+///
+/// Actors are `Send` so a whole simulation can be moved onto a worker
+/// thread — the sharded bridge runtime runs one single-threaded `SimNet`
+/// per shard, each on its own core. Nothing here is `Sync`: within one
+/// simulation, actors still execute strictly one event at a time.
+pub trait Actor: Send {
     /// Called once when the simulation starts (or when the actor is added
     /// to a running simulation).
     fn on_start(&mut self, _ctx: &mut Context<'_>) {}
@@ -174,6 +179,26 @@ impl Ord for Event {
     }
 }
 
+/// A TCP event leaving the simulation towards an external peer (the
+/// mirror image of [`TcpEvent`] for connections whose far end is a real
+/// socket or a gateway driver rather than a simulated host). Drained by
+/// [`SimNet::drain_tcp_egress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExternalTcpEvent {
+    /// Stream data for the external end of `conn`.
+    Data {
+        /// The connection.
+        conn: ConnId,
+        /// Payload bytes.
+        payload: Bytes,
+    },
+    /// A simulated actor closed the connection.
+    Closed {
+        /// The connection.
+        conn: ConnId,
+    },
+}
+
 /// One line of the delivery trace (debugging/verification aid).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
@@ -209,6 +234,9 @@ struct World {
     external_group_members: BTreeMap<SimAddr, BTreeSet<SimAddr>>,
     /// Datagrams leaving the simulation, drained by the gateway loop.
     egress: Vec<Datagram>,
+    /// TCP events leaving the simulation (connections whose peer is an
+    /// external endpoint), drained by the gateway loop.
+    tcp_egress: Vec<ExternalTcpEvent>,
 }
 
 impl World {
@@ -413,6 +441,13 @@ impl Context<'_> {
             )
         };
         self.world.trace(description);
+        if self.world.external_hosts.contains(&peer_host) {
+            // The far end is a real endpoint behind a gateway loop: the
+            // bytes leave the simulation instead of being scheduled (the
+            // real network pays its own latency).
+            self.world.tcp_egress.push(ExternalTcpEvent::Data { conn, payload });
+            return Ok(());
+        }
         let latency = self.world.latency();
         let at = self.world.now + latency;
         self.world.schedule(at, peer_host, EventKind::TcpData { conn: conn.0, payload });
@@ -440,6 +475,10 @@ impl Context<'_> {
             }
         };
         self.world.trace(format!("tcp close #{} by {}", conn.0, self.host));
+        if self.world.external_hosts.contains(&peer_host) {
+            self.world.tcp_egress.push(ExternalTcpEvent::Closed { conn });
+            return Ok(());
+        }
         let latency = self.world.latency();
         let at = self.world.now + latency;
         self.world.schedule(at, peer_host, EventKind::TcpClosed { conn: conn.0 });
@@ -540,6 +579,7 @@ impl SimNet {
                 external_hosts: BTreeSet::new(),
                 external_group_members: BTreeMap::new(),
                 egress: Vec::new(),
+                tcp_egress: Vec::new(),
             },
             actors: BTreeMap::new(),
         }
@@ -575,6 +615,102 @@ impl SimNet {
     /// call.
     pub fn drain_egress(&mut self) -> Vec<Datagram> {
         std::mem::take(&mut self.world.egress)
+    }
+
+    /// Drains queued egress datagrams into `out` (cleared first), so a
+    /// gateway loop can reuse one buffer across pump iterations instead
+    /// of allocating a fresh `Vec` per call.
+    pub fn drain_egress_into(&mut self, out: &mut Vec<Datagram>) {
+        out.clear();
+        out.append(&mut self.world.egress);
+    }
+
+    /// Opens a TCP connection *into* the simulation from an external
+    /// endpoint `from` (implicitly registered as an external host): the
+    /// listener at `to` receives [`TcpEvent::Accepted`] at the current
+    /// virtual time, and the returned [`ConnId`] can immediately carry
+    /// [`SimNet::inject_tcp_data`] — injected events keep their order.
+    /// Data the simulated side sends on the connection leaves through
+    /// [`SimNet::drain_tcp_egress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::ConnectionRefused`] when nothing listens at
+    /// `to`.
+    pub fn external_tcp_connect(&mut self, from: SimAddr, to: SimAddr) -> Result<ConnId> {
+        if !self.world.tcp_listeners.contains(&(to.host.clone(), to.port)) {
+            return Err(NetError::ConnectionRefused {
+                host: to.host.as_ref().to_owned(),
+                port: to.port,
+            });
+        }
+        self.world.external_hosts.insert(from.host.clone());
+        let conn = self.world.next_conn;
+        self.world.next_conn += 1;
+        self.world
+            .connections
+            .insert(conn, Connection { initiator: from.clone(), target: to.clone(), open: true });
+        self.world.trace(format!("tcp connect (external) {from} -> {to} (#{conn})"));
+        let now = self.world.now;
+        self.world.schedule(
+            now,
+            to.host.clone(),
+            EventKind::TcpAccepted { conn, peer: from, local_port: to.port },
+        );
+        Ok(ConnId(conn))
+    }
+
+    /// Injects stream data arriving from the external end of `conn`,
+    /// delivered to the simulated side at the current virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NotConnected`] for unknown or closed
+    /// connections.
+    pub fn inject_tcp_data(&mut self, conn: ConnId, payload: impl Into<Bytes>) -> Result<()> {
+        let payload: Bytes = payload.into();
+        let sim_host = self.external_conn_sim_side(conn)?;
+        let now = self.world.now;
+        self.world.schedule(now, sim_host, EventKind::TcpData { conn: conn.0, payload });
+        Ok(())
+    }
+
+    /// Injects a close from the external end of `conn`; the simulated
+    /// side receives [`TcpEvent::Closed`] at the current virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NotConnected`] for unknown or closed
+    /// connections.
+    pub fn inject_tcp_close(&mut self, conn: ConnId) -> Result<()> {
+        let sim_host = self.external_conn_sim_side(conn)?;
+        if let Some(connection) = self.world.connections.get_mut(&conn.0) {
+            connection.open = false;
+        }
+        let now = self.world.now;
+        self.world.schedule(now, sim_host, EventKind::TcpClosed { conn: conn.0 });
+        Ok(())
+    }
+
+    /// The simulated end of a connection with one external endpoint.
+    fn external_conn_sim_side(&self, conn: ConnId) -> Result<Arc<str>> {
+        let connection = self
+            .world
+            .connections
+            .get(&conn.0)
+            .filter(|c| c.open)
+            .ok_or(NetError::NotConnected(conn.0))?;
+        Ok(if self.world.external_hosts.contains(&connection.initiator.host) {
+            connection.target.host.clone()
+        } else {
+            connection.initiator.host.clone()
+        })
+    }
+
+    /// Drains the TCP events queued for external endpoints since the
+    /// last call.
+    pub fn drain_tcp_egress(&mut self) -> Vec<ExternalTcpEvent> {
+        std::mem::take(&mut self.world.tcp_egress)
     }
 
     /// Replaces the latency model (default: [`LatencyModel::local_machine`]).
@@ -1000,6 +1136,84 @@ mod tests {
         assert_eq!(egress.len(), 1, "reply to the external sender left the sim");
         assert_eq!(egress[0].to, SimAddr::new("127.0.0.1", 40_001));
         assert_eq!(&egress[0].payload[..], b"ping");
+    }
+
+    #[test]
+    fn external_tcp_connect_delivers_and_replies_leave_via_tcp_egress() {
+        struct Server {
+            closes: Arc<AtomicUsize>,
+        }
+        impl Actor for Server {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.listen_tcp(80);
+            }
+            fn on_tcp(&mut self, ctx: &mut Context<'_>, event: TcpEvent) {
+                match event {
+                    TcpEvent::Data { conn, payload } => {
+                        assert_eq!(&payload[..], b"GET /");
+                        ctx.tcp_send(conn, &b"200 OK"[..]).unwrap();
+                    }
+                    TcpEvent::Closed { .. } => {
+                        self.closes.fetch_add(1, Ordering::SeqCst);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let closes = Arc::new(AtomicUsize::new(0));
+        let mut sim = SimNet::new(15);
+        sim.add_actor("10.0.0.2", Server { closes: closes.clone() });
+        sim.run_until_idle();
+
+        let from = SimAddr::new("127.0.0.1", 50_000);
+        let conn = sim.external_tcp_connect(from, SimAddr::new("10.0.0.2", 80)).unwrap();
+        sim.inject_tcp_data(conn, &b"GET /"[..]).unwrap();
+        sim.run_until_idle();
+        let egress = sim.drain_tcp_egress();
+        assert_eq!(egress.len(), 1);
+        let ExternalTcpEvent::Data { conn: got, payload } = &egress[0] else {
+            panic!("expected data, got {egress:?}");
+        };
+        assert_eq!(*got, conn);
+        assert_eq!(&payload[..], b"200 OK");
+        assert!(sim.drain_tcp_egress().is_empty(), "drain consumes the queue");
+
+        sim.inject_tcp_close(conn).unwrap();
+        sim.run_until_idle();
+        assert_eq!(closes.load(Ordering::SeqCst), 1, "server saw the external close");
+        assert!(sim.inject_tcp_data(conn, &b"late"[..]).is_err(), "closed conn rejects data");
+    }
+
+    #[test]
+    fn external_tcp_connect_refused_without_listener() {
+        let mut sim = SimNet::new(16);
+        let err = sim
+            .external_tcp_connect(SimAddr::new("127.0.0.1", 50_001), SimAddr::new("10.0.0.9", 80))
+            .unwrap_err();
+        assert!(matches!(err, NetError::ConnectionRefused { .. }));
+    }
+
+    #[test]
+    fn sim_actor_close_towards_external_peer_queues_tcp_egress() {
+        struct Closer;
+        impl Actor for Closer {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.listen_tcp(80);
+            }
+            fn on_tcp(&mut self, ctx: &mut Context<'_>, event: TcpEvent) {
+                if let TcpEvent::Accepted { conn, .. } = event {
+                    ctx.tcp_close(conn).unwrap();
+                }
+            }
+        }
+        let mut sim = SimNet::new(17);
+        sim.add_actor("10.0.0.2", Closer);
+        sim.run_until_idle();
+        let conn = sim
+            .external_tcp_connect(SimAddr::new("127.0.0.1", 50_002), SimAddr::new("10.0.0.2", 80))
+            .unwrap();
+        sim.run_until_idle();
+        assert_eq!(sim.drain_tcp_egress(), vec![ExternalTcpEvent::Closed { conn }]);
     }
 
     #[test]

@@ -83,6 +83,23 @@ impl Calibration {
         }
     }
 
+    /// A zero-delay calibration: every legacy-stack delay is 0, so a
+    /// bridged exchange costs only the framework's own compute. This is
+    /// what throughput saturation benches want — with virtual waits
+    /// removed, sustained msgs/sec measures the engine, not the model
+    /// of somebody's legacy stack.
+    pub const fn instant() -> Self {
+        Calibration {
+            slp_service_delay: DelayRange::new(0, 0),
+            mdns_service_delay: DelayRange::new(0, 0),
+            bonjour_client_overhead: DelayRange::new(0, 0),
+            ssdp_device_delay: DelayRange::new(0, 0),
+            http_device_delay: DelayRange::new(0, 0),
+            upnp_client_think: DelayRange::new(0, 0),
+            upnp_client_overhead: DelayRange::new(0, 0),
+        }
+    }
+
     /// A fast calibration for unit tests (every delay 1–2 ms) so test
     /// suites do not simulate six virtual seconds per case.
     pub const fn fast() -> Self {

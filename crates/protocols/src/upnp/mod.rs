@@ -9,8 +9,14 @@ use crate::probe::DiscoveryProbe;
 use crate::ssdp::{self, MSearch, SsdpMessage, SsdpResponse, SSDP_GROUP, SSDP_PORT};
 use starlink_net::{Actor, ConnId, Context, Datagram, SimAddr, SimTime, TcpEvent};
 
-/// Timer tags used by the device.
-const TAG_DEVICE_BASE: u64 = 1_000;
+/// Device timers interleave two unbounded pending queues on one tag
+/// space: searches on even tags (`2·index`), GETs on odd (`2·index+1`).
+/// (A fixed split point — searches at `1000+index`, GETs at `2000+index`
+/// — capped the device at 1000 concurrent searches: the 1001st search's
+/// tag landed in the GET range and its response was never sent. The
+/// sharded saturation bench found it.)
+const TAG_SEARCH_PARITY: u64 = 0;
+const TAG_GET_PARITY: u64 = 1;
 /// Timer tag used by the client for the pre-GET think time.
 const TAG_CLIENT_THINK: u64 = 1;
 /// Timer tag used by the client for the final stack overhead.
@@ -71,7 +77,7 @@ impl Actor for UpnpDevice {
         }
         // Respond within the device's calibrated slice of the MX window.
         let delay = self.calibration.ssdp_device_delay.sample(ctx);
-        let tag = TAG_DEVICE_BASE + self.pending_searches.len() as u64;
+        let tag = 2 * self.pending_searches.len() as u64 + TAG_SEARCH_PARITY;
         self.pending_searches.push(Some((search, datagram.from)));
         ctx.set_timer(delay, tag);
     }
@@ -83,15 +89,15 @@ impl Actor for UpnpDevice {
                 return;
             };
             let delay = self.calibration.http_device_delay.sample(ctx);
-            let tag = 2 * TAG_DEVICE_BASE + self.pending_gets.len() as u64;
+            let tag = 2 * self.pending_gets.len() as u64 + TAG_GET_PARITY;
             self.pending_gets.push(Some(conn));
             ctx.set_timer(delay, tag);
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
-        if tag >= 2 * TAG_DEVICE_BASE {
-            let index = (tag - 2 * TAG_DEVICE_BASE) as usize;
+        let index = (tag / 2) as usize;
+        if tag % 2 == TAG_GET_PARITY {
             let Some(Some(conn)) = self.pending_gets.get_mut(index).map(Option::take) else {
                 return;
             };
@@ -100,8 +106,7 @@ impl Actor for UpnpDevice {
             if let Err(err) = ctx.tcp_send(conn, wire) {
                 ctx.trace(format!("upnp device: send failed: {err}"));
             }
-        } else if tag >= TAG_DEVICE_BASE {
-            let index = (tag - TAG_DEVICE_BASE) as usize;
+        } else {
             let Some(Some((search, reply_to))) =
                 self.pending_searches.get_mut(index).map(Option::take)
             else {

@@ -1,0 +1,164 @@
+//! Offline shim for the `fxhash` crate: an FxHash-style
+//! non-cryptographic multiply-rotate hash (with a strengthened mixing
+//! step — see [`FxHasher`]).
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3, a keyed hash
+//! hardened against collision flooding from untrusted keys. The hot
+//! lookups on the bridge's per-message path — session table, routing
+//! tables, the spec-compilation intern table — key on values an attacker
+//! cannot choose freely (source endpoints, ports, automaton states), so
+//! they trade that hardening for a hash that is a handful of arithmetic
+//! instructions per word. [`FxHashMap`]/[`FxHashSet`] are drop-in map
+//! aliases over [`FxBuildHasher`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// The multiplier of the FxHash mixing step (the 64-bit golden-ratio
+/// cousin Firefox ships).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic, non-keyed [`Hasher`]: every input word is
+/// folded in with one xor, one multiply and one rotate.
+///
+/// The fold rotates by 26 *after* the multiply (the classic Firefox
+/// step — `rotate_left(5)` before it — leaves a chunk's top byte only
+/// five bits away from where the next word's low byte can cancel it,
+/// which produced real collisions between host strings like
+/// `"10.0.0.19"`/`"10.0.0.92"`; the wider post-multiply rotation moves
+/// the weakly-mixed high bits out of reach).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash ^ word).wrapping_mul(SEED).rotate_left(26);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            // Fold the tail length in so "ab" + "" and "a" + "b" split
+            // across two writes cannot collide trivially.
+            self.add_to_hash(u64::from_le_bytes(word) ^ (tail.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`]s (stateless, so
+/// identical across map instances and process runs).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`HashMap`] using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value with [`FxHasher`] — the shard-pinning helper: the
+/// same key always lands on the same shard, in every process.
+pub fn hash64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_hash_equal_and_stably() {
+        assert_eq!(hash64("session"), hash64("session"));
+        assert_eq!(hash64(&(427u16, "239.255.255.253")), hash64(&(427u16, "239.255.255.253")));
+        // Stateless build hasher: two maps agree on bucket placement.
+        let a = FxBuildHasher::default();
+        let b = FxBuildHasher::default();
+        use std::hash::BuildHasher;
+        assert_eq!(a.hash_one("10.0.0.1"), b.hash_one("10.0.0.1"));
+    }
+
+    #[test]
+    fn distinct_values_spread() {
+        let mut seen = FxHashSet::default();
+        for i in 0..10_000u64 {
+            seen.insert(hash64(&format!("10.0.{}.{}", i / 200, i % 200)));
+        }
+        assert_eq!(seen.len(), 10_000, "host-style keys collide");
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<String, u32> = FxHashMap::default();
+        map.insert("a".into(), 1);
+        map.insert("b".into(), 2);
+        assert_eq!(map.get("a"), Some(&1));
+        let mut set: FxHashSet<u16> = FxHashSet::default();
+        set.insert(80);
+        assert!(set.contains(&80));
+    }
+
+    #[test]
+    fn split_writes_do_not_collide_with_joined_writes() {
+        use std::hash::Hasher;
+        let mut joined = FxHasher::default();
+        joined.write(b"ab");
+        let mut split = FxHasher::default();
+        split.write(b"a");
+        split.write(b"b");
+        assert_ne!(joined.finish(), split.finish());
+    }
+}

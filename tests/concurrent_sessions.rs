@@ -6,13 +6,20 @@
 //! idle sessions expire.
 
 use starlink::automata::{Assignment, Delta, MergedAutomaton, ValueSource};
-use starlink::core::{BridgeStats, EngineConfig, FieldCorrelator, Starlink};
-use starlink::net::{Actor, Context, DelayedActor, SimAddr, SimDuration, SimNet};
+use starlink::core::{
+    BridgeStats, EngineConfig, FieldCorrelator, ShardInput, ShardedBridge, Starlink,
+};
+use starlink::net::{
+    Actor, Bytes, Context, Datagram, DelayedActor, SimAddr, SimDuration, SimNet, SimTime,
+};
 use starlink::protocols::{
     bridges::{self, BridgeCase},
     mdns, slp, upnp, Calibration, DiscoveryProbe,
 };
-use starlink_bench::{expected_discovery_url as expected_url, run_concurrent_clients_with};
+use starlink_bench::{
+    expected_discovery_url as expected_url, run_concurrent_clients_with, run_sharded_case,
+    ShardedWorkload,
+};
 use std::sync::Arc;
 
 const BRIDGE: &str = "10.0.0.2";
@@ -107,6 +114,96 @@ fn hundred_interleaved_clients_complete_hundred_distinct_sessions_per_case() {
             "case {}: sessions did not overlap (peak {})",
             case.number(),
             c.peak_active
+        );
+    }
+}
+
+#[test]
+fn hundred_clients_through_1_2_4_8_shards_stay_isolated_in_all_six_cases() {
+    // The sharded acceptance scenario: the same 100-client interleavings
+    // the single-engine test runs, but through the multi-threaded
+    // ShardedBridge at every shard count. Every reply must reach its own
+    // originator carrying its own transaction id, on every shard layout.
+    for &shards in &[1usize, 2, 4, 8] {
+        for case in BridgeCase::all() {
+            let mut workload = ShardedWorkload::new(shards, 100);
+            workload.seed = 0x700 + shards as u64 * 0x10 + case.number() as u64;
+            workload.wave = 32;
+            let run = run_sharded_case(case, workload);
+            run.assert_isolated();
+            // Session pinning really spread the load: with 100 distinct
+            // client hosts, every shard served some sessions, and the
+            // per-shard counts add up to the whole.
+            let per_shard: Vec<usize> =
+                (0..shards).map(|s| run.stats.shard(s).session_count()).collect();
+            assert_eq!(per_shard.iter().sum::<usize>(), 100, "case {}", case.number());
+            assert!(
+                per_shard.iter().all(|&count| count > 0),
+                "case {} shards {shards}: a shard sat idle: {per_shard:?}",
+                case.number()
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_sessions_overlap_within_shards() {
+    // Depth check for the gauge: with waves deeper than the shard count,
+    // the shared atomic gauge must observe real cross-shard concurrency.
+    let mut workload = ShardedWorkload::new(4, 64);
+    workload.wave = 64;
+    let run = run_sharded_case(BridgeCase::SlpToBonjour, workload);
+    run.assert_isolated();
+    let c = run.stats.concurrency();
+    assert_eq!(c.started, 64);
+    assert!(c.peak_active >= 8, "no overlap across the fleet (peak {})", c.peak_active);
+}
+
+#[test]
+fn idle_sessions_expire_independently_on_every_shard() {
+    // Four shards, no responder anywhere: every session stalls after its
+    // question and must be reaped by its own shard's idle-expiry timer —
+    // sharding must not silently disable (or cross-wire) expiry.
+    const CLIENTS: usize = 12;
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+    let config =
+        EngineConfig { idle_timeout: SimDuration::from_millis(50), ..EngineConfig::default() };
+    let (engines, stats) = framework.deploy_sharded(bridges::slp_to_bonjour(), config, 4).unwrap();
+    let mut bridge = ShardedBridge::launch(0x701, BRIDGE, engines, |_, _| {});
+
+    let mut expected_per_shard = [0u64; 4];
+    let inputs: Vec<ShardInput> = (0..CLIENTS)
+        .map(|i| {
+            let host = format!("10.30.0.{}", i + 1);
+            expected_per_shard[bridge.shard_of(&host)] += 1;
+            let wire = slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(
+                i as u16,
+                "service:printer",
+            )));
+            ShardInput::Datagram(Datagram {
+                from: SimAddr::new(host, 41_000),
+                to: SimAddr::new(BRIDGE, slp::SLP_PORT),
+                payload: Bytes::copy_from_slice(&wire),
+            })
+        })
+        .collect();
+    bridge.dispatch(SimTime::from_millis(1), inputs);
+    bridge.flush();
+    assert_eq!(stats.concurrency().started, CLIENTS as u64);
+    assert_eq!(stats.concurrency().expired, 0, "nothing may expire before the timeout");
+
+    // Advance every shard's virtual clock well past the idle timeout.
+    bridge.advance(SimTime::from_millis(500));
+    bridge.flush();
+    let c = stats.concurrency();
+    assert_eq!(c.expired, CLIENTS as u64, "every stalled session was reaped");
+    assert_eq!(c.active, 0);
+    for (shard, &expected) in expected_per_shard.iter().enumerate() {
+        assert_eq!(
+            stats.shard(shard).concurrency().expired,
+            expected,
+            "shard {shard} reaped exactly its own pinned sessions"
         );
     }
 }

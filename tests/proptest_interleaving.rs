@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 use starlink::protocols::{bridges::BridgeCase, Calibration};
-use starlink_bench::{expected_discovery_url, run_concurrent_clients_with};
+use starlink_bench::{
+    expected_discovery_url, run_concurrent_clients_with, run_sharded_case, ShardedWorkload,
+};
 
 proptest! {
     #[test]
@@ -35,5 +37,37 @@ proptest! {
         prop_assert_eq!(stats.session_count(), offsets.len());
         prop_assert_eq!(stats.concurrency().active, 0);
         prop_assert!(stats.errors().is_empty(), "errors: {:?}", stats.errors());
+    }
+
+    /// The same invariant through the multi-threaded sharded runtime:
+    /// for any case, shard count, client count and wave depth, every
+    /// wire-level client gets exactly its own reply back.
+    #[test]
+    fn any_sharded_layout_keeps_sessions_isolated(
+        seed in 0u64..10_000,
+        case_index in 0usize..6,
+        shards in 1usize..=8,
+        clients in 2usize..16,
+        wave in 1usize..12,
+    ) {
+        let case = BridgeCase::all()[case_index];
+        let mut workload = ShardedWorkload::new(shards, clients);
+        workload.seed = seed;
+        workload.wave = wave;
+        let run = run_sharded_case(case, workload);
+        prop_assert_eq!(
+            run.completed(),
+            clients,
+            "case {} (seed {}, {} shards, wave {}): {} of {} sessions completed; errors: {:?}",
+            case.number(),
+            seed,
+            shards,
+            wave,
+            run.completed(),
+            clients,
+            run.stats.errors()
+        );
+        // Full isolation: right URL, own transaction id, clean engines.
+        run.assert_isolated();
     }
 }
