@@ -1,0 +1,408 @@
+//! The chaos conformance harness: named impairment profiles, the
+//! quiescence-driven cell runner and the **liveness contract** the
+//! matrix in `tests/chaos_matrix.rs` enforces over every
+//! [`BridgeCase`] × profile × shard-count cell.
+//!
+//! The contract is Starlink's runtime-interoperability claim under a
+//! misbehaving network: whatever the link does — drop, duplicate,
+//! reorder, jitter, corrupt, partition — every session the engine opens
+//! ends in exactly one of `completed` / `failed` / `expired`, the engine
+//! never wedges (`active == 0` once the run's virtual horizon passes),
+//! no reply is cross-delivered, and [`starlink_core::BridgeStats`] stays
+//! internally consistent on every shard. Everything is a deterministic
+//! function of `(seed, profile)`: a failing cell prints the exact
+//! environment-variable repro command along with the tail of its
+//! dispatch-boundary log.
+
+use crate::{expected_discovery_url, run_sharded_case, ShardedRun, ShardedWorkload};
+use starlink_net::{Impairments, SimDuration, SimTime};
+use starlink_protocols::bridges::BridgeCase;
+
+/// A named impairment profile of the conformance matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosProfile {
+    /// Profile name (stable: used in repro commands and CI filters).
+    pub name: &'static str,
+    /// The knobs installed in every shard's simulation.
+    pub impairments: Impairments,
+    /// Whether every client must complete (profiles without loss,
+    /// corruption or partitions cannot legitimately lose a session —
+    /// duplication and reordering merely add noise).
+    pub expect_client_completion: bool,
+    /// Whether the engines must additionally stay clean: zero recorded
+    /// errors and exactly one session per client (only the control row —
+    /// duplicates are legitimately recorded-and-dropped).
+    pub expect_clean_engines: bool,
+}
+
+impl ChaosProfile {
+    /// No impairment at all — the control row: must behave exactly like
+    /// the pre-chaos harness (full completion, clean engines).
+    pub fn lossless() -> Self {
+        ChaosProfile {
+            name: "lossless",
+            impairments: Impairments::none(),
+            expect_client_completion: true,
+            expect_clean_engines: true,
+        }
+    }
+
+    /// 10% independent loss on every link traversal.
+    pub fn lossy10() -> Self {
+        ChaosProfile {
+            name: "lossy10",
+            impairments: Impairments { drop_permille: 100, ..Impairments::none() },
+            expect_client_completion: false,
+            expect_clean_engines: false,
+        }
+    }
+
+    /// Duplication plus bounded reordering and jitter — no loss, so
+    /// every session must still complete (duplicates may only add
+    /// recorded-and-dropped errors).
+    pub fn dup_reorder() -> Self {
+        ChaosProfile {
+            name: "dup_reorder",
+            impairments: Impairments {
+                duplicate_permille: 200,
+                reorder_permille: 300,
+                reorder_window: SimDuration::from_millis(2),
+                jitter: SimDuration::from_micros(500),
+                ..Impairments::none()
+            },
+            // No loss anywhere: every client still completes, but
+            // rejected duplicates legitimately land in the error log.
+            expect_client_completion: true,
+            expect_clean_engines: false,
+        }
+    }
+
+    /// Byte corruption plus spontaneous host-pair partitions that heal
+    /// after a window.
+    pub fn corrupt_partition_heal() -> Self {
+        ChaosProfile {
+            name: "corrupt_partition_heal",
+            impairments: Impairments {
+                corrupt_permille: 80,
+                partition_permille: 15,
+                partition_window: SimDuration::from_millis(8),
+                ..Impairments::none()
+            },
+            expect_client_completion: false,
+            expect_clean_engines: false,
+        }
+    }
+
+    /// The four rows of the conformance matrix.
+    pub fn matrix() -> [ChaosProfile; 4] {
+        [
+            ChaosProfile::lossless(),
+            ChaosProfile::lossy10(),
+            ChaosProfile::dup_reorder(),
+            ChaosProfile::corrupt_partition_heal(),
+        ]
+    }
+
+    /// Looks a profile up by its stable name (repro commands).
+    pub fn by_name(name: &str) -> Option<ChaosProfile> {
+        ChaosProfile::matrix().into_iter().find(|p| p.name == name)
+    }
+
+    /// Whether the profile corrupts payloads: a garbled reply is then
+    /// indistinguishable from a cross-delivered one at the client, so
+    /// per-reply id checks are only enforced on non-corrupting profiles.
+    pub fn corrupting(&self) -> bool {
+        self.impairments.corrupt_permille > 0
+    }
+}
+
+/// One cell of the conformance matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosCell {
+    /// The bridge case driven.
+    pub case: BridgeCase,
+    /// Engine shard count.
+    pub shards: usize,
+    /// Interleaved wire-level clients.
+    pub clients: usize,
+    /// The seed (together with the profile, it determines the run
+    /// byte-for-byte).
+    pub seed: u64,
+}
+
+/// The engine idle timeout chaos cells run with: long enough for every
+/// fast-calibration legacy exchange, short enough that stalled sessions
+/// are reaped well inside the virtual horizon.
+pub const CHAOS_IDLE_TIMEOUT: SimDuration = SimDuration::from_millis(50);
+
+/// The virtual quiescence bound of a cell: time to start every wave
+/// (one per virtual millisecond), two idle windows (expiry timers re-arm
+/// once when activity raced the first timer), and a settle margin for
+/// in-flight deferrals.
+pub fn chaos_horizon(clients: usize, wave: usize) -> SimTime {
+    let start_ms = (clients as u64).div_ceil(wave.max(1) as u64) + 1;
+    SimTime::from_millis(start_ms + 2 * CHAOS_IDLE_TIMEOUT.as_millis() + 60)
+}
+
+/// Runs one matrix cell: `cell.clients` wire-level clients through a
+/// [`crate::sharded`] deployment whose every shard simulation runs under
+/// `profile`, driving until every client completed or the virtual
+/// horizon passed. Nothing is asserted — pair with
+/// [`assert_liveness_contract`].
+pub fn run_chaos_cell(cell: ChaosCell, profile: &ChaosProfile) -> ShardedRun {
+    let wave = 16;
+    let mut workload = ShardedWorkload::new(cell.shards, cell.clients);
+    workload.seed = cell.seed;
+    workload.wave = wave;
+    workload.impairments = profile.impairments;
+    workload.idle_timeout = CHAOS_IDLE_TIMEOUT;
+    workload.virtual_horizon = Some(chaos_horizon(cell.clients, wave));
+    workload.log_boundary = true;
+    run_sharded_case(cell.case, workload)
+}
+
+/// A deterministic digest of a chaos run: everything observable that
+/// must be a pure function of `(seed, profile)` — per-client outcomes
+/// (wall-clock latency excluded), fleet and per-shard counters, error
+/// logs and the full dispatch-boundary log. Two runs of the same cell
+/// and profile must produce byte-identical digests.
+pub fn deterministic_digest(run: &ShardedRun) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("case {} shards {}\n", run.case.number(), run.shards));
+    for outcome in &run.outcomes {
+        out.push_str(&format!(
+            "client {} shard {} url {:?} id_ok {} garbled {}\n",
+            outcome.host, outcome.shard, outcome.url, outcome.id_ok, outcome.garbled
+        ));
+    }
+    let c = run.stats.concurrency();
+    out.push_str(&format!(
+        "gauge started {} completed {} failed {} expired {} active {}\n",
+        c.started, c.completed, c.failed, c.expired, c.active
+    ));
+    for shard in 0..run.stats.shard_count() {
+        let s = run.stats.shard(shard).concurrency();
+        out.push_str(&format!(
+            "shard {shard} started {} completed {} failed {} expired {} active {}\n",
+            s.started, s.completed, s.failed, s.expired, s.active
+        ));
+    }
+    for error in run.stats.errors() {
+        out.push_str(&format!("error {error}\n"));
+    }
+    for line in &run.boundary_log {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// The last `n` lines of a failure-dump source (boundary log, trace
+/// lines) joined back into one block — shared by every chaos failure
+/// path so dumps stay uniform.
+pub fn tail<S: AsRef<str>>(lines: &[S], n: usize) -> String {
+    let start = lines.len().saturating_sub(n);
+    lines[start..].iter().map(AsRef::as_ref).collect::<Vec<_>>().join("\n")
+}
+
+/// Checks the liveness contract, returning every violation instead of
+/// stopping at the first.
+pub fn check_liveness_contract(run: &ShardedRun, profile: &ChaosProfile) -> Vec<String> {
+    let mut violations = Vec::new();
+    let clients = run.outcomes.len();
+    let completed_clients = run.completed();
+    let gauge = run.stats.concurrency();
+
+    // 1. No wedged sessions, anywhere: once the horizon passed, every
+    //    session the engine ever opened is in a terminal bucket.
+    if gauge.active != 0 {
+        violations
+            .push(format!("{} sessions still active (wedged) after the horizon", gauge.active));
+    }
+    if !gauge.is_balanced() {
+        violations.push(format!(
+            "fleet gauge unbalanced: started {} != completed {} + failed {} + expired {} + active {}",
+            gauge.started, gauge.completed, gauge.failed, gauge.expired, gauge.active
+        ));
+    }
+
+    // 2. Per-shard stats internally consistent.
+    for shard in 0..run.stats.shard_count() {
+        let stats = run.stats.shard(shard);
+        let c = stats.concurrency();
+        if !c.is_balanced() {
+            violations.push(format!("shard {shard} counters unbalanced: {c:?}"));
+        }
+        if c.active != 0 {
+            violations.push(format!("shard {shard}: {} sessions wedged", c.active));
+        }
+        if stats.session_count() as u64 != c.completed {
+            violations.push(format!(
+                "shard {shard}: {} session records vs completed counter {}",
+                stats.session_count(),
+                c.completed
+            ));
+        }
+    }
+    let merged = run.stats.merged().concurrency();
+    if !merged.is_balanced() {
+        violations.push(format!("merged shard counters unbalanced: {merged:?}"));
+    }
+
+    // 3. Every client that observed a decoded reply maps onto a
+    //    completed engine session (replies are only emitted by sessions
+    //    that then complete).
+    if (completed_clients as u64) > gauge.completed {
+        violations.push(format!(
+            "{completed_clients} clients saw replies but only {} sessions completed",
+            gauge.completed
+        ));
+    }
+
+    // 4. No cross-delivered replies: on non-corrupting profiles a
+    //    decoded reply must carry the receiving client's own transaction
+    //    id and the expected URL (corruption can garble either without
+    //    any engine fault, so those profiles only check liveness).
+    if !profile.corrupting() {
+        for (index, outcome) in run.outcomes.iter().enumerate() {
+            if let Some(url) = &outcome.url {
+                if url != expected_discovery_url(run.case) {
+                    violations
+                        .push(format!("client {index} ({}) got wrong URL {url:?}", outcome.host));
+                }
+                if !outcome.id_ok {
+                    violations.push(format!(
+                        "client {index} ({}) got a reply carrying another session's id",
+                        outcome.host
+                    ));
+                }
+            }
+            if outcome.garbled > 0 {
+                violations.push(format!(
+                    "client {index} ({}) saw {} undecodable replies without corruption",
+                    outcome.host, outcome.garbled
+                ));
+            }
+        }
+    }
+
+    // 5. Profiles without loss must complete every client; the control
+    //    row additionally requires clean engines.
+    if profile.expect_client_completion && completed_clients != clients {
+        violations.push(format!(
+            "{completed_clients}/{clients} clients completed under {}",
+            profile.name
+        ));
+    }
+    if profile.expect_clean_engines {
+        if !run.stats.errors().is_empty() {
+            violations.push(format!(
+                "engine errors under {}: {:?}",
+                profile.name,
+                run.stats.errors()
+            ));
+        }
+        if gauge.started != clients as u64 {
+            violations.push(format!(
+                "{} sessions started for {clients} clients under {}",
+                gauge.started, profile.name
+            ));
+        }
+    }
+
+    // 6. Counter monotonicity: the final numbers never fall below the
+    //    mid-run snapshot (errors only ever append, lifecycle counters
+    //    only ever increment).
+    if let Some((mid, mid_errors)) = &run.mid_snapshot {
+        let final_errors = run.stats.errors().len();
+        for (name, before, after) in [
+            ("started", mid.started, gauge.started),
+            ("completed", mid.completed, gauge.completed),
+            ("failed", mid.failed, gauge.failed),
+            ("expired", mid.expired, gauge.expired),
+            ("errors", *mid_errors as u64, final_errors as u64),
+        ] {
+            if after < before {
+                violations.push(format!("counter {name} went backwards: {before} -> {after}"));
+            }
+        }
+    }
+
+    violations
+}
+
+/// Asserts [`check_liveness_contract`]; a violation panics with the full
+/// reproduction recipe — `(seed, profile)`, the one-command env-var
+/// repro line and the tail of the dispatch-boundary log.
+///
+/// # Panics
+///
+/// Panics when the contract is violated.
+pub fn assert_liveness_contract(run: &ShardedRun, profile: &ChaosProfile, seed: u64) {
+    let violations = check_liveness_contract(run, profile);
+    if violations.is_empty() {
+        return;
+    }
+    let tail_len = 60.min(run.boundary_log.len());
+    let tail = tail(&run.boundary_log, 60);
+    let gauge = run.stats.concurrency();
+    panic!(
+        "chaos liveness contract violated\n\
+         cell: case {} ({}), {} shards, {} clients, seed {seed}, profile {} ({:?})\n\
+         violations:\n  - {}\n\
+         counters: {gauge:?}\n\
+         errors ({}): {:?}\n\
+         reproduce with:\n  CHAOS_CASE={} CHAOS_PROFILE={} CHAOS_SEED={seed} CHAOS_SHARDS={} \
+         CHAOS_CLIENTS={} cargo test -q --test chaos_matrix repro_cell -- --nocapture\n\
+         boundary log tail ({tail_len} of {} lines):\n{tail}",
+        run.case.number(),
+        run.case.name(),
+        run.shards,
+        run.outcomes.len(),
+        profile.name,
+        profile.impairments,
+        violations.join("\n  - "),
+        run.stats.errors().len(),
+        run.stats.errors(),
+        run.case.number(),
+        profile.name,
+        run.shards,
+        run.outcomes.len(),
+        run.boundary_log.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_stable_names_and_lookup() {
+        for profile in ChaosProfile::matrix() {
+            assert_eq!(ChaosProfile::by_name(profile.name), Some(profile));
+        }
+        assert!(ChaosProfile::by_name("nope").is_none());
+        assert!(ChaosProfile::lossless().impairments.is_inert());
+        assert!(!ChaosProfile::lossy10().impairments.is_inert());
+        assert!(ChaosProfile::corrupt_partition_heal().corrupting());
+        assert!(!ChaosProfile::dup_reorder().corrupting());
+    }
+
+    #[test]
+    fn lossless_cell_satisfies_the_contract_and_the_strict_checks() {
+        let cell =
+            ChaosCell { case: BridgeCase::SlpToBonjour, shards: 2, clients: 8, seed: 0xC4A0 };
+        let profile = ChaosProfile::lossless();
+        let run = run_chaos_cell(cell, &profile);
+        assert_liveness_contract(&run, &profile, cell.seed);
+        run.assert_isolated();
+    }
+
+    #[test]
+    fn lossy_cell_never_wedges() {
+        let cell = ChaosCell { case: BridgeCase::SlpToBonjour, shards: 2, clients: 8, seed: 1 };
+        let profile = ChaosProfile::lossy10();
+        let run = run_chaos_cell(cell, &profile);
+        assert_liveness_contract(&run, &profile, cell.seed);
+    }
+}

@@ -16,6 +16,11 @@
 //! figures (DOT + XML), and `codec`/`fieldpath`/`engine`/`xml` are
 //! Criterion microbenches of the framework's real computational costs.
 //!
+//! The [`chaos`] module is the network-chaos conformance harness: named
+//! impairment profiles, the quiescence-driven cell runner and the
+//! liveness contract `tests/chaos_matrix.rs` enforces over every bridge
+//! case × profile × shard count.
+//!
 //! # Performance
 //!
 //! The parse → translate → compose pipeline is the repository's hot
@@ -70,14 +75,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod sharded;
 
+pub use chaos::{run_chaos_cell, ChaosCell, ChaosProfile};
 pub use sharded::{
     run_sharded_case, run_sharded_mixed, ClientOutcome, ShardedRun, ShardedWorkload,
 };
 
 use starlink_core::{ConcurrencyStats, Starlink};
-use starlink_net::{DelayedActor, SimDuration, SimNet};
+use starlink_net::{DelayedActor, Impairments, SimDuration, SimNet};
 use starlink_protocols::{
     bridges::{self, BridgeCase},
     mdns, slp, upnp, Calibration, DiscoveryProbe,
@@ -227,11 +234,45 @@ pub fn run_concurrent_clients_with(
     calibration: Calibration,
     stagger_us: &[u64],
 ) -> (Vec<DiscoveryProbe>, starlink_core::BridgeStats) {
+    // No trace rendering: this is the Criterion concurrent-bench hot
+    // loop, which must not pay for formatting a discarded string.
+    let (probes, stats, _) =
+        run_clients(case, seed, calibration, stagger_us, Impairments::none(), false);
+    (probes, stats)
+}
+
+/// The chaos variant of [`run_concurrent_clients_with`]: the same
+/// interleaved legacy clients, but the single shared simulation runs
+/// under `impairments`, and the full [`SimNet`] trace text is returned —
+/// the byte-comparable evidence for `(seed, profile)` reproduction and
+/// determinism proofs. Nothing is asserted.
+pub fn run_concurrent_clients_chaos(
+    case: BridgeCase,
+    seed: u64,
+    calibration: Calibration,
+    stagger_us: &[u64],
+    impairments: Impairments,
+) -> (Vec<DiscoveryProbe>, starlink_core::BridgeStats, String) {
+    let (probes, stats, trace) =
+        run_clients(case, seed, calibration, stagger_us, impairments, true);
+    (probes, stats, trace.unwrap_or_default())
+}
+
+/// Shared body of the two public concurrent-client harnesses.
+fn run_clients(
+    case: BridgeCase,
+    seed: u64,
+    calibration: Calibration,
+    stagger_us: &[u64],
+    impairments: Impairments,
+    want_trace: bool,
+) -> (Vec<DiscoveryProbe>, starlink_core::BridgeStats, Option<String>) {
     let mut framework = Starlink::new();
     bridges::load_all_mdls(&mut framework).expect("models load");
     let (engine, stats) = framework.deploy(case.build(BRIDGE)).expect("bridge deploys");
 
     let mut sim = SimNet::new(seed);
+    sim.set_impairments(impairments);
     sim.add_actor(BRIDGE, engine);
     match case {
         BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp => {
@@ -272,7 +313,8 @@ pub fn run_concurrent_clients_with(
         }
     }
     sim.run_until_idle();
-    (probes, stats)
+    let trace = want_trace.then(|| sim.trace_text());
+    (probes, stats, trace)
 }
 
 /// Runs `clients` concurrent legacy clients of `case`'s source protocol

@@ -18,8 +18,10 @@
 
 use crate::{BRIDGE, SERVICE};
 use fxhash::FxHashMap;
-use starlink_core::{EngineConfig, ShardInput, ShardOutput, ShardedBridge, ShardedStats, Starlink};
-use starlink_net::{Bytes, Datagram, LatencyModel, SimAddr, SimDuration, SimTime};
+use starlink_core::{
+    ConcurrencyStats, EngineConfig, ShardInput, ShardOutput, ShardedBridge, ShardedStats, Starlink,
+};
+use starlink_net::{Bytes, Datagram, Impairments, LatencyModel, SimAddr, SimDuration, SimTime};
 use starlink_protocols::{
     bridges::{self, BridgeCase},
     http, mdns, slp, ssdp, upnp, Calibration,
@@ -50,6 +52,22 @@ pub struct ShardedWorkload {
     pub wave: usize,
     /// Wall-clock safety cap on the whole run.
     pub timeout: Duration,
+    /// Impairment profile installed in every shard's simulation (default
+    /// inert — throughput/correctness runs are untouched).
+    pub impairments: Impairments,
+    /// Engine idle-expiry timeout. Chaos runs shorten it so stalled
+    /// sessions (dropped datagrams, partitioned peers) are reaped within
+    /// the run's virtual horizon.
+    pub idle_timeout: SimDuration,
+    /// Virtual-time cap: the drive loop stops once the shard clocks pass
+    /// this point even with sessions unresolved — the quiescence bound
+    /// chaos runs use. `None` (default) keeps the original behaviour:
+    /// run until every client completes (or the wall-clock timeout).
+    pub virtual_horizon: Option<SimTime>,
+    /// Record a deterministic log of every input/output crossing the
+    /// dispatch boundary (virtual timestamps only): the evidence chaos
+    /// failure dumps and determinism tests compare.
+    pub log_boundary: bool,
 }
 
 impl ShardedWorkload {
@@ -64,6 +82,10 @@ impl ShardedWorkload {
             instant_network: false,
             wave: 64,
             timeout: Duration::from_secs(60),
+            impairments: Impairments::none(),
+            idle_timeout: SimDuration::from_secs(30),
+            virtual_horizon: None,
+            log_boundary: false,
         }
     }
 
@@ -89,6 +111,9 @@ pub struct ClientOutcome {
     pub id_ok: bool,
     /// Wall-clock latency from request dispatch to final reply.
     pub latency: Option<Duration>,
+    /// Replies addressed to this client that failed to decode (chaos
+    /// corruption) — they never count as completion.
+    pub garbled: u32,
 }
 
 /// The result of one sharded run.
@@ -106,6 +131,15 @@ pub struct ShardedRun {
     pub elapsed: Duration,
     /// Per-shard and fleet-wide engine statistics.
     pub stats: ShardedStats,
+    /// The dispatch-boundary log (when
+    /// [`ShardedWorkload::log_boundary`]): one line per input/output
+    /// crossing the shard boundary, virtual timestamps only — byte-equal
+    /// across runs of the same `(seed, profile)`.
+    pub boundary_log: Vec<String>,
+    /// Lifecycle counters + error count sampled mid-run (right after the
+    /// last wave started), for monotonicity checks against the final
+    /// numbers.
+    pub mid_snapshot: Option<(ConcurrencyStats, usize)>,
 }
 
 impl ShardedRun {
@@ -162,6 +196,7 @@ impl ShardedRun {
         let c = self.stats.concurrency();
         assert_eq!(c.completed, self.outcomes.len() as u64);
         assert_eq!(c.active, 0);
+        self.stats.assert_consistent(&format!("case {}", self.case.number()));
     }
 }
 
@@ -242,15 +277,18 @@ fn parse_location(location: &str) -> (String, u16) {
 pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedRun {
     let mut framework = Starlink::new();
     bridges::load_all_mdls(&mut framework).expect("models load");
+    let config = EngineConfig { idle_timeout: workload.idle_timeout, ..EngineConfig::default() };
     let (engines, stats) = framework
-        .deploy_sharded(case.build(BRIDGE), EngineConfig::default(), workload.shards)
+        .deploy_sharded(case.build(BRIDGE), config, workload.shards)
         .expect("sharded bridge deploys");
     let calibration = workload.calibration;
     let instant_network = workload.instant_network;
+    let impairments = workload.impairments;
     let mut bridge = ShardedBridge::launch(workload.seed, BRIDGE, engines, |_, sim| {
         if instant_network {
             sim.set_latency(LatencyModel::Fixed(SimDuration::ZERO));
         }
+        sim.set_impairments(impairments);
         match case {
             BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp => {
                 sim.add_actor(SERVICE, upnp::UpnpDevice::new(UPNP_TYPE, SERVICE, calibration));
@@ -276,7 +314,14 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
                 shard,
                 phase: Phase::AwaitUdpReply,
                 started: None,
-                outcome: ClientOutcome { host, shard, url: None, id_ok: true, latency: None },
+                outcome: ClientOutcome {
+                    host,
+                    shard,
+                    url: None,
+                    id_ok: true,
+                    latency: None,
+                    garbled: 0,
+                },
             }
         })
         .collect();
@@ -291,12 +336,27 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
     let deadline = run_start + workload.timeout;
     let mut messages = 0u64;
     let mut completed = 0usize;
+    // Clients whose run is over either way — completed, or terminally
+    // failed at the driver (refused TCP connect). Once every client is
+    // resolved the loop ends without burning the remaining horizon (or,
+    // with no horizon, the wall-clock deadline).
+    let mut resolved = 0usize;
     let mut next_start = 0usize;
     let mut iteration = 0u64;
     let mut inputs: Vec<ShardInput> = Vec::new();
     let mut outputs: Vec<(usize, ShardOutput)> = Vec::new();
+    let mut boundary_log: Vec<String> = Vec::new();
+    let mut mid_snapshot: Option<(ConcurrencyStats, usize)> = None;
 
-    while completed < clients.len() && Instant::now() < deadline {
+    while resolved < clients.len() && Instant::now() < deadline {
+        // A chaos run stops at its virtual quiescence bound even with
+        // clients unresolved (dropped requests, partitioned peers): by
+        // then every stalled session must have been reaped.
+        if let Some(horizon) = workload.virtual_horizon {
+            if SimTime::from_micros((iteration + 1) * 1_000) > horizon {
+                break;
+            }
+        }
         // Start the next wave of sessions.
         let wave_end = (next_start + workload.wave.max(1)).min(clients.len());
         for (index, client) in clients.iter_mut().enumerate().take(wave_end).skip(next_start) {
@@ -310,6 +370,7 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
                 payload: Bytes::copy_from_slice(&request_wire(case, index)),
             }));
         }
+        let last_wave_started = next_start < clients.len() && wave_end >= clients.len();
         next_start = wave_end;
 
         iteration += 1;
@@ -317,12 +378,27 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
         // One virtual millisecond per driver iteration: in-shard timers
         // (service delays, idle expiry) advance deterministically with
         // the drive loop, not with wall time.
-        bridge.dispatch(SimTime::from_micros(iteration * 1_000), inputs.drain(..));
+        let now = SimTime::from_micros(iteration * 1_000);
+        if workload.log_boundary {
+            for input in &inputs {
+                boundary_log.push(describe_input(now, input));
+            }
+        }
+        bridge.dispatch(now, inputs.drain(..));
         bridge.flush();
+        if last_wave_started {
+            // Stable read: the flush barrier guarantees every worker is
+            // idle, so these counters are a deterministic function of
+            // (seed, profile, workload).
+            mid_snapshot = Some((stats.concurrency(), stats.errors().len()));
+        }
         bridge.drain_into(&mut outputs);
         messages += outputs.len() as u64;
 
         for (shard, output) in outputs.drain(..) {
+            if workload.log_boundary {
+                boundary_log.push(describe_output(now, shard, &output));
+            }
             match output {
                 ShardOutput::Datagram(datagram) => {
                     let Some(&index) = by_host.get(datagram.to.host.as_ref()) else { continue };
@@ -333,15 +409,17 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
                             let Some((url, id_ok)) =
                                 decode_udp_reply(case, index, &datagram.payload)
                             else {
+                                client.outcome.garbled += 1;
                                 continue;
                             };
                             client.outcome.id_ok &= id_ok;
-                            finish(client, url, &mut completed);
+                            finish(client, url, &mut completed, &mut resolved);
                         }
                         Phase::AwaitSsdp => {
                             let Ok(ssdp::SsdpMessage::Response(response)) =
                                 ssdp::decode(&datagram.payload)
                             else {
+                                client.outcome.garbled += 1;
                                 continue;
                             };
                             let (host, port) = parse_location(&response.location);
@@ -370,6 +448,7 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
                         continue;
                     }
                     let Ok(http::HttpMessage::Ok(ok)) = http::decode(&payload) else {
+                        client.outcome.garbled += 1;
                         continue;
                     };
                     let url = ok
@@ -379,9 +458,38 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
                         .map(|(base, _)| base.trim().to_owned())
                         .unwrap_or_default();
                     inputs.push(ShardInput::TcpClose { token });
-                    finish(client, url, &mut completed);
+                    finish(client, url, &mut completed, &mut resolved);
                 }
-                ShardOutput::TcpClosed { .. } | ShardOutput::TcpConnectFailed { .. } => {}
+                ShardOutput::TcpConnectFailed { token, .. } => {
+                    // A partitioned description fetch: the client's run
+                    // is over without a result (the engine-side session
+                    // is reaped by idle expiry).
+                    if let Some(client) = clients.get_mut(token as usize) {
+                        if matches!(client.phase, Phase::AwaitHttp) {
+                            client.phase = Phase::Done;
+                            resolved += 1;
+                        }
+                    }
+                }
+                ShardOutput::TcpClosed { .. } => {}
+            }
+        }
+    }
+
+    // An early exit (every client resolved) must still bring the shard
+    // clocks to the quiescence bound so idle-expiry timers of any
+    // engine-side sessions left behind (refused connects) fire before
+    // the caller reads the stats.
+    if let Some(horizon) = workload.virtual_horizon {
+        if SimTime::from_micros(iteration * 1_000) < horizon {
+            bridge.advance(horizon);
+            bridge.flush();
+            bridge.drain_into(&mut outputs);
+            messages += outputs.len() as u64;
+            for (shard, output) in outputs.drain(..) {
+                if workload.log_boundary {
+                    boundary_log.push(describe_output(horizon, shard, &output));
+                }
             }
         }
     }
@@ -394,6 +502,46 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
         messages,
         elapsed,
         stats,
+        boundary_log,
+        mid_snapshot,
+    }
+}
+
+/// One deterministic boundary-log line for a dispatched input.
+fn describe_input(now: SimTime, input: &ShardInput) -> String {
+    match input {
+        ShardInput::Datagram(d) => {
+            format!("{} in  dgram {} -> {} {}B", now.as_micros(), d.from, d.to, d.payload.len())
+        }
+        ShardInput::TcpConnect { token, from, to } => {
+            format!("{} in  tcp-connect #{token} {from} -> {to}", now.as_micros())
+        }
+        ShardInput::TcpData { token, payload } => {
+            format!("{} in  tcp-data #{token} {}B", now.as_micros(), payload.len())
+        }
+        ShardInput::TcpClose { token } => format!("{} in  tcp-close #{token}", now.as_micros()),
+    }
+}
+
+/// One deterministic boundary-log line for a drained output.
+fn describe_output(now: SimTime, shard: usize, output: &ShardOutput) -> String {
+    match output {
+        ShardOutput::Datagram(d) => format!(
+            "{} out[{shard}] dgram {} -> {} {}B",
+            now.as_micros(),
+            d.from,
+            d.to,
+            d.payload.len()
+        ),
+        ShardOutput::TcpData { token, payload } => {
+            format!("{} out[{shard}] tcp-data #{token} {}B", now.as_micros(), payload.len())
+        }
+        ShardOutput::TcpClosed { token } => {
+            format!("{} out[{shard}] tcp-closed #{token}", now.as_micros())
+        }
+        ShardOutput::TcpConnectFailed { token, error } => {
+            format!("{} out[{shard}] tcp-connect-failed #{token}: {error}", now.as_micros())
+        }
     }
 }
 
@@ -414,11 +562,12 @@ fn decode_udp_reply(case: BridgeCase, index: usize, payload: &[u8]) -> Option<(S
     }
 }
 
-fn finish(client: &mut Client, url: String, completed: &mut usize) {
+fn finish(client: &mut Client, url: String, completed: &mut usize, resolved: &mut usize) {
     client.phase = Phase::Done;
     client.outcome.url = Some(url);
     client.outcome.latency = client.started.map(|s| s.elapsed());
     *completed += 1;
+    *resolved += 1;
 }
 
 /// Runs every [`BridgeCase`] at `shards` shards and returns the six

@@ -54,6 +54,38 @@ pub struct ConcurrencyStats {
 }
 
 impl ConcurrencyStats {
+    /// The lifecycle-accounting invariant: every session ever opened is
+    /// in exactly one bucket, so
+    /// `started == active + completed + failed + expired`. Holds for a
+    /// single engine's counters, for per-shard counters, for their
+    /// merged sum and for the lock-free mirror's snapshot (each
+    /// transition updates both sides of the equation together).
+    pub fn is_balanced(&self) -> bool {
+        self.started == self.active + self.completed + self.failed + self.expired
+    }
+
+    /// Panics with the full counter set unless [`Self::is_balanced`] —
+    /// the assertion every integration test runs against its bridge's
+    /// stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the invariant is violated; `context` names the
+    /// offending bridge/shard in the message.
+    pub fn assert_balanced(&self, context: &str) {
+        assert!(
+            self.is_balanced(),
+            "{context}: session accounting broken: started {} != active {} + completed {} \
+             + failed {} + expired {} (peak {})",
+            self.started,
+            self.active,
+            self.completed,
+            self.failed,
+            self.expired,
+            self.peak_active
+        );
+    }
+
     /// Folds another counter set into this one: every counter is summed.
     ///
     /// Summing `peak_active` makes the merged peak an *upper bound* on
@@ -234,6 +266,23 @@ impl BridgeStats {
         self.lock().sessions.iter().map(SessionRecord::translation_time).collect()
     }
 
+    /// Asserts internal consistency of this handle: the lifecycle
+    /// counters are balanced ([`ConcurrencyStats::assert_balanced`]) and
+    /// the completed-session log agrees with the `completed` counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming `context`) when either check fails.
+    pub fn assert_consistent(&self, context: &str) {
+        let concurrency = self.concurrency();
+        concurrency.assert_balanced(context);
+        assert_eq!(
+            self.session_count() as u64,
+            concurrency.completed,
+            "{context}: completed-session records disagree with the completed counter"
+        );
+    }
+
     /// Folds a snapshot of `other` into this handle: session records and
     /// errors are appended, lifecycle counters merged per
     /// [`ConcurrencyStats::merge`]. Used to aggregate per-shard stats
@@ -306,6 +355,21 @@ impl ShardedStats {
     /// Translation times of all completed sessions across all shards.
     pub fn translation_times(&self) -> Vec<SimDuration> {
         self.shards.iter().flat_map(BridgeStats::translation_times).collect()
+    }
+
+    /// Asserts consistency of every shard's stats, of their merged sum
+    /// and of the lock-free fleet gauge — the whole-deployment form of
+    /// [`BridgeStats::assert_consistent`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming `context` and the shard) when any check fails.
+    pub fn assert_consistent(&self, context: &str) {
+        for (index, shard) in self.shards.iter().enumerate() {
+            shard.assert_consistent(&format!("{context} shard {index}"));
+        }
+        self.merged().concurrency().assert_balanced(&format!("{context} merged"));
+        self.concurrency().assert_balanced(&format!("{context} gauge"));
     }
 }
 
@@ -386,6 +450,25 @@ mod tests {
         assert_eq!(live.failed, expected.failed);
         assert_eq!(live.expired, expected.expired);
         assert_eq!(live.active, 0);
+    }
+
+    #[test]
+    fn balance_invariant_holds_through_every_transition_and_catches_drift() {
+        let stats = BridgeStats::new();
+        stats.concurrency().assert_balanced("empty");
+        stats.record_session_started();
+        stats.concurrency().assert_balanced("one active");
+        stats.record_session(SimTime::ZERO, SimTime::from_millis(1));
+        stats.record_session_started();
+        stats.record_session_failed();
+        stats.record_session_started();
+        stats.record_session_expired();
+        stats.assert_consistent("full lifecycle");
+        // A hand-built drifted counter set is caught.
+        let drifted = ConcurrencyStats { started: 5, completed: 2, ..ConcurrencyStats::default() };
+        assert!(!drifted.is_balanced());
+        let result = std::panic::catch_unwind(|| drifted.assert_balanced("drifted"));
+        assert!(result.is_err(), "imbalance must panic");
     }
 
     #[test]

@@ -221,6 +221,7 @@ fn udp_bridge_translates_roundtrip() {
     assert_eq!(got.load(Ordering::SeqCst), 108);
     assert_eq!(stats.session_count(), 1);
     assert!(stats.errors().is_empty(), "engine errors: {:?}", stats.errors());
+    stats.assert_consistent("udp bridge roundtrip");
     let times = stats.translation_times();
     assert!(times[0].as_micros() > 0);
 }
@@ -245,6 +246,7 @@ fn tcp_bridge_with_set_host_translates_roundtrip() {
     assert_eq!(got.load(Ordering::SeqCst), 142);
     assert_eq!(stats.session_count(), 1);
     assert!(stats.errors().is_empty(), "engine errors: {:?}", stats.errors());
+    stats.assert_consistent("tcp bridge roundtrip");
 }
 
 #[test]
@@ -284,6 +286,7 @@ fn bridge_handles_sequential_sessions() {
 
     assert_eq!(got.load(Ordering::SeqCst), 3);
     assert_eq!(stats.session_count(), 3);
+    stats.assert_consistent("repeat client");
 }
 
 #[test]
@@ -310,6 +313,7 @@ fn unparseable_datagram_is_recorded_not_fatal() {
 
     assert_eq!(stats.session_count(), 0);
     assert_eq!(stats.errors().len(), 1);
+    stats.assert_consistent("unparseable datagram");
 }
 
 #[test]
@@ -378,4 +382,5 @@ fn unfilled_mandatory_field_blocks_the_send() {
     // ...and the ⊨ violation names the unfilled field.
     let errors = stats.errors();
     assert!(errors.iter().any(|e| e.contains("Val")), "{errors:?}");
+    stats.assert_consistent("unfilled mandatory field");
 }

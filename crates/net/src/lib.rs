@@ -56,7 +56,7 @@ pub use error::{NetError, Result};
 pub use latency::LatencyModel;
 pub use realnet::{BufferPool, LoopbackUdp, UdpBridge, MAX_DATAGRAM};
 pub use sim::{
-    Actor, ConnId, Context, Datagram, DelayedActor, ExternalTcpEvent, SimNet, TcpEvent, TimerId,
-    TraceEntry,
+    Actor, ConnId, Context, Datagram, DelayedActor, ExternalTcpEvent, Impairments, SimNet,
+    TcpEvent, TimerId, TraceEntry,
 };
 pub use time::{SimDuration, SimTime};

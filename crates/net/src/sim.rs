@@ -17,6 +17,113 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::Arc;
 
+/// A seeded, fully deterministic network-impairment profile, applied at
+/// delivery time on every datagram *link traversal*: in-simulation
+/// deliveries, datagrams injected from outside
+/// ([`SimNet::inject_datagram`]) and datagrams queued for external
+/// endpoints (egress). Any run is exactly reproducible from
+/// `(seed, profile)`: impairment decisions are drawn from a dedicated
+/// RNG stream (seeded alongside the simulation's), and an inert profile
+/// makes **zero** draws and costs one branch per delivery, replaying
+/// bit-identically to a run that never heard of impairments. (Active
+/// profiles still shift the *latency* stream indirectly — a dropped
+/// datagram samples no delivery latency and a duplicate samples one per
+/// copy — so runs are comparable per `(seed, profile)` pair, not across
+/// profiles.)
+///
+/// Semantics per traversal, in decision order:
+///
+/// 1. an active partition between the two hosts drops the datagram;
+/// 2. with `partition_permille`, the host pair *enters* a partition for
+///    `partition_window` (healing automatically) and the datagram is its
+///    first casualty;
+/// 3. with `drop_permille`, the datagram is dropped;
+/// 4. with `duplicate_permille`, one extra copy is delivered;
+/// 5. every copy gains uniform jitter in `[0, jitter]`, plus — with
+///    `reorder_permille` — an extra uniform deferral in
+///    `[1µs, reorder_window]` (bounded reordering: the event queue is
+///    time-ordered, so a deferred copy overtakes nothing later than the
+///    window);
+/// 6. with `corrupt_permille`, one payload byte of a copy is XOR-flipped.
+///
+/// Deferrals are meaningless once bytes leave the virtual network, so
+/// egress traversals apply loss/partition/duplication/corruption but not
+/// jitter/reordering. TCP models a reliable transport: established
+/// connections are untouched (real TCP retransmits through loss), but
+/// opening a connection across an active partition fails with
+/// [`NetError::ConnectionRefused`]. Every impairment event is recorded
+/// in the [`SimNet::trace`], so two runs of the same `(seed, profile)`
+/// produce byte-identical traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Impairments {
+    /// Per-traversal drop probability, in permille (0–1000).
+    pub drop_permille: u16,
+    /// Probability that a delivered datagram is duplicated (one extra
+    /// copy), in permille.
+    pub duplicate_permille: u16,
+    /// Probability that a copy is deferred for bounded reordering, in
+    /// permille.
+    pub reorder_permille: u16,
+    /// Upper bound of the reordering deferral.
+    pub reorder_window: SimDuration,
+    /// Uniform extra delay in `[0, jitter]` added to every copy.
+    pub jitter: SimDuration,
+    /// Probability that one payload byte of a copy is corrupted, in
+    /// permille.
+    pub corrupt_permille: u16,
+    /// Probability that a traversal spontaneously partitions its host
+    /// pair, in permille.
+    pub partition_permille: u16,
+    /// How long a spontaneous partition lasts before healing.
+    pub partition_window: SimDuration,
+}
+
+impl Impairments {
+    /// The inert profile: nothing is impaired and the chaos RNG is never
+    /// touched, so a simulation with this profile replays bit-identically
+    /// to one that never heard of impairments.
+    pub fn none() -> Self {
+        Impairments {
+            drop_permille: 0,
+            duplicate_permille: 0,
+            reorder_permille: 0,
+            reorder_window: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            corrupt_permille: 0,
+            partition_permille: 0,
+            partition_window: SimDuration::ZERO,
+        }
+    }
+
+    /// Whether every knob is zero (the fast-path check).
+    pub fn is_inert(&self) -> bool {
+        self.drop_permille == 0
+            && self.duplicate_permille == 0
+            && self.reorder_permille == 0
+            && self.jitter == SimDuration::ZERO
+            && self.corrupt_permille == 0
+            && self.partition_permille == 0
+    }
+}
+
+impl Default for Impairments {
+    fn default() -> Self {
+        Impairments::none()
+    }
+}
+
+/// What chaos decided for one link traversal of one datagram.
+enum Fate {
+    /// Untouched: one pristine copy on the modelled schedule (also the
+    /// fast path when impairments are inert and no partition exists).
+    Pristine,
+    /// The datagram never arrives.
+    Dropped,
+    /// Deliver these copies: each with an extra deferral beyond the
+    /// modelled latency, and optionally one corrupted byte.
+    Copies(Vec<(SimDuration, bool)>),
+}
+
 /// A UDP datagram delivered to an actor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Datagram {
@@ -237,6 +344,15 @@ struct World {
     /// TCP events leaving the simulation (connections whose peer is an
     /// external endpoint), drained by the gateway loop.
     tcp_egress: Vec<ExternalTcpEvent>,
+    /// The impairment profile applied to every datagram link traversal.
+    impairments: Impairments,
+    /// Dedicated RNG stream for impairment decisions, so enabling chaos
+    /// never perturbs the latency stream of the same seed.
+    chaos_rng: StdRng,
+    /// Active partitions: ordered host pair → heal time (`None` = until
+    /// explicitly healed). Spontaneous (profile-driven) and explicit
+    /// ([`SimNet::partition`]) entries share this table.
+    partitions: BTreeMap<(Arc<str>, Arc<str>), Option<SimTime>>,
 }
 
 impl World {
@@ -253,6 +369,228 @@ impl World {
     fn trace(&mut self, description: String) {
         let at = self.now;
         self.trace.push(TraceEntry { at, description });
+    }
+
+    /// The canonical (ordered) key of a host pair in the partition table.
+    fn pair_key(a: &Arc<str>, b: &Arc<str>) -> (Arc<str>, Arc<str>) {
+        if a.as_ref() <= b.as_ref() {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        }
+    }
+
+    /// Whether an active partition separates `a` and `b`; healed entries
+    /// are reaped on the way through.
+    fn partition_active(&mut self, a: &Arc<str>, b: &Arc<str>) -> bool {
+        if self.partitions.is_empty() {
+            return false;
+        }
+        let key = World::pair_key(a, b);
+        match self.partitions.get(&key) {
+            Some(None) => true,
+            Some(Some(heal_at)) => {
+                if self.now < *heal_at {
+                    true
+                } else {
+                    self.partitions.remove(&key);
+                    self.trace(format!("chaos partition healed {} <-> {}", key.0, key.1));
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Rolls a permille probability on the chaos stream. Zero knobs make
+    /// no draw, keeping inert profiles stream-silent.
+    fn chaos_hits(&mut self, permille: u16) -> bool {
+        permille > 0 && self.chaos_rng.gen_range(0u64..1000) < u64::from(permille)
+    }
+
+    /// Drops every partition whose heal time has passed (tracing each
+    /// heal, like the per-traversal reap does), keeping the table
+    /// bounded by genuinely active partitions — and restoring the
+    /// pristine fast path (which requires an *empty* table) once
+    /// everything has healed. Called when a new spontaneous partition is
+    /// inserted, when the profile changes, and from the inert-profile
+    /// delivery path while the table is non-empty; the per-traversal
+    /// path reaps only the pair it touches.
+    fn sweep_partitions(&mut self) {
+        let now = self.now;
+        let healed: Vec<(Arc<str>, Arc<str>)> = self
+            .partitions
+            .iter()
+            .filter(|(_, heal)| heal.is_some_and(|at| now >= at))
+            .map(|(key, _)| key.clone())
+            .collect();
+        for key in healed {
+            self.partitions.remove(&key);
+            self.trace(format!("chaos partition healed {} <-> {}", key.0, key.1));
+        }
+    }
+
+    /// The trace rendering of one link traversal's receiving end: the
+    /// addressed endpoint, plus the physical member host when they
+    /// differ (multicast fan-out impairs each member's link separately).
+    fn link_target(to: &SimAddr, dest_host: &Arc<str>) -> String {
+        if to.host.as_ref() == dest_host.as_ref() {
+            to.to_string()
+        } else {
+            format!("{to} (member {dest_host})")
+        }
+    }
+
+    /// Decides the fate of one link traversal of a datagram between
+    /// `from.host` and the *physical* receiving host `dest_host` — for a
+    /// multicast fan-out that is the group member, not the group
+    /// address, so partitions cut each member's link individually (see
+    /// [`Impairments`] for the decision order). `deferrable` is false
+    /// for egress traversals, where extra delay has no meaning.
+    fn impair(
+        &mut self,
+        from: &SimAddr,
+        to: &SimAddr,
+        dest_host: &Arc<str>,
+        deferrable: bool,
+    ) -> Fate {
+        if self.impairments.is_inert() {
+            if self.partitions.is_empty() {
+                return Fate::Pristine;
+            }
+            // Inert profile but partitions linger (explicit ones, or
+            // spontaneous ones that had not yet healed when the profile
+            // was reset): reap the healed so the zero-cost path comes
+            // back as soon as the table genuinely empties.
+            self.sweep_partitions();
+            if self.partitions.is_empty() {
+                return Fate::Pristine;
+            }
+        }
+        if self.partition_active(&from.host, dest_host) {
+            let target = World::link_target(to, dest_host);
+            self.trace(format!("chaos partition drop {from} -> {target}"));
+            return Fate::Dropped;
+        }
+        if self.chaos_hits(self.impairments.partition_permille) {
+            // Each insertion pays for reaping the already-healed entries,
+            // so the table never outgrows the set of partitions spawned
+            // within one window.
+            self.sweep_partitions();
+            let heal_at = self.now + self.impairments.partition_window;
+            let key = World::pair_key(&from.host, dest_host);
+            self.trace(format!("chaos partition {} <-> {} until {heal_at}", key.0, key.1));
+            self.partitions.insert(key, Some(heal_at));
+            let target = World::link_target(to, dest_host);
+            self.trace(format!("chaos partition drop {from} -> {target}"));
+            return Fate::Dropped;
+        }
+        if self.chaos_hits(self.impairments.drop_permille) {
+            let target = World::link_target(to, dest_host);
+            self.trace(format!("chaos drop {from} -> {target}"));
+            return Fate::Dropped;
+        }
+        let copies = if self.chaos_hits(self.impairments.duplicate_permille) {
+            let target = World::link_target(to, dest_host);
+            self.trace(format!("chaos dup {from} -> {target}"));
+            2
+        } else {
+            1
+        };
+        let mut plan = Vec::with_capacity(copies);
+        for _ in 0..copies {
+            let mut extra = SimDuration::ZERO;
+            if deferrable {
+                if self.impairments.jitter > SimDuration::ZERO {
+                    extra = extra
+                        + SimDuration::from_micros(
+                            self.chaos_rng.gen_range(0..=self.impairments.jitter.as_micros()),
+                        );
+                }
+                if self.chaos_hits(self.impairments.reorder_permille)
+                    && self.impairments.reorder_window > SimDuration::ZERO
+                {
+                    extra = extra
+                        + SimDuration::from_micros(
+                            self.chaos_rng
+                                .gen_range(1..=self.impairments.reorder_window.as_micros()),
+                        );
+                }
+                if extra > SimDuration::ZERO {
+                    let target = World::link_target(to, dest_host);
+                    self.trace(format!("chaos delay {from} -> {target} +{extra}"));
+                }
+            }
+            let corrupt = self.chaos_hits(self.impairments.corrupt_permille);
+            plan.push((extra, corrupt));
+        }
+        Fate::Copies(plan)
+    }
+
+    /// Applies a corrupt verdict: XOR-flips one chaos-chosen payload
+    /// byte (no-op — traced — on empty payloads).
+    fn corrupt_payload(&mut self, from: &SimAddr, to: &SimAddr, payload: &Bytes) -> Bytes {
+        if payload.is_empty() {
+            self.trace(format!("chaos corrupt {from} -> {to} (empty payload, untouched)"));
+            return payload.clone();
+        }
+        let index = self.chaos_rng.gen_range(0..payload.len() as u64) as usize;
+        let flip = self.chaos_rng.gen_range(1u64..=255) as u8;
+        self.trace(format!("chaos corrupt {from} -> {to} [{index}] ^{flip:#04x}"));
+        let mut bytes = payload.to_vec();
+        bytes[index] ^= flip;
+        Bytes::from(bytes)
+    }
+
+    /// Materialises one chaos copy of `datagram`, corrupting the payload
+    /// when the copy's plan says so.
+    fn chaos_copy(&mut self, datagram: &Datagram, corrupt: bool) -> Datagram {
+        let payload = if corrupt {
+            self.corrupt_payload(&datagram.from, &datagram.to, &datagram.payload)
+        } else {
+            datagram.payload.clone()
+        };
+        Datagram { from: datagram.from.clone(), to: datagram.to.clone(), payload }
+    }
+
+    /// Schedules one impaired in-simulation delivery onto `to_host` (the
+    /// physical receiver — the group member for multicast fan-out): the
+    /// base modelled latency is sampled per copy (as an unimpaired send
+    /// would), plus the copy's chaos deferral.
+    fn deliver_datagram(&mut self, to_host: Arc<str>, datagram: Datagram) {
+        match self.impair(&datagram.from, &datagram.to, &to_host, true) {
+            Fate::Pristine => {
+                let latency = self.latency();
+                let at = self.now + latency;
+                self.schedule(at, to_host, EventKind::Datagram(datagram));
+            }
+            Fate::Dropped => {}
+            Fate::Copies(plan) => {
+                for (extra, corrupt) in plan {
+                    let copy = self.chaos_copy(&datagram, corrupt);
+                    let latency = self.latency();
+                    let at = self.now + latency + extra;
+                    self.schedule(at, to_host.clone(), EventKind::Datagram(copy));
+                }
+            }
+        }
+    }
+
+    /// Queues one impaired egress traversal (loss/partition/duplication/
+    /// corruption only — deferral has no meaning once bytes leave the
+    /// virtual network).
+    fn queue_egress(&mut self, datagram: Datagram) {
+        let dest_host = datagram.to.host.clone();
+        match self.impair(&datagram.from, &datagram.to, &dest_host, false) {
+            Fate::Pristine => self.egress.push(datagram),
+            Fate::Dropped => {}
+            Fate::Copies(plan) => {
+                for (_, corrupt) in plan {
+                    let copy = self.chaos_copy(&datagram, corrupt);
+                    self.egress.push(copy);
+                }
+            }
+        }
     }
 }
 
@@ -322,16 +660,9 @@ impl Context<'_> {
                 members.len()
             ));
             for member in members {
-                let latency = self.world.latency();
-                let at = self.world.now + latency;
-                self.world.schedule(
-                    at,
+                self.world.deliver_datagram(
                     member,
-                    EventKind::Datagram(Datagram {
-                        from: from.clone(),
-                        to: to.clone(),
-                        payload: payload.clone(),
-                    }),
+                    Datagram { from: from.clone(), to: to.clone(), payload: payload.clone() },
                 );
             }
             let external: Vec<SimAddr> = self
@@ -342,7 +673,7 @@ impl Context<'_> {
                 .unwrap_or_default();
             for member in external {
                 self.world.trace(format!("udp egress {from} -> {member} (group {to})"));
-                self.world.egress.push(Datagram {
+                self.world.queue_egress(Datagram {
                     from: from.clone(),
                     to: member,
                     payload: payload.clone(),
@@ -350,18 +681,13 @@ impl Context<'_> {
             }
         } else if self.world.external_hosts.contains(&to.host) {
             self.world.trace(format!("udp egress {from} -> {to} ({} bytes)", payload.len()));
-            self.world.egress.push(Datagram { from, to, payload });
+            self.world.queue_egress(Datagram { from, to, payload });
         } else {
             let bound = self.world.udp_bindings.contains(&(to.host.clone(), to.port));
             if bound {
                 self.world.trace(format!("udp {from} -> {to} ({} bytes)", payload.len()));
-                let latency = self.world.latency();
-                let at = self.world.now + latency;
-                self.world.schedule(
-                    at,
-                    to.host.clone(),
-                    EventKind::Datagram(Datagram { from, to, payload }),
-                );
+                let to_host = to.host.clone();
+                self.world.deliver_datagram(to_host, Datagram { from, to, payload });
             } else {
                 self.world.trace(format!("udp {from} -> {to} dropped (no binding)"));
             }
@@ -383,6 +709,14 @@ impl Context<'_> {
     /// the destination.
     pub fn tcp_connect(&mut self, to: SimAddr) -> Result<ConnId> {
         if !self.world.tcp_listeners.contains(&(to.host.clone(), to.port)) {
+            return Err(NetError::ConnectionRefused {
+                host: to.host.as_ref().to_owned(),
+                port: to.port,
+            });
+        }
+        let local = self.host.clone();
+        if self.world.partition_active(&local, &to.host) {
+            self.world.trace(format!("chaos partition refused tcp {local} -> {to}"));
             return Err(NetError::ConnectionRefused {
                 host: to.host.as_ref().to_owned(),
                 port: to.port,
@@ -580,9 +914,71 @@ impl SimNet {
                 external_group_members: BTreeMap::new(),
                 egress: Vec::new(),
                 tcp_egress: Vec::new(),
+                impairments: Impairments::none(),
+                // A distinct stream from the latency RNG: the same seed
+                // drives both, but chaos draws never shift latency
+                // samples (and vice versa).
+                chaos_rng: StdRng::seed_from_u64(seed ^ 0xC4A0_5EED_0000_0001),
+                partitions: BTreeMap::new(),
             },
             actors: BTreeMap::new(),
         }
+    }
+
+    /// Replaces the impairment profile (default: [`Impairments::none`]).
+    /// Takes effect for every subsequent link traversal. Healed
+    /// partitions are swept, so resetting to the inert profile restores
+    /// the zero-cost delivery path once no partition remains active.
+    pub fn set_impairments(&mut self, impairments: Impairments) {
+        self.world.sweep_partitions();
+        self.world.impairments = impairments;
+    }
+
+    /// The active impairment profile.
+    pub fn impairments(&self) -> &Impairments {
+        &self.world.impairments
+    }
+
+    /// Partitions hosts `a` and `b` from each other until
+    /// [`SimNet::heal_partition`]: datagrams between them are dropped
+    /// (and traced) and new TCP connections are refused. Established TCP
+    /// connections are untouched (TCP models a reliable transport).
+    pub fn partition(&mut self, a: impl Into<Arc<str>>, b: impl Into<Arc<str>>) {
+        let key = World::pair_key(&a.into(), &b.into());
+        self.world.trace(format!("chaos partition {} <-> {} until healed", key.0, key.1));
+        self.world.partitions.insert(key, None);
+    }
+
+    /// Partitions hosts `a` and `b` for `window`, healing automatically.
+    pub fn partition_for(
+        &mut self,
+        a: impl Into<Arc<str>>,
+        b: impl Into<Arc<str>>,
+        window: SimDuration,
+    ) {
+        let heal_at = self.world.now + window;
+        let key = World::pair_key(&a.into(), &b.into());
+        self.world.trace(format!("chaos partition {} <-> {} until {heal_at}", key.0, key.1));
+        self.world.partitions.insert(key, Some(heal_at));
+    }
+
+    /// Heals the partition between `a` and `b`, if one is active.
+    pub fn heal_partition(&mut self, a: impl Into<Arc<str>>, b: impl Into<Arc<str>>) {
+        let key = World::pair_key(&a.into(), &b.into());
+        if self.world.partitions.remove(&key).is_some() {
+            self.world.trace(format!("chaos partition healed {} <-> {}", key.0, key.1));
+        }
+    }
+
+    /// The whole trace as one newline-terminated text block
+    /// (`<micros> <description>` per line) — the byte-comparable form the
+    /// chaos determinism tests and failure dumps use.
+    pub fn trace_text(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.world.trace {
+            out.push_str(&format!("{} {}\n", entry.at.as_micros(), entry.description));
+        }
+        out
     }
 
     /// Declares `host` as living outside the simulation: unicast
@@ -606,9 +1002,21 @@ impl SimNet {
     /// implicitly registered as external so replies can leave again.
     pub fn inject_datagram(&mut self, datagram: Datagram) {
         self.world.external_hosts.insert(datagram.from.host.clone());
-        let now = self.world.now;
         let host = datagram.to.host.clone();
-        self.world.schedule(now, host, EventKind::Datagram(datagram));
+        match self.world.impair(&datagram.from, &datagram.to, &host, true) {
+            Fate::Pristine => {
+                let now = self.world.now;
+                self.world.schedule(now, host, EventKind::Datagram(datagram));
+            }
+            Fate::Dropped => {}
+            Fate::Copies(plan) => {
+                for (extra, corrupt) in plan {
+                    let copy = self.world.chaos_copy(&datagram, corrupt);
+                    let at = self.world.now + extra;
+                    self.world.schedule(at, host.clone(), EventKind::Datagram(copy));
+                }
+            }
+        }
     }
 
     /// Drains the datagrams queued for external endpoints since the last
@@ -639,6 +1047,13 @@ impl SimNet {
     /// `to`.
     pub fn external_tcp_connect(&mut self, from: SimAddr, to: SimAddr) -> Result<ConnId> {
         if !self.world.tcp_listeners.contains(&(to.host.clone(), to.port)) {
+            return Err(NetError::ConnectionRefused {
+                host: to.host.as_ref().to_owned(),
+                port: to.port,
+            });
+        }
+        if self.world.partition_active(&from.host, &to.host) {
+            self.world.trace(format!("chaos partition refused tcp {from} -> {to}"));
             return Err(NetError::ConnectionRefused {
                 host: to.host.as_ref().to_owned(),
                 port: to.port,
@@ -1214,6 +1629,254 @@ mod tests {
             .unwrap();
         sim.run_until_idle();
         assert_eq!(sim.drain_tcp_egress(), vec![ExternalTcpEvent::Closed { conn }]);
+    }
+
+    /// An `Impairments` profile with everything off — the base the chaos
+    /// tests tweak one knob at a time.
+    fn profile() -> Impairments {
+        Impairments::none()
+    }
+
+    #[test]
+    fn inert_profile_changes_nothing() {
+        // A sim with the inert profile explicitly set must replay
+        // bit-identically to one that never touched impairments (zero
+        // chaos draws, identical latency stream, identical trace).
+        fn run(set_profile: bool) -> (SimTime, String) {
+            let received = Arc::new(AtomicUsize::new(0));
+            let mut sim = SimNet::new(21);
+            if set_profile {
+                sim.set_impairments(Impairments::none());
+            }
+            sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received });
+            sim.add_actor("10.0.0.1", OneShot { to: SimAddr::new("10.0.0.2", 80) });
+            sim.run_until_idle();
+            (sim.now(), sim.trace_text())
+        }
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn full_drop_loses_every_datagram_and_traces_it() {
+        let received = Arc::new(AtomicUsize::new(0));
+        let mut sim = SimNet::new(22);
+        sim.set_impairments(Impairments { drop_permille: 1000, ..profile() });
+        sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received: received.clone() });
+        sim.add_actor("10.0.0.1", OneShot { to: SimAddr::new("10.0.0.2", 80) });
+        sim.run_until_idle();
+        assert_eq!(received.load(Ordering::SeqCst), 0);
+        assert!(sim.trace_text().contains("chaos drop"), "trace: {}", sim.trace_text());
+    }
+
+    #[test]
+    fn duplication_delivers_an_extra_copy() {
+        let received = Arc::new(AtomicUsize::new(0));
+        let mut sim = SimNet::new(23);
+        sim.set_impairments(Impairments { duplicate_permille: 1000, ..profile() });
+        sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received: received.clone() });
+        sim.add_actor("10.0.0.1", OneShot { to: SimAddr::new("10.0.0.2", 80) });
+        sim.run_until_idle();
+        assert_eq!(received.load(Ordering::SeqCst), 2);
+        assert!(sim.trace_text().contains("chaos dup"));
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        use std::sync::Mutex;
+        struct Capture {
+            seen: Arc<Mutex<Vec<Vec<u8>>>>,
+        }
+        impl Actor for Capture {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.bind_udp(80).unwrap();
+            }
+            fn on_datagram(&mut self, _ctx: &mut Context<'_>, datagram: Datagram) {
+                self.seen.lock().unwrap().push(datagram.payload.to_vec());
+            }
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = SimNet::new(24);
+        sim.set_impairments(Impairments { corrupt_permille: 1000, ..profile() });
+        sim.add_actor("10.0.0.2", Capture { seen: seen.clone() });
+        sim.add_actor("10.0.0.1", OneShot { to: SimAddr::new("10.0.0.2", 80) });
+        sim.run_until_idle();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        let diff: usize = seen[0].iter().zip(b"hello").filter(|(a, b)| a != b).count();
+        assert_eq!(diff, 1, "exactly one byte flipped: {:?}", seen[0]);
+        assert!(sim.trace_text().contains("chaos corrupt"));
+    }
+
+    #[test]
+    fn reorder_defers_within_the_window() {
+        let received = Arc::new(AtomicUsize::new(0));
+        let mut sim = SimNet::new(25);
+        sim.set_impairments(Impairments {
+            reorder_permille: 1000,
+            reorder_window: SimDuration::from_millis(5),
+            ..profile()
+        });
+        sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received: received.clone() });
+        sim.add_actor("10.0.0.1", OneShot { to: SimAddr::new("10.0.0.2", 80) });
+        let end = sim.run_until_idle();
+        assert_eq!(received.load(Ordering::SeqCst), 1);
+        assert!(sim.trace_text().contains("chaos delay"));
+        // One modelled latency (≤600µs) plus at most the window.
+        assert!(end <= SimTime::from_micros(5_600), "deferral bounded: {end}");
+    }
+
+    #[test]
+    fn partition_drops_datagrams_and_refuses_tcp_until_healed() {
+        let received = Arc::new(AtomicUsize::new(0));
+        let mut sim = SimNet::new(26);
+        sim.partition("10.0.0.1", "10.0.0.2");
+        sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received: received.clone() });
+        sim.add_actor("10.0.0.1", OneShot { to: SimAddr::new("10.0.0.2", 80) });
+        sim.run_until_idle();
+        assert_eq!(received.load(Ordering::SeqCst), 0);
+        assert!(sim.trace_text().contains("chaos partition drop"));
+
+        struct Dialer;
+        impl Actor for Dialer {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.listen_tcp(99);
+                let err = ctx.tcp_connect(SimAddr::new("10.0.0.9", 80)).unwrap_err();
+                assert!(matches!(err, NetError::ConnectionRefused { .. }));
+            }
+        }
+        struct Listener;
+        impl Actor for Listener {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.listen_tcp(80);
+            }
+        }
+        let mut sim = SimNet::new(26);
+        sim.partition("10.0.0.8", "10.0.0.9");
+        sim.add_actor("10.0.0.9", Listener);
+        sim.add_actor("10.0.0.8", Dialer);
+        sim.run_until_idle();
+        assert!(sim.trace_text().contains("chaos partition refused tcp"));
+    }
+
+    #[test]
+    fn partition_cuts_multicast_delivery_per_member() {
+        // Regression: the partition key must be the *member* host, not
+        // the group address — a partitioned member misses the multicast
+        // while the other member still receives it.
+        let group = SimAddr::new("239.255.255.250", 1900);
+        let cut = Arc::new(AtomicUsize::new(0));
+        let open = Arc::new(AtomicUsize::new(0));
+        let mut sim = SimNet::new(31);
+        sim.partition("10.0.0.1", "10.0.0.2");
+        sim.add_actor(
+            "10.0.0.2",
+            Sink { port: 1900, group: Some(group.clone()), received: cut.clone() },
+        );
+        sim.add_actor(
+            "10.0.0.3",
+            Sink { port: 1900, group: Some(group.clone()), received: open.clone() },
+        );
+
+        struct Caster {
+            group: SimAddr,
+        }
+        impl Actor for Caster {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.bind_udp(1900).unwrap();
+                ctx.udp_send(1900, self.group.clone(), &b"M-SEARCH"[..]);
+            }
+        }
+        sim.add_actor("10.0.0.1", Caster { group });
+        sim.run_until_idle();
+        assert_eq!(cut.load(Ordering::SeqCst), 0, "partitioned member must not receive");
+        assert_eq!(open.load(Ordering::SeqCst), 1, "unpartitioned member still receives");
+        assert!(
+            sim.trace_text().contains("member 10.0.0.2"),
+            "partition drop names the member: {}",
+            sim.trace_text()
+        );
+    }
+
+    #[test]
+    fn partition_for_heals_automatically() {
+        struct Resender {
+            to: SimAddr,
+        }
+        impl Actor for Resender {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.bind_udp(5000).unwrap();
+                ctx.udp_send(5000, self.to.clone(), &b"first"[..]);
+                ctx.set_timer(SimDuration::from_millis(20), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+                ctx.udp_send(5000, self.to.clone(), &b"second"[..]);
+            }
+        }
+        let received = Arc::new(AtomicUsize::new(0));
+        let mut sim = SimNet::new(27);
+        sim.partition_for("10.0.0.1", "10.0.0.2", SimDuration::from_millis(10));
+        sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received: received.clone() });
+        sim.add_actor("10.0.0.1", Resender { to: SimAddr::new("10.0.0.2", 80) });
+        sim.run_until_idle();
+        assert_eq!(received.load(Ordering::SeqCst), 1, "only the post-heal datagram lands");
+        assert!(sim.trace_text().contains("chaos partition healed"));
+    }
+
+    #[test]
+    fn injected_datagrams_are_impaired_too() {
+        let received = Arc::new(AtomicUsize::new(0));
+        let mut sim = SimNet::new(28);
+        sim.set_impairments(Impairments { drop_permille: 1000, ..profile() });
+        sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received: received.clone() });
+        sim.run_until_idle();
+        sim.inject_datagram(Datagram {
+            from: SimAddr::new("127.0.0.1", 40_001),
+            to: SimAddr::new("10.0.0.2", 80),
+            payload: Bytes::copy_from_slice(b"ping"),
+        });
+        sim.run_until_idle();
+        assert_eq!(received.load(Ordering::SeqCst), 0);
+        assert!(sim.trace_text().contains("chaos drop"));
+    }
+
+    #[test]
+    fn egress_is_impaired_but_never_deferred() {
+        let mut sim = SimNet::new(29);
+        sim.set_impairments(Impairments { duplicate_permille: 1000, ..profile() });
+        sim.register_external_host("127.0.0.1");
+        sim.add_actor("10.0.0.1", OneShot { to: SimAddr::new("127.0.0.1", 9000) });
+        sim.run_until_idle();
+        assert_eq!(sim.drain_egress().len(), 2, "egress duplicated");
+        assert!(!sim.trace_text().contains("chaos delay"), "no deferral on egress");
+    }
+
+    #[test]
+    fn same_seed_and_profile_replay_byte_identically() {
+        fn run() -> (String, usize) {
+            let received = Arc::new(AtomicUsize::new(0));
+            let mut sim = SimNet::new(30);
+            sim.set_impairments(Impairments {
+                drop_permille: 300,
+                duplicate_permille: 300,
+                reorder_permille: 300,
+                reorder_window: SimDuration::from_millis(3),
+                jitter: SimDuration::from_micros(500),
+                corrupt_permille: 300,
+                partition_permille: 100,
+                partition_window: SimDuration::from_millis(5),
+            });
+            sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received: received.clone() });
+            for i in 0..6 {
+                sim.add_actor(format!("10.0.1.{i}"), OneShot { to: SimAddr::new("10.0.0.2", 80) });
+            }
+            sim.run_until_idle();
+            (sim.trace_text(), received.load(Ordering::SeqCst))
+        }
+        let (trace_a, count_a) = run();
+        let (trace_b, count_b) = run();
+        assert_eq!(trace_a, trace_b, "byte-identical traces");
+        assert_eq!(count_a, count_b);
+        assert!(trace_a.contains("chaos"), "the profile actually fired: {trace_a}");
     }
 
     #[test]

@@ -67,6 +67,7 @@ fn run_case(
         }
     }
     let end = sim.run_until_idle();
+    stats.assert_consistent(&format!("case {}", case.number()));
     (probe, stats, end)
 }
 

@@ -1,0 +1,296 @@
+//! The chaos conformance matrix: all six bridge cases × the four named
+//! impairment profiles × {1, 4} engine shards, each cell driving ≥50
+//! interleaved wire-level clients through shard simulations whose links
+//! drop, duplicate, reorder, jitter, corrupt and partition — and the
+//! **liveness contract** must hold in every cell: the engine never
+//! wedges, never cross-delivers a reply, and every session ends counted
+//! in exactly one of completed/failed/expired with the stats invariant
+//! intact on every shard.
+//!
+//! Everything here is a deterministic function of `(seed, profile)`.
+//! A failing cell prints a one-command reproduction line; run it via the
+//! `repro_cell` test:
+//!
+//! ```sh
+//! CHAOS_CASE=3 CHAOS_PROFILE=lossy10 CHAOS_SEED=123 CHAOS_SHARDS=4 \
+//!   CHAOS_CLIENTS=50 cargo test -q --test chaos_matrix repro_cell -- --nocapture
+//! ```
+//!
+//! Scaling knobs (CI's main test job runs a short-mode slice through
+//! these; a dedicated parallel job runs the full matrix): `CHAOS_CLIENTS`
+//! (default 50), `CHAOS_SHARDS` (comma list, default `1,4`),
+//! `CHAOS_PROFILES` (comma list of profile names, default all four).
+//! Typos in any of them fail loudly instead of shrinking the matrix.
+
+use starlink::net::{Impairments, SimDuration};
+use starlink::protocols::{bridges::BridgeCase, Calibration};
+use starlink_bench::chaos::{
+    assert_liveness_contract, deterministic_digest, run_chaos_cell, ChaosCell, ChaosProfile,
+};
+use starlink_bench::run_concurrent_clients_chaos;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        // A typo must fail loudly, not silently fall back to the default.
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| panic!("{name} entry {v:?} is not a number")),
+        Err(_) => default,
+    }
+}
+
+fn matrix_clients() -> usize {
+    env_usize("CHAOS_CLIENTS", 50)
+}
+
+fn matrix_shard_counts() -> Vec<usize> {
+    match std::env::var("CHAOS_SHARDS") {
+        Ok(v) => {
+            // A typo must fail loudly, not shrink the matrix to nothing.
+            let counts: Vec<usize> = v
+                .split(',')
+                .map(|s| {
+                    s.trim().parse().unwrap_or_else(|_| {
+                        panic!("CHAOS_SHARDS entry {s:?} is not a shard count (got {v:?})")
+                    })
+                })
+                .collect();
+            assert!(!counts.is_empty(), "CHAOS_SHARDS is set but empty");
+            counts
+        }
+        Err(_) => vec![1, 4],
+    }
+}
+
+/// Whether `profile` is enabled by the `CHAOS_PROFILES` filter. Unknown
+/// names in the filter are an error — a typo must not silently disable
+/// every row of the matrix.
+fn profile_enabled(profile: &ChaosProfile) -> bool {
+    match std::env::var("CHAOS_PROFILES") {
+        Ok(list) => {
+            for name in list.split(',') {
+                assert!(
+                    ChaosProfile::by_name(name.trim()).is_some(),
+                    "unknown CHAOS_PROFILES entry {:?} (profiles: {:?})",
+                    name.trim(),
+                    ChaosProfile::matrix().map(|p| p.name)
+                );
+            }
+            list.split(',').any(|name| name.trim() == profile.name)
+        }
+        Err(_) => true,
+    }
+}
+
+/// The fixed seed of one matrix cell — stable across runs and CI, so
+/// every failure reproduces from its printed command alone.
+fn cell_seed(case: BridgeCase, shards: usize, profile: &ChaosProfile) -> u64 {
+    let profile_index = ChaosProfile::matrix()
+        .iter()
+        .position(|p| p.name == profile.name)
+        .expect("profile is in the matrix") as u64;
+    0xC4A0_0000 + case.number() as u64 * 0x100 + shards as u64 * 0x10 + profile_index
+}
+
+/// Runs one profile's row of the matrix: every case × every shard
+/// count, ≥50 interleaved clients per cell.
+fn run_profile_row(profile: &ChaosProfile) {
+    if !profile_enabled(profile) {
+        eprintln!("profile {} disabled via CHAOS_PROFILES; skipping", profile.name);
+        return;
+    }
+    let clients = matrix_clients();
+    for shards in matrix_shard_counts() {
+        for case in BridgeCase::all() {
+            let seed = cell_seed(case, shards, profile);
+            let run = run_chaos_cell(ChaosCell { case, shards, clients, seed }, profile);
+            assert_liveness_contract(&run, profile, seed);
+        }
+    }
+}
+
+#[test]
+fn chaos_matrix_lossless_profile() {
+    // The control row: with the impairment layer installed but inert,
+    // every cell must behave exactly like the pre-chaos harness — full
+    // completion, correct addressing, clean engines.
+    run_profile_row(&ChaosProfile::lossless());
+}
+
+#[test]
+fn chaos_matrix_lossy10_profile() {
+    run_profile_row(&ChaosProfile::lossy10());
+}
+
+#[test]
+fn chaos_matrix_dup_reorder_profile() {
+    run_profile_row(&ChaosProfile::dup_reorder());
+}
+
+#[test]
+fn chaos_matrix_corrupt_partition_heal_profile() {
+    run_profile_row(&ChaosProfile::corrupt_partition_heal());
+}
+
+#[test]
+fn same_seed_and_profile_replay_the_sharded_run_byte_identically() {
+    // Determinism through the full multi-threaded path: two runs of the
+    // same (seed, profile) produce byte-identical digests — per-client
+    // outcomes, per-shard counters, error logs and the entire
+    // dispatch-boundary log.
+    for profile in [ChaosProfile::lossy10(), ChaosProfile::corrupt_partition_heal()] {
+        let cell =
+            ChaosCell { case: BridgeCase::SlpToBonjour, shards: 4, clients: 32, seed: 0xD00D };
+        let first = deterministic_digest(&run_chaos_cell(cell, &profile));
+        let second = deterministic_digest(&run_chaos_cell(cell, &profile));
+        assert_eq!(
+            first, second,
+            "profile {}: sharded chaos run is not deterministic",
+            profile.name
+        );
+        assert!(first.contains("dgram"), "digest recorded boundary traffic");
+    }
+}
+
+#[test]
+fn same_seed_and_profile_replay_the_simnet_trace_byte_identically() {
+    // Determinism at the trace level: the single-simulation chaos runner
+    // exposes the full SimNet trace, and two runs of the same
+    // (seed, profile) must match byte for byte — impairment events
+    // included.
+    let profile = Impairments {
+        drop_permille: 150,
+        duplicate_permille: 150,
+        reorder_permille: 200,
+        reorder_window: SimDuration::from_millis(2),
+        jitter: SimDuration::from_micros(300),
+        corrupt_permille: 100,
+        partition_permille: 20,
+        partition_window: SimDuration::from_millis(5),
+    };
+    let stagger: Vec<u64> = (0..12).map(|i| i * 400).collect();
+    for case in BridgeCase::all() {
+        let run = |_: ()| {
+            let (probes, stats, trace) = run_concurrent_clients_chaos(
+                case,
+                0xBEEF + case.number() as u64,
+                Calibration::fast(),
+                &stagger,
+                profile,
+            );
+            let replies: Vec<usize> = probes.iter().map(|p| p.results().len()).collect();
+            (replies, stats.concurrency(), stats.errors(), trace)
+        };
+        let first = run(());
+        let second = run(());
+        assert_eq!(first, second, "case {}: chaos run is not deterministic", case.number());
+        assert!(first.3.contains("chaos"), "case {}: the profile actually fired", case.number());
+        // The liveness contract holds in the single-sim harness too.
+        first.1.assert_balanced(&format!("case {} single-sim chaos", case.number()));
+        assert_eq!(first.1.active, 0, "case {}: wedged sessions", case.number());
+    }
+}
+
+#[test]
+fn inert_impairments_change_nothing_on_the_wire() {
+    // The zero-cost guarantee behind the unchanged Fig. 12 medians: with
+    // the inert profile installed, every case completes exactly as the
+    // pre-chaos harness did and the trace records not a single chaos
+    // event (zero chaos RNG draws; the latency stream is untouched — the
+    // bit-identical-replay form of this guarantee is proven in
+    // `starlink-net`'s `inert_profile_changes_nothing`).
+    let stagger = [0u64, 700, 1_900];
+    for case in BridgeCase::all() {
+        let seed = 0xA11 + case.number() as u64;
+        let (probes, stats, trace) = run_concurrent_clients_chaos(
+            case,
+            seed,
+            Calibration::fast(),
+            &stagger,
+            Impairments::none(),
+        );
+        assert!(
+            !trace.contains("chaos"),
+            "case {}: impairment event under inert profile",
+            case.number()
+        );
+        for (i, probe) in probes.iter().enumerate() {
+            assert_eq!(probe.results().len(), 1, "case {} client {i}", case.number());
+        }
+        assert!(stats.errors().is_empty(), "case {}: {:?}", case.number(), stats.errors());
+        stats.assert_consistent(&format!("case {} inert", case.number()));
+    }
+}
+
+#[test]
+fn explicit_partition_and_heal_recovers_mid_matrix() {
+    // Targeted partition scenario beyond the spontaneous-profile ones: a
+    // client asks while the bridge↔service link is partitioned (its
+    // session must expire), the partition heals, and a later client
+    // completes normally — partition recovery leaves no residue.
+    use starlink::core::{EngineConfig, Starlink};
+    use starlink::net::{SimNet, SimTime};
+    use starlink::protocols::{bridges, mdns, slp, DiscoveryProbe};
+
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+    let config =
+        EngineConfig { idle_timeout: SimDuration::from_millis(40), ..EngineConfig::default() };
+    let (engine, stats) = framework.deploy_with(bridges::slp_to_bonjour(), config).unwrap();
+
+    let probe_a = DiscoveryProbe::new();
+    let probe_b = DiscoveryProbe::new();
+    let mut sim = SimNet::new(0x9A9);
+    sim.partition("10.0.0.2", "10.0.0.3");
+    sim.add_actor("10.0.0.2", engine);
+    sim.add_actor(
+        "10.0.0.3",
+        mdns::BonjourService::new(
+            "_printer._tcp.local",
+            "service:printer://10.0.0.3:631",
+            Calibration::fast(),
+        ),
+    );
+    sim.add_actor("10.0.1.1", slp::SlpClient::new("service:printer", probe_a.clone()));
+    sim.run_until(SimTime::from_millis(100));
+    assert!(probe_a.is_empty(), "partitioned client cannot have completed");
+    assert_eq!(stats.concurrency().expired, 1, "partitioned session was reaped");
+
+    sim.heal_partition("10.0.0.2", "10.0.0.3");
+    sim.add_actor("10.0.1.2", slp::SlpClient::new("service:printer", probe_b.clone()));
+    sim.run_until_idle();
+    assert_eq!(
+        probe_b.results().len(),
+        1,
+        "post-heal client completes; errors: {:?}",
+        stats.errors()
+    );
+    stats.assert_consistent("partition heal recovery");
+    assert!(sim.trace_text().contains("chaos partition drop"));
+}
+
+/// Replays one matrix cell from environment variables — the target of
+/// the repro command a failing cell prints. A no-op unless `CHAOS_CASE`
+/// is set, so the plain test run is unaffected.
+#[test]
+fn repro_cell() {
+    let Ok(case_var) = std::env::var("CHAOS_CASE") else { return };
+    let case_number: usize = case_var.parse().expect("CHAOS_CASE is a case number 1-6");
+    let case = *BridgeCase::all()
+        .iter()
+        .find(|c| c.number() == case_number)
+        .unwrap_or_else(|| panic!("no bridge case {case_number}"));
+    let profile_name = std::env::var("CHAOS_PROFILE").expect("CHAOS_PROFILE set");
+    let profile = ChaosProfile::by_name(&profile_name)
+        .unwrap_or_else(|| panic!("unknown profile {profile_name:?}"));
+    let seed: u64 = std::env::var("CHAOS_SEED").expect("CHAOS_SEED set").parse().unwrap();
+    let shards = matrix_shard_counts()[0];
+    let clients = matrix_clients();
+
+    let run = run_chaos_cell(ChaosCell { case, shards, clients, seed }, &profile);
+    println!("{}", deterministic_digest(&run));
+    assert_liveness_contract(&run, &profile, seed);
+    println!(
+        "cell OK: case {} profile {} seed {seed} shards {shards} clients {clients}",
+        case.number(),
+        profile.name
+    );
+}

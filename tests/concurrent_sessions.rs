@@ -73,6 +73,7 @@ fn two_clients_interleaving_mid_session_stay_isolated_in_all_six_cases() {
         );
         let c = stats.concurrency();
         assert_eq!((c.started, c.completed, c.active), (2, 2, 0), "case {}", case.number());
+        stats.assert_consistent(&format!("case {}", case.number()));
     }
 }
 
@@ -115,6 +116,7 @@ fn hundred_interleaved_clients_complete_hundred_distinct_sessions_per_case() {
             case.number(),
             c.peak_active
         );
+        stats.assert_consistent(&format!("case {}", case.number()));
     }
 }
 
@@ -206,6 +208,7 @@ fn idle_sessions_expire_independently_on_every_shard() {
             "shard {shard} reaped exactly its own pinned sessions"
         );
     }
+    stats.assert_consistent("per-shard idle expiry");
 }
 
 /// The SLP→Bonjour bridge with its `DNS_Question.QName` assignment
@@ -292,6 +295,7 @@ fn wedge_regression_compose_failure_tears_down_the_session_not_the_bridge() {
          execution's 'no receive transition': {errors:?}"
     );
     assert!(probe_a.is_empty() && probe_b.is_empty());
+    stats.assert_consistent("wedge regression");
 }
 
 #[test]
@@ -324,6 +328,7 @@ fn expired_session_is_reaped_and_a_later_client_succeeds() {
     assert!(probe_a.is_empty(), "no fabricated reply for A");
     assert_eq!(probe_b.results().len(), 1);
     assert_eq!(probe_b.first().unwrap().url, SERVICE_URL);
+    stats.assert_consistent("expiry then success");
 }
 
 #[test]
@@ -370,6 +375,7 @@ fn rejected_duplicate_does_not_hijack_the_reply_address() {
     );
     assert_eq!(stats.errors().len(), 1, "the duplicate was recorded and dropped");
     assert_eq!(stats.concurrency().started, 1);
+    stats.assert_consistent("rejected duplicate");
 }
 
 #[test]
@@ -435,6 +441,7 @@ fn unmatched_tcp_connect_does_not_steal_a_concurrent_session() {
     assert_eq!(c.expired, 1, "the rogue's doomed session was reaped by the idle timer");
     assert_eq!(c.active, 0, "nothing left grafted in the table");
     assert_eq!(stats.errors().len(), 1, "the rogue's GET was rejected: {:?}", stats.errors());
+    stats.assert_consistent("rogue TCP connect");
 }
 
 /// A client that retransmits the same XID from two different source
@@ -482,4 +489,5 @@ fn field_correlator_collapses_retransmissions_onto_one_session() {
         "the duplicate request is recorded and dropped inside the session: {:?}",
         stats.errors()
     );
+    stats.assert_consistent("correlated retransmission");
 }

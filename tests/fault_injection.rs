@@ -37,6 +37,7 @@ fn garbage_datagrams_are_recorded_and_dropped() {
     sim.run_until_idle();
     assert_eq!(stats.session_count(), 0);
     assert_eq!(stats.errors().len(), 1, "errors: {:?}", stats.errors());
+    stats.assert_consistent("garbage datagrams");
 }
 
 #[test]
@@ -51,6 +52,7 @@ fn truncated_slp_header_is_not_fatal() {
     );
     sim.run_until_idle();
     assert_eq!(stats.errors().len(), 1);
+    stats.assert_consistent("truncated header");
 }
 
 #[test]
@@ -87,6 +89,7 @@ fn wrong_message_for_state_is_dropped_and_session_survives() {
     assert_eq!(stats.errors().len(), 1, "rogue reply recorded: {:?}", stats.errors());
     assert_eq!(probe.len(), 1, "later lookup still succeeds");
     assert_eq!(stats.session_count(), 1);
+    stats.assert_consistent("wrong message for state");
 }
 
 #[test]
@@ -102,6 +105,7 @@ fn missing_target_service_leaves_no_bogus_reply() {
     sim.run_until_idle();
     assert!(probe.is_empty());
     assert_eq!(stats.session_count(), 0);
+    stats.assert_consistent("missing target service");
 }
 
 #[test]
@@ -129,6 +133,7 @@ fn duplicate_responses_do_not_double_reply() {
     assert_eq!(stats.session_count(), 1);
     // The second responder's answer was recorded as undeliverable.
     assert!(!stats.errors().is_empty());
+    stats.assert_consistent("duplicate responses");
 }
 
 #[test]
@@ -158,4 +163,5 @@ fn bridge_survives_a_burst_of_mixed_garbage_then_works() {
     sim.add_actor("10.0.0.1", slp::SlpClient::new("service:printer", probe.clone()));
     sim.run_until_idle();
     assert_eq!(probe.len(), 1, "bridge wedged by garbage; errors: {:?}", stats.errors());
+    stats.assert_consistent("mixed garbage burst");
 }

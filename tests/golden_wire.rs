@@ -1,0 +1,196 @@
+//! Golden wire-format fixtures: the composed bytes of every protocol
+//! message the bridges exchange — both through the hand-written native
+//! codecs and through the runtime-generated MDL codecs — are snapshotted
+//! as checked-in hex fixtures under `tests/fixtures/`. A codec refactor
+//! that silently changes on-wire output fails here first, with a byte
+//! diff; a deliberate format change regenerates the fixtures with
+//!
+//! ```sh
+//! GOLDEN_UPDATE=1 cargo test -q --test golden_wire
+//! ```
+//!
+//! Every fixture also carries a round-trip assertion: the snapshotted
+//! bytes must parse back to the message that produced them.
+
+use starlink::core::Starlink;
+use starlink::protocols::{bridges, http, mdns, slp, ssdp};
+
+const SLP_TYPE: &str = "service:printer";
+const UPNP_TYPE: &str = "urn:schemas-upnp-org:service:printer:1";
+const DNS_TYPE: &str = "_printer._tcp.local";
+const SERVICE_URL: &str = "service:printer://10.0.0.3:631";
+
+/// Formats bytes as the fixture hex text: 32 bytes per line, lowercase.
+fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for chunk in bytes.chunks(32) {
+        for byte in chunk {
+            out.push_str(&format!("{byte:02x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn from_hex(text: &str) -> Vec<u8> {
+    // Anything but hex digits and line breaks means the fixture file
+    // itself is broken (bad merge, stray edit) — fail at that cause, not
+    // with a confusing byte diff.
+    let mut digits = String::new();
+    for c in text.chars() {
+        if c.is_ascii_hexdigit() {
+            digits.push(c);
+        } else {
+            assert!(c.is_ascii_whitespace(), "fixture contains non-hex character {c:?}");
+        }
+    }
+    assert!(digits.len().is_multiple_of(2), "odd hex digit count in fixture");
+    (0..digits.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&digits[i..i + 2], 16).expect("valid hex"))
+        .collect()
+}
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+/// Compares `bytes` against the checked-in fixture (or rewrites it under
+/// `GOLDEN_UPDATE=1`).
+fn assert_golden(name: &str, bytes: &[u8]) {
+    let path = fixture_path(name);
+    if std::env::var("GOLDEN_UPDATE").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, to_hex(bytes)).unwrap();
+        return;
+    }
+    let fixture = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {name} ({e}); run GOLDEN_UPDATE=1 to create"));
+    let expected = from_hex(&fixture);
+    assert_eq!(
+        bytes,
+        expected.as_slice(),
+        "{name}: on-wire output changed\n  composed: {}\n  fixture:  {}\n\
+         (intentional? regenerate with GOLDEN_UPDATE=1 cargo test -q --test golden_wire)",
+        to_hex(bytes).replace('\n', ""),
+        to_hex(&expected).replace('\n', "")
+    );
+}
+
+#[test]
+fn native_slp_wire_is_golden() {
+    let rqst = slp::SrvRqst::new(0x1234, SLP_TYPE);
+    let wire = slp::encode(&slp::SlpMessage::SrvRqst(rqst.clone()));
+    assert_golden("slp_srvrqst.hex", &wire);
+    assert_eq!(slp::decode(&wire).unwrap(), slp::SlpMessage::SrvRqst(rqst));
+
+    let rply = slp::SrvRply::new(0x1234, SERVICE_URL);
+    let wire = slp::encode(&slp::SlpMessage::SrvRply(rply.clone()));
+    assert_golden("slp_srvrply.hex", &wire);
+    assert_eq!(slp::decode(&wire).unwrap(), slp::SlpMessage::SrvRply(rply));
+}
+
+#[test]
+fn native_ssdp_wire_is_golden() {
+    let msearch = ssdp::MSearch::new(UPNP_TYPE);
+    let wire = ssdp::encode(&ssdp::SsdpMessage::MSearch(msearch.clone()));
+    assert_golden("ssdp_msearch.hex", &wire);
+    assert_eq!(ssdp::decode(&wire).unwrap(), ssdp::SsdpMessage::MSearch(msearch));
+
+    let response =
+        ssdp::SsdpResponse::new(UPNP_TYPE, "uuid:starlink-golden", "http://10.0.0.3:5000/desc.xml");
+    let wire = ssdp::encode(&ssdp::SsdpMessage::Response(response.clone()));
+    assert_golden("ssdp_response.hex", &wire);
+    assert_eq!(ssdp::decode(&wire).unwrap(), ssdp::SsdpMessage::Response(response));
+}
+
+#[test]
+fn native_mdns_wire_is_golden() {
+    let question = mdns::DnsQuestion::new(0x1234, DNS_TYPE);
+    let wire = mdns::encode(&mdns::DnsMessage::Question(question.clone())).unwrap();
+    assert_golden("mdns_question.hex", &wire);
+    assert_eq!(mdns::decode(&wire).unwrap(), mdns::DnsMessage::Question(question));
+
+    let response = mdns::DnsResponse::new(0x1234, DNS_TYPE, SERVICE_URL);
+    let wire = mdns::encode(&mdns::DnsMessage::Response(response.clone())).unwrap();
+    assert_golden("mdns_response.hex", &wire);
+    assert_eq!(mdns::decode(&wire).unwrap(), mdns::DnsMessage::Response(response));
+}
+
+#[test]
+fn native_http_wire_is_golden() {
+    let get = http::HttpGet::new("/desc.xml", "10.0.0.2:80");
+    let wire = http::encode(&http::HttpMessage::Get(get.clone()));
+    assert_golden("http_get.hex", &wire);
+    assert_eq!(http::decode(&wire).unwrap(), http::HttpMessage::Get(get));
+
+    let ok = http::HttpOk::xml(http::device_description("http://10.0.0.3:5000", UPNP_TYPE));
+    let wire = http::encode(&http::HttpMessage::Ok(ok.clone()));
+    assert_golden("http_ok.hex", &wire);
+    assert_eq!(http::decode(&wire).unwrap(), http::HttpMessage::Ok(ok));
+}
+
+/// For each protocol, the MDL codec's *composed* form of every message
+/// direction: native wire bytes are parsed into the abstract message,
+/// re-composed through the model-driven codec, snapshotted, and the
+/// snapshot must parse back to the identical abstract message (the
+/// parse∘compose fixed point codec refactors must preserve).
+#[test]
+fn mdl_composed_wire_is_golden() {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+
+    let native: [(&str, &str, Vec<u8>); 8] = [
+        ("SLP", "mdl_slp_srvrqst.hex", {
+            slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(0x1234, SLP_TYPE)))
+        }),
+        ("SLP", "mdl_slp_srvrply.hex", {
+            slp::encode(&slp::SlpMessage::SrvRply(slp::SrvRply::new(0x1234, SERVICE_URL)))
+        }),
+        ("SSDP", "mdl_ssdp_msearch.hex", {
+            ssdp::encode(&ssdp::SsdpMessage::MSearch(ssdp::MSearch::new(UPNP_TYPE)))
+        }),
+        ("SSDP", "mdl_ssdp_response.hex", {
+            ssdp::encode(&ssdp::SsdpMessage::Response(ssdp::SsdpResponse::new(
+                UPNP_TYPE,
+                "uuid:starlink-golden",
+                "http://10.0.0.3:5000/desc.xml",
+            )))
+        }),
+        ("DNS", "mdl_dns_question.hex", {
+            mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(0x1234, DNS_TYPE)))
+                .unwrap()
+        }),
+        ("DNS", "mdl_dns_response.hex", {
+            mdns::encode(&mdns::DnsMessage::Response(mdns::DnsResponse::new(
+                0x1234,
+                DNS_TYPE,
+                SERVICE_URL,
+            )))
+            .unwrap()
+        }),
+        ("HTTP", "mdl_http_get.hex", {
+            http::encode(&http::HttpMessage::Get(http::HttpGet::new("/desc.xml", "10.0.0.2:80")))
+        }),
+        ("HTTP", "mdl_http_ok.hex", {
+            http::encode(&http::HttpMessage::Ok(http::HttpOk::xml(http::device_description(
+                "http://10.0.0.3:5000",
+                UPNP_TYPE,
+            ))))
+        }),
+    ];
+
+    for (protocol, fixture, wire) in native {
+        let codec = framework.codec(protocol).unwrap_or_else(|| panic!("codec {protocol}"));
+        let abstract_message = codec
+            .parse(&wire)
+            .unwrap_or_else(|e| panic!("{protocol} failed to parse native bytes: {e}"));
+        let composed = codec.compose(&abstract_message).unwrap();
+        assert_golden(fixture, &composed);
+        // Round trip: the snapshotted bytes parse back to the identical
+        // abstract message, and composing again is a fixed point.
+        let reparsed = codec.parse(&composed).unwrap();
+        assert_eq!(reparsed, abstract_message, "{fixture}: parse(compose(m)) != m");
+        assert_eq!(codec.compose(&reparsed).unwrap(), composed, "{fixture}: compose not stable");
+    }
+}

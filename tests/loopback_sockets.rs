@@ -154,4 +154,5 @@ fn bridge_engine_serves_live_multi_client_traffic_over_real_udp() {
     let c = stats.concurrency();
     assert_eq!(c.completed, CLIENTS as u64);
     assert_eq!(c.active, 0);
+    stats.assert_consistent("live multi-client bridge");
 }

@@ -1,13 +1,47 @@
 //! Property test: for *any* interleaving order of concurrent clients —
 //! random client count, random per-client start offsets, random seed,
 //! any bridge case — every client completes exactly one session and
-//! every reply reaches its own originator.
+//! every reply reaches its own originator. A second family draws random
+//! *impairment profiles* alongside random shard layouts and asserts the
+//! chaos liveness contract: whatever the network does, the engine never
+//! wedges and its stats stay balanced.
 
 use proptest::prelude::*;
+use starlink::net::{Impairments, SimDuration};
 use starlink::protocols::{bridges::BridgeCase, Calibration};
+use starlink_bench::chaos::{check_liveness_contract, tail, ChaosProfile, CHAOS_IDLE_TIMEOUT};
 use starlink_bench::{
-    expected_discovery_url, run_concurrent_clients_with, run_sharded_case, ShardedWorkload,
+    expected_discovery_url, run_concurrent_clients_chaos, run_concurrent_clients_with,
+    run_sharded_case, ShardedWorkload,
 };
+
+/// Random impairment knobs: anywhere from pristine to a badly misbehaving
+/// link (each probability up to 25%, partitions up to 2% per traversal).
+fn arb_impairments() -> impl Strategy<Value = Impairments> {
+    (
+        (0u16..=250, 0u16..=250, 0u16..=250, 0u64..=3_000),
+        (0u64..=800, 0u16..=250, 0u16..=20, 0u64..=8_000),
+    )
+        .prop_map(
+            |((drop, dup, reorder, window_us), (jitter_us, corrupt, partition, heal_us))| {
+                Impairments {
+                    drop_permille: drop,
+                    duplicate_permille: dup,
+                    reorder_permille: reorder,
+                    reorder_window: SimDuration::from_micros(window_us),
+                    jitter: SimDuration::from_micros(jitter_us),
+                    corrupt_permille: corrupt,
+                    partition_permille: partition,
+                    partition_window: SimDuration::from_micros(heal_us),
+                }
+            },
+        )
+}
+
+/// The last `n` lines of a trace, for failure dumps.
+fn trace_tail(trace: &str, n: usize) -> String {
+    tail(&trace.lines().collect::<Vec<_>>(), n)
+}
 
 proptest! {
     #[test]
@@ -69,5 +103,79 @@ proptest! {
         );
         // Full isolation: right URL, own transaction id, clean engines.
         run.assert_isolated();
+    }
+
+    /// Random impairment profiles over the single-engine runtime: for
+    /// any knobs, any case, any interleaving, the bridge never wedges —
+    /// every opened session ends counted, and the run drains to idle. On
+    /// failure the dump carries the full (seed, profile) plus the trace
+    /// tail, so one `run_concurrent_clients_chaos` call replays it.
+    #[test]
+    fn any_impairment_profile_keeps_the_engine_live(
+        seed in 0u64..10_000,
+        case_index in 0usize..6,
+        offsets in prop::collection::vec(0u64..8_000, 2..8),
+        impairments in arb_impairments(),
+    ) {
+        let case = BridgeCase::all()[case_index];
+        let (probes, stats, trace) = run_concurrent_clients_chaos(
+            case, seed, Calibration::fast(), &offsets, impairments,
+        );
+        let c = stats.concurrency();
+        prop_assert!(
+            c.is_balanced() && c.active == 0,
+            "case {} seed {} profile {:?}: counters {:?} (wedged or unbalanced)\n\
+             errors: {:?}\ntrace tail:\n{}",
+            case.number(), seed, impairments, c, stats.errors(), trace_tail(&trace, 30)
+        );
+        prop_assert_eq!(
+            stats.session_count() as u64, c.completed,
+            "case {} seed {} profile {:?}: session records disagree with counters",
+            case.number(), seed, impairments
+        );
+        // No client can complete more than its one discovery.
+        for (i, probe) in probes.iter().enumerate() {
+            prop_assert!(
+                probe.results().len() <= 1,
+                "case {} client {i} completed {} times under {:?} (seed {})",
+                case.number(), probe.results().len(), impairments, seed
+            );
+        }
+    }
+
+    /// The same family through the sharded runtime: random impairment
+    /// profiles alongside random shard layouts, asserting the full chaos
+    /// liveness contract in every drawn cell.
+    #[test]
+    fn any_impairment_profile_and_shard_layout_keep_the_fleet_live(
+        seed in 0u64..10_000,
+        case_index in 0usize..6,
+        shards in 1usize..=4,
+        clients in 2usize..12,
+        impairments in arb_impairments(),
+    ) {
+        let case = BridgeCase::all()[case_index];
+        let mut workload = ShardedWorkload::new(shards, clients);
+        workload.seed = seed;
+        workload.wave = 8;
+        workload.impairments = impairments;
+        workload.idle_timeout = CHAOS_IDLE_TIMEOUT;
+        workload.virtual_horizon = Some(starlink_bench::chaos::chaos_horizon(clients, 8));
+        workload.log_boundary = true;
+        let run = run_sharded_case(case, workload);
+        let profile = ChaosProfile {
+            name: "proptest",
+            impairments,
+            expect_client_completion: false,
+            expect_clean_engines: false,
+        };
+        let violations = check_liveness_contract(&run, &profile);
+        prop_assert!(
+            violations.is_empty(),
+            "case {} seed {} shards {} clients {} profile {:?}:\n  - {}\nboundary log tail:\n{}",
+            case.number(), seed, shards, clients, impairments,
+            violations.join("\n  - "),
+            tail(&run.boundary_log, 30)
+        );
     }
 }
