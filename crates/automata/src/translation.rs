@@ -146,6 +146,31 @@ fn arg(args: &[Value], index: usize, function: &str) -> Result<Value> {
     })
 }
 
+/// The bare service name shared by every discovery vocabulary:
+/// `service:printer`, `dn:printer` and `_printer._tcp.local` all name
+/// `printer`. Strips the leading scheme/underscore and trailing
+/// qualifiers.
+fn service_name_of(text: &str) -> String {
+    let text = text.trim();
+    let after_scheme = match text.split_once(':') {
+        Some((_, rest)) if !rest.is_empty() => rest,
+        _ => text,
+    };
+    let first = after_scheme.split(['.', ':']).next().unwrap_or(after_scheme);
+    first.strip_prefix('_').unwrap_or(first).to_owned()
+}
+
+/// FNV-1a over `bytes` from an explicit offset basis (two bases give two
+/// independent 64-bit streams for the uuid halves).
+fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 /// Splits a URL string into (scheme, host, port, path); missing port is 0,
 /// missing path is "/".
 fn split_url(url: &str) -> Result<(String, String, u16, String)> {
@@ -192,6 +217,12 @@ impl FunctionRegistry {
     /// | `dns-to-slp-type` | `_printer._tcp.local` → `service:printer` |
     /// | `slp-to-ssdp-type` | `service:printer` → `urn:...:service:printer:1` |
     /// | `ssdp-to-slp-type` | inverse of the above |
+    /// | `slp-to-wsd-type` | `service:printer` → `dn:printer` |
+    /// | `wsd-to-slp-type` | `dn:printer` → `service:printer` |
+    /// | `dns-to-wsd-type` | `_printer._tcp.local` → `dn:printer` |
+    /// | `wsd-to-dns-type` | `dn:printer` → `_printer._tcp.local` |
+    /// | `derive-uuid` | deterministic WS-Addressing `urn:uuid:...` from any seed value |
+    /// | `uuid-to-id` | 16-bit transaction id hashed from a uuid (or any text) |
     pub fn with_builtins() -> Self {
         let mut registry = FunctionRegistry::new();
         registry.register("identity", |args| arg(args, 0, "identity"));
@@ -282,6 +313,49 @@ impl FunctionRegistry {
             }
             let name = parts.last().copied().unwrap_or(&text);
             Ok(Value::Str(format!("service:{name}")))
+        });
+        registry.register("slp-to-wsd-type", |args| {
+            // "service:printer" → "dn:printer" (WS-Discovery Types QName).
+            let text = arg(args, 0, "slp-to-wsd-type")?.to_text();
+            Ok(Value::Str(format!("dn:{}", service_name_of(&text))))
+        });
+        registry.register("wsd-to-slp-type", |args| {
+            // "dn:printer" → "service:printer".
+            let text = arg(args, 0, "wsd-to-slp-type")?.to_text();
+            Ok(Value::Str(format!("service:{}", service_name_of(&text))))
+        });
+        registry.register("dns-to-wsd-type", |args| {
+            // "_printer._tcp.local" → "dn:printer".
+            let text = arg(args, 0, "dns-to-wsd-type")?.to_text();
+            Ok(Value::Str(format!("dn:{}", service_name_of(&text))))
+        });
+        registry.register("wsd-to-dns-type", |args| {
+            // "dn:printer" → "_printer._tcp.local".
+            let text = arg(args, 0, "wsd-to-dns-type")?.to_text();
+            Ok(Value::Str(format!("_{}._tcp.local", service_name_of(&text))))
+        });
+        registry.register("derive-uuid", |args| {
+            // Deterministic WS-Addressing MessageID derived from any seed
+            // value: same inputs, same uuid — the property seeded replay
+            // and the chaos digests depend on. The version/variant nibbles
+            // follow RFC 4122 layout for realism.
+            let seed = args.iter().map(Value::to_text).collect::<String>();
+            let a = fnv1a(seed.as_bytes(), 0xcbf2_9ce4_8422_2325);
+            let b = fnv1a(seed.as_bytes(), 0x6c62_272e_07bb_0142);
+            Ok(Value::Str(format!(
+                "urn:uuid:{:08x}-{:04x}-4{:03x}-8{:03x}-{:012x}",
+                (a >> 32) as u32,
+                (a >> 16) as u16,
+                a & 0xFFF,
+                (b >> 48) & 0xFFF,
+                b & 0xFFFF_FFFF_FFFF
+            )))
+        });
+        registry.register("uuid-to-id", |args| {
+            // A 16-bit transaction id hashed from a uuid (or any text):
+            // how a WS-Discovery MessageID becomes an SLP XID / DNS ID.
+            let text = arg(args, 0, "uuid-to-id")?.to_text();
+            Ok(Value::Unsigned(fnv1a(text.as_bytes(), 0xcbf2_9ce4_8422_2325) & 0xFFFF))
         });
         registry
     }
@@ -571,6 +645,56 @@ mod tests {
             .as_str()
             .unwrap(),
             "service:printer"
+        );
+    }
+
+    #[test]
+    fn wsd_type_mappings() {
+        let f = FunctionRegistry::with_builtins();
+        let apply = |name: &str, input: &str| {
+            f.apply(name, &[Value::Str(input.into())]).unwrap().as_str().unwrap().to_owned()
+        };
+        assert_eq!(apply("slp-to-wsd-type", "service:printer"), "dn:printer");
+        assert_eq!(apply("wsd-to-slp-type", "dn:printer"), "service:printer");
+        assert_eq!(apply("dns-to-wsd-type", "_printer._tcp.local"), "dn:printer");
+        assert_eq!(apply("wsd-to-dns-type", "dn:printer"), "_printer._tcp.local");
+        // Every vocabulary round-trips through the WSD QName.
+        assert_eq!(
+            apply("wsd-to-slp-type", &apply("slp-to-wsd-type", "service:scanner")),
+            "service:scanner"
+        );
+        assert_eq!(
+            apply("wsd-to-dns-type", &apply("dns-to-wsd-type", "_scanner._tcp.local")),
+            "_scanner._tcp.local"
+        );
+    }
+
+    #[test]
+    fn derive_uuid_is_deterministic_rfc4122_shaped_and_input_sensitive() {
+        let f = FunctionRegistry::with_builtins();
+        let uuid = |seed: &str| {
+            f.apply("derive-uuid", &[Value::Str(seed.into())]).unwrap().as_str().unwrap().to_owned()
+        };
+        let a = uuid("0x1234");
+        assert_eq!(a, uuid("0x1234"), "same seed, same uuid");
+        assert_ne!(a, uuid("0x1235"), "different seed, different uuid");
+        assert!(a.starts_with("urn:uuid:"), "{a}");
+        let hex = a.strip_prefix("urn:uuid:").unwrap();
+        let groups: Vec<&str> = hex.split('-').collect();
+        assert_eq!(groups.iter().map(|g| g.len()).collect::<Vec<_>>(), vec![8, 4, 4, 4, 12]);
+        assert!(groups[2].starts_with('4'), "version nibble: {a}");
+        assert!(groups[3].starts_with('8'), "variant nibble: {a}");
+    }
+
+    #[test]
+    fn uuid_to_id_is_a_stable_16_bit_hash() {
+        let f = FunctionRegistry::with_builtins();
+        let id =
+            f.apply("uuid-to-id", &[Value::Str("urn:uuid:abc".into())]).unwrap().as_u64().unwrap();
+        assert!(id <= 0xFFFF);
+        assert_eq!(
+            f.apply("uuid-to-id", &[Value::Str("urn:uuid:abc".into())]).unwrap(),
+            Value::Unsigned(id)
         );
     }
 

@@ -15,7 +15,7 @@ use std::hint::black_box;
 
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("bridge_session");
-    for case in BridgeCase::all() {
+    for &case in BridgeCase::all() {
         group.bench_function(
             format!("case{}_{}", case.number(), case.name().replace(' ', "_")),
             |b| {

@@ -9,7 +9,7 @@
 //! `cargo bench -p starlink-bench --bench figures`.
 
 use starlink_automata::{automaton_to_dot, bridge_to_xml, merged_to_dot};
-use starlink_protocols::{bridges::BridgeCase, http, mdns, slp, ssdp};
+use starlink_protocols::{bridges::BridgeCase, http, mdns, slp, ssdp, wsd};
 use std::fs;
 use std::path::Path;
 
@@ -27,9 +27,11 @@ fn main() {
     write("fig2_ssdp_automaton.dot", automaton_to_dot(&ssdp::client_automaton()));
     write("fig3_http_automaton.dot", automaton_to_dot(&http::client_automaton(80)));
     write("fig9_mdns_automaton.dot", automaton_to_dot(&mdns::client_automaton()));
+    write("wsd_automaton.dot", automaton_to_dot(&wsd::client_automaton()));
 
-    // Figs. 4, 10: the merged automata (and the other four cases).
-    for case in BridgeCase::all() {
+    // Figs. 4, 10: the merged automata (and the other ten cases —
+    // the synthesized WSD bridges export the same model-document form).
+    for &case in BridgeCase::all() {
         let merged = case.build("10.0.0.2");
         let base = match case {
             BridgeCase::SlpToUpnp => "fig4_merged_slp_ssdp_http".to_owned(),
@@ -58,6 +60,7 @@ fn main() {
     write("fig11_ssdp_mdl.xml", ssdp::mdl_xml().to_owned());
     write("dns_mdl.xml", mdns::mdl_xml().to_owned());
     write("http_mdl.xml", http::mdl_xml().to_owned());
+    write("wsd_mdl.xml", wsd::mdl_xml().to_owned());
 
     println!("\nwrote {} figure artefacts to target/figures/:", written.len());
     for name in &written {

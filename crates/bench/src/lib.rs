@@ -37,7 +37,7 @@
 //!   through one engine (the multi-session runtime scenario), next to
 //!   the single-session `engine` bench;
 //! * **`throughput`** — the sharded saturation suite: sustained
-//!   msgs/sec and p50/p99 session latency for all six cases at
+//!   msgs/sec and p50/p99 session latency for all twelve cases at
 //!   1/2/4/8 shards, driven by the wire-level client harness in
 //!   [`sharded`] with every reply verified.
 //!
@@ -84,10 +84,10 @@ pub use sharded::{
 };
 
 use starlink_core::{ConcurrencyStats, Starlink};
-use starlink_net::{DelayedActor, Impairments, SimDuration, SimNet};
+use starlink_net::{Actor, DelayedActor, Impairments, SimDuration, SimNet};
 use starlink_protocols::{
-    bridges::{self, BridgeCase},
-    mdns, slp, upnp, Calibration, DiscoveryProbe,
+    bridges::{self, BridgeCase, Family},
+    mdns, slp, upnp, wsd, Calibration, DiscoveryProbe,
 };
 
 /// Host layout used by every experiment (client / bridge / service on one
@@ -101,7 +101,45 @@ pub const SERVICE: &str = "10.0.0.3";
 const SLP_TYPE: &str = "service:printer";
 const UPNP_TYPE: &str = "urn:schemas-upnp-org:service:printer:1";
 const DNS_TYPE: &str = "_printer._tcp.local";
+const WSD_TYPE: &str = "dn:printer";
 const SERVICE_URL: &str = "service:printer://10.0.0.3:631";
+const WSD_SERVICE_URL: &str = "http://10.0.0.3:5357/device";
+
+/// Adds the target-side legacy service of `case` to a simulation, by
+/// family — the single place a new protocol family's service actor is
+/// wired into every harness.
+pub fn add_target_service(sim: &mut SimNet, case: BridgeCase, calibration: Calibration) {
+    match case.target() {
+        Family::Upnp => {
+            sim.add_actor(SERVICE, upnp::UpnpDevice::new(UPNP_TYPE, SERVICE, calibration));
+        }
+        Family::Bonjour => {
+            sim.add_actor(SERVICE, mdns::BonjourService::new(DNS_TYPE, SERVICE_URL, calibration));
+        }
+        Family::Slp => {
+            sim.add_actor(SERVICE, slp::SlpService::new(SLP_TYPE, SERVICE_URL, calibration));
+        }
+        Family::Wsd => {
+            sim.add_actor(SERVICE, wsd::WsdTarget::new(WSD_TYPE, WSD_SERVICE_URL, calibration));
+        }
+    }
+}
+
+/// The source-side legacy client actor of `case` (client number `index`
+/// carries its own transaction id / uuid where the protocol has one).
+fn source_client(
+    case: BridgeCase,
+    index: u64,
+    calibration: Calibration,
+    probe: DiscoveryProbe,
+) -> Box<dyn Actor> {
+    match case.source() {
+        Family::Slp => Box::new(slp::SlpClient::new(SLP_TYPE, probe)),
+        Family::Upnp => Box::new(upnp::UpnpClient::new(UPNP_TYPE, calibration, probe)),
+        Family::Bonjour => Box::new(mdns::BonjourClient::new(DNS_TYPE, calibration, probe)),
+        Family::Wsd => Box::new(wsd::WsdClient::with_id(WSD_TYPE, 1 + index, calibration, probe)),
+    }
+}
 
 /// The three legacy protocols of Fig. 12(a).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,28 +219,8 @@ pub fn run_bridge_case(case: BridgeCase, seed: u64, calibration: Calibration) ->
     let probe = DiscoveryProbe::new();
     let mut sim = SimNet::new(seed);
     sim.add_actor(BRIDGE, engine);
-    match case {
-        BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp => {
-            sim.add_actor(SERVICE, upnp::UpnpDevice::new(UPNP_TYPE, SERVICE, calibration));
-        }
-        BridgeCase::SlpToBonjour | BridgeCase::UpnpToBonjour => {
-            sim.add_actor(SERVICE, mdns::BonjourService::new(DNS_TYPE, SERVICE_URL, calibration));
-        }
-        BridgeCase::UpnpToSlp | BridgeCase::BonjourToSlp => {
-            sim.add_actor(SERVICE, slp::SlpService::new(SLP_TYPE, SERVICE_URL, calibration));
-        }
-    }
-    match case {
-        BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => {
-            sim.add_actor(CLIENT, slp::SlpClient::new(SLP_TYPE, probe.clone()));
-        }
-        BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => {
-            sim.add_actor(CLIENT, upnp::UpnpClient::new(UPNP_TYPE, calibration, probe.clone()));
-        }
-        BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => {
-            sim.add_actor(CLIENT, mdns::BonjourClient::new(DNS_TYPE, calibration, probe.clone()));
-        }
-    }
+    add_target_service(&mut sim, case, calibration);
+    sim.add_actor(CLIENT, source_client(case, 0, calibration, probe.clone()));
     sim.run_until_idle();
     assert_eq!(
         probe.len(),
@@ -216,9 +234,10 @@ pub fn run_bridge_case(case: BridgeCase, seed: u64, calibration: Calibration) ->
 
 /// The service URL a client of `case` is expected to discover.
 pub fn expected_discovery_url(case: BridgeCase) -> &'static str {
-    match case {
-        BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp => "http://10.0.0.3:5000",
-        _ => SERVICE_URL,
+    match case.target() {
+        Family::Upnp => "http://10.0.0.3:5000",
+        Family::Wsd => WSD_SERVICE_URL,
+        Family::Slp | Family::Bonjour => SERVICE_URL,
     }
 }
 
@@ -274,43 +293,17 @@ fn run_clients(
     let mut sim = SimNet::new(seed);
     sim.set_impairments(impairments);
     sim.add_actor(BRIDGE, engine);
-    match case {
-        BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp => {
-            sim.add_actor(SERVICE, upnp::UpnpDevice::new(UPNP_TYPE, SERVICE, calibration));
-        }
-        BridgeCase::SlpToBonjour | BridgeCase::UpnpToBonjour => {
-            sim.add_actor(SERVICE, mdns::BonjourService::new(DNS_TYPE, SERVICE_URL, calibration));
-        }
-        BridgeCase::UpnpToSlp | BridgeCase::BonjourToSlp => {
-            sim.add_actor(SERVICE, slp::SlpService::new(SLP_TYPE, SERVICE_URL, calibration));
-        }
-    }
+    add_target_service(&mut sim, case, calibration);
     let mut probes = Vec::with_capacity(stagger_us.len());
     for (i, &offset) in stagger_us.iter().enumerate() {
         let probe = DiscoveryProbe::new();
         probes.push(probe.clone());
         let host = format!("10.0.{}.{}", 1 + i / 200, 1 + i % 200);
         let delay = SimDuration::from_micros(offset);
-        match case {
-            BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => {
-                sim.add_actor(host, DelayedActor::new(delay, slp::SlpClient::new(SLP_TYPE, probe)));
-            }
-            BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => {
-                sim.add_actor(
-                    host,
-                    DelayedActor::new(delay, upnp::UpnpClient::new(UPNP_TYPE, calibration, probe)),
-                );
-            }
-            BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => {
-                sim.add_actor(
-                    host,
-                    DelayedActor::new(
-                        delay,
-                        mdns::BonjourClient::new(DNS_TYPE, calibration, probe),
-                    ),
-                );
-            }
-        }
+        sim.add_actor(
+            host,
+            DelayedActor::new(delay, source_client(case, i as u64, calibration, probe)),
+        );
     }
     sim.run_until_idle();
     let trace = want_trace.then(|| sim.trace_text());
@@ -395,6 +388,11 @@ pub fn fig12a_table(runs: u64) -> Vec<Row> {
 }
 
 /// The paper's published Fig. 12(b) rows (min, median, max).
+///
+/// # Panics
+///
+/// Panics for the WSD cases, which have no published row — iterate
+/// [`BridgeCase::paper_cases`] when regenerating the figure.
 pub fn paper_fig12b_row(case: BridgeCase) -> (u64, u64, u64) {
     match case {
         BridgeCase::SlpToUpnp => (319, 337, 343),
@@ -403,13 +401,15 @@ pub fn paper_fig12b_row(case: BridgeCase) -> (u64, u64, u64) {
         BridgeCase::UpnpToBonjour => (253, 289, 311),
         BridgeCase::BonjourToUpnp => (334, 359, 379),
         BridgeCase::BonjourToSlp => (6_168, 6_190, 6_244),
+        _ => panic!("case {} ({}) has no Fig. 12(b) row", case.number(), case.name()),
     }
 }
 
 /// Regenerates Fig. 12(b): bridge translation times over `runs` seeded
-/// runs per case.
+/// runs per case (the paper's six cases — the WSD rows have nothing
+/// published to compare against).
 pub fn fig12b_table(runs: u64) -> Vec<Row> {
-    BridgeCase::all()
+    BridgeCase::paper_cases()
         .iter()
         .map(|case| Row {
             label: format!("{}. {}", case.number(), case.name()),
@@ -464,7 +464,7 @@ mod tests {
 
     #[test]
     fn bridge_runs_complete_for_all_cases() {
-        for case in BridgeCase::all() {
+        for &case in BridgeCase::all() {
             let elapsed = run_bridge_case(case, 2, Calibration::fast());
             assert!(elapsed.as_micros() > 0, "case {}", case.number());
         }
@@ -472,7 +472,7 @@ mod tests {
 
     #[test]
     fn concurrent_runs_complete_for_all_cases() {
-        for case in BridgeCase::all() {
+        for &case in BridgeCase::all() {
             let c = run_concurrent_clients(case, 10, 3, Calibration::fast());
             assert_eq!(c.completed, 10, "case {}", case.number());
             assert_eq!(c.active, 0, "case {}", case.number());

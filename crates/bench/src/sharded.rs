@@ -11,27 +11,28 @@
 //! Each shard's private simulation hosts the engine shard plus one
 //! target-side service instance.
 //!
-//! All six [`BridgeCase`]s are covered, including the UPnP-source cases
-//! whose clients follow their SSDP 200 OK with a TCP `GET` of the
+//! All twelve [`BridgeCase`]s are covered, including the UPnP-source
+//! cases whose clients follow their SSDP 200 OK with a TCP `GET` of the
 //! description document (carried over the shard's external-TCP
-//! boundary).
+//! boundary), and the WS-Discovery cases whose clients match replies by
+//! uuid (`RelatesTo` must echo the probe's own `MessageID`).
 
-use crate::{BRIDGE, SERVICE};
+use crate::BRIDGE;
 use fxhash::FxHashMap;
 use starlink_core::{
     ConcurrencyStats, EngineConfig, ShardInput, ShardOutput, ShardedBridge, ShardedStats, Starlink,
 };
 use starlink_net::{Bytes, Datagram, Impairments, LatencyModel, SimAddr, SimDuration, SimTime};
 use starlink_protocols::{
-    bridges::{self, BridgeCase},
-    http, mdns, slp, ssdp, upnp, Calibration,
+    bridges::{self, BridgeCase, Family},
+    http, mdns, slp, ssdp, wsd, Calibration,
 };
 use std::time::{Duration, Instant};
 
 const SLP_TYPE: &str = "service:printer";
 const UPNP_TYPE: &str = "urn:schemas-upnp-org:service:printer:1";
 const DNS_TYPE: &str = "_printer._tcp.local";
-const SERVICE_URL: &str = "service:printer://10.0.0.3:631";
+const WSD_TYPE: &str = "dn:printer";
 
 /// Parameters of one sharded run.
 #[derive(Debug, Clone, Copy)]
@@ -221,19 +222,21 @@ struct Client {
 
 /// The source port a case's client sends its UDP request from.
 fn client_udp_port(case: BridgeCase) -> u16 {
-    match case {
-        BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => 41_000,
-        BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => ssdp::SSDP_PORT,
-        BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => 42_000,
+    match case.source() {
+        Family::Slp => 41_000,
+        Family::Upnp => ssdp::SSDP_PORT,
+        Family::Bonjour => 42_000,
+        Family::Wsd => wsd::WSD_CLIENT_PORT,
     }
 }
 
 /// The bridge port a case's client addresses its UDP request to.
 fn bridge_udp_port(case: BridgeCase) -> u16 {
-    match case {
-        BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => slp::SLP_PORT,
-        BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => ssdp::SSDP_PORT,
-        BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => mdns::MDNS_PORT,
+    match case.source() {
+        Family::Slp => slp::SLP_PORT,
+        Family::Upnp => ssdp::SSDP_PORT,
+        Family::Bonjour => mdns::MDNS_PORT,
+        Family::Wsd => wsd::WSD_PORT,
     }
 }
 
@@ -241,16 +244,15 @@ fn bridge_udp_port(case: BridgeCase) -> u16 {
 /// where the protocol carries one).
 fn request_wire(case: BridgeCase, index: usize) -> Vec<u8> {
     let id = index as u16;
-    match case {
-        BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => {
-            slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(id, SLP_TYPE)))
-        }
-        BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => {
-            ssdp::encode(&ssdp::SsdpMessage::MSearch(ssdp::MSearch::new(UPNP_TYPE)))
-        }
-        BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => {
+    match case.source() {
+        Family::Slp => slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(id, SLP_TYPE))),
+        Family::Upnp => ssdp::encode(&ssdp::SsdpMessage::MSearch(ssdp::MSearch::new(UPNP_TYPE))),
+        Family::Bonjour => {
             mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(id, DNS_TYPE)))
                 .expect("question encodes")
+        }
+        Family::Wsd => {
+            wsd::encode(&wsd::WsdMessage::Probe(wsd::WsdProbe::new(1 + index as u64, WSD_TYPE)))
         }
     }
 }
@@ -289,20 +291,7 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
             sim.set_latency(LatencyModel::Fixed(SimDuration::ZERO));
         }
         sim.set_impairments(impairments);
-        match case {
-            BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp => {
-                sim.add_actor(SERVICE, upnp::UpnpDevice::new(UPNP_TYPE, SERVICE, calibration));
-            }
-            BridgeCase::SlpToBonjour | BridgeCase::UpnpToBonjour => {
-                sim.add_actor(
-                    SERVICE,
-                    mdns::BonjourService::new(DNS_TYPE, SERVICE_URL, calibration),
-                );
-            }
-            BridgeCase::UpnpToSlp | BridgeCase::BonjourToSlp => {
-                sim.add_actor(SERVICE, slp::SlpService::new(SLP_TYPE, SERVICE_URL, calibration));
-            }
-        }
+        crate::add_target_service(sim, case, calibration);
     });
 
     let mut clients: Vec<Client> = (0..workload.clients)
@@ -330,7 +319,7 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
 
     let udp_port = client_udp_port(case);
     let to = SimAddr::new(BRIDGE, bridge_udp_port(case));
-    let upnp_source = matches!(case, BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour);
+    let upnp_source = case.source() == Family::Upnp;
 
     let run_start = Instant::now();
     let deadline = run_start + workload.timeout;
@@ -546,19 +535,27 @@ fn describe_output(now: SimTime, shard: usize, output: &ShardOutput) -> String {
 }
 
 /// Decodes the final unicast reply of a UDP-source case, returning the
-/// discovered URL and whether the reply echoed the client's own id.
+/// discovered URL and whether the reply echoed the client's own id
+/// (SLP XID / DNS ID / WSD `RelatesTo` uuid).
 fn decode_udp_reply(case: BridgeCase, index: usize, payload: &[u8]) -> Option<(String, bool)> {
     let id = index as u16;
-    match case {
-        BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => match slp::decode(payload) {
+    match case.source() {
+        Family::Slp => match slp::decode(payload) {
             Ok(slp::SlpMessage::SrvRply(rply)) => Some((rply.url, rply.xid == id)),
             _ => None,
         },
-        BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => match mdns::decode(payload) {
+        Family::Bonjour => match mdns::decode(payload) {
             Ok(mdns::DnsMessage::Response(response)) => Some((response.rdata, response.id == id)),
             _ => None,
         },
-        BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => None,
+        Family::Wsd => match wsd::decode(payload) {
+            Ok(wsd::WsdMessage::ProbeMatch(matched)) => {
+                let own = matched.relates_to == wsd::probe_uuid(1 + index as u64);
+                Some((matched.xaddrs, own))
+            }
+            _ => None,
+        },
+        Family::Upnp => None,
     }
 }
 
@@ -570,7 +567,7 @@ fn finish(client: &mut Client, url: String, completed: &mut usize, resolved: &mu
     *resolved += 1;
 }
 
-/// Runs every [`BridgeCase`] at `shards` shards and returns the six
+/// Runs every [`BridgeCase`] at `shards` shards and returns the twelve
 /// runs — the mixed workload the throughput acceptance criterion is
 /// measured on (aggregate msgs/sec = Σ messages / Σ elapsed).
 pub fn run_sharded_mixed(workload: ShardedWorkload) -> Vec<ShardedRun> {
@@ -592,7 +589,7 @@ mod tests {
     fn sharded_smoke_every_case_completes_on_two_shards() {
         // The short-mode throughput smoke wired into `cargo test`: every
         // case, a handful of clients, two shards, full isolation checks.
-        for case in BridgeCase::all() {
+        for &case in BridgeCase::all() {
             let run = run_sharded_case(case, ShardedWorkload::new(2, 8));
             run.assert_isolated();
             assert!(run.messages >= 16, "case {}: {} messages", case.number(), run.messages);

@@ -111,25 +111,65 @@ pub trait SessionCorrelator: Send + Sync {
     }
 }
 
-/// A [`SessionCorrelator`] that keys sessions on a numeric field per
+/// A [`SessionCorrelator`] that keys sessions on an id field per
 /// protocol (e.g. SLP's `XID`, DNS's `ID`): XID-style correlation as a
-/// reusable model.
+/// reusable model. Numeric ids key directly; textual ids (WS-Discovery's
+/// `urn:uuid:...` MessageID) are hashed to the 64-bit key space.
+///
+/// Some protocols carry the id under *different field names per message*
+/// — a WS-Discovery request's `MessageID` is echoed as the response's
+/// `RelatesTo` — so a per-message override
+/// ([`FieldCorrelator::message_field`]) takes precedence over the
+/// per-protocol entry:
+///
+/// ```
+/// use starlink_core::FieldCorrelator;
+///
+/// let correlator = FieldCorrelator::new([("SLP", "XID"), ("DNS", "ID")])
+///     .message_field("WSD_Probe", "MessageID")
+///     .message_field("WSD_ProbeMatch", "RelatesTo");
+/// # let _ = correlator;
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct FieldCorrelator {
+    /// protocol → id field, for every message of the protocol.
     fields: BTreeMap<String, String>,
+    /// message name → id field, overriding the protocol entry.
+    message_fields: BTreeMap<String, String>,
 }
 
 impl FieldCorrelator {
     /// Creates a correlator mapping protocol names to the field carrying
     /// their transaction id.
     pub fn new<P: Into<String>, F: Into<String>>(pairs: impl IntoIterator<Item = (P, F)>) -> Self {
-        FieldCorrelator { fields: pairs.into_iter().map(|(p, f)| (p.into(), f.into())).collect() }
+        FieldCorrelator {
+            fields: pairs.into_iter().map(|(p, f)| (p.into(), f.into())).collect(),
+            message_fields: BTreeMap::new(),
+        }
+    }
+
+    /// Builder: keys instances of `message` on `field`, overriding the
+    /// protocol-level entry (request/response pairs whose id travels
+    /// under two names, like `MessageID` ↔ `RelatesTo`).
+    pub fn message_field(mut self, message: impl Into<String>, field: impl Into<String>) -> Self {
+        self.message_fields.insert(message.into(), field.into());
+        self
     }
 
     fn key_of(&self, part: usize, protocol: &str, message: &AbstractMessage) -> Option<SessionKey> {
-        let field = self.fields.get(protocol)?;
-        let value = message.get(&field.as_str().into()).ok()?.as_u64().ok()?;
-        Some(SessionKey::Correlated(part, value))
+        let field =
+            self.message_fields.get(message.name()).or_else(|| self.fields.get(protocol))?;
+        let value = message.get(&field.as_str().into()).ok()?;
+        let id = match value.as_u64() {
+            Ok(id) => id,
+            // Textual ids (uuids) key by hash; an empty value means the
+            // field went unfilled and cannot correlate anything.
+            Err(_) => match value.as_str() {
+                Ok(text) if !text.is_empty() => fxhash::hash64(text),
+                _ => return None,
+            },
+        };
+        Some(SessionKey::Correlated(part, id))
     }
 }
 

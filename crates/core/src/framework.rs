@@ -143,7 +143,28 @@ impl Starlink {
     /// registry are shared (`Arc`), while each engine gets its own
     /// session table and a shard-local [`BridgeStats`] mirroring into
     /// the returned [`ShardedStats`]' fleet-wide gauge. Hand the engines
-    /// to [`crate::ShardedBridge::launch`].
+    /// to [`crate::ShardedBridge::launch`]:
+    ///
+    /// ```
+    /// use starlink_core::{EngineConfig, ShardedBridge, Starlink};
+    /// use starlink_net::SimTime;
+    /// use starlink_protocols::bridges;
+    ///
+    /// let mut framework = Starlink::new();
+    /// bridges::load_all_mdls(&mut framework)?;
+    /// let merged = bridges::slp_to_bonjour();
+    /// let (engines, stats) =
+    ///     framework.deploy_sharded(merged, EngineConfig::default(), 4)?;
+    /// assert_eq!(engines.len(), 4);
+    ///
+    /// // Each shard runs its engine inside a private simulation on its
+    /// // own worker thread; ingress is pinned by source host.
+    /// let mut bridge = ShardedBridge::launch(7, "10.0.0.2", engines, |_shard, _sim| {});
+    /// bridge.dispatch(SimTime::from_millis(1), std::iter::empty());
+    /// bridge.flush(); // barrier: all workers idle, stats stable
+    /// assert_eq!(stats.concurrency().started, 0);
+    /// # Ok::<(), starlink_core::CoreError>(())
+    /// ```
     ///
     /// # Errors
     ///

@@ -6,7 +6,11 @@
 //! * a **field reference** whose value gives the byte length
 //!   (`<LangTag>LangTagLen</LangTag>`, Fig. 7);
 //! * one or two **delimiter byte lists** in text specs
-//!   (`<Version>13,10</Version>`, `<Fields>13,10:58</Fields>`, Fig. 11).
+//!   (`<Version>13,10</Version>`, `<Fields>13,10:58</Fields>`, Fig. 11);
+//! * a **quoted delimiter string** in text specs
+//!   (`<Action>'&lt;/a:Action&gt;'</Action>`) — the form XML-envelope
+//!   protocols like WS-Discovery use, where field boundaries are literal
+//!   markup tags rather than single control bytes.
 
 use crate::error::{MdlError, Result};
 
@@ -66,11 +70,14 @@ impl SizeSpec {
     ///
     /// A comma-separated byte list is a delimiter (`13,10` → CRLF); with a
     /// `:`-separated second list it declares repeated header pairs
-    /// (`13,10:58`). Non-numeric entries are field references.
+    /// (`13,10:58`); a single-quoted string (`'</a:Action>'`) is a literal
+    /// multi-byte delimiter (XML-envelope tags). Other non-numeric entries
+    /// are field references.
     ///
     /// # Errors
     ///
-    /// Returns [`MdlError::Spec`] for empty or out-of-range byte values.
+    /// Returns [`MdlError::Spec`] for empty or out-of-range byte values,
+    /// or an empty quoted delimiter.
     pub fn parse_text(text: &str) -> Result<Self> {
         let text = text.trim();
         if text.is_empty() {
@@ -78,6 +85,12 @@ impl SizeSpec {
         }
         if text.eq_ignore_ascii_case("rest") || text.eq_ignore_ascii_case("remaining") {
             return Ok(SizeSpec::Remaining);
+        }
+        if let Some(inner) = text.strip_prefix('\'').and_then(|t| t.strip_suffix('\'')) {
+            if inner.is_empty() {
+                return Err(MdlError::Spec("empty quoted delimiter".into()));
+            }
+            return Ok(SizeSpec::Delimiter(inner.as_bytes().to_vec()));
         }
         let parse_bytes = |list: &str| -> Result<Vec<u8>> {
             list.split(',')
@@ -109,7 +122,17 @@ impl SizeSpec {
             SizeSpec::Bits(bits) => bits.to_string(),
             SizeSpec::FieldRef(label) => label.clone(),
             SizeSpec::Delimiter(bytes) => {
-                bytes.iter().map(u8::to_string).collect::<Vec<_>>().join(",")
+                // A multi-byte printable delimiter that the numeric form
+                // would garble (an XML tag, not a byte list) renders back
+                // in its quoted form; control bytes and single-byte
+                // delimiters keep the paper's numeric rendering.
+                let printable = bytes.iter().all(|b| (32..=126).contains(b) && *b != b'\'');
+                let tag_like = bytes.iter().any(|b| !b.is_ascii_digit() && *b != b',');
+                if bytes.len() > 1 && printable && tag_like {
+                    format!("'{}'", String::from_utf8_lossy(bytes))
+                } else {
+                    bytes.iter().map(u8::to_string).collect::<Vec<_>>().join(",")
+                }
             }
             SizeSpec::DelimitedPairs { line, split } => format!(
                 "{}:{}",
@@ -201,6 +224,30 @@ mod tests {
         assert!(SizeSpec::parse_binary("").is_err());
         assert!(SizeSpec::parse_text("300,10").is_err());
         assert!(SizeSpec::parse_text("13,:58").is_err());
+        assert!(SizeSpec::parse_text("''").is_err());
+    }
+
+    #[test]
+    fn text_quoted_string_delimiter() {
+        // XML-envelope boundaries: the delimiter is a literal tag.
+        assert_eq!(
+            SizeSpec::parse_text("'</a:Action>'").unwrap(),
+            SizeSpec::Delimiter(b"</a:Action>".to_vec())
+        );
+        // Quoted digits are still a literal string, not a byte list.
+        assert_eq!(SizeSpec::parse_text("'10'").unwrap(), SizeSpec::Delimiter(b"10".to_vec()));
+    }
+
+    #[test]
+    fn quoted_delimiter_roundtrips_via_to_text() {
+        for text in ["'</a:Action>'", "'</d:Types><d:XAddrs>'"] {
+            let spec = SizeSpec::parse_text(text).unwrap();
+            assert_eq!(spec.to_text(), text);
+            assert_eq!(SizeSpec::parse_text(&spec.to_text()).unwrap(), spec);
+        }
+        // Numeric forms keep their numeric rendering (Fig. 11 fidelity).
+        assert_eq!(SizeSpec::parse_text("13,10").unwrap().to_text(), "13,10");
+        assert_eq!(SizeSpec::parse_text("32").unwrap().to_text(), "32");
     }
 
     type ParseFn = fn(&str) -> Result<SizeSpec>;

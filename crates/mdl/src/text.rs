@@ -95,6 +95,39 @@ fn extend_value_text(out: &mut Vec<u8>, value: &Value) {
     }
 }
 
+/// The byte length of [`extend_value_text`]'s image of `value`, computed
+/// without rendering it — `f-length` fields read this on every compose,
+/// which must stay allocation-free (the zero-allocation hot path).
+fn value_text_len(value: &Value) -> usize {
+    fn decimal_digits(mut v: u64) -> usize {
+        let mut digits = 1;
+        while v >= 10 {
+            digits += 1;
+            v /= 10;
+        }
+        digits
+    }
+    match value {
+        Value::Str(s) => s.len(),
+        Value::Unsigned(v) => decimal_digits(*v),
+        Value::Signed(v) => usize::from(*v < 0) + decimal_digits(v.unsigned_abs()),
+        Value::Bool(b) => {
+            if *b {
+                4
+            } else {
+                5
+            }
+        }
+        Value::Bytes(b) => match std::str::from_utf8(b) {
+            Ok(text) => text.len(),
+            Err(_) => String::from_utf8_lossy(b).len(),
+        },
+        Value::List(items) => {
+            items.iter().map(value_text_len).sum::<usize>() + items.len().saturating_sub(1)
+        }
+    }
+}
+
 /// One declared field, with its label and base type pre-interned.
 #[derive(Debug, Clone)]
 struct TextPlanField {
@@ -102,6 +135,11 @@ struct TextPlanField {
     base: Label,
     size: SizeSpec,
     mandatory: bool,
+    /// Set when the type table declares `f-length(target)` for this
+    /// field: the composer writes the byte length of `target`'s text
+    /// image instead of the stored value (Content-Length-style length
+    /// fields, and the length-framed body of the WS-Discovery MDL).
+    length_of: Option<Label>,
 }
 
 fn compile_text_plan(
@@ -111,11 +149,21 @@ fn compile_text_plan(
 ) -> Vec<TextPlanField> {
     fields
         .iter()
-        .map(|field| TextPlanField {
-            label: field.label.clone(),
-            base: interner.intern(spec.base_type(&field.label)),
-            size: field.size.clone(),
-            mandatory: field.mandatory,
+        .map(|field| {
+            let length_of = spec
+                .types()
+                .get(&field.label)
+                .and_then(|def| def.function.as_ref())
+                .filter(|f| f.name == "f-length")
+                .and_then(|f| f.args.first())
+                .map(|target| interner.intern(target.as_str()));
+            TextPlanField {
+                label: field.label.clone(),
+                base: interner.intern(spec.base_type(&field.label)),
+                size: field.size.clone(),
+                mandatory: field.mandatory,
+                length_of,
+            }
         })
         .collect()
 }
@@ -412,8 +460,23 @@ impl TextComposer {
             Ok(false)
         };
 
+        // Evaluates an `f-length(target)` field: the decimal byte length
+        // of the target's text image, recomputed at compose time so the
+        // stored value can never disagree with the framed bytes.
+        let write_length_of = |target: &Label, out: &mut Vec<u8>| -> Result<bool> {
+            let Some(field) = message.field(target) else { return Ok(false) };
+            let _ = write!(out, "{}", value_text_len(field.value()?));
+            Ok(true)
+        };
+
         for field in &compiled.fields {
+            let written = match &field.length_of {
+                Some(target) => write_length_of(target, out)?,
+                None => false,
+            };
             match &field.size {
+                SizeSpec::Delimiter(delim) if written => out.extend_from_slice(delim),
+                SizeSpec::FieldRef(_) | SizeSpec::Remaining if written => {}
                 SizeSpec::Delimiter(delim) => {
                     if !write_field_text(&field.label, out)? {
                         return Err(MdlError::Compose(format!(
@@ -603,6 +666,66 @@ mod tests {
         assert_eq!(msg.get(&"Body".into()).unwrap().as_str().unwrap(), "<xml>body</xml>");
         let back = composer.compose(&msg).unwrap();
         assert_eq!(back, wire);
+    }
+
+    #[test]
+    fn length_ref_body_roundtrips_and_recomputes() {
+        // The WS-Discovery shape: a length field framing a body blob that
+        // may itself contain markup (so no delimiter could end it), with
+        // the length recomputed from the blob at compose time.
+        let spec = Arc::new(
+            MdlSpec::new("Wsd", MdlKind::Text)
+                .type_entry("Blob", TypeDef::plain("String"))
+                .type_entry(
+                    "BlobLen",
+                    TypeDef::with_function(
+                        "Integer",
+                        crate::types::FieldFunction::new("f-length", vec!["Blob".into()]),
+                    ),
+                )
+                .header_field(FieldSpec::new("Tag", SizeSpec::Delimiter(b"<len>".to_vec())))
+                .message(
+                    MessageSpec::new("M", Rule::Always)
+                        .field(FieldSpec::new("BlobLen", SizeSpec::Delimiter(b"</len>".to_vec())))
+                        .field(FieldSpec::new("Blob", SizeSpec::FieldRef("BlobLen".into()))),
+                ),
+        );
+        let parser = TextParser::new(spec.clone()).unwrap();
+        let composer = TextComposer::new(spec).unwrap();
+        let wire = b"X<len>13</len><a>markup</a>!!";
+        let msg = parser.parse(wire).unwrap();
+        assert_eq!(msg.get(&"Blob".into()).unwrap().as_str().unwrap(), "<a>markup</a>");
+        assert_eq!(msg.get(&"BlobLen".into()).unwrap().as_u64().unwrap(), 13);
+        assert_eq!(composer.compose(&msg).unwrap(), b"X<len>13</len><a>markup</a>");
+
+        // A stale stored length is overridden by the compose-time value.
+        let mut edited = msg.clone();
+        edited.set(&"Blob".into(), Value::Str("<b>longer markup</b>".into())).unwrap();
+        let wire = composer.compose(&edited).unwrap();
+        assert_eq!(wire, b"X<len>20</len><b>longer markup</b>");
+        let back = parser.parse(&wire).unwrap();
+        assert_eq!(back.get(&"Blob".into()).unwrap().as_str().unwrap(), "<b>longer markup</b>");
+    }
+
+    #[test]
+    fn value_text_len_matches_rendered_length() {
+        for value in [
+            Value::Str("hello <x>".into()),
+            Value::Str(String::new()),
+            Value::Unsigned(0),
+            Value::Unsigned(10_200),
+            Value::Signed(-345),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Bytes(b"abc".to_vec()),
+            Value::Bytes(vec![0xFF, 0xFE]),
+            Value::List(vec![Value::Unsigned(1), Value::Str("ab".into())]),
+            Value::List(vec![]),
+        ] {
+            let mut rendered = Vec::new();
+            extend_value_text(&mut rendered, &value);
+            assert_eq!(value_text_len(&value), rendered.len(), "{value:?}");
+        }
     }
 
     #[test]

@@ -54,6 +54,24 @@ use std::sync::Arc;
 /// [`NetError::ConnectionRefused`]. Every impairment event is recorded
 /// in the [`SimNet::trace`], so two runs of the same `(seed, profile)`
 /// produce byte-identical traces.
+///
+/// ```
+/// use starlink_net::{Impairments, SimDuration, SimNet};
+///
+/// // 10% loss + duplication with bounded reordering; everything else off.
+/// let profile = Impairments {
+///     drop_permille: 100,
+///     duplicate_permille: 200,
+///     reorder_permille: 300,
+///     reorder_window: SimDuration::from_millis(2),
+///     ..Impairments::none()
+/// };
+/// assert!(!profile.is_inert());
+///
+/// let mut sim = SimNet::new(7);
+/// sim.set_impairments(profile);           // every link traversal now rolls the dice
+/// assert!(Impairments::none().is_inert()); // the control profile draws nothing
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Impairments {
     /// Per-traversal drop probability, in permille (0–1000).
@@ -214,6 +232,24 @@ impl<A: Actor> DelayedActor<A> {
     /// Wraps `inner` so it starts `delay` after the simulation adds it.
     pub fn new(delay: crate::time::SimDuration, inner: A) -> Self {
         DelayedActor { delay, inner, started: false }
+    }
+}
+
+impl<A: Actor + ?Sized> Actor for Box<A> {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        (**self).on_start(ctx);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, datagram: Datagram) {
+        (**self).on_datagram(ctx, datagram);
+    }
+
+    fn on_tcp(&mut self, ctx: &mut Context<'_>, event: TcpEvent) {
+        (**self).on_tcp(ctx, event);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        (**self).on_timer(ctx, tag);
     }
 }
 

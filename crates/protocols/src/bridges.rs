@@ -1,19 +1,29 @@
-//! The six case-study bridges of §V: merged automata (with translation
-//! logic and λ actions) for every ordered pair of the three discovery
-//! protocols. Cases 1 and 2 are the paper's Figs. 4 and 10; the remaining
-//! four complete the 3×2 matrix the evaluation reports.
+//! The case-study bridges: merged automata (with translation logic and
+//! λ actions) for every ordered pair of the four discovery protocol
+//! families. Cases 1 and 2 are the paper's Figs. 4 and 10; cases 3–6
+//! complete the paper's 3×2 matrix; cases 7–12 extend it to the full
+//! 4×3 matrix with WS-Discovery — the fourth family, which the paper's
+//! models-only claim predicts should multiply cases, not code.
+//!
+//! The four WSD↔{SLP, Bonjour} two-part bridges are **not hand-written**:
+//! they are produced by [`starlink_core::synthesize_bridge`] from the
+//! loaded MDLs plus a small per-pair [`Ontology`] (field concepts,
+//! vocabulary conversions, protocol constants) — the §VII "generate the
+//! merge at runtime" path promoted from example to production bridge.
+//! Only the two three-part UPnP chains (WSD↔UPnP spans SSDP + HTTP) use
+//! the explicit builder, exactly like the paper's own chain cases.
 //!
 //! In the reverse cases (UPnP or Bonjour clients discovering an SLP/
 //! Bonjour service) the bridge itself serves the device-description HTTP
 //! GET, so its SSDP response LOCATION points at the bridge host — which
 //! is why those constructors take `bridge_host`.
 
-use crate::{http, mdns, slp, ssdp};
+use crate::{http, mdns, slp, ssdp, wsd};
 use starlink_automata::{Assignment, Delta, MergedAutomaton, NetworkAction, ValueSource};
-use starlink_core::Starlink;
+use starlink_core::{synthesize_bridge, FieldCorrelator, Ontology, Starlink};
 use starlink_message::Value;
 
-/// Loads the four protocol MDLs into a framework instance (the model-
+/// Loads the five protocol MDLs into a framework instance (the model-
 /// loading step every deployment starts with).
 ///
 /// # Errors
@@ -25,7 +35,39 @@ pub fn load_all_mdls(starlink: &mut Starlink) -> starlink_core::Result<()> {
     starlink.load_mdl_xml(mdns::mdl_xml())?;
     starlink.load_mdl_xml(ssdp::mdl_xml())?;
     starlink.load_mdl_xml(http::mdl_xml())?;
+    starlink.load_mdl_xml(wsd::mdl_xml())?;
     Ok(())
+}
+
+/// The session correlator matching every id-bearing protocol of the
+/// matrix: SLP's `XID`, DNS's `ID`, and WS-Discovery's uuid correlation
+/// (a Probe keys on its `MessageID`; the ProbeMatch echoing it keys on
+/// `RelatesTo`, so request and response meet in one session).
+///
+/// **Caveat — UPnP-source cases.** SSDP M-SEARCH carries no client-side
+/// transaction id at all, so the ids the bridge *composes* on behalf of
+/// UPnP clients are constants per service type (case 3's `XID = 42`,
+/// case 12's `MessageID = derive-uuid(ST)`): under this correlator,
+/// concurrent UPnP-source sessions searching the same type would
+/// cross-correlate on the target side. Leave the correlator unset for
+/// those deployments (the default) — source-address keying plus
+/// oldest-waiting-receiver routing disambiguates them, as every harness
+/// in this repository does.
+///
+/// **Caveat — id width.** SLP's `XID` and DNS's `ID` are 16 bits *on
+/// the wire*, so the `uuid-to-id` translation of a WSD-source case
+/// compresses 128-bit uuids into that space: with many concurrent
+/// sessions, birthday collisions on the composed target-side id are
+/// possible (exactly as they are between independent native SLP clients
+/// choosing random XIDs). The correlator makes such a collision route
+/// both replies to the elder session; without it the oldest-waiting-
+/// receiver rule applies. Deployments needing collision-free
+/// correlation at scale should correlate only on the WSD side (where
+/// the full uuid keys the session).
+pub fn default_correlator() -> FieldCorrelator {
+    FieldCorrelator::new([("SLP", "XID"), ("DNS", "ID")])
+        .message_field("WSD_Probe", "MessageID")
+        .message_field("WSD_ProbeMatch", "RelatesTo")
 }
 
 fn lit(value: impl Into<Value>) -> ValueSource {
@@ -331,7 +373,251 @@ pub fn bonjour_to_slp() -> MergedAutomaton {
         .expect("case 6 bridge is well-formed")
 }
 
-/// The six bridge cases of Fig. 12(b), in the paper's order.
+/// A framework instance with every embedded MDL loaded — what the
+/// synthesis-driven WSD constructors reason over. Loaded once per
+/// process: the embedded specs never change, and test harnesses build
+/// bridges hundreds of times (proptests draw cases per iteration), so
+/// re-parsing five XML documents per `build` would be pure waste.
+fn synthesis_framework() -> &'static Starlink {
+    static FRAMEWORK: std::sync::OnceLock<Starlink> = std::sync::OnceLock::new();
+    FRAMEWORK.get_or_init(|| {
+        let mut framework = Starlink::new();
+        load_all_mdls(&mut framework).expect("embedded MDLs load");
+        framework
+    })
+}
+
+/// The WS-Discovery field concepts shared by every WSD ontology: probe
+/// ids are uuids, the match echoes the probe's uuid in `RelatesTo`,
+/// carries a fresh `reply-uuid`, and delivers the discovery payload in
+/// `XAddrs`.
+fn wsd_concepts(ontology: Ontology) -> Ontology {
+    ontology
+        .concept("WSD_Probe", "MessageID", "uuid")
+        .concept("WSD_Probe", "Types", "svc-wsd")
+        .concept("WSD_ProbeMatch", "MessageID", "reply-uuid")
+        .concept("WSD_ProbeMatch", "RelatesTo", "uuid")
+        .concept("WSD_ProbeMatch", "XAddrs", "url")
+        .constant("WSD_ProbeMatch", "Metadata", wsd::DEFAULT_METADATA)
+}
+
+/// Case 7 — **WSD → SLP**: a legacy WS-Discovery probe answered by an
+/// SLP service. Synthesized from the models: the ontology names the
+/// semantic matches, [`synthesize_bridge`] infers the δs, equivalences
+/// and translation logic.
+pub fn wsd_to_slp() -> MergedAutomaton {
+    let ontology = wsd_concepts(Ontology::new())
+        .concept("SLPSrvRequest", "SRVType", "svc-slp")
+        .concept("SLPSrvRequest", "XID", "txn")
+        .concept("SLPSrvReply", "URLEntry", "url")
+        .conversion("svc-wsd", "svc-slp", "wsd-to-slp-type")
+        .conversion("uuid", "txn", "uuid-to-id")
+        .conversion("uuid", "reply-uuid", "derive-uuid")
+        .constant("SLPSrvRequest", "Version", 2u64)
+        .constant("SLPSrvRequest", "LangTag", "en");
+    synthesize_bridge(
+        synthesis_framework(),
+        "wsd-to-slp",
+        wsd::service_automaton(),
+        slp::client_automaton(),
+        &ontology,
+    )
+    .expect("case 7 bridge synthesizes")
+}
+
+/// Case 8 — **WSD → Bonjour**: a legacy WS-Discovery probe answered by a
+/// Bonjour responder. Synthesized from the models.
+pub fn wsd_to_bonjour() -> MergedAutomaton {
+    let ontology = wsd_concepts(Ontology::new())
+        .concept("DNS_Question", "QName", "svc-dns")
+        .concept("DNS_Question", "ID", "txn")
+        .concept("DNS_Response", "RData", "url")
+        .conversion("svc-wsd", "svc-dns", "wsd-to-dns-type")
+        .conversion("uuid", "txn", "uuid-to-id")
+        .conversion("uuid", "reply-uuid", "derive-uuid")
+        .constant("DNS_Question", "QDCount", 1u64)
+        .constant("DNS_Question", "QType", u64::from(mdns::TYPE_PTR))
+        .constant("DNS_Question", "QClass", u64::from(mdns::CLASS_IN));
+    synthesize_bridge(
+        synthesis_framework(),
+        "wsd-to-bonjour",
+        wsd::service_automaton(),
+        mdns::client_automaton(),
+        &ontology,
+    )
+    .expect("case 8 bridge synthesizes")
+}
+
+/// Case 9 — **WSD → UPnP**: a legacy WS-Discovery probe answered by a
+/// UPnP device — the Fig. 4 chain with WSD in place of SLP: the bridge
+/// searches over SSDP, follows LOCATION with an HTTP GET, and answers
+/// the probe with the description's URLBase in `XAddrs`.
+pub fn wsd_to_upnp() -> MergedAutomaton {
+    MergedAutomaton::builder("wsd-to-upnp")
+        .part(wsd::service_automaton())
+        .part(ssdp::client_automaton())
+        .part(http::client_automaton(http::HTTP_PORT))
+        .equivalence("SSDP_M-Search", &["WSD_Probe"])
+        .equivalence("HTTP_GET", &["SSDP_Resp"])
+        .equivalence("WSD_ProbeMatch", &["HTTP_OK"])
+        .delta(msearch_assignments(
+            Delta::new("WSD:v1", "SSDP:s0"),
+            func(
+                "slp-to-ssdp-type",
+                vec![func("wsd-to-slp-type", vec![field("WSD_Probe", "Types")])],
+            ),
+        ))
+        .delta(http_get_assignments(
+            Delta::new("SSDP:s2", "HTTP:h0").action(set_host_from_location()),
+        ))
+        .delta(wsd_probe_match_assignments(
+            Delta::new("HTTP:h2", "WSD:v1"),
+            func("extract-tag", vec![field("HTTP_OK", "Body"), lit("URLBase")]),
+        ))
+        .build()
+        .expect("case 9 bridge is well-formed")
+}
+
+/// Case 10 — **SLP → WSD**: an SLP client's lookup answered by a
+/// WS-Discovery target. Synthesized from the models.
+pub fn slp_to_wsd() -> MergedAutomaton {
+    let ontology = wsd_concepts(Ontology::new())
+        .concept("SLPSrvRequest", "SRVType", "svc-slp")
+        .concept("SLPSrvRequest", "XID", "txn")
+        .concept("SLPSrvReply", "XID", "txn")
+        .concept("SLPSrvReply", "URLEntry", "url")
+        .conversion("svc-slp", "svc-wsd", "slp-to-wsd-type")
+        .conversion("txn", "uuid", "derive-uuid")
+        .constant("SLPSrvReply", "Version", 2u64)
+        .constant("SLPSrvReply", "LifeTime", 60u64);
+    synthesize_bridge(
+        synthesis_framework(),
+        "slp-to-wsd",
+        slp::service_automaton(),
+        wsd::client_automaton(),
+        &ontology,
+    )
+    .expect("case 10 bridge synthesizes")
+}
+
+/// Case 11 — **Bonjour → WSD**: a Bonjour browser's question answered by
+/// a WS-Discovery target. Synthesized from the models.
+pub fn bonjour_to_wsd() -> MergedAutomaton {
+    let ontology = wsd_concepts(Ontology::new())
+        .concept("DNS_Question", "QName", "svc-dns")
+        .concept("DNS_Question", "ID", "txn")
+        .concept("DNS_Response", "ID", "txn")
+        .concept("DNS_Response", "AName", "svc-dns")
+        .concept("DNS_Response", "RData", "url")
+        .conversion("svc-dns", "svc-wsd", "dns-to-wsd-type")
+        .conversion("txn", "uuid", "derive-uuid")
+        .constant("DNS_Response", "ANCount", 1u64)
+        .constant("DNS_Response", "RType", u64::from(mdns::TYPE_PTR))
+        .constant("DNS_Response", "RClass", u64::from(mdns::CLASS_IN))
+        .constant("DNS_Response", "TTL", 120u64);
+    synthesize_bridge(
+        synthesis_framework(),
+        "bonjour-to-wsd",
+        mdns::service_automaton(),
+        wsd::client_automaton(),
+        &ontology,
+    )
+    .expect("case 11 bridge synthesizes")
+}
+
+/// Case 12 — **UPnP → WSD**: a UPnP control point's search answered by a
+/// WS-Discovery target; the bridge serves the description GET, embedding
+/// the target's `XAddrs`.
+///
+/// The probe's `MessageID` is derived from the search target (SSDP
+/// M-SEARCH carries no per-client id to seed from — the same limitation
+/// as case 3's constant `XID`), so concurrent same-type sessions share
+/// it; see [`default_correlator`] for why such deployments rely on
+/// source-address keying instead.
+pub fn upnp_to_wsd(bridge_host: &str) -> MergedAutomaton {
+    MergedAutomaton::builder("upnp-to-wsd")
+        .part(ssdp::service_automaton())
+        .part(wsd::client_automaton())
+        .part(http::server_automaton(http::HTTP_PORT))
+        .equivalence("WSD_Probe", &["SSDP_M-Search"])
+        .equivalence("SSDP_Resp", &["WSD_ProbeMatch"])
+        .equivalence("HTTP_OK", &["WSD_ProbeMatch"])
+        .delta(
+            Delta::new("SSDP:r1", "WSD:w0")
+                .assignment(assign(
+                    "WSD_Probe",
+                    "Types",
+                    func(
+                        "slp-to-wsd-type",
+                        vec![func("ssdp-to-slp-type", vec![field("SSDP_M-Search", "ST")])],
+                    ),
+                ))
+                .assignment(assign(
+                    "WSD_Probe",
+                    "MessageID",
+                    func("derive-uuid", vec![field("SSDP_M-Search", "ST")]),
+                )),
+        )
+        .delta(ssdp_resp_assignments(
+            Delta::new("WSD:w2", "SSDP:r1"),
+            bridge_host,
+            field("SSDP_M-Search", "ST"),
+        ))
+        .delta(http_ok_assignments(
+            Delta::new("SSDP:r2", "HTTP:g0"),
+            field("WSD_ProbeMatch", "XAddrs"),
+        ))
+        .build()
+        .expect("case 12 bridge is well-formed")
+}
+
+/// Fills an outgoing `WSD_ProbeMatch` (the WSD-source chain case):
+/// `RelatesTo` echoes the probe's uuid, the reply uuid is derived from
+/// it, and `XAddrs` carries the translated discovery payload.
+/// `MetadataLength` is not assigned — the text composer recomputes it
+/// from the metadata blob (`f-length`).
+fn wsd_probe_match_assignments(delta: Delta, xaddrs_source: ValueSource) -> Delta {
+    delta
+        .assignment(assign("WSD_ProbeMatch", "XAddrs", xaddrs_source))
+        .assignment(assign("WSD_ProbeMatch", "RelatesTo", field("WSD_Probe", "MessageID")))
+        .assignment(assign(
+            "WSD_ProbeMatch",
+            "MessageID",
+            func("derive-uuid", vec![field("WSD_Probe", "MessageID")]),
+        ))
+        .assignment(assign("WSD_ProbeMatch", "Types", field("WSD_Probe", "Types")))
+        .assignment(assign("WSD_ProbeMatch", "Metadata", lit(wsd::DEFAULT_METADATA)))
+}
+
+/// The protocol family on one side of a bridge case — what a harness
+/// needs to pick the right legacy client or service for a case without
+/// matching on all twelve cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Family {
+    /// Service Location Protocol.
+    Slp,
+    /// UPnP (SSDP discovery + HTTP description retrieval).
+    Upnp,
+    /// Bonjour / mDNS.
+    Bonjour,
+    /// WS-Discovery (SOAP-over-UDP).
+    Wsd,
+}
+
+impl Family {
+    /// Human-readable family name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Slp => "SLP",
+            Family::Upnp => "UPnP",
+            Family::Bonjour => "Bonjour",
+            Family::Wsd => "WSD",
+        }
+    }
+}
+
+/// The twelve bridge cases: the paper's Fig. 12(b) six in the paper's
+/// order, followed by the six WS-Discovery pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BridgeCase {
     /// Case 1: SLP client, UPnP device.
@@ -346,34 +632,66 @@ pub enum BridgeCase {
     BonjourToUpnp,
     /// Case 6: Bonjour browser, SLP service.
     BonjourToSlp,
+    /// Case 7: WS-Discovery probe client, SLP service.
+    WsdToSlp,
+    /// Case 8: WS-Discovery probe client, Bonjour responder.
+    WsdToBonjour,
+    /// Case 9: WS-Discovery probe client, UPnP device.
+    WsdToUpnp,
+    /// Case 10: SLP client, WS-Discovery target.
+    SlpToWsd,
+    /// Case 11: Bonjour browser, WS-Discovery target.
+    BonjourToWsd,
+    /// Case 12: UPnP control point, WS-Discovery target.
+    UpnpToWsd,
 }
 
 impl BridgeCase {
-    /// All six cases in paper order.
-    pub fn all() -> [BridgeCase; 6] {
-        [
-            BridgeCase::SlpToUpnp,
-            BridgeCase::SlpToBonjour,
-            BridgeCase::UpnpToSlp,
-            BridgeCase::UpnpToBonjour,
-            BridgeCase::BonjourToUpnp,
-            BridgeCase::BonjourToSlp,
-        ]
+    /// The one table every case count derives from: the paper's six
+    /// cases in the paper's order, then the six WS-Discovery cases.
+    /// Adding a protocol family means adding rows here — `all()`,
+    /// `paper_cases()` and `number()` follow automatically.
+    pub const ALL: [BridgeCase; 12] = [
+        BridgeCase::SlpToUpnp,
+        BridgeCase::SlpToBonjour,
+        BridgeCase::UpnpToSlp,
+        BridgeCase::UpnpToBonjour,
+        BridgeCase::BonjourToUpnp,
+        BridgeCase::BonjourToSlp,
+        BridgeCase::WsdToSlp,
+        BridgeCase::WsdToBonjour,
+        BridgeCase::WsdToUpnp,
+        BridgeCase::SlpToWsd,
+        BridgeCase::BonjourToWsd,
+        BridgeCase::UpnpToWsd,
+    ];
+
+    /// All cases of the matrix, in row order.
+    ///
+    /// ```
+    /// use starlink_protocols::BridgeCase;
+    ///
+    /// assert_eq!(BridgeCase::all().len(), 12);
+    /// for &case in BridgeCase::all() {
+    ///     assert_eq!(BridgeCase::all()[case.number() - 1], case);
+    /// }
+    /// ```
+    pub fn all() -> &'static [BridgeCase] {
+        &Self::ALL
     }
 
-    /// The paper's case number (1–6).
+    /// The six cases the paper's Fig. 12(b) reports (the WSD cases have
+    /// no published row to compare against).
+    pub fn paper_cases() -> &'static [BridgeCase] {
+        &Self::ALL[..6]
+    }
+
+    /// The case number (1–12): the row's position in the one table.
     pub fn number(&self) -> usize {
-        match self {
-            BridgeCase::SlpToUpnp => 1,
-            BridgeCase::SlpToBonjour => 2,
-            BridgeCase::UpnpToSlp => 3,
-            BridgeCase::UpnpToBonjour => 4,
-            BridgeCase::BonjourToUpnp => 5,
-            BridgeCase::BonjourToSlp => 6,
-        }
+        Self::ALL.iter().position(|case| case == self).expect("every case is in the table") + 1
     }
 
-    /// The paper's row label.
+    /// The matrix row label.
     pub fn name(&self) -> &'static str {
         match self {
             BridgeCase::SlpToUpnp => "SLP to UPnP",
@@ -382,6 +700,41 @@ impl BridgeCase {
             BridgeCase::UpnpToBonjour => "UPnP to Bonjour",
             BridgeCase::BonjourToUpnp => "Bonjour to UPnP",
             BridgeCase::BonjourToSlp => "Bonjour to SLP",
+            BridgeCase::WsdToSlp => "WSD to SLP",
+            BridgeCase::WsdToBonjour => "WSD to Bonjour",
+            BridgeCase::WsdToUpnp => "WSD to UPnP",
+            BridgeCase::SlpToWsd => "SLP to WSD",
+            BridgeCase::BonjourToWsd => "Bonjour to WSD",
+            BridgeCase::UpnpToWsd => "UPnP to WSD",
+        }
+    }
+
+    /// The family of the legacy *client* this case serves (which legacy
+    /// lookup application talks to the bridge).
+    pub fn source(&self) -> Family {
+        match self {
+            BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour | BridgeCase::SlpToWsd => Family::Slp,
+            BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour | BridgeCase::UpnpToWsd => {
+                Family::Upnp
+            }
+            BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp | BridgeCase::BonjourToWsd => {
+                Family::Bonjour
+            }
+            BridgeCase::WsdToSlp | BridgeCase::WsdToBonjour | BridgeCase::WsdToUpnp => Family::Wsd,
+        }
+    }
+
+    /// The family of the legacy *service* this case discovers.
+    pub fn target(&self) -> Family {
+        match self {
+            BridgeCase::UpnpToSlp | BridgeCase::BonjourToSlp | BridgeCase::WsdToSlp => Family::Slp,
+            BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp | BridgeCase::WsdToUpnp => {
+                Family::Upnp
+            }
+            BridgeCase::SlpToBonjour | BridgeCase::UpnpToBonjour | BridgeCase::WsdToBonjour => {
+                Family::Bonjour
+            }
+            BridgeCase::SlpToWsd | BridgeCase::BonjourToWsd | BridgeCase::UpnpToWsd => Family::Wsd,
         }
     }
 
@@ -396,19 +749,27 @@ impl BridgeCase {
             BridgeCase::UpnpToBonjour => upnp_to_bonjour(bridge_host),
             BridgeCase::BonjourToUpnp => bonjour_to_upnp(),
             BridgeCase::BonjourToSlp => bonjour_to_slp(),
+            BridgeCase::WsdToSlp => wsd_to_slp(),
+            BridgeCase::WsdToBonjour => wsd_to_bonjour(),
+            BridgeCase::WsdToUpnp => wsd_to_upnp(),
+            BridgeCase::SlpToWsd => slp_to_wsd(),
+            BridgeCase::BonjourToWsd => bonjour_to_wsd(),
+            BridgeCase::UpnpToWsd => upnp_to_wsd(bridge_host),
         }
     }
 
     /// The paper's Fig. 12(b) median translation time in milliseconds
-    /// (for shape comparison in the benches).
-    pub fn paper_median_ms(&self) -> u64 {
+    /// (for shape comparison in the benches); `None` for the WSD cases,
+    /// which postdate the paper.
+    pub fn paper_median_ms(&self) -> Option<u64> {
         match self {
-            BridgeCase::SlpToUpnp => 337,
-            BridgeCase::SlpToBonjour => 271,
-            BridgeCase::UpnpToSlp => 6_311,
-            BridgeCase::UpnpToBonjour => 289,
-            BridgeCase::BonjourToUpnp => 359,
-            BridgeCase::BonjourToSlp => 6_190,
+            BridgeCase::SlpToUpnp => Some(337),
+            BridgeCase::SlpToBonjour => Some(271),
+            BridgeCase::UpnpToSlp => Some(6_311),
+            BridgeCase::UpnpToBonjour => Some(289),
+            BridgeCase::BonjourToUpnp => Some(359),
+            BridgeCase::BonjourToSlp => Some(6_190),
+            _ => None,
         }
     }
 }
@@ -420,8 +781,8 @@ mod tests {
     use starlink_mdl::{load_mdl, MdlCodec};
 
     #[test]
-    fn all_six_bridges_satisfy_merge_constraints() {
-        for case in BridgeCase::all() {
+    fn all_twelve_bridges_satisfy_merge_constraints() {
+        for &case in BridgeCase::all() {
             let merged = case.build("10.0.0.2");
             let report = merged.check_merge();
             assert!(report.is_mergeable(), "case {} ({}): {report}", case.number(), case.name());
@@ -432,11 +793,16 @@ mod tests {
     fn two_part_bridges_are_strongly_merged_chains_are_weak() {
         // SLP↔Bonjour pairs merge strongly (δ both ways); the three-part
         // chains involving HTTP are only weakly merged — exactly the
-        // distinction §III-C draws for Fig. 4.
+        // distinction §III-C draws for Fig. 4. The synthesized WSD pairs
+        // land on the strong side like every other two-part bridge.
         assert!(slp_to_bonjour().check_merge().strongly_merged);
         assert!(bonjour_to_slp().check_merge().strongly_merged);
         assert!(!slp_to_upnp().check_merge().strongly_merged);
         assert!(slp_to_upnp().check_merge().weakly_merged);
+        assert!(wsd_to_slp().check_merge().strongly_merged);
+        assert!(slp_to_wsd().check_merge().strongly_merged);
+        assert!(!wsd_to_upnp().check_merge().strongly_merged);
+        assert!(wsd_to_upnp().check_merge().weakly_merged);
     }
 
     #[test]
@@ -449,11 +815,12 @@ mod tests {
             crate::mdns::mdl_xml(),
             crate::ssdp::mdl_xml(),
             crate::http::mdl_xml(),
+            crate::wsd::mdl_xml(),
         ]
         .iter()
         .map(|xml| MdlCodec::generate(load_mdl(xml).unwrap()).unwrap())
         .collect();
-        for case in BridgeCase::all() {
+        for &case in BridgeCase::all() {
             let merged = case.build("10.0.0.2");
             let assignments: Vec<_> = merged.assignments().cloned().collect();
             for decl in merged.equivalences().declarations() {
@@ -480,7 +847,7 @@ mod tests {
         // constraints that the programmatic dotted form leaves open), so
         // the invariant is that export∘load is a fixed point and the
         // reloaded bridge still satisfies the merge constraints.
-        for case in BridgeCase::all() {
+        for &case in BridgeCase::all() {
             let merged = case.build("10.0.0.2");
             let xml = starlink_automata::bridge_to_xml(&merged);
             let reloaded = starlink_automata::load_bridge(&xml)
@@ -497,9 +864,25 @@ mod tests {
 
     #[test]
     fn case_metadata() {
-        assert_eq!(BridgeCase::all().len(), 6);
+        assert_eq!(BridgeCase::all().len(), 12);
+        assert_eq!(BridgeCase::paper_cases().len(), 6);
         assert_eq!(BridgeCase::SlpToUpnp.number(), 1);
+        assert_eq!(BridgeCase::UpnpToWsd.number(), 12);
         assert_eq!(BridgeCase::BonjourToSlp.name(), "Bonjour to SLP");
-        assert!(BridgeCase::UpnpToSlp.paper_median_ms() > 6_000);
+        assert_eq!(BridgeCase::WsdToBonjour.name(), "WSD to Bonjour");
+        assert!(BridgeCase::UpnpToSlp.paper_median_ms().unwrap() > 6_000);
+        assert_eq!(BridgeCase::WsdToSlp.paper_median_ms(), None);
+        // The one-table invariant: numbers are positions, every case is
+        // reachable, and the family matrix is complete (each family
+        // appears as source and target exactly three times).
+        for (index, &case) in BridgeCase::ALL.iter().enumerate() {
+            assert_eq!(case.number(), index + 1);
+            assert_ne!(case.source(), case.target(), "no same-family bridge");
+        }
+        for family in [Family::Slp, Family::Upnp, Family::Bonjour, Family::Wsd] {
+            assert_eq!(BridgeCase::all().iter().filter(|c| c.source() == family).count(), 3);
+            assert_eq!(BridgeCase::all().iter().filter(|c| c.target() == family).count(), 3);
+            assert!(!family.name().is_empty());
+        }
     }
 }

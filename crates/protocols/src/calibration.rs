@@ -67,6 +67,14 @@ pub struct Calibration {
     /// CyberLink client-side stack overhead before the application sees
     /// the discovered device.
     pub upnp_client_overhead: DelayRange,
+    /// WS-Discovery target delay before answering a Probe: WSDAPI-style
+    /// stacks spread their ProbeMatch inside the `APP_MAX_DELAY` window
+    /// (≤ 500 ms) to avoid multicast storms. The paper predates WSD in
+    /// the matrix, so this range is WSDAPI-derived, not Fig. 12-derived.
+    pub wsd_service_delay: DelayRange,
+    /// WSD client-side stack overhead between the ProbeMatch arriving
+    /// and the application callback.
+    pub wsd_client_overhead: DelayRange,
 }
 
 impl Calibration {
@@ -80,6 +88,8 @@ impl Calibration {
             http_device_delay: DelayRange::new(86, 92),
             upnp_client_think: DelayRange::new(6, 10),
             upnp_client_overhead: DelayRange::new(622, 726),
+            wsd_service_delay: DelayRange::new(180, 420),
+            wsd_client_overhead: DelayRange::new(55, 75),
         }
     }
 
@@ -97,6 +107,8 @@ impl Calibration {
             http_device_delay: DelayRange::new(0, 0),
             upnp_client_think: DelayRange::new(0, 0),
             upnp_client_overhead: DelayRange::new(0, 0),
+            wsd_service_delay: DelayRange::new(0, 0),
+            wsd_client_overhead: DelayRange::new(0, 0),
         }
     }
 
@@ -111,6 +123,8 @@ impl Calibration {
             http_device_delay: DelayRange::new(1, 2),
             upnp_client_think: DelayRange::new(1, 1),
             upnp_client_overhead: DelayRange::new(1, 2),
+            wsd_service_delay: DelayRange::new(2, 3),
+            wsd_client_overhead: DelayRange::new(1, 2),
         }
     }
 }

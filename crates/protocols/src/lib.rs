@@ -10,9 +10,12 @@
 //! * [`ssdp`] — the discovery leg of UPnP (text, Figs. 2/11);
 //! * [`http`] — the retrieval leg of UPnP (text over TCP, Fig. 3);
 //! * [`upnp`] — composite UPnP control point and device;
-//! * [`bridges`] — the six case-study merged automata (Figs. 4/10 plus
-//!   the four remaining pairs), with [`bridges::BridgeCase`] indexing the
-//!   Fig. 12(b) rows;
+//! * [`wsd`] — WS-Discovery (SOAP-over-UDP text envelope), the fourth
+//!   family, beyond the paper's original three;
+//! * [`bridges`] — the twelve case-study merged automata (the paper's
+//!   six, Figs. 4/10 plus the four remaining pairs, and the six
+//!   WS-Discovery pairs), with [`bridges::BridgeCase`] indexing the
+//!   matrix rows;
 //! * [`calibration`] — the Fig. 12(a)-derived latency model;
 //! * [`probe`] — client-side response-time measurement.
 //!
@@ -33,8 +36,9 @@ pub mod slp;
 pub mod ssdp;
 pub mod upnp;
 mod util;
+pub mod wsd;
 
-pub use bridges::BridgeCase;
+pub use bridges::{BridgeCase, Family};
 pub use calibration::{Calibration, DelayRange};
 pub use probe::{Discovery, DiscoveryProbe};
 

@@ -1,0 +1,22 @@
+//! WS-Discovery (SOAP-over-UDP probe / probe-match): native wire codec,
+//! legacy probe client + matching target, and the Starlink models — the
+//! fourth protocol family of the bridge matrix.
+//!
+//! WS-Discovery stresses the runtime differently from the other three
+//! families: a verbose XML text envelope (parsed by boundary tags, not
+//! control bytes), uuid request/response correlation (`RelatesTo`
+//! echoes the probe's `MessageID` — see
+//! [`FieldCorrelator::message_field`](starlink_core::FieldCorrelator)),
+//! a unicast reply to a multicast probe, and a length-framed metadata
+//! body.
+
+mod actors;
+mod models;
+mod wire;
+
+pub use actors::{WsdClient, WsdTarget, WSD_CLIENT_PORT};
+pub use models::{client_automaton, color, mdl_xml, service_automaton};
+pub use wire::{
+    decode, encode, probe_uuid, WsdMessage, WsdProbe, WsdProbeMatch, ACTION_PROBE,
+    ACTION_PROBE_MATCHES, DEFAULT_METADATA, TO_ANONYMOUS, TO_DISCOVERY, WSD_GROUP, WSD_PORT,
+};

@@ -1,0 +1,152 @@
+//! Starlink models of WS-Discovery: the text MDL with XML-envelope
+//! boundaries and the probe/probe-match coloured automata.
+
+use crate::wsd::wire::{WSD_GROUP, WSD_PORT};
+use starlink_automata::{Color, ColoredAutomaton, Mode, Transport};
+
+/// The WS-Discovery MDL document: a text MDL whose field boundaries are
+/// quoted XML-envelope tags, with a length-framed metadata body
+/// (`MetadataLength` declares `f-length(Metadata)`).
+pub fn mdl_xml() -> &'static str {
+    include_str!("../../specs/wsd.xml")
+}
+
+/// The WSD colour: UDP 3702, async, multicast 239.255.255.250 (the SSDP
+/// group address on the WS-Discovery port — the (group, port) endpoint
+/// stays distinct from SSDP's).
+pub fn color() -> Color {
+    Color::new(Transport::Udp, WSD_PORT, Mode::Async).multicast(WSD_GROUP)
+}
+
+/// Client side (the bridge probes for a legacy WSD target): send a
+/// Probe, await the ProbeMatch.
+pub fn client_automaton() -> ColoredAutomaton {
+    ColoredAutomaton::builder("WSD")
+        .color(color())
+        .state("w0")
+        .state("w1")
+        .state_accepting("w2")
+        .send("w0", "WSD_Probe", "w1")
+        .receive("w1", "WSD_ProbeMatch", "w2")
+        .build()
+        .expect("static WSD client automaton is valid")
+}
+
+/// Service side (the bridge answers legacy WSD probe clients): receive a
+/// Probe, later send the ProbeMatch.
+pub fn service_automaton() -> ColoredAutomaton {
+    ColoredAutomaton::builder("WSD")
+        .color(color())
+        .state("v0")
+        .state("v1")
+        .state_accepting("v2")
+        .receive("v0", "WSD_Probe", "v1")
+        .send("v1", "WSD_ProbeMatch", "v2")
+        .build()
+        .expect("static WSD service automaton is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wsd::wire::{self, probe_uuid, WsdMessage, WsdProbe, WsdProbeMatch};
+    use starlink_mdl::{load_mdl, MdlCodec};
+    use starlink_message::Value;
+
+    fn codec() -> MdlCodec {
+        MdlCodec::generate(load_mdl(mdl_xml()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn mdl_parses_native_probe() {
+        let native = wire::encode(&WsdMessage::Probe(WsdProbe::new(0x1234, "dn:printer")));
+        let msg = codec().parse(&native).unwrap();
+        assert_eq!(msg.name(), "WSD_Probe");
+        assert_eq!(msg.get(&"Types".into()).unwrap().as_str().unwrap(), "dn:printer");
+        assert_eq!(msg.get(&"MessageID".into()).unwrap().as_str().unwrap(), probe_uuid(0x1234));
+        // The envelope's constant markup lives in marker-field
+        // delimiters, so marker values parse empty.
+        assert_eq!(msg.get(&"ProbeOpen".into()).unwrap().as_str().unwrap(), "");
+        assert!(msg.is_mandatory("Types"));
+        assert!(msg.is_mandatory("MessageID"));
+    }
+
+    #[test]
+    fn mdl_parses_native_probe_match_including_length_framed_metadata() {
+        let native = wire::encode(&WsdMessage::ProbeMatch(WsdProbeMatch::new(
+            probe_uuid(9),
+            probe_uuid(0x1234),
+            "dn:printer",
+            "http://10.0.0.3:5357/device",
+        )));
+        let msg = codec().parse(&native).unwrap();
+        assert_eq!(msg.name(), "WSD_ProbeMatch");
+        assert_eq!(msg.get(&"RelatesTo".into()).unwrap().as_str().unwrap(), probe_uuid(0x1234));
+        assert_eq!(
+            msg.get(&"XAddrs".into()).unwrap().as_str().unwrap(),
+            "http://10.0.0.3:5357/device"
+        );
+        // The length-framed blob parsed whole, markup included.
+        assert_eq!(msg.get(&"Metadata".into()).unwrap().as_str().unwrap(), wire::DEFAULT_METADATA);
+        assert_eq!(
+            msg.get(&"MetadataLength".into()).unwrap().as_u64().unwrap(),
+            wire::DEFAULT_METADATA.len() as u64
+        );
+    }
+
+    #[test]
+    fn mdl_roundtrip_reproduces_native_bytes() {
+        let codec = codec();
+        for native in [
+            wire::encode(&WsdMessage::Probe(WsdProbe::new(7, "dn:printer"))),
+            wire::encode(&WsdMessage::ProbeMatch(WsdProbeMatch::new(
+                probe_uuid(8),
+                probe_uuid(7),
+                "dn:printer",
+                "http://10.0.0.3:5357/device",
+            ))),
+        ] {
+            let msg = codec.parse(&native).unwrap();
+            assert_eq!(codec.compose(&msg).unwrap(), native);
+        }
+    }
+
+    #[test]
+    fn mdl_composes_probe_native_codec_reads() {
+        let codec = codec();
+        let mut probe = codec.schema("WSD_Probe").unwrap().instantiate();
+        probe.set(&"MessageID".into(), Value::Str(probe_uuid(5))).unwrap();
+        probe.set(&"Types".into(), Value::Str("dn:printer".into())).unwrap();
+        let bytes = codec.compose(&probe).unwrap();
+        assert_eq!(
+            wire::decode(&bytes).unwrap(),
+            WsdMessage::Probe(WsdProbe::new(5, "dn:printer"))
+        );
+    }
+
+    #[test]
+    fn mdl_recomputes_metadata_length_on_compose() {
+        let codec = codec();
+        let native = wire::encode(&WsdMessage::ProbeMatch(WsdProbeMatch::new(
+            probe_uuid(1),
+            probe_uuid(2),
+            "dn:x",
+            "http://h",
+        )));
+        let mut msg = codec.parse(&native).unwrap();
+        msg.set(&"Metadata".into(), Value::Str("<m>edited</m>".into())).unwrap();
+        let bytes = codec.compose(&msg).unwrap();
+        let WsdMessage::ProbeMatch(m) = wire::decode(&bytes).unwrap() else {
+            panic!("not a probe match")
+        };
+        assert_eq!(m.metadata, "<m>edited</m>");
+    }
+
+    #[test]
+    fn automata_shapes() {
+        assert_eq!(client_automaton().messages(), vec!["WSD_Probe", "WSD_ProbeMatch"]);
+        assert_eq!(service_automaton().states().len(), 3);
+        assert_eq!(color().group(), Some("239.255.255.250"));
+        assert_eq!(color().port(), 3702);
+    }
+}

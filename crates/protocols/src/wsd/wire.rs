@@ -1,0 +1,273 @@
+//! Native WS-Discovery wire codec: SOAP-over-UDP Probe / ProbeMatch in
+//! the canonical namespace-elided single-line envelope form legacy
+//! endpoints in this repository emit (`e:` soap envelope, `a:`
+//! ws-addressing, `d:` ws-discovery).
+//!
+//! The shape is deliberately different from the other three families:
+//! a verbose text envelope, uuid request/response correlation
+//! (`RelatesTo` echoes the probe's `MessageID`), a unicast reply to a
+//! multicast probe, and a length-framed metadata blob that may itself
+//! contain markup (`<d:Metadata l="NN">`).
+
+use crate::WireError;
+
+/// The WS-Discovery well-known port (SOAP-over-UDP).
+pub const WSD_PORT: u16 = 3702;
+/// The WS-Discovery multicast group (shared with SSDP's group address,
+/// but on port 3702 — the two colours stay distinct endpoints).
+pub const WSD_GROUP: &str = "239.255.255.250";
+
+/// WS-Addressing action URI of a Probe.
+pub const ACTION_PROBE: &str = "http://schemas.xmlsoap.org/ws/2005/04/discovery/Probe";
+/// WS-Addressing action URI of a ProbeMatches envelope.
+pub const ACTION_PROBE_MATCHES: &str =
+    "http://schemas.xmlsoap.org/ws/2005/04/discovery/ProbeMatches";
+/// The `To` URN every Probe is addressed to.
+pub const TO_DISCOVERY: &str = "urn:schemas-xmlsoap-org:ws:2005:04:discovery";
+/// The anonymous `To` role a ProbeMatch replies to.
+pub const TO_ANONYMOUS: &str = "http://schemas.xmlsoap.org/ws/2004/08/addressing/role/anonymous";
+
+/// The metadata blob a target attaches to its ProbeMatch. Contains
+/// markup on purpose: it exercises the length-framed body (no delimiter
+/// could end it).
+pub const DEFAULT_METADATA: &str =
+    "<d:Relationship><d:Host>starlink-target</d:Host></d:Relationship>";
+
+/// A deterministic WS-Addressing MessageID embedding a small numeric id
+/// — what the legacy probe clients and the wire-level harnesses use so
+/// replies can be matched back to their probe.
+pub fn probe_uuid(id: u64) -> String {
+    format!("urn:uuid:00000000-0000-4000-8000-{id:012x}")
+}
+
+/// A parsed WS-Discovery message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WsdMessage {
+    /// A multicast Probe.
+    Probe(WsdProbe),
+    /// A unicast ProbeMatch answering a Probe.
+    ProbeMatch(WsdProbeMatch),
+}
+
+/// A WS-Discovery Probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WsdProbe {
+    /// WS-Addressing MessageID (`urn:uuid:...`).
+    pub message_id: String,
+    /// The probed device type QName, e.g. `dn:printer`.
+    pub types: String,
+}
+
+impl WsdProbe {
+    /// Creates a Probe for `types` with a MessageID derived from `id`.
+    pub fn new(id: u64, types: impl Into<String>) -> Self {
+        WsdProbe { message_id: probe_uuid(id), types: types.into() }
+    }
+}
+
+/// A WS-Discovery ProbeMatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WsdProbeMatch {
+    /// Fresh MessageID of the reply envelope.
+    pub message_id: String,
+    /// Echo of the probe's MessageID — the uuid correlation.
+    pub relates_to: String,
+    /// The matched type QName.
+    pub types: String,
+    /// Transport addresses of the matched service (the discovery
+    /// payload the bridges translate into SLP URLs / DNS RData).
+    pub xaddrs: String,
+    /// Length-framed metadata blob (may contain markup).
+    pub metadata: String,
+}
+
+impl WsdProbeMatch {
+    /// Creates a ProbeMatch answering `relates_to` with the default
+    /// metadata blob.
+    pub fn new(
+        message_id: impl Into<String>,
+        relates_to: impl Into<String>,
+        types: impl Into<String>,
+        xaddrs: impl Into<String>,
+    ) -> Self {
+        WsdProbeMatch {
+            message_id: message_id.into(),
+            relates_to: relates_to.into(),
+            types: types.into(),
+            xaddrs: xaddrs.into(),
+            metadata: DEFAULT_METADATA.to_owned(),
+        }
+    }
+}
+
+/// Encodes a message to its canonical wire text.
+pub fn encode(message: &WsdMessage) -> Vec<u8> {
+    match message {
+        WsdMessage::Probe(p) => format!(
+            "<e:Envelope><e:Header><a:Action>{ACTION_PROBE}</a:Action>\
+             <a:To>{TO_DISCOVERY}</a:To>\
+             <a:MessageID>{}</a:MessageID></e:Header>\
+             <e:Body><d:Probe><d:Types>{}</d:Types></d:Probe></e:Body></e:Envelope>",
+            p.message_id, p.types
+        )
+        .into_bytes(),
+        WsdMessage::ProbeMatch(m) => format!(
+            "<e:Envelope><e:Header><a:Action>{ACTION_PROBE_MATCHES}</a:Action>\
+             <a:To>{TO_ANONYMOUS}</a:To>\
+             <a:MessageID>{}</a:MessageID>\
+             <a:RelatesTo>{}</a:RelatesTo></e:Header>\
+             <e:Body><d:ProbeMatches><d:ProbeMatch><d:Types>{}</d:Types>\
+             <d:XAddrs>{}</d:XAddrs>\
+             <d:Metadata l=\"{}\">{}</d:Metadata>\
+             </d:ProbeMatch></d:ProbeMatches></e:Body></e:Envelope>",
+            m.message_id,
+            m.relates_to,
+            m.types,
+            m.xaddrs,
+            m.metadata.len(),
+            m.metadata
+        )
+        .into_bytes(),
+    }
+}
+
+/// The content of the first `<tag>` element in `text`.
+fn element<'t>(text: &'t str, tag: &str) -> Result<&'t str, WireError> {
+    let open = format!("<{tag}>");
+    let close = format!("</{tag}>");
+    let start =
+        text.find(&open).ok_or_else(|| WireError(format!("wsd: no <{tag}> element")))? + open.len();
+    let end = text[start..]
+        .find(&close)
+        .ok_or_else(|| WireError(format!("wsd: unterminated <{tag}> element")))?
+        + start;
+    Ok(&text[start..end])
+}
+
+/// Decodes canonical wire text.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for unknown actions, missing envelope elements
+/// or a metadata length frame that overruns the input.
+pub fn decode(bytes: &[u8]) -> Result<WsdMessage, WireError> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| WireError("wsd: envelope is not UTF-8".into()))?;
+    let action = element(text, "a:Action")?;
+    let message_id = element(text, "a:MessageID")?.to_owned();
+    if action == ACTION_PROBE {
+        Ok(WsdMessage::Probe(WsdProbe { message_id, types: element(text, "d:Types")?.to_owned() }))
+    } else if action == ACTION_PROBE_MATCHES {
+        let relates_to = element(text, "a:RelatesTo")?.to_owned();
+        let types = element(text, "d:Types")?.to_owned();
+        let xaddrs = element(text, "d:XAddrs")?.to_owned();
+        // The metadata blob is length-framed, not delimiter-framed: read
+        // the l="NN" attribute and take exactly NN bytes.
+        let open = "<d:Metadata l=\"";
+        let start =
+            text.find(open).ok_or_else(|| WireError("wsd: no <d:Metadata> frame".into()))?
+                + open.len();
+        let len_end = text[start..]
+            .find("\">")
+            .ok_or_else(|| WireError("wsd: unterminated metadata length".into()))?
+            + start;
+        let length: usize = text[start..len_end].parse().map_err(|_| {
+            WireError(format!("wsd: bad metadata length {:?}", &text[start..len_end]))
+        })?;
+        let blob_start = len_end + 2;
+        // `get` guards both the bounds (a huge or overflowing l="NN")
+        // and char boundaries (a frame cutting a multi-byte character):
+        // hostile input must error, never panic.
+        let metadata = blob_start
+            .checked_add(length)
+            .and_then(|end| text.get(blob_start..end))
+            .ok_or_else(|| {
+                WireError(format!("wsd: metadata frame of {length} bytes overruns the envelope"))
+            })?;
+        Ok(WsdMessage::ProbeMatch(WsdProbeMatch {
+            message_id,
+            relates_to,
+            types,
+            xaddrs,
+            metadata: metadata.to_owned(),
+        }))
+    } else {
+        Err(WireError(format!("wsd: unknown action {action:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_roundtrip() {
+        let probe = WsdProbe::new(0x1234, "dn:printer");
+        let wire = encode(&WsdMessage::Probe(probe.clone()));
+        assert_eq!(decode(&wire).unwrap(), WsdMessage::Probe(probe));
+    }
+
+    #[test]
+    fn probe_match_roundtrip_with_markup_metadata() {
+        let m = WsdProbeMatch::new(
+            probe_uuid(9),
+            probe_uuid(0x1234),
+            "dn:printer",
+            "http://10.0.0.3:5357/device",
+        );
+        assert!(m.metadata.contains('<'), "metadata carries markup");
+        let wire = encode(&WsdMessage::ProbeMatch(m.clone()));
+        assert_eq!(decode(&wire).unwrap(), WsdMessage::ProbeMatch(m));
+    }
+
+    #[test]
+    fn wire_is_single_line_canonical_soap() {
+        let wire = encode(&WsdMessage::Probe(WsdProbe::new(1, "dn:printer")));
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("<e:Envelope><e:Header><a:Action>"));
+        assert!(text.ends_with("</d:Probe></e:Body></e:Envelope>"));
+        assert!(!text.contains('\n'));
+        assert!(!text.contains("  "), "no leftover indentation: {text}");
+    }
+
+    #[test]
+    fn metadata_length_frames_the_blob_exactly() {
+        let mut m = WsdProbeMatch::new(probe_uuid(1), probe_uuid(2), "dn:x", "http://h");
+        m.metadata = "<x>a</x>".into();
+        let wire = encode(&WsdMessage::ProbeMatch(m.clone()));
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.contains("<d:Metadata l=\"8\"><x>a</x></d:Metadata>"), "{text}");
+        assert_eq!(decode(&wire).unwrap(), WsdMessage::ProbeMatch(m));
+    }
+
+    #[test]
+    fn metadata_frame_cutting_a_multibyte_char_errors_without_panic() {
+        // 'é' is two UTF-8 bytes; a length frame ending inside it must be
+        // a WireError, not a str-slice panic.
+        let mut m = WsdProbeMatch::new(probe_uuid(1), probe_uuid(2), "dn:x", "http://h");
+        m.metadata = "é!".into();
+        let wire = encode(&WsdMessage::ProbeMatch(m));
+        let text = String::from_utf8(wire).unwrap();
+        let cut = text.replace("l=\"3\"", "l=\"1\"");
+        assert!(decode(cut.as_bytes()).is_err());
+        // A length near usize::MAX must not overflow the bound check.
+        let huge = text.replace("l=\"3\"", &format!("l=\"{}\"", usize::MAX));
+        assert!(decode(huge.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(b"").is_err());
+        assert!(decode(b"<e:Envelope>").is_err());
+        assert!(decode(b"GET / HTTP/1.1\r\n\r\n").is_err());
+        // Overrunning metadata length frame.
+        let bad = b"<e:Envelope><e:Header><a:Action>http://schemas.xmlsoap.org/ws/2005/04/discovery/ProbeMatches</a:Action><a:To>x</a:To><a:MessageID>m</a:MessageID><a:RelatesTo>r</a:RelatesTo></e:Header><e:Body><d:ProbeMatches><d:ProbeMatch><d:Types>t</d:Types><d:XAddrs>x</d:XAddrs><d:Metadata l=\"9999\">oops</d:Metadata></d:ProbeMatch></d:ProbeMatches></e:Body></e:Envelope>";
+        assert!(decode(bad).is_err());
+    }
+
+    #[test]
+    fn probe_uuid_is_stable_and_id_bearing() {
+        assert_eq!(probe_uuid(0x1234), "urn:uuid:00000000-0000-4000-8000-000000001234");
+        assert_ne!(probe_uuid(1), probe_uuid(2));
+    }
+}

@@ -1,14 +1,15 @@
-//! The full §V case-study matrix: all six protocol pairs, each running a
-//! legacy client of one protocol against a legacy service of another
-//! with the Starlink bridge in between.
+//! The full case-study matrix: all twelve protocol pairs (the paper's
+//! §V six plus the six WS-Discovery cases), each running a legacy
+//! client of one family against a legacy service of another with the
+//! Starlink bridge in between.
 //!
 //! Run with `cargo run --example discovery_matrix`.
 
 use starlink::core::Starlink;
 use starlink::net::SimNet;
 use starlink::protocols::{
-    bridges::{self, BridgeCase},
-    mdns, slp, upnp, Calibration, DiscoveryProbe,
+    bridges::{self, BridgeCase, Family},
+    mdns, slp, upnp, wsd, Calibration, DiscoveryProbe,
 };
 
 const CLIENT: &str = "10.0.0.1";
@@ -23,8 +24,8 @@ fn run(case: BridgeCase, calibration: Calibration) -> (String, u64, u64) {
     let probe = DiscoveryProbe::new();
     let mut sim = SimNet::new(42 + case.number() as u64);
     sim.add_actor(BRIDGE, engine);
-    match case {
-        BridgeCase::SlpToUpnp | BridgeCase::BonjourToUpnp => {
+    match case.target() {
+        Family::Upnp => {
             sim.add_actor(
                 SERVICE,
                 upnp::UpnpDevice::new(
@@ -34,7 +35,7 @@ fn run(case: BridgeCase, calibration: Calibration) -> (String, u64, u64) {
                 ),
             );
         }
-        BridgeCase::SlpToBonjour | BridgeCase::UpnpToBonjour => {
+        Family::Bonjour => {
             sim.add_actor(
                 SERVICE,
                 mdns::BonjourService::new(
@@ -44,7 +45,7 @@ fn run(case: BridgeCase, calibration: Calibration) -> (String, u64, u64) {
                 ),
             );
         }
-        BridgeCase::UpnpToSlp | BridgeCase::BonjourToSlp => {
+        Family::Slp => {
             sim.add_actor(
                 SERVICE,
                 slp::SlpService::new(
@@ -54,12 +55,18 @@ fn run(case: BridgeCase, calibration: Calibration) -> (String, u64, u64) {
                 ),
             );
         }
+        Family::Wsd => {
+            sim.add_actor(
+                SERVICE,
+                wsd::WsdTarget::new("dn:printer", "http://10.0.0.3:5357/device", calibration),
+            );
+        }
     }
-    match case {
-        BridgeCase::SlpToUpnp | BridgeCase::SlpToBonjour => {
+    match case.source() {
+        Family::Slp => {
             sim.add_actor(CLIENT, slp::SlpClient::new("service:printer", probe.clone()));
         }
-        BridgeCase::UpnpToSlp | BridgeCase::UpnpToBonjour => {
+        Family::Upnp => {
             sim.add_actor(
                 CLIENT,
                 upnp::UpnpClient::new(
@@ -69,11 +76,14 @@ fn run(case: BridgeCase, calibration: Calibration) -> (String, u64, u64) {
                 ),
             );
         }
-        BridgeCase::BonjourToUpnp | BridgeCase::BonjourToSlp => {
+        Family::Bonjour => {
             sim.add_actor(
                 CLIENT,
                 mdns::BonjourClient::new("_printer._tcp.local", calibration, probe.clone()),
             );
+        }
+        Family::Wsd => {
+            sim.add_actor(CLIENT, wsd::WsdClient::new("dn:printer", calibration, probe.clone()));
         }
     }
     sim.run_until_idle();
@@ -82,7 +92,7 @@ fn run(case: BridgeCase, calibration: Calibration) -> (String, u64, u64) {
 }
 
 fn main() {
-    println!("§V case-study matrix (paper calibration):\n");
+    println!("case-study matrix (paper calibration; cases 7-12 are the WSD extension):\n");
     println!(
         "{:<4} {:<18} {:<36} {:>12} {:>14} {:>12}",
         "#",
@@ -92,8 +102,10 @@ fn main() {
         "bridge (ms)",
         "paper (ms)"
     );
-    for case in BridgeCase::all() {
+    for &case in BridgeCase::all() {
         let (url, client_ms, bridge_ms) = run(case, Calibration::paper());
+        let paper =
+            case.paper_median_ms().map(|ms| ms.to_string()).unwrap_or_else(|| "-".to_owned());
         println!(
             "{:<4} {:<18} {:<36} {:>12} {:>14} {:>12}",
             case.number(),
@@ -101,8 +113,8 @@ fn main() {
             url,
             client_ms,
             bridge_ms,
-            case.paper_median_ms(),
+            paper,
         );
     }
-    println!("\nall six heterogeneous pairs interoperate — the §V hypothesis holds.");
+    println!("\nall twelve heterogeneous pairs interoperate — the §V hypothesis scales to a fourth family.");
 }

@@ -17,7 +17,7 @@
 //! | [`automata`] | `starlink-automata` | §III-B/C/D coloured + merged automata |
 //! | [`net`] | `starlink-net` | network engine (simulator) |
 //! | [`core`] | `starlink-core` | §IV framework + automata engine |
-//! | [`protocols`] | `starlink-protocols` | §V SLP / Bonjour / UPnP substrates |
+//! | [`protocols`] | `starlink-protocols` | §V SLP / Bonjour / UPnP substrates + WS-Discovery |
 //!
 //! ## Quickstart: deploy the Fig. 10 bridge
 //!

@@ -1,5 +1,5 @@
-//! The chaos conformance matrix: all six bridge cases × the four named
-//! impairment profiles × {1, 4} engine shards, each cell driving ≥50
+//! The chaos conformance matrix: all twelve bridge cases × the four
+//! named impairment profiles × {1, 4} engine shards, each cell driving ≥50
 //! interleaved wire-level clients through shard simulations whose links
 //! drop, duplicate, reorder, jitter, corrupt and partition — and the
 //! **liveness contract** must hold in every cell: the engine never
@@ -99,7 +99,7 @@ fn run_profile_row(profile: &ChaosProfile) {
     }
     let clients = matrix_clients();
     for shards in matrix_shard_counts() {
-        for case in BridgeCase::all() {
+        for &case in BridgeCase::all() {
             let seed = cell_seed(case, shards, profile);
             let run = run_chaos_cell(ChaosCell { case, shards, clients, seed }, profile);
             assert_liveness_contract(&run, profile, seed);
@@ -167,7 +167,7 @@ fn same_seed_and_profile_replay_the_simnet_trace_byte_identically() {
         partition_window: SimDuration::from_millis(5),
     };
     let stagger: Vec<u64> = (0..12).map(|i| i * 400).collect();
-    for case in BridgeCase::all() {
+    for &case in BridgeCase::all() {
         let run = |_: ()| {
             let (probes, stats, trace) = run_concurrent_clients_chaos(
                 case,
@@ -198,7 +198,7 @@ fn inert_impairments_change_nothing_on_the_wire() {
     // bit-identical-replay form of this guarantee is proven in
     // `starlink-net`'s `inert_profile_changes_nothing`).
     let stagger = [0u64, 700, 1_900];
-    for case in BridgeCase::all() {
+    for &case in BridgeCase::all() {
         let seed = 0xA11 + case.number() as u64;
         let (probes, stats, trace) = run_concurrent_clients_chaos(
             case,
@@ -273,7 +273,7 @@ fn explicit_partition_and_heal_recovers_mid_matrix() {
 #[test]
 fn repro_cell() {
     let Ok(case_var) = std::env::var("CHAOS_CASE") else { return };
-    let case_number: usize = case_var.parse().expect("CHAOS_CASE is a case number 1-6");
+    let case_number: usize = case_var.parse().expect("CHAOS_CASE is a case number 1-12");
     let case = *BridgeCase::all()
         .iter()
         .find(|c| c.number() == case_number)

@@ -6,15 +6,13 @@
 //! idle sessions expire.
 
 use starlink::automata::{Assignment, Delta, MergedAutomaton, ValueSource};
-use starlink::core::{
-    BridgeStats, EngineConfig, FieldCorrelator, ShardInput, ShardedBridge, Starlink,
-};
+use starlink::core::{BridgeStats, EngineConfig, ShardInput, ShardedBridge, Starlink};
 use starlink::net::{
     Actor, Bytes, Context, Datagram, DelayedActor, SimAddr, SimDuration, SimNet, SimTime,
 };
 use starlink::protocols::{
     bridges::{self, BridgeCase},
-    mdns, slp, upnp, Calibration, DiscoveryProbe,
+    mdns, slp, upnp, wsd, Calibration, DiscoveryProbe,
 };
 use starlink_bench::{
     expected_discovery_url as expected_url, run_concurrent_clients_with, run_sharded_case,
@@ -46,12 +44,12 @@ fn run_interleaved(
 }
 
 #[test]
-fn two_clients_interleaving_mid_session_stay_isolated_in_all_six_cases() {
+fn two_clients_interleaving_mid_session_stay_isolated_in_all_cases() {
     // The second client's request arrives while the first session is
     // mid-exchange (fast service delays are 1–6 ms; the stagger is well
     // inside that): before the session table, that datagram landed in
     // the first client's execution and clobbered its reply address.
-    for case in BridgeCase::all() {
+    for &case in BridgeCase::all() {
         let (probes, stats) = run_interleaved(case, 2, 400 + case.number() as u64, &[0, 900]);
         for (i, probe) in probes.iter().enumerate() {
             let results = probe.results();
@@ -83,7 +81,7 @@ fn hundred_interleaved_clients_complete_hundred_distinct_sessions_per_case() {
     // heavily; every reply must return to its own originator, and the
     // concurrency gauge must actually see many live sessions at once.
     let stagger: Vec<u64> = (0..20).map(|i| i * 250).collect();
-    for case in BridgeCase::all() {
+    for &case in BridgeCase::all() {
         let (probes, stats) = run_interleaved(case, 100, 500 + case.number() as u64, &stagger);
         let mut completed = 0usize;
         for (i, probe) in probes.iter().enumerate() {
@@ -121,13 +119,13 @@ fn hundred_interleaved_clients_complete_hundred_distinct_sessions_per_case() {
 }
 
 #[test]
-fn hundred_clients_through_1_2_4_8_shards_stay_isolated_in_all_six_cases() {
+fn hundred_clients_through_1_2_4_8_shards_stay_isolated_in_all_cases() {
     // The sharded acceptance scenario: the same 100-client interleavings
     // the single-engine test runs, but through the multi-threaded
     // ShardedBridge at every shard count. Every reply must reach its own
     // originator carrying its own transaction id, on every shard layout.
     for &shards in &[1usize, 2, 4, 8] {
-        for case in BridgeCase::all() {
+        for &case in BridgeCase::all() {
             let mut workload = ShardedWorkload::new(shards, 100);
             workload.seed = 0x700 + shards as u64 * 0x10 + case.number() as u64;
             workload.wave = 32;
@@ -352,7 +350,7 @@ fn rejected_duplicate_does_not_hijack_the_reply_address() {
     let mut framework = Starlink::new();
     bridges::load_all_mdls(&mut framework).unwrap();
     let config = EngineConfig {
-        correlator: Some(Arc::new(FieldCorrelator::new([("SLP", "XID"), ("DNS", "ID")]))),
+        correlator: Some(Arc::new(bridges::default_correlator())),
         ..EngineConfig::default()
     };
     let (engine, stats) = framework.deploy_with(bridges::slp_to_bonjour(), config).unwrap();
@@ -469,7 +467,7 @@ fn field_correlator_collapses_retransmissions_onto_one_session() {
     let mut framework = Starlink::new();
     bridges::load_all_mdls(&mut framework).unwrap();
     let config = EngineConfig {
-        correlator: Some(Arc::new(FieldCorrelator::new([("SLP", "XID"), ("DNS", "ID")]))),
+        correlator: Some(Arc::new(bridges::default_correlator())),
         ..EngineConfig::default()
     };
     let (engine, stats) = framework.deploy_with(bridges::slp_to_bonjour(), config).unwrap();
@@ -490,4 +488,54 @@ fn field_correlator_collapses_retransmissions_onto_one_session() {
         stats.errors()
     );
     stats.assert_consistent("correlated retransmission");
+}
+
+/// A WS-Discovery client that retransmits the same Probe (same
+/// MessageID uuid) from two different source ports, as WSDAPI-style
+/// stacks do on retry.
+struct RetransmittingWsdClient {
+    id: u64,
+}
+
+impl Actor for RetransmittingWsdClient {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let probe = wsd::WsdProbe::new(self.id, "dn:printer");
+        let wire = wsd::encode(&wsd::WsdMessage::Probe(probe));
+        for port in [40_110u16, 40_111] {
+            ctx.bind_udp(port).unwrap();
+            ctx.udp_send(port, SimAddr::new(wsd::WSD_GROUP, wsd::WSD_PORT), wire.clone());
+        }
+    }
+}
+
+#[test]
+fn uuid_correlator_collapses_wsd_probe_retransmissions_onto_one_session() {
+    // The WS-Discovery form of the same invariant: the correlator keys
+    // probes on their MessageID uuid (a *textual* id, hashed to the key
+    // space), so a retransmitted probe from a new source port lands in
+    // the original session instead of opening a second one.
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+    let config = EngineConfig {
+        correlator: Some(Arc::new(bridges::default_correlator())),
+        ..EngineConfig::default()
+    };
+    let (engine, stats) = framework.deploy_with(bridges::wsd_to_bonjour(), config).unwrap();
+
+    let mut sim = SimNet::new(605);
+    sim.add_actor(BRIDGE, engine);
+    sim.add_actor(SERVICE, mdns::BonjourService::new(DNS_TYPE, SERVICE_URL, Calibration::fast()));
+    sim.add_actor("10.0.1.1", RetransmittingWsdClient { id: 0x77 });
+    sim.run_until_idle();
+
+    let c = stats.concurrency();
+    assert_eq!(c.started, 1, "uuid retransmission collapsed onto the original session");
+    assert_eq!(stats.session_count(), 1);
+    assert_eq!(
+        stats.errors().len(),
+        1,
+        "the duplicate probe is recorded and dropped inside the session: {:?}",
+        stats.errors()
+    );
+    stats.assert_consistent("correlated wsd retransmission");
 }

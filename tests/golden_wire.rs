@@ -13,12 +13,14 @@
 //! bytes must parse back to the message that produced them.
 
 use starlink::core::Starlink;
-use starlink::protocols::{bridges, http, mdns, slp, ssdp};
+use starlink::protocols::{bridges, http, mdns, slp, ssdp, wsd};
 
 const SLP_TYPE: &str = "service:printer";
 const UPNP_TYPE: &str = "urn:schemas-upnp-org:service:printer:1";
 const DNS_TYPE: &str = "_printer._tcp.local";
+const WSD_TYPE: &str = "dn:printer";
 const SERVICE_URL: &str = "service:printer://10.0.0.3:631";
+const WSD_URL: &str = "http://10.0.0.3:5357/device";
 
 /// Formats bytes as the fixture hex text: 32 bytes per line, lowercase.
 fn to_hex(bytes: &[u8]) -> String {
@@ -130,6 +132,24 @@ fn native_http_wire_is_golden() {
     assert_eq!(http::decode(&wire).unwrap(), http::HttpMessage::Ok(ok));
 }
 
+#[test]
+fn native_wsd_wire_is_golden() {
+    let probe = wsd::WsdProbe::new(0x1234, WSD_TYPE);
+    let wire = wsd::encode(&wsd::WsdMessage::Probe(probe.clone()));
+    assert_golden("wsd_probe.hex", &wire);
+    assert_eq!(wsd::decode(&wire).unwrap(), wsd::WsdMessage::Probe(probe));
+
+    let matched = wsd::WsdProbeMatch::new(
+        wsd::probe_uuid(0x9999),
+        wsd::probe_uuid(0x1234),
+        WSD_TYPE,
+        WSD_URL,
+    );
+    let wire = wsd::encode(&wsd::WsdMessage::ProbeMatch(matched.clone()));
+    assert_golden("wsd_probe_match.hex", &wire);
+    assert_eq!(wsd::decode(&wire).unwrap(), wsd::WsdMessage::ProbeMatch(matched));
+}
+
 /// For each protocol, the MDL codec's *composed* form of every message
 /// direction: native wire bytes are parsed into the abstract message,
 /// re-composed through the model-driven codec, snapshotted, and the
@@ -140,7 +160,7 @@ fn mdl_composed_wire_is_golden() {
     let mut framework = Starlink::new();
     bridges::load_all_mdls(&mut framework).unwrap();
 
-    let native: [(&str, &str, Vec<u8>); 8] = [
+    let native: [(&str, &str, Vec<u8>); 10] = [
         ("SLP", "mdl_slp_srvrqst.hex", {
             slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(0x1234, SLP_TYPE)))
         }),
@@ -177,6 +197,17 @@ fn mdl_composed_wire_is_golden() {
                 "http://10.0.0.3:5000",
                 UPNP_TYPE,
             ))))
+        }),
+        ("WSD", "mdl_wsd_probe.hex", {
+            wsd::encode(&wsd::WsdMessage::Probe(wsd::WsdProbe::new(0x1234, WSD_TYPE)))
+        }),
+        ("WSD", "mdl_wsd_probe_match.hex", {
+            wsd::encode(&wsd::WsdMessage::ProbeMatch(wsd::WsdProbeMatch::new(
+                wsd::probe_uuid(0x9999),
+                wsd::probe_uuid(0x1234),
+                WSD_TYPE,
+                WSD_URL,
+            )))
         }),
     ];
 

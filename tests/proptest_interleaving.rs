@@ -47,7 +47,7 @@ proptest! {
     #[test]
     fn any_interleaving_order_keeps_sessions_isolated(
         seed in 0u64..10_000,
-        case_index in 0usize..6,
+        case_index in 0usize..12,
         offsets in prop::collection::vec(0u64..8_000, 2..10),
     ) {
         let case = BridgeCase::all()[case_index];
@@ -79,7 +79,7 @@ proptest! {
     #[test]
     fn any_sharded_layout_keeps_sessions_isolated(
         seed in 0u64..10_000,
-        case_index in 0usize..6,
+        case_index in 0usize..12,
         shards in 1usize..=8,
         clients in 2usize..16,
         wave in 1usize..12,
@@ -113,7 +113,7 @@ proptest! {
     #[test]
     fn any_impairment_profile_keeps_the_engine_live(
         seed in 0u64..10_000,
-        case_index in 0usize..6,
+        case_index in 0usize..12,
         offsets in prop::collection::vec(0u64..8_000, 2..8),
         impairments in arb_impairments(),
     ) {
@@ -149,7 +149,7 @@ proptest! {
     #[test]
     fn any_impairment_profile_and_shard_layout_keep_the_fleet_live(
         seed in 0u64..10_000,
-        case_index in 0usize..6,
+        case_index in 0usize..12,
         shards in 1usize..=4,
         clients in 2usize..12,
         impairments in arb_impairments(),

@@ -50,6 +50,7 @@ fn mdl_documents_roundtrip_through_model_export() {
         mdns::mdl_xml(),
         starlink::protocols::ssdp::mdl_xml(),
         starlink::protocols::http::mdl_xml(),
+        starlink::protocols::wsd::mdl_xml(),
     ] {
         let spec = load_mdl(xml).unwrap();
         let exported = mdl_to_xml(&spec);
@@ -59,7 +60,7 @@ fn mdl_documents_roundtrip_through_model_export() {
 
 #[test]
 fn bridge_documents_reload_for_all_cases() {
-    for case in bridges::BridgeCase::all() {
+    for &case in bridges::BridgeCase::all() {
         let merged = case.build("10.0.0.2");
         let xml = bridge_to_xml(&merged);
         let reloaded = load_bridge(&xml).unwrap();
