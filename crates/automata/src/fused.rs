@@ -1,0 +1,514 @@
+//! Compiled translation steps: the fused fast path's intermediate
+//! representation.
+//!
+//! The interpreted pipeline evaluates δ-transition [`Assignment`]s by
+//! walking [`ValueSource`] trees, looking functions up by name in the
+//! [`FunctionRegistry`] and shuttling [`Value`]s through a message
+//! store. [`compile_steps`] lowers the same assignments — once, at
+//! deployment — into [`FusedStep`]s over numbered record slots:
+//! sources become slot references or pre-folded literals, and function
+//! calls become [`FusedFn`] variants whose native implementations
+//! replicate the registry builtins bit-for-bit without allocating.
+//!
+//! The lowering is total or nothing: any construct without an exact
+//! allocation-free replica (multi-argument functions over non-literal
+//! arguments, nested field paths, non-scalar literals, unknown function
+//! names) fails compilation with a reason string, and the caller keeps
+//! that bridge on the interpreted path.
+
+use crate::translation::{Assignment, FunctionRegistry, ValueSource};
+use starlink_message::Value;
+
+/// A slot of one of the two source records a step can read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotRef {
+    /// A slot of the parsed request record.
+    Request(usize),
+    /// A slot of the parsed response record.
+    Response(usize),
+}
+
+/// A translation builtin with a native, allocation-free implementation.
+/// Each variant must produce exactly the bytes of its registry
+/// namesake; the equivalence tests in the core crate hold them to that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedFn {
+    /// `identity`.
+    Identity,
+    /// `to-text`.
+    ToText,
+    /// `to-integer`.
+    ToInteger,
+    /// `slp-to-dns-type`: `service:printer` → `_printer._tcp.local`.
+    SlpToDnsType,
+    /// `dns-to-slp-type`: `_printer._tcp.local` → `service:printer`.
+    DnsToSlpType,
+    /// `slp-to-wsd-type`: `service:printer` → `dn:printer`.
+    SlpToWsdType,
+    /// `wsd-to-slp-type`: `dn:printer` → `service:printer`.
+    WsdToSlpType,
+    /// `dns-to-wsd-type`: `_printer._tcp.local` → `dn:printer`.
+    DnsToWsdType,
+    /// `wsd-to-dns-type`: `dn:printer` → `_printer._tcp.local`.
+    WsdToDnsType,
+    /// `derive-uuid`: deterministic WS-Addressing `urn:uuid:...`.
+    DeriveUuid,
+    /// `uuid-to-id`: 16-bit transaction id hashed from any text.
+    UuidToId,
+}
+
+/// One function argument (or result), borrowed from a record or scratch
+/// buffer.
+#[derive(Debug, Clone, Copy)]
+pub enum FusedArg<'a> {
+    /// A numeric value.
+    Num(u64),
+    /// A text value.
+    Text(&'a str),
+}
+
+/// A [`FusedFn`] application result: numeric, or text written into the
+/// caller's scratch buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedOut {
+    /// The function produced this number.
+    Num(u64),
+    /// The function appended its text to the output buffer.
+    Text,
+}
+
+/// `Value::to_text` for a numeric argument without heap allocation:
+/// formats into a stack buffer and hands the digits to `f`.
+fn with_text<R>(arg: FusedArg<'_>, f: impl FnOnce(&str) -> R) -> R {
+    match arg {
+        FusedArg::Text(t) => f(t),
+        FusedArg::Num(mut v) => {
+            let mut buf = [0u8; 20];
+            let mut i = buf.len();
+            loop {
+                i -= 1;
+                buf[i] = b'0' + (v % 10) as u8;
+                v /= 10;
+                if v == 0 {
+                    break;
+                }
+            }
+            f(std::str::from_utf8(&buf[i..]).expect("decimal digits are UTF-8"))
+        }
+    }
+}
+
+/// `service_name_of` from the registry builtins, returning a borrowed
+/// slice instead of an owned string: `service:printer`, `dn:printer`
+/// and `_printer._tcp.local` all yield `printer`.
+fn service_name_of(text: &str) -> &str {
+    let text = text.trim();
+    let after_scheme = match text.split_once(':') {
+        Some((_, rest)) if !rest.is_empty() => rest,
+        _ => text,
+    };
+    let first = after_scheme.split(['.', ':']).next().unwrap_or(after_scheme);
+    first.strip_prefix('_').unwrap_or(first)
+}
+
+/// FNV-1a from an explicit offset basis (mirrors the registry builtin).
+fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Fills `slot` with `value` as lowercase hex, zero-padded to the slot
+/// length, high nibble first — `{:0N$x}` without the formatting
+/// machinery.
+fn hex_into(slot: &mut [u8], value: u64) {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    for (i, byte) in slot.iter_mut().rev().enumerate() {
+        *byte = DIGITS[((value >> (i * 4)) & 0xF) as usize];
+    }
+}
+
+impl FusedFn {
+    /// The fused replica of registry function `name`, when one exists.
+    pub fn from_name(name: &str) -> Option<FusedFn> {
+        Some(match name {
+            "identity" => FusedFn::Identity,
+            "to-text" => FusedFn::ToText,
+            "to-integer" => FusedFn::ToInteger,
+            "slp-to-dns-type" => FusedFn::SlpToDnsType,
+            "dns-to-slp-type" => FusedFn::DnsToSlpType,
+            "slp-to-wsd-type" => FusedFn::SlpToWsdType,
+            "wsd-to-slp-type" => FusedFn::WsdToSlpType,
+            "dns-to-wsd-type" => FusedFn::DnsToWsdType,
+            "wsd-to-dns-type" => FusedFn::WsdToDnsType,
+            "derive-uuid" => FusedFn::DeriveUuid,
+            "uuid-to-id" => FusedFn::UuidToId,
+            _ => return None,
+        })
+    }
+
+    /// Applies the function to `arg`, appending text output to `out`
+    /// (not cleared — callers segment the buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns the registry-equivalent failure reason (`to-integer` on
+    /// non-numeric text is the only fallible builtin here).
+    pub fn apply(&self, arg: FusedArg<'_>, out: &mut String) -> Result<FusedOut, String> {
+        match self {
+            FusedFn::Identity => match arg {
+                FusedArg::Num(v) => Ok(FusedOut::Num(v)),
+                FusedArg::Text(t) => {
+                    out.push_str(t);
+                    Ok(FusedOut::Text)
+                }
+            },
+            FusedFn::ToText => {
+                with_text(arg, |t| out.push_str(t));
+                Ok(FusedOut::Text)
+            }
+            FusedFn::ToInteger => with_text(arg, |t| {
+                t.trim()
+                    .parse::<u64>()
+                    .map(FusedOut::Num)
+                    .map_err(|_| format!("cannot parse {t:?} as integer"))
+            }),
+            FusedFn::SlpToDnsType => {
+                with_text(arg, |t| {
+                    let name = t.strip_prefix("service:").unwrap_or(t);
+                    let name = name.split(':').next().unwrap_or(name);
+                    out.push('_');
+                    out.push_str(name);
+                    out.push_str("._tcp.local");
+                });
+                Ok(FusedOut::Text)
+            }
+            FusedFn::DnsToSlpType => {
+                with_text(arg, |t| {
+                    let first = t.split('.').next().unwrap_or(t);
+                    let name = first.strip_prefix('_').unwrap_or(first);
+                    out.push_str("service:");
+                    out.push_str(name);
+                });
+                Ok(FusedOut::Text)
+            }
+            FusedFn::SlpToWsdType | FusedFn::DnsToWsdType => {
+                with_text(arg, |t| {
+                    out.push_str("dn:");
+                    out.push_str(service_name_of(t));
+                });
+                Ok(FusedOut::Text)
+            }
+            FusedFn::WsdToSlpType => {
+                with_text(arg, |t| {
+                    out.push_str("service:");
+                    out.push_str(service_name_of(t));
+                });
+                Ok(FusedOut::Text)
+            }
+            FusedFn::WsdToDnsType => {
+                with_text(arg, |t| {
+                    out.push('_');
+                    out.push_str(service_name_of(t));
+                    out.push_str("._tcp.local");
+                });
+                Ok(FusedOut::Text)
+            }
+            FusedFn::DeriveUuid => {
+                with_text(arg, |seed| {
+                    // Both FNV-1a passes in one sweep, and the hex
+                    // emitted by hand into a stack buffer: this runs
+                    // once per replayed duplicate on the wire-level
+                    // fast path, where `write!`'s formatting machinery
+                    // would dominate the whole hit. Groups and widths
+                    // match "urn:uuid:{:08x}-{:04x}-4{:03x}-8{:03x}-
+                    // {:012x}" over ((a>>32), (a>>16) as u16, a&0xFFF,
+                    // (b>>48)&0xFFF, b&0xFFFF_FFFF_FFFF) exactly.
+                    let (mut a, mut b) = (0xcbf2_9ce4_8422_2325u64, 0x6c62_272e_07bb_0142u64);
+                    for &byte in seed.as_bytes() {
+                        a = (a ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+                        b = (b ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+                    }
+                    let mut buf = *b"urn:uuid:00000000-0000-4000-8000-000000000000";
+                    hex_into(&mut buf[9..17], a >> 32);
+                    hex_into(&mut buf[18..22], (a >> 16) & 0xFFFF);
+                    hex_into(&mut buf[24..27], a & 0xFFF);
+                    hex_into(&mut buf[29..32], (b >> 48) & 0xFFF);
+                    hex_into(&mut buf[33..45], b & 0xFFFF_FFFF_FFFF);
+                    out.push_str(std::str::from_utf8(&buf).expect("hex is ASCII"));
+                });
+                Ok(FusedOut::Text)
+            }
+            FusedFn::UuidToId => Ok(FusedOut::Num(with_text(arg, |t| {
+                fnv1a(t.as_bytes(), 0xcbf2_9ce4_8422_2325) & 0xFFFF
+            }))),
+        }
+    }
+}
+
+/// A compiled value source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusedSource {
+    /// Copy a source-record slot.
+    Slot(SlotRef),
+    /// A pre-folded numeric constant.
+    LitNum(u64),
+    /// A pre-folded text constant.
+    LitText(String),
+    /// Apply a builtin to a nested source.
+    Apply(FusedFn, Box<FusedSource>),
+}
+
+/// One compiled assignment: evaluate `source`, write it into slot
+/// `target` of the outbound record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedStep {
+    /// Target slot in the outbound record.
+    pub target: usize,
+    /// Where the value comes from.
+    pub source: FusedSource,
+}
+
+fn fold_literal(value: Value) -> Result<FusedSource, String> {
+    match value {
+        Value::Unsigned(v) => Ok(FusedSource::LitNum(v)),
+        Value::Str(s) => Ok(FusedSource::LitText(s)),
+        other => Err(format!("literal {other:?} has no fused representation")),
+    }
+}
+
+fn compile_source(
+    source: &ValueSource,
+    resolve_source: &dyn Fn(&str, &str) -> Option<SlotRef>,
+    registry: &FunctionRegistry,
+) -> Result<FusedSource, String> {
+    match source {
+        ValueSource::Field { message, path, .. } => {
+            let [segment] = path.segments() else {
+                return Err(format!("nested field path {path} is not fusable"));
+            };
+            let label = segment.label.as_str();
+            resolve_source(message, label)
+                .map(FusedSource::Slot)
+                .ok_or_else(|| format!("unknown source field {message}.{label}"))
+        }
+        ValueSource::Literal(value) => fold_literal(value.clone()),
+        ValueSource::Function { name, args } => {
+            // Constant-fold through the real registry so folded values
+            // are exact by construction, whatever the function.
+            let literals: Option<Vec<Value>> = args
+                .iter()
+                .map(|a| match a {
+                    ValueSource::Literal(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect();
+            if let Some(literals) = literals {
+                let value = registry
+                    .apply(name, &literals)
+                    .map_err(|e| format!("constant fold of {name} failed: {e}"))?;
+                return fold_literal(value);
+            }
+            let [arg] = args.as_slice() else {
+                return Err(format!(
+                    "function {name} takes {} non-literal arguments; only unary \
+                     functions fuse",
+                    args.len()
+                ));
+            };
+            let function = FusedFn::from_name(name)
+                .ok_or_else(|| format!("function {name} has no fused replica"))?;
+            let inner = compile_source(arg, resolve_source, registry)?;
+            Ok(FusedSource::Apply(function, Box::new(inner)))
+        }
+    }
+}
+
+/// Lowers `assignments` (all of which must target `expected_message`)
+/// into fused steps. `resolve_target` maps a target field label to an
+/// outbound-record slot; `resolve_source` maps `(message, field)` to a
+/// source-record slot.
+///
+/// # Errors
+///
+/// Returns a human-readable reason when any assignment falls outside
+/// the fusable subset; the caller logs it and keeps the bridge
+/// interpreted.
+pub fn compile_steps(
+    assignments: &[Assignment],
+    expected_message: &str,
+    resolve_target: &dyn Fn(&str) -> Option<usize>,
+    resolve_source: &dyn Fn(&str, &str) -> Option<SlotRef>,
+    registry: &FunctionRegistry,
+) -> Result<Vec<FusedStep>, String> {
+    let mut steps = Vec::with_capacity(assignments.len());
+    for assignment in assignments {
+        if assignment.target_message != expected_message {
+            return Err(format!(
+                "assignment targets {:?}, expected {expected_message:?}",
+                assignment.target_message
+            ));
+        }
+        let [segment] = assignment.target_path.segments() else {
+            return Err(format!("nested target path {} is not fusable", assignment.target_path));
+        };
+        let label = segment.label.as_str();
+        // A target field absent from the outbound schema is a wire no-op
+        // on the interpreted path too: `set_or_insert` parks it in the
+        // message tree and the composer only walks schema fields. Skip
+        // it rather than failing the whole fusion.
+        let Some(target) = resolve_target(label) else {
+            continue;
+        };
+        let source = compile_source(&assignment.source, resolve_source, registry)?;
+        steps.push(FusedStep { target, source });
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every fused builtin must reproduce its registry namesake exactly.
+    #[test]
+    fn fused_builtins_match_registry() {
+        let registry = FunctionRegistry::with_builtins();
+        let cases: &[(&str, Value)] = &[
+            ("identity", Value::Str("service:printer".into())),
+            ("identity", Value::Unsigned(77)),
+            ("to-text", Value::Unsigned(65535)),
+            ("to-text", Value::Str("x".into())),
+            ("to-integer", Value::Str(" 42 ".into())),
+            ("slp-to-dns-type", Value::Str("service:printer".into())),
+            ("slp-to-dns-type", Value::Str("printer".into())),
+            ("dns-to-slp-type", Value::Str("_printer._tcp.local".into())),
+            ("slp-to-wsd-type", Value::Str("service:printer".into())),
+            ("wsd-to-slp-type", Value::Str("dn:printer".into())),
+            ("dns-to-wsd-type", Value::Str("_printer._tcp.local".into())),
+            ("wsd-to-dns-type", Value::Str("dn:printer".into())),
+            ("derive-uuid", Value::Str("service:printer#42".into())),
+            ("derive-uuid", Value::Unsigned(123456)),
+            ("uuid-to-id", Value::Str("urn:uuid:abc".into())),
+            ("uuid-to-id", Value::Unsigned(9)),
+        ];
+        for (name, input) in cases {
+            let expected = registry.apply(name, std::slice::from_ref(input)).unwrap();
+            let function = FusedFn::from_name(name).unwrap();
+            let arg = match input {
+                Value::Unsigned(v) => FusedArg::Num(*v),
+                Value::Str(s) => FusedArg::Text(s),
+                other => panic!("unexpected case input {other:?}"),
+            };
+            let mut out = String::new();
+            let got = function.apply(arg, &mut out).unwrap();
+            match (got, expected) {
+                (FusedOut::Num(v), Value::Unsigned(e)) => {
+                    assert_eq!(v, e, "{name}({input:?})")
+                }
+                (FusedOut::Text, Value::Str(e)) => assert_eq!(out, e, "{name}({input:?})"),
+                (got, expected) => {
+                    panic!("{name}({input:?}): fused {got:?}/{out:?} vs registry {expected:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn to_integer_failure_is_reported() {
+        let mut out = String::new();
+        assert!(FusedFn::ToInteger.apply(FusedArg::Text("abc"), &mut out).is_err());
+    }
+
+    #[test]
+    fn compile_folds_literals_and_resolves_slots() {
+        let registry = FunctionRegistry::with_builtins();
+        let assignments = vec![
+            Assignment::new(
+                "Out",
+                "QName",
+                ValueSource::function("slp-to-dns-type", vec![ValueSource::field("In", "SRVType")]),
+            ),
+            Assignment::new("Out", "QType", ValueSource::literal(Value::Unsigned(12))),
+            Assignment::new(
+                "Out",
+                "Tag",
+                ValueSource::function(
+                    "slp-to-dns-type",
+                    vec![ValueSource::literal(Value::Str("service:fax".into()))],
+                ),
+            ),
+        ];
+        let steps = compile_steps(
+            &assignments,
+            "Out",
+            &|label| ["QName", "QType", "Tag"].iter().position(|l| *l == label),
+            &|message, label| {
+                (message == "In" && label == "SRVType").then_some(SlotRef::Request(5))
+            },
+            &registry,
+        )
+        .unwrap();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(
+            steps[0].source,
+            FusedSource::Apply(
+                FusedFn::SlpToDnsType,
+                Box::new(FusedSource::Slot(SlotRef::Request(5)))
+            )
+        );
+        assert_eq!(steps[1].source, FusedSource::LitNum(12));
+        assert_eq!(steps[2].source, FusedSource::LitText("_fax._tcp.local".into()));
+    }
+
+    #[test]
+    fn unfusable_constructs_are_rejected_with_reasons() {
+        let registry = FunctionRegistry::with_builtins();
+        // Multi-argument function over non-literal arguments.
+        let err = compile_steps(
+            &[Assignment::new(
+                "Out",
+                "URL",
+                ValueSource::function(
+                    "concat",
+                    vec![ValueSource::field("In", "A"), ValueSource::field("In", "B")],
+                ),
+            )],
+            "Out",
+            &|_| Some(0),
+            &|_, _| Some(SlotRef::Request(0)),
+            &registry,
+        )
+        .unwrap_err();
+        assert!(err.contains("concat"), "{err}");
+
+        // Unknown function name.
+        let err = compile_steps(
+            &[Assignment::new(
+                "Out",
+                "X",
+                ValueSource::function("set_host", vec![ValueSource::field("In", "A")]),
+            )],
+            "Out",
+            &|_| Some(0),
+            &|_, _| Some(SlotRef::Request(0)),
+            &registry,
+        )
+        .unwrap_err();
+        assert!(err.contains("no fused replica"), "{err}");
+
+        // Assignment to a different message.
+        let err = compile_steps(
+            &[Assignment::new("Other", "X", ValueSource::literal(Value::Unsigned(1)))],
+            "Out",
+            &|_| Some(0),
+            &|_, _| None,
+            &registry,
+        )
+        .unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+    }
+}

@@ -67,6 +67,7 @@ mod dot;
 mod equivalence;
 mod error;
 mod execution;
+mod fused;
 mod merge;
 mod translation;
 mod xml_load;
@@ -80,6 +81,7 @@ pub use equivalence::{
 };
 pub use error::{AutomataError, Result};
 pub use execution::{Execution, HistoryEntry, StepOutcome};
+pub use fused::{compile_steps, FusedArg, FusedFn, FusedOut, FusedSource, FusedStep, SlotRef};
 pub use merge::{
     Delta, DeltaTransition, GlobalState, MergeReport, MergedAutomaton, MergedAutomatonBuilder,
     PartId,

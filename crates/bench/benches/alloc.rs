@@ -8,8 +8,10 @@
 //! Run with `cargo bench -p starlink-bench --bench alloc`. Set
 //! `ALLOC_BENCH_JSON=<path>` to also write the counts as JSON.
 
+use starlink_core::{EngineConfig, Starlink};
 use starlink_mdl::{load_mdl, MdlCodec};
-use starlink_protocols::{mdns, slp, ssdp};
+use starlink_protocols::bridges::{self, BridgeCase, Family};
+use starlink_protocols::{mdns, slp, ssdp, wsd};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -85,10 +87,75 @@ fn census(label: &'static str, codec: &MdlCodec, wire: &[u8]) -> Census {
     }
 }
 
+/// One fused bridged exchange (forward + backward probe) per case —
+/// the paths the tentpole claims are allocation-free at steady state.
+struct FusedCensus {
+    case: BridgeCase,
+    roundtrip: u64,
+}
+
+fn native_request(family: Family) -> Vec<u8> {
+    match family {
+        Family::Slp => {
+            slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(7, "service:printer")))
+        }
+        Family::Bonjour => mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(
+            7,
+            "_printer._tcp.local",
+        )))
+        .unwrap(),
+        Family::Wsd => wsd::encode(&wsd::WsdMessage::Probe(wsd::WsdProbe::new(7, "dn:printer"))),
+        Family::Upnp => unreachable!("no fusable case touches UPnP"),
+    }
+}
+
+fn native_response(family: Family) -> Vec<u8> {
+    let url = "service:printer://10.0.0.3:631";
+    match family {
+        Family::Slp => slp::encode(&slp::SlpMessage::SrvRply(slp::SrvRply::new(9, url))),
+        Family::Bonjour => mdns::encode(&mdns::DnsMessage::Response(mdns::DnsResponse::new(
+            9,
+            "_printer._tcp.local",
+            url,
+        )))
+        .unwrap(),
+        Family::Wsd => wsd::encode(&wsd::WsdMessage::ProbeMatch(wsd::WsdProbeMatch::new(
+            wsd::probe_uuid(9),
+            wsd::probe_uuid(7),
+            "dn:printer",
+            url,
+        ))),
+        Family::Upnp => unreachable!("no fusable case touches UPnP"),
+    }
+}
+
+fn fused_census(case: BridgeCase) -> FusedCensus {
+    const RUNS: u64 = 200;
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+    let config = EngineConfig {
+        correlator: Some(std::sync::Arc::new(bridges::default_correlator())),
+        ..EngineConfig::default()
+    };
+    let (mut engine, _) = framework.deploy_with(case.build("10.0.0.2"), config).unwrap();
+    assert!(engine.is_fused(), "case {} must fuse", case.number());
+    let request = native_request(case.source());
+    let response = native_response(case.target());
+    let mut query_buf = Vec::new();
+    let mut reply_buf = Vec::new();
+    let roundtrip = count_allocs(RUNS, || {
+        engine.fused_forward_probe(&request, &mut query_buf).unwrap();
+        engine.fused_backward_probe(&request, &response, &mut reply_buf).unwrap();
+        std::hint::black_box((&query_buf, &reply_buf));
+    });
+    FusedCensus { case, roundtrip }
+}
+
 fn main() {
     let slp_codec = MdlCodec::generate(load_mdl(slp::mdl_xml()).unwrap()).unwrap();
     let ssdp_codec = MdlCodec::generate(load_mdl(ssdp::mdl_xml()).unwrap()).unwrap();
     let dns_codec = MdlCodec::generate(load_mdl(mdns::mdl_xml()).unwrap()).unwrap();
+    let wsd_codec = MdlCodec::generate(load_mdl(wsd::mdl_xml()).unwrap()).unwrap();
 
     let slp_wire =
         slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(0xBEEF, "service:printer")));
@@ -98,11 +165,13 @@ fn main() {
     let dns_wire =
         mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(7, "_printer._tcp.local")))
             .unwrap();
+    let wsd_wire = wsd::encode(&wsd::WsdMessage::Probe(wsd::WsdProbe::new(7, "dn:printer")));
 
     let rows = [
         census("slp_binary", &slp_codec, &slp_wire),
         census("ssdp_text", &ssdp_codec, &ssdp_wire),
         census("dns_binary", &dns_codec, &dns_wire),
+        census("wsd_text", &wsd_codec, &wsd_wire),
     ];
 
     println!("allocator calls per message (mean of 200 runs):");
@@ -111,11 +180,26 @@ fn main() {
         println!("{:<12} {:>7} {:>9} {:>11}", row.label, row.parse, row.compose, row.roundtrip);
     }
 
+    let fused_rows: Vec<FusedCensus> =
+        BridgeCase::all().iter().filter(|c| c.fusable()).map(|&case| fused_census(case)).collect();
+
+    println!();
+    println!("fused bridge translation, allocator calls per full exchange (mean of 200 runs):");
+    println!("{:<24} {:>9}", "case", "roundtrip");
+    for row in &fused_rows {
+        println!(
+            "case{:<2} {:<17} {:>9}",
+            row.case.number(),
+            row.case.name().replace(' ', "_"),
+            row.roundtrip
+        );
+    }
+
     if let Ok(path) = std::env::var("ALLOC_BENCH_JSON") {
-        let mut out = String::from("[\n");
+        let mut out = String::from("{\n  \"codecs\": [\n");
         for (i, row) in rows.iter().enumerate() {
             out.push_str(&format!(
-                "  {{\"codec\": \"{}\", \"parse_allocs\": {}, \"compose_allocs\": {}, \
+                "    {{\"codec\": \"{}\", \"parse_allocs\": {}, \"compose_allocs\": {}, \
                  \"roundtrip_allocs\": {}}}{}\n",
                 row.label,
                 row.parse,
@@ -124,7 +208,17 @@ fn main() {
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }
-        out.push_str("]\n");
+        out.push_str("  ],\n  \"fused_translation\": [\n");
+        for (i, row) in fused_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"case\": {}, \"name\": \"{}\", \"roundtrip_allocs\": {}}}{}\n",
+                row.case.number(),
+                row.case.name(),
+                row.roundtrip,
+                if i + 1 == fused_rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
         std::fs::write(&path, out).expect("write alloc census JSON");
         eprintln!("alloc bench: wrote {path}");
     }

@@ -5,13 +5,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use starlink_mdl::{load_mdl, MdlCodec};
-use starlink_protocols::{mdns, slp, ssdp};
+use starlink_protocols::{mdns, slp, ssdp, wsd};
 use std::hint::black_box;
 
 fn bench_codecs(c: &mut Criterion) {
     let slp_codec = MdlCodec::generate(load_mdl(slp::mdl_xml()).unwrap()).unwrap();
     let ssdp_codec = MdlCodec::generate(load_mdl(ssdp::mdl_xml()).unwrap()).unwrap();
     let dns_codec = MdlCodec::generate(load_mdl(mdns::mdl_xml()).unwrap()).unwrap();
+    let wsd_codec = MdlCodec::generate(load_mdl(wsd::mdl_xml()).unwrap()).unwrap();
 
     let slp_wire =
         slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(0xBEEF, "service:printer")));
@@ -21,6 +22,7 @@ fn bench_codecs(c: &mut Criterion) {
     let dns_wire =
         mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(7, "_printer._tcp.local")))
             .unwrap();
+    let wsd_wire = wsd::encode(&wsd::WsdMessage::Probe(wsd::WsdProbe::new(7, "dn:printer")));
 
     let mut group = c.benchmark_group("parse");
     group.bench_function("slp_mdl_binary", |b| {
@@ -36,16 +38,24 @@ fn bench_codecs(c: &mut Criterion) {
         b.iter(|| dns_codec.parse(black_box(&dns_wire)).unwrap())
     });
     group.bench_function("dns_native", |b| b.iter(|| mdns::decode(black_box(&dns_wire)).unwrap()));
+    group.bench_function("wsd_mdl_text", |b| {
+        b.iter(|| wsd_codec.parse(black_box(&wsd_wire)).unwrap())
+    });
+    group.bench_function("wsd_native", |b| b.iter(|| wsd::decode(black_box(&wsd_wire)).unwrap()));
     group.finish();
 
     let slp_msg = slp_codec.parse(&slp_wire).unwrap();
     let ssdp_msg = ssdp_codec.parse(&ssdp_wire).unwrap();
+    let wsd_msg = wsd_codec.parse(&wsd_wire).unwrap();
     let mut group = c.benchmark_group("compose");
     group.bench_function("slp_mdl_binary", |b| {
         b.iter(|| slp_codec.compose(black_box(&slp_msg)).unwrap())
     });
     group.bench_function("ssdp_mdl_text", |b| {
         b.iter(|| ssdp_codec.compose(black_box(&ssdp_msg)).unwrap())
+    });
+    group.bench_function("wsd_mdl_text", |b| {
+        b.iter(|| wsd_codec.compose(black_box(&wsd_msg)).unwrap())
     });
     group.finish();
 }

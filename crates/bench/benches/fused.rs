@@ -1,0 +1,220 @@
+//! Criterion microbench: the fused parse→translate→compose fast path
+//! against the interpreted translation it replaces, per fusable
+//! [`BridgeCase`].
+//!
+//! The fused side measures [`BridgeEngine::fused_forward_probe`] +
+//! [`BridgeEngine::fused_backward_probe`] — the exact per-message kernel
+//! the deployed engine runs (flat slot parse, precompiled assignment
+//! steps, slot compose), minus only the network emit. The interpreted
+//! side replays the same data path through the generic machinery:
+//! MDL parse into a `Message` tree, `apply_assignments` with by-name
+//! field paths and registry function lookups, tree compose. The
+//! interpreted kernel here is *favorable* to the baseline — it skips
+//! the execution-automaton stepping and session bookkeeping the real
+//! interpreted engine also pays — so the reported speedup is a floor.
+//!
+//! `roundtrip` = one full bridged exchange worth of translation work:
+//! request leg (parse query, forward steps, compose outbound query) +
+//! response leg (parse reply, backward steps, compose legacy reply).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_automata::{apply_assignments, Assignment, FunctionRegistry, MessageStore};
+use starlink_core::{BridgeEngine, EngineConfig, Starlink};
+use starlink_mdl::{load_mdl, MdlCodec};
+use starlink_message::AbstractMessage;
+use starlink_protocols::{
+    bridges::{self, BridgeCase, Family},
+    mdns, slp, wsd,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const BRIDGE: &str = "10.0.0.2";
+const URL: &str = "service:printer://10.0.0.3:631";
+
+fn request_wire(family: Family) -> Vec<u8> {
+    match family {
+        Family::Slp => {
+            slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(7, "service:printer")))
+        }
+        Family::Bonjour => mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(
+            7,
+            "_printer._tcp.local",
+        )))
+        .expect("question encodes"),
+        Family::Wsd => wsd::encode(&wsd::WsdMessage::Probe(wsd::WsdProbe::new(7, "dn:printer"))),
+        Family::Upnp => unreachable!("no fusable case touches UPnP"),
+    }
+}
+
+fn response_wire(family: Family) -> Vec<u8> {
+    match family {
+        Family::Slp => slp::encode(&slp::SlpMessage::SrvRply(slp::SrvRply::new(9, URL))),
+        Family::Bonjour => mdns::encode(&mdns::DnsMessage::Response(mdns::DnsResponse::new(
+            9,
+            "_printer._tcp.local",
+            URL,
+        )))
+        .expect("response encodes"),
+        Family::Wsd => wsd::encode(&wsd::WsdMessage::ProbeMatch(wsd::WsdProbeMatch::new(
+            wsd::probe_uuid(9),
+            wsd::probe_uuid(7),
+            "dn:printer",
+            URL,
+        ))),
+        Family::Upnp => unreachable!("no fusable case touches UPnP"),
+    }
+}
+
+fn codec_for(family: Family) -> MdlCodec {
+    let xml = match family {
+        Family::Slp => slp::mdl_xml(),
+        Family::Bonjour => mdns::mdl_xml(),
+        Family::Wsd => wsd::mdl_xml(),
+        Family::Upnp => unreachable!("no fusable case touches UPnP"),
+    };
+    MdlCodec::generate(load_mdl(xml).expect("mdl loads")).expect("codec generates")
+}
+
+/// The MDL protocol name of a family's automaton part (Bonjour's
+/// automaton speaks `DNS`).
+fn protocol_name(family: Family) -> &'static str {
+    match family {
+        Family::Slp => "SLP",
+        Family::Bonjour => "DNS",
+        Family::Wsd => "WSD",
+        Family::Upnp => unreachable!("no fusable case touches UPnP"),
+    }
+}
+
+/// A fused engine deployed for `case` (panics if the case does not
+/// actually fuse — the bench is only meaningful on the fast path).
+fn fused_engine(case: BridgeCase) -> BridgeEngine {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).expect("models load");
+    let config = EngineConfig {
+        correlator: Some(Arc::new(bridges::default_correlator())),
+        ..EngineConfig::default()
+    };
+    let (engine, _) = framework.deploy_with(case.build(BRIDGE), config).expect("deploys");
+    assert!(
+        engine.is_fused(),
+        "case {} did not fuse: {:?}",
+        case.number(),
+        engine.fused_reject_reason()
+    );
+    engine
+}
+
+/// The interpreted translation data path rebuilt from the public model
+/// APIs: tree parse, by-name assignments, tree compose.
+struct InterpretedKernel {
+    src_codec: MdlCodec,
+    tgt_codec: MdlCodec,
+    forward: Vec<Assignment>,
+    backward: Vec<Assignment>,
+    req_out: String,
+    resp_out: String,
+    blank_req_out: AbstractMessage,
+    blank_resp_out: AbstractMessage,
+    registry: FunctionRegistry,
+}
+
+impl InterpretedKernel {
+    fn new(case: BridgeCase) -> Self {
+        let merged = case.build(BRIDGE);
+        let src_codec = codec_for(case.source());
+        let tgt_codec = codec_for(case.target());
+        let target_protocol = protocol_name(case.target());
+        let mut forward = Vec::new();
+        let mut backward = Vec::new();
+        for delta in merged.deltas() {
+            let to_part = merged.part(delta.to.part).expect("delta part exists");
+            if to_part.protocol() == target_protocol {
+                forward = delta.assignments.clone();
+            } else {
+                backward = delta.assignments.clone();
+            }
+        }
+        assert!(!forward.is_empty() && !backward.is_empty(), "both δs carry assignments");
+        let req_out = forward[0].target_message.clone();
+        let resp_out = backward[0].target_message.clone();
+        let blank_req_out = tgt_codec.schema(&req_out).expect("request-out schema").instantiate();
+        let blank_resp_out =
+            src_codec.schema(&resp_out).expect("response-out schema").instantiate();
+        InterpretedKernel {
+            src_codec,
+            tgt_codec,
+            forward,
+            backward,
+            req_out,
+            resp_out,
+            blank_req_out,
+            blank_resp_out,
+            registry: FunctionRegistry::with_builtins(),
+        }
+    }
+
+    fn forward(&self, wire: &[u8], buf: &mut Vec<u8>) {
+        let request = self.src_codec.parse(wire).expect("request parses");
+        let mut store = MessageStore::new();
+        store.insert(request);
+        store.insert(self.blank_req_out.clone());
+        apply_assignments(&self.forward, &mut store, &self.registry).expect("forward applies");
+        let out = store.get(&self.req_out).expect("request-out present");
+        self.tgt_codec.compose_into(out, buf).expect("request-out composes");
+    }
+
+    fn backward(&self, request_wire: &[u8], response_wire: &[u8], buf: &mut Vec<u8>) {
+        let request = self.src_codec.parse(request_wire).expect("request parses");
+        let response = self.tgt_codec.parse(response_wire).expect("response parses");
+        let mut store = MessageStore::new();
+        store.insert(request);
+        store.insert(response);
+        store.insert(self.blank_resp_out.clone());
+        apply_assignments(&self.backward, &mut store, &self.registry).expect("backward applies");
+        let out = store.get(&self.resp_out).expect("response-out present");
+        self.src_codec.compose_into(out, buf).expect("response-out composes");
+    }
+}
+
+fn bench_fused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_vs_interpreted");
+    for &case in BridgeCase::all().iter().filter(|c| c.fusable()) {
+        let request = request_wire(case.source());
+        let response = response_wire(case.target());
+        let label = case.name().replace(' ', "_");
+
+        let mut engine = fused_engine(case);
+        let mut query_buf = Vec::new();
+        let mut reply_buf = Vec::new();
+        group.bench_function(format!("case{}_{label}_fused", case.number()), |b| {
+            b.iter(|| {
+                engine
+                    .fused_forward_probe(black_box(&request), &mut query_buf)
+                    .expect("forward probe");
+                engine
+                    .fused_backward_probe(black_box(&request), black_box(&response), &mut reply_buf)
+                    .expect("backward probe");
+                black_box((&query_buf, &reply_buf));
+            })
+        });
+
+        let kernel = InterpretedKernel::new(case);
+        group.bench_function(format!("case{}_{label}_interpreted", case.number()), |b| {
+            b.iter(|| {
+                kernel.forward(black_box(&request), &mut query_buf);
+                kernel.backward(black_box(&request), black_box(&response), &mut reply_buf);
+                black_box((&query_buf, &reply_buf));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fused
+}
+criterion_main!(benches);

@@ -21,10 +21,155 @@
 //! single-core CI container's flat curve is not misread as a runtime
 //! regression.
 
-use starlink_bench::{run_sharded_mixed, ShardedRun, ShardedWorkload};
+use starlink_bench::{run_sharded_case, run_sharded_mixed, ShardedRun, ShardedWorkload};
+use starlink_core::{EngineConfig, Starlink};
+use starlink_net::SimDuration;
+use starlink_protocols::bridges::{self, BridgeCase, Family};
+use starlink_protocols::{mdns, slp, wsd};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One fusable case under a duplicate-query flood: cache-on vs
+/// cache-off system runs plus the kernel-level hit-vs-full cost ratio.
+struct FloodSample {
+    case: BridgeCase,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    hit_rate: f64,
+    on_sessions_per_sec: f64,
+    off_sessions_per_sec: f64,
+    hit_ns: u64,
+    full_ns: u64,
+}
+
+impl FloodSample {
+    /// Cache-hit kernel cost as a fraction of a full fused translation.
+    fn hit_cost_ratio(&self) -> f64 {
+        self.hit_ns as f64 / (self.full_ns as f64).max(1.0)
+    }
+}
+
+fn flood_request(family: Family) -> Vec<u8> {
+    match family {
+        Family::Slp => {
+            slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(7, "service:printer")))
+        }
+        Family::Bonjour => mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(
+            7,
+            "_printer._tcp.local",
+        )))
+        .expect("question encodes"),
+        Family::Wsd => wsd::encode(&wsd::WsdMessage::Probe(wsd::WsdProbe::new(7, "dn:printer"))),
+        Family::Upnp => unreachable!("no fusable case touches UPnP"),
+    }
+}
+
+fn flood_response(family: Family) -> Vec<u8> {
+    let url = "service:printer://10.0.0.3:631";
+    match family {
+        Family::Slp => slp::encode(&slp::SlpMessage::SrvRply(slp::SrvRply::new(9, url))),
+        Family::Bonjour => mdns::encode(&mdns::DnsMessage::Response(mdns::DnsResponse::new(
+            9,
+            "_printer._tcp.local",
+            url,
+        )))
+        .expect("response encodes"),
+        Family::Wsd => wsd::encode(&wsd::WsdMessage::ProbeMatch(wsd::WsdProbeMatch::new(
+            wsd::probe_uuid(9),
+            wsd::probe_uuid(7),
+            "dn:printer",
+            url,
+        ))),
+        Family::Upnp => unreachable!("no fusable case touches UPnP"),
+    }
+}
+
+/// Median wall-clock nanoseconds of `f` over `reps` timed runs (after
+/// a handful of warm-ups).
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    for _ in 0..16 {
+        f();
+    }
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Kernel-level cost of serving one duplicate query from the answer
+/// cache vs one full fused forward+backward translation, via the
+/// engine's probe API (same scratch, same cache, no networking).
+fn kernel_hit_vs_full(case: BridgeCase) -> (u64, u64) {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).expect("models load");
+    let config = EngineConfig {
+        correlator: Some(std::sync::Arc::new(bridges::default_correlator())),
+        answer_ttl: Some(SimDuration::from_secs(60)),
+        ..EngineConfig::default()
+    };
+    let (mut engine, _) = framework.deploy_with(case.build("10.0.0.2"), config).expect("deploys");
+    assert!(engine.is_fused(), "case {} must fuse", case.number());
+    let request = flood_request(case.source());
+    let response = flood_response(case.target());
+    engine.fused_cache_seed_probe(&request, &response).expect("cache seeds");
+    let mut reply = Vec::new();
+    let hit_ns = median_ns(501, || {
+        engine.fused_cache_hit_probe(&request, &mut reply).expect("hit probe");
+        std::hint::black_box(&reply);
+    });
+    let mut query = Vec::new();
+    let full_ns = median_ns(501, || {
+        engine.fused_forward_probe(&request, &mut query).expect("forward probe");
+        engine.fused_backward_probe(&request, &response, &mut reply).expect("backward probe");
+        std::hint::black_box((&query, &reply));
+    });
+    (hit_ns, full_ns)
+}
+
+/// Floods one fusable case with duplicate queries (small waves, so
+/// later queries arrive after the first legacy answer is cached) with
+/// the answer cache on, then repeats the identical workload with the
+/// cache off for the sessions/sec contrast.
+fn flood(case: BridgeCase, clients: usize, wave: usize, shards: usize) -> FloodSample {
+    let run_with = |answer_ttl: Option<SimDuration>| -> ShardedRun {
+        let mut workload = ShardedWorkload::new(shards, clients).saturating();
+        workload.wave = wave;
+        workload.seed = 0xF10D;
+        workload.correlated = true;
+        workload.answer_ttl = answer_ttl;
+        let run = run_sharded_case(case, workload);
+        run.assert_isolated();
+        run
+    };
+    let on = run_with(Some(SimDuration::from_secs(60)));
+    let off = run_with(None);
+    let cache = on.stats.cache();
+    let off_cache = off.stats.cache();
+    assert_eq!(
+        (off_cache.hits, off_cache.misses, off_cache.insertions),
+        (0, 0, 0),
+        "cache-off run must not touch the cache"
+    );
+    let (hit_ns, full_ns) = kernel_hit_vs_full(case);
+    FloodSample {
+        case,
+        hits: cache.hits,
+        misses: cache.misses,
+        insertions: cache.insertions,
+        hit_rate: cache.hit_rate(),
+        on_sessions_per_sec: on.sessions_per_sec(),
+        off_sessions_per_sec: off.sessions_per_sec(),
+        hit_ns,
+        full_ns,
+    }
 }
 
 struct MixedSample {
@@ -109,6 +254,48 @@ fn main() {
         );
     }
 
+    let flood_clients = env_usize("THROUGHPUT_FLOOD_CLIENTS", 64);
+    let flood_wave = env_usize("THROUGHPUT_FLOOD_WAVE", 4);
+    println!();
+    println!(
+        "duplicate-query flood (fusable cases, {flood_clients} identical queries in waves of \
+         {flood_wave}, answer cache 60s TTL vs off):"
+    );
+    println!(
+        "{:<24} {:>5} {:>6} {:>7} {:>9} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "case",
+        "hits",
+        "misses",
+        "hit%",
+        "inserted",
+        "on sess/s",
+        "off sess/s",
+        "hit ns",
+        "full ns",
+        "hit cost"
+    );
+    let floods: Vec<FloodSample> = BridgeCase::all()
+        .iter()
+        .filter(|c| c.fusable())
+        .map(|&case| flood(case, flood_clients, flood_wave, 1))
+        .collect();
+    for sample in &floods {
+        println!(
+            "case{:<2} {:<17} {:>5} {:>6} {:>6.1}% {:>9} {:>12.0} {:>12.0} {:>9} {:>9} {:>8.1}%",
+            sample.case.number(),
+            sample.case.name().replace(' ', "_"),
+            sample.hits,
+            sample.misses,
+            sample.hit_rate * 100.0,
+            sample.insertions,
+            sample.on_sessions_per_sec,
+            sample.off_sessions_per_sec,
+            sample.hit_ns,
+            sample.full_ns,
+            sample.hit_cost_ratio() * 100.0,
+        );
+    }
+
     if let Ok(path) = std::env::var("THROUGHPUT_BENCH_JSON") {
         let mut out = String::from("{\n");
         out.push_str(
@@ -146,7 +333,35 @@ fn main() {
             }
             out.push_str(&format!("    ]}}{}\n", if i + 1 == samples.len() { "" } else { "," }));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"duplicate_query_flood\": {{\"clients\": {flood_clients}, \"wave\": \
+             {flood_wave}, \"answer_ttl_ms\": 60000, \"note\": \"Identical queries flood one \
+             shard in small waves, so queries after the first completed exchange find the \
+             answer cached. hit/full ns are kernel medians via the engine probe API; \
+             hit_cost_pct is the cache-hit share of a full fused translation.\", \"cases\": [\n"
+        ));
+        for (i, sample) in floods.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"case\": {}, \"name\": \"{}\", \"hits\": {}, \"misses\": {}, \
+                 \"insertions\": {}, \"hit_rate_pct\": {:.1}, \"cache_on_sessions_per_sec\": \
+                 {:.0}, \"cache_off_sessions_per_sec\": {:.0}, \"hit_median_ns\": {}, \
+                 \"full_translation_median_ns\": {}, \"hit_cost_pct\": {:.1}}}{}\n",
+                sample.case.number(),
+                sample.case.name(),
+                sample.hits,
+                sample.misses,
+                sample.insertions,
+                sample.hit_rate * 100.0,
+                sample.on_sessions_per_sec,
+                sample.off_sessions_per_sec,
+                sample.hit_ns,
+                sample.full_ns,
+                sample.hit_cost_ratio() * 100.0,
+                if i + 1 == floods.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]}\n}\n");
         match std::fs::write(&path, out) {
             Ok(()) => eprintln!("throughput bench: wrote {path}"),
             Err(err) => eprintln!("throughput bench: cannot write {path}: {err}"),

@@ -15,6 +15,7 @@
 //! dispatch-boundary log.
 
 use crate::{expected_discovery_url, run_sharded_case, ShardedRun, ShardedWorkload};
+use starlink_core::CacheStats;
 use starlink_net::{Impairments, SimDuration, SimTime};
 use starlink_protocols::bridges::BridgeCase;
 
@@ -158,6 +159,19 @@ pub fn run_chaos_cell(cell: ChaosCell, profile: &ChaosProfile) -> ShardedRun {
     workload.idle_timeout = CHAOS_IDLE_TIMEOUT;
     workload.virtual_horizon = Some(chaos_horizon(cell.clients, wave));
     workload.log_boundary = true;
+    // On fusable cases the answer cache runs in every cell, under
+    // every impairment profile: all clients of a cell ask for the same
+    // service, so once one exchange completes the rest are duplicate
+    // queries — exactly the traffic whose cached replies must still
+    // obey drops, corruption and partitions. Correlated routing is
+    // what lets the cache key normalize transaction ids out; the
+    // UPnP-chain cases have no transaction id to correlate on and stay
+    // on address routing with the cache off (the contract checks their
+    // counters stay zero).
+    if cell.case.fusable() {
+        workload.correlated = true;
+        workload.answer_ttl = Some(cell.case.answer_ttl(&workload.calibration));
+    }
     run_sharded_case(cell.case, workload)
 }
 
@@ -180,11 +194,26 @@ pub fn deterministic_digest(run: &ShardedRun) -> String {
         "gauge started {} completed {} failed {} expired {} active {}\n",
         c.started, c.completed, c.failed, c.expired, c.active
     ));
+    let cache = run.stats.cache();
+    out.push_str(&format!(
+        "cache hits {} misses {} insertions {} expirations {}\n",
+        cache.hits, cache.misses, cache.insertions, cache.expirations
+    ));
     for shard in 0..run.stats.shard_count() {
         let s = run.stats.shard(shard).concurrency();
+        let sc = run.stats.shard(shard).cache();
         out.push_str(&format!(
-            "shard {shard} started {} completed {} failed {} expired {} active {}\n",
-            s.started, s.completed, s.failed, s.expired, s.active
+            "shard {shard} started {} completed {} failed {} expired {} active {} \
+             cache {}/{}/{}/{}\n",
+            s.started,
+            s.completed,
+            s.failed,
+            s.expired,
+            s.active,
+            sc.hits,
+            sc.misses,
+            sc.insertions,
+            sc.expirations
         ));
     }
     for error in run.stats.errors() {
@@ -226,7 +255,11 @@ pub fn check_liveness_contract(run: &ShardedRun, profile: &ChaosProfile) -> Vec<
         ));
     }
 
-    // 2. Per-shard stats internally consistent.
+    // 2. Per-shard stats internally consistent, answer-cache counters
+    //    included: hits and insertions never exceed completed sessions,
+    //    only inserted entries expire, and a non-fusable case records
+    //    no cache traffic at all.
+    let mut cache_sum = CacheStats::default();
     for shard in 0..run.stats.shard_count() {
         let stats = run.stats.shard(shard);
         let c = stats.concurrency();
@@ -243,10 +276,42 @@ pub fn check_liveness_contract(run: &ShardedRun, profile: &ChaosProfile) -> Vec<
                 c.completed
             ));
         }
+        let cache = stats.cache();
+        cache_sum.merge(&cache);
+        if cache.hits > c.completed {
+            violations.push(format!(
+                "shard {shard}: {} cache hits exceed {} completed sessions",
+                cache.hits, c.completed
+            ));
+        }
+        if cache.insertions > c.completed {
+            violations.push(format!(
+                "shard {shard}: {} cache insertions exceed {} completed sessions",
+                cache.insertions, c.completed
+            ));
+        }
+        if cache.expirations > cache.insertions {
+            violations.push(format!(
+                "shard {shard}: {} cache expirations exceed {} insertions",
+                cache.expirations, cache.insertions
+            ));
+        }
+        if !run.case.fusable() && cache != CacheStats::default() {
+            violations.push(format!(
+                "shard {shard}: cache counters {cache:?} on non-fusable case {}",
+                run.case.number()
+            ));
+        }
     }
     let merged = run.stats.merged().concurrency();
     if !merged.is_balanced() {
         violations.push(format!("merged shard counters unbalanced: {merged:?}"));
+    }
+    let fleet_cache = run.stats.cache();
+    if fleet_cache != cache_sum {
+        violations.push(format!(
+            "fleet cache counters {fleet_cache:?} disagree with per-shard sum {cache_sum:?}"
+        ));
     }
 
     // 3. Every client that observed a decoded reply maps onto a

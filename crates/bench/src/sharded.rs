@@ -69,6 +69,17 @@ pub struct ShardedWorkload {
     /// dispatch boundary (virtual timestamps only): the evidence chaos
     /// failure dumps and determinism tests compare.
     pub log_boundary: bool,
+    /// Install the case-study [`bridges::default_correlator`] so
+    /// sessions key on protocol transaction ids (required for the
+    /// answer cache to normalize ids out of its keys).
+    pub correlated: bool,
+    /// Enable the shard-local answer cache with this TTL: duplicate
+    /// queries (same fields modulo transaction id) are served from the
+    /// shard's cache without re-translating.
+    pub answer_ttl: Option<SimDuration>,
+    /// Pin the engines to the interpreted path even when the case
+    /// would fuse — the baseline side of fused-vs-interpreted runs.
+    pub force_interpreted: bool,
 }
 
 impl ShardedWorkload {
@@ -87,6 +98,9 @@ impl ShardedWorkload {
             idle_timeout: SimDuration::from_secs(30),
             virtual_horizon: None,
             log_boundary: false,
+            correlated: false,
+            answer_ttl: None,
+            force_interpreted: false,
         }
     }
 
@@ -279,7 +293,14 @@ fn parse_location(location: &str) -> (String, u16) {
 pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedRun {
     let mut framework = Starlink::new();
     bridges::load_all_mdls(&mut framework).expect("models load");
-    let config = EngineConfig { idle_timeout: workload.idle_timeout, ..EngineConfig::default() };
+    let config = EngineConfig {
+        idle_timeout: workload.idle_timeout,
+        correlator: workload
+            .correlated
+            .then(|| std::sync::Arc::new(bridges::default_correlator()) as _),
+        answer_ttl: workload.answer_ttl,
+        force_interpreted: workload.force_interpreted,
+    };
     let (engines, stats) = framework
         .deploy_sharded(case.build(BRIDGE), config, workload.shards)
         .expect("sharded bridge deploys");

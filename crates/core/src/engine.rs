@@ -41,13 +41,14 @@
 //! scratch buffer — it allocates only what the network layer must own.
 
 use crate::error::{CoreError, Result};
+use crate::fused::{correlation_id, FusedPlan, ReplayEcho};
 use crate::stats::BridgeStats;
 use fxhash::FxHashMap;
 use starlink_automata::{
-    Action, Execution, FunctionRegistry, GlobalState, MergedAutomaton, PartId, ResolvedAction,
-    StateId, StepOutcome, Transport,
+    Action, Execution, FunctionRegistry, FusedArg, FusedOut, GlobalState, MergedAutomaton, PartId,
+    ResolvedAction, StateId, StepOutcome, Transport,
 };
-use starlink_mdl::MdlCodec;
+use starlink_mdl::{FlatRecord, MdlCodec};
 use starlink_message::AbstractMessage;
 use starlink_net::{
     Actor, ConnId, Context, Datagram, SimAddr, SimDuration, SimTime, TcpEvent, TimerId,
@@ -107,6 +108,16 @@ pub trait SessionCorrelator: Send + Sync {
         _protocol: &str,
         _message: &AbstractMessage,
     ) -> Option<SessionKey> {
+        None
+    }
+
+    /// The field instances of `message` carry their correlation id in,
+    /// when this correlator keys on a single field — the declarative
+    /// form of [`SessionCorrelator::inbound_key`] the fused fast path
+    /// compiles into a slot read. Correlators that derive keys any other
+    /// way return `None` (the default), which keeps their bridges on the
+    /// interpreted path where the procedural hooks run unchanged.
+    fn id_field(&self, _protocol: &str, _message: &str) -> Option<&str> {
         None
     }
 }
@@ -192,6 +203,10 @@ impl SessionCorrelator for FieldCorrelator {
     ) -> Option<SessionKey> {
         self.key_of(part, protocol, message)
     }
+
+    fn id_field(&self, protocol: &str, message: &str) -> Option<&str> {
+        self.message_fields.get(message).or_else(|| self.fields.get(protocol)).map(String::as_str)
+    }
 }
 
 /// Runtime policy of a deployed engine.
@@ -203,11 +218,26 @@ pub struct EngineConfig {
     pub idle_timeout: SimDuration,
     /// Optional protocol-level session correlation hook.
     pub correlator: Option<Arc<dyn SessionCorrelator>>,
+    /// Time-to-live of cached answers on the fused fast path. `None`
+    /// (the default) disables the answer cache; `Some(ttl)` lets a
+    /// fused bridge serve repeated equivalent queries from its
+    /// shard-local cache for `ttl` after the legacy response arrived.
+    /// Interpreted bridges ignore this.
+    pub answer_ttl: Option<SimDuration>,
+    /// Skips fused-plan compilation even for fusable bridges, pinning
+    /// the engine to the interpreted path (differential testing and
+    /// baseline benchmarks).
+    pub force_interpreted: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { idle_timeout: SimDuration::from_secs(30), correlator: None }
+        EngineConfig {
+            idle_timeout: SimDuration::from_secs(30),
+            correlator: None,
+            answer_ttl: None,
+            force_interpreted: false,
+        }
     }
 }
 
@@ -216,6 +246,8 @@ impl std::fmt::Debug for EngineConfig {
         f.debug_struct("EngineConfig")
             .field("idle_timeout", &self.idle_timeout)
             .field("correlator", &self.correlator.as_ref().map(|_| "<dyn>"))
+            .field("answer_ttl", &self.answer_ttl)
+            .field("force_interpreted", &self.force_interpreted)
             .finish()
     }
 }
@@ -276,6 +308,142 @@ enum Route {
     Fresh(SessionKey),
 }
 
+/// A cached answer on the fused fast path: the legacy service's parsed
+/// response, replayed through the backward translation steps for each
+/// equivalent query until it expires.
+#[derive(Debug)]
+struct CachedAnswer {
+    /// Canonical key bytes, compared on lookup so a 64-bit hash
+    /// collision degrades to a miss instead of a wrong answer.
+    key: Vec<u8>,
+    response: FlatRecord,
+    expires_at: SimTime,
+}
+
+/// One in-flight exchange on the fused fast path: the slot-record
+/// sibling of [`Session`], carrying just what the four-step relay needs.
+#[derive(Debug)]
+struct FusedSession {
+    started: SimTime,
+    last_activity: SimTime,
+    seq: u64,
+    /// The parsed request, kept to personalise the response (echoed
+    /// ids) and to key the answer cache.
+    request: FlatRecord,
+    /// The raw request wire, kept (only while the answer cache is on)
+    /// to build a [`ReplayTemplate`] when the response arrives.
+    request_wire: Vec<u8>,
+    /// The originator; the translated response goes back here.
+    reply_to: SimAddr,
+    aliases: Vec<SessionKey>,
+    timer: Option<(TimerId, u64)>,
+    cache_hash: Option<u64>,
+    cache_key: Vec<u8>,
+}
+
+/// Bound on cached answers per engine: a flood of *distinct* queries
+/// must not grow the cache without limit. At the cap, new answers are
+/// simply not cached (existing keys still refresh).
+const FUSED_CACHE_CAP: usize = 65_536;
+
+/// A wire-level replay template layered over one [`CachedAnswer`]: a
+/// duplicate query whose bytes match `request` everywhere outside
+/// `id_span` is answered by copying `reply` and re-personalising its
+/// id-dependent spans (`echoes`) from the incoming id bytes — no
+/// parse, no translation, no compose. Proven sound per exchange by
+/// [`FusedPlan::build_replay_parts`]; queries that miss every template
+/// (different length, different fields, a foreign encoder) fall
+/// through to the record-replay path, so a template is only ever a
+/// shortcut, never a behaviour change.
+#[derive(Debug)]
+struct ReplayTemplate {
+    request: Vec<u8>,
+    id_span: std::ops::Range<usize>,
+    reply: Vec<u8>,
+    echoes: Vec<ReplayEcho>,
+    /// The backing answer-cache entry; the template is dropped with it.
+    cache_hash: u64,
+    expires_at: SimTime,
+}
+
+impl ReplayTemplate {
+    /// Serves `incoming` into `out` when it matches this template;
+    /// leaves `out` unspecified and returns `false` otherwise.
+    fn replay_into(&self, incoming: &[u8], out: &mut Vec<u8>, scratch: &mut String) -> bool {
+        let span = &self.id_span;
+        if incoming.len() != self.request.len()
+            || incoming[..span.start] != self.request[..span.start]
+            || incoming[span.end..] != self.request[span.end..]
+        {
+            return false;
+        }
+        out.clear();
+        out.extend_from_slice(&self.reply);
+        let id = &incoming[span.clone()];
+        for echo in &self.echoes {
+            match *echo {
+                ReplayEcho::Verbatim { offset } => {
+                    out[offset..offset + id.len()].copy_from_slice(id);
+                }
+                ReplayEcho::Derived { offset, len, func } => {
+                    // Re-run the proven builtin on the incoming id. The
+                    // splice only fits when the output length matches
+                    // the template's; anything else (including a
+                    // non-UTF-8 or padded id the flat parser would read
+                    // differently from its wire span) falls back to the
+                    // normal path.
+                    let Ok(text) = std::str::from_utf8(id) else {
+                        return false;
+                    };
+                    if text.trim() != text {
+                        return false;
+                    }
+                    scratch.clear();
+                    match func.apply(FusedArg::Text(text), scratch) {
+                        Ok(FusedOut::Text) if scratch.len() == len => {
+                            out[offset..offset + len].copy_from_slice(scratch.as_bytes());
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Bound on live replay templates per engine: one per *distinct* hot
+/// query suffices for a duplicate flood, so the list stays tiny and a
+/// linear scan beats any index. At the cap, new exchanges simply get no
+/// template (the record cache still serves them).
+const REPLAY_TEMPLATE_CAP: usize = 64;
+
+/// The per-engine state of the fused fast path: the compiled plan, its
+/// session table, the shard-local answer cache, and the reusable
+/// records/buffers that keep the steady-state path allocation-free.
+#[derive(Debug)]
+struct FusedRuntime {
+    plan: FusedPlan,
+    sessions: FxHashMap<SessionKey, FusedSession>,
+    cache: FxHashMap<u64, CachedAnswer>,
+    /// Wire-level replay templates over the hottest cache entries.
+    templates: Vec<ReplayTemplate>,
+    /// Scratch: inbound parse target, translation output, step text
+    /// buffer, cache-key buffer, wire-compose buffer.
+    parse_rec: FlatRecord,
+    out_rec: FlatRecord,
+    probe_rec: FlatRecord,
+    scratch: String,
+    key_buf: Vec<u8>,
+    wire_buf: Vec<u8>,
+    /// Emit plans resolved at deployment: the outbound query goes to
+    /// the target colour's group, the reply unicasts from the source
+    /// colour's port.
+    req_spec: EmitSpec,
+    req_group: SimAddr,
+    resp_spec: EmitSpec,
+}
+
 /// The deployed bridge: implements [`Actor`] so it can be dropped into a
 /// simulation as "the framework ... transparently deployed in the
 /// network" (§IV).
@@ -315,6 +483,12 @@ pub struct BridgeEngine {
     blank_instances: Vec<AbstractMessage>,
     /// Scratch buffer reused by every compose, across all sessions.
     compose_buf: Vec<u8>,
+    /// The fused fast path, when the bridge's structure admits one.
+    /// `Some` routes every datagram and timer through the slot-record
+    /// relay; `None` runs the interpreted engine above.
+    fused: Option<Box<FusedRuntime>>,
+    /// Why fusion was rejected (diagnostics; `None` when fused).
+    fused_reject: Option<String>,
 }
 
 impl std::fmt::Debug for BridgeEngine {
@@ -424,6 +598,46 @@ impl BridgeEngine {
             }
         }
 
+        // Attempt the fused fast path: a structural probe over the
+        // automaton plus the codecs' flat plans. Any rejection keeps
+        // the interpreted engine — never an error.
+        let (fused, fused_reject) = if config.force_interpreted {
+            (None, Some("pinned to the interpreted path by configuration".to_owned()))
+        } else {
+            match FusedPlan::compile(&automaton, &codecs, config.correlator.as_deref(), &functions)
+            {
+                Ok(plan) => {
+                    let req_spec = emit_specs.get(&plan.req_out_state()).cloned();
+                    let resp_spec = emit_specs.get(&plan.resp_out_state()).cloned();
+                    match (req_spec, resp_spec) {
+                        (Some(req_spec), Some(resp_spec)) if req_spec.group.is_some() => {
+                            let req_group = req_spec.group.clone().expect("checked above");
+                            (
+                                Some(Box::new(FusedRuntime {
+                                    plan,
+                                    sessions: FxHashMap::default(),
+                                    cache: FxHashMap::default(),
+                                    templates: Vec::new(),
+                                    parse_rec: FlatRecord::new(),
+                                    out_rec: FlatRecord::new(),
+                                    probe_rec: FlatRecord::new(),
+                                    scratch: String::new(),
+                                    key_buf: Vec::new(),
+                                    wire_buf: Vec::new(),
+                                    req_spec,
+                                    req_group,
+                                    resp_spec,
+                                })),
+                                None,
+                            )
+                        }
+                        _ => (None, Some("target colour has no multicast group".to_owned())),
+                    }
+                }
+                Err(reason) => (None, Some(reason)),
+            }
+        };
+
         Ok(BridgeEngine {
             automaton,
             codecs,
@@ -443,7 +657,21 @@ impl BridgeEngine {
             emit_specs,
             blank_instances,
             compose_buf: Vec::new(),
+            fused,
+            fused_reject,
         })
+    }
+
+    /// Whether this engine runs the fused parse→translate→compose fast
+    /// path (the interpreted engine otherwise).
+    pub fn is_fused(&self) -> bool {
+        self.fused.is_some()
+    }
+
+    /// Why the fused fast path was rejected for this bridge, when it
+    /// was (`None` on fused engines).
+    pub fn fused_reject_reason(&self) -> Option<&str> {
+        self.fused_reject.as_deref()
     }
 
     /// The stats handle shared with the harness.
@@ -794,6 +1022,598 @@ impl BridgeEngine {
     }
 }
 
+/// The fused fast path: the four-step relay (parse request → forward
+/// steps → emit query; parse response → backward steps → emit reply)
+/// over flat slot records, plus the shard-local answer cache. Every
+/// routing and lifecycle decision mirrors the interpreted engine above —
+/// same session keys, same alias registration, same stats transitions —
+/// so the two paths are observably identical except for speed.
+impl BridgeEngine {
+    /// Bench/CI instrumentation: one fused **forward** translation —
+    /// parse `wire` as the source-protocol request, run the forward
+    /// steps, compose the outbound query into `out` (cleared first).
+    /// Reuses the engine's internal scratch records, so steady-state
+    /// calls make zero heap allocations — the property the alloc
+    /// census asserts.
+    ///
+    /// # Errors
+    ///
+    /// When the engine is interpreted, `wire` does not parse, or is not
+    /// the expected request message.
+    pub fn fused_forward_probe(
+        &mut self,
+        wire: &[u8],
+        out: &mut Vec<u8>,
+    ) -> std::result::Result<(), String> {
+        let Some(rt) = self.fused.as_deref_mut() else {
+            return Err(self
+                .fused_reject
+                .clone()
+                .unwrap_or_else(|| "engine is not fused".to_owned()));
+        };
+        let message =
+            rt.plan.source_plan().parse(wire, &mut rt.parse_rec).map_err(|err| err.to_string())?;
+        if message != rt.plan.req_in() {
+            return Err(format!(
+                "expected {}, parsed {}",
+                rt.plan.source_plan().message_name(rt.plan.req_in()),
+                rt.plan.source_plan().message_name(message)
+            ));
+        }
+        rt.plan.translate_request(&rt.parse_rec, &mut rt.out_rec, &mut rt.scratch)?;
+        rt.plan.target_plan().compose(&rt.out_rec, out).map_err(|err| err.to_string())
+    }
+
+    /// Bench/CI instrumentation: one fused **backward** translation —
+    /// parse the original request and the target-protocol response,
+    /// run the backward steps (which echo the requester's correlation
+    /// id), compose the legacy reply into `out` (cleared first). Zero
+    /// steady-state allocations, like [`Self::fused_forward_probe`].
+    ///
+    /// # Errors
+    ///
+    /// As the forward probe, for either input.
+    pub fn fused_backward_probe(
+        &mut self,
+        request_wire: &[u8],
+        response_wire: &[u8],
+        out: &mut Vec<u8>,
+    ) -> std::result::Result<(), String> {
+        let Some(rt) = self.fused.as_deref_mut() else {
+            return Err(self
+                .fused_reject
+                .clone()
+                .unwrap_or_else(|| "engine is not fused".to_owned()));
+        };
+        let request = rt
+            .plan
+            .source_plan()
+            .parse(request_wire, &mut rt.probe_rec)
+            .map_err(|err| err.to_string())?;
+        if request != rt.plan.req_in() {
+            return Err("request wire is not the request message".to_owned());
+        }
+        let response = rt
+            .plan
+            .target_plan()
+            .parse(response_wire, &mut rt.parse_rec)
+            .map_err(|err| err.to_string())?;
+        if response != rt.plan.resp_in() {
+            return Err("response wire is not the response message".to_owned());
+        }
+        rt.plan.translate_response(
+            &rt.probe_rec,
+            &rt.parse_rec,
+            &mut rt.out_rec,
+            &mut rt.scratch,
+        )?;
+        rt.plan.source_plan().compose(&rt.out_rec, out).map_err(|err| err.to_string())
+    }
+
+    /// Bench/CI instrumentation: seeds the answer cache with the legacy
+    /// answer for `request_wire`'s normalized key, as a completed
+    /// exchange would, with a far-future expiry. Prepares
+    /// [`Self::fused_cache_hit_probe`].
+    ///
+    /// # Errors
+    ///
+    /// When the engine is interpreted, the cache is disabled
+    /// (`answer_ttl` unset), or either wire does not parse as the
+    /// expected message.
+    pub fn fused_cache_seed_probe(
+        &mut self,
+        request_wire: &[u8],
+        response_wire: &[u8],
+    ) -> std::result::Result<(), String> {
+        if self.config.answer_ttl.is_none() {
+            return Err("answer cache is disabled (no answer_ttl)".to_owned());
+        }
+        let Some(rt) = self.fused.as_deref_mut() else {
+            return Err(self
+                .fused_reject
+                .clone()
+                .unwrap_or_else(|| "engine is not fused".to_owned()));
+        };
+        let request = rt
+            .plan
+            .source_plan()
+            .parse(request_wire, &mut rt.probe_rec)
+            .map_err(|err| err.to_string())?;
+        if request != rt.plan.req_in() {
+            return Err("request wire is not the request message".to_owned());
+        }
+        rt.plan.cache_key_bytes(&rt.probe_rec, &mut rt.key_buf);
+        let hash = fxhash::hash64(&rt.key_buf[..]);
+        let response = rt
+            .plan
+            .target_plan()
+            .parse(response_wire, &mut rt.parse_rec)
+            .map_err(|err| err.to_string())?;
+        if response != rt.plan.resp_in() {
+            return Err("response wire is not the response message".to_owned());
+        }
+        rt.cache.insert(
+            hash,
+            CachedAnswer {
+                key: rt.key_buf.clone(),
+                response: rt.parse_rec.clone(),
+                expires_at: SimTime::from_micros(u64::MAX),
+            },
+        );
+        self.stats.record_cache_insertion();
+        // Layer the wire-level replay template, exactly as a completed
+        // live exchange would.
+        rt.plan.translate_response(
+            &rt.probe_rec,
+            &rt.parse_rec,
+            &mut rt.out_rec,
+            &mut rt.scratch,
+        )?;
+        rt.plan
+            .source_plan()
+            .compose(&rt.out_rec, &mut rt.wire_buf)
+            .map_err(|err| err.to_string())?;
+        rt.templates.retain(|t| t.cache_hash != hash);
+        if rt.templates.len() < REPLAY_TEMPLATE_CAP {
+            if let Some(parts) =
+                rt.plan.build_replay_parts(&rt.probe_rec, request_wire, &rt.parse_rec, &rt.wire_buf)
+            {
+                rt.templates.push(ReplayTemplate {
+                    request: request_wire.to_vec(),
+                    id_span: parts.id_span,
+                    reply: rt.wire_buf.clone(),
+                    echoes: parts.echoes,
+                    cache_hash: hash,
+                    expires_at: SimTime::from_micros(u64::MAX),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Bench/CI instrumentation: one answer-cache **hit** worth of
+    /// work — parse the request, build the normalized key, look the
+    /// answer up, replay it through the backward steps (personalizing
+    /// the echoed id for *this* requester) and compose the reply into
+    /// `out`. This is exactly the per-message kernel a deployed fused
+    /// engine runs when it serves a duplicate query from the cache;
+    /// benched against a full forward+backward translation it yields
+    /// the hit-to-full cost ratio `BENCH_throughput.json` reports.
+    ///
+    /// # Errors
+    ///
+    /// When the engine is interpreted, `wire` is not the request
+    /// message, or no cached answer matches (seed with
+    /// [`Self::fused_cache_seed_probe`] first).
+    pub fn fused_cache_hit_probe(
+        &mut self,
+        wire: &[u8],
+        out: &mut Vec<u8>,
+    ) -> std::result::Result<(), String> {
+        let Some(rt) = self.fused.as_deref_mut() else {
+            return Err(self
+                .fused_reject
+                .clone()
+                .unwrap_or_else(|| "engine is not fused".to_owned()));
+        };
+        // Wire-level replay first, exactly like the live datagram path.
+        if rt.templates.iter().any(|t| t.replay_into(wire, out, &mut rt.scratch)) {
+            return Ok(());
+        }
+        let message =
+            rt.plan.source_plan().parse(wire, &mut rt.parse_rec).map_err(|err| err.to_string())?;
+        if message != rt.plan.req_in() {
+            return Err("wire is not the request message".to_owned());
+        }
+        rt.plan.cache_key_bytes(&rt.parse_rec, &mut rt.key_buf);
+        let hash = fxhash::hash64(&rt.key_buf[..]);
+        let entry = match rt.cache.get(&hash) {
+            Some(entry) if entry.key == rt.key_buf => entry,
+            _ => return Err("no cached answer for this query".to_owned()),
+        };
+        rt.plan.translate_response(
+            &rt.parse_rec,
+            &entry.response,
+            &mut rt.out_rec,
+            &mut rt.scratch,
+        )?;
+        rt.plan.source_plan().compose(&rt.out_rec, out).map_err(|err| err.to_string())
+    }
+
+    fn fused_datagram(&mut self, ctx: &mut Context<'_>, rt: &mut FusedRuntime, datagram: Datagram) {
+        let Some(part_index) = self.part_for_datagram(&datagram) else {
+            ctx.trace(format!("bridge: no part for datagram to {}", datagram.to));
+            return;
+        };
+        let source_side = part_index == rt.plan.source_part();
+        if source_side && self.config.answer_ttl.is_some() && !rt.templates.is_empty() {
+            // Wire-level replay: a byte-duplicate of a completed query
+            // (new correlation id only) is answered straight from the
+            // template, before any parse. Expired templates are swept
+            // silently — the expiration counter belongs to the backing
+            // record-cache entry, which a fallthrough query still
+            // touches.
+            let now = ctx.now();
+            rt.templates.retain(|t| now < t.expires_at);
+            if rt
+                .templates
+                .iter()
+                .any(|t| t.replay_into(&datagram.payload, &mut rt.wire_buf, &mut rt.scratch))
+            {
+                ctx.udp_send(rt.resp_spec.port, datagram.from, &rt.wire_buf[..]);
+                self.stats.record_cache_hit();
+                self.stats.record_session_started();
+                self.stats.record_session(now, now);
+                ctx.trace("bridge replayed cached reply for duplicate query".to_owned());
+                return;
+            }
+        }
+        let parsed = if source_side {
+            rt.plan.source_plan().parse(&datagram.payload, &mut rt.parse_rec)
+        } else {
+            rt.plan.target_plan().parse(&datagram.payload, &mut rt.parse_rec)
+        };
+        let message = match parsed {
+            Ok(message) => message,
+            Err(err) => {
+                self.stats.record_error(format!("parse on part #{part_index}: {err}"));
+                ctx.trace(format!("bridge failed to parse datagram: {err}"));
+                return;
+            }
+        };
+        let expected = if source_side { rt.plan.req_in() } else { rt.plan.resp_in() };
+        if message != expected {
+            // A message the relay never consumes here (e.g. our own
+            // multicast query looped back): the interpreted execution
+            // would reject the delivery — record and drop.
+            let name = if source_side {
+                rt.plan.source_plan().message_name(message)
+            } else {
+                rt.plan.target_plan().message_name(message)
+            };
+            self.stats.record_error(format!(
+                "bridge dropped message: unexpected {name} on part #{part_index}"
+            ));
+            ctx.trace(format!("bridge dropped unexpected {name}"));
+            return;
+        }
+        if source_side {
+            self.fused_request(ctx, rt, datagram.from, &datagram.payload);
+        } else {
+            self.fused_response(ctx, rt, datagram.from);
+        }
+    }
+
+    /// Handles a parsed request sitting in `rt.parse_rec`: answer-cache
+    /// lookup, else forward translation, query emission and session
+    /// registration.
+    fn fused_request(
+        &mut self,
+        ctx: &mut Context<'_>,
+        rt: &mut FusedRuntime,
+        from: SimAddr,
+        payload: &[u8],
+    ) {
+        let now = ctx.now();
+        let key = rt
+            .plan
+            .req_in_id()
+            .and_then(|slot| correlation_id(&rt.parse_rec, slot))
+            .map(|id| SessionKey::Correlated(rt.plan.source_part(), id))
+            .unwrap_or_else(|| SessionKey::Peer(from.clone()));
+        let key = self.aliases.get(&key).cloned().unwrap_or(key);
+        if rt.sessions.contains_key(&key) {
+            // The relay is awaiting the legacy response for this
+            // exchange; a retransmitted request is a delivery its
+            // execution does not expect — record and drop.
+            self.stats.record_error(format!(
+                "bridge dropped message: duplicate request for live session {key}"
+            ));
+            ctx.trace(format!("bridge dropped duplicate request for {key}"));
+            return;
+        }
+
+        let mut cache_hash = None;
+        if self.config.answer_ttl.is_some() {
+            rt.plan.cache_key_bytes(&rt.parse_rec, &mut rt.key_buf);
+            let hash = fxhash::hash64(&rt.key_buf[..]);
+            cache_hash = Some(hash);
+            if let Some(entry) = rt.cache.get(&hash) {
+                if entry.key == rt.key_buf && now >= entry.expires_at {
+                    rt.cache.remove(&hash);
+                    self.stats.record_cache_expiration();
+                }
+            }
+            let hit = match rt.cache.get(&hash) {
+                Some(entry) if entry.key == rt.key_buf => rt
+                    .plan
+                    .translate_response(
+                        &rt.parse_rec,
+                        &entry.response,
+                        &mut rt.out_rec,
+                        &mut rt.scratch,
+                    )
+                    .is_ok(),
+                _ => false,
+            };
+            if hit {
+                let served = rt.plan.source_plan().unfilled_mandatory(&rt.out_rec).is_none()
+                    && rt.plan.source_plan().compose(&rt.out_rec, &mut rt.wire_buf).is_ok();
+                if served {
+                    ctx.udp_send(rt.resp_spec.port, from, &rt.wire_buf[..]);
+                    self.stats.record_cache_hit();
+                    // The exchange opened and completed in one step;
+                    // both transitions are recorded so the lifecycle
+                    // accounting stays balanced.
+                    self.stats.record_session_started();
+                    self.stats.record_session(now, now);
+                    ctx.trace("bridge served reply from the answer cache".to_owned());
+                    return;
+                }
+                // A cached answer that no longer replays is discarded,
+                // along with any template layered over it.
+                rt.cache.remove(&hash);
+                rt.templates.retain(|t| t.cache_hash != hash);
+            }
+            self.stats.record_cache_miss();
+        }
+
+        // Full translation: request → target query.
+        if let Err(err) = rt.plan.translate_request(&rt.parse_rec, &mut rt.out_rec, &mut rt.scratch)
+        {
+            self.stats.record_error(format!("bridge dropped message: {err}"));
+            ctx.trace(format!("bridge dropped message: {err}"));
+            return;
+        }
+        // The session opens here, mirroring the interpreted engine
+        // (which counts a started session once the delivery advances a
+        // fresh execution, even if the send then fails).
+        if let Some(field) = rt.plan.target_plan().unfilled_mandatory(&rt.out_rec) {
+            self.stats.record_error(format!(
+                "⊨ violation: {} has unfilled mandatory fields [{:?}]",
+                rt.plan.req_out_name(),
+                field
+            ));
+            ctx.trace(format!("bridge refused to send {}", rt.plan.req_out_name()));
+            self.stats.record_session_started();
+            self.stats.record_session_failed();
+            return;
+        }
+        if let Err(err) = rt.plan.target_plan().compose(&rt.out_rec, &mut rt.wire_buf) {
+            self.stats.record_error(format!("compose {}: {err}", rt.plan.req_out_name()));
+            ctx.trace(format!("bridge failed to compose {}: {err}", rt.plan.req_out_name()));
+            self.stats.record_session_started();
+            self.stats.record_session_failed();
+            return;
+        }
+        ctx.udp_send(rt.req_spec.port, rt.req_group.clone(), &rt.wire_buf[..]);
+
+        let seq = self.next_session_seq;
+        self.next_session_seq += 1;
+        let mut session = FusedSession {
+            started: now,
+            last_activity: now,
+            seq,
+            request: rt.parse_rec.clone(),
+            request_wire: if self.config.answer_ttl.is_some() {
+                payload.to_vec()
+            } else {
+                Vec::new()
+            },
+            reply_to: from,
+            aliases: Vec::new(),
+            timer: None,
+            cache_hash,
+            cache_key: if cache_hash.is_some() {
+                std::mem::take(&mut rt.key_buf)
+            } else {
+                Vec::new()
+            },
+        };
+        // Outbound alias: the reply echoing this query's id finds the
+        // session that sent it, exactly like the interpreted engine's
+        // correlator hook.
+        if let Some(slot) = rt.plan.req_out_id() {
+            if let Some(id) = correlation_id(&rt.out_rec, slot) {
+                let alias = SessionKey::Correlated(rt.plan.target_part(), id);
+                if !self.aliases.contains_key(&alias) {
+                    self.aliases.insert(alias.clone(), key.clone());
+                    session.aliases.push(alias);
+                }
+            }
+        }
+        self.stats.record_session_started();
+        let tag = self.next_timer_tag;
+        self.next_timer_tag += 1;
+        let id = ctx.set_timer(self.config.idle_timeout, tag);
+        self.timer_sessions.insert(tag, key.clone());
+        session.timer = Some((id, tag));
+        rt.sessions.insert(key, session);
+    }
+
+    /// Routes a parsed legacy response sitting in `rt.parse_rec` to the
+    /// session awaiting it: by echoed correlation id, by source
+    /// address, else to the oldest waiting session.
+    fn fused_response(&mut self, ctx: &mut Context<'_>, rt: &mut FusedRuntime, from: SimAddr) {
+        if let Some(slot) = rt.plan.resp_in_id() {
+            if let Some(id) = correlation_id(&rt.parse_rec, slot) {
+                let key = SessionKey::Correlated(rt.plan.target_part(), id);
+                let key = self.aliases.get(&key).cloned().unwrap_or(key);
+                if rt.sessions.contains_key(&key) {
+                    self.fused_deliver_response(ctx, rt, key);
+                } else {
+                    self.stats.record_error(format!(
+                        "bridge dropped message: no session awaits response id {id:#x}"
+                    ));
+                    ctx.trace("bridge dropped unmatched response".to_owned());
+                }
+                return;
+            }
+        }
+        let peer = SessionKey::Peer(from);
+        let key = if rt.sessions.contains_key(&peer) {
+            Some(peer)
+        } else {
+            // Replies arrive from the legacy service's address, never
+            // the originator's: oldest-first matching, like the
+            // interpreted engine's waiting-receiver scan.
+            rt.sessions.iter().min_by_key(|(_, s)| s.seq).map(|(k, _)| k.clone())
+        };
+        match key {
+            Some(key) => self.fused_deliver_response(ctx, rt, key),
+            None => {
+                self.stats.record_error(
+                    "bridge dropped message: no session awaits a response".to_owned(),
+                );
+                ctx.trace("bridge dropped unmatched response".to_owned());
+            }
+        }
+    }
+
+    fn fused_deliver_response(
+        &mut self,
+        ctx: &mut Context<'_>,
+        rt: &mut FusedRuntime,
+        key: SessionKey,
+    ) {
+        let mut session = rt.sessions.remove(&key).expect("routed to live fused session");
+        // Backward steps run against the *original request*, so echoed
+        // ids (XID, RelatesTo) personalise the reply.
+        if let Err(err) = rt.plan.translate_response(
+            &session.request,
+            &rt.parse_rec,
+            &mut rt.out_rec,
+            &mut rt.scratch,
+        ) {
+            // An undeliverable message is dropped; the session keeps
+            // waiting (and may still idle-expire), like a rejected
+            // interpreted delivery.
+            self.stats.record_error(format!("bridge dropped message: {err}"));
+            ctx.trace(format!("bridge dropped message: {err}"));
+            rt.sessions.insert(key, session);
+            return;
+        }
+        session.last_activity = ctx.now();
+        if let Some(field) = rt.plan.source_plan().unfilled_mandatory(&rt.out_rec) {
+            self.stats.record_error(format!(
+                "⊨ violation: {} has unfilled mandatory fields [{:?}]",
+                rt.plan.resp_out_name(),
+                field
+            ));
+            ctx.trace(format!("bridge refused to send {}", rt.plan.resp_out_name()));
+            self.unlink_fused(ctx, &mut session);
+            self.stats.record_session_failed();
+            return;
+        }
+        if let Err(err) = rt.plan.source_plan().compose(&rt.out_rec, &mut rt.wire_buf) {
+            self.stats.record_error(format!("compose {}: {err}", rt.plan.resp_out_name()));
+            ctx.trace(format!("bridge failed to compose {}: {err}", rt.plan.resp_out_name()));
+            self.unlink_fused(ctx, &mut session);
+            self.stats.record_session_failed();
+            return;
+        }
+        ctx.udp_send(rt.resp_spec.port, session.reply_to.clone(), &rt.wire_buf[..]);
+        // Cache the legacy answer for future equivalent queries. The
+        // parsed response (not the personalised reply) is stored; each
+        // hit re-runs the backward steps with the fresh request.
+        if let (Some(ttl), Some(hash)) = (self.config.answer_ttl, session.cache_hash) {
+            if rt.cache.len() < FUSED_CACHE_CAP || rt.cache.contains_key(&hash) {
+                rt.cache.insert(
+                    hash,
+                    CachedAnswer {
+                        key: std::mem::take(&mut session.cache_key),
+                        response: rt.parse_rec.clone(),
+                        expires_at: ctx.now() + ttl,
+                    },
+                );
+                self.stats.record_cache_insertion();
+                // Layer a wire-level replay template over the fresh
+                // entry when the exchange proves replayable. A stale
+                // template for the same entry is replaced either way.
+                rt.templates.retain(|t| t.cache_hash != hash);
+                if rt.templates.len() < REPLAY_TEMPLATE_CAP {
+                    if let Some(parts) = rt.plan.build_replay_parts(
+                        &session.request,
+                        &session.request_wire,
+                        &rt.parse_rec,
+                        &rt.wire_buf,
+                    ) {
+                        rt.templates.push(ReplayTemplate {
+                            request: std::mem::take(&mut session.request_wire),
+                            id_span: parts.id_span,
+                            reply: rt.wire_buf.clone(),
+                            echoes: parts.echoes,
+                            cache_hash: hash,
+                            expires_at: ctx.now() + ttl,
+                        });
+                    }
+                }
+            }
+        }
+        self.unlink_fused(ctx, &mut session);
+        self.stats.record_session(session.started, ctx.now());
+        ctx.trace(format!("bridge session complete in {}", ctx.now().since(session.started)));
+    }
+
+    /// [`BridgeEngine::unlink`] for fused sessions: expiry timer and
+    /// alias bookkeeping (fused sessions own no connections).
+    fn unlink_fused(&mut self, ctx: &mut Context<'_>, session: &mut FusedSession) {
+        if let Some((id, tag)) = session.timer.take() {
+            if self.timer_sessions.remove(&tag).is_some() {
+                ctx.cancel_timer(id);
+            }
+        }
+        for alias in session.aliases.drain(..) {
+            self.aliases.remove(&alias);
+        }
+    }
+
+    /// [`BridgeEngine::on_timer`] for fused sessions: idle expiry with
+    /// re-arm on interim activity.
+    fn fused_timer(&mut self, ctx: &mut Context<'_>, rt: &mut FusedRuntime, tag: u64) {
+        let Some(key) = self.timer_sessions.remove(&tag) else { return };
+        let Some(mut session) = rt.sessions.remove(&key) else { return };
+        session.timer = None;
+        let deadline = session.last_activity + self.config.idle_timeout;
+        if ctx.now() >= deadline {
+            self.unlink_fused(ctx, &mut session);
+            self.stats.record_session_expired();
+            ctx.trace(format!(
+                "bridge session {key} expired after {} idle",
+                ctx.now().since(session.last_activity)
+            ));
+        } else {
+            let remaining = deadline.since(ctx.now());
+            let new_tag = self.next_timer_tag;
+            self.next_timer_tag += 1;
+            let id = ctx.set_timer(remaining, new_tag);
+            self.timer_sessions.insert(new_tag, key.clone());
+            session.timer = Some((id, new_tag));
+            rt.sessions.insert(key, session);
+        }
+    }
+}
+
 impl Actor for BridgeEngine {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         // Bind every colour of every part: UDP ports + multicast groups
@@ -822,6 +1642,11 @@ impl Actor for BridgeEngine {
     }
 
     fn on_datagram(&mut self, ctx: &mut Context<'_>, datagram: Datagram) {
+        if let Some(mut rt) = self.fused.take() {
+            self.fused_datagram(ctx, &mut rt, datagram);
+            self.fused = Some(rt);
+            return;
+        }
         let Some(part_index) = self.part_for_datagram(&datagram) else {
             ctx.trace(format!("bridge: no part for datagram to {}", datagram.to));
             return;
@@ -957,6 +1782,11 @@ impl Actor for BridgeEngine {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        if let Some(mut rt) = self.fused.take() {
+            self.fused_timer(ctx, &mut rt, tag);
+            self.fused = Some(rt);
+            return;
+        }
         let Some(key) = self.timer_sessions.remove(&tag) else { return };
         let Some(mut session) = self.sessions.remove(&key) else { return };
         session.timer = None;

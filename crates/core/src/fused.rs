@@ -1,0 +1,708 @@
+//! The fused fast path: a whole-bridge translation plan compiled at
+//! deployment.
+//!
+//! A bridge whose merged automaton is a plain two-part request/response
+//! relay — receive on the source protocol, cross a δ carrying only field
+//! assignments, send on the target protocol, and back — and whose MDLs
+//! both fall inside the flattenable subset ([`FlatPlan`]) can skip the
+//! interpreted machinery entirely. [`FusedPlan::compile`] probes the
+//! automaton's structure once; when it succeeds, the per-message path
+//! becomes: flat-parse the wire bytes into a slot record, run a
+//! precompiled list of (source slot → target slot, conversion) steps
+//! ([`FusedStep`]), flat-compose, emit. No `AbstractMessage` tree, no
+//! per-message function-name lookups, no allocation in steady state.
+//!
+//! The probe is deliberately conservative: anything it cannot prove —
+//! more than two parts, TCP colours, branching states, λ actions on a
+//! δ, assignments it cannot resolve into slots, a correlator it cannot
+//! mirror — rejects fusion with a reason, and the engine transparently
+//! stays on the interpreted path. Rejection is never a behaviour change,
+//! only a performance one; the differential suites hold the two paths to
+//! byte-identical output.
+
+use crate::engine::SessionCorrelator;
+use starlink_automata::{
+    compile_steps, Action, FunctionRegistry, FusedArg, FusedFn, FusedOut, FusedSource, FusedStep,
+    GlobalState, MergedAutomaton, PartId, SlotRef, Transition, Transport,
+};
+use starlink_mdl::{FlatPlan, FlatRecord, FlatView, MdlCodec};
+use std::sync::Arc;
+
+/// The compiled fast path of one fusable bridge. See the module docs for
+/// the shape it proves and the [`crate::BridgeEngine`] for how it runs.
+#[derive(Debug)]
+pub(crate) struct FusedPlan {
+    source_part: usize,
+    target_part: usize,
+    source_plan: Arc<FlatPlan>,
+    target_plan: Arc<FlatPlan>,
+    /// Message indices into `source_plan` / `target_plan`.
+    req_in: usize,
+    resp_out: usize,
+    req_out: usize,
+    resp_in: usize,
+    /// Precompiled assignment steps of the two δ-transitions.
+    forward: Vec<FusedStep>,
+    backward: Vec<FusedStep>,
+    /// Correlation-id slots mirrored from the deployed correlator
+    /// (`None` when the engine runs with address-based routing).
+    req_in_id: Option<usize>,
+    req_out_id: Option<usize>,
+    resp_in_id: Option<usize>,
+    /// Request slots feeding the forward steps, minus the correlation
+    /// id: the answer-cache key. Two requests agreeing on these slots
+    /// produce the same upstream query, hence the same answer.
+    cache_slots: Vec<usize>,
+    /// Send states of the two outbound messages, for emit-spec lookup.
+    req_out_state: GlobalState,
+    resp_out_state: GlobalState,
+}
+
+impl FusedPlan {
+    /// Probes `automaton` and compiles the fused plan, or explains why
+    /// the bridge must stay interpreted.
+    pub(crate) fn compile(
+        automaton: &MergedAutomaton,
+        codecs: &[Arc<MdlCodec>],
+        correlator: Option<&dyn SessionCorrelator>,
+        functions: &FunctionRegistry,
+    ) -> Result<FusedPlan, String> {
+        let parts = automaton.parts();
+        if parts.len() != 2 {
+            return Err(format!("{} parts (fusion needs exactly 2)", parts.len()));
+        }
+        for part in parts {
+            if part.colors().len() != 1 {
+                return Err(format!("part {} has multiple colours", part.protocol()));
+            }
+            if part.colors()[0].transport() != Transport::Udp {
+                return Err(format!("part {} is not UDP", part.protocol()));
+            }
+            if part.transitions().len() != 2 {
+                return Err(format!(
+                    "part {} has {} transitions (fusion needs a plain request/response pair)",
+                    part.protocol(),
+                    part.transitions().len()
+                ));
+            }
+        }
+
+        // Identify the two roles by the transition leaving each part's
+        // initial state: the source side receives first, the target
+        // side sends first.
+        let mut source = None;
+        let mut target = None;
+        for (index, part) in parts.iter().enumerate() {
+            let from_initial: Vec<&Transition> = part.transitions_from(part.initial()).collect();
+            if from_initial.len() != 1 {
+                return Err(format!("part {} branches at its initial state", part.protocol()));
+            }
+            match from_initial[0].action {
+                Action::Receive if source.replace(index).is_none() => {}
+                Action::Send if target.replace(index).is_none() => {}
+                _ => return Err("parts do not pair a receive-first and a send-first side".into()),
+            }
+        }
+        let (Some(source_part), Some(target_part)) = (source, target) else {
+            return Err("parts do not pair a receive-first and a send-first side".into());
+        };
+
+        // Source shape: initial --receive REQ_IN--> after_req, and a
+        // send of RESP_OUT whose destination closes the session.
+        let src = &parts[source_part];
+        let receive =
+            src.transitions_from(src.initial()).next().expect("source shape checked above");
+        let req_in_name = receive.message.clone();
+        let after_req = receive.to;
+        let send = src
+            .transitions()
+            .iter()
+            .find(|t| t.action == Action::Send)
+            .ok_or("source part never sends a response")?;
+        let resp_out_name = send.message.clone();
+        let resp_out_state = GlobalState { part: PartId(source_part), state: send.from };
+        let after_send = GlobalState { part: PartId(source_part), state: send.to };
+        if !automaton.is_accepting(after_send) && send.to != src.initial() {
+            return Err("source part continues past its response".into());
+        }
+
+        // Target shape: initial --send REQ_OUT--> await --receive RESP_IN-->.
+        let tgt = &parts[target_part];
+        let send_out =
+            tgt.transitions_from(tgt.initial()).next().expect("target shape checked above");
+        let req_out_name = send_out.message.clone();
+        let req_out_state = GlobalState { part: PartId(target_part), state: tgt.initial() };
+        let await_state = send_out.to;
+        let receive_in = tgt
+            .transitions()
+            .iter()
+            .find(|t| t.action == Action::Receive)
+            .ok_or("target part never receives a response")?;
+        if receive_in.from != await_state {
+            return Err("target part does not await its response where it sent the query".into());
+        }
+        let resp_in_name = receive_in.message.clone();
+        let after_resp = receive_in.to;
+
+        // The two δ-transitions: forward carries the request
+        // translation, backward the response translation. λ actions need
+        // the interpreted engine.
+        if automaton.deltas().len() != 2 {
+            return Err(format!("{} δ-transitions (fusion needs 2)", automaton.deltas().len()));
+        }
+        for delta in automaton.deltas() {
+            if !delta.actions.is_empty() {
+                return Err("δ-transition carries λ network actions".into());
+            }
+        }
+        let forward_delta = automaton
+            .deltas()
+            .iter()
+            .find(|d| d.from.part.0 == source_part)
+            .ok_or("no forward δ from the source part")?;
+        let backward_delta = automaton
+            .deltas()
+            .iter()
+            .find(|d| d.from.part.0 == target_part)
+            .ok_or("no backward δ from the target part")?;
+        if forward_delta.from.state != after_req
+            || forward_delta.to != (GlobalState { part: PartId(target_part), state: tgt.initial() })
+        {
+            return Err("forward δ does not connect request receipt to the target query".into());
+        }
+        if backward_delta.from != (GlobalState { part: PartId(target_part), state: after_resp })
+            || backward_delta.to != resp_out_state
+        {
+            return Err("backward δ does not connect the response to the reply send".into());
+        }
+
+        // Both MDLs must have compiled flat plans, holding all four
+        // exchange messages.
+        let source_plan = codecs[source_part]
+            .flat_plan()
+            .ok_or_else(|| format!("protocol {} has no flat plan", src.protocol()))?
+            .clone();
+        let target_plan = codecs[target_part]
+            .flat_plan()
+            .ok_or_else(|| format!("protocol {} has no flat plan", tgt.protocol()))?
+            .clone();
+        let message_index = |plan: &FlatPlan, name: &str| {
+            plan.message_index(name)
+                .ok_or_else(|| format!("message {name} missing from {} flat plan", plan.protocol()))
+        };
+        let req_in = message_index(&source_plan, &req_in_name)?;
+        let resp_out = message_index(&source_plan, &resp_out_name)?;
+        let req_out = message_index(&target_plan, &req_out_name)?;
+        let resp_in = message_index(&target_plan, &resp_in_name)?;
+
+        // Compile the δ assignments into slot-to-slot steps, folding
+        // literal-only function applications through the real registry.
+        let forward = compile_steps(
+            &forward_delta.assignments,
+            &req_out_name,
+            &|label| target_plan.slot_index(req_out, label),
+            &|message, label| {
+                (message == req_in_name)
+                    .then(|| source_plan.slot_index(req_in, label).map(SlotRef::Request))
+                    .flatten()
+            },
+            functions,
+        )?;
+        let backward = compile_steps(
+            &backward_delta.assignments,
+            &resp_out_name,
+            &|label| source_plan.slot_index(resp_out, label),
+            &|message, label| {
+                if message == req_in_name {
+                    source_plan.slot_index(req_in, label).map(SlotRef::Request)
+                } else if message == resp_in_name {
+                    target_plan.slot_index(resp_in, label).map(SlotRef::Response)
+                } else {
+                    None
+                }
+            },
+            functions,
+        )?;
+
+        // Mirror the correlator: the fused path must key, alias and
+        // match sessions exactly as the interpreted engine would. A
+        // correlator whose id fields are unknown cannot be mirrored.
+        let (req_in_id, req_out_id, resp_in_id) = match correlator {
+            None => (None, None, None),
+            Some(correlator) => {
+                let resolve = |protocol: &str, plan: &FlatPlan, msg: usize, name: &str| {
+                    let field = correlator
+                        .id_field(protocol, name)
+                        .ok_or_else(|| format!("correlator declares no id field for {name}"))?;
+                    plan.slot_index(msg, field)
+                        .ok_or_else(|| format!("id field {field} missing from {name}"))
+                };
+                (
+                    Some(resolve(src.protocol(), &source_plan, req_in, &req_in_name)?),
+                    Some(resolve(tgt.protocol(), &target_plan, req_out, &req_out_name)?),
+                    Some(resolve(tgt.protocol(), &target_plan, resp_in, &resp_in_name)?),
+                )
+            }
+        };
+
+        let mut cache_slots = Vec::new();
+        for step in &forward {
+            collect_request_slots(&step.source, &mut cache_slots);
+        }
+        cache_slots.retain(|slot| Some(*slot) != req_in_id);
+        cache_slots.sort_unstable();
+        cache_slots.dedup();
+
+        Ok(FusedPlan {
+            source_part,
+            target_part,
+            source_plan,
+            target_plan,
+            req_in,
+            resp_out,
+            req_out,
+            resp_in,
+            forward,
+            backward,
+            req_in_id,
+            req_out_id,
+            resp_in_id,
+            cache_slots,
+            req_out_state,
+            resp_out_state,
+        })
+    }
+
+    pub(crate) fn source_part(&self) -> usize {
+        self.source_part
+    }
+
+    pub(crate) fn target_part(&self) -> usize {
+        self.target_part
+    }
+
+    pub(crate) fn source_plan(&self) -> &FlatPlan {
+        &self.source_plan
+    }
+
+    pub(crate) fn target_plan(&self) -> &FlatPlan {
+        &self.target_plan
+    }
+
+    pub(crate) fn req_in(&self) -> usize {
+        self.req_in
+    }
+
+    pub(crate) fn resp_in(&self) -> usize {
+        self.resp_in
+    }
+
+    pub(crate) fn req_in_id(&self) -> Option<usize> {
+        self.req_in_id
+    }
+
+    pub(crate) fn req_out_id(&self) -> Option<usize> {
+        self.req_out_id
+    }
+
+    pub(crate) fn resp_in_id(&self) -> Option<usize> {
+        self.resp_in_id
+    }
+
+    pub(crate) fn req_out_state(&self) -> GlobalState {
+        self.req_out_state
+    }
+
+    pub(crate) fn resp_out_state(&self) -> GlobalState {
+        self.resp_out_state
+    }
+
+    pub(crate) fn req_out_name(&self) -> &str {
+        self.target_plan.message_name(self.req_out)
+    }
+
+    pub(crate) fn resp_out_name(&self) -> &str {
+        self.source_plan.message_name(self.resp_out)
+    }
+
+    /// Runs the forward steps: parsed request → outbound query record.
+    pub(crate) fn translate_request(
+        &self,
+        req: &FlatRecord,
+        out: &mut FlatRecord,
+        scratch: &mut String,
+    ) -> Result<(), String> {
+        out.reset(self.req_out, self.target_plan.slot_count(self.req_out));
+        self.apply_steps(&self.forward, req, None, out, scratch)
+    }
+
+    /// Runs the backward steps: (original request, legacy response) →
+    /// outbound reply record. The request record personalises echoed
+    /// ids, so a cached response serves any requester correctly.
+    pub(crate) fn translate_response(
+        &self,
+        req: &FlatRecord,
+        resp: &FlatRecord,
+        out: &mut FlatRecord,
+        scratch: &mut String,
+    ) -> Result<(), String> {
+        out.reset(self.resp_out, self.source_plan.slot_count(self.resp_out));
+        self.apply_steps(&self.backward, req, Some(resp), out, scratch)
+    }
+
+    fn apply_steps(
+        &self,
+        steps: &[FusedStep],
+        req: &FlatRecord,
+        resp: Option<&FlatRecord>,
+        out: &mut FlatRecord,
+        scratch: &mut String,
+    ) -> Result<(), String> {
+        for step in steps {
+            let start = scratch.len();
+            let result = eval_value(&step.source, req, resp, scratch);
+            match result {
+                Ok(Some(number)) => out.set_num(step.target, number),
+                Ok(None) => out.set_text(step.target, &scratch.as_bytes()[start..]),
+                Err(err) => {
+                    scratch.truncate(start);
+                    return Err(err);
+                }
+            }
+            scratch.truncate(start);
+        }
+        Ok(())
+    }
+
+    /// Probes whether a completed exchange qualifies for wire-level
+    /// replay: serving future duplicates of `request_wire` (same bytes
+    /// except the correlation id) by splicing the new id into the
+    /// already-composed `reply_wire`, with no parse, translation or
+    /// compose at all.
+    ///
+    /// The proof is differential: re-compose the request and the reply
+    /// with every byte of the id value flipped, and require that the
+    /// two request wires differ in exactly one contiguous run (the id's
+    /// wire span) and that every differing run of the two reply wires
+    /// is accounted for — either a byte-verbatim echo of that span, or
+    /// covered by the output of a single [`FusedFn`] the backward steps
+    /// apply to the id (checked against *both* probe ids, so a function
+    /// that merely coincides with one sample cannot slip through). Any
+    /// failure returns `None` and the exchange simply stays on the
+    /// (already correct) record-replay path.
+    pub(crate) fn build_replay_parts(
+        &self,
+        req: &FlatRecord,
+        request_wire: &[u8],
+        resp: &FlatRecord,
+        reply_wire: &[u8],
+    ) -> Option<ReplayParts> {
+        let id_slot = self.req_in_id?;
+
+        // The template only serves clients whose encoder agrees with
+        // ours byte-for-byte; anyone else misses it and takes the
+        // normal path.
+        let mut w1 = Vec::new();
+        self.source_plan.compose(req, &mut w1).ok()?;
+        if w1 != request_wire {
+            return None;
+        }
+
+        let mut flipped = req.clone();
+        let mut w2 = Vec::new();
+        match req.view(id_slot) {
+            FlatView::Num(v) => {
+                // Flip every byte of the id's wire encoding. The field
+                // width is not visible here, so try the widest XOR mask
+                // first and narrow until the value fits its field; a
+                // mask at least as wide as the field flips every
+                // encoded byte.
+                let mut composed = false;
+                for mask in [u64::MAX, 0xFFFF_FFFF, 0xFFFF, 0xFF] {
+                    flipped.set_num(id_slot, v ^ mask);
+                    w2.clear();
+                    if self.source_plan.compose(&flipped, &mut w2).is_ok() {
+                        composed = true;
+                        break;
+                    }
+                }
+                if !composed {
+                    return None;
+                }
+            }
+            FlatView::Text(t) => {
+                // XOR 1 guarantees every byte changes while the length
+                // stays put; the flipped record is only ever composed,
+                // never re-parsed.
+                let bytes: Vec<u8> = t.iter().map(|b| b ^ 1).collect();
+                flipped.set_text(id_slot, &bytes);
+                self.source_plan.compose(&flipped, &mut w2).ok()?;
+            }
+            FlatView::Unset => return None,
+        }
+        let mut runs = diff_runs(&w1, &w2)?;
+        if runs.len() != 1 {
+            // Zero runs would mean the id is not wire-visible (so
+            // "duplicates" could be distinct exchanges); two or more
+            // mean the id feeds something else too (length, digest).
+            return None;
+        }
+        let id_span = runs.remove(0);
+
+        let mut out = FlatRecord::new();
+        let mut scratch = String::new();
+        self.translate_response(&flipped, resp, &mut out, &mut scratch).ok()?;
+        let mut r2 = Vec::new();
+        self.source_plan.compose(&out, &mut r2).ok()?;
+        let echo_runs = diff_runs(reply_wire, &r2)?;
+
+        // Candidate derived echoes: every single-builtin application of
+        // the id the backward steps perform (e.g. WS-Discovery derives
+        // the reply MessageID from the request MessageID). Evaluate each
+        // on *both* probe ids and locate spans of the reply where both
+        // outputs appear at the same offset — those spans are provably
+        // a function of the id and can be recomputed at replay time.
+        let id1 = &w1[id_span.clone()];
+        let id2 = &w2[id_span.clone()];
+        let mut derived: Vec<ReplayEcho> = Vec::new();
+        if let (Ok(t1), Ok(t2)) = (std::str::from_utf8(id1), std::str::from_utf8(id2)) {
+            let mut funcs: Vec<FusedFn> = Vec::new();
+            for step in &self.backward {
+                if let FusedSource::Apply(f, inner) = &step.source {
+                    if matches!(**inner, FusedSource::Slot(SlotRef::Request(s)) if s == id_slot)
+                        && !funcs.contains(f)
+                    {
+                        funcs.push(*f);
+                    }
+                }
+            }
+            let (mut s1, mut s2) = (String::new(), String::new());
+            for &func in &funcs {
+                s1.clear();
+                s2.clear();
+                let o1 = func.apply(FusedArg::Text(t1), &mut s1);
+                let o2 = func.apply(FusedArg::Text(t2), &mut s2);
+                if !matches!(o1, Ok(FusedOut::Text))
+                    || !matches!(o2, Ok(FusedOut::Text))
+                    || s1.len() != s2.len()
+                    || s1.is_empty()
+                    || s1 == s2
+                {
+                    continue;
+                }
+                let len = s1.len();
+                for offset in 0..=reply_wire.len().saturating_sub(len) {
+                    if reply_wire[offset..offset + len] == *s1.as_bytes()
+                        && r2[offset..offset + len] == *s2.as_bytes()
+                    {
+                        derived.push(ReplayEcho::Derived { offset, len, func });
+                    }
+                }
+            }
+        }
+
+        // Every differing run of the reply pair must be explained:
+        // inside a derived span, or a byte-verbatim copy of the id.
+        let mut echoes: Vec<ReplayEcho> = Vec::new();
+        for run in echo_runs {
+            let covering = derived.iter().find(|e| match e {
+                ReplayEcho::Derived { offset, len, .. } => {
+                    run.start >= *offset && run.end <= offset + len
+                }
+                ReplayEcho::Verbatim { .. } => false,
+            });
+            if let Some(&echo) = covering {
+                let already = echoes.iter().any(|e| {
+                    matches!(
+                        (e, &echo),
+                        (
+                            ReplayEcho::Derived { offset: a, .. },
+                            ReplayEcho::Derived { offset: b, .. }
+                        ) if a == b
+                    )
+                });
+                if !already {
+                    echoes.push(echo);
+                }
+                continue;
+            }
+            if run.len() == id_span.len()
+                && reply_wire[run.clone()] == w1[id_span.clone()]
+                && r2[run.clone()] == w2[id_span.clone()]
+            {
+                echoes.push(ReplayEcho::Verbatim { offset: run.start });
+                continue;
+            }
+            return None;
+        }
+        Some(ReplayParts { id_span, echoes })
+    }
+
+    /// Serialises the cache-key slots of `req` into `buf`: a canonical
+    /// byte string two equivalent queries share. The stored copy is
+    /// compared on lookup, so a 64-bit hash collision degrades to a
+    /// miss, never a wrong answer.
+    pub(crate) fn cache_key_bytes(&self, req: &FlatRecord, buf: &mut Vec<u8>) {
+        buf.clear();
+        for &slot in &self.cache_slots {
+            buf.extend_from_slice(&(slot as u32).to_le_bytes());
+            match req.view(slot) {
+                FlatView::Unset => buf.push(0),
+                FlatView::Num(v) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+                FlatView::Text(t) => {
+                    buf.push(2);
+                    buf.extend_from_slice(&(t.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(t);
+                }
+            }
+        }
+    }
+}
+
+/// The wire geometry of a replayable exchange, proven by
+/// [`FusedPlan::build_replay_parts`]: where the correlation id sits in
+/// the request wire, and where (and how) it reappears in the reply.
+#[derive(Debug)]
+pub(crate) struct ReplayParts {
+    pub(crate) id_span: std::ops::Range<usize>,
+    pub(crate) echoes: Vec<ReplayEcho>,
+}
+
+/// One id-dependent span of the cached reply wire, re-personalised per
+/// duplicate query at replay time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ReplayEcho {
+    /// The reply copies the request id's wire bytes verbatim at
+    /// `offset` (span length = the id span's length).
+    Verbatim { offset: usize },
+    /// `len` bytes at `offset` are `func` applied to the id text; the
+    /// builtin is re-run on the incoming id and spliced in. Replay
+    /// bails (falls back to the normal path) if the output length ever
+    /// differs from the proven `len`.
+    Derived { offset: usize, len: usize, func: FusedFn },
+}
+
+/// Maximal contiguous byte ranges where `a` and `b` differ; `None` when
+/// the lengths differ (replay needs positionally comparable wires).
+fn diff_runs(a: &[u8], b: &[u8]) -> Option<Vec<std::ops::Range<usize>>> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let mut runs = Vec::new();
+    let mut start = None;
+    for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+        match (x == y, start) {
+            (false, None) => start = Some(i),
+            (true, Some(s)) => {
+                runs.push(s..i);
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        runs.push(s..a.len());
+    }
+    Some(runs)
+}
+
+/// Reads a correlation id from a slot exactly as
+/// [`crate::FieldCorrelator`] reads it from the interpreted message:
+/// numbers key directly, decimal text parses, other non-empty text
+/// hashes, empty text correlates nothing.
+pub(crate) fn correlation_id(record: &FlatRecord, slot: usize) -> Option<u64> {
+    match record.view(slot) {
+        FlatView::Num(v) => Some(v),
+        FlatView::Text(t) => {
+            let text = std::str::from_utf8(t).ok()?;
+            match text.trim().parse::<u64>() {
+                Ok(id) => Some(id),
+                Err(_) if !text.is_empty() => Some(fxhash::hash64(&text)),
+                Err(_) => None,
+            }
+        }
+        FlatView::Unset => None,
+    }
+}
+
+fn collect_request_slots(source: &FusedSource, out: &mut Vec<usize>) {
+    match source {
+        FusedSource::Slot(SlotRef::Request(slot)) => out.push(*slot),
+        FusedSource::Apply(_, inner) => collect_request_slots(inner, out),
+        _ => {}
+    }
+}
+
+/// Evaluates one step source. `Ok(Some(v))` is a numeric result;
+/// `Ok(None)` means the textual result was appended to `scratch` (the
+/// caller owns the segment it marked before the call).
+fn eval_value(
+    source: &FusedSource,
+    req: &FlatRecord,
+    resp: Option<&FlatRecord>,
+    scratch: &mut String,
+) -> Result<Option<u64>, String> {
+    use starlink_automata::{FusedArg, FusedOut};
+    match source {
+        FusedSource::Slot(slot) => match read_slot(slot, req, resp)? {
+            FlatView::Num(v) => Ok(Some(v)),
+            FlatView::Text(t) => {
+                scratch.push_str(view_text(t)?);
+                Ok(None)
+            }
+            FlatView::Unset => Err("source field unset".into()),
+        },
+        FusedSource::LitNum(v) => Ok(Some(*v)),
+        FusedSource::LitText(t) => {
+            scratch.push_str(t);
+            Ok(None)
+        }
+        FusedSource::Apply(function, inner) => {
+            // Depth-1 applications (every fusable bridge today) borrow
+            // their argument straight from a record or literal; deeper
+            // nesting evaluates into a temporary first.
+            let nested_text;
+            let arg = match inner.as_ref() {
+                FusedSource::Slot(slot) => match read_slot(slot, req, resp)? {
+                    FlatView::Num(v) => FusedArg::Num(v),
+                    FlatView::Text(t) => FusedArg::Text(view_text(t)?),
+                    FlatView::Unset => return Err("source field unset".into()),
+                },
+                FusedSource::LitNum(v) => FusedArg::Num(*v),
+                FusedSource::LitText(t) => FusedArg::Text(t),
+                nested @ FusedSource::Apply(..) => {
+                    let mut tmp = String::new();
+                    match eval_value(nested, req, resp, &mut tmp)? {
+                        Some(v) => FusedArg::Num(v),
+                        None => {
+                            nested_text = tmp;
+                            FusedArg::Text(&nested_text)
+                        }
+                    }
+                }
+            };
+            match function.apply(arg, scratch)? {
+                FusedOut::Num(v) => Ok(Some(v)),
+                FusedOut::Text => Ok(None),
+            }
+        }
+    }
+}
+
+fn read_slot<'r>(
+    slot: &SlotRef,
+    req: &'r FlatRecord,
+    resp: Option<&'r FlatRecord>,
+) -> Result<FlatView<'r>, String> {
+    match slot {
+        SlotRef::Request(index) => Ok(req.view(*index)),
+        SlotRef::Response(index) => Ok(resp.ok_or("response record unavailable")?.view(*index)),
+    }
+}
+
+fn view_text(bytes: &[u8]) -> Result<&str, String> {
+    std::str::from_utf8(bytes).map_err(|_| "non-UTF-8 text slot".to_string())
+}

@@ -40,6 +40,7 @@
 mod engine;
 mod error;
 mod framework;
+mod fused;
 mod shard;
 mod stats;
 mod synthesis;
@@ -48,5 +49,7 @@ pub use engine::{BridgeEngine, EngineConfig, FieldCorrelator, SessionCorrelator,
 pub use error::{CoreError, Result};
 pub use framework::Starlink;
 pub use shard::{ShardInput, ShardOutput, ShardedBridge};
-pub use stats::{AtomicConcurrency, BridgeStats, ConcurrencyStats, SessionRecord, ShardedStats};
+pub use stats::{
+    AtomicConcurrency, BridgeStats, CacheStats, ConcurrencyStats, SessionRecord, ShardedStats,
+};
 pub use synthesis::{synthesize_bridge, Ontology};

@@ -102,6 +102,44 @@ impl ConcurrencyStats {
     }
 }
 
+/// Answer-cache counters of a fused bridge: how often repeated queries
+/// were served from the shard-local cache instead of re-querying the
+/// legacy network. All zero on interpreted bridges and when the cache
+/// is disabled ([`crate::EngineConfig::answer_ttl`] unset).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered straight from the cache.
+    pub hits: u64,
+    /// Requests that went through full translation (lookup failed,
+    /// entry expired, or the key was not yet cached).
+    pub misses: u64,
+    /// Legacy answers stored into the cache.
+    pub insertions: u64,
+    /// Entries evicted because their TTL had lapsed when touched.
+    pub expirations: u64,
+}
+
+impl CacheStats {
+    /// Fraction of cacheable requests served from the cache
+    /// (`0.0` when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.expirations += other.expirations;
+    }
+}
+
 /// Lock-free session-lifecycle counters: the shard-local stats of a
 /// sharded bridge all mirror into one shared instance, so aggregate
 /// counters (and the true fleet-wide `peak_active`) never take a lock on
@@ -158,6 +196,8 @@ struct Inner {
     errors: Vec<String>,
     /// Session-lifecycle counters.
     concurrency: ConcurrencyStats,
+    /// Answer-cache counters (fused bridges only).
+    cache: CacheStats,
 }
 
 /// Shared handle onto a bridge's statistics; clone freely — the engine
@@ -241,6 +281,31 @@ impl BridgeStats {
         self.lock().concurrency
     }
 
+    /// The answer-cache counters.
+    pub fn cache(&self) -> CacheStats {
+        self.lock().cache
+    }
+
+    /// Records a request served from the answer cache.
+    pub fn record_cache_hit(&self) {
+        self.lock().cache.hits += 1;
+    }
+
+    /// Records a cacheable request that needed full translation.
+    pub fn record_cache_miss(&self) {
+        self.lock().cache.misses += 1;
+    }
+
+    /// Records a legacy answer stored into the cache.
+    pub fn record_cache_insertion(&self) {
+        self.lock().cache.insertions += 1;
+    }
+
+    /// Records a cache entry evicted on TTL expiry.
+    pub fn record_cache_expiration(&self) {
+        self.lock().cache.expirations += 1;
+    }
+
     /// Records an engine-level error (message dropped).
     pub fn record_error(&self, description: impl Into<String>) {
         self.lock().errors.push(description.into());
@@ -281,6 +346,28 @@ impl BridgeStats {
             concurrency.completed,
             "{context}: completed-session records disagree with the completed counter"
         );
+        // Answer-cache invariants: every hit completed a session, every
+        // insertion came from a completed exchange, and only inserted
+        // entries can expire.
+        let cache = self.cache();
+        assert!(
+            cache.hits <= concurrency.completed,
+            "{context}: {} cache hits exceed {} completed sessions",
+            cache.hits,
+            concurrency.completed
+        );
+        assert!(
+            cache.insertions <= concurrency.completed,
+            "{context}: {} cache insertions exceed {} completed sessions",
+            cache.insertions,
+            concurrency.completed
+        );
+        assert!(
+            cache.expirations <= cache.insertions,
+            "{context}: {} cache expirations exceed {} insertions",
+            cache.expirations,
+            cache.insertions
+        );
     }
 
     /// Folds a snapshot of `other` into this handle: session records and
@@ -288,14 +375,15 @@ impl BridgeStats {
     /// [`ConcurrencyStats::merge`]. Used to aggregate per-shard stats
     /// into one fleet-wide report.
     pub fn merge_from(&self, other: &BridgeStats) {
-        let (sessions, errors, concurrency) = {
+        let (sessions, errors, concurrency, cache) = {
             let other = other.lock();
-            (other.sessions.clone(), other.errors.clone(), other.concurrency)
+            (other.sessions.clone(), other.errors.clone(), other.concurrency, other.cache)
         };
         let mut inner = self.lock();
         inner.sessions.extend(sessions);
         inner.errors.extend(errors);
         inner.concurrency.merge(&concurrency);
+        inner.cache.merge(&cache);
     }
 }
 
@@ -350,6 +438,16 @@ impl ShardedStats {
     /// Errors recorded by any shard.
     pub fn errors(&self) -> Vec<String> {
         self.shards.iter().flat_map(BridgeStats::errors).collect()
+    }
+
+    /// Answer-cache counters summed across all shards (each shard's
+    /// cache is private; only the counters aggregate).
+    pub fn cache(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.cache());
+        }
+        total
     }
 
     /// Translation times of all completed sessions across all shards.

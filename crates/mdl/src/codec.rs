@@ -5,6 +5,7 @@
 
 use crate::binary::{BinaryComposer, BinaryParser};
 use crate::error::Result;
+use crate::flat::FlatPlan;
 use crate::marshal::MarshallerRegistry;
 use crate::spec::{MdlKind, MdlSpec};
 use crate::text::{TextComposer, TextParser};
@@ -46,6 +47,9 @@ impl std::fmt::Debug for Inner {
 pub struct MdlCodec {
     spec: Arc<MdlSpec>,
     inner: Inner,
+    /// The allocation-free slot plan, when the spec falls inside the
+    /// flattenable subset (see [`FlatPlan::compile`]).
+    flat: Option<Arc<FlatPlan>>,
 }
 
 impl MdlCodec {
@@ -76,12 +80,20 @@ impl MdlCodec {
                 composer: TextComposer::new(spec.clone())?,
             },
         };
-        Ok(MdlCodec { spec, inner })
+        let flat = FlatPlan::compile(&spec).map(Arc::new);
+        Ok(MdlCodec { spec, inner, flat })
     }
 
     /// The protocol this codec serves.
     pub fn protocol(&self) -> &str {
         self.spec.protocol()
+    }
+
+    /// The compiled flat slot plan, when this protocol's MDL falls
+    /// inside the flattenable subset. `None` means only the interpreted
+    /// pipeline serves this protocol.
+    pub fn flat_plan(&self) -> Option<&Arc<FlatPlan>> {
+        self.flat.as_ref()
     }
 
     /// The loaded specification.

@@ -1,0 +1,1045 @@
+//! Flat slot plans: the allocation-free fast path under the fused
+//! translation engine.
+//!
+//! A [`FlatPlan`] is compiled from an [`MdlSpec`] once, at codec
+//! generation. Where the interpreted parser materialises an
+//! [`AbstractMessage`](starlink_message::AbstractMessage) tree — one
+//! heap-allocated field per wire field — the flat parser writes each
+//! field into a numbered *slot* of a reusable [`FlatRecord`]: numbers as
+//! raw `u64`s, text as spans of a per-record byte arena. Steady-state
+//! parse → compose touches no allocator at all.
+//!
+//! Not every MDL can be flattened: the plan compiler is deliberately
+//! conservative and returns `None` for any construct whose flat
+//! semantics could diverge from the interpreted codec (bit-unaligned
+//! fields, `DelimitedPairs` header sections, `f-count`, unresolvable
+//! rules, ...). Callers treat an absent plan as "no fast path" and stay
+//! on the interpreted pipeline, so a `None` here is never a behaviour
+//! change — only a performance one. Whatever *is* flattened must match
+//! the interpreted codec byte-for-byte; the equivalence suites in the
+//! protocols crate hold the two paths to that.
+
+use crate::error::{MdlError, Result};
+use crate::size::SizeSpec;
+use crate::spec::{MdlKind, MdlSpec};
+
+/// One field value inside a [`FlatRecord`]: unset, a number, or a span
+/// of the record's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// Never written — compose falls back to the rule binding or the
+    /// typed default, exactly like an untouched schema instance.
+    Unset,
+    /// An integer field value.
+    Num(u64),
+    /// A text field value: `arena[start..start + len]`.
+    Text { start: u32, len: u32 },
+}
+
+/// A borrowed view of one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlatView<'a> {
+    /// The slot was never written.
+    Unset,
+    /// An integer value.
+    Num(u64),
+    /// A text value (valid UTF-8 except for lossy-decoded wire input).
+    Text(&'a [u8]),
+}
+
+/// A reusable parsed-message record: the message index, one slot per
+/// plan field, and the text arena the slots point into. Reusing one
+/// record across messages keeps the hot path allocation-free once the
+/// slot vector and arena have grown to their steady-state capacity.
+#[derive(Debug, Clone, Default)]
+pub struct FlatRecord {
+    message: usize,
+    slots: Vec<Slot>,
+    arena: Vec<u8>,
+}
+
+impl FlatRecord {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        FlatRecord::default()
+    }
+
+    /// Clears the record and sizes it for message `message` with
+    /// `slots` unset slots (the compose-side initialisation).
+    pub fn reset(&mut self, message: usize, slots: usize) {
+        self.message = message;
+        self.slots.clear();
+        self.slots.resize(slots, Slot::Unset);
+        self.arena.clear();
+    }
+
+    /// The plan message index this record holds.
+    pub fn message(&self) -> usize {
+        self.message
+    }
+
+    /// The number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the record has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// A view of slot `index` (out-of-range reads as unset).
+    pub fn view(&self, index: usize) -> FlatView<'_> {
+        match self.slots.get(index) {
+            None | Some(Slot::Unset) => FlatView::Unset,
+            Some(Slot::Num(v)) => FlatView::Num(*v),
+            Some(Slot::Text { start, len }) => {
+                FlatView::Text(&self.arena[*start as usize..(*start + *len) as usize])
+            }
+        }
+    }
+
+    /// Writes a numeric value into slot `index`.
+    pub fn set_num(&mut self, index: usize, value: u64) {
+        self.slots[index] = Slot::Num(value);
+    }
+
+    /// Writes a text value into slot `index`, copying `bytes` into the
+    /// arena.
+    pub fn set_text(&mut self, index: usize, bytes: &[u8]) {
+        let start = self.arena.len() as u32;
+        self.arena.extend_from_slice(bytes);
+        self.slots[index] = Slot::Text { start, len: bytes.len() as u32 };
+    }
+
+    fn clear(&mut self) {
+        self.message = 0;
+        self.slots.clear();
+        self.arena.clear();
+    }
+
+    fn push(&mut self, slot: Slot) {
+        self.slots.push(slot);
+    }
+
+    /// Appends a text slot, lossily re-encoding invalid UTF-8 exactly
+    /// like the interpreted parsers do.
+    fn push_text(&mut self, bytes: &[u8]) {
+        let start = self.arena.len() as u32;
+        match std::str::from_utf8(bytes) {
+            Ok(_) => self.arena.extend_from_slice(bytes),
+            Err(_) => self.arena.extend_from_slice(String::from_utf8_lossy(bytes).as_bytes()),
+        }
+        let len = self.arena.len() as u32 - start;
+        self.slots.push(Slot::Text { start, len });
+    }
+}
+
+/// The wire representation of a flat field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlatBase {
+    /// `Integer`/`Unsigned`: big-endian fixed width (binary) or decimal
+    /// digits (text).
+    Int,
+    /// `String`: raw bytes.
+    Str,
+    /// `FQDN`: DNS label sequence on the wire, dotted text in the slot.
+    Fqdn,
+}
+
+/// How a flat field's extent is found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FlatSize {
+    /// Fixed width in whole bytes (binary).
+    Bytes(u32),
+    /// Length in bytes read from an earlier slot of the same message.
+    FieldRef(usize),
+    /// Self-delimiting (FQDN label sequence).
+    SelfDelim,
+    /// Everything to the end of the input.
+    Remaining,
+    /// Up to (and consuming) a delimiter byte sequence (text).
+    Delim(Vec<u8>),
+}
+
+/// A compose-time field function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlatFunc {
+    /// `f-length(target)`: the byte length of the target field's wire
+    /// image (binary) or text image (text).
+    Length {
+        /// Slot index of the measured field.
+        target: usize,
+    },
+    /// `f-total-length()`: the byte length of the whole message.
+    TotalLength,
+}
+
+/// A typed literal: a rule binding or rule condition value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FlatVal {
+    Num(u64),
+    Text(String),
+}
+
+/// One compiled field.
+#[derive(Debug, Clone)]
+struct FlatField {
+    label: String,
+    base: FlatBase,
+    size: FlatSize,
+    func: Option<FlatFunc>,
+    mandatory: bool,
+    /// The rule-binding literal for this field, mirroring the schema
+    /// default the interpreted pipeline pre-binds.
+    binding: Option<FlatVal>,
+}
+
+/// One compiled message: header fields followed by body fields, plus
+/// the header-slot conditions that select it during parsing.
+#[derive(Debug, Clone)]
+struct FlatMessage {
+    name: String,
+    fields: Vec<FlatField>,
+    /// `(header slot, literal)` conjunction from the message rule.
+    conditions: Vec<(usize, FlatVal)>,
+    has_total: bool,
+}
+
+/// A compiled flat plan for one protocol. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FlatPlan {
+    protocol: String,
+    kind: MdlKind,
+    header_len: usize,
+    messages: Vec<FlatMessage>,
+}
+
+/// The effective value of a field at compose time.
+#[derive(Debug, Clone, Copy)]
+enum EffVal<'a> {
+    Num(u64),
+    Text(&'a [u8]),
+}
+
+fn decimal_digits(mut v: u64) -> u64 {
+    let mut digits = 1;
+    while v >= 10 {
+        digits += 1;
+        v /= 10;
+    }
+    digits
+}
+
+fn push_decimal(out: &mut Vec<u8>, v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&buf[i..]);
+}
+
+/// Mirrors `Value::as_u64` for text: trimmed decimal parse.
+fn parse_decimal(bytes: &[u8]) -> Option<u64> {
+    std::str::from_utf8(bytes).ok()?.trim().parse::<u64>().ok()
+}
+
+fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() || from > haystack.len() {
+        return None;
+    }
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|i| i + from)
+}
+
+fn parse_err(reason: String, pos: usize) -> MdlError {
+    MdlError::Parse { reason, offset_bits: pos as u64 * 8 }
+}
+
+impl FlatPlan {
+    /// Compiles a flat plan from `spec`, or `None` when any construct
+    /// falls outside the supported (provably equivalent) subset.
+    pub fn compile(spec: &MdlSpec) -> Option<FlatPlan> {
+        let kind = spec.kind();
+        let header_len = spec.header().len();
+        let mut messages = Vec::with_capacity(spec.messages().len());
+        for message in spec.messages() {
+            let specs: Vec<_> = spec.header().iter().chain(message.fields.iter()).collect();
+            let mut fields = Vec::with_capacity(specs.len());
+            for field in &specs {
+                let base = match spec.base_type(&field.label) {
+                    "Integer" | "Unsigned" => FlatBase::Int,
+                    "String" => FlatBase::Str,
+                    "FQDN" => FlatBase::Fqdn,
+                    _ => return None,
+                };
+                let size = match (&field.size, kind, base) {
+                    (SizeSpec::Bits(bits), MdlKind::Binary, FlatBase::Int)
+                        if *bits > 0 && *bits <= 64 && bits % 8 == 0 =>
+                    {
+                        FlatSize::Bytes(bits / 8)
+                    }
+                    (SizeSpec::Bits(bits), MdlKind::Binary, FlatBase::Str) if bits % 8 == 0 => {
+                        FlatSize::Bytes(bits / 8)
+                    }
+                    (SizeSpec::FieldRef(label), _, FlatBase::Int | FlatBase::Str) => {
+                        let target = fields.iter().position(|f: &FlatField| f.label == *label)?;
+                        FlatSize::FieldRef(target)
+                    }
+                    (SizeSpec::SelfDelimiting, MdlKind::Binary, FlatBase::Fqdn) => {
+                        FlatSize::SelfDelim
+                    }
+                    (SizeSpec::Remaining, _, FlatBase::Str) => FlatSize::Remaining,
+                    (SizeSpec::Delimiter(delim), MdlKind::Text, FlatBase::Int | FlatBase::Str)
+                        if !delim.is_empty() =>
+                    {
+                        FlatSize::Delim(delim.clone())
+                    }
+                    _ => return None,
+                };
+                fields.push(FlatField {
+                    label: field.label.to_string(),
+                    base,
+                    size,
+                    func: None,
+                    mandatory: field.mandatory,
+                    binding: None,
+                });
+            }
+            // Field functions from the type table.
+            for i in 0..fields.len() {
+                let Some(def) = spec.types().get(&fields[i].label) else { continue };
+                let Some(function) = &def.function else { continue };
+                fields[i].func = Some(match function.name.as_str() {
+                    "f-length" => {
+                        let target_label = function.args.first()?;
+                        let target = fields.iter().position(|f| f.label == *target_label)?;
+                        FlatFunc::Length { target }
+                    }
+                    "f-total-length" if kind == MdlKind::Binary => FlatFunc::TotalLength,
+                    _ => return None,
+                });
+            }
+            // A FieldRef field must be paired with the `f-length` field
+            // that measures it, so the compose-time cross-check of the
+            // interpreted composer holds by construction.
+            for i in 0..fields.len() {
+                if let FlatSize::FieldRef(target) = fields[i].size {
+                    if fields[target].base != FlatBase::Int
+                        || fields[target].func != Some(FlatFunc::Length { target: i })
+                    {
+                        return None;
+                    }
+                }
+            }
+            // Rule bindings double as parse-time selection conditions,
+            // so every bound field must be a header field.
+            let mut conditions = Vec::new();
+            for (label, literal) in message.rule.bindings() {
+                let index = fields.iter().position(|f| f.label == label)?;
+                if index >= header_len {
+                    return None;
+                }
+                let value = match fields[index].base {
+                    FlatBase::Int => FlatVal::Num(literal.parse::<u64>().ok()?),
+                    FlatBase::Str | FlatBase::Fqdn => {
+                        // A numeric literal on a text field would match
+                        // numerically in the interpreted rule engine but
+                        // byte-wise here; keep those interpreted.
+                        if literal.parse::<i128>().is_ok() {
+                            return None;
+                        }
+                        FlatVal::Text(literal.to_owned())
+                    }
+                };
+                fields[index].binding = Some(value.clone());
+                conditions.push((index, value));
+            }
+            let has_total = fields.iter().any(|f| f.func == Some(FlatFunc::TotalLength));
+            messages.push(FlatMessage {
+                name: message.name.to_string(),
+                fields,
+                conditions,
+                has_total,
+            });
+        }
+        if messages.is_empty() {
+            return None;
+        }
+        Some(FlatPlan { protocol: spec.protocol().to_owned(), kind, header_len, messages })
+    }
+
+    /// The protocol this plan serves.
+    pub fn protocol(&self) -> &str {
+        &self.protocol
+    }
+
+    /// The number of header slots (shared across messages).
+    pub fn header_len(&self) -> usize {
+        self.header_len
+    }
+
+    /// The number of messages.
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// The message name at `index`.
+    pub fn message_name(&self, index: usize) -> &str {
+        &self.messages[index].name
+    }
+
+    /// The index of message `name`.
+    pub fn message_index(&self, name: &str) -> Option<usize> {
+        self.messages.iter().position(|m| m.name == name)
+    }
+
+    /// The slot count of message `index`.
+    pub fn slot_count(&self, index: usize) -> usize {
+        self.messages[index].fields.len()
+    }
+
+    /// The slot of field `label` in message `message`.
+    pub fn slot_index(&self, message: usize, label: &str) -> Option<usize> {
+        self.messages[message].fields.iter().position(|f| f.label == label)
+    }
+
+    /// Parses one message from `bytes` into `record`, returning the
+    /// selected message index. Behaviourally identical to the
+    /// interpreted parser over the supported MDL subset (trailing bytes
+    /// are tolerated the same way).
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated/malformed input or when no rule matches.
+    pub fn parse(&self, bytes: &[u8], record: &mut FlatRecord) -> Result<usize> {
+        record.clear();
+        let mut pos = 0usize;
+        let header = &self.messages[0].fields[..self.header_len];
+        for field in header {
+            self.parse_field(field, bytes, &mut pos, record)?;
+        }
+        let selected = self
+            .messages
+            .iter()
+            .position(|m| {
+                m.conditions.iter().all(|(slot, lit)| match (record.view(*slot), lit) {
+                    (FlatView::Num(v), FlatVal::Num(l)) => v == *l,
+                    (FlatView::Text(t), FlatVal::Text(l)) => t == l.as_bytes(),
+                    _ => false,
+                })
+            })
+            .ok_or_else(|| MdlError::NoRuleMatched { protocol: self.protocol.clone() })?;
+        let message = &self.messages[selected];
+        for field in &message.fields[self.header_len..] {
+            self.parse_field(field, bytes, &mut pos, record)?;
+        }
+        record.message = selected;
+        Ok(selected)
+    }
+
+    fn parse_field(
+        &self,
+        field: &FlatField,
+        bytes: &[u8],
+        pos: &mut usize,
+        record: &mut FlatRecord,
+    ) -> Result<()> {
+        let take = |pos: &mut usize, n: usize| -> Result<std::ops::Range<usize>> {
+            if *pos + n > bytes.len() {
+                return Err(parse_err(format!("field {:?} needs {n} bytes", field.label), *pos));
+            }
+            let range = *pos..*pos + n;
+            *pos += n;
+            Ok(range)
+        };
+        match &field.size {
+            FlatSize::Bytes(n) => {
+                let range = take(pos, *n as usize)?;
+                match field.base {
+                    FlatBase::Int => {
+                        let mut v = 0u64;
+                        for b in &bytes[range] {
+                            v = (v << 8) | u64::from(*b);
+                        }
+                        record.push(Slot::Num(v));
+                    }
+                    _ => record.push_text(&bytes[range]),
+                }
+            }
+            FlatSize::FieldRef(slot) => {
+                let n = match record.view(*slot) {
+                    FlatView::Num(v) => v as usize,
+                    _ => {
+                        return Err(parse_err(
+                            format!("length field for {:?} has not been parsed", field.label),
+                            *pos,
+                        ))
+                    }
+                };
+                let range = take(pos, n)?;
+                match field.base {
+                    FlatBase::Int => {
+                        let v = parse_decimal(&bytes[range.clone()]).ok_or_else(|| {
+                            parse_err(
+                                format!(
+                                    "expected an integer, found {:?}",
+                                    String::from_utf8_lossy(&bytes[range])
+                                ),
+                                *pos,
+                            )
+                        })?;
+                        record.push(Slot::Num(v));
+                    }
+                    _ => record.push_text(&bytes[range]),
+                }
+            }
+            FlatSize::Remaining => {
+                let range = *pos..bytes.len();
+                *pos = bytes.len();
+                record.push_text(&bytes[range]);
+            }
+            FlatSize::SelfDelim => {
+                // FQDN labels → dotted text in the arena.
+                let start = record.arena.len() as u32;
+                let mut first = true;
+                loop {
+                    let len_range = take(pos, 1)?;
+                    let len = bytes[len_range.start] as usize;
+                    if len == 0 {
+                        break;
+                    }
+                    if len & 0xC0 != 0 {
+                        return Err(parse_err(
+                            "FQDN compression pointers are not supported".into(),
+                            *pos,
+                        ));
+                    }
+                    let range = take(pos, len)?;
+                    if !first {
+                        record.arena.push(b'.');
+                    }
+                    first = false;
+                    match std::str::from_utf8(&bytes[range.clone()]) {
+                        Ok(_) => record.arena.extend_from_slice(&bytes[range]),
+                        Err(_) => record
+                            .arena
+                            .extend_from_slice(String::from_utf8_lossy(&bytes[range]).as_bytes()),
+                    }
+                }
+                let len = record.arena.len() as u32 - start;
+                record.push(Slot::Text { start, len });
+            }
+            FlatSize::Delim(delim) => {
+                let end = find(bytes, delim, *pos).ok_or_else(|| {
+                    parse_err(
+                        format!("field {:?}: delimiter {delim:?} not found", field.label),
+                        *pos,
+                    )
+                })?;
+                let range = *pos..end;
+                *pos = end + delim.len();
+                match field.base {
+                    FlatBase::Int => {
+                        let v = parse_decimal(&bytes[range.clone()]).ok_or_else(|| {
+                            parse_err(
+                                format!(
+                                    "expected an integer, found {:?}",
+                                    String::from_utf8_lossy(&bytes[range])
+                                ),
+                                *pos,
+                            )
+                        })?;
+                        record.push(Slot::Num(v));
+                    }
+                    _ => record.push_text(&bytes[range]),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The effective compose-time value of slot `index`: the slot if
+    /// written, the rule-binding literal when the slot is unset (or, in
+    /// binary MDLs, empty — mirroring the interpreted composer's
+    /// missing-or-empty fill), the typed default otherwise.
+    fn effective<'a>(
+        &'a self,
+        message: &'a FlatMessage,
+        index: usize,
+        record: &'a FlatRecord,
+    ) -> EffVal<'a> {
+        let field = &message.fields[index];
+        let binding = |field: &'a FlatField| match &field.binding {
+            Some(FlatVal::Num(v)) => Some(EffVal::Num(*v)),
+            Some(FlatVal::Text(t)) => Some(EffVal::Text(t.as_bytes())),
+            None => None,
+        };
+        let default = |field: &FlatField| match field.base {
+            FlatBase::Int => EffVal::Num(0),
+            FlatBase::Str | FlatBase::Fqdn => EffVal::Text(b""),
+        };
+        match record.view(index) {
+            FlatView::Num(v) => {
+                if self.kind == MdlKind::Binary && v == 0 {
+                    if let Some(b) = binding(field) {
+                        return b;
+                    }
+                }
+                EffVal::Num(v)
+            }
+            FlatView::Text(t) => {
+                if self.kind == MdlKind::Binary && t.is_empty() {
+                    if let Some(b) = binding(field) {
+                        return b;
+                    }
+                }
+                EffVal::Text(t)
+            }
+            FlatView::Unset => binding(field).unwrap_or_else(|| default(field)),
+        }
+    }
+
+    /// The first mandatory field of the record's message whose value is
+    /// empty, mirroring the engine's ⊨ completeness check over schema
+    /// instances (unset slots read as their schema default).
+    pub fn unfilled_mandatory<'a>(&'a self, record: &FlatRecord) -> Option<&'a str> {
+        let message = self.messages.get(record.message())?;
+        for (index, field) in message.fields.iter().enumerate() {
+            if !field.mandatory {
+                continue;
+            }
+            let raw = match record.view(index) {
+                FlatView::Num(v) => EffVal::Num(v),
+                FlatView::Text(t) => EffVal::Text(t),
+                FlatView::Unset => match &field.binding {
+                    Some(FlatVal::Num(v)) => EffVal::Num(*v),
+                    Some(FlatVal::Text(t)) => EffVal::Text(t.as_bytes()),
+                    None => match field.base {
+                        FlatBase::Int => EffVal::Num(0),
+                        _ => EffVal::Text(b""),
+                    },
+                },
+            };
+            let empty = match raw {
+                EffVal::Num(v) => v == 0,
+                EffVal::Text(t) => t.is_empty(),
+            };
+            if empty {
+                return Some(&field.label);
+            }
+        }
+        None
+    }
+
+    /// The wire byte length of field `index` given current values
+    /// (binary MDLs).
+    fn wire_len(&self, message: &FlatMessage, index: usize, record: &FlatRecord) -> Result<u64> {
+        let field = &message.fields[index];
+        match &field.size {
+            FlatSize::Bytes(n) => Ok(u64::from(*n)),
+            FlatSize::FieldRef(_) | FlatSize::Remaining => {
+                match self.effective(message, index, record) {
+                    EffVal::Text(t) => Ok(t.len() as u64),
+                    EffVal::Num(_) => Err(MdlError::Compose(format!(
+                        "field {:?} expects text, found an integer",
+                        field.label
+                    ))),
+                }
+            }
+            FlatSize::SelfDelim => match self.effective(message, index, record) {
+                EffVal::Text(t) => {
+                    if t.is_empty() {
+                        Ok(1)
+                    } else {
+                        Ok(t.split(|b| *b == b'.').map(|l| l.len() as u64 + 1).sum::<u64>() + 1)
+                    }
+                }
+                EffVal::Num(_) => Err(MdlError::Compose(format!(
+                    "field {:?} expects text, found an integer",
+                    field.label
+                ))),
+            },
+            FlatSize::Delim(_) => {
+                Err(MdlError::Compose("delimiter sizes are only valid in text MDLs".into()))
+            }
+        }
+    }
+
+    /// The text-image byte length of field `index` (text MDLs).
+    fn text_len(&self, message: &FlatMessage, index: usize, record: &FlatRecord) -> u64 {
+        match self.effective(message, index, record) {
+            EffVal::Num(v) => decimal_digits(v),
+            EffVal::Text(t) => t.len() as u64,
+        }
+    }
+
+    /// Composes `record` into `out` (cleared first). Byte-identical to
+    /// the interpreted composer over schema-instance inputs.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown message indices and unmarshal-able values.
+    pub fn compose(&self, record: &FlatRecord, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
+        let message = self
+            .messages
+            .get(record.message())
+            .ok_or_else(|| MdlError::UnknownMessage(format!("#{}", record.message())))?;
+        match self.kind {
+            MdlKind::Binary => self.compose_binary(message, record, out),
+            MdlKind::Text => self.compose_text(message, record, out),
+        }
+    }
+
+    fn compose_binary(
+        &self,
+        message: &FlatMessage,
+        record: &FlatRecord,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let total = if message.has_total {
+            let mut total = 0u64;
+            for index in 0..message.fields.len() {
+                total += self.wire_len(message, index, record)?;
+            }
+            total
+        } else {
+            0
+        };
+        for (index, field) in message.fields.iter().enumerate() {
+            let value = match field.func {
+                Some(FlatFunc::Length { target }) => {
+                    EffVal::Num(self.wire_len(message, target, record)?)
+                }
+                Some(FlatFunc::TotalLength) => EffVal::Num(total),
+                None => self.effective(message, index, record),
+            };
+            match &field.size {
+                FlatSize::Bytes(n) => {
+                    let v = match value {
+                        EffVal::Num(v) => v,
+                        EffVal::Text(t) => parse_decimal(t).ok_or_else(|| {
+                            MdlError::Compose(format!("field {:?} expects an integer", field.label))
+                        })?,
+                    };
+                    if field.base != FlatBase::Int {
+                        // Fixed-width strings: exact length required.
+                        let t = match value {
+                            EffVal::Text(t) => t,
+                            EffVal::Num(_) => {
+                                return Err(MdlError::Compose(format!(
+                                    "field {:?} expects text, found an integer",
+                                    field.label
+                                )))
+                            }
+                        };
+                        if t.len() != *n as usize {
+                            return Err(MdlError::Compose(format!(
+                                "String value is {} bytes but the field is sized {n}",
+                                t.len()
+                            )));
+                        }
+                        out.extend_from_slice(t);
+                        continue;
+                    }
+                    let bits = u64::from(*n) * 8;
+                    if bits < 64 && v >= (1u64 << bits) {
+                        return Err(MdlError::Compose(format!(
+                            "value {v} does not fit in {bits} bits"
+                        )));
+                    }
+                    for k in (0..*n).rev() {
+                        out.push((v >> (8 * k)) as u8);
+                    }
+                }
+                FlatSize::FieldRef(_) | FlatSize::Remaining => match value {
+                    EffVal::Text(t) => out.extend_from_slice(t),
+                    EffVal::Num(_) => {
+                        return Err(MdlError::Compose(format!(
+                            "field {:?} expects text, found an integer",
+                            field.label
+                        )))
+                    }
+                },
+                FlatSize::SelfDelim => {
+                    let t = match value {
+                        EffVal::Text(t) => t,
+                        EffVal::Num(_) => {
+                            return Err(MdlError::Compose(format!(
+                                "field {:?} expects text, found an integer",
+                                field.label
+                            )))
+                        }
+                    };
+                    if !t.is_empty() {
+                        for label in t.split(|b| *b == b'.') {
+                            if label.is_empty() || label.len() > 63 {
+                                return Err(MdlError::Compose(format!(
+                                    "FQDN label {:?} must be 1..=63 bytes",
+                                    String::from_utf8_lossy(label)
+                                )));
+                            }
+                            out.push(label.len() as u8);
+                            out.extend_from_slice(label);
+                        }
+                    }
+                    out.push(0);
+                }
+                FlatSize::Delim(_) => {
+                    return Err(MdlError::Compose(
+                        "delimiter sizes are only valid in text MDLs".into(),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn compose_text(
+        &self,
+        message: &FlatMessage,
+        record: &FlatRecord,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        for (index, field) in message.fields.iter().enumerate() {
+            match field.func {
+                Some(FlatFunc::Length { target }) => {
+                    push_decimal(out, self.text_len(message, target, record));
+                }
+                _ => match self.effective(message, index, record) {
+                    EffVal::Num(v) => push_decimal(out, v),
+                    EffVal::Text(t) => out.extend_from_slice(t),
+                },
+            }
+            if let FlatSize::Delim(delim) = &field.size {
+                out.extend_from_slice(delim);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::{BinaryComposer, BinaryParser};
+    use crate::marshal::MarshallerRegistry;
+    use crate::rule::Rule;
+    use crate::spec::{FieldSpec, MessageSpec};
+    use crate::text::{TextComposer, TextParser};
+    use crate::types::{FieldFunction, TypeDef};
+    use starlink_message::Value;
+    use std::sync::Arc;
+
+    /// A miniature SLP-like binary spec (fixed widths, rule literals,
+    /// field references, both field functions).
+    fn binary_spec() -> Arc<MdlSpec> {
+        Arc::new(
+            MdlSpec::new("MiniSLP", MdlKind::Binary)
+                .type_entry("SRVType", TypeDef::plain("String"))
+                .type_entry(
+                    "SRVTypeLength",
+                    TypeDef::with_function(
+                        "Integer",
+                        FieldFunction::new("f-length", vec!["SRVType".into()]),
+                    ),
+                )
+                .type_entry(
+                    "MessageLength",
+                    TypeDef::with_function("Integer", FieldFunction::new("f-total-length", vec![])),
+                )
+                .type_entry("Name", TypeDef::plain("FQDN"))
+                .header_field(FieldSpec::new("Version", SizeSpec::Bits(8)))
+                .header_field(FieldSpec::new("FunctionID", SizeSpec::Bits(8)))
+                .header_field(FieldSpec::new("MessageLength", SizeSpec::Bits(24)))
+                .header_field(FieldSpec::new("XID", SizeSpec::Bits(16)))
+                .message(
+                    MessageSpec::new("SrvRequest", Rule::parse("FunctionID=1").unwrap())
+                        .field(FieldSpec::new("SRVTypeLength", SizeSpec::Bits(16)))
+                        .field(
+                            FieldSpec::new("SRVType", SizeSpec::FieldRef("SRVTypeLength".into()))
+                                .required(),
+                        ),
+                )
+                .message(
+                    MessageSpec::new("NameQuery", Rule::parse("FunctionID=3").unwrap())
+                        .field(FieldSpec::new("Name", SizeSpec::SelfDelimiting).required()),
+                ),
+        )
+    }
+
+    /// A miniature WSD-like text spec: delimiter boundaries plus a
+    /// length-framed trailing blob.
+    fn text_spec() -> Arc<MdlSpec> {
+        Arc::new(
+            MdlSpec::new("MiniWSD", MdlKind::Text)
+                .type_entry("Action", TypeDef::plain("String"))
+                .type_entry("Body", TypeDef::plain("String"))
+                .type_entry(
+                    "BodyLength",
+                    TypeDef::with_function(
+                        "Integer",
+                        FieldFunction::new("f-length", vec!["Body".into()]),
+                    ),
+                )
+                .header_field(FieldSpec::new("Action", SizeSpec::Delimiter(b"|".to_vec())))
+                .message(
+                    MessageSpec::new("Ping", Rule::parse("Action=ping").unwrap())
+                        .field(FieldSpec::new("BodyLength", SizeSpec::Delimiter(b">".to_vec())))
+                        .field(
+                            FieldSpec::new("Body", SizeSpec::FieldRef("BodyLength".into()))
+                                .required(),
+                        ),
+                ),
+        )
+    }
+
+    fn registry() -> Arc<MarshallerRegistry> {
+        Arc::new(MarshallerRegistry::with_builtins())
+    }
+
+    #[test]
+    fn binary_flat_matches_interpreted_roundtrip() {
+        let spec = binary_spec();
+        let plan = FlatPlan::compile(&spec).expect("binary spec is flattenable");
+        let composer = BinaryComposer::new(spec.clone(), registry()).unwrap();
+        let parser = BinaryParser::new(spec.clone(), registry()).unwrap();
+
+        let mut msg = spec.schema("SrvRequest").unwrap().instantiate();
+        msg.set(&"Version".into(), Value::Unsigned(2)).unwrap();
+        msg.set(&"XID".into(), Value::Unsigned(0xBEEF)).unwrap();
+        msg.set(&"SRVType".into(), Value::Str("service:printer".into())).unwrap();
+        let wire = composer.compose(&msg).unwrap();
+
+        let mut record = FlatRecord::new();
+        let selected = plan.parse(&wire, &mut record).unwrap();
+        assert_eq!(plan.message_name(selected), "SrvRequest");
+        let xid = plan.slot_index(selected, "XID").unwrap();
+        assert_eq!(record.view(xid), FlatView::Num(0xBEEF));
+        let srv = plan.slot_index(selected, "SRVType").unwrap();
+        assert_eq!(record.view(srv), FlatView::Text(b"service:printer"));
+
+        // Compose from the parsed record: byte-identical, and the
+        // interpreted parser accepts the output.
+        let mut out = Vec::new();
+        plan.compose(&record, &mut out).unwrap();
+        assert_eq!(out, wire);
+        assert_eq!(parser.parse(&out).unwrap().name(), "SrvRequest");
+    }
+
+    #[test]
+    fn binary_flat_compose_from_sparse_slots_matches_blank_instance() {
+        // Unset slots must behave exactly like an untouched schema
+        // instance: rule bindings and typed defaults fill in, and the
+        // length functions recompute.
+        let spec = binary_spec();
+        let plan = FlatPlan::compile(&spec).unwrap();
+        let composer = BinaryComposer::new(spec.clone(), registry()).unwrap();
+
+        let idx = plan.message_index("SrvRequest").unwrap();
+        let mut record = FlatRecord::new();
+        record.reset(idx, plan.slot_count(idx));
+        record.set_num(plan.slot_index(idx, "XID").unwrap(), 7);
+        record.set_text(plan.slot_index(idx, "SRVType").unwrap(), b"service:x");
+        let mut out = Vec::new();
+        plan.compose(&record, &mut out).unwrap();
+
+        let mut msg = spec.schema("SrvRequest").unwrap().instantiate();
+        msg.set(&"XID".into(), Value::Unsigned(7)).unwrap();
+        msg.set(&"SRVType".into(), Value::Str("service:x".into())).unwrap();
+        assert_eq!(out, composer.compose(&msg).unwrap());
+    }
+
+    #[test]
+    fn binary_flat_fqdn_roundtrips() {
+        let spec = binary_spec();
+        let plan = FlatPlan::compile(&spec).unwrap();
+        let composer = BinaryComposer::new(spec.clone(), registry()).unwrap();
+
+        let mut msg = spec.schema("NameQuery").unwrap().instantiate();
+        msg.set(&"FunctionID".into(), Value::Unsigned(3)).unwrap();
+        msg.set(&"Name".into(), Value::Str("_printer._tcp.local".into())).unwrap();
+        let wire = composer.compose(&msg).unwrap();
+
+        let mut record = FlatRecord::new();
+        let selected = plan.parse(&wire, &mut record).unwrap();
+        assert_eq!(plan.message_name(selected), "NameQuery");
+        let name = plan.slot_index(selected, "Name").unwrap();
+        assert_eq!(record.view(name), FlatView::Text(b"_printer._tcp.local"));
+        let mut out = Vec::new();
+        plan.compose(&record, &mut out).unwrap();
+        assert_eq!(out, wire);
+    }
+
+    #[test]
+    fn text_flat_matches_interpreted() {
+        let spec = text_spec();
+        let plan = FlatPlan::compile(&spec).expect("text spec is flattenable");
+        let composer = TextComposer::new(spec.clone()).unwrap();
+        let parser = TextParser::new(spec.clone()).unwrap();
+
+        let mut msg = spec.schema("Ping").unwrap().instantiate();
+        msg.set(&"Body".into(), Value::Str("<data/>".into())).unwrap();
+        let wire = composer.compose(&msg).unwrap();
+        assert_eq!(parser.parse(&wire).unwrap().name(), "Ping");
+
+        let mut record = FlatRecord::new();
+        let selected = plan.parse(&wire, &mut record).unwrap();
+        assert_eq!(plan.message_name(selected), "Ping");
+        let body = plan.slot_index(selected, "Body").unwrap();
+        assert_eq!(record.view(body), FlatView::Text(b"<data/>"));
+        let len = plan.slot_index(selected, "BodyLength").unwrap();
+        assert_eq!(record.view(len), FlatView::Num(7));
+
+        let mut out = Vec::new();
+        plan.compose(&record, &mut out).unwrap();
+        assert_eq!(out, wire);
+
+        // Sparse compose: only the framed body set; the binding fills
+        // Action and the length recomputes.
+        let mut sparse = FlatRecord::new();
+        sparse.reset(selected, plan.slot_count(selected));
+        sparse.set_text(body, b"<data/>");
+        plan.compose(&sparse, &mut out).unwrap();
+        assert_eq!(out, wire);
+    }
+
+    #[test]
+    fn unsupported_constructs_stay_interpreted() {
+        // DelimitedPairs (the SSDP header section) has no flat
+        // equivalent.
+        let spec = MdlSpec::new("MiniSSDP", MdlKind::Text)
+            .header_field(FieldSpec::new("Method", SizeSpec::Delimiter(vec![32])))
+            .header_field(FieldSpec::new(
+                "Fields",
+                SizeSpec::DelimitedPairs { line: vec![13, 10], split: vec![58] },
+            ))
+            .message(MessageSpec::new("M", Rule::parse("Method=M-SEARCH").unwrap()));
+        assert!(FlatPlan::compile(&spec).is_none());
+
+        // Bit-unaligned binary fields stay interpreted too.
+        let spec = MdlSpec::new("Bits", MdlKind::Binary)
+            .header_field(FieldSpec::new("Flag", SizeSpec::Bits(1)))
+            .message(MessageSpec::new("M", Rule::Always));
+        assert!(FlatPlan::compile(&spec).is_none());
+    }
+
+    #[test]
+    fn unfilled_mandatory_mirrors_schema_check() {
+        let spec = binary_spec();
+        let plan = FlatPlan::compile(&spec).unwrap();
+        let idx = plan.message_index("SrvRequest").unwrap();
+        let mut record = FlatRecord::new();
+        record.reset(idx, plan.slot_count(idx));
+        assert_eq!(plan.unfilled_mandatory(&record), Some("SRVType"));
+        record.set_text(plan.slot_index(idx, "SRVType").unwrap(), b"service:x");
+        assert_eq!(plan.unfilled_mandatory(&record), None);
+    }
+}

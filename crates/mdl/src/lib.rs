@@ -54,6 +54,7 @@ mod binary;
 mod bitio;
 mod codec;
 mod error;
+mod flat;
 mod functions;
 mod intern;
 mod marshal;
@@ -68,6 +69,7 @@ pub use binary::{BinaryComposer, BinaryParser};
 pub use bitio::{BitReader, BitWriter};
 pub use codec::{MdlCodec, MdlRegistry};
 pub use error::{MdlError, Result};
+pub use flat::{FlatPlan, FlatRecord, FlatView};
 pub use functions::{evaluate_functions, field_wire_bits};
 pub use marshal::{
     BoolMarshaller, BytesMarshaller, FqdnMarshaller, IntegerMarshaller, Ipv4Marshaller, Marshaller,

@@ -18,10 +18,12 @@
 //! GET, so its SSDP response LOCATION points at the bridge host — which
 //! is why those constructors take `bridge_host`.
 
+use crate::calibration::Calibration;
 use crate::{http, mdns, slp, ssdp, wsd};
 use starlink_automata::{Assignment, Delta, MergedAutomaton, NetworkAction, ValueSource};
 use starlink_core::{synthesize_bridge, FieldCorrelator, Ontology, Starlink};
 use starlink_message::Value;
+use starlink_net::SimDuration;
 
 /// Loads the five protocol MDLs into a framework instance (the model-
 /// loading step every deployment starts with).
@@ -771,6 +773,33 @@ impl BridgeCase {
             BridgeCase::BonjourToSlp => Some(6_190),
             _ => None,
         }
+    }
+
+    /// Whether this case compiles to the fused parse→translate→compose
+    /// fast path. A case fuses when its merged automaton is a plain
+    /// two-part request/response chain over UDP whose translation is
+    /// field-to-field assignments and deterministic builtins; the UPnP
+    /// chains stay interpreted (three parts, a TCP leg, and a `set_host`
+    /// λ action). Asserted against the engine's actual plan-compile
+    /// outcome in the fused-equivalence suite.
+    pub fn fusable(&self) -> bool {
+        !matches!(self.source(), Family::Upnp) && !matches!(self.target(), Family::Upnp)
+    }
+
+    /// The answer-cache TTL for this case: how long a translated
+    /// response may be replayed to duplicate queries, governed by the
+    /// *target* family's protocol (the cached answer is a claim about
+    /// the legacy service, so its validity follows that service's own
+    /// caching rules — SLP URL lifetime, mDNS record TTL, WSD metadata
+    /// refresh, SSDP max-age).
+    pub fn answer_ttl(&self, calibration: &Calibration) -> SimDuration {
+        let range = match self.target() {
+            Family::Slp => calibration.slp_answer_ttl,
+            Family::Bonjour => calibration.mdns_answer_ttl,
+            Family::Wsd => calibration.wsd_answer_ttl,
+            Family::Upnp => calibration.ssdp_answer_ttl,
+        };
+        SimDuration::from_millis(range.midpoint_ms())
     }
 }
 

@@ -75,6 +75,20 @@ pub struct Calibration {
     /// WSD client-side stack overhead between the ProbeMatch arriving
     /// and the application callback.
     pub wsd_client_overhead: DelayRange,
+    /// How long a cached SLP `SrvRply` stays valid: SLP URL entries carry
+    /// a lifetime (RFC 2608 caps it at 0xFFFF s; OpenSLP registers with
+    /// 60 s by default), so a bridge may replay an answer for that long.
+    pub slp_answer_ttl: DelayRange,
+    /// How long a cached mDNS answer stays valid: the PTR records our
+    /// responder model emits carry TTL = 120 s.
+    pub mdns_answer_ttl: DelayRange,
+    /// How long a cached WS-Discovery ProbeMatch stays valid: matches
+    /// carry `MetadataVersion`, and WSDAPI stacks re-probe on the order
+    /// of a minute.
+    pub wsd_answer_ttl: DelayRange,
+    /// How long a cached SSDP response stays valid: `CACHE-CONTROL:
+    /// max-age=1800` is the UPnP-arch default.
+    pub ssdp_answer_ttl: DelayRange,
 }
 
 impl Calibration {
@@ -90,6 +104,10 @@ impl Calibration {
             upnp_client_overhead: DelayRange::new(622, 726),
             wsd_service_delay: DelayRange::new(180, 420),
             wsd_client_overhead: DelayRange::new(55, 75),
+            slp_answer_ttl: DelayRange::new(60_000, 60_000),
+            mdns_answer_ttl: DelayRange::new(120_000, 120_000),
+            wsd_answer_ttl: DelayRange::new(60_000, 60_000),
+            ssdp_answer_ttl: DelayRange::new(1_800_000, 1_800_000),
         }
     }
 
@@ -109,6 +127,12 @@ impl Calibration {
             upnp_client_overhead: DelayRange::new(0, 0),
             wsd_service_delay: DelayRange::new(0, 0),
             wsd_client_overhead: DelayRange::new(0, 0),
+            // Answer TTLs stay realistic even under instant delays: the
+            // flood benches want the cache hot, not disabled.
+            slp_answer_ttl: DelayRange::new(60_000, 60_000),
+            mdns_answer_ttl: DelayRange::new(60_000, 60_000),
+            wsd_answer_ttl: DelayRange::new(60_000, 60_000),
+            ssdp_answer_ttl: DelayRange::new(60_000, 60_000),
         }
     }
 
@@ -125,6 +149,12 @@ impl Calibration {
             upnp_client_overhead: DelayRange::new(1, 2),
             wsd_service_delay: DelayRange::new(2, 3),
             wsd_client_overhead: DelayRange::new(1, 2),
+            // Short TTLs so expiry paths are reachable inside a unit
+            // test's simulated milliseconds.
+            slp_answer_ttl: DelayRange::new(50, 50),
+            mdns_answer_ttl: DelayRange::new(50, 50),
+            wsd_answer_ttl: DelayRange::new(50, 50),
+            ssdp_answer_ttl: DelayRange::new(50, 50),
         }
     }
 }

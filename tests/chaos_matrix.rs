@@ -267,6 +267,158 @@ fn explicit_partition_and_heal_recovers_mid_matrix() {
     assert!(sim.trace_text().contains("chaos partition drop"));
 }
 
+#[test]
+fn cached_answers_expire_on_ttl() {
+    // The calibration-row TTL is enforced in virtual time: a duplicate
+    // inside the window is served from the cache, one after it pays a
+    // full translation again and the swept entry lands in the
+    // expiration counter.
+    use starlink::core::{EngineConfig, Starlink};
+    use starlink::net::{DelayedActor, SimNet, SimTime};
+    use starlink::protocols::{bridges, mdns, slp, DiscoveryProbe};
+
+    let case = BridgeCase::SlpToBonjour;
+    let ttl = case.answer_ttl(&Calibration::fast());
+    assert_eq!(ttl, SimDuration::from_millis(50), "fast calibration answer TTL");
+
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+    let config = EngineConfig {
+        correlator: Some(std::sync::Arc::new(bridges::default_correlator())),
+        answer_ttl: Some(ttl),
+        ..EngineConfig::default()
+    };
+    let (engine, stats) = framework.deploy_with(bridges::slp_to_bonjour(), config).unwrap();
+    assert!(engine.is_fused(), "case 2 runs the fused path");
+
+    let probe_a = DiscoveryProbe::new();
+    let probe_b = DiscoveryProbe::new();
+    let probe_c = DiscoveryProbe::new();
+    let mut sim = SimNet::new(0x77A);
+    sim.add_actor("10.0.0.2", engine);
+    sim.add_actor(
+        "10.0.0.3",
+        mdns::BonjourService::new(
+            "_printer._tcp.local",
+            "service:printer://10.0.0.3:631",
+            Calibration::fast(),
+        ),
+    );
+    // Three duplicates of the same query, spread across virtual time:
+    // at 0 (populates), at 10ms (inside the 50ms TTL), at 70ms (past
+    // it). The delays are real scheduled events, so the virtual clock
+    // actually crosses the TTL boundary between the second and third.
+    sim.add_actor("10.0.1.1", slp::SlpClient::new("service:printer", probe_a.clone()));
+    sim.add_actor(
+        "10.0.1.2",
+        DelayedActor::new(
+            SimDuration::from_millis(10),
+            slp::SlpClient::new("service:printer", probe_b.clone()),
+        ),
+    );
+    sim.add_actor(
+        "10.0.1.3",
+        DelayedActor::new(
+            SimDuration::from_millis(70),
+            slp::SlpClient::new("service:printer", probe_c.clone()),
+        ),
+    );
+
+    sim.run_until(SimTime::from_millis(9));
+    assert_eq!(probe_a.results().len(), 1, "first client completes normally");
+    let cache = stats.cache();
+    assert_eq!(
+        (cache.hits, cache.misses, cache.insertions, cache.expirations),
+        (0, 1, 1, 0),
+        "first exchange misses and populates the cache"
+    );
+
+    // The duplicate inside the TTL window is a hit.
+    sim.run_until(SimTime::from_millis(30));
+    assert_eq!(probe_b.results().len(), 1, "duplicate inside the TTL completes");
+    let cache = stats.cache();
+    assert_eq!((cache.hits, cache.expirations), (1, 0), "in-window duplicate hits");
+
+    // Past the TTL the entry is expired, not served: the third client
+    // pays a full translation and re-populates the cache.
+    sim.run_until_idle();
+    assert_eq!(probe_c.results().len(), 1, "post-TTL client completes via full translation");
+    let cache = stats.cache();
+    assert_eq!(cache.hits, 1, "the stale entry was not served");
+    assert_eq!(cache.expirations, 1, "the lapsed entry was counted expired");
+    assert_eq!(cache.misses, 2, "first and post-TTL queries both missed");
+    assert_eq!(cache.insertions, 2, "the post-TTL exchange re-populated the cache");
+    stats.assert_consistent("cache TTL expiry");
+}
+
+#[test]
+fn cached_answers_are_not_served_across_an_active_partition() {
+    // Cached replies go through the same simulated links as everything
+    // else: a client behind an active partition gets nothing (and no
+    // hit is recorded), while a backend-side partition does not stop
+    // the cache from serving duplicates — that staleness is exactly
+    // what the TTL bounds.
+    use starlink::core::{EngineConfig, Starlink};
+    use starlink::net::{SimNet, SimTime};
+    use starlink::protocols::{bridges, mdns, slp, DiscoveryProbe};
+
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).unwrap();
+    let config = EngineConfig {
+        correlator: Some(std::sync::Arc::new(bridges::default_correlator())),
+        // A TTL comfortably longer than the scenario, so every miss or
+        // absent reply below is attributable to the partition alone.
+        answer_ttl: Some(SimDuration::from_millis(500)),
+        ..EngineConfig::default()
+    };
+    let (engine, stats) = framework.deploy_with(bridges::slp_to_bonjour(), config).unwrap();
+
+    let probe_a = DiscoveryProbe::new();
+    let probe_b = DiscoveryProbe::new();
+    let probe_c = DiscoveryProbe::new();
+    let probe_d = DiscoveryProbe::new();
+    let mut sim = SimNet::new(0x9B7);
+    sim.add_actor("10.0.0.2", engine);
+    sim.add_actor(
+        "10.0.0.3",
+        mdns::BonjourService::new(
+            "_printer._tcp.local",
+            "service:printer://10.0.0.3:631",
+            Calibration::fast(),
+        ),
+    );
+    sim.add_actor("10.0.1.1", slp::SlpClient::new("service:printer", probe_a.clone()));
+    sim.run_until(SimTime::from_millis(10));
+    assert_eq!(probe_a.results().len(), 1, "cache populated by a normal exchange");
+    assert_eq!(stats.cache().insertions, 1);
+
+    // Bridge ↔ legacy service partitioned: a duplicate is still served
+    // from the shard-local cache without touching the backend.
+    sim.partition("10.0.0.2", "10.0.0.3");
+    sim.add_actor("10.0.1.2", slp::SlpClient::new("service:printer", probe_b.clone()));
+    sim.run_until(SimTime::from_millis(20));
+    assert_eq!(probe_b.results().len(), 1, "backend partition does not block cached replies");
+    assert_eq!(stats.cache().hits, 1);
+
+    // Bridge ↔ client partitioned: the duplicate query never reaches
+    // the engine, so no cached reply crosses the partition and no hit
+    // is recorded.
+    sim.partition("10.0.0.2", "10.0.1.3");
+    sim.add_actor("10.0.1.3", slp::SlpClient::new("service:printer", probe_c.clone()));
+    sim.run_until(SimTime::from_millis(40));
+    assert!(probe_c.is_empty(), "no cached reply crossed the active partition");
+    assert_eq!(stats.cache().hits, 1, "no hit recorded for the partitioned client");
+    assert!(sim.trace_text().contains("chaos partition drop"), "the partition actually dropped");
+
+    // After healing, a fresh duplicate is served from the cache again.
+    sim.heal_partition("10.0.0.2", "10.0.1.3");
+    sim.add_actor("10.0.1.4", slp::SlpClient::new("service:printer", probe_d.clone()));
+    sim.run_until_idle();
+    assert_eq!(probe_d.results().len(), 1, "post-heal duplicate completes");
+    assert_eq!(stats.cache().hits, 2, "post-heal duplicate served from the cache");
+    stats.assert_consistent("cache vs partition");
+}
+
 /// Replays one matrix cell from environment variables — the target of
 /// the repro command a failing cell prints. A no-op unless `CHAOS_CASE`
 /// is set, so the plain test run is unaffected.

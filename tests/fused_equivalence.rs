@@ -1,0 +1,386 @@
+//! Differential conformance for the fused fast path: for every bridge
+//! that compiles to a [`FusedPlan`], the bytes on the wire — the
+//! translated request the bridge multicasts at the target protocol and
+//! the reply it unicasts back to the legacy client — must be **byte
+//! identical** to what the interpreted engine produces for the same
+//! inputs. The interpreted path is ground truth; fusion is pure
+//! mechanical sympathy and must never be observable.
+//!
+//! Three layers of checks:
+//!
+//! 1. the static fusability matrix (`BridgeCase::fusable`) matches the
+//!    engine's actual plan-compile outcome for all 12 cases;
+//! 2. a deterministic sweep of every fusable case;
+//! 3. a property test drawing random query fields (ids, service labels,
+//!    service URLs) for random fusable cases — failures dump the case
+//!    and a hex diff of the first divergent datagram.
+
+use proptest::prelude::*;
+use starlink::core::{EngineConfig, Starlink};
+use starlink::net::{Actor, Context, Datagram, SimAddr, SimDuration, SimNet};
+use starlink::protocols::{
+    bridges::{self, BridgeCase, Family},
+    mdns, slp, wsd,
+};
+use std::sync::{Arc, Mutex};
+
+const CLIENT: &str = "10.0.0.1";
+const BRIDGE: &str = "10.0.0.2";
+const SERVICE: &str = "10.0.0.3";
+const SNIFFER: &str = "10.0.0.7";
+const CLIENT_PORT: u16 = 40_000;
+
+/// Every datagram of interest, in simulation order: the bridge's
+/// translated requests (sniffed off the target multicast group), the
+/// raw requests the service saw, and the replies the client received.
+type WireLog = Arc<Mutex<Vec<(&'static str, Vec<u8>)>>>;
+
+fn group_of(family: Family) -> SimAddr {
+    match family {
+        Family::Slp => SimAddr::new(slp::SLP_GROUP, slp::SLP_PORT),
+        Family::Bonjour => SimAddr::new(mdns::MDNS_GROUP, mdns::MDNS_PORT),
+        Family::Wsd => SimAddr::new(wsd::WSD_GROUP, wsd::WSD_PORT),
+        Family::Upnp => unreachable!("no fusable case touches UPnP"),
+    }
+}
+
+/// A native query for `family` with caller-chosen correlation id and
+/// service label, built with the legacy wire encoders.
+fn build_query(family: Family, id: u64, label: &str) -> Vec<u8> {
+    match family {
+        Family::Slp => slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(
+            id as u16,
+            format!("service:{label}"),
+        ))),
+        Family::Bonjour => mdns::encode(&mdns::DnsMessage::Question(mdns::DnsQuestion::new(
+            id as u16,
+            format!("_{label}._tcp.local"),
+        )))
+        .expect("question encodes"),
+        Family::Wsd => {
+            wsd::encode(&wsd::WsdMessage::Probe(wsd::WsdProbe::new(id, format!("dn:{label}"))))
+        }
+        Family::Upnp => unreachable!("no fusable case touches UPnP"),
+    }
+}
+
+/// Sends each query on its own timer tick and records every reply.
+struct QueryClient {
+    queries: Vec<Vec<u8>>,
+    group: SimAddr,
+    log: WireLog,
+}
+
+impl Actor for QueryClient {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.bind_udp(CLIENT_PORT).expect("client port free");
+        for i in 0..self.queries.len() {
+            ctx.set_timer(SimDuration::from_millis(40 * i as u64), i as u64);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        let query = &self.queries[tag as usize];
+        ctx.udp_send(CLIENT_PORT, self.group.clone(), &query[..]);
+    }
+
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, datagram: Datagram) {
+        self.log.lock().unwrap().push(("client-rx", datagram.payload.to_vec()));
+    }
+}
+
+/// A promiscuous legacy service: answers *any* request of its family,
+/// echoing the correlation id and name so randomized queries still get
+/// full round trips.
+struct EchoService {
+    family: Family,
+    url: String,
+    log: WireLog,
+}
+
+impl Actor for EchoService {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let group = group_of(self.family);
+        ctx.bind_udp(group.port).expect("service port free");
+        ctx.join_group(group);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, datagram: Datagram) {
+        self.log.lock().unwrap().push(("service-rx", datagram.payload.to_vec()));
+        let reply = match self.family {
+            Family::Slp => match slp::decode(&datagram.payload) {
+                Ok(slp::SlpMessage::SrvRqst(rqst)) => {
+                    slp::encode(&slp::SlpMessage::SrvRply(slp::SrvRply::new(rqst.xid, &self.url)))
+                }
+                _ => return,
+            },
+            Family::Bonjour => match mdns::decode(&datagram.payload) {
+                Ok(mdns::DnsMessage::Question(q)) => mdns::encode(&mdns::DnsMessage::Response(
+                    mdns::DnsResponse::new(q.id, q.qname, &self.url),
+                ))
+                .expect("response encodes"),
+                _ => return,
+            },
+            Family::Wsd => match wsd::decode(&datagram.payload) {
+                Ok(wsd::WsdMessage::Probe(p)) => {
+                    wsd::encode(&wsd::WsdMessage::ProbeMatch(wsd::WsdProbeMatch::new(
+                        wsd::probe_uuid(0xfeed),
+                        p.message_id,
+                        p.types,
+                        &self.url,
+                    )))
+                }
+                _ => return,
+            },
+            Family::Upnp => unreachable!("no fusable case touches UPnP"),
+        };
+        let port = group_of(self.family).port;
+        ctx.udp_send(port, datagram.from, reply);
+    }
+}
+
+/// Joins the target multicast group and records whatever the bridge
+/// sends there — the translated-request leg of the exchange.
+struct Sniffer {
+    group: SimAddr,
+    log: WireLog,
+}
+
+impl Actor for Sniffer {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.join_group(self.group.clone());
+    }
+
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, datagram: Datagram) {
+        self.log.lock().unwrap().push(("bridge-tx", datagram.payload.to_vec()));
+    }
+}
+
+/// One full simulated discovery run; returns the ordered wire log and
+/// whether the engine took the fused path.
+fn run_wire(
+    case: BridgeCase,
+    seed: u64,
+    queries: &[(u64, String)],
+    url: &str,
+    force_interpreted: bool,
+    answer_ttl: Option<SimDuration>,
+) -> (Vec<(&'static str, Vec<u8>)>, bool) {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).expect("models load");
+    let config = EngineConfig {
+        correlator: Some(Arc::new(bridges::default_correlator())),
+        force_interpreted,
+        answer_ttl,
+        ..EngineConfig::default()
+    };
+    let (engine, stats) = framework.deploy_with(case.build(BRIDGE), config).expect("deploys");
+    let fused = engine.is_fused();
+
+    let log: WireLog = Arc::default();
+    let mut sim = SimNet::new(seed);
+    sim.add_actor(BRIDGE, engine);
+    sim.add_actor(
+        SERVICE,
+        EchoService { family: case.target(), url: url.to_owned(), log: log.clone() },
+    );
+    sim.add_actor(
+        CLIENT,
+        QueryClient {
+            queries: queries
+                .iter()
+                .map(|(id, label)| build_query(case.source(), *id, label))
+                .collect(),
+            group: group_of(case.source()),
+            log: log.clone(),
+        },
+    );
+    sim.add_actor(SNIFFER, Sniffer { group: group_of(case.target()), log: log.clone() });
+    sim.run_until_idle();
+    stats.assert_consistent(&format!("case {} wire run", case.number()));
+    let log = log.lock().unwrap().clone();
+    (log, fused)
+}
+
+/// A side-by-side hex dump of the first divergent datagram.
+fn hex_diff(label: &str, fused: &[u8], interpreted: &[u8]) -> String {
+    let mut out =
+        format!("{label}: fused {} bytes, interpreted {} bytes\n", fused.len(), interpreted.len());
+    let width = fused.len().max(interpreted.len());
+    for offset in (0..width).step_by(16) {
+        let row = |bytes: &[u8]| -> String {
+            (offset..(offset + 16).min(bytes.len())).map(|i| format!("{:02x} ", bytes[i])).collect()
+        };
+        let (f, i) = (row(fused), row(interpreted));
+        let marker = if f == i { ' ' } else { '!' };
+        out.push_str(&format!("{marker} {offset:04x}  fused: {f:<48}  interp: {i}\n"));
+    }
+    out
+}
+
+/// Asserts two wire logs are identical, dumping the case and a hex diff
+/// of the first divergence otherwise.
+fn assert_same_wire(
+    case: BridgeCase,
+    fused: &[(&'static str, Vec<u8>)],
+    interpreted: &[(&'static str, Vec<u8>)],
+) -> Result<(), String> {
+    if fused.len() != interpreted.len() {
+        return Err(format!(
+            "case {} ({}): fused log has {} datagrams, interpreted {}\nfused: {:?}\ninterpreted: {:?}",
+            case.number(),
+            case.name(),
+            fused.len(),
+            interpreted.len(),
+            fused.iter().map(|(l, b)| format!("{l}:{}", b.len())).collect::<Vec<_>>(),
+            interpreted.iter().map(|(l, b)| format!("{l}:{}", b.len())).collect::<Vec<_>>(),
+        ));
+    }
+    for (index, ((fl, fb), (il, ib))) in fused.iter().zip(interpreted).enumerate() {
+        if fl != il || fb != ib {
+            return Err(format!(
+                "case {} ({}): datagram #{index} diverges\n{}",
+                case.number(),
+                case.name(),
+                hex_diff(&format!("fused={fl} interpreted={il}"), fb, ib)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The static matrix must match what the plan compiler actually decides:
+/// the two-part UDP cases fuse, every UPnP chain stays interpreted.
+#[test]
+fn fusability_matrix_matches_engine() {
+    for &case in BridgeCase::all() {
+        let mut framework = Starlink::new();
+        bridges::load_all_mdls(&mut framework).expect("models load");
+        let config = EngineConfig {
+            correlator: Some(Arc::new(bridges::default_correlator())),
+            ..EngineConfig::default()
+        };
+        let (engine, _) = framework.deploy_with(case.build(BRIDGE), config).expect("deploys");
+        assert_eq!(
+            engine.is_fused(),
+            case.fusable(),
+            "case {} ({}): expected fusable={}, engine said {} (reason: {:?})",
+            case.number(),
+            case.name(),
+            case.fusable(),
+            engine.is_fused(),
+            engine.fused_reject_reason(),
+        );
+    }
+    // And the matrix has the expected shape: exactly the six non-UPnP
+    // pairs fuse.
+    assert_eq!(BridgeCase::all().iter().filter(|c| c.fusable()).count(), 6);
+}
+
+/// `force_interpreted` must actually pin the engine to the slow path —
+/// the differential below is meaningless otherwise.
+#[test]
+fn force_interpreted_pins_the_slow_path() {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).expect("models load");
+    let config = EngineConfig { force_interpreted: true, ..EngineConfig::default() };
+    let (engine, _) =
+        framework.deploy_with(BridgeCase::SlpToBonjour.build(BRIDGE), config).expect("deploys");
+    assert!(!engine.is_fused());
+    assert!(engine.fused_reject_reason().is_some());
+}
+
+/// Deterministic sweep: every fusable case, three sequential sessions
+/// with distinct ids, fused bytes == interpreted bytes.
+#[test]
+fn fused_wire_matches_interpreted_all_cases() {
+    let queries: Vec<(u64, String)> =
+        vec![(7, "printer".into()), (1042, "scanner".into()), (65_000, "camera".into())];
+    for &case in BridgeCase::all().iter().filter(|c| c.fusable()) {
+        let url = "service:printer://10.0.0.3:631";
+        let (fused_log, took_fast_path) = run_wire(case, 4242, &queries, url, false, None);
+        let (interp_log, _) = run_wire(case, 4242, &queries, url, true, None);
+        assert!(took_fast_path, "case {} should fuse", case.number());
+        assert!(
+            fused_log.iter().any(|(l, _)| *l == "client-rx"),
+            "case {}: client never heard back",
+            case.number()
+        );
+        if let Err(diff) = assert_same_wire(case, &fused_log, &interp_log) {
+            panic!("{diff}");
+        }
+    }
+}
+
+/// With the answer cache on, a duplicate query (same service type, new
+/// correlation id) is served from cache — and the served bytes must
+/// *still* equal what the interpreted engine computes end-to-end,
+/// because the cached answer is re-personalized with the fresh id.
+#[test]
+fn cached_replay_matches_interpreted_recompute() {
+    let queries: Vec<(u64, String)> =
+        vec![(11, "printer".into()), (12, "printer".into()), (13, "printer".into())];
+    let ttl = Some(SimDuration::from_secs(60));
+    for &case in BridgeCase::all().iter().filter(|c| c.fusable()) {
+        let url = "service:printer://10.0.0.3:631";
+        let (fused_log, _) = run_wire(case, 7777, &queries, url, false, ttl);
+        let (interp_log, _) = run_wire(case, 7777, &queries, url, true, None);
+        // Cache hits suppress the bridge-tx + service-rx legs (no
+        // re-translation happens), so compare only what the legacy
+        // client observes — which is the transparency contract.
+        let client = |log: &[(&'static str, Vec<u8>)]| -> Vec<Vec<u8>> {
+            log.iter().filter(|(l, _)| *l == "client-rx").map(|(_, b)| b.clone()).collect()
+        };
+        let (fused_rx, interp_rx) = (client(&fused_log), client(&interp_log));
+        assert_eq!(
+            fused_rx.len(),
+            interp_rx.len(),
+            "case {}: reply counts diverge with cache on",
+            case.number()
+        );
+        for (index, (f, i)) in fused_rx.iter().zip(&interp_rx).enumerate() {
+            assert!(
+                f == i,
+                "case {} ({}): cached reply #{index} diverges\n{}",
+                case.number(),
+                case.name(),
+                hex_diff("cached vs interpreted", f, i)
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Randomized differential: any fusable case, 1–4 queries with
+    /// random ids and service labels, a random service URL — the fused
+    /// and interpreted engines must emit identical bytes everywhere.
+    #[test]
+    fn fused_wire_matches_interpreted_randomized(
+        seed in 0u64..100_000,
+        case_index in 0usize..6,
+        ids in prop::collection::vec(0u64..65_536, 1..4),
+        label in "[a-z]{1,8}",
+        host in 1u8..250,
+    ) {
+        let case = *BridgeCase::all()
+            .iter()
+            .filter(|c| c.fusable())
+            .nth(case_index)
+            .expect("six fusable cases");
+        // Distinct ids per query: duplicate ids are a correlation
+        // collision, legitimately dropped by both paths but with
+        // timing-dependent logs.
+        let mut queries: Vec<(u64, String)> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            let id = (id + i as u64 * 70_000) % 16_000_000;
+            queries.push((id, label.clone()));
+        }
+        let url = format!("service:{label}://10.0.0.{host}:631");
+        let (fused_log, took_fast_path) = run_wire(case, seed, &queries, &url, false, None);
+        let (interp_log, _) = run_wire(case, seed, &queries, &url, true, None);
+        prop_assert!(took_fast_path, "case {} should fuse", case.number());
+        if let Err(diff) = assert_same_wire(case, &fused_log, &interp_log) {
+            return Err(TestCaseError::fail(diff));
+        }
+    }
+}
