@@ -1,0 +1,599 @@
+//! Static analyses over coloured and merged automata — the automata
+//! layer of `starlink-check`.
+//!
+//! | Code   | Severity | Meaning                                                  |
+//! |--------|----------|----------------------------------------------------------|
+//! | AUT001 | warning  | state unreachable from the initial state                 |
+//! | AUT002 | error    | dead state: no accepting state reachable from it         |
+//! | AUT003 | warning  | receive state from which no send transition is reachable |
+//! | AUT004 | warning  | colour configuration: unused or duplicate colours        |
+//! | AUT005 | info/err | λ-audit: no-op δ-transitions (info), δ-cycles (error)    |
+//!
+//! [`analyze_automaton`] checks one coloured automaton in isolation;
+//! [`analyze_merged`] checks a merged automaton, where reachability
+//! flows across δ-transitions: a part state entered only through a δ is
+//! *not* unreachable, and a receive state whose answer is sent from
+//! another part (after a δ crossing) is *not* flagged.
+//!
+//! Both functions accept the source XML [`Element`] the model was
+//! loaded from (when there is one) so diagnostics carry line/column
+//! spans of the offending `<State>`, `<Color>` or `<Delta>` element.
+
+use crate::automaton::{Action, ColoredAutomaton};
+use crate::merge::{DeltaTransition, GlobalState, MergedAutomaton};
+use starlink_xml::{Diagnostic, Element, Position};
+
+/// Resolves source spans inside a `<ColoredAutomaton>` or `<Bridge>`
+/// document. All lookups degrade to `Position::default()` (`0:0`) when
+/// the document — or the element within it — is absent.
+struct Spans<'a> {
+    root: Option<&'a Element>,
+    /// True when `root` is a `<Bridge>` wrapping per-part automata.
+    bridge: bool,
+}
+
+impl<'a> Spans<'a> {
+    fn new(root: Option<&'a Element>) -> Self {
+        let bridge = root.map(|r| r.name() == "Bridge").unwrap_or(false);
+        Spans { root, bridge }
+    }
+
+    /// The `<ColoredAutomaton>` element describing `protocol`.
+    fn part(&self, protocol: &str) -> Option<&'a Element> {
+        let root = self.root?;
+        if !self.bridge {
+            return Some(root);
+        }
+        root.children_named("ColoredAutomaton").find(|el| el.attr("protocol") == Some(protocol))
+    }
+
+    /// Span of `<State name="...">` within a part.
+    fn state(&self, protocol: &str, state: &str) -> Position {
+        self.part(protocol)
+            .and_then(|el| el.children_named("State").find(|s| s.attr("name") == Some(state)))
+            .map(|el| el.position())
+            .unwrap_or_default()
+    }
+
+    /// Span of the `index`-th `<Color>` within a part.
+    fn color(&self, protocol: &str, index: usize) -> Position {
+        self.part(protocol)
+            .and_then(|el| el.children_named("Color").nth(index))
+            .map(|el| el.position())
+            .unwrap_or_default()
+    }
+
+    /// Span of the `<Delta from="..." to="...">` element.
+    fn delta(&self, from: &str, to: &str) -> Position {
+        self.root
+            .and_then(|root| {
+                root.children_named("Delta")
+                    .find(|el| el.attr("from") == Some(from) && el.attr("to") == Some(to))
+            })
+            .map(|el| el.position())
+            .unwrap_or_default()
+    }
+}
+
+/// The combined state graph of one or more parts: nodes are part states
+/// flattened into one index space, edges are message transitions plus
+/// (for merged automata) δ-transitions.
+struct Graph<'a> {
+    parts: &'a [ColoredAutomaton],
+    /// Node index of state 0 of each part.
+    offsets: Vec<usize>,
+    /// Forward adjacency.
+    next: Vec<Vec<usize>>,
+    /// Nodes that are the target of a receive transition.
+    receive_entered: Vec<bool>,
+    /// Nodes with an outgoing send transition.
+    sends: Vec<bool>,
+    /// Accepting nodes.
+    accepting: Vec<bool>,
+}
+
+impl<'a> Graph<'a> {
+    fn build(parts: &'a [ColoredAutomaton], deltas: &[DeltaTransition]) -> Self {
+        let mut offsets = Vec::with_capacity(parts.len());
+        let mut total = 0;
+        for part in parts {
+            offsets.push(total);
+            total += part.states().len();
+        }
+        let mut next = vec![Vec::new(); total];
+        let mut receive_entered = vec![false; total];
+        let mut sends = vec![false; total];
+        let mut accepting = vec![false; total];
+        for (p, part) in parts.iter().enumerate() {
+            for state in part.states() {
+                accepting[offsets[p] + state.id.0] = state.accepting;
+            }
+            for t in part.transitions() {
+                let from = offsets[p] + t.from.0;
+                let to = offsets[p] + t.to.0;
+                next[from].push(to);
+                match t.action {
+                    Action::Receive => receive_entered[to] = true,
+                    Action::Send => sends[from] = true,
+                }
+            }
+        }
+        for delta in deltas {
+            if let (Some(from), Some(to)) =
+                (index_of(&offsets, parts, delta.from), index_of(&offsets, parts, delta.to))
+            {
+                next[from].push(to);
+            }
+        }
+        Graph { parts, offsets, next, receive_entered, sends, accepting }
+    }
+
+    /// Forward reachability from `start`.
+    fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.next.len()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(node) = stack.pop() {
+            for &to in &self.next[node] {
+                if !seen[to] {
+                    seen[to] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Nodes from which some node satisfying `goal` is reachable
+    /// (including goal nodes themselves).
+    fn can_reach(&self, goal: impl Fn(usize) -> bool) -> Vec<bool> {
+        // Backward BFS over reversed edges.
+        let mut prev = vec![Vec::new(); self.next.len()];
+        for (from, tos) in self.next.iter().enumerate() {
+            for &to in tos {
+                prev[to].push(from);
+            }
+        }
+        let mut seen = vec![false; self.next.len()];
+        let mut stack: Vec<usize> = (0..self.next.len()).filter(|&n| goal(n)).collect();
+        for &n in &stack {
+            seen[n] = true;
+        }
+        while let Some(node) = stack.pop() {
+            for &from in &prev[node] {
+                if !seen[from] {
+                    seen[from] = true;
+                    stack.push(from);
+                }
+            }
+        }
+        seen
+    }
+
+    /// `"PROTO:name"` display form of a node.
+    fn name(&self, node: usize) -> String {
+        let (p, s) = self.split(node);
+        format!("{}:{}", self.parts[p].protocol(), self.parts[p].states()[s].name)
+    }
+
+    fn split(&self, node: usize) -> (usize, usize) {
+        let p = match self.offsets.binary_search(&node) {
+            Ok(exact) => exact,
+            Err(insert) => insert - 1,
+        };
+        (p, node - self.offsets[p])
+    }
+}
+
+fn index_of(offsets: &[usize], parts: &[ColoredAutomaton], gs: GlobalState) -> Option<usize> {
+    let part = parts.get(gs.part.0)?;
+    if gs.state.0 >= part.states().len() {
+        return None;
+    }
+    Some(offsets[gs.part.0] + gs.state.0)
+}
+
+/// Runs AUT001–AUT003 over the combined graph and AUT004 per part.
+fn analyze_graph(
+    graph: &Graph<'_>,
+    initial: usize,
+    spans: &Spans<'_>,
+    subject: &str,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let state_pos = |node: usize| {
+        let (p, s) = graph.split(node);
+        spans.state(graph.parts[p].protocol(), &graph.parts[p].states()[s].name)
+    };
+
+    // AUT001: unreachable states.
+    let reachable = graph.reachable_from(initial);
+    for (node, reached) in reachable.iter().enumerate() {
+        if !reached {
+            diags.push(
+                Diagnostic::warning(
+                    "AUT001",
+                    format!(
+                        "state {} is unreachable from the initial state; no execution \
+                         can ever enter it",
+                        graph.name(node)
+                    ),
+                )
+                .at(state_pos(node))
+                .on(subject),
+            );
+        }
+    }
+
+    // AUT002: dead states — execution can enter but never complete a
+    // session. With no accepting states at all, every run is doomed.
+    if !graph.accepting.iter().any(|&a| a) {
+        diags.push(
+            Diagnostic::error(
+                "AUT002",
+                "automaton has no accepting state: no session can ever complete",
+            )
+            .at(spans.root.map(|r| r.position()).unwrap_or_default())
+            .on(subject),
+        );
+    } else {
+        let alive = graph.can_reach(|n| graph.accepting[n]);
+        for node in 0..graph.next.len() {
+            if reachable[node] && !alive[node] {
+                diags.push(
+                    Diagnostic::error(
+                        "AUT002",
+                        format!(
+                            "state {} is dead: no accepting state is reachable from it, \
+                             so any session entering it hangs forever",
+                            graph.name(node)
+                        ),
+                    )
+                    .at(state_pos(node))
+                    .on(subject),
+                );
+            }
+        }
+    }
+
+    // AUT003: a non-accepting state entered by a receive from which no
+    // send is reachable — the automaton absorbs a message and the
+    // conversation can never be answered.
+    let can_send = graph.can_reach(|n| graph.sends[n]);
+    for node in 0..graph.next.len() {
+        if graph.receive_entered[node]
+            && !graph.accepting[node]
+            && reachable[node]
+            && !can_send[node]
+        {
+            diags.push(
+                Diagnostic::warning(
+                    "AUT003",
+                    format!(
+                        "state {} is entered by a receive but no send transition is \
+                         reachable from it: the message is absorbed without an answer",
+                        graph.name(node)
+                    ),
+                )
+                .at(state_pos(node))
+                .on(subject),
+            );
+        }
+    }
+
+    // AUT004: colour configuration, per part.
+    for part in graph.parts {
+        let mut used = vec![false; part.colors().len()];
+        for state in part.states() {
+            if let Some(slot) = used.get_mut(state.color) {
+                *slot = true;
+            }
+        }
+        for (index, in_use) in used.iter().enumerate() {
+            if !in_use {
+                diags.push(
+                    Diagnostic::warning(
+                        "AUT004",
+                        format!(
+                            "colour #{index} ({}) of {} is not used by any state",
+                            part.colors()[index],
+                            part.protocol()
+                        ),
+                    )
+                    .at(spans.color(part.protocol(), index))
+                    .on(subject),
+                );
+            }
+        }
+        for (index, color) in part.colors().iter().enumerate() {
+            if part.colors()[..index].iter().any(|c| c.key() == color.key()) {
+                diags.push(
+                    Diagnostic::warning(
+                        "AUT004",
+                        format!(
+                            "colour #{index} of {} duplicates an earlier colour ({})",
+                            part.protocol(),
+                            color
+                        ),
+                    )
+                    .at(spans.color(part.protocol(), index))
+                    .on(subject),
+                );
+            }
+        }
+    }
+
+    diags
+}
+
+/// Analyzes one coloured automaton in isolation.
+///
+/// Pass the source `<ColoredAutomaton>` element as `doc` when the
+/// automaton was loaded from XML so diagnostics carry spans.
+pub fn analyze_automaton(automaton: &ColoredAutomaton, doc: Option<&Element>) -> Vec<Diagnostic> {
+    let spans = Spans::new(doc);
+    let parts = std::slice::from_ref(automaton);
+    let graph = Graph::build(parts, &[]);
+    let subject = format!("automaton:{}", automaton.protocol());
+    analyze_graph(&graph, automaton.initial().0, &spans, &subject)
+}
+
+/// Analyzes a merged automaton: AUT001–AUT004 over the combined state
+/// graph (reachability flows across δ-transitions) plus the AUT005
+/// λ-transition audit.
+///
+/// Pass the source `<Bridge>` element as `doc` when available.
+pub fn analyze_merged(merged: &MergedAutomaton, doc: Option<&Element>) -> Vec<Diagnostic> {
+    let spans = Spans::new(doc);
+    let graph = Graph::build(merged.parts(), merged.deltas());
+    let subject = format!("bridge:{}", merged.name());
+    let initial = index_of(&graph.offsets, merged.parts(), merged.initial()).unwrap_or(0);
+    let mut diags = analyze_graph(&graph, initial, &spans, &subject);
+    diags.extend(audit_deltas(merged, &spans, &subject));
+    diags
+}
+
+/// AUT005: the λ-transition audit.
+fn audit_deltas(merged: &MergedAutomaton, spans: &Spans<'_>, subject: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let name_of = |gs: GlobalState| merged.state_name(gs);
+    let delta_pos = |d: &DeltaTransition| spans.delta(&name_of(d.from), &name_of(d.to));
+
+    for delta in merged.deltas() {
+        if delta.actions.is_empty() && delta.assignments.is_empty() {
+            diags.push(
+                Diagnostic::info(
+                    "AUT005",
+                    format!(
+                        "δ {} → {} carries no λ actions and no translation assignments; \
+                         the colour change performs no work",
+                        name_of(delta.from),
+                        name_of(delta.to)
+                    ),
+                )
+                .at(delta_pos(delta))
+                .on(subject),
+            );
+        }
+    }
+
+    // δ-only cycles: a loop of colour changes with no message exchange
+    // between them would bounce a session between parts forever.
+    let deltas = merged.deltas();
+    let nodes: Vec<GlobalState> = {
+        let mut v: Vec<GlobalState> = deltas.iter().flat_map(|d| [d.from, d.to]).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let index = |gs: GlobalState| nodes.binary_search(&gs).expect("collected above");
+    let mut next = vec![Vec::new(); nodes.len()];
+    for delta in deltas {
+        next[index(delta.from)].push(index(delta.to));
+    }
+    // Iterative colour-marking DFS (white/grey/black) for cycle detection.
+    let mut mark = vec![0u8; nodes.len()];
+    for start in 0..nodes.len() {
+        if mark[start] != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        mark[start] = 1;
+        while let Some(&mut (node, ref mut edge)) = stack.last_mut() {
+            if *edge < next[node].len() {
+                let to = next[node][*edge];
+                *edge += 1;
+                match mark[to] {
+                    0 => {
+                        mark[to] = 1;
+                        stack.push((to, 0));
+                    }
+                    1 => {
+                        let cycle: Vec<String> = stack
+                            .iter()
+                            .map(|&(n, _)| name_of(nodes[n]))
+                            .chain(std::iter::once(name_of(nodes[to])))
+                            .collect();
+                        diags.push(
+                            Diagnostic::error(
+                                "AUT005",
+                                format!(
+                                    "δ-transitions form a cycle with no message exchange: {}",
+                                    cycle.join(" → ")
+                                ),
+                            )
+                            .at(spans.root.map(|r| r.position()).unwrap_or_default())
+                            .on(subject),
+                        );
+                        // One report per component is enough.
+                        for m in &mut mark {
+                            if *m == 1 {
+                                *m = 2;
+                            }
+                        }
+                        stack.clear();
+                    }
+                    _ => {}
+                }
+            } else {
+                mark[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::{Color, Mode, Transport};
+    use crate::merge::{Delta, MergedAutomaton};
+    use starlink_xml::Severity;
+
+    fn color() -> Color {
+        Color::new(Transport::Udp, 427, Mode::Async).multicast("239.255.255.253")
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code()).collect()
+    }
+
+    #[test]
+    fn clean_automaton_yields_no_diagnostics() {
+        let a = ColoredAutomaton::builder("SLP")
+            .color(color())
+            .state("s0")
+            .state_accepting("s1")
+            .receive("s0", "Req", "s1")
+            .send("s1", "Reply", "s0")
+            .build()
+            .unwrap();
+        assert!(analyze_automaton(&a, None).is_empty());
+    }
+
+    #[test]
+    fn unreachable_state_is_aut001() {
+        let a = ColoredAutomaton::builder("X")
+            .color(color())
+            .state_accepting("s0")
+            .state("orphan")
+            .build()
+            .unwrap();
+        let diags = analyze_automaton(&a, None);
+        assert!(codes(&diags).contains(&"AUT001"), "{diags:?}");
+        assert!(diags.iter().any(|d| d.message().contains("orphan")));
+    }
+
+    #[test]
+    fn dead_state_and_missing_accepting_are_aut002() {
+        // No accepting state at all.
+        let a = ColoredAutomaton::builder("X").color(color()).state("s0").build().unwrap();
+        let diags = analyze_automaton(&a, None);
+        assert_eq!(codes(&diags), vec!["AUT002"]);
+        assert_eq!(diags[0].severity(), Severity::Error);
+
+        // A trap state next to an accepting one.
+        let a = ColoredAutomaton::builder("X")
+            .color(color())
+            .state("s0")
+            .state_accepting("ok")
+            .state("trap")
+            .receive("s0", "Good", "ok")
+            .receive("s0", "Bad", "trap")
+            .build()
+            .unwrap();
+        let diags = analyze_automaton(&a, None);
+        assert!(diags.iter().any(|d| d.code() == "AUT002" && d.message().contains("trap")));
+        // `trap` is also receive-entered with no reachable send.
+        assert!(diags.iter().any(|d| d.code() == "AUT003"));
+    }
+
+    #[test]
+    fn accepting_receive_tail_is_not_flagged() {
+        // The classic client shape: send, await answer, accept.
+        let a = ColoredAutomaton::builder("X")
+            .color(color())
+            .state("s0")
+            .state("s1")
+            .state_accepting("s2")
+            .send("s0", "Query", "s1")
+            .receive("s1", "Resp", "s2")
+            .build()
+            .unwrap();
+        assert!(analyze_automaton(&a, None).is_empty());
+    }
+
+    #[test]
+    fn unused_color_is_aut004() {
+        let a = ColoredAutomaton::builder("X")
+            .color(color())
+            .state_accepting("s0")
+            .color(Color::new(Transport::Tcp, 80, Mode::Sync))
+            .build()
+            .unwrap();
+        let diags = analyze_automaton(&a, None);
+        assert!(codes(&diags).contains(&"AUT004"), "{diags:?}");
+    }
+
+    #[test]
+    fn merged_reachability_crosses_deltas() {
+        // Part B is only entered through a δ; none of its states may be
+        // reported unreachable, and A's receive state finds its send in B.
+        let a = ColoredAutomaton::builder("A")
+            .color(color())
+            .state("a0")
+            .state_accepting("a1")
+            .receive("a0", "Req", "a1")
+            .send("a1", "Reply", "a0")
+            .build()
+            .unwrap();
+        let b = ColoredAutomaton::builder("B")
+            .color(Color::new(Transport::Udp, 5353, Mode::Async).multicast("224.0.0.251"))
+            .state("b0")
+            .state("b1")
+            .state_accepting("b2")
+            .send("b0", "Query", "b1")
+            .receive("b1", "Resp", "b2")
+            .build()
+            .unwrap();
+        let merged = MergedAutomaton::builder("a-b")
+            .part(a)
+            .part(b)
+            .delta(Delta::new("A:a1", "B:b0"))
+            .delta(Delta::new("B:b2", "A:a1"))
+            .build()
+            .unwrap();
+        let diags = analyze_merged(&merged, None);
+        assert!(
+            diags.iter().all(|d| d.severity() < Severity::Warning),
+            "only the no-op-δ info notes expected, got {diags:?}"
+        );
+        // Both bare δs are reported by the λ audit at info level.
+        assert_eq!(diags.iter().filter(|d| d.code() == "AUT005").count(), 2);
+    }
+
+    #[test]
+    fn delta_cycle_is_aut005_error() {
+        let a =
+            ColoredAutomaton::builder("A").color(color()).state_accepting("a0").build().unwrap();
+        let b = ColoredAutomaton::builder("B")
+            .color(Color::new(Transport::Tcp, 80, Mode::Sync))
+            .state_accepting("b0")
+            .build()
+            .unwrap();
+        let merged = MergedAutomaton::builder("loop")
+            .part(a)
+            .part(b)
+            .delta(Delta::new("A:a0", "B:b0"))
+            .delta(Delta::new("B:b0", "A:a0"))
+            .build()
+            .unwrap();
+        let diags = analyze_merged(&merged, None);
+        assert!(
+            diags.iter().any(|d| d.code() == "AUT005" && d.severity() == Severity::Error),
+            "{diags:?}"
+        );
+    }
+}

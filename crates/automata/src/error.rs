@@ -21,9 +21,22 @@ pub enum AutomataError {
     /// kind, ...).
     Execution(String),
     /// An XML model document was malformed.
-    Xml(String),
+    Xml {
+        /// Human-readable reason.
+        message: String,
+        /// Where the offending construct sits in the source document
+        /// (1-based line/column; `0:0` when unknown).
+        position: starlink_xml::Position,
+    },
     /// An underlying abstract-message operation failed.
     Message(MessageError),
+}
+
+impl AutomataError {
+    /// Creates an XML model error without a source position.
+    pub fn xml(message: impl Into<String>) -> Self {
+        AutomataError::Xml { message: message.into(), position: starlink_xml::Position::default() }
+    }
 }
 
 impl fmt::Display for AutomataError {
@@ -35,7 +48,13 @@ impl fmt::Display for AutomataError {
             AutomataError::NotMergeable(msg) => write!(f, "automata are not mergeable: {msg}"),
             AutomataError::Translation(msg) => write!(f, "translation error: {msg}"),
             AutomataError::Execution(msg) => write!(f, "execution error: {msg}"),
-            AutomataError::Xml(msg) => write!(f, "invalid automaton XML: {msg}"),
+            AutomataError::Xml { message, position } => {
+                write!(f, "invalid automaton XML")?;
+                if *position != starlink_xml::Position::default() {
+                    write!(f, " at {position}")?;
+                }
+                write!(f, ": {message}")
+            }
             AutomataError::Message(err) => write!(f, "{err}"),
         }
     }

@@ -13,11 +13,97 @@
 //! The lowering is total or nothing: any construct without an exact
 //! allocation-free replica (multi-argument functions over non-literal
 //! arguments, nested field paths, non-scalar literals, unknown function
-//! names) fails compilation with a reason string, and the caller keeps
-//! that bridge on the interpreted path.
+//! names) fails compilation with a structured [`FuseError`], and the
+//! caller keeps that bridge on the interpreted path.
 
 use crate::translation::{Assignment, FunctionRegistry, ValueSource};
 use starlink_message::Value;
+use std::fmt;
+
+/// Why an assignment list fell outside the fusable subset. Each variant
+/// is a precise, machine-readable reject reason; `starlink-check
+/// --explain-fusion` surfaces them with lint codes, and the engine keeps
+/// the bridge on the interpreted path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FuseError {
+    /// An assignment targets a message other than the one being composed.
+    TargetMessageMismatch {
+        /// The message the assignment targets.
+        found: String,
+        /// The outbound message fusion is compiling.
+        expected: String,
+    },
+    /// The assignment's target path has more than one segment.
+    NestedTargetPath(String),
+    /// A source field path has more than one segment.
+    NestedSourcePath(String),
+    /// A source field does not resolve to any record slot.
+    UnknownSourceField {
+        /// Message the field was looked up in.
+        message: String,
+        /// The unresolved field label.
+        field: String,
+    },
+    /// A literal value has no slot representation (only unsigned
+    /// integers and strings do).
+    UnfusableLiteral(String),
+    /// Constant-folding a literal-only function application through the
+    /// registry failed.
+    ConstantFoldFailed {
+        /// The function name.
+        name: String,
+        /// The registry's failure reason.
+        reason: String,
+    },
+    /// A function takes several non-literal arguments; only unary
+    /// applications fuse.
+    MultiArgFunction {
+        /// The function name.
+        name: String,
+        /// How many arguments it was given.
+        args: usize,
+    },
+    /// No native replica exists for the named registry function.
+    NoFusedReplica(String),
+}
+
+impl fmt::Display for FuseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuseError::TargetMessageMismatch { found, expected } => {
+                write!(f, "assignment targets {found:?}, expected {expected:?}")
+            }
+            FuseError::NestedTargetPath(path) => {
+                write!(f, "nested target path {path} is not fusable")
+            }
+            FuseError::NestedSourcePath(path) => {
+                write!(f, "nested field path {path} is not fusable")
+            }
+            FuseError::UnknownSourceField { message, field } => {
+                write!(f, "unknown source field {message}.{field}")
+            }
+            FuseError::UnfusableLiteral(value) => {
+                write!(f, "literal {value} has no fused representation")
+            }
+            FuseError::ConstantFoldFailed { name, reason } => {
+                write!(f, "constant fold of {name} failed: {reason}")
+            }
+            FuseError::MultiArgFunction { name, args } => {
+                write!(
+                    f,
+                    "function {name} takes {args} non-literal arguments; only unary \
+                     functions fuse"
+                )
+            }
+            FuseError::NoFusedReplica(name) => {
+                write!(f, "function {name} has no fused replica")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FuseError {}
 
 /// A slot of one of the two source records a step can read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -272,11 +358,11 @@ pub struct FusedStep {
     pub source: FusedSource,
 }
 
-fn fold_literal(value: Value) -> Result<FusedSource, String> {
+fn fold_literal(value: Value) -> Result<FusedSource, FuseError> {
     match value {
         Value::Unsigned(v) => Ok(FusedSource::LitNum(v)),
         Value::Str(s) => Ok(FusedSource::LitText(s)),
-        other => Err(format!("literal {other:?} has no fused representation")),
+        other => Err(FuseError::UnfusableLiteral(format!("{other:?}"))),
     }
 }
 
@@ -284,16 +370,16 @@ fn compile_source(
     source: &ValueSource,
     resolve_source: &dyn Fn(&str, &str) -> Option<SlotRef>,
     registry: &FunctionRegistry,
-) -> Result<FusedSource, String> {
+) -> Result<FusedSource, FuseError> {
     match source {
         ValueSource::Field { message, path, .. } => {
             let [segment] = path.segments() else {
-                return Err(format!("nested field path {path} is not fusable"));
+                return Err(FuseError::NestedSourcePath(path.to_string()));
             };
             let label = segment.label.as_str();
-            resolve_source(message, label)
-                .map(FusedSource::Slot)
-                .ok_or_else(|| format!("unknown source field {message}.{label}"))
+            resolve_source(message, label).map(FusedSource::Slot).ok_or_else(|| {
+                FuseError::UnknownSourceField { message: message.clone(), field: label.to_owned() }
+            })
         }
         ValueSource::Literal(value) => fold_literal(value.clone()),
         ValueSource::Function { name, args } => {
@@ -307,20 +393,16 @@ fn compile_source(
                 })
                 .collect();
             if let Some(literals) = literals {
-                let value = registry
-                    .apply(name, &literals)
-                    .map_err(|e| format!("constant fold of {name} failed: {e}"))?;
+                let value = registry.apply(name, &literals).map_err(|e| {
+                    FuseError::ConstantFoldFailed { name: name.clone(), reason: e.to_string() }
+                })?;
                 return fold_literal(value);
             }
             let [arg] = args.as_slice() else {
-                return Err(format!(
-                    "function {name} takes {} non-literal arguments; only unary \
-                     functions fuse",
-                    args.len()
-                ));
+                return Err(FuseError::MultiArgFunction { name: name.clone(), args: args.len() });
             };
-            let function = FusedFn::from_name(name)
-                .ok_or_else(|| format!("function {name} has no fused replica"))?;
+            let function =
+                FusedFn::from_name(name).ok_or_else(|| FuseError::NoFusedReplica(name.clone()))?;
             let inner = compile_source(arg, resolve_source, registry)?;
             Ok(FusedSource::Apply(function, Box::new(inner)))
         }
@@ -334,8 +416,8 @@ fn compile_source(
 ///
 /// # Errors
 ///
-/// Returns a human-readable reason when any assignment falls outside
-/// the fusable subset; the caller logs it and keeps the bridge
+/// Returns a structured [`FuseError`] when any assignment falls outside
+/// the fusable subset; the caller reports it and keeps the bridge
 /// interpreted.
 pub fn compile_steps(
     assignments: &[Assignment],
@@ -343,17 +425,17 @@ pub fn compile_steps(
     resolve_target: &dyn Fn(&str) -> Option<usize>,
     resolve_source: &dyn Fn(&str, &str) -> Option<SlotRef>,
     registry: &FunctionRegistry,
-) -> Result<Vec<FusedStep>, String> {
+) -> Result<Vec<FusedStep>, FuseError> {
     let mut steps = Vec::with_capacity(assignments.len());
     for assignment in assignments {
         if assignment.target_message != expected_message {
-            return Err(format!(
-                "assignment targets {:?}, expected {expected_message:?}",
-                assignment.target_message
-            ));
+            return Err(FuseError::TargetMessageMismatch {
+                found: assignment.target_message.clone(),
+                expected: expected_message.to_owned(),
+            });
         }
         let [segment] = assignment.target_path.segments() else {
-            return Err(format!("nested target path {} is not fusable", assignment.target_path));
+            return Err(FuseError::NestedTargetPath(assignment.target_path.to_string()));
         };
         let label = segment.label.as_str();
         // A target field absent from the outbound schema is a wire no-op
@@ -483,7 +565,7 @@ mod tests {
             &registry,
         )
         .unwrap_err();
-        assert!(err.contains("concat"), "{err}");
+        assert_eq!(err, FuseError::MultiArgFunction { name: "concat".into(), args: 2 });
 
         // Unknown function name.
         let err = compile_steps(
@@ -498,7 +580,8 @@ mod tests {
             &registry,
         )
         .unwrap_err();
-        assert!(err.contains("no fused replica"), "{err}");
+        assert_eq!(err, FuseError::NoFusedReplica("set_host".into()));
+        assert!(err.to_string().contains("no fused replica"));
 
         // Assignment to a different message.
         let err = compile_steps(
@@ -509,6 +592,6 @@ mod tests {
             &registry,
         )
         .unwrap_err();
-        assert!(err.contains("expected"), "{err}");
+        assert!(matches!(err, FuseError::TargetMessageMismatch { .. }), "{err}");
     }
 }

@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 mod actions;
+mod analyze;
 mod automaton;
 mod color;
 mod dot;
@@ -73,6 +74,7 @@ mod translation;
 mod xml_load;
 
 pub use actions::{NetworkAction, ResolvedAction};
+pub use analyze::{analyze_automaton, analyze_merged};
 pub use automaton::{Action, AutomatonBuilder, ColoredAutomaton, State, StateId, Transition};
 pub use color::{Color, ColorKey, Mode, Transport};
 pub use dot::{automaton_to_dot, merged_to_dot};
@@ -81,7 +83,9 @@ pub use equivalence::{
 };
 pub use error::{AutomataError, Result};
 pub use execution::{Execution, HistoryEntry, StepOutcome};
-pub use fused::{compile_steps, FusedArg, FusedFn, FusedOut, FusedSource, FusedStep, SlotRef};
+pub use fused::{
+    compile_steps, FuseError, FusedArg, FusedFn, FusedOut, FusedSource, FusedStep, SlotRef,
+};
 pub use merge::{
     Delta, DeltaTransition, GlobalState, MergeReport, MergedAutomaton, MergedAutomatonBuilder,
     PartId,

@@ -15,11 +15,16 @@ use starlink_message::{FieldPath, Value};
 use starlink_xml::Element;
 
 fn xml_err(err: starlink_xml::XmlError) -> AutomataError {
-    AutomataError::Xml(err.to_string())
+    AutomataError::Xml { message: err.kind_message(), position: err.position() }
 }
 
 fn msg_err(err: starlink_message::MessageError) -> AutomataError {
-    AutomataError::Xml(err.to_string())
+    AutomataError::xml(err.to_string())
+}
+
+/// An XML model error anchored at `element`'s source position.
+fn xml_at(message: impl Into<String>, element: &Element) -> AutomataError {
+    AutomataError::Xml { message: message.into(), position: element.position() }
 }
 
 // ---------------------------------------------------------------------
@@ -29,23 +34,22 @@ fn msg_err(err: starlink_message::MessageError) -> AutomataError {
 fn parse_color(element: &Element) -> Result<Color> {
     let transport_text = element
         .child_text("transport_protocol")
-        .ok_or_else(|| AutomataError::Xml("Color missing <transport_protocol>".into()))?;
+        .ok_or_else(|| xml_at("Color missing <transport_protocol>", element))?;
     let transport = Transport::parse(&transport_text)
-        .ok_or_else(|| AutomataError::Xml(format!("unknown transport {transport_text:?}")))?;
-    let port_text = element
-        .child_text("port")
-        .ok_or_else(|| AutomataError::Xml("Color missing <port>".into()))?;
+        .ok_or_else(|| xml_at(format!("unknown transport {transport_text:?}"), element))?;
+    let port_text =
+        element.child_text("port").ok_or_else(|| xml_at("Color missing <port>", element))?;
     let port: u16 =
-        port_text.parse().map_err(|_| AutomataError::Xml(format!("bad port {port_text:?}")))?;
+        port_text.parse().map_err(|_| xml_at(format!("bad port {port_text:?}"), element))?;
     let mode_text = element.child_text("mode").unwrap_or_else(|| "async".into());
     let mode = Mode::parse(&mode_text)
-        .ok_or_else(|| AutomataError::Xml(format!("unknown mode {mode_text:?}")))?;
+        .ok_or_else(|| xml_at(format!("unknown mode {mode_text:?}"), element))?;
     let mut color = Color::new(transport, port, mode);
     let multicast = element.child_text("multicast").map(|t| t == "yes").unwrap_or(false);
     if multicast {
         let group = element
             .child_text("group")
-            .ok_or_else(|| AutomataError::Xml("multicast Color missing <group>".into()))?;
+            .ok_or_else(|| xml_at("multicast Color missing <group>", element))?;
         color = color.multicast(group);
     }
     for child in element.children() {
@@ -89,10 +93,7 @@ pub fn load_automaton(source: &str) -> Result<ColoredAutomaton> {
 /// Same failure modes as [`load_automaton`].
 pub fn load_automaton_element(root: &Element) -> Result<ColoredAutomaton> {
     if root.name() != "ColoredAutomaton" {
-        return Err(AutomataError::Xml(format!(
-            "expected <ColoredAutomaton>, found <{}>",
-            root.name()
-        )));
+        return Err(xml_at(format!("expected <ColoredAutomaton>, found <{}>", root.name()), root));
     }
     let protocol = root.required_attr("protocol").map_err(xml_err)?;
     let mut builder: AutomatonBuilder = ColoredAutomaton::builder(protocol);
@@ -118,16 +119,15 @@ pub fn load_automaton_element(root: &Element) -> Result<ColoredAutomaton> {
                     "receive" | "?" => builder.receive(from, message, to),
                     "send" | "!" => builder.send(from, message, to),
                     other => {
-                        return Err(AutomataError::Xml(format!(
-                            "unknown transition action {other:?}"
-                        )))
+                        return Err(xml_at(format!("unknown transition action {other:?}"), child))
                     }
                 };
             }
             other => {
-                return Err(AutomataError::Xml(format!(
-                    "unexpected element <{other}> in ColoredAutomaton"
-                )))
+                return Err(xml_at(
+                    format!("unexpected element <{other}> in ColoredAutomaton"),
+                    child,
+                ))
             }
         }
     }
@@ -185,10 +185,10 @@ fn parse_value_source(element: &Element) -> Result<ValueSource> {
         "Field" => {
             let message = element
                 .child_text("Message")
-                .ok_or_else(|| AutomataError::Xml("Field missing <Message>".into()))?;
+                .ok_or_else(|| xml_at("Field missing <Message>", element))?;
             let xpath = element
                 .child_text("Xpath")
-                .ok_or_else(|| AutomataError::Xml("Field missing <Xpath>".into()))?;
+                .ok_or_else(|| xml_at("Field missing <Xpath>", element))?;
             let path = FieldPath::parse(&xpath).map_err(msg_err)?;
             let state = element.child_text("State");
             Ok(ValueSource::Field { message, path, state })
@@ -205,41 +205,38 @@ fn parse_value_source(element: &Element) -> Result<ValueSource> {
             let kind = element.attr("kind").unwrap_or("string");
             let text = element.text();
             let value = match kind {
-                "unsigned" => {
-                    Value::Unsigned(text.parse().map_err(|_| {
-                        AutomataError::Xml(format!("bad unsigned literal {text:?}"))
-                    })?)
-                }
+                "unsigned" => Value::Unsigned(
+                    text.parse()
+                        .map_err(|_| xml_at(format!("bad unsigned literal {text:?}"), element))?,
+                ),
                 "signed" => Value::Signed(
                     text.parse()
-                        .map_err(|_| AutomataError::Xml(format!("bad signed literal {text:?}")))?,
+                        .map_err(|_| xml_at(format!("bad signed literal {text:?}"), element))?,
                 ),
                 "bool" => Value::Bool(text == "true"),
                 _ => Value::Str(text),
             };
             Ok(ValueSource::Literal(value))
         }
-        other => Err(AutomataError::Xml(format!("unexpected value source <{other}>"))),
+        other => Err(xml_at(format!("unexpected value source <{other}>"), element)),
     }
 }
 
 fn parse_assignment(element: &Element) -> Result<Assignment> {
     let mut children = element.children();
-    let target_el = children
-        .next()
-        .ok_or_else(|| AutomataError::Xml("Assignment has no target <Field>".into()))?;
+    let target_el =
+        children.next().ok_or_else(|| xml_at("Assignment has no target <Field>", element))?;
     if target_el.name() != "Field" {
-        return Err(AutomataError::Xml("Assignment target must be a <Field>".into()));
+        return Err(xml_at("Assignment target must be a <Field>", target_el));
     }
     let target_message = target_el
         .child_text("Message")
-        .ok_or_else(|| AutomataError::Xml("target Field missing <Message>".into()))?;
+        .ok_or_else(|| xml_at("target Field missing <Message>", target_el))?;
     let target_xpath = target_el
         .child_text("Xpath")
-        .ok_or_else(|| AutomataError::Xml("target Field missing <Xpath>".into()))?;
+        .ok_or_else(|| xml_at("target Field missing <Xpath>", target_el))?;
     let target_path = FieldPath::parse(&target_xpath).map_err(msg_err)?;
-    let source_el =
-        children.next().ok_or_else(|| AutomataError::Xml("Assignment has no source".into()))?;
+    let source_el = children.next().ok_or_else(|| xml_at("Assignment has no source", element))?;
     let source = parse_value_source(source_el)?;
     Ok(Assignment { target_message, target_path, source })
 }
@@ -273,7 +270,7 @@ pub fn load_bridge(source: &str) -> Result<MergedAutomaton> {
 /// Same failure modes as [`load_bridge`].
 pub fn load_bridge_element(root: &Element) -> Result<MergedAutomaton> {
     if root.name() != "Bridge" {
-        return Err(AutomataError::Xml(format!("expected <Bridge>, found <{}>", root.name())));
+        return Err(xml_at(format!("expected <Bridge>, found <{}>", root.name()), root));
     }
     let name = root.attr("name").unwrap_or("bridge");
     let mut builder = MergedAutomaton::builder(name);

@@ -1,0 +1,209 @@
+//! Deployment-time static verification — the core layer of
+//! `starlink-check`.
+//!
+//! [`check_deployment`] aggregates every model-level analysis over a
+//! bridge about to deploy: the MDL lints of each part's spec
+//! ([`starlink_mdl::analyze_mdl`]), the automata lints of the merged
+//! automaton ([`starlink_automata::analyze_merged`]), and — when a
+//! session correlator is configured — the AUT006 correlator-coverage
+//! check defined here. [`crate::Starlink::deploy`] runs it as a hard
+//! gate: any `Error`-severity diagnostic refuses the deployment before
+//! a single session starts, with the lint code and source span in the
+//! [`crate::CoreError::Deployment`] message.
+
+use crate::engine::SessionCorrelator;
+use starlink_automata::{analyze_automaton, analyze_merged, AutomataError, MergedAutomaton};
+use starlink_mdl::{analyze_mdl, MdlCodec, MdlError};
+use starlink_xml::{Diagnostic, Element};
+use std::sync::Arc;
+
+/// Lint code reported for documents that cannot be parsed or loaded at
+/// all: malformed XML, an unknown root element, or a grammar violation
+/// inside an otherwise well-formed document.
+pub const XML_LINT_CODE: &str = "XML001";
+
+/// Checks one XML model document from source: sniffs the root element
+/// (`<MDL>`, `<ColoredAutomaton>` or `<Bridge>`), loads the model, and
+/// runs the matching analysis with the parsed document supplied so
+/// findings carry line/column spans. Parse and load failures become
+/// [`XML_LINT_CODE`] error diagnostics, so callers can treat "file does
+/// not even load" and "file loads but is broken" uniformly.
+///
+/// This is the engine behind the `starlink-check` CLI and the fixture
+/// corpus tests; [`check_deployment`] is its deploy-time counterpart
+/// for already-built models.
+pub fn check_model_source(source: &str) -> Vec<Diagnostic> {
+    let root = match Element::parse(source) {
+        Ok(root) => root,
+        Err(e) => return vec![Diagnostic::error(XML_LINT_CODE, e.kind_message()).at(e.position())],
+    };
+    match root.name() {
+        "MDL" => match starlink_mdl::load_mdl_element_unvalidated(&root) {
+            Ok(spec) => analyze_mdl(&spec, Some(&root)),
+            Err(MdlError::Xml { message, position }) => {
+                vec![Diagnostic::error(XML_LINT_CODE, message).at(position)]
+            }
+            Err(e) => vec![Diagnostic::error(XML_LINT_CODE, e.to_string())],
+        },
+        "ColoredAutomaton" => match starlink_automata::load_automaton_element(&root) {
+            Ok(automaton) => analyze_automaton(&automaton, Some(&root)),
+            Err(AutomataError::Xml { message, position }) => {
+                vec![Diagnostic::error(XML_LINT_CODE, message).at(position)]
+            }
+            Err(e) => vec![Diagnostic::error(XML_LINT_CODE, e.to_string())],
+        },
+        "Bridge" => match starlink_automata::load_bridge_element(&root) {
+            Ok(merged) => analyze_merged(&merged, Some(&root)),
+            Err(AutomataError::Xml { message, position }) => {
+                vec![Diagnostic::error(XML_LINT_CODE, message).at(position)]
+            }
+            Err(e) => vec![Diagnostic::error(XML_LINT_CODE, e.to_string())],
+        },
+        other => vec![Diagnostic::error(
+            XML_LINT_CODE,
+            format!(
+                "unrecognized root element <{other}>; expected <MDL>, \
+                 <ColoredAutomaton> or <Bridge>"
+            ),
+        )
+        .at(root.position())],
+    }
+}
+
+/// AUT006 — correlator-field coverage: every message for which the
+/// deployed correlator declares an id field must actually carry that
+/// field in its schema. A missing field would make every session key
+/// unresolvable at runtime — requests forwarded, answers never routed
+/// back — so it is an error.
+pub fn check_correlator(
+    merged: &MergedAutomaton,
+    codecs: &[Arc<MdlCodec>],
+    correlator: &dyn SessionCorrelator,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (part, codec) in merged.parts().iter().zip(codecs) {
+        let subject = format!("automaton:{}", part.protocol());
+        for message in part.messages() {
+            let Some(field) = correlator.id_field(part.protocol(), message) else {
+                continue;
+            };
+            let Ok(schema) = codec.schema(message) else {
+                diags.push(
+                    Diagnostic::error(
+                        "AUT006",
+                        format!(
+                            "correlator keys {message} on field {field:?}, but the {} MDL \
+                             defines no such message",
+                            part.protocol()
+                        ),
+                    )
+                    .on(subject.clone()),
+                );
+                continue;
+            };
+            if !schema.fields().iter().any(|f| f.label.as_str() == field) {
+                diags.push(
+                    Diagnostic::error(
+                        "AUT006",
+                        format!(
+                            "correlator keys {message} on field {field:?}, which the \
+                             message does not carry; sessions could never be matched"
+                        ),
+                    )
+                    .on(subject.clone()),
+                );
+            }
+        }
+    }
+    diags
+}
+
+/// Runs every model-level analysis relevant to deploying `merged` with
+/// `codecs`: per-part MDL lints, merged-automaton lints, and (when
+/// given) correlator coverage. Pure accumulation — the caller decides
+/// what severity gates.
+pub fn check_deployment(
+    merged: &MergedAutomaton,
+    codecs: &[Arc<MdlCodec>],
+    correlator: Option<&dyn SessionCorrelator>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for codec in codecs {
+        diags.extend(analyze_mdl(codec.spec(), None));
+    }
+    diags.extend(analyze_merged(merged, None));
+    if let Some(correlator) = correlator {
+        diags.extend(check_correlator(merged, codecs, correlator));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FieldCorrelator;
+    use crate::framework::Starlink;
+    use starlink_automata::{Color, ColoredAutomaton, Mode, Transport};
+
+    const ECHO_MDL: &str = r#"
+      <MDL protocol="Echo" kind="binary">
+        <Header type="Echo"><Op>8</Op><Tag>16</Tag></Header>
+        <Message type="Ping"><Rule>Op=1</Rule></Message>
+        <Message type="Pong"><Rule>Op=2</Rule></Message>
+      </MDL>"#;
+
+    fn echo_part() -> ColoredAutomaton {
+        ColoredAutomaton::builder("Echo")
+            .color(Color::new(Transport::Udp, 1000, Mode::Async).multicast("239.0.0.1"))
+            .state("s0")
+            .state_accepting("s1")
+            .receive("s0", "Ping", "s1")
+            .send("s1", "Pong", "s0")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn covered_correlator_field_is_clean() {
+        let mut starlink = Starlink::new();
+        let codec = starlink.load_mdl_xml(ECHO_MDL).unwrap();
+        let merged = MergedAutomaton::from_single(echo_part());
+        let correlator = FieldCorrelator::new([("Echo", "Tag")]);
+        assert!(check_correlator(&merged, &[codec], &correlator).is_empty());
+    }
+
+    #[test]
+    fn missing_correlator_field_is_aut006() {
+        let mut starlink = Starlink::new();
+        let codec = starlink.load_mdl_xml(ECHO_MDL).unwrap();
+        let merged = MergedAutomaton::from_single(echo_part());
+        let correlator = FieldCorrelator::new([("Echo", "SessionId")]);
+        let diags = check_correlator(&merged, &[codec], &correlator);
+        assert_eq!(diags.len(), 2, "{diags:?}"); // Ping and Pong both keyed
+        assert!(diags.iter().all(|d| d.code() == "AUT006"));
+    }
+
+    #[test]
+    fn undeclared_protocols_are_not_checked() {
+        let mut starlink = Starlink::new();
+        let codec = starlink.load_mdl_xml(ECHO_MDL).unwrap();
+        let merged = MergedAutomaton::from_single(echo_part());
+        let correlator = FieldCorrelator::new([("Other", "ID")]);
+        assert!(check_correlator(&merged, &[codec], &correlator).is_empty());
+    }
+
+    #[test]
+    fn deployment_check_aggregates_all_layers() {
+        let mut starlink = Starlink::new();
+        let codec = starlink.load_mdl_xml(ECHO_MDL).unwrap();
+        let merged = MergedAutomaton::from_single(echo_part());
+        let diags = check_deployment(&merged, &[codec], None);
+        // The MDL006 flattenability note is always present; nothing at
+        // warning severity or above may fire on a clean model.
+        assert!(
+            !starlink_xml::diag::any_at_least(&diags, starlink_xml::Severity::Warning),
+            "{diags:?}"
+        );
+        assert!(diags.iter().any(|d| d.code() == "MDL006"));
+    }
+}

@@ -41,7 +41,7 @@
 //! scratch buffer — it allocates only what the network layer must own.
 
 use crate::error::{CoreError, Result};
-use crate::fused::{correlation_id, FusedPlan, ReplayEcho};
+use crate::fused::{correlation_id, FuseReject, FusedPlan, ReplayEcho};
 use crate::stats::BridgeStats;
 use fxhash::FxHashMap;
 use starlink_automata::{
@@ -488,7 +488,7 @@ pub struct BridgeEngine {
     /// relay; `None` runs the interpreted engine above.
     fused: Option<Box<FusedRuntime>>,
     /// Why fusion was rejected (diagnostics; `None` when fused).
-    fused_reject: Option<String>,
+    fused_reject: Option<FuseReject>,
 }
 
 impl std::fmt::Debug for BridgeEngine {
@@ -602,7 +602,7 @@ impl BridgeEngine {
         // automaton plus the codecs' flat plans. Any rejection keeps
         // the interpreted engine — never an error.
         let (fused, fused_reject) = if config.force_interpreted {
-            (None, Some("pinned to the interpreted path by configuration".to_owned()))
+            (None, Some(FuseReject::ForcedInterpreted))
         } else {
             match FusedPlan::compile(&automaton, &codecs, config.correlator.as_deref(), &functions)
             {
@@ -631,7 +631,7 @@ impl BridgeEngine {
                                 None,
                             )
                         }
-                        _ => (None, Some("target colour has no multicast group".to_owned())),
+                        _ => (None, Some(FuseReject::NoMulticastGroup)),
                     }
                 }
                 Err(reason) => (None, Some(reason)),
@@ -670,8 +670,13 @@ impl BridgeEngine {
 
     /// Why the fused fast path was rejected for this bridge, when it
     /// was (`None` on fused engines).
-    pub fn fused_reject_reason(&self) -> Option<&str> {
-        self.fused_reject.as_deref()
+    pub fn fused_reject(&self) -> Option<&FuseReject> {
+        self.fused_reject.as_ref()
+    }
+
+    /// The reject reason rendered as text (`None` on fused engines).
+    pub fn fused_reject_reason(&self) -> Option<String> {
+        self.fused_reject.as_ref().map(|r| r.to_string())
     }
 
     /// The stats handle shared with the harness.
@@ -1048,7 +1053,8 @@ impl BridgeEngine {
         let Some(rt) = self.fused.as_deref_mut() else {
             return Err(self
                 .fused_reject
-                .clone()
+                .as_ref()
+                .map(|r| r.to_string())
                 .unwrap_or_else(|| "engine is not fused".to_owned()));
         };
         let message =
@@ -1082,7 +1088,8 @@ impl BridgeEngine {
         let Some(rt) = self.fused.as_deref_mut() else {
             return Err(self
                 .fused_reject
-                .clone()
+                .as_ref()
+                .map(|r| r.to_string())
                 .unwrap_or_else(|| "engine is not fused".to_owned()));
         };
         let request = rt
@@ -1131,7 +1138,8 @@ impl BridgeEngine {
         let Some(rt) = self.fused.as_deref_mut() else {
             return Err(self
                 .fused_reject
-                .clone()
+                .as_ref()
+                .map(|r| r.to_string())
                 .unwrap_or_else(|| "engine is not fused".to_owned()));
         };
         let request = rt
@@ -1213,7 +1221,8 @@ impl BridgeEngine {
         let Some(rt) = self.fused.as_deref_mut() else {
             return Err(self
                 .fused_reject
-                .clone()
+                .as_ref()
+                .map(|r| r.to_string())
                 .unwrap_or_else(|| "engine is not fused".to_owned()));
         };
         // Wire-level replay first, exactly like the live datagram path.

@@ -81,6 +81,12 @@ impl Starlink {
         self.mdls.protocols()
     }
 
+    /// The framework's translation-function registry (builtins plus
+    /// anything added via [`Starlink::register_function`]).
+    pub fn functions(&self) -> &FunctionRegistry {
+        &self.functions
+    }
+
     /// Registers a custom translation function `T` (§III-D).
     pub fn register_function(
         &mut self,
@@ -127,6 +133,11 @@ impl Starlink {
         config: EngineConfig,
     ) -> Result<(BridgeEngine, BridgeStats)> {
         let (merged, codecs) = self.check_and_resolve(merged)?;
+        gate_diagnostics(crate::check::check_deployment(
+            &merged,
+            &codecs,
+            config.correlator.as_deref(),
+        ))?;
         let stats = BridgeStats::new();
         let engine = BridgeEngine::new(
             Arc::new(merged),
@@ -180,6 +191,11 @@ impl Starlink {
             return Err(CoreError::Deployment("a sharded bridge needs at least one shard".into()));
         }
         let (merged, codecs) = self.check_and_resolve(merged)?;
+        gate_diagnostics(crate::check::check_deployment(
+            &merged,
+            &codecs,
+            config.correlator.as_deref(),
+        ))?;
         let automaton = Arc::new(merged);
         let functions = Arc::new(self.functions.clone());
         let gauge = Arc::new(AtomicConcurrency::new());
@@ -225,6 +241,23 @@ impl Default for Starlink {
     fn default() -> Self {
         Starlink::new()
     }
+}
+
+/// The deployment gate: refuses the model when any analysis reports an
+/// `Error`-severity diagnostic. The rendered report carries each lint
+/// code and source span, so the [`CoreError::Deployment`] message reads
+/// like compiler output.
+fn gate_diagnostics(diags: Vec<starlink_xml::Diagnostic>) -> Result<()> {
+    use starlink_xml::Severity;
+    if starlink_xml::diag::any_at_least(&diags, Severity::Error) {
+        return Err(CoreError::Deployment(format!(
+            "model verification failed:\n{}",
+            starlink_xml::diag::render(
+                &diags.into_iter().filter(|d| d.severity() == Severity::Error).collect::<Vec<_>>()
+            )
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

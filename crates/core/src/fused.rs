@@ -22,11 +22,80 @@
 
 use crate::engine::SessionCorrelator;
 use starlink_automata::{
-    compile_steps, Action, FunctionRegistry, FusedArg, FusedFn, FusedOut, FusedSource, FusedStep,
-    GlobalState, MergedAutomaton, PartId, SlotRef, Transition, Transport,
+    compile_steps, Action, FunctionRegistry, FuseError, FusedArg, FusedFn, FusedOut, FusedSource,
+    FusedStep, GlobalState, MergedAutomaton, PartId, SlotRef, Transition, Transport,
 };
 use starlink_mdl::{FlatPlan, FlatRecord, FlatView, MdlCodec};
+use std::fmt;
 use std::sync::Arc;
+
+/// Why a deployed bridge stays on the interpreted path instead of the
+/// fused one. Every reject carries a lint code (`FUS001`–`FUS006`) so
+/// `starlink-check --explain-fusion` can report fusion status per
+/// bridge; rejection is never an error, only a performance note.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FuseReject {
+    /// `FUS001` — the merged automaton is not a plain two-part UDP
+    /// request/response relay (part count, colours, transport, or
+    /// transition shape).
+    Structure(String),
+    /// `FUS002` — the δ-transitions do not form the forward/backward
+    /// pair fusion needs, or carry λ network actions.
+    DeltaShape(String),
+    /// `FUS003` — an MDL falls outside the flattenable subset, or an
+    /// exchange message is missing from its flat plan.
+    FlatPlanGap(String),
+    /// `FUS004` — a δ assignment has no allocation-free lowering.
+    Translation(FuseError),
+    /// `FUS005` — the deployed correlator cannot be mirrored onto
+    /// record slots.
+    CorrelatorGap(String),
+    /// `FUS006` — the engine configuration pins the interpreted path.
+    ForcedInterpreted,
+    /// `FUS006` — the target colour has no multicast group to emit the
+    /// translated query on.
+    NoMulticastGroup,
+}
+
+impl FuseReject {
+    /// The `starlink-check` lint code of this reject category.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FuseReject::Structure(_) => "FUS001",
+            FuseReject::DeltaShape(_) => "FUS002",
+            FuseReject::FlatPlanGap(_) => "FUS003",
+            FuseReject::Translation(_) => "FUS004",
+            FuseReject::CorrelatorGap(_) => "FUS005",
+            FuseReject::ForcedInterpreted | FuseReject::NoMulticastGroup => "FUS006",
+        }
+    }
+}
+
+impl fmt::Display for FuseReject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuseReject::Structure(msg)
+            | FuseReject::DeltaShape(msg)
+            | FuseReject::FlatPlanGap(msg)
+            | FuseReject::CorrelatorGap(msg) => write!(f, "{msg}"),
+            FuseReject::Translation(err) => write!(f, "{err}"),
+            FuseReject::ForcedInterpreted => {
+                write!(f, "pinned to the interpreted path by configuration")
+            }
+            FuseReject::NoMulticastGroup => write!(f, "target colour has no multicast group"),
+        }
+    }
+}
+
+impl std::error::Error for FuseReject {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FuseReject::Translation(err) => Some(err),
+            _ => None,
+        }
+    }
+}
 
 /// The compiled fast path of one fusable bridge. See the module docs for
 /// the shape it proves and the [`crate::BridgeEngine`] for how it runs.
@@ -66,24 +135,30 @@ impl FusedPlan {
         codecs: &[Arc<MdlCodec>],
         correlator: Option<&dyn SessionCorrelator>,
         functions: &FunctionRegistry,
-    ) -> Result<FusedPlan, String> {
+    ) -> Result<FusedPlan, FuseReject> {
         let parts = automaton.parts();
         if parts.len() != 2 {
-            return Err(format!("{} parts (fusion needs exactly 2)", parts.len()));
+            return Err(FuseReject::Structure(format!(
+                "{} parts (fusion needs exactly 2)",
+                parts.len()
+            )));
         }
         for part in parts {
             if part.colors().len() != 1 {
-                return Err(format!("part {} has multiple colours", part.protocol()));
+                return Err(FuseReject::Structure(format!(
+                    "part {} has multiple colours",
+                    part.protocol()
+                )));
             }
             if part.colors()[0].transport() != Transport::Udp {
-                return Err(format!("part {} is not UDP", part.protocol()));
+                return Err(FuseReject::Structure(format!("part {} is not UDP", part.protocol())));
             }
             if part.transitions().len() != 2 {
-                return Err(format!(
+                return Err(FuseReject::Structure(format!(
                     "part {} has {} transitions (fusion needs a plain request/response pair)",
                     part.protocol(),
                     part.transitions().len()
-                ));
+                )));
             }
         }
 
@@ -95,16 +170,25 @@ impl FusedPlan {
         for (index, part) in parts.iter().enumerate() {
             let from_initial: Vec<&Transition> = part.transitions_from(part.initial()).collect();
             if from_initial.len() != 1 {
-                return Err(format!("part {} branches at its initial state", part.protocol()));
+                return Err(FuseReject::Structure(format!(
+                    "part {} branches at its initial state",
+                    part.protocol()
+                )));
             }
             match from_initial[0].action {
                 Action::Receive if source.replace(index).is_none() => {}
                 Action::Send if target.replace(index).is_none() => {}
-                _ => return Err("parts do not pair a receive-first and a send-first side".into()),
+                _ => {
+                    return Err(FuseReject::Structure(
+                        "parts do not pair a receive-first and a send-first side".into(),
+                    ))
+                }
             }
         }
         let (Some(source_part), Some(target_part)) = (source, target) else {
-            return Err("parts do not pair a receive-first and a send-first side".into());
+            return Err(FuseReject::Structure(
+                "parts do not pair a receive-first and a send-first side".into(),
+            ));
         };
 
         // Source shape: initial --receive REQ_IN--> after_req, and a
@@ -114,16 +198,15 @@ impl FusedPlan {
             src.transitions_from(src.initial()).next().expect("source shape checked above");
         let req_in_name = receive.message.clone();
         let after_req = receive.to;
-        let send = src
-            .transitions()
-            .iter()
-            .find(|t| t.action == Action::Send)
-            .ok_or("source part never sends a response")?;
+        let send =
+            src.transitions().iter().find(|t| t.action == Action::Send).ok_or_else(|| {
+                FuseReject::Structure("source part never sends a response".into())
+            })?;
         let resp_out_name = send.message.clone();
         let resp_out_state = GlobalState { part: PartId(source_part), state: send.from };
         let after_send = GlobalState { part: PartId(source_part), state: send.to };
         if !automaton.is_accepting(after_send) && send.to != src.initial() {
-            return Err("source part continues past its response".into());
+            return Err(FuseReject::Structure("source part continues past its response".into()));
         }
 
         // Target shape: initial --send REQ_OUT--> await --receive RESP_IN-->.
@@ -133,13 +216,14 @@ impl FusedPlan {
         let req_out_name = send_out.message.clone();
         let req_out_state = GlobalState { part: PartId(target_part), state: tgt.initial() };
         let await_state = send_out.to;
-        let receive_in = tgt
-            .transitions()
-            .iter()
-            .find(|t| t.action == Action::Receive)
-            .ok_or("target part never receives a response")?;
+        let receive_in =
+            tgt.transitions().iter().find(|t| t.action == Action::Receive).ok_or_else(|| {
+                FuseReject::Structure("target part never receives a response".into())
+            })?;
         if receive_in.from != await_state {
-            return Err("target part does not await its response where it sent the query".into());
+            return Err(FuseReject::Structure(
+                "target part does not await its response where it sent the query".into(),
+            ));
         }
         let resp_in_name = receive_in.message.clone();
         let after_resp = receive_in.to;
@@ -148,47 +232,62 @@ impl FusedPlan {
         // translation, backward the response translation. λ actions need
         // the interpreted engine.
         if automaton.deltas().len() != 2 {
-            return Err(format!("{} δ-transitions (fusion needs 2)", automaton.deltas().len()));
+            return Err(FuseReject::DeltaShape(format!(
+                "{} δ-transitions (fusion needs 2)",
+                automaton.deltas().len()
+            )));
         }
         for delta in automaton.deltas() {
             if !delta.actions.is_empty() {
-                return Err("δ-transition carries λ network actions".into());
+                return Err(FuseReject::DeltaShape(
+                    "δ-transition carries λ network actions".into(),
+                ));
             }
         }
-        let forward_delta = automaton
-            .deltas()
-            .iter()
-            .find(|d| d.from.part.0 == source_part)
-            .ok_or("no forward δ from the source part")?;
-        let backward_delta = automaton
-            .deltas()
-            .iter()
-            .find(|d| d.from.part.0 == target_part)
-            .ok_or("no backward δ from the target part")?;
+        let forward_delta =
+            automaton.deltas().iter().find(|d| d.from.part.0 == source_part).ok_or_else(|| {
+                FuseReject::DeltaShape("no forward δ from the source part".into())
+            })?;
+        let backward_delta =
+            automaton.deltas().iter().find(|d| d.from.part.0 == target_part).ok_or_else(|| {
+                FuseReject::DeltaShape("no backward δ from the target part".into())
+            })?;
         if forward_delta.from.state != after_req
             || forward_delta.to != (GlobalState { part: PartId(target_part), state: tgt.initial() })
         {
-            return Err("forward δ does not connect request receipt to the target query".into());
+            return Err(FuseReject::DeltaShape(
+                "forward δ does not connect request receipt to the target query".into(),
+            ));
         }
         if backward_delta.from != (GlobalState { part: PartId(target_part), state: after_resp })
             || backward_delta.to != resp_out_state
         {
-            return Err("backward δ does not connect the response to the reply send".into());
+            return Err(FuseReject::DeltaShape(
+                "backward δ does not connect the response to the reply send".into(),
+            ));
         }
 
         // Both MDLs must have compiled flat plans, holding all four
         // exchange messages.
         let source_plan = codecs[source_part]
             .flat_plan()
-            .ok_or_else(|| format!("protocol {} has no flat plan", src.protocol()))?
+            .ok_or_else(|| {
+                FuseReject::FlatPlanGap(format!("protocol {} has no flat plan", src.protocol()))
+            })?
             .clone();
         let target_plan = codecs[target_part]
             .flat_plan()
-            .ok_or_else(|| format!("protocol {} has no flat plan", tgt.protocol()))?
+            .ok_or_else(|| {
+                FuseReject::FlatPlanGap(format!("protocol {} has no flat plan", tgt.protocol()))
+            })?
             .clone();
         let message_index = |plan: &FlatPlan, name: &str| {
-            plan.message_index(name)
-                .ok_or_else(|| format!("message {name} missing from {} flat plan", plan.protocol()))
+            plan.message_index(name).ok_or_else(|| {
+                FuseReject::FlatPlanGap(format!(
+                    "message {name} missing from {} flat plan",
+                    plan.protocol()
+                ))
+            })
         };
         let req_in = message_index(&source_plan, &req_in_name)?;
         let resp_out = message_index(&source_plan, &resp_out_name)?;
@@ -207,7 +306,8 @@ impl FusedPlan {
                     .flatten()
             },
             functions,
-        )?;
+        )
+        .map_err(FuseReject::Translation)?;
         let backward = compile_steps(
             &backward_delta.assignments,
             &resp_out_name,
@@ -222,7 +322,8 @@ impl FusedPlan {
                 }
             },
             functions,
-        )?;
+        )
+        .map_err(FuseReject::Translation)?;
 
         // Mirror the correlator: the fused path must key, alias and
         // match sessions exactly as the interpreted engine would. A
@@ -231,11 +332,14 @@ impl FusedPlan {
             None => (None, None, None),
             Some(correlator) => {
                 let resolve = |protocol: &str, plan: &FlatPlan, msg: usize, name: &str| {
-                    let field = correlator
-                        .id_field(protocol, name)
-                        .ok_or_else(|| format!("correlator declares no id field for {name}"))?;
-                    plan.slot_index(msg, field)
-                        .ok_or_else(|| format!("id field {field} missing from {name}"))
+                    let field = correlator.id_field(protocol, name).ok_or_else(|| {
+                        FuseReject::CorrelatorGap(format!(
+                            "correlator declares no id field for {name}"
+                        ))
+                    })?;
+                    plan.slot_index(msg, field).ok_or_else(|| {
+                        FuseReject::CorrelatorGap(format!("id field {field} missing from {name}"))
+                    })
                 };
                 (
                     Some(resolve(src.protocol(), &source_plan, req_in, &req_in_name)?),

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod check;
 mod engine;
 mod error;
 mod framework;
@@ -45,11 +46,13 @@ mod shard;
 mod stats;
 mod synthesis;
 
+pub use check::{check_correlator, check_deployment, check_model_source, XML_LINT_CODE};
 pub use engine::{BridgeEngine, EngineConfig, FieldCorrelator, SessionCorrelator, SessionKey};
 pub use error::{CoreError, Result};
 pub use framework::Starlink;
+pub use fused::FuseReject;
 pub use shard::{ShardInput, ShardOutput, ShardedBridge};
 pub use stats::{
     AtomicConcurrency, BridgeStats, CacheStats, ConcurrencyStats, SessionRecord, ShardedStats,
 };
-pub use synthesis::{synthesize_bridge, Ontology};
+pub use synthesis::{analyze_ontology, synthesize_bridge, Ontology};

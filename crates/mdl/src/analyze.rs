@@ -1,0 +1,820 @@
+//! Static analyses over MDL specifications — the `starlink-check` MDL
+//! layer.
+//!
+//! A broken MDL is otherwise discovered at runtime: a mid-session
+//! compose error tears down the session, or the parser silently selects
+//! the wrong message body. [`analyze_mdl`] proves the spec sound before
+//! it serves traffic. Each finding carries a stable lint code:
+//!
+//! | code   | severity | meaning |
+//! |--------|----------|---------|
+//! | MDL001 | error    | size field-reference names no earlier field |
+//! | MDL002 | error    | field-function dependency cycle |
+//! | MDL003 | error/warning | bit-width/alignment unsoundness |
+//! | MDL004 | error    | text-delimiter ambiguity / unreachable field |
+//! | MDL005 | error/warning | `f-length` frame inconsistency |
+//! | MDL006 | info     | flattenability explainer ([`FlatPlan`] subset) |
+//! | MDL007 | error    | duplicate message type name |
+//! | MDL008 | error/warning | rule references a non-header field / literal type mismatch |
+//! | MDL009 | warning  | message shadowed by an earlier rule |
+
+use crate::flat::FlatPlan;
+use crate::rule::Rule;
+use crate::size::SizeSpec;
+use crate::spec::{FieldSpec, MdlKind, MdlSpec, MessageSpec};
+use starlink_xml::diag::Diagnostic;
+use starlink_xml::{Element, Position};
+
+/// Looks up XML source positions for spec constituents, when the spec
+/// came from a document. All lookups degrade to "no position" for
+/// programmatically built specs.
+struct Spans<'a> {
+    root: Option<&'a Element>,
+}
+
+impl<'a> Spans<'a> {
+    fn message(&self, name: &str) -> Position {
+        self.message_el(name).map(Element::position).unwrap_or_default()
+    }
+
+    fn message_el(&self, name: &str) -> Option<&'a Element> {
+        self.root?.children_named("Message").find(|el| el.attr("type") == Some(name))
+    }
+
+    /// The field element: searched in the message body first (when a
+    /// message context is given), then in the header.
+    fn field(&self, message: Option<&str>, label: &str) -> Position {
+        if let Some(el) =
+            message.and_then(|name| self.message_el(name)).and_then(|el| el.child(label))
+        {
+            return el.position();
+        }
+        self.root
+            .and_then(|root| root.child("Header"))
+            .and_then(|header| header.child(label))
+            .map(Element::position)
+            .unwrap_or_default()
+    }
+
+    fn type_entry(&self, label: &str) -> Position {
+        self.root
+            .and_then(|root| root.child("Types"))
+            .and_then(|types| types.child(label))
+            .map(Element::position)
+            .unwrap_or_default()
+    }
+
+    fn rule(&self, message: &str) -> Position {
+        self.message_el(message)
+            .map(|el| el.child("Rule").map(Element::position).unwrap_or_else(|| el.position()))
+            .unwrap_or_default()
+    }
+}
+
+/// Runs every MDL analysis over `spec`. When the originating XML
+/// document is supplied, findings carry the position of the offending
+/// element.
+pub fn analyze_mdl(spec: &MdlSpec, doc: Option<&Element>) -> Vec<Diagnostic> {
+    let spans = Spans { root: doc };
+    let subject = format!("mdl:{}", spec.protocol());
+    let mut out = Vec::new();
+
+    check_duplicate_messages(spec, &spans, &mut out);
+    check_field_refs(spec, &spans, &mut out);
+    check_function_cycles(spec, &spans, &mut out);
+    check_bit_widths(spec, &spans, &mut out);
+    check_delimiters(spec, &spans, &mut out);
+    check_functions(spec, &spans, &mut out);
+    check_rules(spec, &spans, &mut out);
+    check_shadowed_messages(spec, &spans, &mut out);
+    explain_flattenability(spec, &mut out);
+
+    out.into_iter().map(|d| d.on(subject.clone())).collect()
+}
+
+/// MDL007: message type names must be unique (codecs and bridges look
+/// messages up by name; a duplicate silently hides the later body).
+fn check_duplicate_messages(spec: &MdlSpec, spans: &Spans<'_>, out: &mut Vec<Diagnostic>) {
+    let mut seen = std::collections::BTreeSet::new();
+    for message in spec.messages() {
+        if !seen.insert(message.name.as_str()) {
+            out.push(
+                Diagnostic::error(
+                    "MDL007",
+                    format!("duplicate message type {:?}", message.name.as_str()),
+                )
+                .at(spans.message(&message.name)),
+            );
+        }
+    }
+}
+
+/// MDL001: a `FieldRef` size must name a field parsed *earlier* in the
+/// same message (header first, then body, in wire order) — the parser
+/// needs the referenced value before it can size this field.
+fn check_field_refs(spec: &MdlSpec, spans: &Spans<'_>, out: &mut Vec<Diagnostic>) {
+    // Header fields are scanned in every pass (they precede every body)
+    // but reported only in the header pass, or each header finding would
+    // repeat once per message.
+    let mut check_section = |message: Option<&MessageSpec>, fields: &[&FieldSpec], skip: usize| {
+        let name = message.map(|m| m.name.as_str());
+        let mut known: Vec<&str> = Vec::new();
+        for (i, field) in fields.iter().enumerate() {
+            if let SizeSpec::FieldRef(target) = &field.size {
+                if !known.contains(&target.as_str()) && i >= skip {
+                    let place = match name {
+                        Some(n) => format!("message {n:?}"),
+                        None => "the header".to_owned(),
+                    };
+                    out.push(
+                        Diagnostic::error(
+                            "MDL001",
+                            format!(
+                                "field {:?} of {place} references {:?} before it is parsed",
+                                field.label.as_str(),
+                                target
+                            ),
+                        )
+                        .at(spans.field(name, &field.label)),
+                    );
+                }
+            }
+            known.push(field.label.as_str());
+        }
+    };
+    let header: Vec<&FieldSpec> = spec.header().iter().collect();
+    check_section(None, &header, 0);
+    for message in spec.messages() {
+        let fields: Vec<&FieldSpec> = spec.header().iter().chain(message.fields.iter()).collect();
+        check_section(Some(message), &fields, spec.header().len());
+    }
+}
+
+/// MDL002: `f-length`/`f-count` argument edges must be acyclic — with a
+/// cycle, each length is computed from the other's stale default and the
+/// composed frame lies about itself.
+fn check_function_cycles(spec: &MdlSpec, spans: &Spans<'_>, out: &mut Vec<Diagnostic>) {
+    let edges: Vec<(&str, &str)> = spec
+        .types()
+        .iter()
+        .filter_map(|(label, def)| {
+            let function = def.function.as_ref()?;
+            match function.name.as_str() {
+                "f-length" | "f-count" => function.args.first().map(|arg| (label, arg.as_str())),
+                _ => None,
+            }
+        })
+        .collect();
+    for (start, _) in &edges {
+        // Walk the (at most unary) measurement chain from `start`.
+        let mut path = vec![*start];
+        let mut current = *start;
+        while let Some((_, next)) = edges.iter().find(|(from, _)| *from == current) {
+            if *next == *start {
+                out.push(
+                    Diagnostic::error(
+                        "MDL002",
+                        format!(
+                            "field-function cycle: {} measures itself through {}",
+                            start,
+                            path.join(" -> "),
+                        ),
+                    )
+                    .at(spans.type_entry(start)),
+                );
+                return; // one report per cycle is enough
+            }
+            if path.contains(next) {
+                break; // a cycle not through `start`; reported from its own start
+            }
+            path.push(next);
+            current = next;
+        }
+    }
+}
+
+/// MDL003: bit-width and alignment soundness. The binary engine is
+/// bit-granular, but integers wider than 64 bits overflow the value
+/// model, zero-width fields cannot carry data, string widths must be
+/// whole bytes, and a message whose fixed widths do not sum to whole
+/// bytes composes a frame no byte-oriented transport can carry.
+fn check_bit_widths(spec: &MdlSpec, spans: &Spans<'_>, out: &mut Vec<Diagnostic>) {
+    for (message, field) in all_fields(spec) {
+        let name = message.map(|m| m.name.as_str());
+        let base = spec.base_type(&field.label);
+        match (&field.size, spec.kind()) {
+            (SizeSpec::Bits(0), _) => out.push(
+                Diagnostic::error(
+                    "MDL003",
+                    format!("field {:?} declares a zero-bit width", field.label.as_str()),
+                )
+                .at(spans.field(name, &field.label)),
+            ),
+            (SizeSpec::Bits(bits), MdlKind::Binary)
+                if *bits > 64 && matches!(base, "Integer" | "Unsigned" | "Signed") =>
+            {
+                out.push(
+                    Diagnostic::error(
+                        "MDL003",
+                        format!(
+                            "field {:?}: {bits}-bit {base} exceeds the 64-bit value model",
+                            field.label.as_str()
+                        ),
+                    )
+                    .at(spans.field(name, &field.label)),
+                );
+            }
+            (SizeSpec::Bits(bits), _) if bits % 8 != 0 && base == "String" => out.push(
+                Diagnostic::error(
+                    "MDL003",
+                    format!(
+                        "field {:?}: {bits}-bit String is not a whole number of bytes",
+                        field.label.as_str()
+                    ),
+                )
+                .at(spans.field(name, &field.label)),
+            ),
+            (SizeSpec::Bits(_), MdlKind::Text) => out.push(
+                Diagnostic::error(
+                    "MDL003",
+                    format!(
+                        "field {:?} declares a fixed bit width in a text spec",
+                        field.label.as_str()
+                    ),
+                )
+                .at(spans.field(name, &field.label)),
+            ),
+            (SizeSpec::Delimiter(_) | SizeSpec::DelimitedPairs { .. }, MdlKind::Binary) => out
+                .push(
+                    Diagnostic::error(
+                        "MDL003",
+                        format!(
+                            "field {:?} declares a text delimiter in a binary spec",
+                            field.label.as_str()
+                        ),
+                    )
+                    .at(spans.field(name, &field.label)),
+                ),
+            _ => {}
+        }
+    }
+    if spec.kind() == MdlKind::Binary {
+        for message in spec.messages() {
+            let fixed_bits: u64 = spec
+                .header()
+                .iter()
+                .chain(message.fields.iter())
+                .filter_map(|f| match f.size {
+                    SizeSpec::Bits(bits) => Some(u64::from(bits)),
+                    _ => None,
+                })
+                .sum();
+            if !fixed_bits.is_multiple_of(8) {
+                out.push(
+                    Diagnostic::warning(
+                        "MDL003",
+                        format!(
+                            "message {:?} declares {fixed_bits} fixed bits, \
+                             not a whole number of bytes",
+                            message.name.as_str()
+                        ),
+                    )
+                    .at(spans.message(&message.name)),
+                );
+            }
+        }
+    }
+}
+
+/// MDL004: text-delimiter ambiguity. A delimiter that can occur inside
+/// the delimited field's own value domain makes the boundary scan stop
+/// early on legitimate values; a field declared after a `Remaining`
+/// field can never be reached by the parser at all.
+fn check_delimiters(spec: &MdlSpec, spans: &Spans<'_>, out: &mut Vec<Diagnostic>) {
+    // As in MDL001: header fields participate in every scan but are
+    // reported only once, in the header pass.
+    let mut check_section = |message: Option<&MessageSpec>, fields: &[&FieldSpec], skip: usize| {
+        let name = message.map(|m| m.name.as_str());
+        let mut after_remaining: Option<&str> = None;
+        for (i, field) in fields.iter().enumerate() {
+            if i < skip {
+                if matches!(field.size, SizeSpec::Remaining) {
+                    after_remaining = Some(field.label.as_str());
+                }
+                continue;
+            }
+            if let Some(swallower) = after_remaining {
+                out.push(
+                    Diagnostic::error(
+                        "MDL004",
+                        format!(
+                            "field {:?} is unreachable: {swallower:?} already consumed \
+                             the rest of the message",
+                            field.label.as_str()
+                        ),
+                    )
+                    .at(spans.field(name, &field.label)),
+                );
+            }
+            match &field.size {
+                SizeSpec::Remaining => after_remaining = Some(field.label.as_str()),
+                SizeSpec::Delimiter(delim) if delim.is_empty() => out.push(
+                    Diagnostic::error(
+                        "MDL004",
+                        format!("field {:?} declares an empty delimiter", field.label.as_str()),
+                    )
+                    .at(spans.field(name, &field.label)),
+                ),
+                SizeSpec::Delimiter(delim)
+                    if matches!(
+                        spec.base_type(&field.label),
+                        "Integer" | "Unsigned" | "Signed"
+                    ) && delim.iter().all(u8::is_ascii_digit) =>
+                {
+                    out.push(
+                        Diagnostic::error(
+                            "MDL004",
+                            format!(
+                                "field {:?}: delimiter {:?} is all decimal digits and can \
+                                 occur inside the field's own integer value",
+                                field.label.as_str(),
+                                String::from_utf8_lossy(delim),
+                            ),
+                        )
+                        .at(spans.field(name, &field.label)),
+                    );
+                }
+                _ => {}
+            }
+        }
+    };
+    let header: Vec<&FieldSpec> = spec.header().iter().collect();
+    check_section(None, &header, 0);
+    for message in spec.messages() {
+        let fields: Vec<&FieldSpec> = spec.header().iter().chain(message.fields.iter()).collect();
+        check_section(Some(message), &fields, spec.header().len());
+    }
+}
+
+/// MDL005: `f-length` frame consistency. The composer recomputes length
+/// fields from the measured field's wire image; every piece of that
+/// contract is checkable statically.
+fn check_functions(spec: &MdlSpec, spans: &Spans<'_>, out: &mut Vec<Diagnostic>) {
+    // Arity and known-name checks over the type table.
+    for (label, def) in spec.types().iter() {
+        let Some(function) = &def.function else { continue };
+        let arity_ok = match function.name.as_str() {
+            "f-length" | "f-count" => function.args.len() == 1,
+            "f-total-length" => function.args.is_empty(),
+            other => {
+                out.push(
+                    Diagnostic::error(
+                        "MDL005",
+                        format!("type entry {label:?} names unknown field function {other:?}"),
+                    )
+                    .at(spans.type_entry(label)),
+                );
+                continue;
+            }
+        };
+        if !arity_ok {
+            out.push(
+                Diagnostic::error(
+                    "MDL005",
+                    format!(
+                        "field function {}({}) of {label:?} has the wrong number of arguments",
+                        function.name,
+                        function.args.join(","),
+                    ),
+                )
+                .at(spans.type_entry(label)),
+            );
+        }
+    }
+    // Per-message checks: targets present, references paired.
+    for message in spec.messages() {
+        let fields: Vec<&FieldSpec> = spec.header().iter().chain(message.fields.iter()).collect();
+        let labels: Vec<&str> = fields.iter().map(|f| f.label.as_str()).collect();
+        let mut measured: Vec<(&str, &str)> = Vec::new(); // (target, by)
+        for field in &fields {
+            let Some(def) = spec.types().get(&field.label) else { continue };
+            let Some(function) = &def.function else { continue };
+            if function.name == "f-length" {
+                if let Some(target) = function.args.first() {
+                    if !labels.contains(&target.as_str()) {
+                        out.push(
+                            Diagnostic::error(
+                                "MDL005",
+                                format!(
+                                    "message {:?} uses length field {:?}, but its f-length \
+                                     target {target:?} is not a field of this message",
+                                    message.name.as_str(),
+                                    field.label.as_str(),
+                                ),
+                            )
+                            .at(spans.field(Some(&message.name), &field.label)),
+                        );
+                    } else if let Some((_, earlier)) = measured.iter().find(|(t, _)| t == target) {
+                        out.push(
+                            Diagnostic::warning(
+                                "MDL005",
+                                format!(
+                                    "message {:?}: both {:?} and {:?} measure {target:?}; \
+                                     the two lengths can disagree",
+                                    message.name.as_str(),
+                                    earlier,
+                                    field.label.as_str(),
+                                ),
+                            )
+                            .at(spans.field(Some(&message.name), &field.label)),
+                        );
+                    } else {
+                        measured.push((target.as_str(), field.label.as_str()));
+                    }
+                }
+            }
+        }
+        // A FieldRef'd field should be measured by its length field, or
+        // the composed frame carries whatever stale value the length
+        // field happens to hold.
+        for field in &fields {
+            let SizeSpec::FieldRef(length_label) = &field.size else { continue };
+            let recomputed = spec
+                .types()
+                .get(length_label)
+                .and_then(|def| def.function.as_ref())
+                .map(|function| {
+                    function.name == "f-length"
+                        && function.args.first().map(String::as_str) == Some(field.label.as_str())
+                })
+                .unwrap_or(false);
+            if !recomputed && labels.contains(&length_label.as_str()) {
+                out.push(
+                    Diagnostic::warning(
+                        "MDL005",
+                        format!(
+                            "message {:?}: field {:?} is sized by {length_label:?}, but \
+                             {length_label:?} carries no f-length({}) function — the \
+                             composer cannot keep the frame consistent",
+                            message.name.as_str(),
+                            field.label.as_str(),
+                            field.label.as_str(),
+                        ),
+                    )
+                    .at(spans.field(Some(&message.name), &field.label)),
+                );
+            }
+        }
+    }
+}
+
+/// MDL008: rule soundness. Rules select the message body from the parsed
+/// *header*, so a clause over a non-header field can never match; a
+/// non-numeric literal on an integer field compares against the field's
+/// decimal rendering and almost certainly never matches either.
+fn check_rules(spec: &MdlSpec, spans: &Spans<'_>, out: &mut Vec<Diagnostic>) {
+    let header_labels: Vec<&str> = spec.header().iter().map(|f| f.label.as_str()).collect();
+    for message in spec.messages() {
+        for (label, literal) in message.rule.bindings() {
+            if !header_labels.contains(&label) {
+                out.push(
+                    Diagnostic::error(
+                        "MDL008",
+                        format!(
+                            "rule of message {:?} tests {label:?}, which is not a header \
+                             field — the rule can never select this body",
+                            message.name.as_str()
+                        ),
+                    )
+                    .at(spans.rule(&message.name)),
+                );
+                continue;
+            }
+            let base = spec.base_type(label);
+            if matches!(base, "Integer" | "Unsigned" | "Signed") && literal.parse::<i128>().is_err()
+            {
+                out.push(
+                    Diagnostic::warning(
+                        "MDL008",
+                        format!(
+                            "rule of message {:?} compares {base} field {label:?} \
+                             against non-numeric literal {literal:?}",
+                            message.name.as_str()
+                        ),
+                    )
+                    .at(spans.rule(&message.name)),
+                );
+            }
+        }
+    }
+}
+
+/// MDL009: rules are evaluated in declaration order, first match wins —
+/// a message behind an always-true or identical earlier rule is dead.
+fn check_shadowed_messages(spec: &MdlSpec, spans: &Spans<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, message) in spec.messages().iter().enumerate() {
+        for earlier in &spec.messages()[..i] {
+            let shadowed = earlier.rule == Rule::Always || earlier.rule == message.rule;
+            if shadowed {
+                out.push(
+                    Diagnostic::warning(
+                        "MDL009",
+                        format!(
+                            "message {:?} is unreachable: the rule of earlier message {:?} \
+                             always matches first",
+                            message.name.as_str(),
+                            earlier.name.as_str()
+                        ),
+                    )
+                    .at(spans.message(&message.name)),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// MDL006: the flattenability explainer — exactly why this spec does or
+/// does not enter the [`FlatPlan`] subset (the fused fast path's
+/// substrate). Always informational: an interpreted spec is slower, not
+/// wrong.
+fn explain_flattenability(spec: &MdlSpec, out: &mut Vec<Diagnostic>) {
+    let reasons = flat_reject_reasons(spec);
+    let message = if reasons.is_empty() {
+        "enters the FlatPlan subset (fused fast path eligible)".to_owned()
+    } else {
+        format!("stays on the interpreted path: {}", reasons.join("; "))
+    };
+    out.push(Diagnostic::info("MDL006", message));
+}
+
+/// The reasons [`FlatPlan::compile`] would reject `spec`, in its own
+/// checking order. Empty exactly when the spec compiles to a flat plan
+/// (the analysis tests hold the two in lock-step).
+pub fn flat_reject_reasons(spec: &MdlSpec) -> Vec<String> {
+    let kind = spec.kind();
+    let header_len = spec.header().len();
+    let mut reasons = Vec::new();
+    for message in spec.messages() {
+        let fields: Vec<&FieldSpec> = spec.header().iter().chain(message.fields.iter()).collect();
+        let labels: Vec<&str> = fields.iter().map(|f| f.label.as_str()).collect();
+        for (i, field) in fields.iter().enumerate() {
+            let label = field.label.as_str();
+            let base = spec.base_type(label);
+            if !matches!(base, "Integer" | "Unsigned" | "String" | "FQDN") {
+                reasons.push(format!("field {label:?}: base type {base:?} has no flat slot"));
+                continue;
+            }
+            let is_int = matches!(base, "Integer" | "Unsigned");
+            let supported = match (&field.size, kind) {
+                (SizeSpec::Bits(bits), MdlKind::Binary) if is_int => {
+                    *bits > 0 && *bits <= 64 && bits % 8 == 0
+                }
+                (SizeSpec::Bits(bits), MdlKind::Binary) if base == "String" => bits % 8 == 0,
+                (SizeSpec::FieldRef(target), _) if base != "FQDN" => {
+                    if labels[..i].contains(&target.as_str()) {
+                        true
+                    } else {
+                        reasons.push(format!(
+                            "field {label:?}: length reference {target:?} names no \
+                             earlier field"
+                        ));
+                        continue;
+                    }
+                }
+                (SizeSpec::SelfDelimiting, MdlKind::Binary) => base == "FQDN",
+                (SizeSpec::Remaining, _) => base == "String",
+                (SizeSpec::Delimiter(delim), MdlKind::Text) if base != "FQDN" => !delim.is_empty(),
+                _ => false,
+            };
+            if !supported {
+                reasons.push(format!(
+                    "field {label:?}: size {} has no flat form for a {base} field of a \
+                     {} spec",
+                    field.size.to_text(),
+                    kind.as_str(),
+                ));
+            }
+        }
+        for field in &fields {
+            let Some(def) = spec.types().get(&field.label) else { continue };
+            let Some(function) = &def.function else { continue };
+            match function.name.as_str() {
+                "f-length" => {
+                    let target = function.args.first();
+                    if !target.map(|t| labels.contains(&t.as_str())).unwrap_or(false) {
+                        reasons.push(format!(
+                            "field {:?}: f-length target is not a field of message {:?}",
+                            field.label.as_str(),
+                            message.name.as_str(),
+                        ));
+                    }
+                }
+                "f-total-length" if kind == MdlKind::Binary => {}
+                other => reasons.push(format!(
+                    "field {:?}: function {other:?} has no flat implementation in a {} spec",
+                    field.label.as_str(),
+                    kind.as_str(),
+                )),
+            }
+        }
+        // FieldRef / f-length pairing, mirroring the compose cross-check.
+        for field in &fields {
+            let SizeSpec::FieldRef(length_label) = &field.size else { continue };
+            if !labels.contains(&length_label.as_str()) {
+                continue; // already reported above
+            }
+            let paired = spec
+                .types()
+                .get(length_label)
+                .and_then(|def| def.function.as_ref())
+                .map(|function| {
+                    function.name == "f-length"
+                        && function.args.first().map(String::as_str) == Some(field.label.as_str())
+                })
+                .unwrap_or(false);
+            let length_is_int = matches!(spec.base_type(length_label), "Integer" | "Unsigned");
+            if !paired || !length_is_int {
+                reasons.push(format!(
+                    "field {:?}: not measured by a paired integer f-length field \
+                     {length_label:?}",
+                    field.label.as_str(),
+                ));
+            }
+        }
+        for (label, literal) in message.rule.bindings() {
+            let Some(index) = labels.iter().position(|l| *l == label) else {
+                reasons.push(format!(
+                    "rule of message {:?} binds {label:?}, which is not a field",
+                    message.name.as_str()
+                ));
+                continue;
+            };
+            if index >= header_len {
+                reasons.push(format!(
+                    "rule of message {:?} binds body field {label:?}",
+                    message.name.as_str()
+                ));
+                continue;
+            }
+            let is_int = matches!(spec.base_type(label), "Integer" | "Unsigned");
+            if is_int && literal.parse::<u64>().is_err() {
+                reasons.push(format!(
+                    "rule of message {:?} binds non-numeric {literal:?} to integer \
+                     field {label:?}",
+                    message.name.as_str()
+                ));
+            } else if !is_int && literal.parse::<i128>().is_ok() {
+                reasons.push(format!(
+                    "rule of message {:?} binds numeric literal {literal:?} to text \
+                     field {label:?} (matches numerically only when interpreted)",
+                    message.name.as_str()
+                ));
+            }
+        }
+    }
+    if spec.messages().is_empty() {
+        reasons.push("spec declares no messages".to_owned());
+    }
+    debug_assert_eq!(
+        reasons.is_empty(),
+        FlatPlan::compile(spec).is_some(),
+        "flattenability explainer out of sync with FlatPlan::compile for {:?}",
+        spec.protocol(),
+    );
+    reasons
+}
+
+fn all_fields(spec: &MdlSpec) -> impl Iterator<Item = (Option<&MessageSpec>, &FieldSpec)> {
+    spec.header()
+        .iter()
+        .map(|f| (None, f))
+        .chain(spec.messages().iter().flat_map(|m| m.fields.iter().map(move |f| (Some(m), f))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml_load::load_mdl;
+    use starlink_xml::diag::Severity;
+
+    const CLEAN: &str = r#"
+    <MDL protocol="SLP" kind="binary">
+      <Types>
+        <SRVType>String</SRVType>
+        <SRVTypeLength>Integer[f-length(SRVType)]</SRVTypeLength>
+      </Types>
+      <Header type="SLP">
+        <Version>8</Version>
+        <FunctionID>8</FunctionID>
+      </Header>
+      <Message type="Req">
+        <Rule>FunctionID=1</Rule>
+        <SRVTypeLength>16</SRVTypeLength>
+        <SRVType mandatory="true">SRVTypeLength</SRVType>
+      </Message>
+    </MDL>"#;
+
+    fn diags_for(source: &str) -> Vec<Diagnostic> {
+        let spec = load_mdl(source).unwrap();
+        let doc = Element::parse(source).unwrap();
+        analyze_mdl(&spec, Some(&doc))
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().filter(|d| d.severity() > Severity::Info).map(|d| d.code()).collect()
+    }
+
+    #[test]
+    fn clean_spec_yields_only_the_flattenability_note() {
+        let diags = diags_for(CLEAN);
+        assert_eq!(codes(&diags), Vec::<&str>::new(), "{diags:?}");
+        let note = diags.iter().find(|d| d.code() == "MDL006").unwrap();
+        assert_eq!(note.severity(), Severity::Info);
+        assert!(note.message().contains("FlatPlan"), "{}", note.message());
+    }
+
+    #[test]
+    fn shadowed_message_is_mdl009() {
+        let src = r#"
+        <MDL protocol="X" kind="binary">
+          <Header type="X"><F>8</F></Header>
+          <Message type="A"><Rule>F=1</Rule></Message>
+          <Message type="B"><Rule>F=1</Rule></Message>
+        </MDL>"#;
+        let diags = diags_for(src);
+        let d = diags.iter().find(|d| d.code() == "MDL009").unwrap();
+        assert_eq!(d.severity(), Severity::Warning);
+        assert!(d.message().contains("\"B\""), "{}", d.message());
+        assert_ne!(d.position(), Position::default());
+    }
+
+    #[test]
+    fn digit_delimiter_on_integer_field_is_mdl004() {
+        let src = r#"
+        <MDL protocol="X" kind="text">
+          <Types><N>Integer</N></Types>
+          <Header type="X"><N>48,49</N></Header>
+          <Message type="M"/>
+        </MDL>"#;
+        let diags = diags_for(src);
+        assert!(codes(&diags).contains(&"MDL004"), "{diags:?}");
+    }
+
+    #[test]
+    fn rule_on_body_field_is_mdl008() {
+        let src = r#"
+        <MDL protocol="X" kind="binary">
+          <Header type="X"><F>8</F></Header>
+          <Message type="M"><Rule>Body=1</Rule><Body>8</Body></Message>
+        </MDL>"#;
+        let diags = diags_for(src);
+        let d = diags.iter().find(|d| d.code() == "MDL008").unwrap();
+        assert_eq!(d.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn explainer_matches_flat_compile_on_non_flat_specs() {
+        // Numeric literal bound to a text field keeps the spec interpreted.
+        let src = r#"
+        <MDL protocol="X" kind="text">
+          <Header type="X"><Status>32</Status></Header>
+          <Message type="M"><Rule>Status=200</Rule></Message>
+        </MDL>"#;
+        let spec = load_mdl(src).unwrap();
+        assert!(FlatPlan::compile(&spec).is_none());
+        let reasons = flat_reject_reasons(&spec);
+        assert!(!reasons.is_empty());
+        assert!(reasons[0].contains("numeric literal"), "{reasons:?}");
+    }
+
+    #[test]
+    fn unpaired_field_ref_is_a_warning() {
+        // Len has no f-length function: composer cannot recompute it.
+        let src = r#"
+        <MDL protocol="X" kind="binary">
+          <Header type="X"><F>8</F></Header>
+          <Message type="M">
+            <Len>16</Len>
+            <Data>Len</Data>
+          </Message>
+        </MDL>"#;
+        let diags = diags_for(src);
+        let d = diags.iter().find(|d| d.code() == "MDL005").unwrap();
+        assert_eq!(d.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn function_cycle_is_mdl002() {
+        let spec = MdlSpec::new("X", MdlKind::Binary)
+            .type_entry("A", crate::types::TypeDef::parse("Integer[f-length(B)]").unwrap())
+            .type_entry("B", crate::types::TypeDef::parse("Integer[f-length(A)]").unwrap())
+            .message(
+                MessageSpec::new("M", Rule::Always)
+                    .field(FieldSpec::new("A", SizeSpec::Bits(16)))
+                    .field(FieldSpec::new("B", SizeSpec::Bits(16))),
+            );
+        let diags = analyze_mdl(&spec, None);
+        assert!(diags.iter().any(|d| d.code() == "MDL002"), "{diags:?}");
+    }
+}

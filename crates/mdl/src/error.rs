@@ -9,6 +9,14 @@ use std::fmt;
 pub enum MdlError {
     /// The MDL XML document was malformed or violated the spec grammar.
     Spec(String),
+    /// A load-time failure located in the XML source document.
+    Xml {
+        /// Human-readable reason.
+        message: String,
+        /// Where the offending construct sits (1-based line/column;
+        /// `0:0` when unknown).
+        position: starlink_xml::Position,
+    },
     /// A field referenced a type with no registered marshaller.
     UnknownType(String),
     /// A field function (`f-length`, ...) was unknown or misused.
@@ -37,6 +45,13 @@ impl fmt::Display for MdlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MdlError::Spec(msg) => write!(f, "invalid MDL specification: {msg}"),
+            MdlError::Xml { message, position } => {
+                write!(f, "invalid MDL specification")?;
+                if *position != starlink_xml::Position::default() {
+                    write!(f, " at {position}")?;
+                }
+                write!(f, ": {message}")
+            }
             MdlError::UnknownType(name) => write!(f, "no marshaller registered for type {name:?}"),
             MdlError::Function(msg) => write!(f, "field function error: {msg}"),
             MdlError::Parse { reason, offset_bits } => {

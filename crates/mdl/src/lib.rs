@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze;
 mod binary;
 mod bitio;
 mod codec;
@@ -65,6 +66,7 @@ mod text;
 mod types;
 mod xml_load;
 
+pub use analyze::{analyze_mdl, flat_reject_reasons};
 pub use binary::{BinaryComposer, BinaryParser};
 pub use bitio::{BitReader, BitWriter};
 pub use codec::{MdlCodec, MdlRegistry};
@@ -80,4 +82,6 @@ pub use size::{ResolvedSize, SizeSpec};
 pub use spec::{FieldSpec, MdlKind, MdlSpec, MessageSpec};
 pub use text::{TextComposer, TextParser};
 pub use types::{FieldFunction, TypeDef, TypeTable};
-pub use xml_load::{load_mdl, load_mdl_element, mdl_to_element, mdl_to_xml};
+pub use xml_load::{
+    load_mdl, load_mdl_element, load_mdl_element_unvalidated, mdl_to_element, mdl_to_xml,
+};

@@ -35,15 +35,25 @@ use crate::types::TypeDef;
 use starlink_xml::Element;
 
 fn xml_err(err: starlink_xml::XmlError) -> MdlError {
-    MdlError::Spec(format!("XML error: {err}"))
+    MdlError::Xml { message: err.kind_message(), position: err.position() }
+}
+
+/// Re-anchors a span-less spec error at `element`, so size/type/rule
+/// grammar failures point at the offending line of the document.
+fn at_element(err: MdlError, element: &Element) -> MdlError {
+    match err {
+        MdlError::Spec(message) => MdlError::Xml { message, position: element.position() },
+        other => other,
+    }
 }
 
 fn parse_field(element: &Element, kind: MdlKind) -> Result<FieldSpec> {
     let size_text = element.text();
     let size = match kind {
-        MdlKind::Binary => SizeSpec::parse_binary(&size_text)?,
-        MdlKind::Text => SizeSpec::parse_text(&size_text)?,
-    };
+        MdlKind::Binary => SizeSpec::parse_binary(&size_text),
+        MdlKind::Text => SizeSpec::parse_text(&size_text),
+    }
+    .map_err(|e| at_element(e, element))?;
     let mut field = FieldSpec::new(element.name(), size);
     if element.attr("mandatory").map(|v| v == "true").unwrap_or(false) {
         field = field.required();
@@ -68,8 +78,30 @@ pub fn load_mdl(source: &str) -> Result<MdlSpec> {
 ///
 /// Same failure modes as [`load_mdl`].
 pub fn load_mdl_element(root: &Element) -> Result<MdlSpec> {
+    let spec = load_mdl_element_unvalidated(root)?;
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Parses a `<MDL>` element **without** running [`MdlSpec::validate`].
+///
+/// This is the static checker's entry point: `starlink-check` wants a
+/// spec that violates the validator's rules (duplicate message names,
+/// unresolvable field references) to still load, so [`crate::analyze_mdl`]
+/// can report the violation under its lint code (MDL007, MDL001) with
+/// the offending element's source span instead of an opaque load error.
+/// Every runtime path keeps using the validating [`load_mdl_element`].
+///
+/// # Errors
+///
+/// Returns [`MdlError::Xml`] for grammar-level violations (bad size
+/// entries, unknown kinds, malformed rules).
+pub fn load_mdl_element_unvalidated(root: &Element) -> Result<MdlSpec> {
     if root.name() != "MDL" {
-        return Err(MdlError::Spec(format!("expected <MDL> root, found <{}>", root.name())));
+        return Err(MdlError::Xml {
+            message: format!("expected <MDL> root, found <{}>", root.name()),
+            position: root.position(),
+        });
     }
     let protocol = root.required_attr("protocol").map_err(xml_err)?;
     let kind = MdlKind::parse(root.required_attr("kind").map_err(xml_err)?)?;
@@ -77,7 +109,8 @@ pub fn load_mdl_element(root: &Element) -> Result<MdlSpec> {
 
     if let Some(types) = root.child("Types") {
         for entry in types.children() {
-            spec = spec.type_entry(entry.name(), TypeDef::parse(&entry.text())?);
+            let def = TypeDef::parse(&entry.text()).map_err(|e| at_element(e, entry))?;
+            spec = spec.type_entry(entry.name(), def);
         }
     }
 
@@ -90,7 +123,7 @@ pub fn load_mdl_element(root: &Element) -> Result<MdlSpec> {
     for message_el in root.children_named("Message") {
         let name = message_el.required_attr("type").map_err(xml_err)?;
         let rule = match message_el.child("Rule") {
-            Some(rule_el) => Rule::parse(&rule_el.text())?,
+            Some(rule_el) => Rule::parse(&rule_el.text()).map_err(|e| at_element(e, rule_el))?,
             None => Rule::Always,
         };
         let mut message = MessageSpec::new(name, rule);
@@ -103,7 +136,6 @@ pub fn load_mdl_element(root: &Element) -> Result<MdlSpec> {
         spec = spec.message(message);
     }
 
-    spec.validate()?;
     Ok(spec)
 }
 

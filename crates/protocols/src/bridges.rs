@@ -20,7 +20,9 @@
 
 use crate::calibration::Calibration;
 use crate::{http, mdns, slp, ssdp, wsd};
-use starlink_automata::{Assignment, Delta, MergedAutomaton, NetworkAction, ValueSource};
+use starlink_automata::{
+    Assignment, ColoredAutomaton, Delta, MergedAutomaton, NetworkAction, ValueSource,
+};
 use starlink_core::{synthesize_bridge, FieldCorrelator, Ontology, Starlink};
 use starlink_message::Value;
 use starlink_net::SimDuration;
@@ -403,12 +405,59 @@ fn wsd_concepts(ontology: Ontology) -> Ontology {
         .constant("WSD_ProbeMatch", "Metadata", wsd::DEFAULT_METADATA)
 }
 
+/// The raw synthesis inputs of every ontology-synthesized bridge case —
+/// `(case, service-side automaton, client-side automaton, ontology)` —
+/// so `starlink-check` and the conformance tests can verify the
+/// ontologies themselves (totality, conversion compatibility, unused
+/// concepts) independently of the synthesized product. Cases 9 and 12
+/// are hand-built three-part UPnP chains and carry no ontology.
+pub fn synthesized_inputs() -> Vec<(BridgeCase, ColoredAutomaton, ColoredAutomaton, Ontology)> {
+    vec![
+        (
+            BridgeCase::WsdToSlp,
+            wsd::service_automaton(),
+            slp::client_automaton(),
+            wsd_to_slp_ontology(),
+        ),
+        (
+            BridgeCase::WsdToBonjour,
+            wsd::service_automaton(),
+            mdns::client_automaton(),
+            wsd_to_bonjour_ontology(),
+        ),
+        (
+            BridgeCase::SlpToWsd,
+            slp::service_automaton(),
+            wsd::client_automaton(),
+            slp_to_wsd_ontology(),
+        ),
+        (
+            BridgeCase::BonjourToWsd,
+            mdns::service_automaton(),
+            wsd::client_automaton(),
+            bonjour_to_wsd_ontology(),
+        ),
+    ]
+}
+
 /// Case 7 — **WSD → SLP**: a legacy WS-Discovery probe answered by an
 /// SLP service. Synthesized from the models: the ontology names the
 /// semantic matches, [`synthesize_bridge`] infers the δs, equivalences
 /// and translation logic.
 pub fn wsd_to_slp() -> MergedAutomaton {
-    let ontology = wsd_concepts(Ontology::new())
+    synthesize_bridge(
+        synthesis_framework(),
+        "wsd-to-slp",
+        wsd::service_automaton(),
+        slp::client_automaton(),
+        &wsd_to_slp_ontology(),
+    )
+    .expect("case 7 bridge synthesizes")
+}
+
+/// The ontology case 7 is synthesized from.
+fn wsd_to_slp_ontology() -> Ontology {
+    wsd_concepts(Ontology::new())
         .concept("SLPSrvRequest", "SRVType", "svc-slp")
         .concept("SLPSrvRequest", "XID", "txn")
         .concept("SLPSrvReply", "URLEntry", "url")
@@ -416,21 +465,25 @@ pub fn wsd_to_slp() -> MergedAutomaton {
         .conversion("uuid", "txn", "uuid-to-id")
         .conversion("uuid", "reply-uuid", "derive-uuid")
         .constant("SLPSrvRequest", "Version", 2u64)
-        .constant("SLPSrvRequest", "LangTag", "en");
-    synthesize_bridge(
-        synthesis_framework(),
-        "wsd-to-slp",
-        wsd::service_automaton(),
-        slp::client_automaton(),
-        &ontology,
-    )
-    .expect("case 7 bridge synthesizes")
+        .constant("SLPSrvRequest", "LangTag", "en")
 }
 
 /// Case 8 — **WSD → Bonjour**: a legacy WS-Discovery probe answered by a
 /// Bonjour responder. Synthesized from the models.
 pub fn wsd_to_bonjour() -> MergedAutomaton {
-    let ontology = wsd_concepts(Ontology::new())
+    synthesize_bridge(
+        synthesis_framework(),
+        "wsd-to-bonjour",
+        wsd::service_automaton(),
+        mdns::client_automaton(),
+        &wsd_to_bonjour_ontology(),
+    )
+    .expect("case 8 bridge synthesizes")
+}
+
+/// The ontology case 8 is synthesized from.
+fn wsd_to_bonjour_ontology() -> Ontology {
+    wsd_concepts(Ontology::new())
         .concept("DNS_Question", "QName", "svc-dns")
         .concept("DNS_Question", "ID", "txn")
         .concept("DNS_Response", "RData", "url")
@@ -439,15 +492,7 @@ pub fn wsd_to_bonjour() -> MergedAutomaton {
         .conversion("uuid", "reply-uuid", "derive-uuid")
         .constant("DNS_Question", "QDCount", 1u64)
         .constant("DNS_Question", "QType", u64::from(mdns::TYPE_PTR))
-        .constant("DNS_Question", "QClass", u64::from(mdns::CLASS_IN));
-    synthesize_bridge(
-        synthesis_framework(),
-        "wsd-to-bonjour",
-        wsd::service_automaton(),
-        mdns::client_automaton(),
-        &ontology,
-    )
-    .expect("case 8 bridge synthesizes")
+        .constant("DNS_Question", "QClass", u64::from(mdns::CLASS_IN))
 }
 
 /// Case 9 — **WSD → UPnP**: a legacy WS-Discovery probe answered by a
@@ -483,7 +528,19 @@ pub fn wsd_to_upnp() -> MergedAutomaton {
 /// Case 10 — **SLP → WSD**: an SLP client's lookup answered by a
 /// WS-Discovery target. Synthesized from the models.
 pub fn slp_to_wsd() -> MergedAutomaton {
-    let ontology = wsd_concepts(Ontology::new())
+    synthesize_bridge(
+        synthesis_framework(),
+        "slp-to-wsd",
+        slp::service_automaton(),
+        wsd::client_automaton(),
+        &slp_to_wsd_ontology(),
+    )
+    .expect("case 10 bridge synthesizes")
+}
+
+/// The ontology case 10 is synthesized from.
+fn slp_to_wsd_ontology() -> Ontology {
+    wsd_concepts(Ontology::new())
         .concept("SLPSrvRequest", "SRVType", "svc-slp")
         .concept("SLPSrvRequest", "XID", "txn")
         .concept("SLPSrvReply", "XID", "txn")
@@ -491,21 +548,25 @@ pub fn slp_to_wsd() -> MergedAutomaton {
         .conversion("svc-slp", "svc-wsd", "slp-to-wsd-type")
         .conversion("txn", "uuid", "derive-uuid")
         .constant("SLPSrvReply", "Version", 2u64)
-        .constant("SLPSrvReply", "LifeTime", 60u64);
-    synthesize_bridge(
-        synthesis_framework(),
-        "slp-to-wsd",
-        slp::service_automaton(),
-        wsd::client_automaton(),
-        &ontology,
-    )
-    .expect("case 10 bridge synthesizes")
+        .constant("SLPSrvReply", "LifeTime", 60u64)
 }
 
 /// Case 11 — **Bonjour → WSD**: a Bonjour browser's question answered by
 /// a WS-Discovery target. Synthesized from the models.
 pub fn bonjour_to_wsd() -> MergedAutomaton {
-    let ontology = wsd_concepts(Ontology::new())
+    synthesize_bridge(
+        synthesis_framework(),
+        "bonjour-to-wsd",
+        mdns::service_automaton(),
+        wsd::client_automaton(),
+        &bonjour_to_wsd_ontology(),
+    )
+    .expect("case 11 bridge synthesizes")
+}
+
+/// The ontology case 11 is synthesized from.
+fn bonjour_to_wsd_ontology() -> Ontology {
+    wsd_concepts(Ontology::new())
         .concept("DNS_Question", "QName", "svc-dns")
         .concept("DNS_Question", "ID", "txn")
         .concept("DNS_Response", "ID", "txn")
@@ -516,15 +577,7 @@ pub fn bonjour_to_wsd() -> MergedAutomaton {
         .constant("DNS_Response", "ANCount", 1u64)
         .constant("DNS_Response", "RType", u64::from(mdns::TYPE_PTR))
         .constant("DNS_Response", "RClass", u64::from(mdns::CLASS_IN))
-        .constant("DNS_Response", "TTL", 120u64);
-    synthesize_bridge(
-        synthesis_framework(),
-        "bonjour-to-wsd",
-        mdns::service_automaton(),
-        wsd::client_automaton(),
-        &ontology,
-    )
-    .expect("case 11 bridge synthesizes")
+        .constant("DNS_Response", "TTL", 120u64)
 }
 
 /// Case 12 — **UPnP → WSD**: a UPnP control point's search answered by a

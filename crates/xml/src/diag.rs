@@ -1,0 +1,166 @@
+//! Model diagnostics shared by every analysis layer.
+//!
+//! `starlink-check` runs static analyses over MDL specifications,
+//! coloured automata, merged bridges and ontologies. Each finding is a
+//! [`Diagnostic`]: a stable lint code (`MDL001`, `AUT003`, …), a
+//! [`Severity`], a human message and — when the model came from an XML
+//! document — the [`Position`] of the offending element. The type lives
+//! in this crate because every model layer already depends on it and
+//! spans are XML source positions.
+
+use crate::error::Position;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note (never fails a check run).
+    Info,
+    /// Suspicious but deployable; fails only under `--deny-warnings`.
+    Warning,
+    /// The model is unsound; deployment refuses it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single finding from a static model analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    code: &'static str,
+    severity: Severity,
+    message: String,
+    position: Position,
+    subject: String,
+}
+
+impl Diagnostic {
+    /// Creates an error-severity diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            position: Position::default(),
+            subject: String::new(),
+        }
+    }
+
+    /// Creates a warning-severity diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, ..Self::error(code, message) }
+    }
+
+    /// Creates an info-severity diagnostic.
+    pub fn info(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Info, ..Self::error(code, message) }
+    }
+
+    /// Attaches an XML source position (builder style).
+    pub fn at(mut self, position: Position) -> Self {
+        self.position = position;
+        self
+    }
+
+    /// Names the model the finding belongs to, e.g. `mdl:SLP` or
+    /// `bridge:slp-to-bonjour` (builder style).
+    pub fn on(mut self, subject: impl Into<String>) -> Self {
+        self.subject = subject.into();
+        self
+    }
+
+    /// The stable lint code, e.g. `MDL004`.
+    pub fn code(&self) -> &'static str {
+        self.code
+    }
+
+    /// The severity class.
+    pub fn severity(&self) -> Severity {
+        self.severity
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The XML span, when the model was loaded from a document
+    /// (`0:0` means "no position").
+    pub fn position(&self) -> Position {
+        self.position
+    }
+
+    /// The model this finding is about (may be empty).
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if !self.subject.is_empty() {
+            write!(f, " {}", self.subject)?;
+        }
+        if self.position != Position::default() {
+            write!(f, " at {}", self.position)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// True when any diagnostic reaches the given severity.
+pub fn any_at_least(diags: &[Diagnostic], severity: Severity) -> bool {
+    diags.iter().any(|d| d.severity() >= severity)
+}
+
+/// Renders diagnostics one per line, errors first.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by(|a, b| b.severity().cmp(&a.severity()).then_with(|| a.code().cmp(b.code())));
+    let lines: Vec<String> = sorted.iter().map(|d| d.to_string()).collect();
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_subject_and_span() {
+        let d = Diagnostic::error("MDL001", "length field `L` names no field")
+            .on("mdl:SLP")
+            .at(Position::new(12, 5));
+        assert_eq!(d.to_string(), "error[MDL001] mdl:SLP at 12:5: length field `L` names no field");
+    }
+
+    #[test]
+    fn severity_orders_info_warning_error() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn render_puts_errors_first() {
+        let diags = vec![
+            Diagnostic::info("MDL006", "flattenable"),
+            Diagnostic::error("MDL003", "zero-width field"),
+            Diagnostic::warning("ONT003", "unused concept"),
+        ];
+        let out = render(&diags);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("error["));
+        assert!(lines[1].starts_with("warning["));
+        assert!(lines[2].starts_with("info["));
+        assert!(any_at_least(&diags, Severity::Error));
+        assert!(!any_at_least(&[diags[0].clone()], Severity::Warning));
+    }
+}

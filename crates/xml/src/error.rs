@@ -79,22 +79,28 @@ impl XmlError {
     pub fn position(&self) -> Position {
         self.position
     }
+
+    /// The failure message *without* the position suffix — for callers
+    /// that carry the position structurally.
+    pub fn kind_message(&self) -> String {
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof => "unexpected end of input".to_owned(),
+            XmlErrorKind::UnexpectedChar(c) => format!("unexpected character {c:?}"),
+            XmlErrorKind::MismatchedTag { expected, found } => {
+                format!("mismatched closing tag: expected </{expected}>, found </{found}>")
+            }
+            XmlErrorKind::InvalidName(name) => format!("invalid XML name {name:?}"),
+            XmlErrorKind::InvalidEntity(ent) => format!("invalid entity reference &{ent};"),
+            XmlErrorKind::TrailingContent => "content after document element".to_owned(),
+            XmlErrorKind::NoRootElement => "document has no root element".to_owned(),
+            XmlErrorKind::Structure(msg) => msg.clone(),
+        }
+    }
 }
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.kind {
-            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
-            XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
-            XmlErrorKind::MismatchedTag { expected, found } => {
-                write!(f, "mismatched closing tag: expected </{expected}>, found </{found}>")
-            }
-            XmlErrorKind::InvalidName(name) => write!(f, "invalid XML name {name:?}"),
-            XmlErrorKind::InvalidEntity(ent) => write!(f, "invalid entity reference &{ent};"),
-            XmlErrorKind::TrailingContent => write!(f, "content after document element"),
-            XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
-            XmlErrorKind::Structure(msg) => write!(f, "{msg}"),
-        }?;
+        write!(f, "{}", self.kind_message())?;
         if self.position != Position::default() {
             write!(f, " at {}", self.position)?;
         }

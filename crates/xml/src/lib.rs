@@ -34,12 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diag;
 mod error;
 mod escape;
 mod node;
 mod reader;
 mod writer;
 
+pub use diag::{Diagnostic, Severity};
 pub use error::{Position, Result, XmlError, XmlErrorKind};
 pub use escape::{escape, unescape};
 pub use node::{Element, Node};

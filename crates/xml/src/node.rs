@@ -1,6 +1,6 @@
 //! A small owned DOM built on top of the pull [`Reader`].
 
-use crate::error::{Result, XmlError, XmlErrorKind};
+use crate::error::{Position, Result, XmlError, XmlErrorKind};
 use crate::reader::{Event, Reader};
 
 /// A node in the document tree.
@@ -42,17 +42,35 @@ impl Node {
 /// assert_eq!(doc.attr("type"), Some("SLP"));
 /// assert_eq!(doc.child("XID").unwrap().text(), "16");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Element {
     name: String,
     attributes: Vec<(String, String)>,
     children: Vec<Node>,
+    position: Position,
 }
+
+// Positions are parse provenance, not content: two elements are equal when
+// their markup is, so round-tripped documents compare equal to built ones.
+impl PartialEq for Element {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.attributes == other.attributes
+            && self.children == other.children
+    }
+}
+
+impl Eq for Element {}
 
 impl Element {
     /// Creates an empty element with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+            position: Position::default(),
+        }
     }
 
     /// Parses a complete document and returns its root element.
@@ -64,7 +82,9 @@ impl Element {
     pub fn parse(source: &str) -> Result<Element> {
         let mut reader = Reader::new(source);
         let mut root: Option<Element> = None;
-        while let Some(event) = reader.next_event()? {
+        loop {
+            let tag_start = reader.position();
+            let Some(event) = reader.next_event()? else { break };
             match event {
                 Event::Start { name, attributes, self_closing } => {
                     if root.is_some() {
@@ -73,7 +93,8 @@ impl Element {
                             reader.position(),
                         ));
                     }
-                    let mut element = Element { name, attributes, children: Vec::new() };
+                    let mut element =
+                        Element { name, attributes, children: Vec::new(), position: tag_start };
                     if !self_closing {
                         Self::parse_children(&mut reader, &mut element)?;
                     }
@@ -100,12 +121,14 @@ impl Element {
 
     fn parse_children(reader: &mut Reader<'_>, parent: &mut Element) -> Result<()> {
         loop {
+            let tag_start = reader.position();
             let event = reader
                 .next_event()?
                 .ok_or_else(|| XmlError::new(XmlErrorKind::UnexpectedEof, reader.position()))?;
             match event {
                 Event::Start { name, attributes, self_closing } => {
-                    let mut element = Element { name, attributes, children: Vec::new() };
+                    let mut element =
+                        Element { name, attributes, children: Vec::new(), position: tag_start };
                     if !self_closing {
                         Self::parse_children(reader, &mut element)?;
                     }
@@ -134,6 +157,13 @@ impl Element {
         &self.name
     }
 
+    /// Where this element's start tag sits in the source it was parsed
+    /// from (1-based line/column). Elements built programmatically report
+    /// the default `0:0` "no position".
+    pub fn position(&self) -> Position {
+        self.position
+    }
+
     /// All attributes in document order.
     pub fn attributes(&self) -> &[(String, String)] {
         &self.attributes
@@ -152,7 +182,13 @@ impl Element {
     /// Returns [`XmlErrorKind::Structure`] when the attribute is missing.
     pub fn required_attr(&self, name: &str) -> Result<&str> {
         self.attr(name).ok_or_else(|| {
-            XmlError::structure(format!("element <{}> is missing attribute {name:?}", self.name))
+            XmlError::new(
+                XmlErrorKind::Structure(format!(
+                    "element <{}> is missing attribute {name:?}",
+                    self.name
+                )),
+                self.position,
+            )
         })
     }
 
@@ -196,7 +232,13 @@ impl Element {
     /// Returns [`XmlErrorKind::Structure`] when no such child exists.
     pub fn required_child(&self, name: &str) -> Result<&Element> {
         self.child(name).ok_or_else(|| {
-            XmlError::structure(format!("element <{}> is missing child <{name}>", self.name))
+            XmlError::new(
+                XmlErrorKind::Structure(format!(
+                    "element <{}> is missing child <{name}>",
+                    self.name
+                )),
+                self.position,
+            )
         })
     }
 
@@ -295,6 +337,33 @@ mod tests {
         el.set_attr("k", "2");
         assert_eq!(el.attr("k"), Some("2"));
         assert_eq!(el.attributes().len(), 1);
+    }
+
+    #[test]
+    fn elements_carry_source_positions() {
+        let root = Element::parse("<a>\n  <b/>\n  <c x='1'/>\n</a>").unwrap();
+        assert_eq!(root.position(), Position::new(1, 1));
+        assert_eq!(root.child("b").unwrap().position(), Position::new(2, 3));
+        assert_eq!(root.child("c").unwrap().position(), Position::new(3, 3));
+    }
+
+    #[test]
+    fn positions_do_not_affect_equality() {
+        let parsed = Element::parse("<a>\n  <b/>\n</a>").unwrap();
+        let mut built = Element::new("a");
+        built.push_text("\n  ");
+        built.push_element(Element::new("b"));
+        built.push_text("\n");
+        assert_eq!(parsed, built);
+    }
+
+    #[test]
+    fn required_errors_carry_the_element_position() {
+        let root = Element::parse("<a>\n  <b/>\n</a>").unwrap();
+        let err = root.child("b").unwrap().required_attr("x").unwrap_err();
+        assert_eq!(err.position(), Position::new(2, 3));
+        let err = root.required_child("missing").unwrap_err();
+        assert_eq!(err.position(), Position::new(1, 1));
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! `starlink-check` — static verification over Starlink model files.
+//!
+//! Walks the given files and directories, sniffs each XML document's
+//! root element, and runs the matching analysis pass:
+//!
+//! | root element         | analysis                                    |
+//! |----------------------|---------------------------------------------|
+//! | `<MDL>`              | [`starlink::mdl::analyze_mdl`] (MDL001–009) |
+//! | `<ColoredAutomaton>` | [`starlink::automata::analyze_automaton`]   |
+//! | `<Bridge>`           | [`starlink::automata::analyze_merged`]      |
+//!
+//! Documents that fail to parse or load report `XML001` with the source
+//! position. Every diagnostic carries a stable lint code, a severity,
+//! and (when the construct came from XML) a `line:column` span — see
+//! `docs/CHECKS.md` for the full catalogue.
+//!
+//! ```text
+//! starlink-check [--deny-warnings] [--explain-fusion] [PATH...]
+//! ```
+//!
+//! Exit status is `1` when any error-severity diagnostic fires (or any
+//! warning under `--deny-warnings`), `2` on usage errors, `0` otherwise.
+//! `--explain-fusion` additionally deploys all twelve synthesized
+//! bridge cases and reports, per case, whether the engine compiled the
+//! fused fast path or which `FUSxxx` category rejected it.
+
+use starlink::core::{check_model_source, EngineConfig, Starlink, XML_LINT_CODE};
+use starlink::protocols::bridges::{self, BridgeCase};
+use starlink::xml::{diag, Diagnostic, Severity};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Host address used when materializing the synthesized bridges for
+/// `--explain-fusion`; only the reverse UPnP cases embed it (LOCATION
+/// header) and the value never leaves the diagnostic output.
+const EXPLAIN_HOST: &str = "192.0.2.1";
+
+fn usage() -> String {
+    "usage: starlink-check [--deny-warnings] [--explain-fusion] [PATH...]\n\
+     \n\
+     Statically verifies Starlink model files (MDL specs, coloured\n\
+     automata, bridges). Directories are walked recursively for *.xml.\n\
+     \n\
+     options:\n\
+     \x20 --deny-warnings   exit non-zero on warnings, not just errors\n\
+     \x20 --explain-fusion  deploy the 12 bridge cases and report why\n\
+     \x20                   each one fused or stayed interpreted\n\
+     \x20 --help            show this message"
+        .to_owned()
+}
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut explain_fusion = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--explain-fusion" => explain_fusion = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("starlink-check: unknown option `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+            _ => paths.push(PathBuf::from(arg)),
+        }
+    }
+    if paths.is_empty() && !explain_fusion {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+
+    let mut files = Vec::new();
+    for path in &paths {
+        if let Err(message) = collect_xml_files(path, &mut files) {
+            eprintln!("starlink-check: {message}");
+            return ExitCode::from(2);
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for file in &files {
+        let diags = check_file(file);
+        errors += diags.iter().filter(|d| d.severity() == Severity::Error).count();
+        warnings += diags.iter().filter(|d| d.severity() == Severity::Warning).count();
+        if diags.is_empty() {
+            println!("{}: ok", file.display());
+        } else {
+            println!("{}:", file.display());
+            for line in diag::render(&diags).lines() {
+                println!("  {line}");
+            }
+        }
+    }
+
+    if explain_fusion {
+        let (fusion_errors, report) = explain_fusion_report();
+        errors += fusion_errors;
+        println!("{report}");
+    }
+
+    if !files.is_empty() || errors + warnings > 0 {
+        println!(
+            "starlink-check: {} file(s), {errors} error(s), {warnings} warning(s)",
+            files.len()
+        );
+    }
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Recursively gathers `*.xml` files under `path` (or `path` itself
+/// when it is a file, whatever its extension).
+fn collect_xml_files(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let meta =
+        std::fs::metadata(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if meta.is_file() {
+        out.push(path.to_path_buf());
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(path)
+        .map_err(|e| format!("cannot read directory {}: {e}", path.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read directory {}: {e}", path.display()))?;
+        let child = entry.path();
+        if child.is_dir() {
+            collect_xml_files(&child, out)?;
+        } else if child.extension().and_then(|e| e.to_str()) == Some("xml") {
+            out.push(child);
+        }
+    }
+    Ok(())
+}
+
+/// Parses one model file and runs the analysis matching its root
+/// element via [`check_model_source`]; unreadable files become
+/// [`XML_LINT_CODE`] diagnostics so the summary and exit code account
+/// for them uniformly.
+fn check_file(path: &Path) -> Vec<Diagnostic> {
+    match std::fs::read_to_string(path) {
+        Ok(source) => check_model_source(&source),
+        Err(e) => vec![Diagnostic::error(XML_LINT_CODE, format!("cannot read file: {e}"))],
+    }
+}
+
+/// Deploys each of the twelve bridge cases and reports the fused-plan
+/// outcome: `fused`, or the `FUSxxx` reject category with its reason.
+/// Returns the number of deploy failures (which count as errors).
+fn explain_fusion_report() -> (usize, String) {
+    use std::fmt::Write as _;
+    let mut report = String::from("fusion report (12 bridge cases):\n");
+    let mut errors = 0usize;
+    for &case in BridgeCase::all() {
+        let mut framework = Starlink::new();
+        if let Err(e) = bridges::load_all_mdls(&mut framework) {
+            errors += 1;
+            let _ = writeln!(
+                report,
+                "  case {:>2} {}: MDL load failed: {e}",
+                case.number(),
+                case.name()
+            );
+            continue;
+        }
+        let config = EngineConfig {
+            correlator: Some(Arc::new(bridges::default_correlator())),
+            ..EngineConfig::default()
+        };
+        match framework.deploy_with(case.build(EXPLAIN_HOST), config) {
+            Ok((engine, _stats)) => match engine.fused_reject() {
+                None => {
+                    let _ = writeln!(report, "  case {:>2} {}: fused", case.number(), case.name());
+                }
+                Some(reject) => {
+                    let _ = writeln!(
+                        report,
+                        "  case {:>2} {}: interpreted [{}] {reject}",
+                        case.number(),
+                        case.name(),
+                        reject.code()
+                    );
+                }
+            },
+            Err(e) => {
+                errors += 1;
+                let _ = writeln!(
+                    report,
+                    "  case {:>2} {}: deploy refused: {e}",
+                    case.number(),
+                    case.name()
+                );
+            }
+        }
+    }
+    (errors, report)
+}

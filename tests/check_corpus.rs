@@ -1,0 +1,184 @@
+//! The `starlink-check` conformance corpus.
+//!
+//! Two halves:
+//!
+//! * **badspecs** — every lint code has at least one fixture under
+//!   `tests/fixtures/badspecs/` that triggers it; the rendered
+//!   diagnostics are locked by golden snapshots in
+//!   `tests/fixtures/badspecs/golden/`. Regenerate after an intentional
+//!   message change with `UPDATE_GOLDEN=1 cargo test -q check_corpus`.
+//! * **shipped models check clean** — the five protocol specs, all
+//!   twelve synthesized bridges (including their deployment gate) and
+//!   the four synthesis ontologies produce nothing at warning severity
+//!   or above.
+//!
+//! Plus the deployment-refusal contract: [`Starlink::deploy_with`]
+//! refuses an error-carrying model before any session starts, naming
+//! the lint code in the `Deployment` error.
+
+use starlink::automata::{analyze_merged, Color, ColoredAutomaton, Mode, Transport};
+use starlink::core::{analyze_ontology, check_model_source, CoreError, EngineConfig, Starlink};
+use starlink::protocols::bridges::{self, BridgeCase};
+use starlink::xml::{diag, Severity};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn xml_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("directory entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("xml"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// The lint code a badspec fixture is named for: `mdl001_unresolved_ref`
+/// declares it triggers `MDL001`.
+fn expected_code(fixture: &Path) -> String {
+    let stem = fixture.file_stem().and_then(|s| s.to_str()).expect("fixture stem");
+    stem.split('_').next().expect("stem prefix").to_ascii_uppercase()
+}
+
+#[test]
+fn every_badspec_fixture_triggers_its_lint_code() {
+    let dir = repo_path("tests/fixtures/badspecs");
+    let fixtures = xml_files(&dir);
+    assert!(!fixtures.is_empty(), "no fixtures found in {}", dir.display());
+    for fixture in &fixtures {
+        let source = std::fs::read_to_string(fixture).expect("fixture readable");
+        let diags = check_model_source(&source);
+        let code = expected_code(fixture);
+        assert!(
+            diags.iter().any(|d| d.code() == code),
+            "{} does not trigger {code}; got:\n{}",
+            fixture.display(),
+            diag::render(&diags),
+        );
+    }
+}
+
+#[test]
+fn badspec_diagnostics_match_golden_snapshots() {
+    let dir = repo_path("tests/fixtures/badspecs");
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut mismatches = Vec::new();
+    for fixture in xml_files(&dir) {
+        let source = std::fs::read_to_string(&fixture).expect("fixture readable");
+        let rendered = format!("{}\n", diag::render(&check_model_source(&source)));
+        let stem = fixture.file_stem().and_then(|s| s.to_str()).expect("fixture stem");
+        let golden_path = dir.join("golden").join(format!("{stem}.txt"));
+        if update {
+            std::fs::write(&golden_path, &rendered).expect("golden writable");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden snapshot {}; run UPDATE_GOLDEN=1 cargo test -q check_corpus",
+                golden_path.display()
+            )
+        });
+        if golden != rendered {
+            mismatches
+                .push(format!("== {stem} ==\n-- golden --\n{golden}-- actual --\n{rendered}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "diagnostic snapshots diverged (UPDATE_GOLDEN=1 to accept):\n{}",
+        mismatches.join("\n"),
+    );
+}
+
+#[test]
+fn shipped_specs_check_clean() {
+    for spec in xml_files(&repo_path("crates/protocols/specs")) {
+        let source = std::fs::read_to_string(&spec).expect("spec readable");
+        let diags = check_model_source(&source);
+        assert!(
+            !diag::any_at_least(&diags, Severity::Warning),
+            "{} is not clean:\n{}",
+            spec.display(),
+            diag::render(&diags),
+        );
+    }
+}
+
+#[test]
+fn all_bridge_cases_check_clean_and_deploy() {
+    for &case in BridgeCase::all() {
+        let merged = case.build("10.0.0.2");
+        let diags = analyze_merged(&merged, None);
+        assert!(
+            !diag::any_at_least(&diags, Severity::Warning),
+            "case {} ({}) is not clean:\n{}",
+            case.number(),
+            case.name(),
+            diag::render(&diags),
+        );
+        // The deployment gate re-runs every analysis (plus AUT006 with
+        // the default correlator) and must pass for every shipped case.
+        let mut framework = Starlink::new();
+        bridges::load_all_mdls(&mut framework).expect("models load");
+        let config = EngineConfig {
+            correlator: Some(Arc::new(bridges::default_correlator())),
+            ..EngineConfig::default()
+        };
+        framework
+            .deploy_with(case.build("10.0.0.2"), config)
+            .unwrap_or_else(|e| panic!("case {} refused deployment: {e}", case.number()));
+    }
+}
+
+#[test]
+fn synthesis_ontologies_check_clean() {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).expect("models load");
+    for (case, service, client, ontology) in bridges::synthesized_inputs() {
+        let diags = analyze_ontology(&framework, &service, &client, &ontology);
+        assert!(
+            diags.is_empty(),
+            "ontology of case {} ({}) is not clean:\n{}",
+            case.number(),
+            case.name(),
+            diag::render(&diags),
+        );
+    }
+}
+
+#[test]
+fn deploy_refuses_error_carrying_model() {
+    const ECHO_MDL: &str = r#"
+      <MDL protocol="Echo" kind="binary">
+        <Header type="Echo"><Op>8</Op><Tag>16</Tag></Header>
+        <Message type="Ping"><Rule>Op=1</Rule></Message>
+        <Message type="Pong"><Rule>Op=2</Rule></Message>
+      </MDL>"#;
+    // No accepting state: AUT002, an error-severity finding.
+    let automaton = ColoredAutomaton::builder("Echo")
+        .color(Color::new(Transport::Udp, 1000, Mode::Async).multicast("239.0.0.1"))
+        .state("s0")
+        .state("s1")
+        .receive("s0", "Ping", "s1")
+        .send("s1", "Pong", "s0")
+        .build()
+        .expect("automaton builds");
+    let mut framework = Starlink::new();
+    framework.load_mdl_xml(ECHO_MDL).expect("MDL loads");
+    let merged = starlink::automata::MergedAutomaton::from_single(automaton);
+    let err = framework
+        .deploy_with(merged, EngineConfig::default())
+        .expect_err("deployment must be refused");
+    match err {
+        CoreError::Deployment(message) => {
+            assert!(message.contains("model verification failed"), "unexpected message: {message}");
+            assert!(message.contains("AUT002"), "missing lint code: {message}");
+            assert!(message.contains("bridge:Echo"), "missing subject: {message}");
+        }
+        other => panic!("expected Deployment error, got {other:?}"),
+    }
+}

@@ -1,0 +1,272 @@
+//! Programmatic `starlink-check` fixtures for the lint codes that
+//! cannot be expressed as standalone XML documents: correlator coverage
+//! (AUT006) and the ontology lints (ONT001–ONT003) need a deployed
+//! framework for context, and the fusion-reject categories
+//! (FUS001–FUS006) are produced by the engine's plan compiler, not by a
+//! document analysis. Each fixture builds the offending model with the
+//! public API, triggers the code, and locks the rendered diagnostics
+//! with a golden snapshot next to the XML corpus
+//! (`tests/fixtures/badspecs/golden/`). Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -q check_programmatic`.
+
+use starlink::automata::{
+    Assignment, Color, ColoredAutomaton, Delta, MergedAutomaton, Mode, Transport, ValueSource,
+};
+use starlink::core::{
+    analyze_ontology, check_correlator, EngineConfig, FieldCorrelator, Ontology, Starlink,
+};
+use starlink::protocols::bridges::{self, BridgeCase};
+use starlink::protocols::{mdns, slp, ssdp, wsd};
+use starlink::xml::{diag, Diagnostic};
+use std::path::Path;
+use std::sync::Arc;
+
+const ECHO_MDL: &str = r#"
+  <MDL protocol="Echo" kind="binary">
+    <Header type="Echo"><Op>8</Op><Tag>16</Tag></Header>
+    <Message type="Ping"><Rule>Op=1</Rule></Message>
+    <Message type="Pong"><Rule>Op=2</Rule></Message>
+  </MDL>"#;
+
+fn field(message: &str, path: &str) -> ValueSource {
+    ValueSource::field(message, path)
+}
+
+fn lit(value: u64) -> ValueSource {
+    ValueSource::literal(value)
+}
+
+fn assign(target: &str, path: &str, source: ValueSource) -> Assignment {
+    Assignment::new(target, path, source)
+}
+
+/// A framework with every shipped MDL loaded.
+fn framework() -> Starlink {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).expect("models load");
+    framework
+}
+
+/// Deploys `merged` and reports the engine's fusion outcome as a
+/// diagnostic: the `FUSxxx` reject, or a panic when it unexpectedly
+/// fused (each fixture exists to be rejected).
+fn fusion_reject_diag(merged: MergedAutomaton, config: EngineConfig) -> Vec<Diagnostic> {
+    let name = format!("bridge:{}", merged.name());
+    let (engine, _stats) = framework().deploy_with(merged, config).expect("fixture deploys");
+    let reject = engine.fused_reject().expect("fixture must stay interpreted");
+    vec![Diagnostic::info(reject.code(), reject.to_string()).on(name)]
+}
+
+fn correlated() -> EngineConfig {
+    EngineConfig {
+        correlator: Some(Arc::new(bridges::default_correlator())),
+        ..EngineConfig::default()
+    }
+}
+
+/// AUT006 — a correlator keyed on a field the messages do not carry.
+fn aut006_fixture() -> Vec<Diagnostic> {
+    let mut framework = Starlink::new();
+    let codec = framework.load_mdl_xml(ECHO_MDL).expect("MDL loads");
+    let automaton = ColoredAutomaton::builder("Echo")
+        .color(Color::new(Transport::Udp, 1000, Mode::Async).multicast("239.0.0.1"))
+        .state("s0")
+        .state_accepting("s1")
+        .receive("s0", "Ping", "s1")
+        .send("s1", "Pong", "s0")
+        .build()
+        .expect("automaton builds");
+    let merged = MergedAutomaton::from_single(automaton);
+    let correlator = FieldCorrelator::new([("Echo", "SessionId")]);
+    check_correlator(&merged, &[codec], &correlator)
+}
+
+/// ONT001 — an empty ontology derives nothing: every mandatory field of
+/// both outbound messages goes uncovered.
+fn ont001_fixture() -> Vec<Diagnostic> {
+    analyze_ontology(
+        &framework(),
+        &wsd::service_automaton(),
+        &slp::client_automaton(),
+        &Ontology::new(),
+    )
+}
+
+/// ONT002 — a conversion naming a function absent from the registry.
+fn ont002_fixture() -> Vec<Diagnostic> {
+    let (_, service, client, ontology) = bridges::synthesized_inputs().remove(0);
+    let ontology = ontology.conversion("url", "url", "frobnicate");
+    analyze_ontology(&framework(), &service, &client, &ontology)
+}
+
+/// ONT003 — dangling annotations: a concept on a message outside the
+/// exchange, and a lone outbound concept no conversion can feed.
+fn ont003_fixture() -> Vec<Diagnostic> {
+    let (_, service, client, ontology) = bridges::synthesized_inputs().remove(0);
+    let ontology = ontology.concept("SLP_Unknown", "Foo", "ghost").concept(
+        "SLPSrvRequest",
+        "Predicate",
+        "lonely",
+    );
+    analyze_ontology(&framework(), &service, &client, &ontology)
+}
+
+/// FUS001 — a three-part chain (UPnP needs SSDP + HTTP) cannot fuse.
+fn fus001_fixture() -> Vec<Diagnostic> {
+    fusion_reject_diag(BridgeCase::SlpToUpnp.build("10.0.0.2"), correlated())
+}
+
+/// FUS002 — a duplicated forward δ: three δ-transitions still satisfy
+/// the merge chain, but fusion needs exactly a forward/backward pair.
+fn fus002_fixture() -> Vec<Diagnostic> {
+    let forward = || {
+        Delta::new("SLP:s1", "DNS:s0")
+            .assignment(assign("DNS_Question", "QName", field("SLPSrvRequest", "SRVType")))
+            .assignment(assign("DNS_Question", "ID", field("SLPSrvRequest", "XID")))
+    };
+    let merged = MergedAutomaton::builder("extra-delta")
+        .part(slp::service_automaton())
+        .part(mdns::client_automaton())
+        .equivalence("DNS_Question", &["SLPSrvRequest"])
+        .equivalence("SLPSrvReply", &["DNS_Response"])
+        .delta(forward())
+        .delta(forward())
+        .delta(Delta::new("DNS:s2", "SLP:s1").assignment(assign(
+            "SLPSrvReply",
+            "URLEntry",
+            field("DNS_Response", "RData"),
+        )))
+        .build()
+        .expect("bridge builds");
+    fusion_reject_diag(merged, correlated())
+}
+
+/// FUS003 — a two-part bridge over SSDP: the SSDP spec has no flat
+/// plan (delimited-pairs headers), so the fused substrate is missing.
+fn fus003_fixture() -> Vec<Diagnostic> {
+    let merged = MergedAutomaton::builder("ssdp-gap")
+        .part(ssdp::service_automaton())
+        .part(mdns::client_automaton())
+        .equivalence("DNS_Question", &["SSDP_M-Search"])
+        .equivalence("SSDP_Resp", &["DNS_Response"])
+        .delta(
+            Delta::new("SSDP:r1", "DNS:s0")
+                .assignment(assign("DNS_Question", "QName", field("SSDP_M-Search", "ST")))
+                .assignment(assign("DNS_Question", "ID", lit(1))),
+        )
+        .delta(Delta::new("DNS:s2", "SSDP:r1").assignment(assign(
+            "SSDP_Resp",
+            "Location",
+            field("DNS_Response", "RData"),
+        )))
+        .build()
+        .expect("bridge builds");
+    fusion_reject_diag(merged, correlated())
+}
+
+/// FUS004 — a translation step with no allocation-free lowering: a
+/// multi-argument function in a δ assignment.
+fn fus004_fixture() -> Vec<Diagnostic> {
+    let merged = MergedAutomaton::builder("multiarg")
+        .part(slp::service_automaton())
+        .part(mdns::client_automaton())
+        .equivalence("DNS_Question", &["SLPSrvRequest"])
+        .equivalence("SLPSrvReply", &["DNS_Response"])
+        .delta(
+            Delta::new("SLP:s1", "DNS:s0")
+                .assignment(assign(
+                    "DNS_Question",
+                    "QName",
+                    ValueSource::function(
+                        "extract-tag",
+                        vec![field("SLPSrvRequest", "SRVType"), ValueSource::literal("tag")],
+                    ),
+                ))
+                .assignment(assign("DNS_Question", "ID", field("SLPSrvRequest", "XID")))
+                .assignment(assign("DNS_Question", "QDCount", lit(1)))
+                .assignment(assign("DNS_Question", "QType", lit(12)))
+                .assignment(assign("DNS_Question", "QClass", lit(1))),
+        )
+        .delta(
+            Delta::new("DNS:s2", "SLP:s1")
+                .assignment(assign("SLPSrvReply", "URLEntry", field("DNS_Response", "RData")))
+                .assignment(assign("SLPSrvReply", "XID", field("SLPSrvRequest", "XID"))),
+        )
+        .build()
+        .expect("bridge builds");
+    fusion_reject_diag(merged, correlated())
+}
+
+/// FUS005 — the deployed correlator declares no id field for the
+/// target-side query, so session keys cannot be mirrored onto slots.
+fn fus005_fixture() -> Vec<Diagnostic> {
+    let config = EngineConfig {
+        correlator: Some(Arc::new(FieldCorrelator::new([("SLP", "XID")]))),
+        ..EngineConfig::default()
+    };
+    fusion_reject_diag(BridgeCase::SlpToBonjour.build("10.0.0.2"), config)
+}
+
+/// FUS006 — configuration pins the interpreted path.
+fn fus006_fixture() -> Vec<Diagnostic> {
+    let config = EngineConfig { force_interpreted: true, ..correlated() };
+    fusion_reject_diag(BridgeCase::SlpToBonjour.build("10.0.0.2"), config)
+}
+
+/// Every programmatic fixture: (snapshot name, lint code it triggers,
+/// the diagnostics it produced).
+fn fixtures() -> Vec<(&'static str, &'static str, Vec<Diagnostic>)> {
+    vec![
+        ("aut006_missing_correlator_field", "AUT006", aut006_fixture()),
+        ("ont001_empty_ontology", "ONT001", ont001_fixture()),
+        ("ont002_unknown_conversion", "ONT002", ont002_fixture()),
+        ("ont003_dangling_concepts", "ONT003", ont003_fixture()),
+        ("fus001_three_parts", "FUS001", fus001_fixture()),
+        ("fus002_extra_delta", "FUS002", fus002_fixture()),
+        ("fus003_unflattenable_part", "FUS003", fus003_fixture()),
+        ("fus004_multiarg_translation", "FUS004", fus004_fixture()),
+        ("fus005_no_target_id_field", "FUS005", fus005_fixture()),
+        ("fus006_forced_interpreted", "FUS006", fus006_fixture()),
+    ]
+}
+
+#[test]
+fn every_programmatic_fixture_triggers_its_lint_code() {
+    for (name, code, diags) in fixtures() {
+        assert!(
+            diags.iter().any(|d| d.code() == code),
+            "{name} does not trigger {code}; got:\n{}",
+            diag::render(&diags),
+        );
+    }
+}
+
+#[test]
+fn programmatic_diagnostics_match_golden_snapshots() {
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/badspecs/golden");
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut mismatches = Vec::new();
+    for (name, _, diags) in fixtures() {
+        let rendered = format!("{}\n", diag::render(&diags));
+        let golden_path = golden_dir.join(format!("{name}.txt"));
+        if update {
+            std::fs::write(&golden_path, &rendered).expect("golden writable");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden snapshot {}; run UPDATE_GOLDEN=1 cargo test -q check_programmatic",
+                golden_path.display()
+            )
+        });
+        if golden != rendered {
+            mismatches
+                .push(format!("== {name} ==\n-- golden --\n{golden}-- actual --\n{rendered}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "diagnostic snapshots diverged (UPDATE_GOLDEN=1 to accept):\n{}",
+        mismatches.join("\n"),
+    );
+}
