@@ -1,0 +1,122 @@
+//! The gateway soak bench: live-socket soak of the whole bridge
+//! matrix through readiness-driven [`ShardedGateway`]s — peak
+//! concurrent sessions, flat-RSS hold, zero-wedged drain, then
+//! per-case sustained msgs/s and p50/p99 latency.
+//!
+//! Prints a table; set `GATEWAY_SOAK_JSON=/path/BENCH_throughput.json`
+//! to splice a `gateway_soak` section into the throughput snapshot
+//! (the section is replaced if present). Knobs: `SOAK_SESSIONS`
+//! (default 102000), `SOAK_SECS` (hold window, default 25),
+//! `SOAK_SUSTAINED` (phase-2 sessions per case, default 2000),
+//! `SOAK_FORCE_POLLING=1` (portable fallback front).
+//!
+//! [`ShardedGateway`]: starlink_core::ShardedGateway
+
+use starlink_bench::soak::{run_soak, SoakConfig, SoakReport};
+
+fn main() {
+    let config = SoakConfig::full().with_env();
+    eprintln!(
+        "gateway soak: {} sessions, hold {:?}, {} shards x {} gateway thread(s) per case",
+        config.sessions, config.hold, config.shards_per_case, config.gateway_threads
+    );
+    let report = match run_soak(&config) {
+        Ok(report) => report,
+        Err(reason) => {
+            eprintln!("SKIP gateway soak: {reason}");
+            return;
+        }
+    };
+    print_report(&report);
+    report.assert_healthy((report.sessions as u64 * 95) / 100);
+
+    if let Ok(path) = std::env::var("GATEWAY_SOAK_JSON") {
+        splice_json(&path, &report);
+        eprintln!("gateway_soak section written to {path}");
+    }
+}
+
+fn print_report(report: &SoakReport) {
+    println!("== gateway soak ({} front) ==", report.mode);
+    println!(
+        "hold: {} sessions over {} sockets | peak concurrent {} | ramp {:.1}s | drain {:.1}s @ {:.0} msgs/s",
+        report.started,
+        report.sockets,
+        report.peak_concurrent,
+        report.ramp.as_secs_f64(),
+        report.drain.as_secs_f64(),
+        report.drain_msgs_per_sec
+    );
+    println!(
+        "RSS: warmup {} kB, hold peak {} kB, final {} kB | wedged {} | engine leaked {}",
+        report.rss_warmup_kb,
+        report.rss_hold_peak_kb,
+        report.rss_final_kb,
+        report.wedged,
+        report.engine_leaked
+    );
+    println!(
+        "{:<4} {:<18} {:>9} {:>9} {:>12} {:>9} {:>9}",
+        "case", "name", "held", "sockets", "msgs/s", "p50 us", "p99 us"
+    );
+    for (case, sustained) in report.cases.iter().zip(&report.sustained) {
+        println!(
+            "{:<4} {:<18} {:>9} {:>9} {:>12.0} {:>9} {:>9}",
+            case.case,
+            case.name,
+            case.sessions,
+            case.sockets,
+            sustained.msgs_per_sec,
+            sustained.p50_us,
+            sustained.p99_us
+        );
+    }
+}
+
+/// Splices a `"gateway_soak"` section into the throughput JSON
+/// snapshot, replacing any existing one (the section is always kept
+/// last in the document).
+fn splice_json(path: &str, report: &SoakReport) {
+    let mut text = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_owned());
+    if let Some(at) = text.find(",\n  \"gateway_soak\"") {
+        text.truncate(at);
+        text.push_str("\n}\n");
+    }
+    let trimmed = text.trim_end().trim_end_matches('}').trim_end();
+    let mut out = String::from(trimmed);
+    out.push_str(",\n  \"gateway_soak\": {");
+    out.push_str(&format!(
+        "\"mode\": \"{}\", \"sessions\": {}, \"peak_concurrent\": {}, \"sockets\": {}, \
+         \"ramp_secs\": {:.2}, \"hold_secs\": {:.1}, \"drain_secs\": {:.2}, \
+         \"drain_msgs_per_sec\": {:.0}, \"wedged\": {}, \"engine_leaked\": {}, \
+         \"rss_warmup_kb\": {}, \"rss_hold_peak_kb\": {}, \"rss_final_kb\": {}, \
+         \"note\": \"Whole 12-case matrix held concurrently through per-case ShardedGateways over real loopback sockets; sessions multiplexed onto sockets by transaction id. sustained rows are separate instant-calibration runs through the same gateway path.\",\n    \"sustained\": [\n",
+        report.mode,
+        report.started,
+        report.peak_concurrent,
+        report.sockets,
+        report.ramp.as_secs_f64(),
+        report.hold.as_secs_f64(),
+        report.drain.as_secs_f64(),
+        report.drain_msgs_per_sec,
+        report.wedged,
+        report.engine_leaked,
+        report.rss_warmup_kb,
+        report.rss_hold_peak_kb,
+        report.rss_final_kb,
+    ));
+    for (i, row) in report.sustained.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"case\": {}, \"name\": \"{}\", \"sessions\": {}, \"msgs_per_sec\": {:.0}, \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+            row.case,
+            row.name,
+            row.sessions,
+            row.msgs_per_sec,
+            row.p50_us,
+            row.p99_us,
+            if i + 1 < report.sustained.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]}\n}\n");
+    std::fs::write(path, out).expect("gateway soak JSON written");
+}

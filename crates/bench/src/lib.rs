@@ -77,6 +77,7 @@
 
 pub mod chaos;
 pub mod sharded;
+pub mod soak;
 
 pub use chaos::{run_chaos_cell, ChaosCell, ChaosProfile};
 pub use sharded::{

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 const SLP_TYPE: &str = "service:printer";
 const UPNP_TYPE: &str = "urn:schemas-upnp-org:service:printer:1";
 const DNS_TYPE: &str = "_printer._tcp.local";
-const WSD_TYPE: &str = "dn:printer";
+pub(crate) const WSD_TYPE: &str = "dn:printer";
 
 /// Parameters of one sharded run.
 #[derive(Debug, Clone, Copy)]
@@ -235,7 +235,7 @@ struct Client {
 }
 
 /// The source port a case's client sends its UDP request from.
-fn client_udp_port(case: BridgeCase) -> u16 {
+pub(crate) fn client_udp_port(case: BridgeCase) -> u16 {
     match case.source() {
         Family::Slp => 41_000,
         Family::Upnp => ssdp::SSDP_PORT,
@@ -245,7 +245,7 @@ fn client_udp_port(case: BridgeCase) -> u16 {
 }
 
 /// The bridge port a case's client addresses its UDP request to.
-fn bridge_udp_port(case: BridgeCase) -> u16 {
+pub(crate) fn bridge_udp_port(case: BridgeCase) -> u16 {
     match case.source() {
         Family::Slp => slp::SLP_PORT,
         Family::Upnp => ssdp::SSDP_PORT,
@@ -256,7 +256,7 @@ fn bridge_udp_port(case: BridgeCase) -> u16 {
 
 /// The native request bytes client `index` sends (unique id per client
 /// where the protocol carries one).
-fn request_wire(case: BridgeCase, index: usize) -> Vec<u8> {
+pub(crate) fn request_wire(case: BridgeCase, index: usize) -> Vec<u8> {
     let id = index as u16;
     match case.source() {
         Family::Slp => slp::encode(&slp::SlpMessage::SrvRqst(slp::SrvRqst::new(id, SLP_TYPE))),
@@ -272,7 +272,7 @@ fn request_wire(case: BridgeCase, index: usize) -> Vec<u8> {
 }
 
 /// Splits `http://host:port/path` into (host, port).
-fn parse_location(location: &str) -> (String, u16) {
+pub(crate) fn parse_location(location: &str) -> (String, u16) {
     let rest = location.strip_prefix("http://").unwrap_or(location);
     let authority = rest.split('/').next().unwrap_or(rest);
     match authority.rsplit_once(':') {

@@ -1,0 +1,42 @@
+//! Short-mode gateway soak: the same two-phase harness the 100k
+//! acceptance run uses ([`starlink_bench::soak`]), at a size `cargo
+//! test` can afford. CI runs it bigger via `SOAK_SESSIONS` /
+//! `SOAK_SECS` / `SOAK_SUSTAINED`; the liveness, reply-isolation and
+//! flat-RSS contracts are asserted at every size. Skips loudly where
+//! the environment cannot bind loopback sockets.
+
+use starlink_bench::soak::{run_soak, SoakConfig};
+use starlink_net::LoopbackUdp;
+
+#[test]
+fn gateway_soak_smoke_holds_and_drains_every_session() {
+    if LoopbackUdp::bind().is_err() {
+        eprintln!("SKIP gateway soak: loopback UDP unavailable in this environment");
+        return;
+    }
+    let config = SoakConfig::smoke().with_env();
+    let report = match run_soak(&config) {
+        Ok(report) => report,
+        Err(reason) => {
+            eprintln!("SKIP gateway soak: {reason}");
+            return;
+        }
+    };
+    eprintln!(
+        "gateway soak [{}]: {} sessions over {} sockets, peak {} concurrent, \
+         ramp {:?}, drain {:?}, RSS {} -> {} kB",
+        report.mode,
+        report.started,
+        report.sockets,
+        report.peak_concurrent,
+        report.ramp,
+        report.drain,
+        report.rss_warmup_kb,
+        report.rss_hold_peak_kb,
+    );
+    // A loaded single-core CI box can ramp slower than the short hold
+    // window, so the smoke demands a substantial floor rather than the
+    // full plan at peak; wedged/isolation/RSS contracts stay absolute.
+    let min_peak = (report.sessions / 2).max(1) as u64;
+    report.assert_healthy(min_peak);
+}

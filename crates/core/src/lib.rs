@@ -42,6 +42,7 @@ mod engine;
 mod error;
 mod framework;
 mod fused;
+mod gateway;
 mod shard;
 mod stats;
 mod synthesis;
@@ -51,7 +52,8 @@ pub use engine::{BridgeEngine, EngineConfig, FieldCorrelator, SessionCorrelator,
 pub use error::{CoreError, Result};
 pub use framework::Starlink;
 pub use fused::FuseReject;
-pub use shard::{ShardInput, ShardOutput, ShardedBridge};
+pub use gateway::{GatewayConfig, GatewayStats, ShardedGateway};
+pub use shard::{ShardHandle, ShardInput, ShardOutput, ShardedBridge};
 pub use stats::{
     AtomicConcurrency, BridgeStats, CacheStats, ConcurrencyStats, SessionRecord, ShardedStats,
 };

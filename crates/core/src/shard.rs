@@ -147,15 +147,100 @@ impl Channel {
     }
 }
 
+/// A callback a shard worker fires after publishing egress into its
+/// outbox — how a readiness-driven gateway thread sleeping in
+/// `epoll_wait` learns there is egress to flush (it registers its
+/// waker here via [`ShardHandle::set_egress_notifier`]).
+type EgressNotifier = Box<dyn Fn() + Send>;
+
 struct Shard {
     channel: Arc<Channel>,
     outbox: Arc<Mutex<Vec<ShardOutput>>>,
+    notifier: Arc<Mutex<Option<EgressNotifier>>>,
     worker: Option<JoinHandle<()>>,
+}
+
+/// A cloneable per-shard ingress/egress endpoint for external gateway
+/// threads: submit input batches straight onto one shard's queue and
+/// drain its outbox, without going through the [`ShardedBridge`]
+/// driver's host-pinning dispatch.
+///
+/// The multi-threaded gateway front uses one handle per shard, each
+/// owned by exactly one gateway thread, so per-shard batch ordering
+/// (and therefore the monotonic virtual clock and per-session FIFO) is
+/// preserved. Handles share the `submitted`/`completed` counters with
+/// the bridge, so [`ShardedBridge::flush`] still covers work submitted
+/// through handles.
+///
+/// **Contract:** every submitter of one shard must keep that shard's
+/// `now` monotonically non-decreasing — one thread per shard is the
+/// intended topology. Host-pinned affinity becomes the *caller's*
+/// obligation: route each client's traffic to the handle of
+/// [`ShardedBridge::shard_of`] (or keep a client on one per-shard
+/// socket, which is how `ShardedGateway` does it).
+#[derive(Clone)]
+pub struct ShardHandle {
+    index: usize,
+    channel: Arc<Channel>,
+    outbox: Arc<Mutex<Vec<ShardOutput>>>,
+    notifier: Arc<Mutex<Option<EgressNotifier>>>,
+}
+
+impl std::fmt::Debug for ShardHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardHandle").field("index", &self.index).finish()
+    }
+}
+
+impl ShardHandle {
+    /// The shard this handle feeds.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Queues one batch of inputs and advances this shard's virtual
+    /// clock to `now` (an empty batch still advances timers).
+    pub fn submit(&self, now: SimTime, inputs: Vec<ShardInput>) {
+        let mut state = self.channel.lock();
+        state.queue.push_back(Batch { now, inputs });
+        state.submitted += 1;
+        drop(state);
+        self.channel.work.notify_one();
+    }
+
+    /// Moves everything from this shard's outbox into `out` (appended;
+    /// `out` is not cleared).
+    pub fn drain_outbox(&self, out: &mut Vec<ShardOutput>) {
+        let mut outbox = self.outbox.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        out.append(&mut outbox);
+    }
+
+    /// Installs `notify`, fired by the shard worker after each batch
+    /// that published egress — typically an `epoll` waker, so the
+    /// gateway thread blocked in its reactor flushes the outbox
+    /// immediately instead of on its next tick.
+    pub fn set_egress_notifier(&self, notify: impl Fn() + Send + 'static) {
+        let mut slot = self.notifier.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *slot = Some(Box::new(notify));
+    }
+
+    /// Removes the notifier (e.g. before the gateway thread exits).
+    pub fn clear_egress_notifier(&self) {
+        let mut slot = self.notifier.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *slot = None;
+    }
+
+    /// Batches submitted but not yet completed by the worker.
+    pub fn backlog(&self) -> u64 {
+        let state = self.channel.lock();
+        state.submitted - state.completed
+    }
 }
 
 /// A sharded multi-threaded bridge deployment (see the module docs).
 pub struct ShardedBridge {
     shards: Vec<Shard>,
+    host: Arc<str>,
     /// Open TCP connection token → owning shard (driver side).
     tokens: FxHashMap<u64, usize>,
     /// Per-shard dispatch scratch, reused across calls.
@@ -197,20 +282,42 @@ impl ShardedBridge {
             sim.run_until(SimTime::ZERO);
             let channel = Arc::new(Channel::new());
             let outbox = Arc::new(Mutex::new(Vec::new()));
+            let notifier: Arc<Mutex<Option<EgressNotifier>>> = Arc::new(Mutex::new(None));
             let worker = {
                 let channel = channel.clone();
                 let outbox = outbox.clone();
-                std::thread::spawn(move || shard_worker(sim, &channel, &outbox))
+                let notifier = notifier.clone();
+                std::thread::spawn(move || shard_worker(sim, &channel, &outbox, &notifier))
             };
-            shards.push(Shard { channel, outbox, worker: Some(worker) });
+            shards.push(Shard { channel, outbox, notifier, worker: Some(worker) });
         }
         let pending = (0..shards.len()).map(|_| Vec::new()).collect();
-        ShardedBridge { shards, tokens: FxHashMap::default(), pending }
+        ShardedBridge { shards, host: Arc::from(host), tokens: FxHashMap::default(), pending }
+    }
+
+    /// The simulated host every shard's engine is deployed at.
+    pub fn host(&self) -> &Arc<str> {
+        &self.host
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// One [`ShardHandle`] per shard, for external gateway threads that
+    /// feed and drain shards directly (see the handle's contract).
+    pub fn handles(&self) -> Vec<ShardHandle> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| ShardHandle {
+                index,
+                channel: shard.channel.clone(),
+                outbox: shard.outbox.clone(),
+                notifier: shard.notifier.clone(),
+            })
+            .collect()
     }
 
     /// The shard a client host is pinned to.
@@ -343,7 +450,12 @@ impl Drop for ShardedBridge {
 
 /// The worker loop of one shard: pop batches FIFO, feed the private
 /// simulation, run it to the batch's virtual time, and publish egress.
-fn shard_worker(mut sim: SimNet, channel: &Channel, outbox: &Mutex<Vec<ShardOutput>>) {
+fn shard_worker(
+    mut sim: SimNet,
+    channel: &Channel,
+    outbox: &Mutex<Vec<ShardOutput>>,
+    notifier: &Mutex<Option<EgressNotifier>>,
+) {
     // Worker-local TCP token maps (connection ids are shard-private).
     let mut conn_of: FxHashMap<u64, starlink_net::ConnId> = FxHashMap::default();
     let mut token_of: FxHashMap<starlink_net::ConnId, u64> = FxHashMap::default();
@@ -414,6 +526,13 @@ fn shard_worker(mut sim: SimNet, channel: &Channel, outbox: &Mutex<Vec<ShardOutp
         if !staged.is_empty() {
             let mut out = outbox.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             out.append(&mut staged);
+            drop(out);
+            // Egress landed: wake a gateway thread sleeping in its
+            // reactor so the outbox flushes now, not on the next tick.
+            let slot = notifier.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(notify) = slot.as_ref() {
+                notify();
+            }
         }
 
         let mut state = channel.lock();

@@ -46,15 +46,20 @@
 mod addr;
 mod error;
 mod latency;
+mod reactor;
 mod realnet;
 mod sim;
 mod time;
 
 pub use addr::SimAddr;
 pub use bytes::Bytes;
+pub use epoll::Waker as ReadinessWaker;
 pub use error::{NetError, Result};
 pub use latency::LatencyModel;
-pub use realnet::{BufferPool, LoopbackUdp, UdpBridge, MAX_DATAGRAM};
+pub use reactor::{readiness_supported, GatewayReactor, ReactorStats};
+pub use realnet::{
+    wait_deadline, BufferPool, GatewayLoop, LoopbackUdp, PumpStats, UdpBridge, MAX_DATAGRAM,
+};
 pub use sim::{
     Actor, ConnId, Context, Datagram, DelayedActor, ExternalTcpEvent, Impairments, SimNet,
     TcpEvent, TimerId, TraceEntry,

@@ -1,0 +1,325 @@
+//! The readiness-driven gateway reactor: many loopback sockets behind
+//! one `epoll` instance, drained only when the kernel reports them
+//! ready.
+//!
+//! [`UdpBridge`](crate::UdpBridge) hosts one actor behind a handful of
+//! sockets; a production gateway front instead runs **N gateway
+//! threads, each owning a [`GatewayReactor`]** over its share of the
+//! socket set, sleeping in `epoll_wait` (zero CPU while idle, woken the
+//! instant a datagram lands) and feeding arrival batches to the engine
+//! shards. The wiring to `ShardedBridge` lives in `starlink-core`
+//! (`ShardedGateway`); this layer knows only sockets, tags, and
+//! readiness.
+//!
+//! Each socket is registered under a caller-chosen `tag` (for the
+//! sharded gateway: shard index × simulated port). Registration is
+//! **level-triggered**: a socket with queued data is reported by every
+//! wait, so a drain pass interrupted mid-socket (batch budget, error)
+//! loses nothing. An [`epoll::Waker`] is registered alongside the
+//! sockets so another thread — e.g. a shard worker that just published
+//! egress — can pop the reactor out of a blocking wait.
+
+use crate::error::{NetError, Result};
+use crate::realnet::{BufferPool, LoopbackUdp};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Whether this target supports the readiness reactor (Linux epoll).
+/// Callers elsewhere fall back to polling loops — loudly, not silently.
+pub fn readiness_supported() -> bool {
+    epoll::supported()
+}
+
+/// Token reserved for the cross-thread waker.
+const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Counters describing a reactor's life so far.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Blocking/zero-timeout waits performed.
+    pub polls: u64,
+    /// Waits interrupted by the cross-thread [`GatewayReactor::waker`].
+    pub wakeups: u64,
+    /// Datagrams drained from ready sockets.
+    pub datagrams_in: u64,
+    /// Datagrams sent out through [`GatewayReactor::send_from`].
+    pub datagrams_out: u64,
+}
+
+struct Slot {
+    tag: u64,
+    socket: LoopbackUdp,
+}
+
+/// Many loopback sockets behind one `epoll` instance: add sockets under
+/// tags, block in [`GatewayReactor::poll`] until some are ready, drain
+/// **only those** into a caller-provided sink, and send egress back out
+/// of the socket owning a tag.
+pub struct GatewayReactor {
+    readiness: epoll::Readiness,
+    events: epoll::Events,
+    waker: Arc<epoll::Waker>,
+    slots: Vec<Slot>,
+    by_tag: HashMap<u64, usize>,
+    stats: ReactorStats,
+}
+
+impl std::fmt::Debug for GatewayReactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayReactor")
+            .field("sockets", &self.slots.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl GatewayReactor {
+    /// Creates an empty reactor (epoll instance + waker, no sockets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] where epoll is unavailable (check
+    /// [`readiness_supported`] first to fall back loudly).
+    pub fn new() -> Result<Self> {
+        let readiness = epoll::Readiness::new().map_err(|e| NetError::Io(e.to_string()))?;
+        let waker = Arc::new(epoll::Waker::new().map_err(|e| NetError::Io(e.to_string()))?);
+        readiness
+            .register(waker.raw_fd(), WAKER_TOKEN, epoll::Interest::READABLE, epoll::Trigger::Level)
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        Ok(GatewayReactor {
+            readiness,
+            events: epoll::Events::with_capacity(512),
+            waker,
+            slots: Vec::new(),
+            by_tag: HashMap::new(),
+            stats: ReactorStats::default(),
+        })
+    }
+
+    /// Binds a fresh non-blocking loopback socket, registers it under
+    /// `tag`, and returns its real port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the bind or registration fails, or
+    /// when `tag` is already in use.
+    pub fn add_socket(&mut self, tag: u64) -> Result<u16> {
+        if self.by_tag.contains_key(&tag) {
+            return Err(NetError::Io(format!("reactor tag {tag} already registered")));
+        }
+        let socket = LoopbackUdp::bind_nonblocking()?;
+        let port = socket.port()?;
+        let token = self.slots.len() as u64;
+        self.readiness
+            .register(socket.raw_fd(), token, epoll::Interest::READABLE, epoll::Trigger::Level)
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        self.by_tag.insert(tag, self.slots.len());
+        self.slots.push(Slot { tag, socket });
+        Ok(port)
+    }
+
+    /// The real loopback port of the socket registered under `tag`.
+    pub fn real_port(&self, tag: u64) -> Option<u16> {
+        self.by_tag.get(&tag).and_then(|&idx| self.slots[idx].socket.port().ok())
+    }
+
+    /// Registered sockets.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no sockets are registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The cross-thread wakeup handle: [`epoll::Waker::wake`] from any
+    /// thread pops this reactor out of a blocking [`GatewayReactor::poll`].
+    pub fn waker(&self) -> Arc<epoll::Waker> {
+        Arc::clone(&self.waker)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ReactorStats {
+        self.stats
+    }
+
+    /// Waits (up to `timeout`; `None` blocks indefinitely) until some
+    /// registered sockets are ready, then drains **only those** through
+    /// one pooled buffer, calling `sink(tag, payload, from_port)` per
+    /// datagram. Returns the number of datagrams drained — `0` means
+    /// the timeout elapsed or the wait was interrupted by the waker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] on wait or socket failures.
+    pub fn poll(
+        &mut self,
+        timeout: Option<Duration>,
+        pool: &mut BufferPool,
+        mut sink: impl FnMut(u64, &[u8], u16),
+    ) -> Result<usize> {
+        self.stats.polls += 1;
+        self.readiness.wait(&mut self.events, timeout).map_err(|e| NetError::Io(e.to_string()))?;
+        let mut drained = 0usize;
+        let mut buf = pool.acquire();
+        for event in self.events.iter() {
+            if event.token == WAKER_TOKEN {
+                self.waker.drain();
+                self.stats.wakeups += 1;
+                continue;
+            }
+            let slot = &self.slots[event.token as usize];
+            while let Some((len, from_port)) = slot.socket.try_recv_into(&mut buf)? {
+                sink(slot.tag, &buf[..len], from_port);
+                drained += 1;
+            }
+        }
+        pool.release(buf);
+        self.stats.datagrams_in += drained as u64;
+        Ok(drained)
+    }
+
+    /// Sends `payload` to `127.0.0.1:to_port` out of the socket
+    /// registered under `tag` — the egress half of the gateway loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the tag is unknown or the send
+    /// fails.
+    pub fn send_from(&mut self, tag: u64, payload: &[u8], to_port: u16) -> Result<()> {
+        let &idx = self
+            .by_tag
+            .get(&tag)
+            .ok_or_else(|| NetError::Io(format!("reactor tag {tag} not registered")))?;
+        self.slots[idx].socket.send_to(payload, to_port)?;
+        self.stats.datagrams_out += 1;
+        Ok(())
+    }
+
+    /// Rebuilds the epoll instance and re-registers every socket and
+    /// the waker — the fd-churn recovery path (e.g. after the epoll fd
+    /// was lost across a fork/restart boundary). The **sockets are
+    /// kept**, so every tag's [`GatewayReactor::real_port`] is stable
+    /// across the rebuild and clients holding old ports stay routable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the new instance cannot be built;
+    /// the old one is already gone, so treat failure as fatal.
+    pub fn rebuild(&mut self) -> Result<()> {
+        let readiness = epoll::Readiness::new().map_err(|e| NetError::Io(e.to_string()))?;
+        readiness
+            .register(
+                self.waker.raw_fd(),
+                WAKER_TOKEN,
+                epoll::Interest::READABLE,
+                epoll::Trigger::Level,
+            )
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        for (token, slot) in self.slots.iter().enumerate() {
+            readiness
+                .register(
+                    slot.socket.raw_fd(),
+                    token as u64,
+                    epoll::Interest::READABLE,
+                    epoll::Trigger::Level,
+                )
+                .map_err(|e| NetError::Io(e.to_string()))?;
+        }
+        self.readiness = readiness;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reactor_or_skip() -> Option<GatewayReactor> {
+        if !readiness_supported() {
+            eprintln!("skipping: epoll readiness unavailable on this target");
+            return None;
+        }
+        match GatewayReactor::new() {
+            Ok(reactor) => Some(reactor),
+            Err(err) => {
+                eprintln!("skipping: reactor construction failed: {err}");
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn drains_only_ready_sockets() {
+        let Some(mut reactor) = reactor_or_skip() else { return };
+        let quiet_tag = 1u64;
+        let busy_tag = 2u64;
+        reactor.add_socket(quiet_tag).unwrap();
+        let busy_port = reactor.add_socket(busy_tag).unwrap();
+        let client = LoopbackUdp::bind().unwrap();
+        client.send_to(b"only-for-busy", busy_port).unwrap();
+        let mut pool = BufferPool::new();
+        let mut seen = Vec::new();
+        let drained = reactor
+            .poll(Some(Duration::from_secs(2)), &mut pool, |tag, payload, _| {
+                seen.push((tag, payload.to_vec()));
+            })
+            .unwrap();
+        assert_eq!(drained, 1);
+        assert_eq!(seen, vec![(busy_tag, b"only-for-busy".to_vec())]);
+    }
+
+    #[test]
+    fn send_from_uses_the_tagged_socket() {
+        let Some(mut reactor) = reactor_or_skip() else { return };
+        let tag = 7u64;
+        let port = reactor.add_socket(tag).unwrap();
+        let client = LoopbackUdp::bind_with_timeout(Duration::from_secs(2)).unwrap();
+        reactor.send_from(tag, b"hello", client.port().unwrap()).unwrap();
+        let (payload, from) = client.recv().unwrap();
+        assert_eq!(payload, b"hello");
+        assert_eq!(from, port, "egress leaves through the tag's own socket");
+        assert!(reactor.send_from(99, b"x", port).is_err(), "unknown tag is an error");
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocking_poll() {
+        let Some(mut reactor) = reactor_or_skip() else { return };
+        reactor.add_socket(1).unwrap();
+        let waker = reactor.waker();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let mut pool = BufferPool::new();
+        let start = std::time::Instant::now();
+        let drained = reactor.poll(Some(Duration::from_secs(10)), &mut pool, |_, _, _| {}).unwrap();
+        assert_eq!(drained, 0, "a wakeup is not traffic");
+        assert!(start.elapsed() < Duration::from_secs(5), "waker did not interrupt the wait");
+        assert_eq!(reactor.stats().wakeups, 1);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn rebuild_keeps_ports_and_delivery() {
+        let Some(mut reactor) = reactor_or_skip() else { return };
+        let tags = [10u64, 11, 12];
+        let ports: Vec<u16> = tags.iter().map(|&t| reactor.add_socket(t).unwrap()).collect();
+        reactor.rebuild().unwrap();
+        for (tag, port) in tags.iter().zip(&ports) {
+            assert_eq!(reactor.real_port(*tag), Some(*port), "real_port stable across rebuild");
+        }
+        let client = LoopbackUdp::bind().unwrap();
+        client.send_to(b"post-rebuild", ports[1]).unwrap();
+        let mut pool = BufferPool::new();
+        let mut seen = Vec::new();
+        reactor
+            .poll(Some(Duration::from_secs(2)), &mut pool, |tag, payload, _| {
+                seen.push((tag, payload.to_vec()));
+            })
+            .unwrap();
+        assert_eq!(seen, vec![(11u64, b"post-rebuild".to_vec())]);
+    }
+}

@@ -50,11 +50,25 @@ impl BufferPool {
 
     /// Takes a [`MAX_DATAGRAM`]-sized buffer from the pool, allocating
     /// only when the pool is empty.
+    ///
+    /// **Contract: the buffer is dirty.** Its length is always
+    /// [`MAX_DATAGRAM`], but its contents are whatever the previous
+    /// user received into it — re-zeroing 64 KiB per datagram is
+    /// exactly the cost the pool exists to avoid. Receive paths must
+    /// bound every read by the length the socket reported (e.g.
+    /// [`LoopbackUdp::try_recv_into`]'s `len`), never by scanning for
+    /// sentinel bytes.
     pub fn acquire(&mut self) -> Vec<u8> {
         self.free.pop().unwrap_or_else(|| vec![0u8; MAX_DATAGRAM])
     }
 
     /// Returns a buffer to the pool for reuse.
+    ///
+    /// Restores the full [`MAX_DATAGRAM`] length; `Vec::resize` zeroes
+    /// only the tail a caller truncated away, so bytes below the old
+    /// length keep their stale contents **by design** (see
+    /// [`BufferPool::acquire`] for the dirty-buffer contract this
+    /// implies).
     pub fn release(&mut self, mut buf: Vec<u8>) {
         buf.resize(MAX_DATAGRAM, 0);
         self.free.push(buf);
@@ -215,6 +229,58 @@ impl LoopbackUdp {
     pub fn set_nonblocking(&self, nonblocking: bool) -> Result<()> {
         self.socket.set_nonblocking(nonblocking).map_err(|e| NetError::Io(e.to_string()))
     }
+
+    /// The raw fd, for readiness registration.
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        use std::os::fd::AsRawFd;
+        self.socket.as_raw_fd()
+    }
+
+    /// Non-unix targets have no raw fd; readiness construction already
+    /// failed before anything could ask for one.
+    #[cfg(not(unix))]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        -1
+    }
+}
+
+/// Polls `step` until it yields a value or `budget` elapses, backing
+/// off between empty polls (a scheduler yield, then sleeps doubling up
+/// to 1 ms) — the shared replacement for fixed `sleep(1ms)` client
+/// polling loops, so waits finish as soon as the condition holds
+/// instead of being paced by a hardcoded quantum.
+///
+/// Returns `Ok(None)` when the budget elapses without a value.
+///
+/// # Errors
+///
+/// Propagates the first error `step` returns.
+pub fn wait_deadline<T, E>(
+    budget: Duration,
+    mut step: impl FnMut() -> std::result::Result<Option<T>, E>,
+) -> std::result::Result<Option<T>, E> {
+    const MAX_BACKOFF: Duration = Duration::from_millis(1);
+    let deadline = Instant::now() + budget;
+    let mut backoff: Option<Duration> = None;
+    loop {
+        if let Some(value) = step()? {
+            return Ok(Some(value));
+        }
+        if Instant::now() >= deadline {
+            return Ok(None);
+        }
+        match backoff {
+            None => {
+                std::thread::yield_now();
+                backoff = Some(Duration::from_micros(100));
+            }
+            Some(pause) => {
+                std::thread::sleep(pause);
+                backoff = Some((pause * 2).min(MAX_BACKOFF));
+            }
+        }
+    }
 }
 
 /// Hosts an [`Actor`] behind real loopback UDP sockets: a live bridge
@@ -241,6 +307,118 @@ pub struct UdpBridge {
     arrivals: Vec<Datagram>,
     /// Egress batch reused across pump passes.
     egress: Vec<Datagram>,
+    /// Readiness state when [`UdpBridge::enable_readiness`] succeeded:
+    /// idle waits block in `epoll_wait` and pump passes drain only
+    /// ready sockets.
+    ready: Option<ReadySet>,
+    /// Portable idle backoff (reset whenever a pass moves datagrams).
+    backoff: Option<Duration>,
+    stats: PumpStats,
+}
+
+/// Counters describing how a gateway loop has been spending its time —
+/// the semantic evidence behind the latency claims: a readiness-driven
+/// gateway shows `backoff_sleeps == 0` (it blocks in `epoll_wait`
+/// instead), a portable one accumulates them while idle.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PumpStats {
+    /// Pump passes executed.
+    pub passes: u64,
+    /// Portable idle sleeps taken (each costs up to a scheduler
+    /// quantum of wakeup latency when traffic resumes).
+    pub backoff_sleeps: u64,
+    /// Blocking readiness waits taken (woken instantly by arrivals).
+    pub readiness_waits: u64,
+}
+
+/// Level-triggered readiness over a bridge's socket set.
+#[derive(Debug)]
+struct ReadySet {
+    readiness: epoll::Readiness,
+    events: epoll::Events,
+    /// Socket indices reported ready by the last wait/refresh.
+    ready_idx: Vec<usize>,
+}
+
+impl ReadySet {
+    fn over(sockets: &[(u16, LoopbackUdp)]) -> Result<Self> {
+        let readiness = epoll::Readiness::new().map_err(|e| NetError::Io(e.to_string()))?;
+        for (idx, (_, socket)) in sockets.iter().enumerate() {
+            readiness
+                .register(
+                    socket.raw_fd(),
+                    idx as u64,
+                    epoll::Interest::READABLE,
+                    epoll::Trigger::Level,
+                )
+                .map_err(|e| NetError::Io(e.to_string()))?;
+        }
+        Ok(ReadySet { readiness, events: epoll::Events::with_capacity(64), ready_idx: Vec::new() })
+    }
+
+    /// One readiness wait; fills `ready_idx` with the sockets to drain.
+    fn wait(&mut self, timeout: Duration) -> Result<()> {
+        self.ready_idx.clear();
+        self.readiness
+            .wait(&mut self.events, Some(timeout))
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        self.ready_idx.extend(self.events.iter().map(|event| event.token as usize));
+        Ok(())
+    }
+}
+
+/// The gateway pump loop, abstracted over how idle time is spent: the
+/// readiness-driven path blocks in `epoll_wait` (woken instantly by
+/// arrivals, ~0 CPU while idle), the portable fallback backs off with
+/// doubling sleeps. [`UdpBridge`] implements both behind this trait —
+/// [`UdpBridge::enable_readiness`] switches paths at runtime, so
+/// consumers keep working wherever epoll is unavailable.
+pub trait GatewayLoop {
+    /// One iteration: move every deliverable datagram in both
+    /// directions, returning how many moved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] on socket failures.
+    fn pump(&mut self) -> Result<usize>;
+
+    /// Waits (at most `timeout`) for traffic to plausibly be ready,
+    /// after a pass that moved nothing.
+    fn idle_wait(&mut self, timeout: Duration);
+
+    /// Pumps for up to `budget` real time until `done()` reports true,
+    /// returning whether it was reached within the budget. Active
+    /// passes loop back immediately; idle passes spend their time in
+    /// [`GatewayLoop::idle_wait`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] on socket failures.
+    fn pump_until(&mut self, budget: Duration, mut done: impl FnMut() -> bool) -> Result<bool>
+    where
+        Self: Sized,
+    {
+        // Bound each idle wait so `done()` conditions flipped by other
+        // threads (not by traffic through this gateway) are still
+        // noticed promptly.
+        const MAX_IDLE_WAIT: Duration = Duration::from_millis(5);
+        let deadline = Instant::now() + budget;
+        loop {
+            let moved = self.pump()?;
+            if done() {
+                return Ok(true);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if moved == 0 {
+                self.idle_wait((deadline - now).min(MAX_IDLE_WAIT));
+            }
+        }
+        self.pump()?;
+        Ok(done())
+    }
 }
 
 impl UdpBridge {
@@ -276,7 +454,40 @@ impl UdpBridge {
             pool: BufferPool::new(),
             arrivals: Vec::new(),
             egress: Vec::new(),
+            ready: None,
+            backoff: None,
+            stats: PumpStats::default(),
         })
+    }
+
+    /// Switches the gateway to readiness-driven mode: idle waits block
+    /// in `epoll_wait` (woken instantly by arrivals) and pump passes
+    /// drain only the sockets the kernel reports ready, instead of
+    /// polling all of them with backoff sleeps.
+    ///
+    /// Returns `Ok(false)` — loudly staying on the portable polling
+    /// path — where epoll is unavailable (non-Linux targets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when epoll is supported but
+    /// registration fails.
+    pub fn enable_readiness(&mut self) -> Result<bool> {
+        if !epoll::supported() {
+            return Ok(false);
+        }
+        self.ready = Some(ReadySet::over(&self.sockets)?);
+        Ok(true)
+    }
+
+    /// Whether the readiness-driven path is active.
+    pub fn readiness_active(&self) -> bool {
+        self.ready.is_some()
+    }
+
+    /// How this gateway has been spending its time (see [`PumpStats`]).
+    pub fn pump_stats(&self) -> PumpStats {
+        self.stats
     }
 
     /// The real loopback port exposing the actor's simulated `sim_port`.
@@ -308,19 +519,42 @@ impl UdpBridge {
     ///
     /// Returns [`NetError::Io`] on socket failures.
     pub fn pump(&mut self) -> Result<usize> {
+        self.stats.passes += 1;
         let mut forwarded = 0usize;
         // Ingress phase: drain all sockets into one batch before touching
         // the simulation, so a burst arriving across several ports is
-        // dispatched in a single virtual-clock advance.
+        // dispatched in a single virtual-clock advance. In readiness
+        // mode a zero-timeout wait asks the kernel which sockets hold
+        // data and only those are drained.
         self.arrivals.clear();
         let mut buf = self.pool.acquire();
-        for (sim_port, socket) in &self.sockets {
-            while let Some((len, from_port)) = socket.try_recv_into(&mut buf)? {
-                self.arrivals.push(Datagram {
-                    from: SimAddr::new("127.0.0.1", from_port),
-                    to: SimAddr { host: self.host.clone(), port: *sim_port },
-                    payload: bytes::Bytes::copy_from_slice(&buf[..len]),
-                });
+        let ready_refreshed = match &mut self.ready {
+            Some(ready) => {
+                ready.wait(Duration::ZERO)?;
+                true
+            }
+            None => false,
+        };
+        let mut drain =
+            |sim_port: u16, socket: &LoopbackUdp, arrivals: &mut Vec<Datagram>| -> Result<()> {
+                while let Some((len, from_port)) = socket.try_recv_into(&mut buf)? {
+                    arrivals.push(Datagram {
+                        from: SimAddr::new("127.0.0.1", from_port),
+                        to: SimAddr { host: self.host.clone(), port: sim_port },
+                        payload: bytes::Bytes::copy_from_slice(&buf[..len]),
+                    });
+                }
+                Ok(())
+            };
+        if ready_refreshed {
+            let ready = self.ready.as_ref().expect("refreshed above");
+            for &idx in &ready.ready_idx {
+                let (sim_port, socket) = &self.sockets[idx];
+                drain(*sim_port, socket, &mut self.arrivals)?;
+            }
+        } else {
+            for (sim_port, socket) in &self.sockets {
+                drain(*sim_port, socket, &mut self.arrivals)?;
             }
         }
         self.pool.release(buf);
@@ -331,18 +565,27 @@ impl UdpBridge {
         let elapsed = self.epoch.elapsed();
         self.sim.run_until(SimTime::from_micros(elapsed.as_micros() as u64));
         // Egress phase: forward everything deliverable first, then
-        // surface any misconfiguration — erroring mid-loop would drop
-        // queued datagrams from correctly exposed ports.
+        // surface any failure or misconfiguration — erroring mid-loop
+        // would drop queued datagrams from correctly exposed ports.
         self.sim.drain_egress_into(&mut self.egress);
         let mut unexposed: Option<Datagram> = None;
+        let mut send_error: Option<NetError> = None;
         for datagram in self.egress.drain(..) {
             match self.sockets.iter().find(|(port, _)| *port == datagram.from.port) {
-                Some((_, socket)) => {
-                    socket.send_to(&datagram.payload, datagram.to.port)?;
-                    forwarded += 1;
-                }
+                Some((_, socket)) => match socket.send_to(&datagram.payload, datagram.to.port) {
+                    Ok(()) => forwarded += 1,
+                    Err(err) => send_error = send_error.or(Some(err)),
+                },
                 None => unexposed = unexposed.or(Some(datagram)),
             }
+        }
+        if forwarded > 0 {
+            self.backoff = None;
+        }
+        if let Some(err) = send_error {
+            // The batch was finished above; only now report the first
+            // send failure.
+            return Err(err);
         }
         if let Some(datagram) = unexposed {
             // The actor emitted from a port `deploy` was not told about —
@@ -361,39 +604,50 @@ impl UdpBridge {
     /// returning whether it was reached within the budget.
     ///
     /// Active passes (datagrams moved) loop back immediately; idle
-    /// passes back off — first a scheduler yield, then sleeps doubling
-    /// up to 2 ms — so a waiting gateway neither burns a core nor adds
-    /// latency when traffic resumes mid-burst.
+    /// passes wait via [`GatewayLoop::idle_wait`] — blocked in
+    /// `epoll_wait` when [`UdpBridge::enable_readiness`] succeeded
+    /// (woken instantly by arrivals), or backing off with sleeps
+    /// doubling up to 2 ms on the portable path — so a waiting gateway
+    /// neither burns a core nor adds latency when traffic resumes
+    /// mid-burst.
     ///
     /// # Errors
     ///
     /// Returns [`NetError::Io`] on socket failures.
-    pub fn pump_until(&mut self, budget: Duration, mut done: impl FnMut() -> bool) -> Result<bool> {
-        const MAX_BACKOFF: Duration = Duration::from_millis(2);
-        let deadline = Instant::now() + budget;
-        let mut backoff: Option<Duration> = None;
-        while Instant::now() < deadline {
-            let moved = self.pump()?;
-            if done() {
-                return Ok(true);
+    pub fn pump_until(&mut self, budget: Duration, done: impl FnMut() -> bool) -> Result<bool> {
+        GatewayLoop::pump_until(self, budget, done)
+    }
+}
+
+impl GatewayLoop for UdpBridge {
+    fn pump(&mut self) -> Result<usize> {
+        UdpBridge::pump(self)
+    }
+
+    fn idle_wait(&mut self, timeout: Duration) {
+        match &mut self.ready {
+            Some(ready) => {
+                // Blocked in epoll_wait: zero CPU while idle, woken the
+                // instant a datagram lands (no sleep-quantum latency).
+                self.stats.readiness_waits += 1;
+                let _ = ready.wait(timeout);
             }
-            if moved > 0 {
-                backoff = None;
-            } else {
-                match backoff {
+            None => {
+                const MAX_BACKOFF: Duration = Duration::from_millis(2);
+                match self.backoff {
                     None => {
                         std::thread::yield_now();
-                        backoff = Some(Duration::from_micros(250));
+                        self.backoff = Some(Duration::from_micros(250));
                     }
                     Some(pause) => {
+                        let pause = pause.min(timeout);
+                        self.stats.backoff_sleeps += 1;
                         std::thread::sleep(pause);
-                        backoff = Some((pause * 2).min(MAX_BACKOFF));
+                        self.backoff = Some((pause * 2).min(MAX_BACKOFF));
                     }
                 }
             }
         }
-        self.pump()?;
-        Ok(done())
     }
 }
 
@@ -477,16 +731,91 @@ mod tests {
         let echo_port = bridge.real_port(9).unwrap();
         let client = LoopbackUdp::bind_nonblocking().unwrap();
         client.send_to(b"marco", echo_port).unwrap();
-        let mut reply = None;
-        for _ in 0..500 {
-            bridge.pump().unwrap();
-            if let Some(got) = client.try_recv().unwrap() {
-                reply = Some(got);
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        let reply = wait_deadline(Duration::from_secs(5), || {
+            bridge.pump()?;
+            client.try_recv()
+        })
+        .unwrap();
         let (payload, _) = reply.expect("echo reply arrived");
         assert_eq!(payload, b"marco");
+    }
+
+    #[test]
+    fn pooled_buffer_stale_bytes_are_bounded_by_the_receive_length() {
+        // The dirty-buffer contract: a short datagram received into a
+        // pooled buffer that previously held a long one leaves the long
+        // one's tail in place — correct consumers read only `..len`.
+        let Ok(receiver) = LoopbackUdp::bind_nonblocking() else {
+            eprintln!("skipping: loopback UDP unavailable in this environment");
+            return;
+        };
+        let sender = LoopbackUdp::bind().unwrap();
+        let port = receiver.port().unwrap();
+        let mut pool = BufferPool::new();
+
+        let mut buf = pool.acquire();
+        sender.send_to(&[0xAA; 100], port).unwrap();
+        let (len, _) = wait_deadline(Duration::from_secs(5), || receiver.try_recv_into(&mut buf))
+            .unwrap()
+            .expect("long datagram arrived");
+        assert_eq!(len, 100);
+        pool.release(buf);
+
+        let mut buf = pool.acquire();
+        assert_eq!(buf.len(), MAX_DATAGRAM);
+        assert_eq!(&buf[..100], &[0xAA; 100], "acquire hands back the dirty buffer by design");
+        sender.send_to(b"hi", port).unwrap();
+        let (len, _) = wait_deadline(Duration::from_secs(5), || receiver.try_recv_into(&mut buf))
+            .unwrap()
+            .expect("short datagram arrived");
+        assert_eq!(len, 2);
+        assert_eq!(&buf[..len], b"hi", "the reported length bounds the valid bytes");
+        assert_eq!(buf[len], 0xAA, "bytes past the length are stale — never read them");
+        pool.release(buf);
+    }
+
+    #[test]
+    fn pump_finishes_the_egress_batch_before_reporting_a_send_error() {
+        use crate::sim::{Actor, Context, Datagram};
+
+        /// Replies twice per datagram: once to an unreachable
+        /// destination (port 1 is almost never ours to receive on, but
+        /// loopback `send_to` succeeds; the *failure* case is forced
+        /// below by an oversized payload) and once to the sender.
+        struct DoubleEcho;
+        impl Actor for DoubleEcho {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.bind_udp(9).unwrap();
+            }
+            fn on_datagram(&mut self, ctx: &mut Context<'_>, datagram: Datagram) {
+                // First egress datagram: oversized, so the real socket's
+                // send fails with EMSGSIZE mid-batch.
+                ctx.udp_send(9, datagram.from.clone(), bytes::Bytes::from(vec![0u8; 70_000]));
+                // Second egress datagram: the deliverable echo.
+                ctx.udp_send(9, datagram.from, datagram.payload);
+            }
+        }
+
+        let Ok(mut bridge) = UdpBridge::deploy(1, "10.0.0.2", DoubleEcho, &[9]) else {
+            eprintln!("skipping: loopback UDP unavailable in this environment");
+            return;
+        };
+        let echo_port = bridge.real_port(9).unwrap();
+        let client = LoopbackUdp::bind_nonblocking().unwrap();
+        client.send_to(b"marco", echo_port).unwrap();
+        // The pass that flushes the two replies must report the
+        // oversized send's error — but only after finishing the batch,
+        // so the echo still arrives.
+        let mut saw_error = false;
+        let reply = wait_deadline(Duration::from_secs(5), || {
+            if bridge.pump().is_err() {
+                saw_error = true;
+            }
+            client.try_recv()
+        })
+        .unwrap();
+        let (payload, _) = reply.expect("echo reply survived the failed send in the same batch");
+        assert_eq!(payload, b"marco");
+        assert!(saw_error, "the oversized send's error must still be reported");
     }
 }

@@ -1,0 +1,607 @@
+//! Offline shim for epoll-style readiness polling: `extern "C"`
+//! bindings to `epoll_create1`/`epoll_ctl`/`epoll_wait` (plus `eventfd`
+//! for cross-thread wakeups) under a safe [`Readiness`] wrapper.
+//!
+//! The build environment has no crates registry, so instead of `mio` or
+//! the `epoll` crate this shim binds the three syscalls directly —
+//! exactly the fxhash/rand-shim pattern, covering only the surface the
+//! workspace needs. All `unsafe` in the workspace lives here; every
+//! dependent crate keeps `#![forbid(unsafe_code)]`.
+//!
+//! ## Semantics
+//!
+//! A [`Readiness`] instance owns one epoll file descriptor. Sockets are
+//! registered by raw fd with a caller-chosen `token` (returned verbatim
+//! in [`Event`]s) and a [`Trigger`]:
+//!
+//! * [`Trigger::Level`] — a registered fd is reported by **every**
+//!   [`Readiness::wait`] while it stays ready (data still queued). A
+//!   consumer that drains incompletely is re-notified; this is the
+//!   forgiving mode the gateway reactor uses.
+//! * [`Trigger::Edge`] — a readiness **transition** is reported once;
+//!   the fd is silent until new readiness arrives (more data queued),
+//!   so consumers must drain to `WouldBlock` before waiting again.
+//!
+//! Both semantics are locked in by tests below. [`Waker`] wraps an
+//! `eventfd` so another thread can interrupt a blocking wait — the
+//! shard workers use it to tell a sleeping reactor that egress landed.
+//!
+//! On non-Linux targets the module compiles but [`Readiness::new`] and
+//! [`Waker::new`] return [`std::io::ErrorKind::Unsupported`] and
+//! [`supported`] is `false`; callers fall back to polling loops.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::time::Duration;
+
+/// A raw file descriptor (`std::os::fd::RawFd` without the `cfg(unix)`
+/// gate, so the API surface is identical on every target).
+pub type RawFd = i32;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    #![allow(non_camel_case_types)]
+
+    pub type c_int = i32;
+    pub type c_uint = u32;
+
+    /// The kernel's `struct epoll_event`. On x86 and x86-64 the kernel
+    /// declares it `__attribute__((packed))`; elsewhere it has natural
+    /// alignment — getting this wrong corrupts every reported event.
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    }
+}
+
+/// Whether this target has a real epoll implementation. `false` means
+/// every constructor returns [`std::io::ErrorKind::Unsupported`] and
+/// callers should use their polling fallback.
+pub const fn supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+/// What a registration wants to be told about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+}
+
+impl Interest {
+    /// Readable-only interest (the common gateway-socket case).
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    /// Writable-only interest (egress backpressure drain).
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true };
+    /// Both directions.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+}
+
+/// Level- vs edge-triggered reporting (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Report on every wait while the fd stays ready.
+    Level,
+    /// Report once per readiness transition.
+    Edge,
+}
+
+/// One readiness report: the registration's `token` plus what happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Data can be read (or a peer connected / the fd hung up with data
+    /// pending — always attempt the read).
+    pub readable: bool,
+    /// The fd accepts writes again.
+    pub writable: bool,
+    /// Error condition (`EPOLLERR`); the next I/O call will surface it.
+    pub error: bool,
+    /// Hangup (`EPOLLHUP`).
+    pub hangup: bool,
+}
+
+/// Reusable event buffer for [`Readiness::wait`] — allocate once, reuse
+/// every iteration.
+pub struct Events {
+    #[cfg(target_os = "linux")]
+    buf: Vec<sys::epoll_event>,
+    len: usize,
+}
+
+impl std::fmt::Debug for Events {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Events").field("len", &self.len).finish()
+    }
+}
+
+impl Events {
+    /// A buffer reporting up to `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Events {
+            #[cfg(target_os = "linux")]
+            buf: vec![sys::epoll_event { events: 0, data: 0 }; capacity],
+            len: 0,
+        }
+    }
+
+    /// Events reported by the last wait.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the last wait reported nothing (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the events of the last wait.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        #[cfg(target_os = "linux")]
+        {
+            self.buf[..self.len].iter().map(|raw| {
+                // Copy out of the (possibly packed) kernel struct before
+                // touching the fields.
+                let events = raw.events;
+                let data = raw.data;
+                Event {
+                    token: data,
+                    readable: events & (sys::EPOLLIN | sys::EPOLLHUP) != 0,
+                    writable: events & sys::EPOLLOUT != 0,
+                    error: events & sys::EPOLLERR != 0,
+                    hangup: events & sys::EPOLLHUP != 0,
+                }
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            std::iter::empty()
+        }
+    }
+}
+
+impl Default for Events {
+    fn default() -> Self {
+        Events::with_capacity(256)
+    }
+}
+
+/// A safe wrapper over one epoll instance: register raw fds with
+/// tokens, then block in [`Readiness::wait`] until one is ready.
+///
+/// Dropping deregisters nothing explicitly — closing the epoll fd
+/// releases the whole interest set (the kernel removes entries when the
+/// watched fds close, too).
+#[derive(Debug)]
+pub struct Readiness {
+    epfd: RawFd,
+}
+
+impl Readiness {
+    /// Creates an epoll instance (`epoll_create1(EPOLL_CLOEXEC)`).
+    ///
+    /// # Errors
+    ///
+    /// The syscall's error, or [`io::ErrorKind::Unsupported`] on
+    /// non-Linux targets.
+    pub fn new() -> io::Result<Self> {
+        #[cfg(target_os = "linux")]
+        {
+            let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Readiness { epfd })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "epoll is Linux-only"))
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn ctl(
+        &self,
+        op: sys::c_int,
+        fd: RawFd,
+        mut event: Option<sys::epoll_event>,
+    ) -> io::Result<()> {
+        let ptr = event.as_mut().map_or(std::ptr::null_mut(), std::ptr::from_mut);
+        if unsafe { sys::epoll_ctl(self.epfd, op, fd, ptr) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    #[cfg(target_os = "linux")]
+    fn event_bits(interest: Interest, trigger: Trigger) -> u32 {
+        let mut bits = 0;
+        if interest.readable {
+            bits |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        if trigger == Trigger::Edge {
+            bits |= sys::EPOLLET;
+        }
+        bits
+    }
+
+    /// Adds `fd` to the interest set; `token` comes back in every
+    /// [`Event`] for it.
+    ///
+    /// # Errors
+    ///
+    /// The `EPOLL_CTL_ADD` error (e.g. `EEXIST` when already
+    /// registered).
+    #[allow(unused_variables)]
+    pub fn register(
+        &self,
+        fd: RawFd,
+        token: u64,
+        interest: Interest,
+        trigger: Trigger,
+    ) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            let event =
+                sys::epoll_event { events: Self::event_bits(interest, trigger), data: token };
+            self.ctl(sys::EPOLL_CTL_ADD, fd, Some(event))
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "epoll is Linux-only"))
+        }
+    }
+
+    /// Changes an existing registration's token, interest or trigger.
+    ///
+    /// # Errors
+    ///
+    /// The `EPOLL_CTL_MOD` error (e.g. `ENOENT` when not registered).
+    #[allow(unused_variables)]
+    pub fn modify(
+        &self,
+        fd: RawFd,
+        token: u64,
+        interest: Interest,
+        trigger: Trigger,
+    ) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            let event =
+                sys::epoll_event { events: Self::event_bits(interest, trigger), data: token };
+            self.ctl(sys::EPOLL_CTL_MOD, fd, Some(event))
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "epoll is Linux-only"))
+        }
+    }
+
+    /// Removes `fd` from the interest set.
+    ///
+    /// # Errors
+    ///
+    /// The `EPOLL_CTL_DEL` error.
+    #[allow(unused_variables)]
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            self.ctl(sys::EPOLL_CTL_DEL, fd, None)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "epoll is Linux-only"))
+        }
+    }
+
+    /// Blocks until at least one registered fd is ready, the timeout
+    /// elapses (`events` left empty), or a [`Waker`] fires. `None`
+    /// blocks indefinitely. Sub-millisecond timeouts round **up** so a
+    /// short timeout never degenerates into a busy spin. `EINTR`
+    /// retries transparently.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_wait` error.
+    #[allow(unused_variables)]
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        #[cfg(target_os = "linux")]
+        {
+            let ms: sys::c_int = match timeout {
+                None => -1,
+                Some(t) => t
+                    .as_millis()
+                    .try_into()
+                    .map(|ms: u64| if t.subsec_nanos() % 1_000_000 != 0 { ms + 1 } else { ms })
+                    .unwrap_or(u64::from(u32::MAX))
+                    .min(sys::c_int::MAX as u64) as sys::c_int,
+            };
+            loop {
+                let n = unsafe {
+                    sys::epoll_wait(
+                        self.epfd,
+                        events.buf.as_mut_ptr(),
+                        events.buf.len() as sys::c_int,
+                        ms,
+                    )
+                };
+                if n >= 0 {
+                    events.len = n as usize;
+                    return Ok(events.len);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    events.len = 0;
+                    return Err(err);
+                }
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            events.len = 0;
+            Err(io::Error::new(io::ErrorKind::Unsupported, "epoll is Linux-only"))
+        }
+    }
+}
+
+impl Drop for Readiness {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        unsafe {
+            sys::close(self.epfd);
+        }
+    }
+}
+
+// The epoll fd is just a kernel handle; waiting and registering from
+// several threads is what the API is for.
+unsafe impl Send for Readiness {}
+unsafe impl Sync for Readiness {}
+
+/// An `eventfd`-backed wakeup handle: [`Waker::wake`] from any thread
+/// makes the fd readable, interrupting a blocked [`Readiness::wait`]
+/// where it is registered. Drain with [`Waker::drain`] after waking up,
+/// or the (level-triggered) registration keeps reporting it.
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates a non-blocking eventfd.
+    ///
+    /// # Errors
+    ///
+    /// The `eventfd` error, or [`io::ErrorKind::Unsupported`] on
+    /// non-Linux targets.
+    pub fn new() -> io::Result<Self> {
+        #[cfg(target_os = "linux")]
+        {
+            let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Waker { fd })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "eventfd is Linux-only"))
+        }
+    }
+
+    /// The fd to register with a [`Readiness`] (readable, level).
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Makes the fd readable (adds 1 to the eventfd counter). Safe from
+    /// any thread; wakes a concurrent or future wait.
+    pub fn wake(&self) {
+        #[cfg(target_os = "linux")]
+        {
+            let one = 1u64.to_ne_bytes();
+            // A full counter (EAGAIN) still leaves the fd readable —
+            // the wake is already pending, so the result is ignorable.
+            let _ = unsafe { sys::write(self.fd, one.as_ptr(), one.len()) };
+        }
+    }
+
+    /// Clears pending wakes (reads the counter). Returns whether any
+    /// wake was pending.
+    pub fn drain(&self) -> bool {
+        #[cfg(target_os = "linux")]
+        {
+            let mut buf = [0u8; 8];
+            (unsafe { sys::read(self.fd, buf.as_mut_ptr(), buf.len()) }) == 8
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            false
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        unsafe {
+            sys::close(self.fd);
+        }
+    }
+}
+
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::net::UdpSocket;
+    use std::os::fd::AsRawFd;
+
+    fn pair() -> (UdpSocket, UdpSocket) {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    fn send(from: &UdpSocket, to: &UdpSocket, payload: &[u8]) {
+        from.send_to(payload, to.local_addr().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn timeout_expires_on_empty_set() {
+        let readiness = Readiness::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        let start = std::time::Instant::now();
+        let n = readiness.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(15), "returned early");
+    }
+
+    #[test]
+    fn level_trigger_reports_until_drained() {
+        let (tx, rx) = pair();
+        let readiness = Readiness::new().unwrap();
+        readiness.register(rx.as_raw_fd(), 7, Interest::READABLE, Trigger::Level).unwrap();
+        send(&tx, &rx, b"one");
+        let mut events = Events::default();
+        // Reported while data stays queued — on every wait.
+        for _ in 0..3 {
+            readiness.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+            let reported: Vec<Event> = events.iter().collect();
+            assert_eq!(reported.len(), 1);
+            assert_eq!(reported[0].token, 7);
+            assert!(reported[0].readable);
+        }
+        // Draining silences it.
+        let mut buf = [0u8; 16];
+        rx.recv_from(&mut buf).unwrap();
+        let n = readiness.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0, "drained level-triggered fd must go quiet");
+    }
+
+    #[test]
+    fn edge_trigger_reports_once_per_arrival() {
+        let (tx, rx) = pair();
+        let readiness = Readiness::new().unwrap();
+        readiness.register(rx.as_raw_fd(), 9, Interest::READABLE, Trigger::Edge).unwrap();
+        send(&tx, &rx, b"one");
+        let mut events = Events::default();
+        assert_eq!(readiness.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        // Undrained, but edge-triggered: no new transition, no report.
+        assert_eq!(readiness.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+        // New data is a new edge even without draining the old.
+        send(&tx, &rx, b"two");
+        assert_eq!(readiness.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocking_wait() {
+        let readiness = Readiness::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        readiness.register(waker.raw_fd(), u64::MAX, Interest::READABLE, Trigger::Level).unwrap();
+        let remote = waker.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+        });
+        let mut events = Events::default();
+        let start = std::time::Instant::now();
+        readiness.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5), "wake did not interrupt");
+        assert_eq!(events.iter().next().unwrap().token, u64::MAX);
+        assert!(waker.drain());
+        // Drained: quiet again.
+        assert_eq!(readiness.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn deregister_silences_and_reregister_restores() {
+        let (tx, rx) = pair();
+        let readiness = Readiness::new().unwrap();
+        readiness.register(rx.as_raw_fd(), 1, Interest::READABLE, Trigger::Level).unwrap();
+        send(&tx, &rx, b"x");
+        let mut events = Events::default();
+        assert_eq!(readiness.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        readiness.deregister(rx.as_raw_fd()).unwrap();
+        assert_eq!(readiness.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+        // Re-registration with a fresh token sees the still-queued data
+        // (level) — fd churn loses no state that matters.
+        readiness.register(rx.as_raw_fd(), 2, Interest::READABLE, Trigger::Level).unwrap();
+        assert_eq!(readiness.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        assert_eq!(events.iter().next().unwrap().token, 2);
+    }
+
+    #[test]
+    fn a_rebuilt_instance_can_rewatch_the_same_fds() {
+        // The fd-churn scenario of the gateway rebind test, at the shim
+        // level: dropping the epoll instance and building a new one over
+        // the same sockets keeps working (ports are a socket property,
+        // not an epoll one).
+        let (tx, rx) = pair();
+        let first = Readiness::new().unwrap();
+        first.register(rx.as_raw_fd(), 3, Interest::READABLE, Trigger::Level).unwrap();
+        drop(first);
+        let second = Readiness::new().unwrap();
+        second.register(rx.as_raw_fd(), 4, Interest::READABLE, Trigger::Level).unwrap();
+        send(&tx, &rx, b"still here");
+        let mut events = Events::default();
+        assert_eq!(second.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        assert_eq!(events.iter().next().unwrap().token, 4);
+    }
+
+    #[test]
+    fn modify_switches_token_and_interest() {
+        let (tx, rx) = pair();
+        let readiness = Readiness::new().unwrap();
+        readiness.register(rx.as_raw_fd(), 5, Interest::READABLE, Trigger::Level).unwrap();
+        readiness.modify(rx.as_raw_fd(), 6, Interest::READABLE, Trigger::Level).unwrap();
+        send(&tx, &rx, b"y");
+        let mut events = Events::default();
+        assert_eq!(readiness.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        assert_eq!(events.iter().next().unwrap().token, 6);
+    }
+}
