@@ -21,6 +21,7 @@
 //! single-core CI container's flat curve is not misread as a runtime
 //! regression.
 
+use starlink_bench::chaos::{assert_liveness_contract, run_chaos_cell, ChaosCell, ChaosProfile};
 use starlink_bench::{run_sharded_case, run_sharded_mixed, ShardedRun, ShardedWorkload};
 use starlink_core::{EngineConfig, Starlink};
 use starlink_net::SimDuration;
@@ -296,6 +297,40 @@ fn main() {
         );
     }
 
+    // Saturation smoke under shared-bandwidth contention: the
+    // contended-links chaos profile (2 MB/s fair-share links,
+    // store-and-forward holding legs back above a 4 KiB backlog) at
+    // bench scale. The liveness contract gates the numbers — every
+    // session must complete, counters balanced, store-and-forward
+    // settled — and the parked/replayed counters go into the JSON so
+    // the contention machinery provably engaged.
+    let contended_clients = env_usize("THROUGHPUT_CONTENDED_CLIENTS", 64);
+    let contended_profile = ChaosProfile::contended_links();
+    let contended_cell = ChaosCell {
+        case: BridgeCase::SlpToBonjour,
+        shards: 1,
+        clients: contended_clients,
+        seed: 0xC047,
+    };
+    let contended = run_chaos_cell(contended_cell, &contended_profile);
+    assert_liveness_contract(&contended, &contended_profile, contended_cell.seed);
+    let contended_sf = contended.stats.store_forward();
+    println!();
+    println!(
+        "contended links (case {}, {} clients, {} B/s fair-share, saturation {} B): \
+         {:.0} sessions/sec, p50/p99 {}/{} µs, store-forward parked {} replayed {} overflow {}",
+        contended_cell.case.number(),
+        contended_clients,
+        contended_profile.link_bandwidth,
+        contended_profile.store_forward.map_or(0, |p| p.saturation_bytes),
+        contended.sessions_per_sec(),
+        contended.latency_percentile_us(50.0),
+        contended.latency_percentile_us(99.0),
+        contended_sf.parked,
+        contended_sf.replayed,
+        contended_sf.overflow,
+    );
+
     if let Ok(path) = std::env::var("THROUGHPUT_BENCH_JSON") {
         let mut out = String::from("{\n");
         out.push_str(
@@ -361,7 +396,25 @@ fn main() {
                 if i + 1 == floods.len() { "" } else { "," }
             ));
         }
-        out.push_str("  ]}\n}\n");
+        out.push_str("  ]},\n");
+        out.push_str(&format!(
+            "  \"contended_links\": {{\"case\": {}, \"clients\": {contended_clients}, \
+             \"link_bandwidth_bytes_per_sec\": {}, \"saturation_bytes\": {}, \
+             \"sessions_per_sec\": {:.0}, \"p50_us\": {}, \"p99_us\": {}, \"parked\": {}, \
+             \"replayed\": {}, \"overflow\": {}, \"note\": \"Chaos contended-links profile at \
+             bench scale: 2 MB/s fair-share links with store-and-forward backpressure; the run \
+             passed the full liveness contract (every session completed, counters settled).\"}}\n",
+            contended_cell.case.number(),
+            contended_profile.link_bandwidth,
+            contended_profile.store_forward.map_or(0, |p| p.saturation_bytes),
+            contended.sessions_per_sec(),
+            contended.latency_percentile_us(50.0),
+            contended.latency_percentile_us(99.0),
+            contended_sf.parked,
+            contended_sf.replayed,
+            contended_sf.overflow,
+        ));
+        out.push_str("}\n");
         match std::fs::write(&path, out) {
             Ok(()) => eprintln!("throughput bench: wrote {path}"),
             Err(err) => eprintln!("throughput bench: cannot write {path}: {err}"),

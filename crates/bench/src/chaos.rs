@@ -15,7 +15,7 @@
 //! dispatch-boundary log.
 
 use crate::{expected_discovery_url, run_sharded_case, ShardedRun, ShardedWorkload};
-use starlink_core::CacheStats;
+use starlink_core::{CacheStats, StoreForward, StoreForwardStats};
 use starlink_net::{Impairments, SimDuration, SimTime};
 use starlink_protocols::bridges::BridgeCase;
 
@@ -34,27 +34,57 @@ pub struct ChaosProfile {
     /// errors and exactly one session per client (only the control row —
     /// duplicates are legitimately recorded-and-dropped).
     pub expect_clean_engines: bool,
+    /// Shared per-link capacity in bytes/sec installed in every shard's
+    /// simulation (`0` — the default — keeps the bandwidth model off).
+    pub link_bandwidth: u64,
+    /// Connectivity-window length of the pass schedule
+    /// ([`SimDuration::ZERO`] — the default — installs no schedule).
+    pub pass_window: SimDuration,
+    /// Slots taking turns on the pass schedule (`<= 1` installs none).
+    pub pass_slots: u32,
+    /// Store-and-forward policy handed to every engine shard (`None` —
+    /// the default — keeps the fail-fast engines).
+    pub store_forward: Option<StoreForward>,
+    /// Driver-level client retransmission period in virtual
+    /// milliseconds: an unresolved client re-sends its request every
+    /// this-many driver iterations, modelling a legacy stack's own
+    /// retry loop (`0` — the default — sends once). Pass-schedule
+    /// profiles need it: a request launched into a closed window is
+    /// dropped on the floor, exactly like a real satellite uplink.
+    pub client_retry_ms: u64,
 }
 
 impl ChaosProfile {
+    /// A profile with every knob inert: no impairments, no bandwidth
+    /// cap, no pass schedule, no store-and-forward, no client retries.
+    /// Constructors override what they exercise, so adding a knob never
+    /// silently changes an existing profile.
+    fn inert(name: &'static str) -> Self {
+        ChaosProfile {
+            name,
+            impairments: Impairments::none(),
+            expect_client_completion: true,
+            expect_clean_engines: false,
+            link_bandwidth: 0,
+            pass_window: SimDuration::ZERO,
+            pass_slots: 1,
+            store_forward: None,
+            client_retry_ms: 0,
+        }
+    }
+
     /// No impairment at all — the control row: must behave exactly like
     /// the pre-chaos harness (full completion, clean engines).
     pub fn lossless() -> Self {
-        ChaosProfile {
-            name: "lossless",
-            impairments: Impairments::none(),
-            expect_client_completion: true,
-            expect_clean_engines: true,
-        }
+        ChaosProfile { expect_clean_engines: true, ..Self::inert("lossless") }
     }
 
     /// 10% independent loss on every link traversal.
     pub fn lossy10() -> Self {
         ChaosProfile {
-            name: "lossy10",
             impairments: Impairments { drop_permille: 100, ..Impairments::none() },
             expect_client_completion: false,
-            expect_clean_engines: false,
+            ..Self::inert("lossy10")
         }
     }
 
@@ -63,7 +93,6 @@ impl ChaosProfile {
     /// recorded-and-dropped errors).
     pub fn dup_reorder() -> Self {
         ChaosProfile {
-            name: "dup_reorder",
             impairments: Impairments {
                 duplicate_permille: 200,
                 reorder_permille: 300,
@@ -73,8 +102,7 @@ impl ChaosProfile {
             },
             // No loss anywhere: every client still completes, but
             // rejected duplicates legitimately land in the error log.
-            expect_client_completion: true,
-            expect_clean_engines: false,
+            ..Self::inert("dup_reorder")
         }
     }
 
@@ -82,7 +110,6 @@ impl ChaosProfile {
     /// after a window.
     pub fn corrupt_partition_heal() -> Self {
         ChaosProfile {
-            name: "corrupt_partition_heal",
             impairments: Impairments {
                 corrupt_permille: 80,
                 partition_permille: 15,
@@ -90,17 +117,65 @@ impl ChaosProfile {
                 ..Impairments::none()
             },
             expect_client_completion: false,
-            expect_clean_engines: false,
+            ..Self::inert("corrupt_partition_heal")
         }
     }
 
-    /// The four rows of the conformance matrix.
-    pub fn matrix() -> [ChaosProfile; 4] {
+    /// Satellite-style connectivity windows: two slots take turns on
+    /// the uplink — clients reach the bridge only in even windows, the
+    /// legacy service only in odd ones — so **no single window fits a
+    /// whole session**. Delivery takes three passes: ingress, query +
+    /// legacy response, reply. Store-and-forward parks the blocked legs
+    /// and the clients' own retransmission loop covers requests
+    /// launched into a closed window; every client must still complete.
+    pub fn pass_schedule() -> Self {
+        ChaosProfile {
+            pass_window: SimDuration::from_millis(25),
+            pass_slots: 2,
+            store_forward: Some(StoreForward {
+                queue_bound: 8,
+                retry_interval: SimDuration::from_millis(4),
+                max_retries: 32,
+                saturation_bytes: 0,
+            }),
+            client_retry_ms: 10,
+            ..Self::inert("pass_schedule")
+        }
+    }
+
+    /// Shared-bandwidth contention: every link carries 1 MB/s split
+    /// fairly across its concurrent transfers, so the bridge↔service
+    /// uplink — which funnels every forward query and legacy response —
+    /// saturates under load: waves land 16 deep, so each burst piles
+    /// kilobytes onto a link that moves one byte per microsecond, while
+    /// a full 50-client cell of the fattest payloads (the ~500-byte WSD
+    /// SOAP responses) still drains well inside the idle timeout. Once
+    /// the egress backlog passes 384 bytes, store-and-forward holds
+    /// further legs back instead of piling onto the fluid and replays
+    /// them as the backlog drains. Nothing is lost, only delayed: every
+    /// client must complete.
+    pub fn contended_links() -> Self {
+        ChaosProfile {
+            link_bandwidth: 1_000_000,
+            store_forward: Some(StoreForward {
+                queue_bound: 8,
+                retry_interval: SimDuration::from_millis(2),
+                max_retries: 64,
+                saturation_bytes: 384,
+            }),
+            ..Self::inert("contended_links")
+        }
+    }
+
+    /// The six rows of the conformance matrix.
+    pub fn matrix() -> [ChaosProfile; 6] {
         [
             ChaosProfile::lossless(),
             ChaosProfile::lossy10(),
             ChaosProfile::dup_reorder(),
             ChaosProfile::corrupt_partition_heal(),
+            ChaosProfile::pass_schedule(),
+            ChaosProfile::contended_links(),
         ]
     }
 
@@ -157,8 +232,23 @@ pub fn run_chaos_cell(cell: ChaosCell, profile: &ChaosProfile) -> ShardedRun {
     workload.wave = wave;
     workload.impairments = profile.impairments;
     workload.idle_timeout = CHAOS_IDLE_TIMEOUT;
-    workload.virtual_horizon = Some(chaos_horizon(cell.clients, wave));
+    let mut horizon = chaos_horizon(cell.clients, wave);
+    if profile.pass_window > SimDuration::ZERO && profile.pass_slots > 1 {
+        // Pass-schedule cells wait on connectivity windows, not just
+        // latency: a session needs up to one full rotation to land its
+        // request plus one window per store-and-forward leg, and the
+        // stragglers' idle expiries follow. Budget two rotations plus
+        // the leg windows on top of the plain horizon.
+        let rotation = profile.pass_window.saturating_mul(u64::from(profile.pass_slots));
+        horizon = horizon + rotation.saturating_mul(2) + profile.pass_window.saturating_mul(4);
+    }
+    workload.virtual_horizon = Some(horizon);
     workload.log_boundary = true;
+    workload.link_bandwidth = profile.link_bandwidth;
+    workload.pass_window = profile.pass_window;
+    workload.pass_slots = profile.pass_slots;
+    workload.store_forward = profile.store_forward;
+    workload.client_retry_ms = profile.client_retry_ms;
     // On fusable cases the answer cache runs in every cell, under
     // every impairment profile: all clients of a cell ask for the same
     // service, so once one exchange completes the rest are duplicate
@@ -198,6 +288,11 @@ pub fn deterministic_digest(run: &ShardedRun) -> String {
     out.push_str(&format!(
         "cache hits {} misses {} insertions {} expirations {}\n",
         cache.hits, cache.misses, cache.insertions, cache.expirations
+    ));
+    let sf = run.stats.store_forward();
+    out.push_str(&format!(
+        "store-forward parked {} replayed {} overflow {} abandoned {}\n",
+        sf.parked, sf.replayed, sf.overflow, sf.abandoned
     ));
     for shard in 0..run.stats.shard_count() {
         let s = run.stats.shard(shard).concurrency();
@@ -278,16 +373,23 @@ pub fn check_liveness_contract(run: &ShardedRun, profile: &ChaosProfile) -> Vec<
         }
         let cache = stats.cache();
         cache_sum.merge(&cache);
-        if cache.hits > c.completed {
+        // Fail-fast engines only touch the cache on sessions that then
+        // complete. A store-and-forward engine can insert the translated
+        // answer (or serve a hit) and still *fail* the session when the
+        // parked reply leg exhausts its retries — the knowledge is real
+        // even though the delivery wasn't — so there the bound is the
+        // sessions ever started, not the completed ones.
+        let cache_bound = if profile.store_forward.is_some() { c.started } else { c.completed };
+        if cache.hits > cache_bound {
             violations.push(format!(
-                "shard {shard}: {} cache hits exceed {} completed sessions",
-                cache.hits, c.completed
+                "shard {shard}: {} cache hits exceed {} bounding sessions",
+                cache.hits, cache_bound
             ));
         }
-        if cache.insertions > c.completed {
+        if cache.insertions > cache_bound {
             violations.push(format!(
-                "shard {shard}: {} cache insertions exceed {} completed sessions",
-                cache.insertions, c.completed
+                "shard {shard}: {} cache insertions exceed {} bounding sessions",
+                cache.insertions, cache_bound
             ));
         }
         if cache.expirations > cache.insertions {
@@ -311,6 +413,33 @@ pub fn check_liveness_contract(run: &ShardedRun, profile: &ChaosProfile) -> Vec<
     if fleet_cache != cache_sum {
         violations.push(format!(
             "fleet cache counters {fleet_cache:?} disagree with per-shard sum {cache_sum:?}"
+        ));
+    }
+
+    // 2b. Store-and-forward balance at quiescence: with no session left
+    //     active, every leg ever parked was either replayed or
+    //     abandoned, on every shard and fleet-wide; an engine without
+    //     the policy must record zero store-and-forward traffic.
+    let mut sf_sum = StoreForwardStats::default();
+    for shard in 0..run.stats.shard_count() {
+        let sf = run.stats.shard(shard).store_forward();
+        sf_sum.merge(&sf);
+        if !sf.is_settled() {
+            violations.push(format!(
+                "shard {shard}: store-and-forward unsettled at quiescence: \
+                 parked {} != replayed {} + abandoned {}",
+                sf.parked, sf.replayed, sf.abandoned
+            ));
+        }
+        if profile.store_forward.is_none() && sf != StoreForwardStats::default() {
+            violations
+                .push(format!("shard {shard}: store-and-forward counters {sf:?} without a policy"));
+        }
+    }
+    let fleet_sf = run.stats.store_forward();
+    if fleet_sf != sf_sum {
+        violations.push(format!(
+            "fleet store-and-forward counters {fleet_sf:?} disagree with per-shard sum {sf_sum:?}"
         ));
     }
 
@@ -467,6 +596,28 @@ mod tests {
     fn lossy_cell_never_wedges() {
         let cell = ChaosCell { case: BridgeCase::SlpToBonjour, shards: 2, clients: 8, seed: 1 };
         let profile = ChaosProfile::lossy10();
+        let run = run_chaos_cell(cell, &profile);
+        assert_liveness_contract(&run, &profile, cell.seed);
+    }
+
+    #[test]
+    fn pass_schedule_cell_delivers_across_passes() {
+        let cell = ChaosCell { case: BridgeCase::SlpToBonjour, shards: 2, clients: 6, seed: 2 };
+        let profile = ChaosProfile::pass_schedule();
+        let run = run_chaos_cell(cell, &profile);
+        assert_liveness_contract(&run, &profile, cell.seed);
+        // The schedule must have actually forced store-and-forward: no
+        // single window fits a whole session, so legs parked and were
+        // replayed on a later pass.
+        let sf = run.stats.store_forward();
+        assert!(sf.parked > 0, "no leg ever parked under the pass schedule: {sf:?}");
+        assert!(sf.replayed > 0, "no parked leg was ever replayed: {sf:?}");
+    }
+
+    #[test]
+    fn contended_links_cell_completes_under_saturation() {
+        let cell = ChaosCell { case: BridgeCase::SlpToBonjour, shards: 1, clients: 12, seed: 3 };
+        let profile = ChaosProfile::contended_links();
         let run = run_chaos_cell(cell, &profile);
         assert_liveness_contract(&run, &profile, cell.seed);
     }

@@ -84,7 +84,7 @@ pub use sharded::{
     run_sharded_case, run_sharded_mixed, ClientOutcome, ShardedRun, ShardedWorkload,
 };
 
-use starlink_core::{ConcurrencyStats, Starlink};
+use starlink_core::{ConcurrencyStats, EngineConfig, Starlink};
 use starlink_net::{Actor, DelayedActor, Impairments, SimDuration, SimNet};
 use starlink_protocols::{
     bridges::{self, BridgeCase, Family},
@@ -256,8 +256,16 @@ pub fn run_concurrent_clients_with(
 ) -> (Vec<DiscoveryProbe>, starlink_core::BridgeStats) {
     // No trace rendering: this is the Criterion concurrent-bench hot
     // loop, which must not pay for formatting a discarded string.
-    let (probes, stats, _) =
-        run_clients(case, seed, calibration, stagger_us, Impairments::none(), false);
+    let (probes, stats, _) = run_clients(
+        case,
+        seed,
+        calibration,
+        stagger_us,
+        Impairments::none(),
+        false,
+        EngineConfig::default(),
+        |_| {},
+    );
     (probes, stats)
 }
 
@@ -273,12 +281,41 @@ pub fn run_concurrent_clients_chaos(
     stagger_us: &[u64],
     impairments: Impairments,
 ) -> (Vec<DiscoveryProbe>, starlink_core::BridgeStats, String) {
-    let (probes, stats, trace) =
-        run_clients(case, seed, calibration, stagger_us, impairments, true);
+    let (probes, stats, trace) = run_clients(
+        case,
+        seed,
+        calibration,
+        stagger_us,
+        impairments,
+        true,
+        EngineConfig::default(),
+        |_| {},
+    );
     (probes, stats, trace.unwrap_or_default())
 }
 
-/// Shared body of the two public concurrent-client harnesses.
+/// The knob-install variant of [`run_concurrent_clients_chaos`]: the
+/// same interleaved clients, but the engine deploys with an explicit
+/// [`EngineConfig`] and `configure` runs against the simulation before
+/// any actor is added — the hook for installing link bandwidth, pass
+/// schedules or store-and-forward and comparing the resulting trace
+/// byte-for-byte against an untouched baseline.
+pub fn run_concurrent_clients_chaos_configured(
+    case: BridgeCase,
+    seed: u64,
+    calibration: Calibration,
+    stagger_us: &[u64],
+    impairments: Impairments,
+    config: EngineConfig,
+    configure: impl FnOnce(&mut SimNet),
+) -> (Vec<DiscoveryProbe>, starlink_core::BridgeStats, String) {
+    let (probes, stats, trace) =
+        run_clients(case, seed, calibration, stagger_us, impairments, true, config, configure);
+    (probes, stats, trace.unwrap_or_default())
+}
+
+/// Shared body of the public concurrent-client harnesses.
+#[allow(clippy::too_many_arguments)]
 fn run_clients(
     case: BridgeCase,
     seed: u64,
@@ -286,13 +323,17 @@ fn run_clients(
     stagger_us: &[u64],
     impairments: Impairments,
     want_trace: bool,
+    config: EngineConfig,
+    configure: impl FnOnce(&mut SimNet),
 ) -> (Vec<DiscoveryProbe>, starlink_core::BridgeStats, Option<String>) {
     let mut framework = Starlink::new();
     bridges::load_all_mdls(&mut framework).expect("models load");
-    let (engine, stats) = framework.deploy(case.build(BRIDGE)).expect("bridge deploys");
+    let (engine, stats) =
+        framework.deploy_with(case.build(BRIDGE), config).expect("bridge deploys");
 
     let mut sim = SimNet::new(seed);
     sim.set_impairments(impairments);
+    configure(&mut sim);
     sim.add_actor(BRIDGE, engine);
     add_target_service(&mut sim, case, calibration);
     let mut probes = Vec::with_capacity(stagger_us.len());

@@ -17,12 +17,15 @@
 //! boundary), and the WS-Discovery cases whose clients match replies by
 //! uuid (`RelatesTo` must echo the probe's own `MessageID`).
 
-use crate::BRIDGE;
+use crate::{BRIDGE, SERVICE};
 use fxhash::FxHashMap;
 use starlink_core::{
     ConcurrencyStats, EngineConfig, ShardInput, ShardOutput, ShardedBridge, ShardedStats, Starlink,
+    StoreForward,
 };
-use starlink_net::{Bytes, Datagram, Impairments, LatencyModel, SimAddr, SimDuration, SimTime};
+use starlink_net::{
+    Bytes, Datagram, Impairments, LatencyModel, PassSchedule, SimAddr, SimDuration, SimTime,
+};
 use starlink_protocols::{
     bridges::{self, BridgeCase, Family},
     http, mdns, slp, ssdp, wsd, Calibration,
@@ -80,6 +83,23 @@ pub struct ShardedWorkload {
     /// Pin the engines to the interpreted path even when the case
     /// would fuse — the baseline side of fused-vs-interpreted runs.
     pub force_interpreted: bool,
+    /// Shared per-link capacity in bytes/sec installed in every shard's
+    /// simulation (`0` — the default — keeps the bandwidth model off).
+    pub link_bandwidth: u64,
+    /// Connectivity-window length of the per-shard [`PassSchedule`]:
+    /// the bridge is the always-reachable hub, the service sits in slot
+    /// 1, clients (external hosts included) in slot 0.
+    /// [`SimDuration::ZERO`] — the default — installs no schedule.
+    pub pass_window: SimDuration,
+    /// Slots taking turns on the pass schedule (`<= 1` installs none).
+    pub pass_slots: u32,
+    /// Store-and-forward policy handed to every engine shard (`None` —
+    /// the default — keeps the fail-fast engines).
+    pub store_forward: Option<StoreForward>,
+    /// Driver-level retransmission period in virtual milliseconds: an
+    /// unresolved client re-sends its request every this-many driver
+    /// iterations (`0` — the default — sends once).
+    pub client_retry_ms: u64,
 }
 
 impl ShardedWorkload {
@@ -101,6 +121,11 @@ impl ShardedWorkload {
             correlated: false,
             answer_ttl: None,
             force_interpreted: false,
+            link_bandwidth: 0,
+            pass_window: SimDuration::ZERO,
+            pass_slots: 1,
+            store_forward: None,
+            client_retry_ms: 0,
         }
     }
 
@@ -300,6 +325,7 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
             .then(|| std::sync::Arc::new(bridges::default_correlator()) as _),
         answer_ttl: workload.answer_ttl,
         force_interpreted: workload.force_interpreted,
+        store_forward: workload.store_forward,
     };
     let (engines, stats) = framework
         .deploy_sharded(case.build(BRIDGE), config, workload.shards)
@@ -307,11 +333,32 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
     let calibration = workload.calibration;
     let instant_network = workload.instant_network;
     let impairments = workload.impairments;
+    let link_bandwidth = workload.link_bandwidth;
+    let pass = (workload.pass_window > SimDuration::ZERO && workload.pass_slots > 1).then(|| {
+        // Satellite-style layout: the bridge is the hub every window
+        // can reach; the in-shard service takes slot 1 and everything
+        // else (the external wire-level clients) slot 0 — so clients
+        // and the legacy service are never reachable in the same
+        // window and a session must span passes.
+        PassSchedule {
+            window: workload.pass_window,
+            slots: workload.pass_slots,
+            hub: Some(BRIDGE.into()),
+            assignments: [(SERVICE.into(), 1)].into_iter().collect(),
+            default_slot: 0,
+        }
+    });
     let mut bridge = ShardedBridge::launch(workload.seed, BRIDGE, engines, |_, sim| {
         if instant_network {
             sim.set_latency(LatencyModel::Fixed(SimDuration::ZERO));
         }
         sim.set_impairments(impairments);
+        if link_bandwidth > 0 {
+            sim.set_link_bandwidth(link_bandwidth);
+        }
+        if let Some(pass) = pass.clone() {
+            sim.set_pass_schedule(pass);
+        }
         crate::add_target_service(sim, case, calibration);
     });
 
@@ -365,6 +412,26 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
         if let Some(horizon) = workload.virtual_horizon {
             if SimTime::from_micros((iteration + 1) * 1_000) > horizon {
                 break;
+            }
+        }
+        // Client-side retransmission: under a pass schedule the first
+        // request of a session may launch into a closed window and be
+        // dropped on the wire, so real clients re-send on a timer. Every
+        // `client_retry_ms` virtual milliseconds, re-issue the discovery
+        // request for every started client still waiting on its first
+        // reply. Deterministic: keyed off the iteration counter only.
+        if workload.client_retry_ms > 0
+            && iteration > 0
+            && iteration.is_multiple_of(workload.client_retry_ms)
+        {
+            for (index, client) in clients.iter().enumerate().take(next_start) {
+                if matches!(client.phase, Phase::AwaitUdpReply | Phase::AwaitSsdp) {
+                    inputs.push(ShardInput::Datagram(Datagram {
+                        from: SimAddr::new(client.host.as_str(), udp_port),
+                        to: to.clone(),
+                        payload: Bytes::copy_from_slice(&request_wire(case, index)),
+                    }));
+                }
             }
         }
         // Start the next wave of sessions.

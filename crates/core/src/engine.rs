@@ -209,6 +209,43 @@ impl SessionCorrelator for FieldCorrelator {
     }
 }
 
+/// Store-and-forward policy: instead of silently losing egress legs to
+/// a partitioned, pass-closed or saturated link, a session parks them
+/// in a bounded queue and retransmits on a calibrated interval until
+/// the link heals (delay-tolerant discovery over contended links).
+///
+/// `Copy` so harness workload descriptors can embed it without losing
+/// their own `Copy` bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreForward {
+    /// Maximum parked legs per session. A leg arriving at a full queue
+    /// is refused and counted as a queue overflow — the session itself
+    /// survives (and may later idle-expire).
+    pub queue_bound: usize,
+    /// How long to wait between replay attempts. Calibrate below the
+    /// connectivity-window length so a heal is noticed within the
+    /// window that granted it.
+    pub retry_interval: SimDuration,
+    /// Replay attempts before the engine gives up: parked legs are
+    /// abandoned and the session is torn down as failed.
+    pub max_retries: u32,
+    /// Egress counts as saturated when more than this many bytes are
+    /// already in flight on the link (`0` disables the saturation
+    /// signal; partition/pass gating still applies).
+    pub saturation_bytes: u64,
+}
+
+impl Default for StoreForward {
+    fn default() -> Self {
+        StoreForward {
+            queue_bound: 8,
+            retry_interval: SimDuration::from_millis(5),
+            max_retries: 16,
+            saturation_bytes: 0,
+        }
+    }
+}
+
 /// Runtime policy of a deployed engine.
 #[derive(Clone)]
 pub struct EngineConfig {
@@ -228,6 +265,11 @@ pub struct EngineConfig {
     /// the engine to the interpreted path (differential testing and
     /// baseline benchmarks).
     pub force_interpreted: bool,
+    /// Store-and-forward session mode. `None` (the default) keeps the
+    /// fail-fast behaviour: an egress leg meeting a dead link is simply
+    /// handed to the network and lost. `Some(policy)` parks such legs
+    /// and replays them when connectivity returns.
+    pub store_forward: Option<StoreForward>,
 }
 
 impl Default for EngineConfig {
@@ -237,6 +279,7 @@ impl Default for EngineConfig {
             correlator: None,
             answer_ttl: None,
             force_interpreted: false,
+            store_forward: None,
         }
     }
 }
@@ -248,6 +291,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("correlator", &self.correlator.as_ref().map(|_| "<dyn>"))
             .field("answer_ttl", &self.answer_ttl)
             .field("force_interpreted", &self.force_interpreted)
+            .field("store_forward", &self.store_forward)
             .finish()
     }
 }
@@ -267,6 +311,15 @@ struct PartState {
     /// Payloads composed before the client connection finished its
     /// handshake; flushed on `Connected`.
     pending_out: VecDeque<Vec<u8>>,
+}
+
+/// One UDP egress leg parked by store-and-forward: everything needed to
+/// replay the send once the link heals.
+#[derive(Debug)]
+struct ParkedLeg {
+    port: u16,
+    destination: SimAddr,
+    payload: Vec<u8>,
 }
 
 /// One live interaction pair: the per-client state the engine multiplexes.
@@ -289,6 +342,12 @@ struct Session {
     timer: Option<(TimerId, u64)>,
     /// Set when a compose/emit/⊨ failure condemned the session.
     failed: bool,
+    /// Egress legs parked by store-and-forward, FIFO.
+    parked: VecDeque<ParkedLeg>,
+    /// Replay attempts made since the last successful flush.
+    retries: u32,
+    /// Pending replay timer (id for cancellation, tag for lookup).
+    retry_timer: Option<(TimerId, u64)>,
 }
 
 /// Network semantics of sending from one state, resolved at deployment.
@@ -339,6 +398,15 @@ struct FusedSession {
     timer: Option<(TimerId, u64)>,
     cache_hash: Option<u64>,
     cache_key: Vec<u8>,
+    /// Egress legs parked by store-and-forward, FIFO.
+    parked: VecDeque<ParkedLeg>,
+    /// Replay attempts made since the last successful flush.
+    retries: u32,
+    /// Pending replay timer (id for cancellation, tag for lookup).
+    retry_timer: Option<(TimerId, u64)>,
+    /// The parked leg is the translated reply: flushing it completes
+    /// the exchange (the session records completion, not re-insertion).
+    complete_on_flush: bool,
 }
 
 /// Bound on cached answers per engine: a flood of *distinct* queries
@@ -464,6 +532,8 @@ pub struct BridgeEngine {
     conn_sessions: FxHashMap<ConnId, (SessionKey, usize)>,
     /// Pending expiry-timer tag → session key.
     timer_sessions: FxHashMap<u64, SessionKey>,
+    /// Pending store-and-forward replay-timer tag → session key.
+    retry_sessions: FxHashMap<u64, SessionKey>,
     next_timer_tag: u64,
     next_session_seq: u64,
     /// Per-connection stream reassembly buffers.
@@ -648,6 +718,7 @@ impl BridgeEngine {
             aliases: FxHashMap::default(),
             conn_sessions: FxHashMap::default(),
             timer_sessions: FxHashMap::default(),
+            retry_sessions: FxHashMap::default(),
             next_timer_tag: 0,
             next_session_seq: 0,
             buffers: FxHashMap::default(),
@@ -704,6 +775,9 @@ impl BridgeEngine {
             aliases: Vec::new(),
             timer: None,
             failed: false,
+            parked: VecDeque::new(),
+            retries: 0,
+            retry_timer: None,
         }
     }
 
@@ -772,13 +846,47 @@ impl BridgeEngine {
         session.timer = Some((id, tag));
     }
 
+    /// Whether a UDP egress leg towards `destination` would meet a dead
+    /// or saturated link right now — the store-and-forward park signal.
+    fn egress_blocked(ctx: &mut Context<'_>, policy: &StoreForward, destination: &SimAddr) -> bool {
+        !ctx.link_open(destination)
+            || (policy.saturation_bytes > 0
+                && ctx.link_backlog(destination) > policy.saturation_bytes)
+    }
+
+    /// Arms (or re-arms) the store-and-forward replay timer; the tag is
+    /// returned so fused sessions can record it too.
+    fn arm_retry(
+        &mut self,
+        ctx: &mut Context<'_>,
+        key: &SessionKey,
+        interval: SimDuration,
+    ) -> (TimerId, u64) {
+        let tag = self.next_timer_tag;
+        self.next_timer_tag += 1;
+        let id = ctx.set_timer(interval, tag);
+        self.retry_sessions.insert(tag, key.clone());
+        (id, tag)
+    }
+
     /// Unlinks a session's engine-level bookkeeping: expiry timer,
-    /// aliases, connection routes and stream buffers.
+    /// aliases, connection routes, stream buffers and any parked
+    /// store-and-forward legs (which are abandoned, keeping the
+    /// parked/replayed/abandoned balance exact).
     fn unlink(&mut self, ctx: &mut Context<'_>, session: &mut Session) {
         if let Some((id, tag)) = session.timer.take() {
             if self.timer_sessions.remove(&tag).is_some() {
                 ctx.cancel_timer(id);
             }
+        }
+        if let Some((id, tag)) = session.retry_timer.take() {
+            if self.retry_sessions.remove(&tag).is_some() {
+                ctx.cancel_timer(id);
+            }
+        }
+        if !session.parked.is_empty() {
+            self.stats.record_legs_abandoned(session.parked.len() as u64);
+            session.parked.clear();
         }
         for alias in session.aliases.drain(..) {
             self.aliases.remove(&alias);
@@ -790,13 +898,16 @@ impl BridgeEngine {
     }
 
     /// Ends a session after an event: reaped on completion, torn down on
-    /// failure, or put back into the table.
+    /// failure, or put back into the table. A completed execution whose
+    /// final legs are still parked stays in the table until the replay
+    /// timer flushes them — completion is recorded when the last byte
+    /// actually leaves.
     fn conclude(&mut self, ctx: &mut Context<'_>, key: SessionKey, mut session: Session) {
         if session.failed {
             self.unlink(ctx, &mut session);
             self.stats.record_session_failed();
             ctx.trace(format!("bridge session {key} failed and was torn down"));
-        } else if self.session_complete(&session) {
+        } else if self.session_complete(&session) && session.parked.is_empty() {
             self.unlink(ctx, &mut session);
             self.stats.record_session(session.started, ctx.now());
             ctx.trace(format!("bridge session complete in {}", ctx.now().since(session.started)));
@@ -949,6 +1060,35 @@ impl BridgeEngine {
                          no request to reply to, no set_host, no group"
                     )));
                 };
+                if let Some(policy) = self.config.store_forward {
+                    if Self::egress_blocked(ctx, &policy, &destination) {
+                        // Park instead of losing the leg to a dead link.
+                        // The execution still advances — parking is a
+                        // transport-level concern, not a protocol one.
+                        if session.parked.len() >= policy.queue_bound {
+                            self.stats.record_queue_overflow();
+                            ctx.trace(format!(
+                                "bridge queue overflow: egress leg for {key} refused"
+                            ));
+                            return Ok(());
+                        }
+                        session.parked.push_back(ParkedLeg {
+                            port: spec.port,
+                            destination,
+                            payload: payload.to_vec(),
+                        });
+                        self.stats.record_leg_parked();
+                        if session.retry_timer.is_none() {
+                            session.retry_timer =
+                                Some(self.arm_retry(ctx, key, policy.retry_interval));
+                        }
+                        ctx.trace(format!(
+                            "bridge parked egress leg for {key} ({} queued)",
+                            session.parked.len()
+                        ));
+                        return Ok(());
+                    }
+                }
                 ctx.udp_send(spec.port, destination, payload);
                 Ok(())
             }
@@ -972,6 +1112,47 @@ impl BridgeEngine {
                 }
             }
         }
+    }
+
+    /// Handles a fired store-and-forward replay timer, for either
+    /// engine path: flush parked legs whose link has healed, then
+    /// conclude, give up or re-arm.
+    fn on_retry_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        let Some(key) = self.retry_sessions.remove(&tag) else { return };
+        let Some(policy) = self.config.store_forward else { return };
+        if let Some(mut rt) = self.fused.take() {
+            self.fused_retry(ctx, &mut rt, policy, key);
+            self.fused = Some(rt);
+            return;
+        }
+        let Some(mut session) = self.sessions.remove(&key) else { return };
+        session.retry_timer = None;
+        // A parked session is alive by definition: replay attempts
+        // count as activity so idle expiry defers to the give-up bound.
+        session.last_activity = ctx.now();
+        while let Some(leg) = session.parked.front() {
+            if Self::egress_blocked(ctx, &policy, &leg.destination) {
+                break;
+            }
+            let leg = session.parked.pop_front().expect("front checked");
+            ctx.udp_send(leg.port, leg.destination, leg.payload);
+            self.stats.record_leg_replayed();
+            ctx.trace(format!("bridge replayed parked leg for {key}"));
+        }
+        if session.parked.is_empty() {
+            session.retries = 0;
+            self.conclude(ctx, key, session);
+            return;
+        }
+        session.retries += 1;
+        if session.retries >= policy.max_retries {
+            ctx.trace(format!("bridge gave up on {} parked legs for {key}", session.parked.len()));
+            session.failed = true;
+            self.conclude(ctx, key, session);
+            return;
+        }
+        session.retry_timer = Some(self.arm_retry(ctx, &key, policy.retry_interval));
+        self.sessions.insert(key, session);
     }
 
     /// Parses as many messages as the buffered stream for `conn` holds,
@@ -1415,7 +1596,24 @@ impl BridgeEngine {
             self.stats.record_session_failed();
             return;
         }
-        ctx.udp_send(rt.req_spec.port, rt.req_group.clone(), &rt.wire_buf[..]);
+        let mut parked_query = None;
+        if let Some(policy) = self.config.store_forward {
+            if Self::egress_blocked(ctx, &policy, &rt.req_group) {
+                if policy.queue_bound == 0 {
+                    self.stats.record_queue_overflow();
+                    ctx.trace("bridge queue overflow: forward query refused".to_owned());
+                } else {
+                    parked_query = Some(ParkedLeg {
+                        port: rt.req_spec.port,
+                        destination: rt.req_group.clone(),
+                        payload: rt.wire_buf.clone(),
+                    });
+                }
+            }
+        }
+        if parked_query.is_none() {
+            ctx.udp_send(rt.req_spec.port, rt.req_group.clone(), &rt.wire_buf[..]);
+        }
 
         let seq = self.next_session_seq;
         self.next_session_seq += 1;
@@ -1438,6 +1636,10 @@ impl BridgeEngine {
             } else {
                 Vec::new()
             },
+            parked: VecDeque::new(),
+            retries: 0,
+            retry_timer: None,
+            complete_on_flush: false,
         };
         // Outbound alias: the reply echoing this query's id finds the
         // session that sent it, exactly like the interpreted engine's
@@ -1452,6 +1654,13 @@ impl BridgeEngine {
             }
         }
         self.stats.record_session_started();
+        if let Some(leg) = parked_query {
+            let policy = self.config.store_forward.expect("leg parked only under the policy");
+            session.parked.push_back(leg);
+            self.stats.record_leg_parked();
+            session.retry_timer = Some(self.arm_retry(ctx, &key, policy.retry_interval));
+            ctx.trace(format!("bridge parked forward query for {key} (1 queued)"));
+        }
         let tag = self.next_timer_tag;
         self.next_timer_tag += 1;
         let id = ctx.set_timer(self.config.idle_timeout, tag);
@@ -1541,7 +1750,31 @@ impl BridgeEngine {
             self.stats.record_session_failed();
             return;
         }
-        ctx.udp_send(rt.resp_spec.port, session.reply_to.clone(), &rt.wire_buf[..]);
+        let mut parked_reply = false;
+        if let Some(policy) = self.config.store_forward {
+            if Self::egress_blocked(ctx, &policy, &session.reply_to) {
+                if session.parked.len() >= policy.queue_bound {
+                    // The reply cannot leave and cannot park: the
+                    // exchange is condemned rather than left to wedge.
+                    self.stats.record_queue_overflow();
+                    self.unlink_fused(ctx, &mut session);
+                    self.stats.record_session_failed();
+                    ctx.trace(format!("bridge queue overflow: reply leg for {key} refused"));
+                    return;
+                }
+                session.parked.push_back(ParkedLeg {
+                    port: rt.resp_spec.port,
+                    destination: session.reply_to.clone(),
+                    payload: rt.wire_buf.clone(),
+                });
+                self.stats.record_leg_parked();
+                session.complete_on_flush = true;
+                parked_reply = true;
+            }
+        }
+        if !parked_reply {
+            ctx.udp_send(rt.resp_spec.port, session.reply_to.clone(), &rt.wire_buf[..]);
+        }
         // Cache the legacy answer for future equivalent queries. The
         // parsed response (not the personalised reply) is stored; each
         // hit re-runs the backward steps with the fresh request.
@@ -1579,18 +1812,37 @@ impl BridgeEngine {
                 }
             }
         }
+        if parked_reply {
+            let policy = self.config.store_forward.expect("leg parked only under the policy");
+            if session.retry_timer.is_none() {
+                session.retry_timer = Some(self.arm_retry(ctx, &key, policy.retry_interval));
+            }
+            ctx.trace(format!("bridge parked reply for {key} until the link heals"));
+            rt.sessions.insert(key, session);
+            return;
+        }
         self.unlink_fused(ctx, &mut session);
         self.stats.record_session(session.started, ctx.now());
         ctx.trace(format!("bridge session complete in {}", ctx.now().since(session.started)));
     }
 
-    /// [`BridgeEngine::unlink`] for fused sessions: expiry timer and
-    /// alias bookkeeping (fused sessions own no connections).
+    /// [`BridgeEngine::unlink`] for fused sessions: expiry and replay
+    /// timers, alias bookkeeping, and abandonment of any still-parked
+    /// legs (fused sessions own no connections).
     fn unlink_fused(&mut self, ctx: &mut Context<'_>, session: &mut FusedSession) {
         if let Some((id, tag)) = session.timer.take() {
             if self.timer_sessions.remove(&tag).is_some() {
                 ctx.cancel_timer(id);
             }
+        }
+        if let Some((id, tag)) = session.retry_timer.take() {
+            if self.retry_sessions.remove(&tag).is_some() {
+                ctx.cancel_timer(id);
+            }
+        }
+        if !session.parked.is_empty() {
+            self.stats.record_legs_abandoned(session.parked.len() as u64);
+            session.parked.clear();
         }
         for alias in session.aliases.drain(..) {
             self.aliases.remove(&alias);
@@ -1620,6 +1872,55 @@ impl BridgeEngine {
             session.timer = Some((id, new_tag));
             rt.sessions.insert(key, session);
         }
+    }
+
+    /// One store-and-forward replay attempt for a fused session: flush
+    /// every leg whose link has healed, then complete, give up or
+    /// re-arm.
+    fn fused_retry(
+        &mut self,
+        ctx: &mut Context<'_>,
+        rt: &mut FusedRuntime,
+        policy: StoreForward,
+        key: SessionKey,
+    ) {
+        let Some(mut session) = rt.sessions.remove(&key) else { return };
+        session.retry_timer = None;
+        // A parked session is alive by definition: replay attempts
+        // count as activity so idle expiry defers to the give-up bound.
+        session.last_activity = ctx.now();
+        while let Some(leg) = session.parked.front() {
+            if Self::egress_blocked(ctx, &policy, &leg.destination) {
+                break;
+            }
+            let leg = session.parked.pop_front().expect("front checked");
+            ctx.udp_send(leg.port, leg.destination, leg.payload);
+            self.stats.record_leg_replayed();
+            ctx.trace(format!("bridge replayed parked leg for {key}"));
+        }
+        if session.parked.is_empty() {
+            session.retries = 0;
+            if session.complete_on_flush {
+                self.unlink_fused(ctx, &mut session);
+                self.stats.record_session(session.started, ctx.now());
+                ctx.trace(format!(
+                    "bridge session complete in {}",
+                    ctx.now().since(session.started)
+                ));
+            } else {
+                rt.sessions.insert(key, session);
+            }
+            return;
+        }
+        session.retries += 1;
+        if session.retries >= policy.max_retries {
+            ctx.trace(format!("bridge gave up on {} parked legs for {key}", session.parked.len()));
+            self.unlink_fused(ctx, &mut session);
+            self.stats.record_session_failed();
+            return;
+        }
+        session.retry_timer = Some(self.arm_retry(ctx, &key, policy.retry_interval));
+        rt.sessions.insert(key, session);
     }
 }
 
@@ -1791,6 +2092,10 @@ impl Actor for BridgeEngine {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        if self.retry_sessions.contains_key(&tag) {
+            self.on_retry_timer(ctx, tag);
+            return;
+        }
         if let Some(mut rt) = self.fused.take() {
             self.fused_timer(ctx, &mut rt, tag);
             self.fused = Some(rt);

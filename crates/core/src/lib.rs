@@ -48,7 +48,9 @@ mod stats;
 mod synthesis;
 
 pub use check::{check_correlator, check_deployment, check_model_source, XML_LINT_CODE};
-pub use engine::{BridgeEngine, EngineConfig, FieldCorrelator, SessionCorrelator, SessionKey};
+pub use engine::{
+    BridgeEngine, EngineConfig, FieldCorrelator, SessionCorrelator, SessionKey, StoreForward,
+};
 pub use error::{CoreError, Result};
 pub use framework::Starlink;
 pub use fused::FuseReject;
@@ -56,5 +58,6 @@ pub use gateway::{GatewayConfig, GatewayStats, ShardedGateway};
 pub use shard::{ShardHandle, ShardInput, ShardOutput, ShardedBridge};
 pub use stats::{
     AtomicConcurrency, BridgeStats, CacheStats, ConcurrencyStats, SessionRecord, ShardedStats,
+    StoreForwardStats,
 };
 pub use synthesis::{analyze_ontology, synthesize_bridge, Ontology};

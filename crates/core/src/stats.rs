@@ -140,6 +140,46 @@ impl CacheStats {
     }
 }
 
+/// Store-and-forward counters of a delay-tolerant bridge: what happened
+/// to egress legs that found their link partitioned, closed by the pass
+/// schedule, or saturated. All zero when store-and-forward is disabled
+/// ([`crate::EngineConfig::store_forward`] unset).
+///
+/// Accounting invariant: every parked leg is eventually either replayed
+/// (the link opened and the leg was retransmitted) or abandoned (its
+/// session gave up after the retry budget, or was torn down with legs
+/// still queued) — so `parked == replayed + abandoned` once no session
+/// is live, and `replayed + abandoned <= parked` at every instant.
+/// `overflow` counts legs *refused* at a full queue; they were never
+/// parked, so they sit outside the balance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreForwardStats {
+    /// Egress legs parked in a session queue instead of being sent.
+    pub parked: u64,
+    /// Parked legs retransmitted once their link opened.
+    pub replayed: u64,
+    /// Legs refused because the session's queue was at its bound.
+    pub overflow: u64,
+    /// Parked legs dropped when their session gave up or was torn down.
+    pub abandoned: u64,
+}
+
+impl StoreForwardStats {
+    /// The quiescent balance: with no live sessions, every parked leg
+    /// was replayed or abandoned.
+    pub fn is_settled(&self) -> bool {
+        self.parked == self.replayed + self.abandoned
+    }
+
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &StoreForwardStats) {
+        self.parked += other.parked;
+        self.replayed += other.replayed;
+        self.overflow += other.overflow;
+        self.abandoned += other.abandoned;
+    }
+}
+
 /// Lock-free session-lifecycle counters: the shard-local stats of a
 /// sharded bridge all mirror into one shared instance, so aggregate
 /// counters (and the true fleet-wide `peak_active`) never take a lock on
@@ -198,6 +238,8 @@ struct Inner {
     concurrency: ConcurrencyStats,
     /// Answer-cache counters (fused bridges only).
     cache: CacheStats,
+    /// Store-and-forward counters (delay-tolerant sessions only).
+    store_forward: StoreForwardStats,
 }
 
 /// Shared handle onto a bridge's statistics; clone freely — the engine
@@ -306,6 +348,33 @@ impl BridgeStats {
         self.lock().cache.expirations += 1;
     }
 
+    /// The store-and-forward counters.
+    pub fn store_forward(&self) -> StoreForwardStats {
+        self.lock().store_forward
+    }
+
+    /// Records an egress leg parked instead of sent (closed or
+    /// saturated link).
+    pub fn record_leg_parked(&self) {
+        self.lock().store_forward.parked += 1;
+    }
+
+    /// Records a parked leg retransmitted after its link opened.
+    pub fn record_leg_replayed(&self) {
+        self.lock().store_forward.replayed += 1;
+    }
+
+    /// Records a leg refused at a full session queue.
+    pub fn record_queue_overflow(&self) {
+        self.lock().store_forward.overflow += 1;
+    }
+
+    /// Records `count` parked legs dropped by a session that gave up or
+    /// was torn down with its queue non-empty.
+    pub fn record_legs_abandoned(&self, count: u64) {
+        self.lock().store_forward.abandoned += count;
+    }
+
     /// Records an engine-level error (message dropped).
     pub fn record_error(&self, description: impl Into<String>) {
         self.lock().errors.push(description.into());
@@ -368,6 +437,26 @@ impl BridgeStats {
             cache.expirations,
             cache.insertions
         );
+        // Store-and-forward: resolved legs never exceed parked legs; at
+        // quiescence (no active sessions) the balance is exact.
+        let sf = self.store_forward();
+        assert!(
+            sf.replayed + sf.abandoned <= sf.parked,
+            "{context}: {} replayed + {} abandoned legs exceed {} parked",
+            sf.replayed,
+            sf.abandoned,
+            sf.parked
+        );
+        if concurrency.active == 0 {
+            assert!(
+                sf.is_settled(),
+                "{context}: store-and-forward unsettled at quiescence: \
+                 parked {} != replayed {} + abandoned {}",
+                sf.parked,
+                sf.replayed,
+                sf.abandoned
+            );
+        }
     }
 
     /// Folds a snapshot of `other` into this handle: session records and
@@ -375,15 +464,22 @@ impl BridgeStats {
     /// [`ConcurrencyStats::merge`]. Used to aggregate per-shard stats
     /// into one fleet-wide report.
     pub fn merge_from(&self, other: &BridgeStats) {
-        let (sessions, errors, concurrency, cache) = {
+        let (sessions, errors, concurrency, cache, store_forward) = {
             let other = other.lock();
-            (other.sessions.clone(), other.errors.clone(), other.concurrency, other.cache)
+            (
+                other.sessions.clone(),
+                other.errors.clone(),
+                other.concurrency,
+                other.cache,
+                other.store_forward,
+            )
         };
         let mut inner = self.lock();
         inner.sessions.extend(sessions);
         inner.errors.extend(errors);
         inner.concurrency.merge(&concurrency);
         inner.cache.merge(&cache);
+        inner.store_forward.merge(&store_forward);
     }
 }
 
@@ -446,6 +542,15 @@ impl ShardedStats {
         let mut total = CacheStats::default();
         for shard in &self.shards {
             total.merge(&shard.cache());
+        }
+        total
+    }
+
+    /// Store-and-forward counters summed across all shards.
+    pub fn store_forward(&self) -> StoreForwardStats {
+        let mut total = StoreForwardStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.store_forward());
         }
         total
     }
@@ -567,6 +672,31 @@ mod tests {
         assert!(!drifted.is_balanced());
         let result = std::panic::catch_unwind(|| drifted.assert_balanced("drifted"));
         assert!(result.is_err(), "imbalance must panic");
+    }
+
+    #[test]
+    fn store_forward_balance_is_enforced_at_quiescence() {
+        let stats = BridgeStats::new();
+        stats.record_session_started();
+        stats.record_leg_parked();
+        stats.record_leg_parked();
+        stats.record_queue_overflow();
+        // Mid-run: one leg still parked is fine while the session lives.
+        stats.record_leg_replayed();
+        let sf = stats.store_forward();
+        assert_eq!((sf.parked, sf.replayed, sf.overflow, sf.abandoned), (2, 1, 1, 0));
+        assert!(!sf.is_settled());
+        stats.assert_consistent("active session may hold parked legs");
+        // Teardown abandons the remaining leg; the balance settles.
+        stats.record_legs_abandoned(1);
+        stats.record_session_expired();
+        assert!(stats.store_forward().is_settled());
+        stats.assert_consistent("settled");
+        // An unsettled quiescent handle is caught.
+        let broken = BridgeStats::new();
+        broken.record_leg_parked();
+        let result = std::panic::catch_unwind(|| broken.assert_consistent("unsettled"));
+        assert!(result.is_err(), "quiescent imbalance must panic");
     }
 
     #[test]

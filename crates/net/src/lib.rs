@@ -61,7 +61,7 @@ pub use realnet::{
     wait_deadline, BufferPool, GatewayLoop, LoopbackUdp, PumpStats, UdpBridge, MAX_DATAGRAM,
 };
 pub use sim::{
-    Actor, ConnId, Context, Datagram, DelayedActor, ExternalTcpEvent, Impairments, SimNet,
-    TcpEvent, TimerId, TraceEntry,
+    Actor, ConnId, Context, Datagram, DelayedActor, ExternalTcpEvent, Impairments, PassSchedule,
+    SimNet, TcpEvent, TimerId, TraceEntry,
 };
 pub use time::{SimDuration, SimTime};

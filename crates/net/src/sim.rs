@@ -130,6 +130,111 @@ impl Default for Impairments {
     }
 }
 
+/// A deterministic satellite-style connectivity schedule: time is cut
+/// into fixed windows and the schedule's slots take turns being *active*
+/// — a link is open only while every non-hub endpoint's slot is the
+/// active one. The optional hub host (the bridge in the chaos harness)
+/// is reachable in every window, so traffic between hosts in different
+/// slots must store-and-forward through it across passes.
+///
+/// The schedule is a pure function of the virtual clock (`active slot =
+/// (now / window) % slots`): it makes **zero** RNG draws, and the inert
+/// schedule ([`PassSchedule::always_open`], `window == ZERO` or a single
+/// slot) costs one branch per link traversal, replaying bit-identically
+/// to a simulation that never heard of passes. Closed-window traversals
+/// are dropped and traced as `pass closed`. TCP is deliberately *not*
+/// gated: as with [`Impairments`], TCP models a reliable transport
+/// riding established connectivity, while the pass schedule models the
+/// contended discovery uplink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassSchedule {
+    /// Length of one connectivity window; `ZERO` disables the schedule.
+    pub window: SimDuration,
+    /// Number of slots taking turns (`<= 1` disables the schedule).
+    pub slots: u32,
+    /// The always-reachable hub host, exempt from slot gating.
+    pub hub: Option<Arc<str>>,
+    /// Explicit slot assignment per host; unlisted hosts use
+    /// `default_slot`.
+    pub assignments: BTreeMap<Arc<str>, u32>,
+    /// The slot of every host without an explicit assignment.
+    pub default_slot: u32,
+}
+
+impl PassSchedule {
+    /// The inert schedule: every link is open in every window and the
+    /// gate costs one branch per traversal.
+    pub fn always_open() -> Self {
+        PassSchedule {
+            window: SimDuration::ZERO,
+            slots: 1,
+            hub: None,
+            assignments: BTreeMap::new(),
+            default_slot: 0,
+        }
+    }
+
+    /// Whether the schedule gates nothing (the fast-path check).
+    pub fn is_inert(&self) -> bool {
+        self.window == SimDuration::ZERO || self.slots <= 1
+    }
+
+    /// The active slot at `now`.
+    pub fn active_slot(&self, now: SimTime) -> u32 {
+        if self.is_inert() {
+            return 0;
+        }
+        ((now.as_micros() / self.window.as_micros()) % u64::from(self.slots)) as u32
+    }
+
+    /// The slot `host` lives in.
+    pub fn slot_of(&self, host: &str) -> u32 {
+        self.assignments.get(host).copied().unwrap_or(self.default_slot)
+    }
+
+    /// Whether the link between hosts `a` and `b` is open at `now`:
+    /// every non-hub endpoint's slot must be the active one.
+    pub fn open_at(&self, now: SimTime, a: &str, b: &str) -> bool {
+        if self.is_inert() {
+            return true;
+        }
+        let active = self.active_slot(now);
+        let hub = self.hub.as_deref();
+        for host in [a, b] {
+            if Some(host) != hub && self.slot_of(host) != active {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The start of the next window in which the `a`↔`b` link is open,
+    /// or `None` when the schedule can never open it (both endpoints
+    /// non-hub in different slots). Used by calibrated retransmission to
+    /// pace retries against the schedule instead of guessing.
+    pub fn next_open(&self, now: SimTime, a: &str, b: &str) -> Option<SimTime> {
+        if self.open_at(now, a, b) {
+            return Some(now);
+        }
+        // The earliest future window whose active slot matches both
+        // non-hub endpoints; one lap over the slots suffices.
+        let current = now.as_micros() / self.window.as_micros();
+        for lap in 1..=u64::from(self.slots) {
+            let at = SimTime::from_micros((current + lap) * self.window.as_micros());
+            if self.open_at(at, a, b) {
+                return Some(at);
+            }
+        }
+        None
+    }
+}
+
+impl Default for PassSchedule {
+    fn default() -> Self {
+        PassSchedule::always_open()
+    }
+}
+
 /// What chaos decided for one link traversal of one datagram.
 enum Fate {
     /// Untouched: one pristine copy on the modelled schedule (also the
@@ -287,11 +392,67 @@ struct Connection {
 enum EventKind {
     Start,
     Datagram(Datagram),
-    TcpAccepted { conn: u64, peer: SimAddr, local_port: u16 },
-    TcpConnected { conn: u64, peer: SimAddr },
-    TcpData { conn: u64, payload: Bytes },
-    TcpClosed { conn: u64 },
-    Timer { id: u64, tag: u64 },
+    TcpAccepted {
+        conn: u64,
+        peer: SimAddr,
+        local_port: u16,
+    },
+    TcpConnected {
+        conn: u64,
+        peer: SimAddr,
+    },
+    TcpData {
+        conn: u64,
+        payload: Bytes,
+    },
+    TcpClosed {
+        conn: u64,
+    },
+    Timer {
+        id: u64,
+        tag: u64,
+    },
+    /// The earliest in-flight transfer on `link` finishes transmitting.
+    /// Stale ticks (the link's generation moved past `gen` because a
+    /// transfer joined or the link drained) are skipped without
+    /// advancing the clock, exactly like cancelled timers.
+    LinkTick {
+        link: (Arc<str>, Arc<str>),
+        gen: u64,
+    },
+}
+
+/// One datagram copy in transmission through a bandwidth-shared link.
+#[derive(Debug)]
+struct Transfer {
+    /// Unsent payload in *micro-bytes* (bytes × 1 000 000): at a link
+    /// capacity of C bytes/second a transfer drains C micro-bytes per
+    /// virtual microsecond of its fair share, keeping the fluid model in
+    /// exact integer arithmetic.
+    remaining: u64,
+    /// The physical receiving host (the group member for multicast).
+    to_host: Arc<str>,
+    datagram: Datagram,
+    /// Latency (plus chaos deferral) appended after the last byte
+    /// leaves the link.
+    tail: SimDuration,
+    /// Egress transfers are pushed to the egress queue on completion
+    /// instead of being scheduled as in-simulation deliveries.
+    egress: bool,
+}
+
+/// The fair-share fluid state of one host-pair link: all in-flight
+/// transfers split the link capacity equally, re-settled on every
+/// transfer start and finish (the dslab `SharedBandwidthNetwork`
+/// recipe).
+#[derive(Debug)]
+struct LinkState {
+    /// When `transfers[*].remaining` was last settled.
+    updated: SimTime,
+    /// Bumped on every membership change; ticks carry the generation
+    /// they were scheduled under so stale ones self-cancel.
+    gen: u64,
+    transfers: Vec<Transfer>,
 }
 
 #[derive(Debug)]
@@ -389,6 +550,15 @@ struct World {
     /// explicitly healed). Spontaneous (profile-driven) and explicit
     /// ([`SimNet::partition`]) entries share this table.
     partitions: BTreeMap<(Arc<str>, Arc<str>), Option<SimTime>>,
+    /// Shared per-link capacity in bytes per second; `0` (the default)
+    /// disables the bandwidth model entirely — delivery times come from
+    /// the latency model alone, exactly as before the model existed.
+    link_bandwidth: u64,
+    /// Fair-share transmission state per ordered host pair; only links
+    /// with in-flight transfers have an entry.
+    links: BTreeMap<(Arc<str>, Arc<str>), LinkState>,
+    /// The connectivity pass schedule (default: inert).
+    pass: PassSchedule,
 }
 
 impl World {
@@ -490,6 +660,11 @@ impl World {
         dest_host: &Arc<str>,
         deferrable: bool,
     ) -> Fate {
+        if !self.pass.is_inert() && !self.pass.open_at(self.now, &from.host, dest_host) {
+            let target = World::link_target(to, dest_host);
+            self.trace(format!("pass closed {from} -> {target}"));
+            return Fate::Dropped;
+        }
         if self.impairments.is_inert() {
             if self.partitions.is_empty() {
                 return Fate::Pristine;
@@ -592,21 +767,22 @@ impl World {
     /// Schedules one impaired in-simulation delivery onto `to_host` (the
     /// physical receiver — the group member for multicast fan-out): the
     /// base modelled latency is sampled per copy (as an unimpaired send
-    /// would), plus the copy's chaos deferral.
+    /// would), plus the copy's chaos deferral. The copy then rides the
+    /// link layer: without a bandwidth model it is scheduled directly
+    /// after its latency, otherwise it transmits through the fair-shared
+    /// link first.
     fn deliver_datagram(&mut self, to_host: Arc<str>, datagram: Datagram) {
         match self.impair(&datagram.from, &datagram.to, &to_host, true) {
             Fate::Pristine => {
                 let latency = self.latency();
-                let at = self.now + latency;
-                self.schedule(at, to_host, EventKind::Datagram(datagram));
+                self.transmit(to_host, datagram, latency, false);
             }
             Fate::Dropped => {}
             Fate::Copies(plan) => {
                 for (extra, corrupt) in plan {
                     let copy = self.chaos_copy(&datagram, corrupt);
                     let latency = self.latency();
-                    let at = self.now + latency + extra;
-                    self.schedule(at, to_host.clone(), EventKind::Datagram(copy));
+                    self.transmit(to_host.clone(), copy, latency + extra, false);
                 }
             }
         }
@@ -614,19 +790,160 @@ impl World {
 
     /// Queues one impaired egress traversal (loss/partition/duplication/
     /// corruption only — deferral has no meaning once bytes leave the
-    /// virtual network).
+    /// virtual network). Under the bandwidth model the bytes still pay
+    /// their transmission time through the shared link before appearing
+    /// in the egress queue.
     fn queue_egress(&mut self, datagram: Datagram) {
         let dest_host = datagram.to.host.clone();
         match self.impair(&datagram.from, &datagram.to, &dest_host, false) {
-            Fate::Pristine => self.egress.push(datagram),
+            Fate::Pristine => self.transmit(dest_host, datagram, SimDuration::ZERO, true),
             Fate::Dropped => {}
             Fate::Copies(plan) => {
                 for (_, corrupt) in plan {
                     let copy = self.chaos_copy(&datagram, corrupt);
-                    self.egress.push(copy);
+                    self.transmit(dest_host.clone(), copy, SimDuration::ZERO, true);
                 }
             }
         }
+    }
+
+    /// Hands one datagram copy to the link layer. With the bandwidth
+    /// model off (`link_bandwidth == 0`, the default) this is exactly
+    /// the pre-model behaviour — schedule after `tail`, or push egress
+    /// immediately — at the cost of one branch. With a capacity set, the
+    /// copy joins the fair-share fluid on its host-pair link, every
+    /// in-flight transfer is re-settled, and `tail` is appended once the
+    /// last byte leaves the link.
+    fn transmit(&mut self, to_host: Arc<str>, datagram: Datagram, tail: SimDuration, egress: bool) {
+        if self.link_bandwidth == 0 {
+            if egress {
+                self.egress.push(datagram);
+            } else {
+                let at = self.now + tail;
+                self.schedule(at, to_host, EventKind::Datagram(datagram));
+            }
+            return;
+        }
+        let key = World::pair_key(&datagram.from.host, &to_host);
+        let bandwidth = self.link_bandwidth;
+        let now = self.now;
+        let line = format!(
+            "bw start {} -> {} ({} bytes)",
+            datagram.from,
+            World::link_target(&datagram.to, &to_host),
+            datagram.payload.len()
+        );
+        // Empty payloads still cost one micro-byte so every transfer
+        // passes through the tick machinery uniformly.
+        let remaining = (datagram.payload.len() as u64).saturating_mul(1_000_000).max(1);
+        let state = self.links.entry(key.clone()).or_insert_with(|| LinkState {
+            updated: now,
+            gen: 0,
+            transfers: Vec::new(),
+        });
+        World::settle_link(state, now, bandwidth);
+        state.transfers.push(Transfer { remaining, to_host, datagram, tail, egress });
+        state.gen += 1;
+        let gen = state.gen;
+        let delta = World::next_tick_delta(state, bandwidth);
+        self.trace(line);
+        self.schedule(now + delta, key.0.clone(), EventKind::LinkTick { link: key, gen });
+    }
+
+    /// Settles the fluid model up to `now`: every in-flight transfer
+    /// drains `capacity × Δt / n` micro-bytes of its fair share.
+    fn settle_link(state: &mut LinkState, now: SimTime, bandwidth: u64) {
+        let dt = now.since(state.updated).as_micros();
+        state.updated = now;
+        if dt == 0 || state.transfers.is_empty() {
+            return;
+        }
+        let share = (u128::from(bandwidth) * u128::from(dt) / state.transfers.len() as u128) as u64;
+        for transfer in &mut state.transfers {
+            transfer.remaining = transfer.remaining.saturating_sub(share);
+        }
+    }
+
+    /// Microseconds until the smallest in-flight transfer finishes at
+    /// the current share — `ceil(min_remaining × n / capacity)`, so the
+    /// settled progress at the tick is at least `min_remaining` and
+    /// every tick completes at least one transfer (termination).
+    fn next_tick_delta(state: &LinkState, bandwidth: u64) -> SimDuration {
+        let min_remaining = state.transfers.iter().map(|t| t.remaining).min().unwrap_or(0);
+        let n = state.transfers.len().max(1) as u128;
+        let delta = (u128::from(min_remaining) * n).div_ceil(u128::from(bandwidth)).max(1);
+        SimDuration::from_micros(delta as u64)
+    }
+
+    /// Whether a scheduled tick is still current for its link.
+    fn link_tick_live(&self, link: &(Arc<str>, Arc<str>), gen: u64) -> bool {
+        self.links.get(link).is_some_and(|state| state.gen == gen)
+    }
+
+    /// A live tick fired: settle the link, hand every finished transfer
+    /// onward (in-sim deliveries pay their latency tail; egress copies
+    /// surface in the egress queue), and reschedule for the remainder.
+    fn on_link_tick(&mut self, key: (Arc<str>, Arc<str>)) {
+        let bandwidth = self.link_bandwidth;
+        let now = self.now;
+        let (done, reschedule) = {
+            let Some(state) = self.links.get_mut(&key) else { return };
+            World::settle_link(state, now, bandwidth);
+            let (done, rest): (Vec<Transfer>, Vec<Transfer>) =
+                state.transfers.drain(..).partition(|t| t.remaining == 0);
+            state.transfers = rest;
+            if state.transfers.is_empty() {
+                (done, None)
+            } else {
+                state.gen += 1;
+                (done, Some((state.gen, World::next_tick_delta(state, bandwidth))))
+            }
+        };
+        match reschedule {
+            None => {
+                self.links.remove(&key);
+            }
+            Some((gen, delta)) => {
+                self.schedule(now + delta, key.0.clone(), EventKind::LinkTick { link: key, gen });
+            }
+        }
+        for transfer in done {
+            self.trace(format!(
+                "bw done {} -> {}",
+                transfer.datagram.from,
+                World::link_target(&transfer.datagram.to, &transfer.to_host)
+            ));
+            if transfer.egress {
+                self.egress.push(transfer.datagram);
+            } else {
+                let at = now + transfer.tail;
+                self.schedule(at, transfer.to_host, EventKind::Datagram(transfer.datagram));
+            }
+        }
+    }
+
+    /// Bytes still in flight on the `a`↔`b` link (0 without the
+    /// bandwidth model) — the saturation signal store-and-forward
+    /// sessions consult before committing an egress leg.
+    fn link_backlog_bytes(&self, a: &Arc<str>, b: &Arc<str>) -> u64 {
+        if self.link_bandwidth == 0 {
+            return 0;
+        }
+        let key = World::pair_key(a, b);
+        self.links
+            .get(&key)
+            .map(|state| state.transfers.iter().map(|t| t.remaining.div_ceil(1_000_000)).sum())
+            .unwrap_or(0)
+    }
+
+    /// Whether the `a`↔`b` link is currently usable: no active
+    /// partition and (when a pass schedule is installed) an open
+    /// connectivity window.
+    fn link_usable(&mut self, a: &Arc<str>, b: &Arc<str>) -> bool {
+        if self.partition_active(a, b) {
+            return false;
+        }
+        self.pass.is_inert() || self.pass.open_at(self.now, a, b)
     }
 }
 
@@ -876,6 +1193,56 @@ impl Context<'_> {
         self.world.rng.gen_range(lo..=hi.max(lo))
     }
 
+    /// Whether the link(s) from this host towards `to` are currently
+    /// usable: no active partition and — when a [`PassSchedule`] is
+    /// installed — an open connectivity window. Multicast destinations
+    /// check every in-simulation group member; external endpoints are
+    /// gated exactly like in-simulation hosts (the egress queue passes
+    /// through the same impairment pipeline, so what this predicate
+    /// promises is what the pipeline will do). This is the signal a
+    /// store-and-forward session consults before committing an egress
+    /// leg.
+    pub fn link_open(&mut self, to: &SimAddr) -> bool {
+        if to.is_multicast() {
+            let members: Vec<Arc<str>> = self
+                .world
+                .groups
+                .get(to)
+                .map(|m| m.iter().filter(|h| h.as_ref() != self.host.as_ref()).cloned().collect())
+                .unwrap_or_default();
+            members.iter().all(|member| {
+                let host = self.host.clone();
+                self.world.link_usable(&host, member)
+            })
+        } else {
+            let host = self.host.clone();
+            self.world.link_usable(&host, &to.host)
+        }
+    }
+
+    /// Bytes still in transmission on the shared link(s) between this
+    /// host and `to` (the worst member for multicast; always 0 without
+    /// the bandwidth model) — the saturation signal complementing
+    /// [`Context::link_open`].
+    pub fn link_backlog(&self, to: &SimAddr) -> u64 {
+        if to.is_multicast() {
+            self.world
+                .groups
+                .get(to)
+                .map(|members| {
+                    members
+                        .iter()
+                        .filter(|h| h.as_ref() != self.host.as_ref())
+                        .map(|member| self.world.link_backlog_bytes(self.host, member))
+                        .max()
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0)
+        } else {
+            self.world.link_backlog_bytes(self.host, &to.host)
+        }
+    }
+
     /// Appends a line to the simulation trace.
     pub fn trace(&mut self, description: impl Into<String>) {
         self.world.trace(description.into());
@@ -956,6 +1323,9 @@ impl SimNet {
                 // samples (and vice versa).
                 chaos_rng: StdRng::seed_from_u64(seed ^ 0xC4A0_5EED_0000_0001),
                 partitions: BTreeMap::new(),
+                link_bandwidth: 0,
+                links: BTreeMap::new(),
+                pass: PassSchedule::always_open(),
             },
             actors: BTreeMap::new(),
         }
@@ -973,6 +1343,37 @@ impl SimNet {
     /// The active impairment profile.
     pub fn impairments(&self) -> &Impairments {
         &self.world.impairments
+    }
+
+    /// Sets the shared per-link capacity in bytes per second. `0` — the
+    /// default — disables the bandwidth model: delivery times come from
+    /// the latency model alone and a run replays bit-identically to one
+    /// that never heard of bandwidth. Any other value routes every
+    /// datagram copy through a fair-share fluid on its host-pair link:
+    /// all concurrent transfers split the capacity equally, re-settled
+    /// on every transfer start and finish, and the sampled latency is
+    /// appended after transmission (so the model *composes with* rather
+    /// than replaces the latency draws and [`Impairments`]).
+    pub fn set_link_bandwidth(&mut self, bytes_per_sec: u64) {
+        self.world.link_bandwidth = bytes_per_sec;
+    }
+
+    /// The shared per-link capacity in bytes per second (`0` =
+    /// unlimited).
+    pub fn link_bandwidth(&self) -> u64 {
+        self.world.link_bandwidth
+    }
+
+    /// Installs a connectivity [`PassSchedule`] (default:
+    /// [`PassSchedule::always_open`], which gates nothing and keeps the
+    /// replay bit-identical).
+    pub fn set_pass_schedule(&mut self, pass: PassSchedule) {
+        self.world.pass = pass;
+    }
+
+    /// The active pass schedule.
+    pub fn pass_schedule(&self) -> &PassSchedule {
+        &self.world.pass
     }
 
     /// Partitions hosts `a` and `b` from each other until
@@ -1041,15 +1442,13 @@ impl SimNet {
         let host = datagram.to.host.clone();
         match self.world.impair(&datagram.from, &datagram.to, &host, true) {
             Fate::Pristine => {
-                let now = self.world.now;
-                self.world.schedule(now, host, EventKind::Datagram(datagram));
+                self.world.transmit(host, datagram, SimDuration::ZERO, false);
             }
             Fate::Dropped => {}
             Fate::Copies(plan) => {
                 for (extra, corrupt) in plan {
                     let copy = self.world.chaos_copy(&datagram, corrupt);
-                    let at = self.world.now + extra;
-                    self.world.schedule(at, host.clone(), EventKind::Datagram(copy));
+                    self.world.transmit(host.clone(), copy, extra, false);
                 }
             }
         }
@@ -1221,6 +1620,9 @@ impl SimNet {
                     actor.on_tcp(&mut ctx, TcpEvent::Closed { conn: ConnId(conn) })
                 }
                 EventKind::Timer { tag, .. } => actor.on_timer(&mut ctx, tag),
+                // Link ticks are consumed by the event loop before
+                // dispatch ever sees them.
+                EventKind::LinkTick { .. } => unreachable!("link ticks never reach dispatch"),
             }
         }
         if let Some(slot) = self.actors.get_mut(&event.host) {
@@ -1242,6 +1644,23 @@ impl SimNet {
         false
     }
 
+    /// Link ticks are simulator-internal: a live one advances the clock
+    /// and settles its link; a stale one (the link's generation moved
+    /// on) is skipped without advancing the clock, exactly like a
+    /// cancelled timer. Returns whether the event was consumed here.
+    fn consume_link_tick(&mut self, event: &Event) -> Option<bool> {
+        let EventKind::LinkTick { link, gen } = &event.kind else {
+            return None;
+        };
+        if !self.world.link_tick_live(link, *gen) {
+            return Some(false);
+        }
+        let link = link.clone();
+        self.world.now = event.at;
+        self.world.on_link_tick(link);
+        Some(true)
+    }
+
     /// Processes the next event; returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
         loop {
@@ -1250,6 +1669,11 @@ impl SimNet {
             };
             if self.consume_if_cancelled(&event) {
                 continue;
+            }
+            match self.consume_link_tick(&event) {
+                Some(true) => return true,
+                Some(false) => continue,
+                None => {}
             }
             self.world.now = event.at;
             self.dispatch(event);
@@ -1271,6 +1695,9 @@ impl SimNet {
                 Some(Reverse(event)) if event.at <= deadline => {
                     let Reverse(event) = self.world.events.pop().expect("peeked");
                     if self.consume_if_cancelled(&event) {
+                        continue;
+                    }
+                    if self.consume_link_tick(&event).is_some() {
                         continue;
                     }
                     self.world.now = event.at;
@@ -1913,6 +2340,300 @@ mod tests {
         assert_eq!(trace_a, trace_b, "byte-identical traces");
         assert_eq!(count_a, count_b);
         assert!(trace_a.contains("chaos"), "the profile actually fired: {trace_a}");
+    }
+
+    /// Records the arrival time of every datagram it receives.
+    struct TimedSink {
+        port: u16,
+        arrivals: Arc<std::sync::Mutex<Vec<SimTime>>>,
+    }
+
+    impl Actor for TimedSink {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.bind_udp(self.port).unwrap();
+        }
+        fn on_datagram(&mut self, ctx: &mut Context<'_>, _datagram: Datagram) {
+            self.arrivals.lock().unwrap().push(ctx.now());
+        }
+    }
+
+    /// Sends `payloads` back-to-back at start.
+    struct Burst {
+        to: SimAddr,
+        payloads: Vec<Vec<u8>>,
+    }
+
+    impl Actor for Burst {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.bind_udp(5000).unwrap();
+            for payload in self.payloads.drain(..) {
+                ctx.udp_send(5000, self.to.clone(), payload);
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_serialises_contended_transfers_fairly() {
+        // 1 MB/s = 1 byte/µs. A lone 500-byte datagram transmits in
+        // 500µs; two sent back-to-back share the link and both finish at
+        // 1000µs (fair share, recomputed on every start/finish).
+        fn run(payloads: usize) -> Vec<SimTime> {
+            let arrivals = Arc::new(std::sync::Mutex::new(Vec::new()));
+            let mut sim = SimNet::new(41);
+            sim.set_latency(LatencyModel::Fixed(SimDuration::ZERO));
+            sim.set_link_bandwidth(1_000_000);
+            sim.add_actor("10.0.0.2", TimedSink { port: 80, arrivals: arrivals.clone() });
+            sim.add_actor(
+                "10.0.0.1",
+                Burst {
+                    to: SimAddr::new("10.0.0.2", 80),
+                    payloads: vec![vec![0u8; 500]; payloads],
+                },
+            );
+            sim.run_until_idle();
+            let out = arrivals.lock().unwrap().clone();
+            out
+        }
+        assert_eq!(run(1), vec![SimTime::from_micros(500)]);
+        assert_eq!(run(2), vec![SimTime::from_micros(1_000); 2]);
+        assert_eq!(run(4), vec![SimTime::from_micros(2_000); 4]);
+    }
+
+    #[test]
+    fn bandwidth_composes_with_latency_draws() {
+        // Transmission time and the sampled latency add up; the latency
+        // stream is drawn at send time, so the draw order matches an
+        // unmodelled run.
+        let arrivals = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut sim = SimNet::new(42);
+        sim.set_latency(LatencyModel::Fixed(SimDuration::from_micros(300)));
+        sim.set_link_bandwidth(1_000_000);
+        sim.add_actor("10.0.0.2", TimedSink { port: 80, arrivals: arrivals.clone() });
+        sim.add_actor(
+            "10.0.0.1",
+            Burst { to: SimAddr::new("10.0.0.2", 80), payloads: vec![vec![0u8; 500]] },
+        );
+        sim.run_until_idle();
+        assert_eq!(*arrivals.lock().unwrap(), vec![SimTime::from_micros(800)]);
+        assert!(sim.trace_text().contains("bw start"), "trace: {}", sim.trace_text());
+        assert!(sim.trace_text().contains("bw done"));
+    }
+
+    #[test]
+    fn late_joiner_slows_the_first_transfer_down() {
+        // Fair share is *recomputed* when a transfer joins mid-flight: a
+        // 1000-byte transfer alone would finish at 1000µs, but a second
+        // one starting at 500µs halves its share — the first finishes at
+        // 1500µs, the late joiner (500 bytes head start behind) at
+        // 2000µs... the exact fluid-model schedule.
+        struct Staggered {
+            to: SimAddr,
+        }
+        impl Actor for Staggered {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.bind_udp(5000).unwrap();
+                ctx.udp_send(5000, self.to.clone(), vec![0u8; 1000]);
+                ctx.set_timer(SimDuration::from_micros(500), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+                ctx.udp_send(5000, self.to.clone(), vec![0u8; 1000]);
+            }
+        }
+        let arrivals = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut sim = SimNet::new(43);
+        sim.set_latency(LatencyModel::Fixed(SimDuration::ZERO));
+        sim.set_link_bandwidth(1_000_000);
+        sim.add_actor("10.0.0.2", TimedSink { port: 80, arrivals: arrivals.clone() });
+        sim.add_actor("10.0.0.1", Staggered { to: SimAddr::new("10.0.0.2", 80) });
+        sim.run_until_idle();
+        assert_eq!(
+            *arrivals.lock().unwrap(),
+            vec![SimTime::from_micros(1_500), SimTime::from_micros(2_000)]
+        );
+    }
+
+    #[test]
+    fn bandwidth_delays_egress_until_transmitted() {
+        let mut sim = SimNet::new(44);
+        sim.set_latency(LatencyModel::Fixed(SimDuration::ZERO));
+        sim.set_link_bandwidth(1_000); // 1000 B/s: 5 bytes take 5ms
+        sim.register_external_host("127.0.0.1");
+        sim.add_actor("10.0.0.1", OneShot { to: SimAddr::new("127.0.0.1", 9000) });
+        sim.run_until(SimTime::from_millis(2));
+        assert!(sim.drain_egress().is_empty(), "still transmitting");
+        sim.run_until_idle();
+        assert_eq!(sim.drain_egress().len(), 1, "egress surfaced after transmission");
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn inert_bandwidth_and_pass_schedule_change_nothing() {
+        // Explicitly installing the disabled bandwidth model and the
+        // inert pass schedule replays bit-identically to a run that
+        // never heard of either (zero extra RNG draws, identical trace).
+        fn run(configure: bool) -> (SimTime, String) {
+            let received = Arc::new(AtomicUsize::new(0));
+            let mut sim = SimNet::new(45);
+            if configure {
+                sim.set_link_bandwidth(0);
+                sim.set_pass_schedule(PassSchedule::always_open());
+            }
+            sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received });
+            sim.add_actor("10.0.0.1", OneShot { to: SimAddr::new("10.0.0.2", 80) });
+            sim.run_until_idle();
+            (sim.now(), sim.trace_text())
+        }
+        assert_eq!(run(false), run(true));
+    }
+
+    /// A two-slot schedule with 10ms windows and a hub: slot 0 hosts use
+    /// even windows, slot 1 hosts odd ones; the hub is always reachable.
+    fn two_slot_schedule(hub: &str, slot1_host: &str) -> PassSchedule {
+        PassSchedule {
+            window: SimDuration::from_millis(10),
+            slots: 2,
+            hub: Some(Arc::from(hub)),
+            assignments: BTreeMap::from([(Arc::from(slot1_host), 1u32)]),
+            default_slot: 0,
+        }
+    }
+
+    #[test]
+    fn pass_schedule_gates_links_by_window() {
+        let schedule = two_slot_schedule("10.0.0.2", "10.0.0.3");
+        // Slot arithmetic: window 0 → slot 0, window 1 → slot 1.
+        assert_eq!(schedule.active_slot(SimTime::from_millis(3)), 0);
+        assert_eq!(schedule.active_slot(SimTime::from_millis(13)), 1);
+        // Hub links follow the non-hub endpoint's slot.
+        assert!(schedule.open_at(SimTime::from_millis(3), "10.0.1.1", "10.0.0.2"));
+        assert!(!schedule.open_at(SimTime::from_millis(13), "10.0.1.1", "10.0.0.2"));
+        assert!(!schedule.open_at(SimTime::from_millis(3), "10.0.0.3", "10.0.0.2"));
+        assert!(schedule.open_at(SimTime::from_millis(13), "10.0.0.3", "10.0.0.2"));
+        // Two non-hub hosts in different slots can never talk directly.
+        assert!(!schedule.open_at(SimTime::from_millis(3), "10.0.1.1", "10.0.0.3"));
+        assert!(!schedule.open_at(SimTime::from_millis(13), "10.0.1.1", "10.0.0.3"));
+        assert_eq!(schedule.next_open(SimTime::from_millis(3), "10.0.1.1", "10.0.0.3"), None);
+        // next_open lands on the next matching window boundary.
+        assert_eq!(
+            schedule.next_open(SimTime::from_millis(3), "10.0.0.3", "10.0.0.2"),
+            Some(SimTime::from_millis(10))
+        );
+        assert_eq!(
+            schedule.next_open(SimTime::from_millis(13), "10.0.1.1", "10.0.0.2"),
+            Some(SimTime::from_millis(20))
+        );
+    }
+
+    #[test]
+    fn pass_closed_window_drops_datagrams_and_traces() {
+        struct Resender {
+            to: SimAddr,
+        }
+        impl Actor for Resender {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.bind_udp(5000).unwrap();
+                // Window 0: the slot-1 host's uplink to the hub is
+                // closed. Window 1 (11ms): open.
+                ctx.udp_send(5000, self.to.clone(), &b"early"[..]);
+                ctx.set_timer(SimDuration::from_millis(11), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+                ctx.udp_send(5000, self.to.clone(), &b"late"[..]);
+            }
+        }
+        let received = Arc::new(AtomicUsize::new(0));
+        let mut sim = SimNet::new(46);
+        sim.set_pass_schedule(two_slot_schedule("10.0.0.2", "10.0.0.3"));
+        sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received: received.clone() });
+        sim.add_actor("10.0.0.3", Resender { to: SimAddr::new("10.0.0.2", 80) });
+        sim.run_until_idle();
+        assert_eq!(received.load(Ordering::SeqCst), 1, "only the in-window datagram lands");
+        assert!(sim.trace_text().contains("pass closed"), "trace: {}", sim.trace_text());
+    }
+
+    #[test]
+    fn link_open_and_backlog_report_link_state() {
+        struct Reporter {
+            open_early: Arc<AtomicUsize>,
+        }
+        impl Actor for Reporter {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.bind_udp(5000).unwrap();
+                let hub = SimAddr::new("10.0.0.2", 80);
+                self.open_early.store(usize::from(ctx.link_open(&hub)), Ordering::SeqCst);
+                // Saturate the uplink, then observe the backlog.
+                ctx.udp_send(5000, hub.clone(), vec![0u8; 4_000]);
+                assert!(ctx.link_backlog(&hub) >= 3_000, "backlog visible");
+            }
+        }
+        let open_early = Arc::new(AtomicUsize::new(7));
+        let received = Arc::new(AtomicUsize::new(0));
+        let mut sim = SimNet::new(47);
+        sim.set_latency(LatencyModel::Fixed(SimDuration::ZERO));
+        sim.set_link_bandwidth(1_000_000);
+        sim.set_pass_schedule(two_slot_schedule("10.0.0.2", "10.0.0.3"));
+        sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received: received.clone() });
+        sim.add_actor("10.0.1.1", Reporter { open_early: open_early.clone() });
+        sim.run_until_idle();
+        assert_eq!(open_early.load(Ordering::SeqCst), 1, "slot-0 uplink open in window 0");
+        assert_eq!(received.load(Ordering::SeqCst), 1);
+
+        // The slot-1 host sees its hub uplink closed during window 0.
+        struct ClosedCheck;
+        impl Actor for ClosedCheck {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                assert!(!ctx.link_open(&SimAddr::new("10.0.0.2", 80)));
+                assert_eq!(ctx.link_backlog(&SimAddr::new("10.0.0.2", 80)), 0);
+            }
+        }
+        let mut sim = SimNet::new(48);
+        sim.set_pass_schedule(two_slot_schedule("10.0.0.2", "10.0.0.3"));
+        sim.add_actor("10.0.0.3", ClosedCheck);
+        sim.run_until_idle();
+    }
+
+    #[test]
+    fn partition_closes_link_open() {
+        struct Check;
+        impl Actor for Check {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                assert!(!ctx.link_open(&SimAddr::new("10.0.0.2", 80)), "partitioned");
+                assert!(ctx.link_open(&SimAddr::new("10.0.0.9", 80)), "other links fine");
+            }
+        }
+        let mut sim = SimNet::new(49);
+        sim.partition("10.0.0.1", "10.0.0.2");
+        sim.add_actor("10.0.0.1", Check);
+        sim.run_until_idle();
+    }
+
+    #[test]
+    fn bandwidth_and_pass_replay_byte_identically() {
+        fn run() -> (String, SimTime) {
+            let received = Arc::new(AtomicUsize::new(0));
+            let mut sim = SimNet::new(50);
+            sim.set_link_bandwidth(100_000);
+            sim.set_pass_schedule(two_slot_schedule("10.0.0.2", "10.0.0.3"));
+            sim.set_impairments(Impairments {
+                drop_permille: 200,
+                duplicate_permille: 200,
+                jitter: SimDuration::from_micros(400),
+                ..Impairments::none()
+            });
+            sim.add_actor("10.0.0.2", Sink { port: 80, group: None, received: received.clone() });
+            for i in 0..4 {
+                sim.add_actor(format!("10.0.1.{i}"), OneShot { to: SimAddr::new("10.0.0.2", 80) });
+            }
+            sim.add_actor("10.0.0.3", OneShot { to: SimAddr::new("10.0.0.2", 80) });
+            sim.run_until_idle();
+            (sim.trace_text(), sim.now())
+        }
+        let (trace_a, end_a) = run();
+        let (trace_b, end_b) = run();
+        assert_eq!(trace_a, trace_b);
+        assert_eq!(end_a, end_b);
+        assert!(trace_a.contains("bw start"), "bandwidth fired: {trace_a}");
+        assert!(trace_a.contains("pass closed"), "pass gate fired: {trace_a}");
     }
 
     #[test]

@@ -1,11 +1,12 @@
-//! The chaos conformance matrix: all twelve bridge cases × the four
-//! named impairment profiles × {1, 4} engine shards, each cell driving ≥50
+//! The chaos conformance matrix: all twelve bridge cases × the six
+//! named profiles × {1, 4} engine shards, each cell driving ≥50
 //! interleaved wire-level clients through shard simulations whose links
-//! drop, duplicate, reorder, jitter, corrupt and partition — and the
-//! **liveness contract** must hold in every cell: the engine never
+//! drop, duplicate, reorder, jitter, corrupt, partition, share
+//! bandwidth or open only in satellite-style connectivity windows — and
+//! the **liveness contract** must hold in every cell: the engine never
 //! wedges, never cross-delivers a reply, and every session ends counted
 //! in exactly one of completed/failed/expired with the stats invariant
-//! intact on every shard.
+//! (store-and-forward counters included) intact on every shard.
 //!
 //! Everything here is a deterministic function of `(seed, profile)`.
 //! A failing cell prints a one-command reproduction line; run it via the
@@ -19,8 +20,12 @@
 //! Scaling knobs (CI's main test job runs a short-mode slice through
 //! these; a dedicated parallel job runs the full matrix): `CHAOS_CLIENTS`
 //! (default 50), `CHAOS_SHARDS` (comma list, default `1,4`),
-//! `CHAOS_PROFILES` (comma list of profile names, default all four).
-//! Typos in any of them fail loudly instead of shrinking the matrix.
+//! `CHAOS_PROFILES` (comma list of profile names, default all six).
+//! `repro_cell` additionally takes per-knob overrides on top of the
+//! named profile (`CHAOS_BANDWIDTH` in bytes/sec, `CHAOS_PASS_WINDOW_MS`
+//! with `CHAOS_PASS_SLOTS`, `CHAOS_QUEUE_BOUND`, `CHAOS_CLIENT_RETRY_MS`)
+//! for bisecting a failure down to one knob. Typos in any of them fail
+//! loudly instead of shrinking the matrix.
 
 use starlink::net::{Impairments, SimDuration};
 use starlink::protocols::{bridges::BridgeCase, Calibration};
@@ -35,6 +40,15 @@ fn env_usize(name: &str, default: usize) -> usize {
         Ok(v) => v.trim().parse().unwrap_or_else(|_| panic!("{name} entry {v:?} is not a number")),
         Err(_) => default,
     }
+}
+
+/// An optional `u64` knob for `repro_cell` overrides: unset means
+/// `None`, set-but-garbled panics loudly — a typo must never silently
+/// reproduce a different cell.
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.trim().parse().unwrap_or_else(|_| panic!("{name} entry {v:?} is not a number")))
 }
 
 fn matrix_clients() -> usize {
@@ -131,6 +145,48 @@ fn chaos_matrix_corrupt_partition_heal_profile() {
 }
 
 #[test]
+fn chaos_matrix_pass_schedule_profile() {
+    // The N-pass delivery proof: under satellite-style connectivity
+    // windows no single window fits a whole session (clients reach the
+    // bridge in even windows, the legacy service in odd ones), yet the
+    // liveness contract's completion clause holds in all 12 × {1,4}
+    // cells — every session lands within the cell's horizon of a few
+    // window rotations, nothing wedges, nothing cross-delivers. On top
+    // of the contract, store-and-forward must have actually engaged in
+    // every cell: legs parked at the closed window and were replayed on
+    // a later pass, not delivered by some always-open accident.
+    let profile = ChaosProfile::pass_schedule();
+    if !profile_enabled(&profile) {
+        eprintln!("profile {} disabled via CHAOS_PROFILES; skipping", profile.name);
+        return;
+    }
+    let clients = matrix_clients();
+    for shards in matrix_shard_counts() {
+        for &case in BridgeCase::all() {
+            let seed = cell_seed(case, shards, &profile);
+            let run = run_chaos_cell(ChaosCell { case, shards, clients, seed }, &profile);
+            assert_liveness_contract(&run, &profile, seed);
+            let sf = run.stats.store_forward();
+            assert!(
+                sf.parked > 0 && sf.replayed > 0,
+                "case {} × {shards} shards: the pass schedule never forced \
+                 store-and-forward ({sf:?}) — sessions fit one window",
+                case.number()
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_matrix_contended_links_profile() {
+    // Shared-bandwidth contention: every cell funnels ≥50 concurrent
+    // sessions over 1 MB/s fair-share links with store-and-forward
+    // holding legs back above the backlog threshold. Nothing is lost,
+    // only delayed, so the contract's completion clause stays on.
+    run_profile_row(&ChaosProfile::contended_links());
+}
+
+#[test]
 fn same_seed_and_profile_replay_the_sharded_run_byte_identically() {
     // Determinism through the full multi-threaded path: two runs of the
     // same (seed, profile) produce byte-identical digests — per-client
@@ -217,6 +273,72 @@ fn inert_impairments_change_nothing_on_the_wire() {
         }
         assert!(stats.errors().is_empty(), "case {}: {:?}", case.number(), stats.errors());
         stats.assert_consistent(&format!("case {} inert", case.number()));
+    }
+}
+
+#[test]
+fn inert_bandwidth_and_store_forward_change_nothing_on_the_wire() {
+    // The zero-cost guarantee for the PR's new knobs, trace-level: a run
+    // with the bandwidth model explicitly off, an always-open pass
+    // schedule installed and a default store-and-forward policy armed
+    // must produce the byte-identical `trace_text()` to the untouched
+    // baseline harness — same seeds, same latency draws, zero extra RNG
+    // draws, not a single transmission/window/parking event. This is
+    // the regression fence keeping Fig. 12 medians (and every recorded
+    // digest) stable across the bandwidth + store-and-forward layers.
+    use starlink::core::{EngineConfig, StoreForward};
+    use starlink::net::PassSchedule;
+    use starlink_bench::run_concurrent_clients_chaos_configured;
+
+    let stagger = [0u64, 700, 1_900];
+    for &case in BridgeCase::all() {
+        let seed = 0xB0A + case.number() as u64;
+        let (base_probes, base_stats, base_trace) = run_concurrent_clients_chaos(
+            case,
+            seed,
+            Calibration::fast(),
+            &stagger,
+            Impairments::none(),
+        );
+        let config = EngineConfig {
+            store_forward: Some(StoreForward::default()),
+            ..EngineConfig::default()
+        };
+        let (probes, stats, trace) = run_concurrent_clients_chaos_configured(
+            case,
+            seed,
+            Calibration::fast(),
+            &stagger,
+            Impairments::none(),
+            config,
+            |sim| {
+                sim.set_link_bandwidth(0);
+                sim.set_pass_schedule(PassSchedule::always_open());
+            },
+        );
+        assert_eq!(base_trace, trace, "case {}: inert knobs changed the wire trace", case.number());
+        for marker in ["bw start", "bw done", "pass closed", "parked"] {
+            assert!(
+                !trace.contains(marker),
+                "case {}: {marker:?} event under inert knobs",
+                case.number()
+            );
+        }
+        for (i, (base, knobbed)) in base_probes.iter().zip(&probes).enumerate() {
+            assert_eq!(
+                base.results().len(),
+                knobbed.results().len(),
+                "case {} client {i}: outcomes diverged",
+                case.number()
+            );
+        }
+        assert_eq!(stats.concurrency(), base_stats.concurrency());
+        assert_eq!(
+            stats.store_forward(),
+            Default::default(),
+            "case {}: store-and-forward counters moved on an open network",
+            case.number()
+        );
     }
 }
 
@@ -431,17 +553,40 @@ fn repro_cell() {
         .find(|c| c.number() == case_number)
         .unwrap_or_else(|| panic!("no bridge case {case_number}"));
     let profile_name = std::env::var("CHAOS_PROFILE").expect("CHAOS_PROFILE set");
-    let profile = ChaosProfile::by_name(&profile_name)
+    let mut profile = ChaosProfile::by_name(&profile_name)
         .unwrap_or_else(|| panic!("unknown profile {profile_name:?}"));
     let seed: u64 = std::env::var("CHAOS_SEED").expect("CHAOS_SEED set").parse().unwrap();
     let shards = matrix_shard_counts()[0];
     let clients = matrix_clients();
 
+    // Per-knob overrides on top of the named profile, for bisecting a
+    // failing cell down to one knob. Each one round-trips through the
+    // same field `run_chaos_cell` installs; a typo'd value panics in
+    // `env_u64` rather than silently reproducing a different cell.
+    if let Some(bandwidth) = env_u64("CHAOS_BANDWIDTH") {
+        profile.link_bandwidth = bandwidth;
+    }
+    if let Some(window_ms) = env_u64("CHAOS_PASS_WINDOW_MS") {
+        profile.pass_window = SimDuration::from_millis(window_ms);
+    }
+    if let Some(slots) = env_u64("CHAOS_PASS_SLOTS") {
+        profile.pass_slots = slots.try_into().expect("CHAOS_PASS_SLOTS fits in u32");
+    }
+    if let Some(bound) = env_u64("CHAOS_QUEUE_BOUND") {
+        let mut policy = profile.store_forward.unwrap_or_default();
+        policy.queue_bound = bound as usize;
+        profile.store_forward = Some(policy);
+    }
+    if let Some(retry_ms) = env_u64("CHAOS_CLIENT_RETRY_MS") {
+        profile.client_retry_ms = retry_ms;
+    }
+
     let run = run_chaos_cell(ChaosCell { case, shards, clients, seed }, &profile);
     println!("{}", deterministic_digest(&run));
     assert_liveness_contract(&run, &profile, seed);
     println!(
-        "cell OK: case {} profile {} seed {seed} shards {shards} clients {clients}",
+        "cell OK: case {} profile {} seed {seed} shards {shards} clients {clients}\n\
+         effective knobs: {profile:?}",
         case.number(),
         profile.name
     );

@@ -7,9 +7,12 @@
 //! wedges and its stats stay balanced.
 
 use proptest::prelude::*;
+use starlink::core::StoreForward;
 use starlink::net::{Impairments, SimDuration};
 use starlink::protocols::{bridges::BridgeCase, Calibration};
-use starlink_bench::chaos::{check_liveness_contract, tail, ChaosProfile, CHAOS_IDLE_TIMEOUT};
+use starlink_bench::chaos::{
+    check_liveness_contract, run_chaos_cell, tail, ChaosCell, ChaosProfile, CHAOS_IDLE_TIMEOUT,
+};
 use starlink_bench::{
     expected_discovery_url, run_concurrent_clients_chaos, run_concurrent_clients_with,
     run_sharded_case, ShardedWorkload,
@@ -168,12 +171,65 @@ proptest! {
             impairments,
             expect_client_completion: false,
             expect_clean_engines: false,
+            ..ChaosProfile::lossless()
         };
         let violations = check_liveness_contract(&run, &profile);
         prop_assert!(
             violations.is_empty(),
             "case {} seed {} shards {} clients {} profile {:?}:\n  - {}\nboundary log tail:\n{}",
             case.number(), seed, shards, clients, impairments,
+            violations.join("\n  - "),
+            tail(&run.boundary_log, 30)
+        );
+    }
+
+    /// Random pass schedules, per-link bandwidths and store-and-forward
+    /// bounds — the PR's new knob space — against the liveness contract:
+    /// whatever connectivity windows the schedule cuts, however small
+    /// the shared capacity or the parking queue, the fleet never wedges,
+    /// the store-and-forward counters settle (every parked leg replayed
+    /// or abandoned), and nothing is cross-delivered. On failure the
+    /// dump carries the full drawn profile Debug plus the seed, so one
+    /// `run_chaos_cell` call replays the exact cell.
+    #[test]
+    fn any_pass_schedule_and_bandwidth_keep_the_fleet_live(
+        seed in 0u64..10_000,
+        case_index in 0usize..12,
+        shards in 1usize..=3,
+        clients in 2usize..8,
+        window_ms in prop_oneof![Just(0u64), 4u64..=25],
+        slots in 2u32..=3,
+        bandwidth in prop_oneof![Just(0u64), 500_000u64..4_000_000],
+        queue_bound in 0usize..12,
+        retry_ms in 1u64..=4,
+    ) {
+        let case = BridgeCase::all()[case_index];
+        let profile = ChaosProfile {
+            name: "proptest-knobs",
+            link_bandwidth: bandwidth,
+            pass_window: SimDuration::from_millis(window_ms),
+            pass_slots: slots,
+            store_forward: Some(StoreForward {
+                queue_bound,
+                retry_interval: SimDuration::from_millis(retry_ms),
+                max_retries: 24,
+                saturation_bytes: if bandwidth > 0 { 4_096 } else { 0 },
+            }),
+            // Pass-schedule cells need the clients' own retry loop for
+            // requests launched into a closed window; harmless without
+            // a schedule (duplicates are recorded-and-dropped).
+            client_retry_ms: 2 * retry_ms,
+            expect_client_completion: false,
+            expect_clean_engines: false,
+            ..ChaosProfile::lossless()
+        };
+        let cell = ChaosCell { case, shards, clients, seed };
+        let run = run_chaos_cell(cell, &profile);
+        let violations = check_liveness_contract(&run, &profile);
+        prop_assert!(
+            violations.is_empty(),
+            "case {} seed {} shards {} clients {} profile {:?}:\n  - {}\nboundary log tail:\n{}",
+            case.number(), seed, shards, clients, profile,
             violations.join("\n  - "),
             tail(&run.boundary_log, 30)
         );
