@@ -15,7 +15,7 @@
 //! dispatch-boundary log.
 
 use crate::{expected_discovery_url, run_sharded_case, ShardedRun, ShardedWorkload};
-use starlink_core::{CacheStats, StoreForward, StoreForwardStats};
+use starlink_core::{CacheStats, DeployState, ShardedStats, StoreForward, StoreForwardStats};
 use starlink_net::{Impairments, SimDuration, SimTime};
 use starlink_protocols::bridges::BridgeCase;
 
@@ -52,6 +52,12 @@ pub struct ChaosProfile {
     /// profiles need it: a request launched into a closed window is
     /// dropped on the floor, exactly like a real satellite uplink.
     pub client_retry_ms: u64,
+    /// Drain-then-swap the bridge to a second registry-gated version
+    /// once half the clients have started (`false` — the default —
+    /// serves one version for the whole run). The contract then also
+    /// enforces the swap clauses: v1 retired, ledgers frozen not reset,
+    /// zero unrouted traffic.
+    pub swap_mid_run: bool,
 }
 
 impl ChaosProfile {
@@ -70,6 +76,7 @@ impl ChaosProfile {
             pass_slots: 1,
             store_forward: None,
             client_retry_ms: 0,
+            swap_mid_run: false,
         }
     }
 
@@ -167,8 +174,23 @@ impl ChaosProfile {
         }
     }
 
-    /// The six rows of the conformance matrix.
-    pub fn matrix() -> [ChaosProfile; 6] {
+    /// Live redeployment under loss: 10% drop on every link *and* a
+    /// drain-then-swap of the serving bridge once half the clients have
+    /// started. Sessions opened before the swap finish (or idle-expire)
+    /// on the draining v1; later clients route to v2; v1 must retire on
+    /// every shard with its ledger frozen, and no fresh traffic may
+    /// fall into an active-version gap.
+    pub fn live_redeploy() -> Self {
+        ChaosProfile {
+            impairments: Impairments { drop_permille: 100, ..Impairments::none() },
+            expect_client_completion: false,
+            swap_mid_run: true,
+            ..Self::inert("live_redeploy")
+        }
+    }
+
+    /// The seven rows of the conformance matrix.
+    pub fn matrix() -> [ChaosProfile; 7] {
         [
             ChaosProfile::lossless(),
             ChaosProfile::lossy10(),
@@ -176,6 +198,7 @@ impl ChaosProfile {
             ChaosProfile::corrupt_partition_heal(),
             ChaosProfile::pass_schedule(),
             ChaosProfile::contended_links(),
+            ChaosProfile::live_redeploy(),
         ]
     }
 
@@ -226,7 +249,10 @@ pub fn chaos_horizon(clients: usize, wave: usize) -> SimTime {
 /// horizon passed. Nothing is asserted — pair with
 /// [`assert_liveness_contract`].
 pub fn run_chaos_cell(cell: ChaosCell, profile: &ChaosProfile) -> ShardedRun {
-    let wave = 16;
+    // Swap cells spread the client starts over several waves so part of
+    // the population starts before the mid-run swap (and drains on v1)
+    // and the rest starts after it (and lands on v2).
+    let wave = if profile.swap_mid_run { (cell.clients / 4).max(1) } else { 16 };
     let mut workload = ShardedWorkload::new(cell.shards, cell.clients);
     workload.seed = cell.seed;
     workload.wave = wave;
@@ -262,6 +288,9 @@ pub fn run_chaos_cell(cell: ChaosCell, profile: &ChaosProfile) -> ShardedRun {
         workload.correlated = true;
         workload.answer_ttl = Some(cell.case.answer_ttl(&workload.calibration));
     }
+    if profile.swap_mid_run {
+        workload.swap_at_client = (cell.clients / 2).max(1);
+    }
     run_sharded_case(cell.case, workload)
 }
 
@@ -294,6 +323,26 @@ pub fn deterministic_digest(run: &ShardedRun) -> String {
         "store-forward parked {} replayed {} overflow {} abandoned {}\n",
         sf.parked, sf.replayed, sf.overflow, sf.abandoned
     ));
+    out.push_str(&format!("unrouted {}\n", run.unrouted));
+    if let Some(swap) = &run.swap {
+        let old = swap.old.stats().concurrency();
+        let new = swap.new.stats().concurrency();
+        out.push_str(&format!(
+            "swap at {} v{} -> v{} old {}/{}/{}/{} new {}/{}/{}/{} old_state {}\n",
+            swap.at_iteration,
+            swap.old.version(),
+            swap.new.version(),
+            old.started,
+            old.completed,
+            old.failed,
+            old.expired,
+            new.started,
+            new.completed,
+            new.failed,
+            new.expired,
+            swap.old.state()
+        ));
+    }
     for shard in 0..run.stats.shard_count() {
         let s = run.stats.shard(shard).concurrency();
         let sc = run.stats.shard(shard).cache();
@@ -335,10 +384,21 @@ pub fn check_liveness_contract(run: &ShardedRun, profile: &ChaosProfile) -> Vec<
     let mut violations = Vec::new();
     let clients = run.outcomes.len();
     let completed_clients = run.completed();
-    let gauge = run.stats.concurrency();
+    // Every version's ledger is checked; the fleet view for the
+    // client-facing clauses is their sum (a swap run serves sessions
+    // from both versions).
+    let versions: Vec<(&'static str, &ShardedStats)> = match &run.swap {
+        Some(swap) => vec![("v1 ", &run.stats), ("v2 ", swap.new.stats())],
+        None => vec![("", &run.stats)],
+    };
+    let mut gauge = run.stats.concurrency();
+    if let Some(swap) = &run.swap {
+        gauge.merge(&swap.new.stats().concurrency());
+    }
 
     // 1. No wedged sessions, anywhere: once the horizon passed, every
-    //    session the engine ever opened is in a terminal bucket.
+    //    session the engine ever opened is in a terminal bucket — on
+    //    every version of every shard.
     if gauge.active != 0 {
         violations
             .push(format!("{} sessions still active (wedged) after the horizon", gauge.active));
@@ -349,98 +409,107 @@ pub fn check_liveness_contract(run: &ShardedRun, profile: &ChaosProfile) -> Vec<
             gauge.started, gauge.completed, gauge.failed, gauge.expired, gauge.active
         ));
     }
-
-    // 2. Per-shard stats internally consistent, answer-cache counters
-    //    included: hits and insertions never exceed completed sessions,
-    //    only inserted entries expire, and a non-fusable case records
-    //    no cache traffic at all.
-    let mut cache_sum = CacheStats::default();
-    for shard in 0..run.stats.shard_count() {
-        let stats = run.stats.shard(shard);
-        let c = stats.concurrency();
-        if !c.is_balanced() {
-            violations.push(format!("shard {shard} counters unbalanced: {c:?}"));
-        }
-        if c.active != 0 {
-            violations.push(format!("shard {shard}: {} sessions wedged", c.active));
-        }
-        if stats.session_count() as u64 != c.completed {
-            violations.push(format!(
-                "shard {shard}: {} session records vs completed counter {}",
-                stats.session_count(),
-                c.completed
-            ));
-        }
-        let cache = stats.cache();
-        cache_sum.merge(&cache);
-        // Fail-fast engines only touch the cache on sessions that then
-        // complete. A store-and-forward engine can insert the translated
-        // answer (or serve a hit) and still *fail* the session when the
-        // parked reply leg exhausts its retries — the knowledge is real
-        // even though the delivery wasn't — so there the bound is the
-        // sessions ever started, not the completed ones.
-        let cache_bound = if profile.store_forward.is_some() { c.started } else { c.completed };
-        if cache.hits > cache_bound {
-            violations.push(format!(
-                "shard {shard}: {} cache hits exceed {} bounding sessions",
-                cache.hits, cache_bound
-            ));
-        }
-        if cache.insertions > cache_bound {
-            violations.push(format!(
-                "shard {shard}: {} cache insertions exceed {} bounding sessions",
-                cache.insertions, cache_bound
-            ));
-        }
-        if cache.expirations > cache.insertions {
-            violations.push(format!(
-                "shard {shard}: {} cache expirations exceed {} insertions",
-                cache.expirations, cache.insertions
-            ));
-        }
-        if !run.case.fusable() && cache != CacheStats::default() {
-            violations.push(format!(
-                "shard {shard}: cache counters {cache:?} on non-fusable case {}",
-                run.case.number()
-            ));
-        }
-    }
-    let merged = run.stats.merged().concurrency();
-    if !merged.is_balanced() {
-        violations.push(format!("merged shard counters unbalanced: {merged:?}"));
-    }
-    let fleet_cache = run.stats.cache();
-    if fleet_cache != cache_sum {
+    if run.unrouted != 0 {
         violations.push(format!(
-            "fleet cache counters {fleet_cache:?} disagree with per-shard sum {cache_sum:?}"
+            "{} fresh inputs dropped unrouted (an active-version gap)",
+            run.unrouted
         ));
     }
 
-    // 2b. Store-and-forward balance at quiescence: with no session left
-    //     active, every leg ever parked was either replayed or
-    //     abandoned, on every shard and fleet-wide; an engine without
-    //     the policy must record zero store-and-forward traffic.
-    let mut sf_sum = StoreForwardStats::default();
-    for shard in 0..run.stats.shard_count() {
-        let sf = run.stats.shard(shard).store_forward();
-        sf_sum.merge(&sf);
-        if !sf.is_settled() {
+    for (label, stats) in &versions {
+        // 2. Per-shard stats internally consistent, answer-cache counters
+        //    included: hits and insertions never exceed completed sessions,
+        //    only inserted entries expire, and a non-fusable case records
+        //    no cache traffic at all.
+        let mut cache_sum = CacheStats::default();
+        for shard in 0..stats.shard_count() {
+            let stats = stats.shard(shard);
+            let c = stats.concurrency();
+            if !c.is_balanced() {
+                violations.push(format!("{label}shard {shard} counters unbalanced: {c:?}"));
+            }
+            if c.active != 0 {
+                violations.push(format!("{label}shard {shard}: {} sessions wedged", c.active));
+            }
+            if stats.session_count() as u64 != c.completed {
+                violations.push(format!(
+                    "{label}shard {shard}: {} session records vs completed counter {}",
+                    stats.session_count(),
+                    c.completed
+                ));
+            }
+            let cache = stats.cache();
+            cache_sum.merge(&cache);
+            // Fail-fast engines only touch the cache on sessions that then
+            // complete. A store-and-forward engine can insert the translated
+            // answer (or serve a hit) and still *fail* the session when the
+            // parked reply leg exhausts its retries — the knowledge is real
+            // even though the delivery wasn't — so there the bound is the
+            // sessions ever started, not the completed ones.
+            let cache_bound = if profile.store_forward.is_some() { c.started } else { c.completed };
+            if cache.hits > cache_bound {
+                violations.push(format!(
+                    "{label}shard {shard}: {} cache hits exceed {} bounding sessions",
+                    cache.hits, cache_bound
+                ));
+            }
+            if cache.insertions > cache_bound {
+                violations.push(format!(
+                    "{label}shard {shard}: {} cache insertions exceed {} bounding sessions",
+                    cache.insertions, cache_bound
+                ));
+            }
+            if cache.expirations > cache.insertions {
+                violations.push(format!(
+                    "{label}shard {shard}: {} cache expirations exceed {} insertions",
+                    cache.expirations, cache.insertions
+                ));
+            }
+            if !run.case.fusable() && cache != CacheStats::default() {
+                violations.push(format!(
+                    "{label}shard {shard}: cache counters {cache:?} on non-fusable case {}",
+                    run.case.number()
+                ));
+            }
+        }
+        let merged = stats.merged().concurrency();
+        if !merged.is_balanced() {
+            violations.push(format!("{label}merged shard counters unbalanced: {merged:?}"));
+        }
+        let fleet_cache = stats.cache();
+        if fleet_cache != cache_sum {
             violations.push(format!(
-                "shard {shard}: store-and-forward unsettled at quiescence: \
-                 parked {} != replayed {} + abandoned {}",
-                sf.parked, sf.replayed, sf.abandoned
+                "{label}fleet cache counters {fleet_cache:?} disagree with per-shard sum {cache_sum:?}"
             ));
         }
-        if profile.store_forward.is_none() && sf != StoreForwardStats::default() {
-            violations
-                .push(format!("shard {shard}: store-and-forward counters {sf:?} without a policy"));
+
+        // 2b. Store-and-forward balance at quiescence: with no session left
+        //     active, every leg ever parked was either replayed or
+        //     abandoned, on every shard and fleet-wide; an engine without
+        //     the policy must record zero store-and-forward traffic.
+        let mut sf_sum = StoreForwardStats::default();
+        for shard in 0..stats.shard_count() {
+            let sf = stats.shard(shard).store_forward();
+            sf_sum.merge(&sf);
+            if !sf.is_settled() {
+                violations.push(format!(
+                    "{label}shard {shard}: store-and-forward unsettled at quiescence: \
+                     parked {} != replayed {} + abandoned {}",
+                    sf.parked, sf.replayed, sf.abandoned
+                ));
+            }
+            if profile.store_forward.is_none() && sf != StoreForwardStats::default() {
+                violations.push(format!(
+                    "{label}shard {shard}: store-and-forward counters {sf:?} without a policy"
+                ));
+            }
         }
-    }
-    let fleet_sf = run.stats.store_forward();
-    if fleet_sf != sf_sum {
-        violations.push(format!(
-            "fleet store-and-forward counters {fleet_sf:?} disagree with per-shard sum {sf_sum:?}"
-        ));
+        let fleet_sf = stats.store_forward();
+        if fleet_sf != sf_sum {
+            violations.push(format!(
+                "{label}fleet store-and-forward counters {fleet_sf:?} disagree with per-shard sum {sf_sum:?}"
+            ));
+        }
     }
 
     // 3. Every client that observed a decoded reply maps onto a
@@ -520,6 +589,43 @@ pub fn check_liveness_contract(run: &ShardedRun, profile: &ChaosProfile) -> Vec<
                 violations.push(format!("counter {name} went backwards: {before} -> {after}"));
             }
         }
+    }
+
+    // 7. Swap clauses: the drained version retired on every shard, both
+    //    versions actually served, and v1's ledger only moved forward
+    //    from the swap point — frozen at retirement, never reset.
+    if let Some(swap) = &run.swap {
+        if swap.old.state() != DeployState::Retired {
+            violations.push(format!(
+                "v1 not retired after the horizon: state {}, {} shards draining, {} retired",
+                swap.old.state(),
+                swap.old.stats().draining_shards(),
+                swap.old.stats().retired_shards()
+            ));
+        }
+        let old = swap.old.stats().concurrency();
+        let new = swap.new.stats().concurrency();
+        if old.started == 0 {
+            violations.push("v1 never started a session before the swap".into());
+        }
+        if new.started == 0 {
+            violations.push("v2 never started a session after the swap".into());
+        }
+        let pre = &swap.pre_swap;
+        for (name, before, after) in [
+            ("started", pre.started, old.started),
+            ("completed", pre.completed, old.completed),
+            ("failed", pre.failed, old.failed),
+            ("expired", pre.expired, old.expired),
+        ] {
+            if after < before {
+                violations.push(format!(
+                    "v1 counter {name} fell across the swap: {before} -> {after} (ledger reset)"
+                ));
+            }
+        }
+    } else if profile.swap_mid_run {
+        violations.push("profile demands a mid-run swap but none was recorded".into());
     }
 
     violations
@@ -612,6 +718,21 @@ mod tests {
         let sf = run.stats.store_forward();
         assert!(sf.parked > 0, "no leg ever parked under the pass schedule: {sf:?}");
         assert!(sf.replayed > 0, "no parked leg was ever replayed: {sf:?}");
+    }
+
+    #[test]
+    fn live_redeploy_cell_swaps_without_wedging_or_unrouted_traffic() {
+        let cell = ChaosCell { case: BridgeCase::SlpToBonjour, shards: 2, clients: 12, seed: 4 };
+        let profile = ChaosProfile::live_redeploy();
+        let run = run_chaos_cell(cell, &profile);
+        assert_liveness_contract(&run, &profile, cell.seed);
+        let swap = run.swap.as_ref().expect("the profile swaps mid-run");
+        assert_eq!(swap.old.state(), DeployState::Retired);
+        assert_eq!(run.unrouted, 0);
+        // Both versions served: the ledger split is part of the digest,
+        // so determinism tests pin it per (seed, profile).
+        assert!(swap.old.stats().concurrency().started > 0);
+        assert!(swap.new.stats().concurrency().started > 0);
     }
 
     #[test]

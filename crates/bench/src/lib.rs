@@ -81,7 +81,8 @@ pub mod soak;
 
 pub use chaos::{run_chaos_cell, ChaosCell, ChaosProfile};
 pub use sharded::{
-    run_sharded_case, run_sharded_mixed, ClientOutcome, ShardedRun, ShardedWorkload,
+    run_sharded_case, run_sharded_mixed, run_sharded_scripted, ClientOutcome, ScriptedCommand,
+    ScriptedRun, ShardedRun, ShardedWorkload,
 };
 
 use starlink_core::{ConcurrencyStats, EngineConfig, Starlink};

@@ -20,7 +20,8 @@
 use crate::{BRIDGE, SERVICE};
 use fxhash::FxHashMap;
 use starlink_core::{
-    ConcurrencyStats, EngineConfig, ShardInput, ShardOutput, ShardedBridge, ShardedStats, Starlink,
+    deploy_commands, swap_commands, undeploy_commands, BridgeRegistry, ConcurrencyStats,
+    DeployedBridge, EngineConfig, ShardInput, ShardOutput, ShardedBridge, ShardedStats, Starlink,
     StoreForward,
 };
 use starlink_net::{
@@ -100,6 +101,12 @@ pub struct ShardedWorkload {
     /// unresolved client re-sends its request every this-many driver
     /// iterations (`0` — the default — sends once).
     pub client_retry_ms: u64,
+    /// Live redeployment trigger: once the serving version has *started*
+    /// this many sessions, deploy a second bridge version through the
+    /// registry and drain-then-swap every shard onto it mid-traffic.
+    /// Earlier clients finish on v1, later ones route to v2. `0` — the
+    /// default — never swaps.
+    pub swap_at_client: usize,
 }
 
 impl ShardedWorkload {
@@ -126,6 +133,7 @@ impl ShardedWorkload {
             pass_slots: 1,
             store_forward: None,
             client_retry_ms: 0,
+            swap_at_client: 0,
         }
     }
 
@@ -156,6 +164,55 @@ pub struct ClientOutcome {
     pub garbled: u32,
 }
 
+/// What a mid-run drain-then-swap recorded: the two versioned
+/// deployment handles (their stats stay live) and the counter state at
+/// the instant the swap was dispatched.
+#[derive(Debug, Clone)]
+pub struct SwapReport {
+    /// The v1 handle — draining from the swap on, retired once every
+    /// shard reaped it.
+    pub old: DeployedBridge,
+    /// The v2 handle — active from the swap on.
+    pub new: DeployedBridge,
+    /// Driver iteration (= virtual millisecond) the swap was dispatched
+    /// at.
+    pub at_iteration: u64,
+    /// v1's fleet counters at dispatch, read behind the flush barrier —
+    /// the baseline the stale-counter checks compare against (a swap
+    /// must never reset or double-count a ledger).
+    pub pre_swap: ConcurrencyStats,
+}
+
+/// One control-plane action of a scripted command stream (see
+/// [`run_sharded_scripted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptedCommand {
+    /// Gate a fresh version through the registry and deploy it alongside
+    /// the serving ones (it becomes the active target; nothing drains).
+    Deploy,
+    /// Gate a fresh version and drain-then-swap every serving version
+    /// onto it.
+    Swap,
+    /// Drain the newest still-serving version without a replacement.
+    /// Skipped (and logged as skipped) when it is the only serving
+    /// version, so a random stream never opens an unrouted-traffic gap.
+    Undeploy,
+}
+
+/// The result of a scripted run: the plain run plus every versioned
+/// deployment handle the script minted (their stats stay live) and the
+/// effective command log for failure dumps.
+#[derive(Debug)]
+pub struct ScriptedRun {
+    /// The underlying run; [`ShardedRun::stats`] stays the v1 ledger.
+    pub run: ShardedRun,
+    /// Every version deployed, in deploy order (v1 first).
+    pub deployments: Vec<DeployedBridge>,
+    /// One line per script entry as executed (`"<iteration> deploy v3"`,
+    /// `"<iteration> undeploy skipped (last serving version)"`, …).
+    pub command_log: Vec<String>,
+}
+
 /// The result of one sharded run.
 #[derive(Debug)]
 pub struct ShardedRun {
@@ -180,6 +237,14 @@ pub struct ShardedRun {
     /// last wave started), for monotonicity checks against the final
     /// numbers.
     pub mid_snapshot: Option<(ConcurrencyStats, usize)>,
+    /// The drain-then-swap record when
+    /// [`ShardedWorkload::swap_at_client`] fired. [`ShardedRun::stats`]
+    /// stays the v1 ledger; v2's lives in the report.
+    pub swap: Option<SwapReport>,
+    /// Fresh traffic dropped fleet-wide because no bridge version was
+    /// active to take it (must be zero in every swap run — a swap leaves
+    /// no active-version gap).
+    pub unrouted: u64,
 }
 
 impl ShardedRun {
@@ -316,6 +381,33 @@ pub(crate) fn parse_location(location: &str) -> (String, u16) {
 ///
 /// Panics on harness bugs (models fail to load / deploy).
 pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedRun {
+    run_sharded_inner(case, workload, &[]).run
+}
+
+/// [`run_sharded_case`] with a control-plane command stream: each
+/// `(iteration, command)` entry fires once the driver reaches that
+/// iteration (= virtual millisecond), before that iteration's traffic —
+/// modelling an operator redeploying a live fleet mid-run. Entries are
+/// executed in iteration order regardless of input order.
+///
+/// # Panics
+///
+/// Panics on harness bugs (models fail to load / deploy).
+pub fn run_sharded_scripted(
+    case: BridgeCase,
+    workload: ShardedWorkload,
+    script: &[(u64, ScriptedCommand)],
+) -> ScriptedRun {
+    let mut sorted = script.to_vec();
+    sorted.sort_by_key(|&(iteration, _)| iteration);
+    run_sharded_inner(case, workload, &sorted)
+}
+
+fn run_sharded_inner(
+    case: BridgeCase,
+    workload: ShardedWorkload,
+    script: &[(u64, ScriptedCommand)],
+) -> ScriptedRun {
     let mut framework = Starlink::new();
     bridges::load_all_mdls(&mut framework).expect("models load");
     let config = EngineConfig {
@@ -327,9 +419,18 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
         force_interpreted: workload.force_interpreted,
         store_forward: workload.store_forward,
     };
-    let (engines, stats) = framework
-        .deploy_sharded(case.build(BRIDGE), config, workload.shards)
+    let mut registry = BridgeRegistry::with_framework(framework);
+    let (engines, v1) = registry
+        .deploy_sharded(case.build(BRIDGE), config.clone(), workload.shards)
         .expect("sharded bridge deploys");
+    let stats = v1.stats().clone();
+    // Scripted control-plane state: every version minted (in deploy
+    // order) and the ones not yet drained — newest serving is the
+    // active target, so `Undeploy` pops from the back.
+    let mut deployments = vec![v1.clone()];
+    let mut serving = vec![v1.clone()];
+    let mut command_log: Vec<String> = Vec::new();
+    let mut script_index = 0usize;
     let calibration = workload.calibration;
     let instant_network = workload.instant_network;
     let impairments = workload.impairments;
@@ -404,8 +505,12 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
     let mut outputs: Vec<(usize, ShardOutput)> = Vec::new();
     let mut boundary_log: Vec<String> = Vec::new();
     let mut mid_snapshot: Option<(ConcurrencyStats, usize)> = None;
+    let mut swap: Option<SwapReport> = None;
 
-    while resolved < clients.len() && Instant::now() < deadline {
+    // Unresolved clients keep the loop alive, and so does an unfinished
+    // command script: a late redeploy must still execute (against an
+    // idle fleet) so its drain/retire bookkeeping is observable.
+    while (resolved < clients.len() || script_index < script.len()) && Instant::now() < deadline {
         // A chaos run stops at its virtual quiescence bound even with
         // clients unresolved (dropped requests, partitioned peers): by
         // then every stalled session must have been reaped.
@@ -456,6 +561,71 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
         // (service delays, idle expiry) advance deterministically with
         // the drive loop, not with wall time.
         let now = SimTime::from_micros(iteration * 1_000);
+        // Live drain-then-swap: once enough clients have started, gate a
+        // second version of the same bridge through the registry and
+        // swap every shard onto it — before this iteration's traffic, so
+        // the wave just started lands on v2 while earlier exchanges
+        // finish on the draining v1.
+        if workload.swap_at_client > 0
+            && swap.is_none()
+            && stats.concurrency().started >= workload.swap_at_client as u64
+        {
+            let (v2_engines, v2) = registry
+                .deploy_sharded(case.build(BRIDGE), config.clone(), workload.shards)
+                .expect("v2 deploys through the same gate");
+            if workload.log_boundary {
+                boundary_log.push(format!(
+                    "{} in  swap v{} -> v{}",
+                    now.as_micros(),
+                    v1.version(),
+                    v2.version()
+                ));
+            }
+            bridge.dispatch_control(now, swap_commands(&v2, v2_engines));
+            bridge.flush();
+            swap = Some(SwapReport {
+                old: v1.clone(),
+                new: v2,
+                at_iteration: iteration,
+                pre_swap: stats.concurrency(),
+            });
+        }
+        // Scripted command stream: everything due at this iteration
+        // fires before the iteration's traffic, like the single-swap
+        // trigger above.
+        while script_index < script.len() && script[script_index].0 <= iteration {
+            let (_, command) = script[script_index];
+            script_index += 1;
+            match command {
+                ScriptedCommand::Deploy | ScriptedCommand::Swap => {
+                    let (engines, version) = registry
+                        .deploy_sharded(case.build(BRIDGE), config.clone(), workload.shards)
+                        .expect("scripted version deploys through the gate");
+                    let verb = if command == ScriptedCommand::Deploy { "deploy" } else { "swap" };
+                    command_log.push(format!("{} {verb} v{}", iteration, version.version()));
+                    let commands = if command == ScriptedCommand::Deploy {
+                        deploy_commands(&version, engines)
+                    } else {
+                        serving.clear();
+                        swap_commands(&version, engines)
+                    };
+                    bridge.dispatch_control(now, commands);
+                    serving.push(version.clone());
+                    deployments.push(version);
+                }
+                ScriptedCommand::Undeploy => {
+                    if serving.len() > 1 {
+                        let version = serving.pop().expect("serving is non-empty");
+                        command_log.push(format!("{} undeploy v{}", iteration, version.version()));
+                        bridge.dispatch_control(now, undeploy_commands(&version));
+                    } else {
+                        command_log
+                            .push(format!("{iteration} undeploy skipped (last serving version)"));
+                    }
+                }
+            }
+            bridge.flush();
+        }
         if workload.log_boundary {
             for input in &inputs {
                 boundary_log.push(describe_input(now, input));
@@ -572,15 +742,22 @@ pub fn run_sharded_case(case: BridgeCase, workload: ShardedWorkload) -> ShardedR
     }
 
     let elapsed = run_start.elapsed();
-    ShardedRun {
-        case,
-        shards: workload.shards,
-        outcomes: clients.into_iter().map(|c| c.outcome).collect(),
-        messages,
-        elapsed,
-        stats,
-        boundary_log,
-        mid_snapshot,
+    let unrouted = bridge.unrouted();
+    ScriptedRun {
+        run: ShardedRun {
+            case,
+            shards: workload.shards,
+            outcomes: clients.into_iter().map(|c| c.outcome).collect(),
+            messages,
+            elapsed,
+            stats,
+            boundary_log,
+            mid_snapshot,
+            swap,
+            unrouted,
+        },
+        deployments,
+        command_log,
     }
 }
 
@@ -597,6 +774,7 @@ fn describe_input(now: SimTime, input: &ShardInput) -> String {
             format!("{} in  tcp-data #{token} {}B", now.as_micros(), payload.len())
         }
         ShardInput::TcpClose { token } => format!("{} in  tcp-close #{token}", now.as_micros()),
+        ShardInput::Control(_) => format!("{} in  control", now.as_micros()),
     }
 }
 

@@ -1924,6 +1924,108 @@ impl BridgeEngine {
     }
 }
 
+/// Control-plane surface: the questions a multi-version host
+/// ([`crate::host::EngineHost`]) asks each hosted engine when routing
+/// events across coexisting bridge versions during a drain-then-swap.
+impl BridgeEngine {
+    /// Live sessions across both engine paths — the drain gauge: a
+    /// draining version is reaped when this reaches zero.
+    pub(crate) fn live_sessions(&self) -> usize {
+        self.sessions.len() + self.fused.as_ref().map_or(0, |rt| rt.sessions.len())
+    }
+
+    /// The merged automaton's name (the case identity a host reports).
+    pub(crate) fn automaton_name(&self) -> &str {
+        self.automaton.name()
+    }
+
+    /// Namespaces every timer tag this engine will ever allocate, so
+    /// two versions hosted on one simulated host never collide in the
+    /// shared timer space. Must be called before the engine arms its
+    /// first timer.
+    pub(crate) fn set_timer_tag_base(&mut self, base: u64) {
+        debug_assert!(self.next_timer_tag == 0, "tag base set after timers were armed");
+        self.next_timer_tag = base;
+    }
+
+    /// Whether `datagram` belongs to one of this engine's **live**
+    /// sessions — the drain-routing probe: a draining version claims
+    /// only traffic for exchanges it already owns (retransmissions,
+    /// legacy replies); everything fresh routes to the active version.
+    ///
+    /// `&mut` only for the fused path's scratch parse record; the
+    /// engine's observable state is untouched.
+    pub(crate) fn owns_datagram(&mut self, datagram: &Datagram) -> bool {
+        let Some(part_index) = self.part_for_datagram(datagram) else { return false };
+        if let Some(rt) = self.fused.as_deref_mut() {
+            if rt.sessions.is_empty() {
+                return false;
+            }
+            let source_side = part_index == rt.plan.source_part();
+            let parsed = if source_side {
+                rt.plan.source_plan().parse(&datagram.payload, &mut rt.parse_rec)
+            } else {
+                rt.plan.target_plan().parse(&datagram.payload, &mut rt.parse_rec)
+            };
+            let Ok(message) = parsed else { return false };
+            if source_side {
+                if message != rt.plan.req_in() {
+                    return false;
+                }
+                let key = rt
+                    .plan
+                    .req_in_id()
+                    .and_then(|slot| correlation_id(&rt.parse_rec, slot))
+                    .map(|id| SessionKey::Correlated(rt.plan.source_part(), id))
+                    .unwrap_or_else(|| SessionKey::Peer(datagram.from.clone()));
+                let key = self.aliases.get(&key).cloned().unwrap_or(key);
+                return rt.sessions.contains_key(&key);
+            }
+            if message != rt.plan.resp_in() {
+                return false;
+            }
+            if let Some(slot) = rt.plan.resp_in_id() {
+                if let Some(id) = correlation_id(&rt.parse_rec, slot) {
+                    let key = SessionKey::Correlated(rt.plan.target_part(), id);
+                    let key = self.aliases.get(&key).cloned().unwrap_or(key);
+                    return rt.sessions.contains_key(&key);
+                }
+            }
+            // No correlation id: the live path would hand the reply to
+            // the oldest waiting session, so any live session claims it.
+            return true;
+        }
+        let Ok(message) = self.codecs[part_index].parse(&datagram.payload) else {
+            return false;
+        };
+        matches!(self.route_inbound(part_index, &message, &datagram.from), Route::Existing(_))
+    }
+
+    /// Whether an accepted TCP connection on `local_port` from `peer`
+    /// pairs with one of this engine's waiting sessions — mirrors the
+    /// matching predicate of [`Actor::on_tcp`]'s `Accepted` arm.
+    pub(crate) fn wants_accept(&self, local_port: u16, peer: &SimAddr) -> bool {
+        let Some(part_index) = self.part_for_listener(local_port) else { return false };
+        self.sessions.values().any(|s| {
+            s.exec.current().part.0 == part_index
+                && s.parts[part_index].server_conn.is_none()
+                && s.parts
+                    .iter()
+                    .any(|p| p.reply_to.as_ref().is_some_and(|addr| addr.host == peer.host))
+        })
+    }
+
+    /// Whether `conn` is owned by one of this engine's sessions.
+    pub(crate) fn owns_conn(&self, conn: ConnId) -> bool {
+        self.conn_sessions.contains_key(&conn)
+    }
+
+    /// Whether `tag` belongs to one of this engine's pending timers.
+    pub(crate) fn owns_timer(&self, tag: u64) -> bool {
+        self.timer_sessions.contains_key(&tag) || self.retry_sessions.contains_key(&tag)
+    }
+}
+
 impl Actor for BridgeEngine {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         // Bind every colour of every part: UDP ports + multicast groups

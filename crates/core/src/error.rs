@@ -4,7 +4,42 @@ use starlink_automata::AutomataError;
 use starlink_mdl::MdlError;
 use starlink_message::MessageError;
 use starlink_net::NetError;
+use starlink_xml::{diag, Diagnostic};
 use std::fmt;
+
+/// The full `starlink-check` verdict on one rejected model source: the
+/// subject (file path or model name) plus every diagnostic, with lint
+/// codes and line/column positions intact — so a registry caller can
+/// render, filter or machine-read the report instead of grepping a
+/// flattened string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelReport {
+    /// What was checked (a file path for on-disk sources, a model name
+    /// for in-memory gates).
+    pub subject: String,
+    /// Every diagnostic the checks produced, errors and warnings alike.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ModelReport {
+    /// The rendered multi-line report, errors first — identical to the
+    /// `starlink-check` CLI output for the same source.
+    pub fn render(&self) -> String {
+        diag::render(&self.diagnostics)
+    }
+
+    /// Diagnostics of `Error` severity (the ones that rejected the
+    /// source).
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity() == starlink_xml::Severity::Error)
+    }
+}
+
+impl fmt::Display for ModelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rejected:\n{}", self.subject, self.render())
+    }
+}
 
 /// Error raised by the framework (model loading, deployment, execution).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,6 +49,9 @@ pub enum CoreError {
     MissingCodec(String),
     /// Deployment-time validation failed (merge constraints, colours).
     Deployment(String),
+    /// The registry's deployment gate rejected a model source; the
+    /// report carries the structured `starlink-check` diagnostics.
+    Rejected(ModelReport),
     /// An MDL operation failed.
     Mdl(MdlError),
     /// An automata operation failed.
@@ -31,6 +69,7 @@ impl fmt::Display for CoreError {
                 write!(f, "no MDL codec loaded for protocol {protocol:?}")
             }
             CoreError::Deployment(msg) => write!(f, "deployment error: {msg}"),
+            CoreError::Rejected(report) => write!(f, "deployment gate: {report}"),
             CoreError::Mdl(err) => write!(f, "{err}"),
             CoreError::Automata(err) => write!(f, "{err}"),
             CoreError::Message(err) => write!(f, "{err}"),

@@ -216,7 +216,9 @@ impl Starlink {
     }
 
     /// Validates the merge constraints and resolves one codec per part.
-    fn check_and_resolve(
+    /// `pub(crate)` so the runtime registry can reuse the same resolution
+    /// with its own structured deployment gate.
+    pub(crate) fn check_and_resolve(
         &self,
         merged: MergedAutomaton,
     ) -> Result<(MergedAutomaton, Vec<Arc<MdlCodec>>)> {

@@ -35,10 +35,12 @@
 //! front (bounded backoff sleeps instead of `epoll_wait`) — check
 //! [`ShardedGateway::mode`].
 
-use crate::shard::{ShardHandle, ShardInput, ShardOutput, ShardedBridge};
+use crate::host::BridgeCommand;
+use crate::metrics::MetricsHub;
+use crate::shard::{ControlSlot, ShardHandle, ShardInput, ShardOutput, ShardedBridge};
 use starlink_net::{
-    readiness_supported, BufferPool, Bytes, Datagram, GatewayReactor, LoopbackUdp, NetError,
-    ReadinessWaker, SimAddr, SimTime,
+    readiness_supported, BufferPool, Bytes, Datagram, GatewayReactor, LoopbackUdp, MetricsServer,
+    NetError, ReadinessWaker, SimAddr, SimTime,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -388,6 +390,56 @@ impl ShardedGateway {
     /// like — each finished its batch and kept serving).
     pub fn errors(&self) -> Vec<String> {
         self.control.errors.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Sends one control command per shard down the ordinary injected
+    /// path: each command rides the owning gateway thread's next batch,
+    /// so a live swap is serialized against socket traffic exactly like
+    /// any other ingress. Advertised ports ([`Self::ingress_real_port`])
+    /// are untouched — clients keep their sockets across the swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `commands.len() != self.shard_count()`.
+    pub fn dispatch_control(&self, commands: Vec<BridgeCommand>) {
+        assert_eq!(
+            commands.len(),
+            self.handles.len(),
+            "dispatch_control needs one command per shard"
+        );
+        for (shard, command) in commands.into_iter().enumerate() {
+            self.inject(shard, ShardInput::Control(ControlSlot::new(command)));
+        }
+    }
+
+    /// Serves `hub`'s pages from a loopback HTTP endpoint
+    /// (`GET /metrics`, `GET /trace`), wiring the gateway's own
+    /// counters, the fleet-wide unrouted counter and every shard's
+    /// trace stream into the hub first. Drop the returned server to
+    /// stop serving; the sinks stay installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Net`](crate::CoreError::Net) when the
+    /// endpoint socket cannot be bound.
+    pub fn serve_metrics(&self, hub: &MetricsHub) -> crate::Result<MetricsServer> {
+        let control = Arc::clone(&self.control);
+        hub.set_gateway(move || {
+            let c = &control.counters;
+            GatewayStats {
+                datagrams_in: c.datagrams_in.load(Ordering::Relaxed),
+                datagrams_out: c.datagrams_out.load(Ordering::Relaxed),
+                submits: c.submits.load(Ordering::Relaxed),
+                send_errors: c.send_errors.load(Ordering::Relaxed),
+            }
+        });
+        hub.set_unrouted(self.bridge.unrouted_handle());
+        for (shard, handle) in self.handles.iter().enumerate() {
+            let hub = hub.clone();
+            let source = format!("shard{shard}");
+            handle.set_trace_sink(move |entry| hub.record_trace(&source, entry));
+        }
+        MetricsServer::serve(hub.render_fn()).map_err(crate::CoreError::Net)
     }
 
     /// Blocks until every shard has processed every batch submitted so

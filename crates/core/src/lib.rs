@@ -43,6 +43,9 @@ mod error;
 mod framework;
 mod fused;
 mod gateway;
+mod host;
+mod metrics;
+mod registry;
 mod shard;
 mod stats;
 mod synthesis;
@@ -51,11 +54,17 @@ pub use check::{check_correlator, check_deployment, check_model_source, XML_LINT
 pub use engine::{
     BridgeEngine, EngineConfig, FieldCorrelator, SessionCorrelator, SessionKey, StoreForward,
 };
-pub use error::{CoreError, Result};
+pub use error::{CoreError, ModelReport, Result};
 pub use framework::Starlink;
 pub use fused::FuseReject;
 pub use gateway::{GatewayConfig, GatewayStats, ShardedGateway};
-pub use shard::{ShardHandle, ShardInput, ShardOutput, ShardedBridge};
+pub use host::{BridgeCommand, EngineHost};
+pub use metrics::MetricsHub;
+pub use registry::{
+    deploy_commands, swap_commands, undeploy_commands, BridgeRegistry, DeployState, DeployedBridge,
+    LoadedModel,
+};
+pub use shard::{ControlSlot, ShardHandle, ShardInput, ShardOutput, ShardedBridge};
 pub use stats::{
     AtomicConcurrency, BridgeStats, CacheStats, ConcurrencyStats, SessionRecord, ShardedStats,
     StoreForwardStats,

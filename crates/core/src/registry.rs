@@ -1,0 +1,391 @@
+//! The runtime registry — the control-plane half that lives with the
+//! driver: load model sources from disk *while serving*, gate every one
+//! of them through the `starlink-check` analyses, and mint **versioned
+//! deployments** whose engines a live [`ShardedBridge`] installs via
+//! [`BridgeCommand`]s.
+//!
+//! The version lifecycle:
+//!
+//! ```text
+//!   load ──▶ check ──▶ deploy (vN active) ──▶ drain (vN-1) ──▶ reap
+//! ```
+//!
+//! * **load** — [`BridgeRegistry::load_source`]/[`BridgeRegistry::load_file`]
+//!   bring an on-disk `<MDL>`, `<ColoredAutomaton>` or `<Bridge>`
+//!   document into the framework;
+//! * **check** — every load and every deployment runs the full static
+//!   verification; a rejection surfaces as
+//!   [`CoreError::Rejected`](crate::CoreError::Rejected) carrying the
+//!   structured [`ModelReport`] (lint codes, line/column spans), never
+//!   a flattened string;
+//! * **deploy** — [`BridgeRegistry::deploy_sharded`] builds one gated
+//!   engine per shard under a fresh monotonic version number and
+//!   records a [`DeployedBridge`] handle;
+//! * **drain/reap** — happen shard-side (see [`crate::host::EngineHost`]);
+//!   the handle's [`DeployedBridge::state`] reflects them through the
+//!   per-version stats flags.
+//!
+//! Two versions of the same case — e.g. two ontology revisions — are
+//! just two registry deployments; their engines coexist per shard until
+//! the old one drains out.
+
+use crate::engine::{BridgeEngine, EngineConfig};
+use crate::error::{CoreError, ModelReport, Result};
+use crate::framework::Starlink;
+use crate::host::BridgeCommand;
+use crate::stats::{AtomicConcurrency, BridgeStats, ShardedStats};
+use starlink_automata::{ColoredAutomaton, MergedAutomaton};
+use starlink_xml::{diag, Element, Severity};
+use std::path::Path;
+use std::sync::Arc;
+
+/// What a successfully loaded model source turned out to be.
+#[derive(Debug)]
+pub enum LoadedModel {
+    /// An `<MDL>` spec: its codec is generated and registered under
+    /// this protocol name.
+    Protocol(String),
+    /// A standalone `<ColoredAutomaton>` document, validated and
+    /// returned for the caller to merge or synthesize with.
+    Automaton(Box<ColoredAutomaton>),
+    /// A `<Bridge>` document, merged and returned ready to deploy.
+    Bridge(Box<MergedAutomaton>),
+}
+
+/// Where one versioned deployment stands in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployState {
+    /// Active: taking fresh sessions on every shard.
+    Serving,
+    /// Swapped or undeployed: finishing in-flight sessions only; at
+    /// least one shard still holds live state.
+    Draining,
+    /// Drained to zero on every shard and reaped; counters frozen.
+    Retired,
+}
+
+impl std::fmt::Display for DeployState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployState::Serving => write!(f, "serving"),
+            DeployState::Draining => write!(f, "draining"),
+            DeployState::Retired => write!(f, "retired"),
+        }
+    }
+}
+
+/// A versioned deployment handle: the registry-side view of one engine
+/// set installed (or about to be installed) on a sharded bridge. Clone
+/// freely — stats are shared.
+#[derive(Debug, Clone)]
+pub struct DeployedBridge {
+    version: u64,
+    case: String,
+    shards: usize,
+    stats: ShardedStats,
+}
+
+impl DeployedBridge {
+    /// The monotonic version number (unique per registry).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The case (merged-automaton) name this version deploys.
+    pub fn case(&self) -> &str {
+        &self.case
+    }
+
+    /// Number of shards the version was built for.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The per-version stats: each shard's engine records here for the
+    /// version's whole life, across drain and retirement.
+    pub fn stats(&self) -> &ShardedStats {
+        &self.stats
+    }
+
+    /// The version's lifecycle state, derived from the per-shard
+    /// draining/retired flags its engines maintain.
+    pub fn state(&self) -> DeployState {
+        if self.stats.retired_shards() == self.shards {
+            DeployState::Retired
+        } else if self.stats.draining_shards() > 0 {
+            DeployState::Draining
+        } else {
+            DeployState::Serving
+        }
+    }
+}
+
+/// The runtime model registry (see the module docs).
+pub struct BridgeRegistry {
+    framework: Starlink,
+    next_version: u64,
+    deployments: Vec<DeployedBridge>,
+}
+
+impl std::fmt::Debug for BridgeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BridgeRegistry")
+            .field("next_version", &self.next_version)
+            .field("deployments", &self.deployments.len())
+            .finish()
+    }
+}
+
+impl Default for BridgeRegistry {
+    fn default() -> Self {
+        BridgeRegistry::new()
+    }
+}
+
+impl BridgeRegistry {
+    /// A registry over a fresh framework instance.
+    pub fn new() -> Self {
+        BridgeRegistry::with_framework(Starlink::new())
+    }
+
+    /// A registry over an existing framework (already-loaded codecs and
+    /// functions stay available).
+    pub fn with_framework(framework: Starlink) -> Self {
+        BridgeRegistry { framework, next_version: 1, deployments: Vec::new() }
+    }
+
+    /// The underlying framework (codec lookups, synthesis).
+    pub fn framework(&self) -> &Starlink {
+        &self.framework
+    }
+
+    /// Mutable access to the underlying framework.
+    pub fn framework_mut(&mut self) -> &mut Starlink {
+        &mut self.framework
+    }
+
+    /// Loads one XML model source, gating it through the full
+    /// `starlink-check` analysis first. `subject` names the source in
+    /// the report (a file path, a test label).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Rejected`] with the structured diagnostics when any
+    /// check reports an `Error`; the underlying load error otherwise
+    /// (which the gate makes unreachable in practice).
+    pub fn load_source(&mut self, subject: &str, source: &str) -> Result<LoadedModel> {
+        let diagnostics = crate::check::check_model_source(source);
+        if diag::any_at_least(&diagnostics, Severity::Error) {
+            return Err(CoreError::Rejected(ModelReport {
+                subject: subject.to_owned(),
+                diagnostics,
+            }));
+        }
+        // The gate sniffed and loaded once for analysis; load again for
+        // keeps (control-plane path, not per-message).
+        let root = Element::parse(source)
+            .map_err(|e| CoreError::Deployment(format!("{subject}: {}", e.kind_message())))?;
+        match root.name() {
+            "MDL" => {
+                let codec = self.framework.load_mdl_xml(source)?;
+                Ok(LoadedModel::Protocol(codec.protocol().to_owned()))
+            }
+            "ColoredAutomaton" => {
+                let automaton = starlink_automata::load_automaton_element(&root)?;
+                Ok(LoadedModel::Automaton(Box::new(automaton)))
+            }
+            "Bridge" => {
+                let merged = self.framework.load_bridge_xml(source)?;
+                Ok(LoadedModel::Bridge(Box::new(merged)))
+            }
+            other => Err(CoreError::Deployment(format!(
+                "{subject}: unrecognized root element <{other}>"
+            ))),
+        }
+    }
+
+    /// [`BridgeRegistry::load_source`] for an on-disk file; the path is
+    /// the report subject.
+    ///
+    /// # Errors
+    ///
+    /// As [`BridgeRegistry::load_source`], plus
+    /// [`CoreError::Deployment`] when the file cannot be read.
+    pub fn load_file(&mut self, path: &Path) -> Result<LoadedModel> {
+        let subject = path.display().to_string();
+        let source = std::fs::read_to_string(path)
+            .map_err(|err| CoreError::Deployment(format!("read {subject}: {err}")))?;
+        self.load_source(&subject, &source)
+    }
+
+    /// Builds one gated engine per shard for `merged` under a fresh
+    /// version number. The engines go to the caller — into
+    /// [`crate::ShardedBridge::launch`] for an initial deployment, or
+    /// wrapped as [`BridgeCommand::Swap`]/[`BridgeCommand::Deploy`] via
+    /// [`swap_commands`]/[`deploy_commands`] for a live one. The
+    /// returned handle tracks the version for its whole life.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Rejected`] with the full diagnostics when the
+    /// deployment checks report an `Error`;
+    /// [`CoreError::MissingCodec`]/[`CoreError::Deployment`] as
+    /// [`Starlink::deploy_sharded`] otherwise.
+    pub fn deploy_sharded(
+        &mut self,
+        merged: MergedAutomaton,
+        config: EngineConfig,
+        shards: usize,
+    ) -> Result<(Vec<BridgeEngine>, DeployedBridge)> {
+        if shards == 0 {
+            return Err(CoreError::Deployment("a sharded bridge needs at least one shard".into()));
+        }
+        let case = merged.name().to_owned();
+        let (merged, codecs) = self.framework.check_and_resolve(merged)?;
+        let diagnostics =
+            crate::check::check_deployment(&merged, &codecs, config.correlator.as_deref());
+        if diag::any_at_least(&diagnostics, Severity::Error) {
+            return Err(CoreError::Rejected(ModelReport {
+                subject: format!("bridge:{case}"),
+                diagnostics,
+            }));
+        }
+        let automaton = Arc::new(merged);
+        let functions = Arc::new(self.framework.functions().clone());
+        let gauge = Arc::new(AtomicConcurrency::new());
+        let mut engines = Vec::with_capacity(shards);
+        let mut shard_stats = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let stats = BridgeStats::with_mirror(gauge.clone());
+            engines.push(BridgeEngine::new(
+                automaton.clone(),
+                codecs.clone(),
+                functions.clone(),
+                stats.clone(),
+                config.clone(),
+            )?);
+            shard_stats.push(stats);
+        }
+        let version = self.next_version;
+        self.next_version += 1;
+        let handle =
+            DeployedBridge { version, case, shards, stats: ShardedStats::new(shard_stats, gauge) };
+        self.deployments.push(handle.clone());
+        Ok((engines, handle))
+    }
+
+    /// Every deployment this registry has minted, in version order.
+    pub fn deployments(&self) -> &[DeployedBridge] {
+        &self.deployments
+    }
+}
+
+/// Wraps a registry-built engine set as one [`BridgeCommand::Swap`] per
+/// shard — drain every older version, activate this one.
+pub fn swap_commands(handle: &DeployedBridge, engines: Vec<BridgeEngine>) -> Vec<BridgeCommand> {
+    engines
+        .into_iter()
+        .map(|engine| BridgeCommand::Swap { version: handle.version(), engine })
+        .collect()
+}
+
+/// Wraps a registry-built engine set as one [`BridgeCommand::Deploy`]
+/// per shard — activate this version without draining the others.
+pub fn deploy_commands(handle: &DeployedBridge, engines: Vec<BridgeEngine>) -> Vec<BridgeCommand> {
+    engines
+        .into_iter()
+        .map(|engine| BridgeCommand::Deploy { version: handle.version(), engine })
+        .collect()
+}
+
+/// One [`BridgeCommand::Undeploy`] per shard of `handle` — drain this
+/// version everywhere without a replacement. In-flight sessions finish;
+/// each shard reaps its copy at zero live sessions.
+pub fn undeploy_commands(handle: &DeployedBridge) -> Vec<BridgeCommand> {
+    (0..handle.shard_count())
+        .map(|_| BridgeCommand::Undeploy { version: handle.version() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ECHO_MDL: &str = r#"
+      <MDL protocol="Echo" kind="binary">
+        <Header type="Echo"><Op>8</Op></Header>
+        <Message type="Ping"><Rule>Op=1</Rule></Message>
+        <Message type="Pong"><Rule>Op=2</Rule></Message>
+      </MDL>"#;
+
+    #[test]
+    fn loads_a_clean_mdl_and_registers_its_codec() {
+        let mut registry = BridgeRegistry::new();
+        let loaded = registry.load_source("echo.xml", ECHO_MDL).expect("clean spec loads");
+        assert!(matches!(loaded, LoadedModel::Protocol(p) if p == "Echo"));
+        assert!(registry.framework().codec("Echo").is_some());
+    }
+
+    #[test]
+    fn rejection_surfaces_structured_diagnostics_not_a_string() {
+        let mut registry = BridgeRegistry::new();
+        // A field-function cycle: MDL002 at error severity.
+        let bad = r#"
+          <MDL protocol="Bad" kind="binary">
+            <Types>
+              <Op>Integer</Op>
+              <A>Integer[f-length(B)]</A>
+              <B>Integer[f-length(A)]</B>
+            </Types>
+            <Header type="Bad"><Op>8</Op></Header>
+            <Message type="Loop"><Rule>Op=1</Rule><A>16</A><B>16</B></Message>
+          </MDL>"#;
+        let err = registry.load_source("bad.xml", bad).expect_err("gate rejects");
+        let CoreError::Rejected(report) = err else {
+            panic!("expected Rejected, got {err}");
+        };
+        assert_eq!(report.subject, "bad.xml");
+        assert!(report.errors().count() >= 1, "{}", report.render());
+        assert!(report.render().contains('['), "codes render: {}", report.render());
+        // Nothing was registered.
+        assert!(registry.framework().codec("Bad").is_none());
+    }
+
+    #[test]
+    fn malformed_xml_reports_position() {
+        let mut registry = BridgeRegistry::new();
+        let err = registry.load_source("torn.xml", "<MDL protocol=").expect_err("rejects");
+        let CoreError::Rejected(report) = err else { panic!("expected Rejected") };
+        let error = report.errors().next().expect("one error");
+        assert_eq!(error.code(), crate::check::XML_LINT_CODE);
+        assert!(error.position().line >= 1, "malformed XML carries a position");
+    }
+
+    #[test]
+    fn versions_are_monotonic_across_deployments() {
+        let mut registry = BridgeRegistry::new();
+        registry.load_source("echo.xml", ECHO_MDL).unwrap();
+        let merged = {
+            use starlink_automata::{Color, ColoredAutomaton, Mode, Transport};
+            let part = ColoredAutomaton::builder("Echo")
+                .color(Color::new(Transport::Udp, 1000, Mode::Async).multicast("239.0.0.1"))
+                .state("s0")
+                .state_accepting("s1")
+                .receive("s0", "Ping", "s1")
+                .send("s1", "Pong", "s0")
+                .build()
+                .unwrap();
+            MergedAutomaton::from_single(part)
+        };
+        let (engines, first) =
+            registry.deploy_sharded(merged.clone(), EngineConfig::default(), 2).unwrap();
+        assert_eq!(engines.len(), 2);
+        assert_eq!(first.version(), 1);
+        assert_eq!(first.state(), DeployState::Serving);
+        let (_, second) = registry.deploy_sharded(merged, EngineConfig::default(), 2).unwrap();
+        assert_eq!(second.version(), 2);
+        assert_eq!(registry.deployments().len(), 2);
+        let commands = swap_commands(&second, Vec::new());
+        assert!(commands.is_empty());
+    }
+}

@@ -40,12 +40,41 @@
 //! shard; host-affine keying is the sharding contract.
 
 use crate::engine::BridgeEngine;
+use crate::host::{BridgeCommand, EngineHost};
 use fxhash::FxHashMap;
-use starlink_net::{Bytes, Datagram, ExternalTcpEvent, SimAddr, SimNet, SimTime};
+use starlink_net::{Bytes, Datagram, ExternalTcpEvent, SimAddr, SimNet, SimTime, TraceEntry};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// A single-delivery slot carrying one [`BridgeCommand`] through the
+/// shard batch queues. `ShardInput` must stay `Clone` for the gateway's
+/// injection path, but an engine is not cloneable — so the command rides
+/// in a shared slot and the first delivery takes it (a cloned slot
+/// delivers nothing, which never happens on the one-queue path).
+#[derive(Clone)]
+pub struct ControlSlot(Arc<Mutex<Option<Box<BridgeCommand>>>>);
+
+impl ControlSlot {
+    /// Wraps a command for one shard's queue.
+    pub fn new(command: BridgeCommand) -> Self {
+        ControlSlot(Arc::new(Mutex::new(Some(Box::new(command)))))
+    }
+
+    /// Takes the command out (first caller wins).
+    pub fn take(&self) -> Option<Box<BridgeCommand>> {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
+    }
+}
+
+impl std::fmt::Debug for ControlSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let taken = self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).is_none();
+        f.debug_struct("ControlSlot").field("delivered", &taken).finish()
+    }
+}
 
 /// One ingress item for [`ShardedBridge::dispatch`]. TCP streams are
 /// addressed by a caller-chosen `token` (unique per connection) rather
@@ -78,6 +107,10 @@ pub enum ShardInput {
         /// The connection handle.
         token: u64,
     },
+    /// A control-plane command (deploy/swap/undeploy) for this shard's
+    /// [`EngineHost`], delivered out-of-band at the batch's virtual time
+    /// — serialized against traffic like any other input.
+    Control(ControlSlot),
 }
 
 /// One egress item drained from a shard's outbox.
@@ -153,10 +186,17 @@ impl Channel {
 /// waker here via [`ShardHandle::set_egress_notifier`]).
 type EgressNotifier = Box<dyn Fn() + Send>;
 
+/// A callback a shard worker streams fresh simulation trace entries
+/// into after each batch — the structured trace-export hook
+/// ([`ShardHandle::set_trace_sink`]). Receives every entry exactly once,
+/// in order.
+type TraceSink = Box<dyn Fn(&TraceEntry) + Send>;
+
 struct Shard {
     channel: Arc<Channel>,
     outbox: Arc<Mutex<Vec<ShardOutput>>>,
     notifier: Arc<Mutex<Option<EgressNotifier>>>,
+    trace_sink: Arc<Mutex<Option<TraceSink>>>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -184,6 +224,7 @@ pub struct ShardHandle {
     channel: Arc<Channel>,
     outbox: Arc<Mutex<Vec<ShardOutput>>>,
     notifier: Arc<Mutex<Option<EgressNotifier>>>,
+    trace_sink: Arc<Mutex<Option<TraceSink>>>,
 }
 
 impl std::fmt::Debug for ShardHandle {
@@ -230,6 +271,21 @@ impl ShardHandle {
         *slot = None;
     }
 
+    /// Installs `sink`, fed every fresh simulation trace entry of this
+    /// shard after each batch (exactly once, in order) — the export
+    /// hook structured trace streaming builds on. Entries recorded
+    /// before installation are not replayed.
+    pub fn set_trace_sink(&self, sink: impl Fn(&TraceEntry) + Send + 'static) {
+        let mut slot = self.trace_sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *slot = Some(Box::new(sink));
+    }
+
+    /// Removes the trace sink.
+    pub fn clear_trace_sink(&self) {
+        let mut slot = self.trace_sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *slot = None;
+    }
+
     /// Batches submitted but not yet completed by the worker.
     pub fn backlog(&self) -> u64 {
         let state = self.channel.lock();
@@ -245,6 +301,9 @@ pub struct ShardedBridge {
     tokens: FxHashMap<u64, usize>,
     /// Per-shard dispatch scratch, reused across calls.
     pending: Vec<Vec<ShardInput>>,
+    /// Fresh traffic dropped by any shard's host because no version was
+    /// active to take it (undeploy without replacement).
+    unrouted: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for ShardedBridge {
@@ -272,10 +331,14 @@ impl ShardedBridge {
     ) -> Self {
         assert!(!engines.is_empty(), "a sharded bridge needs at least one shard");
         let host = host.into();
+        let unrouted = Arc::new(AtomicU64::new(0));
         let mut shards = Vec::with_capacity(engines.len());
         for (index, engine) in engines.into_iter().enumerate() {
             let mut sim = SimNet::new(seed.wrapping_add(index as u64));
-            sim.add_actor(host.clone(), engine);
+            // Every shard hosts its engine behind a multi-version
+            // EngineHost, so a live control plane can drain-then-swap
+            // versions without restarting the worker.
+            sim.add_actor(host.clone(), EngineHost::new(1, engine, unrouted.clone()));
             populate(index, &mut sim);
             // Run every actor's on_start (port binds, listeners) without
             // firing any future timer.
@@ -283,16 +346,27 @@ impl ShardedBridge {
             let channel = Arc::new(Channel::new());
             let outbox = Arc::new(Mutex::new(Vec::new()));
             let notifier: Arc<Mutex<Option<EgressNotifier>>> = Arc::new(Mutex::new(None));
+            let trace_sink: Arc<Mutex<Option<TraceSink>>> = Arc::new(Mutex::new(None));
             let worker = {
                 let channel = channel.clone();
                 let outbox = outbox.clone();
                 let notifier = notifier.clone();
-                std::thread::spawn(move || shard_worker(sim, &channel, &outbox, &notifier))
+                let trace_sink = trace_sink.clone();
+                let host = host.clone();
+                std::thread::spawn(move || {
+                    shard_worker(sim, &host, &channel, &outbox, &notifier, &trace_sink);
+                })
             };
-            shards.push(Shard { channel, outbox, notifier, worker: Some(worker) });
+            shards.push(Shard { channel, outbox, notifier, trace_sink, worker: Some(worker) });
         }
         let pending = (0..shards.len()).map(|_| Vec::new()).collect();
-        ShardedBridge { shards, host: Arc::from(host), tokens: FxHashMap::default(), pending }
+        ShardedBridge {
+            shards,
+            host: Arc::from(host),
+            tokens: FxHashMap::default(),
+            pending,
+            unrouted,
+        }
     }
 
     /// The simulated host every shard's engine is deployed at.
@@ -316,8 +390,22 @@ impl ShardedBridge {
                 channel: shard.channel.clone(),
                 outbox: shard.outbox.clone(),
                 notifier: shard.notifier.clone(),
+                trace_sink: shard.trace_sink.clone(),
             })
             .collect()
+    }
+
+    /// Fresh traffic dropped fleet-wide because no bridge version was
+    /// active on the receiving shard (zero unless a case was undeployed
+    /// without a replacement).
+    pub fn unrouted(&self) -> u64 {
+        self.unrouted.load(Ordering::Relaxed)
+    }
+
+    /// The shared unrouted-traffic counter itself (for export surfaces
+    /// that outlive a borrow of the bridge).
+    pub(crate) fn unrouted_handle(&self) -> Arc<AtomicU64> {
+        self.unrouted.clone()
     }
 
     /// The shard a client host is pinned to.
@@ -350,6 +438,10 @@ impl ShardedBridge {
                     Some(shard) => shard,
                     None => continue,
                 },
+                // Control commands are per-shard (each shard gets its
+                // own engine instance) and cannot be host-pinned; they
+                // only travel via dispatch_control or a ShardHandle.
+                ShardInput::Control(_) => continue,
             };
             self.pending[shard].push(input);
         }
@@ -365,6 +457,27 @@ impl ShardedBridge {
     /// Advances every shard's virtual clock to `now` without new inputs
     /// (lets pending in-simulation events and timers run).
     pub fn advance(&mut self, now: SimTime) {
+        self.dispatch(now, std::iter::empty());
+    }
+
+    /// Submits one control command to every shard at virtual time `now`
+    /// — the drain-then-swap entry point. `commands` must hold exactly
+    /// one command per shard (each shard installs its own engine
+    /// instance); they ride the ordinary batch queues, so the swap is
+    /// serialized against traffic already dispatched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `commands.len() != self.shard_count()`.
+    pub fn dispatch_control(&mut self, now: SimTime, commands: Vec<BridgeCommand>) {
+        assert_eq!(
+            commands.len(),
+            self.shards.len(),
+            "dispatch_control needs one command per shard"
+        );
+        for (shard, command) in commands.into_iter().enumerate() {
+            self.pending[shard].push(ShardInput::Control(ControlSlot::new(command)));
+        }
         self.dispatch(now, std::iter::empty());
     }
 
@@ -452,15 +565,19 @@ impl Drop for ShardedBridge {
 /// simulation, run it to the batch's virtual time, and publish egress.
 fn shard_worker(
     mut sim: SimNet,
+    host: &str,
     channel: &Channel,
     outbox: &Mutex<Vec<ShardOutput>>,
     notifier: &Mutex<Option<EgressNotifier>>,
+    trace_sink: &Mutex<Option<TraceSink>>,
 ) {
     // Worker-local TCP token maps (connection ids are shard-private).
     let mut conn_of: FxHashMap<u64, starlink_net::ConnId> = FxHashMap::default();
     let mut token_of: FxHashMap<starlink_net::ConnId, u64> = FxHashMap::default();
     let mut egress: Vec<Datagram> = Vec::new();
     let mut staged: Vec<ShardOutput> = Vec::new();
+    // Trace entries already streamed to the sink.
+    let mut streamed = sim.trace().len();
     loop {
         let batch = {
             let mut state = channel.lock();
@@ -502,6 +619,12 @@ fn shard_worker(
                         let _ = sim.inject_tcp_close(conn);
                     }
                 }
+                ShardInput::Control(slot) => {
+                    // First delivery wins; a cloned slot is empty.
+                    if let Some(command) = slot.take() {
+                        sim.deliver_control(host, command as Box<dyn std::any::Any + Send>);
+                    }
+                }
             }
         }
         sim.run_until(now);
@@ -533,6 +656,21 @@ fn shard_worker(
             if let Some(notify) = slot.as_ref() {
                 notify();
             }
+        }
+
+        // Stream fresh trace entries to the export sink, exactly once
+        // each. The cursor advances even with no sink installed, so a
+        // late-installed sink starts from "now" instead of replaying
+        // history.
+        let trace = sim.trace();
+        if streamed < trace.len() {
+            let slot = trace_sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(sink) = slot.as_ref() {
+                for entry in &trace[streamed..] {
+                    sink(entry);
+                }
+            }
+            streamed = trace.len();
         }
 
         let mut state = channel.lock();

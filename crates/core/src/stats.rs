@@ -240,6 +240,13 @@ struct Inner {
     cache: CacheStats,
     /// Store-and-forward counters (delay-tolerant sessions only).
     store_forward: StoreForwardStats,
+    /// Control-plane state: the owning engine version stopped taking
+    /// fresh sessions (drain-then-swap in progress).
+    draining: bool,
+    /// Control-plane state: the owning engine version drained to zero
+    /// live sessions and was reaped. Counters freeze at their final
+    /// values — retirement never resets a ledger.
+    retired: bool,
 }
 
 /// Shared handle onto a bridge's statistics; clone freely — the engine
@@ -378,6 +385,33 @@ impl BridgeStats {
     /// Records an engine-level error (message dropped).
     pub fn record_error(&self, description: impl Into<String>) {
         self.lock().errors.push(description.into());
+    }
+
+    /// Marks the owning engine version as draining: it stopped taking
+    /// fresh sessions and only finishes (or idle-expires) in-flight
+    /// ones. Deployment state, not part of the lifecycle ledger.
+    pub fn record_draining(&self) {
+        self.lock().draining = true;
+    }
+
+    /// Marks the owning engine version as retired: it drained to zero
+    /// live sessions and was reaped. Its counters freeze here — a swap
+    /// must never reset or double-count a ledger.
+    pub fn record_retired(&self) {
+        let mut inner = self.lock();
+        inner.draining = true;
+        inner.retired = true;
+    }
+
+    /// Whether the owning engine version is draining (or already
+    /// retired).
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Whether the owning engine version drained out and was reaped.
+    pub fn is_retired(&self) -> bool {
+        self.lock().retired
     }
 
     /// Completed sessions so far.
@@ -544,6 +578,16 @@ impl ShardedStats {
             total.merge(&shard.cache());
         }
         total
+    }
+
+    /// Shards whose engine version is draining (or retired).
+    pub fn draining_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.is_draining()).count()
+    }
+
+    /// Shards whose engine version drained out and was reaped.
+    pub fn retired_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.is_retired()).count()
     }
 
     /// Store-and-forward counters summed across all shards.

@@ -1,0 +1,177 @@
+//! The observability export surface: a minimal text-over-HTTP endpoint
+//! serving rendered metrics/trace pages from a live gateway.
+//!
+//! [`MetricsServer`] owns one real loopback TCP listener and a serving
+//! thread. Every request is answered from a caller-supplied render
+//! closure — the server knows nothing about Prometheus, stats or
+//! traces; it maps a request path to the text the closure returns (or
+//! 404). Responses are `HTTP/1.0`-framed with `Connection: close`, so
+//! `curl http://127.0.0.1:<port>/metrics` works against it directly.
+//!
+//! The server is deliberately tiny — one request per connection, one
+//! serving thread, bounded request reads — because its job is exposing
+//! counters a scraper polls every few seconds, not serving traffic.
+
+use crate::error::{NetError, Result};
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maps a request path (e.g. `/metrics`) to a text page; `None` is a
+/// 404.
+pub type RenderFn = Arc<dyn Fn(&str) -> Option<String> + Send + Sync>;
+
+/// A loopback text endpoint serving rendered pages (metrics, traces)
+/// over HTTP/1.0. Bound to an ephemeral `127.0.0.1` port; dropped
+/// servers stop serving and join their thread.
+pub struct MetricsServer {
+    port: u16,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer").field("port", &self.port).finish()
+    }
+}
+
+impl MetricsServer {
+    /// Binds an ephemeral loopback port and starts serving `render`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the listener cannot be bound.
+    pub fn serve(render: RenderFn) -> Result<Self> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))
+            .map_err(|e| NetError::Io(format!("metrics listener bind: {e}")))?;
+        let port = listener
+            .local_addr()
+            .map_err(|e| NetError::Io(format!("metrics listener addr: {e}")))?
+            .port();
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Io(format!("metrics listener nonblocking: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !thread_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => serve_one(stream, &render),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+        });
+        Ok(MetricsServer { port, stop, thread: Some(thread) })
+    }
+
+    /// The real loopback port the endpoint listens on.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Serves one request on `stream`: parse the request line, render, and
+/// write an HTTP/1.0 response. Any I/O failure just drops the
+/// connection — the scraper retries on its next poll.
+fn serve_one(mut stream: TcpStream, render: &RenderFn) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    // Bounded read: the request line is all that matters; headers past
+    // 4 KiB are someone else's problem.
+    let mut buf = [0u8; 4096];
+    let mut len = 0usize;
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..len]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/")
+        .to_owned();
+    let response = match render(&path) {
+        Some(body) => format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+        None => {
+            let body = format!("no page at {path}\n");
+            format!(
+                "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+        }
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(port: u16, path: &str) -> String {
+        let mut stream = TcpStream::connect((Ipv4Addr::LOCALHOST, port)).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").as_bytes())
+            .expect("write request");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn serves_rendered_page_and_404() {
+        let server = MetricsServer::serve(Arc::new(|path: &str| {
+            (path == "/metrics").then(|| "starlink_up 1\n".to_owned())
+        }))
+        .expect("server starts");
+        let ok = get(server.port(), "/metrics");
+        assert!(ok.starts_with("HTTP/1.0 200 OK"), "{ok}");
+        assert!(ok.ends_with("starlink_up 1\n"), "{ok}");
+        let missing = get(server.port(), "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+    }
+
+    #[test]
+    fn drop_stops_the_server() {
+        let server =
+            MetricsServer::serve(Arc::new(|_: &str| Some(String::new()))).expect("server starts");
+        let port = server.port();
+        drop(server);
+        // The listener is gone: connects are refused (or reset).
+        assert!(TcpStream::connect_timeout(
+            &std::net::SocketAddr::from((Ipv4Addr::LOCALHOST, port)),
+            Duration::from_millis(200),
+        )
+        .is_err());
+    }
+}

@@ -45,6 +45,7 @@
 
 mod addr;
 mod error;
+mod export;
 mod latency;
 mod reactor;
 mod realnet;
@@ -55,6 +56,7 @@ pub use addr::SimAddr;
 pub use bytes::Bytes;
 pub use epoll::Waker as ReadinessWaker;
 pub use error::{NetError, Result};
+pub use export::{MetricsServer, RenderFn};
 pub use latency::LatencyModel;
 pub use reactor::{readiness_supported, GatewayReactor, ReactorStats};
 pub use realnet::{

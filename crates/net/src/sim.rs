@@ -319,6 +319,14 @@ pub trait Actor: Send {
 
     /// A timer set via [`Context::set_timer`] fired.
     fn on_timer(&mut self, _ctx: &mut Context<'_>, _tag: u64) {}
+
+    /// An out-of-band control payload delivered via
+    /// [`SimNet::deliver_control`] — the channel a live control plane
+    /// uses to hand an actor new behaviour (e.g. a freshly deployed
+    /// bridge version) without going over the simulated wire. The
+    /// payload is opaque to the simulator; actors downcast what they
+    /// understand and drop the rest (the default).
+    fn on_control(&mut self, _ctx: &mut Context<'_>, _payload: Box<dyn std::any::Any + Send>) {}
 }
 
 /// Wraps an actor so its [`Actor::on_start`] runs after a delay — the
@@ -356,6 +364,10 @@ impl<A: Actor + ?Sized> Actor for Box<A> {
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
         (**self).on_timer(ctx, tag);
     }
+
+    fn on_control(&mut self, ctx: &mut Context<'_>, payload: Box<dyn std::any::Any + Send>) {
+        (**self).on_control(ctx, payload);
+    }
 }
 
 impl<A: Actor> Actor for DelayedActor<A> {
@@ -378,6 +390,10 @@ impl<A: Actor> Actor for DelayedActor<A> {
         } else {
             self.inner.on_timer(ctx, tag);
         }
+    }
+
+    fn on_control(&mut self, ctx: &mut Context<'_>, payload: Box<dyn std::any::Any + Send>) {
+        self.inner.on_control(ctx, payload);
     }
 }
 
@@ -1561,6 +1577,29 @@ impl SimNet {
     /// last call.
     pub fn drain_tcp_egress(&mut self) -> Vec<ExternalTcpEvent> {
         std::mem::take(&mut self.world.tcp_egress)
+    }
+
+    /// Delivers an out-of-band control payload to the actor at `host`
+    /// **immediately**, at the current virtual time — control commands
+    /// do not travel the simulated wire, so they are never impaired,
+    /// delayed or gated by pass schedules. No-op (traced) when the host
+    /// runs no actor.
+    pub fn deliver_control(&mut self, host: &str, payload: Box<dyn std::any::Any + Send>) {
+        let Some(slot) = self.actors.get_mut(host) else {
+            self.world.trace(format!("control payload for unknown host {host} dropped"));
+            return;
+        };
+        let Some(mut actor) = slot.take() else {
+            return;
+        };
+        let host: Arc<str> = Arc::from(host);
+        {
+            let mut ctx = Context { world: &mut self.world, host: &host };
+            actor.on_control(&mut ctx, payload);
+        }
+        if let Some(slot) = self.actors.get_mut(&host) {
+            *slot = Some(actor);
+        }
     }
 
     /// Replaces the latency model (default: [`LatencyModel::local_machine`]).

@@ -1,11 +1,12 @@
-//! The chaos conformance matrix: all twelve bridge cases × the six
+//! The chaos conformance matrix: all twelve bridge cases × the seven
 //! named profiles × {1, 4} engine shards, each cell driving ≥50
 //! interleaved wire-level clients through shard simulations whose links
 //! drop, duplicate, reorder, jitter, corrupt, partition, share
-//! bandwidth or open only in satellite-style connectivity windows — and
-//! the **liveness contract** must hold in every cell: the engine never
-//! wedges, never cross-delivers a reply, and every session ends counted
-//! in exactly one of completed/failed/expired with the stats invariant
+//! bandwidth, open only in satellite-style connectivity windows or
+//! live-swap the bridge deployment mid-run — and the **liveness
+//! contract** must hold in every cell: the engine never wedges, never
+//! cross-delivers a reply, and every session ends counted in exactly
+//! one of completed/failed/expired with the stats invariant
 //! (store-and-forward counters included) intact on every shard.
 //!
 //! Everything here is a deterministic function of `(seed, profile)`.
@@ -20,7 +21,7 @@
 //! Scaling knobs (CI's main test job runs a short-mode slice through
 //! these; a dedicated parallel job runs the full matrix): `CHAOS_CLIENTS`
 //! (default 50), `CHAOS_SHARDS` (comma list, default `1,4`),
-//! `CHAOS_PROFILES` (comma list of profile names, default all six).
+//! `CHAOS_PROFILES` (comma list of profile names, default all seven).
 //! `repro_cell` additionally takes per-knob overrides on top of the
 //! named profile (`CHAOS_BANDWIDTH` in bytes/sec, `CHAOS_PASS_WINDOW_MS`
 //! with `CHAOS_PASS_SLOTS`, `CHAOS_QUEUE_BOUND`, `CHAOS_CLIENT_RETRY_MS`)
@@ -184,6 +185,64 @@ fn chaos_matrix_contended_links_profile() {
     // holding legs back above the backlog threshold. Nothing is lost,
     // only delayed, so the contract's completion clause stays on.
     run_profile_row(&ChaosProfile::contended_links());
+}
+
+#[test]
+fn chaos_matrix_live_redeploy_profile() {
+    // The redeploy wall: every cell drain-then-swaps its serving bridge
+    // to a freshly gated v2 mid-run, under 10% loss. On top of the
+    // contract (which already checks the per-version ledgers balance
+    // and no counter falls across the swap), every cell must show the
+    // full lifecycle actually happened: v1 retired with zero live
+    // sessions, both versions served traffic, and not one datagram
+    // arrived after its owner was reaped (unrouted stays zero — the
+    // no-cross-version-delivery guarantee at the shard boundary).
+    use starlink::core::DeployState;
+
+    let profile = ChaosProfile::live_redeploy();
+    if !profile_enabled(&profile) {
+        eprintln!("profile {} disabled via CHAOS_PROFILES; skipping", profile.name);
+        return;
+    }
+    let clients = matrix_clients();
+    for shards in matrix_shard_counts() {
+        for &case in BridgeCase::all() {
+            let seed = cell_seed(case, shards, &profile);
+            let run = run_chaos_cell(ChaosCell { case, shards, clients, seed }, &profile);
+            assert_liveness_contract(&run, &profile, seed);
+            let swap = run.swap.as_ref().expect("the live_redeploy profile swaps mid-run");
+            assert_eq!(
+                swap.old.state(),
+                DeployState::Retired,
+                "case {} × {shards} shards: v1 is still {} after the horizon",
+                case.number(),
+                swap.old.state()
+            );
+            let old = swap.old.stats().concurrency();
+            let new = swap.new.stats().concurrency();
+            assert_eq!(
+                old.active,
+                0,
+                "case {} × {shards} shards: v1 retired with live sessions",
+                case.number()
+            );
+            assert!(
+                old.started > 0 && new.started > 0,
+                "case {} × {shards} shards: one side of the swap never served \
+                 (v1 started {}, v2 started {})",
+                case.number(),
+                old.started,
+                new.started
+            );
+            assert_eq!(
+                run.unrouted,
+                0,
+                "case {} × {shards} shards: datagrams arrived after their \
+                 owning version was reaped",
+                case.number()
+            );
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,338 @@
+//! The live control plane end to end: registry loads that reproduce the
+//! `starlink-check` diagnostics verbatim when a bad spec is refused, a
+//! genuine ontology revision (two synthesized versions of the same
+//! bridge) drained-then-swapped under in-flight traffic with the
+//! metrics endpoint scraped mid-drain, and the same swap through the
+//! real-socket [`ShardedGateway`] with the ingress ports held stable.
+
+use starlink::core::{
+    swap_commands, synthesize_bridge, BridgeRegistry, CoreError, DeployState, EngineConfig,
+    GatewayConfig, MetricsHub, ShardInput, ShardOutput, ShardedBridge, ShardedGateway, Starlink,
+};
+use starlink::net::{
+    Bytes, Datagram, LatencyModel, LoopbackUdp, MetricsServer, SimAddr, SimDuration, SimTime,
+};
+use starlink::protocols::{
+    bridges::{self, BridgeCase},
+    mdns, slp, wsd, Calibration,
+};
+use starlink_bench::{add_target_service, expected_discovery_url, BRIDGE};
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// `GET {path}` against a [`MetricsServer`], returning the raw response.
+fn http_get(server: &MetricsServer, path: &str) -> String {
+    let mut stream = TcpStream::connect((Ipv4Addr::LOCALHOST, server.port())).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").as_bytes())
+        .expect("write request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+fn body(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).expect("response has a body")
+}
+
+/// Every control-plane refusal carries the *same* rendered diagnostics
+/// as the `starlink-check` CLI: for each badspec fixture whose golden
+/// snapshot holds an error, [`BridgeRegistry::load_file`] must refuse
+/// with a report rendering byte-identically to that snapshot — and
+/// every fixture clean at error severity must load.
+#[test]
+fn badspec_loads_reproduce_the_checker_diagnostics_verbatim() {
+    let dir = repo_path("tests/fixtures/badspecs");
+    let mut fixtures: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("badspecs directory readable")
+        .map(|entry| entry.expect("directory entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("xml"))
+        .collect();
+    fixtures.sort();
+    assert!(!fixtures.is_empty(), "no fixtures found in {}", dir.display());
+
+    for fixture in &fixtures {
+        let stem = fixture.file_stem().and_then(|s| s.to_str()).expect("fixture stem");
+        let golden_path = dir.join("golden").join(format!("{stem}.txt"));
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden_path.display()));
+
+        let mut registry = BridgeRegistry::new();
+        let result = registry.load_file(fixture);
+        if golden.contains("error[") {
+            let err = result.err().unwrap_or_else(|| {
+                panic!("{stem}: an error-severity spec must be refused at load")
+            });
+            let CoreError::Rejected(report) = err else {
+                panic!("{stem}: expected a structured rejection, got: {err}");
+            };
+            assert_eq!(report.subject, fixture.display().to_string());
+            assert!(report.errors().count() > 0, "{stem}: rejection carries no errors");
+            assert_eq!(
+                format!("{}\n", report.render()),
+                golden,
+                "{stem}: the registry's rejection drifted from the starlink-check render"
+            );
+        } else {
+            result.unwrap_or_else(|e| {
+                panic!("{stem}: a spec clean at error severity must load, got: {e}")
+            });
+        }
+    }
+}
+
+/// The PR's acceptance scenario, on genuinely different model versions:
+/// v1 and v2 are two *synthesized* WSD→SLP bridges differing only in
+/// the ontology (`LangTag` constant `"en"` vs `"fr"`). Three probes go
+/// in-flight on v1, the fleet swaps to v2 mid-drain (scraping the HTTP
+/// endpoint while both versions coexist), two fresh probes land on v2,
+/// and every one of the five clients gets exactly its own ProbeMatch —
+/// zero dropped in-flight sessions, zero unrouted datagrams.
+#[test]
+fn two_ontology_revisions_coexist_through_a_live_drain() {
+    let case = BridgeCase::WsdToSlp;
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).expect("models load");
+    let (_, service_side, client_side, ontology) = bridges::synthesized_inputs()
+        .into_iter()
+        .find(|(c, ..)| *c == case)
+        .expect("case 7 is synthesizable");
+
+    let merged_v1 =
+        synthesize_bridge(&framework, "wsd-to-slp-live", service_side, client_side, &ontology)
+            .expect("v1 synthesizes");
+    // The ontology revision: the composed SLP requests now carry the
+    // French language tag (the legacy service echoes whatever it gets).
+    let ontology_fr = ontology.constant("SLPSrvRequest", "LangTag", "fr");
+    let merged_v2 = synthesize_bridge(
+        &framework,
+        "wsd-to-slp-live",
+        wsd::service_automaton(),
+        slp::client_automaton(),
+        &ontology_fr,
+    )
+    .expect("v2 synthesizes");
+
+    let mut registry = BridgeRegistry::with_framework(framework);
+    let (v1_engines, v1) =
+        registry.deploy_sharded(merged_v1, EngineConfig::default(), 2).expect("v1 deploys");
+    let (v2_engines, v2) =
+        registry.deploy_sharded(merged_v2, EngineConfig::default(), 2).expect("v2 deploys");
+    assert_eq!((v1.version(), v2.version()), (1, 2));
+
+    let mut bridge = ShardedBridge::launch(0x11CE, BRIDGE, v1_engines, |_, sim| {
+        add_target_service(sim, case, Calibration::fast());
+    });
+    let hub = MetricsHub::new();
+    hub.register(&v1);
+    let server = MetricsServer::serve(hub.render_fn()).expect("endpoint binds");
+
+    let probe = |index: usize| {
+        ShardInput::Datagram(Datagram {
+            from: SimAddr::new(format!("10.20.1.{index}"), wsd::WSD_CLIENT_PORT),
+            to: SimAddr::new(BRIDGE, wsd::WSD_PORT),
+            payload: Bytes::from(wsd::encode(&wsd::WsdMessage::Probe(wsd::WsdProbe::new(
+                1 + index as u64,
+                "dn:printer",
+            )))),
+        })
+    };
+
+    // Three probes go in-flight on v1 (the calibrated SLP service
+    // answers ~3 virtual ms later, so nothing resolves yet).
+    bridge.dispatch(SimTime::from_micros(1_000), (0..3).map(probe));
+    bridge.flush();
+    assert_eq!(v1.stats().concurrency().started, 3);
+    assert_eq!(v1.stats().concurrency().active, 3, "probes are in-flight on v1");
+
+    // Swap to v2 while those three sessions are mid-translation.
+    bridge.dispatch_control(SimTime::from_micros(1_100), swap_commands(&v2, v2_engines));
+    bridge.flush();
+    hub.register(&v2);
+
+    // The drain window, as an operator sees it over HTTP: both versions
+    // exported, v1 draining with its three live sessions, v2 serving.
+    let mid_drain = http_get(&server, "/metrics");
+    assert!(mid_drain.starts_with("HTTP/1.0 200 OK"), "{mid_drain}");
+    let page = body(&mid_drain);
+    for needle in [
+        r#"starlink_deployment_state{case="wsd-to-slp-live",version="1",state="draining"} 1"#,
+        r#"starlink_deployment_state{case="wsd-to-slp-live",version="2",state="serving"} 1"#,
+        r#"starlink_sessions_total{case="wsd-to-slp-live",version="1",outcome="started"} 3"#,
+        r#"starlink_sessions_total{case="wsd-to-slp-live",version="2",outcome="started"} 0"#,
+        r#"starlink_sessions_active{case="wsd-to-slp-live",version="1"} 3"#,
+    ] {
+        assert!(page.contains(needle), "mid-drain page lacks `{needle}`:\n{page}");
+    }
+
+    // Fresh traffic lands on the new version; the draining one keeps
+    // only its in-flight work.
+    bridge.dispatch(SimTime::from_micros(1_200), (3..5).map(probe));
+    bridge.flush();
+    assert_eq!(v2.stats().concurrency().started, 2, "fresh probes landed on v2");
+    assert_eq!(v1.stats().concurrency().started, 3, "v1 took no fresh traffic");
+
+    // Let every reply timer fire: the three v1 sessions must finish on
+    // v1, the two v2 sessions on v2, and v1 must then be reaped.
+    bridge.advance(SimTime::from_millis(200));
+    bridge.flush();
+    let mut outputs = Vec::new();
+    bridge.drain_into(&mut outputs);
+    let mut replied = vec![0usize; 5];
+    for (_, output) in &outputs {
+        let ShardOutput::Datagram(datagram) = output else {
+            panic!("unexpected non-datagram output: {output:?}");
+        };
+        let Ok(wsd::WsdMessage::ProbeMatch(matched)) = wsd::decode(&datagram.payload) else {
+            panic!("unexpected reply payload to {}", datagram.to.host);
+        };
+        let index: usize = datagram
+            .to
+            .host
+            .strip_prefix("10.20.1.")
+            .and_then(|s| s.parse().ok())
+            .expect("reply goes to a probing client");
+        assert_eq!(
+            matched.relates_to,
+            wsd::probe_uuid(1 + index as u64),
+            "client {index} got another client's match"
+        );
+        assert_eq!(matched.xaddrs, expected_discovery_url(case));
+        replied[index] += 1;
+    }
+    assert_eq!(replied, vec![1; 5], "every client got exactly its own ProbeMatch");
+
+    let old = v1.stats().concurrency();
+    let new = v2.stats().concurrency();
+    assert_eq!((old.started, old.completed, old.active), (3, 3, 0), "v1 drained clean");
+    assert_eq!((new.started, new.completed, new.active), (2, 2, 0), "v2 serving clean");
+    assert_eq!(v1.state(), DeployState::Retired, "drained version was reaped");
+    assert_eq!(v2.state(), DeployState::Serving);
+    assert_eq!(bridge.unrouted(), 0, "no datagram fell into the swap gap");
+    assert!(v1.stats().errors().is_empty(), "{:?}", v1.stats().errors());
+    assert!(v2.stats().errors().is_empty(), "{:?}", v2.stats().errors());
+
+    let settled = body(&http_get(&server, "/metrics")).to_owned();
+    for needle in [
+        r#"starlink_deployment_state{case="wsd-to-slp-live",version="1",state="retired"} 1"#,
+        r#"starlink_deployment_state{case="wsd-to-slp-live",version="2",state="serving"} 1"#,
+        r#"starlink_sessions_total{case="wsd-to-slp-live",version="1",outcome="completed"} 3"#,
+        r#"starlink_sessions_total{case="wsd-to-slp-live",version="2",outcome="completed"} 2"#,
+    ] {
+        assert!(settled.contains(needle), "settled page lacks `{needle}`:\n{settled}");
+    }
+}
+
+/// The same drain-then-swap against the *real-socket* front: a served
+/// [`ShardedGateway`] swaps its bridge between two registry versions
+/// without changing a single advertised ingress port, keeps answering
+/// SLP lookups on every shard, and its metrics endpoint exports both
+/// versions plus the gateway's own counters. Skips quietly when the
+/// environment forbids socket creation (same policy as
+/// `loopback_sockets.rs`).
+#[test]
+fn gateway_swap_keeps_ingress_ports_and_exports_both_versions() {
+    let mut framework = Starlink::new();
+    bridges::load_all_mdls(&mut framework).expect("models load");
+    let mut registry = BridgeRegistry::with_framework(framework);
+    let (v1_engines, v1) = registry
+        .deploy_sharded(bridges::slp_to_bonjour(), EngineConfig::default(), 2)
+        .expect("v1 deploys");
+    let (v2_engines, v2) = registry
+        .deploy_sharded(bridges::slp_to_bonjour(), EngineConfig::default(), 2)
+        .expect("v2 deploys");
+
+    let bridge = ShardedBridge::launch(21, BRIDGE, v1_engines, |_, sim| {
+        sim.set_latency(LatencyModel::Fixed(SimDuration::ZERO));
+        sim.add_actor(
+            "10.0.0.3",
+            mdns::BonjourService::new(
+                "_printer._tcp.local",
+                "service:printer://10.0.0.3:631",
+                Calibration::instant(),
+            ),
+        );
+    });
+    let config =
+        GatewayConfig { udp_ports: vec![slp::SLP_PORT], threads: 1, ..GatewayConfig::default() };
+    let gateway = match ShardedGateway::launch(bridge, config) {
+        Ok(gateway) => gateway,
+        Err(err) => {
+            eprintln!("skipping: gateway sockets unavailable in this environment ({err})");
+            return;
+        }
+    };
+    let hub = MetricsHub::new();
+    let server = match gateway.serve_metrics(&hub) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("skipping: metrics endpoint unavailable in this environment ({err})");
+            return;
+        }
+    };
+    hub.register(&v1);
+
+    let slp_exchange = |ingress: u16, xid: u16| {
+        let client = LoopbackUdp::bind_with_timeout(Duration::from_secs(10)).unwrap();
+        let rqst = slp::SrvRqst::new(xid, "service:printer");
+        client.send_to(&slp::encode(&slp::SlpMessage::SrvRqst(rqst)), ingress).unwrap();
+        let (payload, _) = client.recv().expect("reply within the socket timeout");
+        match slp::decode(&payload).unwrap() {
+            slp::SlpMessage::SrvRply(rply) => (rply.xid, rply.url),
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+
+    let ports: Vec<u16> = (0..gateway.shard_count())
+        .map(|s| gateway.ingress_real_port(s, slp::SLP_PORT).expect("ingress port mapped"))
+        .collect();
+    for (s, &port) in ports.iter().enumerate() {
+        let (xid, url) = slp_exchange(port, 0x5100 + s as u16);
+        assert_eq!(xid, 0x5100 + s as u16);
+        assert_eq!(url, "service:printer://10.0.0.3:631");
+    }
+    gateway.flush();
+    assert_eq!(v1.stats().concurrency().completed, ports.len() as u64);
+
+    // The live swap: one command per shard, riding the ordinary batch
+    // queues behind the traffic above.
+    gateway.dispatch_control(swap_commands(&v2, v2_engines));
+    gateway.flush();
+    hub.register(&v2);
+
+    // Same advertised ports, and every shard keeps answering — now on v2.
+    let after: Vec<u16> = (0..gateway.shard_count())
+        .map(|s| gateway.ingress_real_port(s, slp::SLP_PORT).expect("ingress port mapped"))
+        .collect();
+    assert_eq!(ports, after, "the swap touched no socket registration");
+    for (s, &port) in after.iter().enumerate() {
+        let (xid, url) = slp_exchange(port, 0x5200 + s as u16);
+        assert_eq!(xid, 0x5200 + s as u16);
+        assert_eq!(url, "service:printer://10.0.0.3:631");
+    }
+    gateway.flush();
+    assert_eq!(v1.stats().concurrency().completed, ports.len() as u64, "v1 took no new work");
+    assert_eq!(v2.stats().concurrency().completed, ports.len() as u64, "v2 answered post-swap");
+    assert_eq!(v1.state(), DeployState::Retired, "idle version reaped at the swap");
+    assert_eq!(v2.state(), DeployState::Serving);
+
+    // The operator's view of all of it, over the gateway-served endpoint.
+    let page = body(&http_get(&server, "/metrics")).to_owned();
+    for needle in [
+        r#"starlink_deployment_state{case="slp-to-bonjour",version="1",state="retired"} 1"#,
+        r#"starlink_deployment_state{case="slp-to-bonjour",version="2",state="serving"} 1"#,
+        r#"starlink_gateway_datagrams_total{direction="in"}"#,
+        r#"starlink_gateway_datagrams_total{direction="out"}"#,
+        "starlink_gateway_submits_total",
+        "starlink_unrouted_total 0",
+    ] {
+        assert!(page.contains(needle), "gateway metrics page lacks `{needle}`:\n{page}");
+    }
+    assert!(gateway.errors().is_empty(), "gateway errors: {:?}", gateway.errors());
+}

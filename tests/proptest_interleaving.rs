@@ -15,7 +15,7 @@ use starlink_bench::chaos::{
 };
 use starlink_bench::{
     expected_discovery_url, run_concurrent_clients_chaos, run_concurrent_clients_with,
-    run_sharded_case, ShardedWorkload,
+    run_sharded_case, run_sharded_scripted, ScriptedCommand, ShardedWorkload,
 };
 
 /// Random impairment knobs: anywhere from pristine to a badly misbehaving
@@ -181,6 +181,80 @@ proptest! {
             violations.join("\n  - "),
             tail(&run.boundary_log, 30)
         );
+    }
+
+    /// Random control-plane command streams — deploy, drain-then-swap
+    /// and undeploy at random driver iterations — interleaved with
+    /// 0..50 wire clients across random shard layouts: whatever the
+    /// operator does to the fleet mid-run, every client still completes
+    /// exactly one isolated session, no datagram goes unrouted (the
+    /// executor never drains the last serving version), every version's
+    /// ledger stays balanced and quiescent, and no version is left
+    /// half-drained. On failure the dump prints the effective command
+    /// log plus the seed, so the exact stream replays.
+    #[test]
+    fn any_command_stream_keeps_the_fleet_serving(
+        seed in 0u64..10_000,
+        case_index in 0usize..12,
+        shards in 1usize..=4,
+        clients in 0usize..50,
+        wave in 1usize..12,
+        commands in prop::collection::vec(
+            (
+                1u64..=40,
+                prop_oneof![
+                    Just(ScriptedCommand::Deploy),
+                    Just(ScriptedCommand::Swap),
+                    Just(ScriptedCommand::Undeploy),
+                ],
+            ),
+            0..6,
+        ),
+    ) {
+        use starlink::core::DeployState;
+
+        let case = BridgeCase::all()[case_index];
+        let mut workload = ShardedWorkload::new(shards, clients);
+        workload.seed = seed;
+        workload.wave = wave;
+        let scripted = run_sharded_scripted(case, workload, &commands);
+        let run = &scripted.run;
+        let dump = || {
+            format!(
+                "case {} seed {seed} shards {shards} clients {clients} wave {wave}\n\
+                 command log:\n  {}\nerrors: {:?}",
+                case.number(),
+                scripted.command_log.join("\n  "),
+                run.stats.errors(),
+            )
+        };
+        prop_assert_eq!(
+            run.completed(), clients,
+            "{} of {} clients completed\n{}", run.completed(), clients, dump()
+        );
+        for (i, outcome) in run.outcomes.iter().enumerate() {
+            prop_assert_eq!(
+                outcome.url.as_deref(), Some(expected_discovery_url(case)),
+                "client {i} got a wrong/foreign reply\n{}", dump()
+            );
+            prop_assert!(outcome.id_ok, "client {i} got another client's id\n{}", dump());
+        }
+        prop_assert_eq!(run.unrouted, 0, "fresh traffic went unrouted\n{}", dump());
+        for handle in &scripted.deployments {
+            let c = handle.stats().concurrency();
+            prop_assert!(
+                c.is_balanced() && c.active == 0,
+                "v{} wedged or unbalanced: {:?}\n{}", handle.version(), c, dump()
+            );
+            prop_assert!(
+                handle.stats().errors().is_empty(),
+                "v{} logged engine errors\n{}", handle.version(), dump()
+            );
+            prop_assert!(
+                handle.state() != DeployState::Draining,
+                "v{} left half-drained (state {})\n{}", handle.version(), handle.state(), dump()
+            );
+        }
     }
 
     /// Random pass schedules, per-link bandwidths and store-and-forward
